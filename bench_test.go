@@ -1,0 +1,167 @@
+package overton
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/labelmodel"
+	"repro/internal/record"
+	"repro/internal/workload"
+)
+
+// The benchmarks in this file regenerate every table and figure of the
+// paper's evaluation (plus the Section 2.2 slice claim and the DESIGN.md
+// ablations). Each runs its experiment once per iteration and prints the
+// paper-formatted table, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. Key scalar results are also attached as
+// custom benchmark metrics. CI-scale options are used; EXPERIMENTS.md
+// records the full-profile runs.
+
+func benchOpts() experiments.Options { return experiments.Quick() }
+
+// BenchmarkFigure3ErrorReduction regenerates the Figure 3 table: error
+// reduction vs the previous production system at four resource levels.
+func BenchmarkFigure3ErrorReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.RenderFigure3(os.Stdout, rows)
+		var minF, maxF float64 = 1e9, 0
+		for _, r := range rows {
+			if r.Factor < minF {
+				minF = r.Factor
+			}
+			if r.Factor > maxF {
+				maxF = r.Factor
+			}
+		}
+		b.ReportMetric(minF, "min-factor")
+		b.ReportMetric(maxF, "max-factor")
+	}
+}
+
+// BenchmarkFigure4aScaling regenerates Figure 4a: relative quality vs
+// weak-supervision scale for the three task granularities.
+func BenchmarkFigure4aScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure4a(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.RenderFigure4a(os.Stdout, points)
+		last := points[len(points)-1]
+		b.ReportMetric(last.Relative["singleton"], "rel-singleton")
+		b.ReportMetric(last.Relative["sequence"], "rel-sequence")
+		b.ReportMetric(last.Relative["set"], "rel-set")
+	}
+}
+
+// BenchmarkFigure4bPretraining regenerates Figure 4b: with-BERT vs
+// without-BERT quality ratio per scale.
+func BenchmarkFigure4bPretraining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure4b(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.RenderFigure4b(os.Stdout, points)
+		last := points[len(points)-1]
+		b.ReportMetric(last.Ratio["singleton"], "ratio-singleton")
+		b.ReportMetric(last.Ratio["set"], "ratio-set")
+	}
+}
+
+// BenchmarkSliceImprovement regenerates the Section 2.2 slice study:
+// production system vs Overton (plain and slice-aware) on the
+// complex-disambiguation slice.
+func BenchmarkSliceImprovement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SliceExperiment(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.RenderSlice(os.Stdout, res)
+		b.ReportMetric(100*(res.HardWith-res.BaselineHard), "hard-gain-points")
+		b.ReportMetric(100*(res.SliceWith-res.BaselineSlice), "slice-gain-points")
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice ablation table.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Ablations(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.RenderAblations(os.Stdout, rows)
+	}
+}
+
+// BenchmarkBuildPipeline measures the full engineer loop: combine
+// supervision, train the default model on a mid-sized product.
+func BenchmarkBuildPipeline(b *testing.B) {
+	app, err := Open([]byte(workload.SchemaJSON))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tun := `{"embeddings": ["hash-24"], "encoders": ["CNN"], "hidden": [32],
+	         "query_agg": ["mean"], "entity_agg": ["mean"],
+	         "lr": [0.02], "epochs": [5], "dropout": [0], "batch_size": [32]}`
+	if err := app.SetTuning([]byte(tun)); err != nil {
+		b.Fatal(err)
+	}
+	ds := workload.StandardDataset(400, 1, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := app.Build(ds, BuildOptions{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictLatency measures single-query inference latency on the
+// deployable model (the SLA number production teams pin).
+func BenchmarkPredictLatency(b *testing.B) {
+	app, err := Open([]byte(workload.SchemaJSON))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tun := `{"embeddings": ["hash-24"], "encoders": ["CNN"], "hidden": [32],
+	         "query_agg": ["mean"], "entity_agg": ["mean"],
+	         "lr": [0.02], "epochs": [2], "dropout": [0], "batch_size": [32]}`
+	if err := app.SetTuning([]byte(tun)); err != nil {
+		b.Fatal(err)
+	}
+	ds := workload.StandardDataset(200, 2, 0.2)
+	m, _, err := app.Build(ds, BuildOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := ds.WithTag(record.TagTest)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictOne(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSupervisionCombination measures the label-model pass over a
+// product-sized data file (all four tasks).
+func BenchmarkSupervisionCombination(b *testing.B) {
+	ds := workload.StandardDataset(2000, 3, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, task := range ds.Schema.TaskNames() {
+			if _, err := labelmodel.Combine(ds.Records, ds.Schema, task, labelmodel.CombineConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command overton-bench regenerates the paper's evaluation tables and
+// figures from the reproduction harness:
+//
+//	overton-bench -exp fig3            # Figure 3 error-reduction table
+//	overton-bench -exp fig4a           # Figure 4a scaling series
+//	overton-bench -exp fig4b           # Figure 4b pretraining study
+//	overton-bench -exp slice           # Section 2.2 slice study
+//	overton-bench -exp ablations       # DESIGN.md ablations
+//	overton-bench -exp all -full       # everything at the full profile
+//
+// -full uses the EXPERIMENTS.md profile (minutes); the default quick
+// profile runs in tens of seconds. -json additionally dumps raw rows.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig3|fig4a|fig4b|slice|ablations|all")
+	full := flag.Bool("full", false, "use the full (EXPERIMENTS.md) profile")
+	jsonOut := flag.Bool("json", false, "also print raw rows as JSON")
+	verbose := flag.Bool("v", false, "log per-run progress to stderr")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	opts := experiments.Quick()
+	if *full {
+		opts = experiments.Full()
+	}
+	opts.Seed = *seed
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig3":
+			rows, err := experiments.Figure3(opts)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFigure3(os.Stdout, rows)
+			return dumpJSON(*jsonOut, rows)
+		case "fig4a":
+			points, err := experiments.Figure4a(opts)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFigure4a(os.Stdout, points)
+			return dumpJSON(*jsonOut, points)
+		case "fig4b":
+			points, err := experiments.Figure4b(opts)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFigure4b(os.Stdout, points)
+			return dumpJSON(*jsonOut, points)
+		case "slice":
+			res, err := experiments.SliceExperiment(opts)
+			if err != nil {
+				return err
+			}
+			experiments.RenderSlice(os.Stdout, res)
+			return dumpJSON(*jsonOut, res)
+		case "ablations":
+			rows, err := experiments.Ablations(opts)
+			if err != nil {
+				return err
+			}
+			experiments.RenderAblations(os.Stdout, rows)
+			return dumpJSON(*jsonOut, rows)
+		}
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"fig3", "fig4a", "fig4b", "slice", "ablations"}
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "overton-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func dumpJSON(enabled bool, v any) error {
+	if !enabled {
+		return nil
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}

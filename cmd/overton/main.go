@@ -1,0 +1,365 @@
+// Command overton is the CLI over the Overton lifecycle: compile a schema,
+// generate a synthetic workload, build (train+tune) a deployable model,
+// evaluate and monitor it, answer ad-hoc queries, publish to the artifact
+// store, and serve over HTTP.
+//
+// Subcommands:
+//
+//	overton compile  -schema s.json [-slices a,b]
+//	overton datagen  -n 2000 -seed 1 -crowd 0.2 -out data.jsonl
+//	overton train    -schema s.json -data d.jsonl -out model.bin [-search 8] [-slices a,b]
+//	overton eval     -model model.bin -data d.jsonl [-tag test]
+//	overton report   -model model.bin -data d.jsonl [-csv] [-json]
+//	overton predict  -model model.bin -in query.json
+//	overton serve    -model model.bin -addr :8080
+//	overton store    -root dir put|get|list -name m [-file model.bin] [-version N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	overton "repro"
+	"repro/internal/artifact"
+	"repro/internal/compile"
+	"repro/internal/record"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "compile":
+		err = cmdCompile(args)
+	case "datagen":
+		err = cmdDatagen(args)
+	case "train":
+		err = cmdTrain(args)
+	case "eval":
+		err = cmdEval(args)
+	case "report":
+		err = cmdReport(args)
+	case "predict":
+		err = cmdPredict(args)
+	case "serve":
+		err = cmdServe(args)
+	case "store":
+		err = cmdStore(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "overton %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: overton <compile|datagen|train|eval|report|predict|serve|store> [flags]")
+}
+
+func cmdCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	schemaPath := fs.String("schema", "", "schema JSON path")
+	slices := fs.String("slices", "", "comma-separated slice names")
+	fs.Parse(args)
+	app, err := overton.OpenFile(*schemaPath)
+	if err != nil {
+		return err
+	}
+	prog, err := compile.Plan(app.Schema, app.Tuning.Default(), splitList(*slices))
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog.Describe())
+	sig, err := json.MarshalIndent(app.Schema.Signature(), "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving signature:\n%s\n", sig)
+	return nil
+}
+
+func cmdDatagen(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ExitOnError)
+	n := fs.Int("n", 2000, "number of examples")
+	seed := fs.Int64("seed", 1, "generator seed")
+	crowd := fs.Float64("crowd", 0.2, "simulated annotator coverage")
+	out := fs.String("out", "data.jsonl", "output JSONL path")
+	schemaOut := fs.String("schema-out", "", "also write the factoid schema here")
+	fs.Parse(args)
+	ds := workload.StandardDataset(*n, *seed, *crowd)
+	if err := ds.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records to %s (weak supervision %.1f%%)\n",
+		len(ds.Records), *out, 100*workload.WeakFraction(ds))
+	if *schemaOut != "" {
+		if err := os.WriteFile(*schemaOut, []byte(workload.SchemaJSON), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote schema to %s\n", *schemaOut)
+	}
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	schemaPath := fs.String("schema", "", "schema JSON path")
+	dataPath := fs.String("data", "", "data JSONL path")
+	tuningPath := fs.String("tuning", "", "tuning-spec JSON path (optional)")
+	out := fs.String("out", "model.bin", "output artifact path")
+	searchN := fs.Int("search", 1, "search budget (1 = default choice)")
+	halving := fs.Bool("halving", false, "successive halving search")
+	slices := fs.String("slices", "", "comma-separated slice names to give capacity")
+	seed := fs.Int64("seed", 1, "seed")
+	rebalance := fs.Bool("rebalance", false, "class rebalancing")
+	fs.Parse(args)
+	app, err := overton.OpenFile(*schemaPath)
+	if err != nil {
+		return err
+	}
+	if *tuningPath != "" {
+		data, err := os.ReadFile(*tuningPath)
+		if err != nil {
+			return err
+		}
+		if err := app.SetTuning(data); err != nil {
+			return err
+		}
+	}
+	app.Slices = splitList(*slices)
+	ds, err := app.LoadData(*dataPath)
+	if err != nil {
+		return err
+	}
+	m, rep, err := app.Build(ds, overton.BuildOptions{
+		Seed:         *seed,
+		SearchBudget: *searchN,
+		Halving:      *halving,
+		Rebalance:    *rebalance,
+		Log:          os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Program)
+	fmt.Printf("dev score %.4f  (choice: %s)\n", rep.DevScore, rep.Choice)
+	if err := m.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote artifact to %s\n", *out)
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	modelPath := fs.String("model", "", "model artifact path")
+	dataPath := fs.String("data", "", "data JSONL path")
+	tag := fs.String("tag", record.TagTest, "evaluate records with this tag (empty = all)")
+	fs.Parse(args)
+	m, err := overton.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	ds, err := record.Load(*dataPath, m.Prog.Schema)
+	if err != nil {
+		return err
+	}
+	recs := ds.Records
+	if *tag != "" {
+		recs = ds.WithTag(*tag)
+	}
+	ms, err := overton.Evaluate(m, recs)
+	if err != nil {
+		return err
+	}
+	for _, task := range sortedTasks(ms) {
+		fmt.Println(ms[task].String())
+	}
+	fmt.Printf("mean quality %.4f (error %.4f)\n", overton.MeanQuality(ms), 1-overton.MeanQuality(ms))
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	modelPath := fs.String("model", "", "model artifact path")
+	dataPath := fs.String("data", "", "data JSONL path")
+	evalTag := fs.String("tag", record.TagTest, "evaluation population tag")
+	asCSV := fs.Bool("csv", false, "emit CSV")
+	asJSON := fs.Bool("json", false, "emit JSON")
+	fs.Parse(args)
+	m, err := overton.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	app := &overton.App{Schema: m.Prog.Schema}
+	ds, err := record.Load(*dataPath, m.Prog.Schema)
+	if err != nil {
+		return err
+	}
+	rep, err := app.Report(m, ds, overton.ReportOptions{Name: *modelPath, EvalTag: *evalTag})
+	if err != nil {
+		return err
+	}
+	switch {
+	case *asCSV:
+		return rep.WriteCSV(os.Stdout)
+	case *asJSON:
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	default:
+		rep.Render(os.Stdout)
+	}
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	modelPath := fs.String("model", "", "model artifact path")
+	in := fs.String("in", "", "JSON file with {\"payloads\": ...} (default stdin)")
+	fs.Parse(args)
+	m, err := overton.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	var data []byte
+	if *in == "" {
+		data, err = readAllStdin()
+	} else {
+		data, err = os.ReadFile(*in)
+	}
+	if err != nil {
+		return err
+	}
+	rec, err := record.ParseRecord(data, m.Prog.Schema)
+	if err != nil {
+		return err
+	}
+	if err := record.Validate(rec, m.Prog.Schema); err != nil {
+		return err
+	}
+	out, err := m.PredictOne(rec)
+	if err != nil {
+		return err
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(enc))
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	modelPath := fs.String("model", "", "model artifact path")
+	addr := fs.String("addr", ":8080", "listen address")
+	fs.Parse(args)
+	m, err := overton.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(m, *modelPath, 1)
+	fmt.Printf("serving %s on %s\n", *modelPath, *addr)
+	return http.ListenAndServe(*addr, srv.Handler())
+}
+
+func cmdStore(args []string) error {
+	fs := flag.NewFlagSet("store", flag.ExitOnError)
+	root := fs.String("root", "artifacts", "store root directory")
+	name := fs.String("name", "", "model name")
+	file := fs.String("file", "", "artifact file (for put/get)")
+	version := fs.Int("version", 0, "version (0 = latest)")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) < 1 {
+		return fmt.Errorf("store needs an action: put|get|list")
+	}
+	st, err := artifact.Open(*root)
+	if err != nil {
+		return err
+	}
+	switch rest[0] {
+	case "put":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		vi, err := st.Put(*name, data, artifact.Metadata{"source": *file})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stored %s version %d (%s)\n", *name, vi.Version, vi.Digest[:12])
+	case "get":
+		data, vi, err := st.Get(*name, *version)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*file, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("fetched %s version %d -> %s\n", *name, vi.Version, *file)
+	case "list":
+		names, err := st.Models()
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			vs, err := st.Versions(n)
+			if err != nil {
+				return err
+			}
+			for _, v := range vs {
+				fmt.Printf("%s\tv%d\t%s\n", n, v.Version, v.Digest[:12])
+			}
+		}
+	default:
+		return fmt.Errorf("unknown store action %q", rest[0])
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	var out []string
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func sortedTasks(ms map[string]overton.TaskMetrics) []string {
+	var names []string
+	for n := range ms {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+func readAllStdin() ([]byte, error) { return io.ReadAll(os.Stdin) }

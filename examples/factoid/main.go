@@ -1,0 +1,113 @@
+// Factoid: the paper's running example end to end — search over coarse
+// architecture choices, fine-grained monitoring report, deployable artifact
+// published to a versioned store, and an HTTP server answering the query
+// "how tall is the president of the united states"-style traffic.
+//
+//	go run ./examples/factoid
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+
+	overton "repro"
+	"repro/internal/artifact"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "overton-factoid")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Engineer inputs: schema + data file (weak supervision only at 10%
+	// annotator coverage).
+	app, err := overton.Open([]byte(workload.SchemaJSON))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := workload.StandardDataset(900, 3, 0.1)
+	fmt.Printf("data file: %d records, %.0f%% weak supervision, slices %v\n",
+		len(ds.Records), 100*workload.WeakFraction(ds), ds.SliceNames())
+
+	// Model search over a small coarse grid (the paper's "red components").
+	if err := app.SetTuning([]byte(`{
+	  "embeddings": ["hash-24"], "encoders": ["BOW", "CNN"], "hidden": [32],
+	  "query_agg": ["mean", "max"], "entity_agg": ["mean"],
+	  "lr": [0.02], "epochs": [10], "dropout": [0], "batch_size": [32]
+	}`)); err != nil {
+		log.Fatal(err)
+	}
+	m, rep, err := app.Build(ds, overton.BuildOptions{Seed: 5, SearchBudget: 4, Log: os.Stderr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsearch picked: %s (dev %.4f, %d trials)\n", rep.Choice, rep.DevScore, len(rep.Trials))
+
+	// Fine-grained monitoring: per-tag and per-slice quality plus source
+	// diagnostics — the report an Overton engineer lives in.
+	report, err := app.Report(m, ds, overton.ReportOptions{Name: "factoid-v1", EvalTag: overton.TagTest})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	report.Render(os.Stdout)
+
+	// Publish the deployable artifact to the versioned store.
+	store, err := artifact.Open(filepath.Join(dir, "artifacts"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := m.Bytes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	vi, err := store.Put("factoid", blob, artifact.Metadata{
+		"choice": rep.Choice.String(),
+		"dev":    fmt.Sprintf("%.4f", rep.DevScore),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npublished factoid v%d (%s…)\n", vi.Version, vi.Digest[:12])
+
+	// Serve it and answer a query over HTTP.
+	srv := serve.New(m, "factoid", vi.Version)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	query := `{
+	  "payloads": {
+	    "tokens": ["what", "is", "the", "capital", "of", "georgia"],
+	    "query": "what is the capital of georgia",
+	    "entities": {
+	      "0": {"id": "Georgia_(country)", "range": [5, 6]},
+	      "1": {"id": "Georgia_(US_state)", "range": [5, 6]}
+	    }
+	  }
+	}`
+	resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(query))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr struct {
+		Outputs overton.Output `json:"outputs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nHTTP /predict: intent=%s entity-choice=%d\n",
+		pr.Outputs["Intent"].Class, pr.Outputs["IntentArg"].Select)
+	stats := srv.Snapshot()
+	fmt.Printf("serving stats: %d requests, p50 %.2fms\n", stats.Requests, stats.P50Millis)
+}

@@ -1,0 +1,220 @@
+// Package artifact implements the model store Overton writes deployable
+// binaries to: a content-addressed blob store (the "S3-like data store that
+// is accessible from the production infrastructure") plus a named version
+// registry. Versioning is the extension the paper flags as missing
+// ("Overton does not have support for model versioning, which is likely a
+// design oversight") — here every Put creates an immutable version and
+// serving can pin or follow latest.
+//
+// Layout:
+//
+//	<root>/blobs/<digest[:2]>/<digest>   immutable model bytes
+//	<root>/registry.json                 name -> versions -> digest+metadata
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Metadata is free-form artifact annotation (tuning choice, dev score,
+// large/small pairing, training data digest, ...).
+type Metadata map[string]string
+
+// VersionInfo describes one immutable model version.
+type VersionInfo struct {
+	Version  int      `json:"version"`
+	Digest   string   `json:"digest"`
+	Metadata Metadata `json:"metadata,omitempty"`
+}
+
+// registry is the on-disk index.
+type registry struct {
+	Models map[string][]VersionInfo `json:"models"`
+}
+
+// Store is a local artifact store.
+type Store struct {
+	root string
+	mu   sync.Mutex
+}
+
+// Open creates or opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+func (s *Store) registryPath() string { return filepath.Join(s.root, "registry.json") }
+
+func (s *Store) loadRegistry() (*registry, error) {
+	reg := &registry{Models: map[string][]VersionInfo{}}
+	data, err := os.ReadFile(s.registryPath())
+	if os.IsNotExist(err) {
+		return reg, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("artifact: registry: %w", err)
+	}
+	if err := json.Unmarshal(data, reg); err != nil {
+		return nil, fmt.Errorf("artifact: registry corrupt: %w", err)
+	}
+	return reg, nil
+}
+
+func (s *Store) saveRegistry(reg *registry) error {
+	data, err := json.MarshalIndent(reg, "", "  ")
+	if err != nil {
+		return fmt.Errorf("artifact: registry: %w", err)
+	}
+	tmp := s.registryPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("artifact: registry: %w", err)
+	}
+	return os.Rename(tmp, s.registryPath())
+}
+
+// Put stores data as the next version of name and returns its version info.
+// Identical bytes are deduplicated by content address.
+func (s *Store) Put(name string, data []byte, meta Metadata) (VersionInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name == "" {
+		return VersionInfo{}, fmt.Errorf("artifact: empty model name")
+	}
+	sum := sha256.Sum256(data)
+	digest := hex.EncodeToString(sum[:])
+	blobDir := filepath.Join(s.root, "blobs", digest[:2])
+	if err := os.MkdirAll(blobDir, 0o755); err != nil {
+		return VersionInfo{}, fmt.Errorf("artifact: %w", err)
+	}
+	blobPath := filepath.Join(blobDir, digest)
+	if _, err := os.Stat(blobPath); os.IsNotExist(err) {
+		tmp := blobPath + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return VersionInfo{}, fmt.Errorf("artifact: blob: %w", err)
+		}
+		if err := os.Rename(tmp, blobPath); err != nil {
+			return VersionInfo{}, fmt.Errorf("artifact: blob: %w", err)
+		}
+	}
+	reg, err := s.loadRegistry()
+	if err != nil {
+		return VersionInfo{}, err
+	}
+	versions := reg.Models[name]
+	vi := VersionInfo{Version: len(versions) + 1, Digest: digest, Metadata: meta}
+	reg.Models[name] = append(versions, vi)
+	if err := s.saveRegistry(reg); err != nil {
+		return VersionInfo{}, err
+	}
+	return vi, nil
+}
+
+// Get returns the bytes and info of name at version (0 = latest).
+func (s *Store) Get(name string, version int) ([]byte, VersionInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reg, err := s.loadRegistry()
+	if err != nil {
+		return nil, VersionInfo{}, err
+	}
+	versions := reg.Models[name]
+	if len(versions) == 0 {
+		return nil, VersionInfo{}, fmt.Errorf("artifact: unknown model %q", name)
+	}
+	var vi VersionInfo
+	if version == 0 {
+		vi = versions[len(versions)-1]
+	} else {
+		found := false
+		for _, v := range versions {
+			if v.Version == version {
+				vi = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, VersionInfo{}, fmt.Errorf("artifact: model %q has no version %d", name, version)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(s.root, "blobs", vi.Digest[:2], vi.Digest))
+	if err != nil {
+		return nil, VersionInfo{}, fmt.Errorf("artifact: blob %s: %w", vi.Digest, err)
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != vi.Digest {
+		return nil, VersionInfo{}, fmt.Errorf("artifact: blob %s corrupted", vi.Digest)
+	}
+	return data, vi, nil
+}
+
+// Versions lists the versions of name, oldest first.
+func (s *Store) Versions(name string) ([]VersionInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reg, err := s.loadRegistry()
+	if err != nil {
+		return nil, err
+	}
+	out := append([]VersionInfo(nil), reg.Models[name]...)
+	return out, nil
+}
+
+// Models lists all model names, sorted.
+func (s *Store) Models() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reg, err := s.loadRegistry()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(reg.Models))
+	for n := range reg.Models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// PairKey is the metadata key linking a "large" analysis model with its
+// "small" SLA-bound sibling trained on the same data (Section 2.4, "make it
+// easy to manage ancillary data products").
+const PairKey = "pair"
+
+// Pair records that largeName and smallName are siblings by annotating the
+// latest version of each.
+func (s *Store) Pair(largeName, smallName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reg, err := s.loadRegistry()
+	if err != nil {
+		return err
+	}
+	lv := reg.Models[largeName]
+	sv := reg.Models[smallName]
+	if len(lv) == 0 || len(sv) == 0 {
+		return fmt.Errorf("artifact: both models must exist to pair")
+	}
+	annotate := func(vs []VersionInfo, sibling string) {
+		last := &vs[len(vs)-1]
+		if last.Metadata == nil {
+			last.Metadata = Metadata{}
+		}
+		last.Metadata[PairKey] = sibling
+	}
+	annotate(lv, smallName)
+	annotate(sv, largeName)
+	reg.Models[largeName] = lv
+	reg.Models[smallName] = sv
+	return s.saveRegistry(reg)
+}

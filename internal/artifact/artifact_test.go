@@ -1,0 +1,204 @@
+package artifact
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openStore(t)
+	data := []byte("model-bytes-v1")
+	vi, err := s.Put("factoid", data, Metadata{"dev": "0.91"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vi.Version != 1 || vi.Digest == "" {
+		t.Fatalf("version info wrong: %+v", vi)
+	}
+	got, gi, err := s.Get("factoid", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("bytes differ")
+	}
+	if gi.Metadata["dev"] != "0.91" {
+		t.Fatalf("metadata lost")
+	}
+}
+
+func TestVersioning(t *testing.T) {
+	s := openStore(t)
+	for i := 1; i <= 3; i++ {
+		if _, err := s.Put("m", []byte(fmt.Sprintf("v%d", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Latest.
+	data, vi, err := s.Get("m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v3" || vi.Version != 3 {
+		t.Fatalf("latest wrong: %s %d", data, vi.Version)
+	}
+	// Pinned old version.
+	data, vi, err = s.Get("m", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v1" || vi.Version != 1 {
+		t.Fatalf("pinned wrong")
+	}
+	// Missing version.
+	if _, _, err := s.Get("m", 9); err == nil {
+		t.Fatalf("missing version accepted")
+	}
+	vs, err := s.Versions("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 || vs[0].Version != 1 || vs[2].Version != 3 {
+		t.Fatalf("versions wrong: %+v", vs)
+	}
+}
+
+func TestContentDeduplication(t *testing.T) {
+	s := openStore(t)
+	v1, err := s.Put("a", []byte("same"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.Put("b", []byte("same"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Digest != v2.Digest {
+		t.Fatalf("same bytes, different digests")
+	}
+}
+
+func TestUnknownModel(t *testing.T) {
+	s := openStore(t)
+	if _, _, err := s.Get("nope", 0); err == nil {
+		t.Fatalf("unknown model accepted")
+	}
+	if _, err := s.Put("", []byte("x"), nil); err == nil {
+		t.Fatalf("empty name accepted")
+	}
+}
+
+func TestModelsListing(t *testing.T) {
+	s := openStore(t)
+	s.Put("zeta", []byte("1"), nil)
+	s.Put("alpha", []byte("2"), nil)
+	names, err := s.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("Models wrong: %v", names)
+	}
+}
+
+func TestCorruptBlobDetected(t *testing.T) {
+	s := openStore(t)
+	vi, err := s.Put("m", []byte("payload"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := filepath.Join(s.root, "blobs", vi.Digest[:2], vi.Digest)
+	if err := os.WriteFile(blob, []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("m", 0); err == nil {
+		t.Fatalf("corruption not detected")
+	}
+}
+
+func TestPairing(t *testing.T) {
+	s := openStore(t)
+	s.Put("large", []byte("L"), nil)
+	s.Put("small", []byte("S"), nil)
+	if err := s.Pair("large", "small"); err != nil {
+		t.Fatal(err)
+	}
+	_, vi, err := s.Get("large", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vi.Metadata[PairKey] != "small" {
+		t.Fatalf("pairing metadata missing: %+v", vi.Metadata)
+	}
+	_, vi2, _ := s.Get("small", 0)
+	if vi2.Metadata[PairKey] != "large" {
+		t.Fatalf("reverse pairing missing")
+	}
+	if err := s.Pair("large", "ghost"); err == nil {
+		t.Fatalf("pairing with missing model accepted")
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	s := openStore(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Put("cc", []byte(fmt.Sprintf("v%d", i)), nil); err != nil {
+				t.Errorf("put %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	vs, err := s.Versions("cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 10 {
+		t.Fatalf("lost versions under concurrency: %d", len(vs))
+	}
+	seen := map[int]bool{}
+	for _, v := range vs {
+		if seen[v.Version] {
+			t.Fatalf("duplicate version %d", v.Version)
+		}
+		seen[v.Version] = true
+	}
+}
+
+func TestReopenPersists(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Put("m", []byte("x"), Metadata{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, vi, err := s2.Get("m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "x" || vi.Metadata["k"] != "v" {
+		t.Fatalf("store not persistent")
+	}
+}

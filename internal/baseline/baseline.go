@@ -1,0 +1,307 @@
+// Package baseline implements the "previous production system" Overton
+// replaces in Figure 3: a pipeline of per-task heuristic components (keyword
+// intent classifier, rule POS tagger, gazetteer entity typer, popularity
+// entity linker). The paper describes such systems as "deep models and
+// heuristics that are challenging to maintain... because there is no model
+// independence" — each stage is a separate hand-tuned artifact, and an
+// error anywhere in the pipeline surfaces downstream, which is exactly the
+// diagnostic pain the multi-component-pipelines challenge describes.
+//
+// The package also provides per-stage error attribution: given gold labels,
+// it reports which pipeline stage was the culprit for each wrong end-to-end
+// answer.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/record"
+	"repro/internal/workload"
+)
+
+// Prediction is the pipeline's output for one query.
+type Prediction struct {
+	Intent string
+	Arg    int // candidate index, -1 when no candidates
+	POS    []string
+	Types  [][]string
+}
+
+// Pipeline is the heuristic production stack. Each component mirrors one of
+// the weak sources (in production the LFs were born from the old system's
+// heuristics, which is the paper's own origin story for weak supervision).
+type Pipeline struct {
+	intentLF workload.KeywordIntentLF
+	tagger   workload.RuleTagger
+	typer    workload.GazetteerTyper
+	linker   workload.PopularityPrior
+	// FallbackIntent is returned when no keyword fires (production systems
+	// route to a default answer source).
+	FallbackIntent string
+}
+
+// New builds the default pipeline.
+func New() *Pipeline {
+	return &Pipeline{FallbackIntent: workload.IntentPopulation}
+}
+
+// Predict runs the pipeline on one example.
+func (p *Pipeline) Predict(ex *workload.Example) Prediction {
+	pred := Prediction{Arg: -1, Intent: p.FallbackIntent}
+	if l, ok := p.intentLF.Label(ex, nil); ok {
+		pred.Intent = l.Class
+	}
+	if l, ok := p.tagger.Label(ex, nil); ok {
+		pred.POS = l.Seq
+	}
+	if l, ok := p.typer.Label(ex, nil); ok {
+		pred.Types = l.Bits
+	}
+	if l, ok := p.linker.Label(ex, nil); ok {
+		pred.Arg = l.Select
+	}
+	return pred
+}
+
+// Metrics are per-task baseline accuracies over a workload sample.
+type Metrics struct {
+	IntentAcc float64
+	ArgAcc    float64
+	POSAcc    float64 // token accuracy
+	TypeAcc   float64 // exact-set token accuracy
+	// MeanError is the mean of the four task error rates — the single
+	// "product error" number used in the Figure 3 comparison.
+	MeanError float64
+	N         int
+}
+
+// Evaluate scores the pipeline against gold on examples.
+func Evaluate(p *Pipeline, examples []*workload.Example) Metrics {
+	var m Metrics
+	var posCorrect, posTotal, typeCorrect, typeTotal float64
+	var intentCorrect, argCorrect float64
+	for _, ex := range examples {
+		pred := p.Predict(ex)
+		if pred.Intent == ex.Intent {
+			intentCorrect++
+		}
+		if pred.Arg == ex.GoldArg {
+			argCorrect++
+		}
+		for i := range ex.POS {
+			posTotal++
+			if i < len(pred.POS) && pred.POS[i] == ex.POS[i] {
+				posCorrect++
+			}
+		}
+		for i := range ex.Types {
+			typeTotal++
+			if i < len(pred.Types) && sameSet(pred.Types[i], ex.Types[i]) {
+				typeCorrect++
+			}
+		}
+	}
+	n := float64(len(examples))
+	if n == 0 {
+		return m
+	}
+	m.N = len(examples)
+	m.IntentAcc = intentCorrect / n
+	m.ArgAcc = argCorrect / n
+	if posTotal > 0 {
+		m.POSAcc = posCorrect / posTotal
+	}
+	if typeTotal > 0 {
+		m.TypeAcc = typeCorrect / typeTotal
+	}
+	m.MeanError = ((1 - m.IntentAcc) + (1 - m.ArgAcc) + (1 - m.POSAcc) + (1 - m.TypeAcc)) / 4
+	return m
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[string]bool{}
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stage names for error attribution.
+const (
+	StageIntent = "intent-classifier"
+	StageLinker = "entity-linker"
+	StagePOS    = "pos-tagger"
+	StageTyper  = "entity-typer"
+)
+
+// Attribution counts, per pipeline stage, how many examples that stage got
+// wrong — the "which task is the culprit" analysis that is painful in
+// pipeline systems (Section 1) and trivial here because we hold gold.
+type Attribution map[string]int
+
+// Attribute runs the pipeline and attributes errors to stages.
+func Attribute(p *Pipeline, examples []*workload.Example) Attribution {
+	att := Attribution{}
+	for _, ex := range examples {
+		pred := p.Predict(ex)
+		if pred.Intent != ex.Intent {
+			att[StageIntent]++
+		}
+		if pred.Arg != ex.GoldArg {
+			att[StageLinker]++
+		}
+		for i := range ex.POS {
+			if i >= len(pred.POS) || pred.POS[i] != ex.POS[i] {
+				att[StagePOS]++
+				break
+			}
+		}
+		for i := range ex.Types {
+			if i >= len(pred.Types) || !sameSet(pred.Types[i], ex.Types[i]) {
+				att[StageTyper]++
+				break
+			}
+		}
+	}
+	return att
+}
+
+// String renders the attribution sorted by error count (descending).
+func (a Attribution) String() string {
+	type kv struct {
+		stage string
+		n     int
+	}
+	var rows []kv
+	for s, n := range a {
+		rows = append(rows, kv{s, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].stage < rows[j].stage
+	})
+	out := ""
+	for _, r := range rows {
+		out += fmt.Sprintf("%-20s %d\n", r.stage, r.n)
+	}
+	return out
+}
+
+// SingleTaskVoter is the stronger legacy baseline available to high-resource
+// teams: per-task, it takes a majority vote of all heuristic sources plus a
+// simulated annotator-trained component of the given accuracy (a stand-in
+// for the team's existing single-task supervised models). It still has no
+// multitask sharing and no label model.
+type SingleTaskVoter struct {
+	ModelAcc float64 // accuracy of the per-task supervised component
+	Seed     int64
+}
+
+// Evaluate scores the single-task voter.
+func (s SingleTaskVoter) Evaluate(examples []*workload.Example) Metrics {
+	rng := rand.New(rand.NewSource(s.Seed))
+	p := New()
+	var m Metrics
+	var posCorrect, posTotal, typeCorrect, typeTotal float64
+	var intentCorrect, argCorrect float64
+	for _, ex := range examples {
+		pred := p.Predict(ex)
+		// The supervised single-task components override the heuristics
+		// with probability ModelAcc of being right.
+		intent := pred.Intent
+		if rng.Float64() < s.ModelAcc {
+			intent = ex.Intent
+		}
+		arg := pred.Arg
+		if rng.Float64() < s.ModelAcc {
+			arg = ex.GoldArg
+		}
+		if intent == ex.Intent {
+			intentCorrect++
+		}
+		if arg == ex.GoldArg {
+			argCorrect++
+		}
+		for i := range ex.POS {
+			posTotal++
+			tag := pred.POS[i]
+			if rng.Float64() < s.ModelAcc {
+				tag = ex.POS[i]
+			}
+			if tag == ex.POS[i] {
+				posCorrect++
+			}
+		}
+		for i := range ex.Types {
+			typeTotal++
+			ok := i < len(pred.Types) && sameSet(pred.Types[i], ex.Types[i])
+			if rng.Float64() < s.ModelAcc {
+				ok = true
+			}
+			if ok {
+				typeCorrect++
+			}
+		}
+	}
+	n := float64(len(examples))
+	if n == 0 {
+		return m
+	}
+	m.N = len(examples)
+	m.IntentAcc = intentCorrect / n
+	m.ArgAcc = argCorrect / n
+	m.POSAcc = posCorrect / posTotal
+	m.TypeAcc = typeCorrect / typeTotal
+	m.MeanError = ((1 - m.IntentAcc) + (1 - m.ArgAcc) + (1 - m.POSAcc) + (1 - m.TypeAcc)) / 4
+	return m
+}
+
+// EvaluateOnRecords scores the pipeline against gold labels carried in
+// records (adapter for datasets rather than raw examples).
+func EvaluateOnRecords(p *Pipeline, recs []*record.Record) (Metrics, error) {
+	examples, err := ExamplesFromRecords(recs)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Evaluate(p, examples), nil
+}
+
+// ExamplesFromRecords reconstructs workload examples from records carrying
+// gold labels (used to run the pipeline over stored datasets).
+func ExamplesFromRecords(recs []*record.Record) ([]*workload.Example, error) {
+	var out []*workload.Example
+	for _, r := range recs {
+		ex := &workload.Example{
+			Tokens:     r.Payloads["tokens"].Tokens,
+			Candidates: r.Payloads["entities"].Set,
+		}
+		g, ok := r.Gold(workload.TaskIntent)
+		if !ok {
+			return nil, fmt.Errorf("baseline: record %s lacks gold intent", r.ID)
+		}
+		ex.Intent = g.Class
+		if g, ok := r.Gold(workload.TaskIntentArg); ok {
+			ex.GoldArg = g.Select
+		}
+		if g, ok := r.Gold(workload.TaskPOS); ok {
+			ex.POS = g.Seq
+		}
+		if g, ok := r.Gold(workload.TaskEntityType); ok {
+			ex.Types = g.Bits
+		}
+		out = append(out, ex)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func sample(n int, seed int64) []*workload.Example {
+	return workload.Generate(workload.GenConfig{Seed: seed, N: n})
+}
+
+func TestPipelinePredictShapes(t *testing.T) {
+	p := New()
+	for _, ex := range sample(50, 1) {
+		pred := p.Predict(ex)
+		if len(pred.POS) != len(ex.Tokens) {
+			t.Fatalf("POS length wrong")
+		}
+		if len(pred.Types) != len(ex.Tokens) {
+			t.Fatalf("Types length wrong")
+		}
+		if pred.Arg < 0 || pred.Arg >= len(ex.Candidates) {
+			t.Fatalf("Arg out of range")
+		}
+		if pred.Intent == "" {
+			t.Fatalf("no intent predicted")
+		}
+	}
+}
+
+func TestPipelineAccuracyBands(t *testing.T) {
+	// The heuristic pipeline must be clearly better than chance but leave
+	// substantial headroom for Overton (that gap is Figure 3).
+	m := Evaluate(New(), sample(2000, 2))
+	if m.IntentAcc < 0.6 || m.IntentAcc > 0.97 {
+		t.Fatalf("intent accuracy %.3f outside band", m.IntentAcc)
+	}
+	if m.ArgAcc < 0.5 || m.ArgAcc > 0.97 {
+		t.Fatalf("arg accuracy %.3f outside band", m.ArgAcc)
+	}
+	if m.POSAcc < 0.6 || m.POSAcc > 0.97 {
+		t.Fatalf("POS accuracy %.3f outside band", m.POSAcc)
+	}
+	if m.MeanError < 0.03 || m.MeanError > 0.4 {
+		t.Fatalf("mean error %.3f outside band", m.MeanError)
+	}
+	if m.N != 2000 {
+		t.Fatalf("N wrong")
+	}
+}
+
+func TestPipelineFailsOnPriorBreaking(t *testing.T) {
+	p := New()
+	examples := sample(1500, 3)
+	var pbTotal, pbWrong int
+	for _, ex := range examples {
+		if !ex.PriorBreaking {
+			continue
+		}
+		pbTotal++
+		if p.Predict(ex).Arg != ex.GoldArg {
+			pbWrong++
+		}
+	}
+	if pbTotal == 0 {
+		t.Fatalf("no prior-breaking examples")
+	}
+	if pbWrong != pbTotal {
+		t.Fatalf("popularity linker should fail on every prior-breaking example: %d/%d", pbWrong, pbTotal)
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	att := Attribute(New(), sample(800, 4))
+	// POS stage must show errors (rule tagger defaults entities to NOUN).
+	if att[StagePOS] == 0 {
+		t.Fatalf("no POS errors attributed")
+	}
+	if att[StageLinker] == 0 {
+		t.Fatalf("no linker errors attributed")
+	}
+	s := att.String()
+	if !strings.Contains(s, StagePOS) || !strings.Contains(s, StageLinker) {
+		t.Fatalf("attribution string incomplete: %s", s)
+	}
+	// Sorted descending.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("attribution too short")
+	}
+}
+
+func TestSingleTaskVoterImprovesOnPipeline(t *testing.T) {
+	examples := sample(1500, 5)
+	plain := Evaluate(New(), examples)
+	strong := SingleTaskVoter{ModelAcc: 0.7, Seed: 6}.Evaluate(examples)
+	if strong.MeanError >= plain.MeanError {
+		t.Fatalf("single-task voter %.4f should beat plain pipeline %.4f", strong.MeanError, plain.MeanError)
+	}
+}
+
+func TestEvaluateOnRecordsMatchesEvaluate(t *testing.T) {
+	examples := sample(300, 7)
+	direct := Evaluate(New(), examples)
+	var recs []*struct{}
+	_ = recs
+	ds := workload.BuildDataset(examples, workload.BuildConfig{Seed: 7})
+	viaRecords, err := EvaluateOnRecords(New(), ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := direct.MeanError - viaRecords.MeanError; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("record adapter drifts: %.6f vs %.6f", direct.MeanError, viaRecords.MeanError)
+	}
+}
+
+func TestEmptyEvaluate(t *testing.T) {
+	m := Evaluate(New(), nil)
+	if m.N != 0 || m.MeanError != 0 {
+		t.Fatalf("empty evaluate wrong: %+v", m)
+	}
+}

@@ -1,0 +1,232 @@
+// Package compile turns an Overton schema plus one tuning Choice into a
+// Program: the typed plan of the multitask network (which payload feeds
+// which encoder, which task hangs off which representation, where slice
+// capacity is attached). The Program is the analog of the parameterized
+// TensorFlow program the paper's compiler emits — internal/model
+// instantiates it into an executable network, and Describe renders it for
+// humans (the black boxes and red search choices of Figure 2b).
+package compile
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/tensor"
+)
+
+// ContextualEncoder is a frozen pretrained contextual token encoder dropped
+// in as a payload (the BERT-sim resource).
+type ContextualEncoder interface {
+	Dim() int
+	Encode(tokens []string) *tensor.Tensor
+}
+
+// Resources are the external assets a compiled model may consume.
+type Resources struct {
+	// TokenVocab lists the token vocabulary (without reserved slots); the
+	// model adds pad/OOV.
+	TokenVocab []string
+	// EntityVocab lists the KB entity ids appearing in set payloads.
+	EntityVocab []string
+	// StaticVectors optionally initialises the token embedding
+	// (rows must align with the model's internal vocab; use
+	// embeddings.PretrainStatic with the same vocab). Required when the
+	// choice's embedding family is "pretrained".
+	StaticVectors *tensor.Tensor
+	// Contextual optionally provides frozen contextual features; required
+	// when the choice's embedding family is "bertsim".
+	Contextual ContextualEncoder
+}
+
+// Program is the compiled plan.
+type Program struct {
+	Schema *schema.Schema
+	Choice schema.Choice
+
+	// Payload roles discovered from the schema.
+	TokenPayload string   // the sequence payload feeding the encoder
+	QueryPayload string   // singleton payload aggregating the tokens ("" if none)
+	SetPayloads  []string // set payloads ranging over the tokens
+
+	// Task groups by prediction granularity.
+	TokenTasks   []string
+	ExampleTasks []string
+	SetTasks     []string
+
+	// Slices the model allocates per-slice capacity for (slice-based
+	// learning); empty means a plain multitask model.
+	Slices []string
+	// SliceTasks are the tasks that receive slice experts (default: all
+	// example and set tasks when Slices is non-empty).
+	SliceTasks []string
+
+	// Derived dimensions.
+	EmbDim     int // learned token embedding width
+	ContextDim int // contextual feature width (0 = unused)
+	EncoderOut int // token representation width after the encoder
+	MaxLen     int // sequence padding length
+}
+
+// EmbeddingFamily splits a tuning embedding name like "hash-32" into family
+// and dimension.
+func EmbeddingFamily(name string) (family string, dim int, err error) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return "", 0, fmt.Errorf("compile: embedding %q: want <family>-<dim>", name)
+	}
+	dim, err = strconv.Atoi(name[i+1:])
+	if err != nil || dim <= 0 {
+		return "", 0, fmt.Errorf("compile: embedding %q: bad dimension", name)
+	}
+	family = name[:i]
+	switch family {
+	case "hash", "pretrained", "bertsim":
+		return family, dim, nil
+	}
+	return "", 0, fmt.Errorf("compile: unknown embedding family %q", family)
+}
+
+// Plan validates the schema against this model family and assigns payload
+// roles. slices lists the slice names to allocate capacity for.
+func Plan(sch *schema.Schema, choice schema.Choice, slices []string) (*Program, error) {
+	p := &Program{Schema: sch, Choice: choice, Slices: append([]string(nil), slices...)}
+
+	for _, name := range sch.PayloadNames() {
+		pl := sch.Payloads[name]
+		switch pl.Type {
+		case schema.Sequence:
+			if p.TokenPayload != "" {
+				return nil, fmt.Errorf("compile: multiple sequence payloads (%s, %s) not supported", p.TokenPayload, name)
+			}
+			p.TokenPayload = name
+			p.MaxLen = pl.MaxLength
+		case schema.Set:
+			p.SetPayloads = append(p.SetPayloads, name)
+		case schema.Singleton:
+			if p.QueryPayload != "" {
+				return nil, fmt.Errorf("compile: multiple singleton payloads (%s, %s) not supported", p.QueryPayload, name)
+			}
+			p.QueryPayload = name
+		}
+	}
+	if p.TokenPayload == "" {
+		return nil, fmt.Errorf("compile: schema needs a sequence payload")
+	}
+	for _, sp := range p.SetPayloads {
+		if sch.Payloads[sp].Range != p.TokenPayload {
+			return nil, fmt.Errorf("compile: set payload %q must range over %q", sp, p.TokenPayload)
+		}
+	}
+
+	for _, name := range sch.TaskNames() {
+		t := sch.Tasks[name]
+		switch sch.Granularity(t) {
+		case schema.PerToken:
+			if t.Payload != p.TokenPayload {
+				return nil, fmt.Errorf("compile: token task %q on unexpected payload %q", name, t.Payload)
+			}
+			p.TokenTasks = append(p.TokenTasks, name)
+		case schema.PerExample:
+			if t.Payload != p.QueryPayload {
+				return nil, fmt.Errorf("compile: example task %q on unexpected payload %q", name, t.Payload)
+			}
+			p.ExampleTasks = append(p.ExampleTasks, name)
+		case schema.PerSet:
+			p.SetTasks = append(p.SetTasks, name)
+		}
+	}
+
+	family, dim, err := EmbeddingFamily(choice.Embedding)
+	if err != nil {
+		return nil, err
+	}
+	p.EmbDim = dim
+	if family == "bertsim" {
+		p.ContextDim = dim // resolved against the actual encoder at model build
+	}
+	switch choice.Encoder {
+	case "BOW":
+		p.EncoderOut = p.tokenInputDim()
+	case "CNN", "GRU":
+		p.EncoderOut = choice.Hidden
+	case "BiGRU":
+		p.EncoderOut = 2 * choice.Hidden
+	default:
+		return nil, fmt.Errorf("compile: unknown encoder %q", choice.Encoder)
+	}
+
+	if len(p.Slices) > 0 {
+		p.SliceTasks = append(append([]string(nil), p.ExampleTasks...), p.SetTasks...)
+		sort.Strings(p.SliceTasks)
+	}
+	return p, nil
+}
+
+// tokenInputDim is the width of the embedded token input (learned +
+// contextual features).
+func (p *Program) tokenInputDim() int { return p.EmbDim + p.ContextDim }
+
+// Describe renders the compiled program: the fixed schema-derived structure
+// in plain text with the searched choices marked. This is what `overton
+// compile` prints.
+func (p *Program) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program (compiled from schema; [*] = selected by model search)\n")
+	fmt.Fprintf(&sb, "  payload %-10s sequence(max_len=%d)\n", p.TokenPayload, p.MaxLen)
+	fmt.Fprintf(&sb, "    embed   [*] %s -> %d dims", p.Choice.Embedding, p.EmbDim)
+	if p.ContextDim > 0 {
+		fmt.Fprintf(&sb, " (+%d frozen contextual)", p.ContextDim)
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "    encode  [*] %s -> %d dims (hidden=%d, dropout=%g)\n",
+		p.Choice.Encoder, p.EncoderOut, p.Choice.Hidden, p.Choice.Dropout)
+	if p.QueryPayload != "" {
+		fmt.Fprintf(&sb, "  payload %-10s singleton = %s-pool[*](%s)\n", p.QueryPayload, p.Choice.QueryAgg, p.TokenPayload)
+	}
+	for _, sp := range p.SetPayloads {
+		fmt.Fprintf(&sb, "  payload %-10s set = [span-%s[*](%s) ; entity-embedding ; %s]\n",
+			sp, p.Choice.EntityAgg, p.TokenPayload, p.QueryPayload)
+	}
+	for _, t := range p.TokenTasks {
+		task := p.Schema.Tasks[t]
+		fmt.Fprintf(&sb, "  task    %-10s %s over %s (%d classes) <- %s\n",
+			t, task.Type, "tokens", len(task.Classes), p.TokenPayload)
+	}
+	for _, t := range p.ExampleTasks {
+		task := p.Schema.Tasks[t]
+		fmt.Fprintf(&sb, "  task    %-10s %s (%d classes) <- %s%s\n",
+			t, task.Type, len(task.Classes), p.QueryPayload, p.sliceNote(t))
+	}
+	for _, t := range p.SetTasks {
+		task := p.Schema.Tasks[t]
+		fmt.Fprintf(&sb, "  task    %-10s %s <- %s%s\n", t, task.Type, task.Payload, p.sliceNote(t))
+	}
+	if len(p.Slices) > 0 {
+		fmt.Fprintf(&sb, "  slices  %s (membership heads + experts + attention combination)\n",
+			strings.Join(p.Slices, ", "))
+	}
+	fmt.Fprintf(&sb, "  train   lr=%g epochs=%d batch=%d\n", p.Choice.LR, p.Choice.Epochs, p.Choice.BatchSize)
+	return sb.String()
+}
+
+func (p *Program) sliceNote(task string) string {
+	for _, t := range p.SliceTasks {
+		if t == task {
+			return " [sliced]"
+		}
+	}
+	return ""
+}
+
+// HasSliceTask reports whether task receives slice capacity.
+func (p *Program) HasSliceTask(task string) bool {
+	for _, t := range p.SliceTasks {
+		if t == task {
+			return true
+		}
+	}
+	return false
+}

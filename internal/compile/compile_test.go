@@ -1,0 +1,165 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func factoidSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return workload.FactoidSchema()
+}
+
+func defaultChoice() schema.Choice {
+	return schema.Choice{
+		Embedding: "hash-16", Encoder: "CNN", Hidden: 24,
+		QueryAgg: "mean", EntityAgg: "mean",
+		LR: 0.01, Epochs: 3, Dropout: 0, BatchSize: 8,
+	}
+}
+
+func TestEmbeddingFamily(t *testing.T) {
+	cases := []struct {
+		in     string
+		family string
+		dim    int
+		ok     bool
+	}{
+		{"hash-32", "hash", 32, true},
+		{"pretrained-64", "pretrained", 64, true},
+		{"bertsim-48", "bertsim", 48, true},
+		{"glove300", "", 0, false},
+		{"hash-", "", 0, false},
+		{"hash-0", "", 0, false},
+		{"magic-16", "", 0, false},
+	}
+	for _, tc := range cases {
+		f, d, err := EmbeddingFamily(tc.in)
+		if tc.ok && (err != nil || f != tc.family || d != tc.dim) {
+			t.Errorf("%s: got (%s,%d,%v)", tc.in, f, d, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected error", tc.in)
+		}
+	}
+}
+
+func TestPlanAssignsRoles(t *testing.T) {
+	p, err := Plan(factoidSchema(t), defaultChoice(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TokenPayload != "tokens" || p.QueryPayload != "query" {
+		t.Fatalf("payload roles wrong: %+v", p)
+	}
+	if len(p.SetPayloads) != 1 || p.SetPayloads[0] != "entities" {
+		t.Fatalf("set payloads wrong")
+	}
+	if len(p.TokenTasks) != 2 || len(p.ExampleTasks) != 1 || len(p.SetTasks) != 1 {
+		t.Fatalf("task groups wrong: %v %v %v", p.TokenTasks, p.ExampleTasks, p.SetTasks)
+	}
+	if p.MaxLen != 12 || p.EmbDim != 16 {
+		t.Fatalf("dims wrong: maxlen=%d emb=%d", p.MaxLen, p.EmbDim)
+	}
+	if p.EncoderOut != 24 { // CNN -> hidden
+		t.Fatalf("encoder out %d", p.EncoderOut)
+	}
+	if len(p.SliceTasks) != 0 {
+		t.Fatalf("no slices requested but SliceTasks = %v", p.SliceTasks)
+	}
+}
+
+func TestPlanEncoderDims(t *testing.T) {
+	sch := factoidSchema(t)
+	for _, tc := range []struct {
+		enc string
+		out int
+	}{
+		{"BOW", 16}, {"CNN", 24}, {"GRU", 24}, {"BiGRU", 48},
+	} {
+		c := defaultChoice()
+		c.Encoder = tc.enc
+		p, err := Plan(sch, c, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.enc, err)
+		}
+		if p.EncoderOut != tc.out {
+			t.Errorf("%s: EncoderOut %d want %d", tc.enc, p.EncoderOut, tc.out)
+		}
+	}
+	c := defaultChoice()
+	c.Encoder = "Transformer"
+	if _, err := Plan(sch, c, nil); err == nil {
+		t.Fatalf("unknown encoder accepted")
+	}
+}
+
+func TestPlanSlices(t *testing.T) {
+	p, err := Plan(factoidSchema(t), defaultChoice(), []string{"nutrition", "disambig"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Slices) != 2 {
+		t.Fatalf("slices lost")
+	}
+	// Example and set tasks are sliced; token tasks are not.
+	if !p.HasSliceTask("Intent") || !p.HasSliceTask("IntentArg") {
+		t.Fatalf("slice tasks wrong: %v", p.SliceTasks)
+	}
+	if p.HasSliceTask("POS") {
+		t.Fatalf("token task should not be sliced")
+	}
+}
+
+func TestPlanRejectsBadSchemas(t *testing.T) {
+	// Two sequence payloads.
+	js := `{
+	  "payloads": {
+	    "a": {"type": "sequence", "max_length": 4},
+	    "b": {"type": "sequence", "max_length": 4}
+	  },
+	  "tasks": {"T": {"payload": "a", "type": "multiclass", "classes": ["x","y"]}}
+	}`
+	sch, err := schema.Parse([]byte(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Plan(sch, defaultChoice(), nil); err == nil || !strings.Contains(err.Error(), "multiple sequence") {
+		t.Fatalf("two sequences accepted: %v", err)
+	}
+	// No sequence payload.
+	js2 := `{
+	  "payloads": {"q": {"type": "singleton"}},
+	  "tasks": {"T": {"payload": "q", "type": "multiclass", "classes": ["x","y"]}}
+	}`
+	sch2, err := schema.Parse([]byte(js2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Plan(sch2, defaultChoice(), nil); err == nil {
+		t.Fatalf("schema without sequence accepted")
+	}
+	// Bad embedding spec.
+	c := defaultChoice()
+	c.Embedding = "bogus"
+	if _, err := Plan(factoidSchema(t), c, nil); err == nil {
+		t.Fatalf("bad embedding accepted")
+	}
+}
+
+func TestDescribeMentionsAllParts(t *testing.T) {
+	p, err := Plan(factoidSchema(t), defaultChoice(), []string{"disambig"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Describe()
+	for _, want := range []string{"tokens", "query", "entities", "POS", "EntityType", "Intent", "IntentArg",
+		"CNN", "hash-16", "[sliced]", "disambig", "lr=0.01"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package core implements Overton's modeling-to-deployment pipeline
+// (Section 2.4): the paper's teams saw quality regressions when a separate
+// deployment team re-tuned models, so Overton owns the whole path — it
+// builds the deployable artifact itself, gates the rollout on a fine-grained
+// regression comparison against the currently served version, publishes to
+// the versioned artifact store, and hot-swaps the server.
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/artifact"
+	"repro/internal/model"
+	"repro/internal/monitor"
+	"repro/internal/record"
+	"repro/internal/serve"
+)
+
+// Deployer gates and executes model rollouts.
+type Deployer struct {
+	Store  *artifact.Store
+	Server *serve.Server // optional; when set, successful deploys hot-swap it
+	// Threshold is the maximum tolerated drop of any per-tag primary
+	// metric (default 0.05).
+	Threshold float64
+}
+
+// Decision records one deploy attempt.
+type Decision struct {
+	Deployed   bool
+	Version    artifact.VersionInfo
+	Report     *monitor.Report
+	Comparison *monitor.Comparison // nil for the first version
+	Reason     string
+}
+
+// Deploy evaluates candidate against the currently served version of name
+// on ds (population evalTag), refuses the rollout when any per-tag quality
+// drop exceeds Threshold, and otherwise publishes and (when a server is
+// attached) swaps.
+func (d *Deployer) Deploy(name string, candidate *model.Model, ds *record.Dataset, evalTag string, meta artifact.Metadata) (*Decision, error) {
+	if d.Store == nil {
+		return nil, fmt.Errorf("core: deployer needs an artifact store")
+	}
+	threshold := d.Threshold
+	if threshold <= 0 {
+		threshold = 0.05
+	}
+	candReport, err := monitor.Build(candidate, ds, monitor.Config{Name: name + "-candidate", EvalTag: evalTag})
+	if err != nil {
+		return nil, fmt.Errorf("core: candidate report: %w", err)
+	}
+	dec := &Decision{Report: candReport}
+
+	// Compare against the live version when one exists.
+	if blob, _, err := d.Store.Get(name, 0); err == nil {
+		current, err := model.Load(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("core: load current version: %w", err)
+		}
+		curReport, err := monitor.Build(current, ds, monitor.Config{Name: name + "-live", EvalTag: evalTag})
+		if err != nil {
+			return nil, fmt.Errorf("core: live report: %w", err)
+		}
+		dec.Comparison = monitor.Compare(curReport, candReport, threshold)
+		if n := len(dec.Comparison.Regressions); n > 0 {
+			r := dec.Comparison.Regressions[0]
+			dec.Reason = fmt.Sprintf("blocked: %d regression(s), worst %s/%s %.3f -> %.3f",
+				n, r.Tag, r.Task, r.Before, r.After)
+			return dec, nil
+		}
+	}
+
+	blob, err := candidate.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("core: serialize: %w", err)
+	}
+	vi, err := d.Store.Put(name, blob, meta)
+	if err != nil {
+		return nil, err
+	}
+	dec.Deployed = true
+	dec.Version = vi
+	dec.Reason = fmt.Sprintf("deployed version %d", vi.Version)
+	if d.Server != nil {
+		d.Server.Swap(candidate, vi.Version)
+	}
+	return dec, nil
+}
+
+// Rollback re-serves an earlier version from the store (version 0 = latest).
+func (d *Deployer) Rollback(name string, version int) (artifact.VersionInfo, error) {
+	if d.Store == nil {
+		return artifact.VersionInfo{}, fmt.Errorf("core: deployer needs an artifact store")
+	}
+	blob, vi, err := d.Store.Get(name, version)
+	if err != nil {
+		return artifact.VersionInfo{}, err
+	}
+	m, err := model.Load(bytes.NewReader(blob))
+	if err != nil {
+		return artifact.VersionInfo{}, fmt.Errorf("core: load version %d: %w", vi.Version, err)
+	}
+	if d.Server != nil {
+		d.Server.Swap(m, vi.Version)
+	}
+	return vi, nil
+}

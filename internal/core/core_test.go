@@ -1,0 +1,148 @@
+package core
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/compile"
+	"repro/internal/model"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/serve"
+	"repro/internal/train"
+	"repro/internal/workload"
+)
+
+func trained(t *testing.T, ds *record.Dataset, epochs int, seed int64) *model.Model {
+	t.Helper()
+	choice := schema.Choice{
+		Embedding: "hash-16", Encoder: "CNN", Hidden: 16,
+		QueryAgg: "mean", EntityAgg: "mean",
+		LR: 0.02, Epochs: epochs, Dropout: 0, BatchSize: 32,
+	}
+	prog, err := compile.Plan(ds.Schema, choice, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := workload.DefaultKB()
+	var ents []string
+	for _, e := range kb.Entities {
+		ents = append(ents, e.ID)
+	}
+	m, err := model.New(prog, &compile.Resources{
+		TokenVocab:  workload.Vocabulary(kb),
+		EntityVocab: ents,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs > 0 {
+		if _, err := train.Run(m, ds, train.Config{Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestDeployFirstVersion(t *testing.T) {
+	ds := workload.StandardDataset(200, 1, 0.2)
+	store, err := artifact.Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trained(t, ds, 6, 3)
+	srv := serve.New(trained(t, ds, 0, 99), "factoid", 0) // placeholder model
+	d := &Deployer{Store: store, Server: srv}
+	dec, err := d.Deploy("factoid", m, ds, record.TagTest, artifact.Metadata{"rev": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Deployed || dec.Version.Version != 1 {
+		t.Fatalf("first deploy failed: %+v", dec)
+	}
+	if dec.Comparison != nil {
+		t.Fatalf("first deploy should have no comparison")
+	}
+	if len(dec.Report.Overall) == 0 {
+		t.Fatalf("no candidate report")
+	}
+}
+
+func TestDeployBlocksRegression(t *testing.T) {
+	ds := workload.StandardDataset(200, 5, 0.2)
+	store, err := artifact.Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := trained(t, ds, 8, 3)
+	d := &Deployer{Store: store, Threshold: 0.05}
+	if dec, err := d.Deploy("factoid", good, ds, record.TagTest, nil); err != nil || !dec.Deployed {
+		t.Fatalf("good deploy failed: %v %+v", err, dec)
+	}
+	// Candidate: an untrained model — a guaranteed regression.
+	bad := trained(t, ds, 0, 77)
+	dec, err := d.Deploy("factoid", bad, ds, record.TagTest, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Deployed {
+		t.Fatalf("regression deployed: %s", dec.Reason)
+	}
+	if dec.Comparison == nil || len(dec.Comparison.Regressions) == 0 {
+		t.Fatalf("no regression recorded")
+	}
+	if !strings.Contains(dec.Reason, "blocked") {
+		t.Fatalf("reason wrong: %s", dec.Reason)
+	}
+	// Store still has only the good version.
+	vs, err := store.Versions("factoid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("blocked deploy still published: %d versions", len(vs))
+	}
+}
+
+func TestDeploySecondGoodVersionAndRollback(t *testing.T) {
+	ds := workload.StandardDataset(200, 7, 0.2)
+	store, err := artifact.Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(trained(t, ds, 0, 99), "factoid", 0)
+	d := &Deployer{Store: store, Server: srv}
+	v1 := trained(t, ds, 6, 3)
+	if _, err := d.Deploy("factoid", v1, ds, record.TagTest, nil); err != nil {
+		t.Fatal(err)
+	}
+	// An equal-quality candidate (same weights) must pass the gate and
+	// become version 2.
+	dec, err := d.Deploy("factoid", v1, ds, record.TagTest, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Deployed || dec.Version.Version != 2 {
+		t.Fatalf("v2 deploy failed: %+v (reason %s)", dec, dec.Reason)
+	}
+	// Rollback to v1.
+	vi, err := d.Rollback("factoid", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vi.Version != 1 {
+		t.Fatalf("rollback wrong version: %d", vi.Version)
+	}
+}
+
+func TestDeployerNeedsStore(t *testing.T) {
+	d := &Deployer{}
+	if _, err := d.Deploy("x", nil, nil, "", nil); err == nil {
+		t.Fatalf("missing store accepted")
+	}
+	if _, err := d.Rollback("x", 0); err == nil {
+		t.Fatalf("rollback without store accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package embeddings
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/compile"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// bertsimState is the gob snapshot of a frozen BERTSim encoder.
+type bertsimState struct {
+	Cfg         BERTSimConfig
+	VocabTokens []string // without reserved slots
+	Params      map[string]*tensor.Tensor
+	FinalLoss   float64
+}
+
+// State captures the encoder for serialization.
+func (b *BERTSim) state() *bertsimState {
+	st := &bertsimState{
+		Cfg:       b.cfg,
+		FinalLoss: b.FinalLoss,
+		Params:    map[string]*tensor.Tensor{},
+	}
+	toks := b.vocab.Tokens()
+	if len(toks) >= 2 {
+		st.VocabTokens = toks[2:]
+	}
+	for _, p := range b.ps.All() {
+		st.Params[p.Name] = p.Node.Value
+	}
+	return st
+}
+
+// bertsimFromState rebuilds a frozen encoder from a snapshot.
+func bertsimFromState(st *bertsimState) (*BERTSim, error) {
+	cfg := st.Cfg.withDefaults()
+	v := NewVocab(st.VocabTokens)
+	rng := rand.New(rand.NewSource(0)) // init overwritten below
+	ps := nn.NewParamSet()
+	b := &BERTSim{
+		vocab:     v,
+		cfg:       cfg,
+		ps:        ps,
+		emb:       nn.NewEmbedding(ps, "bertsim.emb", v.Size(), cfg.Dim, rng),
+		conv:      nn.NewConv1D(ps, "bertsim.conv1", cfg.Dim, cfg.Hidden, rng),
+		conv2:     nn.NewConv1D(ps, "bertsim.conv2", cfg.Hidden, cfg.Dim, rng),
+		FinalLoss: st.FinalLoss,
+	}
+	// The masked-LM head exists only during pretraining; it is not part of
+	// the snapshot's required parameters but may be present in older blobs.
+	for _, p := range ps.All() {
+		saved, ok := st.Params[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("embeddings: bertsim blob missing %q", p.Name)
+		}
+		if !saved.SameShape(p.Node.Value) {
+			return nil, fmt.Errorf("embeddings: bertsim param %q shape mismatch", p.Name)
+		}
+		copy(p.Node.Value.Data, saved.Data)
+		p.Frozen = true
+	}
+	return b, nil
+}
+
+// BERTSimCodec implements the model package's ContextualCodec hook for
+// BERTSim encoders. Register it with model.RegisterContextualCodec at
+// program start (the overton façade does this).
+type BERTSimCodec struct{}
+
+// Encode implements the codec.
+func (BERTSimCodec) Encode(enc compile.ContextualEncoder) ([]byte, error) {
+	b, ok := enc.(*BERTSim)
+	if !ok {
+		return nil, fmt.Errorf("embeddings: codec supports *BERTSim, got %T", enc)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b.state()); err != nil {
+		return nil, fmt.Errorf("embeddings: encode bertsim: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements the codec.
+func (BERTSimCodec) Decode(blob []byte) (compile.ContextualEncoder, error) {
+	var st bertsimState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("embeddings: decode bertsim: %w", err)
+	}
+	return bertsimFromState(&st)
+}
+
+// Interface check against the compile-level contract.
+var _ compile.ContextualEncoder = (*BERTSim)(nil)

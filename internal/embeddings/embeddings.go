@@ -1,0 +1,325 @@
+// Package embeddings provides the token-representation resources the
+// Overton compiler can "simply load as payloads" (Section 2.4): hash-seeded
+// learnable embeddings, static embeddings pretrained on an unlabeled corpus
+// via PPMI co-occurrence + random projection (the GloVe/word2vec stand-in),
+// and BERTSim — a small contextual encoder pretrained with a masked-token
+// objective (the BERT-Large stand-in for the Figure 4b study; see DESIGN.md
+// substitution table).
+package embeddings
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// Reserved vocabulary slots.
+const (
+	PadID = 0 // padding token
+	OOVID = 1 // out-of-vocabulary token
+)
+
+// PadToken and OOVToken are the reserved surface forms.
+const (
+	PadToken = "<pad>"
+	OOVToken = "<oov>"
+)
+
+// Vocab maps tokens to dense ids with reserved pad/OOV slots.
+type Vocab struct {
+	tokens []string
+	ids    map[string]int
+}
+
+// NewVocab builds a vocabulary from the given tokens (deduplicated, order
+// preserved after the reserved slots).
+func NewVocab(tokens []string) *Vocab {
+	v := &Vocab{ids: make(map[string]int, len(tokens)+2)}
+	v.add(PadToken)
+	v.add(OOVToken)
+	for _, t := range tokens {
+		v.add(t)
+	}
+	return v
+}
+
+func (v *Vocab) add(tok string) {
+	if _, ok := v.ids[tok]; ok {
+		return
+	}
+	v.ids[tok] = len(v.tokens)
+	v.tokens = append(v.tokens, tok)
+}
+
+// Size returns the vocabulary size including reserved slots.
+func (v *Vocab) Size() int { return len(v.tokens) }
+
+// ID returns the id of tok, or OOVID.
+func (v *Vocab) ID(tok string) int {
+	if id, ok := v.ids[tok]; ok {
+		return id
+	}
+	return OOVID
+}
+
+// Token returns the surface form of id (panics when out of range).
+func (v *Vocab) Token(id int) string { return v.tokens[id] }
+
+// Encode maps tokens to ids.
+func (v *Vocab) Encode(tokens []string) []int {
+	out := make([]int, len(tokens))
+	for i, t := range tokens {
+		out[i] = v.ID(t)
+	}
+	return out
+}
+
+// Tokens returns a copy of the vocabulary in id order.
+func (v *Vocab) Tokens() []string { return append([]string(nil), v.tokens...) }
+
+// HashVectors produces deterministic pseudo-random unit-ish vectors per
+// token: the hash-embedding initialisation ("hash-<dim>" in tuning specs).
+// Rows align with vocab ids; the pad row is zero.
+func HashVectors(v *Vocab, dim int, seed int64) *tensor.Tensor {
+	out := tensor.New(v.Size(), dim)
+	for id := 1; id < v.Size(); id++ { // leave pad at zero
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d:%s", seed, v.Token(id))
+		rng := rand.New(rand.NewSource(int64(h.Sum64())))
+		row := out.Row(id)
+		for c := range row {
+			row[c] = rng.NormFloat64() * 0.1
+		}
+	}
+	return out
+}
+
+// PretrainStatic builds static embeddings from an unlabeled corpus: a
+// positive-PMI co-occurrence matrix (window-based) followed by a seeded
+// Gaussian random projection to dim. Tokens that never occur fall back to
+// hash vectors. This is the "pretrained word embeddings" resource
+// ("pretrained-<dim>").
+func PretrainStatic(corpus [][]string, v *Vocab, dim, window int, seed int64) *tensor.Tensor {
+	if window <= 0 {
+		window = 2
+	}
+	V := v.Size()
+	// Co-occurrence counts (sparse).
+	cooc := make([]map[int]float64, V)
+	tokCount := make([]float64, V)
+	var total float64
+	for _, sent := range corpus {
+		ids := v.Encode(sent)
+		for i, a := range ids {
+			tokCount[a]++
+			total++
+			for j := i - window; j <= i+window; j++ {
+				if j < 0 || j >= len(ids) || j == i {
+					continue
+				}
+				b := ids[j]
+				if cooc[a] == nil {
+					cooc[a] = make(map[int]float64)
+				}
+				cooc[a][b]++
+			}
+		}
+	}
+	// PPMI rows projected through a fixed Gaussian matrix.
+	rng := rand.New(rand.NewSource(seed))
+	proj := tensor.New(V, dim).Randn(rng, 1/math.Sqrt(float64(dim)))
+	out := tensor.New(V, dim)
+	pairTotal := 0.0
+	for _, m := range cooc {
+		for _, c := range m {
+			pairTotal += c
+		}
+	}
+	if pairTotal == 0 {
+		pairTotal = 1
+	}
+	for a := 0; a < V; a++ {
+		if cooc[a] == nil {
+			continue
+		}
+		row := out.Row(a)
+		// Deterministic iteration over context ids.
+		ctxIDs := make([]int, 0, len(cooc[a]))
+		for b := range cooc[a] {
+			ctxIDs = append(ctxIDs, b)
+		}
+		sort.Ints(ctxIDs)
+		for _, b := range ctxIDs {
+			pab := cooc[a][b] / pairTotal
+			pa := tokCount[a] / total
+			pb := tokCount[b] / total
+			pmi := math.Log(pab / (pa*pb + 1e-12))
+			if pmi <= 0 {
+				continue
+			}
+			prow := proj.Row(b)
+			for c := range row {
+				row[c] += pmi * prow[c]
+			}
+		}
+		// L2 normalise to keep scales comparable.
+		var norm float64
+		for _, x := range row {
+			norm += x * x
+		}
+		if norm > 0 {
+			inv := 1 / math.Sqrt(norm)
+			for c := range row {
+				row[c] *= inv
+			}
+			// match hash-vector scale
+			for c := range row {
+				row[c] *= 0.3
+			}
+		}
+	}
+	// Fallback for unseen tokens.
+	hash := HashVectors(v, dim, seed+1)
+	for a := 1; a < V; a++ {
+		if tokCount[a] == 0 {
+			copy(out.Row(a), hash.Row(a))
+		}
+	}
+	return out
+}
+
+// BERTSimConfig configures masked-token pretraining.
+type BERTSimConfig struct {
+	Dim    int // embedding & output dim (default 32)
+	Hidden int // encoder width (default 32)
+	Epochs int // passes over the corpus (default 3)
+	LR     float64
+	Mask   float64 // masking rate (default 0.15)
+	Seed   int64
+}
+
+func (c BERTSimConfig) withDefaults() BERTSimConfig {
+	if c.Dim <= 0 {
+		c.Dim = 32
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = 32
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 3
+	}
+	if c.LR <= 0 {
+		c.LR = 0.01
+	}
+	if c.Mask <= 0 {
+		c.Mask = 0.15
+	}
+	return c
+}
+
+// BERTSim is a contextual token encoder pretrained with a masked-token
+// objective over an unlabeled corpus. After pretraining it is frozen and
+// dropped in as an additional token payload ("bertsim-<dim>").
+type BERTSim struct {
+	vocab *Vocab
+	cfg   BERTSimConfig
+	ps    *nn.ParamSet
+	emb   *nn.Embedding
+	conv  *nn.Conv1D
+	conv2 *nn.Conv1D
+	// FinalLoss is the last pretraining epoch's mean masked-token loss
+	// (diagnostics).
+	FinalLoss float64
+}
+
+// PretrainBERTSim trains the encoder on corpus. Deterministic given cfg.Seed.
+func PretrainBERTSim(corpus [][]string, v *Vocab, cfg BERTSimConfig) *BERTSim {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ps := nn.NewParamSet()
+	b := &BERTSim{
+		vocab: v,
+		cfg:   cfg,
+		ps:    ps,
+		emb:   nn.NewEmbedding(ps, "bertsim.emb", v.Size(), cfg.Dim, rng),
+		conv:  nn.NewConv1D(ps, "bertsim.conv1", cfg.Dim, cfg.Hidden, rng),
+		conv2: nn.NewConv1D(ps, "bertsim.conv2", cfg.Hidden, cfg.Dim, rng),
+	}
+	head := nn.NewLinear(ps, "bertsim.mlm", cfg.Dim, v.Size(), rng)
+	optim := opt.NewAdam(ps.All())
+
+	maskID := OOVID // reuse OOV as the [MASK] token
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochLoss float64
+		var batches float64
+		order := rng.Perm(len(corpus))
+		for _, si := range order {
+			sent := corpus[si]
+			if len(sent) == 0 {
+				continue
+			}
+			ids := v.Encode(sent)
+			masked := append([]int(nil), ids...)
+			targets := tensor.New(len(ids), v.Size())
+			weights := make([]float64, len(ids))
+			var nMasked int
+			for i := range masked {
+				if rng.Float64() < cfg.Mask {
+					targets.Set(i, ids[i], 1)
+					weights[i] = 1
+					masked[i] = maskID
+					nMasked++
+				}
+			}
+			if nMasked == 0 {
+				continue
+			}
+			g := nn.NewGraph(true, rng)
+			h := b.encode(g, masked, len(ids))
+			logits := head.Forward(g, h)
+			loss, _ := g.SoftmaxCE(logits, targets, weights)
+			g.Backward(loss)
+			opt.ClipGradNorm(ps.All(), 5)
+			optim.Step(cfg.LR)
+			step++
+			epochLoss += loss.Value.Data[0]
+			batches++
+		}
+		if batches > 0 {
+			b.FinalLoss = epochLoss / batches
+		}
+	}
+	// Freeze: the encoder is a fixed resource from here on.
+	for _, p := range ps.All() {
+		p.Frozen = true
+	}
+	return b
+}
+
+// encode runs the two-layer convolutional context encoder for one sentence.
+func (b *BERTSim) encode(g *nn.Graph, ids []int, L int) *nn.Node {
+	x := b.emb.Forward(g, ids)
+	h := g.ReLU(b.conv.Forward(g, x, 1, L))
+	return g.Add(b.conv2.Forward(g, h, 1, L), x) // residual back to dim
+}
+
+// Dim returns the contextual vector width.
+func (b *BERTSim) Dim() int { return b.cfg.Dim }
+
+// Encode returns frozen contextual vectors for tokens (len(tokens) x Dim).
+func (b *BERTSim) Encode(tokens []string) *tensor.Tensor {
+	if len(tokens) == 0 {
+		return tensor.New(0, b.cfg.Dim)
+	}
+	ids := b.vocab.Encode(tokens)
+	g := nn.NewGraph(false, nil)
+	h := b.encode(g, ids, len(ids))
+	return h.Value.Clone()
+}

@@ -1,0 +1,164 @@
+package embeddings
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+func TestVocabBasics(t *testing.T) {
+	v := NewVocab([]string{"hello", "world", "hello"})
+	if v.Size() != 4 { // pad + oov + 2
+		t.Fatalf("Size = %d", v.Size())
+	}
+	if v.ID(PadToken) != PadID || v.ID(OOVToken) != OOVID {
+		t.Fatalf("reserved ids wrong")
+	}
+	if v.ID("hello") != 2 || v.ID("world") != 3 {
+		t.Fatalf("ids wrong")
+	}
+	if v.ID("unknown") != OOVID {
+		t.Fatalf("OOV fallback wrong")
+	}
+	if v.Token(2) != "hello" {
+		t.Fatalf("Token wrong")
+	}
+	ids := v.Encode([]string{"world", "nope"})
+	if ids[0] != 3 || ids[1] != OOVID {
+		t.Fatalf("Encode wrong: %v", ids)
+	}
+	toks := v.Tokens()
+	toks[0] = "mutated"
+	if v.Token(0) == "mutated" {
+		t.Fatalf("Tokens leaks internal state")
+	}
+}
+
+func TestHashVectorsDeterministicAndPadZero(t *testing.T) {
+	v := NewVocab([]string{"a", "b", "c"})
+	h1 := HashVectors(v, 8, 42)
+	h2 := HashVectors(v, 8, 42)
+	if !tensor.Equal(h1, h2, 0) {
+		t.Fatalf("hash vectors not deterministic")
+	}
+	h3 := HashVectors(v, 8, 43)
+	if tensor.Equal(h1, h3, 1e-12) {
+		t.Fatalf("different seeds gave identical vectors")
+	}
+	for _, x := range h1.Row(PadID) {
+		if x != 0 {
+			t.Fatalf("pad row not zero")
+		}
+	}
+	// Vectors differ per token.
+	if tensor.Equal(tensor.Vector(h1.Row(2)), tensor.Vector(h1.Row(3)), 1e-9) {
+		t.Fatalf("token vectors identical")
+	}
+}
+
+func TestPretrainStaticCapturesCooccurrence(t *testing.T) {
+	// "paris" and "london" share contexts ("weather in X"); "pizza" appears
+	// in a different frame. Their embeddings should reflect that.
+	corpus := [][]string{}
+	for i := 0; i < 40; i++ {
+		corpus = append(corpus,
+			[]string{"weather", "in", "paris"},
+			[]string{"weather", "in", "london"},
+			[]string{"calories", "in", "a", "pizza"},
+			[]string{"calories", "in", "a", "salmon"},
+		)
+	}
+	v := NewVocab([]string{"weather", "in", "paris", "london", "calories", "a", "pizza", "salmon"})
+	emb := PretrainStatic(corpus, v, 16, 2, 7)
+	cos := func(a, b []float64) float64 {
+		var dot, na, nb float64
+		for i := range a {
+			dot += a[i] * b[i]
+			na += a[i] * a[i]
+			nb += b[i] * b[i]
+		}
+		return dot / (math.Sqrt(na)*math.Sqrt(nb) + 1e-12)
+	}
+	parisLondon := cos(emb.Row(v.ID("paris")), emb.Row(v.ID("london")))
+	parisPizza := cos(emb.Row(v.ID("paris")), emb.Row(v.ID("pizza")))
+	if parisLondon <= parisPizza {
+		t.Fatalf("paris~london %.3f should exceed paris~pizza %.3f", parisLondon, parisPizza)
+	}
+	// Unseen tokens fall back to hash vectors (non-zero).
+	v2 := NewVocab([]string{"weather", "neverseen"})
+	emb2 := PretrainStatic(corpus, v2, 8, 2, 7)
+	if tensor.Vector(emb2.Row(v2.ID("neverseen"))).Norm2() == 0 {
+		t.Fatalf("unseen token has zero vector")
+	}
+}
+
+func TestPretrainStaticDeterministic(t *testing.T) {
+	corpus := workload.Corpus(60, 3)
+	v := NewVocab(workload.Vocabulary(workload.DefaultKB()))
+	a := PretrainStatic(corpus, v, 12, 2, 9)
+	b := PretrainStatic(corpus, v, 12, 2, 9)
+	if !tensor.Equal(a, b, 0) {
+		t.Fatalf("static pretraining not deterministic")
+	}
+}
+
+func TestBERTSimPretrainsAndFreezes(t *testing.T) {
+	corpus := workload.Corpus(150, 5)
+	v := NewVocab(workload.Vocabulary(workload.DefaultKB()))
+	b := PretrainBERTSim(corpus, v, BERTSimConfig{Dim: 16, Hidden: 16, Epochs: 2, Seed: 11})
+	if b.FinalLoss <= 0 {
+		t.Fatalf("no training happened")
+	}
+	// Random-chance masked-token loss is ln(V); training must beat it
+	// comfortably.
+	chance := math.Log(float64(v.Size()))
+	if b.FinalLoss > chance*0.8 {
+		t.Fatalf("masked LM loss %.3f did not improve on chance %.3f", b.FinalLoss, chance)
+	}
+	// All parameters frozen after pretraining.
+	for _, p := range b.ps.All() {
+		if !p.Frozen {
+			t.Fatalf("param %s not frozen", p.Name)
+		}
+	}
+}
+
+func TestBERTSimEncodeIsContextual(t *testing.T) {
+	corpus := workload.Corpus(150, 5)
+	v := NewVocab(workload.Vocabulary(workload.DefaultKB()))
+	b := PretrainBERTSim(corpus, v, BERTSimConfig{Dim: 16, Hidden: 16, Epochs: 1, Seed: 13})
+	// Same token in different contexts must get different vectors.
+	e1 := b.Encode([]string{"calories", "in", "turkey"})
+	e2 := b.Encode([]string{"capital", "of", "turkey"})
+	turkey1 := tensor.Vector(append([]float64(nil), e1.Row(2)...))
+	turkey2 := tensor.Vector(append([]float64(nil), e2.Row(2)...))
+	if tensor.Equal(turkey1, turkey2, 1e-9) {
+		t.Fatalf("encoder is not contextual")
+	}
+	// Deterministic encoding.
+	e3 := b.Encode([]string{"calories", "in", "turkey"})
+	if !tensor.Equal(e1, e3, 0) {
+		t.Fatalf("Encode not deterministic")
+	}
+	if b.Dim() != 16 || e1.Rows != 3 || e1.Cols != 16 {
+		t.Fatalf("shape wrong")
+	}
+	// Empty input.
+	if e := b.Encode(nil); e.Rows != 0 {
+		t.Fatalf("empty encode wrong")
+	}
+}
+
+func TestBERTSimDeterministicPretraining(t *testing.T) {
+	corpus := workload.Corpus(60, 5)
+	v := NewVocab(workload.Vocabulary(workload.DefaultKB()))
+	b1 := PretrainBERTSim(corpus, v, BERTSimConfig{Dim: 8, Hidden: 8, Epochs: 1, Seed: 17})
+	b2 := PretrainBERTSim(corpus, v, BERTSimConfig{Dim: 8, Hidden: 8, Epochs: 1, Seed: 17})
+	e1 := b1.Encode([]string{"weather", "in", "paris"})
+	e2 := b2.Encode([]string{"weather", "in", "paris"})
+	if !tensor.Equal(e1, e2, 0) {
+		t.Fatalf("pretraining not deterministic")
+	}
+}

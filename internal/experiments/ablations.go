@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/labelmodel"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/schema"
+	"repro/internal/search"
+	"repro/internal/train"
+	"repro/internal/workload"
+)
+
+// AblationRow is one variant of one ablation study.
+type AblationRow struct {
+	Study   string `json:"study"`
+	Variant string `json:"variant"`
+	// MeanQuality is the mean primary metric on the test set (or the
+	// per-task metric for the single-task study).
+	MeanQuality float64 `json:"mean_quality"`
+	Notes       string  `json:"notes,omitempty"`
+}
+
+// Ablations runs the design-choice studies DESIGN.md commits to:
+// (i) supervision combination estimator, (ii) multitask vs single-task,
+// (iii) model search vs default choice, (iv) class rebalancing.
+func Ablations(opts Options) ([]AblationRow, error) {
+	n := int(2000 * opts.Fig3Scale)
+	if n < 400 {
+		n = 400
+	}
+	ds := workload.StandardDataset(n, opts.Seed+500, 0.1)
+	res := factoidResources()
+	var rows []AblationRow
+
+	// (i) Label model estimators.
+	for _, est := range []labelmodel.Estimator{labelmodel.EstMajority, labelmodel.EstAccuracy, labelmodel.EstDawidSkene} {
+		m, err := buildModel(defaultChoice(opts.Epochs), nil, res, opts.Seed+501)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := train.Run(m, ds, train.Config{Seed: opts.Seed + 502, Estimator: est}); err != nil {
+			return nil, err
+		}
+		ms, err := testMetrics(m, ds)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Study: "label-model", Variant: string(est),
+			MeanQuality: metrics.MeanPrimary(ms),
+		})
+		logf(opts.Log, "ablation label-model/%s: %.4f", est, metrics.MeanPrimary(ms))
+	}
+
+	// (ii) Multitask vs single-task: train one model per task with the
+	// other task losses zeroed, then compare each task against the full
+	// multitask model.
+	multi, err := buildModel(defaultChoice(opts.Epochs), nil, res, opts.Seed+510)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := train.Run(multi, ds, train.Config{Seed: opts.Seed + 511}); err != nil {
+		return nil, err
+	}
+	multiMs, err := testMetrics(multi, ds)
+	if err != nil {
+		return nil, err
+	}
+	for _, task := range []string{workload.TaskIntent, workload.TaskIntentArg} {
+		weights := map[string]float64{workload.TaskPOS: 0, workload.TaskEntityType: 0, workload.TaskIntent: 0, workload.TaskIntentArg: 0}
+		weights[task] = 1
+		single, err := buildModel(defaultChoice(opts.Epochs), nil, res, opts.Seed+510)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := train.Run(single, ds, train.Config{
+			Seed: opts.Seed + 511,
+			Loss: model.LossConfig{TaskWeights: weights},
+		}); err != nil {
+			return nil, err
+		}
+		singleMs, err := testMetrics(single, ds)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows,
+			AblationRow{Study: "multitask", Variant: task + "/multitask", MeanQuality: multiMs[task].Primary},
+			AblationRow{Study: "multitask", Variant: task + "/single-task", MeanQuality: singleMs[task].Primary},
+		)
+		logf(opts.Log, "ablation multitask/%s: multi %.4f single %.4f",
+			task, multiMs[task].Primary, singleMs[task].Primary)
+	}
+
+	// (iii) Search vs default architecture.
+	rows = append(rows, AblationRow{
+		Study: "search", Variant: "default-choice",
+		MeanQuality: metrics.MeanPrimary(multiMs),
+		Notes:       defaultChoice(opts.Epochs).String(),
+	})
+	tun := &schema.Tuning{
+		Embeddings: []string{"hash-24", "hash-32"},
+		Encoders:   []string{"BOW", "CNN", "GRU"},
+		Hidden:     []int{24, 32},
+		QueryAgg:   []string{"mean", "max"},
+		EntityAgg:  []string{"mean", "attn"},
+		LR:         []float64{0.02, 0.01},
+		Epochs:     []int{opts.Epochs},
+		Dropout:    []float64{0},
+		BatchSize:  []int{32},
+	}
+	sres, best, err := search.Run(ds, search.Config{
+		Tuning:    tun,
+		Budget:    6,
+		Seed:      opts.Seed + 520,
+		Resources: res,
+		Train:     train.Config{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	bestMs, err := testMetrics(best, ds)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{
+		Study: "search", Variant: "random-search(6)",
+		MeanQuality: metrics.MeanPrimary(bestMs),
+		Notes:       sres.Best.Choice.String(),
+	})
+	logf(opts.Log, "ablation search: default %.4f searched %.4f",
+		metrics.MeanPrimary(multiMs), metrics.MeanPrimary(bestMs))
+
+	// (iv) Rebalancing.
+	for _, reb := range []bool{false, true} {
+		m, err := buildModel(defaultChoice(opts.Epochs), nil, res, opts.Seed+530)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := train.Run(m, ds, train.Config{Seed: opts.Seed + 531, Rebalance: reb}); err != nil {
+			return nil, err
+		}
+		ms, err := testMetrics(m, ds)
+		if err != nil {
+			return nil, err
+		}
+		variant := "off"
+		if reb {
+			variant = "on"
+		}
+		rows = append(rows, AblationRow{Study: "rebalance", Variant: variant, MeanQuality: metrics.MeanPrimary(ms)})
+		logf(opts.Log, "ablation rebalance/%s: %.4f", variant, metrics.MeanPrimary(ms))
+	}
+	return rows, nil
+}
+
+// RenderAblations prints the ablation table.
+func RenderAblations(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablations (mean test quality unless noted)")
+	fmt.Fprintf(w, "%-14s  %-26s  %-10s  %s\n", "Study", "Variant", "Quality", "Notes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s  %-26s  %8.4f    %s\n", r.Study, r.Variant, r.MeanQuality, r.Notes)
+	}
+}

@@ -1,0 +1,196 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Section 3) plus the slice claim of Section 2.2 and
+// the ablations DESIGN.md calls out:
+//
+//   - Figure 3: end-to-end error reduction vs. the previous production
+//     system across four resource levels, with weak-supervision share.
+//   - Figure 4a: relative quality vs. weak-supervision scale (1x..32x) for
+//     the three task granularities (singleton, sequence, set).
+//   - Figure 4b: with-BERT vs. without-BERT relative quality per scale.
+//   - Slice: the ">50 point" improvement on a rare complex-disambiguation
+//     slice with the same training data (slice-based learning).
+//   - Ablations: label model vs. majority vote, multitask vs. single-task,
+//     search vs. default, rebalancing.
+//
+// Absolute numbers are not expected to match the paper (the substrate is a
+// synthetic workload and a from-scratch trainer); the reproduced artifact
+// is the *shape*: who wins, by roughly what factor, where crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/compile"
+	"repro/internal/labelmodel"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/train"
+	"repro/internal/workload"
+)
+
+// Options size the experiments. Quick() is CI-sized; Full() produces the
+// EXPERIMENTS.md numbers.
+type Options struct {
+	Seed int64
+	// Figure 3.
+	Fig3Scale float64 // multiplies preset training sizes
+	// Figure 4a/4b.
+	Fig4Base   int   // 1x training-record count
+	Fig4Scales []int // e.g. 1,2,4,8,16,32
+	// Slice experiment.
+	SliceN int
+	// Shared training.
+	Epochs int
+	Log    io.Writer
+}
+
+// Quick returns CI-sized options (~tens of seconds total).
+func Quick() Options {
+	return Options{
+		Seed:       1,
+		Fig3Scale:  0.35,
+		Fig4Base:   60,
+		Fig4Scales: []int{1, 4, 16},
+		SliceN:     900,
+		Epochs:     10,
+	}
+}
+
+// Full returns the paper-shaped options used for EXPERIMENTS.md. The 1x
+// base is small enough that every task granularity has visible headroom at
+// 1x (the paper's 1x ≈ 30K production examples are similarly far from its
+// tasks' ceilings).
+func Full() Options {
+	return Options{
+		Seed:       1,
+		Fig3Scale:  1.0,
+		Fig4Base:   60,
+		Fig4Scales: []int{1, 2, 4, 8, 16, 32},
+		SliceN:     2400,
+		Epochs:     15,
+	}
+}
+
+// defaultChoice is the fixed tuning point experiments train with (search is
+// its own ablation; fixing the architecture isolates the variable under
+// study, as the paper does).
+func defaultChoice(epochs int) schema.Choice {
+	return schema.Choice{
+		Embedding: "hash-24", Encoder: "CNN", Hidden: 32,
+		QueryAgg: "mean", EntityAgg: "mean",
+		LR: 0.02, Epochs: epochs, Dropout: 0, BatchSize: 32,
+	}
+}
+
+// epochsFor scales the epoch budget so every run gets at least minSteps
+// optimisation steps regardless of dataset size — small-data points train
+// to convergence instead of being starved (the paper trains each point of
+// its scaling study fully).
+func epochsFor(nTrain, baseEpochs int) int {
+	const (
+		minSteps  = 400
+		batchSize = 32
+		maxEpochs = 150
+	)
+	if nTrain <= 0 {
+		return baseEpochs
+	}
+	stepsPerEpoch := (nTrain + batchSize - 1) / batchSize
+	needed := (minSteps + stepsPerEpoch - 1) / stepsPerEpoch
+	e := baseEpochs
+	if needed > e {
+		e = needed
+	}
+	if e > maxEpochs {
+		e = maxEpochs
+	}
+	return e
+}
+
+// factoidResources builds model resources from the workload KB.
+func factoidResources() *compile.Resources {
+	kb := workload.DefaultKB()
+	var ents []string
+	for _, e := range kb.Entities {
+		ents = append(ents, e.ID)
+	}
+	return &compile.Resources{
+		TokenVocab:  workload.Vocabulary(kb),
+		EntityVocab: ents,
+	}
+}
+
+// buildModel compiles and initialises a model for the factoid schema.
+func buildModel(choice schema.Choice, slices []string, res *compile.Resources, seed int64) (*model.Model, error) {
+	prog, err := compile.Plan(workload.FactoidSchema(), choice, slices)
+	if err != nil {
+		return nil, err
+	}
+	return model.New(prog, res, seed)
+}
+
+// trainModel runs the standard noise-aware training.
+func trainModel(m *model.Model, ds *record.Dataset, seed int64, log io.Writer) error {
+	_, err := train.Run(m, ds, train.Config{Seed: seed, Log: log})
+	return err
+}
+
+// trainModelWithTargets trains on precomputed (possibly downsampled)
+// supervision.
+func trainModelWithTargets(m *model.Model, ds *record.Dataset, targets map[string]*labelmodel.TaskTargets, seed int64) error {
+	_, err := train.RunWithTargets(m, ds, targets, train.Config{Seed: seed})
+	return err
+}
+
+// testMetrics evaluates on the gold test split.
+func testMetrics(m *model.Model, ds *record.Dataset) (map[string]metrics.TaskMetrics, error) {
+	return m.Evaluate(ds.WithTag(record.TagTest))
+}
+
+// oracleBlend upgrades outputs toward gold with probability acc per task
+// per record — the stand-in for a team's existing per-task supervised
+// models (used for the high-resource previous system in Figure 3).
+func oracleBlend(outs []model.Output, recs []*record.Record, acc float64, seed int64) []model.Output {
+	rng := rand.New(rand.NewSource(seed))
+	blended := make([]model.Output, len(outs))
+	for i, out := range outs {
+		rec := recs[i]
+		no := model.Output{}
+		for task, to := range out {
+			gold, ok := rec.Gold(task)
+			if ok && rng.Float64() < acc {
+				no[task] = goldOutput(task, gold, to)
+			} else {
+				no[task] = to
+			}
+		}
+		blended[i] = no
+	}
+	return blended
+}
+
+// goldOutput shapes a gold label as a prediction output.
+func goldOutput(task string, gold record.Label, like model.TaskOutput) model.TaskOutput {
+	switch gold.Kind {
+	case record.KindClass:
+		return model.TaskOutput{Class: gold.Class}
+	case record.KindSeq:
+		return model.TaskOutput{TokenClasses: gold.Seq}
+	case record.KindBits:
+		return model.TaskOutput{TokenBits: gold.Bits}
+	case record.KindSelect:
+		return model.TaskOutput{Select: gold.Select}
+	}
+	return like
+}
+
+// logf writes progress when a log is configured.
+func logf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}

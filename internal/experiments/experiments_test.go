@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// quickOpts trims Quick() further for unit-test speed.
+func quickOpts() Options {
+	o := Quick()
+	o.Fig3Scale = 0.25
+	o.Fig4Base = 50
+	o.Fig4Scales = []int{1, 8}
+	o.SliceN = 700
+	o.Epochs = 8
+	return o
+}
+
+func verbose() Options {
+	o := quickOpts()
+	if testing.Verbose() {
+		o.Log = os.Stderr
+	}
+	return o
+}
+
+func TestFigure3Shape(t *testing.T) {
+	rows, err := Figure3(verbose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		// Overton must reduce errors on every product (factor > 1).
+		if r.Factor <= 1.0 {
+			t.Errorf("%s: factor %.2f <= 1 (overton %.4f vs baseline %.4f)",
+				r.Product, r.Factor, r.OvertonErr, r.BaselineErr)
+		}
+		if r.WeakPct < 50 || r.WeakPct > 100 {
+			t.Errorf("%s: weak%% %.1f out of range", r.Product, r.WeakPct)
+		}
+	}
+	// Weak supervision share rises as resources fall (High < Low).
+	if rows[0].WeakPct >= rows[3].WeakPct {
+		t.Errorf("weak%% should rise from High (%.1f) to Low (%.1f)", rows[0].WeakPct, rows[3].WeakPct)
+	}
+	var buf bytes.Buffer
+	RenderFigure3(&buf, rows)
+	if !strings.Contains(buf.String(), "fewer errs") {
+		t.Fatalf("render wrong:\n%s", buf.String())
+	}
+	t.Logf("\n%s", buf.String())
+}
+
+func TestFigure4aShape(t *testing.T) {
+	points, err := Figure4a(verbose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points: %d", len(points))
+	}
+	first, last := points[0], points[len(points)-1]
+	if first.Scale != 1 {
+		t.Fatalf("first point not 1x")
+	}
+	// More weak supervision must improve quality for at least two of the
+	// three granularities, and never collapse any of them.
+	improved := 0
+	for gran := range Fig4Tasks {
+		if last.Relative[gran] > 1.005 {
+			improved++
+		}
+		if last.Relative[gran] < 0.9 {
+			t.Errorf("%s collapsed with more data: rel %.3f", gran, last.Relative[gran])
+		}
+	}
+	if improved < 2 {
+		t.Errorf("scaling should improve >= 2 granularities, improved %d (rel: %v)", improved, last.Relative)
+	}
+	var buf bytes.Buffer
+	RenderFigure4a(&buf, points)
+	t.Logf("\n%s", buf.String())
+}
+
+func TestFigure4bShape(t *testing.T) {
+	points, err := Figure4b(verbose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := points[len(points)-1]
+	// At the largest weak-supervision scale, pretraining buys little: all
+	// ratios inside a modest band around 1.0 (the paper's ~2% band; we
+	// allow 6% at CI scale).
+	for gran, ratio := range last.Ratio {
+		if ratio < 0.94 || ratio > 1.06 {
+			t.Errorf("%s: large-scale with/without ratio %.3f outside band", gran, ratio)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFigure4b(&buf, points)
+	t.Logf("\n%s", buf.String())
+}
+
+func TestSliceExperimentShape(t *testing.T) {
+	res, err := SliceExperiment(verbose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The previous production system is wrong on every prior-breaking
+	// reading by construction; sliced Overton must beat it by a large
+	// margin on that hard core (the paper's ">50 points" claim; we require
+	// >= 40 at CI scale).
+	if gain := 100 * (res.HardWith - res.BaselineHard); gain < 40 {
+		t.Errorf("hard-core gain vs production %.1f points < 40", gain)
+	}
+	// Slice capacity must not collapse quality anywhere.
+	if res.OverallWith < res.OverallWithout-0.05 {
+		t.Errorf("overall quality collapsed: %.3f -> %.3f", res.OverallWithout, res.OverallWith)
+	}
+	if res.SliceWith < res.SliceWithout-0.05 {
+		t.Errorf("slice quality collapsed: %.3f -> %.3f", res.SliceWithout, res.SliceWith)
+	}
+	var buf bytes.Buffer
+	RenderSlice(&buf, res)
+	t.Logf("\n%s", buf.String())
+}
+
+func TestAblationsShape(t *testing.T) {
+	rows, err := Ablations(verbose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		byKey[r.Study+"/"+r.Variant] = r.MeanQuality
+	}
+	// The label model must not lose to majority vote.
+	if byKey["label-model/accuracy"] < byKey["label-model/majority"]-0.02 {
+		t.Errorf("accuracy label model %.4f worse than majority %.4f",
+			byKey["label-model/accuracy"], byKey["label-model/majority"])
+	}
+	// Search must not lose to the default choice.
+	if byKey["search/random-search(6)"] < byKey["search/default-choice"]-0.02 {
+		t.Errorf("search %.4f worse than default %.4f",
+			byKey["search/random-search(6)"], byKey["search/default-choice"])
+	}
+	var buf bytes.Buffer
+	RenderAblations(&buf, rows)
+	t.Logf("\n%s", buf.String())
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/record"
+	"repro/internal/workload"
+)
+
+// Fig3Row is one product row of Figure 3.
+type Fig3Row struct {
+	Product           string  `json:"product"`
+	Resourcing        string  `json:"resourcing"`
+	BaselineErr       float64 `json:"baseline_err"`
+	OvertonErr        float64 `json:"overton_err"`
+	ErrorReductionPct float64 `json:"error_reduction_pct"` // (1 - overton/baseline) * 100
+	Factor            float64 `json:"factor"`              // baseline/overton
+	WeakPct           float64 `json:"weak_pct"`
+}
+
+// baselineOutputs runs the heuristic production pipeline over records
+// carrying gold payloads and shapes its predictions as model outputs so
+// both systems share one scorer.
+func baselineOutputs(recs []*record.Record) ([]model.Output, error) {
+	examples, err := baseline.ExamplesFromRecords(recs)
+	if err != nil {
+		return nil, err
+	}
+	p := baseline.New()
+	outs := make([]model.Output, len(examples))
+	for i, ex := range examples {
+		pred := p.Predict(ex)
+		outs[i] = model.Output{
+			workload.TaskIntent:     {Class: pred.Intent},
+			workload.TaskPOS:        {TokenClasses: pred.POS},
+			workload.TaskEntityType: {TokenBits: pred.Types},
+			workload.TaskIntentArg:  {Select: pred.Arg},
+		}
+	}
+	return outs, nil
+}
+
+// Figure3 reproduces the error-reduction table. The four presets mirror the
+// paper's products: the high-resource team's previous system includes
+// per-task supervised components (oracle blend), so its baseline is much
+// stronger; low-resource teams ran bare heuristics.
+func Figure3(opts Options) ([]Fig3Row, error) {
+	sch := workload.FactoidSchema()
+	res := factoidResources()
+	var rows []Fig3Row
+	for _, preset := range workload.ResourcePresets() {
+		p := preset
+		p.TrainN = int(float64(p.TrainN) * opts.Fig3Scale)
+		if p.TrainN < 150 {
+			p.TrainN = 150
+		}
+		ds := workload.BuildPreset(p)
+		test := ds.WithTag(record.TagTest)
+		logf(opts.Log, "fig3: %s (%s): %d records, %d test", p.Name, p.Resourcing, len(ds.Records), len(test))
+
+		// Previous production system.
+		bOuts, err := baselineOutputs(test)
+		if err != nil {
+			return nil, err
+		}
+		// The high-resource product's legacy stack included supervised
+		// single-task models; medium products had partial coverage.
+		switch p.Resourcing {
+		case "High":
+			bOuts = oracleBlend(bOuts, test, 0.55, p.Seed+5)
+		case "Medium":
+			bOuts = oracleBlend(bOuts, test, 0.15, p.Seed+5)
+		}
+		bMetrics := model.ScoreOutputs(sch, test, bOuts)
+		baselineErr := metrics.MeanError(bMetrics)
+
+		// Overton.
+		nTrain := len(ds.WithTag(record.TagTrain))
+		m, err := buildModel(defaultChoice(epochsFor(nTrain, opts.Epochs)), nil, res, p.Seed+9)
+		if err != nil {
+			return nil, err
+		}
+		if err := trainModel(m, ds, p.Seed+11, nil); err != nil {
+			return nil, err
+		}
+		oMetrics, err := testMetrics(m, ds)
+		if err != nil {
+			return nil, err
+		}
+		overtonErr := metrics.MeanError(oMetrics)
+
+		row := Fig3Row{
+			Product:     p.Name,
+			Resourcing:  p.Resourcing,
+			BaselineErr: baselineErr,
+			OvertonErr:  overtonErr,
+			WeakPct:     100 * workload.WeakFraction(ds),
+		}
+		if baselineErr > 0 && overtonErr > 0 {
+			row.ErrorReductionPct = 100 * (1 - overtonErr/baselineErr)
+			row.Factor = baselineErr / overtonErr
+		}
+		logf(opts.Log, "fig3: %s baselineErr=%.4f overtonErr=%.4f factor=%.2fx weak=%.0f%%",
+			p.Name, baselineErr, overtonErr, row.Factor, row.WeakPct)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure3 prints the table in the paper's format.
+func RenderFigure3(w io.Writer, rows []Fig3Row) {
+	fmt.Fprintln(w, "Figure 3: error reduction vs previous system, and weak supervision share")
+	fmt.Fprintf(w, "%-10s  %-10s  %-22s  %s\n", "Product", "Resourcing", "Error Reduction", "Weak Supervision")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s  %-10s  %4.0f%% (%.1fx) fewer errs  %3.0f%%\n",
+			r.Product, r.Resourcing, r.ErrorReductionPct, r.Factor, r.WeakPct)
+	}
+}

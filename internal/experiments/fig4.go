@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/compile"
+	"repro/internal/embeddings"
+	"repro/internal/labelmodel"
+	"repro/internal/record"
+	"repro/internal/train"
+	"repro/internal/workload"
+)
+
+// Fig4Tasks are the three representative tasks by payload granularity, as
+// the paper obfuscates them: singleton, sequence, set.
+var Fig4Tasks = map[string]string{
+	"singleton": workload.TaskIntent,
+	"sequence":  workload.TaskEntityType,
+	"set":       workload.TaskIntentArg,
+}
+
+// ScalingPoint is one x-position of Figure 4a/4b.
+type ScalingPoint struct {
+	Scale int `json:"scale"`
+	// Absolute holds the primary metric per granularity name.
+	Absolute map[string]float64 `json:"absolute"`
+	// Relative is Absolute divided by the 1x value (the paper's y-axis).
+	Relative map[string]float64 `json:"relative"`
+}
+
+// scalingDataset builds one dataset big enough for the largest scale and
+// the shared, nested supervision-downsampling plan. Returns the dataset,
+// the combined targets, and the ordered train-record indices.
+func scalingDataset(opts Options) (*record.Dataset, map[string]*labelmodel.TaskTargets, []int, error) {
+	maxScale := 1
+	for _, s := range opts.Fig4Scales {
+		if s > maxScale {
+			maxScale = s
+		}
+	}
+	total := int(float64(opts.Fig4Base*maxScale) / 0.7) // train fraction 0.7
+	ds := workload.StandardDataset(total, opts.Seed+40, 0.2)
+	targets, err := train.CombineSupervision(ds, train.Config{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var trainIdx []int
+	for i, r := range ds.Records {
+		if r.HasTag(record.TagTrain) {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+	return ds, targets, trainIdx, nil
+}
+
+// downsampleTargets returns a copy of targets with supervision weights
+// zeroed outside the first keep train records (nested subsets: 1x ⊂ 2x ⊂ …).
+func downsampleTargets(targets map[string]*labelmodel.TaskTargets, trainIdx []int, keep int) map[string]*labelmodel.TaskTargets {
+	drop := map[int]bool{}
+	for i, idx := range trainIdx {
+		if i >= keep {
+			drop[idx] = true
+		}
+	}
+	out := make(map[string]*labelmodel.TaskTargets, len(targets))
+	for task, tt := range targets {
+		c := &labelmodel.TaskTargets{
+			Task:           tt.Task,
+			Gran:           tt.Gran,
+			Dist:           tt.Dist,
+			Weight:         make([][]float64, len(tt.Weight)),
+			SourceAccuracy: tt.SourceAccuracy,
+			SourceCoverage: tt.SourceCoverage,
+			ClassBalance:   tt.ClassBalance,
+		}
+		for i, ws := range tt.Weight {
+			if drop[i] {
+				c.Weight[i] = make([]float64, len(ws))
+			} else {
+				c.Weight[i] = ws
+			}
+		}
+		out[task] = c
+	}
+	return out
+}
+
+// Figure4a reproduces relative quality vs weak-supervision scale.
+func Figure4a(opts Options) ([]ScalingPoint, error) {
+	ds, targets, trainIdx, err := scalingDataset(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := factoidResources()
+	var points []ScalingPoint
+	var base map[string]float64
+	for _, scale := range opts.Fig4Scales {
+		keep := opts.Fig4Base * scale
+		sub := downsampleTargets(targets, trainIdx, keep)
+		m, err := buildModel(defaultChoice(epochsFor(keep, opts.Epochs)), nil, res, opts.Seed+50+int64(scale))
+		if err != nil {
+			return nil, err
+		}
+		if err := trainModelWithTargets(m, ds, sub, opts.Seed+60+int64(scale)); err != nil {
+			return nil, err
+		}
+		ms, err := testMetrics(m, ds)
+		if err != nil {
+			return nil, err
+		}
+		pt := ScalingPoint{Scale: scale, Absolute: map[string]float64{}, Relative: map[string]float64{}}
+		for gran, task := range Fig4Tasks {
+			pt.Absolute[gran] = ms[task].Primary
+		}
+		if base == nil {
+			base = pt.Absolute
+		}
+		for gran := range Fig4Tasks {
+			if base[gran] > 0 {
+				pt.Relative[gran] = pt.Absolute[gran] / base[gran]
+			}
+		}
+		logf(opts.Log, "fig4a: scale %2dx  singleton=%.3f sequence=%.3f set=%.3f",
+			scale, pt.Absolute["singleton"], pt.Absolute["sequence"], pt.Absolute["set"])
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// Fig4bPoint is one x-position of Figure 4b: the with-BERT / without-BERT
+// quality ratio per granularity.
+type Fig4bPoint struct {
+	Scale   int                `json:"scale"`
+	Without map[string]float64 `json:"without"`
+	With    map[string]float64 `json:"with"`
+	Ratio   map[string]float64 `json:"ratio"` // with / without
+}
+
+// Figure4b reproduces the pretraining study: for each scale, train the
+// production model with standard (hash) embeddings and with the frozen
+// BERT-sim contextual encoder dropped in as an extra payload, then compare.
+func Figure4b(opts Options) ([]Fig4bPoint, error) {
+	ds, targets, trainIdx, err := scalingDataset(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := factoidResources()
+
+	// Pretrain BERT-sim once on a large unlabeled corpus (raw text is
+	// cheap; that is the premise of pretraining).
+	corpus := workload.Corpus(4000, opts.Seed+70)
+	vocab := embeddings.NewVocab(res.TokenVocab)
+	enc := embeddings.PretrainBERTSim(corpus, vocab, embeddings.BERTSimConfig{
+		Dim: 24, Hidden: 48, Epochs: 4, Seed: opts.Seed + 71,
+	})
+	resBert := &compile.Resources{
+		TokenVocab:  res.TokenVocab,
+		EntityVocab: res.EntityVocab,
+		Contextual:  enc,
+	}
+
+	var points []Fig4bPoint
+	for _, scale := range opts.Fig4Scales {
+		keep := opts.Fig4Base * scale
+		sub := downsampleTargets(targets, trainIdx, keep)
+
+		runOne := func(useBert bool) (map[string]float64, error) {
+			c := defaultChoice(epochsFor(keep, opts.Epochs))
+			r := res
+			if useBert {
+				c.Embedding = "bertsim-24"
+				r = resBert
+			}
+			m, err := buildModel(c, nil, r, opts.Seed+80+int64(scale))
+			if err != nil {
+				return nil, err
+			}
+			if err := trainModelWithTargets(m, ds, sub, opts.Seed+90+int64(scale)); err != nil {
+				return nil, err
+			}
+			ms, err := testMetrics(m, ds)
+			if err != nil {
+				return nil, err
+			}
+			out := map[string]float64{}
+			for gran, task := range Fig4Tasks {
+				out[gran] = ms[task].Primary
+			}
+			return out, nil
+		}
+		without, err := runOne(false)
+		if err != nil {
+			return nil, err
+		}
+		with, err := runOne(true)
+		if err != nil {
+			return nil, err
+		}
+		pt := Fig4bPoint{Scale: scale, Without: without, With: with, Ratio: map[string]float64{}}
+		for gran := range Fig4Tasks {
+			if without[gran] > 0 {
+				pt.Ratio[gran] = with[gran] / without[gran]
+			}
+		}
+		logf(opts.Log, "fig4b: scale %2dx  ratio singleton=%.3f sequence=%.3f set=%.3f",
+			scale, pt.Ratio["singleton"], pt.Ratio["sequence"], pt.Ratio["set"])
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// RenderFigure4a prints the scaling series.
+func RenderFigure4a(w io.Writer, points []ScalingPoint) {
+	fmt.Fprintln(w, "Figure 4a: relative test quality vs weak-supervision scale (1x baseline)")
+	fmt.Fprintf(w, "%-6s  %-22s  %-22s  %-22s\n", "Scale", "singleton (Intent acc)", "sequence (Type F1)", "set (Arg acc)")
+	for _, p := range points {
+		fmt.Fprintf(w, "%4dx   %6.3f (rel %6.3f)     %6.3f (rel %6.3f)     %6.3f (rel %6.3f)\n",
+			p.Scale,
+			p.Absolute["singleton"], p.Relative["singleton"],
+			p.Absolute["sequence"], p.Relative["sequence"],
+			p.Absolute["set"], p.Relative["set"])
+	}
+}
+
+// RenderFigure4b prints the pretraining comparison.
+func RenderFigure4b(w io.Writer, points []Fig4bPoint) {
+	fmt.Fprintln(w, "Figure 4b: with-BERT / without-BERT relative quality per scale")
+	fmt.Fprintf(w, "%-6s  %-10s  %-10s  %-10s\n", "Scale", "singleton", "sequence", "set")
+	for _, p := range points {
+		fmt.Fprintf(w, "%4dx   %8.3f    %8.3f    %8.3f\n",
+			p.Scale, p.Ratio["singleton"], p.Ratio["sequence"], p.Ratio["set"])
+	}
+}

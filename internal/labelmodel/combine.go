@@ -1,0 +1,380 @@
+package labelmodel
+
+import (
+	"fmt"
+
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+// Estimator selects the combination algorithm.
+type Estimator string
+
+// Estimators.
+const (
+	EstMajority   Estimator = "majority"
+	EstAccuracy   Estimator = "accuracy"
+	EstDawidSkene Estimator = "dawid-skene"
+)
+
+// CombineConfig controls supervision combination for one task.
+type CombineConfig struct {
+	Estimator Estimator // default EstAccuracy
+	EM        Config
+	// Rebalance applies automatic class rebalancing weights (multiclass
+	// tasks only).
+	Rebalance bool
+}
+
+func (c CombineConfig) withDefaults() CombineConfig {
+	if c.Estimator == "" {
+		c.Estimator = EstAccuracy
+	}
+	return c
+}
+
+// TaskTargets is the label model's output for one task over a record list:
+// probabilistic targets plus per-unit weights that the noise-aware trainer
+// consumes directly. Records and units align with the input record order:
+// per-example and select tasks have one unit per record; per-token tasks
+// have one unit per token.
+type TaskTargets struct {
+	Task string
+	Gran schema.Granularity
+	// Dist[i][u] is the target distribution for unit u of record i: over
+	// task classes for multiclass, per-bit on-probabilities for bitvector,
+	// over candidates for select. nil when the record has no units.
+	Dist [][][]float64
+	// Weight[i][u] is the training weight of the unit; 0 means no
+	// supervision (the unit is skipped by the loss).
+	Weight [][]float64
+
+	SourceAccuracy map[string]float64
+	SourceCoverage map[string]float64
+	ClassBalance   []float64
+	Iterations     int
+	Converged      bool
+}
+
+// SupervisedUnits counts units with positive weight.
+func (t *TaskTargets) SupervisedUnits() int {
+	var n int
+	for _, ws := range t.Weight {
+		for _, w := range ws {
+			if w > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Combine runs the label model for task taskName over recs. Gold labels are
+// always excluded; they exist only for evaluation.
+func Combine(recs []*record.Record, sch *schema.Schema, taskName string, cfg CombineConfig) (*TaskTargets, error) {
+	cfg = cfg.withDefaults()
+	t, ok := sch.Tasks[taskName]
+	if !ok {
+		return nil, fmt.Errorf("labelmodel: task %q not in schema", taskName)
+	}
+	sources := taskSources(recs, taskName)
+	gran := sch.Granularity(t)
+	switch t.Type {
+	case schema.Multiclass:
+		return combineMulticlass(recs, sch, t, gran, sources, cfg)
+	case schema.Bitvector:
+		return combineBitvector(recs, sch, t, gran, sources, cfg)
+	case schema.Select:
+		return combineSelect(recs, t, sources, cfg)
+	}
+	return nil, fmt.Errorf("labelmodel: unsupported task type %q", t.Type)
+}
+
+// taskSources lists the non-gold sources that label taskName anywhere in
+// recs, sorted for determinism.
+func taskSources(recs []*record.Record, taskName string) []string {
+	seen := map[string]bool{}
+	for _, r := range recs {
+		for src := range r.Tasks[taskName] {
+			if src != record.GoldSource {
+				seen[src] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// unitRef locates one prediction unit back in the record list.
+type unitRef struct {
+	rec  int
+	unit int
+}
+
+func combineMulticlass(recs []*record.Record, sch *schema.Schema, t *schema.Task, gran schema.Granularity, sources []string, cfg CombineConfig) (*TaskTargets, error) {
+	K := len(t.Classes)
+	var refs []unitRef
+	unitsPerRec := make([]int, len(recs))
+	for i, r := range recs {
+		n := 1
+		if gran == schema.PerToken {
+			pv := r.Payloads[t.Payload]
+			n = len(pv.Tokens)
+		}
+		unitsPerRec[i] = n
+		for u := 0; u < n; u++ {
+			refs = append(refs, unitRef{rec: i, unit: u})
+		}
+	}
+	vm := NewVoteMatrix(K, sources, len(refs))
+	for idx, ref := range refs {
+		r := recs[ref.rec]
+		for s, src := range sources {
+			l, ok := r.Label(t.Name, src)
+			if !ok {
+				continue
+			}
+			switch gran {
+			case schema.PerExample:
+				if ci := t.ClassIndex(l.Class); ci >= 0 {
+					vm.Votes[idx][s] = ci
+				}
+			case schema.PerToken:
+				if ref.unit < len(l.Seq) {
+					if c := l.Seq[ref.unit]; c != "" {
+						if ci := t.ClassIndex(c); ci >= 0 {
+							vm.Votes[idx][s] = ci
+						}
+					}
+				}
+			}
+		}
+	}
+	res := runEstimator(vm, cfg)
+	weights := flatWeights(vm)
+	if cfg.Rebalance {
+		applyRebalance(weights, res.Posteriors, res.ClassBalance)
+	}
+	out := newTargets(t.Name, gran, unitsPerRec, K)
+	for idx, ref := range refs {
+		out.Dist[ref.rec][ref.unit] = res.Posteriors[idx]
+		out.Weight[ref.rec][ref.unit] = weights[idx]
+	}
+	out.SourceAccuracy = res.SourceAccuracy
+	out.SourceCoverage = vm.Coverage()
+	out.ClassBalance = res.ClassBalance
+	out.Iterations = res.Iterations
+	out.Converged = res.Converged
+	return out, nil
+}
+
+func combineBitvector(recs []*record.Record, sch *schema.Schema, t *schema.Task, gran schema.Granularity, sources []string, cfg CombineConfig) (*TaskTargets, error) {
+	C := len(t.Classes)
+	var refs []unitRef
+	unitsPerRec := make([]int, len(recs))
+	for i, r := range recs {
+		n := 1
+		if gran == schema.PerToken {
+			n = len(r.Payloads[t.Payload].Tokens)
+		}
+		unitsPerRec[i] = n
+		for u := 0; u < n; u++ {
+			refs = append(refs, unitRef{rec: i, unit: u})
+		}
+	}
+	// One binary vote matrix per bit; a source abstains on a unit when it
+	// did not label that unit at all (absent row), and votes 0/1 otherwise.
+	out := newTargets(t.Name, gran, unitsPerRec, C)
+	accSum := make(map[string]float64, len(sources))
+	covSum := make(map[string]float64, len(sources))
+	balance := make([]float64, C)
+	anyVote := make([]bool, len(refs))
+	var iters int
+	converged := true
+	for b := 0; b < C; b++ {
+		vm := NewVoteMatrix(2, sources, len(refs))
+		for idx, ref := range refs {
+			r := recs[ref.rec]
+			for s, src := range sources {
+				l, ok := r.Label(t.Name, src)
+				if !ok || l.Kind != record.KindBits || ref.unit >= len(l.Bits) {
+					continue
+				}
+				anyVote[idx] = true
+				vote := 0
+				for _, bit := range l.Bits[ref.unit] {
+					if bit == t.Classes[b] {
+						vote = 1
+						break
+					}
+				}
+				vm.Votes[idx][s] = vote
+			}
+		}
+		res := runEstimator(vm, cfg)
+		for idx, ref := range refs {
+			if out.Dist[ref.rec][ref.unit] == nil {
+				out.Dist[ref.rec][ref.unit] = make([]float64, C)
+			}
+			out.Dist[ref.rec][ref.unit][b] = res.Posteriors[idx][1]
+		}
+		for src, a := range res.SourceAccuracy {
+			accSum[src] += a
+		}
+		for src, c := range vm.Coverage() {
+			covSum[src] += c
+		}
+		balance[b] = res.ClassBalance[1]
+		iters += res.Iterations
+		converged = converged && res.Converged
+	}
+	for idx, ref := range refs {
+		if anyVote[idx] {
+			out.Weight[ref.rec][ref.unit] = 1
+		} else {
+			out.Weight[ref.rec][ref.unit] = 0
+			out.Dist[ref.rec][ref.unit] = nil
+		}
+	}
+	out.SourceAccuracy = make(map[string]float64, len(sources))
+	out.SourceCoverage = make(map[string]float64, len(sources))
+	for _, s := range sources {
+		out.SourceAccuracy[s] = accSum[s] / float64(C)
+		out.SourceCoverage[s] = covSum[s] / float64(C)
+	}
+	out.ClassBalance = balance
+	out.Iterations = iters
+	out.Converged = converged
+	return out, nil
+}
+
+func combineSelect(recs []*record.Record, t *schema.Task, sources []string, cfg CombineConfig) (*TaskTargets, error) {
+	sv := &SelectVotes{
+		Sources: sources,
+		Counts:  make([]int, len(recs)),
+		Votes:   make([][]int, len(recs)),
+	}
+	for i, r := range recs {
+		pv := r.Payloads[t.Payload]
+		sv.Counts[i] = len(pv.Set)
+		row := make([]int, len(sources))
+		for s := range row {
+			row[s] = Abstain
+		}
+		for s, src := range sources {
+			if l, ok := r.Label(t.Name, src); ok && l.Kind == record.KindSelect {
+				if l.Select >= 0 && l.Select < sv.Counts[i] {
+					row[s] = l.Select
+				}
+			}
+		}
+		sv.Votes[i] = row
+	}
+	res := SelectModel(sv, cfg.EM)
+	unitsPerRec := make([]int, len(recs))
+	for i := range unitsPerRec {
+		unitsPerRec[i] = 1
+	}
+	out := newTargets(t.Name, schema.PerSet, unitsPerRec, 0)
+	cov := make(map[string]float64, len(sources))
+	for i := range recs {
+		hasVote := false
+		for _, v := range sv.Votes[i] {
+			if v != Abstain {
+				hasVote = true
+				break
+			}
+		}
+		if hasVote && res.Posteriors[i] != nil {
+			out.Dist[i][0] = res.Posteriors[i]
+			out.Weight[i][0] = 1
+		}
+	}
+	if n := float64(len(recs)); n > 0 {
+		for s, src := range sources {
+			var c float64
+			for i := range recs {
+				if sv.Votes[i][s] != Abstain {
+					c++
+				}
+			}
+			cov[src] = c / n
+		}
+	}
+	out.SourceAccuracy = res.SourceAccuracy
+	out.SourceCoverage = cov
+	out.Iterations = res.Iterations
+	out.Converged = res.Converged
+	return out, nil
+}
+
+func runEstimator(vm *VoteMatrix, cfg CombineConfig) *Result {
+	switch cfg.Estimator {
+	case EstMajority:
+		return MajorityVote(vm)
+	case EstDawidSkene:
+		return DawidSkene(vm, cfg.EM)
+	default:
+		return AccuracyModel(vm, cfg.EM)
+	}
+}
+
+// flatWeights returns 1 for items with at least one vote, else 0.
+func flatWeights(vm *VoteMatrix) []float64 {
+	w := make([]float64, len(vm.Votes))
+	for i, row := range vm.Votes {
+		for _, v := range row {
+			if v != Abstain {
+				w[i] = 1
+				break
+			}
+		}
+	}
+	return w
+}
+
+// applyRebalance multiplies supervised-item weights by rebalancing factors.
+func applyRebalance(weights []float64, posteriors [][]float64, balance []float64) {
+	var idxs []int
+	var supPost [][]float64
+	for i, w := range weights {
+		if w > 0 {
+			idxs = append(idxs, i)
+			supPost = append(supPost, posteriors[i])
+		}
+	}
+	if len(idxs) == 0 {
+		return
+	}
+	rw := RebalanceWeights(supPost, balance)
+	for j, i := range idxs {
+		weights[i] *= rw[j]
+	}
+}
+
+func newTargets(task string, gran schema.Granularity, unitsPerRec []int, k int) *TaskTargets {
+	t := &TaskTargets{
+		Task:   task,
+		Gran:   gran,
+		Dist:   make([][][]float64, len(unitsPerRec)),
+		Weight: make([][]float64, len(unitsPerRec)),
+	}
+	for i, n := range unitsPerRec {
+		t.Dist[i] = make([][]float64, n)
+		t.Weight[i] = make([]float64, n)
+	}
+	_ = k
+	return t
+}

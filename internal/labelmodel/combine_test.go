@@ -1,0 +1,314 @@
+package labelmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+const combineSchemaJSON = `{
+  "payloads": {
+    "tokens":   {"type": "sequence", "max_length": 8},
+    "query":    {"type": "singleton", "base": ["tokens"]},
+    "entities": {"type": "set", "range": "tokens"}
+  },
+  "tasks": {
+    "POS":        {"payload": "tokens", "type": "multiclass", "classes": ["NOUN", "VERB", "DET"]},
+    "EntityType": {"payload": "tokens", "type": "bitvector", "classes": ["person", "location"]},
+    "Intent":     {"payload": "query", "type": "multiclass", "classes": ["A", "B"]},
+    "IntentArg":  {"payload": "entities", "type": "select"}
+  }
+}`
+
+func combineSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	s, err := schema.Parse([]byte(combineSchemaJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mkQueryRecord(id string, tokens []string) *record.Record {
+	return &record.Record{
+		ID: id,
+		Payloads: map[string]record.PayloadValue{
+			"tokens": {Tokens: tokens},
+			"query":  {String: ""},
+		},
+	}
+}
+
+func TestCombineMulticlassPerExample(t *testing.T) {
+	sch := combineSchema(t)
+	var recs []*record.Record
+	// 20 records: three sources agree on A for even, B for odd; one noisy
+	// source always says A.
+	for i := 0; i < 20; i++ {
+		r := mkQueryRecord("r", []string{"x"})
+		want := "A"
+		if i%2 == 1 {
+			want = "B"
+		}
+		r.SetLabel("Intent", "s1", record.Label{Kind: record.KindClass, Class: want})
+		r.SetLabel("Intent", "s2", record.Label{Kind: record.KindClass, Class: want})
+		r.SetLabel("Intent", "noisy", record.Label{Kind: record.KindClass, Class: "A"})
+		// Gold must be ignored by combination: poison it.
+		r.SetLabel("Intent", record.GoldSource, record.Label{Kind: record.KindClass, Class: "B"})
+		recs = append(recs, r)
+	}
+	tt, err := Combine(recs, sch, "Intent", CombineConfig{Estimator: EstAccuracy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Gran != schema.PerExample {
+		t.Fatalf("granularity wrong: %s", tt.Gran)
+	}
+	if tt.SupervisedUnits() != 20 {
+		t.Fatalf("supervised units %d", tt.SupervisedUnits())
+	}
+	// Even records -> A (index 0) strongly.
+	if tt.Dist[0][0][0] < 0.8 {
+		t.Fatalf("record 0 P(A) = %.3f", tt.Dist[0][0][0])
+	}
+	if tt.Dist[1][0][1] < 0.6 {
+		t.Fatalf("record 1 P(B) = %.3f (noisy source should be down-weighted)", tt.Dist[1][0][1])
+	}
+	// The noisy source's estimated accuracy must be lower than s1's.
+	if tt.SourceAccuracy["noisy"] >= tt.SourceAccuracy["s1"] {
+		t.Fatalf("noisy %.3f >= s1 %.3f", tt.SourceAccuracy["noisy"], tt.SourceAccuracy["s1"])
+	}
+	if tt.SourceCoverage["s1"] != 1 {
+		t.Fatalf("coverage wrong: %v", tt.SourceCoverage)
+	}
+	// Sources list excludes gold (gold is A-poisoned; if it leaked, even
+	// records would not be confidently A).
+	for src := range tt.SourceAccuracy {
+		if src == record.GoldSource {
+			t.Fatalf("gold leaked into combination")
+		}
+	}
+}
+
+func TestCombineMulticlassPerToken(t *testing.T) {
+	sch := combineSchema(t)
+	var recs []*record.Record
+	for i := 0; i < 10; i++ {
+		r := mkQueryRecord("r", []string{"the", "cat", "runs"})
+		r.SetLabel("POS", "tagger1", record.Label{Kind: record.KindSeq, Seq: []string{"DET", "NOUN", "VERB"}})
+		r.SetLabel("POS", "tagger2", record.Label{Kind: record.KindSeq, Seq: []string{"DET", "NOUN", ""}}) // abstains on token 2
+		recs = append(recs, r)
+	}
+	tt, err := Combine(recs, sch, "POS", CombineConfig{Estimator: EstAccuracy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Gran != schema.PerToken {
+		t.Fatalf("granularity wrong")
+	}
+	if len(tt.Dist[0]) != 3 {
+		t.Fatalf("units per record wrong: %d", len(tt.Dist[0]))
+	}
+	if tt.SupervisedUnits() != 30 {
+		t.Fatalf("supervised units %d want 30", tt.SupervisedUnits())
+	}
+	// Token 0 should be DET (index 2).
+	if tt.Dist[0][0][2] < 0.8 {
+		t.Fatalf("token 0 P(DET) = %.3f", tt.Dist[0][0][2])
+	}
+	// Token 2 labeled only by tagger1 -> still supervised, VERB wins.
+	if tt.Dist[0][2][1] < 0.6 {
+		t.Fatalf("token 2 P(VERB) = %.3f", tt.Dist[0][2][1])
+	}
+}
+
+func TestCombineBitvector(t *testing.T) {
+	sch := combineSchema(t)
+	var recs []*record.Record
+	for i := 0; i < 15; i++ {
+		r := mkQueryRecord("r", []string{"obama", "paris"})
+		r.SetLabel("EntityType", "gaz1", record.Label{Kind: record.KindBits, Bits: [][]string{{"person"}, {"location"}}})
+		r.SetLabel("EntityType", "gaz2", record.Label{Kind: record.KindBits, Bits: [][]string{{"person"}, {"person", "location"}}})
+		recs = append(recs, r)
+	}
+	// Majority vote keeps contested bits uncertain (EM with learned priors
+	// would snowball on these perfectly duplicated items).
+	tt, err := Combine(recs, sch, "EntityType", CombineConfig{Estimator: EstMajority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Token 0: both say person -> P(person) high, P(location) low.
+	if tt.Dist[0][0][0] < 0.8 || tt.Dist[0][0][1] > 0.2 {
+		t.Fatalf("token 0 bits wrong: %v", tt.Dist[0][0])
+	}
+	// Token 1: location agreed; person contested (one says yes one no).
+	if tt.Dist[0][1][1] < 0.8 {
+		t.Fatalf("token 1 P(location) = %.3f", tt.Dist[0][1][1])
+	}
+	p := tt.Dist[0][1][0]
+	if p < 0.2 || p > 0.8 {
+		t.Fatalf("token 1 contested P(person) = %.3f, want uncertain", p)
+	}
+	if tt.SupervisedUnits() != 30 {
+		t.Fatalf("supervised units %d", tt.SupervisedUnits())
+	}
+}
+
+func TestCombineBitvectorUnlabeledUnitsGetZeroWeight(t *testing.T) {
+	sch := combineSchema(t)
+	r1 := mkQueryRecord("a", []string{"x", "y"})
+	r1.SetLabel("EntityType", "gaz1", record.Label{Kind: record.KindBits, Bits: [][]string{{"person"}, {}}})
+	r2 := mkQueryRecord("b", []string{"z"})
+	// r2 has no EntityType supervision at all.
+	tt, err := Combine([]*record.Record{r1, r2}, sch, "EntityType", CombineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Weight[1][0] != 0 {
+		t.Fatalf("unlabeled record got weight %v", tt.Weight[1][0])
+	}
+	if tt.Weight[0][0] != 1 || tt.Weight[0][1] != 1 {
+		t.Fatalf("labeled units weights wrong: %v", tt.Weight[0])
+	}
+}
+
+func TestCombineSelect(t *testing.T) {
+	sch := combineSchema(t)
+	var recs []*record.Record
+	for i := 0; i < 12; i++ {
+		r := mkQueryRecord("r", []string{"a", "b", "c"})
+		r.Payloads["entities"] = record.PayloadValue{Set: []record.SetMember{
+			{ID: "e0", Start: 0, End: 1},
+			{ID: "e1", Start: 1, End: 2},
+			{ID: "e2", Start: 2, End: 3},
+		}}
+		r.SetLabel("IntentArg", "s1", record.Label{Kind: record.KindSelect, Select: 1})
+		r.SetLabel("IntentArg", "s2", record.Label{Kind: record.KindSelect, Select: 1})
+		r.SetLabel("IntentArg", "prior", record.Label{Kind: record.KindSelect, Select: 0})
+		recs = append(recs, r)
+	}
+	tt, err := Combine(recs, sch, "IntentArg", CombineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Gran != schema.PerSet {
+		t.Fatalf("granularity wrong")
+	}
+	if len(tt.Dist[0][0]) != 3 {
+		t.Fatalf("candidate distribution wrong length: %d", len(tt.Dist[0][0]))
+	}
+	if tt.Dist[0][0][1] < 0.6 {
+		t.Fatalf("P(candidate 1) = %.3f", tt.Dist[0][0][1])
+	}
+	if tt.SupervisedUnits() != 12 {
+		t.Fatalf("supervised units %d", tt.SupervisedUnits())
+	}
+}
+
+func TestCombineRebalance(t *testing.T) {
+	sch := combineSchema(t)
+	var recs []*record.Record
+	// 90% class A, 10% class B.
+	for i := 0; i < 30; i++ {
+		r := mkQueryRecord("r", []string{"x"})
+		c := "A"
+		if i%10 == 0 {
+			c = "B"
+		}
+		r.SetLabel("Intent", "s1", record.Label{Kind: record.KindClass, Class: c})
+		r.SetLabel("Intent", "s2", record.Label{Kind: record.KindClass, Class: c})
+		recs = append(recs, r)
+	}
+	balanced, err := Combine(recs, sch, "Intent", CombineConfig{Rebalance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Combine(recs, sch, "Intent", CombineConfig{Rebalance: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minority-class records should be upweighted relative to majority.
+	if !(balanced.Weight[0][0] < balanced.Weight[10][0] || balanced.Weight[0][0] < balanced.Weight[20][0]) {
+		// records 0,10,20 are class B
+	}
+	bw := balanced.Weight[10][0] // class B record
+	aw := balanced.Weight[1][0]  // class A record
+	if bw <= aw {
+		t.Fatalf("rebalance: minority weight %.3f <= majority %.3f", bw, aw)
+	}
+	if plain.Weight[10][0] != plain.Weight[1][0] {
+		t.Fatalf("plain weights should be equal")
+	}
+}
+
+func TestCombineUnknownTask(t *testing.T) {
+	sch := combineSchema(t)
+	if _, err := Combine(nil, sch, "Nope", CombineConfig{}); err == nil {
+		t.Fatalf("unknown task accepted")
+	}
+}
+
+func TestCombineNoSupervision(t *testing.T) {
+	sch := combineSchema(t)
+	recs := []*record.Record{mkQueryRecord("a", []string{"x"})}
+	tt, err := Combine(recs, sch, "Intent", CombineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.SupervisedUnits() != 0 {
+		t.Fatalf("phantom supervision")
+	}
+	if tt.Weight[0][0] != 0 {
+		t.Fatalf("unsupervised weight %v", tt.Weight[0][0])
+	}
+}
+
+func TestCombineMajorityAndDawidSkeneEstimators(t *testing.T) {
+	sch := combineSchema(t)
+	var recs []*record.Record
+	for i := 0; i < 10; i++ {
+		r := mkQueryRecord("r", []string{"x"})
+		r.SetLabel("Intent", "s1", record.Label{Kind: record.KindClass, Class: "A"})
+		r.SetLabel("Intent", "s2", record.Label{Kind: record.KindClass, Class: "A"})
+		recs = append(recs, r)
+	}
+	for _, est := range []Estimator{EstMajority, EstDawidSkene, EstAccuracy} {
+		tt, err := Combine(recs, sch, "Intent", CombineConfig{Estimator: est})
+		if err != nil {
+			t.Fatalf("%s: %v", est, err)
+		}
+		if tt.Dist[0][0][0] < 0.8 {
+			t.Fatalf("%s: P(A) = %.3f", est, tt.Dist[0][0][0])
+		}
+	}
+}
+
+func TestCombinedDistributionsSumToOne(t *testing.T) {
+	sch := combineSchema(t)
+	var recs []*record.Record
+	for i := 0; i < 8; i++ {
+		r := mkQueryRecord("r", []string{"a", "b"})
+		r.SetLabel("POS", "t1", record.Label{Kind: record.KindSeq, Seq: []string{"DET", "NOUN"}})
+		recs = append(recs, r)
+	}
+	tt, err := Combine(recs, sch, "POS", CombineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tt.Dist {
+		for u := range tt.Dist[i] {
+			if tt.Weight[i][u] == 0 {
+				continue
+			}
+			var sum float64
+			for _, p := range tt.Dist[i][u] {
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Fatalf("distribution sums to %.6f", sum)
+			}
+		}
+	}
+}

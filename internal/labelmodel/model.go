@@ -1,0 +1,572 @@
+// Package labelmodel combines weak supervision from many conflicting,
+// incomplete sources into probabilistic training labels, following the data
+// programming line of work (Snorkel, Ratner et al. 2016; Snorkel DryBell,
+// Bach et al. 2019) that Overton builds on: estimate each source's accuracy
+// without ground truth, then compute a per-item posterior over the true
+// label that downstream noise-aware losses consume.
+//
+// Three estimators are provided:
+//
+//   - MajorityVote: the standard baseline; ties split uniformly.
+//   - AccuracyModel: one accuracy parameter per source with symmetric error,
+//     estimated by EM (the workhorse; robust for small source counts).
+//   - DawidSkene: full per-source confusion matrices estimated by EM
+//     (Dawid & Skene 1979), for sources with class-dependent error.
+//
+// Abstention is first-class: a source that does not label an item simply
+// contributes nothing to that item's posterior.
+package labelmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Abstain marks a source casting no vote on an item.
+const Abstain = -1
+
+// VoteMatrix holds the votes of S sources over N items for a K-class task.
+type VoteMatrix struct {
+	K       int
+	Sources []string
+	Votes   [][]int // [item][source]; Abstain or 0..K-1
+}
+
+// NewVoteMatrix allocates an all-abstain matrix.
+func NewVoteMatrix(k int, sources []string, items int) *VoteMatrix {
+	v := &VoteMatrix{K: k, Sources: sources, Votes: make([][]int, items)}
+	for i := range v.Votes {
+		row := make([]int, len(sources))
+		for j := range row {
+			row[j] = Abstain
+		}
+		v.Votes[i] = row
+	}
+	return v
+}
+
+// Validate checks vote ranges.
+func (v *VoteMatrix) Validate() error {
+	if v.K < 2 {
+		return fmt.Errorf("labelmodel: need K >= 2, got %d", v.K)
+	}
+	for i, row := range v.Votes {
+		if len(row) != len(v.Sources) {
+			return fmt.Errorf("labelmodel: item %d has %d votes, want %d", i, len(row), len(v.Sources))
+		}
+		for s, vote := range row {
+			if vote != Abstain && (vote < 0 || vote >= v.K) {
+				return fmt.Errorf("labelmodel: item %d source %s: vote %d out of range", i, v.Sources[s], vote)
+			}
+		}
+	}
+	return nil
+}
+
+// Coverage returns, per source, the fraction of items it votes on.
+func (v *VoteMatrix) Coverage() map[string]float64 {
+	out := make(map[string]float64, len(v.Sources))
+	if len(v.Votes) == 0 {
+		for _, s := range v.Sources {
+			out[s] = 0
+		}
+		return out
+	}
+	for s, name := range v.Sources {
+		var n int
+		for _, row := range v.Votes {
+			if row[s] != Abstain {
+				n++
+			}
+		}
+		out[name] = float64(n) / float64(len(v.Votes))
+	}
+	return out
+}
+
+// Result is the output of an estimator.
+type Result struct {
+	// Posteriors[i][k] = P(true label of item i is k | votes).
+	Posteriors [][]float64
+	// SourceAccuracy is the estimated per-source accuracy (probability the
+	// source is correct given it votes). For DawidSkene it is the average
+	// diagonal of the confusion matrix weighted by the class balance.
+	SourceAccuracy map[string]float64
+	// Confusion, for DawidSkene, maps source -> K x K confusion matrix
+	// (rows: true class, cols: emitted vote). Nil for other estimators.
+	Confusion map[string][][]float64
+	// ClassBalance is the estimated prior over classes.
+	ClassBalance []float64
+	// Iterations EM ran for, and whether it converged before MaxIter.
+	Iterations int
+	Converged  bool
+}
+
+// Config controls the EM estimators.
+type Config struct {
+	MaxIter   int     // default 100
+	Tol       float64 // parameter-change convergence threshold, default 1e-6
+	Smoothing float64 // pseudo-count, default 1.0
+	// InitAccuracy seeds the accuracy parameters, default 0.7 (sources
+	// assumed better than chance, the standard data-programming assumption).
+	InitAccuracy float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIter <= 0 {
+		c.MaxIter = 100
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	if c.Smoothing <= 0 {
+		c.Smoothing = 1.0
+	}
+	if c.InitAccuracy <= 0 || c.InitAccuracy >= 1 {
+		c.InitAccuracy = 0.7
+	}
+	return c
+}
+
+// MajorityVote returns per-item posteriors by unweighted voting. Items with
+// no votes get a uniform posterior.
+func MajorityVote(v *VoteMatrix) *Result {
+	res := &Result{
+		Posteriors:     make([][]float64, len(v.Votes)),
+		SourceAccuracy: make(map[string]float64, len(v.Sources)),
+		ClassBalance:   make([]float64, v.K),
+	}
+	counts := make([]float64, v.K)
+	for i, row := range v.Votes {
+		for k := range counts {
+			counts[k] = 0
+		}
+		var total float64
+		for _, vote := range row {
+			if vote != Abstain {
+				counts[vote]++
+				total++
+			}
+		}
+		post := make([]float64, v.K)
+		if total == 0 {
+			for k := range post {
+				post[k] = 1 / float64(v.K)
+			}
+		} else {
+			// Probability mass on the argmax set (ties split evenly).
+			maxc := 0.0
+			for _, c := range counts {
+				if c > maxc {
+					maxc = c
+				}
+			}
+			var ties int
+			for _, c := range counts {
+				if c == maxc {
+					ties++
+				}
+			}
+			for k, c := range counts {
+				if c == maxc {
+					post[k] = 1 / float64(ties)
+				}
+			}
+		}
+		res.Posteriors[i] = post
+		for k, p := range post {
+			res.ClassBalance[k] += p
+		}
+	}
+	if n := float64(len(v.Votes)); n > 0 {
+		for k := range res.ClassBalance {
+			res.ClassBalance[k] /= n
+		}
+	}
+	// Report empirical agreement with the majority as a crude accuracy.
+	for s, name := range v.Sources {
+		var agree, votes float64
+		for i, row := range v.Votes {
+			if row[s] == Abstain {
+				continue
+			}
+			votes++
+			agree += res.Posteriors[i][row[s]]
+		}
+		if votes > 0 {
+			res.SourceAccuracy[name] = agree / votes
+		}
+	}
+	return res
+}
+
+// AccuracyModel runs EM with one accuracy parameter per source and symmetric
+// errors: P(vote = y | true = y) = a_s, P(vote = k != y | true = y) =
+// (1 - a_s)/(K - 1).
+func AccuracyModel(v *VoteMatrix, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	N, S, K := len(v.Votes), len(v.Sources), v.K
+	acc := make([]float64, S)
+	for s := range acc {
+		acc[s] = cfg.InitAccuracy
+	}
+	prior := make([]float64, K)
+	for k := range prior {
+		prior[k] = 1 / float64(K)
+	}
+	post := make([][]float64, N)
+	for i := range post {
+		post[i] = make([]float64, K)
+	}
+	res := &Result{SourceAccuracy: make(map[string]float64, S)}
+	logK1 := math.Max(float64(K-1), 1)
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		// E-step: posteriors in log space.
+		for i, row := range v.Votes {
+			lp := post[i]
+			for k := 0; k < K; k++ {
+				lp[k] = math.Log(prior[k] + 1e-12)
+			}
+			for s, vote := range row {
+				if vote == Abstain {
+					continue
+				}
+				la := math.Log(acc[s] + 1e-12)
+				le := math.Log((1-acc[s])/logK1 + 1e-12)
+				for k := 0; k < K; k++ {
+					if k == vote {
+						lp[k] += la
+					} else {
+						lp[k] += le
+					}
+				}
+			}
+			logNormalize(lp)
+		}
+		// M-step.
+		newAcc := make([]float64, S)
+		newPrior := make([]float64, K)
+		for s := 0; s < S; s++ {
+			num := cfg.Smoothing * cfg.InitAccuracy
+			den := cfg.Smoothing
+			for i, row := range v.Votes {
+				if row[s] == Abstain {
+					continue
+				}
+				num += post[i][row[s]]
+				den++
+			}
+			newAcc[s] = clampProb(num / den)
+		}
+		for i := range post {
+			for k, p := range post[i] {
+				newPrior[k] += p
+			}
+		}
+		var z float64
+		for k := range newPrior {
+			newPrior[k] += cfg.Smoothing
+			z += newPrior[k]
+		}
+		for k := range newPrior {
+			newPrior[k] /= z
+		}
+		// Convergence on parameter change.
+		var delta float64
+		for s := range acc {
+			delta = math.Max(delta, math.Abs(acc[s]-newAcc[s]))
+		}
+		for k := range prior {
+			delta = math.Max(delta, math.Abs(prior[k]-newPrior[k]))
+		}
+		acc, prior = newAcc, newPrior
+		res.Iterations = iter + 1
+		if delta < cfg.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	// Final E-step with converged parameters.
+	for i, row := range v.Votes {
+		lp := post[i]
+		for k := 0; k < K; k++ {
+			lp[k] = math.Log(prior[k] + 1e-12)
+		}
+		for s, vote := range row {
+			if vote == Abstain {
+				continue
+			}
+			la := math.Log(acc[s] + 1e-12)
+			le := math.Log((1-acc[s])/logK1 + 1e-12)
+			for k := 0; k < K; k++ {
+				if k == vote {
+					lp[k] += la
+				} else {
+					lp[k] += le
+				}
+			}
+		}
+		logNormalize(lp)
+	}
+	res.Posteriors = post
+	res.ClassBalance = prior
+	for s, name := range v.Sources {
+		res.SourceAccuracy[name] = acc[s]
+	}
+	return res
+}
+
+// DawidSkene runs EM with full per-source confusion matrices.
+func DawidSkene(v *VoteMatrix, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	N, S, K := len(v.Votes), len(v.Sources), v.K
+	// Initialise posteriors from majority vote; confusion from them.
+	post := MajorityVote(v).Posteriors
+	conf := make([][][]float64, S) // [source][true][vote]
+	prior := make([]float64, K)
+	res := &Result{
+		SourceAccuracy: make(map[string]float64, S),
+		Confusion:      make(map[string][][]float64, S),
+	}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		// M-step from current posteriors.
+		newConf := make([][][]float64, S)
+		for s := 0; s < S; s++ {
+			m := make([][]float64, K)
+			for y := 0; y < K; y++ {
+				m[y] = make([]float64, K)
+				for vv := 0; vv < K; vv++ {
+					m[y][vv] = cfg.Smoothing / float64(K)
+					if y == vv {
+						// Bias the smoothing toward the diagonal so the
+						// better-than-chance assumption breaks symmetry.
+						m[y][vv] = cfg.Smoothing * cfg.InitAccuracy
+					}
+				}
+			}
+			for i, row := range v.Votes {
+				if row[s] == Abstain {
+					continue
+				}
+				for y := 0; y < K; y++ {
+					m[y][row[s]] += post[i][y]
+				}
+			}
+			for y := 0; y < K; y++ {
+				var z float64
+				for vv := 0; vv < K; vv++ {
+					z += m[y][vv]
+				}
+				for vv := 0; vv < K; vv++ {
+					m[y][vv] /= z
+				}
+			}
+			newConf[s] = m
+		}
+		newPrior := make([]float64, K)
+		for i := range post {
+			for k, p := range post[i] {
+				newPrior[k] += p
+			}
+		}
+		var z float64
+		for k := range newPrior {
+			newPrior[k] += cfg.Smoothing
+			z += newPrior[k]
+		}
+		for k := range newPrior {
+			newPrior[k] /= z
+		}
+		// Convergence check on parameters.
+		var delta float64
+		if conf[0] != nil {
+			for s := range conf {
+				for y := 0; y < K; y++ {
+					for vv := 0; vv < K; vv++ {
+						delta = math.Max(delta, math.Abs(conf[s][y][vv]-newConf[s][y][vv]))
+					}
+				}
+			}
+		} else {
+			delta = 1
+		}
+		conf, prior = newConf, newPrior
+		// E-step.
+		for i, row := range v.Votes {
+			lp := make([]float64, K)
+			for k := 0; k < K; k++ {
+				lp[k] = math.Log(prior[k] + 1e-12)
+			}
+			for s, vote := range row {
+				if vote == Abstain {
+					continue
+				}
+				for k := 0; k < K; k++ {
+					lp[k] += math.Log(conf[s][k][vote] + 1e-12)
+				}
+			}
+			logNormalize(lp)
+			post[i] = lp
+		}
+		res.Iterations = iter + 1
+		if delta < cfg.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Posteriors = post
+	res.ClassBalance = prior
+	_ = N
+	for s, name := range v.Sources {
+		res.Confusion[name] = conf[s]
+		var a float64
+		for y := 0; y < K; y++ {
+			a += prior[y] * conf[s][y][y]
+		}
+		res.SourceAccuracy[name] = a
+	}
+	return res
+}
+
+// SelectVotes holds votes for a `select` task: each item has its own number
+// of candidates; a vote is a candidate index.
+type SelectVotes struct {
+	Sources []string
+	Counts  []int   // candidates per item
+	Votes   [][]int // [item][source]; Abstain or 0..Counts[i]-1
+}
+
+// SelectResult is the output of the select-task estimator.
+type SelectResult struct {
+	Posteriors     [][]float64 // [item][candidate]
+	SourceAccuracy map[string]float64
+	Iterations     int
+	Converged      bool
+}
+
+// SelectModel runs accuracy-parameter EM for select tasks, where the label
+// space is per-item (the candidate set). Error mass is spread uniformly over
+// the other candidates of that item; the prior over candidates is uniform
+// (candidate features are the model's job, not the label model's).
+func SelectModel(v *SelectVotes, cfg Config) *SelectResult {
+	cfg = cfg.withDefaults()
+	S := len(v.Sources)
+	acc := make([]float64, S)
+	for s := range acc {
+		acc[s] = cfg.InitAccuracy
+	}
+	post := make([][]float64, len(v.Counts))
+	res := &SelectResult{SourceAccuracy: make(map[string]float64, S)}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		// E-step.
+		for i, n := range v.Counts {
+			if n <= 0 {
+				post[i] = nil
+				continue
+			}
+			lp := make([]float64, n)
+			for s, vote := range v.Votes[i] {
+				if vote == Abstain || vote >= n {
+					continue
+				}
+				la := math.Log(acc[s] + 1e-12)
+				le := math.Log((1-acc[s])/math.Max(float64(n-1), 1) + 1e-12)
+				for c := 0; c < n; c++ {
+					if c == vote {
+						lp[c] += la
+					} else {
+						lp[c] += le
+					}
+				}
+			}
+			logNormalize(lp)
+			post[i] = lp
+		}
+		// M-step.
+		var delta float64
+		for s := 0; s < S; s++ {
+			num := cfg.Smoothing * cfg.InitAccuracy
+			den := cfg.Smoothing
+			for i := range v.Counts {
+				vote := v.Votes[i][s]
+				if vote == Abstain || post[i] == nil || vote >= len(post[i]) {
+					continue
+				}
+				num += post[i][vote]
+				den++
+			}
+			na := clampProb(num / den)
+			delta = math.Max(delta, math.Abs(na-acc[s]))
+			acc[s] = na
+		}
+		res.Iterations = iter + 1
+		if delta < cfg.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Posteriors = post
+	for s, name := range v.Sources {
+		res.SourceAccuracy[name] = acc[s]
+	}
+	return res
+}
+
+// RebalanceWeights returns per-item weights that equalise the effective
+// class frequencies implied by soft posteriors: weight_i = Σ_k p_i(k) *
+// (1/K) / balance_k. This is the automatic class rebalancing Overton applies
+// in the loss (Section 2.2). Weights are normalised to mean 1.
+func RebalanceWeights(posteriors [][]float64, balance []float64) []float64 {
+	K := len(balance)
+	w := make([]float64, len(posteriors))
+	classW := make([]float64, K)
+	for k, b := range balance {
+		classW[k] = (1 / float64(K)) / math.Max(b, 1e-3)
+	}
+	var sum float64
+	for i, p := range posteriors {
+		var wi float64
+		for k, pk := range p {
+			wi += pk * classW[k]
+		}
+		w[i] = wi
+		sum += wi
+	}
+	if sum > 0 {
+		mean := sum / float64(len(w))
+		for i := range w {
+			w[i] /= mean
+		}
+	}
+	return w
+}
+
+// logNormalize exponentiates and normalises a log-probability vector in
+// place with the max trick.
+func logNormalize(lp []float64) {
+	maxv := math.Inf(-1)
+	for _, v := range lp {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var z float64
+	for i := range lp {
+		lp[i] = math.Exp(lp[i] - maxv)
+		z += lp[i]
+	}
+	if z == 0 {
+		for i := range lp {
+			lp[i] = 1 / float64(len(lp))
+		}
+		return
+	}
+	for i := range lp {
+		lp[i] /= z
+	}
+}
+
+func clampProb(p float64) float64 {
+	return math.Min(0.999, math.Max(0.001, p))
+}

@@ -1,0 +1,407 @@
+package labelmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthVotes generates N items with true labels drawn from balance, and
+// votes from sources with the given accuracies and coverages (symmetric
+// error model). Returns the matrix and the true labels.
+func synthVotes(rng *rand.Rand, n, k int, accs, covs []float64, balance []float64) (*VoteMatrix, []int) {
+	names := make([]string, len(accs))
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	vm := NewVoteMatrix(k, names, n)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		y := sampleCat(rng, balance)
+		truth[i] = y
+		for s := range accs {
+			if rng.Float64() >= covs[s] {
+				continue // abstain
+			}
+			if rng.Float64() < accs[s] {
+				vm.Votes[i][s] = y
+			} else {
+				wrong := rng.Intn(k - 1)
+				if wrong >= y {
+					wrong++
+				}
+				vm.Votes[i][s] = wrong
+			}
+		}
+	}
+	return vm, truth
+}
+
+func sampleCat(rng *rand.Rand, p []float64) int {
+	u := rng.Float64()
+	var c float64
+	for i, pi := range p {
+		c += pi
+		if u < c {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+func uniformBalance(k int) []float64 {
+	b := make([]float64, k)
+	for i := range b {
+		b[i] = 1 / float64(k)
+	}
+	return b
+}
+
+func accuracyOf(post [][]float64, truth []int) float64 {
+	var correct int
+	for i, p := range post {
+		best, bv := 0, -1.0
+		for k, v := range p {
+			if v > bv {
+				best, bv = k, v
+			}
+		}
+		if best == truth[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truth))
+}
+
+func TestVoteMatrixValidate(t *testing.T) {
+	vm := NewVoteMatrix(3, []string{"a", "b"}, 4)
+	if err := vm.Validate(); err != nil {
+		t.Fatalf("fresh matrix invalid: %v", err)
+	}
+	vm.Votes[0][0] = 2
+	if err := vm.Validate(); err != nil {
+		t.Fatalf("valid vote rejected: %v", err)
+	}
+	vm.Votes[1][1] = 3
+	if err := vm.Validate(); err == nil {
+		t.Fatalf("out-of-range vote accepted")
+	}
+	if err := (&VoteMatrix{K: 1}).Validate(); err == nil {
+		t.Fatalf("K=1 accepted")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	vm := NewVoteMatrix(2, []string{"a", "b"}, 4)
+	vm.Votes[0][0] = 1
+	vm.Votes[1][0] = 0
+	cov := vm.Coverage()
+	if cov["a"] != 0.5 || cov["b"] != 0 {
+		t.Fatalf("coverage wrong: %v", cov)
+	}
+}
+
+func TestMajorityVoteBasics(t *testing.T) {
+	vm := NewVoteMatrix(3, []string{"a", "b", "c"}, 3)
+	// Item 0: unanimous class 1.
+	vm.Votes[0] = []int{1, 1, 1}
+	// Item 1: 2-1 split.
+	vm.Votes[1] = []int{0, 0, 2}
+	// Item 2: no votes.
+	res := MajorityVote(vm)
+	if res.Posteriors[0][1] != 1 {
+		t.Fatalf("unanimous wrong: %v", res.Posteriors[0])
+	}
+	if res.Posteriors[1][0] != 1 {
+		t.Fatalf("majority wrong: %v", res.Posteriors[1])
+	}
+	for _, p := range res.Posteriors[2] {
+		if math.Abs(p-1.0/3.0) > 1e-9 {
+			t.Fatalf("no-vote posterior not uniform: %v", res.Posteriors[2])
+		}
+	}
+}
+
+func TestMajorityVoteTieSplit(t *testing.T) {
+	vm := NewVoteMatrix(2, []string{"a", "b"}, 1)
+	vm.Votes[0] = []int{0, 1}
+	res := MajorityVote(vm)
+	if math.Abs(res.Posteriors[0][0]-0.5) > 1e-9 {
+		t.Fatalf("tie not split: %v", res.Posteriors[0])
+	}
+}
+
+func TestAccuracyModelRecoversSourceAccuracies(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trueAccs := []float64{0.9, 0.75, 0.6}
+	covs := []float64{0.9, 0.8, 0.7}
+	vm, _ := synthVotes(rng, 4000, 4, trueAccs, covs, uniformBalance(4))
+	res := AccuracyModel(vm, Config{})
+	if !res.Converged {
+		t.Fatalf("EM did not converge in %d iters", res.Iterations)
+	}
+	for i, name := range vm.Sources {
+		got := res.SourceAccuracy[name]
+		if math.Abs(got-trueAccs[i]) > 0.05 {
+			t.Errorf("source %s: estimated accuracy %.3f, true %.3f", name, got, trueAccs[i])
+		}
+	}
+}
+
+func TestAccuracyModelBeatsMajorityVote(t *testing.T) {
+	// Heterogeneous sources: one strong, several weak. Weighted combination
+	// must beat unweighted voting — the core data-programming claim.
+	rng := rand.New(rand.NewSource(7))
+	accs := []float64{0.95, 0.55, 0.55, 0.55}
+	covs := []float64{0.9, 0.9, 0.9, 0.9}
+	vm, truth := synthVotes(rng, 3000, 3, accs, covs, uniformBalance(3))
+	mv := accuracyOf(MajorityVote(vm).Posteriors, truth)
+	am := accuracyOf(AccuracyModel(vm, Config{}).Posteriors, truth)
+	if am <= mv {
+		t.Fatalf("accuracy model %.4f not better than majority vote %.4f", am, mv)
+	}
+	if am < 0.9 {
+		t.Fatalf("accuracy model too weak: %.4f", am)
+	}
+}
+
+func TestAccuracyModelSkewedBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	balance := []float64{0.7, 0.2, 0.1}
+	vm, _ := synthVotes(rng, 5000, 3, []float64{0.85, 0.8}, []float64{1, 1}, balance)
+	res := AccuracyModel(vm, Config{})
+	for k, b := range balance {
+		if math.Abs(res.ClassBalance[k]-b) > 0.06 {
+			t.Errorf("class %d balance %.3f want %.3f", k, res.ClassBalance[k], b)
+		}
+	}
+}
+
+func TestDawidSkeneRecoversConfusion(t *testing.T) {
+	// A source that systematically confuses class 1 -> 2 but is otherwise
+	// reliable; with three conditionally independent sources (two symmetric
+	// plus the confused one) Dawid-Skene is identifiable and should find
+	// the asymmetry.
+	rng := rand.New(rand.NewSource(13))
+	n := 4000
+	vm := NewVoteMatrix(3, []string{"good1", "good2", "confused"}, n)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		y := rng.Intn(3)
+		truth[i] = y
+		// good1/good2: 85% accurate symmetric.
+		for s := 0; s < 2; s++ {
+			if rng.Float64() < 0.85 {
+				vm.Votes[i][s] = y
+			} else {
+				vm.Votes[i][s] = (y + 1 + rng.Intn(2)) % 3
+			}
+		}
+		// confused: class 1 reported as 2 with 70% probability.
+		if y == 1 && rng.Float64() < 0.7 {
+			vm.Votes[i][2] = 2
+		} else {
+			vm.Votes[i][2] = y
+		}
+	}
+	res := DawidSkene(vm, Config{})
+	conf := res.Confusion["confused"]
+	if conf == nil {
+		t.Fatalf("no confusion matrix")
+	}
+	if conf[1][2] < 0.55 {
+		t.Errorf("confusion 1->2 = %.3f, want > 0.55", conf[1][2])
+	}
+	if conf[0][0] < 0.9 {
+		t.Errorf("confusion 0->0 = %.3f, want > 0.9", conf[0][0])
+	}
+	// Posterior quality should beat majority vote on this asymmetric noise.
+	mv := accuracyOf(MajorityVote(vm).Posteriors, truth)
+	ds := accuracyOf(res.Posteriors, truth)
+	if ds < mv-0.01 {
+		t.Errorf("Dawid-Skene %.4f worse than majority %.4f", ds, mv)
+	}
+}
+
+func TestSelectModelRecoversAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 3000
+	sv := &SelectVotes{
+		// Three sources so the accuracy parameters are identifiable.
+		Sources: []string{"strong", "mid", "weak"},
+		Counts:  make([]int, n),
+		Votes:   make([][]int, n),
+	}
+	trueAcc := []float64{0.9, 0.7, 0.6}
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := 2 + rng.Intn(4) // 2..5 candidates
+		sv.Counts[i] = c
+		y := rng.Intn(c)
+		truth[i] = y
+		row := make([]int, 3)
+		for s := range row {
+			if rng.Float64() < trueAcc[s] {
+				row[s] = y
+			} else {
+				wrong := rng.Intn(c - 1)
+				if wrong >= y {
+					wrong++
+				}
+				row[s] = wrong
+			}
+		}
+		sv.Votes[i] = row
+	}
+	res := SelectModel(sv, Config{})
+	if math.Abs(res.SourceAccuracy["strong"]-0.9) > 0.05 {
+		t.Errorf("strong accuracy %.3f", res.SourceAccuracy["strong"])
+	}
+	if math.Abs(res.SourceAccuracy["weak"]-0.6) > 0.07 {
+		t.Errorf("weak accuracy %.3f", res.SourceAccuracy["weak"])
+	}
+	// Posterior argmax should track the strong source.
+	var correct int
+	for i, p := range res.Posteriors {
+		best, bv := 0, -1.0
+		for c, v := range p {
+			if v > bv {
+				best, bv = c, v
+			}
+		}
+		if best == truth[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(n); acc < 0.85 {
+		t.Errorf("select posterior accuracy %.3f", acc)
+	}
+}
+
+func TestSelectModelEmptyCandidates(t *testing.T) {
+	sv := &SelectVotes{
+		Sources: []string{"a"},
+		Counts:  []int{0, 2},
+		Votes:   [][]int{{Abstain}, {1}},
+	}
+	res := SelectModel(sv, Config{})
+	if res.Posteriors[0] != nil {
+		t.Fatalf("empty candidate set should have nil posterior")
+	}
+	if res.Posteriors[1][1] < 0.5 {
+		t.Fatalf("vote ignored: %v", res.Posteriors[1])
+	}
+}
+
+func TestRebalanceWeights(t *testing.T) {
+	// Two classes, 80/20 balance: minority items get larger weights.
+	post := [][]float64{{1, 0}, {1, 0}, {1, 0}, {1, 0}, {0, 1}}
+	balance := []float64{0.8, 0.2}
+	w := RebalanceWeights(post, balance)
+	if w[4] <= w[0] {
+		t.Fatalf("minority weight %.3f not larger than majority %.3f", w[4], w[0])
+	}
+	// Mean 1.
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum/float64(len(w))-1) > 1e-9 {
+		t.Fatalf("weights not mean-1: %v", w)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	vm, _ := synthVotes(rng, 500, 3, []float64{0.8, 0.7}, []float64{0.9, 0.9}, uniformBalance(3))
+	r1 := AccuracyModel(vm, Config{})
+	r2 := AccuracyModel(vm, Config{})
+	for i := range r1.Posteriors {
+		for k := range r1.Posteriors[i] {
+			if r1.Posteriors[i][k] != r2.Posteriors[i][k] {
+				t.Fatalf("EM not deterministic")
+			}
+		}
+	}
+}
+
+// Property: posteriors are valid distributions for random vote matrices.
+func TestPosteriorsAreDistributionsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		s := 1 + rng.Intn(4)
+		accs := make([]float64, s)
+		covs := make([]float64, s)
+		for i := range accs {
+			accs[i] = 0.5 + rng.Float64()*0.45
+			covs[i] = rng.Float64()
+		}
+		vm, _ := synthVotes(rng, 50, k, accs, covs, uniformBalance(k))
+		for _, est := range []func() [][]float64{
+			func() [][]float64 { return MajorityVote(vm).Posteriors },
+			func() [][]float64 { return AccuracyModel(vm, Config{MaxIter: 20}).Posteriors },
+			func() [][]float64 { return DawidSkene(vm, Config{MaxIter: 10}).Posteriors },
+		} {
+			for _, p := range est() {
+				var sum float64
+				for _, v := range p {
+					if v < -1e-9 || v > 1+1e-9 || math.IsNaN(v) {
+						return false
+					}
+					sum += v
+				}
+				if math.Abs(sum-1) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a unanimous non-abstaining vote wins the posterior argmax.
+func TestUnanimousVoteWinsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(4)
+		vm := NewVoteMatrix(k, []string{"a", "b", "c"}, 30)
+		target := make([]int, 30)
+		for i := range vm.Votes {
+			y := rng.Intn(k)
+			target[i] = y
+			for s := range vm.Votes[i] {
+				vm.Votes[i][s] = y
+			}
+		}
+		res := AccuracyModel(vm, Config{MaxIter: 30})
+		for i, p := range res.Posteriors {
+			best, bv := 0, -1.0
+			for c, v := range p {
+				if v > bv {
+					best, bv = c, v
+				}
+			}
+			if best != target[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAccuracyModelEM(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vm, _ := synthVotes(rng, 2000, 5, []float64{0.9, 0.8, 0.7, 0.6}, []float64{0.9, 0.8, 0.7, 0.6}, uniformBalance(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AccuracyModel(vm, Config{})
+	}
+}

@@ -1,0 +1,207 @@
+// Package metrics implements the evaluation primitives behind Overton's
+// fine-grained quality monitoring: accuracy, precision/recall/F1 (binary,
+// micro, macro), and confusion matrices, all over plain counts so callers
+// can slice them by tag.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Accuracy returns correct/total (0 when total is 0).
+func Accuracy(correct, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return correct / total
+}
+
+// PRF1 bundles precision, recall and F1.
+type PRF1 struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// BinaryPRF1 computes precision/recall/F1 from confusion counts.
+func BinaryPRF1(tp, fp, fn float64) PRF1 {
+	var p, r, f float64
+	if tp+fp > 0 {
+		p = tp / (tp + fp)
+	}
+	if tp+fn > 0 {
+		r = tp / (tp + fn)
+	}
+	if p+r > 0 {
+		f = 2 * p * r / (p + r)
+	}
+	return PRF1{Precision: p, Recall: r, F1: f}
+}
+
+// Counter accumulates binary confusion counts.
+type Counter struct {
+	TP, FP, FN, TN float64
+}
+
+// Add records one (gold, predicted) binary observation.
+func (c *Counter) Add(gold, pred bool) {
+	switch {
+	case gold && pred:
+		c.TP++
+	case !gold && pred:
+		c.FP++
+	case gold && !pred:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// PRF1 computes precision/recall/F1 from the accumulated counts.
+func (c *Counter) PRF1() PRF1 { return BinaryPRF1(c.TP, c.FP, c.FN) }
+
+// Total returns the number of observations.
+func (c *Counter) Total() float64 { return c.TP + c.FP + c.FN + c.TN }
+
+// Confusion is a multiclass confusion matrix.
+type Confusion struct {
+	Classes []string
+	Counts  [][]float64 // [gold][pred]
+}
+
+// NewConfusion allocates a matrix over the class list.
+func NewConfusion(classes []string) *Confusion {
+	c := &Confusion{Classes: classes, Counts: make([][]float64, len(classes))}
+	for i := range c.Counts {
+		c.Counts[i] = make([]float64, len(classes))
+	}
+	return c
+}
+
+// Add records one observation by class index.
+func (c *Confusion) Add(gold, pred int) { c.Counts[gold][pred]++ }
+
+// Total returns the number of observations.
+func (c *Confusion) Total() float64 {
+	var t float64
+	for _, row := range c.Counts {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// Accuracy returns the trace ratio.
+func (c *Confusion) Accuracy() float64 {
+	var correct float64
+	for i := range c.Counts {
+		correct += c.Counts[i][i]
+	}
+	return Accuracy(correct, c.Total())
+}
+
+// ClassPRF1 returns one-vs-rest precision/recall/F1 for class k.
+func (c *Confusion) ClassPRF1(k int) PRF1 {
+	var tp, fp, fn float64
+	tp = c.Counts[k][k]
+	for i := range c.Counts {
+		if i != k {
+			fp += c.Counts[i][k]
+			fn += c.Counts[k][i]
+		}
+	}
+	return BinaryPRF1(tp, fp, fn)
+}
+
+// MacroF1 averages per-class F1 over classes that occur in gold.
+func (c *Confusion) MacroF1() float64 {
+	var sum, n float64
+	for k := range c.Classes {
+		var goldCount float64
+		for j := range c.Counts[k] {
+			goldCount += c.Counts[k][j]
+		}
+		if goldCount == 0 {
+			continue
+		}
+		sum += c.ClassPRF1(k).F1
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// String renders the matrix with class labels.
+func (c *Confusion) String() string {
+	var sb strings.Builder
+	width := 6
+	for _, cl := range c.Classes {
+		if len(cl) > width {
+			width = len(cl)
+		}
+	}
+	fmt.Fprintf(&sb, "%*s", width+1, "")
+	for _, cl := range c.Classes {
+		fmt.Fprintf(&sb, " %*s", width, cl)
+	}
+	sb.WriteByte('\n')
+	for i, cl := range c.Classes {
+		fmt.Fprintf(&sb, "%*s:", width, cl)
+		for j := range c.Classes {
+			fmt.Fprintf(&sb, " %*.0f", width, c.Counts[i][j])
+		}
+		sb.WriteByte('\n')
+		_ = i
+	}
+	return sb.String()
+}
+
+// TaskMetrics is the scalar quality summary for one task.
+type TaskMetrics struct {
+	Task string
+	// Primary is the headline number: accuracy for multiclass/select,
+	// micro-F1 for bitvector.
+	Primary float64
+	// Name of the primary metric ("accuracy" or "f1").
+	PrimaryName string
+	Accuracy    float64
+	F1          PRF1
+	N           float64
+	Confusion   *Confusion // multiclass tasks only
+}
+
+// String renders a one-line summary.
+func (t TaskMetrics) String() string {
+	return fmt.Sprintf("%-12s %s=%.4f n=%.0f", t.Task, t.PrimaryName, t.Primary, t.N)
+}
+
+// MeanPrimary averages the primary metric across tasks (the single product
+// quality number used in Figure 3; its complement is the product error).
+func MeanPrimary(ms map[string]TaskMetrics) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, name := range SortedTasks(ms) {
+		sum += ms[name].Primary
+	}
+	return sum / float64(len(ms))
+}
+
+// MeanError is 1 - MeanPrimary.
+func MeanError(ms map[string]TaskMetrics) float64 { return 1 - MeanPrimary(ms) }
+
+// SortedTasks returns task names sorted (for stable report rendering).
+func SortedTasks(ms map[string]TaskMetrics) []string {
+	out := make([]string, 0, len(ms))
+	for t := range ms {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

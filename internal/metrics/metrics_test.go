@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracy(t *testing.T) {
+	if Accuracy(3, 4) != 0.75 {
+		t.Fatalf("Accuracy wrong")
+	}
+	if Accuracy(0, 0) != 0 {
+		t.Fatalf("empty Accuracy should be 0")
+	}
+}
+
+func TestBinaryPRF1(t *testing.T) {
+	m := BinaryPRF1(8, 2, 4)
+	if math.Abs(m.Precision-0.8) > 1e-12 {
+		t.Fatalf("P wrong: %g", m.Precision)
+	}
+	if math.Abs(m.Recall-8.0/12.0) > 1e-12 {
+		t.Fatalf("R wrong: %g", m.Recall)
+	}
+	wantF1 := 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0/12.0)
+	if math.Abs(m.F1-wantF1) > 1e-12 {
+		t.Fatalf("F1 wrong: %g want %g", m.F1, wantF1)
+	}
+	// Degenerate cases don't NaN.
+	z := BinaryPRF1(0, 0, 0)
+	if z.Precision != 0 || z.Recall != 0 || z.F1 != 0 {
+		t.Fatalf("degenerate PRF1 wrong: %+v", z)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FN
+	c.Add(false, true)  // FP
+	c.Add(false, false) // TN
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("counter wrong: %+v", c)
+	}
+	if c.Total() != 4 {
+		t.Fatalf("total wrong")
+	}
+	m := c.PRF1()
+	if m.Precision != 0.5 || m.Recall != 0.5 || m.F1 != 0.5 {
+		t.Fatalf("PRF1 wrong: %+v", m)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	c := NewConfusion([]string{"a", "b", "c"})
+	c.Add(0, 0)
+	c.Add(0, 0)
+	c.Add(0, 1)
+	c.Add(1, 1)
+	c.Add(2, 0)
+	if c.Total() != 5 {
+		t.Fatalf("total wrong")
+	}
+	if math.Abs(c.Accuracy()-0.6) > 1e-12 {
+		t.Fatalf("accuracy %g", c.Accuracy())
+	}
+	// Class a: tp=2, fp=1 (from c), fn=1 (to b).
+	m := c.ClassPRF1(0)
+	if math.Abs(m.Precision-2.0/3.0) > 1e-12 || math.Abs(m.Recall-2.0/3.0) > 1e-12 {
+		t.Fatalf("class PRF1 wrong: %+v", m)
+	}
+	if c.MacroF1() <= 0 || c.MacroF1() > 1 {
+		t.Fatalf("macro F1 out of range")
+	}
+	s := c.String()
+	if !strings.Contains(s, "a") || !strings.Contains(s, "2") {
+		t.Fatalf("render wrong:\n%s", s)
+	}
+}
+
+func TestMacroF1IgnoresAbsentClasses(t *testing.T) {
+	c := NewConfusion([]string{"a", "b", "never"})
+	c.Add(0, 0)
+	c.Add(1, 1)
+	if c.MacroF1() != 1 {
+		t.Fatalf("absent gold class should not drag macro F1: %g", c.MacroF1())
+	}
+}
+
+func TestMeanPrimaryAndError(t *testing.T) {
+	ms := map[string]TaskMetrics{
+		"A": {Task: "A", Primary: 0.9},
+		"B": {Task: "B", Primary: 0.7},
+	}
+	if math.Abs(MeanPrimary(ms)-0.8) > 1e-12 {
+		t.Fatalf("MeanPrimary wrong")
+	}
+	if math.Abs(MeanError(ms)-0.2) > 1e-12 {
+		t.Fatalf("MeanError wrong")
+	}
+	if MeanPrimary(nil) != 0 {
+		t.Fatalf("empty MeanPrimary wrong")
+	}
+	names := SortedTasks(ms)
+	if names[0] != "A" || names[1] != "B" {
+		t.Fatalf("SortedTasks wrong")
+	}
+}
+
+func TestTaskMetricsString(t *testing.T) {
+	m := TaskMetrics{Task: "Intent", Primary: 0.95, PrimaryName: "accuracy", N: 100}
+	s := m.String()
+	if !strings.Contains(s, "Intent") || !strings.Contains(s, "0.95") {
+		t.Fatalf("render wrong: %s", s)
+	}
+}
+
+// Property: F1 is the harmonic mean of P and R, bounded by both.
+func TestF1BoundsProperty(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		m := BinaryPRF1(float64(tp), float64(fp), float64(fn))
+		if m.F1 < 0 || m.F1 > 1 {
+			return false
+		}
+		maxPR := math.Max(m.Precision, m.Recall)
+		minPR := math.Min(m.Precision, m.Recall)
+		return m.F1 <= maxPR+1e-12 && m.F1 >= minPR*0-1e-12 && m.F1 <= 1 && minPR >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: confusion accuracy equals manual trace computation.
+func TestConfusionAccuracyProperty(t *testing.T) {
+	f := func(obs []uint8) bool {
+		c := NewConfusion([]string{"x", "y", "z"})
+		var correct, total float64
+		for _, o := range obs {
+			g := int(o) % 3
+			p := int(o/3) % 3
+			c.Add(g, p)
+			total++
+			if g == p {
+				correct++
+			}
+		}
+		want := 0.0
+		if total > 0 {
+			want = correct / total
+		}
+		return math.Abs(c.Accuracy()-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

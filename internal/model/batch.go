@@ -1,0 +1,112 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/embeddings"
+	"repro/internal/nn"
+	"repro/internal/record"
+)
+
+// setBatch is the flattened candidate view of one set payload across a
+// batch: candidate i has span Spans[i] and entity id CandEnt[i]; Segs[r]
+// delimits record r's candidates (empty segment when it has none).
+type setBatch struct {
+	Spans   []nn.Span
+	CandEnt []int
+	Segs    []nn.Segment
+}
+
+// Batch is the padded tensor view of a record slice.
+type Batch struct {
+	Recs []*record.Record
+	// Idx are the positions of Recs in the originating dataset, used to
+	// align label-model targets.
+	Idx []int
+
+	B, L      int
+	TokenIDs  []int     // B*L, example-major, PadID-padded
+	Mask      []float64 // B*L, 1 on real tokens
+	RawTokens [][]string
+
+	Sets map[string]*setBatch
+}
+
+// makeBatch assembles a batch for the model's program from records at
+// dataset indices idx.
+func (m *Model) makeBatch(recs []*record.Record, idx []int) (*Batch, error) {
+	B := len(recs)
+	L := m.Prog.MaxLen
+	b := &Batch{
+		Recs:      recs,
+		Idx:       idx,
+		B:         B,
+		L:         L,
+		TokenIDs:  make([]int, B*L),
+		Mask:      make([]float64, B*L),
+		RawTokens: make([][]string, B),
+		Sets:      make(map[string]*setBatch, len(m.Prog.SetPayloads)),
+	}
+	for _, sp := range m.Prog.SetPayloads {
+		b.Sets[sp] = &setBatch{Segs: make([]nn.Segment, B)}
+	}
+	for r, rec := range recs {
+		pv, ok := rec.Payloads[m.Prog.TokenPayload]
+		if !ok || pv.Null {
+			return nil, fmt.Errorf("model: record %s: missing %s payload", rec.ID, m.Prog.TokenPayload)
+		}
+		toks := pv.Tokens
+		if len(toks) > L {
+			toks = toks[:L]
+		}
+		b.RawTokens[r] = toks
+		for t := 0; t < L; t++ {
+			if t < len(toks) {
+				b.TokenIDs[r*L+t] = m.vocab.ID(toks[t])
+				b.Mask[r*L+t] = 1
+			} else {
+				b.TokenIDs[r*L+t] = embeddings.PadID
+			}
+		}
+		for _, sp := range m.Prog.SetPayloads {
+			sb := b.Sets[sp]
+			start := len(sb.Spans)
+			if cpv, ok := rec.Payloads[sp]; ok && !cpv.Null {
+				for _, member := range cpv.Set {
+					end := member.End
+					if end > len(toks) {
+						end = len(toks)
+					}
+					st := member.Start
+					if st > end {
+						st = end
+					}
+					sb.Spans = append(sb.Spans, nn.Span{Example: r, Start: st, End: end})
+					sb.CandEnt = append(sb.CandEnt, m.entVocab.ID(member.ID))
+				}
+			}
+			sb.Segs[r] = nn.Segment{Start: start, End: len(sb.Spans)}
+		}
+	}
+	return b, nil
+}
+
+// batches splits indices into batch-size chunks (last one ragged).
+func batchIndices(n, size int) [][]int {
+	if size <= 0 {
+		size = 32
+	}
+	var out [][]int
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		idx := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			idx = append(idx, i)
+		}
+		out = append(out, idx)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package model
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+// Evaluate scores the model against gold labels on recs, returning per-task
+// metrics. Records lacking gold for a task are skipped for that task.
+// Multiclass and select tasks report accuracy as the primary metric;
+// bitvector tasks report micro-F1 over (token, bit) positives.
+func (m *Model) Evaluate(recs []*record.Record) (map[string]metrics.TaskMetrics, error) {
+	outs, err := m.Predict(recs)
+	if err != nil {
+		return nil, err
+	}
+	return ScoreOutputs(m.Prog.Schema, recs, outs), nil
+}
+
+// ScoreOutputs compares predictions to gold labels (separated from
+// Evaluate so baselines and stored predictions can reuse the scorer).
+func ScoreOutputs(sch *schema.Schema, recs []*record.Record, outs []Output) map[string]metrics.TaskMetrics {
+	result := map[string]metrics.TaskMetrics{}
+	for _, tname := range sch.TaskNames() {
+		task := sch.Tasks[tname]
+		gran := sch.Granularity(task)
+		tm := metrics.TaskMetrics{Task: tname}
+		switch {
+		case task.Type == schema.Multiclass && gran == schema.PerExample:
+			conf := metrics.NewConfusion(task.Classes)
+			for i, rec := range recs {
+				gold, ok := rec.Gold(tname)
+				if !ok {
+					continue
+				}
+				gi := task.ClassIndex(gold.Class)
+				pi := task.ClassIndex(outs[i][tname].Class)
+				if gi < 0 || pi < 0 {
+					continue
+				}
+				conf.Add(gi, pi)
+			}
+			tm.Accuracy = conf.Accuracy()
+			tm.Primary = tm.Accuracy
+			tm.PrimaryName = "accuracy"
+			tm.N = conf.Total()
+			tm.Confusion = conf
+		case task.Type == schema.Multiclass && gran == schema.PerToken:
+			conf := metrics.NewConfusion(task.Classes)
+			for i, rec := range recs {
+				gold, ok := rec.Gold(tname)
+				if !ok {
+					continue
+				}
+				pred := outs[i][tname].TokenClasses
+				for t, gc := range gold.Seq {
+					if t >= len(pred) {
+						break
+					}
+					gi := task.ClassIndex(gc)
+					pi := task.ClassIndex(pred[t])
+					if gi < 0 || pi < 0 {
+						continue
+					}
+					conf.Add(gi, pi)
+				}
+			}
+			tm.Accuracy = conf.Accuracy()
+			tm.Primary = tm.Accuracy
+			tm.PrimaryName = "accuracy"
+			tm.N = conf.Total()
+			tm.Confusion = conf
+		case task.Type == schema.Bitvector:
+			var c metrics.Counter
+			for i, rec := range recs {
+				gold, ok := rec.Gold(tname)
+				if !ok {
+					continue
+				}
+				pred := outs[i][tname].TokenBits
+				for t, goldBits := range gold.Bits {
+					if t >= len(pred) {
+						break
+					}
+					goldSet := toSet(goldBits)
+					predSet := toSet(pred[t])
+					for _, cls := range task.Classes {
+						c.Add(goldSet[cls], predSet[cls])
+					}
+				}
+			}
+			prf := c.PRF1()
+			tm.F1 = prf
+			tm.Primary = prf.F1
+			tm.PrimaryName = "f1"
+			tm.Accuracy = metrics.Accuracy(c.TP+c.TN, c.Total())
+			tm.N = c.Total()
+		case task.Type == schema.Select:
+			var correct, total float64
+			for i, rec := range recs {
+				gold, ok := rec.Gold(tname)
+				if !ok {
+					continue
+				}
+				out := outs[i][tname]
+				if out.Select < 0 {
+					continue
+				}
+				total++
+				if out.Select == gold.Select {
+					correct++
+				}
+			}
+			tm.Accuracy = metrics.Accuracy(correct, total)
+			tm.Primary = tm.Accuracy
+			tm.PrimaryName = "accuracy"
+			tm.N = total
+		}
+		result[tname] = tm
+	}
+	return result
+}
+
+func toSet(xs []string) map[string]bool {
+	m := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}
+
+// EvaluateTag scores only the records carrying tag (per-tag monitoring).
+func (m *Model) EvaluateTag(recs []*record.Record, tag string) (map[string]metrics.TaskMetrics, error) {
+	var sub []*record.Record
+	for _, r := range recs {
+		if r.HasTag(tag) {
+			sub = append(sub, r)
+		}
+	}
+	return m.Evaluate(sub)
+}

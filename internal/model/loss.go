@@ -1,0 +1,230 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/labelmodel"
+	"repro/internal/nn"
+	"repro/internal/schema"
+	"repro/internal/tensor"
+)
+
+// LossConfig weights the multitask objective.
+type LossConfig struct {
+	// TaskWeights scales each task's loss (default 1).
+	TaskWeights map[string]float64
+	// SliceExpertWeight scales the per-expert auxiliary task losses.
+	SliceExpertWeight float64 // default 0.5
+	// MembershipWeight scales the slice-membership BCE losses.
+	MembershipWeight float64 // default 0.2
+}
+
+func (c LossConfig) withDefaults() LossConfig {
+	if c.SliceExpertWeight == 0 {
+		c.SliceExpertWeight = 0.5
+	}
+	if c.MembershipWeight == 0 {
+		c.MembershipWeight = 0.2
+	}
+	return c
+}
+
+func (c LossConfig) taskWeight(task string) float64 {
+	if w, ok := c.TaskWeights[task]; ok {
+		return w
+	}
+	return 1
+}
+
+// Loss builds the training objective for one forward pass against the label
+// model's targets (indexed by dataset position, aligned via batch.Idx).
+// Returns the scalar loss node.
+func (m *Model) Loss(g *nn.Graph, st *forwardState, targets map[string]*labelmodel.TaskTargets, cfg LossConfig) (*nn.Node, error) {
+	cfg = cfg.withDefaults()
+	b := st.batch
+	var losses []*nn.Node
+	var coeffs []float64
+	add := func(n *nn.Node, w float64) {
+		if n != nil && w != 0 {
+			losses = append(losses, n)
+			coeffs = append(coeffs, w)
+		}
+	}
+
+	// Token tasks (program order for deterministic summation).
+	for _, tname := range m.Prog.TokenTasks {
+		logits := st.tokenLogits[tname]
+		tt := targets[tname]
+		if logits == nil || tt == nil {
+			continue
+		}
+		task := m.Prog.Schema.Tasks[tname]
+		C := len(task.Classes)
+		dist := tensor.New(b.B*b.L, C)
+		weights := make([]float64, b.B*b.L)
+		for r, di := range b.Idx {
+			rd := tt.Dist[di]
+			rw := tt.Weight[di]
+			for t := 0; t < b.L && t < len(rd); t++ {
+				if rw[t] <= 0 || rd[t] == nil {
+					continue
+				}
+				copy(dist.Row(r*b.L+t), rd[t])
+				weights[r*b.L+t] = rw[t]
+			}
+		}
+		switch task.Type {
+		case schema.Multiclass:
+			loss, _ := g.SoftmaxCE(logits, dist, weights)
+			add(loss, cfg.taskWeight(tname))
+		case schema.Bitvector:
+			loss, _ := g.SigmoidBCE(logits, dist, weights, nil)
+			add(loss, cfg.taskWeight(tname))
+		default:
+			return nil, fmt.Errorf("model: token task %s has unsupported type %s", tname, task.Type)
+		}
+	}
+
+	// Example tasks (final head + slice auxiliaries).
+	for _, tname := range m.Prog.ExampleTasks {
+		final := st.exampleFinal[tname]
+		tt := targets[tname]
+		if final == nil || tt == nil {
+			continue
+		}
+		task := m.Prog.Schema.Tasks[tname]
+		C := len(task.Classes)
+		dist := tensor.New(b.B, C)
+		weights := make([]float64, b.B)
+		for r, di := range b.Idx {
+			if len(tt.Dist[di]) == 0 || tt.Dist[di][0] == nil || tt.Weight[di][0] <= 0 {
+				continue
+			}
+			copy(dist.Row(r), tt.Dist[di][0])
+			weights[r] = tt.Weight[di][0]
+		}
+		switch task.Type {
+		case schema.Multiclass:
+			loss, _ := g.SoftmaxCE(final, dist, weights)
+			add(loss, cfg.taskWeight(tname))
+		case schema.Bitvector:
+			loss, _ := g.SigmoidBCE(final, dist, weights, nil)
+			add(loss, cfg.taskWeight(tname))
+		}
+		// Slice auxiliaries.
+		if experts := st.exampleExpert[tname]; len(experts) > 0 {
+			// Base expert trains on everything.
+			loss, _ := g.SoftmaxCE(experts[0], dist, weights)
+			add(loss, cfg.SliceExpertWeight*cfg.taskWeight(tname))
+			for s, sliceName := range m.Prog.Slices {
+				ind := m.sliceIndicator(b, sliceName)
+				// Expert s+1: task loss restricted to slice members.
+				sw := make([]float64, b.B)
+				var any bool
+				for r := range sw {
+					sw[r] = weights[r] * ind[r]
+					if sw[r] > 0 {
+						any = true
+					}
+				}
+				if any {
+					loss, _ := g.SoftmaxCE(experts[s+1], dist, sw)
+					add(loss, cfg.SliceExpertWeight*cfg.taskWeight(tname))
+				}
+				// Membership BCE against the slice indicator.
+				mw := ones(b.B)
+				mt := tensor.New(b.B, 1)
+				for r := range ind {
+					mt.Set(r, 0, ind[r])
+				}
+				mloss, _ := g.SigmoidBCE(st.exampleMember[tname][s], mt, mw, nil)
+				add(mloss, cfg.MembershipWeight)
+			}
+		}
+	}
+
+	// Set tasks.
+	for _, tname := range m.Prog.SetTasks {
+		scores := st.setScores[tname]
+		tt := targets[tname]
+		if scores == nil || tt == nil {
+			continue
+		}
+		task := m.Prog.Schema.Tasks[tname]
+		sb := b.Sets[task.Payload]
+		if len(sb.Spans) == 0 {
+			continue
+		}
+		flat := make([]float64, len(sb.Spans))
+		segWeights := make([]float64, b.B)
+		for r, di := range b.Idx {
+			seg := sb.Segs[r]
+			if seg.End <= seg.Start {
+				continue
+			}
+			if len(tt.Dist[di]) == 0 || tt.Dist[di][0] == nil || tt.Weight[di][0] <= 0 {
+				continue
+			}
+			d := tt.Dist[di][0]
+			n := seg.End - seg.Start
+			if len(d) != n {
+				// Candidate count drifted (e.g. truncation); skip safely.
+				continue
+			}
+			copy(flat[seg.Start:seg.End], d)
+			segWeights[r] = tt.Weight[di][0]
+		}
+		loss, _ := g.SegmentSoftmaxCE(scores, sb.Segs, flat, segWeights)
+		add(loss, cfg.taskWeight(tname))
+
+		// Slice auxiliaries for set tasks.
+		if experts := st.setExpert[tname]; len(experts) > 0 {
+			for s, sliceName := range m.Prog.Slices {
+				ind := m.sliceIndicator(b, sliceName)
+				sw := make([]float64, b.B)
+				var any bool
+				for r := range sw {
+					sw[r] = segWeights[r] * ind[r]
+					if sw[r] > 0 {
+						any = true
+					}
+				}
+				if any {
+					loss, _ := g.SegmentSoftmaxCE(experts[s], sb.Segs, flat, sw)
+					add(loss, cfg.SliceExpertWeight*cfg.taskWeight(tname))
+				}
+				mw := ones(b.B)
+				mt := tensor.New(b.B, 1)
+				for r := range ind {
+					mt.Set(r, 0, ind[r])
+				}
+				mloss, _ := g.SigmoidBCE(st.setMember[tname][s], mt, mw, nil)
+				add(mloss, cfg.MembershipWeight)
+			}
+		}
+	}
+
+	if len(losses) == 0 {
+		return nil, fmt.Errorf("model: batch has no supervised units for any task")
+	}
+	return g.WeightedSum(losses, coeffs), nil
+}
+
+// sliceIndicator returns 1 per batch row belonging to the named slice.
+func (m *Model) sliceIndicator(b *Batch, sliceName string) []float64 {
+	out := make([]float64, b.B)
+	for r, rec := range b.Recs {
+		if rec.InSlice(sliceName) {
+			out[r] = 1
+		}
+	}
+	return out
+}
+
+func ones(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}

@@ -1,0 +1,371 @@
+// Package model instantiates a compiled Program into an executable
+// multitask network and implements its training losses (noise-aware, soft
+// targets), slice-based learning heads (Chen et al., NeurIPS 2019),
+// prediction, evaluation against gold, and artifact serialization.
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/compile"
+	"repro/internal/embeddings"
+	"repro/internal/nn"
+	"repro/internal/schema"
+	"repro/internal/tensor"
+)
+
+// entityEmbDim is the width of learned KB-entity embeddings. It is a fixed
+// block (not searched): entity ids are a side payload, not the main input.
+const entityEmbDim = 24
+
+// Model is an instantiated multitask network.
+type Model struct {
+	Prog *compile.Program
+	PS   *nn.ParamSet
+
+	vocab      *embeddings.Vocab
+	entVocab   *embeddings.Vocab
+	contextual compile.ContextualEncoder
+
+	tokEmb *nn.Embedding
+	entEmb *nn.Embedding
+
+	conv  *nn.Conv1D
+	gru   *nn.GRU
+	bigru *nn.BiGRU
+
+	spanQ *nn.Param // span-attention query (entity_agg = "attn")
+
+	tokenHeads   map[string]*nn.Linear
+	exampleHeads map[string]*exampleHead
+	setHeads     map[string]*setHead
+
+	// Seed records the initialisation seed for reproducibility metadata.
+	Seed int64
+}
+
+// exampleHead predicts a per-example task, optionally with slice experts.
+type exampleHead struct {
+	task *schema.Task
+	// Plain path (no slices): direct head on the query representation.
+	plain *nn.Linear
+	// Sliced path: expert 0 is the base expert; experts[1..] align with
+	// Prog.Slices. Each expert re-represents the shared rep; membership
+	// heads gate them; out maps the combined representation to classes.
+	experts    []*nn.Linear
+	expertPred []*nn.Linear
+	membership []*nn.Linear // one per slice (not base)
+	out        *nn.Linear
+}
+
+// setHead scores candidates of a select task, optionally with slice
+// experts gated by example-level membership.
+type setHead struct {
+	task        *schema.Task
+	mlp         *nn.Linear
+	score       *nn.Linear
+	expertMLP   []*nn.Linear // per slice
+	expertScore []*nn.Linear
+	membership  []*nn.Linear // on query rep
+}
+
+// New instantiates prog with the given resources. Deterministic in seed.
+func New(prog *compile.Program, res *compile.Resources, seed int64) (*Model, error) {
+	family, _, err := compile.EmbeddingFamily(prog.Choice.Embedding)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Prog:         prog,
+		PS:           nn.NewParamSet(),
+		vocab:        embeddings.NewVocab(res.TokenVocab),
+		entVocab:     embeddings.NewVocab(res.EntityVocab),
+		tokenHeads:   map[string]*nn.Linear{},
+		exampleHeads: map[string]*exampleHead{},
+		setHeads:     map[string]*setHead{},
+		Seed:         seed,
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Token embedding by family.
+	switch family {
+	case "hash":
+		vecs := embeddings.HashVectors(m.vocab, prog.EmbDim, seed)
+		m.tokEmb = nn.NewPretrainedEmbedding(m.PS, "tok.emb", vecs, false)
+	case "pretrained":
+		if res.StaticVectors == nil {
+			return nil, fmt.Errorf("model: choice %q needs Resources.StaticVectors", prog.Choice.Embedding)
+		}
+		if res.StaticVectors.Rows != m.vocab.Size() || res.StaticVectors.Cols != prog.EmbDim {
+			return nil, fmt.Errorf("model: static vectors %dx%d, want %dx%d",
+				res.StaticVectors.Rows, res.StaticVectors.Cols, m.vocab.Size(), prog.EmbDim)
+		}
+		m.tokEmb = nn.NewPretrainedEmbedding(m.PS, "tok.emb", res.StaticVectors, false)
+	case "bertsim":
+		if res.Contextual == nil {
+			return nil, fmt.Errorf("model: choice %q needs Resources.Contextual", prog.Choice.Embedding)
+		}
+		m.contextual = res.Contextual
+		prog.ContextDim = res.Contextual.Dim()
+		vecs := embeddings.HashVectors(m.vocab, prog.EmbDim, seed)
+		m.tokEmb = nn.NewPretrainedEmbedding(m.PS, "tok.emb", vecs, false)
+	}
+	inDim := prog.EmbDim + prog.ContextDim
+
+	// Encoder block.
+	switch prog.Choice.Encoder {
+	case "BOW":
+		prog.EncoderOut = inDim
+	case "CNN":
+		m.conv = nn.NewConv1D(m.PS, "enc.cnn", inDim, prog.Choice.Hidden, rng)
+		prog.EncoderOut = prog.Choice.Hidden
+	case "GRU":
+		m.gru = nn.NewGRU(m.PS, "enc.gru", inDim, prog.Choice.Hidden, rng)
+		prog.EncoderOut = prog.Choice.Hidden
+	case "BiGRU":
+		m.bigru = nn.NewBiGRU(m.PS, "enc.bigru", inDim, prog.Choice.Hidden, rng)
+		prog.EncoderOut = 2 * prog.Choice.Hidden
+	default:
+		return nil, fmt.Errorf("model: unknown encoder %q", prog.Choice.Encoder)
+	}
+	H := prog.EncoderOut
+
+	if len(prog.SetPayloads) > 0 {
+		m.entEmb = nn.NewEmbedding(m.PS, "ent.emb", m.entVocab.Size(), entityEmbDim, rng)
+		if prog.Choice.EntityAgg == "attn" {
+			m.spanQ = m.PS.New("ent.spanq", 1, H, nn.Randn(rng, 0.1))
+		}
+	}
+
+	// Task heads.
+	for _, tname := range prog.TokenTasks {
+		t := prog.Schema.Tasks[tname]
+		m.tokenHeads[tname] = nn.NewLinear(m.PS, "head."+tname, H, len(t.Classes), rng)
+	}
+	S := len(prog.Slices)
+	for _, tname := range prog.ExampleTasks {
+		t := prog.Schema.Tasks[tname]
+		h := &exampleHead{task: t}
+		if prog.HasSliceTask(tname) && S > 0 {
+			expertDim := maxInt(H/2, 8)
+			for e := 0; e <= S; e++ {
+				h.experts = append(h.experts, nn.NewLinear(m.PS, fmt.Sprintf("head.%s.expert%d", tname, e), H, expertDim, rng))
+				h.expertPred = append(h.expertPred, nn.NewLinear(m.PS, fmt.Sprintf("head.%s.expertpred%d", tname, e), expertDim, len(t.Classes), rng))
+			}
+			for s := 0; s < S; s++ {
+				h.membership = append(h.membership, nn.NewLinear(m.PS, fmt.Sprintf("head.%s.member%d", tname, s), H, 1, rng))
+			}
+			h.out = nn.NewLinear(m.PS, "head."+tname+".out", expertDim, len(t.Classes), rng)
+		} else {
+			h.plain = nn.NewLinear(m.PS, "head."+tname, H, len(t.Classes), rng)
+		}
+		m.exampleHeads[tname] = h
+	}
+	for _, tname := range prog.SetTasks {
+		t := prog.Schema.Tasks[tname]
+		candDim := H + entityEmbDim + H // span ; entity ; query context
+		hdn := maxInt(H/2, 16)
+		sh := &setHead{
+			task:  t,
+			mlp:   nn.NewLinear(m.PS, "head."+tname+".mlp", candDim, hdn, rng),
+			score: nn.NewLinear(m.PS, "head."+tname+".score", hdn, 1, rng),
+		}
+		if prog.HasSliceTask(tname) && S > 0 {
+			for s := 0; s < S; s++ {
+				sh.expertMLP = append(sh.expertMLP, nn.NewLinear(m.PS, fmt.Sprintf("head.%s.exmlp%d", tname, s), candDim, hdn, rng))
+				sh.expertScore = append(sh.expertScore, nn.NewLinear(m.PS, fmt.Sprintf("head.%s.exscore%d", tname, s), hdn, 1, rng))
+				sh.membership = append(sh.membership, nn.NewLinear(m.PS, fmt.Sprintf("head.%s.member%d", tname, s), H, 1, rng))
+			}
+		}
+		m.setHeads[tname] = sh
+	}
+	return m, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Vocab exposes the token vocabulary (for diagnostics and serving).
+func (m *Model) Vocab() *embeddings.Vocab { return m.vocab }
+
+// EntityVocab exposes the entity-id vocabulary.
+func (m *Model) EntityVocab() *embeddings.Vocab { return m.entVocab }
+
+// forwardState carries everything one forward pass produced.
+type forwardState struct {
+	batch    *Batch
+	tokenRep *nn.Node // (B*L, H)
+	queryRep *nn.Node // (B, H)
+
+	tokenLogits   map[string]*nn.Node // per token task: (B*L, C)
+	exampleFinal  map[string]*nn.Node // per example task: (B, C) final logits
+	exampleExpert map[string][]*nn.Node
+	exampleMember map[string][]*nn.Node // membership logits (B,1) per slice
+	setScores     map[string]*nn.Node   // per set task: (N, 1) final scores
+	setExpert     map[string][]*nn.Node // per-slice expert-only scores (N,1)
+	setMember     map[string][]*nn.Node
+	candRep       map[string]*nn.Node
+}
+
+// forward runs the network over a batch under graph g.
+func (m *Model) forward(g *nn.Graph, b *Batch) *forwardState {
+	st := &forwardState{
+		batch:         b,
+		tokenLogits:   map[string]*nn.Node{},
+		exampleFinal:  map[string]*nn.Node{},
+		exampleExpert: map[string][]*nn.Node{},
+		exampleMember: map[string][]*nn.Node{},
+		setScores:     map[string]*nn.Node{},
+		setExpert:     map[string][]*nn.Node{},
+		setMember:     map[string][]*nn.Node{},
+		candRep:       map[string]*nn.Node{},
+	}
+	// Token input: learned embedding (+ frozen contextual features).
+	x := m.tokEmb.Forward(g, b.TokenIDs)
+	if m.contextual != nil {
+		ctx := tensor.New(b.B*b.L, m.contextual.Dim())
+		for r, toks := range b.RawTokens {
+			if len(toks) == 0 {
+				continue
+			}
+			enc := m.contextual.Encode(toks)
+			for t := 0; t < len(toks) && t < b.L; t++ {
+				copy(ctx.Row(r*b.L+t), enc.Row(t))
+			}
+		}
+		x = g.Concat(x, g.Const(ctx))
+	}
+	x = g.Dropout(x, m.Prog.Choice.Dropout)
+
+	// Encoder.
+	var h *nn.Node
+	switch {
+	case m.conv != nil:
+		h = g.ReLU(m.conv.Forward(g, x, b.B, b.L))
+	case m.gru != nil:
+		h = m.gru.Forward(g, x, b.Mask, b.B, b.L)
+	case m.bigru != nil:
+		h = m.bigru.Forward(g, x, b.Mask, b.B, b.L)
+	default:
+		h = x // BOW
+	}
+	h = g.Dropout(h, m.Prog.Choice.Dropout)
+	st.tokenRep = h
+
+	// Query payload: pooled token representation.
+	if m.Prog.Choice.QueryAgg == "max" {
+		st.queryRep = g.MaskedMaxPool(h, b.Mask, b.B, b.L)
+	} else {
+		st.queryRep = g.MaskedMeanPool(h, b.Mask, b.B, b.L)
+	}
+
+	// Token-task heads (sorted task order keeps the tape, and therefore
+	// float summation order, deterministic).
+	for _, tname := range m.Prog.TokenTasks {
+		st.tokenLogits[tname] = m.tokenHeads[tname].Forward(g, h)
+	}
+
+	// Example-task heads.
+	for _, tname := range m.Prog.ExampleTasks {
+		m.forwardExampleHead(g, st, tname, m.exampleHeads[tname])
+	}
+
+	// Set payload representation + heads.
+	for _, sp := range m.Prog.SetPayloads {
+		sb := b.Sets[sp]
+		var spanRep *nn.Node
+		if m.spanQ != nil && m.Prog.Choice.EntityAgg == "attn" {
+			spanRep = g.SpanAttnPool(h, sb.Spans, b.L, m.spanQ.Node)
+		} else {
+			spanRep = g.SpanMeanPool(h, sb.Spans, b.L)
+		}
+		entRep := m.entEmb.Forward(g, sb.CandEnt)
+		// Query context per candidate: gather the owning example's rep.
+		owner := make([]int, len(sb.Spans))
+		for i, s := range sb.Spans {
+			owner[i] = s.Example
+		}
+		qctx := g.GatherRows(st.queryRep, owner)
+		cand := g.Concat3(spanRep, entRep, qctx)
+		st.candRep[sp] = cand
+	}
+	for _, tname := range m.Prog.SetTasks {
+		m.forwardSetHead(g, st, tname, m.setHeads[tname])
+	}
+	return st
+}
+
+// forwardExampleHead computes final logits (and slice internals) for one
+// per-example task.
+func (m *Model) forwardExampleHead(g *nn.Graph, st *forwardState, tname string, head *exampleHead) {
+	q := st.queryRep
+	if head.plain != nil {
+		st.exampleFinal[tname] = head.plain.Forward(g, q)
+		return
+	}
+	B := st.batch.B
+	S := len(head.membership)
+	// Expert representations (0 = base).
+	var reps []*nn.Node
+	for _, ex := range head.experts {
+		reps = append(reps, g.ReLU(ex.Forward(g, q)))
+	}
+	// Membership logits; the base expert has a fixed 0 logit, so the
+	// attention input is [zeros, u_1, ..., u_S] per example.
+	memberNodes := make([]*nn.Node, 0, S)
+	for s := 0; s < S; s++ {
+		memberNodes = append(memberNodes, head.membership[s].Forward(g, q))
+	}
+	st.exampleMember[tname] = memberNodes
+	attnIn := g.Const(tensor.New(B, 1)) // base column of zeros
+	for s := 0; s < S; s++ {
+		attnIn = g.Concat(attnIn, memberNodes[s])
+	}
+	weights := g.Softmax(attnIn)
+	mixed := g.MixExperts(weights, reps)
+	st.exampleFinal[tname] = head.out.Forward(g, mixed)
+	// Expert-specific predictions for aux losses.
+	var preds []*nn.Node
+	for e, pred := range head.expertPred {
+		preds = append(preds, pred.Forward(g, reps[e]))
+	}
+	st.exampleExpert[tname] = preds
+}
+
+// forwardSetHead computes candidate scores for one select task.
+func (m *Model) forwardSetHead(g *nn.Graph, st *forwardState, tname string, head *setHead) {
+	cand := st.candRep[head.task.Payload]
+	if cand == nil || cand.Value.Rows == 0 {
+		st.setScores[tname] = g.Const(tensor.New(0, 1))
+		return
+	}
+	base := head.score.Forward(g, g.ReLU(head.mlp.Forward(g, cand)))
+	total := base
+	S := len(head.membership)
+	if S > 0 {
+		sb := st.batch.Sets[head.task.Payload]
+		owner := make([]int, len(sb.Spans))
+		for i, s := range sb.Spans {
+			owner[i] = s.Example
+		}
+		var members []*nn.Node
+		var experts []*nn.Node
+		for s := 0; s < S; s++ {
+			u := head.membership[s].Forward(g, st.queryRep) // (B,1)
+			members = append(members, u)
+			gate := g.Sigmoid(u)                  // (B,1)
+			gateCand := g.GatherRows(gate, owner) // (N,1)
+			es := head.expertScore[s].Forward(g, g.ReLU(head.expertMLP[s].Forward(g, cand)))
+			experts = append(experts, es)
+			total = g.Add(total, g.Mul(gateCand, es))
+		}
+		st.setMember[tname] = members
+		st.setExpert[tname] = experts
+	}
+	st.setScores[tname] = total
+}

@@ -1,0 +1,394 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/embeddings"
+	"repro/internal/labelmodel"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func testChoice() schema.Choice {
+	return schema.Choice{
+		Embedding: "hash-16", Encoder: "CNN", Hidden: 24,
+		QueryAgg: "mean", EntityAgg: "mean",
+		LR: 0.01, Epochs: 2, Dropout: 0, BatchSize: 8,
+	}
+}
+
+func testResources() *compile.Resources {
+	kb := workload.DefaultKB()
+	var entIDs []string
+	for _, e := range kb.Entities {
+		entIDs = append(entIDs, e.ID)
+	}
+	return &compile.Resources{
+		TokenVocab:  workload.Vocabulary(kb),
+		EntityVocab: entIDs,
+	}
+}
+
+func buildModel(t *testing.T, choice schema.Choice, slices []string) *Model {
+	t.Helper()
+	prog, err := compile.Plan(workload.FactoidSchema(), choice, slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(prog, testResources(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func smallDataset(t *testing.T, n int, seed int64) *record.Dataset {
+	t.Helper()
+	return workload.StandardDataset(n, seed, 0.2)
+}
+
+func TestNewModelAllEncoders(t *testing.T) {
+	for _, enc := range []string{"BOW", "CNN", "GRU", "BiGRU"} {
+		c := testChoice()
+		c.Encoder = enc
+		m := buildModel(t, c, nil)
+		if m.PS.NumParams() == 0 {
+			t.Fatalf("%s: no parameters", enc)
+		}
+		// One forward pass must succeed and produce outputs for all tasks.
+		ds := smallDataset(t, 12, 3)
+		outs, err := m.Predict(ds.Records)
+		if err != nil {
+			t.Fatalf("%s: predict: %v", enc, err)
+		}
+		for i, out := range outs {
+			for _, task := range []string{"POS", "EntityType", "Intent", "IntentArg"} {
+				if _, ok := out[task]; !ok {
+					t.Fatalf("%s: record %d missing task %s", enc, i, task)
+				}
+			}
+		}
+	}
+}
+
+func TestPredictShapes(t *testing.T) {
+	m := buildModel(t, testChoice(), nil)
+	ds := smallDataset(t, 20, 5)
+	outs, err := m.Predict(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range ds.Records {
+		out := outs[i]
+		nTok := len(rec.Payloads["tokens"].Tokens)
+		if len(out["POS"].TokenClasses) != nTok {
+			t.Fatalf("POS length %d != %d", len(out["POS"].TokenClasses), nTok)
+		}
+		if len(out["EntityType"].TokenBits) != nTok {
+			t.Fatalf("EntityType rows wrong")
+		}
+		if out["Intent"].Class == "" {
+			t.Fatalf("Intent missing")
+		}
+		var probSum float64
+		for _, p := range out["Intent"].Probs {
+			probSum += p
+		}
+		if math.Abs(probSum-1) > 1e-9 {
+			t.Fatalf("Intent probs sum %g", probSum)
+		}
+		nCand := len(rec.Payloads["entities"].Set)
+		if nCand > 0 {
+			if out["IntentArg"].Select < 0 || out["IntentArg"].Select >= nCand {
+				t.Fatalf("IntentArg out of range")
+			}
+			if len(out["IntentArg"].SelectProbs) != nCand {
+				t.Fatalf("SelectProbs wrong length")
+			}
+		}
+	}
+}
+
+func TestPredictDeterministic(t *testing.T) {
+	m := buildModel(t, testChoice(), nil)
+	ds := smallDataset(t, 10, 7)
+	o1, err := m.Predict(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := m.Predict(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range o1 {
+		if o1[i]["Intent"].Class != o2[i]["Intent"].Class {
+			t.Fatalf("prediction not deterministic")
+		}
+	}
+}
+
+func TestModelGradCheck(t *testing.T) {
+	// Gradient-check the full compiled model (CNN encoder, all four task
+	// losses) — the definitive autodiff integration test.
+	c := testChoice()
+	c.Hidden = 8
+	c.Embedding = "hash-6"
+	m := buildModel(t, c, nil)
+	ds := smallDataset(t, 4, 11)
+	idx := []int{0, 1, 2, 3}
+	targets := combineAll(t, ds)
+	build := func() (*nn.Graph, *nn.Node) {
+		g, st, err := m.Forward(ds.Records[:4], idx, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss, err := m.LossForTest(g, st, targets, LossConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, loss
+	}
+	// Check a subset of parameters (full set is slow): embedding rows get
+	// sparse grads; heads and encoder get dense ones.
+	var check []*nn.Param
+	for _, p := range m.PS.All() {
+		switch p.Name {
+		case "enc.cnn.W", "enc.cnn.b", "head.Intent.W", "head.Intent.b",
+			"head.POS.W", "head.EntityType.b", "head.IntentArg.mlp.b", "head.IntentArg.score.W",
+			"ent.emb":
+			check = append(check, p)
+		}
+	}
+	if len(check) < 5 {
+		t.Fatalf("parameter names drifted; only %d matched", len(check))
+	}
+	if _, err := nn.GradCheck(check, build, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelGradCheckSliced(t *testing.T) {
+	c := testChoice()
+	c.Hidden = 8
+	c.Embedding = "hash-6"
+	m := buildModel(t, c, []string{workload.SliceNutrition, workload.SliceDisambig})
+	ds := smallDataset(t, 4, 13)
+	idx := []int{0, 1, 2, 3}
+	targets := combineAll(t, ds)
+	build := func() (*nn.Graph, *nn.Node) {
+		g, st, err := m.Forward(ds.Records[:4], idx, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss, err := m.LossForTest(g, st, targets, LossConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, loss
+	}
+	var check []*nn.Param
+	for _, p := range m.PS.All() {
+		switch p.Name {
+		case "head.Intent.expert0.W", "head.Intent.expert1.W", "head.Intent.member0.W",
+			"head.Intent.out.W", "head.IntentArg.exmlp0.W", "head.IntentArg.member1.W",
+			"head.IntentArg.exscore1.W":
+			check = append(check, p)
+		}
+	}
+	if len(check) < 5 {
+		t.Fatalf("sliced parameter names drifted; only %d matched", len(check))
+	}
+	if _, err := nn.GradCheck(check, build, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func combineAll(t *testing.T, ds *record.Dataset) map[string]*labelmodel.TaskTargets {
+	t.Helper()
+	targets := map[string]*labelmodel.TaskTargets{}
+	for _, tname := range ds.Schema.TaskNames() {
+		tt, err := labelmodel.Combine(ds.Records, ds.Schema, tname, labelmodel.CombineConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets[tname] = tt
+	}
+	return targets
+}
+
+func TestTrainStepReducesLoss(t *testing.T) {
+	m := buildModel(t, testChoice(), nil)
+	ds := smallDataset(t, 32, 17)
+	targets := combineAll(t, ds)
+	idx := make([]int, len(ds.Records))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(1))
+	optimizer := opt.NewAdam(m.PS.All())
+	var first, last float64
+	for step := 0; step < 30; step++ {
+		loss, err := m.TrainStep(ds.Records, idx, targets, LossConfig{}, optimizer, 0.01, 5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: %.4f -> %.4f", first, last)
+	}
+}
+
+func TestEvaluateAgainstGold(t *testing.T) {
+	m := buildModel(t, testChoice(), nil)
+	ds := smallDataset(t, 40, 19)
+	ms, err := m.Evaluate(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range []string{"POS", "EntityType", "Intent", "IntentArg"} {
+		tm, ok := ms[task]
+		if !ok {
+			t.Fatalf("missing metrics for %s", task)
+		}
+		if tm.N == 0 {
+			t.Fatalf("%s evaluated over zero units", task)
+		}
+		if tm.Primary < 0 || tm.Primary > 1 {
+			t.Fatalf("%s primary out of range: %g", task, tm.Primary)
+		}
+	}
+	if ms["Intent"].PrimaryName != "accuracy" || ms["EntityType"].PrimaryName != "f1" {
+		t.Fatalf("primary metric names wrong")
+	}
+	// EvaluateTag filters.
+	tagged, err := m.EvaluateTag(ds.Records, record.TagTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tagged["Intent"].N >= ms["Intent"].N {
+		t.Fatalf("EvaluateTag did not filter")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := buildModel(t, testChoice(), []string{workload.SliceNutrition})
+	ds := smallDataset(t, 10, 23)
+	before, err := m.Predict(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := m2.Predict(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i]["Intent"].Class != after[i]["Intent"].Class {
+			t.Fatalf("Intent drift after reload")
+		}
+		if before[i]["IntentArg"].Select != after[i]["IntentArg"].Select {
+			t.Fatalf("IntentArg drift after reload")
+		}
+		for c, p := range before[i]["Intent"].Probs {
+			if math.Abs(p-after[i]["Intent"].Probs[c]) > 1e-12 {
+				t.Fatalf("prob drift after reload")
+			}
+		}
+	}
+}
+
+func TestSaveLoadBERTSim(t *testing.T) {
+	RegisterContextualCodec(embeddings.BERTSimCodec{})
+	corpus := workload.Corpus(60, 29)
+	vocab := embeddings.NewVocab(workload.Vocabulary(workload.DefaultKB()))
+	enc := embeddings.PretrainBERTSim(corpus, vocab, embeddings.BERTSimConfig{Dim: 8, Hidden: 8, Epochs: 1, Seed: 31})
+	c := testChoice()
+	c.Embedding = "bertsim-8"
+	prog, err := compile.Plan(workload.FactoidSchema(), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := testResources()
+	res.Contextual = enc
+	m, err := New(prog, res, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := smallDataset(t, 8, 31)
+	before, err := m.Predict(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := m2.Predict(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i]["Intent"].Class != after[i]["Intent"].Class {
+			t.Fatalf("bertsim model drift after reload")
+		}
+	}
+}
+
+func TestMissingResourcesErrors(t *testing.T) {
+	c := testChoice()
+	c.Embedding = "pretrained-16"
+	prog, err := compile.Plan(workload.FactoidSchema(), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(prog, testResources(), 1); err == nil {
+		t.Fatalf("pretrained without vectors accepted")
+	}
+	c.Embedding = "bertsim-16"
+	prog2, err := compile.Plan(workload.FactoidSchema(), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(prog2, testResources(), 1); err == nil {
+		t.Fatalf("bertsim without encoder accepted")
+	}
+}
+
+func TestEmptyCandidateSets(t *testing.T) {
+	m := buildModel(t, testChoice(), nil)
+	ds := smallDataset(t, 4, 37)
+	// Remove the candidates from one record.
+	ds.Records[1].Payloads["entities"] = record.PayloadValue{Set: nil}
+	outs, err := m.Predict(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[1]["IntentArg"].Select != -1 {
+		t.Fatalf("empty candidate set should predict -1")
+	}
+	if outs[0]["IntentArg"].Select < 0 {
+		t.Fatalf("non-empty candidate set affected")
+	}
+}

@@ -1,0 +1,180 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/tensor"
+)
+
+// TaskOutput is the model's prediction for one task on one record. Exactly
+// one group of fields is populated depending on the task's type and
+// granularity.
+type TaskOutput struct {
+	// Per-example multiclass.
+	Class string    `json:"class,omitempty"`
+	Probs []float64 `json:"probs,omitempty"`
+	// Per-token multiclass.
+	TokenClasses []string `json:"token_classes,omitempty"`
+	// Bitvector (per token): set bits and per-bit probabilities.
+	TokenBits     [][]string  `json:"token_bits,omitempty"`
+	TokenBitProbs [][]float64 `json:"token_bit_probs,omitempty"`
+	// Select: chosen candidate index (-1 when the set is empty) and
+	// per-candidate probabilities.
+	Select      int       `json:"select,omitempty"`
+	SelectProbs []float64 `json:"select_probs,omitempty"`
+}
+
+// Output maps task name to prediction for one record.
+type Output map[string]TaskOutput
+
+// Predict runs inference over records in batches. The output is aligned
+// with the input order.
+func (m *Model) Predict(recs []*record.Record) ([]Output, error) {
+	outs := make([]Output, len(recs))
+	for _, idx := range batchIndices(len(recs), m.Prog.Choice.BatchSize) {
+		chunk := make([]*record.Record, len(idx))
+		for i, j := range idx {
+			chunk[i] = recs[j]
+		}
+		b, err := m.makeBatch(chunk, idx)
+		if err != nil {
+			return nil, err
+		}
+		g := nn.NewGraph(false, nil)
+		st := m.forward(g, b)
+		for i, j := range idx {
+			outs[j] = m.decode(st, i)
+		}
+	}
+	return outs, nil
+}
+
+// PredictOne is the single-record convenience wrapper used by serving.
+func (m *Model) PredictOne(rec *record.Record) (Output, error) {
+	outs, err := m.Predict([]*record.Record{rec})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// decode extracts row r of a forward pass into an Output.
+func (m *Model) decode(st *forwardState, r int) Output {
+	out := Output{}
+	b := st.batch
+	nTok := len(b.RawTokens[r])
+
+	for tname, logits := range st.tokenLogits {
+		task := m.Prog.Schema.Tasks[tname]
+		switch task.Type {
+		case schema.Multiclass:
+			probs := tensor.SoftmaxRows(tensor.New(nTok, logits.Value.Cols), sliceRows(logits.Value, r*b.L, nTok))
+			to := TaskOutput{TokenClasses: make([]string, nTok)}
+			for t := 0; t < nTok; t++ {
+				to.TokenClasses[t] = task.Classes[probs.ArgmaxRow(t)]
+			}
+			out[tname] = to
+		case schema.Bitvector:
+			to := TaskOutput{
+				TokenBits:     make([][]string, nTok),
+				TokenBitProbs: make([][]float64, nTok),
+			}
+			for t := 0; t < nTok; t++ {
+				row := logits.Value.Row(r*b.L + t)
+				bits := []string{}
+				probs := make([]float64, len(row))
+				for c, v := range row {
+					p := sigmoidVal(v)
+					probs[c] = p
+					if p >= 0.5 {
+						bits = append(bits, task.Classes[c])
+					}
+				}
+				to.TokenBits[t] = bits
+				to.TokenBitProbs[t] = probs
+			}
+			out[tname] = to
+		}
+	}
+
+	for tname, final := range st.exampleFinal {
+		task := m.Prog.Schema.Tasks[tname]
+		switch task.Type {
+		case schema.Multiclass:
+			probs := tensor.SoftmaxRows(tensor.New(1, final.Value.Cols), sliceRows(final.Value, r, 1))
+			out[tname] = TaskOutput{
+				Class: task.Classes[probs.ArgmaxRow(0)],
+				Probs: append([]float64(nil), probs.Row(0)...),
+			}
+		case schema.Bitvector:
+			row := final.Value.Row(r)
+			bits := []string{}
+			probs := make([]float64, len(row))
+			for c, v := range row {
+				p := sigmoidVal(v)
+				probs[c] = p
+				if p >= 0.5 {
+					bits = append(bits, task.Classes[c])
+				}
+			}
+			out[tname] = TaskOutput{TokenBits: [][]string{bits}, TokenBitProbs: [][]float64{probs}}
+		}
+	}
+
+	for tname, scores := range st.setScores {
+		task := m.Prog.Schema.Tasks[tname]
+		sb := b.Sets[task.Payload]
+		seg := sb.Segs[r]
+		if seg.End <= seg.Start {
+			out[tname] = TaskOutput{Select: -1}
+			continue
+		}
+		n := seg.End - seg.Start
+		probs := softmaxSlice(scores.Value.Data[seg.Start:seg.End])
+		best := 0
+		for i := 1; i < n; i++ {
+			if probs[i] > probs[best] {
+				best = i
+			}
+		}
+		out[tname] = TaskOutput{Select: best, SelectProbs: probs}
+	}
+	return out
+}
+
+// sliceRows views rows [start, start+n) of t as a new tensor (copy-free for
+// reading via FromSlice on the aliased data).
+func sliceRows(t *tensor.Tensor, start, n int) *tensor.Tensor {
+	return tensor.FromSlice(n, t.Cols, t.Data[start*t.Cols:(start+n)*t.Cols])
+}
+
+func sigmoidVal(v float64) float64 {
+	if v >= 0 {
+		z := math.Exp(-v)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(v)
+	return z / (1 + z)
+}
+
+func softmaxSlice(scores []float64) []float64 {
+	out := make([]float64, len(scores))
+	maxv := scores[0]
+	for _, v := range scores {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var z float64
+	for i, v := range scores {
+		out[i] = math.Exp(v - maxv)
+		z += out[i]
+	}
+	for i := range out {
+		out[i] /= z
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package model
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/compile"
+	"repro/internal/schema"
+	"repro/internal/tensor"
+)
+
+// state is the gob-serialisable snapshot of a trained model: everything a
+// server needs to reload and answer queries (the deployable artifact of
+// Figure 1). The serving signature is derivable from the embedded schema.
+type state struct {
+	SchemaJSON  []byte
+	Choice      schema.Choice
+	Slices      []string
+	TokenVocab  []string
+	EntityVocab []string
+	Params      map[string]*tensor.Tensor
+	Frozen      map[string]bool
+	Seed        int64
+	// ContextualState holds the frozen BERT-sim encoder when the choice
+	// uses one (nil otherwise). Stored as an opaque gob blob produced by
+	// the embeddings package.
+	ContextualBlob []byte
+}
+
+// ContextualCodec serialises a ContextualEncoder. The embeddings package
+// registers its implementation via RegisterContextualCodec; keeping the
+// hook indirect avoids a dependency cycle.
+type ContextualCodec interface {
+	Encode(enc compile.ContextualEncoder) ([]byte, error)
+	Decode(blob []byte) (compile.ContextualEncoder, error)
+}
+
+var contextualCodec ContextualCodec
+
+// RegisterContextualCodec installs the codec used for saving/loading
+// contextual encoders.
+func RegisterContextualCodec(c ContextualCodec) { contextualCodec = c }
+
+// Save writes the model artifact to w.
+func (m *Model) Save(w io.Writer) error {
+	schemaJSON, err := m.Prog.Schema.JSON()
+	if err != nil {
+		return fmt.Errorf("model: save: %w", err)
+	}
+	st := state{
+		SchemaJSON:  schemaJSON,
+		Choice:      m.Prog.Choice,
+		Slices:      m.Prog.Slices,
+		TokenVocab:  vocabPayload(m.vocab.Tokens()),
+		EntityVocab: vocabPayload(m.entVocab.Tokens()),
+		Params:      map[string]*tensor.Tensor{},
+		Frozen:      map[string]bool{},
+		Seed:        m.Seed,
+	}
+	for _, p := range m.PS.All() {
+		st.Params[p.Name] = p.Node.Value
+		if p.Frozen {
+			st.Frozen[p.Name] = true
+		}
+	}
+	if m.contextual != nil {
+		if contextualCodec == nil {
+			return fmt.Errorf("model: save: no contextual codec registered")
+		}
+		blob, err := contextualCodec.Encode(m.contextual)
+		if err != nil {
+			return fmt.Errorf("model: save contextual: %w", err)
+		}
+		st.ContextualBlob = blob
+	}
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// vocabPayload strips the two reserved slots (they are re-added on load).
+func vocabPayload(tokens []string) []string {
+	if len(tokens) >= 2 {
+		return tokens[2:]
+	}
+	return nil
+}
+
+// SaveFile writes the artifact to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("model: %w", err)
+	}
+	defer f.Close()
+	return m.Save(f)
+}
+
+// Load reads a model artifact written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var st state
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("model: load: %w", err)
+	}
+	sch, err := schema.Parse(st.SchemaJSON)
+	if err != nil {
+		return nil, fmt.Errorf("model: load schema: %w", err)
+	}
+	prog, err := compile.Plan(sch, st.Choice, st.Slices)
+	if err != nil {
+		return nil, fmt.Errorf("model: load plan: %w", err)
+	}
+	res := &compile.Resources{TokenVocab: st.TokenVocab, EntityVocab: st.EntityVocab}
+	family, dim, err := compile.EmbeddingFamily(st.Choice.Embedding)
+	if err != nil {
+		return nil, err
+	}
+	switch family {
+	case "pretrained":
+		// Placeholder with the right shape; real weights land below.
+		res.StaticVectors = tensor.New(len(st.TokenVocab)+2, dim)
+	case "bertsim":
+		if contextualCodec == nil {
+			return nil, fmt.Errorf("model: load: no contextual codec registered")
+		}
+		enc, err := contextualCodec.Decode(st.ContextualBlob)
+		if err != nil {
+			return nil, fmt.Errorf("model: load contextual: %w", err)
+		}
+		res.Contextual = enc
+	}
+	m, err := New(prog, res, st.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range m.PS.All() {
+		saved, ok := st.Params[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("model: load: artifact missing parameter %q", p.Name)
+		}
+		if !saved.SameShape(p.Node.Value) {
+			return nil, fmt.Errorf("model: load: parameter %q shape %dx%d, want %dx%d",
+				p.Name, saved.Rows, saved.Cols, p.Node.Value.Rows, p.Node.Value.Cols)
+		}
+		copy(p.Node.Value.Data, saved.Data)
+		p.Frozen = st.Frozen[p.Name]
+	}
+	return m, nil
+}
+
+// LoadFile reads a model artifact from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Bytes serialises the model to a byte slice (for the artifact store).
+func (m *Model) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

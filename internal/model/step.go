@@ -1,0 +1,49 @@
+package model
+
+import (
+	"math/rand"
+
+	"repro/internal/labelmodel"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/record"
+)
+
+// TrainStep runs one optimisation step on a batch of records (at dataset
+// indices idx) and returns the batch loss. Exposed so the trainer and the
+// search harness share one code path.
+func (m *Model) TrainStep(recs []*record.Record, idx []int, targets map[string]*labelmodel.TaskTargets, lossCfg LossConfig, optimizer opt.Optimizer, lr, clipNorm float64, rng *rand.Rand) (float64, error) {
+	b, err := m.makeBatch(recs, idx)
+	if err != nil {
+		return 0, err
+	}
+	g := nn.NewGraph(true, rng)
+	st := m.forward(g, b)
+	loss, err := m.Loss(g, st, targets, lossCfg)
+	if err != nil {
+		return 0, err
+	}
+	g.Backward(loss)
+	opt.ClipGradNorm(m.PS.All(), clipNorm)
+	optimizer.Step(lr)
+	return loss.Value.Data[0], nil
+}
+
+// Forward exposes a raw forward pass for diagnostic tooling (gradient
+// checks in tests, probing representations). Training callers should use
+// TrainStep.
+func (m *Model) Forward(recs []*record.Record, idx []int, training bool, rng *rand.Rand) (*nn.Graph, *forwardState, error) {
+	b, err := m.makeBatch(recs, idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := nn.NewGraph(training, rng)
+	st := m.forward(g, b)
+	return g, st, nil
+}
+
+// LossForTest builds the training loss for a forward state (test hook for
+// gradient checking the full compiled model).
+func (m *Model) LossForTest(g *nn.Graph, st *forwardState, targets map[string]*labelmodel.TaskTargets, cfg LossConfig) (*nn.Node, error) {
+	return m.Loss(g, st, targets, cfg)
+}

@@ -1,0 +1,336 @@
+// Package monitor implements Overton's fine-grained quality monitoring: the
+// per-tag and per-slice reports engineers live in (Section 2.2), source
+// quality diagnostics (label-model estimates next to gold agreement), and
+// model-version comparison with regression detection — the week-to-week
+// battle of improving fine-grained quality for important subsets.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/labelmodel"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/record"
+)
+
+// SourceQuality pairs the label model's estimate of a source with its
+// empirical agreement against gold (where gold exists).
+type SourceQuality struct {
+	Source       string  `json:"source"`
+	EstimatedAcc float64 `json:"estimated_acc"`
+	Coverage     float64 `json:"coverage"`
+	GoldAcc      float64 `json:"gold_acc"`
+	GoldN        float64 `json:"gold_n"`
+}
+
+// Report is a full quality report for one model over one dataset.
+type Report struct {
+	Name    string                         `json:"name"`
+	Overall map[string]metrics.TaskMetrics `json:"overall"`
+	// PerTag maps tag -> task -> metrics, for every requested tag
+	// (slices are tags, so slice monitoring comes for free).
+	PerTag map[string]map[string]metrics.TaskMetrics `json:"per_tag"`
+	// TagCounts records how many records carry each tag.
+	TagCounts map[string]int `json:"tag_counts"`
+	// Sources maps task -> per-source quality diagnostics.
+	Sources map[string][]SourceQuality `json:"sources,omitempty"`
+}
+
+// Config controls report construction.
+type Config struct {
+	Name string
+	// Tags to break down by; nil means every tag present in the data.
+	Tags []string
+	// EvalTag restricts the evaluation population (typically "test");
+	// empty evaluates over all records.
+	EvalTag string
+	// Targets, when provided, adds label-model source estimates to the
+	// source-quality section.
+	Targets map[string]*labelmodel.TaskTargets
+}
+
+// Build evaluates m over ds and assembles the report.
+func Build(m *model.Model, ds *record.Dataset, cfg Config) (*Report, error) {
+	pop := ds.Records
+	if cfg.EvalTag != "" {
+		pop = ds.WithTag(cfg.EvalTag)
+	}
+	overall, err := m.Evaluate(pop)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Name:      cfg.Name,
+		Overall:   overall,
+		PerTag:    map[string]map[string]metrics.TaskMetrics{},
+		TagCounts: map[string]int{},
+	}
+	tags := cfg.Tags
+	if tags == nil {
+		tags = ds.Tags()
+	}
+	for _, tag := range tags {
+		var sub []*record.Record
+		for _, r := range pop {
+			if r.HasTag(tag) {
+				sub = append(sub, r)
+			}
+		}
+		rep.TagCounts[tag] = len(sub)
+		if len(sub) == 0 {
+			continue
+		}
+		ms, err := m.Evaluate(sub)
+		if err != nil {
+			return nil, err
+		}
+		rep.PerTag[tag] = ms
+	}
+	rep.Sources = sourceQuality(ds, cfg.Targets)
+	return rep, nil
+}
+
+// sourceQuality computes per-source gold agreement plus label-model
+// estimates when available.
+func sourceQuality(ds *record.Dataset, targets map[string]*labelmodel.TaskTargets) map[string][]SourceQuality {
+	type agg struct {
+		correct, n float64
+		votes      float64
+	}
+	perTask := map[string]map[string]*agg{}
+	var total float64
+	for _, r := range ds.Records {
+		total++
+		for task, tl := range r.Tasks {
+			gold, hasGold := tl[record.GoldSource]
+			for src, l := range tl {
+				if src == record.GoldSource {
+					continue
+				}
+				if perTask[task] == nil {
+					perTask[task] = map[string]*agg{}
+				}
+				a := perTask[task][src]
+				if a == nil {
+					a = &agg{}
+					perTask[task][src] = a
+				}
+				a.votes++
+				if !hasGold {
+					continue
+				}
+				c, n := labelAgreement(gold, l)
+				a.correct += c
+				a.n += n
+			}
+		}
+	}
+	out := map[string][]SourceQuality{}
+	for task, srcs := range perTask {
+		var rows []SourceQuality
+		for src, a := range srcs {
+			sq := SourceQuality{Source: src}
+			if a.n > 0 {
+				sq.GoldAcc = a.correct / a.n
+				sq.GoldN = a.n
+			}
+			if total > 0 {
+				sq.Coverage = a.votes / total
+			}
+			if tt := targets[task]; tt != nil {
+				sq.EstimatedAcc = tt.SourceAccuracy[src]
+				if cov, ok := tt.SourceCoverage[src]; ok {
+					sq.Coverage = cov
+				}
+			}
+			rows = append(rows, sq)
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Source < rows[j].Source })
+		out[task] = rows
+	}
+	return out
+}
+
+// labelAgreement scores one source label against gold, returning (correct
+// units, total units).
+func labelAgreement(gold, l record.Label) (float64, float64) {
+	switch gold.Kind {
+	case record.KindClass:
+		if l.Kind != record.KindClass {
+			return 0, 0
+		}
+		if l.Class == gold.Class {
+			return 1, 1
+		}
+		return 0, 1
+	case record.KindSelect:
+		if l.Kind != record.KindSelect {
+			return 0, 0
+		}
+		if l.Select == gold.Select {
+			return 1, 1
+		}
+		return 0, 1
+	case record.KindSeq:
+		if l.Kind != record.KindSeq {
+			return 0, 0
+		}
+		var c, n float64
+		for i, g := range gold.Seq {
+			if i >= len(l.Seq) || l.Seq[i] == "" {
+				continue
+			}
+			n++
+			if l.Seq[i] == g {
+				c++
+			}
+		}
+		return c, n
+	case record.KindBits:
+		if l.Kind != record.KindBits {
+			return 0, 0
+		}
+		var c, n float64
+		for i, grow := range gold.Bits {
+			if i >= len(l.Bits) {
+				break
+			}
+			n++
+			if sameStrSet(grow, l.Bits[i]) {
+				c++
+			}
+		}
+		return c, n
+	}
+	return 0, 0
+}
+
+func sameStrSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[string]bool{}
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes the report as human-readable text.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== quality report: %s ===\n", r.Name)
+	fmt.Fprintln(w, "overall:")
+	for _, task := range metrics.SortedTasks(r.Overall) {
+		fmt.Fprintf(w, "  %s\n", r.Overall[task])
+	}
+	var tags []string
+	for t := range r.PerTag {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	for _, tag := range tags {
+		fmt.Fprintf(w, "tag %s (%d records):\n", tag, r.TagCounts[tag])
+		for _, task := range metrics.SortedTasks(r.PerTag[tag]) {
+			fmt.Fprintf(w, "  %s\n", r.PerTag[tag][task])
+		}
+	}
+	if len(r.Sources) > 0 {
+		fmt.Fprintln(w, "sources:")
+		var taskNames []string
+		for t := range r.Sources {
+			taskNames = append(taskNames, t)
+		}
+		sort.Strings(taskNames)
+		for _, task := range taskNames {
+			for _, sq := range r.Sources[task] {
+				fmt.Fprintf(w, "  %-12s %-10s est=%.3f gold=%.3f cov=%.3f\n",
+					task, sq.Source, sq.EstimatedAcc, sq.GoldAcc, sq.Coverage)
+			}
+		}
+	}
+}
+
+// JSON renders the report as JSON.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// WriteCSV exports per-tag task metrics as CSV (tag, task, metric, value, n)
+// — the Pandas-friendly export path.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "tag,task,metric,value,n"); err != nil {
+		return err
+	}
+	emit := func(tag string, ms map[string]metrics.TaskMetrics) {
+		for _, task := range metrics.SortedTasks(ms) {
+			m := ms[task]
+			fmt.Fprintf(w, "%s,%s,%s,%.6f,%.0f\n", tag, task, m.PrimaryName, m.Primary, m.N)
+		}
+	}
+	emit("__overall__", r.Overall)
+	var tags []string
+	for t := range r.PerTag {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	for _, tag := range tags {
+		emit(tag, r.PerTag[tag])
+	}
+	return nil
+}
+
+// Delta is one task's quality change between two reports on one tag.
+type Delta struct {
+	Tag    string  `json:"tag"`
+	Task   string  `json:"task"`
+	Before float64 `json:"before"`
+	After  float64 `json:"after"`
+	Change float64 `json:"change"`
+}
+
+// Comparison is the result of comparing two model versions.
+type Comparison struct {
+	Deltas []Delta `json:"deltas"`
+	// Regressions are deltas whose drop exceeds the threshold.
+	Regressions []Delta `json:"regressions"`
+}
+
+// Compare diffs two reports tag-by-tag and flags regressions larger than
+// threshold (absolute drop in the primary metric). This is the guardrail
+// for "quality regressions as deployment teams tune models" (Section 2.4).
+func Compare(before, after *Report, threshold float64) *Comparison {
+	cmp := &Comparison{}
+	addDeltas := func(tag string, b, a map[string]metrics.TaskMetrics) {
+		for _, task := range metrics.SortedTasks(b) {
+			bm, ok1 := b[task]
+			am, ok2 := a[task]
+			if !ok1 || !ok2 || bm.N == 0 || am.N == 0 {
+				continue
+			}
+			d := Delta{Tag: tag, Task: task, Before: bm.Primary, After: am.Primary, Change: am.Primary - bm.Primary}
+			cmp.Deltas = append(cmp.Deltas, d)
+			if d.Change < -threshold {
+				cmp.Regressions = append(cmp.Regressions, d)
+			}
+		}
+	}
+	addDeltas("__overall__", before.Overall, after.Overall)
+	var tags []string
+	for t := range before.PerTag {
+		if _, ok := after.PerTag[t]; ok {
+			tags = append(tags, t)
+		}
+	}
+	sort.Strings(tags)
+	for _, tag := range tags {
+		addDeltas(tag, before.PerTag[tag], after.PerTag[tag])
+	}
+	return cmp
+}

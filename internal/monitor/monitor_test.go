@@ -1,0 +1,166 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/train"
+	"repro/internal/workload"
+)
+
+func trainedModel(t *testing.T, ds *record.Dataset, epochs int) (*model.Model, map[string]interface{}) {
+	t.Helper()
+	choice := schema.Choice{
+		Embedding: "hash-16", Encoder: "CNN", Hidden: 24,
+		QueryAgg: "mean", EntityAgg: "mean",
+		LR: 0.02, Epochs: epochs, Dropout: 0, BatchSize: 32,
+	}
+	prog, err := compile.Plan(ds.Schema, choice, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := workload.DefaultKB()
+	var ents []string
+	for _, e := range kb.Entities {
+		ents = append(ents, e.ID)
+	}
+	m, err := model.New(prog, &compile.Resources{
+		TokenVocab:  workload.Vocabulary(kb),
+		EntityVocab: ents,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := train.Run(m, ds, train.Config{Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	return m, nil
+}
+
+func TestBuildReport(t *testing.T) {
+	ds := workload.StandardDataset(250, 7, 0.2)
+	m, _ := trainedModel(t, ds, 5)
+	targets, err := train.CombineSupervision(ds, train.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Build(m, ds, Config{
+		Name:    "factoid-v1",
+		EvalTag: record.TagTest,
+		Targets: targets,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Overall) != 4 {
+		t.Fatalf("overall tasks: %d", len(rep.Overall))
+	}
+	// Slices appear as tags with their own metrics.
+	if _, ok := rep.PerTag[workload.SliceDisambig]; !ok {
+		t.Fatalf("disambig slice missing from per-tag report; tags=%v", rep.TagCounts)
+	}
+	// Source diagnostics: estimated accuracies present for intent sources.
+	intentSources := rep.Sources[workload.TaskIntent]
+	if len(intentSources) == 0 {
+		t.Fatalf("no intent source quality rows")
+	}
+	foundKw := false
+	for _, sq := range intentSources {
+		if sq.Source == "kwintent" {
+			foundKw = true
+			if sq.EstimatedAcc <= 0 || sq.GoldAcc <= 0 {
+				t.Fatalf("kwintent diagnostics empty: %+v", sq)
+			}
+		}
+	}
+	if !foundKw {
+		t.Fatalf("kwintent missing from diagnostics")
+	}
+}
+
+func TestRenderAndCSVAndJSON(t *testing.T) {
+	ds := workload.StandardDataset(120, 11, 0.2)
+	m, _ := trainedModel(t, ds, 2)
+	rep, err := Build(m, ds, Config{Name: "r", EvalTag: record.TagTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text bytes.Buffer
+	rep.Render(&text)
+	for _, want := range []string{"quality report", "Intent", "tag "} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, text.String())
+		}
+	}
+	var csv bytes.Buffer
+	if err := rep.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "tag,task,metric,value,n" {
+		t.Fatalf("csv header wrong")
+	}
+	if len(lines) < 5 {
+		t.Fatalf("csv too short")
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed Report
+	if err := json.Unmarshal(js, &parsed); err != nil {
+		t.Fatalf("json round trip: %v", err)
+	}
+	if parsed.Name != "r" {
+		t.Fatalf("json lost name")
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	mkReport := func(intentAcc, sliceAcc float64) *Report {
+		return &Report{
+			Overall: map[string]metrics.TaskMetrics{
+				"Intent": {Task: "Intent", Primary: intentAcc, N: 100},
+			},
+			PerTag: map[string]map[string]metrics.TaskMetrics{
+				"nutrition": {
+					"Intent": {Task: "Intent", Primary: sliceAcc, N: 20},
+				},
+			},
+		}
+	}
+	before := mkReport(0.95, 0.9)
+	after := mkReport(0.96, 0.7) // overall up, slice down 20 points
+	cmp := Compare(before, after, 0.05)
+	if len(cmp.Deltas) != 2 {
+		t.Fatalf("deltas: %d", len(cmp.Deltas))
+	}
+	if len(cmp.Regressions) != 1 {
+		t.Fatalf("regressions: %+v", cmp.Regressions)
+	}
+	reg := cmp.Regressions[0]
+	if reg.Tag != "nutrition" || reg.Change > -0.19 {
+		t.Fatalf("wrong regression flagged: %+v", reg)
+	}
+	// No regression when within threshold.
+	cmp2 := Compare(before, mkReport(0.94, 0.89), 0.05)
+	if len(cmp2.Regressions) != 0 {
+		t.Fatalf("false positive regression")
+	}
+}
+
+func TestCompareSkipsEmptyCells(t *testing.T) {
+	a := &Report{Overall: map[string]metrics.TaskMetrics{"T": {Task: "T", Primary: 0.5, N: 0}}}
+	b := &Report{Overall: map[string]metrics.TaskMetrics{"T": {Task: "T", Primary: 0.1, N: 10}}}
+	cmp := Compare(a, b, 0.01)
+	if len(cmp.Deltas) != 0 {
+		t.Fatalf("zero-N cell compared")
+	}
+}

@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// GradCheck verifies backprop gradients against central finite differences.
+// build must construct a fresh graph and return the scalar loss node; it is
+// called many times with perturbed parameter values, so it must be
+// deterministic (no dropout, fixed inputs). params are the parameters to
+// check. Returns the maximum relative error observed.
+//
+// This is a test utility but lives in the package proper so integration
+// tests of higher-level packages (compile, model) can reuse it.
+func GradCheck(params []*Param, build func() (*Graph, *Node), eps float64) (float64, error) {
+	// Analytic gradients.
+	for _, p := range params {
+		p.Node.ZeroGrad()
+	}
+	g, loss := build()
+	g.Backward(loss)
+	analytic := make(map[string][]float64, len(params))
+	for _, p := range params {
+		grad := make([]float64, p.Node.Value.Len())
+		if p.Node.Grad != nil {
+			copy(grad, p.Node.Grad.Data)
+		}
+		analytic[p.Name] = grad
+	}
+
+	var maxRel float64
+	for _, p := range params {
+		data := p.Node.Value.Data
+		for i := range data {
+			orig := data[i]
+			data[i] = orig + eps
+			_, lp := build()
+			fPlus := lp.Value.Data[0]
+			data[i] = orig - eps
+			_, lm := build()
+			fMinus := lm.Value.Data[0]
+			data[i] = orig
+
+			numeric := (fPlus - fMinus) / (2 * eps)
+			a := analytic[p.Name][i]
+			denom := math.Max(1e-6, math.Abs(numeric)+math.Abs(a))
+			rel := math.Abs(numeric-a) / denom
+			if rel > maxRel {
+				maxRel = rel
+			}
+			if rel > 2e-3 && math.Abs(numeric-a) > 1e-5 {
+				return maxRel, fmt.Errorf("nn: gradcheck %s[%d]: analytic %.8g numeric %.8g rel %.3g",
+					p.Name, i, a, numeric, rel)
+			}
+		}
+	}
+	return maxRel, nil
+}

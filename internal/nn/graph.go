@@ -1,0 +1,190 @@
+// Package nn implements a small define-by-run automatic-differentiation
+// engine and the neural-network building blocks Overton's compiler emits:
+// embeddings, linear layers, CNN and GRU sequence encoders, span attention,
+// masked pooling, slice-expert mixing, and fused noise-aware losses.
+//
+// The design is a tape: every operation appends a Node to the Graph; Backward
+// walks the tape in reverse calling each node's backward closure, which
+// accumulates gradients into its inputs. Parameters are persistent Nodes that
+// live outside any tape; their gradients accumulate until an optimizer step
+// consumes and zeroes them.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Node is a value in the computation graph together with its gradient and
+// the closure that propagates gradients to its inputs.
+type Node struct {
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+
+	requiresGrad bool
+	backward     func()
+	name         string
+}
+
+// RequiresGrad reports whether gradients flow through this node.
+func (n *Node) RequiresGrad() bool { return n.requiresGrad }
+
+// Name returns the optional debug name of the node.
+func (n *Node) Name() string { return n.name }
+
+// ensureGrad lazily allocates the gradient buffer.
+func (n *Node) ensureGrad() *tensor.Tensor {
+	if n.Grad == nil {
+		n.Grad = tensor.New(n.Value.Rows, n.Value.Cols)
+	}
+	return n.Grad
+}
+
+// ZeroGrad clears the accumulated gradient (keeps the buffer).
+func (n *Node) ZeroGrad() {
+	if n.Grad != nil {
+		n.Grad.Zero()
+	}
+}
+
+// Graph is a gradient tape. A fresh Graph is created per forward pass
+// (per mini-batch); parameters are shared across graphs.
+type Graph struct {
+	tape []*Node
+
+	// Training toggles train-time behaviour (dropout). Inference graphs
+	// leave it false.
+	Training bool
+
+	// rng drives stochastic ops (dropout masks). Nil means no stochastic
+	// ops may be used.
+	rng *rand.Rand
+}
+
+// NewGraph creates a tape. rng may be nil for inference-only graphs.
+func NewGraph(training bool, rng *rand.Rand) *Graph {
+	return &Graph{Training: training, rng: rng}
+}
+
+// NumNodes returns the number of tape entries (for tests/diagnostics).
+func (g *Graph) NumNodes() int { return len(g.tape) }
+
+// add registers a new tape node. inputs determine requiresGrad propagation.
+func (g *Graph) add(val *tensor.Tensor, backward func(), inputs ...*Node) *Node {
+	n := &Node{Value: val}
+	for _, in := range inputs {
+		if in != nil && in.requiresGrad {
+			n.requiresGrad = true
+			break
+		}
+	}
+	if n.requiresGrad {
+		n.backward = backward
+	}
+	g.tape = append(g.tape, n)
+	return n
+}
+
+// Const wraps a tensor as a constant leaf (no gradient).
+func (g *Graph) Const(t *tensor.Tensor) *Node {
+	n := &Node{Value: t}
+	g.tape = append(g.tape, n)
+	return n
+}
+
+// Backward runs reverse-mode differentiation from the scalar node loss.
+// The loss node must be 1x1.
+func (g *Graph) Backward(loss *Node) {
+	if loss.Value.Rows != 1 || loss.Value.Cols != 1 {
+		panic(fmt.Sprintf("nn: Backward requires scalar loss, got %dx%d", loss.Value.Rows, loss.Value.Cols))
+	}
+	loss.ensureGrad().Fill(1)
+	for i := len(g.tape) - 1; i >= 0; i-- {
+		n := g.tape[i]
+		if n.backward != nil && n.Grad != nil {
+			n.backward()
+		}
+	}
+}
+
+// Param is a named, persistent, trainable tensor.
+type Param struct {
+	Name   string
+	Node   *Node
+	Frozen bool // excluded from optimizer updates (e.g. pinned pretrained embeddings)
+}
+
+// ParamSet owns the parameters of a model, in creation order.
+type ParamSet struct {
+	params []*Param
+	byName map[string]*Param
+}
+
+// NewParamSet creates an empty parameter registry.
+func NewParamSet() *ParamSet {
+	return &ParamSet{byName: make(map[string]*Param)}
+}
+
+// New registers a rows x cols parameter initialised by init (may be nil for
+// zeros). Panics if the name is already taken.
+func (ps *ParamSet) New(name string, rows, cols int, init func(*tensor.Tensor)) *Param {
+	if _, dup := ps.byName[name]; dup {
+		panic("nn: duplicate parameter " + name)
+	}
+	t := tensor.New(rows, cols)
+	if init != nil {
+		init(t)
+	}
+	p := &Param{
+		Name: name,
+		Node: &Node{Value: t, requiresGrad: true, name: name},
+	}
+	ps.params = append(ps.params, p)
+	ps.byName[name] = p
+	return p
+}
+
+// Get returns the named parameter or nil.
+func (ps *ParamSet) Get(name string) *Param { return ps.byName[name] }
+
+// All returns parameters in creation order.
+func (ps *ParamSet) All() []*Param { return ps.params }
+
+// Trainable returns the non-frozen parameters in creation order.
+func (ps *ParamSet) Trainable() []*Param {
+	var out []*Param
+	for _, p := range ps.params {
+		if !p.Frozen {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ZeroGrads clears every parameter gradient.
+func (ps *ParamSet) ZeroGrads() {
+	for _, p := range ps.params {
+		p.Node.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (ps *ParamSet) NumParams() int {
+	var n int
+	for _, p := range ps.params {
+		n += p.Node.Value.Len()
+	}
+	return n
+}
+
+// Xavier returns an initialiser closure for a fanIn x fanOut weight.
+func Xavier(rng *rand.Rand, fanIn, fanOut int) func(*tensor.Tensor) {
+	return func(t *tensor.Tensor) { t.Xavier(rng, fanIn, fanOut) }
+}
+
+// Randn returns an N(0, std²) initialiser closure.
+func Randn(rng *rand.Rand, std float64) func(*tensor.Tensor) {
+	return func(t *tensor.Tensor) { t.Randn(rng, std) }
+}

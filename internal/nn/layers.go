@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Embedding maps integer ids to learned (or frozen pretrained) rows of a
+// V x D table.
+type Embedding struct {
+	Table *Param
+	V, D  int
+}
+
+// NewEmbedding registers a V x D embedding table under name.
+func NewEmbedding(ps *ParamSet, name string, V, D int, rng *rand.Rand) *Embedding {
+	return &Embedding{
+		Table: ps.New(name, V, D, Randn(rng, 0.1)),
+		V:     V,
+		D:     D,
+	}
+}
+
+// NewPretrainedEmbedding registers an embedding initialised from vectors
+// (V x D). If frozen, the optimizer will not update it (the paper's "pinned"
+// resources).
+func NewPretrainedEmbedding(ps *ParamSet, name string, vectors *tensor.Tensor, frozen bool) *Embedding {
+	p := ps.New(name, vectors.Rows, vectors.Cols, func(t *tensor.Tensor) { copy(t.Data, vectors.Data) })
+	p.Frozen = frozen
+	if frozen {
+		p.Node.requiresGrad = false
+	}
+	return &Embedding{Table: p, V: vectors.Rows, D: vectors.Cols}
+}
+
+// Forward looks up ids. Out-of-range ids panic (callers map OOV to a
+// reserved id).
+func (e *Embedding) Forward(g *Graph, ids []int) *Node {
+	for _, id := range ids {
+		if id < 0 || id >= e.V {
+			panic(fmt.Sprintf("nn: embedding id %d out of range [0,%d)", id, e.V))
+		}
+	}
+	return g.GatherRows(e.Table.Node, ids)
+}
+
+// Linear is a fully connected layer y = x @ W + b.
+type Linear struct {
+	W *Param
+	B *Param
+}
+
+// NewLinear registers an in x out linear layer with Xavier init.
+func NewLinear(ps *ParamSet, name string, in, out int, rng *rand.Rand) *Linear {
+	return &Linear{
+		W: ps.New(name+".W", in, out, Xavier(rng, in, out)),
+		B: ps.New(name+".b", 1, out, nil),
+	}
+}
+
+// Forward applies the affine map.
+func (l *Linear) Forward(g *Graph, x *Node) *Node {
+	return g.AddBias(g.MatMul(x, l.W.Node), l.B.Node)
+}
+
+// Conv1D is a width-3 1-D convolution over token sequences followed by no
+// activation (callers add one). Input is (B*L) x in, output (B*L) x out.
+type Conv1D struct {
+	W       *Param // (3*in) x out
+	B       *Param
+	In, Out int
+}
+
+// NewConv1D registers a kernel-3 convolution.
+func NewConv1D(ps *ParamSet, name string, in, out int, rng *rand.Rand) *Conv1D {
+	return &Conv1D{
+		W:   ps.New(name+".W", 3*in, out, Xavier(rng, 3*in, out)),
+		B:   ps.New(name+".b", 1, out, nil),
+		In:  in,
+		Out: out,
+	}
+}
+
+// Forward convolves x (B*L x in, example-major) with zero padding at example
+// boundaries.
+func (c *Conv1D) Forward(g *Graph, x *Node, B, L int) *Node {
+	prev := g.ShiftRows(x, B, L, 1)  // token t sees t-1
+	next := g.ShiftRows(x, B, L, -1) // token t sees t+1
+	win := g.Concat3(prev, x, next)
+	return g.AddBias(g.MatMul(win, c.W.Node), c.B.Node)
+}
+
+// GRU is a gated recurrent unit over token sequences. Input (B*L) x in,
+// output (B*L) x hidden, both example-major. The update is masked so hidden
+// state does not change on padded positions.
+type GRU struct {
+	Wz, Wr, Wh *Param // (in+hidden) x hidden
+	Bz, Br, Bh *Param
+	In, Hidden int
+	reverse    bool
+}
+
+// NewGRU registers a forward GRU.
+func NewGRU(ps *ParamSet, name string, in, hidden int, rng *rand.Rand) *GRU {
+	return newGRU(ps, name, in, hidden, rng, false)
+}
+
+// NewReverseGRU registers a GRU that scans right-to-left.
+func NewReverseGRU(ps *ParamSet, name string, in, hidden int, rng *rand.Rand) *GRU {
+	return newGRU(ps, name, in, hidden, rng, true)
+}
+
+func newGRU(ps *ParamSet, name string, in, hidden int, rng *rand.Rand, reverse bool) *GRU {
+	k := in + hidden
+	return &GRU{
+		Wz:      ps.New(name+".Wz", k, hidden, Xavier(rng, k, hidden)),
+		Wr:      ps.New(name+".Wr", k, hidden, Xavier(rng, k, hidden)),
+		Wh:      ps.New(name+".Wh", k, hidden, Xavier(rng, k, hidden)),
+		Bz:      ps.New(name+".bz", 1, hidden, nil),
+		Br:      ps.New(name+".br", 1, hidden, nil),
+		Bh:      ps.New(name+".bh", 1, hidden, nil),
+		In:      in,
+		Hidden:  hidden,
+		reverse: reverse,
+	}
+}
+
+// Forward runs the GRU over a batch. x is (B*L) x in example-major; mask has
+// length B*L with 1 for real tokens, 0 for padding. Returns (B*L) x hidden.
+func (r *GRU) Forward(g *Graph, x *Node, mask []float64, B, L int) *Node {
+	if x.Value.Rows != B*L {
+		panic(fmt.Sprintf("nn: GRU rows %d != B*L %d", x.Value.Rows, B*L))
+	}
+	h := g.Const(tensor.New(B, r.Hidden)) // h0 = 0
+	hs := make([]*Node, L)
+	order := make([]int, L)
+	for t := 0; t < L; t++ {
+		if r.reverse {
+			order[t] = L - 1 - t
+		} else {
+			order[t] = t
+		}
+	}
+	ids := make([]int, B)
+	for _, t := range order {
+		for b := 0; b < B; b++ {
+			ids[b] = b*L + t
+		}
+		xt := g.GatherRows(x, append([]int(nil), ids...))
+		xh := g.Concat(xt, h)
+		z := g.Sigmoid(g.AddBias(g.MatMul(xh, r.Wz.Node), r.Bz.Node))
+		rt := g.Sigmoid(g.AddBias(g.MatMul(xh, r.Wr.Node), r.Br.Node))
+		xrh := g.Concat(xt, g.Mul(rt, h))
+		hTilde := g.Tanh(g.AddBias(g.MatMul(xrh, r.Wh.Node), r.Bh.Node))
+		// hNew = (1-z)*h + z*hTilde
+		oneMinusZ := g.AddConst(g.Scale(z, -1), 1)
+		hNew := g.Add(g.Mul(oneMinusZ, h), g.Mul(z, hTilde))
+		// Mask padded positions: keep previous state where mask == 0.
+		mcol := tensor.New(B, 1)
+		for b := 0; b < B; b++ {
+			mcol.Data[b] = mask[b*L+t]
+		}
+		mNode := g.Const(mcol)
+		invM := tensor.New(B, 1)
+		for b := 0; b < B; b++ {
+			invM.Data[b] = 1 - mcol.Data[b]
+		}
+		h = g.Add(g.MulColVec(hNew, mNode), g.MulColVec(h, g.Const(invM)))
+		hs[t] = h
+	}
+	// Reorder so hs[t] corresponds to timestep t regardless of direction.
+	ordered := make([]*Node, L)
+	for i, t := range order {
+		ordered[t] = hs[i]
+	}
+	return g.StackTimesteps(ordered, B)
+}
+
+// BiGRU concatenates a forward and a reverse GRU.
+type BiGRU struct {
+	Fwd *GRU
+	Bwd *GRU
+}
+
+// NewBiGRU registers a bidirectional GRU; output width is 2*hidden.
+func NewBiGRU(ps *ParamSet, name string, in, hidden int, rng *rand.Rand) *BiGRU {
+	return &BiGRU{
+		Fwd: NewGRU(ps, name+".fwd", in, hidden, rng),
+		Bwd: NewReverseGRU(ps, name+".bwd", in, hidden, rng),
+	}
+}
+
+// Forward returns (B*L) x 2*hidden.
+func (b *BiGRU) Forward(g *Graph, x *Node, mask []float64, B, L int) *Node {
+	return g.Concat(b.Fwd.Forward(g, x, mask, B, L), b.Bwd.Forward(g, x, mask, B, L))
+}

@@ -1,0 +1,259 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+const probEps = 1e-12
+
+// SoftmaxCE computes the weighted mean cross-entropy between row-wise
+// softmax(logits) and soft target distributions. weights has one entry per
+// row; rows with weight 0 contribute nothing (used for missing labels and
+// slice masks). The loss is normalised by the total weight. It returns the
+// scalar loss node and the softmax probabilities (for metrics; not part of
+// the graph).
+//
+// Soft targets are how Overton consumes the label model's probabilistic
+// labels: the gradient is w/W * (p - t), the classic noise-aware loss.
+func (g *Graph) SoftmaxCE(logits *Node, targets *tensor.Tensor, weights []float64) (*Node, *tensor.Tensor) {
+	m, C := logits.Value.Rows, logits.Value.Cols
+	if targets.Rows != m || targets.Cols != C {
+		panic(fmt.Sprintf("nn: SoftmaxCE targets %dx%d vs logits %dx%d", targets.Rows, targets.Cols, m, C))
+	}
+	if len(weights) != m {
+		panic("nn: SoftmaxCE weights length mismatch")
+	}
+	probs := tensor.SoftmaxRows(tensor.New(m, C), logits.Value)
+	var totalW, loss float64
+	for r := 0; r < m; r++ {
+		w := weights[r]
+		if w <= 0 {
+			continue
+		}
+		totalW += w
+		prow := probs.Row(r)
+		trow := targets.Row(r)
+		var ce float64
+		for c, t := range trow {
+			if t > 0 {
+				ce -= t * math.Log(prow[c]+probEps)
+			}
+		}
+		loss += w * ce
+	}
+	if totalW > 0 {
+		loss /= totalW
+	}
+	out := tensor.New(1, 1)
+	out.Data[0] = loss
+	var n *Node
+	n = g.add(out, func() {
+		if !logits.requiresGrad || totalW == 0 {
+			return
+		}
+		up := n.Grad.Data[0]
+		lg := logits.ensureGrad()
+		for r := 0; r < m; r++ {
+			w := weights[r]
+			if w <= 0 {
+				continue
+			}
+			f := up * w / totalW
+			prow := probs.Row(r)
+			trow := targets.Row(r)
+			grow := lg.Row(r)
+			for c := range grow {
+				grow[c] += f * (prow[c] - trow[c])
+			}
+		}
+	}, logits)
+	return n, probs
+}
+
+// SigmoidBCE computes the weighted mean binary cross-entropy between
+// sigmoid(logits) and targets in [0,1], elementwise over a (m x C) bitvector
+// task. weights has one entry per row; the per-row loss is the mean over the
+// C bits. elemMask, if non-nil, zeroes individual (row, bit) contributions
+// (for partially observed bitvectors). Returns the loss node and sigmoid
+// probabilities.
+func (g *Graph) SigmoidBCE(logits *Node, targets *tensor.Tensor, weights []float64, elemMask *tensor.Tensor) (*Node, *tensor.Tensor) {
+	m, C := logits.Value.Rows, logits.Value.Cols
+	if targets.Rows != m || targets.Cols != C {
+		panic("nn: SigmoidBCE target shape mismatch")
+	}
+	if len(weights) != m {
+		panic("nn: SigmoidBCE weights length mismatch")
+	}
+	if elemMask != nil && (elemMask.Rows != m || elemMask.Cols != C) {
+		panic("nn: SigmoidBCE mask shape mismatch")
+	}
+	probs := tensor.Apply(tensor.New(m, C), logits.Value, sigmoid)
+	var totalW, loss float64
+	for r := 0; r < m; r++ {
+		w := weights[r]
+		if w <= 0 {
+			continue
+		}
+		totalW += w
+		prow := probs.Row(r)
+		trow := targets.Row(r)
+		var rowLoss float64
+		var cnt float64
+		for c, t := range trow {
+			if elemMask != nil && elemMask.At(r, c) <= 0 {
+				continue
+			}
+			p := prow[c]
+			rowLoss -= t*math.Log(p+probEps) + (1-t)*math.Log(1-p+probEps)
+			cnt++
+		}
+		if cnt > 0 {
+			loss += w * rowLoss / cnt
+		}
+	}
+	if totalW > 0 {
+		loss /= totalW
+	}
+	out := tensor.New(1, 1)
+	out.Data[0] = loss
+	var n *Node
+	n = g.add(out, func() {
+		if !logits.requiresGrad || totalW == 0 {
+			return
+		}
+		up := n.Grad.Data[0]
+		lg := logits.ensureGrad()
+		for r := 0; r < m; r++ {
+			w := weights[r]
+			if w <= 0 {
+				continue
+			}
+			var cnt float64
+			if elemMask == nil {
+				cnt = float64(C)
+			} else {
+				for c := 0; c < C; c++ {
+					if elemMask.At(r, c) > 0 {
+						cnt++
+					}
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			f := up * w / (totalW * cnt)
+			prow := probs.Row(r)
+			trow := targets.Row(r)
+			grow := lg.Row(r)
+			for c := range grow {
+				if elemMask != nil && elemMask.At(r, c) <= 0 {
+					continue
+				}
+				grow[c] += f * (prow[c] - trow[c])
+			}
+		}
+	}, logits)
+	return n, probs
+}
+
+// Segment identifies a contiguous run [Start, End) of candidate rows that
+// belong to one `select` example.
+type Segment struct {
+	Start int
+	End   int
+}
+
+// SegmentSoftmaxCE scores a `select` task: scores is N x 1 (one score per
+// candidate across the whole batch), segments group candidates by example,
+// targets is a length-N soft distribution that sums to 1 within each
+// segment, weights has one entry per segment. Returns the scalar loss and
+// the per-candidate softmax probabilities.
+func (g *Graph) SegmentSoftmaxCE(scores *Node, segments []Segment, targets []float64, weights []float64) (*Node, []float64) {
+	N := scores.Value.Rows
+	if scores.Value.Cols != 1 {
+		panic("nn: SegmentSoftmaxCE scores must be Nx1")
+	}
+	if len(targets) != N {
+		panic("nn: SegmentSoftmaxCE targets length mismatch")
+	}
+	if len(weights) != len(segments) {
+		panic("nn: SegmentSoftmaxCE weights length mismatch")
+	}
+	probs := make([]float64, N)
+	var totalW, loss float64
+	for si, seg := range segments {
+		w := weights[si]
+		width := seg.End - seg.Start
+		if width <= 0 {
+			continue
+		}
+		maxv := math.Inf(-1)
+		for i := seg.Start; i < seg.End; i++ {
+			if v := scores.Value.Data[i]; v > maxv {
+				maxv = v
+			}
+		}
+		var z float64
+		for i := seg.Start; i < seg.End; i++ {
+			probs[i] = math.Exp(scores.Value.Data[i] - maxv)
+			z += probs[i]
+		}
+		for i := seg.Start; i < seg.End; i++ {
+			probs[i] /= z
+		}
+		if w <= 0 {
+			continue
+		}
+		totalW += w
+		var ce float64
+		for i := seg.Start; i < seg.End; i++ {
+			if targets[i] > 0 {
+				ce -= targets[i] * math.Log(probs[i]+probEps)
+			}
+		}
+		loss += w * ce
+	}
+	if totalW > 0 {
+		loss /= totalW
+	}
+	out := tensor.New(1, 1)
+	out.Data[0] = loss
+	var n *Node
+	n = g.add(out, func() {
+		if !scores.requiresGrad || totalW == 0 {
+			return
+		}
+		up := n.Grad.Data[0]
+		sg := scores.ensureGrad()
+		for si, seg := range segments {
+			w := weights[si]
+			if w <= 0 || seg.End <= seg.Start {
+				continue
+			}
+			f := up * w / totalW
+			for i := seg.Start; i < seg.End; i++ {
+				sg.Data[i] += f * (probs[i] - targets[i])
+			}
+		}
+	}, scores)
+	return n, probs
+}
+
+// WeightedSum returns Σ_i coeffs[i] * losses[i] as a scalar node. Used to
+// combine per-task and per-slice losses into the multitask objective.
+func (g *Graph) WeightedSum(losses []*Node, coeffs []float64) *Node {
+	if len(losses) != len(coeffs) {
+		panic("nn: WeightedSum length mismatch")
+	}
+	if len(losses) == 0 {
+		return g.Const(tensor.New(1, 1))
+	}
+	acc := g.Scale(losses[0], coeffs[0])
+	for i := 1; i < len(losses); i++ {
+		acc = g.Add(acc, g.Scale(losses[i], coeffs[i]))
+	}
+	return acc
+}

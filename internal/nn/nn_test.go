@@ -1,0 +1,515 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// buildInput returns a deterministic test tensor.
+func buildInput(rows, cols int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	return tensor.New(rows, cols).Randn(rng, 1)
+}
+
+func TestGradCheckLinearTanh(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := NewParamSet()
+	lin := NewLinear(ps, "lin", 3, 4, rng)
+	out := NewLinear(ps, "out", 4, 2, rng)
+	x := buildInput(5, 3, 2)
+	targets := tensor.New(5, 2)
+	for r := 0; r < 5; r++ {
+		targets.Set(r, r%2, 1)
+	}
+	w := []float64{1, 1, 0.5, 1, 2} // non-uniform weights exercise weighting
+	build := func() (*Graph, *Node) {
+		g := NewGraph(false, nil)
+		h := g.Tanh(lin.Forward(g, g.Const(x)))
+		logits := out.Forward(g, h)
+		loss, _ := g.SoftmaxCE(logits, targets, w)
+		return g, loss
+	}
+	if _, err := GradCheck(ps.All(), build, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradCheckReLUSigmoidBCE(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := NewParamSet()
+	lin := NewLinear(ps, "lin", 4, 3, rng)
+	x := buildInput(6, 4, 4)
+	targets := tensor.New(6, 3)
+	tr := rand.New(rand.NewSource(5))
+	for i := range targets.Data {
+		if tr.Float64() < 0.4 {
+			targets.Data[i] = 1
+		}
+	}
+	mask := tensor.New(6, 3)
+	mask.Fill(1)
+	mask.Set(2, 1, 0) // partially observed bit
+	w := []float64{1, 0, 1, 1, 0.25, 1}
+	build := func() (*Graph, *Node) {
+		g := NewGraph(false, nil)
+		h := g.ReLU(lin.Forward(g, g.Const(x)))
+		loss, _ := g.SigmoidBCE(h, targets, w, mask)
+		return g, loss
+	}
+	if _, err := GradCheck(ps.All(), build, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradCheckSoftmaxMulConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ps := NewParamSet()
+	a := ps.New("a", 3, 4, Randn(rng, 1))
+	b := ps.New("b", 3, 4, Randn(rng, 1))
+	c := ps.New("c", 8, 1, Randn(rng, 1))
+	build := func() (*Graph, *Node) {
+		g := NewGraph(false, nil)
+		sm := g.Softmax(a.Node)
+		prod := g.Mul(sm, g.Sigmoid(b.Node))
+		cat := g.Concat(prod, g.Scale(sm, 0.5))
+		s := g.MatMul(cat, c.Node)
+		return g, g.Sum(s)
+	}
+	if _, err := GradCheck(ps.All(), build, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradCheckEmbeddingPooling(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ps := NewParamSet()
+	emb := NewEmbedding(ps, "emb", 10, 4, rng)
+	proj := NewLinear(ps, "proj", 4, 3, rng)
+	B, L := 2, 3
+	ids := []int{1, 2, 3, 4, 5, 0} // second example padded at last position
+	mask := []float64{1, 1, 1, 1, 1, 0}
+	targets := tensor.New(B, 3)
+	targets.Set(0, 0, 1)
+	targets.Set(1, 2, 1)
+	w := []float64{1, 1}
+	for _, pool := range []string{"mean", "max"} {
+		pool := pool
+		build := func() (*Graph, *Node) {
+			g := NewGraph(false, nil)
+			x := emb.Forward(g, ids)
+			var pooled *Node
+			if pool == "mean" {
+				pooled = g.MaskedMeanPool(x, mask, B, L)
+			} else {
+				pooled = g.MaskedMaxPool(x, mask, B, L)
+			}
+			logits := proj.Forward(g, pooled)
+			loss, _ := g.SoftmaxCE(logits, targets, w)
+			return g, loss
+		}
+		if _, err := GradCheck(ps.All(), build, 1e-5); err != nil {
+			t.Fatalf("pool=%s: %v", pool, err)
+		}
+	}
+}
+
+func TestGradCheckSpanPooling(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ps := NewParamSet()
+	emb := NewEmbedding(ps, "emb", 12, 4, rng)
+	q := ps.New("q", 1, 4, Randn(rng, 1))
+	score := NewLinear(ps, "score", 4, 1, rng)
+	B, L := 2, 4
+	ids := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	spans := []Span{
+		{Example: 0, Start: 0, End: 2},
+		{Example: 0, Start: 1, End: 4},
+		{Example: 1, Start: 2, End: 3},
+	}
+	segs := []Segment{{Start: 0, End: 2}, {Start: 2, End: 3}}
+	targets := []float64{1, 0, 1}
+	w := []float64{1, 1}
+	for _, mode := range []string{"mean", "attn"} {
+		mode := mode
+		build := func() (*Graph, *Node) {
+			g := NewGraph(false, nil)
+			x := emb.Forward(g, ids)
+			var pooled *Node
+			if mode == "mean" {
+				pooled = g.SpanMeanPool(x, spans, L)
+			} else {
+				pooled = g.SpanAttnPool(x, spans, L, q.Node)
+			}
+			scores := score.Forward(g, pooled)
+			loss, _ := g.SegmentSoftmaxCE(scores, segs, targets, w)
+			return g, loss
+		}
+		if _, err := GradCheck(ps.All(), build, 1e-5); err != nil {
+			t.Fatalf("mode=%s: %v", mode, err)
+		}
+		_ = B
+	}
+}
+
+func TestGradCheckConv1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ps := NewParamSet()
+	emb := NewEmbedding(ps, "emb", 10, 3, rng)
+	conv := NewConv1D(ps, "conv", 3, 4, rng)
+	head := NewLinear(ps, "head", 4, 2, rng)
+	B, L := 2, 3
+	ids := []int{1, 2, 3, 4, 5, 6}
+	targets := tensor.New(B*L, 2)
+	for r := 0; r < B*L; r++ {
+		targets.Set(r, r%2, 1)
+	}
+	w := []float64{1, 1, 1, 1, 0, 1}
+	build := func() (*Graph, *Node) {
+		g := NewGraph(false, nil)
+		x := emb.Forward(g, ids)
+		h := g.ReLU(conv.Forward(g, x, B, L))
+		logits := head.Forward(g, h)
+		loss, _ := g.SoftmaxCE(logits, targets, w)
+		return g, loss
+	}
+	if _, err := GradCheck(ps.All(), build, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradCheckGRU(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	ps := NewParamSet()
+	emb := NewEmbedding(ps, "emb", 8, 3, rng)
+	gru := NewGRU(ps, "gru", 3, 4, rng)
+	head := NewLinear(ps, "head", 4, 2, rng)
+	B, L := 2, 3
+	ids := []int{1, 2, 3, 4, 5, 0}
+	mask := []float64{1, 1, 1, 1, 1, 0}
+	targets := tensor.New(B*L, 2)
+	for r := 0; r < B*L; r++ {
+		targets.Set(r, (r+1)%2, 1)
+	}
+	w := []float64{1, 1, 1, 1, 1, 0}
+	build := func() (*Graph, *Node) {
+		g := NewGraph(false, nil)
+		x := emb.Forward(g, ids)
+		h := gru.Forward(g, x, mask, B, L)
+		logits := head.Forward(g, h)
+		loss, _ := g.SoftmaxCE(logits, targets, w)
+		return g, loss
+	}
+	if _, err := GradCheck(ps.All(), build, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradCheckBiGRU(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ps := NewParamSet()
+	emb := NewEmbedding(ps, "emb", 8, 2, rng)
+	bi := NewBiGRU(ps, "bi", 2, 3, rng)
+	head := NewLinear(ps, "head", 6, 2, rng)
+	B, L := 1, 3
+	ids := []int{1, 2, 3}
+	mask := []float64{1, 1, 1}
+	targets := tensor.New(B*L, 2)
+	for r := 0; r < B*L; r++ {
+		targets.Set(r, 0, 1)
+	}
+	w := []float64{1, 1, 1}
+	build := func() (*Graph, *Node) {
+		g := NewGraph(false, nil)
+		x := emb.Forward(g, ids)
+		h := bi.Forward(g, x, mask, B, L)
+		logits := head.Forward(g, h)
+		loss, _ := g.SoftmaxCE(logits, targets, w)
+		return g, loss
+	}
+	if _, err := GradCheck(ps.All(), build, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradCheckMixExperts(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	ps := NewParamSet()
+	base := ps.New("base", 3, 4, Randn(rng, 1))
+	e1 := ps.New("e1", 3, 4, Randn(rng, 1))
+	e2 := ps.New("e2", 3, 4, Randn(rng, 1))
+	wts := ps.New("wts", 3, 3, Randn(rng, 1))
+	head := NewLinear(ps, "head", 4, 2, rng)
+	targets := tensor.New(3, 2)
+	for r := 0; r < 3; r++ {
+		targets.Set(r, r%2, 1)
+	}
+	w := []float64{1, 1, 1}
+	build := func() (*Graph, *Node) {
+		g := NewGraph(false, nil)
+		a := g.Softmax(wts.Node)
+		mixed := g.MixExperts(a, []*Node{base.Node, e1.Node, e2.Node})
+		logits := head.Forward(g, mixed)
+		loss, _ := g.SoftmaxCE(logits, targets, w)
+		return g, loss
+	}
+	if _, err := GradCheck(ps.All(), build, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradCheckMulColVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ps := NewParamSet()
+	x := ps.New("x", 3, 4, Randn(rng, 1))
+	col := ps.New("col", 3, 1, Randn(rng, 1))
+	build := func() (*Graph, *Node) {
+		g := NewGraph(false, nil)
+		return g, g.Sum(g.Tanh(g.MulColVec(x.Node, g.Sigmoid(col.Node))))
+	}
+	if _, err := GradCheck(ps.All(), build, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxCEValues(t *testing.T) {
+	g := NewGraph(false, nil)
+	ps := NewParamSet()
+	logits := ps.New("l", 1, 2, nil)
+	logits.Node.Value.Data[0] = 0
+	logits.Node.Value.Data[1] = 0
+	targets := tensor.FromSlice(1, 2, []float64{1, 0})
+	loss, probs := g.SoftmaxCE(logits.Node, targets, []float64{1})
+	if math.Abs(loss.Value.Data[0]-math.Log(2)) > 1e-9 {
+		t.Fatalf("uniform logits CE = %g, want ln2", loss.Value.Data[0])
+	}
+	if math.Abs(probs.At(0, 0)-0.5) > 1e-12 {
+		t.Fatalf("probs wrong")
+	}
+}
+
+func TestSoftmaxCEZeroWeightRowsIgnored(t *testing.T) {
+	g := NewGraph(false, nil)
+	ps := NewParamSet()
+	logits := ps.New("l", 2, 2, nil)
+	logits.Node.Value.Data = []float64{5, -5, 0, 0}
+	targets := tensor.FromSlice(2, 2, []float64{0, 1, 1, 0})
+	// Row 0 has terrible prediction but weight 0; loss must be ln2 from row 1.
+	loss, _ := g.SoftmaxCE(logits.Node, targets, []float64{0, 1})
+	if math.Abs(loss.Value.Data[0]-math.Log(2)) > 1e-9 {
+		t.Fatalf("weight-0 row leaked into loss: %g", loss.Value.Data[0])
+	}
+	g.Backward(loss)
+	grad := logits.Node.Grad
+	if grad.At(0, 0) != 0 || grad.At(0, 1) != 0 {
+		t.Fatalf("weight-0 row got gradient: %v", grad.Row(0))
+	}
+}
+
+func TestSegmentSoftmaxProbsSumToOne(t *testing.T) {
+	g := NewGraph(false, nil)
+	ps := NewParamSet()
+	scores := ps.New("s", 5, 1, Randn(rand.New(rand.NewSource(23)), 2))
+	segs := []Segment{{0, 3}, {3, 5}}
+	targets := []float64{1, 0, 0, 0, 1}
+	_, probs := g.SegmentSoftmaxCE(scores.Node, segs, targets, []float64{1, 1})
+	s1 := probs[0] + probs[1] + probs[2]
+	s2 := probs[3] + probs[4]
+	if math.Abs(s1-1) > 1e-9 || math.Abs(s2-1) > 1e-9 {
+		t.Fatalf("segment probs don't sum to 1: %g %g", s1, s2)
+	}
+}
+
+func TestDropoutInferenceIdentity(t *testing.T) {
+	g := NewGraph(false, nil)
+	x := g.Const(buildInput(4, 4, 31))
+	y := g.Dropout(x, 0.5)
+	if y != x {
+		t.Fatalf("inference dropout must be identity")
+	}
+}
+
+func TestDropoutTrainingMaskAndScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g := NewGraph(true, rng)
+	in := tensor.New(100, 10)
+	in.Fill(1)
+	x := g.Const(in)
+	y := g.Dropout(x, 0.4)
+	var zeros, scaled int
+	for _, v := range y.Value.Data {
+		switch {
+		case v == 0:
+			zeros++
+		case math.Abs(v-1/0.6) < 1e-12:
+			scaled++
+		default:
+			t.Fatalf("unexpected dropout value %g", v)
+		}
+	}
+	frac := float64(zeros) / float64(len(y.Value.Data))
+	if frac < 0.3 || frac > 0.5 {
+		t.Fatalf("dropout fraction %g not near 0.4", frac)
+	}
+}
+
+func TestStackTimestepsLayout(t *testing.T) {
+	g := NewGraph(false, nil)
+	B, L, H := 2, 3, 2
+	hs := make([]*Node, L)
+	for tt := 0; tt < L; tt++ {
+		m := tensor.New(B, H)
+		for b := 0; b < B; b++ {
+			m.Set(b, 0, float64(b*10+tt))
+		}
+		hs[tt] = g.Const(m)
+	}
+	out := g.StackTimesteps(hs, B)
+	for b := 0; b < B; b++ {
+		for tt := 0; tt < L; tt++ {
+			if out.Value.At(b*L+tt, 0) != float64(b*10+tt) {
+				t.Fatalf("layout wrong at b=%d t=%d", b, tt)
+			}
+		}
+	}
+}
+
+func TestShiftRowsBoundaries(t *testing.T) {
+	g := NewGraph(false, nil)
+	B, L := 2, 3
+	in := tensor.New(B*L, 1)
+	for i := range in.Data {
+		in.Data[i] = float64(i + 1) // 1..6
+	}
+	x := g.Const(in)
+	right := g.ShiftRows(x, B, L, 1) // token t sees t-1
+	// example 0: [0,1,2]; example 1: [0,4,5]
+	want := []float64{0, 1, 2, 0, 4, 5}
+	for i, w := range want {
+		if right.Value.Data[i] != w {
+			t.Fatalf("shift+1[%d]=%g want %g", i, right.Value.Data[i], w)
+		}
+	}
+	left := g.ShiftRows(x, B, L, -1)
+	want = []float64{2, 3, 0, 5, 6, 0}
+	for i, w := range want {
+		if left.Value.Data[i] != w {
+			t.Fatalf("shift-1[%d]=%g want %g", i, left.Value.Data[i], w)
+		}
+	}
+}
+
+func TestEmbeddingOutOfRangePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	ps := NewParamSet()
+	emb := NewEmbedding(ps, "emb", 4, 2, rng)
+	g := NewGraph(false, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	emb.Forward(g, []int{4})
+}
+
+func TestFrozenPretrainedEmbeddingGetsNoGrad(t *testing.T) {
+	ps := NewParamSet()
+	vecs := buildInput(5, 3, 37)
+	emb := NewPretrainedEmbedding(ps, "pre", vecs, true)
+	if !emb.Table.Frozen {
+		t.Fatalf("not frozen")
+	}
+	g := NewGraph(false, nil)
+	x := emb.Forward(g, []int{0, 1})
+	loss := g.Sum(x)
+	g.Backward(loss)
+	if emb.Table.Node.Grad != nil && emb.Table.Node.Grad.MaxAbs() != 0 {
+		t.Fatalf("frozen embedding received gradient")
+	}
+	if len(ps.Trainable()) != 0 {
+		t.Fatalf("frozen param listed as trainable")
+	}
+}
+
+func TestParamSetDuplicatePanics(t *testing.T) {
+	ps := NewParamSet()
+	ps.New("x", 1, 1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	ps.New("x", 1, 1, nil)
+}
+
+func TestParamSetAccounting(t *testing.T) {
+	ps := NewParamSet()
+	ps.New("a", 2, 3, nil)
+	p := ps.New("b", 4, 1, nil)
+	p.Frozen = true
+	if ps.NumParams() != 10 {
+		t.Fatalf("NumParams = %d", ps.NumParams())
+	}
+	if len(ps.All()) != 2 || len(ps.Trainable()) != 1 {
+		t.Fatalf("All/Trainable wrong")
+	}
+	if ps.Get("a") == nil || ps.Get("zzz") != nil {
+		t.Fatalf("Get wrong")
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	g := NewGraph(false, nil)
+	mk := func(v float64) *Node {
+		t := tensor.New(1, 1)
+		t.Data[0] = v
+		return g.Const(t)
+	}
+	out := g.WeightedSum([]*Node{mk(2), mk(3)}, []float64{0.5, 2})
+	if out.Value.Data[0] != 7 {
+		t.Fatalf("WeightedSum = %g", out.Value.Data[0])
+	}
+	empty := g.WeightedSum(nil, nil)
+	if empty.Value.Data[0] != 0 {
+		t.Fatalf("empty WeightedSum nonzero")
+	}
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	g := NewGraph(false, nil)
+	ps := NewParamSet()
+	x := ps.New("x", 2, 2, nil)
+	y := g.Tanh(x.Node)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	g.Backward(y)
+}
+
+func TestGradAccumulationAcrossGraphs(t *testing.T) {
+	// Two forward/backward passes without ZeroGrads must accumulate.
+	ps := NewParamSet()
+	x := ps.New("x", 1, 1, nil)
+	x.Node.Value.Data[0] = 2
+	run := func() {
+		g := NewGraph(false, nil)
+		y := g.Mul(x.Node, x.Node) // y = x², dy/dx = 2x = 4
+		g.Backward(g.Sum(y))
+	}
+	run()
+	if math.Abs(x.Node.Grad.Data[0]-4) > 1e-12 {
+		t.Fatalf("first grad %g", x.Node.Grad.Data[0])
+	}
+	run()
+	if math.Abs(x.Node.Grad.Data[0]-8) > 1e-12 {
+		t.Fatalf("accumulated grad %g want 8", x.Node.Grad.Data[0])
+	}
+	ps.ZeroGrads()
+	if x.Node.Grad.Data[0] != 0 {
+		t.Fatalf("ZeroGrads failed")
+	}
+}

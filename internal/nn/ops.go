@@ -1,0 +1,455 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MatMul returns a @ b.
+func (g *Graph) MatMul(a, b *Node) *Node {
+	out := tensor.MatMul(tensor.New(a.Value.Rows, b.Value.Cols), a.Value, b.Value)
+	var n *Node
+	n = g.add(out, func() {
+		if a.requiresGrad {
+			tensor.MatMulABT(a.ensureGrad(), n.Grad, b.Value)
+		}
+		if b.requiresGrad {
+			tensor.MatMulATB(b.ensureGrad(), a.Value, n.Grad)
+		}
+	}, a, b)
+	return n
+}
+
+// Add returns a + b (same shape).
+func (g *Graph) Add(a, b *Node) *Node {
+	out := tensor.Add(tensor.New(a.Value.Rows, a.Value.Cols), a.Value, b.Value)
+	var n *Node
+	n = g.add(out, func() {
+		if a.requiresGrad {
+			tensor.AddInto(a.ensureGrad(), n.Grad)
+		}
+		if b.requiresGrad {
+			tensor.AddInto(b.ensureGrad(), n.Grad)
+		}
+	}, a, b)
+	return n
+}
+
+// AddBias returns x + b broadcast over rows; b must be 1 x x.Cols.
+func (g *Graph) AddBias(x, b *Node) *Node {
+	out := tensor.AddRowVec(tensor.New(x.Value.Rows, x.Value.Cols), x.Value, b.Value)
+	var n *Node
+	n = g.add(out, func() {
+		if x.requiresGrad {
+			tensor.AddInto(x.ensureGrad(), n.Grad)
+		}
+		if b.requiresGrad {
+			bg := b.ensureGrad()
+			for r := 0; r < n.Grad.Rows; r++ {
+				row := n.Grad.Row(r)
+				for c, v := range row {
+					bg.Data[c] += v
+				}
+			}
+		}
+	}, x, b)
+	return n
+}
+
+// Mul returns the elementwise product a * b.
+func (g *Graph) Mul(a, b *Node) *Node {
+	out := tensor.Mul(tensor.New(a.Value.Rows, a.Value.Cols), a.Value, b.Value)
+	var n *Node
+	n = g.add(out, func() {
+		if a.requiresGrad {
+			ag := a.ensureGrad()
+			for i, gv := range n.Grad.Data {
+				ag.Data[i] += gv * b.Value.Data[i]
+			}
+		}
+		if b.requiresGrad {
+			bg := b.ensureGrad()
+			for i, gv := range n.Grad.Data {
+				bg.Data[i] += gv * a.Value.Data[i]
+			}
+		}
+	}, a, b)
+	return n
+}
+
+// MulColVec returns x scaled row-wise by col: out[r,c] = x[r,c] * col[r,0].
+// col must be x.Rows x 1. Used for masking recurrent state updates.
+func (g *Graph) MulColVec(x, col *Node) *Node {
+	if col.Value.Rows != x.Value.Rows || col.Value.Cols != 1 {
+		panic(fmt.Sprintf("nn: MulColVec col %dx%d vs x %dx%d", col.Value.Rows, col.Value.Cols, x.Value.Rows, x.Value.Cols))
+	}
+	out := tensor.New(x.Value.Rows, x.Value.Cols)
+	for r := 0; r < x.Value.Rows; r++ {
+		m := col.Value.Data[r]
+		xrow := x.Value.Row(r)
+		orow := out.Row(r)
+		for c, v := range xrow {
+			orow[c] = v * m
+		}
+	}
+	var n *Node
+	n = g.add(out, func() {
+		if x.requiresGrad {
+			xg := x.ensureGrad()
+			for r := 0; r < x.Value.Rows; r++ {
+				m := col.Value.Data[r]
+				grow := n.Grad.Row(r)
+				xrow := xg.Row(r)
+				for c, v := range grow {
+					xrow[c] += v * m
+				}
+			}
+		}
+		if col.requiresGrad {
+			cg := col.ensureGrad()
+			for r := 0; r < x.Value.Rows; r++ {
+				grow := n.Grad.Row(r)
+				xrow := x.Value.Row(r)
+				var s float64
+				for c, v := range grow {
+					s += v * xrow[c]
+				}
+				cg.Data[r] += s
+			}
+		}
+	}, x, col)
+	return n
+}
+
+// Scale returns x * c for a constant c.
+func (g *Graph) Scale(x *Node, c float64) *Node {
+	out := tensor.Scale(tensor.New(x.Value.Rows, x.Value.Cols), x.Value, c)
+	var n *Node
+	n = g.add(out, func() {
+		if x.requiresGrad {
+			tensor.AxpyInto(x.ensureGrad(), c, n.Grad)
+		}
+	}, x)
+	return n
+}
+
+// AddConst returns x + c elementwise for a constant c.
+func (g *Graph) AddConst(x *Node, c float64) *Node {
+	out := tensor.Apply(tensor.New(x.Value.Rows, x.Value.Cols), x.Value, func(v float64) float64 { return v + c })
+	var n *Node
+	n = g.add(out, func() {
+		if x.requiresGrad {
+			tensor.AddInto(x.ensureGrad(), n.Grad)
+		}
+	}, x)
+	return n
+}
+
+// unary builds an elementwise op given f and its derivative expressed in
+// terms of the output value y.
+func (g *Graph) unary(x *Node, f func(float64) float64, dfdy func(y float64) float64) *Node {
+	out := tensor.Apply(tensor.New(x.Value.Rows, x.Value.Cols), x.Value, f)
+	var n *Node
+	n = g.add(out, func() {
+		if x.requiresGrad {
+			xg := x.ensureGrad()
+			for i, gv := range n.Grad.Data {
+				xg.Data[i] += gv * dfdy(n.Value.Data[i])
+			}
+		}
+	}, x)
+	return n
+}
+
+// Tanh returns tanh(x) elementwise.
+func (g *Graph) Tanh(x *Node) *Node {
+	return g.unary(x, math.Tanh, func(y float64) float64 { return 1 - y*y })
+}
+
+// Sigmoid returns 1/(1+exp(-x)) elementwise.
+func (g *Graph) Sigmoid(x *Node) *Node {
+	return g.unary(x, sigmoid, func(y float64) float64 { return y * (1 - y) })
+}
+
+func sigmoid(v float64) float64 {
+	if v >= 0 {
+		z := math.Exp(-v)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(v)
+	return z / (1 + z)
+}
+
+// ReLU returns max(x, 0) elementwise.
+func (g *Graph) ReLU(x *Node) *Node {
+	return g.unary(x,
+		func(v float64) float64 { return math.Max(v, 0) },
+		func(y float64) float64 {
+			if y > 0 {
+				return 1
+			}
+			return 0
+		})
+}
+
+// Dropout zeroes each element with probability p at training time and
+// rescales survivors by 1/(1-p) (inverted dropout). At inference it is the
+// identity.
+func (g *Graph) Dropout(x *Node, p float64) *Node {
+	if !g.Training || p <= 0 {
+		return x
+	}
+	if g.rng == nil {
+		panic("nn: Dropout on a graph without rng")
+	}
+	keep := 1 - p
+	mask := tensor.New(x.Value.Rows, x.Value.Cols)
+	for i := range mask.Data {
+		if g.rng.Float64() < keep {
+			mask.Data[i] = 1 / keep
+		}
+	}
+	out := tensor.Mul(tensor.New(x.Value.Rows, x.Value.Cols), x.Value, mask)
+	var n *Node
+	n = g.add(out, func() {
+		if x.requiresGrad {
+			xg := x.ensureGrad()
+			for i, gv := range n.Grad.Data {
+				xg.Data[i] += gv * mask.Data[i]
+			}
+		}
+	}, x)
+	return n
+}
+
+// Concat concatenates a and b along columns.
+func (g *Graph) Concat(a, b *Node) *Node {
+	out := tensor.ConcatCols(tensor.New(a.Value.Rows, a.Value.Cols+b.Value.Cols), a.Value, b.Value)
+	var n *Node
+	n = g.add(out, func() {
+		ca := a.Value.Cols
+		if a.requiresGrad {
+			ag := a.ensureGrad()
+			for r := 0; r < out.Rows; r++ {
+				grow := n.Grad.Row(r)
+				arow := ag.Row(r)
+				for c := range arow {
+					arow[c] += grow[c]
+				}
+			}
+		}
+		if b.requiresGrad {
+			bg := b.ensureGrad()
+			for r := 0; r < out.Rows; r++ {
+				grow := n.Grad.Row(r)
+				brow := bg.Row(r)
+				for c := range brow {
+					brow[c] += grow[ca+c]
+				}
+			}
+		}
+	}, a, b)
+	return n
+}
+
+// Concat3 concatenates three nodes along columns.
+func (g *Graph) Concat3(a, b, c *Node) *Node { return g.Concat(g.Concat(a, b), c) }
+
+// GatherRows selects rows ids from x: out[i] = x[ids[i]]. Backward
+// scatter-adds. Works both for embedding lookup (x = parameter matrix) and
+// timestep selection.
+func (g *Graph) GatherRows(x *Node, ids []int) *Node {
+	out := tensor.New(len(ids), x.Value.Cols)
+	for i, id := range ids {
+		copy(out.Row(i), x.Value.Row(id))
+	}
+	var n *Node
+	n = g.add(out, func() {
+		if x.requiresGrad {
+			xg := x.ensureGrad()
+			for i, id := range ids {
+				grow := n.Grad.Row(i)
+				xrow := xg.Row(id)
+				for c, v := range grow {
+					xrow[c] += v
+				}
+			}
+		}
+	}, x)
+	return n
+}
+
+// StackTimesteps assembles per-timestep hidden states hs[t] (each B x H)
+// into a (B*L) x H tensor laid out example-major: row b*L+t = hs[t].Row(b).
+func (g *Graph) StackTimesteps(hs []*Node, B int) *Node {
+	L := len(hs)
+	if L == 0 {
+		panic("nn: StackTimesteps with no steps")
+	}
+	H := hs[0].Value.Cols
+	out := tensor.New(B*L, H)
+	for t, h := range hs {
+		if h.Value.Rows != B || h.Value.Cols != H {
+			panic("nn: StackTimesteps shape mismatch")
+		}
+		for b := 0; b < B; b++ {
+			copy(out.Row(b*L+t), h.Value.Row(b))
+		}
+	}
+	var n *Node
+	n = g.add(out, func() {
+		for t, h := range hs {
+			if !h.requiresGrad {
+				continue
+			}
+			hg := h.ensureGrad()
+			for b := 0; b < B; b++ {
+				grow := n.Grad.Row(b*L + t)
+				hrow := hg.Row(b)
+				for c, v := range grow {
+					hrow[c] += v
+				}
+			}
+		}
+	}, hs...)
+	return n
+}
+
+// ShiftRows shifts token rows within each example segment by offset
+// positions (out row (b,t) = x row (b, t-offset), zero where out of range).
+// x must be (B*L) x d laid out example-major. Used to build CNN windows.
+func (g *Graph) ShiftRows(x *Node, B, L, offset int) *Node {
+	if x.Value.Rows != B*L {
+		panic(fmt.Sprintf("nn: ShiftRows rows %d != B*L %d", x.Value.Rows, B*L))
+	}
+	out := tensor.New(x.Value.Rows, x.Value.Cols)
+	for b := 0; b < B; b++ {
+		for t := 0; t < L; t++ {
+			src := t - offset
+			if src < 0 || src >= L {
+				continue
+			}
+			copy(out.Row(b*L+t), x.Value.Row(b*L+src))
+		}
+	}
+	var n *Node
+	n = g.add(out, func() {
+		if x.requiresGrad {
+			xg := x.ensureGrad()
+			for b := 0; b < B; b++ {
+				for t := 0; t < L; t++ {
+					src := t - offset
+					if src < 0 || src >= L {
+						continue
+					}
+					grow := n.Grad.Row(b*L + t)
+					xrow := xg.Row(b*L + src)
+					for c, v := range grow {
+						xrow[c] += v
+					}
+				}
+			}
+		}
+	}, x)
+	return n
+}
+
+// Softmax returns row-wise softmax(x), differentiable.
+func (g *Graph) Softmax(x *Node) *Node {
+	out := tensor.SoftmaxRows(tensor.New(x.Value.Rows, x.Value.Cols), x.Value)
+	var n *Node
+	n = g.add(out, func() {
+		if x.requiresGrad {
+			xg := x.ensureGrad()
+			for r := 0; r < out.Rows; r++ {
+				yrow := out.Row(r)
+				grow := n.Grad.Row(r)
+				var dot float64
+				for c, y := range yrow {
+					dot += y * grow[c]
+				}
+				xrow := xg.Row(r)
+				for c, y := range yrow {
+					xrow[c] += y * (grow[c] - dot)
+				}
+			}
+		}
+	}, x)
+	return n
+}
+
+// Sum returns the scalar (1x1) sum of all elements of x.
+func (g *Graph) Sum(x *Node) *Node {
+	out := tensor.New(1, 1)
+	out.Data[0] = x.Value.Sum()
+	var n *Node
+	n = g.add(out, func() {
+		if x.requiresGrad {
+			tensor.AxpyInto(x.ensureGrad(), n.Grad.Data[0], onesLike(x.Value))
+		}
+	}, x)
+	return n
+}
+
+func onesLike(t *tensor.Tensor) *tensor.Tensor {
+	o := tensor.New(t.Rows, t.Cols)
+	o.Fill(1)
+	return o
+}
+
+// MixExperts combines per-expert representations with per-row weights:
+// out[b] = Σ_s weights[b,s] * experts[s][b]. weights is B x S; every expert
+// is B x H. This is the slice-combination primitive from slice-based
+// learning (Chen et al., NeurIPS 2019).
+func (g *Graph) MixExperts(weights *Node, experts []*Node) *Node {
+	S := len(experts)
+	if weights.Value.Cols != S {
+		panic(fmt.Sprintf("nn: MixExperts %d experts vs %d weight cols", S, weights.Value.Cols))
+	}
+	B := weights.Value.Rows
+	H := experts[0].Value.Cols
+	out := tensor.New(B, H)
+	for s, e := range experts {
+		if e.Value.Rows != B || e.Value.Cols != H {
+			panic("nn: MixExperts expert shape mismatch")
+		}
+		for b := 0; b < B; b++ {
+			w := weights.Value.At(b, s)
+			if w == 0 {
+				continue
+			}
+			erow := e.Value.Row(b)
+			orow := out.Row(b)
+			for c, v := range erow {
+				orow[c] += w * v
+			}
+		}
+	}
+	inputs := append([]*Node{weights}, experts...)
+	var n *Node
+	n = g.add(out, func() {
+		for s, e := range experts {
+			for b := 0; b < B; b++ {
+				grow := n.Grad.Row(b)
+				w := weights.Value.At(b, s)
+				if e.requiresGrad {
+					erow := e.ensureGrad().Row(b)
+					for c, v := range grow {
+						erow[c] += w * v
+					}
+				}
+				if weights.requiresGrad {
+					evrow := e.Value.Row(b)
+					var dot float64
+					for c, v := range grow {
+						dot += v * evrow[c]
+					}
+					weights.ensureGrad().Data[b*S+s] += dot
+				}
+			}
+		}
+	}, inputs...)
+	return n
+}

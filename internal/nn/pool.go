@@ -1,0 +1,276 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Span references a contiguous token range [Start, End) inside example
+// Example of a batch. Token rows are laid out example-major: row = b*L + t.
+type Span struct {
+	Example int
+	Start   int
+	End     int
+}
+
+// MaskedMeanPool pools token rows (B*L x d, example-major) to example rows
+// (B x d) by averaging positions with mask[b*L+t] > 0. Examples whose mask is
+// all zero pool to the zero vector.
+func (g *Graph) MaskedMeanPool(x *Node, mask []float64, B, L int) *Node {
+	if x.Value.Rows != B*L {
+		panic(fmt.Sprintf("nn: MaskedMeanPool rows %d != B*L %d", x.Value.Rows, B*L))
+	}
+	if len(mask) != B*L {
+		panic("nn: MaskedMeanPool mask length mismatch")
+	}
+	d := x.Value.Cols
+	out := tensor.New(B, d)
+	counts := make([]float64, B)
+	for b := 0; b < B; b++ {
+		orow := out.Row(b)
+		for t := 0; t < L; t++ {
+			m := mask[b*L+t]
+			if m <= 0 {
+				continue
+			}
+			counts[b] += m
+			xrow := x.Value.Row(b*L + t)
+			for c, v := range xrow {
+				orow[c] += m * v
+			}
+		}
+		if counts[b] > 0 {
+			inv := 1 / counts[b]
+			for c := range orow {
+				orow[c] *= inv
+			}
+		}
+	}
+	var n *Node
+	n = g.add(out, func() {
+		if !x.requiresGrad {
+			return
+		}
+		xg := x.ensureGrad()
+		for b := 0; b < B; b++ {
+			if counts[b] == 0 {
+				continue
+			}
+			inv := 1 / counts[b]
+			grow := n.Grad.Row(b)
+			for t := 0; t < L; t++ {
+				m := mask[b*L+t]
+				if m <= 0 {
+					continue
+				}
+				xrow := xg.Row(b*L + t)
+				f := m * inv
+				for c, v := range grow {
+					xrow[c] += f * v
+				}
+			}
+		}
+	}, x)
+	return n
+}
+
+// MaskedMaxPool pools token rows to example rows taking the per-dimension
+// maximum over positions with mask > 0. Fully masked examples pool to zero.
+func (g *Graph) MaskedMaxPool(x *Node, mask []float64, B, L int) *Node {
+	if x.Value.Rows != B*L {
+		panic(fmt.Sprintf("nn: MaskedMaxPool rows %d != B*L %d", x.Value.Rows, B*L))
+	}
+	d := x.Value.Cols
+	out := tensor.New(B, d)
+	argmax := make([]int, B*d) // winning row per (example, dim); -1 = none
+	for i := range argmax {
+		argmax[i] = -1
+	}
+	for b := 0; b < B; b++ {
+		orow := out.Row(b)
+		seen := false
+		for t := 0; t < L; t++ {
+			if mask[b*L+t] <= 0 {
+				continue
+			}
+			xrow := x.Value.Row(b*L + t)
+			if !seen {
+				for c, v := range xrow {
+					orow[c] = v
+					argmax[b*d+c] = b*L + t
+				}
+				seen = true
+				continue
+			}
+			for c, v := range xrow {
+				if v > orow[c] {
+					orow[c] = v
+					argmax[b*d+c] = b*L + t
+				}
+			}
+		}
+	}
+	var n *Node
+	n = g.add(out, func() {
+		if !x.requiresGrad {
+			return
+		}
+		xg := x.ensureGrad()
+		for b := 0; b < B; b++ {
+			grow := n.Grad.Row(b)
+			for c, v := range grow {
+				row := argmax[b*d+c]
+				if row >= 0 {
+					xg.Data[row*d+c] += v
+				}
+			}
+		}
+	}, x)
+	return n
+}
+
+// SpanMeanPool pools token rows (B*L x d) to one row per span by averaging
+// the span's token representations. Empty spans pool to zero.
+func (g *Graph) SpanMeanPool(x *Node, spans []Span, L int) *Node {
+	d := x.Value.Cols
+	out := tensor.New(len(spans), d)
+	for i, sp := range spans {
+		width := sp.End - sp.Start
+		if width <= 0 {
+			continue
+		}
+		orow := out.Row(i)
+		for t := sp.Start; t < sp.End; t++ {
+			xrow := x.Value.Row(sp.Example*L + t)
+			for c, v := range xrow {
+				orow[c] += v
+			}
+		}
+		inv := 1 / float64(width)
+		for c := range orow {
+			orow[c] *= inv
+		}
+	}
+	var n *Node
+	n = g.add(out, func() {
+		if !x.requiresGrad {
+			return
+		}
+		xg := x.ensureGrad()
+		for i, sp := range spans {
+			width := sp.End - sp.Start
+			if width <= 0 {
+				continue
+			}
+			inv := 1 / float64(width)
+			grow := n.Grad.Row(i)
+			for t := sp.Start; t < sp.End; t++ {
+				xrow := xg.Row(sp.Example*L + t)
+				for c, v := range grow {
+					xrow[c] += inv * v
+				}
+			}
+		}
+	}, x)
+	return n
+}
+
+// SpanAttnPool pools each span with single-head dot-product attention using
+// the learned query vector q (1 x d): a_t = softmax_t(x_t · q), out = Σ a_t x_t.
+// This is the lightweight stand-in for the paper's multi-headed attention
+// payload aggregation. Empty spans pool to zero.
+func (g *Graph) SpanAttnPool(x *Node, spans []Span, L int, q *Node) *Node {
+	d := x.Value.Cols
+	if q.Value.Rows != 1 || q.Value.Cols != d {
+		panic(fmt.Sprintf("nn: SpanAttnPool q shape %dx%d want 1x%d", q.Value.Rows, q.Value.Cols, d))
+	}
+	out := tensor.New(len(spans), d)
+	attn := make([][]float64, len(spans)) // cached attention weights per span
+	scale := 1 / math.Sqrt(float64(d))
+	for i, sp := range spans {
+		width := sp.End - sp.Start
+		if width <= 0 {
+			continue
+		}
+		scores := make([]float64, width)
+		maxv := math.Inf(-1)
+		for k := 0; k < width; k++ {
+			xrow := x.Value.Row(sp.Example*L + sp.Start + k)
+			var s float64
+			for c, v := range xrow {
+				s += v * q.Value.Data[c]
+			}
+			scores[k] = s * scale
+			if scores[k] > maxv {
+				maxv = scores[k]
+			}
+		}
+		var z float64
+		for k := range scores {
+			scores[k] = math.Exp(scores[k] - maxv)
+			z += scores[k]
+		}
+		for k := range scores {
+			scores[k] /= z
+		}
+		attn[i] = scores
+		orow := out.Row(i)
+		for k := 0; k < width; k++ {
+			xrow := x.Value.Row(sp.Example*L + sp.Start + k)
+			a := scores[k]
+			for c, v := range xrow {
+				orow[c] += a * v
+			}
+		}
+	}
+	var n *Node
+	n = g.add(out, func() {
+		for i, sp := range spans {
+			width := sp.End - sp.Start
+			if width <= 0 {
+				continue
+			}
+			grow := n.Grad.Row(i)
+			a := attn[i]
+			// dL/da_k = grad · x_k
+			dA := make([]float64, width)
+			for k := 0; k < width; k++ {
+				xrow := x.Value.Row(sp.Example*L + sp.Start + k)
+				var s float64
+				for c, v := range grow {
+					s += v * xrow[c]
+				}
+				dA[k] = s
+			}
+			// softmax backward: dscore_k = a_k (dA_k - Σ_j a_j dA_j)
+			var dot float64
+			for k := 0; k < width; k++ {
+				dot += a[k] * dA[k]
+			}
+			for k := 0; k < width; k++ {
+				dScore := a[k] * (dA[k] - dot) * scale
+				xrow := x.Value.Row(sp.Example*L + sp.Start + k)
+				if x.requiresGrad {
+					xgrow := x.ensureGrad().Row(sp.Example*L + sp.Start + k)
+					// direct term: a_k * grad
+					for c, v := range grow {
+						xgrow[c] += a[k] * v
+					}
+					// score term: dScore * q
+					for c := range xgrow {
+						xgrow[c] += dScore * q.Value.Data[c]
+					}
+				}
+				if q.requiresGrad {
+					qg := q.ensureGrad()
+					for c := range qg.Data {
+						qg.Data[c] += dScore * xrow[c]
+					}
+				}
+			}
+		}
+	}, x, q)
+	return n
+}

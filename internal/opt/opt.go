@@ -1,0 +1,215 @@
+// Package opt implements the optimizers and learning-rate schedules used to
+// train Overton-compiled models: SGD (with optional momentum), Adam, AdamW,
+// global-norm gradient clipping, and constant / step-decay / warmup-cosine
+// schedules. All optimizers skip frozen parameters.
+package opt
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients and zeroes
+// the gradients.
+type Optimizer interface {
+	// Step applies one update with the given learning rate.
+	Step(lr float64)
+	// ZeroGrads clears gradients without updating.
+	ZeroGrads()
+}
+
+// ClipGradNorm scales all trainable gradients so their global L2 norm is at
+// most maxNorm. Returns the pre-clip norm. maxNorm <= 0 disables clipping.
+func ClipGradNorm(params []*nn.Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		if p.Frozen || p.Node.Grad == nil {
+			continue
+		}
+		for _, v := range p.Node.Grad.Data {
+			sq += v * v
+		}
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / (norm + 1e-12)
+		for _, p := range params {
+			if p.Frozen || p.Node.Grad == nil {
+				continue
+			}
+			tensor.Scale(p.Node.Grad, p.Node.Grad, scale)
+		}
+	}
+	return norm
+}
+
+// SGD is stochastic gradient descent with optional momentum and L2 weight
+// decay.
+type SGD struct {
+	Params      []*nn.Param
+	Momentum    float64
+	WeightDecay float64
+
+	velocity []*tensor.Tensor
+}
+
+// NewSGD creates an SGD optimizer over params.
+func NewSGD(params []*nn.Param, momentum, weightDecay float64) *SGD {
+	return &SGD{Params: params, Momentum: momentum, WeightDecay: weightDecay}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(lr float64) {
+	if o.velocity == nil && o.Momentum > 0 {
+		o.velocity = make([]*tensor.Tensor, len(o.Params))
+	}
+	for i, p := range o.Params {
+		if p.Frozen || p.Node.Grad == nil {
+			continue
+		}
+		w := p.Node.Value
+		g := p.Node.Grad
+		if o.WeightDecay > 0 {
+			tensor.AxpyInto(g, o.WeightDecay, w)
+		}
+		if o.Momentum > 0 {
+			if o.velocity[i] == nil {
+				o.velocity[i] = tensor.New(w.Rows, w.Cols)
+			}
+			v := o.velocity[i]
+			for j := range v.Data {
+				v.Data[j] = o.Momentum*v.Data[j] + g.Data[j]
+				w.Data[j] -= lr * v.Data[j]
+			}
+		} else {
+			tensor.AxpyInto(w, -lr, g)
+		}
+		g.Zero()
+	}
+}
+
+// ZeroGrads implements Optimizer.
+func (o *SGD) ZeroGrads() { zeroGrads(o.Params) }
+
+// Adam is the Adam optimizer (Kingma & Ba). With DecoupledWeightDecay > 0 it
+// becomes AdamW.
+type Adam struct {
+	Params               []*nn.Param
+	Beta1, Beta2         float64
+	Eps                  float64
+	DecoupledWeightDecay float64
+
+	t int
+	m []*tensor.Tensor
+	v []*tensor.Tensor
+}
+
+// NewAdam creates an Adam optimizer with the standard defaults
+// (beta1=0.9, beta2=0.999, eps=1e-8).
+func NewAdam(params []*nn.Param) *Adam {
+	return &Adam{Params: params, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// NewAdamW creates Adam with decoupled weight decay.
+func NewAdamW(params []*nn.Param, weightDecay float64) *Adam {
+	a := NewAdam(params)
+	a.DecoupledWeightDecay = weightDecay
+	return a
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(lr float64) {
+	if o.m == nil {
+		o.m = make([]*tensor.Tensor, len(o.Params))
+		o.v = make([]*tensor.Tensor, len(o.Params))
+	}
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i, p := range o.Params {
+		if p.Frozen || p.Node.Grad == nil {
+			continue
+		}
+		w := p.Node.Value
+		g := p.Node.Grad
+		if o.m[i] == nil {
+			o.m[i] = tensor.New(w.Rows, w.Cols)
+			o.v[i] = tensor.New(w.Rows, w.Cols)
+		}
+		m, v := o.m[i], o.v[i]
+		for j := range w.Data {
+			gj := g.Data[j]
+			m.Data[j] = o.Beta1*m.Data[j] + (1-o.Beta1)*gj
+			v.Data[j] = o.Beta2*v.Data[j] + (1-o.Beta2)*gj*gj
+			mHat := m.Data[j] / bc1
+			vHat := v.Data[j] / bc2
+			upd := mHat / (math.Sqrt(vHat) + o.Eps)
+			if o.DecoupledWeightDecay > 0 {
+				upd += o.DecoupledWeightDecay * w.Data[j]
+			}
+			w.Data[j] -= lr * upd
+		}
+		g.Zero()
+	}
+}
+
+// ZeroGrads implements Optimizer.
+func (o *Adam) ZeroGrads() { zeroGrads(o.Params) }
+
+func zeroGrads(params []*nn.Param) {
+	for _, p := range params {
+		p.Node.ZeroGrad()
+	}
+}
+
+// Schedule maps a step index (0-based) to a learning rate.
+type Schedule interface {
+	LR(step int) float64
+}
+
+// ConstSchedule returns the same learning rate for every step.
+type ConstSchedule float64
+
+// LR implements Schedule.
+func (c ConstSchedule) LR(int) float64 { return float64(c) }
+
+// StepDecay multiplies Base by Gamma every Every steps.
+type StepDecay struct {
+	Base  float64
+	Gamma float64
+	Every int
+}
+
+// LR implements Schedule.
+func (s StepDecay) LR(step int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(step/s.Every))
+}
+
+// WarmupCosine ramps linearly from 0 to Base over Warmup steps, then decays
+// along a cosine to Floor at Total steps.
+type WarmupCosine struct {
+	Base   float64
+	Floor  float64
+	Warmup int
+	Total  int
+}
+
+// LR implements Schedule.
+func (s WarmupCosine) LR(step int) float64 {
+	if step < s.Warmup && s.Warmup > 0 {
+		return s.Base * float64(step+1) / float64(s.Warmup)
+	}
+	if s.Total <= s.Warmup {
+		return s.Base
+	}
+	frac := float64(step-s.Warmup) / float64(s.Total-s.Warmup)
+	if frac > 1 {
+		frac = 1
+	}
+	return s.Floor + (s.Base-s.Floor)*0.5*(1+math.Cos(math.Pi*frac))
+}

@@ -1,0 +1,224 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// quadratic builds loss = Σ (x - target)² over a single parameter vector.
+func quadratic(ps *nn.ParamSet, target float64) (*nn.Param, func() float64) {
+	x := ps.New("x", 1, 4, func(t *tensor.Tensor) { t.Fill(5) })
+	step := func() float64 {
+		g := nn.NewGraph(false, nil)
+		shifted := g.AddConst(x.Node, -target)
+		sq := g.Mul(shifted, shifted)
+		loss := g.Sum(sq)
+		g.Backward(loss)
+		return loss.Value.Data[0]
+	}
+	return x, step
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	ps := nn.NewParamSet()
+	x, step := quadratic(ps, 3)
+	o := NewSGD(ps.All(), 0, 0)
+	for i := 0; i < 200; i++ {
+		step()
+		o.Step(0.1)
+	}
+	for _, v := range x.Node.Value.Data {
+		if math.Abs(v-3) > 1e-6 {
+			t.Fatalf("SGD did not converge: %v", x.Node.Value.Data)
+		}
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	ps := nn.NewParamSet()
+	x, step := quadratic(ps, -2)
+	o := NewSGD(ps.All(), 0.9, 0)
+	for i := 0; i < 200; i++ {
+		step()
+		o.Step(0.02)
+	}
+	for _, v := range x.Node.Value.Data {
+		if math.Abs(v+2) > 1e-3 {
+			t.Fatalf("momentum SGD did not converge: %v", x.Node.Value.Data)
+		}
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	ps := nn.NewParamSet()
+	x, step := quadratic(ps, 1.5)
+	o := NewAdam(ps.All())
+	for i := 0; i < 500; i++ {
+		step()
+		o.Step(0.05)
+	}
+	for _, v := range x.Node.Value.Data {
+		if math.Abs(v-1.5) > 1e-3 {
+			t.Fatalf("Adam did not converge: %v", x.Node.Value.Data)
+		}
+	}
+}
+
+func TestAdamWDecaysWeights(t *testing.T) {
+	// With zero gradient signal, AdamW should shrink weights toward 0,
+	// while plain Adam leaves them unchanged.
+	ps := nn.NewParamSet()
+	p := ps.New("w", 1, 1, func(t *tensor.Tensor) { t.Fill(1) })
+	p.Node.Grad = tensor.New(1, 1) // zero gradient: pure decay
+	aw := NewAdamW(ps.All(), 0.1)
+	for i := 0; i < 50; i++ {
+		aw.Step(0.1)
+	}
+	if p.Node.Value.Data[0] >= 1 {
+		t.Fatalf("AdamW did not decay weight: %g", p.Node.Value.Data[0])
+	}
+}
+
+func TestFrozenParamsUntouched(t *testing.T) {
+	ps := nn.NewParamSet()
+	x, step := quadratic(ps, 0)
+	x.Frozen = true
+	o := NewSGD(ps.All(), 0, 0)
+	step()
+	o.Step(0.5)
+	for _, v := range x.Node.Value.Data {
+		if v != 5 {
+			t.Fatalf("frozen param was updated: %v", x.Node.Value.Data)
+		}
+	}
+}
+
+func TestStepZeroesGradients(t *testing.T) {
+	ps := nn.NewParamSet()
+	x, step := quadratic(ps, 0)
+	o := NewAdam(ps.All())
+	step()
+	o.Step(0.01)
+	if x.Node.Grad.MaxAbs() != 0 {
+		t.Fatalf("Step must zero gradients")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	ps := nn.NewParamSet()
+	_, step := quadratic(ps, 0) // grad = 2*5 = 10 per element, norm = 20
+	step()
+	norm := ClipGradNorm(ps.All(), 1.0)
+	if math.Abs(norm-20) > 1e-9 {
+		t.Fatalf("pre-clip norm %g want 20", norm)
+	}
+	var sq float64
+	for _, p := range ps.All() {
+		for _, v := range p.Node.Grad.Data {
+			sq += v * v
+		}
+	}
+	if math.Abs(math.Sqrt(sq)-1) > 1e-6 {
+		t.Fatalf("post-clip norm %g want 1", math.Sqrt(sq))
+	}
+	// maxNorm <= 0 disables clipping.
+	step()
+	ClipGradNorm(ps.All(), 0)
+}
+
+func TestConstSchedule(t *testing.T) {
+	s := ConstSchedule(0.3)
+	if s.LR(0) != 0.3 || s.LR(1000) != 0.3 {
+		t.Fatalf("ConstSchedule wrong")
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	s := StepDecay{Base: 1, Gamma: 0.5, Every: 10}
+	if s.LR(0) != 1 || s.LR(9) != 1 {
+		t.Fatalf("StepDecay early wrong")
+	}
+	if s.LR(10) != 0.5 || s.LR(25) != 0.25 {
+		t.Fatalf("StepDecay decay wrong: %g %g", s.LR(10), s.LR(25))
+	}
+	// Every <= 0 behaves as constant.
+	c := StepDecay{Base: 2, Gamma: 0.5, Every: 0}
+	if c.LR(100) != 2 {
+		t.Fatalf("StepDecay Every=0 wrong")
+	}
+}
+
+func TestWarmupCosine(t *testing.T) {
+	s := WarmupCosine{Base: 1, Floor: 0.1, Warmup: 10, Total: 110}
+	if s.LR(0) >= s.LR(5) || s.LR(5) >= s.LR(9) {
+		t.Fatalf("warmup not increasing")
+	}
+	if math.Abs(s.LR(10)-1) > 1e-9 {
+		t.Fatalf("peak LR %g want 1", s.LR(10))
+	}
+	if s.LR(60) >= s.LR(10) || s.LR(109) >= s.LR(60) {
+		t.Fatalf("cosine not decreasing")
+	}
+	if got := s.LR(10_000); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("LR past Total = %g want floor", got)
+	}
+}
+
+// Train a tiny 2-class model end to end: Adam on a linearly separable
+// problem must reach near-perfect training accuracy. This is the smoke test
+// that autodiff + optimizer compose correctly.
+func TestEndToEndLearning(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ps := nn.NewParamSet()
+	lin := nn.NewLinear(ps, "lin", 2, 8, rng)
+	head := nn.NewLinear(ps, "head", 8, 2, rng)
+
+	n := 200
+	X := tensor.New(n, 2)
+	targets := tensor.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		x0 := rng.NormFloat64()
+		x1 := rng.NormFloat64()
+		X.Set(i, 0, x0)
+		X.Set(i, 1, x1)
+		y := 0
+		if x0+2*x1 > 0 {
+			y = 1
+		}
+		labels[i] = y
+		targets.Set(i, y, 1)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	o := NewAdam(ps.All())
+	for epoch := 0; epoch < 150; epoch++ {
+		g := nn.NewGraph(true, rng)
+		h := g.Tanh(lin.Forward(g, g.Const(X)))
+		logits := head.Forward(g, h)
+		loss, _ := g.SoftmaxCE(logits, targets, w)
+		g.Backward(loss)
+		ClipGradNorm(ps.All(), 5)
+		o.Step(0.05)
+	}
+	// Evaluate.
+	g := nn.NewGraph(false, nil)
+	h := g.Tanh(lin.Forward(g, g.Const(X)))
+	logits := head.Forward(g, h)
+	correct := 0
+	for i := 0; i < n; i++ {
+		if logits.Value.ArgmaxRow(i) == labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(n)
+	if acc < 0.97 {
+		t.Fatalf("end-to-end training accuracy %.3f < 0.97", acc)
+	}
+}

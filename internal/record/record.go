@@ -1,0 +1,639 @@
+// Package record implements Overton's data file: one JSON record per line,
+// each carrying payload values, multi-source task supervision, tags, and
+// slices. The data file is the engineer's primary interface — supervision
+// is refined by editing data, never model code.
+//
+// Supervision semantics: every task label is attributed to a named source
+// ("spacy", "weak1", "crowd", ...). Sources may conflict and may abstain
+// (be absent). The reserved source "gold" holds curated evaluation labels;
+// the label model never consumes it for training.
+package record
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"repro/internal/schema"
+)
+
+// GoldSource is the reserved source name for curated evaluation labels.
+const GoldSource = "gold"
+
+// Default tags partitioning the data file (the system-defined tags from
+// Section 2.2).
+const (
+	TagTrain = "train"
+	TagDev   = "dev"
+	TagTest  = "test"
+)
+
+// SetMember is one candidate in a set payload: a KB id plus the token span
+// [Start, End) it references in the range payload.
+type SetMember struct {
+	ID    string `json:"id"`
+	Start int    `json:"-"`
+	End   int    `json:"-"`
+}
+
+// setMemberJSON is the wire form matching the paper ("range": [start, end]).
+type setMemberJSON struct {
+	ID    string `json:"id"`
+	Range [2]int `json:"range"`
+}
+
+// PayloadValue is the value of one payload in one record. Exactly one field
+// is populated depending on the payload's schema type; a payload may also be
+// entirely null.
+type PayloadValue struct {
+	String string      // singleton
+	Tokens []string    // sequence
+	Set    []SetMember // set
+	Null   bool
+}
+
+// LabelKind discriminates the Label union.
+type LabelKind int
+
+// Label kinds.
+const (
+	KindNone   LabelKind = iota
+	KindClass            // multiclass over a singleton: one class name
+	KindSeq              // multiclass over a sequence: one class per token
+	KindBits             // bitvector: per token (or single row), list of set bits
+	KindSelect           // select: index of the chosen set member
+)
+
+// Label is one source's annotation for one task on one record.
+type Label struct {
+	Kind   LabelKind
+	Class  string
+	Seq    []string
+	Bits   [][]string
+	Select int
+}
+
+// TaskLabels maps source name to that source's label.
+type TaskLabels map[string]Label
+
+// Record is one example in the data file.
+type Record struct {
+	ID       string
+	Payloads map[string]PayloadValue
+	Tasks    map[string]TaskLabels
+	Tags     []string
+	Slices   []string
+}
+
+// HasTag reports whether the record carries tag.
+func (r *Record) HasTag(tag string) bool {
+	for _, t := range r.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// InSlice reports whether the record belongs to slice name.
+func (r *Record) InSlice(name string) bool {
+	for _, s := range r.Slices {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// AddTag appends tag if not already present.
+func (r *Record) AddTag(tag string) {
+	if !r.HasTag(tag) {
+		r.Tags = append(r.Tags, tag)
+	}
+}
+
+// AddSlice marks the record as a member of slice name (and tags it, since
+// every slice is also a tag per Section 2.2).
+func (r *Record) AddSlice(name string) {
+	if !r.InSlice(name) {
+		r.Slices = append(r.Slices, name)
+	}
+	r.AddTag(name)
+}
+
+// Label returns the label from source for task, if present.
+func (r *Record) Label(task, source string) (Label, bool) {
+	tl, ok := r.Tasks[task]
+	if !ok {
+		return Label{}, false
+	}
+	l, ok := tl[source]
+	return l, ok
+}
+
+// Gold returns the curated gold label for task, if present.
+func (r *Record) Gold(task string) (Label, bool) { return r.Label(task, GoldSource) }
+
+// SetLabel records a label from source for task.
+func (r *Record) SetLabel(task, source string, l Label) {
+	if r.Tasks == nil {
+		r.Tasks = make(map[string]TaskLabels)
+	}
+	if r.Tasks[task] == nil {
+		r.Tasks[task] = make(TaskLabels)
+	}
+	r.Tasks[task][source] = l
+}
+
+// recordJSON is the wire format of one line of the data file.
+type recordJSON struct {
+	ID       string                                `json:"id,omitempty"`
+	Payloads map[string]json.RawMessage            `json:"payloads"`
+	Tasks    map[string]map[string]json.RawMessage `json:"tasks,omitempty"`
+	Tags     []string                              `json:"tags,omitempty"`
+	Slices   []string                              `json:"slices,omitempty"`
+}
+
+// ParseRecord decodes one JSON record, shaping payloads and labels according
+// to sch.
+func ParseRecord(data []byte, sch *schema.Schema) (*Record, error) {
+	var rj recordJSON
+	if err := json.Unmarshal(data, &rj); err != nil {
+		return nil, fmt.Errorf("record: parse: %w", err)
+	}
+	r := &Record{
+		ID:       rj.ID,
+		Payloads: make(map[string]PayloadValue, len(rj.Payloads)),
+		Tasks:    make(map[string]TaskLabels, len(rj.Tasks)),
+		Tags:     rj.Tags,
+		Slices:   rj.Slices,
+	}
+	for name, raw := range rj.Payloads {
+		p, ok := sch.Payloads[name]
+		if !ok {
+			return nil, fmt.Errorf("record %s: payload %q not in schema", r.ID, name)
+		}
+		pv, err := parsePayloadValue(raw, p)
+		if err != nil {
+			return nil, fmt.Errorf("record %s: payload %q: %w", r.ID, name, err)
+		}
+		r.Payloads[name] = pv
+	}
+	for taskName, sources := range rj.Tasks {
+		t, ok := sch.Tasks[taskName]
+		if !ok {
+			return nil, fmt.Errorf("record %s: task %q not in schema", r.ID, taskName)
+		}
+		tl := make(TaskLabels, len(sources))
+		for src, raw := range sources {
+			l, err := parseLabel(raw, t, sch)
+			if err != nil {
+				return nil, fmt.Errorf("record %s: task %q source %q: %w", r.ID, taskName, src, err)
+			}
+			tl[src] = l
+		}
+		r.Tasks[taskName] = tl
+	}
+	return r, nil
+}
+
+func parsePayloadValue(raw json.RawMessage, p *schema.Payload) (PayloadValue, error) {
+	if string(raw) == "null" {
+		return PayloadValue{Null: true}, nil
+	}
+	switch p.Type {
+	case schema.Singleton:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return PayloadValue{}, fmt.Errorf("singleton wants string: %w", err)
+		}
+		return PayloadValue{String: s}, nil
+	case schema.Sequence:
+		var toks []string
+		if err := json.Unmarshal(raw, &toks); err != nil {
+			return PayloadValue{}, fmt.Errorf("sequence wants string array: %w", err)
+		}
+		if len(toks) > p.MaxLength {
+			toks = toks[:p.MaxLength] // truncate overlong sequences
+		}
+		return PayloadValue{Tokens: toks}, nil
+	case schema.Set:
+		// Paper-style map {"0": {...}, "1": {...}} or plain array.
+		var asMap map[string]setMemberJSON
+		if err := json.Unmarshal(raw, &asMap); err == nil {
+			keys := make([]int, 0, len(asMap))
+			byKey := make(map[int]setMemberJSON, len(asMap))
+			for k, v := range asMap {
+				i, err := strconv.Atoi(k)
+				if err != nil {
+					return PayloadValue{}, fmt.Errorf("set key %q not an index", k)
+				}
+				keys = append(keys, i)
+				byKey[i] = v
+			}
+			sort.Ints(keys)
+			members := make([]SetMember, 0, len(keys))
+			for _, k := range keys {
+				m := byKey[k]
+				members = append(members, SetMember{ID: m.ID, Start: m.Range[0], End: m.Range[1]})
+			}
+			return PayloadValue{Set: members}, nil
+		}
+		var asArr []setMemberJSON
+		if err := json.Unmarshal(raw, &asArr); err != nil {
+			return PayloadValue{}, fmt.Errorf("set wants map or array of members: %w", err)
+		}
+		members := make([]SetMember, 0, len(asArr))
+		for _, m := range asArr {
+			members = append(members, SetMember{ID: m.ID, Start: m.Range[0], End: m.Range[1]})
+		}
+		return PayloadValue{Set: members}, nil
+	}
+	return PayloadValue{}, fmt.Errorf("unknown payload type %q", p.Type)
+}
+
+func parseLabel(raw json.RawMessage, t *schema.Task, sch *schema.Schema) (Label, error) {
+	gran := sch.Granularity(t)
+	switch t.Type {
+	case schema.Multiclass:
+		if gran == schema.PerExample {
+			var c string
+			if err := json.Unmarshal(raw, &c); err != nil {
+				return Label{}, fmt.Errorf("multiclass singleton wants string: %w", err)
+			}
+			return Label{Kind: KindClass, Class: c}, nil
+		}
+		var seq []string
+		if err := json.Unmarshal(raw, &seq); err != nil {
+			return Label{}, fmt.Errorf("multiclass sequence wants string array: %w", err)
+		}
+		return Label{Kind: KindSeq, Seq: seq}, nil
+	case schema.Bitvector:
+		if gran == schema.PerExample {
+			var bits []string
+			if err := json.Unmarshal(raw, &bits); err != nil {
+				return Label{}, fmt.Errorf("bitvector singleton wants string array: %w", err)
+			}
+			return Label{Kind: KindBits, Bits: [][]string{bits}}, nil
+		}
+		var rows [][]string
+		if err := json.Unmarshal(raw, &rows); err != nil {
+			return Label{}, fmt.Errorf("bitvector sequence wants array of string arrays: %w", err)
+		}
+		return Label{Kind: KindBits, Bits: rows}, nil
+	case schema.Select:
+		var idx int
+		if err := json.Unmarshal(raw, &idx); err != nil {
+			return Label{}, fmt.Errorf("select wants candidate index: %w", err)
+		}
+		return Label{Kind: KindSelect, Select: idx}, nil
+	}
+	return Label{}, fmt.Errorf("unknown task type %q", t.Type)
+}
+
+// MarshalRecord renders r as one JSON line matching the paper's wire format.
+func MarshalRecord(r *Record, sch *schema.Schema) ([]byte, error) {
+	rj := recordJSON{
+		ID:       r.ID,
+		Payloads: make(map[string]json.RawMessage, len(r.Payloads)),
+		Tags:     r.Tags,
+		Slices:   r.Slices,
+	}
+	for name, pv := range r.Payloads {
+		p, ok := sch.Payloads[name]
+		if !ok {
+			return nil, fmt.Errorf("record %s: payload %q not in schema", r.ID, name)
+		}
+		raw, err := marshalPayloadValue(pv, p)
+		if err != nil {
+			return nil, err
+		}
+		rj.Payloads[name] = raw
+	}
+	if len(r.Tasks) > 0 {
+		rj.Tasks = make(map[string]map[string]json.RawMessage, len(r.Tasks))
+		for taskName, sources := range r.Tasks {
+			m := make(map[string]json.RawMessage, len(sources))
+			for src, l := range sources {
+				raw, err := marshalLabel(l)
+				if err != nil {
+					return nil, fmt.Errorf("record %s: task %q source %q: %w", r.ID, taskName, src, err)
+				}
+				m[src] = raw
+			}
+			rj.Tasks[taskName] = m
+		}
+	}
+	return json.Marshal(rj)
+}
+
+func marshalPayloadValue(pv PayloadValue, p *schema.Payload) (json.RawMessage, error) {
+	if pv.Null {
+		return json.RawMessage("null"), nil
+	}
+	switch p.Type {
+	case schema.Singleton:
+		return json.Marshal(pv.String)
+	case schema.Sequence:
+		return json.Marshal(pv.Tokens)
+	case schema.Set:
+		m := make(map[string]setMemberJSON, len(pv.Set))
+		for i, s := range pv.Set {
+			m[strconv.Itoa(i)] = setMemberJSON{ID: s.ID, Range: [2]int{s.Start, s.End}}
+		}
+		return json.Marshal(m)
+	}
+	return nil, fmt.Errorf("unknown payload type %q", p.Type)
+}
+
+func marshalLabel(l Label) (json.RawMessage, error) {
+	switch l.Kind {
+	case KindClass:
+		return json.Marshal(l.Class)
+	case KindSeq:
+		return json.Marshal(l.Seq)
+	case KindBits:
+		if len(l.Bits) == 1 {
+			// Singleton bitvector round-trips as a flat list.
+			return json.Marshal(l.Bits[0])
+		}
+		return json.Marshal(l.Bits)
+	case KindSelect:
+		return json.Marshal(l.Select)
+	}
+	return nil, fmt.Errorf("cannot marshal label of kind %d", l.Kind)
+}
+
+// Validate checks r against sch: payload shapes, span bounds, label class
+// membership, select indices in range.
+func Validate(r *Record, sch *schema.Schema) error {
+	for name, pv := range r.Payloads {
+		p, ok := sch.Payloads[name]
+		if !ok {
+			return fmt.Errorf("record %s: payload %q not in schema", r.ID, name)
+		}
+		if pv.Null {
+			continue
+		}
+		if p.Type == schema.Set {
+			rangeLen := -1
+			if rp, ok := r.Payloads[p.Range]; ok && !rp.Null {
+				rangeLen = len(rp.Tokens)
+			}
+			for i, m := range pv.Set {
+				if m.Start < 0 || m.End < m.Start {
+					return fmt.Errorf("record %s: payload %q member %d: bad span [%d,%d)", r.ID, name, i, m.Start, m.End)
+				}
+				if rangeLen >= 0 && m.End > rangeLen {
+					return fmt.Errorf("record %s: payload %q member %d: span end %d > %d tokens", r.ID, name, i, m.End, rangeLen)
+				}
+			}
+		}
+	}
+	for taskName, sources := range r.Tasks {
+		t, ok := sch.Tasks[taskName]
+		if !ok {
+			return fmt.Errorf("record %s: task %q not in schema", r.ID, taskName)
+		}
+		for src, l := range sources {
+			if err := validateLabel(r, l, t, sch); err != nil {
+				return fmt.Errorf("record %s: task %q source %q: %w", r.ID, taskName, src, err)
+			}
+		}
+	}
+	return nil
+}
+
+func validateLabel(r *Record, l Label, t *schema.Task, sch *schema.Schema) error {
+	gran := sch.Granularity(t)
+	tokenCount := -1
+	if p := sch.Payloads[t.Payload]; p != nil && p.Type == schema.Sequence {
+		if pv, ok := r.Payloads[t.Payload]; ok && !pv.Null {
+			tokenCount = len(pv.Tokens)
+		}
+	}
+	switch t.Type {
+	case schema.Multiclass:
+		if gran == schema.PerExample {
+			if l.Kind != KindClass {
+				return fmt.Errorf("want class label, got kind %d", l.Kind)
+			}
+			if t.ClassIndex(l.Class) < 0 {
+				return fmt.Errorf("unknown class %q", l.Class)
+			}
+			return nil
+		}
+		if l.Kind != KindSeq {
+			return fmt.Errorf("want per-token labels, got kind %d", l.Kind)
+		}
+		if tokenCount >= 0 && len(l.Seq) != tokenCount {
+			return fmt.Errorf("label length %d != %d tokens", len(l.Seq), tokenCount)
+		}
+		for i, c := range l.Seq {
+			if c != "" && t.ClassIndex(c) < 0 {
+				return fmt.Errorf("token %d: unknown class %q", i, c)
+			}
+		}
+		return nil
+	case schema.Bitvector:
+		if l.Kind != KindBits {
+			return fmt.Errorf("want bitvector label, got kind %d", l.Kind)
+		}
+		if gran == schema.PerToken && tokenCount >= 0 && len(l.Bits) != tokenCount {
+			return fmt.Errorf("label rows %d != %d tokens", len(l.Bits), tokenCount)
+		}
+		for i, row := range l.Bits {
+			for _, b := range row {
+				if t.ClassIndex(b) < 0 {
+					return fmt.Errorf("row %d: unknown bit %q", i, b)
+				}
+			}
+		}
+		return nil
+	case schema.Select:
+		if l.Kind != KindSelect {
+			return fmt.Errorf("want select label, got kind %d", l.Kind)
+		}
+		if pv, ok := r.Payloads[t.Payload]; ok && !pv.Null {
+			if l.Select < 0 || l.Select >= len(pv.Set) {
+				return fmt.Errorf("select index %d out of range [0,%d)", l.Select, len(pv.Set))
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown task type %q", t.Type)
+}
+
+// Dataset is an in-memory collection of records under one schema.
+type Dataset struct {
+	Schema  *schema.Schema
+	Records []*Record
+}
+
+// Load reads a JSONL data file.
+func Load(path string, sch *schema.Schema) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("record: %w", err)
+	}
+	defer f.Close()
+	return LoadReader(f, sch)
+}
+
+// LoadReader reads JSONL records from r.
+func LoadReader(r io.Reader, sch *schema.Schema) (*Dataset, error) {
+	ds := &Dataset{Schema: sch}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		rec, err := ParseRecord(text, sch)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := Validate(rec, sch); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		ds.Records = append(ds.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("record: scan: %w", err)
+	}
+	return ds, nil
+}
+
+// Save writes the dataset as JSONL to path.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("record: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, rec := range d.Records {
+		data, err := MarshalRecord(rec, d.Schema)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			return fmt.Errorf("record: write: %w", err)
+		}
+	}
+	return w.Flush()
+}
+
+// WithTag returns the records carrying tag, preserving order.
+func (d *Dataset) WithTag(tag string) []*Record {
+	var out []*Record
+	for _, r := range d.Records {
+		if r.HasTag(tag) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// InSlice returns the records belonging to the named slice.
+func (d *Dataset) InSlice(name string) []*Record {
+	var out []*Record
+	for _, r := range d.Records {
+		if r.InSlice(name) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Tags returns all distinct tags in the dataset, sorted.
+func (d *Dataset) Tags() []string {
+	seen := map[string]bool{}
+	for _, r := range d.Records {
+		for _, t := range r.Tags {
+			seen[t] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SliceNames returns all distinct slice names, sorted.
+func (d *Dataset) SliceNames() []string {
+	seen := map[string]bool{}
+	for _, r := range d.Records {
+		for _, s := range r.Slices {
+			seen[s] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sources returns all distinct supervision source names (excluding gold),
+// sorted.
+func (d *Dataset) Sources() []string {
+	seen := map[string]bool{}
+	for _, r := range d.Records {
+		for _, tl := range r.Tasks {
+			for src := range tl {
+				if src != GoldSource {
+					seen[src] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SplitTags assigns the default train/dev/test tags deterministically by a
+// hash of record index under seed, with the given fractions (test gets the
+// remainder). Records that already carry one of the three tags keep it.
+func (d *Dataset) SplitTags(trainFrac, devFrac float64, seed int64) {
+	if trainFrac < 0 || devFrac < 0 || trainFrac+devFrac > 1 {
+		panic("record: bad split fractions")
+	}
+	for i, r := range d.Records {
+		if r.HasTag(TagTrain) || r.HasTag(TagDev) || r.HasTag(TagTest) {
+			continue
+		}
+		u := splitHash(uint64(i), uint64(seed))
+		switch {
+		case u < trainFrac:
+			r.AddTag(TagTrain)
+		case u < trainFrac+devFrac:
+			r.AddTag(TagDev)
+		default:
+			r.AddTag(TagTest)
+		}
+	}
+}
+
+// splitHash maps (i, seed) to a uniform [0,1) value (splitmix64 finaliser).
+func splitHash(i, seed uint64) float64 {
+	z := i + seed*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}

@@ -1,0 +1,345 @@
+package record
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+const testSchemaJSON = `{
+  "payloads": {
+    "tokens":   {"type": "sequence", "max_length": 16},
+    "query":    {"type": "singleton", "base": ["tokens"]},
+    "entities": {"type": "set", "range": "tokens"}
+  },
+  "tasks": {
+    "POS":        {"payload": "tokens", "type": "multiclass",
+                   "classes": ["NOUN", "VERB", "ADJ", "ADV", "ADP", "DET"]},
+    "EntityType": {"payload": "tokens", "type": "bitvector",
+                   "classes": ["person", "location", "country"]},
+    "Intent":     {"payload": "query", "type": "multiclass",
+                   "classes": ["Height", "Capital", "President"]},
+    "IntentArg":  {"payload": "entities", "type": "select"}
+  }
+}`
+
+// paperRecordJSON is (a compressed version of) the example data record in
+// Figure 2a.
+const paperRecordJSON = `{
+  "id": "q1",
+  "payloads": {
+    "tokens": ["How", "tall", "is", "the", "president"],
+    "query": "How tall is the president",
+    "entities": {
+      "0": {"id": "President_(title)", "range": [4, 5]},
+      "1": {"id": "United_States", "range": [3, 5]}
+    }
+  },
+  "tasks": {
+    "POS": {"spacy": ["ADV", "ADJ", "VERB", "DET", "NOUN"]},
+    "EntityType": {"eproj": [[], [], [], [], ["person"]]},
+    "Intent": {"weak1": "President", "weak2": "Height", "crowd": "Height"},
+    "IntentArg": {"weak1": 1, "weak2": 0, "crowd": 0}
+  },
+  "tags": ["train", "nutrition"],
+  "slices": ["nutrition"]
+}`
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	s, err := schema.Parse([]byte(testSchemaJSON))
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	return s
+}
+
+func TestParsePaperRecord(t *testing.T) {
+	sch := testSchema(t)
+	r, err := ParseRecord([]byte(paperRecordJSON), sch)
+	if err != nil {
+		t.Fatalf("ParseRecord: %v", err)
+	}
+	if r.ID != "q1" {
+		t.Fatalf("id wrong")
+	}
+	if got := r.Payloads["tokens"].Tokens; len(got) != 5 || got[1] != "tall" {
+		t.Fatalf("tokens wrong: %v", got)
+	}
+	ents := r.Payloads["entities"].Set
+	if len(ents) != 2 || ents[0].ID != "President_(title)" || ents[0].Start != 4 || ents[0].End != 5 {
+		t.Fatalf("entities wrong: %+v", ents)
+	}
+	if l, ok := r.Label("Intent", "weak2"); !ok || l.Class != "Height" {
+		t.Fatalf("Intent weak2 wrong: %+v", l)
+	}
+	if l, ok := r.Label("IntentArg", "weak1"); !ok || l.Select != 1 {
+		t.Fatalf("IntentArg weak1 wrong")
+	}
+	if l, ok := r.Label("EntityType", "eproj"); !ok || len(l.Bits) != 5 || l.Bits[4][0] != "person" {
+		t.Fatalf("EntityType wrong: %+v", l)
+	}
+	if !r.HasTag("nutrition") || !r.InSlice("nutrition") || r.InSlice("zzz") {
+		t.Fatalf("tags/slices wrong")
+	}
+	if err := Validate(r, sch); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	sch := testSchema(t)
+	r, err := ParseRecord([]byte(paperRecordJSON), sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalRecord(r, sch)
+	if err != nil {
+		t.Fatalf("MarshalRecord: %v", err)
+	}
+	r2, err := ParseRecord(data, sch)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(r2.Payloads["entities"].Set) != 2 {
+		t.Fatalf("entities lost in round trip")
+	}
+	if l, ok := r2.Label("Intent", "crowd"); !ok || l.Class != "Height" {
+		t.Fatalf("labels lost in round trip")
+	}
+	if l, ok := r2.Label("EntityType", "eproj"); !ok || len(l.Bits) != 5 {
+		t.Fatalf("bitvector lost in round trip: %+v", l)
+	}
+}
+
+func TestNullPayload(t *testing.T) {
+	sch := testSchema(t)
+	js := `{"payloads": {"tokens": ["hi"], "query": null}}`
+	r, err := ParseRecord([]byte(js), sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Payloads["query"].Null {
+		t.Fatalf("null payload not recognised")
+	}
+	if err := Validate(r, sch); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSequenceTruncation(t *testing.T) {
+	sch := testSchema(t)
+	long := `{"payloads": {"tokens": ["a","b","c","d","e","f","g","h","i","j","k","l","m","n","o","p","q","r"]}}`
+	r, err := ParseRecord([]byte(long), sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Payloads["tokens"].Tokens) != 16 {
+		t.Fatalf("not truncated to max_length: %d", len(r.Payloads["tokens"].Tokens))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	sch := testSchema(t)
+	cases := []struct{ name, js, want string }{
+		{"unknown payload", `{"payloads": {"zzz": "x"}}`, "not in schema"},
+		{"unknown task", `{"payloads": {}, "tasks": {"Zzz": {"s": "x"}}}`, "not in schema"},
+		{"wrong singleton shape", `{"payloads": {"query": ["a"]}}`, "singleton wants string"},
+		{"wrong sequence shape", `{"payloads": {"tokens": "abc"}}`, "string array"},
+		{"wrong select shape", `{"payloads": {}, "tasks": {"IntentArg": {"w": "zero"}}}`, "candidate index"},
+		{"bad set key", `{"payloads": {"entities": {"x": {"id": "a", "range": [0,1]}}}}`, "not an index"},
+	}
+	for _, tc := range cases {
+		_, err := ParseRecord([]byte(tc.js), sch)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	sch := testSchema(t)
+	cases := []struct{ name, js, want string }{
+		{"unknown class", `{"payloads": {"query": "x"}, "tasks": {"Intent": {"w": "Weather"}}}`, "unknown class"},
+		{"seq label length", `{"payloads": {"tokens": ["a","b"]}, "tasks": {"POS": {"w": ["NOUN"]}}}`, "!= 2 tokens"},
+		{"unknown pos class", `{"payloads": {"tokens": ["a"]}, "tasks": {"POS": {"w": ["XYZ"]}}}`, "unknown class"},
+		{"unknown bit", `{"payloads": {"tokens": ["a"]}, "tasks": {"EntityType": {"w": [["alien"]]}}}`, "unknown bit"},
+		{"select out of range", `{"payloads": {"entities": {"0": {"id": "a", "range": [0,1]}}, "tokens": ["x"]}, "tasks": {"IntentArg": {"w": 3}}}`, "out of range"},
+		{"span out of range", `{"payloads": {"entities": {"0": {"id": "a", "range": [0,5]}}, "tokens": ["x"]}}`, "span end"},
+		{"negative span", `{"payloads": {"entities": {"0": {"id": "a", "range": [2,1]}}}}`, "bad span"},
+	}
+	for _, tc := range cases {
+		r, err := ParseRecord([]byte(tc.js), sch)
+		if err != nil {
+			t.Errorf("%s: unexpected parse error %v", tc.name, err)
+			continue
+		}
+		err = Validate(r, sch)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestGoldSourceHelpers(t *testing.T) {
+	sch := testSchema(t)
+	r, _ := ParseRecord([]byte(`{"payloads": {"query": "x"}}`), sch)
+	r.SetLabel("Intent", GoldSource, Label{Kind: KindClass, Class: "Height"})
+	r.SetLabel("Intent", "weak1", Label{Kind: KindClass, Class: "Capital"})
+	if g, ok := r.Gold("Intent"); !ok || g.Class != "Height" {
+		t.Fatalf("Gold() wrong")
+	}
+	if _, ok := r.Gold("POS"); ok {
+		t.Fatalf("Gold on unlabeled task should be absent")
+	}
+}
+
+func TestDatasetLoadSaveRoundTrip(t *testing.T) {
+	sch := testSchema(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.jsonl")
+	content := paperRecordJSON2Lines()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Load(path, sch)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(ds.Records) != 2 {
+		t.Fatalf("want 2 records got %d", len(ds.Records))
+	}
+	out := filepath.Join(dir, "out.jsonl")
+	if err := ds.Save(out); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	ds2, err := Load(out, sch)
+	if err != nil {
+		t.Fatalf("re-Load: %v", err)
+	}
+	if len(ds2.Records) != 2 {
+		t.Fatalf("round trip lost records")
+	}
+}
+
+// paperRecordJSON2Lines flattens the pretty-printed record to single lines.
+func paperRecordJSON2Lines() string {
+	one := strings.ReplaceAll(paperRecordJSON, "\n", " ")
+	two := strings.ReplaceAll(one, `"id": "q1"`, `"id": "q2"`)
+	return one + "\n" + two + "\n"
+}
+
+func TestDatasetQueries(t *testing.T) {
+	sch := testSchema(t)
+	ds := &Dataset{Schema: sch}
+	mk := func(id string, tags, slices []string) *Record {
+		r := &Record{ID: id, Payloads: map[string]PayloadValue{}}
+		for _, tg := range tags {
+			r.AddTag(tg)
+		}
+		for _, sl := range slices {
+			r.AddSlice(sl)
+		}
+		return r
+	}
+	ds.Records = []*Record{
+		mk("a", []string{TagTrain}, []string{"nutrition"}),
+		mk("b", []string{TagTest}, nil),
+		mk("c", []string{TagTrain, "aug"}, nil),
+	}
+	ds.Records[0].SetLabel("Intent", "weak1", Label{Kind: KindClass, Class: "Height"})
+	ds.Records[1].SetLabel("Intent", GoldSource, Label{Kind: KindClass, Class: "Capital"})
+
+	if got := ds.WithTag(TagTrain); len(got) != 2 {
+		t.Fatalf("WithTag train: %d", len(got))
+	}
+	if got := ds.InSlice("nutrition"); len(got) != 1 || got[0].ID != "a" {
+		t.Fatalf("InSlice wrong")
+	}
+	tags := ds.Tags()
+	want := []string{"aug", "nutrition", "test", "train"}
+	if len(tags) != len(want) {
+		t.Fatalf("Tags: %v", tags)
+	}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("Tags[%d]=%s want %s", i, tags[i], want[i])
+		}
+	}
+	if sn := ds.SliceNames(); len(sn) != 1 || sn[0] != "nutrition" {
+		t.Fatalf("SliceNames wrong: %v", sn)
+	}
+	// Sources excludes gold.
+	if srcs := ds.Sources(); len(srcs) != 1 || srcs[0] != "weak1" {
+		t.Fatalf("Sources wrong: %v", srcs)
+	}
+}
+
+func TestSplitTagsDeterministicAndComplete(t *testing.T) {
+	sch := testSchema(t)
+	mkDS := func() *Dataset {
+		ds := &Dataset{Schema: sch}
+		for i := 0; i < 1000; i++ {
+			ds.Records = append(ds.Records, &Record{ID: string(rune('a' + i%26))})
+		}
+		return ds
+	}
+	d1 := mkDS()
+	d1.SplitTags(0.7, 0.1, 42)
+	d2 := mkDS()
+	d2.SplitTags(0.7, 0.1, 42)
+	var train, dev, test int
+	for i, r := range d1.Records {
+		if !r.HasTag(TagTrain) && !r.HasTag(TagDev) && !r.HasTag(TagTest) {
+			t.Fatalf("record %d unassigned", i)
+		}
+		if strings.Join(r.Tags, ",") != strings.Join(d2.Records[i].Tags, ",") {
+			t.Fatalf("split not deterministic at %d", i)
+		}
+		switch {
+		case r.HasTag(TagTrain):
+			train++
+		case r.HasTag(TagDev):
+			dev++
+		default:
+			test++
+		}
+	}
+	if train < 600 || train > 800 || dev < 50 || dev > 170 || test < 120 {
+		t.Fatalf("split fractions off: %d/%d/%d", train, dev, test)
+	}
+	// Pre-tagged records keep their tag.
+	d3 := mkDS()
+	d3.Records[0].AddTag(TagTest)
+	d3.SplitTags(1.0, 0, 1)
+	if !d3.Records[0].HasTag(TagTest) || d3.Records[0].HasTag(TagTrain) {
+		t.Fatalf("pre-assigned tag overridden")
+	}
+}
+
+func TestSplitTagsPanicsOnBadFractions(t *testing.T) {
+	ds := &Dataset{}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	ds.SplitTags(0.9, 0.5, 1)
+}
+
+func TestAddTagIdempotent(t *testing.T) {
+	r := &Record{}
+	r.AddTag("x")
+	r.AddTag("x")
+	if len(r.Tags) != 1 {
+		t.Fatalf("AddTag not idempotent")
+	}
+	r.AddSlice("s")
+	r.AddSlice("s")
+	if len(r.Slices) != 1 || len(r.Tags) != 2 {
+		t.Fatalf("AddSlice wrong: tags=%v slices=%v", r.Tags, r.Slices)
+	}
+}

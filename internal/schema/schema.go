@@ -1,0 +1,328 @@
+// Package schema implements Overton's declarative schema: payloads, which
+// describe sources of data (a query, its tokens, a set of candidate
+// entities), and tasks, which describe what the compiled model must predict
+// over those payloads. The schema is the contract between supervision data,
+// the model compiler, and serving — it deliberately contains no
+// hyperparameters (model independence): the same schema is reused across
+// tuning choices, locales, and applications.
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// PayloadType enumerates the payload shapes Overton supports.
+type PayloadType string
+
+// Payload shapes.
+const (
+	Singleton PayloadType = "singleton" // one value per example (e.g. the query)
+	Sequence  PayloadType = "sequence"  // ordered tokens per example
+	Set       PayloadType = "set"       // unordered candidates per example (e.g. entities)
+)
+
+// TaskType enumerates the classification task families.
+type TaskType string
+
+// Task families.
+const (
+	Multiclass TaskType = "multiclass" // exactly one class per unit
+	Bitvector  TaskType = "bitvector"  // independent binary labels per unit
+	Select     TaskType = "select"     // choose one member of a set payload
+)
+
+// Payload declares one source of data in the schema.
+type Payload struct {
+	Name      string      `json:"-"`
+	Type      PayloadType `json:"type"`
+	MaxLength int         `json:"max_length,omitempty"` // sequences: padding length
+	Base      []string    `json:"base,omitempty"`       // payloads this aggregates
+	Range     string      `json:"range,omitempty"`      // sets: sequence payload its spans index
+}
+
+// Task declares one prediction the compiled model must emit.
+type Task struct {
+	Name    string   `json:"-"`
+	Payload string   `json:"payload"`
+	Type    TaskType `json:"type"`
+	// Classes fixes the label space for multiclass/bitvector tasks. Select
+	// tasks have no classes (they choose among set members).
+	Classes []string `json:"classes,omitempty"`
+}
+
+// Schema is a parsed, validated Overton schema.
+type Schema struct {
+	Payloads map[string]*Payload `json:"payloads"`
+	Tasks    map[string]*Task    `json:"tasks"`
+}
+
+// Parse reads and validates a schema from JSON.
+func Parse(data []byte) (*Schema, error) {
+	var s Schema
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("schema: parse: %w", err)
+	}
+	for name, p := range s.Payloads {
+		p.Name = name
+	}
+	for name, t := range s.Tasks {
+		t.Name = name
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseReader parses a schema from r.
+func ParseReader(r io.Reader) (*Schema, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("schema: read: %w", err)
+	}
+	return Parse(data)
+}
+
+// LoadFile parses a schema from a file path.
+func LoadFile(path string) (*Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("schema: %w", err)
+	}
+	return Parse(data)
+}
+
+// MarshalJSON renders the schema in its canonical JSON form.
+func (s *Schema) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Validate checks structural invariants: payload references resolve, no
+// dataflow cycles, tasks are typed consistently with their payloads.
+func (s *Schema) Validate() error {
+	if len(s.Payloads) == 0 {
+		return fmt.Errorf("schema: no payloads")
+	}
+	if len(s.Tasks) == 0 {
+		return fmt.Errorf("schema: no tasks")
+	}
+	for name, p := range s.Payloads {
+		if name == "" {
+			return fmt.Errorf("schema: empty payload name")
+		}
+		switch p.Type {
+		case Singleton, Sequence, Set:
+		default:
+			return fmt.Errorf("schema: payload %q: unknown type %q", name, p.Type)
+		}
+		if p.Type == Sequence && p.MaxLength <= 0 {
+			return fmt.Errorf("schema: sequence payload %q: max_length must be > 0", name)
+		}
+		if p.Type != Sequence && p.MaxLength != 0 {
+			return fmt.Errorf("schema: payload %q: max_length only valid for sequences", name)
+		}
+		for _, b := range p.Base {
+			bp, ok := s.Payloads[b]
+			if !ok {
+				return fmt.Errorf("schema: payload %q: base %q not declared", name, b)
+			}
+			if bp == p {
+				return fmt.Errorf("schema: payload %q: self-referential base", name)
+			}
+		}
+		if p.Type == Set {
+			if p.Range == "" {
+				return fmt.Errorf("schema: set payload %q: range required", name)
+			}
+			rp, ok := s.Payloads[p.Range]
+			if !ok {
+				return fmt.Errorf("schema: set payload %q: range %q not declared", name, p.Range)
+			}
+			if rp.Type != Sequence {
+				return fmt.Errorf("schema: set payload %q: range %q must be a sequence", name, p.Range)
+			}
+		} else if p.Range != "" {
+			return fmt.Errorf("schema: payload %q: range only valid for sets", name)
+		}
+	}
+	if err := s.checkAcyclic(); err != nil {
+		return err
+	}
+	for name, t := range s.Tasks {
+		p, ok := s.Payloads[t.Payload]
+		if !ok {
+			return fmt.Errorf("schema: task %q: payload %q not declared", name, t.Payload)
+		}
+		switch t.Type {
+		case Multiclass, Bitvector:
+			if len(t.Classes) < 2 && t.Type == Multiclass {
+				return fmt.Errorf("schema: task %q: multiclass needs >= 2 classes", name)
+			}
+			if len(t.Classes) < 1 && t.Type == Bitvector {
+				return fmt.Errorf("schema: task %q: bitvector needs >= 1 class", name)
+			}
+			seen := map[string]bool{}
+			for _, c := range t.Classes {
+				if seen[c] {
+					return fmt.Errorf("schema: task %q: duplicate class %q", name, c)
+				}
+				seen[c] = true
+			}
+		case Select:
+			if p.Type != Set {
+				return fmt.Errorf("schema: task %q: select requires a set payload, %q is %s", name, t.Payload, p.Type)
+			}
+			if len(t.Classes) != 0 {
+				return fmt.Errorf("schema: task %q: select tasks have no classes", name)
+			}
+		default:
+			return fmt.Errorf("schema: task %q: unknown type %q", name, t.Type)
+		}
+	}
+	return nil
+}
+
+// checkAcyclic detects cycles in payload base references.
+func (s *Schema) checkAcyclic() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(s.Payloads))
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch color[name] {
+		case gray:
+			return fmt.Errorf("schema: payload dataflow cycle through %q", name)
+		case black:
+			return nil
+		}
+		color[name] = gray
+		for _, b := range s.Payloads[name].Base {
+			if err := visit(b); err != nil {
+				return err
+			}
+		}
+		color[name] = black
+		return nil
+	}
+	for name := range s.Payloads {
+		if err := visit(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PayloadNames returns payload names sorted alphabetically (deterministic
+// iteration order for compilation).
+func (s *Schema) PayloadNames() []string {
+	names := make([]string, 0, len(s.Payloads))
+	for n := range s.Payloads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TaskNames returns task names sorted alphabetically.
+func (s *Schema) TaskNames() []string {
+	names := make([]string, 0, len(s.Tasks))
+	for n := range s.Tasks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ClassIndex returns the index of class c in task t's class list, or -1.
+func (t *Task) ClassIndex(c string) int {
+	for i, name := range t.Classes {
+		if name == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Granularity describes how many prediction units a task emits per example.
+type Granularity string
+
+// Granularities.
+const (
+	PerExample Granularity = "per-example" // singleton payloads
+	PerToken   Granularity = "per-token"   // sequence payloads
+	PerSet     Granularity = "per-set"     // select over a set payload
+)
+
+// Granularity returns the prediction granularity of task t under schema s.
+func (s *Schema) Granularity(t *Task) Granularity {
+	p := s.Payloads[t.Payload]
+	if t.Type == Select {
+		return PerSet
+	}
+	switch p.Type {
+	case Sequence:
+		return PerToken
+	case Set:
+		return PerSet
+	default:
+		return PerExample
+	}
+}
+
+// Signature is the serving contract generated from a schema: what a
+// deployed model consumes and produces. Serving infrastructure depends only
+// on this, never on model internals (model independence).
+type Signature struct {
+	Inputs  []SignatureInput  `json:"inputs"`
+	Outputs []SignatureOutput `json:"outputs"`
+}
+
+// SignatureInput describes one payload the server accepts.
+type SignatureInput struct {
+	Name      string      `json:"name"`
+	Type      PayloadType `json:"type"`
+	MaxLength int         `json:"max_length,omitempty"`
+	Range     string      `json:"range,omitempty"`
+}
+
+// SignatureOutput describes one task prediction the server returns.
+type SignatureOutput struct {
+	Name        string      `json:"name"`
+	Type        TaskType    `json:"type"`
+	Granularity Granularity `json:"granularity"`
+	Classes     []string    `json:"classes,omitempty"`
+}
+
+// Signature derives the serving signature.
+func (s *Schema) Signature() *Signature {
+	sig := &Signature{}
+	for _, name := range s.PayloadNames() {
+		p := s.Payloads[name]
+		// Derived payloads (pure aggregations of other payloads with no
+		// raw data of their own) still appear: servers accept their raw
+		// form when present (e.g. the query string) but may pass null.
+		sig.Inputs = append(sig.Inputs, SignatureInput{
+			Name: name, Type: p.Type, MaxLength: p.MaxLength, Range: p.Range,
+		})
+	}
+	for _, name := range s.TaskNames() {
+		t := s.Tasks[name]
+		sig.Outputs = append(sig.Outputs, SignatureOutput{
+			Name:        name,
+			Type:        t.Type,
+			Granularity: s.Granularity(t),
+			Classes:     t.Classes,
+		})
+	}
+	return sig
+}

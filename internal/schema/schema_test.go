@@ -1,0 +1,253 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+// testSchemaJSON mirrors the running example in Figure 2a of the paper.
+const testSchemaJSON = `{
+  "payloads": {
+    "tokens":   {"type": "sequence", "max_length": 16},
+    "query":    {"type": "singleton", "base": ["tokens"]},
+    "entities": {"type": "set", "range": "tokens"}
+  },
+  "tasks": {
+    "POS":        {"payload": "tokens", "type": "multiclass",
+                   "classes": ["NOUN", "VERB", "ADJ", "ADV", "ADP", "DET", "NUM", "PRON"]},
+    "EntityType": {"payload": "tokens", "type": "bitvector",
+                   "classes": ["person", "location", "country", "food"]},
+    "Intent":     {"payload": "query", "type": "multiclass",
+                   "classes": ["Height", "Capital", "Calories"]},
+    "IntentArg":  {"payload": "entities", "type": "select"}
+  }
+}`
+
+func mustParse(t *testing.T, js string) *Schema {
+	t.Helper()
+	s, err := Parse([]byte(js))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+func TestParseRunningExample(t *testing.T) {
+	s := mustParse(t, testSchemaJSON)
+	if len(s.Payloads) != 3 || len(s.Tasks) != 4 {
+		t.Fatalf("wrong counts: %d payloads %d tasks", len(s.Payloads), len(s.Tasks))
+	}
+	if s.Payloads["tokens"].Type != Sequence || s.Payloads["tokens"].MaxLength != 16 {
+		t.Fatalf("tokens payload wrong: %+v", s.Payloads["tokens"])
+	}
+	if s.Payloads["entities"].Range != "tokens" {
+		t.Fatalf("entities range wrong")
+	}
+	if s.Tasks["IntentArg"].Type != Select {
+		t.Fatalf("IntentArg type wrong")
+	}
+	if s.Payloads["query"].Name != "query" || s.Tasks["POS"].Name != "POS" {
+		t.Fatalf("names not backfilled")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := mustParse(t, testSchemaJSON)
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(data)
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	if len(s2.Payloads) != len(s.Payloads) || len(s2.Tasks) != len(s.Tasks) {
+		t.Fatalf("round trip lost entries")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		js   string
+		want string
+	}{
+		{"no payloads", `{"payloads": {}, "tasks": {"t": {"payload": "x", "type": "multiclass"}}}`, "no payloads"},
+		{"no tasks", `{"payloads": {"p": {"type": "singleton"}}, "tasks": {}}`, "no tasks"},
+		{"bad payload type", `{"payloads": {"p": {"type": "blob"}}, "tasks": {"t": {"payload": "p", "type": "multiclass", "classes": ["a","b"]}}}`, "unknown type"},
+		{"seq needs max_length", `{"payloads": {"p": {"type": "sequence"}}, "tasks": {"t": {"payload": "p", "type": "multiclass", "classes": ["a","b"]}}}`, "max_length"},
+		{"max_length on singleton", `{"payloads": {"p": {"type": "singleton", "max_length": 4}}, "tasks": {"t": {"payload": "p", "type": "multiclass", "classes": ["a","b"]}}}`, "max_length only valid"},
+		{"unknown base", `{"payloads": {"p": {"type": "singleton", "base": ["zzz"]}}, "tasks": {"t": {"payload": "p", "type": "multiclass", "classes": ["a","b"]}}}`, "base"},
+		{"set needs range", `{"payloads": {"p": {"type": "set"}}, "tasks": {"t": {"payload": "p", "type": "select"}}}`, "range required"},
+		{"set range must be sequence", `{"payloads": {"q": {"type": "singleton"}, "p": {"type": "set", "range": "q"}}, "tasks": {"t": {"payload": "p", "type": "select"}}}`, "must be a sequence"},
+		{"range on singleton", `{"payloads": {"s": {"type": "sequence", "max_length": 3}, "p": {"type": "singleton", "range": "s"}}, "tasks": {"t": {"payload": "p", "type": "multiclass", "classes": ["a","b"]}}}`, "range only valid"},
+		{"task unknown payload", `{"payloads": {"p": {"type": "singleton"}}, "tasks": {"t": {"payload": "zzz", "type": "multiclass", "classes": ["a","b"]}}}`, "not declared"},
+		{"task bad type", `{"payloads": {"p": {"type": "singleton"}}, "tasks": {"t": {"payload": "p", "type": "regress"}}}`, "unknown type"},
+		{"multiclass one class", `{"payloads": {"p": {"type": "singleton"}}, "tasks": {"t": {"payload": "p", "type": "multiclass", "classes": ["a"]}}}`, ">= 2 classes"},
+		{"duplicate classes", `{"payloads": {"p": {"type": "singleton"}}, "tasks": {"t": {"payload": "p", "type": "multiclass", "classes": ["a","a"]}}}`, "duplicate class"},
+		{"select on non-set", `{"payloads": {"p": {"type": "singleton"}}, "tasks": {"t": {"payload": "p", "type": "select"}}}`, "requires a set"},
+		{"select with classes", `{"payloads": {"s": {"type": "sequence", "max_length": 3}, "p": {"type": "set", "range": "s"}}, "tasks": {"t": {"payload": "p", "type": "select", "classes": ["a"]}}}`, "no classes"},
+	}
+	for _, tc := range cases {
+		_, err := Parse([]byte(tc.js))
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	js := `{
+	  "payloads": {
+	    "a": {"type": "singleton", "base": ["b"]},
+	    "b": {"type": "singleton", "base": ["a"]}
+	  },
+	  "tasks": {"t": {"payload": "a", "type": "multiclass", "classes": ["x","y"]}}
+	}`
+	if _, err := Parse([]byte(js)); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestDeterministicNameOrder(t *testing.T) {
+	s := mustParse(t, testSchemaJSON)
+	pn := s.PayloadNames()
+	want := []string{"entities", "query", "tokens"}
+	for i, n := range want {
+		if pn[i] != n {
+			t.Fatalf("PayloadNames[%d]=%s want %s", i, pn[i], n)
+		}
+	}
+	tn := s.TaskNames()
+	wantT := []string{"EntityType", "Intent", "IntentArg", "POS"}
+	for i, n := range wantT {
+		if tn[i] != n {
+			t.Fatalf("TaskNames[%d]=%s want %s", i, tn[i], n)
+		}
+	}
+}
+
+func TestGranularity(t *testing.T) {
+	s := mustParse(t, testSchemaJSON)
+	cases := map[string]Granularity{
+		"POS":        PerToken,
+		"EntityType": PerToken,
+		"Intent":     PerExample,
+		"IntentArg":  PerSet,
+	}
+	for task, want := range cases {
+		if got := s.Granularity(s.Tasks[task]); got != want {
+			t.Errorf("Granularity(%s)=%s want %s", task, got, want)
+		}
+	}
+}
+
+func TestClassIndex(t *testing.T) {
+	s := mustParse(t, testSchemaJSON)
+	intent := s.Tasks["Intent"]
+	if intent.ClassIndex("Capital") != 1 {
+		t.Fatalf("ClassIndex wrong")
+	}
+	if intent.ClassIndex("nope") != -1 {
+		t.Fatalf("ClassIndex missing should be -1")
+	}
+}
+
+func TestSignature(t *testing.T) {
+	s := mustParse(t, testSchemaJSON)
+	sig := s.Signature()
+	if len(sig.Inputs) != 3 || len(sig.Outputs) != 4 {
+		t.Fatalf("signature counts wrong: %d/%d", len(sig.Inputs), len(sig.Outputs))
+	}
+	// Outputs sorted by task name; check a couple of fields.
+	if sig.Outputs[1].Name != "Intent" || sig.Outputs[1].Granularity != PerExample {
+		t.Fatalf("Intent output wrong: %+v", sig.Outputs[1])
+	}
+	if sig.Outputs[2].Name != "IntentArg" || sig.Outputs[2].Type != Select {
+		t.Fatalf("IntentArg output wrong: %+v", sig.Outputs[2])
+	}
+	if sig.Inputs[2].MaxLength != 16 {
+		t.Fatalf("tokens input missing max_length")
+	}
+}
+
+func TestTuningDefaults(t *testing.T) {
+	tun := DefaultTuning()
+	if err := tun.Validate(); err != nil {
+		t.Fatalf("default tuning invalid: %v", err)
+	}
+	c := tun.Default()
+	if c.Embedding != tun.Embeddings[0] || c.Encoder != tun.Encoders[0] {
+		t.Fatalf("Default() not first options: %+v", c)
+	}
+	if c.String() == "" {
+		t.Fatalf("empty choice string")
+	}
+}
+
+func TestParseTuningOverrides(t *testing.T) {
+	tun, err := ParseTuning([]byte(`{"encoders": ["BOW"], "hidden": [16]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tun.Encoders) != 1 || tun.Encoders[0] != "BOW" {
+		t.Fatalf("override lost")
+	}
+	if len(tun.LR) == 0 {
+		t.Fatalf("defaults not filled")
+	}
+	if _, err := ParseTuning([]byte(`{"encoders": ["Transformer9000"]}`)); err == nil {
+		t.Fatalf("unknown encoder accepted")
+	}
+	if _, err := ParseTuning([]byte(`{"query_agg": ["median"]}`)); err == nil {
+		t.Fatalf("unknown agg accepted")
+	}
+	if _, err := ParseTuning([]byte(`{"hidden": []}`)); err == nil {
+		t.Fatalf("empty dimension accepted")
+	}
+}
+
+func TestTuningEnumerateMatchesSizeAndAt(t *testing.T) {
+	tun := &Tuning{
+		Embeddings: []string{"hash-16", "hash-32"},
+		Encoders:   []string{"BOW", "CNN"},
+		Hidden:     []int{8},
+		QueryAgg:   []string{"mean", "max"},
+		EntityAgg:  []string{"mean"},
+		LR:         []float64{0.1, 0.01},
+		Epochs:     []int{1},
+		Dropout:    []float64{0},
+		BatchSize:  []int{4},
+	}
+	all := tun.Enumerate()
+	if len(all) != tun.Size() {
+		t.Fatalf("Enumerate len %d != Size %d", len(all), tun.Size())
+	}
+	seen := map[string]bool{}
+	for i, c := range all {
+		if seen[c.String()] {
+			t.Fatalf("duplicate choice %s", c)
+		}
+		seen[c.String()] = true
+		if got := tun.At(i); got != c {
+			t.Fatalf("At(%d)=%+v != Enumerate[%d]=%+v", i, got, i, c)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/schema.json"); err == nil {
+		t.Fatalf("expected error")
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	js := `{"payloads": {"p": {"type": "singleton"}}, "tasks": {"t": {"payload": "p", "type": "multiclass", "classes": ["a","b"]}}, "hyperparams": {}}`
+	if _, err := Parse([]byte(js)); err == nil {
+		t.Fatalf("unknown top-level field accepted (schema must stay hyperparameter-free)")
+	}
+}

@@ -1,0 +1,178 @@
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Tuning is the model-tuning search space (Figure 2a, right column): the
+// coarse-grained blocks Overton may search over. It deliberately lives
+// outside the schema so the schema stays hyperparameter-free.
+type Tuning struct {
+	// Token payload options.
+	Embeddings []string `json:"embeddings"` // e.g. "hash-32", "pretrained-64", "bertsim-64"
+	Encoders   []string `json:"encoders"`   // "BOW", "CNN", "GRU", "BiGRU"
+	Hidden     []int    `json:"hidden"`     // encoder width
+
+	// Aggregation options for derived payloads.
+	QueryAgg  []string `json:"query_agg"`  // "mean", "max"
+	EntityAgg []string `json:"entity_agg"` // "mean", "attn"
+
+	// Trainer options.
+	LR        []float64 `json:"lr"`
+	Epochs    []int     `json:"epochs"`
+	Dropout   []float64 `json:"dropout"`
+	BatchSize []int     `json:"batch_size"`
+}
+
+// Choice is one concrete point in the tuning space — the "red components"
+// Overton selects via model search in Figure 2b.
+type Choice struct {
+	Embedding string  `json:"embedding"`
+	Encoder   string  `json:"encoder"`
+	Hidden    int     `json:"hidden"`
+	QueryAgg  string  `json:"query_agg"`
+	EntityAgg string  `json:"entity_agg"`
+	LR        float64 `json:"lr"`
+	Epochs    int     `json:"epochs"`
+	Dropout   float64 `json:"dropout"`
+	BatchSize int     `json:"batch_size"`
+}
+
+// String renders a compact, stable description of the choice.
+func (c Choice) String() string {
+	return fmt.Sprintf("emb=%s enc=%s h=%d qagg=%s eagg=%s lr=%g ep=%d do=%g bs=%d",
+		c.Embedding, c.Encoder, c.Hidden, c.QueryAgg, c.EntityAgg, c.LR, c.Epochs, c.Dropout, c.BatchSize)
+}
+
+// DefaultTuning returns the search space used when the engineer supplies
+// none. First entries of each dimension form the default Choice, so keep
+// the cheap-and-robust options first.
+func DefaultTuning() *Tuning {
+	return &Tuning{
+		Embeddings: []string{"hash-32", "hash-64"},
+		Encoders:   []string{"CNN", "BOW", "GRU"},
+		Hidden:     []int{32, 64},
+		QueryAgg:   []string{"mean", "max"},
+		EntityAgg:  []string{"mean", "attn"},
+		LR:         []float64{0.01, 0.003},
+		Epochs:     []int{8, 15},
+		Dropout:    []float64{0, 0.1},
+		BatchSize:  []int{32},
+	}
+}
+
+// ParseTuning reads a tuning spec from JSON, filling unset dimensions from
+// the defaults.
+func ParseTuning(data []byte) (*Tuning, error) {
+	t := DefaultTuning()
+	if err := json.Unmarshal(data, t); err != nil {
+		return nil, fmt.Errorf("schema: tuning: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Validate rejects empty dimensions and unknown block names.
+func (t *Tuning) Validate() error {
+	if len(t.Embeddings) == 0 || len(t.Encoders) == 0 || len(t.Hidden) == 0 ||
+		len(t.QueryAgg) == 0 || len(t.EntityAgg) == 0 || len(t.LR) == 0 ||
+		len(t.Epochs) == 0 || len(t.Dropout) == 0 || len(t.BatchSize) == 0 {
+		return fmt.Errorf("schema: tuning: every dimension needs at least one option")
+	}
+	for _, e := range t.Encoders {
+		switch e {
+		case "BOW", "CNN", "GRU", "BiGRU":
+		default:
+			return fmt.Errorf("schema: tuning: unknown encoder %q", e)
+		}
+	}
+	for _, a := range t.QueryAgg {
+		if a != "mean" && a != "max" {
+			return fmt.Errorf("schema: tuning: unknown query_agg %q", a)
+		}
+	}
+	for _, a := range t.EntityAgg {
+		if a != "mean" && a != "attn" {
+			return fmt.Errorf("schema: tuning: unknown entity_agg %q", a)
+		}
+	}
+	return nil
+}
+
+// Default returns the first option of every dimension.
+func (t *Tuning) Default() Choice {
+	return Choice{
+		Embedding: t.Embeddings[0],
+		Encoder:   t.Encoders[0],
+		Hidden:    t.Hidden[0],
+		QueryAgg:  t.QueryAgg[0],
+		EntityAgg: t.EntityAgg[0],
+		LR:        t.LR[0],
+		Epochs:    t.Epochs[0],
+		Dropout:   t.Dropout[0],
+		BatchSize: t.BatchSize[0],
+	}
+}
+
+// Size returns the number of points in the full grid.
+func (t *Tuning) Size() int {
+	return len(t.Embeddings) * len(t.Encoders) * len(t.Hidden) *
+		len(t.QueryAgg) * len(t.EntityAgg) * len(t.LR) * len(t.Epochs) *
+		len(t.Dropout) * len(t.BatchSize)
+}
+
+// Enumerate returns the full grid in deterministic order. Callers doing
+// random search should sample indices instead for large spaces.
+func (t *Tuning) Enumerate() []Choice {
+	var out []Choice
+	for _, em := range t.Embeddings {
+		for _, en := range t.Encoders {
+			for _, h := range t.Hidden {
+				for _, qa := range t.QueryAgg {
+					for _, ea := range t.EntityAgg {
+						for _, lr := range t.LR {
+							for _, ep := range t.Epochs {
+								for _, do := range t.Dropout {
+									for _, bs := range t.BatchSize {
+										out = append(out, Choice{
+											Embedding: em, Encoder: en, Hidden: h,
+											QueryAgg: qa, EntityAgg: ea,
+											LR: lr, Epochs: ep, Dropout: do, BatchSize: bs,
+										})
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// At returns the i-th point of the grid without materialising it
+// (mixed-radix decoding in the same order as Enumerate).
+func (t *Tuning) At(i int) Choice {
+	dims := []int{len(t.BatchSize), len(t.Dropout), len(t.Epochs), len(t.LR),
+		len(t.EntityAgg), len(t.QueryAgg), len(t.Hidden), len(t.Encoders), len(t.Embeddings)}
+	idx := make([]int, len(dims))
+	for d, n := range dims {
+		idx[d] = i % n
+		i /= n
+	}
+	return Choice{
+		BatchSize: t.BatchSize[idx[0]],
+		Dropout:   t.Dropout[idx[1]],
+		Epochs:    t.Epochs[idx[2]],
+		LR:        t.LR[idx[3]],
+		EntityAgg: t.EntityAgg[idx[4]],
+		QueryAgg:  t.QueryAgg[idx[5]],
+		Hidden:    t.Hidden[idx[6]],
+		Encoder:   t.Encoders[idx[7]],
+		Embedding: t.Embeddings[idx[8]],
+	}
+}

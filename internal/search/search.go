@@ -1,0 +1,245 @@
+// Package search implements Overton's coarse-grained model search: random
+// search (optionally with successive halving) over the named blocks of a
+// tuning spec — encoder family, embedding source, width, aggregation,
+// learning rate — never over fine-grained connections (the paper explicitly
+// rejects NAS-style search as low-value for this workload; Section 4).
+//
+// The search trains candidate models on the combined supervision (computed
+// once, shared across trials) and selects on the dev tag's mean primary
+// metric. Trials run on a bounded worker pool and are deterministic given
+// the seed.
+package search
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/compile"
+	"repro/internal/labelmodel"
+	"repro/internal/model"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/train"
+)
+
+// Config controls a search run.
+type Config struct {
+	Tuning *schema.Tuning
+	// Budget is the number of configurations to sample (default 8; capped
+	// at the grid size).
+	Budget int
+	// Halving enables successive halving: trials first run at a quarter of
+	// their epoch budget, the top half advance to half, the final
+	// contender retrains at full budget.
+	Halving bool
+	// Parallel bounds concurrent trials (default 1; deterministic
+	// regardless of value).
+	Parallel int
+	Seed     int64
+	// Slices to compile slice capacity for.
+	Slices []string
+	// Resources for model construction.
+	Resources *compile.Resources
+	// Train carries the supervision/loss configuration shared by trials.
+	Train train.Config
+	// Log, when non-nil, receives one line per finished trial.
+	Log io.Writer
+}
+
+// Trial is one evaluated configuration.
+type Trial struct {
+	Index    int
+	Choice   schema.Choice
+	DevScore float64
+	Err      error
+}
+
+// Result summarises a search.
+type Result struct {
+	Best   Trial
+	Trials []Trial
+}
+
+// Run searches and returns the result plus the best model retrained at its
+// full epoch budget.
+func Run(ds *record.Dataset, cfg Config) (*Result, *model.Model, error) {
+	if cfg.Tuning == nil {
+		cfg.Tuning = schema.DefaultTuning()
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 8
+	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = 1
+	}
+	gridSize := cfg.Tuning.Size()
+	if cfg.Budget > gridSize {
+		cfg.Budget = gridSize
+	}
+
+	// Combine supervision once; identical for every trial.
+	targets, err := train.CombineSupervision(ds, cfg.Train)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	choices := sampleChoices(cfg.Tuning, cfg.Budget, cfg.Seed)
+	var trials []Trial
+	if cfg.Halving {
+		trials = runHalving(ds, targets, choices, cfg)
+	} else {
+		trials = runAll(ds, targets, choices, cfg, 1.0)
+	}
+	sort.Slice(trials, func(i, j int) bool { return trials[i].Index < trials[j].Index })
+
+	res := &Result{Trials: trials, Best: Trial{DevScore: -1, Index: -1}}
+	for _, tr := range trials {
+		if tr.Err == nil && tr.DevScore > res.Best.DevScore {
+			res.Best = tr
+		}
+	}
+	if res.Best.Index < 0 {
+		return res, nil, fmt.Errorf("search: every trial failed")
+	}
+
+	// Retrain the winner at full budget for the final artifact.
+	m, _, err := trainOne(ds, targets, res.Best.Choice, cfg, 1.0, res.Best.Index)
+	if err != nil {
+		return res, nil, err
+	}
+	return res, m, nil
+}
+
+// sampleChoices picks budget distinct grid points deterministically.
+func sampleChoices(t *schema.Tuning, budget int, seed int64) []schema.Choice {
+	rng := rand.New(rand.NewSource(seed))
+	size := t.Size()
+	perm := rng.Perm(size)
+	choices := make([]schema.Choice, 0, budget)
+	for _, gi := range perm[:budget] {
+		choices = append(choices, t.At(gi))
+	}
+	return choices
+}
+
+// runAll trains every choice at epochFrac of its epoch budget.
+func runAll(ds *record.Dataset, targets map[string]*labelmodel.TaskTargets, choices []schema.Choice, cfg Config, epochFrac float64) []Trial {
+	trials := make([]Trial, len(choices))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallel)
+	var mu sync.Mutex
+	for i, c := range choices {
+		wg.Add(1)
+		go func(i int, c schema.Choice) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			_, score, err := trainOne(ds, targets, c, cfg, epochFrac, i)
+			trials[i] = Trial{Index: i, Choice: c, DevScore: score, Err: err}
+			if cfg.Log != nil {
+				mu.Lock()
+				if err != nil {
+					fmt.Fprintf(cfg.Log, "trial %2d  FAILED %v  (%s)\n", i, err, c)
+				} else {
+					fmt.Fprintf(cfg.Log, "trial %2d  dev %.4f  (%s)\n", i, score, c)
+				}
+				mu.Unlock()
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	return trials
+}
+
+// runHalving runs successive halving rounds at increasing epoch fractions.
+func runHalving(ds *record.Dataset, targets map[string]*labelmodel.TaskTargets, choices []schema.Choice, cfg Config) []Trial {
+	type entry struct {
+		idx    int
+		choice schema.Choice
+	}
+	alive := make([]entry, len(choices))
+	for i, c := range choices {
+		alive[i] = entry{idx: i, choice: c}
+	}
+	results := make(map[int]Trial, len(choices))
+	frac := 0.25
+	for len(alive) > 1 {
+		cs := make([]schema.Choice, len(alive))
+		for i, e := range alive {
+			cs[i] = e.choice
+		}
+		trials := runAll(ds, targets, cs, cfg, frac)
+		// Map back to original indices and keep the top half.
+		type scored struct {
+			e     entry
+			t     Trial
+			score float64
+		}
+		var ss []scored
+		for i, tr := range trials {
+			tr.Index = alive[i].idx
+			tr.Choice = alive[i].choice
+			results[alive[i].idx] = tr
+			score := tr.DevScore
+			if tr.Err != nil {
+				score = -1
+			}
+			ss = append(ss, scored{e: alive[i], t: tr, score: score})
+		}
+		sort.Slice(ss, func(i, j int) bool {
+			if ss[i].score != ss[j].score {
+				return ss[i].score > ss[j].score
+			}
+			return ss[i].e.idx < ss[j].e.idx
+		})
+		keep := (len(ss) + 1) / 2
+		alive = alive[:0]
+		for _, s := range ss[:keep] {
+			if s.t.Err == nil {
+				alive = append(alive, s.e)
+			}
+		}
+		if frac >= 1.0 {
+			break
+		}
+		frac *= 2
+		if frac > 1 {
+			frac = 1
+		}
+	}
+	out := make([]Trial, 0, len(results))
+	for _, tr := range results {
+		out = append(out, tr)
+	}
+	return out
+}
+
+// trainOne builds and trains one candidate, returning the model and its
+// dev score.
+func trainOne(ds *record.Dataset, targets map[string]*labelmodel.TaskTargets, choice schema.Choice, cfg Config, epochFrac float64, trialIdx int) (*model.Model, float64, error) {
+	c := choice
+	if epochFrac < 1 {
+		c.Epochs = int(float64(c.Epochs) * epochFrac)
+		if c.Epochs < 1 {
+			c.Epochs = 1
+		}
+	}
+	prog, err := compile.Plan(ds.Schema, c, cfg.Slices)
+	if err != nil {
+		return nil, -1, err
+	}
+	m, err := model.New(prog, cfg.Resources, cfg.Seed+int64(trialIdx)*1000)
+	if err != nil {
+		return nil, -1, err
+	}
+	tcfg := cfg.Train
+	tcfg.Seed = cfg.Seed + int64(trialIdx)*1000 + 1
+	rep, err := train.RunWithTargets(m, ds, targets, tcfg)
+	if err != nil {
+		return nil, -1, err
+	}
+	return m, rep.BestDev, nil
+}

@@ -1,0 +1,179 @@
+package search
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/train"
+	"repro/internal/workload"
+)
+
+func testResources() *compile.Resources {
+	kb := workload.DefaultKB()
+	var ents []string
+	for _, e := range kb.Entities {
+		ents = append(ents, e.ID)
+	}
+	return &compile.Resources{TokenVocab: workload.Vocabulary(kb), EntityVocab: ents}
+}
+
+// smallTuning is a 4-point grid so tests stay fast.
+func smallTuning() *schema.Tuning {
+	return &schema.Tuning{
+		Embeddings: []string{"hash-16"},
+		Encoders:   []string{"BOW", "CNN"},
+		Hidden:     []int{16},
+		QueryAgg:   []string{"mean"},
+		EntityAgg:  []string{"mean"},
+		LR:         []float64{0.02, 0.005},
+		Epochs:     []int{4},
+		Dropout:    []float64{0},
+		BatchSize:  []int{32},
+	}
+}
+
+func TestRandomSearchFindsWorkingModel(t *testing.T) {
+	ds := workload.StandardDataset(200, 3, 0.2)
+	var log bytes.Buffer
+	res, m, err := Run(ds, Config{
+		Tuning:    smallTuning(),
+		Budget:    4,
+		Seed:      7,
+		Resources: testResources(),
+		Log:       &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 4 {
+		t.Fatalf("trials %d", len(res.Trials))
+	}
+	if res.Best.DevScore <= 0.3 {
+		t.Fatalf("best dev score %.3f too low", res.Best.DevScore)
+	}
+	for _, tr := range res.Trials {
+		if tr.Err != nil {
+			t.Fatalf("trial %d failed: %v", tr.Index, tr.Err)
+		}
+	}
+	if m == nil {
+		t.Fatalf("no model returned")
+	}
+	// Best trial is the max.
+	for _, tr := range res.Trials {
+		if tr.DevScore > res.Best.DevScore {
+			t.Fatalf("best is not max")
+		}
+	}
+	if !strings.Contains(log.String(), "trial") {
+		t.Fatalf("no log output")
+	}
+	// The returned model predicts.
+	outs, err := m.Predict(ds.WithTag(record.TagTest)[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("predict wrong")
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	run := func() []float64 {
+		ds := workload.StandardDataset(120, 5, 0.2)
+		res, _, err := Run(ds, Config{
+			Tuning:    smallTuning(),
+			Budget:    3,
+			Seed:      11,
+			Parallel:  2, // parallelism must not affect results
+			Resources: testResources(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores := make([]float64, len(res.Trials))
+		for i, tr := range res.Trials {
+			scores[i] = tr.DevScore
+		}
+		return scores
+	}
+	a := run()
+	b := run()
+	if len(a) != len(b) {
+		t.Fatalf("trial counts differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("search not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSuccessiveHalving(t *testing.T) {
+	ds := workload.StandardDataset(150, 13, 0.2)
+	res, m, err := Run(ds, Config{
+		Tuning:    smallTuning(),
+		Budget:    4,
+		Halving:   true,
+		Seed:      17,
+		Resources: testResources(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || res.Best.DevScore <= 0 {
+		t.Fatalf("halving produced no model")
+	}
+	if len(res.Trials) != 4 {
+		t.Fatalf("halving lost trials: %d", len(res.Trials))
+	}
+}
+
+func TestBudgetCappedAtGrid(t *testing.T) {
+	ds := workload.StandardDataset(80, 19, 0.2)
+	tun := smallTuning()
+	res, _, err := Run(ds, Config{
+		Tuning:    tun,
+		Budget:    100, // grid only has 4 points
+		Seed:      23,
+		Resources: testResources(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != tun.Size() {
+		t.Fatalf("budget not capped: %d trials", len(res.Trials))
+	}
+	// No duplicate choices.
+	seen := map[string]bool{}
+	for _, tr := range res.Trials {
+		key := tr.Choice.String()
+		if seen[key] {
+			t.Fatalf("duplicate choice sampled: %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestSearchSharedSupervision(t *testing.T) {
+	// Search must work when training config requests rebalancing and a
+	// specific estimator (the supervision path is computed once).
+	ds := workload.StandardDataset(100, 29, 0.2)
+	_, m, err := Run(ds, Config{
+		Tuning:    smallTuning(),
+		Budget:    2,
+		Seed:      31,
+		Resources: testResources(),
+		Train:     train.Config{Rebalance: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatalf("no model")
+	}
+}

@@ -1,0 +1,202 @@
+// Package serve implements the production serving side of Overton: an HTTP
+// JSON server over a deployed model artifact. Serving code depends only on
+// the schema-derived signature — never on model internals — so retrained or
+// re-tuned models hot-swap without serving changes (model independence).
+//
+// Endpoints:
+//
+//	POST /predict    {"payloads": {...}}  ->  {"outputs": {...}, "model": ...}
+//	GET  /signature  serving signature JSON
+//	GET  /healthz    liveness
+//	GET  /stats      request count + latency percentiles (SLA profiling)
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/record"
+)
+
+// Server wraps a model behind HTTP handlers.
+type Server struct {
+	mu      sync.RWMutex
+	m       *model.Model
+	name    string
+	version int
+
+	statsMu   sync.Mutex
+	latencies []float64 // milliseconds, ring-buffered
+	count     int64
+	errors    int64
+	now       func() time.Time
+}
+
+// maxLatencySamples bounds the stats buffer.
+const maxLatencySamples = 4096
+
+// New creates a server for m. name/version annotate responses (artifact
+// provenance).
+func New(m *model.Model, name string, version int) *Server {
+	return &Server{m: m, name: name, version: version, now: time.Now}
+}
+
+// Swap replaces the served model atomically (deploying a new version).
+func (s *Server) Swap(m *model.Model, version int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = m
+	s.version = version
+}
+
+// Handler returns the HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/signature", s.handleSignature)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// predictRequest is the wire request: payload values in data-file form.
+type predictRequest struct {
+	Payloads map[string]json.RawMessage `json:"payloads"`
+}
+
+// predictResponse is the wire response.
+type predictResponse struct {
+	Model   string       `json:"model"`
+	Version int          `json:"version"`
+	Outputs model.Output `json:"outputs"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	start := s.now()
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.recordError()
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	s.mu.RLock()
+	m := s.m
+	name, version := s.name, s.version
+	s.mu.RUnlock()
+
+	// Re-encode through the record parser so payloads are validated
+	// against the schema exactly like data-file rows.
+	body, err := json.Marshal(map[string]any{"payloads": req.Payloads})
+	if err != nil {
+		s.recordError()
+		httpError(w, http.StatusBadRequest, "re-encode: %v", err)
+		return
+	}
+	rec, err := record.ParseRecord(body, m.Prog.Schema)
+	if err != nil {
+		s.recordError()
+		httpError(w, http.StatusBadRequest, "invalid payloads: %v", err)
+		return
+	}
+	if err := record.Validate(rec, m.Prog.Schema); err != nil {
+		s.recordError()
+		httpError(w, http.StatusBadRequest, "invalid payloads: %v", err)
+		return
+	}
+	out, err := m.PredictOne(rec)
+	if err != nil {
+		s.recordError()
+		httpError(w, http.StatusInternalServerError, "predict: %v", err)
+		return
+	}
+	s.recordLatency(float64(s.now().Sub(start).Microseconds()) / 1000.0)
+	writeJSON(w, predictResponse{Model: name, Version: version, Outputs: out})
+}
+
+func (s *Server) handleSignature(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	sig := s.m.Prog.Schema.Signature()
+	s.mu.RUnlock()
+	writeJSON(w, sig)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// Stats is the SLA profile exposed at /stats.
+type Stats struct {
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	P99Millis float64 `json:"p99_ms"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Snapshot())
+}
+
+// Snapshot returns current serving stats.
+func (s *Server) Snapshot() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	st := Stats{Requests: s.count, Errors: s.errors}
+	if len(s.latencies) > 0 {
+		sorted := append([]float64(nil), s.latencies...)
+		sort.Float64s(sorted)
+		st.P50Millis = percentile(sorted, 0.50)
+		st.P95Millis = percentile(sorted, 0.95)
+		st.P99Millis = percentile(sorted, 0.99)
+	}
+	return st
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func (s *Server) recordLatency(ms float64) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	s.count++
+	if len(s.latencies) >= maxLatencySamples {
+		copy(s.latencies, s.latencies[1:])
+		s.latencies = s.latencies[:len(s.latencies)-1]
+	}
+	s.latencies = append(s.latencies, ms)
+}
+
+func (s *Server) recordError() {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	s.count++
+	s.errors++
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; nothing useful to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/model"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func freshModel(t *testing.T) *model.Model {
+	t.Helper()
+	choice := schema.Choice{
+		Embedding: "hash-8", Encoder: "BOW", Hidden: 8,
+		QueryAgg: "mean", EntityAgg: "mean",
+		LR: 0.01, Epochs: 1, Dropout: 0, BatchSize: 8,
+	}
+	prog, err := compile.Plan(workload.FactoidSchema(), choice, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := workload.DefaultKB()
+	var ents []string
+	for _, e := range kb.Entities {
+		ents = append(ents, e.ID)
+	}
+	m, err := model.New(prog, &compile.Resources{
+		TokenVocab:  workload.Vocabulary(kb),
+		EntityVocab: ents,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const goodBody = `{
+  "payloads": {
+    "tokens": ["how", "tall", "is", "obama"],
+    "query": "how tall is obama",
+    "entities": {"0": {"id": "Barack_Obama", "range": [3, 4]}}
+  }
+}`
+
+func TestPredictEndpoint(t *testing.T) {
+	srv := New(freshModel(t), "factoid", 1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(goodBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var pr struct {
+		Model   string                     `json:"model"`
+		Version int                        `json:"version"`
+		Outputs map[string]json.RawMessage `json:"outputs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Model != "factoid" || pr.Version != 1 {
+		t.Fatalf("provenance wrong: %+v", pr)
+	}
+	for _, task := range []string{"POS", "EntityType", "Intent", "IntentArg"} {
+		if _, ok := pr.Outputs[task]; !ok {
+			t.Fatalf("missing %s in outputs", task)
+		}
+	}
+}
+
+func TestPredictRejectsBadInputs(t *testing.T) {
+	srv := New(freshModel(t), "factoid", 1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"not json", "{{{"},
+		{"unknown payload", `{"payloads": {"bogus": "x"}}`},
+		{"bad shape", `{"payloads": {"tokens": "not-an-array"}}`},
+		{"bad span", `{"payloads": {"tokens": ["a"], "entities": {"0": {"id": "X", "range": [0, 5]}}}}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	// GET not allowed.
+	resp, err := http.Get(ts.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict: %d", resp.StatusCode)
+	}
+}
+
+func TestSignatureEndpoint(t *testing.T) {
+	srv := New(freshModel(t), "factoid", 1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/signature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sig schema.Signature
+	if err := json.NewDecoder(resp.Body).Decode(&sig); err != nil {
+		t.Fatal(err)
+	}
+	if len(sig.Inputs) != 3 || len(sig.Outputs) != 4 {
+		t.Fatalf("signature wrong: %d/%d", len(sig.Inputs), len(sig.Outputs))
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	srv := New(freshModel(t), "factoid", 1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz %d", resp.StatusCode)
+	}
+	// Generate traffic then read stats.
+	for i := 0; i < 5; i++ {
+		r, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(goodBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	r, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 6 || st.Errors != 1 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if st.P50Millis <= 0 || st.P99Millis < st.P50Millis {
+		t.Fatalf("latency percentiles wrong: %+v", st)
+	}
+}
+
+func TestSwapModel(t *testing.T) {
+	m1 := freshModel(t)
+	srv := New(m1, "factoid", 1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	m2 := freshModel(t)
+	srv.Swap(m2, 2)
+	resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(goodBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Version != 2 {
+		t.Fatalf("swap not visible: version %d", pr.Version)
+	}
+}

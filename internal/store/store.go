@@ -1,0 +1,346 @@
+// Package store implements Overton's example row store: a binary,
+// random-access file of data records with an embedded schema, per-record
+// checksums, a record-offset index, and a tag index. It models the paper's
+// memory-mapped row store (footnote 5: "since all elements of an example are
+// needed together, a row store has obvious IO benefits"); random access is
+// served with positional reads.
+//
+// File layout:
+//
+//	header:  magic "OVRS" | version u32 | schemaLen u32 | schema JSON
+//	records: { recLen u32 | crc32 u32 | record JSON } *
+//	index:   count u64 | offsets u64* | tagIndexLen u32 | tag index JSON
+//	trailer: indexOffset u64 | magic "OVRE"
+//
+// All integers are little-endian.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+const (
+	magicHead = "OVRS"
+	magicTail = "OVRE"
+	version   = 1
+)
+
+// Writer appends records to a new store file.
+type Writer struct {
+	f       *os.File
+	sch     *schema.Schema
+	offsets []uint64
+	tags    map[string][]int
+	pos     uint64
+	closed  bool
+}
+
+// Create starts a new store at path with the given schema embedded.
+func Create(path string, sch *schema.Schema) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	w := &Writer{f: f, sch: sch, tags: make(map[string][]int)}
+	schemaJSON, err := sch.JSON()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: schema: %w", err)
+	}
+	var head []byte
+	head = append(head, magicHead...)
+	head = binary.LittleEndian.AppendUint32(head, version)
+	head = binary.LittleEndian.AppendUint32(head, uint32(len(schemaJSON)))
+	head = append(head, schemaJSON...)
+	if _, err := f.Write(head); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: header: %w", err)
+	}
+	w.pos = uint64(len(head))
+	return w, nil
+}
+
+// Append writes one record.
+func (w *Writer) Append(r *record.Record) error {
+	if w.closed {
+		return fmt.Errorf("store: append after close")
+	}
+	data, err := record.MarshalRecord(r, w.sch)
+	if err != nil {
+		return err
+	}
+	idx := len(w.offsets)
+	w.offsets = append(w.offsets, w.pos)
+	for _, t := range r.Tags {
+		w.tags[t] = append(w.tags[t], idx)
+	}
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(data)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(data))
+	buf = append(buf, data...)
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("store: write: %w", err)
+	}
+	w.pos += uint64(len(buf))
+	return nil
+}
+
+// Count returns the number of records appended so far.
+func (w *Writer) Count() int { return len(w.offsets) }
+
+// Close writes the index and trailer and closes the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	indexOffset := w.pos
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(w.offsets)))
+	for _, off := range w.offsets {
+		buf = binary.LittleEndian.AppendUint64(buf, off)
+	}
+	tagJSON, err := json.Marshal(w.tags)
+	if err != nil {
+		w.f.Close()
+		return fmt.Errorf("store: tag index: %w", err)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tagJSON)))
+	buf = append(buf, tagJSON...)
+	buf = binary.LittleEndian.AppendUint64(buf, indexOffset)
+	buf = append(buf, magicTail...)
+	if _, err := w.f.Write(buf); err != nil {
+		w.f.Close()
+		return fmt.Errorf("store: index: %w", err)
+	}
+	return w.f.Close()
+}
+
+// Store reads a row store.
+type Store struct {
+	f       *os.File
+	sch     *schema.Schema
+	offsets []uint64
+	tags    map[string][]int
+	dataEnd uint64
+}
+
+// Open reads the header and index of the store at path.
+func Open(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{f: f}
+	if err := s.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := s.readIndex(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) readHeader() error {
+	head := make([]byte, 12)
+	if _, err := io.ReadFull(s.f, head); err != nil {
+		return fmt.Errorf("store: header: %w", err)
+	}
+	if string(head[:4]) != magicHead {
+		return fmt.Errorf("store: bad magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:8]); v != version {
+		return fmt.Errorf("store: unsupported version %d", v)
+	}
+	schemaLen := binary.LittleEndian.Uint32(head[8:12])
+	schemaJSON := make([]byte, schemaLen)
+	if _, err := io.ReadFull(s.f, schemaJSON); err != nil {
+		return fmt.Errorf("store: schema: %w", err)
+	}
+	sch, err := schema.Parse(schemaJSON)
+	if err != nil {
+		return fmt.Errorf("store: embedded schema: %w", err)
+	}
+	s.sch = sch
+	return nil
+}
+
+func (s *Store) readIndex() error {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat: %w", err)
+	}
+	if fi.Size() < 12 {
+		return fmt.Errorf("store: truncated file")
+	}
+	trailer := make([]byte, 12)
+	if _, err := s.f.ReadAt(trailer, fi.Size()-12); err != nil {
+		return fmt.Errorf("store: trailer: %w", err)
+	}
+	if string(trailer[8:]) != magicTail {
+		return fmt.Errorf("store: bad trailer magic %q (unclosed writer?)", trailer[8:])
+	}
+	indexOffset := binary.LittleEndian.Uint64(trailer[:8])
+	s.dataEnd = indexOffset
+	indexLen := fi.Size() - 12 - int64(indexOffset)
+	if indexLen < 12 {
+		return fmt.Errorf("store: corrupt index")
+	}
+	buf := make([]byte, indexLen)
+	if _, err := s.f.ReadAt(buf, int64(indexOffset)); err != nil {
+		return fmt.Errorf("store: index: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(buf[:8])
+	need := 8 + count*8 + 4
+	if uint64(len(buf)) < need {
+		return fmt.Errorf("store: index too short")
+	}
+	s.offsets = make([]uint64, count)
+	for i := uint64(0); i < count; i++ {
+		s.offsets[i] = binary.LittleEndian.Uint64(buf[8+i*8 : 16+i*8])
+	}
+	tagLen := binary.LittleEndian.Uint32(buf[8+count*8 : 12+count*8])
+	tagJSON := buf[12+count*8 : 12+count*8+uint64(tagLen)]
+	s.tags = make(map[string][]int)
+	if err := json.Unmarshal(tagJSON, &s.tags); err != nil {
+		return fmt.Errorf("store: tag index: %w", err)
+	}
+	return nil
+}
+
+// Schema returns the schema embedded in the store.
+func (s *Store) Schema() *schema.Schema { return s.sch }
+
+// Count returns the number of records.
+func (s *Store) Count() int { return len(s.offsets) }
+
+// Get reads record i with checksum verification.
+func (s *Store) Get(i int) (*record.Record, error) {
+	if i < 0 || i >= len(s.offsets) {
+		return nil, fmt.Errorf("store: index %d out of range [0,%d)", i, len(s.offsets))
+	}
+	head := make([]byte, 8)
+	if _, err := s.f.ReadAt(head, int64(s.offsets[i])); err != nil {
+		return nil, fmt.Errorf("store: record %d: %w", i, err)
+	}
+	recLen := binary.LittleEndian.Uint32(head[:4])
+	wantCRC := binary.LittleEndian.Uint32(head[4:8])
+	data := make([]byte, recLen)
+	if _, err := s.f.ReadAt(data, int64(s.offsets[i])+8); err != nil {
+		return nil, fmt.Errorf("store: record %d: %w", i, err)
+	}
+	if got := crc32.ChecksumIEEE(data); got != wantCRC {
+		return nil, fmt.Errorf("store: record %d: checksum mismatch (corrupt row)", i)
+	}
+	return record.ParseRecord(data, s.sch)
+}
+
+// WithTag returns the indices of records carrying tag, in file order.
+func (s *Store) WithTag(tag string) []int {
+	idxs := s.tags[tag]
+	out := make([]int, len(idxs))
+	copy(out, idxs)
+	return out
+}
+
+// Tags returns the distinct tags in the store, sorted.
+func (s *Store) Tags() []string {
+	out := make([]string, 0, len(s.tags))
+	for t := range s.tags {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Iterate calls fn for every record in file order, stopping on error.
+func (s *Store) Iterate(fn func(i int, r *record.Record) error) error {
+	for i := range s.offsets {
+		r, err := s.Get(i)
+		if err != nil {
+			return err
+		}
+		if err := fn(i, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the underlying file.
+func (s *Store) Close() error { return s.f.Close() }
+
+// WriteDataset writes every record of ds to a new store at path.
+func WriteDataset(path string, ds *record.Dataset) error {
+	w, err := Create(path, ds.Schema)
+	if err != nil {
+		return err
+	}
+	for _, r := range ds.Records {
+		if err := w.Append(r); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// ReadDataset loads an entire store into a Dataset.
+func ReadDataset(path string) (*record.Dataset, error) {
+	s, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	ds := &record.Dataset{Schema: s.Schema()}
+	err = s.Iterate(func(_ int, r *record.Record) error {
+		ds.Records = append(ds.Records, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// WriteTagCSV exports the tag matrix in a Pandas-loadable CSV form: one row
+// per record (by index and id), one 0/1 column per tag. This is the
+// "tags are stored in a format compatible with Pandas" hook from §2.2.
+func (s *Store) WriteTagCSV(w io.Writer) error {
+	tags := s.Tags()
+	fmt.Fprint(w, "index,id")
+	for _, t := range tags {
+		fmt.Fprintf(w, ",%s", t)
+	}
+	fmt.Fprintln(w)
+	member := make(map[string]map[int]bool, len(tags))
+	for _, t := range tags {
+		member[t] = make(map[int]bool)
+		for _, i := range s.tags[t] {
+			member[t][i] = true
+		}
+	}
+	return s.Iterate(func(i int, r *record.Record) error {
+		fmt.Fprintf(w, "%d,%s", i, r.ID)
+		for _, t := range tags {
+			if member[t][i] {
+				fmt.Fprint(w, ",1")
+			} else {
+				fmt.Fprint(w, ",0")
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	})
+}

@@ -1,0 +1,354 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+const testSchemaJSON = `{
+  "payloads": {
+    "tokens": {"type": "sequence", "max_length": 8},
+    "query":  {"type": "singleton", "base": ["tokens"]}
+  },
+  "tasks": {
+    "Intent": {"payload": "query", "type": "multiclass", "classes": ["A", "B"]}
+  }
+}`
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	s, err := schema.Parse([]byte(testSchemaJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mkRecord(i int) *record.Record {
+	r := &record.Record{
+		ID: fmt.Sprintf("r%03d", i),
+		Payloads: map[string]record.PayloadValue{
+			"tokens": {Tokens: []string{"hello", "world"}},
+			"query":  {String: fmt.Sprintf("hello world %d", i)},
+		},
+	}
+	r.SetLabel("Intent", "weak1", record.Label{Kind: record.KindClass, Class: "A"})
+	if i%2 == 0 {
+		r.AddTag(record.TagTrain)
+	} else {
+		r.AddTag(record.TagTest)
+	}
+	if i%5 == 0 {
+		r.AddTag("nutrition")
+	}
+	return r
+}
+
+func writeStore(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.ovrs")
+	w, err := Create(path, testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Append(mkRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != n {
+		t.Fatalf("writer Count = %d want %d", w.Count(), n)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestWriteOpenRoundTrip(t *testing.T) {
+	path := writeStore(t, 20)
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	if s.Count() != 20 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Schema() == nil || len(s.Schema().Tasks) != 1 {
+		t.Fatalf("embedded schema wrong")
+	}
+	r, err := s.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "r007" {
+		t.Fatalf("Get(7).ID = %s", r.ID)
+	}
+	if l, ok := r.Label("Intent", "weak1"); !ok || l.Class != "A" {
+		t.Fatalf("label lost")
+	}
+}
+
+func TestRandomAccessOrderIndependence(t *testing.T) {
+	path := writeStore(t, 10)
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, i := range []int{9, 0, 5, 3, 9, 1} {
+		r, err := s.Get(i)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if want := fmt.Sprintf("r%03d", i); r.ID != want {
+			t.Fatalf("Get(%d).ID = %s want %s", i, r.ID, want)
+		}
+	}
+	if _, err := s.Get(10); err == nil {
+		t.Fatalf("out-of-range Get should fail")
+	}
+	if _, err := s.Get(-1); err == nil {
+		t.Fatalf("negative Get should fail")
+	}
+}
+
+func TestTagIndex(t *testing.T) {
+	path := writeStore(t, 20)
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	train := s.WithTag(record.TagTrain)
+	if len(train) != 10 {
+		t.Fatalf("train count %d", len(train))
+	}
+	nutrition := s.WithTag("nutrition")
+	if len(nutrition) != 4 { // 0, 5, 10, 15
+		t.Fatalf("nutrition count %d: %v", len(nutrition), nutrition)
+	}
+	if len(s.WithTag("zzz")) != 0 {
+		t.Fatalf("unknown tag should be empty")
+	}
+	tags := s.Tags()
+	if len(tags) != 3 || tags[0] != "nutrition" {
+		t.Fatalf("Tags wrong: %v", tags)
+	}
+	// Returned slice must be a copy.
+	train[0] = 999
+	if s.WithTag(record.TagTrain)[0] == 999 {
+		t.Fatalf("WithTag leaks internal slice")
+	}
+}
+
+func TestIterate(t *testing.T) {
+	path := writeStore(t, 5)
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var ids []string
+	err = s.Iterate(func(i int, r *record.Record) error {
+		ids = append(ids, r.ID)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 5 || ids[0] != "r000" || ids[4] != "r004" {
+		t.Fatalf("Iterate order wrong: %v", ids)
+	}
+	// Early stop.
+	count := 0
+	stop := fmt.Errorf("stop")
+	err = s.Iterate(func(i int, r *record.Record) error {
+		count++
+		if i == 2 {
+			return stop
+		}
+		return nil
+	})
+	if err != stop || count != 3 {
+		t.Fatalf("Iterate early stop wrong: err=%v count=%d", err, count)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	path := writeStore(t, 3)
+	// Flip a byte inside the first record body (header is 12 + schema).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find first record: locate the ID bytes "r000" and corrupt them.
+	idx := strings.Index(string(data), "r000")
+	if idx < 0 {
+		t.Fatalf("record bytes not found")
+	}
+	data[idx] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Get(0); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+	// Other records still readable.
+	if _, err := s.Get(1); err != nil {
+		t.Fatalf("Get(1): %v", err)
+	}
+}
+
+func TestUnclosedWriterDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "unclosed.ovrs")
+	w, err := Create(path, testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(mkRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	w.f.Close() // simulate crash before Close()
+	if _, err := Open(path); err == nil || !strings.Contains(err.Error(), "trailer") {
+		t.Fatalf("unclosed store not rejected: %v", err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.ovrs")
+	w, err := Create(path, testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(mkRecord(0)); err == nil {
+		t.Fatalf("append after close accepted")
+	}
+	// Double close is a no-op.
+	if err := w.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.ovrs")
+	w, err := Create(path, testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open empty: %v", err)
+	}
+	defer s.Close()
+	if s.Count() != 0 {
+		t.Fatalf("empty store Count = %d", s.Count())
+	}
+}
+
+func TestDatasetHelpers(t *testing.T) {
+	sch := testSchema(t)
+	ds := &record.Dataset{Schema: sch}
+	for i := 0; i < 8; i++ {
+		ds.Records = append(ds.Records, mkRecord(i))
+	}
+	path := filepath.Join(t.TempDir(), "ds.ovrs")
+	if err := WriteDataset(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := ReadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds2.Records) != 8 || ds2.Records[3].ID != "r003" {
+		t.Fatalf("ReadDataset wrong")
+	}
+}
+
+func TestWriteTagCSV(t *testing.T) {
+	path := writeStore(t, 6)
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var sb strings.Builder
+	if err := s.WriteTagCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if lines[0] != "index,id,nutrition,test,train" {
+		t.Fatalf("CSV header wrong: %s", lines[0])
+	}
+	// Record 0: train + nutrition.
+	if lines[1] != "0,r000,1,0,1" {
+		t.Fatalf("CSV row 0 wrong: %s", lines[1])
+	}
+	// Record 1: test only.
+	if lines[2] != "1,r001,0,1,0" {
+		t.Fatalf("CSV row 1 wrong: %s", lines[2])
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(path, []byte("this is not a store file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	sch, err := schema.Parse([]byte(testSchemaJSON))
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.ovrs")
+	w, err := Create(path, sch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := w.Append(mkRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(i % 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

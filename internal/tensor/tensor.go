@@ -1,0 +1,388 @@
+// Package tensor implements dense, row-major float64 tensors and the
+// numerical kernels used by the nn package. It is deliberately small: the
+// Overton compiler only needs 1-D and 2-D tensors (vectors, matrices) plus a
+// handful of kernels (matmul, elementwise maps, row softmax, reductions).
+//
+// All operations are deterministic. Random initialisation takes an explicit
+// *rand.Rand so callers control seeding.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float64 tensor. Rows and Cols describe the
+// logical 2-D shape; a vector is represented as Rows=1. Data has length
+// Rows*Cols and is owned by the tensor unless documented otherwise.
+type Tensor struct {
+	Rows int
+	Cols int
+	Data []float64
+}
+
+// New allocates a zeroed rows x cols tensor.
+func New(rows, cols int) *Tensor {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows x cols tensor.
+func FromSlice(rows, cols int, data []float64) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
+// Vector wraps data as a 1 x len(data) tensor (not copied).
+func Vector(data []float64) *Tensor { return FromSlice(1, len(data), data) }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Rows, t.Cols)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// At returns the element at (r, c).
+func (t *Tensor) At(r, c int) float64 { return t.Data[r*t.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (t *Tensor) Set(r, c int, v float64) { t.Data[r*t.Cols+c] = v }
+
+// Row returns the r-th row as a slice aliasing the tensor's storage.
+func (t *Tensor) Row(r int) []float64 { return t.Data[r*t.Cols : (r+1)*t.Cols] }
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool { return t.Rows == o.Rows && t.Cols == o.Cols }
+
+// Zero sets every element to 0 in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// String renders a compact description, eliding large tensors.
+func (t *Tensor) String() string {
+	if t.Len() <= 16 {
+		return fmt.Sprintf("Tensor(%dx%d)%v", t.Rows, t.Cols, t.Data)
+	}
+	return fmt.Sprintf("Tensor(%dx%d)[%g %g ...]", t.Rows, t.Cols, t.Data[0], t.Data[1])
+}
+
+// Randn fills t with N(0, std^2) samples from rng and returns t.
+func (t *Tensor) Randn(rng *rand.Rand, std float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+// Uniform fills t with U(lo, hi) samples from rng and returns t.
+func (t *Tensor) Uniform(rng *rand.Rand, lo, hi float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return t
+}
+
+// Xavier fills t with Glorot-uniform samples appropriate for a fanIn x fanOut
+// weight matrix and returns t.
+func (t *Tensor) Xavier(rng *rand.Rand, fanIn, fanOut int) *Tensor {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return t.Uniform(rng, -limit, limit)
+}
+
+// checkShape panics with op context when shapes are incompatible.
+func checkShape(op string, ok bool, format string, args ...any) {
+	if !ok {
+		panic("tensor: " + op + ": " + fmt.Sprintf(format, args...))
+	}
+}
+
+// MatMul computes dst = a @ b where a is m x k and b is k x n. dst must be
+// m x n and distinct from a and b. Returns dst.
+func MatMul(dst, a, b *Tensor) *Tensor {
+	checkShape("MatMul", a.Cols == b.Rows, "inner dims %d != %d", a.Cols, b.Rows)
+	checkShape("MatMul", dst.Rows == a.Rows && dst.Cols == b.Cols,
+		"dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols)
+	m, k, n := a.Rows, a.Cols, b.Cols
+	dst.Zero()
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// MatMulATB computes dst += aᵀ @ b where a is m x k, b is m x n, dst is k x n.
+// Used for weight gradients; note it accumulates into dst.
+func MatMulATB(dst, a, b *Tensor) *Tensor {
+	checkShape("MatMulATB", a.Rows == b.Rows, "outer dims %d != %d", a.Rows, b.Rows)
+	checkShape("MatMulATB", dst.Rows == a.Cols && dst.Cols == b.Cols,
+		"dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols)
+	m, k, n := a.Rows, a.Cols, b.Cols
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		brow := b.Data[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// MatMulABT computes dst += a @ bᵀ where a is m x n, b is k x n, dst is m x k.
+// Used for input gradients; note it accumulates into dst.
+func MatMulABT(dst, a, b *Tensor) *Tensor {
+	checkShape("MatMulABT", a.Cols == b.Cols, "inner dims %d != %d", a.Cols, b.Cols)
+	checkShape("MatMulABT", dst.Rows == a.Rows && dst.Cols == b.Rows,
+		"dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows)
+	m, n, k := a.Rows, a.Cols, b.Rows
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		drow := dst.Data[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			brow := b.Data[p*n : (p+1)*n]
+			var s float64
+			for j, av := range arow {
+				s += av * brow[j]
+			}
+			drow[p] += s
+		}
+	}
+	return dst
+}
+
+// Add computes dst = a + b elementwise; shapes must match. dst may alias a or b.
+func Add(dst, a, b *Tensor) *Tensor {
+	checkShape("Add", a.SameShape(b) && dst.SameShape(a), "shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return dst
+}
+
+// AddInto accumulates src into dst (dst += src).
+func AddInto(dst, src *Tensor) *Tensor {
+	checkShape("AddInto", dst.SameShape(src), "shape mismatch %dx%d vs %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols)
+	for i, v := range src.Data {
+		dst.Data[i] += v
+	}
+	return dst
+}
+
+// AddRowVec computes dst = a + v broadcast over rows, where v is 1 x a.Cols.
+func AddRowVec(dst, a, v *Tensor) *Tensor {
+	checkShape("AddRowVec", v.Rows == 1 && v.Cols == a.Cols, "vec 1x%d vs mat %dx%d", v.Cols, a.Rows, a.Cols)
+	checkShape("AddRowVec", dst.SameShape(a), "dst shape mismatch")
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		drow := dst.Row(r)
+		for c, bv := range v.Data {
+			drow[c] = arow[c] + bv
+		}
+	}
+	return dst
+}
+
+// Sub computes dst = a - b elementwise.
+func Sub(dst, a, b *Tensor) *Tensor {
+	checkShape("Sub", a.SameShape(b) && dst.SameShape(a), "shape mismatch")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return dst
+}
+
+// Mul computes dst = a * b elementwise (Hadamard product).
+func Mul(dst, a, b *Tensor) *Tensor {
+	checkShape("Mul", a.SameShape(b) && dst.SameShape(a), "shape mismatch")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return dst
+}
+
+// Scale computes dst = a * c.
+func Scale(dst, a *Tensor, c float64) *Tensor {
+	checkShape("Scale", dst.SameShape(a), "shape mismatch")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * c
+	}
+	return dst
+}
+
+// AxpyInto accumulates dst += alpha * src.
+func AxpyInto(dst *Tensor, alpha float64, src *Tensor) *Tensor {
+	checkShape("AxpyInto", dst.SameShape(src), "shape mismatch")
+	for i, v := range src.Data {
+		dst.Data[i] += alpha * v
+	}
+	return dst
+}
+
+// Apply computes dst = f(a) elementwise; dst may alias a.
+func Apply(dst, a *Tensor, f func(float64) float64) *Tensor {
+	checkShape("Apply", dst.SameShape(a), "shape mismatch")
+	for i, v := range a.Data {
+		dst.Data[i] = f(v)
+	}
+	return dst
+}
+
+// SoftmaxRows computes dst = row-wise softmax(a) with the max-subtraction
+// trick for numerical stability. dst may alias a.
+func SoftmaxRows(dst, a *Tensor) *Tensor {
+	checkShape("SoftmaxRows", dst.SameShape(a), "shape mismatch")
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		drow := dst.Row(r)
+		maxv := math.Inf(-1)
+		for _, v := range arow {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var z float64
+		for c, v := range arow {
+			e := math.Exp(v - maxv)
+			drow[c] = e
+			z += e
+		}
+		if z == 0 {
+			z = 1
+		}
+		inv := 1 / z
+		for c := range drow {
+			drow[c] *= inv
+		}
+	}
+	return dst
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Dot returns the inner product of two equally shaped tensors.
+func Dot(a, b *Tensor) float64 {
+	checkShape("Dot", a.SameShape(b), "shape mismatch")
+	var s float64
+	for i, v := range a.Data {
+		s += v * b.Data[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of all elements.
+func (t *Tensor) Norm2() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute value in t (0 for empty tensors).
+func (t *Tensor) MaxAbs() float64 {
+	var m float64
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ArgmaxRow returns the column index of the maximum element in row r.
+func (t *Tensor) ArgmaxRow(r int) int {
+	row := t.Row(r)
+	best, bestV := 0, math.Inf(-1)
+	for c, v := range row {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}
+
+// ConcatCols concatenates a (m x ca) and b (m x cb) into dst (m x ca+cb).
+func ConcatCols(dst, a, b *Tensor) *Tensor {
+	checkShape("ConcatCols", a.Rows == b.Rows, "row mismatch %d vs %d", a.Rows, b.Rows)
+	checkShape("ConcatCols", dst.Rows == a.Rows && dst.Cols == a.Cols+b.Cols, "dst shape")
+	for r := 0; r < a.Rows; r++ {
+		drow := dst.Row(r)
+		copy(drow[:a.Cols], a.Row(r))
+		copy(drow[a.Cols:], b.Row(r))
+	}
+	return dst
+}
+
+// SplitCols splits src (m x ca+cb) into a (m x ca) and b (m x cb),
+// accumulating into both (used for concat backward).
+func SplitColsInto(a, b, src *Tensor) {
+	checkShape("SplitColsInto", src.Rows == a.Rows && src.Rows == b.Rows, "row mismatch")
+	checkShape("SplitColsInto", src.Cols == a.Cols+b.Cols, "col mismatch")
+	for r := 0; r < src.Rows; r++ {
+		srow := src.Row(r)
+		arow := a.Row(r)
+		brow := b.Row(r)
+		for c := range arow {
+			arow[c] += srow[c]
+		}
+		for c := range brow {
+			brow[c] += srow[a.Cols+c]
+		}
+	}
+}
+
+// Equal reports whether a and b have the same shape and all elements within
+// tol of each other.
+func Equal(a, b *Tensor, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i, v := range a.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

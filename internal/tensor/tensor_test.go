@@ -1,0 +1,371 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShape(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("New not zeroed")
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Fatalf("At/Set mismatch")
+	}
+	row := m.Row(1)
+	if row[2] != 7.5 {
+		t.Fatalf("Row not aliasing storage")
+	}
+	row[0] = -1
+	if m.At(1, 0) != -1 {
+		t.Fatalf("Row write not visible")
+	}
+}
+
+func TestFromSliceAndVector(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	m := FromSlice(2, 2, d)
+	if m.At(1, 0) != 3 {
+		t.Fatalf("FromSlice layout wrong")
+	}
+	v := Vector(d)
+	if v.Rows != 1 || v.Cols != 4 {
+		t.Fatalf("Vector shape wrong")
+	}
+}
+
+func TestFromSlicePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	FromSlice(2, 3, []float64{1, 2})
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Data[0] = 9
+	if a.Data[0] != 1 {
+		t.Fatalf("Clone shares storage")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	dst := New(2, 2)
+	MatMul(dst, a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if dst.Data[i] != w {
+			t.Fatalf("MatMul[%d]=%g want %g", i, dst.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	MatMul(New(2, 2), New(2, 3), New(2, 2))
+}
+
+// MatMulATB(dst, a, b) must equal transpose(a) @ b computed naively.
+func TestMatMulATBEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(5, 3).Randn(rng, 1)
+	b := New(5, 4).Randn(rng, 1)
+	got := New(3, 4)
+	MatMulATB(got, a, b)
+	// naive
+	want := New(3, 4)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			var s float64
+			for r := 0; r < 5; r++ {
+				s += a.At(r, i) * b.At(r, j)
+			}
+			want.Set(i, j, s)
+		}
+	}
+	if !Equal(got, want, 1e-12) {
+		t.Fatalf("ATB mismatch")
+	}
+}
+
+func TestMatMulABTEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := New(4, 3).Randn(rng, 1)
+	b := New(6, 3).Randn(rng, 1)
+	got := New(4, 6)
+	MatMulABT(got, a, b)
+	want := New(4, 6)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			var s float64
+			for c := 0; c < 3; c++ {
+				s += a.At(i, c) * b.At(j, c)
+			}
+			want.Set(i, j, s)
+		}
+	}
+	if !Equal(got, want, 1e-12) {
+		t.Fatalf("ABT mismatch")
+	}
+}
+
+func TestMatMulAccumulateSemantics(t *testing.T) {
+	// ATB and ABT accumulate; calling twice doubles the result.
+	rng := rand.New(rand.NewSource(3))
+	a := New(3, 2).Randn(rng, 1)
+	b := New(3, 2).Randn(rng, 1)
+	once := New(2, 2)
+	MatMulATB(once, a, b)
+	twice := New(2, 2)
+	MatMulATB(twice, a, b)
+	MatMulATB(twice, a, b)
+	doubled := New(2, 2)
+	Scale(doubled, once, 2)
+	if !Equal(twice, doubled, 1e-12) {
+		t.Fatalf("ATB does not accumulate")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{4, 5, 6})
+	dst := New(1, 3)
+	Add(dst, a, b)
+	if dst.Data[2] != 9 {
+		t.Fatalf("Add wrong")
+	}
+	Sub(dst, b, a)
+	if dst.Data[0] != 3 {
+		t.Fatalf("Sub wrong")
+	}
+	Mul(dst, a, b)
+	if dst.Data[1] != 10 {
+		t.Fatalf("Mul wrong")
+	}
+	Scale(dst, a, -2)
+	if dst.Data[2] != -6 {
+		t.Fatalf("Scale wrong")
+	}
+	AddInto(dst, a)
+	if dst.Data[2] != -3 {
+		t.Fatalf("AddInto wrong")
+	}
+	AxpyInto(dst, 3, a)
+	if dst.Data[2] != 6 {
+		t.Fatalf("AxpyInto wrong")
+	}
+}
+
+func TestAddRowVec(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	v := FromSlice(1, 2, []float64{10, 20})
+	dst := New(2, 2)
+	AddRowVec(dst, a, v)
+	want := []float64{11, 22, 13, 24}
+	for i, w := range want {
+		if dst.Data[i] != w {
+			t.Fatalf("AddRowVec[%d]=%g want %g", i, dst.Data[i], w)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	a := FromSlice(1, 3, []float64{-1, 0, 2})
+	dst := New(1, 3)
+	Apply(dst, a, func(x float64) float64 { return x * x })
+	if dst.Data[0] != 1 || dst.Data[2] != 4 {
+		t.Fatalf("Apply wrong: %v", dst.Data)
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 1000, 1000, 1000})
+	dst := New(2, 3)
+	SoftmaxRows(dst, a)
+	// rows sum to 1
+	for r := 0; r < 2; r++ {
+		var s float64
+		for _, v := range dst.Row(r) {
+			s += v
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("row %d sums to %g", r, s)
+		}
+	}
+	// monotone in logits
+	if !(dst.At(0, 2) > dst.At(0, 1) && dst.At(0, 1) > dst.At(0, 0)) {
+		t.Fatalf("softmax not monotone")
+	}
+	// large logits do not overflow
+	if math.Abs(dst.At(1, 0)-1.0/3.0) > 1e-12 {
+		t.Fatalf("stability trick failed: %g", dst.At(1, 0))
+	}
+}
+
+func TestSumDotNorms(t *testing.T) {
+	a := FromSlice(1, 4, []float64{1, -2, 3, -4})
+	if a.Sum() != -2 {
+		t.Fatalf("Sum wrong")
+	}
+	b := FromSlice(1, 4, []float64{1, 1, 1, 1})
+	if Dot(a, b) != -2 {
+		t.Fatalf("Dot wrong")
+	}
+	if math.Abs(a.Norm2()-math.Sqrt(30)) > 1e-12 {
+		t.Fatalf("Norm2 wrong")
+	}
+	if a.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs wrong")
+	}
+}
+
+func TestArgmaxRow(t *testing.T) {
+	a := FromSlice(2, 3, []float64{0, 5, 2, -1, -3, -2})
+	if a.ArgmaxRow(0) != 1 {
+		t.Fatalf("ArgmaxRow(0) wrong")
+	}
+	if a.ArgmaxRow(1) != 0 {
+		t.Fatalf("ArgmaxRow(1) wrong")
+	}
+}
+
+func TestConcatSplitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := New(3, 2).Randn(rng, 1)
+	b := New(3, 4).Randn(rng, 1)
+	dst := New(3, 6)
+	ConcatCols(dst, a, b)
+	ga := New(3, 2)
+	gb := New(3, 4)
+	SplitColsInto(ga, gb, dst)
+	if !Equal(ga, a, 1e-12) || !Equal(gb, b, 1e-12) {
+		t.Fatalf("concat/split not inverse")
+	}
+}
+
+func TestRandInitialisers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := New(50, 50).Randn(rng, 0.1)
+	// mean should be near 0
+	if math.Abs(m.Sum()/float64(m.Len())) > 0.01 {
+		t.Fatalf("Randn mean too large")
+	}
+	u := New(10, 10).Uniform(rng, -1, 1)
+	for _, v := range u.Data {
+		if v < -1 || v > 1 {
+			t.Fatalf("Uniform out of range")
+		}
+	}
+	x := New(10, 20).Xavier(rng, 10, 20)
+	limit := math.Sqrt(6.0 / 30.0)
+	for _, v := range x.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("Xavier out of range")
+		}
+	}
+	// Determinism: same seed, same values.
+	r1 := rand.New(rand.NewSource(42))
+	r2 := rand.New(rand.NewSource(42))
+	a := New(4, 4).Randn(r1, 1)
+	b := New(4, 4).Randn(r2, 1)
+	if !Equal(a, b, 0) {
+		t.Fatalf("Randn not deterministic for fixed seed")
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	m := New(2, 2)
+	m.Fill(3)
+	if m.Sum() != 12 {
+		t.Fatalf("Fill wrong")
+	}
+	m.Zero()
+	if m.Sum() != 0 {
+		t.Fatalf("Zero wrong")
+	}
+}
+
+// Property: (A@B)@C == A@(B@C) for compatible random matrices.
+func TestMatMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(3, 4).Randn(rng, 1)
+		b := New(4, 5).Randn(rng, 1)
+		c := New(5, 2).Randn(rng, 1)
+		ab := MatMul(New(3, 5), a, b)
+		abc1 := MatMul(New(3, 2), ab, c)
+		bc := MatMul(New(4, 2), b, c)
+		abc2 := MatMul(New(3, 2), a, bc)
+		return Equal(abc1, abc2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: softmax is invariant to adding a constant to a row.
+func TestSoftmaxShiftInvarianceProperty(t *testing.T) {
+	f := func(seed int64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 100 {
+			shift = 1.5
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := New(2, 5).Randn(rng, 2)
+		s1 := SoftmaxRows(New(2, 5), a)
+		shifted := Apply(New(2, 5), a, func(x float64) float64 { return x + shift })
+		s2 := SoftmaxRows(New(2, 5), shifted)
+		return Equal(s1, s2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dot(a,b) == Dot(b,a) and Norm2^2 == Dot(a,a).
+func TestDotSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(1, 8).Randn(rng, 1)
+		b := New(1, 8).Randn(rng, 1)
+		if math.Abs(Dot(a, b)-Dot(b, a)) > 1e-12 {
+			return false
+		}
+		return math.Abs(a.Norm2()*a.Norm2()-Dot(a, a)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(64, 64).Randn(rng, 1)
+	y := New(64, 64).Randn(rng, 1)
+	dst := New(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(dst, x, y)
+	}
+}

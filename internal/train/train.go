@@ -1,0 +1,197 @@
+// Package train implements Overton's noise-aware multitask trainer: it
+// combines supervision with the label model, batches records, optimises the
+// compiled model with Adam under the tuning choice's hyperparameters, and
+// tracks dev quality for model selection (the "Train & Tune Models" box of
+// Figure 1).
+package train
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/labelmodel"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/opt"
+	"repro/internal/record"
+)
+
+// Config controls one training run. Epochs, LR, batch size and dropout come
+// from the model's tuning choice; Config adds the supervision knobs.
+type Config struct {
+	Seed int64
+	// Estimator for supervision combination (default: accuracy model).
+	Estimator labelmodel.Estimator
+	// Rebalance applies automatic class rebalancing.
+	Rebalance bool
+	// Loss weighting across tasks and slice components.
+	Loss model.LossConfig
+	// ClipNorm bounds the global gradient norm (default 5).
+	ClipNorm float64
+	// EarlyStopPatience stops after this many epochs without dev
+	// improvement (0 = train all epochs).
+	EarlyStopPatience int
+	// Log, when non-nil, receives one line per epoch.
+	Log io.Writer
+}
+
+// Report summarises a training run.
+type Report struct {
+	Epochs      int
+	TrainLoss   []float64 // mean loss per epoch
+	DevScore    []float64 // mean primary metric on dev per epoch (NaN-free; -1 when no dev)
+	BestEpoch   int
+	BestDev     float64
+	FinalDev    map[string]metrics.TaskMetrics
+	Supervision map[string]*labelmodel.TaskTargets
+}
+
+// CombineSupervision runs the label model for every task over the train+dev
+// records of ds (test supervision is gold-only by construction).
+func CombineSupervision(ds *record.Dataset, cfg Config) (map[string]*labelmodel.TaskTargets, error) {
+	targets := make(map[string]*labelmodel.TaskTargets, len(ds.Schema.Tasks))
+	for _, tname := range ds.Schema.TaskNames() {
+		tt, err := labelmodel.Combine(ds.Records, ds.Schema, tname, labelmodel.CombineConfig{
+			Estimator: cfg.Estimator,
+			Rebalance: cfg.Rebalance,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("train: combine %s: %w", tname, err)
+		}
+		targets[tname] = tt
+	}
+	return targets, nil
+}
+
+// Run trains m on ds: combines supervision, then optimises for the choice's
+// epoch budget, evaluating on the dev tag after each epoch.
+func Run(m *model.Model, ds *record.Dataset, cfg Config) (*Report, error) {
+	targets, err := CombineSupervision(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunWithTargets(m, ds, targets, cfg)
+}
+
+// RunWithTargets trains against precomputed supervision targets (used by
+// scaling experiments that downsample supervision without recombining).
+func RunWithTargets(m *model.Model, ds *record.Dataset, targets map[string]*labelmodel.TaskTargets, cfg Config) (*Report, error) {
+	if cfg.ClipNorm == 0 {
+		cfg.ClipNorm = 5
+	}
+	choice := m.Prog.Choice
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Train indices: records tagged train that have any supervised unit.
+	var trainIdx []int
+	for i, r := range ds.Records {
+		if !r.HasTag(record.TagTrain) {
+			continue
+		}
+		if hasSupervision(targets, i) {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+	if len(trainIdx) == 0 {
+		return nil, fmt.Errorf("train: no supervised training records")
+	}
+	dev := ds.WithTag(record.TagDev)
+
+	rep := &Report{Supervision: targets, BestEpoch: -1, BestDev: -1}
+	optimizer := opt.NewAdam(m.PS.All())
+	bestParams := map[string][]float64{}
+
+	for epoch := 0; epoch < choice.Epochs; epoch++ {
+		order := append([]int(nil), trainIdx...)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		var nBatches float64
+		for start := 0; start < len(order); start += choice.BatchSize {
+			end := start + choice.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			idx := order[start:end]
+			recs := make([]*record.Record, len(idx))
+			for i, j := range idx {
+				recs[i] = ds.Records[j]
+			}
+			loss, err := m.TrainStep(recs, idx, targets, cfg.Loss, optimizer, choice.LR, cfg.ClipNorm, rng)
+			if err != nil {
+				return nil, err
+			}
+			epochLoss += loss
+			nBatches++
+		}
+		meanLoss := epochLoss / nBatches
+		rep.TrainLoss = append(rep.TrainLoss, meanLoss)
+		rep.Epochs = epoch + 1
+
+		devScore := -1.0
+		if len(dev) > 0 {
+			ms, err := m.Evaluate(dev)
+			if err != nil {
+				return nil, err
+			}
+			devScore = metrics.MeanPrimary(ms)
+		}
+		rep.DevScore = append(rep.DevScore, devScore)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "epoch %2d  loss %.4f  dev %.4f\n", epoch, meanLoss, devScore)
+		}
+		if devScore > rep.BestDev {
+			rep.BestDev = devScore
+			rep.BestEpoch = epoch
+			snapshotParams(m, bestParams)
+		}
+		if cfg.EarlyStopPatience > 0 && epoch-rep.BestEpoch >= cfg.EarlyStopPatience {
+			break
+		}
+	}
+	// Restore the best dev checkpoint (when dev existed).
+	if rep.BestEpoch >= 0 && len(bestParams) > 0 && len(dev) > 0 {
+		restoreParams(m, bestParams)
+	}
+	if len(dev) > 0 {
+		ms, err := m.Evaluate(dev)
+		if err != nil {
+			return nil, err
+		}
+		rep.FinalDev = ms
+	}
+	return rep, nil
+}
+
+func hasSupervision(targets map[string]*labelmodel.TaskTargets, i int) bool {
+	for _, tt := range targets {
+		if tt == nil || i >= len(tt.Weight) {
+			continue
+		}
+		for _, w := range tt.Weight[i] {
+			if w > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func snapshotParams(m *model.Model, dst map[string][]float64) {
+	for _, p := range m.PS.All() {
+		buf := dst[p.Name]
+		if buf == nil {
+			buf = make([]float64, p.Node.Value.Len())
+			dst[p.Name] = buf
+		}
+		copy(buf, p.Node.Value.Data)
+	}
+}
+
+func restoreParams(m *model.Model, src map[string][]float64) {
+	for _, p := range m.PS.All() {
+		if buf, ok := src[p.Name]; ok {
+			copy(p.Node.Value.Data, buf)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/labelmodel"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func testChoice() schema.Choice {
+	return schema.Choice{
+		Embedding: "hash-24", Encoder: "CNN", Hidden: 32,
+		QueryAgg: "mean", EntityAgg: "mean",
+		LR: 0.02, Epochs: 10, Dropout: 0, BatchSize: 32,
+	}
+}
+
+func buildModel(t *testing.T, choice schema.Choice, slices []string, seed int64) *model.Model {
+	t.Helper()
+	prog, err := compile.Plan(workload.FactoidSchema(), choice, slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := workload.DefaultKB()
+	var ents []string
+	for _, e := range kb.Entities {
+		ents = append(ents, e.ID)
+	}
+	m, err := model.New(prog, &compile.Resources{
+		TokenVocab:  workload.Vocabulary(kb),
+		EntityVocab: ents,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTrainLearnsWorkload(t *testing.T) {
+	ds := workload.StandardDataset(700, 42, 0.2)
+	m := buildModel(t, testChoice(), nil, 7)
+	rep, err := Run(m, ds, Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs != 10 {
+		t.Fatalf("epochs %d", rep.Epochs)
+	}
+	// Loss decreases substantially.
+	if rep.TrainLoss[len(rep.TrainLoss)-1] >= rep.TrainLoss[0]*0.8 {
+		t.Fatalf("loss barely moved: %v", rep.TrainLoss)
+	}
+	// Test-set quality: the trained model must clearly beat chance on all
+	// tasks and reach strong quality on the easy ones.
+	test := ds.WithTag(record.TagTest)
+	ms, err := m.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("test metrics: Intent=%.3f POS=%.3f EntityType(F1)=%.3f IntentArg=%.3f mean=%.3f",
+		ms["Intent"].Primary, ms["POS"].Primary, ms["EntityType"].Primary, ms["IntentArg"].Primary,
+		metrics.MeanPrimary(ms))
+	if ms["Intent"].Primary < 0.85 {
+		t.Errorf("Intent accuracy %.3f < 0.85", ms["Intent"].Primary)
+	}
+	if ms["POS"].Primary < 0.9 {
+		t.Errorf("POS accuracy %.3f < 0.9", ms["POS"].Primary)
+	}
+	if ms["EntityType"].Primary < 0.7 {
+		t.Errorf("EntityType F1 %.3f < 0.7", ms["EntityType"].Primary)
+	}
+	if ms["IntentArg"].Primary < 0.78 {
+		t.Errorf("IntentArg accuracy %.3f < 0.78", ms["IntentArg"].Primary)
+	}
+	// Dev tracking populated.
+	if rep.BestEpoch < 0 || rep.BestDev <= 0 || len(rep.FinalDev) == 0 {
+		t.Fatalf("dev tracking missing: %+v", rep)
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	run := func() []float64 {
+		ds := workload.StandardDataset(120, 5, 0.2)
+		c := testChoice()
+		c.Epochs = 2
+		m := buildModel(t, c, nil, 3)
+		rep, err := Run(m, ds, Config{Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.TrainLoss
+	}
+	a := run()
+	b := run()
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("training not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	ds := workload.StandardDataset(150, 13, 0.2)
+	c := testChoice()
+	c.Epochs = 30
+	m := buildModel(t, c, nil, 3)
+	rep, err := Run(m, ds, Config{Seed: 9, EarlyStopPatience: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs >= 30 {
+		t.Logf("early stopping never fired (dev kept improving) — acceptable but unusual")
+	}
+	if rep.BestEpoch > rep.Epochs-1 {
+		t.Fatalf("best epoch out of range")
+	}
+}
+
+func TestRunWithDownsampledTargets(t *testing.T) {
+	// Zero out supervision on most records; training must still work on
+	// the remainder (the Figure 4a scaling harness path).
+	ds := workload.StandardDataset(200, 17, 0.2)
+	cfg := Config{Seed: 3}
+	targets, err := CombineSupervision(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for i := range ds.Records {
+		if i%4 != 0 {
+			for _, tt := range targets {
+				for u := range tt.Weight[i] {
+					tt.Weight[i][u] = 0
+				}
+			}
+		} else {
+			kept++
+		}
+	}
+	c := testChoice()
+	c.Epochs = 2
+	m := buildModel(t, c, nil, 5)
+	rep, err := RunWithTargets(m, ds, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs != 2 {
+		t.Fatalf("epochs wrong")
+	}
+}
+
+func TestNoSupervisionErrors(t *testing.T) {
+	ds := workload.StandardDataset(30, 19, 0.2)
+	// Strip all non-gold labels.
+	for _, r := range ds.Records {
+		for task, tl := range r.Tasks {
+			for src := range tl {
+				if src != record.GoldSource {
+					delete(r.Tasks[task], src)
+				}
+			}
+		}
+	}
+	m := buildModel(t, testChoice(), nil, 3)
+	if _, err := Run(m, ds, Config{Seed: 1}); err == nil {
+		t.Fatalf("training with no supervision should fail")
+	}
+}
+
+func TestCombineSupervisionCoversAllTasks(t *testing.T) {
+	ds := workload.StandardDataset(100, 23, 0.2)
+	targets, err := CombineSupervision(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range []string{"POS", "EntityType", "Intent", "IntentArg"} {
+		tt := targets[task]
+		if tt == nil {
+			t.Fatalf("no targets for %s", task)
+		}
+		if tt.SupervisedUnits() == 0 {
+			t.Fatalf("%s has no supervised units", task)
+		}
+	}
+	// Source-accuracy estimates exist for the intent sources and are all
+	// better than chance (the data-programming precondition holds).
+	intent := targets["Intent"]
+	for _, src := range []string{"kwintent", "templ", "crowd"} {
+		acc, ok := intent.SourceAccuracy[src]
+		if !ok {
+			t.Fatalf("no accuracy estimate for %s", src)
+		}
+		if acc < 0.5 {
+			t.Errorf("%s estimated below chance: %.3f", src, acc)
+		}
+	}
+	_ = labelmodel.EstAccuracy
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/record"
+)
+
+// AugmentAliasSwap produces new examples by re-rendering existing ones with
+// a different alias of the same gold entity (e.g. "obama" -> "barack
+// obama"). All gold structure — POS, types, candidates, gold argument — is
+// recomputed for the new surface form, which is exactly what makes alias
+// swap a safe augmentation policy (Ratner et al. 2017 learn such policies;
+// here the engineer supplies one). Labels carry the "augment" source so
+// lineage is tracked.
+func AugmentAliasSwap(examples []*Example, rate float64, kb *KB, seed int64) []*Example {
+	if kb == nil {
+		kb = sharedKB
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGenerator(GenConfig{Seed: seed, KB: kb})
+	var out []*Example
+	for _, ex := range examples {
+		if rng.Float64() >= rate {
+			continue
+		}
+		e := kb.Get(ex.EntityID)
+		if e == nil || len(e.Aliases) < 2 {
+			continue
+		}
+		cur := strings.Join(ex.Tokens[ex.MentionStart:ex.MentionEnd], " ")
+		var alts []string
+		for _, a := range e.Aliases {
+			if a != cur {
+				alts = append(alts, a)
+			}
+		}
+		if len(alts) == 0 {
+			continue
+		}
+		alias := alts[rng.Intn(len(alts))]
+		spec := intentSpec(ex.Intent)
+		if spec == nil {
+			continue
+		}
+		tmpl, ok := templateOf(spec, ex)
+		if !ok {
+			continue
+		}
+		na := g.build(spec, tmpl, entityChoice{ent: e, alias: alias})
+		na.Augmented = true
+		out = append(out, na)
+	}
+	return out
+}
+
+// templateOf recovers which template produced ex by matching the literal
+// prefix and suffix around the mention.
+func templateOf(spec *IntentSpec, ex *Example) (Template, bool) {
+	for _, tmpl := range spec.Templates {
+		lits := 0
+		for _, w := range tmpl.Words {
+			if w != "{E}" {
+				lits++
+			}
+		}
+		if lits != len(ex.Tokens)-(ex.MentionEnd-ex.MentionStart) {
+			continue
+		}
+		if matchesTemplatePrefix(ex.Tokens, tmpl) {
+			return tmpl, true
+		}
+	}
+	return Template{}, false
+}
+
+// AugmentSource labels augmented records with their own gold (the policy
+// knows the truth of what it generated) under the "augment" source name, so
+// the label model can learn how trustworthy augmentation is.
+type AugmentSource struct {
+	ForTask string
+}
+
+// Name implements Source.
+func (AugmentSource) Name() string { return "augment" }
+
+// Task implements Source.
+func (a AugmentSource) Task() string { return a.ForTask }
+
+// Label implements Source.
+func (a AugmentSource) Label(ex *Example, _ *rand.Rand) (record.Label, bool) {
+	if !ex.Augmented {
+		return record.Label{}, false // only labels data it generated
+	}
+	switch a.ForTask {
+	case TaskIntent:
+		return record.Label{Kind: record.KindClass, Class: ex.Intent}, true
+	case TaskIntentArg:
+		return record.Label{Kind: record.KindSelect, Select: ex.GoldArg}, true
+	case TaskPOS:
+		return record.Label{Kind: record.KindSeq, Seq: append([]string(nil), ex.POS...)}, true
+	case TaskEntityType:
+		bits := make([][]string, len(ex.Types))
+		for i, row := range ex.Types {
+			bits[i] = append([]string(nil), row...)
+		}
+		return record.Label{Kind: record.KindBits, Bits: bits}, true
+	}
+	return record.Label{}, false
+}

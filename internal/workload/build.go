@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/record"
+)
+
+// BuildConfig controls dataset assembly from generated examples.
+type BuildConfig struct {
+	Seed      int64
+	Sources   []Source
+	TrainFrac float64 // default 0.7
+	DevFrac   float64 // default 0.1
+}
+
+func (c BuildConfig) withDefaults() BuildConfig {
+	if c.TrainFrac == 0 {
+		c.TrainFrac = 0.7
+	}
+	if c.DevFrac == 0 {
+		c.DevFrac = 0.1
+	}
+	return c
+}
+
+// BuildDataset converts examples into a data-file dataset: gold labels on
+// every record (evaluation only), default train/dev/test tags, slice tags,
+// and weak supervision applied to train/dev records.
+func BuildDataset(examples []*Example, cfg BuildConfig) *record.Dataset {
+	cfg = cfg.withDefaults()
+	sch := FactoidSchema()
+	ds := &record.Dataset{Schema: sch}
+	recs := make([]*record.Record, len(examples))
+	for i, ex := range examples {
+		recs[i] = ex.ToRecord(fmt.Sprintf("q%06d", i))
+	}
+	ds.Records = recs
+	ds.SplitTags(cfg.TrainFrac, cfg.DevFrac, cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	ApplySources(examples, recs, cfg.Sources, rng)
+	return ds
+}
+
+// StandardDataset generates a ready-to-train dataset in one call: n
+// examples, the default source battery with the given crowd coverage, and
+// default splits. This is the entry point examples and tests use.
+func StandardDataset(n int, seed int64, crowdCov float64) *record.Dataset {
+	examples := Generate(GenConfig{Seed: seed, N: n})
+	return BuildDataset(examples, BuildConfig{
+		Seed:    seed,
+		Sources: DefaultSources(crowdCov),
+	})
+}
+
+// ResourcePreset configures one product row of Figure 3: how much data and
+// annotator budget the team has, and how strong its previous production
+// system was.
+type ResourcePreset struct {
+	Name       string
+	Resourcing string // "High", "Medium", "Low"
+	// TrainN is the number of generated examples (before split).
+	TrainN int
+	// CrowdCoverage on Intent/IntentArg; higher = more traditional
+	// supervision, lower weak-supervision share.
+	CrowdCoverage float64
+	// AugmentRate adds augmented examples (a weak source).
+	AugmentRate float64
+	// ExtraNoise degrades the weak LFs (smaller teams run noisier LFs).
+	ExtraNoise float64
+	// Seed for the preset's generator.
+	Seed int64
+}
+
+// ResourcePresets mirrors the four products of Figure 3. Coverage values
+// are calibrated so the weak-supervision share lands near the paper's
+// 80/96/98/99 percent column.
+func ResourcePresets() []ResourcePreset {
+	return []ResourcePreset{
+		{Name: "product-A", Resourcing: "High", TrainN: 2400, CrowdCoverage: 0.60, AugmentRate: 0.15, ExtraNoise: 0, Seed: 101},
+		{Name: "product-B", Resourcing: "Medium", TrainN: 1600, CrowdCoverage: 0.10, AugmentRate: 0.15, ExtraNoise: 0, Seed: 202},
+		{Name: "product-C", Resourcing: "Medium", TrainN: 1200, CrowdCoverage: 0.05, AugmentRate: 0.10, ExtraNoise: 0.03, Seed: 303},
+		{Name: "product-D", Resourcing: "Low", TrainN: 700, CrowdCoverage: 0.02, AugmentRate: 0, ExtraNoise: 0.08, Seed: 404},
+	}
+}
+
+// BuildPreset materialises a preset into a dataset (with augmentation
+// applied as extra weakly-labeled examples).
+func BuildPreset(p ResourcePreset) *record.Dataset {
+	examples := Generate(GenConfig{Seed: p.Seed, N: p.TrainN})
+	if p.AugmentRate > 0 {
+		aug := AugmentAliasSwap(examples, p.AugmentRate, nil, p.Seed+7)
+		examples = append(examples, aug...)
+	}
+	sources := []Source{
+		KeywordIntentLF{},
+		TemplateIntentLF{Noise: 0.05 + p.ExtraNoise},
+		RuleTagger{},
+		NoisyTagger{SourceName: "spacy", Noise: 0.05 + p.ExtraNoise, Coverage: 0.95},
+		NoisyTagger{SourceName: "udtag", Noise: 0.12 + p.ExtraNoise, Coverage: 0.8},
+		GazetteerTyper{},
+		CrowdSource{SourceName: "typist", ForTask: TaskEntityType, Accuracy: 0.85 - p.ExtraNoise, Coverage: 0.6},
+		PopularityPrior{},
+		LongestSpan{},
+		TypeMatchLF{},
+	}
+	if p.CrowdCoverage > 0 {
+		sources = append(sources,
+			CrowdSource{SourceName: "crowd", ForTask: TaskIntent, Accuracy: 0.95, Coverage: p.CrowdCoverage},
+			CrowdSource{SourceName: "crowdarg", ForTask: TaskIntentArg, Accuracy: 0.95, Coverage: p.CrowdCoverage},
+		)
+	}
+	if p.AugmentRate > 0 {
+		sources = append(sources, AugmentSource{ForTask: TaskIntent}, AugmentSource{ForTask: TaskIntentArg})
+	}
+	return BuildDataset(examples, BuildConfig{Seed: p.Seed, Sources: sources})
+}

@@ -1,0 +1,395 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+// Example is one generated query with full ground truth (the generator's
+// internal view; BuildDataset converts it to a data-file record where gold
+// is only an evaluation source).
+type Example struct {
+	Tokens []string
+	POS    []string   // gold POS per token
+	Types  [][]string // gold entity-type bits per token
+	Intent string
+
+	Candidates []record.SetMember
+	GoldArg    int // index into Candidates
+
+	EntityID     string
+	MentionStart int
+	MentionEnd   int
+
+	// Ambiguous: the mention alias names >= 2 KB entities.
+	Ambiguous bool
+	// PriorBreaking: the gold candidate is not the popularity-prior argmax
+	// (the hard core of the disambiguation slice).
+	PriorBreaking bool
+	// Augmented marks examples produced by a data-augmentation policy
+	// rather than sampled traffic (lineage tracking).
+	Augmented bool
+}
+
+// Query returns the detokenised query string.
+func (e *Example) Query() string { return strings.Join(e.Tokens, " ") }
+
+// GenConfig controls query generation.
+type GenConfig struct {
+	Seed int64
+	N    int
+	// AmbiguousRate is the probability of using an ambiguous alias when the
+	// sampled intent admits one (default 0.35).
+	AmbiguousRate float64
+	// PriorBreakRate is, among ambiguous mentions, the probability that the
+	// gold reading breaks the popularity prior (default 0.3).
+	PriorBreakRate float64
+	// DistractorRate is the probability of injecting one spurious candidate
+	// (candidate-generator noise; default 0.2).
+	DistractorRate float64
+	// KB defaults to DefaultKB().
+	KB *KB
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.AmbiguousRate == 0 {
+		c.AmbiguousRate = 0.35
+	}
+	if c.PriorBreakRate == 0 {
+		c.PriorBreakRate = 0.3
+	}
+	if c.DistractorRate == 0 {
+		c.DistractorRate = 0.2
+	}
+	if c.KB == nil {
+		c.KB = DefaultKB()
+	}
+	return c
+}
+
+// entityChoice is a (entity, alias) pair an intent can use.
+type entityChoice struct {
+	ent   *Entity
+	alias string
+}
+
+// Generator produces examples deterministically from a seed.
+type Generator struct {
+	cfg GenConfig
+	rng *rand.Rand
+	kb  *KB
+	// per intent: ambiguous prior-winning, ambiguous prior-breaking, and
+	// unambiguous (entity, alias) pools.
+	priorWin   map[string][]entityChoice
+	priorBreak map[string][]entityChoice
+	unambig    map[string][]entityChoice
+}
+
+// NewGenerator builds the per-intent sampling pools.
+func NewGenerator(cfg GenConfig) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		kb:         cfg.KB,
+		priorWin:   map[string][]entityChoice{},
+		priorBreak: map[string][]entityChoice{},
+		unambig:    map[string][]entityChoice{},
+	}
+	for _, spec := range IntentSpecs {
+		for _, e := range g.kb.Entities {
+			ok := false
+			for _, t := range spec.ArgTypes {
+				if e.HasType(t) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, alias := range e.Aliases {
+				sharing := g.kb.ByAlias(alias)
+				ch := entityChoice{ent: e, alias: alias}
+				switch {
+				case len(sharing) < 2:
+					g.unambig[spec.Name] = append(g.unambig[spec.Name], ch)
+				case sharing[0] == e:
+					g.priorWin[spec.Name] = append(g.priorWin[spec.Name], ch)
+				default:
+					g.priorBreak[spec.Name] = append(g.priorBreak[spec.Name], ch)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Generate produces cfg.N examples.
+func Generate(cfg GenConfig) []*Example {
+	g := NewGenerator(cfg)
+	out := make([]*Example, 0, g.cfg.N)
+	for i := 0; i < g.cfg.N; i++ {
+		out = append(out, g.Next())
+	}
+	return out
+}
+
+// Next generates one example.
+func (g *Generator) Next() *Example {
+	spec := &IntentSpecs[g.rng.Intn(len(IntentSpecs))]
+	tmpl := spec.Templates[g.rng.Intn(len(spec.Templates))]
+
+	// Choose the gold (entity, alias) pair.
+	var pools []entityChoice
+	useAmbig := g.rng.Float64() < g.cfg.AmbiguousRate &&
+		(len(g.priorWin[spec.Name]) > 0 || len(g.priorBreak[spec.Name]) > 0)
+	if useAmbig {
+		if g.rng.Float64() < g.cfg.PriorBreakRate && len(g.priorBreak[spec.Name]) > 0 {
+			pools = g.priorBreak[spec.Name]
+		} else if len(g.priorWin[spec.Name]) > 0 {
+			pools = g.priorWin[spec.Name]
+		} else {
+			pools = g.priorBreak[spec.Name]
+		}
+	} else {
+		pools = g.unambig[spec.Name]
+		if len(pools) == 0 {
+			pools = append(g.priorWin[spec.Name], g.priorBreak[spec.Name]...)
+		}
+	}
+	choice := pools[g.rng.Intn(len(pools))]
+
+	return g.build(spec, tmpl, choice)
+}
+
+// build assembles the example for a fixed (intent, template, entity/alias).
+func (g *Generator) build(spec *IntentSpec, tmpl Template, choice entityChoice) *Example {
+	aliasToks := strings.Fields(choice.alias)
+	ex := &Example{Intent: spec.Name, EntityID: choice.ent.ID}
+	for i, w := range tmpl.Words {
+		if w == "{E}" {
+			ex.MentionStart = len(ex.Tokens)
+			for _, at := range aliasToks {
+				ex.Tokens = append(ex.Tokens, at)
+				if choice.ent.HasType(TypeFood) {
+					ex.POS = append(ex.POS, POSNoun)
+				} else {
+					ex.POS = append(ex.POS, POSPropn)
+				}
+			}
+			ex.MentionEnd = len(ex.Tokens)
+			continue
+		}
+		ex.Tokens = append(ex.Tokens, w)
+		ex.POS = append(ex.POS, tmpl.Tags[i])
+	}
+
+	// Gold entity-type bits: mention tokens carry the gold entity's types.
+	ex.Types = make([][]string, len(ex.Tokens))
+	for i := range ex.Types {
+		ex.Types[i] = []string{}
+	}
+	for i := ex.MentionStart; i < ex.MentionEnd; i++ {
+		ex.Types[i] = append([]string(nil), choice.ent.Types...)
+	}
+
+	// Candidate set: alias matches over the mention span and all subspans,
+	// plus optional distractor noise.
+	ex.Candidates, ex.GoldArg = g.candidates(ex, choice)
+	ex.Ambiguous = len(g.kb.ByAlias(choice.alias)) >= 2
+
+	// Prior-breaking: gold is not the max-popularity candidate.
+	best, bestPop := -1, -1.0
+	for i, c := range ex.Candidates {
+		if e := g.kb.Get(c.ID); e != nil && e.Popularity > bestPop {
+			best, bestPop = i, e.Popularity
+		}
+	}
+	ex.PriorBreaking = best != ex.GoldArg
+	return ex
+}
+
+// candidates enumerates entity candidates for the mention: every KB entity
+// whose alias exactly matches the mention span or one of its subspans, plus
+// (with DistractorRate) one spurious candidate elsewhere in the query.
+func (g *Generator) candidates(ex *Example, choice entityChoice) ([]record.SetMember, int) {
+	type cand struct {
+		m record.SetMember
+	}
+	var cands []cand
+	seen := map[string]bool{}
+	addMatches := func(start, end int) {
+		text := strings.Join(ex.Tokens[start:end], " ")
+		for _, e := range g.kb.ByAlias(text) {
+			key := fmt.Sprintf("%s@%d:%d", e.ID, start, end)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			cands = append(cands, cand{m: record.SetMember{ID: e.ID, Start: start, End: end}})
+		}
+	}
+	for start := ex.MentionStart; start < ex.MentionEnd; start++ {
+		for end := start + 1; end <= ex.MentionEnd; end++ {
+			addMatches(start, end)
+		}
+	}
+	// Distractor: a random entity attached to a random non-mention token.
+	if g.rng.Float64() < g.cfg.DistractorRate && ex.MentionStart > 0 {
+		pos := g.rng.Intn(ex.MentionStart)
+		e := g.kb.Entities[g.rng.Intn(len(g.kb.Entities))]
+		key := fmt.Sprintf("%s@%d:%d", e.ID, pos, pos+1)
+		if !seen[key] {
+			seen[key] = true
+			cands = append(cands, cand{m: record.SetMember{ID: e.ID, Start: pos, End: pos + 1}})
+		}
+	}
+	// Deterministic shuffle so gold position carries no signal.
+	g.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	goldArg := -1
+	members := make([]record.SetMember, len(cands))
+	for i, c := range cands {
+		members[i] = c.m
+		if c.m.ID == choice.ent.ID && c.m.Start == ex.MentionStart && c.m.End == ex.MentionEnd {
+			goldArg = i
+		}
+	}
+	if goldArg < 0 {
+		panic("workload: gold candidate missing from candidate set")
+	}
+	return members, goldArg
+}
+
+// InSliceNutrition reports nutrition-slice membership. Like a production
+// slice function, it looks only at the input.
+func InSliceNutrition(tokens []string) bool {
+	for _, t := range tokens {
+		if t == "calories" {
+			return true
+		}
+	}
+	return false
+}
+
+// InSliceDisambig reports disambiguation-slice membership: some mention span
+// has two or more candidate entities (input-computable from the candidate
+// set).
+func InSliceDisambig(cands []record.SetMember) bool {
+	bySpan := map[[2]int]int{}
+	for _, c := range cands {
+		bySpan[[2]int{c.Start, c.End}]++
+	}
+	spans := 0
+	for _, n := range bySpan {
+		if n >= 1 {
+			spans++
+		}
+	}
+	// Multiple alias readings at overlapping spans, or one span with
+	// multiple entities.
+	for _, n := range bySpan {
+		if n >= 2 {
+			return true
+		}
+	}
+	return spans >= 2
+}
+
+// InSliceLongQuery reports long-query slice membership.
+func InSliceLongQuery(tokens []string) bool { return len(tokens) >= 7 }
+
+// ToRecord converts an example to a data-file record with gold labels under
+// the reserved gold source and slice/tag annotations. Weak sources are added
+// separately (see ApplySources).
+func (ex *Example) ToRecord(id string) *record.Record {
+	r := &record.Record{
+		ID: id,
+		Payloads: map[string]record.PayloadValue{
+			"tokens":   {Tokens: ex.Tokens},
+			"query":    {String: ex.Query()},
+			"entities": {Set: ex.Candidates},
+		},
+	}
+	r.SetLabel(TaskPOS, record.GoldSource, record.Label{Kind: record.KindSeq, Seq: ex.POS})
+	r.SetLabel(TaskEntityType, record.GoldSource, record.Label{Kind: record.KindBits, Bits: ex.Types})
+	r.SetLabel(TaskIntent, record.GoldSource, record.Label{Kind: record.KindClass, Class: ex.Intent})
+	r.SetLabel(TaskIntentArg, record.GoldSource, record.Label{Kind: record.KindSelect, Select: ex.GoldArg})
+	if InSliceNutrition(ex.Tokens) {
+		r.AddSlice(SliceNutrition)
+	}
+	if InSliceDisambig(ex.Candidates) {
+		r.AddSlice(SliceDisambig)
+	}
+	if InSliceLongQuery(ex.Tokens) {
+		r.AddSlice(SliceLongQuery)
+	}
+	if ex.PriorBreaking {
+		r.AddTag("priorbreak") // diagnostic tag (not a slice)
+	}
+	if ex.Augmented {
+		r.AddTag("augment") // lineage: created by an augmentation policy
+	}
+	return r
+}
+
+// FactoidSchema parses the workload schema (panics on programmer error —
+// the constant is tested).
+func FactoidSchema() *schema.Schema {
+	s, err := schema.Parse([]byte(SchemaJSON))
+	if err != nil {
+		panic("workload: bad embedded schema: " + err.Error())
+	}
+	return s
+}
+
+// Corpus generates n unlabeled tokenised queries for embedding pretraining
+// (the raw-text resource the paper's pretrained models consume).
+func Corpus(n int, seed int64) [][]string {
+	g := NewGenerator(GenConfig{Seed: seed, N: n})
+	out := make([][]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = g.Next().Tokens
+	}
+	return out
+}
+
+// Vocabulary returns every token the generator can emit, sorted: template
+// literals plus alias tokens.
+func Vocabulary(kb *KB) []string {
+	seen := map[string]bool{}
+	for _, spec := range IntentSpecs {
+		for _, tmpl := range spec.Templates {
+			for _, w := range tmpl.Words {
+				if w != "{E}" {
+					seen[w] = true
+				}
+			}
+		}
+	}
+	for _, e := range kb.Entities {
+		for _, a := range e.Aliases {
+			for _, t := range strings.Fields(a) {
+				seen[t] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for w := range seen {
+		out = append(out, w)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

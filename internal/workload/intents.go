@@ -1,0 +1,173 @@
+package workload
+
+// POS tag set (the POS task's classes).
+const (
+	POSNoun  = "NOUN"
+	POSPropn = "PROPN"
+	POSVerb  = "VERB"
+	POSAdj   = "ADJ"
+	POSAdv   = "ADV"
+	POSAdp   = "ADP"
+	POSDet   = "DET"
+	POSPron  = "PRON"
+)
+
+// POSTags lists the POS classes in canonical order.
+var POSTags = []string{POSNoun, POSPropn, POSVerb, POSAdj, POSAdv, POSAdp, POSDet, POSPron}
+
+// Intent names (the Intent task's classes).
+const (
+	IntentHeight     = "Height"
+	IntentAge        = "Age"
+	IntentCapital    = "Capital"
+	IntentPopulation = "Population"
+	IntentCalories   = "Calories"
+	IntentSpouse     = "Spouse"
+	IntentWeather    = "Weather"
+	IntentAnthem     = "Anthem"
+)
+
+// Intents lists the intent classes in canonical order.
+var Intents = []string{IntentHeight, IntentAge, IntentCapital, IntentPopulation, IntentCalories, IntentSpouse, IntentWeather, IntentAnthem}
+
+// Template is one surface pattern for an intent. Words contains literal
+// tokens with "{E}" marking the entity slot; Tags is the gold POS for each
+// literal token (the slot's tags come from the entity).
+type Template struct {
+	Words []string
+	Tags  []string
+}
+
+// IntentSpec couples an intent with its templates and the entity types it
+// accepts as its argument.
+type IntentSpec struct {
+	Name      string
+	Templates []Template
+	ArgTypes  []string // gold entity must have one of these types
+}
+
+// IntentSpecs defines the workload grammar. Note the engineered confusions:
+// Calories and Population share the "how many" prefix, Weather and Capital
+// share the "what is the X of/in" frame — these are what the weak keyword
+// labeler gets wrong and the trained model must resolve.
+var IntentSpecs = []IntentSpec{
+	{
+		Name: IntentHeight,
+		Templates: []Template{
+			{Words: []string{"how", "tall", "is", "{E}"}, Tags: []string{POSAdv, POSAdj, POSVerb}},
+			{Words: []string{"what", "is", "the", "height", "of", "{E}"}, Tags: []string{POSPron, POSVerb, POSDet, POSNoun, POSAdp}},
+		},
+		ArgTypes: []string{TypePerson},
+	},
+	{
+		Name: IntentAge,
+		Templates: []Template{
+			{Words: []string{"how", "old", "is", "{E}"}, Tags: []string{POSAdv, POSAdj, POSVerb}},
+			{Words: []string{"what", "is", "the", "age", "of", "{E}"}, Tags: []string{POSPron, POSVerb, POSDet, POSNoun, POSAdp}},
+		},
+		ArgTypes: []string{TypePerson},
+	},
+	{
+		Name: IntentCapital,
+		Templates: []Template{
+			{Words: []string{"what", "is", "the", "capital", "of", "{E}"}, Tags: []string{POSPron, POSVerb, POSDet, POSNoun, POSAdp}},
+			{Words: []string{"capital", "of", "{E}"}, Tags: []string{POSNoun, POSAdp}},
+		},
+		ArgTypes: []string{TypeCountry, TypeState},
+	},
+	{
+		Name: IntentPopulation,
+		Templates: []Template{
+			{Words: []string{"how", "many", "people", "live", "in", "{E}"}, Tags: []string{POSAdv, POSAdj, POSNoun, POSVerb, POSAdp}},
+			{Words: []string{"what", "is", "the", "population", "of", "{E}"}, Tags: []string{POSPron, POSVerb, POSDet, POSNoun, POSAdp}},
+		},
+		ArgTypes: []string{TypeCountry, TypeCity, TypeState},
+	},
+	{
+		Name: IntentCalories,
+		Templates: []Template{
+			{Words: []string{"how", "many", "calories", "in", "a", "{E}"}, Tags: []string{POSAdv, POSAdj, POSNoun, POSAdp, POSDet}},
+			{Words: []string{"calories", "in", "{E}"}, Tags: []string{POSNoun, POSAdp}},
+		},
+		ArgTypes: []string{TypeFood},
+	},
+	{
+		Name: IntentSpouse,
+		Templates: []Template{
+			{Words: []string{"who", "is", "married", "to", "{E}"}, Tags: []string{POSPron, POSVerb, POSAdj, POSAdp}},
+			{Words: []string{"who", "is", "the", "spouse", "of", "{E}"}, Tags: []string{POSPron, POSVerb, POSDet, POSNoun, POSAdp}},
+		},
+		ArgTypes: []string{TypePerson},
+	},
+	{
+		Name: IntentWeather,
+		Templates: []Template{
+			{Words: []string{"what", "is", "the", "weather", "in", "{E}"}, Tags: []string{POSPron, POSVerb, POSDet, POSNoun, POSAdp}},
+			{Words: []string{"weather", "in", "{E}"}, Tags: []string{POSNoun, POSAdp}},
+		},
+		ArgTypes: []string{TypeCity, TypeState},
+	},
+	{
+		Name: IntentAnthem,
+		Templates: []Template{
+			{Words: []string{"what", "is", "the", "national", "anthem", "of", "{E}"}, Tags: []string{POSPron, POSVerb, POSDet, POSAdj, POSNoun, POSAdp}},
+			{Words: []string{"anthem", "of", "{E}"}, Tags: []string{POSNoun, POSAdp}},
+		},
+		ArgTypes: []string{TypeCountry},
+	},
+}
+
+// intentSpec returns the spec for name (nil if unknown).
+func intentSpec(name string) *IntentSpec {
+	for i := range IntentSpecs {
+		if IntentSpecs[i].Name == name {
+			return &IntentSpecs[i]
+		}
+	}
+	return nil
+}
+
+// MaxQueryLen is the schema's tokens max_length: the longest template (7
+// literal tokens) plus the longest alias (2 tokens) with margin.
+const MaxQueryLen = 12
+
+// SchemaJSON is the factoid application's Overton schema — the running
+// example of the paper (Figure 2a) instantiated for this workload.
+const SchemaJSON = `{
+  "payloads": {
+    "tokens":   {"type": "sequence", "max_length": 12},
+    "query":    {"type": "singleton", "base": ["tokens"]},
+    "entities": {"type": "set", "range": "tokens"}
+  },
+  "tasks": {
+    "POS": {
+      "payload": "tokens", "type": "multiclass",
+      "classes": ["NOUN", "PROPN", "VERB", "ADJ", "ADV", "ADP", "DET", "PRON"]
+    },
+    "EntityType": {
+      "payload": "tokens", "type": "bitvector",
+      "classes": ["person", "location", "country", "city", "state", "food", "org"]
+    },
+    "Intent": {
+      "payload": "query", "type": "multiclass",
+      "classes": ["Height", "Age", "Capital", "Population", "Calories", "Spouse", "Weather", "Anthem"]
+    },
+    "IntentArg": {"payload": "entities", "type": "select"}
+  }
+}`
+
+// Task names of the factoid schema.
+const (
+	TaskPOS        = "POS"
+	TaskEntityType = "EntityType"
+	TaskIntent     = "Intent"
+	TaskIntentArg  = "IntentArg"
+)
+
+// Slice names defined by the workload's engineer (Section 2.2: slices are
+// heuristic, input-computable subsets an engineer cares about).
+const (
+	SliceNutrition = "nutrition" // nutrition-related queries
+	SliceDisambig  = "disambig"  // queries with an ambiguous entity mention
+	SliceLongQuery = "longquery" // long-form phrasings
+)

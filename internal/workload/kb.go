@@ -1,0 +1,163 @@
+// Package workload implements the synthetic factoid-question-answering
+// universe used to exercise Overton end to end: an entity knowledge base
+// with controllable ambiguity, intent templates with part-of-speech ground
+// truth, candidate-entity generation, weak supervision sources (heuristic
+// labeling functions, gazetteers, simulated annotators), data augmentation,
+// slice definitions, and the resource-level presets behind the paper's
+// evaluation (Figure 3).
+//
+// The paper's workload is production Siri traffic, which we cannot ship;
+// this generator reproduces its *structure* — multi-task records over
+// tokens/query/entities payloads with conflicting multi-source supervision —
+// with known ground truth so that relative quality claims are auditable
+// (see DESIGN.md, substitution table).
+package workload
+
+import "sort"
+
+// Entity types (the EntityType task's bitvector classes).
+const (
+	TypePerson   = "person"
+	TypeLocation = "location"
+	TypeCountry  = "country"
+	TypeCity     = "city"
+	TypeState    = "state"
+	TypeFood     = "food"
+	TypeOrg      = "org"
+)
+
+// EntityTypes lists the bitvector classes in canonical order.
+var EntityTypes = []string{TypePerson, TypeLocation, TypeCountry, TypeCity, TypeState, TypeFood, TypeOrg}
+
+// Entity is one knowledge-base entry.
+type Entity struct {
+	ID         string
+	Aliases    []string // lower-case surface forms, space-separated tokens
+	Types      []string
+	Popularity float64 // candidate-prior strength in [0,1]
+}
+
+// HasType reports whether the entity carries type t.
+func (e *Entity) HasType(t string) bool {
+	for _, x := range e.Types {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// KB is the entity knowledge base with alias lookup.
+type KB struct {
+	Entities []*Entity
+	byID     map[string]*Entity
+	byAlias  map[string][]*Entity // alias -> entities sharing it, by descending popularity
+}
+
+// NewKB indexes entities.
+func NewKB(entities []*Entity) *KB {
+	kb := &KB{
+		Entities: entities,
+		byID:     make(map[string]*Entity, len(entities)),
+		byAlias:  make(map[string][]*Entity),
+	}
+	for _, e := range entities {
+		kb.byID[e.ID] = e
+		for _, a := range e.Aliases {
+			kb.byAlias[a] = append(kb.byAlias[a], e)
+		}
+	}
+	for _, list := range kb.byAlias {
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Popularity != list[j].Popularity {
+				return list[i].Popularity > list[j].Popularity
+			}
+			return list[i].ID < list[j].ID
+		})
+	}
+	return kb
+}
+
+// Get returns the entity with the given id, or nil.
+func (kb *KB) Get(id string) *Entity { return kb.byID[id] }
+
+// ByAlias returns the entities sharing alias, most popular first.
+func (kb *KB) ByAlias(alias string) []*Entity { return kb.byAlias[alias] }
+
+// WithType returns entities carrying type t, in KB order.
+func (kb *KB) WithType(t string) []*Entity {
+	var out []*Entity
+	for _, e := range kb.Entities {
+		if e.HasType(t) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// AmbiguousAliases returns aliases shared by two or more entities, sorted.
+func (kb *KB) AmbiguousAliases() []string {
+	var out []string
+	for a, es := range kb.byAlias {
+		if len(es) >= 2 {
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultKB builds the standard factoid knowledge base. Ambiguity is
+// deliberate: "washington", "georgia", "turkey", "jordan", "paris", "apple"
+// and "amazon" each name multiple entities with a clear popularity prior, so
+// prior-breaking readings form the complex-disambiguation slice.
+func DefaultKB() *KB {
+	return NewKB([]*Entity{
+		// People.
+		{ID: "George_Washington", Aliases: []string{"george washington", "washington"}, Types: []string{TypePerson}, Popularity: 0.55},
+		{ID: "Barack_Obama", Aliases: []string{"barack obama", "obama"}, Types: []string{TypePerson}, Popularity: 0.9},
+		{ID: "Michael_Jordan", Aliases: []string{"michael jordan", "jordan"}, Types: []string{TypePerson}, Popularity: 0.9},
+		{ID: "Paris_Hilton", Aliases: []string{"paris hilton"}, Types: []string{TypePerson}, Popularity: 0.4},
+		{ID: "LeBron_James", Aliases: []string{"lebron james", "lebron"}, Types: []string{TypePerson}, Popularity: 0.85},
+		{ID: "Taylor_Swift", Aliases: []string{"taylor swift"}, Types: []string{TypePerson}, Popularity: 0.9},
+		{ID: "Albert_Einstein", Aliases: []string{"albert einstein", "einstein"}, Types: []string{TypePerson}, Popularity: 0.85},
+		{ID: "Serena_Williams", Aliases: []string{"serena williams", "serena"}, Types: []string{TypePerson}, Popularity: 0.8},
+		// Countries.
+		{ID: "United_States", Aliases: []string{"united states", "america"}, Types: []string{TypeCountry, TypeLocation}, Popularity: 0.95},
+		{ID: "Georgia_(country)", Aliases: []string{"georgia"}, Types: []string{TypeCountry, TypeLocation}, Popularity: 0.45},
+		{ID: "Turkey_(country)", Aliases: []string{"turkey"}, Types: []string{TypeCountry, TypeLocation}, Popularity: 0.85},
+		{ID: "Jordan_(country)", Aliases: []string{"jordan"}, Types: []string{TypeCountry, TypeLocation}, Popularity: 0.6},
+		{ID: "France", Aliases: []string{"france"}, Types: []string{TypeCountry, TypeLocation}, Popularity: 0.9},
+		{ID: "China", Aliases: []string{"china"}, Types: []string{TypeCountry, TypeLocation}, Popularity: 0.9},
+		{ID: "India", Aliases: []string{"india"}, Types: []string{TypeCountry, TypeLocation}, Popularity: 0.9},
+		{ID: "Japan", Aliases: []string{"japan"}, Types: []string{TypeCountry, TypeLocation}, Popularity: 0.9},
+		{ID: "Egypt", Aliases: []string{"egypt"}, Types: []string{TypeCountry, TypeLocation}, Popularity: 0.85},
+		// Cities.
+		{ID: "Washington_DC", Aliases: []string{"washington dc", "washington"}, Types: []string{TypeCity, TypeLocation}, Popularity: 0.9},
+		{ID: "Paris", Aliases: []string{"paris"}, Types: []string{TypeCity, TypeLocation}, Popularity: 0.95},
+		{ID: "London", Aliases: []string{"london"}, Types: []string{TypeCity, TypeLocation}, Popularity: 0.9},
+		{ID: "Tokyo", Aliases: []string{"tokyo"}, Types: []string{TypeCity, TypeLocation}, Popularity: 0.9},
+		{ID: "Cairo", Aliases: []string{"cairo"}, Types: []string{TypeCity, TypeLocation}, Popularity: 0.8},
+		{ID: "Phoenix", Aliases: []string{"phoenix"}, Types: []string{TypeCity, TypeLocation}, Popularity: 0.75},
+		// States.
+		{ID: "Georgia_(US_state)", Aliases: []string{"georgia"}, Types: []string{TypeState, TypeLocation}, Popularity: 0.8},
+		{ID: "Washington_(state)", Aliases: []string{"washington state", "washington"}, Types: []string{TypeState, TypeLocation}, Popularity: 0.35},
+		{ID: "Texas", Aliases: []string{"texas"}, Types: []string{TypeState, TypeLocation}, Popularity: 0.85},
+		{ID: "Florida", Aliases: []string{"florida"}, Types: []string{TypeState, TypeLocation}, Popularity: 0.85},
+		// Foods.
+		{ID: "Turkey_(food)", Aliases: []string{"turkey"}, Types: []string{TypeFood}, Popularity: 0.5},
+		{ID: "Apple_(food)", Aliases: []string{"apple"}, Types: []string{TypeFood}, Popularity: 0.55},
+		{ID: "Orange_(food)", Aliases: []string{"orange"}, Types: []string{TypeFood}, Popularity: 0.7},
+		{ID: "Rice", Aliases: []string{"rice"}, Types: []string{TypeFood}, Popularity: 0.7},
+		{ID: "Pizza", Aliases: []string{"pizza"}, Types: []string{TypeFood}, Popularity: 0.8},
+		{ID: "Salmon", Aliases: []string{"salmon"}, Types: []string{TypeFood}, Popularity: 0.7},
+		{ID: "Broccoli", Aliases: []string{"broccoli"}, Types: []string{TypeFood}, Popularity: 0.6},
+		{ID: "Chicken_(food)", Aliases: []string{"chicken"}, Types: []string{TypeFood}, Popularity: 0.75},
+		// Organisations.
+		{ID: "Apple_Inc", Aliases: []string{"apple"}, Types: []string{TypeOrg}, Popularity: 0.9},
+		{ID: "Amazon_Inc", Aliases: []string{"amazon"}, Types: []string{TypeOrg}, Popularity: 0.9},
+		{ID: "Nike", Aliases: []string{"nike"}, Types: []string{TypeOrg}, Popularity: 0.8},
+		// Geography odds and ends.
+		{ID: "Amazon_River", Aliases: []string{"amazon river", "amazon"}, Types: []string{TypeLocation}, Popularity: 0.5},
+	})
+}

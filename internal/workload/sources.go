@@ -1,0 +1,495 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/record"
+)
+
+// sharedKB backs the heuristic sources that need KB lookups (gazetteer,
+// popularity prior). The KB is immutable, so sharing is safe.
+var sharedKB = DefaultKB()
+
+// Source is one weak supervision source: given an example it may emit a
+// label for its task or abstain. Sources receive the generator's ground
+// truth only to simulate annotators of known accuracy; heuristic sources
+// look exclusively at the input, exactly like production labeling functions.
+type Source interface {
+	Name() string
+	Task() string
+	// Label returns the source's label and whether it voted. rng drives the
+	// source's stochastic behaviour (noise, coverage) deterministically.
+	Label(ex *Example, rng *rand.Rand) (record.Label, bool)
+}
+
+// ---------------------------------------------------------------------------
+// Intent sources.
+
+// KeywordIntentLF maps trigger tokens to intents by scanning left to right.
+// It is deliberately imperfect, the way real keyword LFs are:
+//
+//   - "many" fires before "calories", so long-form calorie questions
+//     ("how many calories in a …") are systematically mislabeled Population;
+//   - it has no trigger for "height", "age" or "population", so the long
+//     forms of those intents get no label (coverage gap).
+type KeywordIntentLF struct{}
+
+// Name implements Source.
+func (KeywordIntentLF) Name() string { return "kwintent" }
+
+// Task implements Source.
+func (KeywordIntentLF) Task() string { return TaskIntent }
+
+var keywordTriggers = []struct {
+	token  string
+	intent string
+}{
+	{"tall", IntentHeight},
+	{"old", IntentAge},
+	{"capital", IntentCapital},
+	{"many", IntentPopulation}, // the engineered systematic error
+	{"people", IntentPopulation},
+	{"calories", IntentCalories},
+	{"married", IntentSpouse},
+	{"spouse", IntentSpouse},
+	{"weather", IntentWeather},
+	{"anthem", IntentAnthem},
+}
+
+// Label implements Source.
+func (KeywordIntentLF) Label(ex *Example, _ *rand.Rand) (record.Label, bool) {
+	for _, trig := range keywordTriggers {
+		for _, tok := range ex.Tokens {
+			if tok == trig.token {
+				return record.Label{Kind: record.KindClass, Class: trig.intent}, true
+			}
+		}
+	}
+	return record.Label{}, false
+}
+
+// TemplateIntentLF memorises the first (long-form) template of each intent
+// and matches the query prefix against it; it abstains on short forms.
+// A small iid noise rate models template drift.
+type TemplateIntentLF struct {
+	Noise float64 // probability of emitting a uniformly random intent
+}
+
+// Name implements Source.
+func (TemplateIntentLF) Name() string { return "templ" }
+
+// Task implements Source.
+func (TemplateIntentLF) Task() string { return TaskIntent }
+
+// Label implements Source.
+func (s TemplateIntentLF) Label(ex *Example, rng *rand.Rand) (record.Label, bool) {
+	for _, spec := range IntentSpecs {
+		tmpl := spec.Templates[0]
+		if matchesTemplatePrefix(ex.Tokens, tmpl) {
+			intent := spec.Name
+			if rng.Float64() < s.Noise {
+				intent = Intents[rng.Intn(len(Intents))]
+			}
+			return record.Label{Kind: record.KindClass, Class: intent}, true
+		}
+	}
+	return record.Label{}, false
+}
+
+// matchesTemplatePrefix checks that the literal prefix (tokens before {E})
+// matches the query.
+func matchesTemplatePrefix(tokens []string, tmpl Template) bool {
+	for i, w := range tmpl.Words {
+		if w == "{E}" {
+			return true
+		}
+		if i >= len(tokens) || tokens[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// CrowdSource simulates human annotators: gold with a given accuracy and
+// coverage. It implements the paper's "annotator labels filtered and altered
+// by programmatic quality control".
+type CrowdSource struct {
+	SourceName string
+	ForTask    string
+	Accuracy   float64
+	Coverage   float64
+}
+
+// Name implements Source.
+func (c CrowdSource) Name() string { return c.SourceName }
+
+// Task implements Source.
+func (c CrowdSource) Task() string { return c.ForTask }
+
+// Label implements Source.
+func (c CrowdSource) Label(ex *Example, rng *rand.Rand) (record.Label, bool) {
+	if ex.Augmented {
+		return record.Label{}, false // annotators never see synthetic data
+	}
+	if rng.Float64() >= c.Coverage {
+		return record.Label{}, false
+	}
+	switch c.ForTask {
+	case TaskIntent:
+		intent := ex.Intent
+		if rng.Float64() >= c.Accuracy {
+			intent = Intents[rng.Intn(len(Intents))]
+		}
+		return record.Label{Kind: record.KindClass, Class: intent}, true
+	case TaskIntentArg:
+		arg := ex.GoldArg
+		if rng.Float64() >= c.Accuracy && len(ex.Candidates) > 1 {
+			wrong := rng.Intn(len(ex.Candidates) - 1)
+			if wrong >= arg {
+				wrong++
+			}
+			arg = wrong
+		}
+		return record.Label{Kind: record.KindSelect, Select: arg}, true
+	case TaskPOS:
+		seq := make([]string, len(ex.POS))
+		for i, tag := range ex.POS {
+			if rng.Float64() < c.Accuracy {
+				seq[i] = tag
+			} else {
+				seq[i] = POSTags[rng.Intn(len(POSTags))]
+			}
+		}
+		return record.Label{Kind: record.KindSeq, Seq: seq}, true
+	case TaskEntityType:
+		bits := make([][]string, len(ex.Types))
+		for i, row := range ex.Types {
+			var out []string
+			for _, b := range row {
+				if rng.Float64() < c.Accuracy {
+					out = append(out, b)
+				}
+			}
+			if rng.Float64() >= c.Accuracy && len(out) == 0 && rng.Float64() < 0.1 {
+				out = append(out, EntityTypes[rng.Intn(len(EntityTypes))])
+			}
+			if out == nil {
+				out = []string{}
+			}
+			bits[i] = out
+		}
+		return record.Label{Kind: record.KindBits, Bits: bits}, true
+	}
+	return record.Label{}, false
+}
+
+// ---------------------------------------------------------------------------
+// POS sources.
+
+// RuleTagger tags function words from a fixed dictionary and defaults
+// everything else to NOUN — systematically wrong on PROPN entity tokens
+// (the classic cheap-tagger failure mode).
+type RuleTagger struct{}
+
+// Name implements Source.
+func (RuleTagger) Name() string { return "ruletag" }
+
+// Task implements Source.
+func (RuleTagger) Task() string { return TaskPOS }
+
+var functionWordTags = map[string]string{
+	"how": POSAdv, "tall": POSAdj, "old": POSAdj, "many": POSAdj,
+	"is": POSVerb, "live": POSVerb,
+	"the": POSDet, "a": POSDet,
+	"of": POSAdp, "in": POSAdp, "to": POSAdp,
+	"what": POSPron, "who": POSPron,
+	"national": POSAdj, "married": POSAdj,
+	"capital": POSNoun, "height": POSNoun, "age": POSNoun, "people": POSNoun,
+	"population": POSNoun, "calories": POSNoun, "spouse": POSNoun,
+	"weather": POSNoun, "anthem": POSNoun,
+}
+
+// Label implements Source.
+func (RuleTagger) Label(ex *Example, _ *rand.Rand) (record.Label, bool) {
+	seq := make([]string, len(ex.Tokens))
+	for i, tok := range ex.Tokens {
+		if tag, ok := functionWordTags[tok]; ok {
+			seq[i] = tag
+		} else {
+			seq[i] = POSNoun
+		}
+	}
+	return record.Label{Kind: record.KindSeq, Seq: seq}, true
+}
+
+// NoisyTagger is gold POS with iid corruption — the "spacy" source in the
+// paper's example record.
+type NoisyTagger struct {
+	SourceName string
+	Noise      float64
+	Coverage   float64
+}
+
+// Name implements Source.
+func (s NoisyTagger) Name() string { return s.SourceName }
+
+// Task implements Source.
+func (NoisyTagger) Task() string { return TaskPOS }
+
+// Label implements Source.
+func (s NoisyTagger) Label(ex *Example, rng *rand.Rand) (record.Label, bool) {
+	if s.Coverage > 0 && rng.Float64() >= s.Coverage {
+		return record.Label{}, false
+	}
+	seq := make([]string, len(ex.POS))
+	for i, tag := range ex.POS {
+		if rng.Float64() < s.Noise {
+			seq[i] = POSTags[rng.Intn(len(POSTags))]
+		} else {
+			seq[i] = tag
+		}
+	}
+	return record.Label{Kind: record.KindSeq, Seq: seq}, true
+}
+
+// ---------------------------------------------------------------------------
+// EntityType sources.
+
+// GazetteerTyper emits, for every token covered by a candidate span, the
+// union of types over all candidate entities covering it — the "eproj"
+// source of the paper's example. On ambiguous mentions it systematically
+// over-labels (e.g. "turkey" gets both country and food).
+type GazetteerTyper struct{}
+
+// Name implements Source.
+func (GazetteerTyper) Name() string { return "eproj" }
+
+// Task implements Source.
+func (GazetteerTyper) Task() string { return TaskEntityType }
+
+// Label implements Source.
+func (GazetteerTyper) Label(ex *Example, _ *rand.Rand) (record.Label, bool) {
+	kb := sharedKB
+	bits := make([][]string, len(ex.Tokens))
+	for i := range bits {
+		bits[i] = []string{}
+	}
+	for _, c := range ex.Candidates {
+		e := kb.Get(c.ID)
+		if e == nil {
+			continue
+		}
+		for pos := c.Start; pos < c.End && pos < len(bits); pos++ {
+			for _, t := range e.Types {
+				if !containsStr(bits[pos], t) {
+					bits[pos] = append(bits[pos], t)
+				}
+			}
+		}
+	}
+	return record.Label{Kind: record.KindBits, Bits: bits}, true
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// IntentArg sources.
+
+// PopularityPrior picks the candidate with the highest KB popularity — the
+// production prior that is wrong by construction on the prior-breaking
+// disambiguation slice.
+type PopularityPrior struct{}
+
+// Name implements Source.
+func (PopularityPrior) Name() string { return "pop" }
+
+// Task implements Source.
+func (PopularityPrior) Task() string { return TaskIntentArg }
+
+// Label implements Source.
+func (PopularityPrior) Label(ex *Example, _ *rand.Rand) (record.Label, bool) {
+	if len(ex.Candidates) == 0 {
+		return record.Label{}, false
+	}
+	kb := sharedKB
+	best, bestPop := 0, -1.0
+	for i, c := range ex.Candidates {
+		if e := kb.Get(c.ID); e != nil && e.Popularity > bestPop {
+			best, bestPop = i, e.Popularity
+		}
+	}
+	return record.Label{Kind: record.KindSelect, Select: best}, true
+}
+
+// LongestSpan picks the candidate with the widest span (ties: latest
+// start, then candidate order) — a decent heuristic because the true
+// mention is usually the longest alias match, and in question frames the
+// argument follows the function words, so later spans beat spurious early
+// matches.
+type LongestSpan struct{}
+
+// Name implements Source.
+func (LongestSpan) Name() string { return "longspan" }
+
+// Task implements Source.
+func (LongestSpan) Task() string { return TaskIntentArg }
+
+// Label implements Source.
+func (LongestSpan) Label(ex *Example, _ *rand.Rand) (record.Label, bool) {
+	if len(ex.Candidates) == 0 {
+		return record.Label{}, false
+	}
+	best := 0
+	for i, c := range ex.Candidates {
+		b := ex.Candidates[best]
+		w, bw := c.End-c.Start, b.End-b.Start
+		if w > bw || (w == bw && c.Start > b.Start) {
+			best = i
+		}
+	}
+	return record.Label{Kind: record.KindSelect, Select: best}, true
+}
+
+// TypeMatchLF links entities by intent/type compatibility: it guesses the
+// intent with the keyword LF, then picks the most popular candidate whose
+// entity types satisfy the intent's argument constraint. It abstains when no
+// keyword fires or no candidate is compatible. Crucially it inherits the
+// keyword LF's systematic error ("how many calories in a turkey" is guessed
+// Population, so the country is chosen) — correlated LF noise, exactly what
+// the label model must cope with in production.
+type TypeMatchLF struct{}
+
+// Name implements Source.
+func (TypeMatchLF) Name() string { return "typematch" }
+
+// Task implements Source.
+func (TypeMatchLF) Task() string { return TaskIntentArg }
+
+// Label implements Source.
+func (TypeMatchLF) Label(ex *Example, rng *rand.Rand) (record.Label, bool) {
+	if len(ex.Candidates) == 0 {
+		return record.Label{}, false
+	}
+	kw, ok := KeywordIntentLF{}.Label(ex, rng)
+	if !ok {
+		return record.Label{}, false
+	}
+	spec := intentSpec(kw.Class)
+	if spec == nil {
+		return record.Label{}, false
+	}
+	best, bestPop := -1, -1.0
+	for i, c := range ex.Candidates {
+		e := sharedKB.Get(c.ID)
+		if e == nil {
+			continue
+		}
+		compatible := false
+		for _, at := range spec.ArgTypes {
+			if e.HasType(at) {
+				compatible = true
+				break
+			}
+		}
+		if compatible && e.Popularity > bestPop {
+			best, bestPop = i, e.Popularity
+		}
+	}
+	if best < 0 {
+		return record.Label{}, false
+	}
+	return record.Label{Kind: record.KindSelect, Select: best}, true
+}
+
+// ---------------------------------------------------------------------------
+// Source sets.
+
+// DefaultSources returns the standard weak-source battery plus simulated
+// crowd sources with the given coverage on Intent and IntentArg (crowdCov 0
+// disables crowd entirely — the paper's "no traditional training data"
+// regime).
+func DefaultSources(crowdCov float64) []Source {
+	srcs := []Source{
+		KeywordIntentLF{},
+		TemplateIntentLF{Noise: 0.05},
+		RuleTagger{},
+		NoisyTagger{SourceName: "spacy", Noise: 0.05, Coverage: 0.95},
+		// A second statistical tagger breaks the two-source identifiability
+		// tie against ruletag's systematic NOUN default on entity tokens.
+		NoisyTagger{SourceName: "udtag", Noise: 0.12, Coverage: 0.8},
+		GazetteerTyper{},
+		// Programmatic type curation: imperfect but unbiased, countering
+		// the gazetteer's systematic union over-labeling.
+		CrowdSource{SourceName: "typist", ForTask: TaskEntityType, Accuracy: 0.85, Coverage: 0.6},
+		PopularityPrior{},
+		LongestSpan{},
+		TypeMatchLF{},
+	}
+	if crowdCov > 0 {
+		srcs = append(srcs,
+			CrowdSource{SourceName: "crowd", ForTask: TaskIntent, Accuracy: 0.95, Coverage: crowdCov},
+			CrowdSource{SourceName: "crowdarg", ForTask: TaskIntentArg, Accuracy: 0.95, Coverage: crowdCov},
+		)
+	}
+	return srcs
+}
+
+// WeakSourceNames lists sources counted as weak supervision (everything
+// except simulated annotators) — used for the Figure 3 weak-supervision
+// share.
+func WeakSourceNames() map[string]bool {
+	return map[string]bool{
+		"kwintent": true, "templ": true, "ruletag": true, "spacy": true,
+		"udtag": true, "eproj": true, "typist": true, "pop": true,
+		"longspan": true, "typematch": true, "augment": true,
+	}
+}
+
+// ApplySources runs every source over every (example, record) pair, labeling
+// only records tagged train or dev (test supervision stays gold-only, as in
+// production: curated test sets). The rng must be seeded by the caller.
+func ApplySources(examples []*Example, recs []*record.Record, sources []Source, rng *rand.Rand) {
+	for i, ex := range examples {
+		r := recs[i]
+		if r.HasTag(record.TagTest) {
+			continue
+		}
+		for _, s := range sources {
+			if l, ok := s.Label(ex, rng); ok {
+				r.SetLabel(s.Task(), s.Name(), l)
+			}
+		}
+	}
+}
+
+// WeakFraction computes the share of non-gold labels coming from weak
+// sources (vs. simulated annotators) across the dataset — the
+// "Amount of Weak Supervision" column of Figure 3.
+func WeakFraction(ds *record.Dataset) float64 {
+	weak := WeakSourceNames()
+	var w, total float64
+	for _, r := range ds.Records {
+		for _, tl := range r.Tasks {
+			for src := range tl {
+				if src == record.GoldSource {
+					continue
+				}
+				total++
+				if weak[src] {
+					w++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return w / total
+}

@@ -1,0 +1,517 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+func TestDefaultKBIndexes(t *testing.T) {
+	kb := DefaultKB()
+	if kb.Get("Paris") == nil || kb.Get("Nope") != nil {
+		t.Fatalf("Get wrong")
+	}
+	// Ambiguous aliases exist and are sorted by popularity.
+	wash := kb.ByAlias("washington")
+	if len(wash) < 3 {
+		t.Fatalf("washington should be 3-way ambiguous, got %d", len(wash))
+	}
+	for i := 1; i < len(wash); i++ {
+		if wash[i].Popularity > wash[i-1].Popularity {
+			t.Fatalf("ByAlias not sorted by popularity")
+		}
+	}
+	if wash[0].ID != "Washington_DC" {
+		t.Fatalf("washington prior winner = %s", wash[0].ID)
+	}
+	amb := kb.AmbiguousAliases()
+	found := map[string]bool{}
+	for _, a := range amb {
+		found[a] = true
+	}
+	for _, want := range []string{"washington", "georgia", "turkey", "jordan", "apple", "amazon"} {
+		if !found[want] {
+			t.Errorf("alias %q not ambiguous", want)
+		}
+	}
+	foods := kb.WithType(TypeFood)
+	if len(foods) < 5 {
+		t.Fatalf("too few foods: %d", len(foods))
+	}
+}
+
+func TestFactoidSchemaValid(t *testing.T) {
+	sch := FactoidSchema()
+	if len(sch.Tasks) != 4 {
+		t.Fatalf("schema tasks: %d", len(sch.Tasks))
+	}
+	if sch.Granularity(sch.Tasks[TaskIntent]) != schema.PerExample {
+		t.Fatalf("Intent granularity wrong")
+	}
+	if sch.Granularity(sch.Tasks[TaskIntentArg]) != schema.PerSet {
+		t.Fatalf("IntentArg granularity wrong")
+	}
+}
+
+func TestIntentSpecsWellFormed(t *testing.T) {
+	for _, spec := range IntentSpecs {
+		if len(spec.Templates) == 0 || len(spec.ArgTypes) == 0 {
+			t.Fatalf("spec %s incomplete", spec.Name)
+		}
+		for _, tmpl := range spec.Templates {
+			var slots, lits int
+			for _, w := range tmpl.Words {
+				if w == "{E}" {
+					slots++
+				} else {
+					lits++
+				}
+			}
+			if slots != 1 {
+				t.Fatalf("%s template must have exactly one slot", spec.Name)
+			}
+			if lits != len(tmpl.Tags) {
+				t.Fatalf("%s template tags mismatch: %d literals %d tags", spec.Name, lits, len(tmpl.Tags))
+			}
+		}
+		// Every intent has compatible entities in the KB.
+		kb := DefaultKB()
+		var n int
+		for _, at := range spec.ArgTypes {
+			n += len(kb.WithType(at))
+		}
+		if n == 0 {
+			t.Fatalf("%s has no compatible entities", spec.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenConfig{Seed: 5, N: 50})
+	b := Generate(GenConfig{Seed: 5, N: 50})
+	for i := range a {
+		if a[i].Query() != b[i].Query() || a[i].Intent != b[i].Intent || a[i].GoldArg != b[i].GoldArg {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+	c := Generate(GenConfig{Seed: 6, N: 50})
+	same := 0
+	for i := range a {
+		if a[i].Query() == c[i].Query() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatalf("different seeds produced identical data")
+	}
+}
+
+func TestGeneratedExamplesWellFormed(t *testing.T) {
+	examples := Generate(GenConfig{Seed: 9, N: 300})
+	kb := DefaultKB()
+	for i, ex := range examples {
+		if len(ex.Tokens) == 0 || len(ex.Tokens) > MaxQueryLen {
+			t.Fatalf("ex %d: bad token count %d", i, len(ex.Tokens))
+		}
+		if len(ex.POS) != len(ex.Tokens) || len(ex.Types) != len(ex.Tokens) {
+			t.Fatalf("ex %d: label lengths wrong", i)
+		}
+		if ex.GoldArg < 0 || ex.GoldArg >= len(ex.Candidates) {
+			t.Fatalf("ex %d: gold arg out of range", i)
+		}
+		gold := ex.Candidates[ex.GoldArg]
+		if gold.ID != ex.EntityID {
+			t.Fatalf("ex %d: gold candidate id mismatch", i)
+		}
+		if gold.Start != ex.MentionStart || gold.End != ex.MentionEnd {
+			t.Fatalf("ex %d: gold span mismatch", i)
+		}
+		// Mention tokens carry entity types; non-mention tokens don't.
+		for p := range ex.Tokens {
+			inMention := p >= ex.MentionStart && p < ex.MentionEnd
+			if inMention && len(ex.Types[p]) == 0 {
+				t.Fatalf("ex %d: mention token %d has no types", i, p)
+			}
+			if !inMention && len(ex.Types[p]) != 0 {
+				t.Fatalf("ex %d: non-mention token %d has types", i, p)
+			}
+		}
+		// Intent's arg-type constraint holds.
+		spec := intentSpec(ex.Intent)
+		e := kb.Get(ex.EntityID)
+		ok := false
+		for _, at := range spec.ArgTypes {
+			if e.HasType(at) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("ex %d: entity %s incompatible with intent %s", i, ex.EntityID, ex.Intent)
+		}
+		// Candidate spans are within bounds.
+		for _, c := range ex.Candidates {
+			if c.Start < 0 || c.End > len(ex.Tokens) || c.Start >= c.End {
+				t.Fatalf("ex %d: bad candidate span", i)
+			}
+		}
+	}
+}
+
+func TestAmbiguityAndPriorBreakRates(t *testing.T) {
+	examples := Generate(GenConfig{Seed: 11, N: 2000, AmbiguousRate: 0.4, PriorBreakRate: 0.35})
+	var amb, pb int
+	for _, ex := range examples {
+		if ex.Ambiguous {
+			amb++
+		}
+		if ex.PriorBreaking {
+			pb++
+		}
+	}
+	ambFrac := float64(amb) / float64(len(examples))
+	if ambFrac < 0.2 || ambFrac > 0.6 {
+		t.Fatalf("ambiguous fraction %.3f out of band", ambFrac)
+	}
+	if pb == 0 {
+		t.Fatalf("no prior-breaking examples generated")
+	}
+	if pb >= amb+200 {
+		t.Fatalf("prior-breaking (%d) should be smaller than ambiguous (%d)", pb, amb)
+	}
+}
+
+func TestPriorBreakingMeansPopPriorWrong(t *testing.T) {
+	examples := Generate(GenConfig{Seed: 13, N: 500})
+	var checked int
+	for _, ex := range examples {
+		l, ok := PopularityPrior{}.Label(ex, nil)
+		if !ok {
+			continue
+		}
+		correct := l.Select == ex.GoldArg
+		if ex.PriorBreaking && correct {
+			t.Fatalf("prior-breaking example solved by popularity prior")
+		}
+		if !ex.PriorBreaking && !correct {
+			t.Fatalf("non-prior-breaking example missed by popularity prior")
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatalf("nothing checked")
+	}
+}
+
+func TestSourceAccuracies(t *testing.T) {
+	// Measure each source's empirical accuracy/coverage on a large sample;
+	// they must be better than chance but imperfect (weak supervision).
+	examples := Generate(GenConfig{Seed: 17, N: 2000})
+	rng := rand.New(rand.NewSource(99))
+	type stat struct{ correct, votes, n float64 }
+	stats := map[string]*stat{}
+	for _, src := range DefaultSources(0.3) {
+		stats[src.Name()] = &stat{}
+	}
+	for _, ex := range examples {
+		for _, src := range DefaultSources(0.3) {
+			st := stats[src.Name()]
+			st.n++
+			l, ok := src.Label(ex, rng)
+			if !ok {
+				continue
+			}
+			st.votes++
+			switch src.Task() {
+			case TaskIntent:
+				if l.Class == ex.Intent {
+					st.correct++
+				}
+			case TaskIntentArg:
+				if l.Select == ex.GoldArg {
+					st.correct++
+				}
+			case TaskPOS:
+				var c, tot float64
+				for i := range ex.POS {
+					tot++
+					if l.Seq[i] == ex.POS[i] {
+						c++
+					}
+				}
+				st.correct += c / tot
+			case TaskEntityType:
+				var c, tot float64
+				for i := range ex.Types {
+					tot++
+					if sameStringSet(l.Bits[i], ex.Types[i]) {
+						c++
+					}
+				}
+				st.correct += c / tot
+			}
+		}
+	}
+	checks := map[string][2]float64{ // name -> {min accuracy, max accuracy}
+		"kwintent": {0.6, 0.95},
+		"templ":    {0.85, 1.0},
+		"ruletag":  {0.5, 0.95},
+		"spacy":    {0.9, 1.0},
+		"pop":      {0.5, 0.95},
+		"longspan": {0.5, 1.0},
+		"crowd":    {0.85, 1.0},
+	}
+	for name, band := range checks {
+		st := stats[name]
+		if st.votes == 0 {
+			t.Fatalf("%s never voted", name)
+		}
+		acc := st.correct / st.votes
+		if acc < band[0] || acc > band[1] {
+			t.Errorf("%s accuracy %.3f outside [%.2f, %.2f]", name, acc, band[0], band[1])
+		}
+	}
+	// Keyword LF must have a real coverage gap (missing triggers).
+	if cov := stats["kwintent"].votes / stats["kwintent"].n; cov > 0.97 || cov < 0.5 {
+		t.Errorf("kwintent coverage %.3f not in expected band", cov)
+	}
+	// Crowd coverage honours the knob.
+	if cov := stats["crowd"].votes / stats["crowd"].n; cov < 0.2 || cov > 0.4 {
+		t.Errorf("crowd coverage %.3f, want ~0.3", cov)
+	}
+}
+
+func sameStringSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[string]bool{}
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKeywordLFSystematicError(t *testing.T) {
+	// "how many calories in a X" must be mislabeled Population.
+	g := NewGenerator(GenConfig{Seed: 1})
+	spec := intentSpec(IntentCalories)
+	ex := g.build(spec, spec.Templates[0], entityChoice{ent: DefaultKB().Get("Pizza"), alias: "pizza"})
+	l, ok := KeywordIntentLF{}.Label(ex, nil)
+	if !ok || l.Class != IntentPopulation {
+		t.Fatalf("expected systematic Population mislabel, got %v ok=%v", l.Class, ok)
+	}
+	// Short form is labeled correctly ("calories" fires).
+	ex2 := g.build(spec, spec.Templates[1], entityChoice{ent: DefaultKB().Get("Pizza"), alias: "pizza"})
+	l2, ok2 := KeywordIntentLF{}.Label(ex2, nil)
+	if !ok2 || l2.Class != IntentCalories {
+		t.Fatalf("short calories form wrong: %v", l2.Class)
+	}
+}
+
+func TestGazetteerOverLabelsAmbiguous(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 1})
+	spec := intentSpec(IntentCalories)
+	kb := DefaultKB()
+	ex := g.build(spec, spec.Templates[1], entityChoice{ent: kb.Get("Turkey_(food)"), alias: "turkey"})
+	l, _ := GazetteerTyper{}.Label(ex, nil)
+	bits := l.Bits[ex.MentionStart]
+	if !containsStr(bits, TypeFood) || !containsStr(bits, TypeCountry) {
+		t.Fatalf("gazetteer should over-label turkey with food+country, got %v", bits)
+	}
+}
+
+func TestToRecordValidatesAndTagsSlices(t *testing.T) {
+	sch := FactoidSchema()
+	examples := Generate(GenConfig{Seed: 21, N: 200})
+	var nutrition, disambig int
+	for i, ex := range examples {
+		r := ex.ToRecord("x")
+		if err := record.Validate(r, sch); err != nil {
+			t.Fatalf("ex %d invalid: %v", i, err)
+		}
+		if ex.Intent == IntentCalories && !r.InSlice(SliceNutrition) {
+			// every calories template contains the token "calories"
+			t.Fatalf("calories query not in nutrition slice: %q", ex.Query())
+		}
+		if r.InSlice(SliceNutrition) {
+			nutrition++
+		}
+		if r.InSlice(SliceDisambig) {
+			disambig++
+		}
+		if ex.PriorBreaking && !r.InSlice(SliceDisambig) {
+			t.Fatalf("prior-breaking example not in disambig slice")
+		}
+	}
+	if nutrition == 0 || disambig == 0 {
+		t.Fatalf("slices empty: nutrition=%d disambig=%d", nutrition, disambig)
+	}
+}
+
+func TestBuildDatasetEndToEnd(t *testing.T) {
+	ds := StandardDataset(300, 31, 0.2)
+	if len(ds.Records) != 300 {
+		t.Fatalf("record count %d", len(ds.Records))
+	}
+	train := ds.WithTag(record.TagTrain)
+	test := ds.WithTag(record.TagTest)
+	if len(train) == 0 || len(test) == 0 {
+		t.Fatalf("split empty: %d/%d", len(train), len(test))
+	}
+	// Most train records carry weak Intent supervision (some templates have
+	// no LF coverage by design); every train record carries weak POS and
+	// IntentArg labels (those sources have full coverage).
+	var intentCovered int
+	for _, r := range train {
+		if len(r.Tasks[TaskIntent]) >= 2 { // gold + at least one source
+			intentCovered++
+		}
+		if len(r.Tasks[TaskPOS]) < 2 || len(r.Tasks[TaskIntentArg]) < 2 {
+			t.Fatalf("train record lacks full-coverage weak sources")
+		}
+	}
+	if frac := float64(intentCovered) / float64(len(train)); frac < 0.6 {
+		t.Fatalf("intent weak coverage %.3f too low", frac)
+	}
+	for _, r := range test {
+		for task, tl := range r.Tasks {
+			for src := range tl {
+				if src != record.GoldSource {
+					t.Fatalf("test record has non-gold label %s/%s", task, src)
+				}
+			}
+		}
+	}
+	// Weak fraction: with crowd coverage 0.2 most labels are weak.
+	wf := WeakFraction(ds)
+	if wf < 0.7 || wf > 1 {
+		t.Fatalf("weak fraction %.3f", wf)
+	}
+}
+
+func TestWeakFractionTracksCrowdCoverage(t *testing.T) {
+	low := WeakFraction(StandardDataset(400, 41, 0.02))
+	high := WeakFraction(StandardDataset(400, 41, 0.8))
+	if low <= high {
+		t.Fatalf("weak fraction should fall with crowd coverage: low-crowd %.3f, high-crowd %.3f", low, high)
+	}
+	if low < 0.95 {
+		t.Fatalf("near-zero crowd should give >95%% weak supervision, got %.3f", low)
+	}
+}
+
+func TestAugmentAliasSwap(t *testing.T) {
+	examples := Generate(GenConfig{Seed: 43, N: 400})
+	aug := AugmentAliasSwap(examples, 0.5, nil, 44)
+	if len(aug) == 0 {
+		t.Fatalf("no augmented examples")
+	}
+	kb := DefaultKB()
+	sch := FactoidSchema()
+	for i, na := range aug {
+		if !na.Augmented {
+			t.Fatalf("aug %d not marked", i)
+		}
+		// Gold structure is internally consistent.
+		if na.Candidates[na.GoldArg].ID != na.EntityID {
+			t.Fatalf("aug %d: inconsistent gold", i)
+		}
+		if err := record.Validate(na.ToRecord("a"), sch); err != nil {
+			t.Fatalf("aug %d invalid: %v", i, err)
+		}
+		_ = kb
+	}
+	// AugmentSource labels augmented examples only.
+	src := AugmentSource{ForTask: TaskIntent}
+	if _, ok := src.Label(examples[0], nil); ok {
+		t.Fatalf("AugmentSource labeled organic data")
+	}
+	if l, ok := src.Label(aug[0], nil); !ok || l.Class != aug[0].Intent {
+		t.Fatalf("AugmentSource wrong on augmented data")
+	}
+}
+
+func TestCorpusAndVocabulary(t *testing.T) {
+	corpus := Corpus(50, 51)
+	if len(corpus) != 50 || len(corpus[0]) == 0 {
+		t.Fatalf("corpus wrong")
+	}
+	vocab := Vocabulary(DefaultKB())
+	if len(vocab) < 40 {
+		t.Fatalf("vocabulary too small: %d", len(vocab))
+	}
+	inVocab := map[string]bool{}
+	for _, w := range vocab {
+		inVocab[w] = true
+	}
+	for _, sent := range corpus {
+		for _, tok := range sent {
+			if !inVocab[tok] {
+				t.Fatalf("corpus token %q not in vocabulary", tok)
+			}
+		}
+	}
+	// Sorted.
+	for i := 1; i < len(vocab); i++ {
+		if vocab[i] < vocab[i-1] {
+			t.Fatalf("vocabulary not sorted")
+		}
+	}
+}
+
+func TestResourcePresetsBuild(t *testing.T) {
+	presets := ResourcePresets()
+	if len(presets) != 4 {
+		t.Fatalf("want 4 presets")
+	}
+	// Build the smallest preset end to end and check the weak fraction
+	// direction: the low-resource preset must be almost entirely weak.
+	low := presets[3]
+	ds := BuildPreset(low)
+	if wf := WeakFraction(ds); wf < 0.95 {
+		t.Fatalf("low-resource preset weak fraction %.3f", wf)
+	}
+	high := presets[0]
+	high.TrainN = 400 // shrink for test speed
+	ds2 := BuildPreset(high)
+	if wfHigh := WeakFraction(ds2); wfHigh >= 0.97 {
+		t.Fatalf("high-resource preset should have materially more crowd labels (weak=%.3f)", wfHigh)
+	}
+}
+
+func TestTemplateOfRecovery(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 61})
+	for _, spec := range IntentSpecs {
+		for ti, tmpl := range spec.Templates {
+			kb := DefaultKB()
+			var ent *Entity
+			for _, e := range kb.Entities {
+				for _, at := range spec.ArgTypes {
+					if e.HasType(at) {
+						ent = e
+						break
+					}
+				}
+				if ent != nil {
+					break
+				}
+			}
+			ex := g.build(&spec, tmpl, entityChoice{ent: ent, alias: ent.Aliases[0]})
+			got, ok := templateOf(&spec, ex)
+			if !ok {
+				t.Fatalf("%s template %d not recovered", spec.Name, ti)
+			}
+			if strings.Join(got.Words, " ") != strings.Join(tmpl.Words, " ") {
+				t.Fatalf("%s template %d mismatched", spec.Name, ti)
+			}
+		}
+	}
+}

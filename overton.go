@@ -1,0 +1,343 @@
+// Package overton is a from-scratch, pure-Go reproduction of Overton
+// (Ré et al., CIDR 2020): a data system for building, monitoring, and
+// improving production machine-learning applications.
+//
+// The public API mirrors the paper's engineer workflow (Figure 1):
+//
+//	app, _ := overton.Open(schemaJSON)          // declare payloads + tasks
+//	ds, _ := app.LoadData("supervision.jsonl")  // multi-source supervision
+//	m, rep, _ := app.Build(ds, overton.BuildOptions{SearchBudget: 8})
+//	report, _ := app.Report(m, ds, overton.ReportOptions{EvalTag: "test"})
+//	m.SaveFile("model.bin")                     // deployable artifact
+//
+// Engineers supply a schema and a data file; Overton combines the weak
+// supervision (Snorkel-style label model), compiles the schema into a
+// multitask deep model with slice-aware capacity, searches coarse-grained
+// architecture/hyperparameter choices, and emits a deployable artifact with
+// a serving signature. No model code is ever written by the application
+// engineer.
+package overton
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/compile"
+	"repro/internal/embeddings"
+	"repro/internal/labelmodel"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/monitor"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/search"
+	"repro/internal/train"
+)
+
+func init() {
+	// Wire the contextual-encoder codec so models using "bertsim-*"
+	// embeddings serialize transparently.
+	model.RegisterContextualCodec(embeddings.BERTSimCodec{})
+}
+
+// Re-exported core types so callers need only this package.
+type (
+	// Schema is the declarative payloads+tasks contract.
+	Schema = schema.Schema
+	// Tuning is the coarse-grained model search space.
+	Tuning = schema.Tuning
+	// Choice is one searched configuration.
+	Choice = schema.Choice
+	// Dataset is a loaded data file.
+	Dataset = record.Dataset
+	// Record is one supervision example.
+	Record = record.Record
+	// PayloadValue is one payload's value inside a record.
+	PayloadValue = record.PayloadValue
+	// SetMember is one candidate of a set payload.
+	SetMember = record.SetMember
+	// Label is one source's annotation for one task.
+	Label = record.Label
+	// Model is a compiled, trained, deployable model.
+	Model = model.Model
+	// Output is a per-record prediction across tasks.
+	Output = model.Output
+	// TaskMetrics is the per-task quality summary.
+	TaskMetrics = metrics.TaskMetrics
+	// Report is a fine-grained monitoring report.
+	Report = monitor.Report
+)
+
+// GoldSource is the reserved evaluation-only source name.
+const GoldSource = record.GoldSource
+
+// Default tags.
+const (
+	TagTrain = record.TagTrain
+	TagDev   = record.TagDev
+	TagTest  = record.TagTest
+)
+
+// App couples a schema with tuning and resources; it is the entry point for
+// the build/monitor lifecycle.
+type App struct {
+	Schema *Schema
+	Tuning *Tuning
+	// Slices lists slice names the compiled model allocates capacity for;
+	// nil means slices found in the data are monitored but not given
+	// model capacity.
+	Slices []string
+	// Resources override automatic resource derivation (vocabulary,
+	// pretrained embeddings). Normally left nil: Build derives them from
+	// the data file.
+	Resources *compile.Resources
+}
+
+// Open parses and validates a schema.
+func Open(schemaJSON []byte) (*App, error) {
+	sch, err := schema.Parse(schemaJSON)
+	if err != nil {
+		return nil, err
+	}
+	return &App{Schema: sch, Tuning: schema.DefaultTuning()}, nil
+}
+
+// OpenFile parses a schema from a file.
+func OpenFile(path string) (*App, error) {
+	sch, err := schema.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &App{Schema: sch, Tuning: schema.DefaultTuning()}, nil
+}
+
+// SetTuning replaces the search space from a tuning-spec JSON.
+func (a *App) SetTuning(tuningJSON []byte) error {
+	t, err := schema.ParseTuning(tuningJSON)
+	if err != nil {
+		return err
+	}
+	a.Tuning = t
+	return nil
+}
+
+// LoadData reads a JSONL data file under the app's schema.
+func (a *App) LoadData(path string) (*Dataset, error) {
+	return record.Load(path, a.Schema)
+}
+
+// BuildOptions control supervision combination, search, and training.
+type BuildOptions struct {
+	Seed int64
+	// SearchBudget is the number of tuning configurations to try; <= 1
+	// trains the default choice only.
+	SearchBudget int
+	// Halving enables successive-halving search.
+	Halving bool
+	// Parallel bounds concurrent search trials.
+	Parallel int
+	// Estimator picks the label-model flavour ("", "majority",
+	// "accuracy", "dawid-skene").
+	Estimator string
+	// Rebalance applies automatic class rebalancing.
+	Rebalance bool
+	// EarlyStopPatience stops training after this many non-improving
+	// epochs (0 trains the full budget).
+	EarlyStopPatience int
+	// Log receives progress lines when non-nil.
+	Log io.Writer
+}
+
+// BuildReport summarises a Build run.
+type BuildReport struct {
+	// Choice the final model uses.
+	Choice Choice
+	// DevScore of the final model (mean primary metric on the dev tag).
+	DevScore float64
+	// Trials from search (nil when no search ran).
+	Trials []search.Trial
+	// SourceAccuracy per task: the label model's estimates.
+	SourceAccuracy map[string]map[string]float64
+	// Program is the compiled program description.
+	Program string
+}
+
+// Build runs the full pipeline: derive resources, combine supervision,
+// search/train, and return the deployable model.
+func (a *App) Build(ds *Dataset, opts BuildOptions) (*Model, *BuildReport, error) {
+	res, err := a.resources(ds, opts.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	tcfg := train.Config{
+		Seed:              opts.Seed,
+		Estimator:         labelmodel.Estimator(opts.Estimator),
+		Rebalance:         opts.Rebalance,
+		EarlyStopPatience: opts.EarlyStopPatience,
+	}
+	rep := &BuildReport{}
+
+	var m *Model
+	if opts.SearchBudget > 1 {
+		scfg := search.Config{
+			Tuning:    a.Tuning,
+			Budget:    opts.SearchBudget,
+			Halving:   opts.Halving,
+			Parallel:  opts.Parallel,
+			Seed:      opts.Seed,
+			Slices:    a.Slices,
+			Resources: res,
+			Train:     tcfg,
+			Log:       opts.Log,
+		}
+		sres, best, err := search.Run(ds, scfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		m = best
+		rep.Trials = sres.Trials
+		rep.Choice = sres.Best.Choice
+		rep.DevScore = sres.Best.DevScore
+	} else {
+		choice := a.Tuning.Default()
+		prog, err := compile.Plan(a.Schema, choice, a.Slices)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err = model.New(prog, res, opts.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		trep, err := train.Run(m, ds, tcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Choice = choice
+		rep.DevScore = trep.BestDev
+	}
+	rep.Program = m.Prog.Describe()
+
+	// Label-model diagnostics for the report.
+	targets, err := train.CombineSupervision(ds, tcfg)
+	if err == nil {
+		rep.SourceAccuracy = map[string]map[string]float64{}
+		for task, tt := range targets {
+			rep.SourceAccuracy[task] = tt.SourceAccuracy
+		}
+	}
+	return m, rep, nil
+}
+
+// resources returns explicit resources or derives them from the dataset:
+// vocabulary from the token payload, entity ids from set payloads, static
+// embeddings / a BERT-sim encoder pretrained on the data-file text when the
+// tuning space asks for them.
+func (a *App) resources(ds *Dataset, seed int64) (*compile.Resources, error) {
+	if a.Resources != nil {
+		return a.Resources, nil
+	}
+	prog, err := compile.Plan(a.Schema, a.Tuning.Default(), nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &compile.Resources{}
+	tokSet := map[string]bool{}
+	entSet := map[string]bool{}
+	var corpus [][]string
+	for _, r := range ds.Records {
+		if pv, ok := r.Payloads[prog.TokenPayload]; ok && !pv.Null {
+			corpus = append(corpus, pv.Tokens)
+			for _, t := range pv.Tokens {
+				tokSet[t] = true
+			}
+		}
+		for _, sp := range prog.SetPayloads {
+			if pv, ok := r.Payloads[sp]; ok && !pv.Null {
+				for _, mbr := range pv.Set {
+					entSet[mbr.ID] = true
+				}
+			}
+		}
+	}
+	res.TokenVocab = sortedKeys(tokSet)
+	res.EntityVocab = sortedKeys(entSet)
+
+	// Pretrained resources on demand.
+	staticDim, bertDim := 0, 0
+	for _, e := range a.Tuning.Embeddings {
+		family, dim, err := compile.EmbeddingFamily(e)
+		if err != nil {
+			return nil, err
+		}
+		switch family {
+		case "pretrained":
+			if staticDim != 0 && staticDim != dim {
+				return nil, fmt.Errorf("overton: tuning mixes pretrained dims %d and %d", staticDim, dim)
+			}
+			staticDim = dim
+		case "bertsim":
+			if bertDim != 0 && bertDim != dim {
+				return nil, fmt.Errorf("overton: tuning mixes bertsim dims %d and %d", bertDim, dim)
+			}
+			bertDim = dim
+		}
+	}
+	vocab := embeddings.NewVocab(res.TokenVocab)
+	if staticDim > 0 {
+		res.StaticVectors = embeddings.PretrainStatic(corpus, vocab, staticDim, 2, seed+100)
+	}
+	if bertDim > 0 {
+		res.Contextual = embeddings.PretrainBERTSim(corpus, vocab, embeddings.BERTSimConfig{
+			Dim: bertDim, Hidden: bertDim, Epochs: 2, Seed: seed + 200,
+		})
+	}
+	return res, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReportOptions configure monitoring reports.
+type ReportOptions struct {
+	Name    string
+	EvalTag string
+	Tags    []string
+}
+
+// Report builds the fine-grained quality report for m over ds.
+func (a *App) Report(m *Model, ds *Dataset, opts ReportOptions) (*Report, error) {
+	targets, err := train.CombineSupervision(ds, train.Config{})
+	if err != nil {
+		targets = nil // diagnostics are best-effort
+	}
+	return monitor.Build(m, ds, monitor.Config{
+		Name:    opts.Name,
+		EvalTag: opts.EvalTag,
+		Tags:    opts.Tags,
+		Targets: targets,
+	})
+}
+
+// Compare diffs two reports, flagging regressions beyond threshold.
+func Compare(before, after *Report, threshold float64) *monitor.Comparison {
+	return monitor.Compare(before, after, threshold)
+}
+
+// LoadModel reads a deployable artifact from a file.
+func LoadModel(path string) (*Model, error) { return model.LoadFile(path) }
+
+// Evaluate scores m against gold labels on recs.
+func Evaluate(m *Model, recs []*Record) (map[string]TaskMetrics, error) {
+	return m.Evaluate(recs)
+}
+
+// MeanQuality averages the primary metric across tasks; 1-MeanQuality is
+// the product error used in Figure 3.
+func MeanQuality(ms map[string]TaskMetrics) float64 { return metrics.MeanPrimary(ms) }

@@ -1,0 +1,197 @@
+package overton
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+const fastTuning = `{
+  "embeddings": ["hash-16"], "encoders": ["CNN"], "hidden": [16],
+  "query_agg": ["mean"], "entity_agg": ["mean"],
+  "lr": [0.02], "epochs": [4], "dropout": [0], "batch_size": [32]
+}`
+
+func fastApp(t *testing.T) *App {
+	t.Helper()
+	app, err := Open([]byte(workload.SchemaJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.SetTuning([]byte(fastTuning)); err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestOpenRejectsBadSchema(t *testing.T) {
+	if _, err := Open([]byte(`{"payloads": {}}`)); err == nil {
+		t.Fatalf("bad schema accepted")
+	}
+	if _, err := OpenFile("/does/not/exist.json"); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}
+
+func TestSetTuningValidates(t *testing.T) {
+	app := fastApp(t)
+	if err := app.SetTuning([]byte(`{"encoders": ["FancyTransformer"]}`)); err == nil {
+		t.Fatalf("bad tuning accepted")
+	}
+}
+
+func TestLoadDataRoundTrip(t *testing.T) {
+	app := fastApp(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.jsonl")
+	ds := workload.StandardDataset(50, 1, 0.2)
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := app.LoadData(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Records) != 50 {
+		t.Fatalf("records lost: %d", len(loaded.Records))
+	}
+}
+
+func TestBuildPredictSaveLoad(t *testing.T) {
+	app := fastApp(t)
+	ds := workload.StandardDataset(150, 2, 0.2)
+	m, rep, err := app.Build(ds, BuildOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DevScore <= 0 || rep.Program == "" {
+		t.Fatalf("build report incomplete: %+v", rep)
+	}
+	if len(rep.SourceAccuracy["Intent"]) == 0 {
+		t.Fatalf("no source diagnostics")
+	}
+	// Predict on test records.
+	test := ds.WithTag(TagTest)
+	outs, err := m.Predict(test[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0]["Intent"].Class == "" {
+		t.Fatalf("no prediction")
+	}
+	// Save/Load through the façade.
+	path := filepath.Join(t.TempDir(), "m.bin")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs2, err := m2.Predict(test[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		if outs[i]["Intent"].Class != outs2[i]["Intent"].Class {
+			t.Fatalf("reloaded model drifts")
+		}
+	}
+}
+
+func TestBuildWithSearch(t *testing.T) {
+	app := fastApp(t)
+	if err := app.SetTuning([]byte(`{
+	  "embeddings": ["hash-16"], "encoders": ["BOW", "CNN"], "hidden": [16],
+	  "query_agg": ["mean"], "entity_agg": ["mean"],
+	  "lr": [0.02], "epochs": [3], "dropout": [0], "batch_size": [32]
+	}`)); err != nil {
+		t.Fatal(err)
+	}
+	ds := workload.StandardDataset(120, 5, 0.2)
+	_, rep, err := app.Build(ds, BuildOptions{Seed: 7, SearchBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trials) != 2 {
+		t.Fatalf("trials: %d", len(rep.Trials))
+	}
+}
+
+func TestResourceDerivationPretrained(t *testing.T) {
+	// The façade must auto-pretrain static vectors / BERT-sim from the
+	// data file when the tuning space requests those families.
+	app := fastApp(t)
+	if err := app.SetTuning([]byte(`{
+	  "embeddings": ["bertsim-8"], "encoders": ["BOW"], "hidden": [8],
+	  "query_agg": ["mean"], "entity_agg": ["mean"],
+	  "lr": [0.02], "epochs": [2], "dropout": [0], "batch_size": [32]
+	}`)); err != nil {
+		t.Fatal(err)
+	}
+	ds := workload.StandardDataset(80, 9, 0.2)
+	m, _, err := app.Build(ds, BuildOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bertsim models round-trip through the codec registered in init().
+	path := filepath.Join(t.TempDir(), "bert.bin")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportAndCompare(t *testing.T) {
+	app := fastApp(t)
+	ds := workload.StandardDataset(150, 13, 0.2)
+	m, _, err := app.Build(ds, BuildOptions{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := app.Report(m, ds, ReportOptions{Name: "r1", EvalTag: TagTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Overall) != 4 {
+		t.Fatalf("overall wrong")
+	}
+	var sb strings.Builder
+	rep.Render(&sb)
+	if !strings.Contains(sb.String(), "Intent") {
+		t.Fatalf("render wrong")
+	}
+	cmp := Compare(rep, rep, 0.01)
+	if len(cmp.Regressions) != 0 {
+		t.Fatalf("self-compare found regressions")
+	}
+	q := MeanQuality(rep.Overall)
+	if q <= 0 || q > 1 || math.IsNaN(q) {
+		t.Fatalf("MeanQuality out of range: %g", q)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	run := func() float64 {
+		app := fastApp(t)
+		ds := workload.StandardDataset(100, 19, 0.2)
+		_, rep, err := app.Build(ds, BuildOptions{Seed: 23})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.DevScore
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("Build not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}
