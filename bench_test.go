@@ -117,6 +117,7 @@ func BenchmarkBuildPipeline(b *testing.B) {
 		b.Fatal(err)
 	}
 	ds := workload.StandardDataset(400, 1, 0.2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := app.Build(ds, BuildOptions{Seed: int64(i)}); err != nil {
@@ -144,6 +145,7 @@ func BenchmarkPredictLatency(b *testing.B) {
 		b.Fatal(err)
 	}
 	rec := ds.WithTag(record.TagTest)[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.PredictOne(rec); err != nil {

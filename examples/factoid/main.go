@@ -82,6 +82,7 @@ func main() {
 
 	// Serve it and answer a query over HTTP.
 	srv := serve.New(m, "factoid", vi.Version)
+	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -203,8 +203,14 @@ func combineBitvector(recs []*record.Record, sch *schema.Schema, t *schema.Task,
 	anyVote := make([]bool, len(refs))
 	var iters int
 	converged := true
+	// One flat backing array serves every unit's per-bit distribution; the
+	// vote matrix is reused (reset) across bits.
+	distFlat := make([]float64, len(refs)*C)
+	vm := NewVoteMatrix(2, sources, len(refs))
 	for b := 0; b < C; b++ {
-		vm := NewVoteMatrix(2, sources, len(refs))
+		if b > 0 {
+			vm.ResetAbstain()
+		}
 		for idx, ref := range refs {
 			r := recs[ref.rec]
 			for s, src := range sources {
@@ -226,7 +232,7 @@ func combineBitvector(recs []*record.Record, sch *schema.Schema, t *schema.Task,
 		res := runEstimator(vm, cfg)
 		for idx, ref := range refs {
 			if out.Dist[ref.rec][ref.unit] == nil {
-				out.Dist[ref.rec][ref.unit] = make([]float64, C)
+				out.Dist[ref.rec][ref.unit] = distFlat[idx*C : (idx+1)*C : (idx+1)*C]
 			}
 			out.Dist[ref.rec][ref.unit][b] = res.Posteriors[idx][1]
 		}
@@ -371,9 +377,19 @@ func newTargets(task string, gran schema.Granularity, unitsPerRec []int, k int) 
 		Dist:   make([][][]float64, len(unitsPerRec)),
 		Weight: make([][]float64, len(unitsPerRec)),
 	}
+	// Per-record rows are views into two flat backing arrays: four
+	// allocations total instead of two per record.
+	var total int
+	for _, n := range unitsPerRec {
+		total += n
+	}
+	distFlat := make([][]float64, total)
+	weightFlat := make([]float64, total)
+	off := 0
 	for i, n := range unitsPerRec {
-		t.Dist[i] = make([][]float64, n)
-		t.Weight[i] = make([]float64, n)
+		t.Dist[i] = distFlat[off : off+n : off+n]
+		t.Weight[i] = weightFlat[off : off+n : off+n]
+		off += n
 	}
 	_ = k
 	return t

@@ -32,17 +32,39 @@ type VoteMatrix struct {
 	Votes   [][]int // [item][source]; Abstain or 0..K-1
 }
 
-// NewVoteMatrix allocates an all-abstain matrix.
+// NewVoteMatrix allocates an all-abstain matrix. Rows share one flat
+// backing array, so construction is two allocations regardless of size.
 func NewVoteMatrix(k int, sources []string, items int) *VoteMatrix {
 	v := &VoteMatrix{K: k, Sources: sources, Votes: make([][]int, items)}
+	S := len(sources)
+	flat := make([]int, items*S)
+	for i := range flat {
+		flat[i] = Abstain
+	}
 	for i := range v.Votes {
-		row := make([]int, len(sources))
+		v.Votes[i] = flat[i*S : (i+1)*S : (i+1)*S]
+	}
+	return v
+}
+
+// ResetAbstain sets every vote back to Abstain so the matrix can be
+// refilled (combineBitvector reuses one matrix across bits).
+func (v *VoteMatrix) ResetAbstain() {
+	for _, row := range v.Votes {
 		for j := range row {
 			row[j] = Abstain
 		}
-		v.Votes[i] = row
 	}
-	return v
+}
+
+// flatRows allocates n rows of width k sharing one backing array.
+func flatRows(n, k int) [][]float64 {
+	rows := make([][]float64, n)
+	flat := make([]float64, n*k)
+	for i := range rows {
+		rows[i] = flat[i*k : (i+1)*k : (i+1)*k]
+	}
+	return rows
 }
 
 // Validate checks vote ranges.
@@ -132,7 +154,7 @@ func (c Config) withDefaults() Config {
 // no votes get a uniform posterior.
 func MajorityVote(v *VoteMatrix) *Result {
 	res := &Result{
-		Posteriors:     make([][]float64, len(v.Votes)),
+		Posteriors:     flatRows(len(v.Votes), v.K),
 		SourceAccuracy: make(map[string]float64, len(v.Sources)),
 		ClassBalance:   make([]float64, v.K),
 	}
@@ -148,7 +170,7 @@ func MajorityVote(v *VoteMatrix) *Result {
 				total++
 			}
 		}
-		post := make([]float64, v.K)
+		post := res.Posteriors[i]
 		if total == 0 {
 			for k := range post {
 				post[k] = 1 / float64(v.K)
@@ -173,7 +195,6 @@ func MajorityVote(v *VoteMatrix) *Result {
 				}
 			}
 		}
-		res.Posteriors[i] = post
 		for k, p := range post {
 			res.ClassBalance[k] += p
 		}
@@ -214,50 +235,70 @@ func AccuracyModel(v *VoteMatrix, cfg Config) *Result {
 	for k := range prior {
 		prior[k] = 1 / float64(K)
 	}
-	post := make([][]float64, N)
-	for i := range post {
-		post[i] = make([]float64, K)
-	}
+	post := flatRows(N, K)
 	res := &Result{SourceAccuracy: make(map[string]float64, S)}
 	logK1 := math.Max(float64(K-1), 1)
 
-	for iter := 0; iter < cfg.MaxIter; iter++ {
-		// E-step: posteriors in log space.
+	// Scratch reused across iterations: the per-source log-likelihood terms
+	// are functions of the parameters only, so they are computed once per
+	// E-step instead of once per (item, source) pair.
+	logPrior := make([]float64, K)
+	la := make([]float64, S) // log P(vote == true)
+	le := make([]float64, S) // log P(vote == some other class)
+	newAcc := make([]float64, S)
+	newPrior := make([]float64, K)
+	num := make([]float64, S)
+	den := make([]float64, S)
+
+	eStep := func() {
+		for k := 0; k < K; k++ {
+			logPrior[k] = math.Log(prior[k] + 1e-12)
+		}
+		for s := 0; s < S; s++ {
+			la[s] = math.Log(acc[s] + 1e-12)
+			le[s] = math.Log((1-acc[s])/logK1 + 1e-12)
+		}
 		for i, row := range v.Votes {
 			lp := post[i]
-			for k := 0; k < K; k++ {
-				lp[k] = math.Log(prior[k] + 1e-12)
-			}
+			copy(lp, logPrior)
 			for s, vote := range row {
 				if vote == Abstain {
 					continue
 				}
-				la := math.Log(acc[s] + 1e-12)
-				le := math.Log((1-acc[s])/logK1 + 1e-12)
 				for k := 0; k < K; k++ {
 					if k == vote {
-						lp[k] += la
+						lp[k] += la[s]
 					} else {
-						lp[k] += le
+						lp[k] += le[s]
 					}
 				}
 			}
 			logNormalize(lp)
 		}
-		// M-step.
-		newAcc := make([]float64, S)
-		newPrior := make([]float64, K)
+	}
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		eStep()
+		// M-step: one pass over the vote matrix accumulates every source.
 		for s := 0; s < S; s++ {
-			num := cfg.Smoothing * cfg.InitAccuracy
-			den := cfg.Smoothing
-			for i, row := range v.Votes {
-				if row[s] == Abstain {
+			num[s] = cfg.Smoothing * cfg.InitAccuracy
+			den[s] = cfg.Smoothing
+		}
+		for i, row := range v.Votes {
+			lp := post[i]
+			for s, vote := range row {
+				if vote == Abstain {
 					continue
 				}
-				num += post[i][row[s]]
-				den++
+				num[s] += lp[vote]
+				den[s]++
 			}
-			newAcc[s] = clampProb(num / den)
+		}
+		for s := 0; s < S; s++ {
+			newAcc[s] = clampProb(num[s] / den[s])
+		}
+		for k := range newPrior {
+			newPrior[k] = 0
 		}
 		for i := range post {
 			for k, p := range post[i] {
@@ -280,7 +321,8 @@ func AccuracyModel(v *VoteMatrix, cfg Config) *Result {
 		for k := range prior {
 			delta = math.Max(delta, math.Abs(prior[k]-newPrior[k]))
 		}
-		acc, prior = newAcc, newPrior
+		copy(acc, newAcc)
+		copy(prior, newPrior)
 		res.Iterations = iter + 1
 		if delta < cfg.Tol {
 			res.Converged = true
@@ -288,27 +330,7 @@ func AccuracyModel(v *VoteMatrix, cfg Config) *Result {
 		}
 	}
 	// Final E-step with converged parameters.
-	for i, row := range v.Votes {
-		lp := post[i]
-		for k := 0; k < K; k++ {
-			lp[k] = math.Log(prior[k] + 1e-12)
-		}
-		for s, vote := range row {
-			if vote == Abstain {
-				continue
-			}
-			la := math.Log(acc[s] + 1e-12)
-			le := math.Log((1-acc[s])/logK1 + 1e-12)
-			for k := 0; k < K; k++ {
-				if k == vote {
-					lp[k] += la
-				} else {
-					lp[k] += le
-				}
-			}
-		}
-		logNormalize(lp)
-	}
+	eStep()
 	res.Posteriors = post
 	res.ClassBalance = prior
 	for s, name := range v.Sources {
@@ -456,32 +478,61 @@ func SelectModel(v *SelectVotes, cfg Config) *SelectResult {
 	for s := range acc {
 		acc[s] = cfg.InitAccuracy
 	}
+	// Posterior rows are carved once from a flat backing array sized by the
+	// total candidate count and zeroed in place each E-step.
+	maxN, total := 0, 0
+	for _, n := range v.Counts {
+		if n > 0 {
+			total += n
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
 	post := make([][]float64, len(v.Counts))
+	flat := make([]float64, total)
+	off := 0
+	for i, n := range v.Counts {
+		if n > 0 {
+			post[i] = flat[off : off+n : off+n]
+			off += n
+		}
+	}
+	// Log-likelihood terms depend only on (source, candidate count), so
+	// they are tabulated once per iteration: la[s] and le[s*(maxN+1)+n].
+	la := make([]float64, S)
+	le := make([]float64, S*(maxN+1))
 	res := &SelectResult{SourceAccuracy: make(map[string]float64, S)}
 	for iter := 0; iter < cfg.MaxIter; iter++ {
+		for s := 0; s < S; s++ {
+			la[s] = math.Log(acc[s] + 1e-12)
+			for n := 1; n <= maxN; n++ {
+				le[s*(maxN+1)+n] = math.Log((1-acc[s])/math.Max(float64(n-1), 1) + 1e-12)
+			}
+		}
 		// E-step.
 		for i, n := range v.Counts {
 			if n <= 0 {
-				post[i] = nil
 				continue
 			}
-			lp := make([]float64, n)
+			lp := post[i]
+			for c := range lp {
+				lp[c] = 0
+			}
 			for s, vote := range v.Votes[i] {
 				if vote == Abstain || vote >= n {
 					continue
 				}
-				la := math.Log(acc[s] + 1e-12)
-				le := math.Log((1-acc[s])/math.Max(float64(n-1), 1) + 1e-12)
+				les := le[s*(maxN+1)+n]
 				for c := 0; c < n; c++ {
 					if c == vote {
-						lp[c] += la
+						lp[c] += la[s]
 					} else {
-						lp[c] += le
+						lp[c] += les
 					}
 				}
 			}
 			logNormalize(lp)
-			post[i] = lp
 		}
 		// M-step.
 		var delta float64

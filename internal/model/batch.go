@@ -32,28 +32,72 @@ type Batch struct {
 	Sets map[string]*setBatch
 }
 
-// makeBatch assembles a batch for the model's program from records at
+// makeBatch assembles a fresh batch for the model's program from records at
 // dataset indices idx.
 func (m *Model) makeBatch(recs []*record.Record, idx []int) (*Batch, error) {
+	b := &Batch{}
+	if err := m.makeBatchInto(b, recs, idx); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// makeBatchInto assembles the batch in place, reusing b's slices and maps
+// so a steady-state loop performs no per-batch allocation. b must not be in
+// use by a concurrent pass.
+func (m *Model) makeBatchInto(b *Batch, recs []*record.Record, idx []int) error {
 	B := len(recs)
-	L := m.Prog.MaxLen
-	b := &Batch{
-		Recs:      recs,
-		Idx:       idx,
-		B:         B,
-		L:         L,
-		TokenIDs:  make([]int, B*L),
-		Mask:      make([]float64, B*L),
-		RawTokens: make([][]string, B),
-		Sets:      make(map[string]*setBatch, len(m.Prog.SetPayloads)),
+	// Pad to the longest sequence in this batch plus one trailing pad row,
+	// capped at the schema's MaxLen, instead of always padding to MaxLen.
+	// The +1 keeps the trained pad embedding inside the width-3 conv window
+	// of the last real token, so outputs are identical to full padding
+	// while short batches (single-record serving!) skip the dead rows.
+	maxToks := 0
+	for _, rec := range recs {
+		pv, ok := rec.Payloads[m.Prog.TokenPayload]
+		if !ok || pv.Null {
+			return fmt.Errorf("model: record %s: missing %s payload", rec.ID, m.Prog.TokenPayload)
+		}
+		n := len(pv.Tokens)
+		if n > maxToks {
+			maxToks = n
+		}
+	}
+	L := maxToks + 1
+	if L > m.Prog.MaxLen {
+		L = m.Prog.MaxLen
+	}
+	b.Recs = recs
+	b.Idx = idx
+	b.B, b.L = B, L
+	b.TokenIDs = growInts(b.TokenIDs, B*L)
+	b.Mask = growFloats(b.Mask, B*L)
+	if cap(b.RawTokens) >= B {
+		b.RawTokens = b.RawTokens[:B]
+	} else {
+		b.RawTokens = make([][]string, B)
+	}
+	if b.Sets == nil {
+		b.Sets = make(map[string]*setBatch, len(m.Prog.SetPayloads))
 	}
 	for _, sp := range m.Prog.SetPayloads {
-		b.Sets[sp] = &setBatch{Segs: make([]nn.Segment, B)}
+		sb := b.Sets[sp]
+		if sb == nil {
+			sb = &setBatch{}
+			b.Sets[sp] = sb
+		}
+		sb.Spans = sb.Spans[:0]
+		sb.CandEnt = sb.CandEnt[:0]
+		if cap(sb.Segs) >= B {
+			sb.Segs = sb.Segs[:B]
+		} else {
+			sb.Segs = make([]nn.Segment, B)
+		}
 	}
 	for r, rec := range recs {
 		pv, ok := rec.Payloads[m.Prog.TokenPayload]
 		if !ok || pv.Null {
-			return nil, fmt.Errorf("model: record %s: missing %s payload", rec.ID, m.Prog.TokenPayload)
+			return fmt.Errorf("model: record %s: missing %s payload", rec.ID, m.Prog.TokenPayload)
 		}
 		toks := pv.Tokens
 		if len(toks) > L {
@@ -66,6 +110,7 @@ func (m *Model) makeBatch(recs []*record.Record, idx []int) (*Batch, error) {
 				b.Mask[r*L+t] = 1
 			} else {
 				b.TokenIDs[r*L+t] = embeddings.PadID
+				b.Mask[r*L+t] = 0 // scratch is reused; clear stale mask bits
 			}
 		}
 		for _, sp := range m.Prog.SetPayloads {
@@ -88,25 +133,22 @@ func (m *Model) makeBatch(recs []*record.Record, idx []int) (*Batch, error) {
 			sb.Segs[r] = nn.Segment{Start: start, End: len(sb.Spans)}
 		}
 	}
-	return b, nil
+	return nil
 }
 
-// batches splits indices into batch-size chunks (last one ragged).
-func batchIndices(n, size int) [][]int {
-	if size <= 0 {
-		size = 32
+// growInts resizes s to n entries, reusing capacity when possible.
+func growInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
 	}
-	var out [][]int
-	for start := 0; start < n; start += size {
-		end := start + size
-		if end > n {
-			end = n
-		}
-		idx := make([]int, 0, end-start)
-		for i := start; i < end; i++ {
-			idx = append(idx, i)
-		}
-		out = append(out, idx)
+	return make([]int, n)
+}
+
+// growFloats resizes s to n entries, reusing capacity when possible. The
+// caller overwrites every entry, so stale contents are fine.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
 	}
-	return out
+	return make([]float64, n)
 }

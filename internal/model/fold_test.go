@@ -1,0 +1,76 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TestFoldedConvParity pins the folded serving encoder directly against
+// the standard embedding+conv path: same batch, same parameters, token
+// representations within 1e-12. This is the direct guard for fold.go's
+// block offsets and example-boundary handling (the end-to-end quality
+// gates would only catch gross divergence).
+func TestFoldedConvParity(t *testing.T) {
+	m := buildModel(t, testChoice(), nil) // CNN encoder
+	ds := smallDataset(t, 10, 4)
+
+	b, err := m.makeBatch(ds.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Standard path: grad-tracking graph never folds.
+	gStd := nn.NewGraph(false, nil)
+	stStd := newForwardState()
+	m.forwardInto(gStd, b, stStd)
+
+	// Serving path: no-grad graph takes the folded tables.
+	gInf := nn.NewInferenceGraph(tensor.NewArena())
+	if m.foldedConvForward(gInf, b) == nil {
+		t.Fatalf("folded path did not engage for a CNN model")
+	}
+	gInf.Reset()
+	stInf := newForwardState()
+	m.forwardInto(gInf, b, stInf)
+
+	if !tensor.Equal(stInf.tokenRep.Value, stStd.tokenRep.Value, 1e-12) {
+		t.Fatalf("folded tokenRep diverges from standard encoder")
+	}
+	for _, tname := range m.Prog.ExampleTasks {
+		if !tensor.Equal(stInf.exampleFinal[tname].Value, stStd.exampleFinal[tname].Value, 1e-12) {
+			t.Fatalf("folded %s logits diverge", tname)
+		}
+	}
+	for _, tname := range m.Prog.SetTasks {
+		if !tensor.Equal(stInf.setScores[tname].Value, stStd.setScores[tname].Value, 1e-12) {
+			t.Fatalf("folded %s scores diverge", tname)
+		}
+	}
+}
+
+// TestFoldInvalidation verifies stale tables are rebuilt after a
+// parameter mutation signalled via ParamsChanged.
+func TestFoldInvalidation(t *testing.T) {
+	m := buildModel(t, testChoice(), nil)
+	f1 := m.foldedConv()
+	if f1 == nil {
+		t.Fatalf("fold did not build")
+	}
+	if m.foldedConv() != f1 {
+		t.Fatalf("fold rebuilt without a parameter change")
+	}
+	// Mutate the conv weight the way an optimizer would, then signal.
+	m.conv.W.Node.Value.Data[0] += 0.5
+	m.ParamsChanged()
+	f2 := m.foldedConv()
+	if f2 == f1 {
+		t.Fatalf("fold not rebuilt after ParamsChanged")
+	}
+	// Row 0 is the zero pad embedding, so probe a real token's projection.
+	if math.Abs(f2.p0.At(2, 0)-f1.p0.At(2, 0)) < 1e-15 {
+		t.Fatalf("rebuilt fold does not reflect the new weights")
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"repro/internal/labelmodel"
 	"repro/internal/nn"
 	"repro/internal/schema"
-	"repro/internal/tensor"
 )
 
 // LossConfig weights the multitask objective.
@@ -60,7 +59,7 @@ func (m *Model) Loss(g *nn.Graph, st *forwardState, targets map[string]*labelmod
 		}
 		task := m.Prog.Schema.Tasks[tname]
 		C := len(task.Classes)
-		dist := tensor.New(b.B*b.L, C)
+		dist := g.NewTensor(b.B*b.L, C)
 		weights := make([]float64, b.B*b.L)
 		for r, di := range b.Idx {
 			rd := tt.Dist[di]
@@ -94,7 +93,7 @@ func (m *Model) Loss(g *nn.Graph, st *forwardState, targets map[string]*labelmod
 		}
 		task := m.Prog.Schema.Tasks[tname]
 		C := len(task.Classes)
-		dist := tensor.New(b.B, C)
+		dist := g.NewTensor(b.B, C)
 		weights := make([]float64, b.B)
 		for r, di := range b.Idx {
 			if len(tt.Dist[di]) == 0 || tt.Dist[di][0] == nil || tt.Weight[di][0] <= 0 {
@@ -133,7 +132,7 @@ func (m *Model) Loss(g *nn.Graph, st *forwardState, targets map[string]*labelmod
 				}
 				// Membership BCE against the slice indicator.
 				mw := ones(b.B)
-				mt := tensor.New(b.B, 1)
+				mt := g.NewTensor(b.B, 1)
 				for r := range ind {
 					mt.Set(r, 0, ind[r])
 				}
@@ -194,7 +193,7 @@ func (m *Model) Loss(g *nn.Graph, st *forwardState, targets map[string]*labelmod
 					add(loss, cfg.SliceExpertWeight*cfg.taskWeight(tname))
 				}
 				mw := ones(b.B)
-				mt := tensor.New(b.B, 1)
+				mt := g.NewTensor(b.B, 1)
 				for r := range ind {
 					mt.Set(r, 0, ind[r])
 				}

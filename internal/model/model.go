@@ -7,12 +7,13 @@ package model
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/compile"
 	"repro/internal/embeddings"
 	"repro/internal/nn"
 	"repro/internal/schema"
-	"repro/internal/tensor"
 )
 
 // entityEmbDim is the width of learned KB-entity embeddings. It is a fixed
@@ -43,6 +44,18 @@ type Model struct {
 
 	// Seed records the initialisation seed for reproducibility metadata.
 	Seed int64
+
+	// inferPool recycles arena-backed inference sessions (graph + batch +
+	// forward-state scratch) so concurrent Predict calls allocate nothing
+	// per pass in steady state. Training reuses a single session because
+	// optimisation serialises on the shared parameters.
+	inferPool sync.Pool
+	train     *session
+
+	// gen counts parameter mutations; fold caches the serving-path conv
+	// projection tables for the generation they were built from.
+	gen  atomic.Uint64
+	fold atomic.Pointer[convFold]
 }
 
 // exampleHead predicts a per-example task, optionally with slice experts.
@@ -212,10 +225,8 @@ type forwardState struct {
 	candRep       map[string]*nn.Node
 }
 
-// forward runs the network over a batch under graph g.
-func (m *Model) forward(g *nn.Graph, b *Batch) *forwardState {
-	st := &forwardState{
-		batch:         b,
+func newForwardState() *forwardState {
+	return &forwardState{
 		tokenLogits:   map[string]*nn.Node{},
 		exampleFinal:  map[string]*nn.Node{},
 		exampleExpert: map[string][]*nn.Node{},
@@ -225,10 +236,43 @@ func (m *Model) forward(g *nn.Graph, b *Batch) *forwardState {
 		setMember:     map[string][]*nn.Node{},
 		candRep:       map[string]*nn.Node{},
 	}
+}
+
+// reset rebinds the state to a batch, keeping map storage for reuse.
+func (st *forwardState) reset(b *Batch) {
+	st.batch = b
+	st.tokenRep, st.queryRep = nil, nil
+	clear(st.tokenLogits)
+	clear(st.exampleFinal)
+	clear(st.exampleExpert)
+	clear(st.exampleMember)
+	clear(st.setScores)
+	clear(st.setExpert)
+	clear(st.setMember)
+	clear(st.candRep)
+}
+
+// forward runs the network over a batch under graph g.
+func (m *Model) forward(g *nn.Graph, b *Batch) *forwardState {
+	st := newForwardState()
+	m.forwardInto(g, b, st)
+	return st
+}
+
+// forwardInto runs the network over a batch under graph g, reusing st's
+// scratch storage.
+func (m *Model) forwardInto(g *nn.Graph, b *Batch, st *forwardState) {
+	st.reset(b)
+	// Serving fast path: fold the embedding + CNN encoder into cached
+	// per-vocab projection tables (no-grad graphs only; see fold.go).
+	if h := m.foldedConvForward(g, b); h != nil {
+		m.forwardHeads(g, b, st, h)
+		return
+	}
 	// Token input: learned embedding (+ frozen contextual features).
 	x := m.tokEmb.Forward(g, b.TokenIDs)
 	if m.contextual != nil {
-		ctx := tensor.New(b.B*b.L, m.contextual.Dim())
+		ctx := g.NewTensor(b.B*b.L, m.contextual.Dim())
 		for r, toks := range b.RawTokens {
 			if len(toks) == 0 {
 				continue
@@ -255,6 +299,12 @@ func (m *Model) forward(g *nn.Graph, b *Batch) *forwardState {
 		h = x // BOW
 	}
 	h = g.Dropout(h, m.Prog.Choice.Dropout)
+	m.forwardHeads(g, b, st, h)
+}
+
+// forwardHeads runs pooling and every task head over the encoded token
+// representation h. Shared by the standard and folded-conv forward paths.
+func (m *Model) forwardHeads(g *nn.Graph, b *Batch, st *forwardState, h *nn.Node) {
 	st.tokenRep = h
 
 	// Query payload: pooled token representation.
@@ -297,7 +347,6 @@ func (m *Model) forward(g *nn.Graph, b *Batch) *forwardState {
 	for _, tname := range m.Prog.SetTasks {
 		m.forwardSetHead(g, st, tname, m.setHeads[tname])
 	}
-	return st
 }
 
 // forwardExampleHead computes final logits (and slice internals) for one
@@ -322,7 +371,7 @@ func (m *Model) forwardExampleHead(g *nn.Graph, st *forwardState, tname string, 
 		memberNodes = append(memberNodes, head.membership[s].Forward(g, q))
 	}
 	st.exampleMember[tname] = memberNodes
-	attnIn := g.Const(tensor.New(B, 1)) // base column of zeros
+	attnIn := g.Const(g.NewTensor(B, 1)) // base column of zeros
 	for s := 0; s < S; s++ {
 		attnIn = g.Concat(attnIn, memberNodes[s])
 	}
@@ -341,7 +390,7 @@ func (m *Model) forwardExampleHead(g *nn.Graph, st *forwardState, tname string, 
 func (m *Model) forwardSetHead(g *nn.Graph, st *forwardState, tname string, head *setHead) {
 	cand := st.candRep[head.task.Payload]
 	if cand == nil || cand.Value.Rows == 0 {
-		st.setScores[tname] = g.Const(tensor.New(0, 1))
+		st.setScores[tname] = g.Const(g.NewTensor(0, 1))
 		return
 	}
 	base := head.score.Forward(g, g.ReLU(head.mlp.Forward(g, cand)))

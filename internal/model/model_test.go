@@ -2,8 +2,10 @@ package model
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/compile"
@@ -390,5 +392,45 @@ func TestEmptyCandidateSets(t *testing.T) {
 	}
 	if outs[0]["IntentArg"].Select < 0 {
 		t.Fatalf("non-empty candidate set affected")
+	}
+}
+
+// TestConcurrentPredict exercises the pooled inference sessions from many
+// goroutines (run with -race): each call must get its own arena-backed
+// graph and produce outputs identical to a serial pass.
+func TestConcurrentPredict(t *testing.T) {
+	m := buildModel(t, testChoice(), nil)
+	ds := smallDataset(t, 16, 5)
+	want, err := m.Predict(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				outs, err := m.Predict(ds.Records)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for r := range outs {
+					for task, to := range outs[r] {
+						if to.Class != want[r][task].Class || to.Select != want[r][task].Select {
+							errs <- fmt.Errorf("record %d task %s diverged under concurrency", r, task)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
 	}
 }

@@ -31,22 +31,27 @@ type TaskOutput struct {
 type Output map[string]TaskOutput
 
 // Predict runs inference over records in batches. The output is aligned
-// with the input order.
+// with the input order. Safe for concurrent use: each call draws its own
+// pooled no-grad session (arena-backed graph + batch scratch), so the
+// steady state allocates only the returned outputs.
 func (m *Model) Predict(recs []*record.Record) ([]Output, error) {
 	outs := make([]Output, len(recs))
-	for _, idx := range batchIndices(len(recs), m.Prog.Choice.BatchSize) {
-		chunk := make([]*record.Record, len(idx))
-		for i, j := range idx {
-			chunk[i] = recs[j]
+	size := m.Prog.Choice.BatchSize
+	if size <= 0 {
+		size = 32
+	}
+	s := m.inferSession()
+	defer m.releaseInfer(s)
+	for start := 0; start < len(recs); start += size {
+		end := start + size
+		if end > len(recs) {
+			end = len(recs)
 		}
-		b, err := m.makeBatch(chunk, idx)
-		if err != nil {
+		if err := s.run(m, recs[start:end], nil); err != nil {
 			return nil, err
 		}
-		g := nn.NewGraph(false, nil)
-		st := m.forward(g, b)
-		for i, j := range idx {
-			outs[j] = m.decode(st, i)
+		for i := 0; i < end-start; i++ {
+			outs[start+i] = m.decode(s.g, s.st, i)
 		}
 	}
 	return outs, nil
@@ -61,8 +66,10 @@ func (m *Model) PredictOne(rec *record.Record) (Output, error) {
 	return outs[0], nil
 }
 
-// decode extracts row r of a forward pass into an Output.
-func (m *Model) decode(st *forwardState, r int) Output {
+// decode extracts row r of a forward pass into an Output. Temporaries come
+// from g's arena; everything stored in the Output is freshly copied so it
+// survives the session's next Reset.
+func (m *Model) decode(g *nn.Graph, st *forwardState, r int) Output {
 	out := Output{}
 	b := st.batch
 	nTok := len(b.RawTokens[r])
@@ -71,10 +78,12 @@ func (m *Model) decode(st *forwardState, r int) Output {
 		task := m.Prog.Schema.Tasks[tname]
 		switch task.Type {
 		case schema.Multiclass:
-			probs := tensor.SoftmaxRows(tensor.New(nTok, logits.Value.Cols), sliceRows(logits.Value, r*b.L, nTok))
+			// Softmax is monotone, so the class argmax reads straight off
+			// the logits; no exponentials needed on this path.
+			view := sliceRows(logits.Value, r*b.L, nTok)
 			to := TaskOutput{TokenClasses: make([]string, nTok)}
 			for t := 0; t < nTok; t++ {
-				to.TokenClasses[t] = task.Classes[probs.ArgmaxRow(t)]
+				to.TokenClasses[t] = task.Classes[view.ArgmaxRow(t)]
 			}
 			out[tname] = to
 		case schema.Bitvector:
@@ -104,7 +113,8 @@ func (m *Model) decode(st *forwardState, r int) Output {
 		task := m.Prog.Schema.Tasks[tname]
 		switch task.Type {
 		case schema.Multiclass:
-			probs := tensor.SoftmaxRows(tensor.New(1, final.Value.Cols), sliceRows(final.Value, r, 1))
+			view := sliceRows(final.Value, r, 1)
+			probs := tensor.SoftmaxRows(g.NewTensor(1, final.Value.Cols), &view)
 			out[tname] = TaskOutput{
 				Class: task.Classes[probs.ArgmaxRow(0)],
 				Probs: append([]float64(nil), probs.Row(0)...),
@@ -145,10 +155,10 @@ func (m *Model) decode(st *forwardState, r int) Output {
 	return out
 }
 
-// sliceRows views rows [start, start+n) of t as a new tensor (copy-free for
-// reading via FromSlice on the aliased data).
-func sliceRows(t *tensor.Tensor, start, n int) *tensor.Tensor {
-	return tensor.FromSlice(n, t.Cols, t.Data[start*t.Cols:(start+n)*t.Cols])
+// sliceRows views rows [start, start+n) of t as a stack-allocated tensor
+// header over the aliased data (copy-free, allocation-free).
+func sliceRows(t *tensor.Tensor, start, n int) tensor.Tensor {
+	return tensor.Tensor{Rows: n, Cols: t.Cols, Data: t.Data[start*t.Cols : (start+n)*t.Cols]}
 }
 
 func sigmoidVal(v float64) float64 {

@@ -1,0 +1,77 @@
+package model
+
+import (
+	"repro/internal/nn"
+	"repro/internal/record"
+	"repro/internal/tensor"
+)
+
+// session bundles the reusable per-pass machinery: an arena-backed graph,
+// batch scratch, and forward-state maps. Predict draws sessions from a
+// sync.Pool (one per in-flight call); training owns a single dedicated
+// session because optimisation serialises on the shared parameters.
+//
+// Everything inside a session is recycled on the next use — callers must
+// copy out anything that should outlive the pass (decode already does).
+type session struct {
+	arena *tensor.Arena
+	g     *nn.Graph
+	b     *Batch
+	st    *forwardState
+}
+
+// inferSession takes a pooled inference session (no-grad graph) or builds
+// a fresh one.
+func (m *Model) inferSession() *session {
+	if s, ok := m.inferPool.Get().(*session); ok {
+		return s
+	}
+	arena := tensor.NewArena()
+	return &session{
+		arena: arena,
+		g:     nn.NewInferenceGraph(arena),
+		b:     &Batch{},
+		st:    newForwardState(),
+	}
+}
+
+// releaseInfer returns a session to the pool after clearing tape state so
+// pooled memory does not pin tensors between calls.
+func (m *Model) releaseInfer(s *session) {
+	s.g.Reset()
+	m.inferPool.Put(s)
+}
+
+// trainSession returns the model's dedicated training session, creating it
+// on first use. Not safe for concurrent use — training steps serialise on
+// the parameters anyway.
+func (m *Model) trainSession() *session {
+	if m.train == nil {
+		arena := tensor.NewArena()
+		m.train = &session{
+			arena: arena,
+			g:     nn.NewGraphArena(true, nil, arena),
+			b:     &Batch{},
+			st:    newForwardState(),
+		}
+	}
+	return m.train
+}
+
+// EndTraining releases the dedicated training session (tape, arena chunks,
+// batch scratch) so a model kept around for serving does not pin
+// training-sized buffers. A later TrainStep lazily recreates it.
+func (m *Model) EndTraining() {
+	m.train = nil
+}
+
+// run prepares the session for a new pass over recs: recycles the tape and
+// arena, rebuilds batch scratch, and runs the forward pass.
+func (s *session) run(m *Model, recs []*record.Record, idx []int) error {
+	s.g.Reset()
+	if err := m.makeBatchInto(s.b, recs, idx); err != nil {
+		return err
+	}
+	m.forwardInto(s.g, s.b, s.st)
+	return nil
+}

@@ -13,19 +13,19 @@ import (
 // indices idx) and returns the batch loss. Exposed so the trainer and the
 // search harness share one code path.
 func (m *Model) TrainStep(recs []*record.Record, idx []int, targets map[string]*labelmodel.TaskTargets, lossCfg LossConfig, optimizer opt.Optimizer, lr, clipNorm float64, rng *rand.Rand) (float64, error) {
-	b, err := m.makeBatch(recs, idx)
+	s := m.trainSession()
+	s.g.SetRand(rng)
+	if err := s.run(m, recs, idx); err != nil {
+		return 0, err
+	}
+	loss, err := m.Loss(s.g, s.st, targets, lossCfg)
 	if err != nil {
 		return 0, err
 	}
-	g := nn.NewGraph(true, rng)
-	st := m.forward(g, b)
-	loss, err := m.Loss(g, st, targets, lossCfg)
-	if err != nil {
-		return 0, err
-	}
-	g.Backward(loss)
+	s.g.Backward(loss)
 	opt.ClipGradNorm(m.PS.All(), clipNorm)
 	optimizer.Step(lr)
+	m.ParamsChanged()
 	return loss.Value.Data[0], nil
 }
 

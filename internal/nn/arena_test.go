@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// arenaNet builds a small but representative network (linear -> tanh ->
+// linear -> softmax CE) on graph g.
+func arenaNet(g *Graph, lin, out *Linear, x, targets *tensor.Tensor, w []float64) *Node {
+	h := g.Tanh(lin.Forward(g, g.Const(x)))
+	logits := out.Forward(g, h)
+	loss, _ := g.SoftmaxCE(logits, targets, w)
+	return loss
+}
+
+// TestGradCheckArenaGraph runs the finite-difference gradient check on an
+// arena-backed graph that is Reset and reused across every build call —
+// the exact allocation pattern of the training loop.
+func TestGradCheckArenaGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := NewParamSet()
+	lin := NewLinear(ps, "lin", 3, 4, rng)
+	out := NewLinear(ps, "out", 4, 2, rng)
+	x := buildInput(5, 3, 2)
+	targets := tensor.New(5, 2)
+	for r := 0; r < 5; r++ {
+		targets.Set(r, r%2, 1)
+	}
+	w := []float64{1, 1, 0.5, 1, 2}
+
+	arena := tensor.NewArena()
+	g := NewGraphArena(false, nil, arena)
+	build := func() (*Graph, *Node) {
+		g.Reset()
+		return g, arenaNet(g, lin, out, x, targets, w)
+	}
+	if _, err := GradCheck(ps.All(), build, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArenaGraphMatchesHeapGraph pins exact agreement between the pooled
+// and the plain allocation paths: same network, same loss, same gradients.
+func TestArenaGraphMatchesHeapGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := NewParamSet()
+	lin := NewLinear(ps, "lin", 4, 6, rng)
+	out := NewLinear(ps, "out", 6, 3, rng)
+	x := buildInput(7, 4, 9)
+	targets := tensor.New(7, 3)
+	for r := 0; r < 7; r++ {
+		targets.Set(r, r%3, 1)
+	}
+	w := []float64{1, 1, 1, 0.5, 2, 1, 1}
+
+	run := func(g *Graph) (float64, map[string][]float64) {
+		ps.ZeroGrads()
+		loss := arenaNet(g, lin, out, x, targets, w)
+		g.Backward(loss)
+		grads := map[string][]float64{}
+		for _, p := range ps.All() {
+			grads[p.Name] = append([]float64(nil), p.Node.Grad.Data...)
+		}
+		return loss.Value.Data[0], grads
+	}
+
+	heapLoss, heapGrads := run(NewGraph(false, nil))
+
+	arena := tensor.NewArena()
+	g := NewGraphArena(false, nil, arena)
+	// Run several passes on the same graph to prove Reset recycling does
+	// not corrupt values or gradients.
+	for pass := 0; pass < 3; pass++ {
+		g.Reset()
+		loss, grads := run(g)
+		if math.Abs(loss-heapLoss) > 1e-12 {
+			t.Fatalf("pass %d: arena loss %g != heap loss %g", pass, loss, heapLoss)
+		}
+		for name, hg := range heapGrads {
+			ag := grads[name]
+			for i := range hg {
+				if math.Abs(hg[i]-ag[i]) > 1e-12 {
+					t.Fatalf("pass %d: grad %s[%d] arena %g heap %g", pass, name, i, ag[i], hg[i])
+				}
+			}
+		}
+	}
+}
+
+// TestInferenceGraphNoGrad verifies the serving-path graph computes the
+// same values as a training-capable graph while allocating no gradients
+// and no backward closures.
+func TestInferenceGraphNoGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ps := NewParamSet()
+	lin := NewLinear(ps, "lin", 3, 4, rng)
+	x := buildInput(6, 3, 4)
+
+	gT := NewGraph(false, nil)
+	want := gT.Tanh(lin.Forward(gT, gT.Const(x)))
+
+	arena := tensor.NewArena()
+	gI := NewInferenceGraph(arena)
+	got := gI.Tanh(lin.Forward(gI, gI.Const(x)))
+	if !gI.NoGrad() {
+		t.Fatalf("inference graph reports NoGrad() == false")
+	}
+	if !tensor.Equal(got.Value, want.Value, 0) {
+		t.Fatalf("inference graph values diverge from training graph")
+	}
+	if got.RequiresGrad() {
+		t.Fatalf("inference node requires grad")
+	}
+	for i := 0; i < gI.used; i++ {
+		if gI.nodes[i].backward != nil {
+			t.Fatalf("inference graph allocated a backward closure")
+		}
+	}
+}
+
+// TestGraphResetReusesNodes pins the tape-recycling contract: after Reset,
+// the same Node structs are handed out again and NumNodes restarts at 0.
+func TestGraphResetReusesNodes(t *testing.T) {
+	arena := tensor.NewArena()
+	g := NewGraphArena(false, nil, arena)
+	a := g.Const(buildInput(2, 2, 1))
+	b := g.Const(buildInput(2, 2, 2))
+	first := g.Add(a, b)
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", g.NumNodes())
+	}
+	g.Reset()
+	if g.NumNodes() != 0 {
+		t.Fatalf("NumNodes after Reset = %d, want 0", g.NumNodes())
+	}
+	a2 := g.Const(buildInput(2, 2, 1))
+	if a2 != a {
+		t.Fatalf("Reset did not recycle node structs")
+	}
+	_ = first
+}

@@ -8,6 +8,11 @@
 // accumulates gradients into its inputs. Parameters are persistent Nodes that
 // live outside any tape; their gradients accumulate until an optimizer step
 // consumes and zeroes them.
+//
+// Graphs are reusable: Reset recycles the tape's Node structs, and when the
+// graph owns a tensor.Arena every tape value, lazily-created gradient, and
+// op scratch tensor is pooled too, so a steady-state train or serve loop
+// performs no per-node heap allocation after warm-up.
 package nn
 
 import (
@@ -26,6 +31,11 @@ type Node struct {
 	requiresGrad bool
 	backward     func()
 	name         string
+
+	// owner is the graph whose allocator backs this node's lazily-created
+	// gradient. Nil for parameter nodes, whose gradients must persist
+	// across tapes and therefore always come from the heap.
+	owner *Graph
 }
 
 // RequiresGrad reports whether gradients flow through this node.
@@ -37,7 +47,11 @@ func (n *Node) Name() string { return n.name }
 // ensureGrad lazily allocates the gradient buffer.
 func (n *Node) ensureGrad() *tensor.Tensor {
 	if n.Grad == nil {
-		n.Grad = tensor.New(n.Value.Rows, n.Value.Cols)
+		if n.owner != nil {
+			n.Grad = n.owner.NewTensor(n.Value.Rows, n.Value.Cols)
+		} else {
+			n.Grad = tensor.New(n.Value.Rows, n.Value.Cols)
+		}
 	}
 	return n.Grad
 }
@@ -49,14 +63,23 @@ func (n *Node) ZeroGrad() {
 	}
 }
 
-// Graph is a gradient tape. A fresh Graph is created per forward pass
-// (per mini-batch); parameters are shared across graphs.
+// Graph is a gradient tape. Parameters are shared across graphs. A Graph may
+// be reused across mini-batches via Reset; giving it an Arena additionally
+// pools all tape tensor storage.
 type Graph struct {
-	tape []*Node
+	// nodes is the pooled node store; nodes[:used] is the live tape.
+	nodes []*Node
+	used  int
+
+	arena *tensor.Arena
 
 	// Training toggles train-time behaviour (dropout). Inference graphs
 	// leave it false.
 	Training bool
+
+	// nograd disables gradient tracking entirely: no node requires grad
+	// and no backward closures are built. Serving-path graphs use this.
+	nograd bool
 
 	// rng drives stochastic ops (dropout masks). Nil means no stochastic
 	// ops may be used.
@@ -68,30 +91,106 @@ func NewGraph(training bool, rng *rand.Rand) *Graph {
 	return &Graph{Training: training, rng: rng}
 }
 
-// NumNodes returns the number of tape entries (for tests/diagnostics).
-func (g *Graph) NumNodes() int { return len(g.tape) }
+// NewGraphArena creates a tape whose tensors (values, gradients, scratch)
+// are carved from arena. The caller owns the arena's lifecycle through
+// Reset; tensors read out of the graph are invalid after Reset.
+func NewGraphArena(training bool, rng *rand.Rand, arena *tensor.Arena) *Graph {
+	return &Graph{Training: training, rng: rng, arena: arena}
+}
 
-// add registers a new tape node. inputs determine requiresGrad propagation.
-func (g *Graph) add(val *tensor.Tensor, backward func(), inputs ...*Node) *Node {
-	n := &Node{Value: val}
-	for _, in := range inputs {
-		if in != nil && in.requiresGrad {
-			n.requiresGrad = true
-			break
+// NewInferenceGraph creates a no-grad, non-training tape backed by arena.
+// No backward closures are allocated; Backward on it is a no-op walk.
+func NewInferenceGraph(arena *tensor.Arena) *Graph {
+	return &Graph{arena: arena, nograd: true}
+}
+
+// NumNodes returns the number of tape entries (for tests/diagnostics).
+func (g *Graph) NumNodes() int { return g.used }
+
+// SetRand points the graph's stochastic ops (dropout) at rng. Reused
+// training graphs call this per step so the caller controls seeding.
+func (g *Graph) SetRand(rng *rand.Rand) { g.rng = rng }
+
+// NoGrad reports whether the graph skips gradient tracking entirely
+// (serving-path graphs). Callers may use cheaper value-only computations.
+func (g *Graph) NoGrad() bool { return g.nograd }
+
+// NewTensor allocates a zeroed rows x cols tensor from the graph's arena,
+// or the heap when the graph has none. Ops use it for every tape-owned
+// tensor that is read before being fully written (accumulator outputs).
+func (g *Graph) NewTensor(rows, cols int) *tensor.Tensor {
+	if g.arena != nil {
+		return g.arena.Alloc(rows, cols)
+	}
+	return tensor.New(rows, cols)
+}
+
+// newTensorRaw allocates a tensor whose contents are undefined; only ops
+// that overwrite every element of their output before reading it may use
+// it (elementwise maps, matmul destinations, full-copy gathers).
+func (g *Graph) newTensorRaw(rows, cols int) *tensor.Tensor {
+	if g.arena != nil {
+		return g.arena.AllocNoZero(rows, cols)
+	}
+	return tensor.New(rows, cols)
+}
+
+// Reset recycles the tape (and the arena, when present) so the graph can
+// run another forward/backward pass without reallocating. Nodes and tensors
+// obtained from the graph before Reset must not be used afterwards;
+// parameter nodes and their gradients are unaffected.
+func (g *Graph) Reset() {
+	for i := 0; i < g.used; i++ {
+		n := g.nodes[i]
+		n.Value, n.Grad, n.backward = nil, nil, nil
+		n.requiresGrad = false
+		n.name = ""
+	}
+	g.used = 0
+	if g.arena != nil {
+		g.arena.Reset()
+	}
+}
+
+// newNode takes a pooled node (or grows the pool) and appends it to the tape.
+func (g *Graph) newNode(val *tensor.Tensor) *Node {
+	var n *Node
+	if g.used < len(g.nodes) {
+		n = g.nodes[g.used]
+	} else {
+		n = &Node{}
+		g.nodes = append(g.nodes, n)
+	}
+	g.used++
+	n.Value = val
+	n.owner = g
+	return n
+}
+
+// add registers a new tape node; inputs determine requiresGrad propagation.
+// Callers attach the backward closure only when n.requiresGrad is set, which
+// keeps no-grad passes free of closure allocations:
+//
+//	n := g.add(out, a, b)
+//	if n.requiresGrad {
+//		n.backward = func() { ... }
+//	}
+func (g *Graph) add(val *tensor.Tensor, inputs ...*Node) *Node {
+	n := g.newNode(val)
+	if !g.nograd {
+		for _, in := range inputs {
+			if in != nil && in.requiresGrad {
+				n.requiresGrad = true
+				break
+			}
 		}
 	}
-	if n.requiresGrad {
-		n.backward = backward
-	}
-	g.tape = append(g.tape, n)
 	return n
 }
 
 // Const wraps a tensor as a constant leaf (no gradient).
 func (g *Graph) Const(t *tensor.Tensor) *Node {
-	n := &Node{Value: t}
-	g.tape = append(g.tape, n)
-	return n
+	return g.newNode(t)
 }
 
 // Backward runs reverse-mode differentiation from the scalar node loss.
@@ -101,8 +200,8 @@ func (g *Graph) Backward(loss *Node) {
 		panic(fmt.Sprintf("nn: Backward requires scalar loss, got %dx%d", loss.Value.Rows, loss.Value.Cols))
 	}
 	loss.ensureGrad().Fill(1)
-	for i := len(g.tape) - 1; i >= 0; i-- {
-		n := g.tape[i]
+	for i := g.used - 1; i >= 0; i-- {
+		n := g.nodes[i]
 		if n.backward != nil && n.Grad != nil {
 			n.backward()
 		}

@@ -133,7 +133,7 @@ func (r *GRU) Forward(g *Graph, x *Node, mask []float64, B, L int) *Node {
 	if x.Value.Rows != B*L {
 		panic(fmt.Sprintf("nn: GRU rows %d != B*L %d", x.Value.Rows, B*L))
 	}
-	h := g.Const(tensor.New(B, r.Hidden)) // h0 = 0
+	h := g.Const(g.NewTensor(B, r.Hidden)) // h0 = 0
 	hs := make([]*Node, L)
 	order := make([]int, L)
 	for t := 0; t < L; t++ {
@@ -158,12 +158,12 @@ func (r *GRU) Forward(g *Graph, x *Node, mask []float64, B, L int) *Node {
 		oneMinusZ := g.AddConst(g.Scale(z, -1), 1)
 		hNew := g.Add(g.Mul(oneMinusZ, h), g.Mul(z, hTilde))
 		// Mask padded positions: keep previous state where mask == 0.
-		mcol := tensor.New(B, 1)
+		mcol := g.NewTensor(B, 1)
 		for b := 0; b < B; b++ {
 			mcol.Data[b] = mask[b*L+t]
 		}
 		mNode := g.Const(mcol)
-		invM := tensor.New(B, 1)
+		invM := g.NewTensor(B, 1)
 		for b := 0; b < B; b++ {
 			invM.Data[b] = 1 - mcol.Data[b]
 		}

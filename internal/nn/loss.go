@@ -26,7 +26,7 @@ func (g *Graph) SoftmaxCE(logits *Node, targets *tensor.Tensor, weights []float6
 	if len(weights) != m {
 		panic("nn: SoftmaxCE weights length mismatch")
 	}
-	probs := tensor.SoftmaxRows(tensor.New(m, C), logits.Value)
+	probs := tensor.SoftmaxRows(g.newTensorRaw(m, C), logits.Value)
 	var totalW, loss float64
 	for r := 0; r < m; r++ {
 		w := weights[r]
@@ -47,29 +47,31 @@ func (g *Graph) SoftmaxCE(logits *Node, targets *tensor.Tensor, weights []float6
 	if totalW > 0 {
 		loss /= totalW
 	}
-	out := tensor.New(1, 1)
+	out := g.NewTensor(1, 1)
 	out.Data[0] = loss
-	var n *Node
-	n = g.add(out, func() {
-		if !logits.requiresGrad || totalW == 0 {
-			return
-		}
-		up := n.Grad.Data[0]
-		lg := logits.ensureGrad()
-		for r := 0; r < m; r++ {
-			w := weights[r]
-			if w <= 0 {
-				continue
+	n := g.add(out, logits)
+	if n.requiresGrad {
+		n.backward = func() {
+			if !logits.requiresGrad || totalW == 0 {
+				return
 			}
-			f := up * w / totalW
-			prow := probs.Row(r)
-			trow := targets.Row(r)
-			grow := lg.Row(r)
-			for c := range grow {
-				grow[c] += f * (prow[c] - trow[c])
+			up := n.Grad.Data[0]
+			lg := logits.ensureGrad()
+			for r := 0; r < m; r++ {
+				w := weights[r]
+				if w <= 0 {
+					continue
+				}
+				f := up * w / totalW
+				prow := probs.Row(r)
+				trow := targets.Row(r)
+				grow := lg.Row(r)
+				for c := range grow {
+					grow[c] += f * (prow[c] - trow[c])
+				}
 			}
 		}
-	}, logits)
+	}
 	return n, probs
 }
 
@@ -90,7 +92,7 @@ func (g *Graph) SigmoidBCE(logits *Node, targets *tensor.Tensor, weights []float
 	if elemMask != nil && (elemMask.Rows != m || elemMask.Cols != C) {
 		panic("nn: SigmoidBCE mask shape mismatch")
 	}
-	probs := tensor.Apply(tensor.New(m, C), logits.Value, sigmoid)
+	probs := tensor.Apply(g.newTensorRaw(m, C), logits.Value, sigmoid)
 	var totalW, loss float64
 	for r := 0; r < m; r++ {
 		w := weights[r]
@@ -117,45 +119,47 @@ func (g *Graph) SigmoidBCE(logits *Node, targets *tensor.Tensor, weights []float
 	if totalW > 0 {
 		loss /= totalW
 	}
-	out := tensor.New(1, 1)
+	out := g.NewTensor(1, 1)
 	out.Data[0] = loss
-	var n *Node
-	n = g.add(out, func() {
-		if !logits.requiresGrad || totalW == 0 {
-			return
-		}
-		up := n.Grad.Data[0]
-		lg := logits.ensureGrad()
-		for r := 0; r < m; r++ {
-			w := weights[r]
-			if w <= 0 {
-				continue
+	n := g.add(out, logits)
+	if n.requiresGrad {
+		n.backward = func() {
+			if !logits.requiresGrad || totalW == 0 {
+				return
 			}
-			var cnt float64
-			if elemMask == nil {
-				cnt = float64(C)
-			} else {
-				for c := 0; c < C; c++ {
-					if elemMask.At(r, c) > 0 {
-						cnt++
-					}
-				}
-			}
-			if cnt == 0 {
-				continue
-			}
-			f := up * w / (totalW * cnt)
-			prow := probs.Row(r)
-			trow := targets.Row(r)
-			grow := lg.Row(r)
-			for c := range grow {
-				if elemMask != nil && elemMask.At(r, c) <= 0 {
+			up := n.Grad.Data[0]
+			lg := logits.ensureGrad()
+			for r := 0; r < m; r++ {
+				w := weights[r]
+				if w <= 0 {
 					continue
 				}
-				grow[c] += f * (prow[c] - trow[c])
+				var cnt float64
+				if elemMask == nil {
+					cnt = float64(C)
+				} else {
+					for c := 0; c < C; c++ {
+						if elemMask.At(r, c) > 0 {
+							cnt++
+						}
+					}
+				}
+				if cnt == 0 {
+					continue
+				}
+				f := up * w / (totalW * cnt)
+				prow := probs.Row(r)
+				trow := targets.Row(r)
+				grow := lg.Row(r)
+				for c := range grow {
+					if elemMask != nil && elemMask.At(r, c) <= 0 {
+						continue
+					}
+					grow[c] += f * (prow[c] - trow[c])
+				}
 			}
 		}
-	}, logits)
+	}
 	return n, probs
 }
 
@@ -219,26 +223,29 @@ func (g *Graph) SegmentSoftmaxCE(scores *Node, segments []Segment, targets []flo
 	if totalW > 0 {
 		loss /= totalW
 	}
-	out := tensor.New(1, 1)
+	out := g.NewTensor(1, 1)
 	out.Data[0] = loss
-	var n *Node
-	n = g.add(out, func() {
-		if !scores.requiresGrad || totalW == 0 {
-			return
-		}
-		up := n.Grad.Data[0]
-		sg := scores.ensureGrad()
-		for si, seg := range segments {
-			w := weights[si]
-			if w <= 0 || seg.End <= seg.Start {
-				continue
+	n := g.add(out, scores)
+	if n.requiresGrad {
+		segCopy := append([]Segment(nil), segments...)
+		n.backward = func() {
+			if !scores.requiresGrad || totalW == 0 {
+				return
 			}
-			f := up * w / totalW
-			for i := seg.Start; i < seg.End; i++ {
-				sg.Data[i] += f * (probs[i] - targets[i])
+			up := n.Grad.Data[0]
+			sg := scores.ensureGrad()
+			for si, seg := range segCopy {
+				w := weights[si]
+				if w <= 0 || seg.End <= seg.Start {
+					continue
+				}
+				f := up * w / totalW
+				for i := seg.Start; i < seg.End; i++ {
+					sg.Data[i] += f * (probs[i] - targets[i])
+				}
 			}
 		}
-	}, scores)
+	}
 	return n, probs
 }
 
@@ -249,7 +256,7 @@ func (g *Graph) WeightedSum(losses []*Node, coeffs []float64) *Node {
 		panic("nn: WeightedSum length mismatch")
 	}
 	if len(losses) == 0 {
-		return g.Const(tensor.New(1, 1))
+		return g.Const(g.NewTensor(1, 1))
 	}
 	acc := g.Scale(losses[0], coeffs[0])
 	for i := 1; i < len(losses); i++ {

@@ -9,73 +9,81 @@ import (
 
 // MatMul returns a @ b.
 func (g *Graph) MatMul(a, b *Node) *Node {
-	out := tensor.MatMul(tensor.New(a.Value.Rows, b.Value.Cols), a.Value, b.Value)
-	var n *Node
-	n = g.add(out, func() {
-		if a.requiresGrad {
-			tensor.MatMulABT(a.ensureGrad(), n.Grad, b.Value)
+	out := tensor.MatMul(g.newTensorRaw(a.Value.Rows, b.Value.Cols), a.Value, b.Value)
+	n := g.add(out, a, b)
+	if n.requiresGrad {
+		n.backward = func() {
+			if a.requiresGrad {
+				tensor.MatMulABT(a.ensureGrad(), n.Grad, b.Value)
+			}
+			if b.requiresGrad {
+				tensor.MatMulATB(b.ensureGrad(), a.Value, n.Grad)
+			}
 		}
-		if b.requiresGrad {
-			tensor.MatMulATB(b.ensureGrad(), a.Value, n.Grad)
-		}
-	}, a, b)
+	}
 	return n
 }
 
 // Add returns a + b (same shape).
 func (g *Graph) Add(a, b *Node) *Node {
-	out := tensor.Add(tensor.New(a.Value.Rows, a.Value.Cols), a.Value, b.Value)
-	var n *Node
-	n = g.add(out, func() {
-		if a.requiresGrad {
-			tensor.AddInto(a.ensureGrad(), n.Grad)
+	out := tensor.Add(g.newTensorRaw(a.Value.Rows, a.Value.Cols), a.Value, b.Value)
+	n := g.add(out, a, b)
+	if n.requiresGrad {
+		n.backward = func() {
+			if a.requiresGrad {
+				tensor.AddInto(a.ensureGrad(), n.Grad)
+			}
+			if b.requiresGrad {
+				tensor.AddInto(b.ensureGrad(), n.Grad)
+			}
 		}
-		if b.requiresGrad {
-			tensor.AddInto(b.ensureGrad(), n.Grad)
-		}
-	}, a, b)
+	}
 	return n
 }
 
 // AddBias returns x + b broadcast over rows; b must be 1 x x.Cols.
 func (g *Graph) AddBias(x, b *Node) *Node {
-	out := tensor.AddRowVec(tensor.New(x.Value.Rows, x.Value.Cols), x.Value, b.Value)
-	var n *Node
-	n = g.add(out, func() {
-		if x.requiresGrad {
-			tensor.AddInto(x.ensureGrad(), n.Grad)
-		}
-		if b.requiresGrad {
-			bg := b.ensureGrad()
-			for r := 0; r < n.Grad.Rows; r++ {
-				row := n.Grad.Row(r)
-				for c, v := range row {
-					bg.Data[c] += v
+	out := tensor.AddRowVec(g.newTensorRaw(x.Value.Rows, x.Value.Cols), x.Value, b.Value)
+	n := g.add(out, x, b)
+	if n.requiresGrad {
+		n.backward = func() {
+			if x.requiresGrad {
+				tensor.AddInto(x.ensureGrad(), n.Grad)
+			}
+			if b.requiresGrad {
+				bg := b.ensureGrad()
+				for r := 0; r < n.Grad.Rows; r++ {
+					row := n.Grad.Row(r)
+					for c, v := range row {
+						bg.Data[c] += v
+					}
 				}
 			}
 		}
-	}, x, b)
+	}
 	return n
 }
 
 // Mul returns the elementwise product a * b.
 func (g *Graph) Mul(a, b *Node) *Node {
-	out := tensor.Mul(tensor.New(a.Value.Rows, a.Value.Cols), a.Value, b.Value)
-	var n *Node
-	n = g.add(out, func() {
-		if a.requiresGrad {
-			ag := a.ensureGrad()
-			for i, gv := range n.Grad.Data {
-				ag.Data[i] += gv * b.Value.Data[i]
+	out := tensor.Mul(g.newTensorRaw(a.Value.Rows, a.Value.Cols), a.Value, b.Value)
+	n := g.add(out, a, b)
+	if n.requiresGrad {
+		n.backward = func() {
+			if a.requiresGrad {
+				ag := a.ensureGrad()
+				for i, gv := range n.Grad.Data {
+					ag.Data[i] += gv * b.Value.Data[i]
+				}
+			}
+			if b.requiresGrad {
+				bg := b.ensureGrad()
+				for i, gv := range n.Grad.Data {
+					bg.Data[i] += gv * a.Value.Data[i]
+				}
 			}
 		}
-		if b.requiresGrad {
-			bg := b.ensureGrad()
-			for i, gv := range n.Grad.Data {
-				bg.Data[i] += gv * a.Value.Data[i]
-			}
-		}
-	}, a, b)
+	}
 	return n
 }
 
@@ -85,7 +93,7 @@ func (g *Graph) MulColVec(x, col *Node) *Node {
 	if col.Value.Rows != x.Value.Rows || col.Value.Cols != 1 {
 		panic(fmt.Sprintf("nn: MulColVec col %dx%d vs x %dx%d", col.Value.Rows, col.Value.Cols, x.Value.Rows, x.Value.Cols))
 	}
-	out := tensor.New(x.Value.Rows, x.Value.Cols)
+	out := g.newTensorRaw(x.Value.Rows, x.Value.Cols)
 	for r := 0; r < x.Value.Rows; r++ {
 		m := col.Value.Data[r]
 		xrow := x.Value.Row(r)
@@ -94,72 +102,80 @@ func (g *Graph) MulColVec(x, col *Node) *Node {
 			orow[c] = v * m
 		}
 	}
-	var n *Node
-	n = g.add(out, func() {
-		if x.requiresGrad {
-			xg := x.ensureGrad()
-			for r := 0; r < x.Value.Rows; r++ {
-				m := col.Value.Data[r]
-				grow := n.Grad.Row(r)
-				xrow := xg.Row(r)
-				for c, v := range grow {
-					xrow[c] += v * m
+	n := g.add(out, x, col)
+	if n.requiresGrad {
+		n.backward = func() {
+			if x.requiresGrad {
+				xg := x.ensureGrad()
+				for r := 0; r < x.Value.Rows; r++ {
+					m := col.Value.Data[r]
+					grow := n.Grad.Row(r)
+					xrow := xg.Row(r)
+					for c, v := range grow {
+						xrow[c] += v * m
+					}
+				}
+			}
+			if col.requiresGrad {
+				cg := col.ensureGrad()
+				for r := 0; r < x.Value.Rows; r++ {
+					grow := n.Grad.Row(r)
+					xrow := x.Value.Row(r)
+					var s float64
+					for c, v := range grow {
+						s += v * xrow[c]
+					}
+					cg.Data[r] += s
 				}
 			}
 		}
-		if col.requiresGrad {
-			cg := col.ensureGrad()
-			for r := 0; r < x.Value.Rows; r++ {
-				grow := n.Grad.Row(r)
-				xrow := x.Value.Row(r)
-				var s float64
-				for c, v := range grow {
-					s += v * xrow[c]
-				}
-				cg.Data[r] += s
-			}
-		}
-	}, x, col)
+	}
 	return n
 }
 
 // Scale returns x * c for a constant c.
 func (g *Graph) Scale(x *Node, c float64) *Node {
-	out := tensor.Scale(tensor.New(x.Value.Rows, x.Value.Cols), x.Value, c)
-	var n *Node
-	n = g.add(out, func() {
-		if x.requiresGrad {
-			tensor.AxpyInto(x.ensureGrad(), c, n.Grad)
+	out := tensor.Scale(g.newTensorRaw(x.Value.Rows, x.Value.Cols), x.Value, c)
+	n := g.add(out, x)
+	if n.requiresGrad {
+		n.backward = func() {
+			if x.requiresGrad {
+				tensor.AxpyInto(x.ensureGrad(), c, n.Grad)
+			}
 		}
-	}, x)
+	}
 	return n
 }
 
 // AddConst returns x + c elementwise for a constant c.
 func (g *Graph) AddConst(x *Node, c float64) *Node {
-	out := tensor.Apply(tensor.New(x.Value.Rows, x.Value.Cols), x.Value, func(v float64) float64 { return v + c })
-	var n *Node
-	n = g.add(out, func() {
-		if x.requiresGrad {
-			tensor.AddInto(x.ensureGrad(), n.Grad)
+	out := tensor.Apply(g.newTensorRaw(x.Value.Rows, x.Value.Cols), x.Value, func(v float64) float64 { return v + c })
+	n := g.add(out, x)
+	if n.requiresGrad {
+		n.backward = func() {
+			if x.requiresGrad {
+				tensor.AddInto(x.ensureGrad(), n.Grad)
+			}
 		}
-	}, x)
+	}
 	return n
 }
 
 // unary builds an elementwise op given f and its derivative expressed in
 // terms of the output value y.
 func (g *Graph) unary(x *Node, f func(float64) float64, dfdy func(y float64) float64) *Node {
-	out := tensor.Apply(tensor.New(x.Value.Rows, x.Value.Cols), x.Value, f)
-	var n *Node
-	n = g.add(out, func() {
-		if x.requiresGrad {
-			xg := x.ensureGrad()
-			for i, gv := range n.Grad.Data {
-				xg.Data[i] += gv * dfdy(n.Value.Data[i])
+	out := tensor.Apply(g.newTensorRaw(x.Value.Rows, x.Value.Cols), x.Value, f)
+	n := g.add(out, x)
+	if n.requiresGrad {
+		n.backward = func() {
+			if x.requiresGrad {
+				xg := x.ensureGrad()
+				for i, gv := range n.Grad.Data {
+					xg.Data[i] += gv * dfdy(n.Value.Data[i])
+				}
 			}
 		}
-	}, x)
+	}
 	return n
 }
 
@@ -205,52 +221,58 @@ func (g *Graph) Dropout(x *Node, p float64) *Node {
 		panic("nn: Dropout on a graph without rng")
 	}
 	keep := 1 - p
-	mask := tensor.New(x.Value.Rows, x.Value.Cols)
+	mask := g.newTensorRaw(x.Value.Rows, x.Value.Cols)
 	for i := range mask.Data {
 		if g.rng.Float64() < keep {
 			mask.Data[i] = 1 / keep
+		} else {
+			mask.Data[i] = 0
 		}
 	}
-	out := tensor.Mul(tensor.New(x.Value.Rows, x.Value.Cols), x.Value, mask)
-	var n *Node
-	n = g.add(out, func() {
-		if x.requiresGrad {
-			xg := x.ensureGrad()
-			for i, gv := range n.Grad.Data {
-				xg.Data[i] += gv * mask.Data[i]
+	out := tensor.Mul(g.newTensorRaw(x.Value.Rows, x.Value.Cols), x.Value, mask)
+	n := g.add(out, x)
+	if n.requiresGrad {
+		n.backward = func() {
+			if x.requiresGrad {
+				xg := x.ensureGrad()
+				for i, gv := range n.Grad.Data {
+					xg.Data[i] += gv * mask.Data[i]
+				}
 			}
 		}
-	}, x)
+	}
 	return n
 }
 
 // Concat concatenates a and b along columns.
 func (g *Graph) Concat(a, b *Node) *Node {
-	out := tensor.ConcatCols(tensor.New(a.Value.Rows, a.Value.Cols+b.Value.Cols), a.Value, b.Value)
-	var n *Node
-	n = g.add(out, func() {
-		ca := a.Value.Cols
-		if a.requiresGrad {
-			ag := a.ensureGrad()
-			for r := 0; r < out.Rows; r++ {
-				grow := n.Grad.Row(r)
-				arow := ag.Row(r)
-				for c := range arow {
-					arow[c] += grow[c]
+	out := tensor.ConcatCols(g.newTensorRaw(a.Value.Rows, a.Value.Cols+b.Value.Cols), a.Value, b.Value)
+	n := g.add(out, a, b)
+	if n.requiresGrad {
+		n.backward = func() {
+			ca := a.Value.Cols
+			if a.requiresGrad {
+				ag := a.ensureGrad()
+				for r := 0; r < out.Rows; r++ {
+					grow := n.Grad.Row(r)
+					arow := ag.Row(r)
+					for c := range arow {
+						arow[c] += grow[c]
+					}
+				}
+			}
+			if b.requiresGrad {
+				bg := b.ensureGrad()
+				for r := 0; r < out.Rows; r++ {
+					grow := n.Grad.Row(r)
+					brow := bg.Row(r)
+					for c := range brow {
+						brow[c] += grow[ca+c]
+					}
 				}
 			}
 		}
-		if b.requiresGrad {
-			bg := b.ensureGrad()
-			for r := 0; r < out.Rows; r++ {
-				grow := n.Grad.Row(r)
-				brow := bg.Row(r)
-				for c := range brow {
-					brow[c] += grow[ca+c]
-				}
-			}
-		}
-	}, a, b)
+	}
 	return n
 }
 
@@ -259,25 +281,27 @@ func (g *Graph) Concat3(a, b, c *Node) *Node { return g.Concat(g.Concat(a, b), c
 
 // GatherRows selects rows ids from x: out[i] = x[ids[i]]. Backward
 // scatter-adds. Works both for embedding lookup (x = parameter matrix) and
-// timestep selection.
+// timestep selection. ids must stay unchanged until Backward has run.
 func (g *Graph) GatherRows(x *Node, ids []int) *Node {
-	out := tensor.New(len(ids), x.Value.Cols)
+	out := g.newTensorRaw(len(ids), x.Value.Cols)
 	for i, id := range ids {
 		copy(out.Row(i), x.Value.Row(id))
 	}
-	var n *Node
-	n = g.add(out, func() {
-		if x.requiresGrad {
-			xg := x.ensureGrad()
-			for i, id := range ids {
-				grow := n.Grad.Row(i)
-				xrow := xg.Row(id)
-				for c, v := range grow {
-					xrow[c] += v
+	n := g.add(out, x)
+	if n.requiresGrad {
+		n.backward = func() {
+			if x.requiresGrad {
+				xg := x.ensureGrad()
+				for i, id := range ids {
+					grow := n.Grad.Row(i)
+					xrow := xg.Row(id)
+					for c, v := range grow {
+						xrow[c] += v
+					}
 				}
 			}
 		}
-	}, x)
+	}
 	return n
 }
 
@@ -289,7 +313,7 @@ func (g *Graph) StackTimesteps(hs []*Node, B int) *Node {
 		panic("nn: StackTimesteps with no steps")
 	}
 	H := hs[0].Value.Cols
-	out := tensor.New(B*L, H)
+	out := g.newTensorRaw(B*L, H)
 	for t, h := range hs {
 		if h.Value.Rows != B || h.Value.Cols != H {
 			panic("nn: StackTimesteps shape mismatch")
@@ -298,22 +322,25 @@ func (g *Graph) StackTimesteps(hs []*Node, B int) *Node {
 			copy(out.Row(b*L+t), h.Value.Row(b))
 		}
 	}
-	var n *Node
-	n = g.add(out, func() {
-		for t, h := range hs {
-			if !h.requiresGrad {
-				continue
-			}
-			hg := h.ensureGrad()
-			for b := 0; b < B; b++ {
-				grow := n.Grad.Row(b*L + t)
-				hrow := hg.Row(b)
-				for c, v := range grow {
-					hrow[c] += v
+	n := g.add(out, hs...)
+	if n.requiresGrad {
+		steps := append([]*Node(nil), hs...)
+		n.backward = func() {
+			for t, h := range steps {
+				if !h.requiresGrad {
+					continue
+				}
+				hg := h.ensureGrad()
+				for b := 0; b < B; b++ {
+					grow := n.Grad.Row(b*L + t)
+					hrow := hg.Row(b)
+					for c, v := range grow {
+						hrow[c] += v
+					}
 				}
 			}
 		}
-	}, hs...)
+	}
 	return n
 }
 
@@ -324,7 +351,7 @@ func (g *Graph) ShiftRows(x *Node, B, L, offset int) *Node {
 	if x.Value.Rows != B*L {
 		panic(fmt.Sprintf("nn: ShiftRows rows %d != B*L %d", x.Value.Rows, B*L))
 	}
-	out := tensor.New(x.Value.Rows, x.Value.Cols)
+	out := g.NewTensor(x.Value.Rows, x.Value.Cols)
 	for b := 0; b < B; b++ {
 		for t := 0; t < L; t++ {
 			src := t - offset
@@ -334,69 +361,73 @@ func (g *Graph) ShiftRows(x *Node, B, L, offset int) *Node {
 			copy(out.Row(b*L+t), x.Value.Row(b*L+src))
 		}
 	}
-	var n *Node
-	n = g.add(out, func() {
-		if x.requiresGrad {
-			xg := x.ensureGrad()
-			for b := 0; b < B; b++ {
-				for t := 0; t < L; t++ {
-					src := t - offset
-					if src < 0 || src >= L {
-						continue
-					}
-					grow := n.Grad.Row(b*L + t)
-					xrow := xg.Row(b*L + src)
-					for c, v := range grow {
-						xrow[c] += v
+	n := g.add(out, x)
+	if n.requiresGrad {
+		n.backward = func() {
+			if x.requiresGrad {
+				xg := x.ensureGrad()
+				for b := 0; b < B; b++ {
+					for t := 0; t < L; t++ {
+						src := t - offset
+						if src < 0 || src >= L {
+							continue
+						}
+						grow := n.Grad.Row(b*L + t)
+						xrow := xg.Row(b*L + src)
+						for c, v := range grow {
+							xrow[c] += v
+						}
 					}
 				}
 			}
 		}
-	}, x)
+	}
 	return n
 }
 
 // Softmax returns row-wise softmax(x), differentiable.
 func (g *Graph) Softmax(x *Node) *Node {
-	out := tensor.SoftmaxRows(tensor.New(x.Value.Rows, x.Value.Cols), x.Value)
-	var n *Node
-	n = g.add(out, func() {
-		if x.requiresGrad {
-			xg := x.ensureGrad()
-			for r := 0; r < out.Rows; r++ {
-				yrow := out.Row(r)
-				grow := n.Grad.Row(r)
-				var dot float64
-				for c, y := range yrow {
-					dot += y * grow[c]
-				}
-				xrow := xg.Row(r)
-				for c, y := range yrow {
-					xrow[c] += y * (grow[c] - dot)
+	out := tensor.SoftmaxRows(g.newTensorRaw(x.Value.Rows, x.Value.Cols), x.Value)
+	n := g.add(out, x)
+	if n.requiresGrad {
+		n.backward = func() {
+			if x.requiresGrad {
+				xg := x.ensureGrad()
+				for r := 0; r < out.Rows; r++ {
+					yrow := out.Row(r)
+					grow := n.Grad.Row(r)
+					var dot float64
+					for c, y := range yrow {
+						dot += y * grow[c]
+					}
+					xrow := xg.Row(r)
+					for c, y := range yrow {
+						xrow[c] += y * (grow[c] - dot)
+					}
 				}
 			}
 		}
-	}, x)
+	}
 	return n
 }
 
 // Sum returns the scalar (1x1) sum of all elements of x.
 func (g *Graph) Sum(x *Node) *Node {
-	out := tensor.New(1, 1)
+	out := g.newTensorRaw(1, 1)
 	out.Data[0] = x.Value.Sum()
-	var n *Node
-	n = g.add(out, func() {
-		if x.requiresGrad {
-			tensor.AxpyInto(x.ensureGrad(), n.Grad.Data[0], onesLike(x.Value))
+	n := g.add(out, x)
+	if n.requiresGrad {
+		n.backward = func() {
+			if x.requiresGrad {
+				up := n.Grad.Data[0]
+				xg := x.ensureGrad()
+				for i := range xg.Data {
+					xg.Data[i] += up
+				}
+			}
 		}
-	}, x)
+	}
 	return n
-}
-
-func onesLike(t *tensor.Tensor) *tensor.Tensor {
-	o := tensor.New(t.Rows, t.Cols)
-	o.Fill(1)
-	return o
 }
 
 // MixExperts combines per-expert representations with per-row weights:
@@ -410,7 +441,7 @@ func (g *Graph) MixExperts(weights *Node, experts []*Node) *Node {
 	}
 	B := weights.Value.Rows
 	H := experts[0].Value.Cols
-	out := tensor.New(B, H)
+	out := g.NewTensor(B, H)
 	for s, e := range experts {
 		if e.Value.Rows != B || e.Value.Cols != H {
 			panic("nn: MixExperts expert shape mismatch")
@@ -428,28 +459,31 @@ func (g *Graph) MixExperts(weights *Node, experts []*Node) *Node {
 		}
 	}
 	inputs := append([]*Node{weights}, experts...)
-	var n *Node
-	n = g.add(out, func() {
-		for s, e := range experts {
-			for b := 0; b < B; b++ {
-				grow := n.Grad.Row(b)
-				w := weights.Value.At(b, s)
-				if e.requiresGrad {
-					erow := e.ensureGrad().Row(b)
-					for c, v := range grow {
-						erow[c] += w * v
+	n := g.add(out, inputs...)
+	if n.requiresGrad {
+		exps := inputs[1:]
+		n.backward = func() {
+			for s, e := range exps {
+				for b := 0; b < B; b++ {
+					grow := n.Grad.Row(b)
+					w := weights.Value.At(b, s)
+					if e.requiresGrad {
+						erow := e.ensureGrad().Row(b)
+						for c, v := range grow {
+							erow[c] += w * v
+						}
 					}
-				}
-				if weights.requiresGrad {
-					evrow := e.Value.Row(b)
-					var dot float64
-					for c, v := range grow {
-						dot += v * evrow[c]
+					if weights.requiresGrad {
+						evrow := e.Value.Row(b)
+						var dot float64
+						for c, v := range grow {
+							dot += v * evrow[c]
+						}
+						weights.ensureGrad().Data[b*S+s] += dot
 					}
-					weights.ensureGrad().Data[b*S+s] += dot
 				}
 			}
 		}
-	}, inputs...)
+	}
 	return n
 }

@@ -3,8 +3,6 @@ package nn
 import (
 	"fmt"
 	"math"
-
-	"repro/internal/tensor"
 )
 
 // Span references a contiguous token range [Start, End) inside example
@@ -26,8 +24,9 @@ func (g *Graph) MaskedMeanPool(x *Node, mask []float64, B, L int) *Node {
 		panic("nn: MaskedMeanPool mask length mismatch")
 	}
 	d := x.Value.Cols
-	out := tensor.New(B, d)
-	counts := make([]float64, B)
+	out := g.NewTensor(B, d)
+	countsT := g.NewTensor(1, B)
+	counts := countsT.Data
 	for b := 0; b < B; b++ {
 		orow := out.Row(b)
 		for t := 0; t < L; t++ {
@@ -48,31 +47,33 @@ func (g *Graph) MaskedMeanPool(x *Node, mask []float64, B, L int) *Node {
 			}
 		}
 	}
-	var n *Node
-	n = g.add(out, func() {
-		if !x.requiresGrad {
-			return
-		}
-		xg := x.ensureGrad()
-		for b := 0; b < B; b++ {
-			if counts[b] == 0 {
-				continue
+	n := g.add(out, x)
+	if n.requiresGrad {
+		n.backward = func() {
+			if !x.requiresGrad {
+				return
 			}
-			inv := 1 / counts[b]
-			grow := n.Grad.Row(b)
-			for t := 0; t < L; t++ {
-				m := mask[b*L+t]
-				if m <= 0 {
+			xg := x.ensureGrad()
+			for b := 0; b < B; b++ {
+				if counts[b] == 0 {
 					continue
 				}
-				xrow := xg.Row(b*L + t)
-				f := m * inv
-				for c, v := range grow {
-					xrow[c] += f * v
+				inv := 1 / counts[b]
+				grow := n.Grad.Row(b)
+				for t := 0; t < L; t++ {
+					m := mask[b*L+t]
+					if m <= 0 {
+						continue
+					}
+					xrow := xg.Row(b*L + t)
+					f := m * inv
+					for c, v := range grow {
+						xrow[c] += f * v
+					}
 				}
 			}
 		}
-	}, x)
+	}
 	return n
 }
 
@@ -83,10 +84,15 @@ func (g *Graph) MaskedMaxPool(x *Node, mask []float64, B, L int) *Node {
 		panic(fmt.Sprintf("nn: MaskedMaxPool rows %d != B*L %d", x.Value.Rows, B*L))
 	}
 	d := x.Value.Cols
-	out := tensor.New(B, d)
-	argmax := make([]int, B*d) // winning row per (example, dim); -1 = none
-	for i := range argmax {
-		argmax[i] = -1
+	out := g.NewTensor(B, d)
+	// Winning row per (example, dim); only tracked when gradients will flow.
+	needGrad := !g.nograd && x.requiresGrad
+	var argmax []int
+	if needGrad {
+		argmax = make([]int, B*d)
+		for i := range argmax {
+			argmax[i] = -1
+		}
 	}
 	for b := 0; b < B; b++ {
 		orow := out.Row(b)
@@ -99,7 +105,9 @@ func (g *Graph) MaskedMaxPool(x *Node, mask []float64, B, L int) *Node {
 			if !seen {
 				for c, v := range xrow {
 					orow[c] = v
-					argmax[b*d+c] = b*L + t
+					if needGrad {
+						argmax[b*d+c] = b*L + t
+					}
 				}
 				seen = true
 				continue
@@ -107,27 +115,31 @@ func (g *Graph) MaskedMaxPool(x *Node, mask []float64, B, L int) *Node {
 			for c, v := range xrow {
 				if v > orow[c] {
 					orow[c] = v
-					argmax[b*d+c] = b*L + t
+					if needGrad {
+						argmax[b*d+c] = b*L + t
+					}
 				}
 			}
 		}
 	}
-	var n *Node
-	n = g.add(out, func() {
-		if !x.requiresGrad {
-			return
-		}
-		xg := x.ensureGrad()
-		for b := 0; b < B; b++ {
-			grow := n.Grad.Row(b)
-			for c, v := range grow {
-				row := argmax[b*d+c]
-				if row >= 0 {
-					xg.Data[row*d+c] += v
+	n := g.add(out, x)
+	if n.requiresGrad {
+		n.backward = func() {
+			if !x.requiresGrad {
+				return
+			}
+			xg := x.ensureGrad()
+			for b := 0; b < B; b++ {
+				grow := n.Grad.Row(b)
+				for c, v := range grow {
+					row := argmax[b*d+c]
+					if row >= 0 {
+						xg.Data[row*d+c] += v
+					}
 				}
 			}
 		}
-	}, x)
+	}
 	return n
 }
 
@@ -135,7 +147,7 @@ func (g *Graph) MaskedMaxPool(x *Node, mask []float64, B, L int) *Node {
 // the span's token representations. Empty spans pool to zero.
 func (g *Graph) SpanMeanPool(x *Node, spans []Span, L int) *Node {
 	d := x.Value.Cols
-	out := tensor.New(len(spans), d)
+	out := g.NewTensor(len(spans), d)
 	for i, sp := range spans {
 		width := sp.End - sp.Start
 		if width <= 0 {
@@ -153,27 +165,30 @@ func (g *Graph) SpanMeanPool(x *Node, spans []Span, L int) *Node {
 			orow[c] *= inv
 		}
 	}
-	var n *Node
-	n = g.add(out, func() {
-		if !x.requiresGrad {
-			return
-		}
-		xg := x.ensureGrad()
-		for i, sp := range spans {
-			width := sp.End - sp.Start
-			if width <= 0 {
-				continue
+	n := g.add(out, x)
+	if n.requiresGrad {
+		spanCopy := append([]Span(nil), spans...)
+		n.backward = func() {
+			if !x.requiresGrad {
+				return
 			}
-			inv := 1 / float64(width)
-			grow := n.Grad.Row(i)
-			for t := sp.Start; t < sp.End; t++ {
-				xrow := xg.Row(sp.Example*L + t)
-				for c, v := range grow {
-					xrow[c] += inv * v
+			xg := x.ensureGrad()
+			for i, sp := range spanCopy {
+				width := sp.End - sp.Start
+				if width <= 0 {
+					continue
+				}
+				inv := 1 / float64(width)
+				grow := n.Grad.Row(i)
+				for t := sp.Start; t < sp.End; t++ {
+					xrow := xg.Row(sp.Example*L + t)
+					for c, v := range grow {
+						xrow[c] += inv * v
+					}
 				}
 			}
 		}
-	}, x)
+	}
 	return n
 }
 
@@ -186,7 +201,7 @@ func (g *Graph) SpanAttnPool(x *Node, spans []Span, L int, q *Node) *Node {
 	if q.Value.Rows != 1 || q.Value.Cols != d {
 		panic(fmt.Sprintf("nn: SpanAttnPool q shape %dx%d want 1x%d", q.Value.Rows, q.Value.Cols, d))
 	}
-	out := tensor.New(len(spans), d)
+	out := g.NewTensor(len(spans), d)
 	attn := make([][]float64, len(spans)) // cached attention weights per span
 	scale := 1 / math.Sqrt(float64(d))
 	for i, sp := range spans {
@@ -225,52 +240,55 @@ func (g *Graph) SpanAttnPool(x *Node, spans []Span, L int, q *Node) *Node {
 			}
 		}
 	}
-	var n *Node
-	n = g.add(out, func() {
-		for i, sp := range spans {
-			width := sp.End - sp.Start
-			if width <= 0 {
-				continue
-			}
-			grow := n.Grad.Row(i)
-			a := attn[i]
-			// dL/da_k = grad · x_k
-			dA := make([]float64, width)
-			for k := 0; k < width; k++ {
-				xrow := x.Value.Row(sp.Example*L + sp.Start + k)
-				var s float64
-				for c, v := range grow {
-					s += v * xrow[c]
+	n := g.add(out, x, q)
+	if n.requiresGrad {
+		spanCopy := append([]Span(nil), spans...)
+		n.backward = func() {
+			for i, sp := range spanCopy {
+				width := sp.End - sp.Start
+				if width <= 0 {
+					continue
 				}
-				dA[k] = s
-			}
-			// softmax backward: dscore_k = a_k (dA_k - Σ_j a_j dA_j)
-			var dot float64
-			for k := 0; k < width; k++ {
-				dot += a[k] * dA[k]
-			}
-			for k := 0; k < width; k++ {
-				dScore := a[k] * (dA[k] - dot) * scale
-				xrow := x.Value.Row(sp.Example*L + sp.Start + k)
-				if x.requiresGrad {
-					xgrow := x.ensureGrad().Row(sp.Example*L + sp.Start + k)
-					// direct term: a_k * grad
+				grow := n.Grad.Row(i)
+				a := attn[i]
+				// dL/da_k = grad · x_k
+				dA := make([]float64, width)
+				for k := 0; k < width; k++ {
+					xrow := x.Value.Row(sp.Example*L + sp.Start + k)
+					var s float64
 					for c, v := range grow {
-						xgrow[c] += a[k] * v
+						s += v * xrow[c]
 					}
-					// score term: dScore * q
-					for c := range xgrow {
-						xgrow[c] += dScore * q.Value.Data[c]
-					}
+					dA[k] = s
 				}
-				if q.requiresGrad {
-					qg := q.ensureGrad()
-					for c := range qg.Data {
-						qg.Data[c] += dScore * xrow[c]
+				// softmax backward: dscore_k = a_k (dA_k - Σ_j a_j dA_j)
+				var dot float64
+				for k := 0; k < width; k++ {
+					dot += a[k] * dA[k]
+				}
+				for k := 0; k < width; k++ {
+					dScore := a[k] * (dA[k] - dot) * scale
+					xrow := x.Value.Row(sp.Example*L + sp.Start + k)
+					if x.requiresGrad {
+						xgrow := x.ensureGrad().Row(sp.Example*L + sp.Start + k)
+						// direct term: a_k * grad
+						for c, v := range grow {
+							xgrow[c] += a[k] * v
+						}
+						// score term: dScore * q
+						for c := range xgrow {
+							xgrow[c] += dScore * q.Value.Data[c]
+						}
+					}
+					if q.requiresGrad {
+						qg := q.ensureGrad()
+						for c := range qg.Data {
+							qg.Data[c] += dScore * xrow[c]
+						}
 					}
 				}
 			}
 		}
-	}, x, q)
+	}
 	return n
 }

@@ -60,7 +60,9 @@ func NewSGD(params []*nn.Param, momentum, weightDecay float64) *SGD {
 	return &SGD{Params: params, Momentum: momentum, WeightDecay: weightDecay}
 }
 
-// Step implements Optimizer.
+// Step implements Optimizer. The update is a fused walk over each
+// parameter's raw slice: one pass applies decay, momentum, and the axpy
+// update together, with no per-parameter closure or temporary allocation.
 func (o *SGD) Step(lr float64) {
 	if o.velocity == nil && o.Momentum > 0 {
 		o.velocity = make([]*tensor.Tensor, len(o.Params))
@@ -69,24 +71,46 @@ func (o *SGD) Step(lr float64) {
 		if p.Frozen || p.Node.Grad == nil {
 			continue
 		}
-		w := p.Node.Value
-		g := p.Node.Grad
+		w := p.Node.Value.Data
+		g := p.Node.Grad.Data
 		if o.WeightDecay > 0 {
-			tensor.AxpyInto(g, o.WeightDecay, w)
+			axpy(o.WeightDecay, w, g) // g += wd * w
 		}
 		if o.Momentum > 0 {
 			if o.velocity[i] == nil {
-				o.velocity[i] = tensor.New(w.Rows, w.Cols)
+				o.velocity[i] = tensor.New(p.Node.Value.Rows, p.Node.Value.Cols)
 			}
-			v := o.velocity[i]
-			for j := range v.Data {
-				v.Data[j] = o.Momentum*v.Data[j] + g.Data[j]
-				w.Data[j] -= lr * v.Data[j]
-			}
+			sgdMomentumStep(w, g, o.velocity[i].Data, o.Momentum, lr)
 		} else {
-			tensor.AxpyInto(w, -lr, g)
+			axpy(-lr, g, w) // w -= lr * g
 		}
-		g.Zero()
+		zero(g)
+	}
+}
+
+// axpy computes y += alpha * x over equal-length slices.
+func axpy(alpha float64, x, y []float64) {
+	x = x[:len(y)]
+	for j, v := range x {
+		y[j] += alpha * v
+	}
+}
+
+// sgdMomentumStep fuses v = mu*v + g; w -= lr*v into one pass.
+func sgdMomentumStep(w, g, v []float64, mu, lr float64) {
+	g = g[:len(w)]
+	v = v[:len(w)]
+	for j := range w {
+		vj := mu*v[j] + g[j]
+		v[j] = vj
+		w[j] -= lr * vj
+	}
+}
+
+// zero clears a slice (compiles to memclr).
+func zero(s []float64) {
+	for j := range s {
+		s[j] = 0
 	}
 }
 
@@ -119,7 +143,10 @@ func NewAdamW(params []*nn.Param, weightDecay float64) *Adam {
 	return a
 }
 
-// Step implements Optimizer.
+// Step implements Optimizer. Moment updates, bias correction, decoupled
+// decay, and the parameter write are fused into one walk per parameter
+// slice (adamStep), so the step allocates nothing and streams each buffer
+// exactly once.
 func (o *Adam) Step(lr float64) {
 	if o.m == nil {
 		o.m = make([]*tensor.Tensor, len(o.Params))
@@ -138,20 +165,29 @@ func (o *Adam) Step(lr float64) {
 			o.m[i] = tensor.New(w.Rows, w.Cols)
 			o.v[i] = tensor.New(w.Rows, w.Cols)
 		}
-		m, v := o.m[i], o.v[i]
-		for j := range w.Data {
-			gj := g.Data[j]
-			m.Data[j] = o.Beta1*m.Data[j] + (1-o.Beta1)*gj
-			v.Data[j] = o.Beta2*v.Data[j] + (1-o.Beta2)*gj*gj
-			mHat := m.Data[j] / bc1
-			vHat := v.Data[j] / bc2
-			upd := mHat / (math.Sqrt(vHat) + o.Eps)
-			if o.DecoupledWeightDecay > 0 {
-				upd += o.DecoupledWeightDecay * w.Data[j]
-			}
-			w.Data[j] -= lr * upd
+		adamStep(w.Data, g.Data, o.m[i].Data, o.v[i].Data,
+			o.Beta1, o.Beta2, bc1, bc2, o.Eps, o.DecoupledWeightDecay, lr)
+		zero(g.Data)
+	}
+}
+
+// adamStep fuses the Adam recurrences over one parameter slice.
+func adamStep(w, g, m, v []float64, b1, b2, bc1, bc2, eps, wd, lr float64) {
+	g = g[:len(w)]
+	m = m[:len(w)]
+	v = v[:len(w)]
+	ib1, ib2 := 1-b1, 1-b2
+	for j := range w {
+		gj := g[j]
+		mj := b1*m[j] + ib1*gj
+		vj := b2*v[j] + ib2*gj*gj
+		m[j] = mj
+		v[j] = vj
+		upd := (mj / bc1) / (math.Sqrt(vj/bc2) + eps)
+		if wd > 0 {
+			upd += wd * w[j]
 		}
-		g.Zero()
+		w[j] -= lr * upd
 	}
 }
 

@@ -201,6 +201,26 @@ func ParseRecord(data []byte, sch *schema.Schema) (*Record, error) {
 	return r, nil
 }
 
+// ParsePayloads builds a record directly from already-decoded payload
+// values, shaping them against sch. This is the serving path: the HTTP
+// handler's JSON decode feeds straight in, with no re-encode round trip.
+// The record carries payloads only (no tasks, tags, or slices).
+func ParsePayloads(payloads map[string]json.RawMessage, sch *schema.Schema) (*Record, error) {
+	r := &Record{Payloads: make(map[string]PayloadValue, len(payloads))}
+	for name, raw := range payloads {
+		p, ok := sch.Payloads[name]
+		if !ok {
+			return nil, fmt.Errorf("record: payload %q not in schema", name)
+		}
+		pv, err := parsePayloadValue(raw, p)
+		if err != nil {
+			return nil, fmt.Errorf("record: payload %q: %w", name, err)
+		}
+		r.Payloads[name] = pv
+	}
+	return r, nil
+}
+
 func parsePayloadValue(raw json.RawMessage, p *schema.Payload) (PayloadValue, error) {
 	if string(raw) == "null" {
 		return PayloadValue{Null: true}, nil

@@ -3,6 +3,13 @@
 // the schema-derived signature — never on model internals — so retrained or
 // re-tuned models hot-swap without serving changes (model independence).
 //
+// Requests are micro-batched: each handler parses and validates its payload,
+// then queues it for a collector goroutine that drains up to BatchSize
+// requests (or waits at most MaxWait for stragglers) and runs one batched
+// Predict, fanning the outputs back per request. Under concurrent load this
+// amortises the per-pass fixed costs across the whole batch; a lone request
+// pays at most MaxWait extra latency.
+//
 // Endpoints:
 //
 //	POST /predict    {"payloads": {...}}  ->  {"outputs": {...}, "model": ...}
@@ -15,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -23,6 +31,17 @@ import (
 	"repro/internal/record"
 )
 
+// Batching defaults; tune with WithBatchSize / WithMaxWait.
+const (
+	defaultBatchSize = 16
+	defaultMaxWait   = 2 * time.Millisecond
+	// jobQueueDepth bounds requests waiting for the collector.
+	jobQueueDepth = 256
+)
+
+// maxLatencySamples bounds the stats ring buffer.
+const maxLatencySamples = 4096
+
 // Server wraps a model behind HTTP handlers.
 type Server struct {
 	mu      sync.RWMutex
@@ -30,20 +49,66 @@ type Server struct {
 	name    string
 	version int
 
-	statsMu   sync.Mutex
-	latencies []float64 // milliseconds, ring-buffered
-	count     int64
-	errors    int64
-	now       func() time.Time
+	batchSize int
+	maxWait   time.Duration
+	jobs      chan *predictJob
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	statsMu    sync.Mutex
+	latencies  []float64 // milliseconds; fixed-size ring buffer
+	latPos     int       // next write position
+	latCount   int       // live samples (caps at maxLatencySamples)
+	latScratch []float64 // reused sort buffer for Snapshot
+	count      int64
+	errors     int64
+	now        func() time.Time
 }
 
-// maxLatencySamples bounds the stats buffer.
-const maxLatencySamples = 4096
+// Option customises a Server.
+type Option func(*Server)
 
-// New creates a server for m. name/version annotate responses (artifact
-// provenance).
-func New(m *model.Model, name string, version int) *Server {
-	return &Server{m: m, name: name, version: version, now: time.Now}
+// WithBatchSize sets the micro-batcher's maximum batch size (default 16).
+func WithBatchSize(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.batchSize = n
+		}
+	}
+}
+
+// WithMaxWait sets how long the collector waits for stragglers after the
+// first request of a batch arrives (default 2ms). Zero disables waiting:
+// each batch is whatever is already queued.
+func WithMaxWait(d time.Duration) Option {
+	return func(s *Server) { s.maxWait = d }
+}
+
+// New creates a server for m and starts its batch collector. name/version
+// annotate responses (artifact provenance). Call Close to stop the
+// collector when discarding the server.
+func New(m *model.Model, name string, version int, opts ...Option) *Server {
+	s := &Server{
+		m: m, name: name, version: version,
+		batchSize:  defaultBatchSize,
+		maxWait:    defaultMaxWait,
+		jobs:       make(chan *predictJob, jobQueueDepth),
+		closed:     make(chan struct{}),
+		latencies:  make([]float64, maxLatencySamples),
+		latScratch: make([]float64, 0, maxLatencySamples),
+		now:        time.Now,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	go s.collect()
+	return s
+}
+
+// Close stops the batch collector. In-flight requests receive errors;
+// subsequent requests are rejected.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.closed) })
 }
 
 // Swap replaces the served model atomically (deploying a new version).
@@ -76,6 +141,119 @@ type predictResponse struct {
 	Outputs model.Output `json:"outputs"`
 }
 
+// predictJob carries one validated request through the micro-batcher,
+// pinned to the model snapshot it was validated against so a mid-flight
+// Swap cannot run it (or report provenance) under a different model.
+type predictJob struct {
+	rec  *record.Record
+	m    *model.Model
+	resp chan predictResult
+}
+
+type predictResult struct {
+	out model.Output
+	err error
+}
+
+// collect is the micro-batch loop: take the first job, opportunistically
+// drain whatever else is already queued, then hand the batch to a
+// predictor goroutine (bounded by a GOMAXPROCS-wide semaphore) so batches
+// overlap on multi-core hosts — Model.Predict is concurrency-safe via its
+// pooled sessions. The MaxWait straggler window only applies when every
+// predictor slot is busy: an idle server dispatches a lone request
+// immediately (no 2ms latency floor), while a saturated one amortises the
+// wait it would spend blocked on a slot anyway into a bigger batch.
+func (s *Server) collect() {
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for {
+		select {
+		case j := <-s.jobs:
+			batch := make([]*predictJob, 0, s.batchSize)
+			batch = append(batch, j)
+		drain:
+			for len(batch) < s.batchSize {
+				select {
+				case j2 := <-s.jobs:
+					batch = append(batch, j2)
+				default:
+					break drain
+				}
+			}
+			select {
+			case sem <- struct{}{}:
+				// Free predictor: run what we have right now.
+			default:
+				// All predictors busy; gather stragglers while waiting.
+				if s.maxWait > 0 && s.batchSize > 1 {
+					timer := time.NewTimer(s.maxWait)
+				fill:
+					for len(batch) < s.batchSize {
+						select {
+						case j2 := <-s.jobs:
+							batch = append(batch, j2)
+						case <-timer.C:
+							break fill
+						}
+					}
+					timer.Stop()
+				}
+				sem <- struct{}{}
+			}
+			go func(batch []*predictJob) {
+				defer func() { <-sem }()
+				s.runBatch(batch)
+			}(batch)
+		case <-s.closed:
+			// Fail any queued jobs so no handler blocks forever;
+			// already-dispatched batches finish on their own goroutines.
+			for {
+				select {
+				case j := <-s.jobs:
+					j.resp <- predictResult{err: fmt.Errorf("server closed")}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runBatch predicts one micro-batch. Jobs run under the model snapshot
+// they were validated against (a mid-window Swap splits the batch into
+// per-model runs). If a batched pass fails (e.g. one record is missing a
+// required payload the schema validation does not cover), it falls back to
+// per-record passes so a single bad request cannot poison the others
+// sharing its batch.
+func (s *Server) runBatch(batch []*predictJob) {
+	for start := 0; start < len(batch); {
+		m := batch[start].m
+		end := start + 1
+		for end < len(batch) && batch[end].m == m {
+			end++
+		}
+		run := batch[start:end]
+		recs := make([]*record.Record, len(run))
+		for i, j := range run {
+			recs[i] = j.rec
+		}
+		outs, err := m.Predict(recs)
+		switch {
+		case err == nil:
+			for i, j := range run {
+				j.resp <- predictResult{out: outs[i]}
+			}
+		case len(run) == 1:
+			run[0].resp <- predictResult{err: err}
+		default:
+			for _, j := range run {
+				out, err := m.PredictOne(j.rec)
+				j.resp <- predictResult{out: out, err: err}
+			}
+		}
+		start = end
+	}
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
@@ -93,15 +271,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	name, version := s.name, s.version
 	s.mu.RUnlock()
 
-	// Re-encode through the record parser so payloads are validated
-	// against the schema exactly like data-file rows.
-	body, err := json.Marshal(map[string]any{"payloads": req.Payloads})
-	if err != nil {
-		s.recordError()
-		httpError(w, http.StatusBadRequest, "re-encode: %v", err)
-		return
-	}
-	rec, err := record.ParseRecord(body, m.Prog.Schema)
+	// Decode payloads straight into record form and validate against the
+	// schema exactly like data-file rows — no marshal/re-parse round trip.
+	rec, err := record.ParsePayloads(req.Payloads, m.Prog.Schema)
 	if err != nil {
 		s.recordError()
 		httpError(w, http.StatusBadRequest, "invalid payloads: %v", err)
@@ -112,14 +284,30 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid payloads: %v", err)
 		return
 	}
-	out, err := m.PredictOne(rec)
-	if err != nil {
+
+	job := &predictJob{rec: rec, m: m, resp: make(chan predictResult, 1)}
+	select {
+	case s.jobs <- job:
+	case <-s.closed:
 		s.recordError()
-		httpError(w, http.StatusInternalServerError, "predict: %v", err)
+		httpError(w, http.StatusServiceUnavailable, "server closed")
+		return
+	}
+	var res predictResult
+	select {
+	case res = <-job.resp:
+	case <-s.closed:
+		s.recordError()
+		httpError(w, http.StatusServiceUnavailable, "server closed")
+		return
+	}
+	if res.err != nil {
+		s.recordError()
+		httpError(w, http.StatusInternalServerError, "predict: %v", res.err)
 		return
 	}
 	s.recordLatency(float64(s.now().Sub(start).Microseconds()) / 1000.0)
-	writeJSON(w, predictResponse{Model: name, Version: version, Outputs: out})
+	writeJSON(w, predictResponse{Model: name, Version: version, Outputs: res.out})
 }
 
 func (s *Server) handleSignature(w http.ResponseWriter, r *http.Request) {
@@ -146,13 +334,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Snapshot())
 }
 
-// Snapshot returns current serving stats.
+// Snapshot returns current serving stats. Percentiles are computed from a
+// reused scratch copy of the live ring-buffer window.
 func (s *Server) Snapshot() Stats {
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	st := Stats{Requests: s.count, Errors: s.errors}
-	if len(s.latencies) > 0 {
-		sorted := append([]float64(nil), s.latencies...)
+	if s.latCount > 0 {
+		sorted := append(s.latScratch[:0], s.latencies[:s.latCount]...)
 		sort.Float64s(sorted)
 		st.P50Millis = percentile(sorted, 0.50)
 		st.P95Millis = percentile(sorted, 0.95)
@@ -169,15 +358,20 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[idx]
 }
 
+// recordLatency writes one sample into the ring buffer: O(1) per request
+// (the previous implementation shifted the whole window with copy).
 func (s *Server) recordLatency(ms float64) {
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	s.count++
-	if len(s.latencies) >= maxLatencySamples {
-		copy(s.latencies, s.latencies[1:])
-		s.latencies = s.latencies[:len(s.latencies)-1]
+	s.latencies[s.latPos] = ms
+	s.latPos++
+	if s.latPos == maxLatencySamples {
+		s.latPos = 0
 	}
-	s.latencies = append(s.latencies, ms)
+	if s.latCount < maxLatencySamples {
+		s.latCount++
+	}
 }
 
 func (s *Server) recordError() {

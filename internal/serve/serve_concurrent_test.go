@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentPredictWithSwap hammers /predict from many goroutines while
+// the served model is hot-swapped mid-flight. Run under -race it checks the
+// micro-batcher, the stats ring, and Swap for data races; functionally it
+// checks every request succeeds and sees a coherent model version.
+func TestConcurrentPredictWithSwap(t *testing.T) {
+	srv := New(freshModel(t), "factoid", 1)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const workers = 8
+	const perWorker = 25
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(goodBody))
+				if err != nil {
+					failures.Add(1)
+					return
+				}
+				var pr predictResponse
+				err = json.NewDecoder(resp.Body).Decode(&pr)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != 200 || (pr.Version != 1 && pr.Version != 2) {
+					failures.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	// Swap to a new model version while requests are in flight.
+	m2 := freshModel(t)
+	for i := 0; i < 5; i++ {
+		time.Sleep(2 * time.Millisecond)
+		srv.Swap(m2, 2)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d requests failed during concurrent swap", failures.Load())
+	}
+	st := srv.Snapshot()
+	if st.Requests != workers*perWorker || st.Errors != 0 {
+		t.Fatalf("stats after storm: %+v", st)
+	}
+}
+
+// TestCloseFailsPendingRequests verifies Close unblocks handlers.
+func TestCloseFailsPendingRequests(t *testing.T) {
+	srv := New(freshModel(t), "factoid", 1, WithMaxWait(time.Second), WithBatchSize(64))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(goodBody))
+		if err != nil {
+			done <- -1
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	time.Sleep(20 * time.Millisecond) // request parked in the 1s batch window
+	srv.Close()
+	select {
+	case code := <-done:
+		// Either the batch ran before Close (200) or the handler was
+		// released with 503; both are acceptable — blocking forever is not.
+		if code != http.StatusOK && code != http.StatusServiceUnavailable {
+			t.Fatalf("unexpected status %d after Close", code)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("handler still blocked after Close")
+	}
+}
+
+// TestLatencyRingWindow pushes more samples than the ring holds and checks
+// the snapshot stays bounded and sane.
+func TestLatencyRingWindow(t *testing.T) {
+	srv := New(freshModel(t), "factoid", 1)
+	defer srv.Close()
+	for i := 0; i < maxLatencySamples+500; i++ {
+		srv.recordLatency(float64(i%100) + 1)
+	}
+	st := srv.Snapshot()
+	if st.Requests != maxLatencySamples+500 {
+		t.Fatalf("requests %d", st.Requests)
+	}
+	if st.P50Millis <= 0 || st.P99Millis < st.P50Millis || st.P99Millis > 100 {
+		t.Fatalf("percentiles out of range: %+v", st)
+	}
+	if srv.latCount != maxLatencySamples {
+		t.Fatalf("ring grew past its window: %d", srv.latCount)
+	}
+}
+
+// BenchmarkPredictThroughput drives the micro-batched server with many
+// concurrent HTTP clients and reports requests/second and p99 latency —
+// the serving numbers a production SLA pins.
+func BenchmarkPredictThroughput(b *testing.B) {
+	srv := New(freshModel(b), "factoid", 1)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport = &http.Transport{MaxIdleConnsPerHost: 64}
+
+	const clients = 16
+	body := []byte(goodBody)
+	var mu sync.Mutex
+	var lat []time.Duration
+
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	jobs := make(chan struct{}, b.N)
+	for i := 0; i < b.N; i++ {
+		jobs <- struct{}{}
+	}
+	close(jobs)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, b.N/clients+1)
+			for range jobs {
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					b.Errorf("status %d", resp.StatusCode)
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lat = append(lat, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p99 := lat[int(0.99*float64(len(lat)-1))]
+		b.ReportMetric(float64(len(lat))/elapsed.Seconds(), "req/s")
+		b.ReportMetric(float64(p99.Microseconds())/1000.0, "p99-ms")
+	}
+}
+
+// TestBadRecordDoesNotPoisonBatch queues a record that passes schema
+// validation but fails inside the model (missing tokens payload) together
+// with good requests in one batch window; the good requests must succeed.
+func TestBadRecordDoesNotPoisonBatch(t *testing.T) {
+	srv := New(freshModel(t), "factoid", 1, WithMaxWait(50*time.Millisecond))
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	codes := make([]int, 4)
+	bodies := []string{
+		goodBody,
+		`{"payloads": {"query": "no tokens here"}}`, // valid schema, fails in model
+		goodBody,
+		goodBody,
+	}
+	for i, body := range bodies {
+		wg.Add(1)
+		go func(i int, body string) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(body))
+			if err != nil {
+				codes[i] = -1
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i, body)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		want := http.StatusOK
+		if i == 1 {
+			want = http.StatusInternalServerError
+		}
+		if code != want {
+			t.Fatalf("request %d: status %d, want %d (codes %v)", i, code, want, codes)
+		}
+	}
+}

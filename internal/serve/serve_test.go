@@ -14,7 +14,7 @@ import (
 	"repro/internal/workload"
 )
 
-func freshModel(t *testing.T) *model.Model {
+func freshModel(t testing.TB) *model.Model {
 	t.Helper()
 	choice := schema.Choice{
 		Embedding: "hash-8", Encoder: "BOW", Hidden: 8,

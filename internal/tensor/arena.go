@@ -1,0 +1,108 @@
+package tensor
+
+// Arena is a pooled allocator for tensors whose lifetime is bounded by one
+// forward/backward pass (tape values, gradients, dropout masks, loss
+// scratch). Alloc hands out zeroed tensors carved from large chunks;
+// Reset recycles every allocation at once without freeing the chunks, so a
+// steady-state training or serving loop performs no per-tensor heap
+// allocation after warm-up.
+//
+// Ownership rules (see PERFORMANCE.md):
+//
+//   - A tensor returned by Alloc is valid until the next Reset of its arena.
+//   - Callers that need a value to survive Reset must Clone it first.
+//   - An Arena is not safe for concurrent use; give each goroutine its own
+//     (the model layer pools one arena per in-flight prediction).
+type Arena struct {
+	chunkSize int
+	chunks    [][]float64
+	ci        int // index of the chunk currently being carved
+	off       int // offset into chunks[ci]
+
+	hdrs []*Tensor // pooled tensor headers, reused across Reset
+	nh   int       // headers handed out since the last Reset
+}
+
+// defaultChunk is the default arena chunk size in float64s (512 KiB).
+const defaultChunk = 64 * 1024
+
+// NewArena creates an arena with the default chunk size.
+func NewArena() *Arena { return NewArenaSize(defaultChunk) }
+
+// NewArenaSize creates an arena whose chunks hold chunkFloats float64s.
+func NewArenaSize(chunkFloats int) *Arena {
+	if chunkFloats <= 0 {
+		chunkFloats = defaultChunk
+	}
+	return &Arena{chunkSize: chunkFloats}
+}
+
+// Alloc returns a zeroed rows x cols tensor backed by the arena.
+func (a *Arena) Alloc(rows, cols int) *Tensor {
+	t := a.AllocNoZero(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	return t
+}
+
+// AllocNoZero returns a rows x cols tensor backed by the arena WITHOUT
+// clearing recycled contents. Only for callers that overwrite every
+// element before reading (matmul outputs, elementwise map destinations).
+func (a *Arena) AllocNoZero(rows, cols int) *Tensor {
+	var t *Tensor
+	if a.nh < len(a.hdrs) {
+		t = a.hdrs[a.nh]
+	} else {
+		t = new(Tensor)
+		a.hdrs = append(a.hdrs, t)
+	}
+	a.nh++
+	t.Rows, t.Cols = rows, cols
+	t.Data = a.allocRaw(rows * cols)
+	return t
+}
+
+// allocRaw carves a slice of n float64s out of the chunk list (contents
+// undefined), growing it when needed. The returned slice has capacity ==
+// length so appends by callers can never bleed into neighbouring
+// allocations.
+func (a *Arena) allocRaw(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.ci < len(a.chunks) {
+			ch := a.chunks[a.ci]
+			if a.off+n <= len(ch) {
+				s := ch[a.off : a.off+n : a.off+n]
+				a.off += n
+				return s
+			}
+			a.ci++
+			a.off = 0
+			continue
+		}
+		size := a.chunkSize
+		if n > size {
+			size = n
+		}
+		a.chunks = append(a.chunks, make([]float64, size))
+	}
+}
+
+// Reset recycles every allocation made since the previous Reset. Tensors
+// previously returned by Alloc must not be used afterwards.
+func (a *Arena) Reset() {
+	a.ci, a.off, a.nh = 0, 0, 0
+}
+
+// Footprint returns the total float64 capacity currently held by the arena
+// (for diagnostics and tests).
+func (a *Arena) Footprint() int {
+	var n int
+	for _, ch := range a.chunks {
+		n += len(ch)
+	}
+	return n
+}

@@ -1,0 +1,248 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file holds the production matmul kernels: cache-blocked inner loops
+// that fan independent output-row ranges out across a bounded worker pool
+// once the problem is large enough to amortise the hand-off. The naive
+// triple loops in tensor.go (MatMulNaive and friends) are kept as the
+// reference implementations; the blocked/parallel kernels preserve their
+// exact per-element accumulation order, so results are bit-compatible
+// (parity tests pin this at 1e-12).
+
+const (
+	// parallelFlops is the m*k*n product above which a matmul fans out to
+	// the worker pool. Below it the hand-off overhead dominates.
+	parallelFlops = 1 << 17
+	// blockK tiles the shared dimension so the active rows of b stay hot
+	// in cache while many output rows stream past.
+	blockK = 256
+)
+
+// maxWorkers bounds kernel parallelism to the machine.
+var maxWorkers = runtime.NumCPU()
+
+var (
+	poolOnce sync.Once
+	poolJobs chan poolJob
+)
+
+type poolJob struct {
+	f      func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+// startPool lazily starts the bounded worker pool. Workers never submit
+// jobs themselves (kernels do not nest), so submission can safely block.
+func startPool() {
+	poolJobs = make(chan poolJob, maxWorkers)
+	for i := 0; i < maxWorkers; i++ {
+		go func() {
+			for j := range poolJobs {
+				j.f(j.lo, j.hi)
+				j.wg.Done()
+			}
+		}()
+	}
+}
+
+// parallelRows splits [0, m) into one contiguous range per worker and runs
+// f on each. The calling goroutine executes the last range itself so a
+// lone caller never sits idle. f must touch only rows in its range.
+func parallelRows(m int, f func(lo, hi int)) {
+	workers := maxWorkers
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		f(0, m)
+		return
+	}
+	poolOnce.Do(startPool)
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	lo := 0
+	for lo+chunk < m {
+		wg.Add(1)
+		poolJobs <- poolJob{f: f, lo: lo, hi: lo + chunk, wg: &wg}
+		lo += chunk
+	}
+	f(lo, m)
+	wg.Wait()
+}
+
+// MatMul computes dst = a @ b where a is m x k and b is k x n. dst must be
+// m x n and distinct from a and b. Returns dst. Large products are blocked
+// and run on the worker pool; results match MatMulNaive bit for bit.
+func MatMul(dst, a, b *Tensor) *Tensor {
+	checkShape("MatMul", a.Cols == b.Rows, "inner dims %d != %d", a.Cols, b.Rows)
+	checkShape("MatMul", dst.Rows == a.Rows && dst.Cols == b.Cols,
+		"dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols)
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if m*k*n >= parallelFlops && maxWorkers > 1 && m > 1 {
+		parallelRows(m, func(lo, hi int) { matMulRange(dst, a, b, lo, hi) })
+	} else {
+		matMulRange(dst, a, b, 0, m)
+	}
+	return dst
+}
+
+// matMulRange computes rows [lo, hi) of dst = a @ b: the naive streaming
+// loop under a k-blocked outer loop so the active slab of b stays hot in
+// cache while output rows stream past. Register-tiled variants were
+// benchmarked and lost on the scalar FP units this targets (the b-row
+// stream dual-issues mul+add at full throughput; accumulator tiles spill);
+// the zero-skip also lets dropout- and pad-sparse rows exit early. Per
+// output element the shared dimension is walked in ascending order exactly
+// as MatMulNaive does, so results match bit for bit.
+func matMulRange(dst, a, b *Tensor, lo, hi int) {
+	k, n := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+	}
+	for kk := 0; kk < k; kk += blockK {
+		kEnd := kk + blockK
+		if kEnd > k {
+			kEnd = k
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*n : (i+1)*n]
+			for p := kk; p < kEnd; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				x := drow[:len(brow)]
+				for j, bv := range brow {
+					x[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// MatMulATB computes dst += aᵀ @ b where a is m x k, b is m x n, dst is
+// k x n. Used for weight gradients; note it accumulates into dst. Rows of
+// dst (columns of a) are partitioned across the pool for large products.
+func MatMulATB(dst, a, b *Tensor) *Tensor {
+	checkShape("MatMulATB", a.Rows == b.Rows, "outer dims %d != %d", a.Rows, b.Rows)
+	checkShape("MatMulATB", dst.Rows == a.Cols && dst.Cols == b.Cols,
+		"dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols)
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if m*k*n >= parallelFlops && maxWorkers > 1 && k > 1 {
+		parallelRows(k, func(lo, hi int) { matMulATBRange(dst, a, b, lo, hi) })
+	} else {
+		matMulATBRange(dst, a, b, 0, k)
+	}
+	return dst
+}
+
+// matMulATBRange accumulates dst rows [plo, phi) of aᵀ @ b, four dst rows
+// per pass over b so each b row is streamed once per quad instead of once
+// per row. Per dst row the accumulation walks i ascending, matching the
+// naive kernel's order.
+func matMulATBRange(dst, a, b *Tensor, plo, phi int) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	p := plo
+	for ; p+4 <= phi; p += 4 {
+		d0 := dst.Data[p*n : (p+1)*n]
+		d1 := dst.Data[(p+1)*n : (p+2)*n]
+		d2 := dst.Data[(p+2)*n : (p+3)*n]
+		d3 := dst.Data[(p+3)*n : (p+4)*n]
+		for i := 0; i < m; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			v0, v1, v2, v3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			brow := b.Data[i*n : (i+1)*n]
+			x0, x1, x2, x3 := d0[:len(brow)], d1[:len(brow)], d2[:len(brow)], d3[:len(brow)]
+			for j, bv := range brow {
+				x0[j] += v0 * bv
+				x1[j] += v1 * bv
+				x2[j] += v2 * bv
+				x3[j] += v3 * bv
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		brow := b.Data[i*n : (i+1)*n]
+		for q := p; q < phi; q++ {
+			av := arow[q]
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[q*n : (q+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABT computes dst += a @ bᵀ where a is m x n, b is k x n, dst is
+// m x k. Used for input gradients; note it accumulates into dst. Output
+// rows are partitioned across the pool for large products.
+func MatMulABT(dst, a, b *Tensor) *Tensor {
+	checkShape("MatMulABT", a.Cols == b.Cols, "inner dims %d != %d", a.Cols, b.Cols)
+	checkShape("MatMulABT", dst.Rows == a.Rows && dst.Cols == b.Rows,
+		"dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows)
+	m, n, k := a.Rows, a.Cols, b.Rows
+	if m*k*n >= parallelFlops && maxWorkers > 1 && m > 1 {
+		parallelRows(m, func(lo, hi int) { matMulABTRange(dst, a, b, lo, hi) })
+	} else {
+		matMulABTRange(dst, a, b, 0, m)
+	}
+	return dst
+}
+
+// matMulABTRange accumulates rows [lo, hi) of a @ bᵀ into dst, computing
+// four dot products per pass over a's row so it is streamed once per quad.
+// Each dot product sums j ascending, identical to the naive kernel.
+func matMulABTRange(dst, a, b *Tensor, lo, hi int) {
+	n, k := a.Cols, b.Rows
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		drow := dst.Data[i*k : (i+1)*k]
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			b0 := b.Data[p*n : (p+1)*n]
+			b1 := b.Data[(p+1)*n : (p+2)*n]
+			b2 := b.Data[(p+2)*n : (p+3)*n]
+			b3 := b.Data[(p+3)*n : (p+4)*n]
+			b0 = b0[:len(arow)]
+			b1 = b1[:len(arow)]
+			b2 = b2[:len(arow)]
+			b3 = b3[:len(arow)]
+			var s0, s1, s2, s3 float64
+			for j, av := range arow {
+				s0 += av * b0[j]
+				s1 += av * b1[j]
+				s2 += av * b2[j]
+				s3 += av * b3[j]
+			}
+			drow[p] += s0
+			drow[p+1] += s1
+			drow[p+2] += s2
+			drow[p+3] += s3
+		}
+		for ; p < k; p++ {
+			brow := b.Data[p*n : (p+1)*n]
+			var s float64
+			for j, av := range arow {
+				s += av * brow[j]
+			}
+			drow[p] += s
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMats(m, k, n int) (dst, a, b *Tensor) {
+	rng := rand.New(rand.NewSource(7))
+	a = New(m, k).Randn(rng, 1)
+	b = New(k, n).Randn(rng, 1)
+	dst = New(m, n)
+	return
+}
+
+// BenchmarkMatMulServe matches the serving-path conv matmul shape.
+func BenchmarkMatMulServe(bb *testing.B) {
+	dst, a, b := benchMats(9, 72, 32)
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		MatMul(dst, a, b)
+	}
+}
+
+// BenchmarkMatMulTrain matches the training-path conv matmul shape.
+func BenchmarkMatMulTrain(bb *testing.B) {
+	dst, a, b := benchMats(32*12, 72, 32)
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		MatMul(dst, a, b)
+	}
+}
+
+// BenchmarkMatMulNaiveServe is the reference kernel on the serving shape.
+func BenchmarkMatMulNaiveServe(bb *testing.B) {
+	dst, a, b := benchMats(9, 72, 32)
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		MatMulNaive(dst, a, b)
+	}
+}
+
+// BenchmarkMatMulLarge exercises the parallel path on big shapes.
+func BenchmarkMatMulLarge(bb *testing.B) {
+	dst, a, b := benchMats(256, 256, 256)
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		MatMul(dst, a, b)
+	}
+}
+
+// BenchmarkMatMulNaiveTrain is the reference kernel on the training shape.
+func BenchmarkMatMulNaiveTrain(bb *testing.B) {
+	dst, a, b := benchMats(32*12, 72, 32)
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		MatMulNaive(dst, a, b)
+	}
+}
+
+// BenchmarkMatMulNaiveLarge is the reference kernel on the large shape.
+func BenchmarkMatMulNaiveLarge(bb *testing.B) {
+	dst, a, b := benchMats(256, 256, 256)
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		MatMulNaive(dst, a, b)
+	}
+}
+
+// Gradient-kernel shapes from the training path (weight and input grads).
+func BenchmarkMatMulATBTrain(bb *testing.B) {
+	_, a, _ := benchMats(384, 72, 1)
+	_, b, _ := benchMats(384, 32, 1)
+	dst := New(72, 32)
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		MatMulATB(dst, a, b)
+	}
+}
+
+func BenchmarkMatMulATBNaiveTrain(bb *testing.B) {
+	_, a, _ := benchMats(384, 72, 1)
+	_, b, _ := benchMats(384, 32, 1)
+	dst := New(72, 32)
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		MatMulATBNaive(dst, a, b)
+	}
+}
+
+func BenchmarkMatMulABTTrain(bb *testing.B) {
+	_, a, _ := benchMats(384, 32, 1)
+	_, b, _ := benchMats(72, 32, 1)
+	dst := New(384, 72)
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		MatMulABT(dst, a, b)
+	}
+}
+
+func BenchmarkMatMulABTNaiveTrain(bb *testing.B) {
+	_, a, _ := benchMats(384, 32, 1)
+	_, b, _ := benchMats(72, 32, 1)
+	dst := New(384, 72)
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		MatMulABTNaive(dst, a, b)
+	}
+}

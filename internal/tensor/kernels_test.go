@@ -1,0 +1,190 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// kernel parity: the blocked/parallel kernels must match the naive
+// reference loops within 1e-12 on random shapes, including shapes that
+// cross the parallel fan-out threshold and ragged sizes that exercise the
+// remainder paths.
+
+func randMat(rng *rand.Rand, r, c int) *Tensor {
+	return New(r, c).Randn(rng, 1)
+}
+
+// sparsify zeroes a fraction of entries so the zero-skip paths run.
+func sparsify(rng *rand.Rand, t *Tensor, frac float64) {
+	for i := range t.Data {
+		if rng.Float64() < frac {
+			t.Data[i] = 0
+		}
+	}
+}
+
+func parityShapes() [][3]int {
+	return [][3]int{
+		{1, 1, 1},
+		{1, 24, 32},
+		{3, 7, 5},
+		{4, 8, 8},
+		{5, 72, 32},
+		{9, 72, 32},
+		{13, 31, 17},
+		{64, 64, 64},
+		{97, 101, 33},
+		{128, 300, 40}, // crosses parallelFlops
+		{384, 72, 32},  // training conv shape
+	}
+}
+
+func TestMatMulParity(t *testing.T) {
+	restore := maxWorkers
+	maxWorkers = 4 // force the pool path even on single-CPU CI machines
+	defer func() { maxWorkers = restore }()
+	rng := rand.New(rand.NewSource(11))
+	for _, sh := range parityShapes() {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randMat(rng, m, k)
+		b := randMat(rng, k, n)
+		sparsify(rng, a, 0.2)
+		got := MatMul(New(m, n), a, b)
+		want := MatMulNaive(New(m, n), a, b)
+		if !Equal(got, want, 1e-12) {
+			t.Fatalf("MatMul %dx%dx%d diverges from naive", m, k, n)
+		}
+	}
+}
+
+func TestMatMulATBParity(t *testing.T) {
+	restore := maxWorkers
+	maxWorkers = 4
+	defer func() { maxWorkers = restore }()
+	rng := rand.New(rand.NewSource(12))
+	for _, sh := range parityShapes() {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randMat(rng, m, k)
+		b := randMat(rng, m, n)
+		sparsify(rng, a, 0.2)
+		// Accumulation: start both from the same nonzero dst.
+		seed := randMat(rng, k, n)
+		got := MatMulATB(seed.Clone(), a, b)
+		want := MatMulATBNaive(seed.Clone(), a, b)
+		if !Equal(got, want, 1e-12) {
+			t.Fatalf("MatMulATB %dx%dx%d diverges from naive", m, k, n)
+		}
+	}
+}
+
+func TestMatMulABTParity(t *testing.T) {
+	restore := maxWorkers
+	maxWorkers = 4
+	defer func() { maxWorkers = restore }()
+	rng := rand.New(rand.NewSource(13))
+	for _, sh := range parityShapes() {
+		m, n, k := sh[0], sh[1], sh[2]
+		a := randMat(rng, m, n)
+		b := randMat(rng, k, n)
+		seed := randMat(rng, m, k)
+		got := MatMulABT(seed.Clone(), a, b)
+		want := MatMulABTNaive(seed.Clone(), a, b)
+		if !Equal(got, want, 1e-12) {
+			t.Fatalf("MatMulABT %dx%dx%d diverges from naive", m, n, k)
+		}
+	}
+}
+
+// TestMatMulParallelConcurrent hammers the shared worker pool from many
+// goroutines at once; run with -race to catch pool misuse.
+func TestMatMulParallelConcurrent(t *testing.T) {
+	restore := maxWorkers
+	maxWorkers = 4
+	defer func() { maxWorkers = restore }()
+	rng := rand.New(rand.NewSource(14))
+	a := randMat(rng, 128, 300)
+	b := randMat(rng, 300, 40)
+	want := MatMulNaive(New(128, 40), a, b)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 20; i++ {
+				got := MatMul(New(128, 40), a, b)
+				if !Equal(got, want, 1e-12) {
+					done <- errFailed
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errFailed = errParity{}
+
+type errParity struct{}
+
+func (errParity) Error() string { return "parallel MatMul diverged from naive" }
+
+func TestArenaRecycles(t *testing.T) {
+	a := NewArena()
+	t1 := a.Alloc(4, 8)
+	for i := range t1.Data {
+		t1.Data[i] = 7
+	}
+	foot := a.Footprint()
+	a.Reset()
+	t2 := a.Alloc(4, 8)
+	if &t2.Data[0] != &t1.Data[0] {
+		t.Fatalf("arena did not recycle storage after Reset")
+	}
+	for _, v := range t2.Data {
+		if v != 0 {
+			t.Fatalf("Alloc after Reset returned dirty memory")
+		}
+	}
+	if a.Footprint() != foot {
+		t.Fatalf("Reset changed footprint: %d -> %d", foot, a.Footprint())
+	}
+}
+
+func TestArenaLargeAndOddSizes(t *testing.T) {
+	a := NewArenaSize(16)
+	small := a.Alloc(2, 3)
+	big := a.Alloc(10, 10) // exceeds chunk size: dedicated chunk
+	if small.Len() != 6 || big.Len() != 100 {
+		t.Fatalf("unexpected sizes")
+	}
+	big.Fill(3)
+	small.Fill(1)
+	if big.Data[0] != 3 || small.Data[0] != 1 {
+		t.Fatalf("allocations overlap")
+	}
+	a.Reset()
+	// Same sequence must reuse both chunks without growing.
+	foot := a.Footprint()
+	_ = a.Alloc(2, 3)
+	_ = a.Alloc(10, 10)
+	if a.Footprint() != foot {
+		t.Fatalf("arena grew on identical second pass: %d -> %d", foot, a.Footprint())
+	}
+	// AllocNoZero hands back dirty memory by contract; just check bounds.
+	raw := a.AllocNoZero(1, 4)
+	if len(raw.Data) != 4 || cap(raw.Data) != 4 {
+		t.Fatalf("AllocNoZero wrong shape: len %d cap %d", len(raw.Data), cap(raw.Data))
+	}
+}
+
+func TestArenaZeroSize(t *testing.T) {
+	a := NewArena()
+	e := a.Alloc(0, 5)
+	if e.Len() != 0 {
+		t.Fatalf("zero-size alloc has data")
+	}
+	a.Reset()
+}

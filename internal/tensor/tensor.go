@@ -115,9 +115,10 @@ func checkShape(op string, ok bool, format string, args ...any) {
 	}
 }
 
-// MatMul computes dst = a @ b where a is m x k and b is k x n. dst must be
-// m x n and distinct from a and b. Returns dst.
-func MatMul(dst, a, b *Tensor) *Tensor {
+// MatMulNaive computes dst = a @ b with the reference triple loop. dst must
+// be m x n and distinct from a and b. Returns dst. Kept as the ground truth
+// the blocked/parallel kernels in kernels.go are parity-tested against.
+func MatMulNaive(dst, a, b *Tensor) *Tensor {
 	checkShape("MatMul", a.Cols == b.Rows, "inner dims %d != %d", a.Cols, b.Rows)
 	checkShape("MatMul", dst.Rows == a.Rows && dst.Cols == b.Cols,
 		"dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols)
@@ -140,9 +141,9 @@ func MatMul(dst, a, b *Tensor) *Tensor {
 	return dst
 }
 
-// MatMulATB computes dst += aᵀ @ b where a is m x k, b is m x n, dst is k x n.
-// Used for weight gradients; note it accumulates into dst.
-func MatMulATB(dst, a, b *Tensor) *Tensor {
+// MatMulATBNaive computes dst += aᵀ @ b with the reference loop; a is m x k,
+// b is m x n, dst is k x n. Note it accumulates into dst.
+func MatMulATBNaive(dst, a, b *Tensor) *Tensor {
 	checkShape("MatMulATB", a.Rows == b.Rows, "outer dims %d != %d", a.Rows, b.Rows)
 	checkShape("MatMulATB", dst.Rows == a.Cols && dst.Cols == b.Cols,
 		"dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols)
@@ -163,9 +164,9 @@ func MatMulATB(dst, a, b *Tensor) *Tensor {
 	return dst
 }
 
-// MatMulABT computes dst += a @ bᵀ where a is m x n, b is k x n, dst is m x k.
-// Used for input gradients; note it accumulates into dst.
-func MatMulABT(dst, a, b *Tensor) *Tensor {
+// MatMulABTNaive computes dst += a @ bᵀ with the reference loop; a is m x n,
+// b is k x n, dst is m x k. Note it accumulates into dst.
+func MatMulABTNaive(dst, a, b *Tensor) *Tensor {
 	checkShape("MatMulABT", a.Cols == b.Cols, "inner dims %d != %d", a.Cols, b.Cols)
 	checkShape("MatMulABT", dst.Rows == a.Rows && dst.Cols == b.Rows,
 		"dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows)

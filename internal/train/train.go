@@ -160,6 +160,9 @@ func RunWithTargets(m *model.Model, ds *record.Dataset, targets map[string]*labe
 		}
 		rep.FinalDev = ms
 	}
+	// Drop the training session's pooled buffers: the returned model is
+	// typically kept for serving, which must not pin training-sized arenas.
+	m.EndTraining()
 	return rep, nil
 }
 
@@ -194,4 +197,6 @@ func restoreParams(m *model.Model, src map[string][]float64) {
 			copy(p.Node.Value.Data, buf)
 		}
 	}
+	// Direct parameter writes invalidate the model's derived caches.
+	m.ParamsChanged()
 }

@@ -179,6 +179,7 @@ func (a *App) Build(ds *Dataset, opts BuildOptions) (*Model, *BuildReport, error
 	rep := &BuildReport{}
 
 	var m *Model
+	var targets map[string]*labelmodel.TaskTargets
 	if opts.SearchBudget > 1 {
 		scfg := search.Config{
 			Tuning:    a.Tuning,
@@ -215,12 +216,18 @@ func (a *App) Build(ds *Dataset, opts BuildOptions) (*Model, *BuildReport, error
 		}
 		rep.Choice = choice
 		rep.DevScore = trep.BestDev
+		targets = trep.Supervision
 	}
 	rep.Program = m.Prog.Describe()
 
-	// Label-model diagnostics for the report.
-	targets, err := train.CombineSupervision(ds, tcfg)
-	if err == nil {
+	// Label-model diagnostics for the report. The default path reuses the
+	// targets the trainer already combined; search runs combine once here.
+	if targets == nil {
+		if t, err := train.CombineSupervision(ds, tcfg); err == nil {
+			targets = t
+		}
+	}
+	if targets != nil {
 		rep.SourceAccuracy = map[string]map[string]float64{}
 		for task, tt := range targets {
 			rep.SourceAccuracy[task] = tt.SourceAccuracy
