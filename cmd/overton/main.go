@@ -12,6 +12,7 @@
 //	overton report   -model model.bin -data d.jsonl [-csv] [-json]
 //	overton predict  -model model.bin -in query.json
 //	overton serve    -model model.bin -addr :8080
+//	overton serve    -deploy factoid=m1.bin -deploy qa=m2.bin -shadow factoid=cand.bin [-default factoid]
 //	overton store    -root dir put|get|list -name m [-file model.bin] [-version N]
 package main
 
@@ -27,6 +28,7 @@ import (
 	overton "repro"
 	"repro/internal/artifact"
 	"repro/internal/compile"
+	"repro/internal/deploy"
 	"repro/internal/record"
 	"repro/internal/serve"
 	"repro/internal/workload"
@@ -268,16 +270,85 @@ func cmdPredict(args []string) error {
 
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	modelPath := fs.String("model", "", "model artifact path")
+	modelPath := fs.String("model", "", "model artifact path (single-model shorthand for one -deploy)")
 	addr := fs.String("addr", ":8080", "listen address")
+	defName := fs.String("default", "", "deployment backing the legacy /predict endpoint (default: first added)")
+	batch := fs.Int("batch", 0, "micro-batch size per deployment (0 = default)")
+	var deploys, shadows []string
+	fs.Func("deploy", "name=artifact.bin deployment (repeatable; schemas may differ per deployment)", func(v string) error {
+		deploys = append(deploys, v)
+		return nil
+	})
+	fs.Func("shadow", "name=artifact.bin shadow candidate mirrored behind deployment name (repeatable)", func(v string) error {
+		shadows = append(shadows, v)
+		return nil
+	})
 	fs.Parse(args)
-	m, err := overton.LoadModel(*modelPath)
-	if err != nil {
-		return err
+	if *modelPath != "" {
+		deploys = append([]string{*modelPath + "=" + *modelPath}, deploys...)
 	}
-	srv := serve.New(m, *modelPath, 1)
-	fmt.Printf("serving %s on %s\n", *modelPath, *addr)
+	if len(deploys) == 0 {
+		return fmt.Errorf("serve needs -model or at least one -deploy name=artifact.bin")
+	}
+
+	var opts []serve.Option
+	if *batch > 0 {
+		opts = append(opts, serve.WithBatchSize(*batch))
+	}
+	reg := deploy.NewRegistry()
+	for _, spec := range deploys {
+		name, path, err := splitSpec(spec)
+		if err != nil {
+			return fmt.Errorf("-deploy %q: %w", spec, err)
+		}
+		m, err := overton.LoadModel(path)
+		if err != nil {
+			return err
+		}
+		if err := reg.Add(deploy.New(name, m, 1, opts...)); err != nil {
+			return err
+		}
+		fmt.Printf("deployment %-20s <- %s\n", name, path)
+	}
+	for _, spec := range shadows {
+		name, path, err := splitSpec(spec)
+		if err != nil {
+			return fmt.Errorf("-shadow %q: %w", spec, err)
+		}
+		d, ok := reg.Get(name)
+		if !ok {
+			return fmt.Errorf("-shadow %q: no such deployment", name)
+		}
+		m, err := overton.LoadModel(path)
+		if err != nil {
+			return err
+		}
+		if err := d.SetShadow(m, d.Version()+1); err != nil {
+			return err
+		}
+		fmt.Printf("shadow     %-20s <- %s (mirroring live traffic)\n", name, path)
+	}
+	if *defName != "" {
+		if err := reg.SetDefault(*defName); err != nil {
+			return err
+		}
+	}
+	srv := serve.NewFleet(reg)
+	defer srv.Close()
+	fmt.Printf("serving %d deployment(s) on %s (default %s)\n",
+		len(reg.Names()), *addr, reg.Default().Name())
+	fmt.Printf("  POST /v1/models/{name}/predict|ingest|promote|rollback\n")
+	fmt.Printf("  GET  /v1/models[/{name}/stats|signature]  POST /predict (legacy)\n")
 	return http.ListenAndServe(*addr, srv.Handler())
+}
+
+// splitSpec parses a name=path flag value.
+func splitSpec(spec string) (name, path string, err error) {
+	name, path, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || path == "" {
+		return "", "", fmt.Errorf("want name=artifact.bin")
+	}
+	return name, path, nil
 }
 
 func cmdStore(args []string) error {

@@ -84,7 +84,13 @@ func (d *Deployer) Deploy(name string, candidate *model.Model, ds *record.Datase
 	dec.Version = vi
 	dec.Reason = fmt.Sprintf("deployed version %d", vi.Version)
 	if d.Server != nil {
-		d.Server.Swap(candidate, vi.Version)
+		if err := d.Server.Swap(candidate, vi.Version); err != nil {
+			// The artifact is published but the server still runs the old
+			// model; report the split state instead of claiming success.
+			dec.Deployed = false
+			dec.Reason = fmt.Sprintf("published version %d but hot-swap failed: %v", vi.Version, err)
+			return dec, fmt.Errorf("core: hot-swap after publish: %w", err)
+		}
 	}
 	return dec, nil
 }
@@ -103,7 +109,9 @@ func (d *Deployer) Rollback(name string, version int) (artifact.VersionInfo, err
 		return artifact.VersionInfo{}, fmt.Errorf("core: load version %d: %w", vi.Version, err)
 	}
 	if d.Server != nil {
-		d.Server.Swap(m, vi.Version)
+		if err := d.Server.Swap(m, vi.Version); err != nil {
+			return vi, fmt.Errorf("core: rollback swap: %w", err)
+		}
 	}
 	return vi, nil
 }

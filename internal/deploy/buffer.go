@@ -1,0 +1,80 @@
+package deploy
+
+import (
+	"sync"
+
+	"repro/internal/record"
+)
+
+// defaultBufferCap bounds a deployment's ingest buffer.
+const defaultBufferCap = 4096
+
+// recordBuffer is a bounded sliding window over a deployment's ingested
+// records: when full, the newest record overwrites the oldest (streaming
+// semantics — later fine-tuning wants the freshest traffic) and the drop
+// is counted. All methods are safe for concurrent use.
+type recordBuffer struct {
+	mu       sync.Mutex
+	buf      []*record.Record // ring storage, len == capacity
+	pos      int              // next write position
+	n        int              // live records (caps at len(buf))
+	ingested int64            // total accepted since creation
+	dropped  int64            // overwritten before being drained
+}
+
+func newRecordBuffer(capacity int) *recordBuffer {
+	if capacity <= 0 {
+		capacity = defaultBufferCap
+	}
+	return &recordBuffer{buf: make([]*record.Record, capacity)}
+}
+
+// append accepts recs into the window.
+func (b *recordBuffer) append(recs ...*record.Record) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, r := range recs {
+		if b.n == len(b.buf) {
+			b.dropped++ // overwriting the oldest live record
+		} else {
+			b.n++
+		}
+		b.buf[b.pos] = r
+		b.pos++
+		if b.pos == len(b.buf) {
+			b.pos = 0
+		}
+	}
+	b.ingested += int64(len(recs))
+}
+
+// drain returns the buffered records in arrival order and clears the
+// window (the fine-tuning pipeline takes ownership).
+func (b *recordBuffer) drain() []*record.Record {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.n == 0 {
+		return nil
+	}
+	out := make([]*record.Record, 0, b.n)
+	start := b.pos - b.n
+	if start < 0 {
+		start += len(b.buf)
+	}
+	for i := 0; i < b.n; i++ {
+		j := start + i
+		if j >= len(b.buf) {
+			j -= len(b.buf)
+		}
+		out = append(out, b.buf[j])
+		b.buf[j] = nil // release for GC
+	}
+	b.pos, b.n = 0, 0
+	return out
+}
+
+func (b *recordBuffer) stats() (ingested int64, buffered int, dropped int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ingested, b.n, b.dropped
+}

@@ -1,0 +1,517 @@
+// Package deploy implements Overton's deployment registry: a fleet of
+// named, versioned model deployments behind one serving front. Each
+// Deployment owns a model, its schema-derived serving signature, its own
+// micro-batch collector (reusing the pooled inference sessions of
+// internal/model), per-deployment SLA stats, a bounded ingest buffer for
+// streaming supervision, and optionally a shadow candidate that receives
+// mirrored live traffic. Shadow outputs are compared against the primary's
+// and accumulated in a monitor.ShadowSeries, so a retrained model is
+// evaluated on production traffic before an atomic Promote — the paper's
+// monitor-then-improve loop as a serving primitive. Rollback restores the
+// previous primary.
+//
+// Serving code depends only on the signature, never on model internals:
+// Swap, SetShadow, and Promote verify the incoming model serves the same
+// signature, which is exactly the model-independence contract that lets
+// retrained or re-tuned models deploy without serving changes.
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/monitor"
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+// Batching defaults; tune with WithBatchSize / WithMaxWait.
+const (
+	defaultBatchSize = 16
+	defaultMaxWait   = 2 * time.Millisecond
+	// jobQueueDepth bounds requests waiting for the collector.
+	jobQueueDepth = 256
+	// shadowLaneWidth bounds concurrently mirrored shadow predictions;
+	// excess mirrors are shed (and counted) so shadow traffic can never
+	// backpressure the primary path.
+	shadowLaneWidth = 4
+)
+
+// ErrClosed is returned for requests against a closed deployment.
+var ErrClosed = errors.New("deploy: deployment closed")
+
+// Deployment is one named, versioned serving unit.
+type Deployment struct {
+	name string
+
+	mu          sync.RWMutex
+	m           *model.Model
+	version     int
+	prev        *model.Model // previous primary, kept for Rollback
+	prevVersion int
+	shadow      *model.Model // candidate receiving mirrored traffic
+	shadowVer   int
+	promotions  int64
+	rollbacks   int64
+
+	batchSize int
+	maxWait   time.Duration
+	jobs      chan *predictJob
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	shadowSem chan struct{}
+	// shadowMu/shadowCond/shadowInflight track in-flight mirror
+	// goroutines. A plain WaitGroup is unusable here: mirror() calls Add
+	// while FlushShadow Waits, the documented WaitGroup misuse.
+	shadowMu       sync.Mutex
+	shadowCond     *sync.Cond
+	shadowInflight int
+	// series is the current comparison epoch. SetShadow and Promote swap
+	// in a fresh series rather than resetting, so a mirror goroutine
+	// started under an old shadow records into the old epoch's (now
+	// discarded) series instead of polluting the new one.
+	series *monitor.ShadowSeries
+
+	lat *latencyStats
+	buf *recordBuffer
+
+	bufferCap int
+	now       func() time.Time
+}
+
+// Option customises a Deployment.
+type Option func(*Deployment)
+
+// WithBatchSize sets the micro-batcher's maximum batch size (default 16).
+func WithBatchSize(n int) Option {
+	return func(d *Deployment) {
+		if n > 0 {
+			d.batchSize = n
+		}
+	}
+}
+
+// WithMaxWait sets how long the collector waits for stragglers after the
+// first request of a batch arrives (default 2ms). Zero disables waiting:
+// each batch is whatever is already queued.
+func WithMaxWait(wait time.Duration) Option {
+	return func(d *Deployment) { d.maxWait = wait }
+}
+
+// WithBufferCap sets the ingest buffer capacity (default 4096 records).
+func WithBufferCap(n int) Option {
+	return func(d *Deployment) { d.bufferCap = n }
+}
+
+// New creates a deployment serving m under name/version and starts its
+// batch collector. Call Close to stop the collector when retiring the
+// deployment.
+func New(name string, m *model.Model, version int, opts ...Option) *Deployment {
+	d := &Deployment{
+		name:      name,
+		m:         m,
+		version:   version,
+		batchSize: defaultBatchSize,
+		maxWait:   defaultMaxWait,
+		jobs:      make(chan *predictJob, jobQueueDepth),
+		closed:    make(chan struct{}),
+		shadowSem: make(chan struct{}, shadowLaneWidth),
+		series:    monitor.NewShadowSeries(),
+		lat:       newLatencyStats(),
+		now:       time.Now,
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	d.shadowCond = sync.NewCond(&d.shadowMu)
+	d.buf = newRecordBuffer(d.bufferCap)
+	go d.collect()
+	return d
+}
+
+// Name returns the deployment's registry name.
+func (d *Deployment) Name() string { return d.name }
+
+// Version returns the current primary model version.
+func (d *Deployment) Version() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.version
+}
+
+// Schema returns the serving schema of the current primary.
+func (d *Deployment) Schema() *schema.Schema {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.m.Prog.Schema
+}
+
+// Signature returns the serving signature of the current primary.
+func (d *Deployment) Signature() *schema.Signature {
+	return d.Schema().Signature()
+}
+
+// Info returns the primary model's artifact metadata.
+func (d *Deployment) Info() model.Info {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.m.Info()
+}
+
+// Close stops the batch collector. In-flight requests receive errors;
+// subsequent requests are rejected. Safe to call more than once, and safe
+// to race with Predict, Swap, and Ingest.
+func (d *Deployment) Close() {
+	d.closeOnce.Do(func() { close(d.closed) })
+}
+
+// Closed reports whether the deployment has been closed.
+func (d *Deployment) Closed() bool {
+	select {
+	case <-d.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// checkSignature verifies m serves the deployment's current signature.
+func (d *Deployment) checkSignature(m *model.Model) error {
+	if m == nil {
+		return fmt.Errorf("deploy %s: nil model", d.name)
+	}
+	cur := d.m.Prog.Schema.Signature()
+	next := m.Prog.Schema.Signature()
+	if !reflect.DeepEqual(cur, next) {
+		return fmt.Errorf("deploy %s: model signature differs from the deployed signature", d.name)
+	}
+	return nil
+}
+
+// Swap replaces the served model atomically (deploying a new version
+// out-of-band). The previous primary is retained for Rollback. The
+// incoming model must serve the same signature. Swapping a closed
+// deployment returns ErrClosed — it must never panic, since deploy
+// automation can race retirement.
+func (d *Deployment) Swap(m *model.Model, version int) error {
+	if d.Closed() {
+		return ErrClosed
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkSignature(m); err != nil {
+		return err
+	}
+	d.prev, d.prevVersion = d.m, d.version
+	d.m, d.version = m, version
+	return nil
+}
+
+// SetShadow installs (or, with a nil model, removes) the shadow candidate.
+// Mirrored-traffic comparison restarts from zero.
+func (d *Deployment) SetShadow(m *model.Model, version int) error {
+	if d.Closed() {
+		return ErrClosed
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m == nil {
+		d.shadow, d.shadowVer = nil, 0
+		d.series = monitor.NewShadowSeries()
+		return nil
+	}
+	if err := d.checkSignature(m); err != nil {
+		return err
+	}
+	d.shadow, d.shadowVer = m, version
+	d.series = monitor.NewShadowSeries()
+	return nil
+}
+
+// Promote atomically makes the shadow candidate the primary. The old
+// primary is retained for Rollback; the shadow slot empties and its
+// comparison series resets (a promotion starts a new epoch).
+func (d *Deployment) Promote() (int, error) {
+	if d.Closed() {
+		return 0, ErrClosed
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.shadow == nil {
+		return 0, fmt.Errorf("deploy %s: no shadow to promote", d.name)
+	}
+	d.prev, d.prevVersion = d.m, d.version
+	d.m, d.version = d.shadow, d.shadowVer
+	d.shadow, d.shadowVer = nil, 0
+	d.promotions++
+	d.series = monitor.NewShadowSeries()
+	return d.version, nil
+}
+
+// Rollback atomically restores the previous primary (the one displaced by
+// the last Swap or Promote).
+func (d *Deployment) Rollback() (int, error) {
+	if d.Closed() {
+		return 0, ErrClosed
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.prev == nil {
+		return 0, fmt.Errorf("deploy %s: nothing to roll back to", d.name)
+	}
+	d.m, d.version, d.prev, d.prevVersion = d.prev, d.prevVersion, d.m, d.version
+	d.rollbacks++
+	return d.version, nil
+}
+
+// Predict runs one validated record through the deployment's micro-batch
+// collector and, when a shadow is installed, mirrors the request to it in
+// the background. Returns the output and the version that served it.
+func (d *Deployment) Predict(rec *record.Record) (model.Output, int, error) {
+	start := d.now()
+	d.mu.RLock()
+	m, version := d.m, d.version
+	shadow, series := d.shadow, d.series
+	d.mu.RUnlock()
+
+	job := &predictJob{rec: rec, m: m, resp: make(chan predictResult, 1)}
+	select {
+	case d.jobs <- job:
+	case <-d.closed:
+		d.lat.recordError()
+		return nil, version, ErrClosed
+	}
+	var res predictResult
+	select {
+	case res = <-job.resp:
+	case <-d.closed:
+		d.lat.recordError()
+		return nil, version, ErrClosed
+	}
+	if res.err != nil {
+		d.lat.recordError()
+		return nil, version, res.err
+	}
+	if shadow != nil {
+		d.mirror(shadow, series, rec, res.out)
+	}
+	d.lat.recordLatency(float64(d.now().Sub(start).Microseconds()) / 1000.0)
+	return res.out, version, nil
+}
+
+// RecordError counts a request that failed before reaching Predict
+// (malformed payloads, schema violations) against this deployment's stats.
+func (d *Deployment) RecordError() { d.lat.recordError() }
+
+// mirror runs the shadow prediction on a bounded background lane and feeds
+// the comparison into the series of the epoch the request was served
+// under (a concurrent SetShadow/Promote swaps in a fresh series; this
+// late mirror then lands in the discarded one). When every lane slot is
+// busy the mirror is shed and counted — the primary path never waits on
+// shadow work.
+func (d *Deployment) mirror(shadow *model.Model, series *monitor.ShadowSeries, rec *record.Record, primary model.Output) {
+	select {
+	case d.shadowSem <- struct{}{}:
+	default:
+		series.ObserveDropped()
+		return
+	}
+	d.shadowMu.Lock()
+	d.shadowInflight++
+	d.shadowMu.Unlock()
+	go func() {
+		defer func() {
+			<-d.shadowSem
+			d.shadowMu.Lock()
+			d.shadowInflight--
+			if d.shadowInflight == 0 {
+				d.shadowCond.Broadcast()
+			}
+			d.shadowMu.Unlock()
+		}()
+		out, err := shadow.PredictOne(rec)
+		if err != nil {
+			series.ObserveError()
+			return
+		}
+		series.Observe(primary, out)
+	}()
+}
+
+// FlushShadow blocks until every in-flight mirrored prediction has been
+// recorded — used before reading comparison stats at a decision point
+// (and by tests). Safe to call concurrently with live mirroring.
+func (d *Deployment) FlushShadow() {
+	d.shadowMu.Lock()
+	for d.shadowInflight > 0 {
+		d.shadowCond.Wait()
+	}
+	d.shadowMu.Unlock()
+}
+
+// Ingest appends validated records to the deployment's buffer for later
+// fine-tuning or label-model updates. A closed deployment rejects
+// ingestion — Close's contract is that subsequent requests fail, and a
+// closed deployment's buffer will never be drained.
+func (d *Deployment) Ingest(recs ...*record.Record) error {
+	if d.Closed() {
+		return ErrClosed
+	}
+	d.buf.append(recs...)
+	return nil
+}
+
+// IngestStats returns the buffer counters without touching the latency
+// ring (Stats sorts the whole sample window; the ingest path only needs
+// these three numbers).
+func (d *Deployment) IngestStats() (ingested int64, buffered int, dropped int64) {
+	return d.buf.stats()
+}
+
+// Drain returns the buffered ingested records in arrival order and clears
+// the buffer; the caller (a fine-tuning pipeline) takes ownership.
+func (d *Deployment) Drain() []*record.Record { return d.buf.drain() }
+
+// Stats snapshots the deployment's serving profile.
+func (d *Deployment) Stats() Stats {
+	d.mu.RLock()
+	st := Stats{
+		Name:          d.name,
+		Version:       d.version,
+		ShadowVersion: d.shadowVer,
+		Promotions:    d.promotions,
+		Rollbacks:     d.rollbacks,
+	}
+	var series *monitor.ShadowSeries
+	if d.shadow != nil {
+		series = d.series
+	}
+	d.mu.RUnlock()
+	d.lat.snapshot(&st)
+	st.Ingested, st.Buffered, st.Dropped = d.buf.stats()
+	if series != nil {
+		st.Shadow = series.Snapshot()
+	}
+	return st
+}
+
+// predictJob carries one validated request through the micro-batcher,
+// pinned to the model snapshot it was validated against so a mid-flight
+// Swap cannot run it (or report provenance) under a different model.
+type predictJob struct {
+	rec  *record.Record
+	m    *model.Model
+	resp chan predictResult
+}
+
+type predictResult struct {
+	out model.Output
+	err error
+}
+
+// collect is the micro-batch loop: take the first job, opportunistically
+// drain whatever else is already queued, then hand the batch to a
+// predictor goroutine (bounded by a GOMAXPROCS-wide semaphore) so batches
+// overlap on multi-core hosts — Model.Predict is concurrency-safe via its
+// pooled sessions. The MaxWait straggler window only applies when every
+// predictor slot is busy: an idle deployment dispatches a lone request
+// immediately (no latency floor), while a saturated one amortises the wait
+// it would spend blocked on a slot anyway into a bigger batch.
+func (d *Deployment) collect() {
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for {
+		select {
+		case j := <-d.jobs:
+			batch := make([]*predictJob, 0, d.batchSize)
+			batch = append(batch, j)
+		drain:
+			for len(batch) < d.batchSize {
+				select {
+				case j2 := <-d.jobs:
+					batch = append(batch, j2)
+				default:
+					break drain
+				}
+			}
+			select {
+			case sem <- struct{}{}:
+				// Free predictor: run what we have right now.
+			default:
+				// All predictors busy; gather stragglers while waiting.
+				if d.maxWait > 0 && d.batchSize > 1 {
+					timer := time.NewTimer(d.maxWait)
+				fill:
+					for len(batch) < d.batchSize {
+						select {
+						case j2 := <-d.jobs:
+							batch = append(batch, j2)
+						case <-timer.C:
+							break fill
+						}
+					}
+					timer.Stop()
+				}
+				sem <- struct{}{}
+			}
+			go func(batch []*predictJob) {
+				defer func() { <-sem }()
+				runBatch(batch)
+			}(batch)
+		case <-d.closed:
+			// Fail any queued jobs so no caller blocks forever;
+			// already-dispatched batches finish on their own goroutines.
+			// A job enqueued after this drain is answered by its caller's
+			// own closed-channel select, so nothing can deadlock.
+			for {
+				select {
+				case j := <-d.jobs:
+					j.resp <- predictResult{err: ErrClosed}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runBatch predicts one micro-batch. Jobs run under the model snapshot
+// they were validated against (a mid-window Swap splits the batch into
+// per-model runs). If a batched pass fails (e.g. one record is missing a
+// required payload the schema validation does not cover), it falls back to
+// per-record passes so a single bad request cannot poison the others
+// sharing its batch.
+func runBatch(batch []*predictJob) {
+	for start := 0; start < len(batch); {
+		m := batch[start].m
+		end := start + 1
+		for end < len(batch) && batch[end].m == m {
+			end++
+		}
+		run := batch[start:end]
+		recs := make([]*record.Record, len(run))
+		for i, j := range run {
+			recs[i] = j.rec
+		}
+		outs, err := m.Predict(recs)
+		switch {
+		case err == nil:
+			for i, j := range run {
+				j.resp <- predictResult{out: outs[i]}
+			}
+		case len(run) == 1:
+			run[0].resp <- predictResult{err: err}
+		default:
+			for _, j := range run {
+				out, err := m.PredictOne(j.rec)
+				j.resp <- predictResult{out: out, err: err}
+			}
+		}
+		start = end
+	}
+}

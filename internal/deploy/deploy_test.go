@@ -1,0 +1,334 @@
+package deploy
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/model"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func freshModel(t testing.TB, seed int64) *model.Model {
+	t.Helper()
+	choice := schema.Choice{
+		Embedding: "hash-8", Encoder: "BOW", Hidden: 8,
+		QueryAgg: "mean", EntityAgg: "mean",
+		LR: 0.01, Epochs: 1, Dropout: 0, BatchSize: 8,
+	}
+	prog, err := compile.Plan(workload.FactoidSchema(), choice, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := workload.DefaultKB()
+	var ents []string
+	for _, e := range kb.Entities {
+		ents = append(ents, e.ID)
+	}
+	m, err := model.New(prog, &compile.Resources{
+		TokenVocab:  workload.Vocabulary(kb),
+		EntityVocab: ents,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func goodRecord(t testing.TB, m *model.Model) *record.Record {
+	t.Helper()
+	rec := &record.Record{Payloads: map[string]record.PayloadValue{
+		"tokens":   {Tokens: []string{"how", "tall", "is", "obama"}},
+		"query":    {String: "how tall is obama"},
+		"entities": {Set: []record.SetMember{{ID: "Barack_Obama", Start: 3, End: 4}}},
+	}}
+	if err := record.Validate(rec, m.Prog.Schema); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestDeploymentPredictAndStats(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("factoid", m, 1)
+	defer d.Close()
+
+	rec := goodRecord(t, m)
+	out, version, err := d.Predict(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 || out["Intent"].Class == "" {
+		t.Fatalf("predict wrong: version=%d out=%v", version, out)
+	}
+	st := d.Stats()
+	if st.Name != "factoid" || st.Requests != 1 || st.Errors != 0 || st.P50Millis <= 0 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+// TestLifecycleEdges pins the Close/Swap corner cases: double-Close,
+// Swap-after-Close, Predict-after-Close, and Close with in-flight jobs must
+// neither panic nor deadlock.
+func TestLifecycleEdges(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("factoid", m, 1, WithMaxWait(time.Second), WithBatchSize(64))
+	rec := goodRecord(t, m)
+
+	// Park requests in the batch window, then close under them.
+	const inflight = 4
+	var wg sync.WaitGroup
+	errs := make([]error, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = d.Predict(rec)
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		d.Close()
+		d.Close() // double-Close must be a no-op
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked")
+	}
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight Predict still blocked after Close")
+	}
+	for i, err := range errs {
+		// Either the batch ran before Close (nil) or the caller was
+		// released with ErrClosed; blocking forever is the only failure.
+		if err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatalf("request %d: unexpected error %v", i, err)
+		}
+	}
+
+	// Post-Close API calls must stay safe and explicit.
+	if err := d.Swap(freshModel(t, 2), 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Swap after Close: got %v, want ErrClosed", err)
+	}
+	if err := d.SetShadow(freshModel(t, 2), 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SetShadow after Close: got %v, want ErrClosed", err)
+	}
+	if _, _, err := d.Predict(rec); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Predict after Close: got %v, want ErrClosed", err)
+	}
+	if _, err := d.Promote(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Promote after Close: got %v, want ErrClosed", err)
+	}
+	if err := d.Ingest(rec); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ingest after Close: got %v, want ErrClosed", err)
+	}
+}
+
+func TestShadowPromoteRollback(t *testing.T) {
+	primary := freshModel(t, 1)
+	candidate := freshModel(t, 99) // different seed -> different outputs
+	d := New("factoid", primary, 1)
+	defer d.Close()
+	rec := goodRecord(t, primary)
+
+	if _, err := d.Promote(); err == nil {
+		t.Fatal("promote with no shadow must fail")
+	}
+	if _, err := d.Rollback(); err == nil {
+		t.Fatal("rollback with no history must fail")
+	}
+	if err := d.SetShadow(candidate, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mirrored traffic accumulates comparison stats.
+	for i := 0; i < 8; i++ {
+		if _, _, err := d.Predict(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.FlushShadow()
+	st := d.Stats()
+	if st.ShadowVersion != 2 || st.Shadow == nil {
+		t.Fatalf("shadow not reflected in stats: %+v", st)
+	}
+	if st.Shadow.Mirrored+st.Shadow.Dropped+st.Shadow.Errors != 8 {
+		t.Fatalf("mirror accounting wrong: %+v", st.Shadow)
+	}
+	if st.Shadow.Mirrored > 0 && len(st.Shadow.Tasks) == 0 {
+		t.Fatalf("mirrored requests produced no per-task agreement: %+v", st.Shadow)
+	}
+
+	// Promote: candidate becomes primary, shadow slot empties.
+	version, err := d.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 2 || d.Version() != 2 {
+		t.Fatalf("promote version: %d", version)
+	}
+	st = d.Stats()
+	if st.ShadowVersion != 0 || st.Shadow != nil || st.Promotions != 1 {
+		t.Fatalf("post-promote stats wrong: %+v", st)
+	}
+	outAfter, v, err := d.Predict(rec)
+	if err != nil || v != 2 {
+		t.Fatalf("predict after promote: v=%d err=%v", v, err)
+	}
+
+	// Rollback restores the old primary.
+	version, err = d.Rollback()
+	if err != nil || version != 1 {
+		t.Fatalf("rollback: v=%d err=%v", version, err)
+	}
+	outBack, v, err := d.Predict(rec)
+	if err != nil || v != 1 {
+		t.Fatalf("predict after rollback: v=%d err=%v", v, err)
+	}
+	// Sanity: the two versions genuinely disagree somewhere, so promote/
+	// rollback demonstrably switched models (not just version labels).
+	same := true
+	for task, o := range outAfter {
+		if o.Class != outBack[task].Class || o.Select != outBack[task].Select {
+			same = false
+		}
+	}
+	if same {
+		t.Log("warning: seed-1 and seed-99 models agreed on the probe record; version labels still verified")
+	}
+}
+
+// TestFlushShadowConcurrentWithTraffic races FlushShadow against live
+// mirroring. The old sync.WaitGroup implementation could panic here
+// ("Add called concurrently with Wait"); the cond-based counter must not.
+func TestFlushShadowConcurrentWithTraffic(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("factoid", m, 1)
+	defer d.Close()
+	if err := d.SetShadow(freshModel(t, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	rec := goodRecord(t, m)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, _, err := d.Predict(rec); err != nil {
+					t.Errorf("predict: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		d.FlushShadow() // must never panic or deadlock mid-traffic
+	}
+	wg.Wait()
+	d.FlushShadow()
+	st := d.Stats()
+	if st.Shadow == nil || st.Shadow.Mirrored+st.Shadow.Dropped+st.Shadow.Errors != 100 {
+		t.Fatalf("mirror accounting after flush storm: %+v", st.Shadow)
+	}
+}
+
+func TestSwapRejectsForeignSignature(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("factoid", m, 1)
+	defer d.Close()
+
+	// A model compiled from a different schema must be rejected.
+	other := workload.FactoidSchema()
+	delete(other.Tasks, "POS")
+	prog, err := compile.Plan(other, schema.Choice{
+		Embedding: "hash-8", Encoder: "BOW", Hidden: 8,
+		QueryAgg: "mean", EntityAgg: "mean",
+		LR: 0.01, Epochs: 1, BatchSize: 8,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := workload.DefaultKB()
+	var ents []string
+	for _, e := range kb.Entities {
+		ents = append(ents, e.ID)
+	}
+	foreign, err := model.New(prog, &compile.Resources{TokenVocab: workload.Vocabulary(kb), EntityVocab: ents}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Swap(foreign, 2); err == nil {
+		t.Fatal("swap accepted a model with a different signature")
+	}
+	if err := d.SetShadow(foreign, 2); err == nil {
+		t.Fatal("shadow accepted a model with a different signature")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	a := New("a", freshModel(t, 1), 1)
+	b := New("b", freshModel(t, 2), 1)
+	defer reg.Close()
+	if err := reg.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(New("a", freshModel(t, 3), 1)); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if reg.Default() != a {
+		t.Fatal("first deployment should be default")
+	}
+	if err := reg.SetDefault("b"); err != nil || reg.Default() != b {
+		t.Fatalf("SetDefault: %v", err)
+	}
+	if err := reg.SetDefault("nope"); err == nil {
+		t.Fatal("SetDefault accepted unknown name")
+	}
+	if got := reg.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("names: %v", got)
+	}
+	reg.Close()
+	if !a.Closed() || !b.Closed() {
+		t.Fatal("registry Close did not close deployments")
+	}
+}
+
+func TestIngestDrain(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("factoid", m, 1, WithBufferCap(8))
+	defer d.Close()
+	rec := goodRecord(t, m)
+	for i := 0; i < 10; i++ {
+		if err := d.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.Ingested != 10 || st.Buffered != 8 || st.Dropped != 2 {
+		t.Fatalf("ingest stats wrong: %+v", st)
+	}
+	if ing, buf, drop := d.IngestStats(); ing != 10 || buf != 8 || drop != 2 {
+		t.Fatalf("IngestStats disagrees with Stats: %d/%d/%d", ing, buf, drop)
+	}
+	if got := d.Drain(); len(got) != 8 {
+		t.Fatalf("drained %d, want 8", len(got))
+	}
+}

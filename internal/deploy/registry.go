@@ -1,0 +1,93 @@
+package deploy
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry owns a fleet of deployments and designates one as the default
+// target for the legacy single-model endpoints. Safe for concurrent use;
+// lookups on the serving hot path take a read lock only.
+type Registry struct {
+	mu    sync.RWMutex
+	deps  map[string]*Deployment
+	order []string // registration order, for stable listings
+	def   string   // default deployment name
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{deps: map[string]*Deployment{}}
+}
+
+// Add registers d under its name. The first deployment added becomes the
+// default. Names are unique; re-adding is an error (retire with Close and
+// use Swap/Promote to change what a name serves).
+func (r *Registry) Add(d *Deployment) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := d.Name()
+	if name == "" {
+		return fmt.Errorf("deploy: registry: empty deployment name")
+	}
+	if _, ok := r.deps[name]; ok {
+		return fmt.Errorf("deploy: registry: deployment %q already registered", name)
+	}
+	r.deps[name] = d
+	r.order = append(r.order, name)
+	if r.def == "" {
+		r.def = name
+	}
+	return nil
+}
+
+// Get returns the deployment registered under name.
+func (r *Registry) Get(name string) (*Deployment, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.deps[name]
+	return d, ok
+}
+
+// Default returns the default deployment (nil when the registry is empty).
+func (r *Registry) Default() *Deployment {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.deps[r.def]
+}
+
+// SetDefault changes which deployment backs the legacy endpoints.
+func (r *Registry) SetDefault(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.deps[name]; !ok {
+		return fmt.Errorf("deploy: registry: no deployment %q", name)
+	}
+	r.def = name
+	return nil
+}
+
+// Names returns the registered deployment names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// All returns the deployments in registration order.
+func (r *Registry) All() []*Deployment {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Deployment, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.deps[name])
+	}
+	return out
+}
+
+// Close closes every deployment in the registry.
+func (r *Registry) Close() {
+	for _, d := range r.All() {
+		d.Close()
+	}
+}

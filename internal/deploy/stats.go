@@ -1,0 +1,102 @@
+package deploy
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/monitor"
+)
+
+// maxLatencySamples bounds the per-deployment latency ring buffer.
+const maxLatencySamples = 4096
+
+// Stats is one deployment's SLA + shadow profile, exposed at
+// /v1/models/{name}/stats (and at /stats for the default deployment).
+type Stats struct {
+	Name          string `json:"name,omitempty"`
+	Version       int    `json:"version,omitempty"`
+	ShadowVersion int    `json:"shadow_version,omitempty"`
+
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	P99Millis float64 `json:"p99_ms"`
+
+	Ingested int64 `json:"ingested,omitempty"`
+	Buffered int   `json:"buffered,omitempty"`
+	Dropped  int64 `json:"dropped,omitempty"`
+
+	Promotions int64 `json:"promotions,omitempty"`
+	Rollbacks  int64 `json:"rollbacks,omitempty"`
+
+	Shadow *monitor.ShadowReport `json:"shadow,omitempty"`
+}
+
+// latencyStats is the O(1)-per-request latency/error collector: a
+// fixed-size ring of millisecond samples plus request/error counters.
+type latencyStats struct {
+	mu       sync.Mutex
+	ring     []float64 // milliseconds
+	pos      int       // next write position
+	n        int       // live samples (caps at maxLatencySamples)
+	scratch  []float64 // reused sort buffer for snapshot
+	requests int64
+	errors   int64
+}
+
+func newLatencyStats() *latencyStats {
+	return &latencyStats{
+		ring:    make([]float64, maxLatencySamples),
+		scratch: make([]float64, 0, maxLatencySamples),
+	}
+}
+
+func (l *latencyStats) recordLatency(ms float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.requests++
+	l.ring[l.pos] = ms
+	l.pos++
+	if l.pos == len(l.ring) {
+		l.pos = 0
+	}
+	if l.n < len(l.ring) {
+		l.n++
+	}
+}
+
+func (l *latencyStats) recordError() {
+	l.mu.Lock()
+	l.requests++
+	l.errors++
+	l.mu.Unlock()
+}
+
+// snapshot fills the latency fields of st from a reused scratch copy of
+// the live ring window.
+func (l *latencyStats) snapshot(st *Stats) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st.Requests = l.requests
+	st.Errors = l.errors
+	if l.n > 0 {
+		sorted := append(l.scratch[:0], l.ring[:l.n]...)
+		sort.Float64s(sorted)
+		st.P50Millis = percentile(sorted, 0.50)
+		st.P95Millis = percentile(sorted, 0.95)
+		st.P99Millis = percentile(sorted, 0.99)
+	}
+}
+
+// percentile reads the p-quantile from an ascending-sorted sample window
+// (nearest-rank, zero-indexed). The input must be sorted; an unsorted
+// window yields an arbitrary sample, not the quantile. Empty input returns
+// 0.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,113 @@
+package deploy
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/record"
+)
+
+func stubID(i int) string { return fmt.Sprintf("rec-%d", i) }
+
+func stubRecord(i int) *record.Record { return &record.Record{ID: stubID(i)} }
+
+// TestPercentile pins the quantile read on the edge cases: empty window,
+// single sample, and the documented sorted-input contract.
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty window: got %v, want 0", got)
+	}
+	if got := percentile([]float64{}, 0.99); got != 0 {
+		t.Fatalf("empty slice: got %v, want 0", got)
+	}
+	// A single sample is every percentile.
+	for _, p := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := percentile([]float64{7.5}, p); got != 7.5 {
+			t.Fatalf("single sample p=%v: got %v, want 7.5", p, got)
+		}
+	}
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(sorted, 0.5); got != 5 {
+		t.Fatalf("p50 of 1..10: got %v, want 5", got)
+	}
+	if got := percentile(sorted, 0); got != 1 {
+		t.Fatalf("p0: got %v, want 1", got)
+	}
+	if got := percentile(sorted, 1); got != 10 {
+		t.Fatalf("p100: got %v, want 10", got)
+	}
+	// Unsorted input violates the contract: the nearest-rank read returns
+	// whatever sits at the rank index, NOT the quantile. This pin
+	// documents why snapshot() must sort before calling.
+	unsorted := []float64{10, 1, 9, 2, 8, 3, 7, 4, 6, 5}
+	if got := percentile(unsorted, 0.5); got == 5 {
+		t.Fatalf("unsorted input accidentally produced the true median; the contract pin is meaningless")
+	}
+}
+
+// TestLatencyRingWraparound pushes more samples than the ring holds and
+// checks the snapshot window stays bounded, drops the oldest samples, and
+// keeps counting total requests.
+func TestLatencyRingWraparound(t *testing.T) {
+	l := newLatencyStats()
+	// Fill the whole ring with high values, then wrap with low ones.
+	for i := 0; i < maxLatencySamples; i++ {
+		l.recordLatency(1000)
+	}
+	for i := 0; i < maxLatencySamples/2; i++ {
+		l.recordLatency(1)
+	}
+	var st Stats
+	l.snapshot(&st)
+	if st.Requests != int64(maxLatencySamples+maxLatencySamples/2) {
+		t.Fatalf("requests %d", st.Requests)
+	}
+	if l.n != maxLatencySamples {
+		t.Fatalf("ring grew past its window: %d", l.n)
+	}
+	// Half the window is now 1ms, so the median must be 1, while the tail
+	// still sees the surviving 1000ms half.
+	if st.P50Millis != 1 {
+		t.Fatalf("p50 after wrap: got %v, want 1 (old samples not evicted?)", st.P50Millis)
+	}
+	if st.P99Millis != 1000 {
+		t.Fatalf("p99 after wrap: got %v, want 1000", st.P99Millis)
+	}
+
+	// Wrap the rest of the way: the 1000ms epoch must be fully evicted.
+	for i := 0; i < maxLatencySamples/2; i++ {
+		l.recordLatency(2)
+	}
+	l.snapshot(&st)
+	if st.P99Millis > 2 {
+		t.Fatalf("p99 after full wrap: got %v, want <=2", st.P99Millis)
+	}
+}
+
+// TestRecordBufferWraparound checks overwrite-oldest semantics and
+// arrival-order drains across the wrap point.
+func TestRecordBufferWraparound(t *testing.T) {
+	b := newRecordBuffer(4)
+	for i := 0; i < 6; i++ {
+		b.append(stubRecord(i))
+	}
+	ingested, buffered, dropped := b.stats()
+	if ingested != 6 || buffered != 4 || dropped != 2 {
+		t.Fatalf("stats after wrap: ingested=%d buffered=%d dropped=%d", ingested, buffered, dropped)
+	}
+	out := b.drain()
+	if len(out) != 4 {
+		t.Fatalf("drained %d, want 4", len(out))
+	}
+	for i, r := range out {
+		if want := stubID(i + 2); r.ID != want {
+			t.Fatalf("drain order wrong at %d: got %s, want %s", i, r.ID, want)
+		}
+	}
+	if _, buffered, _ := b.stats(); buffered != 0 {
+		t.Fatalf("drain did not clear: %d", buffered)
+	}
+	if b.drain() != nil {
+		t.Fatalf("second drain not empty")
+	}
+}

@@ -1,0 +1,73 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/compile"
+	"repro/internal/tensor"
+)
+
+// Info is compact artifact metadata: what a fleet listing or provenance
+// record needs to identify a model without loading anything heavy.
+type Info struct {
+	Encoder   string `json:"encoder"`
+	Embedding string `json:"embedding"`
+	Hidden    int    `json:"hidden"`
+	Params    int    `json:"params"`
+	Tasks     int    `json:"tasks"`
+	Seed      int64  `json:"seed"`
+}
+
+// Info returns the model's artifact metadata.
+func (m *Model) Info() Info {
+	return Info{
+		Encoder:   m.Prog.Choice.Encoder,
+		Embedding: m.Prog.Choice.Embedding,
+		Hidden:    m.Prog.Choice.Hidden,
+		Params:    m.PS.NumParams(),
+		Tasks:     len(m.Prog.Schema.Tasks),
+		Seed:      m.Seed,
+	}
+}
+
+// Clone builds an independent copy of m: a fresh parameter set with copied
+// tensors, its own session pools and fold caches, sharing no mutable state
+// with the original. Much cheaper than a Save/Load round trip (no gob
+// encode), it is how a deployment seeds a shadow candidate from a live
+// model before fine-tuning it on ingested traffic. A frozen contextual
+// encoder, when present, is shared — it is immutable by contract.
+func (m *Model) Clone() (*Model, error) {
+	prog, err := compile.Plan(m.Prog.Schema, m.Prog.Choice, m.Prog.Slices)
+	if err != nil {
+		return nil, fmt.Errorf("model: clone: %w", err)
+	}
+	res := &compile.Resources{
+		TokenVocab:  vocabPayload(m.vocab.Tokens()),
+		EntityVocab: vocabPayload(m.entVocab.Tokens()),
+		Contextual:  m.contextual,
+	}
+	family, dim, err := compile.EmbeddingFamily(m.Prog.Choice.Embedding)
+	if err != nil {
+		return nil, fmt.Errorf("model: clone: %w", err)
+	}
+	if family == "pretrained" {
+		// Shape placeholder; the real weights are copied with the params.
+		res.StaticVectors = tensor.New(m.vocab.Size(), dim)
+	}
+	c, err := New(prog, res, m.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("model: clone: %w", err)
+	}
+	for _, p := range c.PS.All() {
+		src := m.PS.Get(p.Name)
+		if src == nil {
+			return nil, fmt.Errorf("model: clone: original missing parameter %q", p.Name)
+		}
+		if !src.Node.Value.SameShape(p.Node.Value) {
+			return nil, fmt.Errorf("model: clone: parameter %q shape mismatch", p.Name)
+		}
+		copy(p.Node.Value.Data, src.Node.Value.Data)
+		p.Frozen = src.Frozen
+	}
+	return c, nil
+}

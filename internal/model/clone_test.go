@@ -1,0 +1,55 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCloneIndependence verifies a clone predicts identically to the
+// original and that mutating either side's parameters afterwards does not
+// leak into the other — the contract shadow deployments rely on.
+func TestCloneIndependence(t *testing.T) {
+	m := buildModel(t, testChoice(), nil)
+	ds := smallDataset(t, 8, 3)
+
+	c, err := m.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == m || c.PS == m.PS {
+		t.Fatalf("clone shares identity with original")
+	}
+	want, err := m.Predict(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Predict(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("clone predictions diverge from original")
+	}
+
+	// Perturb the clone the way a fine-tuning step would; the original's
+	// outputs must not move.
+	for _, p := range c.PS.All() {
+		p.Node.Value.Data[0] += 1.0
+	}
+	c.ParamsChanged()
+	after, err := m.Predict(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, after) {
+		t.Fatalf("mutating the clone changed the original's predictions")
+	}
+}
+
+func TestModelInfo(t *testing.T) {
+	m := buildModel(t, testChoice(), nil)
+	info := m.Info()
+	if info.Encoder != "CNN" || info.Hidden != 24 || info.Params == 0 || info.Tasks == 0 {
+		t.Fatalf("info wrong: %+v", info)
+	}
+}

@@ -112,6 +112,36 @@ func (m *Model) foldedConvForward(g *nn.Graph, b *Batch) *nn.Node {
 	return g.Const(out)
 }
 
+// foldedEncoderForward dispatches to whichever folded serving path applies
+// for this model's encoder (CNN projection tables, or the direct BOW row
+// gather), returning nil when none does and the standard op-by-op forward
+// must run.
+func (m *Model) foldedEncoderForward(g *nn.Graph, b *Batch) *nn.Node {
+	if h := m.foldedConvForward(g, b); h != nil {
+		return h
+	}
+	return m.foldedBOWForward(g, b)
+}
+
+// foldedBOWForward is the BOW analogue of the conv fold. At inference the
+// BOW encoder is dropout(identity) over the embedding lookup, so token t's
+// representation is exactly the embedding row E[id_t]; assembling the
+// activation tensor straight from the table skips the gather node and
+// dropout op (and their tape bookkeeping) entirely. Unlike the conv fold
+// there is nothing to precompute or invalidate — the table itself is the
+// folded form. Only valid on no-grad graphs without contextual features.
+func (m *Model) foldedBOWForward(g *nn.Graph, b *Batch) *nn.Node {
+	if !g.NoGrad() || m.conv != nil || m.gru != nil || m.bigru != nil || m.contextual != nil {
+		return nil
+	}
+	E := m.tokEmb.Table.Node.Value
+	out := g.NewTensor(b.B*b.L, E.Cols)
+	for r, id := range b.TokenIDs[:b.B*b.L] {
+		copy(out.Row(r), E.Row(id))
+	}
+	return g.Const(out)
+}
+
 func addRow(dst, src []float64) {
 	src = src[:len(dst)]
 	for j, v := range src {

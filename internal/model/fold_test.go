@@ -51,6 +51,78 @@ func TestFoldedConvParity(t *testing.T) {
 	}
 }
 
+// TestFoldedBOWParity pins the folded BOW serving path against the
+// standard embedding+dropout forward: same batch, same parameters, every
+// task output within 1e-12.
+func TestFoldedBOWParity(t *testing.T) {
+	c := testChoice()
+	c.Encoder = "BOW"
+	m := buildModel(t, c, nil)
+	ds := smallDataset(t, 10, 4)
+
+	b, err := m.makeBatch(ds.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Standard path: grad-tracking graph never folds.
+	gStd := nn.NewGraph(false, nil)
+	stStd := newForwardState()
+	m.forwardInto(gStd, b, stStd)
+
+	// Serving path: no-grad graph takes the direct row gather.
+	gInf := nn.NewInferenceGraph(tensor.NewArena())
+	if m.foldedBOWForward(gInf, b) == nil {
+		t.Fatalf("folded path did not engage for a BOW model")
+	}
+	gInf.Reset()
+	stInf := newForwardState()
+	m.forwardInto(gInf, b, stInf)
+
+	if !tensor.Equal(stInf.tokenRep.Value, stStd.tokenRep.Value, 1e-12) {
+		t.Fatalf("folded BOW tokenRep diverges from standard encoder")
+	}
+	for _, tname := range m.Prog.TokenTasks {
+		if !tensor.Equal(stInf.tokenLogits[tname].Value, stStd.tokenLogits[tname].Value, 1e-12) {
+			t.Fatalf("folded %s logits diverge", tname)
+		}
+	}
+	for _, tname := range m.Prog.ExampleTasks {
+		if !tensor.Equal(stInf.exampleFinal[tname].Value, stStd.exampleFinal[tname].Value, 1e-12) {
+			t.Fatalf("folded %s logits diverge", tname)
+		}
+	}
+	for _, tname := range m.Prog.SetTasks {
+		if !tensor.Equal(stInf.setScores[tname].Value, stStd.setScores[tname].Value, 1e-12) {
+			t.Fatalf("folded %s scores diverge", tname)
+		}
+	}
+}
+
+// TestFoldedBOWDoesNotEngageOffPath checks the guards: grad graphs and
+// non-BOW encoders must fall through to the standard forward.
+func TestFoldedBOWDoesNotEngageOffPath(t *testing.T) {
+	c := testChoice()
+	c.Encoder = "BOW"
+	m := buildModel(t, c, nil)
+	ds := smallDataset(t, 4, 4)
+	b, err := m.makeBatch(ds.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.foldedBOWForward(nn.NewGraph(false, nil), b) != nil {
+		t.Fatalf("folded BOW engaged on a grad-tracking graph")
+	}
+	cnn := buildModel(t, testChoice(), nil)
+	bc, err := cnn.makeBatch(ds.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnn.foldedBOWForward(nn.NewInferenceGraph(tensor.NewArena()), bc) != nil {
+		t.Fatalf("folded BOW engaged for a CNN model")
+	}
+}
+
 // TestFoldInvalidation verifies stale tables are rebuilt after a
 // parameter mutation signalled via ParamsChanged.
 func TestFoldInvalidation(t *testing.T) {

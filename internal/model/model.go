@@ -263,9 +263,10 @@ func (m *Model) forward(g *nn.Graph, b *Batch) *forwardState {
 // scratch storage.
 func (m *Model) forwardInto(g *nn.Graph, b *Batch, st *forwardState) {
 	st.reset(b)
-	// Serving fast path: fold the embedding + CNN encoder into cached
-	// per-vocab projection tables (no-grad graphs only; see fold.go).
-	if h := m.foldedConvForward(g, b); h != nil {
+	// Serving fast path: fold the encoder — cached per-vocab projection
+	// tables for the CNN, direct embedding-row gather for BOW (no-grad
+	// graphs only; see fold.go).
+	if h := m.foldedEncoderForward(g, b); h != nil {
 		m.forwardHeads(g, b, st, h)
 		return
 	}

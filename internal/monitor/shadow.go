@@ -1,0 +1,157 @@
+package monitor
+
+import (
+	"sync"
+
+	"repro/internal/model"
+)
+
+// ShadowSeries accumulates live-traffic agreement between a deployment's
+// primary model and its shadow candidate. Every mirrored request contributes
+// per-task agreement units (one unit per example-level decision, one per
+// token for sequence tasks), so a candidate's behavioural drift is visible
+// in /stats before it is promoted — the monitor-then-improve loop of
+// Section 2.4 applied to serving.
+//
+// Safe for concurrent use; mirrored predictions run on background
+// goroutines.
+type ShadowSeries struct {
+	mu       sync.Mutex
+	mirrored int64
+	errors   int64
+	dropped  int64
+	tasks    map[string]*shadowAgg
+}
+
+type shadowAgg struct {
+	agree, units float64
+}
+
+// NewShadowSeries returns an empty series.
+func NewShadowSeries() *ShadowSeries {
+	return &ShadowSeries{tasks: map[string]*shadowAgg{}}
+}
+
+// Observe records one mirrored request: the primary's output next to the
+// shadow's output for the same record.
+func (s *ShadowSeries) Observe(primary, shadow model.Output) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mirrored++
+	for task, p := range primary {
+		sh, ok := shadow[task]
+		if !ok {
+			continue
+		}
+		a := s.tasks[task]
+		if a == nil {
+			a = &shadowAgg{}
+			s.tasks[task] = a
+		}
+		agree, units := outputAgreement(p, sh)
+		a.agree += agree
+		a.units += units
+	}
+}
+
+// ObserveError records a mirrored request whose shadow prediction failed.
+func (s *ShadowSeries) ObserveError() {
+	s.mu.Lock()
+	s.errors++
+	s.mu.Unlock()
+}
+
+// ObserveDropped records a mirrored request that was shed because the
+// shadow lane was saturated (shadow traffic must never backpressure the
+// primary path).
+func (s *ShadowSeries) ObserveDropped() {
+	s.mu.Lock()
+	s.dropped++
+	s.mu.Unlock()
+}
+
+// Reset clears the series — called on promotion, when a new comparison
+// epoch begins.
+func (s *ShadowSeries) Reset() {
+	s.mu.Lock()
+	s.mirrored, s.errors, s.dropped = 0, 0, 0
+	clear(s.tasks)
+	s.mu.Unlock()
+}
+
+// ShadowTaskAgreement is one task's accumulated agreement.
+type ShadowTaskAgreement struct {
+	Units float64 `json:"units"`
+	Agree float64 `json:"agree"`
+	Rate  float64 `json:"rate"`
+}
+
+// ShadowReport is a point-in-time snapshot of a shadow comparison.
+type ShadowReport struct {
+	Mirrored int64                          `json:"mirrored"`
+	Errors   int64                          `json:"errors,omitempty"`
+	Dropped  int64                          `json:"dropped,omitempty"`
+	Tasks    map[string]ShadowTaskAgreement `json:"tasks,omitempty"`
+}
+
+// Snapshot returns the current comparison state.
+func (s *ShadowSeries) Snapshot() *ShadowReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := &ShadowReport{Mirrored: s.mirrored, Errors: s.errors, Dropped: s.dropped}
+	if len(s.tasks) > 0 {
+		rep.Tasks = make(map[string]ShadowTaskAgreement, len(s.tasks))
+		for task, a := range s.tasks {
+			ta := ShadowTaskAgreement{Units: a.units, Agree: a.agree}
+			if a.units > 0 {
+				ta.Rate = a.agree / a.units
+			}
+			rep.Tasks[task] = ta
+		}
+	}
+	return rep
+}
+
+// outputAgreement scores two predictions for the same task, returning
+// (agreeing units, total units). The output kind is inferred from the
+// populated fields — both outputs come from models serving the same
+// signature, so kinds always match.
+func outputAgreement(a, b model.TaskOutput) (float64, float64) {
+	switch {
+	case a.Class != "" || b.Class != "":
+		if a.Class == b.Class {
+			return 1, 1
+		}
+		return 0, 1
+	case len(a.TokenClasses) > 0 || len(b.TokenClasses) > 0:
+		n := len(a.TokenClasses)
+		if len(b.TokenClasses) < n {
+			n = len(b.TokenClasses)
+		}
+		var agree float64
+		for i := 0; i < n; i++ {
+			if a.TokenClasses[i] == b.TokenClasses[i] {
+				agree++
+			}
+		}
+		return agree, float64(n)
+	case len(a.TokenBits) > 0 || len(b.TokenBits) > 0:
+		n := len(a.TokenBits)
+		if len(b.TokenBits) < n {
+			n = len(b.TokenBits)
+		}
+		var agree float64
+		for i := 0; i < n; i++ {
+			if sameStrSet(a.TokenBits[i], b.TokenBits[i]) {
+				agree++
+			}
+		}
+		return agree, float64(n)
+	default:
+		// Select task (including the empty-set Select == -1 case).
+		if a.Select == b.Select {
+			return 1, 1
+		}
+		return 0, 1
+	}
+}

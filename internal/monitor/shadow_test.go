@@ -1,0 +1,71 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestShadowSeriesAgreement(t *testing.T) {
+	s := NewShadowSeries()
+
+	// Perfect agreement on a class task, partial on a token task.
+	s.Observe(
+		model.Output{
+			"Intent": {Class: "height"},
+			"POS":    {TokenClasses: []string{"WH", "ADJ", "V", "PROPN"}},
+		},
+		model.Output{
+			"Intent": {Class: "height"},
+			"POS":    {TokenClasses: []string{"WH", "ADJ", "N", "PROPN"}},
+		},
+	)
+	// Disagreement on class, agreement on a select task.
+	s.Observe(
+		model.Output{"Intent": {Class: "height"}, "IntentArg": {Select: 1, SelectProbs: []float64{0.3, 0.7}}},
+		model.Output{"Intent": {Class: "capital"}, "IntentArg": {Select: 1, SelectProbs: []float64{0.4, 0.6}}},
+	)
+	s.ObserveError()
+	s.ObserveDropped()
+
+	rep := s.Snapshot()
+	if rep.Mirrored != 2 || rep.Errors != 1 || rep.Dropped != 1 {
+		t.Fatalf("counters wrong: %+v", rep)
+	}
+	if got := rep.Tasks["Intent"]; got.Units != 2 || got.Agree != 1 || got.Rate != 0.5 {
+		t.Fatalf("Intent agreement wrong: %+v", got)
+	}
+	if got := rep.Tasks["POS"]; got.Units != 4 || got.Agree != 3 {
+		t.Fatalf("POS agreement wrong: %+v", got)
+	}
+	if got := rep.Tasks["IntentArg"]; got.Units != 1 || got.Agree != 1 {
+		t.Fatalf("IntentArg agreement wrong: %+v", got)
+	}
+
+	s.Reset()
+	rep = s.Snapshot()
+	if rep.Mirrored != 0 || len(rep.Tasks) != 0 {
+		t.Fatalf("reset did not clear: %+v", rep)
+	}
+}
+
+func TestShadowSeriesBitsAndEmptySelect(t *testing.T) {
+	s := NewShadowSeries()
+	s.Observe(
+		model.Output{
+			"Bits": {TokenBits: [][]string{{"a", "b"}, {"c"}}},
+			"Sel":  {Select: -1},
+		},
+		model.Output{
+			"Bits": {TokenBits: [][]string{{"b", "a"}, {}}},
+			"Sel":  {Select: -1},
+		},
+	)
+	rep := s.Snapshot()
+	if got := rep.Tasks["Bits"]; got.Units != 2 || got.Agree != 1 {
+		t.Fatalf("Bits agreement wrong: %+v", got)
+	}
+	if got := rep.Tasks["Sel"]; got.Units != 1 || got.Agree != 1 {
+		t.Fatalf("empty-set select should agree: %+v", got)
+	}
+}

@@ -183,22 +183,39 @@ func ParseRecord(data []byte, sch *schema.Schema) (*Record, error) {
 		}
 		r.Payloads[name] = pv
 	}
-	for taskName, sources := range rj.Tasks {
+	tasks, err := ParseTasks(rj.Tasks, sch)
+	if err != nil {
+		return nil, fmt.Errorf("record %s: %w", r.ID, err)
+	}
+	for taskName, tl := range tasks {
+		r.Tasks[taskName] = tl
+	}
+	return r, nil
+}
+
+// ParseTasks decodes multi-source task supervision in wire form against sch.
+// This is the half of ParseRecord that streaming ingestion needs when
+// payloads arrive separately via ParsePayloads: ingested records can carry
+// labels (weak sources, crowd corrections) for later fine-tuning without a
+// marshal round trip.
+func ParseTasks(tasks map[string]map[string]json.RawMessage, sch *schema.Schema) (map[string]TaskLabels, error) {
+	out := make(map[string]TaskLabels, len(tasks))
+	for taskName, sources := range tasks {
 		t, ok := sch.Tasks[taskName]
 		if !ok {
-			return nil, fmt.Errorf("record %s: task %q not in schema", r.ID, taskName)
+			return nil, fmt.Errorf("task %q not in schema", taskName)
 		}
 		tl := make(TaskLabels, len(sources))
 		for src, raw := range sources {
 			l, err := parseLabel(raw, t, sch)
 			if err != nil {
-				return nil, fmt.Errorf("record %s: task %q source %q: %w", r.ID, taskName, src, err)
+				return nil, fmt.Errorf("task %q source %q: %w", taskName, src, err)
 			}
 			tl[src] = l
 		}
-		r.Tasks[taskName] = tl
+		out[taskName] = tl
 	}
-	return r, nil
+	return out, nil
 }
 
 // ParsePayloads builds a record directly from already-decoded payload

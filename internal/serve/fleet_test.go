@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/deploy"
+	"repro/internal/model"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func freshModelSeed(t testing.TB, seed int64) *model.Model {
+	t.Helper()
+	choice := schema.Choice{
+		Embedding: "hash-8", Encoder: "BOW", Hidden: 8,
+		QueryAgg: "mean", EntityAgg: "mean",
+		LR: 0.01, Epochs: 1, Dropout: 0, BatchSize: 8,
+	}
+	prog, err := compile.Plan(workload.FactoidSchema(), choice, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := workload.DefaultKB()
+	var ents []string
+	for _, e := range kb.Entities {
+		ents = append(ents, e.ID)
+	}
+	m, err := model.New(prog, &compile.Resources{
+		TokenVocab:  workload.Vocabulary(kb),
+		EntityVocab: ents,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const ingestLines = `{"payloads": {"tokens": ["how", "tall", "is", "obama"], "query": "how tall is obama"}, "tasks": {"Intent": {"weak1": "Height"}}, "tags": ["live"]}
+{"payloads": {"tokens": ["where", "is", "paris"], "query": "where is paris"}}
+`
+
+// TestFleetShadowPromoteUnderLoad is the acceptance test for the
+// deployment registry: two deployments behind the shared front take
+// concurrent predict + ingest traffic while one of them carries a shadow
+// that is promoted mid-storm. It asserts routing correctness (every
+// response names the deployment that served it and a coherent version),
+// that shadow/primary comparisons landed in per-deployment stats, and that
+// the deployments do not interfere (requests, ingest buffers, and shadow
+// state stay per-deployment). Run under -race in CI.
+func TestFleetShadowPromoteUnderLoad(t *testing.T) {
+	reg := deploy.NewRegistry()
+	da := deploy.New("factoid-a", freshModelSeed(t, 1), 1)
+	db := deploy.New("factoid-b", freshModelSeed(t, 7), 7)
+	if err := reg.Add(da); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := da.SetShadow(freshModelSeed(t, 99), 2); err != nil {
+		t.Fatal(err)
+	}
+	front := NewFleet(reg)
+	defer front.Close()
+	ts := httptest.NewServer(front.Handler())
+	defer ts.Close()
+
+	// Phase 1: deterministic shadow warm-up — mirrored comparisons must be
+	// visible in factoid-a's stats (and absent from factoid-b's) before
+	// the promote.
+	for i := 0; i < 8; i++ {
+		resp, err := http.Post(ts.URL+"/v1/models/factoid-a/predict", "application/json", strings.NewReader(goodBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("warm-up status %d", resp.StatusCode)
+		}
+	}
+	da.FlushShadow()
+	stA := da.Stats()
+	if stA.Shadow == nil || stA.Shadow.Mirrored == 0 {
+		t.Fatalf("no shadow comparisons recorded: %+v", stA)
+	}
+	if len(stA.Shadow.Tasks) == 0 {
+		t.Fatalf("shadow comparison has no per-task agreement: %+v", stA.Shadow)
+	}
+	if stB := db.Stats(); stB.Shadow != nil || stB.Requests != 0 {
+		t.Fatalf("factoid-b polluted by factoid-a's traffic: %+v", stB)
+	}
+
+	// Phase 2: concurrent storm across both deployments (predict + ingest)
+	// with a promote of A's shadow mid-flight, all through the front.
+	const workers = 8
+	const perWorker = 20
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	var fail = func(format string, args ...any) {
+		failures.Add(1)
+		t.Errorf(format, args...)
+	}
+	promoted := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := "factoid-a"
+			wantVersions := map[int]bool{1: true, 2: true} // promote races the storm
+			if w%2 == 1 {
+				name = "factoid-b"
+				wantVersions = map[int]bool{7: true}
+			}
+			for i := 0; i < perWorker; i++ {
+				if i%5 == 4 {
+					resp, err := http.Post(ts.URL+"/v1/models/"+name+"/ingest", "application/x-ndjson", strings.NewReader(ingestLines))
+					if err != nil || resp.StatusCode != 200 {
+						fail("%s ingest: err=%v status=%v", name, err, resp)
+						return
+					}
+					resp.Body.Close()
+					continue
+				}
+				resp, err := http.Post(ts.URL+"/v1/models/"+name+"/predict", "application/json", strings.NewReader(goodBody))
+				if err != nil {
+					fail("%s predict: %v", name, err)
+					return
+				}
+				var pr predictResponse
+				err = json.NewDecoder(resp.Body).Decode(&pr)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != 200 {
+					fail("%s predict decode: err=%v status=%d", name, err, resp.StatusCode)
+					return
+				}
+				if pr.Model != name {
+					fail("routing broke: asked %s, served by %s", name, pr.Model)
+					return
+				}
+				if !wantVersions[pr.Version] {
+					fail("%s served version %d, want one of %v", name, pr.Version, wantVersions)
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		defer close(promoted)
+		resp, err := http.Post(ts.URL+"/v1/models/factoid-a/promote", "application/json", nil)
+		if err != nil {
+			fail("promote: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			fail("promote status %d", resp.StatusCode)
+			return
+		}
+		var pr struct {
+			Model   string `json:"model"`
+			Version int    `json:"version"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&pr) != nil || pr.Version != 2 {
+			fail("promote response wrong: %+v", pr)
+		}
+	}()
+	wg.Wait()
+	<-promoted
+	if failures.Load() != 0 {
+		t.Fatalf("%d failures during fleet storm", failures.Load())
+	}
+
+	// Post-storm: promotion visible, per-deployment accounting intact.
+	da.FlushShadow()
+	stA = da.Stats()
+	stB := db.Stats()
+	if stA.Version != 2 || stA.ShadowVersion != 0 || stA.Promotions != 1 {
+		t.Fatalf("promotion not reflected: %+v", stA)
+	}
+	if stB.Version != 7 || stB.Promotions != 0 {
+		t.Fatalf("factoid-b mutated by factoid-a's promote: %+v", stB)
+	}
+	// 4 workers per deployment, 16 predicts + 4 ingest calls each; the
+	// warm-up adds 8 more predicts to A. Errors must be zero on both.
+	wantA := int64(8 + 4*16)
+	wantB := int64(4 * 16)
+	if stA.Requests != wantA || stA.Errors != 0 {
+		t.Fatalf("factoid-a accounting: got %d requests (%d errors), want %d", stA.Requests, stA.Errors, wantA)
+	}
+	if stB.Requests != wantB || stB.Errors != 0 {
+		t.Fatalf("factoid-b accounting: got %d requests (%d errors), want %d", stB.Requests, stB.Errors, wantB)
+	}
+	// Ingest stayed per-deployment: 4 workers * 4 calls * 2 lines each.
+	if stA.Ingested != 32 || stB.Ingested != 32 {
+		t.Fatalf("ingest accounting: a=%d b=%d, want 32 each", stA.Ingested, stB.Ingested)
+	}
+	recs := da.Drain()
+	if len(recs) != 32 {
+		t.Fatalf("drained %d records, want 32", len(recs))
+	}
+	// Supervision survived the wire: half the ingested lines carry a weak
+	// Intent label and a tag.
+	var labelled int
+	for _, r := range recs {
+		if _, ok := r.Label("Intent", "weak1"); ok {
+			labelled++
+			if !r.HasTag("live") {
+				t.Fatalf("ingested record lost its tag: %+v", r)
+			}
+		}
+	}
+	if labelled != 16 {
+		t.Fatalf("labelled ingested records: %d, want 16", labelled)
+	}
+}
+
+// TestFleetEndpointSurface covers the remaining fleet routes: listing,
+// per-deployment signature/stats, 404 on unknown names, and rollback
+// through the front.
+func TestFleetEndpointSurface(t *testing.T) {
+	reg := deploy.NewRegistry()
+	da := deploy.New("alpha", freshModelSeed(t, 1), 3)
+	if err := reg.Add(da); err != nil {
+		t.Fatal(err)
+	}
+	front := NewFleet(reg)
+	defer front.Close()
+	ts := httptest.NewServer(front.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Deployments []struct {
+			Name    string `json:"name"`
+			Version int    `json:"version"`
+			Default bool   `json:"default"`
+			Model   struct {
+				Encoder string `json:"encoder"`
+			} `json:"model"`
+		} `json:"deployments"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Deployments) != 1 || listing.Deployments[0].Name != "alpha" ||
+		!listing.Deployments[0].Default || listing.Deployments[0].Model.Encoder != "BOW" {
+		t.Fatalf("listing wrong: %+v", listing)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/models/alpha/signature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sig schema.Signature
+	err = json.NewDecoder(resp.Body).Decode(&sig)
+	resp.Body.Close()
+	if err != nil || len(sig.Inputs) != 3 || len(sig.Outputs) != 4 {
+		t.Fatalf("signature wrong: err=%v %d/%d", err, len(sig.Inputs), len(sig.Outputs))
+	}
+
+	for _, path := range []string{"/v1/models/nope/predict", "/v1/models/nope/stats", "/v1/models/nope/promote"} {
+		var resp *http.Response
+		var err error
+		if strings.HasSuffix(path, "stats") {
+			resp, err = http.Get(ts.URL + path)
+		} else {
+			resp, err = http.Post(ts.URL+path, "application/json", strings.NewReader("{}"))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	// Rollback without history is a 409; after a swap it restores v3.
+	resp, err = http.Post(ts.URL+"/v1/models/alpha/rollback", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("rollback without history: status %d, want 409", resp.StatusCode)
+	}
+	if err := da.Swap(freshModelSeed(t, 2), 4); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/models/alpha/rollback", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || da.Version() != 3 {
+		t.Fatalf("rollback failed: status %d version %d", resp.StatusCode, da.Version())
+	}
+}
+
+// TestIngestRejectsBadLines checks per-line error isolation: good lines
+// land, bad lines are counted, an all-bad stream is a 400.
+func TestIngestRejectsBadLines(t *testing.T) {
+	srv := New(freshModelSeed(t, 1), "factoid", 1)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	mixed := `{"payloads": {"tokens": ["a", "b"], "query": "a b"}}
+{{{not json
+{"payloads": {"bogus": "x"}}
+{"payloads": {"tokens": ["c"], "query": "c"}}
+`
+	resp, err := http.Post(ts.URL+"/v1/models/factoid/ingest", "application/x-ndjson", strings.NewReader(mixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir struct {
+		Accepted  int    `json:"accepted"`
+		Rejected  int    `json:"rejected"`
+		Buffered  int    `json:"buffered"`
+		FirstFail string `json:"first_fail"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ir)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Accepted != 2 || ir.Rejected != 2 || ir.Buffered != 2 || ir.FirstFail == "" {
+		t.Fatalf("mixed ingest wrong: %+v", ir)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/models/factoid/ingest", "application/x-ndjson", strings.NewReader("{{{\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("all-bad ingest: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,132 +1,148 @@
-// Package serve implements the production serving side of Overton: an HTTP
-// JSON server over a deployed model artifact. Serving code depends only on
-// the schema-derived signature — never on model internals — so retrained or
-// re-tuned models hot-swap without serving changes (model independence).
+// Package serve implements the production serving side of Overton: a
+// shared HTTP JSON front over a registry of model deployments. Serving
+// code depends only on each deployment's schema-derived signature — never
+// on model internals — so retrained or re-tuned models hot-swap, shadow,
+// and promote without serving changes (model independence).
 //
-// Requests are micro-batched: each handler parses and validates its payload,
-// then queues it for a collector goroutine that drains up to BatchSize
-// requests (or waits at most MaxWait for stragglers) and runs one batched
-// Predict, fanning the outputs back per request. Under concurrent load this
-// amortises the per-pass fixed costs across the whole batch; a lone request
-// pays at most MaxWait extra latency.
+// Every deployment runs its own micro-batch collector: handlers parse and
+// validate a payload against the target deployment's schema, then queue it
+// for that deployment's collector, which drains up to BatchSize requests
+// (or waits at most MaxWait for stragglers) and runs one batched Predict,
+// fanning the outputs back per request. Deployments are fully isolated —
+// one model's traffic never batches with, or blocks on, another's.
 //
-// Endpoints:
+// Fleet endpoints (the {name} segment selects the deployment):
 //
-//	POST /predict    {"payloads": {...}}  ->  {"outputs": {...}, "model": ...}
-//	GET  /signature  serving signature JSON
-//	GET  /healthz    liveness
-//	GET  /stats      request count + latency percentiles (SLA profiling)
+//	POST /v1/models/{name}/predict    {"payloads": {...}}  ->  {"outputs": {...}, ...}
+//	POST /v1/models/{name}/ingest     JSONL records -> buffered for fine-tuning
+//	POST /v1/models/{name}/promote    shadow -> primary (atomic)
+//	POST /v1/models/{name}/rollback   restore previous primary
+//	GET  /v1/models/{name}/stats      per-deployment SLA + shadow profile
+//	GET  /v1/models/{name}/signature  serving signature JSON
+//	GET  /v1/models                   fleet listing
+//
+// Legacy single-model endpoints route to the registry's default
+// deployment: POST /predict, GET /signature, GET /stats, GET /healthz.
 package serve
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"runtime"
-	"sort"
-	"sync"
 	"time"
 
+	"repro/internal/deploy"
 	"repro/internal/model"
 	"repro/internal/record"
+	"repro/internal/schema"
 )
 
-// Batching defaults; tune with WithBatchSize / WithMaxWait.
-const (
-	defaultBatchSize = 16
-	defaultMaxWait   = 2 * time.Millisecond
-	// jobQueueDepth bounds requests waiting for the collector.
-	jobQueueDepth = 256
-)
+// Stats re-exports the per-deployment serving profile.
+type Stats = deploy.Stats
 
-// maxLatencySamples bounds the stats ring buffer.
-const maxLatencySamples = 4096
-
-// Server wraps a model behind HTTP handlers.
-type Server struct {
-	mu      sync.RWMutex
-	m       *model.Model
-	name    string
-	version int
-
-	batchSize int
-	maxWait   time.Duration
-	jobs      chan *predictJob
-	closed    chan struct{}
-	closeOnce sync.Once
-
-	statsMu    sync.Mutex
-	latencies  []float64 // milliseconds; fixed-size ring buffer
-	latPos     int       // next write position
-	latCount   int       // live samples (caps at maxLatencySamples)
-	latScratch []float64 // reused sort buffer for Snapshot
-	count      int64
-	errors     int64
-	now        func() time.Time
-}
-
-// Option customises a Server.
-type Option func(*Server)
+// Option customises the deployments a legacy New call creates.
+type Option = deploy.Option
 
 // WithBatchSize sets the micro-batcher's maximum batch size (default 16).
-func WithBatchSize(n int) Option {
-	return func(s *Server) {
-		if n > 0 {
-			s.batchSize = n
-		}
-	}
+func WithBatchSize(n int) Option { return deploy.WithBatchSize(n) }
+
+// WithMaxWait sets how long a collector waits for stragglers after the
+// first request of a batch arrives (default 2ms). Zero disables waiting.
+func WithMaxWait(wait time.Duration) Option { return deploy.WithMaxWait(wait) }
+
+// Server is the shared HTTP front over a deployment registry.
+type Server struct {
+	reg *deploy.Registry
 }
 
-// WithMaxWait sets how long the collector waits for stragglers after the
-// first request of a batch arrives (default 2ms). Zero disables waiting:
-// each batch is whatever is already queued.
-func WithMaxWait(d time.Duration) Option {
-	return func(s *Server) { s.maxWait = d }
-}
-
-// New creates a server for m and starts its batch collector. name/version
-// annotate responses (artifact provenance). Call Close to stop the
-// collector when discarding the server.
+// New creates a server over a single-deployment registry — the legacy
+// one-model entry point. name/version annotate responses (artifact
+// provenance). Call Close to stop the collector when discarding the
+// server.
 func New(m *model.Model, name string, version int, opts ...Option) *Server {
-	s := &Server{
-		m: m, name: name, version: version,
-		batchSize:  defaultBatchSize,
-		maxWait:    defaultMaxWait,
-		jobs:       make(chan *predictJob, jobQueueDepth),
-		closed:     make(chan struct{}),
-		latencies:  make([]float64, maxLatencySamples),
-		latScratch: make([]float64, 0, maxLatencySamples),
-		now:        time.Now,
+	if name == "" {
+		// The legacy API never constrained the provenance label, but the
+		// registry rejects empty names (they cannot be routed to).
+		name = "default"
 	}
-	for _, o := range opts {
-		o(s)
-	}
-	go s.collect()
-	return s
+	reg := deploy.NewRegistry()
+	// A single nonempty-named add into a fresh registry cannot fail.
+	_ = reg.Add(deploy.New(name, m, version, opts...))
+	return &Server{reg: reg}
 }
 
-// Close stops the batch collector. In-flight requests receive errors;
-// subsequent requests are rejected.
-func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.closed) })
+// NewFleet creates a server routing to every deployment in reg.
+func NewFleet(reg *deploy.Registry) *Server {
+	return &Server{reg: reg}
 }
 
-// Swap replaces the served model atomically (deploying a new version).
-func (s *Server) Swap(m *model.Model, version int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.m = m
-	s.version = version
+// Registry exposes the underlying fleet (installing shadows, draining
+// ingest buffers, adding deployments at runtime).
+func (s *Server) Registry() *deploy.Registry { return s.reg }
+
+// Close stops every deployment's collector. In-flight requests receive
+// errors; subsequent requests are rejected. Safe to call more than once.
+func (s *Server) Close() { s.reg.Close() }
+
+// Swap replaces the default deployment's model atomically (deploying a new
+// version). Legacy shim over Deployment.Swap.
+func (s *Server) Swap(m *model.Model, version int) error {
+	d := s.reg.Default()
+	if d == nil {
+		return fmt.Errorf("serve: no default deployment")
+	}
+	return d.Swap(m, version)
+}
+
+// Snapshot returns the default deployment's serving stats.
+func (s *Server) Snapshot() Stats {
+	d := s.reg.Default()
+	if d == nil {
+		return Stats{}
+	}
+	return d.Stats()
 }
 
 // Handler returns the HTTP mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", s.handlePredict)
-	mux.HandleFunc("/signature", s.handleSignature)
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/stats", s.handleStats)
+	// Fleet surface.
+	mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/models/{name}/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/models/{name}/promote", s.handlePromote)
+	mux.HandleFunc("POST /v1/models/{name}/rollback", s.handleRollback)
+	mux.HandleFunc("GET /v1/models/{name}/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/models/{name}/signature", s.handleSignature)
+	mux.HandleFunc("GET /v1/models", s.handleList)
+	mux.HandleFunc("GET /v1/models/{$}", s.handleList)
+	// Legacy single-model surface -> default deployment.
+	mux.HandleFunc("POST /predict", s.handlePredict)
+	mux.HandleFunc("GET /signature", s.handleSignature)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
+}
+
+// deployment resolves the request's target: the {name} path segment on
+// fleet routes, the registry default on legacy routes. Writes the error
+// response itself and returns nil when resolution fails.
+func (s *Server) deployment(w http.ResponseWriter, r *http.Request) *deploy.Deployment {
+	if name := r.PathValue("name"); name != "" {
+		d, ok := s.reg.Get(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no deployment %q", name)
+			return nil
+		}
+		return d
+	}
+	d := s.reg.Default()
+	if d == nil {
+		httpError(w, http.StatusServiceUnavailable, "no deployments registered")
+		return nil
+	}
+	return d
 }
 
 // predictRequest is the wire request: payload values in data-file form.
@@ -141,252 +157,232 @@ type predictResponse struct {
 	Outputs model.Output `json:"outputs"`
 }
 
-// predictJob carries one validated request through the micro-batcher,
-// pinned to the model snapshot it was validated against so a mid-flight
-// Swap cannot run it (or report provenance) under a different model.
-type predictJob struct {
-	rec  *record.Record
-	m    *model.Model
-	resp chan predictResult
-}
-
-type predictResult struct {
-	out model.Output
-	err error
-}
-
-// collect is the micro-batch loop: take the first job, opportunistically
-// drain whatever else is already queued, then hand the batch to a
-// predictor goroutine (bounded by a GOMAXPROCS-wide semaphore) so batches
-// overlap on multi-core hosts — Model.Predict is concurrency-safe via its
-// pooled sessions. The MaxWait straggler window only applies when every
-// predictor slot is busy: an idle server dispatches a lone request
-// immediately (no 2ms latency floor), while a saturated one amortises the
-// wait it would spend blocked on a slot anyway into a bigger batch.
-func (s *Server) collect() {
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for {
-		select {
-		case j := <-s.jobs:
-			batch := make([]*predictJob, 0, s.batchSize)
-			batch = append(batch, j)
-		drain:
-			for len(batch) < s.batchSize {
-				select {
-				case j2 := <-s.jobs:
-					batch = append(batch, j2)
-				default:
-					break drain
-				}
-			}
-			select {
-			case sem <- struct{}{}:
-				// Free predictor: run what we have right now.
-			default:
-				// All predictors busy; gather stragglers while waiting.
-				if s.maxWait > 0 && s.batchSize > 1 {
-					timer := time.NewTimer(s.maxWait)
-				fill:
-					for len(batch) < s.batchSize {
-						select {
-						case j2 := <-s.jobs:
-							batch = append(batch, j2)
-						case <-timer.C:
-							break fill
-						}
-					}
-					timer.Stop()
-				}
-				sem <- struct{}{}
-			}
-			go func(batch []*predictJob) {
-				defer func() { <-sem }()
-				s.runBatch(batch)
-			}(batch)
-		case <-s.closed:
-			// Fail any queued jobs so no handler blocks forever;
-			// already-dispatched batches finish on their own goroutines.
-			for {
-				select {
-				case j := <-s.jobs:
-					j.resp <- predictResult{err: fmt.Errorf("server closed")}
-				default:
-					return
-				}
-			}
-		}
-	}
-}
-
-// runBatch predicts one micro-batch. Jobs run under the model snapshot
-// they were validated against (a mid-window Swap splits the batch into
-// per-model runs). If a batched pass fails (e.g. one record is missing a
-// required payload the schema validation does not cover), it falls back to
-// per-record passes so a single bad request cannot poison the others
-// sharing its batch.
-func (s *Server) runBatch(batch []*predictJob) {
-	for start := 0; start < len(batch); {
-		m := batch[start].m
-		end := start + 1
-		for end < len(batch) && batch[end].m == m {
-			end++
-		}
-		run := batch[start:end]
-		recs := make([]*record.Record, len(run))
-		for i, j := range run {
-			recs[i] = j.rec
-		}
-		outs, err := m.Predict(recs)
-		switch {
-		case err == nil:
-			for i, j := range run {
-				j.resp <- predictResult{out: outs[i]}
-			}
-		case len(run) == 1:
-			run[0].resp <- predictResult{err: err}
-		default:
-			for _, j := range run {
-				out, err := m.PredictOne(j.rec)
-				j.resp <- predictResult{out: out, err: err}
-			}
-		}
-		start = end
-	}
-}
-
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+	d := s.deployment(w, r)
+	if d == nil {
 		return
 	}
-	start := s.now()
 	var req predictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.recordError()
+		d.RecordError()
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	s.mu.RLock()
-	m := s.m
-	name, version := s.name, s.version
-	s.mu.RUnlock()
-
 	// Decode payloads straight into record form and validate against the
-	// schema exactly like data-file rows — no marshal/re-parse round trip.
-	rec, err := record.ParsePayloads(req.Payloads, m.Prog.Schema)
+	// deployment's schema exactly like data-file rows — no marshal
+	// round trip.
+	sch := d.Schema()
+	rec, err := record.ParsePayloads(req.Payloads, sch)
 	if err != nil {
-		s.recordError()
+		d.RecordError()
 		httpError(w, http.StatusBadRequest, "invalid payloads: %v", err)
 		return
 	}
-	if err := record.Validate(rec, m.Prog.Schema); err != nil {
-		s.recordError()
+	if err := record.Validate(rec, sch); err != nil {
+		d.RecordError()
 		httpError(w, http.StatusBadRequest, "invalid payloads: %v", err)
 		return
 	}
+	out, version, err := d.Predict(rec)
+	switch {
+	case err == nil:
+		writeJSON(w, predictResponse{Model: d.Name(), Version: version, Outputs: out})
+	case errors.Is(err, deploy.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "deployment closed")
+	default:
+		httpError(w, http.StatusInternalServerError, "predict: %v", err)
+	}
+}
 
-	job := &predictJob{rec: rec, m: m, resp: make(chan predictResult, 1)}
-	select {
-	case s.jobs <- job:
-	case <-s.closed:
-		s.recordError()
-		httpError(w, http.StatusServiceUnavailable, "server closed")
+// ingestLine is one JSONL line of a streaming ingest request: payloads in
+// data-file form, optionally with multi-source supervision and tags.
+type ingestLine struct {
+	ID       string                                `json:"id,omitempty"`
+	Payloads map[string]json.RawMessage            `json:"payloads"`
+	Tasks    map[string]map[string]json.RawMessage `json:"tasks,omitempty"`
+	Tags     []string                              `json:"tags,omitempty"`
+}
+
+// ingestResponse summarises one ingest call.
+type ingestResponse struct {
+	Accepted  int    `json:"accepted"`
+	Rejected  int    `json:"rejected"`
+	Buffered  int    `json:"buffered"`
+	Dropped   int64  `json:"dropped,omitempty"`
+	FirstFail string `json:"first_fail,omitempty"`
+}
+
+// handleIngest streams JSONL records into the deployment's buffer: each
+// line is decoded against the deployment's schema via record.ParsePayloads
+// (+ ParseTasks for supervision), validated, and appended. Bad lines are
+// counted and skipped — a streaming producer should not lose a whole batch
+// to one malformed record.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	d := s.deployment(w, r)
+	if d == nil {
 		return
 	}
-	var res predictResult
-	select {
-	case res = <-job.resp:
-	case <-s.closed:
-		s.recordError()
-		httpError(w, http.StatusServiceUnavailable, "server closed")
+	sch := d.Schema()
+	var resp ingestResponse
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := parseIngestLine(line, sch)
+		if err != nil {
+			resp.Rejected++
+			if resp.FirstFail == "" {
+				resp.FirstFail = err.Error()
+			}
+			continue
+		}
+		if err := d.Ingest(rec); err != nil {
+			d.RecordError()
+			httpError(w, http.StatusServiceUnavailable, "ingest: %v", err)
+			return
+		}
+		resp.Accepted++
+	}
+	if err := sc.Err(); err != nil {
+		d.RecordError()
+		httpError(w, http.StatusBadRequest, "ingest stream: %v", err)
 		return
 	}
-	if res.err != nil {
-		s.recordError()
-		httpError(w, http.StatusInternalServerError, "predict: %v", res.err)
+	_, resp.Buffered, resp.Dropped = d.IngestStats()
+	code := http.StatusOK
+	if resp.Accepted == 0 && resp.Rejected > 0 {
+		d.RecordError()
+		code = http.StatusBadRequest
+	}
+	writeJSONStatus(w, code, resp)
+}
+
+// parseIngestLine decodes one ingest line into a validated record.
+func parseIngestLine(line []byte, sch *schema.Schema) (*record.Record, error) {
+	var il ingestLine
+	if err := json.Unmarshal(line, &il); err != nil {
+		return nil, fmt.Errorf("bad JSON: %w", err)
+	}
+	rec, err := record.ParsePayloads(il.Payloads, sch)
+	if err != nil {
+		return nil, err
+	}
+	rec.ID = il.ID
+	rec.Tags = il.Tags
+	if len(il.Tasks) > 0 {
+		tasks, err := record.ParseTasks(il.Tasks, sch)
+		if err != nil {
+			return nil, err
+		}
+		rec.Tasks = tasks
+	}
+	if err := record.Validate(rec, sch); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	d := s.deployment(w, r)
+	if d == nil {
 		return
 	}
-	s.recordLatency(float64(s.now().Sub(start).Microseconds()) / 1000.0)
-	writeJSON(w, predictResponse{Model: name, Version: version, Outputs: res.out})
+	version, err := d.Promote()
+	if err != nil {
+		httpError(w, stateErrStatus(err), "promote: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"model": d.Name(), "version": version})
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	d := s.deployment(w, r)
+	if d == nil {
+		return
+	}
+	version, err := d.Rollback()
+	if err != nil {
+		httpError(w, stateErrStatus(err), "rollback: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"model": d.Name(), "version": version})
 }
 
 func (s *Server) handleSignature(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	sig := s.m.Prog.Schema.Signature()
-	s.mu.RUnlock()
-	writeJSON(w, sig)
+	d := s.deployment(w, r)
+	if d == nil {
+		return
+	}
+	writeJSON(w, d.Signature())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	d := s.deployment(w, r)
+	if d == nil {
+		return
+	}
+	writeJSON(w, d.Stats())
+}
+
+// deploymentInfo is one row of the fleet listing.
+type deploymentInfo struct {
+	Name          string     `json:"name"`
+	Version       int        `json:"version"`
+	ShadowVersion int        `json:"shadow_version,omitempty"`
+	Default       bool       `json:"default"`
+	Requests      int64      `json:"requests"`
+	Model         model.Info `json:"model"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	def := s.reg.Default()
+	var out []deploymentInfo
+	for _, d := range s.reg.All() {
+		st := d.Stats()
+		out = append(out, deploymentInfo{
+			Name:          d.Name(),
+			Version:       st.Version,
+			ShadowVersion: st.ShadowVersion,
+			Default:       d == def,
+			Requests:      st.Requests,
+			Model:         d.Info(),
+		})
+	}
+	writeJSON(w, map[string]any{"deployments": out})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
 }
 
-// Stats is the SLA profile exposed at /stats.
-type Stats struct {
-	Requests  int64   `json:"requests"`
-	Errors    int64   `json:"errors"`
-	P50Millis float64 `json:"p50_ms"`
-	P95Millis float64 `json:"p95_ms"`
-	P99Millis float64 `json:"p99_ms"`
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.Snapshot())
-}
-
-// Snapshot returns current serving stats. Percentiles are computed from a
-// reused scratch copy of the live ring-buffer window.
-func (s *Server) Snapshot() Stats {
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	st := Stats{Requests: s.count, Errors: s.errors}
-	if s.latCount > 0 {
-		sorted := append(s.latScratch[:0], s.latencies[:s.latCount]...)
-		sort.Float64s(sorted)
-		st.P50Millis = percentile(sorted, 0.50)
-		st.P95Millis = percentile(sorted, 0.95)
-		st.P99Millis = percentile(sorted, 0.99)
-	}
-	return st
-}
-
-func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(p * float64(len(sorted)-1))
-	return sorted[idx]
-}
-
-// recordLatency writes one sample into the ring buffer: O(1) per request
-// (the previous implementation shifted the whole window with copy).
-func (s *Server) recordLatency(ms float64) {
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	s.count++
-	s.latencies[s.latPos] = ms
-	s.latPos++
-	if s.latPos == maxLatencySamples {
-		s.latPos = 0
-	}
-	if s.latCount < maxLatencySamples {
-		s.latCount++
-	}
-}
-
-func (s *Server) recordError() {
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	s.count++
-	s.errors++
-}
-
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	// Headers freeze at WriteHeader; Content-Type must be set first.
 	w.Header().Set("Content-Type", "application/json")
+	if code != http.StatusOK {
+		w.WriteHeader(code)
+	}
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// Too late for a status change; nothing useful to do.
 		_ = err
 	}
+}
+
+// stateErrStatus maps a deployment state-transition error to its HTTP
+// status: a closed deployment is transient-unavailable (503, like
+// predict), anything else (no shadow, no history, signature mismatch) is
+// a state conflict (409).
+func stateErrStatus(err error) int {
+	if errors.Is(err, deploy.ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusConflict
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {

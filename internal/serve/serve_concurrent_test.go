@@ -93,26 +93,6 @@ func TestCloseFailsPendingRequests(t *testing.T) {
 	}
 }
 
-// TestLatencyRingWindow pushes more samples than the ring holds and checks
-// the snapshot stays bounded and sane.
-func TestLatencyRingWindow(t *testing.T) {
-	srv := New(freshModel(t), "factoid", 1)
-	defer srv.Close()
-	for i := 0; i < maxLatencySamples+500; i++ {
-		srv.recordLatency(float64(i%100) + 1)
-	}
-	st := srv.Snapshot()
-	if st.Requests != maxLatencySamples+500 {
-		t.Fatalf("requests %d", st.Requests)
-	}
-	if st.P50Millis <= 0 || st.P99Millis < st.P50Millis || st.P99Millis > 100 {
-		t.Fatalf("percentiles out of range: %+v", st)
-	}
-	if srv.latCount != maxLatencySamples {
-		t.Fatalf("ring grew past its window: %d", srv.latCount)
-	}
-}
-
 // BenchmarkPredictThroughput drives the micro-batched server with many
 // concurrent HTTP clients and reports requests/second and p99 latency —
 // the serving numbers a production SLA pins.
