@@ -13,6 +13,7 @@
 //	overton predict  -model model.bin -in query.json
 //	overton serve    -model model.bin -addr :8080
 //	overton serve    -deploy factoid=m1.bin -deploy qa=m2.bin -shadow factoid=cand.bin [-default factoid]
+//	overton serve    -deploy factoid=m1.bin -auto-improve [-min-agreement 0.9] [-promote-after 64]
 //	overton store    -root dir put|get|list -name m [-file model.bin] [-version N]
 package main
 
@@ -31,6 +32,7 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/record"
 	"repro/internal/serve"
+	"repro/internal/train"
 	"repro/internal/workload"
 )
 
@@ -274,6 +276,15 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	defName := fs.String("default", "", "deployment backing the legacy /predict endpoint (default: first added)")
 	batch := fs.Int("batch", 0, "micro-batch size per deployment (0 = default)")
+	autoImprove := fs.Bool("auto-improve", false, "run the continuous-improvement loop on every deployment: drain streamed ingest into an incremental label model, fine-tune shadow candidates, auto-promote on the policy gates")
+	loopInterval := fs.Duration("loop-interval", 0, "improvement-loop tick period (0 = default 500ms)")
+	retrainBatch := fs.Int("retrain-batch", 0, "drained records required before fine-tuning a candidate (0 = default)")
+	promoteAfter := fs.Int64("promote-after", 0, "mirrored comparisons required before the promote gate evaluates (0 = default)")
+	minAgreement := fs.Float64("min-agreement", 0, "minimum per-task shadow agreement to promote (0 = default)")
+	hysteresis := fs.Int("hysteresis", 0, "consecutive passing gate evaluations required to promote (0 = default)")
+	rollbackWindow := fs.Int("rollback-window", 0, "post-promote ticks watched for regression (0 = default)")
+	ftEpochs := fs.Int("ft-epochs", 0, "fine-tune epochs per candidate (0 = default 1)")
+	ftLR := fs.Float64("ft-lr", 0, "fine-tune learning rate (0 = the model's tuning choice)")
 	var deploys, shadows []string
 	fs.Func("deploy", "name=artifact.bin deployment (repeatable; schemas may differ per deployment)", func(v string) error {
 		deploys = append(deploys, v)
@@ -333,12 +344,31 @@ func cmdServe(args []string) error {
 			return err
 		}
 	}
+	if *autoImprove {
+		loopCfg := deploy.LoopConfig{
+			Interval:        *loopInterval,
+			MinRetrainBatch: *retrainBatch,
+			Policy: deploy.Policy{
+				MinMirrored:    *promoteAfter,
+				MinAgreement:   *minAgreement,
+				Hysteresis:     *hysteresis,
+				RollbackWindow: *rollbackWindow,
+			},
+			FineTune: train.FineTuneConfig{Epochs: *ftEpochs, LR: *ftLR},
+		}
+		for _, d := range reg.All() {
+			if err := d.StartLoop(loopCfg); err != nil {
+				return err
+			}
+			fmt.Printf("improving  %-20s (retrain from ingest, shadow, auto-promote)\n", d.Name())
+		}
+	}
 	srv := serve.NewFleet(reg)
 	defer srv.Close()
 	fmt.Printf("serving %d deployment(s) on %s (default %s)\n",
 		len(reg.Names()), *addr, reg.Default().Name())
-	fmt.Printf("  POST /v1/models/{name}/predict|ingest|promote|rollback\n")
-	fmt.Printf("  GET  /v1/models[/{name}/stats|signature]  POST /predict (legacy)\n")
+	fmt.Printf("  POST /v1/models/{name}/predict|ingest|promote|rollback|loop\n")
+	fmt.Printf("  GET  /v1/models[/{name}/stats|signature|loop]  POST /predict (legacy)\n")
 	return http.ListenAndServe(*addr, srv.Handler())
 }
 

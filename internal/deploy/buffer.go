@@ -29,13 +29,17 @@ func newRecordBuffer(capacity int) *recordBuffer {
 	return &recordBuffer{buf: make([]*record.Record, capacity)}
 }
 
-// append accepts recs into the window.
-func (b *recordBuffer) append(recs ...*record.Record) {
+// append accepts recs into the window and returns how many previously
+// buffered records this call overwrote, so per-request accounting (the
+// ingest endpoint's response) can report its own drops rather than the
+// buffer's lifetime total.
+func (b *recordBuffer) append(recs ...*record.Record) int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	var overwrote int
 	for _, r := range recs {
 		if b.n == len(b.buf) {
-			b.dropped++ // overwriting the oldest live record
+			overwrote++ // overwriting the oldest live record
 		} else {
 			b.n++
 		}
@@ -45,7 +49,9 @@ func (b *recordBuffer) append(recs ...*record.Record) {
 			b.pos = 0
 		}
 	}
+	b.dropped += int64(overwrote)
 	b.ingested += int64(len(recs))
+	return overwrote
 }
 
 // drain returns the buffered records in arrival order and clears the

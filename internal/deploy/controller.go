@@ -1,0 +1,370 @@
+package deploy
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/labelmodel"
+	"repro/internal/monitor"
+	"repro/internal/record"
+	"repro/internal/train"
+)
+
+// Continuous-improvement controller: the loop that closes Overton's
+// monitor-then-improve cycle per deployment. Each tick it (1) drains the
+// ingest buffer and folds the drained batch into an incremental label model
+// (sufficient-statistics EM, no full recombine), (2) when enough fresh
+// supervision has accumulated and no candidate is in flight, fine-tunes a
+// Clone() of the live primary against the refreshed probabilistic labels and
+// installs it as the shadow, and (3) runs the promotion policy over the
+// shadow's mirrored-traffic comparison window — promoting, holding, or
+// rolling back with no human in the loop.
+
+// Loop defaults.
+const (
+	defaultLoopInterval    = 500 * time.Millisecond
+	defaultMinRetrainBatch = 32
+	defaultWindowCap       = 2048
+)
+
+// LoopConfig configures a deployment's continuous-improvement controller.
+type LoopConfig struct {
+	// Interval between controller ticks (default 500ms).
+	Interval time.Duration
+	// Policy gates promotion and rollback.
+	Policy Policy
+	// MinRetrainBatch is how many freshly drained records must accumulate
+	// before a new candidate is fine-tuned (default 32).
+	MinRetrainBatch int
+	// WindowCap bounds the fine-tune window of most-recent ingested records
+	// (default 2048). The incremental label model is unbounded — its
+	// sufficient statistics compress — but gradient passes pay per record.
+	WindowCap int
+	// Estimator for the incremental label model (default accuracy EM;
+	// DawidSkene is rejected — it has no foldable sufficient statistics).
+	Estimator labelmodel.Estimator
+	// Rebalance applies automatic class rebalancing to fine-tune targets.
+	Rebalance bool
+	// FineTune bounds the per-candidate gradient pass.
+	FineTune train.FineTuneConfig
+	// Seed makes candidate fine-tunes reproducible.
+	Seed int64
+}
+
+func (c LoopConfig) withDefaults() LoopConfig {
+	if c.Interval <= 0 {
+		c.Interval = defaultLoopInterval
+	}
+	if c.MinRetrainBatch <= 0 {
+		c.MinRetrainBatch = defaultMinRetrainBatch
+	}
+	if c.WindowCap <= 0 {
+		c.WindowCap = defaultWindowCap
+	}
+	c.Policy = c.Policy.withDefaults()
+	return c
+}
+
+// LoopStatus is a point-in-time snapshot of a deployment's controller,
+// exposed at GET /v1/models/{name}/loop.
+type LoopStatus struct {
+	Running bool `json:"running"`
+	// State is "idle" (no candidate), "shadowing" (candidate mirroring
+	// traffic), or "watching" (fresh promotion inside its rollback window).
+	State       string `json:"state,omitempty"`
+	Ticks       int64  `json:"ticks"`
+	Accumulated int64  `json:"accumulated"` // records folded into the label model
+	Window      int    `json:"window"`      // fine-tune window size
+	Pending     int    `json:"pending"`     // drained records since last candidate
+	Retrains    int64  `json:"retrains"`
+	Promotions  int64  `json:"promotions"`
+	Rollbacks   int64  `json:"rollbacks"`
+	LastGate    string `json:"last_gate,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
+}
+
+// controller runs one deployment's improvement loop.
+type controller struct {
+	d   *Deployment
+	cfg LoopConfig
+	inc *labelmodel.Incremental
+
+	// Loop-goroutine-owned state.
+	window      []*record.Record
+	pending     int
+	ps          *policyState
+	nextVersion int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	mu sync.Mutex
+	st LoopStatus
+}
+
+// StartLoop starts the deployment's continuous-improvement controller. One
+// loop per deployment: starting while one runs is an error. A closed
+// deployment returns ErrClosed. The loop stops on StopLoop or Close.
+func (d *Deployment) StartLoop(cfg LoopConfig) error {
+	d.loopMu.Lock()
+	defer d.loopMu.Unlock()
+	if d.Closed() {
+		return ErrClosed
+	}
+	if d.loop != nil {
+		return fmt.Errorf("deploy %s: improvement loop already running", d.name)
+	}
+	cfg = cfg.withDefaults()
+	inc, err := labelmodel.NewIncremental(d.Schema(), labelmodel.CombineConfig{
+		Estimator: cfg.Estimator,
+		Rebalance: cfg.Rebalance,
+	})
+	if err != nil {
+		return fmt.Errorf("deploy %s: %w", d.name, err)
+	}
+	c := &controller{
+		d:    d,
+		cfg:  cfg,
+		inc:  inc,
+		ps:   newPolicyState(cfg.Policy),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	c.st.Running = true
+	c.st.State = "idle"
+	d.loop = c
+	go c.run()
+	return nil
+}
+
+// StopLoop stops the controller (if one is running) and waits for its
+// goroutine to exit. Idempotent; safe to race with Close and StartLoop.
+// The controller stays registered until it has fully exited, so a
+// concurrent StartLoop cannot run a second loop alongside a stopping one —
+// it fails with "already running" until the stop completes. The loop's
+// final status (counters included) stays readable via LoopStatus.
+func (d *Deployment) StopLoop() {
+	d.loopMu.Lock()
+	c := d.loop
+	d.loopMu.Unlock()
+	if c == nil {
+		return
+	}
+	c.stopOnce.Do(func() { close(c.stop) })
+	d.detachLoop(c)
+}
+
+// LoopStatus returns the controller's status. Running is false when no loop
+// has been started (or it was stopped); counters survive until the next
+// StartLoop, so a stopped loop's history remains readable.
+func (d *Deployment) LoopStatus() LoopStatus {
+	d.loopMu.Lock()
+	c := d.loop
+	st := d.lastLoop
+	d.loopMu.Unlock()
+	if c == nil {
+		return st
+	}
+	return c.status()
+}
+
+// stopLoopForClose waits out the controller during Close. The controller
+// goroutine exits on its own via d.closed; Close only needs to wait so
+// that "closed deployment" implies "no controller goroutine".
+func (d *Deployment) stopLoopForClose() {
+	d.loopMu.Lock()
+	c := d.loop
+	d.loopMu.Unlock()
+	if c == nil {
+		return
+	}
+	d.detachLoop(c)
+}
+
+// detachLoop waits for c to exit, then unregisters it and preserves its
+// final status. Guarded on identity so concurrent StopLoop/Close callers
+// (or a stop racing a later restart) clean up exactly once.
+func (d *Deployment) detachLoop(c *controller) {
+	<-c.done
+	d.loopMu.Lock()
+	if d.loop == c {
+		d.loop = nil
+		d.lastLoop = c.status()
+	}
+	d.loopMu.Unlock()
+}
+
+func (c *controller) status() LoopStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st
+}
+
+func (c *controller) run() {
+	defer func() {
+		c.mu.Lock()
+		c.st.Running = false
+		c.mu.Unlock()
+		close(c.done)
+	}()
+	ticker := time.NewTicker(c.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			c.tick()
+		case <-c.stop:
+			return
+		case <-c.d.closed:
+			return
+		}
+	}
+}
+
+// tick runs one controller cycle: fold drained ingest, maybe build a
+// candidate, then let the policy judge the shadow window.
+func (c *controller) tick() {
+	// 1. Fold freshly ingested supervision into the sufficient statistics
+	// and the bounded fine-tune window.
+	if batch := c.d.Drain(); len(batch) > 0 {
+		c.inc.Update(batch)
+		c.window = append(c.window, batch...)
+		if over := len(c.window) - c.cfg.WindowCap; over > 0 {
+			n := copy(c.window, c.window[over:])
+			for i := n; i < len(c.window); i++ {
+				c.window[i] = nil // release for GC
+			}
+			c.window = c.window[:n]
+		}
+		c.pending += len(batch)
+	}
+
+	// 2. Build a candidate when idle: no shadow in flight, no promotion
+	// being watched, and enough fresh supervision since the last build.
+	_, hasShadow := c.d.shadowInfo()
+	var lastErr string
+	if !hasShadow && !c.ps.watching() && c.pending >= c.cfg.MinRetrainBatch && supervisedCount(c.window) > 0 {
+		if err := c.retrain(); err != nil {
+			lastErr = err.Error()
+			// Do not retry the same window every tick on a systematic
+			// failure; wait for fresh data.
+			c.pending = 0
+		} else {
+			c.pending = 0
+			hasShadow = true
+		}
+	}
+
+	// 3. Policy: judge the shadow's mirrored-traffic window. FlushShadow
+	// barriers in-flight mirrors so the gate sees a settled window. The
+	// observation is served-traffic only (no latency-ring sort, no client
+	// rejections in the regression signal).
+	c.d.FlushShadow()
+	shadowRep, served, servedErrors := c.d.loopObservation()
+	dec, why := c.ps.step(policyInputs{
+		shadow:   hasShadow,
+		gate:     monitor.EvaluateGate(shadowRep, c.cfg.Policy.gateConfig()),
+		requests: served,
+		errors:   servedErrors,
+	})
+	var promoted, rolledBack bool
+	switch dec {
+	case decisionPromote:
+		if _, err := c.d.Promote(); err != nil {
+			lastErr = err.Error()
+			c.ps.abortPromote()
+		} else {
+			promoted = true
+		}
+	case decisionRollback:
+		if _, err := c.d.Rollback(); err != nil {
+			lastErr = err.Error()
+		} else {
+			rolledBack = true
+		}
+	}
+
+	c.mu.Lock()
+	c.st.Ticks++
+	c.st.Accumulated = c.inc.Records()
+	c.st.Window = len(c.window)
+	c.st.Pending = c.pending
+	c.st.LastGate = fmt.Sprintf("%s: %s", dec, why)
+	if promoted {
+		c.st.Promotions++
+	}
+	if rolledBack {
+		c.st.Rollbacks++
+	}
+	if lastErr != "" {
+		c.st.LastError = lastErr
+	}
+	switch {
+	case c.ps.watching(): // a successful promote always arms the window
+		c.st.State = "watching"
+	case promoted || rolledBack || !hasShadow:
+		c.st.State = "idle"
+	default:
+		c.st.State = "shadowing"
+	}
+	c.mu.Unlock()
+}
+
+// retrain snapshots the incremental label model, fine-tunes a clone of the
+// live primary against the window's refreshed probabilistic labels, and
+// installs it as the shadow candidate.
+func (c *controller) retrain() error {
+	snap := c.inc.Snapshot()
+	targets, err := snap.Targets(c.window)
+	if err != nil {
+		return err
+	}
+	primary, version := c.d.primary()
+	clone, err := primary.Clone()
+	if err != nil {
+		return err
+	}
+	ft := c.cfg.FineTune
+	c.mu.Lock()
+	retrains := c.st.Retrains
+	c.mu.Unlock()
+	ft.Seed = c.cfg.Seed + retrains
+	if _, err := train.FineTune(clone, c.window, targets, ft); err != nil {
+		return err
+	}
+	if c.nextVersion <= version {
+		c.nextVersion = version + 1
+	}
+	if err := c.d.SetShadow(clone, c.nextVersion); err != nil {
+		return err
+	}
+	c.nextVersion++
+	c.mu.Lock()
+	c.st.Retrains++
+	c.mu.Unlock()
+	return nil
+}
+
+// supervisedCount counts records carrying at least one non-gold label — the
+// ones a fine-tune pass can actually learn from.
+func supervisedCount(recs []*record.Record) int {
+	var n int
+	for _, r := range recs {
+		for _, tl := range r.Tasks {
+			hit := false
+			for src := range tl {
+				if src != record.GoldSource {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}

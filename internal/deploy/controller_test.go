@@ -1,0 +1,180 @@
+package deploy
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/record"
+	"repro/internal/train"
+)
+
+// labelledRecord builds a live-traffic record carrying weak Intent
+// supervision from two sources — the stream the improvement loop learns
+// from.
+func labelledRecord(t testing.TB, m *model.Model, intent string) *record.Record {
+	t.Helper()
+	rec := goodRecord(t, m)
+	rec.SetLabel("Intent", "weak1", record.Label{Kind: record.KindClass, Class: intent})
+	rec.SetLabel("Intent", "weak2", record.Label{Kind: record.KindClass, Class: intent})
+	return rec
+}
+
+// waitGoroutines retries until the live goroutine count drops back to the
+// baseline (background predictors/mirrors/controllers need a moment to
+// unwind after Close).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d live, want <= %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+}
+
+// TestControllerClosedLoop drives the full improvement cycle without HTTP:
+// streamed ingest accumulates, the controller retrains a candidate from the
+// incremental label model, mirrored predict traffic passes the gates, the
+// policy promotes — and the deployment ends on a higher primary version
+// with no leaked goroutines.
+func TestControllerClosedLoop(t *testing.T) {
+	m := freshModel(t, 1)
+	// Warm the shared compute pool so its goroutines land in the baseline.
+	if _, err := m.PredictOne(goodRecord(t, m)); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+
+	d := New("factoid", m, 1)
+	rec := goodRecord(t, m)
+	cfg := LoopConfig{
+		Interval:        2 * time.Millisecond,
+		MinRetrainBatch: 24,
+		Policy: Policy{
+			MinMirrored:           6,
+			MinAgreement:          0.5,
+			Hysteresis:            2,
+			RollbackWindow:        2,
+			MinRegressionRequests: 1 << 30, // regression path exercised in policy tests
+		},
+		FineTune: train.FineTuneConfig{Epochs: 1, LR: 0.001},
+	}
+	if err := d.StartLoop(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StartLoop(cfg); err == nil {
+		t.Fatal("second StartLoop accepted while the first is running")
+	}
+
+	// Ingest a bounded stream: enough for exactly one retrain
+	// (24 <= total < 2*24), so at most one promotion can ever fire.
+	total := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for d.Stats().Promotions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no promotion: stats=%+v loop=%+v", d.Stats(), d.LoopStatus())
+		}
+		if total < 40 {
+			if _, err := d.Ingest(labelledRecord(t, m, "Height")); err != nil {
+				t.Fatal(err)
+			}
+			total++
+		}
+		// Live traffic: feeds the shadow comparison window once a candidate
+		// is installed.
+		if _, _, err := d.Predict(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := d.Stats()
+	if st.Version <= 1 {
+		t.Fatalf("promotion did not raise the primary version: %+v", st)
+	}
+	if st.Promotions != 1 {
+		t.Fatalf("promotions = %d, want exactly 1", st.Promotions)
+	}
+	ls := d.LoopStatus()
+	if !ls.Running || ls.Retrains != 1 || ls.Promotions != 1 || ls.Accumulated == 0 {
+		t.Fatalf("loop status wrong: %+v", ls)
+	}
+
+	// Close mid-loop: requests fail with ErrClosed, the controller goroutine
+	// exits (Close waits for it), and its final status stays readable.
+	d.Close()
+	if _, _, err := d.Predict(rec); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Predict after Close: %v, want ErrClosed", err)
+	}
+	if _, err := d.Ingest(rec); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ingest after Close: %v, want ErrClosed", err)
+	}
+	ls = d.LoopStatus()
+	if ls.Running || ls.Promotions != 1 {
+		t.Fatalf("post-Close loop status wrong: %+v", ls)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestControllerStartStopRace hammers StartLoop/StopLoop concurrently: the
+// one-loop-per-deployment invariant must hold while a stopping controller
+// is still winding down (a StartLoop that lands mid-stop fails with
+// "already running" rather than running a second loop alongside it).
+func TestControllerStartStopRace(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("factoid", m, 1)
+	defer d.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				err := d.StartLoop(LoopConfig{Interval: time.Millisecond})
+				if err != nil && !strings.Contains(err.Error(), "already running") {
+					t.Errorf("StartLoop: %v", err)
+					return
+				}
+				d.StopLoop()
+			}
+		}()
+	}
+	wg.Wait()
+	d.StopLoop()
+	if ls := d.LoopStatus(); ls.Running {
+		t.Fatalf("loop still running after the storm: %+v", ls)
+	}
+}
+
+// TestControllerStopRestart pins StopLoop semantics: it waits the goroutine
+// out, is idempotent, and a stopped deployment can start a fresh loop.
+func TestControllerStopRestart(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("factoid", m, 1)
+	defer d.Close()
+	if err := d.StartLoop(LoopConfig{Interval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	// Let it tick at least once.
+	deadline := time.Now().Add(5 * time.Second)
+	for d.LoopStatus().Ticks == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	d.StopLoop()
+	d.StopLoop() // idempotent
+	if ls := d.LoopStatus(); ls.Running {
+		t.Fatalf("loop still running after StopLoop: %+v", ls)
+	}
+	if err := d.StartLoop(LoopConfig{Interval: time.Millisecond}); err != nil {
+		t.Fatalf("restart after StopLoop: %v", err)
+	}
+	d.StopLoop()
+}

@@ -83,6 +83,12 @@ type Deployment struct {
 
 	bufferCap int
 	now       func() time.Time
+
+	// loopMu guards the continuous-improvement controller (see
+	// controller.go); lastLoop preserves a stopped loop's final status.
+	loopMu   sync.Mutex
+	loop     *controller
+	lastLoop LoopStatus
 }
 
 // Option customises a Deployment.
@@ -164,11 +170,14 @@ func (d *Deployment) Info() model.Info {
 	return d.m.Info()
 }
 
-// Close stops the batch collector. In-flight requests receive errors;
+// Close stops the batch collector and the continuous-improvement controller
+// (when one is running), waiting for the controller goroutine to exit — a
+// closed deployment leaks nothing. In-flight requests receive errors;
 // subsequent requests are rejected. Safe to call more than once, and safe
-// to race with Predict, Swap, and Ingest.
+// to race with Predict, Swap, Ingest, and StartLoop/StopLoop.
 func (d *Deployment) Close() {
 	d.closeOnce.Do(func() { close(d.closed) })
+	d.stopLoopForClose()
 }
 
 // Closed reports whether the deployment has been closed.
@@ -284,18 +293,18 @@ func (d *Deployment) Predict(rec *record.Record) (model.Output, int, error) {
 	select {
 	case d.jobs <- job:
 	case <-d.closed:
-		d.lat.recordError()
+		d.lat.recordServedError()
 		return nil, version, ErrClosed
 	}
 	var res predictResult
 	select {
 	case res = <-job.resp:
 	case <-d.closed:
-		d.lat.recordError()
+		d.lat.recordServedError()
 		return nil, version, ErrClosed
 	}
 	if res.err != nil {
-		d.lat.recordError()
+		d.lat.recordServedError()
 		return nil, version, res.err
 	}
 	if shadow != nil {
@@ -356,15 +365,17 @@ func (d *Deployment) FlushShadow() {
 }
 
 // Ingest appends validated records to the deployment's buffer for later
-// fine-tuning or label-model updates. A closed deployment rejects
-// ingestion — Close's contract is that subsequent requests fail, and a
-// closed deployment's buffer will never be drained.
-func (d *Deployment) Ingest(recs ...*record.Record) error {
+// fine-tuning or label-model updates, returning how many previously
+// buffered records this call overwrote (streaming windows overwrite the
+// oldest when full; callers surface the count instead of dropping it
+// silently). A closed deployment rejects ingestion — Close's contract is
+// that subsequent requests fail, and a closed deployment's buffer will
+// never be drained.
+func (d *Deployment) Ingest(recs ...*record.Record) (int, error) {
 	if d.Closed() {
-		return ErrClosed
+		return 0, ErrClosed
 	}
-	d.buf.append(recs...)
-	return nil
+	return d.buf.append(recs...), nil
 }
 
 // IngestStats returns the buffer counters without touching the latency
@@ -377,6 +388,39 @@ func (d *Deployment) IngestStats() (ingested int64, buffered int, dropped int64)
 // Drain returns the buffered ingested records in arrival order and clears
 // the buffer; the caller (a fine-tuning pipeline) takes ownership.
 func (d *Deployment) Drain() []*record.Record { return d.buf.drain() }
+
+// primary returns the current primary model and its version.
+func (d *Deployment) primary() (*model.Model, int) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.m, d.version
+}
+
+// shadowInfo reports the installed shadow's version (0, false when none).
+func (d *Deployment) shadowInfo() (int, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.shadowVer, d.shadow != nil
+}
+
+// loopObservation is the improvement loop's per-tick read: the shadow
+// comparison window (nil when no shadow) and the served-traffic counters.
+// Deliberately cheaper than Stats — no latency-ring sort — and scoped to
+// requests the model actually served, so client-side rejections cannot
+// masquerade as a post-promotion regression.
+func (d *Deployment) loopObservation() (shadow *monitor.ShadowReport, served, servedErrors int64) {
+	d.mu.RLock()
+	var series *monitor.ShadowSeries
+	if d.shadow != nil {
+		series = d.series
+	}
+	d.mu.RUnlock()
+	if series != nil {
+		shadow = series.Snapshot()
+	}
+	served, servedErrors = d.lat.servedCounters()
+	return shadow, served, servedErrors
+}
 
 // Stats snapshots the deployment's serving profile.
 func (d *Deployment) Stats() Stats {

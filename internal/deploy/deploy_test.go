@@ -131,8 +131,11 @@ func TestLifecycleEdges(t *testing.T) {
 	if _, err := d.Promote(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Promote after Close: got %v, want ErrClosed", err)
 	}
-	if err := d.Ingest(rec); !errors.Is(err, ErrClosed) {
+	if _, err := d.Ingest(rec); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Ingest after Close: got %v, want ErrClosed", err)
+	}
+	if err := d.StartLoop(LoopConfig{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("StartLoop after Close: got %v, want ErrClosed", err)
 	}
 }
 
@@ -317,8 +320,18 @@ func TestIngestDrain(t *testing.T) {
 	defer d.Close()
 	rec := goodRecord(t, m)
 	for i := 0; i < 10; i++ {
-		if err := d.Ingest(rec); err != nil {
+		overwrote, err := d.Ingest(rec)
+		if err != nil {
 			t.Fatal(err)
+		}
+		// The first 8 fit; each of the last 2 overwrites one oldest record,
+		// and the caller is told so per call (nothing dropped silently).
+		want := 0
+		if i >= 8 {
+			want = 1
+		}
+		if overwrote != want {
+			t.Fatalf("ingest %d overwrote %d, want %d", i, overwrote, want)
 		}
 	}
 	st := d.Stats()

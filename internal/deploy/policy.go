@@ -1,0 +1,169 @@
+package deploy
+
+import (
+	"fmt"
+
+	"repro/internal/monitor"
+)
+
+// Policy configures shadow-driven auto-promotion: when the continuous-
+// improvement controller may promote a shadow candidate, and when it must
+// roll a fresh promotion back. This is Overton's "zero-coding" deployment
+// step as a state machine — no human approves the promote; the gates do.
+type Policy struct {
+	// MinMirrored is the minimum number of mirrored comparisons in the
+	// shadow window before the gate is evaluated at all (default 32).
+	MinMirrored int64 `json:"min_mirrored,omitempty"`
+	// MinAgreement is the minimum per-task agreement rate with the primary
+	// on mirrored traffic (worst task gates; default 0.9).
+	MinAgreement float64 `json:"min_agreement,omitempty"`
+	// MaxShadowErrorRate bounds shadow prediction failures in the window
+	// (0 disables).
+	MaxShadowErrorRate float64 `json:"max_shadow_error_rate,omitempty"`
+	// Hysteresis is how many consecutive passing gate evaluations are
+	// required before promoting (default 2). A flapping candidate that
+	// alternates pass/fail never accumulates the streak.
+	Hysteresis int `json:"hysteresis,omitempty"`
+	// RollbackWindow is how many controller ticks after a promotion the
+	// deployment is watched for regression (default 4). While watching, no
+	// new candidate is built or promoted.
+	RollbackWindow int `json:"rollback_window,omitempty"`
+	// MaxRegressionErrorRate is the serving error rate over the post-
+	// promotion window that triggers the (single) auto-rollback
+	// (default 0.5).
+	MaxRegressionErrorRate float64 `json:"max_regression_error_rate,omitempty"`
+	// MinRegressionRequests is how many requests the post-promotion window
+	// must contain before the regression rate is trusted (default 8) — an
+	// empty window has a 0/0 error rate, which must not roll back.
+	MinRegressionRequests int64 `json:"min_regression_requests,omitempty"`
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MinMirrored <= 0 {
+		p.MinMirrored = 32
+	}
+	if p.MinAgreement <= 0 {
+		p.MinAgreement = 0.9
+	}
+	if p.Hysteresis <= 0 {
+		p.Hysteresis = 2
+	}
+	if p.RollbackWindow <= 0 {
+		p.RollbackWindow = 4
+	}
+	if p.MaxRegressionErrorRate <= 0 {
+		p.MaxRegressionErrorRate = 0.5
+	}
+	if p.MinRegressionRequests <= 0 {
+		p.MinRegressionRequests = 8
+	}
+	return p
+}
+
+// gateConfig is the shadow-window gate derived from the policy.
+func (p Policy) gateConfig() monitor.GateConfig {
+	return monitor.GateConfig{
+		MinMirrored:  p.MinMirrored,
+		MinAgreement: p.MinAgreement,
+		MaxErrorRate: p.MaxShadowErrorRate,
+	}
+}
+
+// decision is one tick's verdict.
+type decision int
+
+const (
+	decisionHold decision = iota
+	decisionPromote
+	decisionRollback
+)
+
+func (d decision) String() string {
+	switch d {
+	case decisionPromote:
+		return "promote"
+	case decisionRollback:
+		return "rollback"
+	}
+	return "hold"
+}
+
+// policyInputs is everything one evaluation observes: whether a shadow is
+// installed, the gate verdict over its comparison window, and the
+// deployment's cumulative served-traffic counters — requests that reached
+// Predict, not client-side rejections — for post-promotion regression
+// detection.
+type policyInputs struct {
+	shadow   bool
+	gate     monitor.GateResult
+	requests int64
+	errors   int64
+}
+
+// policyState is the promotion state machine. Not safe for concurrent use;
+// the controller owns it.
+type policyState struct {
+	p      Policy
+	streak int // consecutive passing gate evaluations
+	// watch > 0 means a promotion is inside its rollback window; base* are
+	// the deployment counters frozen at promotion time.
+	watch        int
+	baseRequests int64
+	baseErrors   int64
+	rolledBack   bool
+}
+
+func newPolicyState(p Policy) *policyState {
+	return &policyState{p: p.withDefaults()}
+}
+
+// watching reports whether a promotion is inside its rollback window.
+func (ps *policyState) watching() bool { return ps.watch > 0 }
+
+// step advances the state machine one tick and returns the decision plus a
+// human-readable reason. Exactly one promotion can be pending per window,
+// and a regressing promotion rolls back exactly once.
+func (ps *policyState) step(in policyInputs) (decision, string) {
+	if ps.watch > 0 {
+		ps.watch--
+		dreq := in.requests - ps.baseRequests
+		derr := in.errors - ps.baseErrors
+		if dreq >= ps.p.MinRegressionRequests {
+			if rate := float64(derr) / float64(dreq); rate > ps.p.MaxRegressionErrorRate {
+				if !ps.rolledBack {
+					ps.rolledBack = true
+					ps.watch = 0
+					return decisionRollback, fmt.Sprintf("error rate %.3f over %d post-promote requests", rate, dreq)
+				}
+			}
+		}
+		return decisionHold, fmt.Sprintf("watching rollback window (%d ticks left)", ps.watch)
+	}
+	if !in.shadow {
+		ps.streak = 0
+		return decisionHold, "no shadow candidate"
+	}
+	if !in.gate.Pass {
+		ps.streak = 0
+		return decisionHold, in.gate.Reason
+	}
+	ps.streak++
+	if ps.streak < ps.p.Hysteresis {
+		return decisionHold, fmt.Sprintf("gate pass %d/%d", ps.streak, ps.p.Hysteresis)
+	}
+	ps.streak = 0
+	ps.watch = ps.p.RollbackWindow
+	ps.rolledBack = false
+	ps.baseRequests, ps.baseErrors = in.requests, in.errors
+	return decisionPromote, fmt.Sprintf("gates held for %d evaluations (agreement %.3f over %d mirrored)",
+		ps.p.Hysteresis, in.gate.Agreement, in.gate.Mirrored)
+}
+
+// abortPromote unwinds the state committed by a decisionPromote whose
+// Promote call then failed (e.g. an operator promoted or cleared the shadow
+// between the gate evaluation and the call): the machine must not watch a
+// rollback window for a promotion that never happened.
+func (ps *policyState) abortPromote() {
+	ps.watch = 0
+	ps.streak = 0
+}

@@ -1,0 +1,161 @@
+package deploy
+
+import (
+	"testing"
+
+	"repro/internal/monitor"
+)
+
+// gateOf evaluates the policy's gate over a synthetic shadow window,
+// exercising the real monitor gate rather than a stub.
+func gateOf(p Policy, rep *monitor.ShadowReport) monitor.GateResult {
+	return monitor.EvaluateGate(rep, p.withDefaults().gateConfig())
+}
+
+func window(mirrored int64, agree, units float64) *monitor.ShadowReport {
+	return &monitor.ShadowReport{
+		Mirrored: mirrored,
+		Tasks:    map[string]monitor.ShadowTaskAgreement{"Intent": {Units: units, Agree: agree}},
+	}
+}
+
+// TestPolicyStateMachine drives the promotion state machine through its
+// edge cases tick by tick: insufficient traffic, NaN/empty agreement
+// windows, flapping candidates against hysteresis, and the single-rollback
+// guarantee inside the regression window.
+func TestPolicyStateMachine(t *testing.T) {
+	pol := Policy{
+		MinMirrored:            10,
+		MinAgreement:           0.9,
+		Hysteresis:             2,
+		RollbackWindow:         3,
+		MaxRegressionErrorRate: 0.5,
+		MinRegressionRequests:  4,
+	}
+	type tick struct {
+		shadow   bool
+		rep      *monitor.ShadowReport
+		requests int64
+		errors   int64
+		want     decision
+	}
+	cases := []struct {
+		name  string
+		ticks []tick
+	}{
+		{
+			name: "no shadow never promotes",
+			ticks: []tick{
+				{shadow: false, want: decisionHold},
+				{shadow: false, want: decisionHold},
+			},
+		},
+		{
+			name: "insufficient mirrored traffic holds",
+			ticks: []tick{
+				{shadow: true, rep: window(9, 9, 9), want: decisionHold},
+				{shadow: true, rep: window(9, 9, 9), want: decisionHold},
+				{shadow: true, rep: window(9, 9, 9), want: decisionHold},
+			},
+		},
+		{
+			name: "nil window holds",
+			ticks: []tick{
+				{shadow: true, rep: nil, want: decisionHold},
+				{shadow: true, rep: nil, want: decisionHold},
+			},
+		},
+		{
+			name: "empty agreement window (0 units, NaN rate) holds",
+			ticks: []tick{
+				{shadow: true, rep: window(50, 0, 0), want: decisionHold},
+				{shadow: true, rep: window(50, 0, 0), want: decisionHold},
+				{shadow: true, rep: window(50, 0, 0), want: decisionHold},
+			},
+		},
+		{
+			name: "gates held for hysteresis promote once",
+			ticks: []tick{
+				{shadow: true, rep: window(20, 19, 20), want: decisionHold}, // pass 1/2
+				{shadow: true, rep: window(40, 38, 40), want: decisionPromote},
+			},
+		},
+		{
+			name: "flapping shadow never accumulates the streak",
+			ticks: []tick{
+				{shadow: true, rep: window(20, 19, 20), want: decisionHold}, // pass 1/2
+				{shadow: true, rep: window(40, 20, 40), want: decisionHold}, // fail resets
+				{shadow: true, rep: window(60, 58, 60), want: decisionHold}, // pass 1/2
+				{shadow: true, rep: window(80, 40, 80), want: decisionHold}, // fail resets
+				{shadow: true, rep: window(99, 97, 99), want: decisionHold}, // pass 1/2 again
+			},
+		},
+		{
+			name: "regression in rollback window triggers exactly one rollback",
+			ticks: []tick{
+				{shadow: true, rep: window(20, 20, 20), requests: 100, want: decisionHold},
+				{shadow: true, rep: window(40, 40, 40), requests: 120, want: decisionPromote},
+				// Inside the window: error storm (6 errors / 10 requests).
+				{requests: 130, errors: 6, want: decisionRollback},
+				// Still erroring: the machine must not roll back twice.
+				{requests: 140, errors: 12, want: decisionHold},
+				{requests: 150, errors: 20, want: decisionHold},
+			},
+		},
+		{
+			name: "healthy promotion survives its rollback window",
+			ticks: []tick{
+				{shadow: true, rep: window(20, 20, 20), requests: 100, want: decisionHold},
+				{shadow: true, rep: window(40, 40, 40), requests: 120, want: decisionPromote},
+				{requests: 200, errors: 1, want: decisionHold}, // watching 1/3
+				{requests: 300, errors: 1, want: decisionHold}, // watching 2/3
+				{requests: 400, errors: 1, want: decisionHold}, // watching 3/3
+				// Window over: a fresh passing shadow can promote again.
+				{shadow: true, rep: window(20, 20, 20), requests: 500, want: decisionHold},
+				{shadow: true, rep: window(40, 40, 40), requests: 520, want: decisionPromote},
+			},
+		},
+		{
+			name: "tiny post-promote window (0/0 rate) does not roll back",
+			ticks: []tick{
+				{shadow: true, rep: window(20, 20, 20), requests: 100, want: decisionHold},
+				{shadow: true, rep: window(40, 40, 40), requests: 100, want: decisionPromote},
+				// Only 2 requests since promote — below MinRegressionRequests,
+				// even though both errored.
+				{requests: 102, errors: 2, want: decisionHold},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ps := newPolicyState(pol)
+			for i, tk := range tc.ticks {
+				// Error counters are cumulative from deployment start; the
+				// scripted values start at the promote tick's base.
+				got, why := ps.step(policyInputs{
+					shadow:   tk.shadow,
+					gate:     gateOf(pol, tk.rep),
+					requests: tk.requests,
+					errors:   tk.errors,
+				})
+				if got != tk.want {
+					t.Fatalf("tick %d: decision %v (%s), want %v", i, got, why, tk.want)
+				}
+			}
+		})
+	}
+}
+
+// TestPolicyDefaults pins the zero-value policy to sane production gates.
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{}.withDefaults()
+	if p.MinMirrored <= 0 || p.MinAgreement <= 0 || p.Hysteresis <= 0 ||
+		p.RollbackWindow <= 0 || p.MaxRegressionErrorRate <= 0 || p.MinRegressionRequests <= 0 {
+		t.Fatalf("zero-value policy left a gate disabled: %+v", p)
+	}
+	// Hysteresis must be at least 2: a single lucky window should never
+	// promote on its own.
+	if p.Hysteresis < 2 {
+		t.Fatalf("default hysteresis %d allows one-shot promotion", p.Hysteresis)
+	}
+}

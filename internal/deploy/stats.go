@@ -35,14 +35,20 @@ type Stats struct {
 
 // latencyStats is the O(1)-per-request latency/error collector: a
 // fixed-size ring of millisecond samples plus request/error counters.
+// Alongside the public counters it tracks the served subset — requests that
+// actually reached Predict — separately from client-side rejections
+// (malformed payloads recorded via RecordError), because the auto-rollback
+// policy must judge the model on traffic it served, not on client garbage.
 type latencyStats struct {
-	mu       sync.Mutex
-	ring     []float64 // milliseconds
-	pos      int       // next write position
-	n        int       // live samples (caps at maxLatencySamples)
-	scratch  []float64 // reused sort buffer for snapshot
-	requests int64
-	errors   int64
+	mu           sync.Mutex
+	ring         []float64 // milliseconds
+	pos          int       // next write position
+	n            int       // live samples (caps at maxLatencySamples)
+	scratch      []float64 // reused sort buffer for snapshot
+	requests     int64
+	errors       int64
+	served       int64 // requests that reached Predict
+	servedErrors int64 // Predict failures (subset of errors)
 }
 
 func newLatencyStats() *latencyStats {
@@ -56,6 +62,7 @@ func (l *latencyStats) recordLatency(ms float64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.requests++
+	l.served++
 	l.ring[l.pos] = ms
 	l.pos++
 	if l.pos == len(l.ring) {
@@ -66,11 +73,30 @@ func (l *latencyStats) recordLatency(ms float64) {
 	}
 }
 
+// recordError counts a request rejected before reaching Predict.
 func (l *latencyStats) recordError() {
 	l.mu.Lock()
 	l.requests++
 	l.errors++
 	l.mu.Unlock()
+}
+
+// recordServedError counts a request that reached Predict and failed there.
+func (l *latencyStats) recordServedError() {
+	l.mu.Lock()
+	l.requests++
+	l.errors++
+	l.served++
+	l.servedErrors++
+	l.mu.Unlock()
+}
+
+// servedCounters reads the served-traffic counters without touching (or
+// sorting) the latency ring — the improvement loop polls this every tick.
+func (l *latencyStats) servedCounters() (served, errors int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.served, l.servedErrors
 }
 
 // snapshot fills the latency fields of st from a reused scratch copy of

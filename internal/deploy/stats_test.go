@@ -84,16 +84,54 @@ func TestLatencyRingWraparound(t *testing.T) {
 	}
 }
 
+// TestServedCountersExcludeClientErrors pins the split the auto-rollback
+// policy depends on: client-side rejections (RecordError) raise the public
+// request/error counters but never the served counters, so client garbage
+// cannot read as a post-promotion model regression.
+func TestServedCountersExcludeClientErrors(t *testing.T) {
+	l := newLatencyStats()
+	l.recordLatency(1)    // served, ok
+	l.recordError()       // client rejection
+	l.recordServedError() // reached Predict, failed
+	var st Stats
+	l.snapshot(&st)
+	if st.Requests != 3 || st.Errors != 2 {
+		t.Fatalf("public counters: %d requests / %d errors, want 3/2", st.Requests, st.Errors)
+	}
+	served, serr := l.servedCounters()
+	if served != 2 || serr != 1 {
+		t.Fatalf("served counters: %d/%d, want 2/1", served, serr)
+	}
+}
+
 // TestRecordBufferWraparound checks overwrite-oldest semantics and
-// arrival-order drains across the wrap point.
+// arrival-order drains across the wrap point, including the per-append
+// overwrite count (the drop must be reported to the caller, not swallowed).
 func TestRecordBufferWraparound(t *testing.T) {
 	b := newRecordBuffer(4)
 	for i := 0; i < 6; i++ {
-		b.append(stubRecord(i))
+		want := 0
+		if i >= 4 {
+			want = 1 // window full: this append overwrites the oldest
+		}
+		if got := b.append(stubRecord(i)); got != want {
+			t.Fatalf("append %d overwrote %d, want %d", i, got, want)
+		}
 	}
 	ingested, buffered, dropped := b.stats()
 	if ingested != 6 || buffered != 4 || dropped != 2 {
 		t.Fatalf("stats after wrap: ingested=%d buffered=%d dropped=%d", ingested, buffered, dropped)
+	}
+	// A multi-record append across the wrap reports its own drops.
+	b2 := newRecordBuffer(4)
+	if got := b2.append(stubRecord(0), stubRecord(1), stubRecord(2)); got != 0 {
+		t.Fatalf("under-capacity append overwrote %d", got)
+	}
+	if got := b2.append(stubRecord(3), stubRecord(4), stubRecord(5)); got != 2 {
+		t.Fatalf("wrapping append overwrote %d, want 2", got)
+	}
+	if _, _, dropped := b2.stats(); dropped != 2 {
+		t.Fatalf("cumulative dropped %d, want 2", dropped)
 	}
 	out := b.drain()
 	if len(out) != 4 {

@@ -1,0 +1,709 @@
+package labelmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+// Incremental accumulates label-model sufficient statistics over a stream of
+// weakly-labelled records, so a deployment's continuous-improvement loop can
+// fold each drained ingest batch in O(batch) and refresh probabilistic
+// labels without recombining from scratch.
+//
+// The key fact it exploits: the accuracy and majority estimators depend on
+// the data only through the multiset of per-unit vote patterns (which
+// sources voted, and what). Update deduplicates each unit's pattern into a
+// counted store; Snapshot runs weighted EM over the unique patterns — in
+// exact arithmetic the same iterates as full EM over every unit ever seen —
+// and Snapshot.Targets replays one E-step with the converged parameters to
+// emit TaskTargets for any record window. Fed the same records, the result
+// matches Combine to float-rounding (pinned at 1e-6 by the parity tests).
+//
+// DawidSkene is not supported incrementally: its sufficient statistics are
+// per-(source, true-class, vote) expected counts, which depend on the
+// posteriors of every item and cannot be folded batch-by-batch.
+//
+// Safe for concurrent use.
+type Incremental struct {
+	sch *schema.Schema
+	cfg CombineConfig
+
+	mu      sync.Mutex
+	tasks   map[string]*incTask
+	records int64
+}
+
+// incTask is one task's accumulator: a single pattern store for multiclass
+// and select tasks, one binary store per class for bitvector tasks.
+type incTask struct {
+	t      *schema.Task
+	gran   schema.Granularity
+	stores []*patternStore
+}
+
+// pvote is one (source column, vote) pair of a sparse pattern.
+type pvote struct {
+	src, vote int
+}
+
+// pattern is one unique vote pattern and how many units carried it.
+type pattern struct {
+	n     int // select: candidate count; 0 for other task types
+	votes []pvote
+	count float64
+}
+
+// patternStore deduplicates unit vote patterns. Source columns are assigned
+// in discovery order (the stream decides); Snapshot re-sorts by name so the
+// EM run is deterministic regardless of arrival order.
+type patternStore struct {
+	k        int // class count (2 for bitvector bits; 0 for select)
+	srcIdx   map[string]int
+	srcs     []string
+	index    map[string]int
+	pats     []pattern
+	units    float64   // every unit seen, voted-on or not (coverage denominator)
+	srcVotes []float64 // per-column voted-unit counts
+}
+
+func newPatternStore(k int) *patternStore {
+	return &patternStore{k: k, srcIdx: map[string]int{}, index: map[string]int{}}
+}
+
+func (ps *patternStore) col(source string) int {
+	if i, ok := ps.srcIdx[source]; ok {
+		return i
+	}
+	i := len(ps.srcs)
+	ps.srcIdx[source] = i
+	ps.srcs = append(ps.srcs, source)
+	ps.srcVotes = append(ps.srcVotes, 0)
+	return i
+}
+
+// add folds one unit's sparse votes (sorted by column) into the store.
+// All-abstain units are stored too: they carry prior mass in EM exactly like
+// the abstain rows of a full vote matrix.
+func (ps *patternStore) add(n int, votes []pvote) {
+	ps.units++
+	for _, v := range votes {
+		ps.srcVotes[v.src]++
+	}
+	key := make([]byte, 0, 8+8*len(votes))
+	key = strconv.AppendInt(key, int64(n), 10)
+	for _, v := range votes {
+		key = append(key, '|')
+		key = strconv.AppendInt(key, int64(v.src), 10)
+		key = append(key, ':')
+		key = strconv.AppendInt(key, int64(v.vote), 10)
+	}
+	if i, ok := ps.index[string(key)]; ok {
+		ps.pats[i].count++
+		return
+	}
+	ps.index[string(key)] = len(ps.pats)
+	ps.pats = append(ps.pats, pattern{n: n, votes: append([]pvote(nil), votes...), count: 1})
+}
+
+// sortedSources returns the store's source names sorted, plus the
+// old-column -> sorted-column permutation.
+func (ps *patternStore) sortedSources() ([]string, []int) {
+	names := append([]string(nil), ps.srcs...)
+	sort.Strings(names)
+	perm := make([]int, len(ps.srcs))
+	pos := make(map[string]int, len(names))
+	for i, n := range names {
+		pos[n] = i
+	}
+	for old, n := range ps.srcs {
+		perm[old] = pos[n]
+	}
+	return names, perm
+}
+
+// coverage returns per-source voted-unit fractions.
+func (ps *patternStore) coverage() map[string]float64 {
+	out := make(map[string]float64, len(ps.srcs))
+	for i, name := range ps.srcs {
+		if ps.units > 0 {
+			out[name] = ps.srcVotes[i] / ps.units
+		} else {
+			out[name] = 0
+		}
+	}
+	return out
+}
+
+// storeParams is one store's converged estimate.
+type storeParams struct {
+	sources    []string // sorted
+	acc        []float64
+	prior      []float64
+	accuracy   map[string]float64
+	coverage   map[string]float64
+	iterations int
+	converged  bool
+}
+
+// estimate runs the weighted estimator over the unique patterns.
+func (ps *patternStore) estimate(est Estimator, cfg Config) storeParams {
+	names, perm := ps.sortedSources()
+	out := storeParams{sources: names, coverage: ps.coverage()}
+	if ps.k > 0 {
+		vm := NewVoteMatrix(ps.k, names, len(ps.pats))
+		weights := make([]float64, len(ps.pats))
+		for i, p := range ps.pats {
+			weights[i] = p.count
+			for _, v := range p.votes {
+				vm.Votes[i][perm[v.src]] = v.vote
+			}
+		}
+		var res *Result
+		if est == EstMajority {
+			res = majorityVoteWeighted(vm, weights)
+		} else {
+			res = accuracyModelWeighted(vm, weights, cfg)
+		}
+		out.prior = res.ClassBalance
+		out.accuracy = res.SourceAccuracy
+		out.iterations = res.Iterations
+		out.converged = res.Converged
+		out.acc = make([]float64, len(names))
+		for i, n := range names {
+			out.acc[i] = res.SourceAccuracy[n]
+		}
+		return out
+	}
+	// Select store: per-pattern candidate counts.
+	sv := &SelectVotes{
+		Sources: names,
+		Counts:  make([]int, len(ps.pats)),
+		Votes:   make([][]int, len(ps.pats)),
+	}
+	weights := make([]float64, len(ps.pats))
+	for i, p := range ps.pats {
+		weights[i] = p.count
+		sv.Counts[i] = p.n
+		row := make([]int, len(names))
+		for s := range row {
+			row[s] = Abstain
+		}
+		for _, v := range p.votes {
+			row[perm[v.src]] = v.vote
+		}
+		sv.Votes[i] = row
+	}
+	res := selectModelWeighted(sv, weights, cfg)
+	out.accuracy = res.SourceAccuracy
+	out.iterations = res.Iterations
+	out.converged = res.Converged
+	out.acc = make([]float64, len(names))
+	for i, n := range names {
+		out.acc[i] = res.SourceAccuracy[n]
+	}
+	return out
+}
+
+// NewIncremental creates an accumulator for every task of sch. Only the
+// majority and accuracy estimators are supported: DawidSkene has no
+// foldable sufficient statistics, and anything else is an unknown name —
+// rejected rather than silently falling back to accuracy EM.
+func NewIncremental(sch *schema.Schema, cfg CombineConfig) (*Incremental, error) {
+	cfg = cfg.withDefaults()
+	switch cfg.Estimator {
+	case EstMajority, EstAccuracy:
+	case EstDawidSkene:
+		return nil, fmt.Errorf("labelmodel: incremental: estimator %q not supported (no foldable sufficient statistics)", cfg.Estimator)
+	default:
+		return nil, fmt.Errorf("labelmodel: incremental: unknown estimator %q", cfg.Estimator)
+	}
+	inc := &Incremental{sch: sch, cfg: cfg, tasks: map[string]*incTask{}}
+	for _, tname := range sch.TaskNames() {
+		t := sch.Tasks[tname]
+		it := &incTask{t: t, gran: sch.Granularity(t)}
+		switch t.Type {
+		case schema.Multiclass:
+			it.stores = []*patternStore{newPatternStore(len(t.Classes))}
+		case schema.Bitvector:
+			for range t.Classes {
+				it.stores = append(it.stores, newPatternStore(2))
+			}
+		case schema.Select:
+			it.stores = []*patternStore{newPatternStore(0)}
+		default:
+			return nil, fmt.Errorf("labelmodel: incremental: unsupported task type %q", t.Type)
+		}
+		inc.tasks[tname] = it
+	}
+	return inc, nil
+}
+
+// Records returns how many records have been folded in so far.
+func (inc *Incremental) Records() int64 {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return inc.records
+}
+
+// Update folds a batch of records into the sufficient statistics. Gold
+// labels are always excluded, exactly as in Combine.
+func (inc *Incremental) Update(recs []*record.Record) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	inc.records += int64(len(recs))
+	var votes []pvote
+	for _, r := range recs {
+		for tname, it := range inc.tasks {
+			switch it.t.Type {
+			case schema.Multiclass:
+				units := 1
+				if it.gran == schema.PerToken {
+					units = len(r.Payloads[it.t.Payload].Tokens)
+				}
+				st := it.stores[0]
+				for u := 0; u < units; u++ {
+					votes = votes[:0]
+					for src, l := range r.Tasks[tname] {
+						if src == record.GoldSource {
+							continue
+						}
+						class := l.Class
+						if it.gran == schema.PerToken {
+							class = ""
+							if u < len(l.Seq) {
+								class = l.Seq[u]
+							}
+						}
+						if class == "" {
+							continue
+						}
+						if ci := it.t.ClassIndex(class); ci >= 0 {
+							votes = append(votes, pvote{src: st.col(src), vote: ci})
+						}
+					}
+					sortVotes(votes)
+					st.add(0, votes)
+				}
+			case schema.Bitvector:
+				units := 1
+				if it.gran == schema.PerToken {
+					units = len(r.Payloads[it.t.Payload].Tokens)
+				}
+				for b, class := range it.t.Classes {
+					st := it.stores[b]
+					for u := 0; u < units; u++ {
+						votes = votes[:0]
+						for src, l := range r.Tasks[tname] {
+							if src == record.GoldSource || l.Kind != record.KindBits || u >= len(l.Bits) {
+								continue
+							}
+							vote := 0
+							for _, bit := range l.Bits[u] {
+								if bit == class {
+									vote = 1
+									break
+								}
+							}
+							votes = append(votes, pvote{src: st.col(src), vote: vote})
+						}
+						sortVotes(votes)
+						st.add(0, votes)
+					}
+				}
+			case schema.Select:
+				n := len(r.Payloads[it.t.Payload].Set)
+				st := it.stores[0]
+				votes = votes[:0]
+				for src, l := range r.Tasks[tname] {
+					if src == record.GoldSource || l.Kind != record.KindSelect {
+						continue
+					}
+					if l.Select >= 0 && l.Select < n {
+						votes = append(votes, pvote{src: st.col(src), vote: l.Select})
+					}
+				}
+				sortVotes(votes)
+				st.add(n, votes)
+			}
+		}
+	}
+}
+
+func sortVotes(v []pvote) {
+	sort.Slice(v, func(i, j int) bool { return v[i].src < v[j].src })
+}
+
+// Snapshot runs weighted EM over the accumulated statistics and freezes the
+// converged parameters. O(unique patterns), independent of stream length.
+type Snapshot struct {
+	sch     *schema.Schema
+	cfg     CombineConfig
+	Records int64
+	tasks   map[string]*taskSnapshot
+}
+
+type taskSnapshot struct {
+	t      *schema.Task
+	gran   schema.Granularity
+	params []storeParams // aligned with incTask.stores
+}
+
+// Snapshot estimates parameters from the current statistics.
+func (inc *Incremental) Snapshot() *Snapshot {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	snap := &Snapshot{sch: inc.sch, cfg: inc.cfg, Records: inc.records, tasks: map[string]*taskSnapshot{}}
+	for tname, it := range inc.tasks {
+		ts := &taskSnapshot{t: it.t, gran: it.gran}
+		for _, st := range it.stores {
+			ts.params = append(ts.params, st.estimate(inc.cfg.Estimator, inc.cfg.EM))
+		}
+		snap.tasks[tname] = ts
+	}
+	return snap
+}
+
+// SourceAccuracy returns the snapshot's per-source accuracy estimate for one
+// task (bitvector tasks average over bits, matching Combine).
+func (s *Snapshot) SourceAccuracy(task string) map[string]float64 {
+	ts := s.tasks[task]
+	if ts == nil {
+		return nil
+	}
+	out := map[string]float64{}
+	for _, p := range ts.params {
+		for src, a := range p.accuracy {
+			out[src] += a
+		}
+	}
+	if len(ts.params) > 1 {
+		for src := range out {
+			out[src] /= float64(len(ts.params))
+		}
+	}
+	return out
+}
+
+// Targets emits probabilistic training targets for recs by replaying one
+// E-step per task with the snapshot's converged parameters — the same
+// construction Combine uses for its returned posteriors, so on identical
+// data the two agree to float rounding.
+func (s *Snapshot) Targets(recs []*record.Record) (map[string]*TaskTargets, error) {
+	out := make(map[string]*TaskTargets, len(s.tasks))
+	for _, tname := range s.sch.TaskNames() {
+		ts := s.tasks[tname]
+		if ts == nil {
+			return nil, fmt.Errorf("labelmodel: snapshot: task %q not accumulated", tname)
+		}
+		var tt *TaskTargets
+		switch ts.t.Type {
+		case schema.Multiclass:
+			tt = s.targetsMulticlass(recs, ts)
+		case schema.Bitvector:
+			tt = s.targetsBitvector(recs, ts)
+		case schema.Select:
+			tt = s.targetsSelect(recs, ts)
+		}
+		tt.SourceCoverage = map[string]float64{}
+		for _, p := range ts.params {
+			for src, c := range p.coverage {
+				tt.SourceCoverage[src] += c
+			}
+		}
+		if len(ts.params) > 1 {
+			for src := range tt.SourceCoverage {
+				tt.SourceCoverage[src] /= float64(len(ts.params))
+			}
+		}
+		out[tname] = tt
+	}
+	return out, nil
+}
+
+// eStepUnit computes one unit's posterior under accuracy-model parameters:
+// identical float operations to the estimator's E-step (log prior, then
+// la/le per voting source in sorted-source order, then logNormalize).
+func eStepUnit(lp []float64, p *storeParams, votes []pvote, k int) {
+	for c := 0; c < k; c++ {
+		lp[c] = logv(p.prior[c])
+	}
+	logK1 := math.Max(float64(k-1), 1)
+	for _, v := range votes {
+		la := logv(p.acc[v.src])
+		le := logv((1 - p.acc[v.src]) / logK1)
+		for c := 0; c < k; c++ {
+			if c == v.vote {
+				lp[c] += la
+			} else {
+				lp[c] += le
+			}
+		}
+	}
+	logNormalize(lp)
+}
+
+// majorityUnit computes one unit's majority-vote posterior (MajorityVote's
+// per-item rule: argmax set splits ties evenly; no votes = uniform).
+func majorityUnit(lp []float64, votes []pvote, k int) {
+	for c := range lp {
+		lp[c] = 0
+	}
+	if len(votes) == 0 {
+		for c := range lp {
+			lp[c] = 1 / float64(k)
+		}
+		return
+	}
+	counts := make([]float64, k)
+	for _, v := range votes {
+		counts[v.vote]++
+	}
+	maxc := 0.0
+	for _, c := range counts {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	var ties int
+	for _, c := range counts {
+		if c == maxc {
+			ties++
+		}
+	}
+	for c, n := range counts {
+		if n == maxc {
+			lp[c] = 1 / float64(ties)
+		}
+	}
+}
+
+// unitVotes extracts one multiclass unit's sparse votes against the sorted
+// source list of p (columns index into p.sources/p.acc).
+func unitVotes(r *record.Record, t *schema.Task, gran schema.Granularity, unit int, p *storeParams, dst []pvote) []pvote {
+	dst = dst[:0]
+	for col, src := range p.sources {
+		l, ok := r.Label(t.Name, src)
+		if !ok {
+			continue
+		}
+		class := l.Class
+		if gran == schema.PerToken {
+			class = ""
+			if unit < len(l.Seq) {
+				class = l.Seq[unit]
+			}
+		}
+		if class == "" {
+			continue
+		}
+		if ci := t.ClassIndex(class); ci >= 0 {
+			dst = append(dst, pvote{src: col, vote: ci})
+		}
+	}
+	return dst
+}
+
+func (s *Snapshot) targetsMulticlass(recs []*record.Record, ts *taskSnapshot) *TaskTargets {
+	t, gran := ts.t, ts.gran
+	p := &ts.params[0]
+	K := len(t.Classes)
+	unitsPerRec := make([]int, len(recs))
+	total := 0
+	for i, r := range recs {
+		n := 1
+		if gran == schema.PerToken {
+			n = len(r.Payloads[t.Payload].Tokens)
+		}
+		unitsPerRec[i] = n
+		total += n
+	}
+	out := newTargets(t.Name, gran, unitsPerRec, K)
+	flat := make([]float64, total*K)
+	var votes []pvote
+	idx := 0
+	for i, r := range recs {
+		for u := 0; u < unitsPerRec[i]; u++ {
+			lp := flat[idx*K : (idx+1)*K : (idx+1)*K]
+			votes = unitVotes(r, t, gran, u, p, votes)
+			if s.cfg.Estimator == EstMajority {
+				majorityUnit(lp, votes, K)
+			} else {
+				eStepUnit(lp, p, votes, K)
+			}
+			out.Dist[i][u] = lp
+			if len(votes) > 0 {
+				out.Weight[i][u] = 1
+			}
+			idx++
+		}
+	}
+	if s.cfg.Rebalance {
+		rebalanceTargets(out, p.prior)
+	}
+	out.SourceAccuracy = p.accuracy
+	out.ClassBalance = p.prior
+	out.Iterations = p.iterations
+	out.Converged = p.converged
+	return out
+}
+
+func (s *Snapshot) targetsBitvector(recs []*record.Record, ts *taskSnapshot) *TaskTargets {
+	t, gran := ts.t, ts.gran
+	C := len(t.Classes)
+	unitsPerRec := make([]int, len(recs))
+	total := 0
+	for i, r := range recs {
+		n := 1
+		if gran == schema.PerToken {
+			n = len(r.Payloads[t.Payload].Tokens)
+		}
+		unitsPerRec[i] = n
+		total += n
+	}
+	out := newTargets(t.Name, gran, unitsPerRec, C)
+	flat := make([]float64, total*C)
+	lp := make([]float64, 2)
+	var votes []pvote
+	idx := 0
+	for i, r := range recs {
+		for u := 0; u < unitsPerRec[i]; u++ {
+			anyVote := false
+			dist := flat[idx*C : (idx+1)*C : (idx+1)*C]
+			for b, class := range t.Classes {
+				p := &ts.params[b]
+				votes = votes[:0]
+				for col, src := range p.sources {
+					l, ok := r.Label(t.Name, src)
+					if !ok || l.Kind != record.KindBits || u >= len(l.Bits) {
+						continue
+					}
+					vote := 0
+					for _, bit := range l.Bits[u] {
+						if bit == class {
+							vote = 1
+							break
+						}
+					}
+					votes = append(votes, pvote{src: col, vote: vote})
+				}
+				if len(votes) > 0 {
+					anyVote = true
+				}
+				if s.cfg.Estimator == EstMajority {
+					majorityUnit(lp, votes, 2)
+				} else {
+					eStepUnit(lp, p, votes, 2)
+				}
+				dist[b] = lp[1]
+			}
+			if anyVote {
+				out.Dist[i][u] = dist
+				out.Weight[i][u] = 1
+			}
+			idx++
+		}
+	}
+	out.SourceAccuracy = map[string]float64{}
+	balance := make([]float64, C)
+	iters := 0
+	converged := true
+	for b := range t.Classes {
+		p := &ts.params[b]
+		for src, a := range p.accuracy {
+			out.SourceAccuracy[src] += a
+		}
+		if len(p.prior) == 2 {
+			balance[b] = p.prior[1]
+		}
+		iters += p.iterations
+		converged = converged && p.converged
+	}
+	for src := range out.SourceAccuracy {
+		out.SourceAccuracy[src] /= float64(C)
+	}
+	out.ClassBalance = balance
+	out.Iterations = iters
+	out.Converged = converged
+	return out
+}
+
+func (s *Snapshot) targetsSelect(recs []*record.Record, ts *taskSnapshot) *TaskTargets {
+	t := ts.t
+	p := &ts.params[0]
+	unitsPerRec := make([]int, len(recs))
+	for i := range unitsPerRec {
+		unitsPerRec[i] = 1
+	}
+	out := newTargets(t.Name, schema.PerSet, unitsPerRec, 0)
+	var votes []pvote
+	for i, r := range recs {
+		n := len(r.Payloads[t.Payload].Set)
+		if n <= 0 {
+			continue
+		}
+		votes = votes[:0]
+		for col, src := range p.sources {
+			l, ok := r.Label(t.Name, src)
+			if !ok || l.Kind != record.KindSelect {
+				continue
+			}
+			if l.Select >= 0 && l.Select < n {
+				votes = append(votes, pvote{src: col, vote: l.Select})
+			}
+		}
+		if len(votes) == 0 {
+			continue
+		}
+		lp := make([]float64, n)
+		for _, v := range votes {
+			la := logv(p.acc[v.src])
+			le := logv((1 - p.acc[v.src]) / math.Max(float64(n-1), 1))
+			for c := 0; c < n; c++ {
+				if c == v.vote {
+					lp[c] += la
+				} else {
+					lp[c] += le
+				}
+			}
+		}
+		logNormalize(lp)
+		out.Dist[i][0] = lp
+		out.Weight[i][0] = 1
+	}
+	out.SourceAccuracy = p.accuracy
+	out.Iterations = p.iterations
+	out.Converged = p.converged
+	return out
+}
+
+// rebalanceTargets applies class-rebalancing weights over supervised units,
+// mirroring applyRebalance over the flattened unit list.
+func rebalanceTargets(tt *TaskTargets, balance []float64) {
+	var supPost [][]float64
+	type ref struct{ i, u int }
+	var refs []ref
+	for i := range tt.Weight {
+		for u, w := range tt.Weight[i] {
+			if w > 0 {
+				refs = append(refs, ref{i, u})
+				supPost = append(supPost, tt.Dist[i][u])
+			}
+		}
+	}
+	if len(refs) == 0 {
+		return
+	}
+	rw := RebalanceWeights(supPost, balance)
+	for j, r := range refs {
+		tt.Weight[r.i][r.u] *= rw[j]
+	}
+}
+
+// logv matches the estimators' guarded log.
+func logv(x float64) float64 { return math.Log(x + 1e-12) }

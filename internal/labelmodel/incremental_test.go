@@ -1,0 +1,187 @@
+package labelmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/workload"
+)
+
+// incParityTol is the parity bound between the incremental label model and a
+// full recombine on the same records: the two run the same EM on the same
+// sufficient statistics, differing only in float summation order.
+const incParityTol = 1e-6
+
+// TestIncrementalMatchesCombine is the acceptance test for the incremental
+// label model: fed the seed workload's records in k shuffled batches, the
+// accumulated sufficient statistics must reproduce full Combine's parameters
+// and probabilistic labels for every task type (multiclass per-example,
+// multiclass per-token, bitvector, select) within 1e-6.
+func TestIncrementalMatchesCombine(t *testing.T) {
+	ds := workload.StandardDataset(160, 3, 0.3)
+	recs := ds.Records
+	for _, est := range []Estimator{EstAccuracy, EstMajority} {
+		for _, k := range []int{1, 4, 16} {
+			t.Run(fmt.Sprintf("%s/k=%d", est, k), func(t *testing.T) {
+				// Tight EM tolerance removes stop-iteration jitter from the
+				// comparison: both runs converge hard to the shared fixed
+				// point, leaving only float rounding.
+				cfg := CombineConfig{Estimator: est, EM: Config{Tol: 1e-9, MaxIter: 500}}
+				inc, err := NewIncremental(ds.Schema, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(int64(100*k) + 7))
+				shuffled := append([]*record.Record(nil), recs...)
+				rng.Shuffle(len(shuffled), func(i, j int) {
+					shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+				})
+				for b := 0; b < k; b++ {
+					lo, hi := b*len(shuffled)/k, (b+1)*len(shuffled)/k
+					inc.Update(shuffled[lo:hi])
+				}
+				if inc.Records() != int64(len(recs)) {
+					t.Fatalf("accumulated %d records, want %d", inc.Records(), len(recs))
+				}
+				snap := inc.Snapshot()
+				got, err := snap.Targets(recs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, tname := range ds.Schema.TaskNames() {
+					want, err := Combine(recs, ds.Schema, tname, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					compareTargets(t, tname, want, got[tname])
+				}
+			})
+		}
+	}
+}
+
+func compareTargets(t *testing.T, task string, want, got *TaskTargets) {
+	t.Helper()
+	if got == nil {
+		t.Fatalf("%s: no incremental targets", task)
+	}
+	if got.Gran != want.Gran {
+		t.Fatalf("%s: granularity %q, want %q", task, got.Gran, want.Gran)
+	}
+	if len(got.Dist) != len(want.Dist) {
+		t.Fatalf("%s: %d records, want %d", task, len(got.Dist), len(want.Dist))
+	}
+	for src, wa := range want.SourceAccuracy {
+		if ga, ok := got.SourceAccuracy[src]; !ok || math.Abs(ga-wa) > incParityTol {
+			t.Fatalf("%s: source %s accuracy %v, want %v", task, src, got.SourceAccuracy[src], wa)
+		}
+	}
+	for src, wc := range want.SourceCoverage {
+		if gc, ok := got.SourceCoverage[src]; !ok || math.Abs(gc-wc) > incParityTol {
+			t.Fatalf("%s: source %s coverage %v, want %v", task, src, got.SourceCoverage[src], wc)
+		}
+	}
+	if len(got.ClassBalance) != len(want.ClassBalance) {
+		t.Fatalf("%s: class balance length %d, want %d", task, len(got.ClassBalance), len(want.ClassBalance))
+	}
+	for k, wb := range want.ClassBalance {
+		if math.Abs(got.ClassBalance[k]-wb) > incParityTol {
+			t.Fatalf("%s: class balance[%d] %v, want %v", task, k, got.ClassBalance[k], wb)
+		}
+	}
+	for i := range want.Dist {
+		if len(got.Dist[i]) != len(want.Dist[i]) {
+			t.Fatalf("%s: record %d has %d units, want %d", task, i, len(got.Dist[i]), len(want.Dist[i]))
+		}
+		for u := range want.Dist[i] {
+			wd, gd := want.Dist[i][u], got.Dist[i][u]
+			if (wd == nil) != (gd == nil) {
+				t.Fatalf("%s: record %d unit %d: dist nil-ness mismatch (want nil=%v)", task, i, u, wd == nil)
+			}
+			if len(gd) != len(wd) {
+				t.Fatalf("%s: record %d unit %d: dist length %d, want %d", task, i, u, len(gd), len(wd))
+			}
+			for k := range wd {
+				if math.Abs(gd[k]-wd[k]) > incParityTol {
+					t.Fatalf("%s: record %d unit %d class %d: %v, want %v", task, i, u, k, gd[k], wd[k])
+				}
+			}
+			if math.Abs(got.Weight[i][u]-want.Weight[i][u]) > incParityTol {
+				t.Fatalf("%s: record %d unit %d weight %v, want %v", task, i, u, got.Weight[i][u], want.Weight[i][u])
+			}
+		}
+	}
+	if got.SupervisedUnits() != want.SupervisedUnits() {
+		t.Fatalf("%s: supervised units %d, want %d", task, got.SupervisedUnits(), want.SupervisedUnits())
+	}
+}
+
+// TestIncrementalRebalanceParity covers the rebalanced-weight path: weights
+// must match a full Combine with Rebalance on.
+func TestIncrementalRebalanceParity(t *testing.T) {
+	ds := workload.StandardDataset(120, 5, 0.25)
+	cfg := CombineConfig{Estimator: EstAccuracy, Rebalance: true, EM: Config{Tol: 1e-9, MaxIter: 500}}
+	inc, err := NewIncremental(ds.Schema, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.Update(ds.Records[:40])
+	inc.Update(ds.Records[40:])
+	got, err := inc.Snapshot().Targets(ds.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Combine(ds.Records, ds.Schema, "Intent", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareTargets(t, "Intent", want, got["Intent"])
+}
+
+// TestIncrementalRejectsBadEstimators pins the documented limitations:
+// full confusion matrices have no foldable sufficient statistics, and an
+// unknown estimator name must not silently fall back to accuracy EM (the
+// /loop API passes operator-typed strings through).
+func TestIncrementalRejectsBadEstimators(t *testing.T) {
+	ds := workload.StandardDataset(10, 1, 0.2)
+	if _, err := NewIncremental(ds.Schema, CombineConfig{Estimator: EstDawidSkene}); err == nil {
+		t.Fatal("DawidSkene accepted incrementally")
+	}
+	if _, err := NewIncremental(ds.Schema, CombineConfig{Estimator: "majorty"}); err == nil {
+		t.Fatal("unknown estimator accepted (typo silently became accuracy EM)")
+	}
+	for _, est := range []Estimator{"", EstMajority, EstAccuracy} {
+		if _, err := NewIncremental(ds.Schema, CombineConfig{Estimator: est}); err != nil {
+			t.Fatalf("estimator %q rejected: %v", est, err)
+		}
+	}
+}
+
+// TestIncrementalCompresses checks the point of the pattern store: far fewer
+// unique patterns than units on a realistic stream (the EM cost of Snapshot
+// is bounded by patterns, not stream length).
+func TestIncrementalCompresses(t *testing.T) {
+	ds := workload.StandardDataset(400, 9, 0.3)
+	inc, err := NewIncremental(ds.Schema, CombineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.Update(ds.Records)
+	it := inc.tasks["Intent"]
+	st := it.stores[0]
+	if st.units != float64(len(ds.Records)) {
+		t.Fatalf("units %v, want %d", st.units, len(ds.Records))
+	}
+	if len(st.pats) >= len(ds.Records)/2 {
+		t.Fatalf("no compression: %d patterns over %d records", len(st.pats), len(ds.Records))
+	}
+	// Snapshot twice: statistics are not consumed.
+	a := inc.Snapshot()
+	b := inc.Snapshot()
+	if a.Records != b.Records {
+		t.Fatalf("snapshot consumed statistics: %d vs %d", a.Records, b.Records)
+	}
+}

@@ -153,13 +153,28 @@ func (c Config) withDefaults() Config {
 // MajorityVote returns per-item posteriors by unweighted voting. Items with
 // no votes get a uniform posterior.
 func MajorityVote(v *VoteMatrix) *Result {
+	return majorityVoteWeighted(v, nil)
+}
+
+// majorityVoteWeighted is MajorityVote over weighted items: item i counts as
+// weights[i] copies (nil weights = all ones). The per-item posterior is
+// weight-independent; weights enter the class balance and the per-source
+// agreement aggregates, which is exactly what the incremental label model's
+// deduplicated vote patterns need.
+func majorityVoteWeighted(v *VoteMatrix, weights []float64) *Result {
 	res := &Result{
 		Posteriors:     flatRows(len(v.Votes), v.K),
 		SourceAccuracy: make(map[string]float64, len(v.Sources)),
 		ClassBalance:   make([]float64, v.K),
 	}
 	counts := make([]float64, v.K)
+	var totalW float64
 	for i, row := range v.Votes {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		totalW += w
 		for k := range counts {
 			counts[k] = 0
 		}
@@ -196,12 +211,12 @@ func MajorityVote(v *VoteMatrix) *Result {
 			}
 		}
 		for k, p := range post {
-			res.ClassBalance[k] += p
+			res.ClassBalance[k] += w * p
 		}
 	}
-	if n := float64(len(v.Votes)); n > 0 {
+	if totalW > 0 {
 		for k := range res.ClassBalance {
-			res.ClassBalance[k] /= n
+			res.ClassBalance[k] /= totalW
 		}
 	}
 	// Report empirical agreement with the majority as a crude accuracy.
@@ -211,8 +226,12 @@ func MajorityVote(v *VoteMatrix) *Result {
 			if row[s] == Abstain {
 				continue
 			}
-			votes++
-			agree += res.Posteriors[i][row[s]]
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
+			votes += w
+			agree += w * res.Posteriors[i][row[s]]
 		}
 		if votes > 0 {
 			res.SourceAccuracy[name] = agree / votes
@@ -225,6 +244,16 @@ func MajorityVote(v *VoteMatrix) *Result {
 // errors: P(vote = y | true = y) = a_s, P(vote = k != y | true = y) =
 // (1 - a_s)/(K - 1).
 func AccuracyModel(v *VoteMatrix, cfg Config) *Result {
+	return accuracyModelWeighted(v, nil, cfg)
+}
+
+// accuracyModelWeighted is AccuracyModel over weighted items: item i counts
+// as weights[i] identical copies (nil = all ones). In exact arithmetic the
+// weighted run over deduplicated vote patterns produces the same EM iterates
+// as the unweighted run over the expanded item list — the pattern counts are
+// sufficient statistics for this model — so the incremental label model can
+// accumulate a stream in O(unique patterns) and still match a full rebuild.
+func accuracyModelWeighted(v *VoteMatrix, weights []float64, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	N, S, K := len(v.Votes), len(v.Sources), v.K
 	acc := make([]float64, S)
@@ -285,13 +314,17 @@ func AccuracyModel(v *VoteMatrix, cfg Config) *Result {
 			den[s] = cfg.Smoothing
 		}
 		for i, row := range v.Votes {
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
 			lp := post[i]
 			for s, vote := range row {
 				if vote == Abstain {
 					continue
 				}
-				num[s] += lp[vote]
-				den[s]++
+				num[s] += w * lp[vote]
+				den[s] += w
 			}
 		}
 		for s := 0; s < S; s++ {
@@ -301,8 +334,12 @@ func AccuracyModel(v *VoteMatrix, cfg Config) *Result {
 			newPrior[k] = 0
 		}
 		for i := range post {
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
 			for k, p := range post[i] {
-				newPrior[k] += p
+				newPrior[k] += w * p
 			}
 		}
 		var z float64
@@ -470,8 +507,16 @@ type SelectResult struct {
 // SelectModel runs accuracy-parameter EM for select tasks, where the label
 // space is per-item (the candidate set). Error mass is spread uniformly over
 // the other candidates of that item; the prior over candidates is uniform
-// (candidate features are the model's job, not the label model's).
+// (candidate features are the model's job, not the label model's). The
+// returned posteriors come from a final E-step with the converged
+// accuracies, matching AccuracyModel's contract.
 func SelectModel(v *SelectVotes, cfg Config) *SelectResult {
+	return selectModelWeighted(v, nil, cfg)
+}
+
+// selectModelWeighted is SelectModel over weighted items (nil = all ones);
+// see accuracyModelWeighted for why the incremental label model needs it.
+func selectModelWeighted(v *SelectVotes, weights []float64, cfg Config) *SelectResult {
 	cfg = cfg.withDefaults()
 	S := len(v.Sources)
 	acc := make([]float64, S)
@@ -503,14 +548,13 @@ func SelectModel(v *SelectVotes, cfg Config) *SelectResult {
 	la := make([]float64, S)
 	le := make([]float64, S*(maxN+1))
 	res := &SelectResult{SourceAccuracy: make(map[string]float64, S)}
-	for iter := 0; iter < cfg.MaxIter; iter++ {
+	eStep := func() {
 		for s := 0; s < S; s++ {
 			la[s] = math.Log(acc[s] + 1e-12)
 			for n := 1; n <= maxN; n++ {
 				le[s*(maxN+1)+n] = math.Log((1-acc[s])/math.Max(float64(n-1), 1) + 1e-12)
 			}
 		}
-		// E-step.
 		for i, n := range v.Counts {
 			if n <= 0 {
 				continue
@@ -534,6 +578,9 @@ func SelectModel(v *SelectVotes, cfg Config) *SelectResult {
 			}
 			logNormalize(lp)
 		}
+	}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		eStep()
 		// M-step.
 		var delta float64
 		for s := 0; s < S; s++ {
@@ -544,8 +591,12 @@ func SelectModel(v *SelectVotes, cfg Config) *SelectResult {
 				if vote == Abstain || post[i] == nil || vote >= len(post[i]) {
 					continue
 				}
-				num += post[i][vote]
-				den++
+				w := 1.0
+				if weights != nil {
+					w = weights[i]
+				}
+				num += w * post[i][vote]
+				den += w
 			}
 			na := clampProb(num / den)
 			delta = math.Max(delta, math.Abs(na-acc[s]))
@@ -557,6 +608,10 @@ func SelectModel(v *SelectVotes, cfg Config) *SelectResult {
 			break
 		}
 	}
+	// Final E-step with converged accuracies, so the returned posteriors are
+	// a pure function of the final parameters (the incremental label model
+	// reconstructs them the same way).
+	eStep()
 	res.Posteriors = post
 	for s, name := range v.Sources {
 		res.SourceAccuracy[name] = acc[s]

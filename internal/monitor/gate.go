@@ -1,0 +1,81 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+)
+
+// GateConfig is a promotion gate over a shadow comparison window: the
+// candidate must have seen enough mirrored production traffic, agree with
+// the primary at or above the threshold on every task, and keep its own
+// prediction error rate bounded. Zero values disable the corresponding
+// check except MinMirrored, which always requires at least one comparison —
+// promoting on an empty window is never sane.
+type GateConfig struct {
+	// MinMirrored is the minimum number of mirrored comparisons (default 1).
+	MinMirrored int64 `json:"min_mirrored,omitempty"`
+	// MinAgreement is the minimum per-task agreement rate in [0,1]; the gate
+	// uses the worst task, so one regressing task blocks promotion.
+	MinAgreement float64 `json:"min_agreement,omitempty"`
+	// MaxErrorRate bounds shadow prediction failures:
+	// errors / (mirrored + errors). Zero disables.
+	MaxErrorRate float64 `json:"max_error_rate,omitempty"`
+}
+
+// GateResult is one evaluation of a gate against a shadow window.
+type GateResult struct {
+	Pass bool `json:"pass"`
+	// Reason explains a failure (empty on pass).
+	Reason string `json:"reason,omitempty"`
+	// Agreement is the worst per-task agreement rate observed; 0 when no
+	// task had any agreement units (the Reason says so — a NaN here would
+	// poison json.Marshal, which rejects NaN).
+	Agreement float64 `json:"agreement,omitempty"`
+	Mirrored  int64   `json:"mirrored"`
+}
+
+// EvaluateGate checks one shadow comparison window against cfg. It is
+// deliberately paranoid about degenerate windows: a nil report, zero
+// mirrored traffic, tasks with zero agreement units, and NaN rates all fail
+// closed — the promotion loop holds rather than promoting on garbage.
+func EvaluateGate(rep *ShadowReport, cfg GateConfig) GateResult {
+	if cfg.MinMirrored <= 0 {
+		cfg.MinMirrored = 1
+	}
+	if rep == nil {
+		return GateResult{Reason: "no shadow comparison window"}
+	}
+	res := GateResult{Mirrored: rep.Mirrored}
+	if rep.Mirrored < cfg.MinMirrored {
+		res.Reason = fmt.Sprintf("mirrored %d < min %d", rep.Mirrored, cfg.MinMirrored)
+		return res
+	}
+	if cfg.MaxErrorRate > 0 {
+		total := float64(rep.Mirrored + rep.Errors)
+		if rate := float64(rep.Errors) / total; rate > cfg.MaxErrorRate {
+			res.Reason = fmt.Sprintf("shadow error rate %.3f > max %.3f", rate, cfg.MaxErrorRate)
+			return res
+		}
+	}
+	worst := math.NaN()
+	for _, ta := range rep.Tasks {
+		if ta.Units <= 0 {
+			continue
+		}
+		rate := ta.Agree / ta.Units
+		if math.IsNaN(worst) || rate < worst {
+			worst = rate
+		}
+	}
+	if math.IsNaN(worst) {
+		res.Reason = "no agreement units in window"
+		return res
+	}
+	res.Agreement = worst
+	if worst < cfg.MinAgreement {
+		res.Reason = fmt.Sprintf("agreement %.3f < min %.3f", worst, cfg.MinAgreement)
+		return res
+	}
+	res.Pass = true
+	return res
+}

@@ -1,0 +1,106 @@
+package monitor
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestEvaluateGate(t *testing.T) {
+	cfg := GateConfig{MinMirrored: 10, MinAgreement: 0.9, MaxErrorRate: 0.2}
+	cases := []struct {
+		name   string
+		rep    *ShadowReport
+		cfg    GateConfig
+		pass   bool
+		reason string
+	}{
+		{name: "nil report", rep: nil, cfg: cfg, pass: false, reason: "no shadow comparison window"},
+		{
+			name: "insufficient traffic",
+			rep:  &ShadowReport{Mirrored: 9, Tasks: map[string]ShadowTaskAgreement{"T": {Units: 9, Agree: 9}}},
+			cfg:  cfg, pass: false, reason: "mirrored 9 < min 10",
+		},
+		{
+			name: "empty tasks map fails closed",
+			rep:  &ShadowReport{Mirrored: 50},
+			cfg:  cfg, pass: false, reason: "no agreement units in window",
+		},
+		{
+			name: "zero-unit tasks fail closed (NaN guard)",
+			rep:  &ShadowReport{Mirrored: 50, Tasks: map[string]ShadowTaskAgreement{"T": {Units: 0, Agree: 0}}},
+			cfg:  cfg, pass: false, reason: "no agreement units in window",
+		},
+		{
+			name: "worst task gates",
+			rep: &ShadowReport{Mirrored: 50, Tasks: map[string]ShadowTaskAgreement{
+				"good": {Units: 50, Agree: 50},
+				"bad":  {Units: 50, Agree: 40},
+			}},
+			cfg: cfg, pass: false, reason: "agreement 0.800 < min 0.900",
+		},
+		{
+			name: "error rate gates",
+			rep: &ShadowReport{Mirrored: 40, Errors: 20,
+				Tasks: map[string]ShadowTaskAgreement{"T": {Units: 40, Agree: 40}}},
+			cfg: cfg, pass: false, reason: "shadow error rate 0.333 > max 0.200",
+		},
+		{
+			name: "pass",
+			rep: &ShadowReport{Mirrored: 50, Errors: 1, Tasks: map[string]ShadowTaskAgreement{
+				"a": {Units: 100, Agree: 95},
+				"b": {Units: 10, Agree: 10},
+			}},
+			cfg: cfg, pass: true,
+		},
+		{
+			name: "defaults require one comparison",
+			rep:  &ShadowReport{},
+			cfg:  GateConfig{}, pass: false, reason: "mirrored 0 < min 1",
+		},
+		{
+			name: "zero thresholds pass any nonempty window",
+			rep:  &ShadowReport{Mirrored: 1, Tasks: map[string]ShadowTaskAgreement{"T": {Units: 1, Agree: 0}}},
+			cfg:  GateConfig{}, pass: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := EvaluateGate(tc.rep, tc.cfg)
+			if got.Pass != tc.pass {
+				t.Fatalf("pass=%v, want %v (%+v)", got.Pass, tc.pass, got)
+			}
+			if !tc.pass && got.Reason != tc.reason {
+				t.Fatalf("reason %q, want %q", got.Reason, tc.reason)
+			}
+			if tc.pass && got.Reason != "" {
+				t.Fatalf("pass with reason %q", got.Reason)
+			}
+		})
+	}
+}
+
+// TestEvaluateGateMarshalsOnEmptyWindow pins the NaN guard: a window with
+// traffic but no agreement units must yield a JSON-encodable result
+// (json.Marshal rejects NaN).
+func TestEvaluateGateMarshalsOnEmptyWindow(t *testing.T) {
+	got := EvaluateGate(&ShadowReport{Mirrored: 50}, GateConfig{MinMirrored: 1})
+	if got.Pass || got.Agreement != 0 {
+		t.Fatalf("empty window result: %+v", got)
+	}
+	if _, err := json.Marshal(got); err != nil {
+		t.Fatalf("gate result not marshalable: %v", err)
+	}
+}
+
+func TestEvaluateGateWorstAgreement(t *testing.T) {
+	rep := &ShadowReport{Mirrored: 10, Tasks: map[string]ShadowTaskAgreement{
+		"a": {Units: 10, Agree: 9},
+		"b": {Units: 10, Agree: 5},
+		"c": {Units: 0, Agree: 0}, // ignored, not NaN-poisoning
+	}}
+	got := EvaluateGate(rep, GateConfig{MinMirrored: 1})
+	if !got.Pass || math.Abs(got.Agreement-0.5) > 1e-12 {
+		t.Fatalf("worst agreement: %+v", got)
+	}
+}

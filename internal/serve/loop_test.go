@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/model"
+	"repro/internal/record"
+)
+
+// mustRecord builds a validated probe record for direct deploy-layer calls.
+func mustRecord(t testing.TB, m *model.Model) *record.Record {
+	t.Helper()
+	rec := &record.Record{Payloads: map[string]record.PayloadValue{
+		"tokens":   {Tokens: []string{"how", "tall", "is", "obama"}},
+		"query":    {String: "how tall is obama"},
+		"entities": {Set: []record.SetMember{{ID: "Barack_Obama", Start: 3, End: 4}}},
+	}}
+	if err := record.Validate(rec, m.Prog.Schema); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// labelledIngestBody is a JSONL ingest batch of 4 records with weak Intent
+// supervision from two sources — the stream the improvement loop retrains
+// from.
+const labelledIngestBody = `{"payloads": {"tokens": ["how", "tall", "is", "obama"], "query": "how tall is obama"}, "tasks": {"Intent": {"weak1": "Height", "weak2": "Height"}}}
+{"payloads": {"tokens": ["where", "is", "paris"], "query": "where is paris"}, "tasks": {"Intent": {"weak1": "Capital", "weak2": "Capital"}}}
+{"payloads": {"tokens": ["how", "tall", "is", "paris"], "query": "how tall is paris"}, "tasks": {"Intent": {"weak1": "Height", "weak2": "Height"}}}
+{"payloads": {"tokens": ["where", "is", "obama"], "query": "where is obama"}, "tasks": {"Intent": {"weak1": "Capital", "weak2": "Capital"}}}
+`
+
+// TestClosedLoopAutoImprove is the acceptance test for the continuous-
+// improvement controller behind the HTTP front: an ingest storm feeds the
+// incremental label model while concurrent predict traffic flows, the
+// controller retrains a candidate, shadows it on live traffic, and the
+// policy promotes it — exactly once — with every counter accounted for and
+// zero goroutines leaked after the registry shuts down. Run under -race in
+// CI.
+func TestClosedLoopAutoImprove(t *testing.T) {
+	m := freshModelSeed(t, 1)
+	// Warm the shared compute pool so its goroutines land in the baseline.
+	if _, err := m.PredictOne(mustRecord(t, m)); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+
+	reg := deploy.NewRegistry()
+	d := deploy.New("factoid", m, 1)
+	if err := reg.Add(d); err != nil {
+		t.Fatal(err)
+	}
+	front := NewFleet(reg)
+	ts := httptest.NewServer(front.Handler())
+
+	// Start the controller through the front. The retrain trigger (24) is
+	// more than half the total ingest (40), so at most one retrain — and
+	// therefore at most one promotion — can ever fire.
+	startBody := `{"action": "start", "interval_ms": 2, "min_retrain_batch": 24,
+		"policy": {"min_mirrored": 6, "min_agreement": 0.5, "hysteresis": 2,
+		           "rollback_window": 2, "min_regression_requests": 1073741824},
+		"epochs": 1, "lr": 0.001}`
+	resp, err := http.Post(ts.URL+"/v1/models/factoid/loop", "application/json", strings.NewReader(startBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ls deploy.LoopStatus
+	if err := json.NewDecoder(resp.Body).Decode(&ls); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !ls.Running {
+		t.Fatalf("loop start: status=%d %+v", resp.StatusCode, ls)
+	}
+	// Double-start through the front is a state conflict.
+	resp, err = http.Post(ts.URL+"/v1/models/factoid/loop", "application/json", strings.NewReader(startBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double loop start: status %d, want 409", resp.StatusCode)
+	}
+
+	// Storm: concurrent predict workers while the main goroutine streams the
+	// bounded ingest and polls for the promotion.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var stormErr sync.Map
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/v1/models/factoid/predict", "application/json", strings.NewReader(goodBody))
+				if err != nil {
+					stormErr.Store(w, err)
+					return
+				}
+				var pr predictResponse
+				err = json.NewDecoder(resp.Body).Decode(&pr)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != 200 {
+					stormErr.Store(w, fmt.Errorf("predict status=%d err=%v", resp.StatusCode, err))
+					return
+				}
+				if pr.Version != 1 && pr.Version != 2 {
+					stormErr.Store(w, fmt.Errorf("served version %d, want 1 or 2", pr.Version))
+					return
+				}
+			}
+		}(w)
+	}
+	ingested := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for d.Stats().Promotions == 0 {
+		if time.Now().After(deadline) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("no promotion: stats=%+v loop=%+v", d.Stats(), d.LoopStatus())
+		}
+		if ingested < 40 {
+			resp, err := http.Post(ts.URL+"/v1/models/factoid/ingest", "application/x-ndjson", strings.NewReader(labelledIngestBody))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ir struct {
+				Accepted int `json:"accepted"`
+				Rejected int `json:"rejected"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&ir)
+			resp.Body.Close()
+			if err != nil || ir.Accepted != 4 || ir.Rejected != 0 {
+				t.Fatalf("ingest: err=%v %+v", err, ir)
+			}
+			ingested += ir.Accepted
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Let the loop keep ticking after the promotion: the hysteresis +
+	// rollback-window machine must not fire a second promote.
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	stormErr.Range(func(k, v any) bool {
+		t.Errorf("storm worker %v: %v", k, v)
+		return false
+	})
+
+	st := d.Stats()
+	if st.Promotions != 1 {
+		t.Fatalf("promotions = %d, want exactly 1", st.Promotions)
+	}
+	if st.Version != 2 || st.ShadowVersion != 0 {
+		t.Fatalf("post-promote versions wrong: %+v", st)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("%d serving errors during the storm", st.Errors)
+	}
+	if st.Ingested != int64(ingested) {
+		t.Fatalf("ingest accounting: %d, want %d", st.Ingested, ingested)
+	}
+
+	// Controller status through the front.
+	resp, err = http.Get(ts.URL + "/v1/models/factoid/loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ls); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !ls.Running || ls.Retrains != 1 || ls.Promotions != 1 || ls.Accumulated != int64(ingested) {
+		t.Fatalf("loop status wrong: %+v", ls)
+	}
+
+	// Close the fleet mid-loop: the controller goroutine must exit (Close
+	// waits for it), and the deployment must answer ErrClosed everywhere.
+	front.Close()
+	if _, _, err := d.Predict(mustRecord(t, m)); !errors.Is(err, deploy.ErrClosed) {
+		t.Fatalf("Predict after Close: %v, want ErrClosed", err)
+	}
+	if err := d.StartLoop(deploy.LoopConfig{}); !errors.Is(err, deploy.ErrClosed) {
+		t.Fatalf("StartLoop after Close: %v, want ErrClosed", err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/models/factoid/predict", "application/json", strings.NewReader(goodBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("predict on closed fleet: status %d, want 503", resp.StatusCode)
+	}
+	if ls := d.LoopStatus(); ls.Running || ls.Promotions != 1 {
+		t.Fatalf("post-Close loop status wrong: %+v", ls)
+	}
+
+	// Zero goroutines leaked once the front and its connections wind down.
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	ts.Close()
+	waitNumGoroutine(t, base)
+}
+
+func waitNumGoroutine(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d live, want <= %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+}
+
+// TestLoopEndpointValidation covers the loop route's error surface.
+func TestLoopEndpointValidation(t *testing.T) {
+	srv := New(freshModelSeed(t, 1), "factoid", 1)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"action": "dance"}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+		{`{"action": "stop"}`, http.StatusOK}, // stop without a loop is a no-op
+	} {
+		resp, err := http.Post(ts.URL+"/v1/models/factoid/loop", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("loop %q: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/models/nope/loop", "application/json", strings.NewReader(`{"action":"stop"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown deployment loop: status %d, want 404", resp.StatusCode)
+	}
+	// Status for a never-started loop: not running, zero counters.
+	resp, err = http.Get(ts.URL + "/v1/models/factoid/loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ls deploy.LoopStatus
+	err = json.NewDecoder(resp.Body).Decode(&ls)
+	resp.Body.Close()
+	if err != nil || ls.Running || ls.Ticks != 0 {
+		t.Fatalf("idle loop status: err=%v %+v", err, ls)
+	}
+}

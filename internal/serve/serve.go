@@ -17,6 +17,8 @@
 //	POST /v1/models/{name}/ingest     JSONL records -> buffered for fine-tuning
 //	POST /v1/models/{name}/promote    shadow -> primary (atomic)
 //	POST /v1/models/{name}/rollback   restore previous primary
+//	POST /v1/models/{name}/loop       {"action":"start"|"stop", ...policy}  continuous-improvement loop
+//	GET  /v1/models/{name}/loop       controller status (state, retrains, promotions)
 //	GET  /v1/models/{name}/stats      per-deployment SLA + shadow profile
 //	GET  /v1/models/{name}/signature  serving signature JSON
 //	GET  /v1/models                   fleet listing
@@ -34,9 +36,11 @@ import (
 	"time"
 
 	"repro/internal/deploy"
+	"repro/internal/labelmodel"
 	"repro/internal/model"
 	"repro/internal/record"
 	"repro/internal/schema"
+	"repro/internal/train"
 )
 
 // Stats re-exports the per-deployment serving profile.
@@ -113,6 +117,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/models/{name}/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/models/{name}/promote", s.handlePromote)
 	mux.HandleFunc("POST /v1/models/{name}/rollback", s.handleRollback)
+	mux.HandleFunc("POST /v1/models/{name}/loop", s.handleLoop)
+	mux.HandleFunc("GET /v1/models/{name}/loop", s.handleLoopStatus)
 	mux.HandleFunc("GET /v1/models/{name}/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/models/{name}/signature", s.handleSignature)
 	mux.HandleFunc("GET /v1/models", s.handleList)
@@ -203,7 +209,10 @@ type ingestLine struct {
 	Tags     []string                              `json:"tags,omitempty"`
 }
 
-// ingestResponse summarises one ingest call.
+// ingestResponse summarises one ingest call. Dropped counts previously
+// buffered records *this request* overwrote (the window was full), so a
+// producer sees its own backpressure rather than the buffer's lifetime
+// total.
 type ingestResponse struct {
 	Accepted  int    `json:"accepted"`
 	Rejected  int    `json:"rejected"`
@@ -239,11 +248,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		if err := d.Ingest(rec); err != nil {
+		overwrote, err := d.Ingest(rec)
+		if err != nil {
 			d.RecordError()
 			httpError(w, http.StatusServiceUnavailable, "ingest: %v", err)
 			return
 		}
+		resp.Dropped += int64(overwrote)
 		resp.Accepted++
 	}
 	if err := sc.Err(); err != nil {
@@ -251,7 +262,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "ingest stream: %v", err)
 		return
 	}
-	_, resp.Buffered, resp.Dropped = d.IngestStats()
+	_, resp.Buffered, _ = d.IngestStats()
 	code := http.StatusOK
 	if resp.Accepted == 0 && resp.Rejected > 0 {
 		d.RecordError()
@@ -309,6 +320,77 @@ func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]any{"model": d.Name(), "version": version})
+}
+
+// loopRequest starts or stops a deployment's continuous-improvement
+// controller. All knobs are optional; zero values take the deploy package's
+// defaults.
+type loopRequest struct {
+	Action string `json:"action"` // "start" | "stop"
+	// IntervalMillis is the controller tick period.
+	IntervalMillis int64 `json:"interval_ms,omitempty"`
+	// Policy gates promotion/rollback (deploy.Policy JSON).
+	Policy deploy.Policy `json:"policy,omitempty"`
+	// MinRetrainBatch / WindowCap bound the retrain trigger and window.
+	MinRetrainBatch int `json:"min_retrain_batch,omitempty"`
+	WindowCap       int `json:"window_cap,omitempty"`
+	// Estimator for the incremental label model ("accuracy" | "majority").
+	Estimator string `json:"estimator,omitempty"`
+	Rebalance bool   `json:"rebalance,omitempty"`
+	// Fine-tune bounds.
+	Epochs    int     `json:"epochs,omitempty"`
+	LR        float64 `json:"lr,omitempty"`
+	BatchSize int     `json:"batch_size,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+}
+
+// handleLoop starts or stops the target deployment's improvement loop.
+func (s *Server) handleLoop(w http.ResponseWriter, r *http.Request) {
+	d := s.deployment(w, r)
+	if d == nil {
+		return
+	}
+	var req loopRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	switch req.Action {
+	case "start":
+		cfg := deploy.LoopConfig{
+			Interval:        time.Duration(req.IntervalMillis) * time.Millisecond,
+			Policy:          req.Policy,
+			MinRetrainBatch: req.MinRetrainBatch,
+			WindowCap:       req.WindowCap,
+			Estimator:       labelmodel.Estimator(req.Estimator),
+			Rebalance:       req.Rebalance,
+			Seed:            req.Seed,
+			FineTune: train.FineTuneConfig{
+				Epochs:    req.Epochs,
+				LR:        req.LR,
+				BatchSize: req.BatchSize,
+			},
+		}
+		if err := d.StartLoop(cfg); err != nil {
+			httpError(w, stateErrStatus(err), "loop start: %v", err)
+			return
+		}
+	case "stop":
+		d.StopLoop()
+	default:
+		httpError(w, http.StatusBadRequest, "loop action %q (want start|stop)", req.Action)
+		return
+	}
+	writeJSON(w, d.LoopStatus())
+}
+
+// handleLoopStatus reports the controller's state and counters.
+func (s *Server) handleLoopStatus(w http.ResponseWriter, r *http.Request) {
+	d := s.deployment(w, r)
+	if d == nil {
+		return
+	}
+	writeJSON(w, d.LoopStatus())
 }
 
 func (s *Server) handleSignature(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,106 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/labelmodel"
+	"repro/internal/model"
+	"repro/internal/opt"
+	"repro/internal/record"
+)
+
+// FineTuneConfig bounds an incremental fine-tune pass: a deployment's
+// continuous-improvement loop runs this on a Clone() of the live primary
+// against refreshed probabilistic labels, so it must be cheap, bounded, and
+// dev-free (live ingest has no dev split; the shadow gate on mirrored
+// production traffic is the model selection step).
+type FineTuneConfig struct {
+	// Epochs over the window (default 1).
+	Epochs int
+	// LR overrides the tuning choice's learning rate; 0 keeps it. Fine-tune
+	// callers typically want a fraction of the from-scratch rate.
+	LR float64
+	// BatchSize overrides the tuning choice's batch size; 0 keeps it.
+	BatchSize int
+	// ClipNorm bounds the global gradient norm (default 5).
+	ClipNorm float64
+	// Loss weighting across tasks and slice components.
+	Loss model.LossConfig
+	Seed int64
+}
+
+// FineTuneReport summarises one fine-tune pass.
+type FineTuneReport struct {
+	Records int // supervised records optimised over
+	Steps   int
+	Loss    float64 // mean batch loss of the final epoch
+}
+
+// FineTune optimises m in place against precomputed probabilistic targets
+// over recs (targets[task].Dist/Weight aligned with recs indices, as
+// produced by labelmodel.Snapshot.Targets or Combine). Unlike Run it has no
+// dev evaluation, no early stopping, and no checkpoint restore — a bounded
+// gradient pass, nothing more. The model's training buffers are released on
+// return so the result can go straight to serving.
+func FineTune(m *model.Model, recs []*record.Record, targets map[string]*labelmodel.TaskTargets, cfg FineTuneConfig) (*FineTuneReport, error) {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.ClipNorm == 0 {
+		cfg.ClipNorm = 5
+	}
+	choice := m.Prog.Choice
+	lr := choice.LR
+	if cfg.LR > 0 {
+		lr = cfg.LR
+	}
+	batchSize := choice.BatchSize
+	if cfg.BatchSize > 0 {
+		batchSize = cfg.BatchSize
+	}
+	if batchSize <= 0 {
+		batchSize = 8
+	}
+
+	var idx []int
+	for i := range recs {
+		if hasSupervision(targets, i) {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("train: fine-tune: no supervised records in window")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	optimizer := opt.NewAdam(m.PS.All())
+	rep := &FineTuneReport{Records: len(idx)}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		order := append([]int(nil), idx...)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		var nBatches float64
+		for start := 0; start < len(order); start += batchSize {
+			end := start + batchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			ids := order[start:end]
+			batch := make([]*record.Record, len(ids))
+			for i, j := range ids {
+				batch[i] = recs[j]
+			}
+			loss, err := m.TrainStep(batch, ids, targets, cfg.Loss, optimizer, lr, cfg.ClipNorm, rng)
+			if err != nil {
+				return nil, fmt.Errorf("train: fine-tune: %w", err)
+			}
+			epochLoss += loss
+			nBatches++
+			rep.Steps++
+		}
+		rep.Loss = epochLoss / nBatches
+	}
+	// The caller serves this model next; drop training-sized arenas.
+	m.EndTraining()
+	return rep, nil
+}
