@@ -7,7 +7,7 @@
 //
 //	overton compile  -schema s.json [-slices a,b]
 //	overton datagen  -n 2000 -seed 1 -crowd 0.2 -out data.jsonl
-//	overton train    -schema s.json -data d.jsonl -out model.bin [-search 8] [-slices a,b]
+//	overton train    -schema s.json -data d.jsonl -out model.bin [-search 8] [-slices a,b] [-train-workers W]
 //	overton eval     -model model.bin -data d.jsonl [-tag test]
 //	overton report   -model model.bin -data d.jsonl [-csv] [-json]
 //	overton predict  -model model.bin -in query.json
@@ -130,6 +130,7 @@ func cmdTrain(args []string) error {
 	slices := fs.String("slices", "", "comma-separated slice names to give capacity")
 	seed := fs.Int64("seed", 1, "seed")
 	rebalance := fs.Bool("rebalance", false, "class rebalancing")
+	trainWorkers := fs.Int("train-workers", 0, "data-parallel training workers per step (0 = min(NumCPU, batch), 1 = serial)")
 	fs.Parse(args)
 	app, err := overton.OpenFile(*schemaPath)
 	if err != nil {
@@ -154,6 +155,7 @@ func cmdTrain(args []string) error {
 		SearchBudget: *searchN,
 		Halving:      *halving,
 		Rebalance:    *rebalance,
+		TrainWorkers: *trainWorkers,
 		Log:          os.Stderr,
 	})
 	if err != nil {
@@ -285,6 +287,7 @@ func cmdServe(args []string) error {
 	rollbackWindow := fs.Int("rollback-window", 0, "post-promote ticks watched for regression (0 = default)")
 	ftEpochs := fs.Int("ft-epochs", 0, "fine-tune epochs per candidate (0 = default 1)")
 	ftLR := fs.Float64("ft-lr", 0, "fine-tune learning rate (0 = the model's tuning choice)")
+	trainWorkers := fs.Int("train-workers", 0, "data-parallel workers per fine-tune step (0 = min(NumCPU, batch), 1 = serial)")
 	var deploys, shadows []string
 	fs.Func("deploy", "name=artifact.bin deployment (repeatable; schemas may differ per deployment)", func(v string) error {
 		deploys = append(deploys, v)
@@ -354,7 +357,7 @@ func cmdServe(args []string) error {
 				Hysteresis:     *hysteresis,
 				RollbackWindow: *rollbackWindow,
 			},
-			FineTune: train.FineTuneConfig{Epochs: *ftEpochs, LR: *ftLR},
+			FineTune: train.FineTuneConfig{Epochs: *ftEpochs, LR: *ftLR, Workers: *trainWorkers},
 		}
 		for _, d := range reg.All() {
 			if err := d.StartLoop(loopCfg); err != nil {

@@ -46,7 +46,9 @@ type LoopConfig struct {
 	Estimator labelmodel.Estimator
 	// Rebalance applies automatic class rebalancing to fine-tune targets.
 	Rebalance bool
-	// FineTune bounds the per-candidate gradient pass.
+	// FineTune bounds the per-candidate gradient pass. Its Workers field
+	// selects the data-parallel shard count per step (0 = min(NumCPU,
+	// batch size)); `overton serve -train-workers` plumbs it here.
 	FineTune train.FineTuneConfig
 	// Seed makes candidate fine-tunes reproducible.
 	Seed int64

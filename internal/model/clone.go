@@ -37,24 +37,7 @@ func (m *Model) Info() Info {
 // model before fine-tuning it on ingested traffic. A frozen contextual
 // encoder, when present, is shared — it is immutable by contract.
 func (m *Model) Clone() (*Model, error) {
-	prog, err := compile.Plan(m.Prog.Schema, m.Prog.Choice, m.Prog.Slices)
-	if err != nil {
-		return nil, fmt.Errorf("model: clone: %w", err)
-	}
-	res := &compile.Resources{
-		TokenVocab:  vocabPayload(m.vocab.Tokens()),
-		EntityVocab: vocabPayload(m.entVocab.Tokens()),
-		Contextual:  m.contextual,
-	}
-	family, dim, err := compile.EmbeddingFamily(m.Prog.Choice.Embedding)
-	if err != nil {
-		return nil, fmt.Errorf("model: clone: %w", err)
-	}
-	if family == "pretrained" {
-		// Shape placeholder; the real weights are copied with the params.
-		res.StaticVectors = tensor.New(m.vocab.Size(), dim)
-	}
-	c, err := New(prog, res, m.Seed)
+	c, err := m.rebuild()
 	if err != nil {
 		return nil, fmt.Errorf("model: clone: %w", err)
 	}
@@ -70,4 +53,51 @@ func (m *Model) Clone() (*Model, error) {
 		p.Frozen = src.Frozen
 	}
 	return c, nil
+}
+
+// rebuild reconstructs an architecturally identical model from m's program
+// and derived resources, with freshly initialised parameters. Clone copies
+// m's parameter data over them; paramView discards them for aliases.
+func (m *Model) rebuild() (*Model, error) {
+	prog, err := compile.Plan(m.Prog.Schema, m.Prog.Choice, m.Prog.Slices)
+	if err != nil {
+		return nil, err
+	}
+	res := &compile.Resources{
+		TokenVocab:  vocabPayload(m.vocab.Tokens()),
+		EntityVocab: vocabPayload(m.entVocab.Tokens()),
+		Contextual:  m.contextual,
+	}
+	family, dim, err := compile.EmbeddingFamily(m.Prog.Choice.Embedding)
+	if err != nil {
+		return nil, err
+	}
+	if family == "pretrained" {
+		// Shape placeholder; the real weights are copied or aliased by the
+		// caller.
+		res.StaticVectors = tensor.New(m.vocab.Size(), dim)
+	}
+	return New(prog, res, m.Seed)
+}
+
+// paramView builds a training-worker view of m: an architecturally
+// identical model whose parameters alias m's value tensors while owning
+// private gradient accumulators (nn.ParamSet.AliasValues). A view's
+// forward/backward reads the live primary weights and accumulates
+// gradients without contending on the primary's heap grads — the
+// ownership unit of the data-parallel trainer, which gives each view its
+// own graph+arena session per PR 1's rules. Views must never step an
+// optimizer themselves; the fused reduce in internal/opt consumes their
+// grads. Construction pays one full rebuild (plan + parameter init that
+// the aliasing immediately discards); trainers build views once per
+// training run, which amortises it over every step of the run.
+func (m *Model) paramView() (*Model, error) {
+	v, err := m.rebuild()
+	if err != nil {
+		return nil, fmt.Errorf("model: param view: %w", err)
+	}
+	if err := v.PS.AliasValues(m.PS); err != nil {
+		return nil, fmt.Errorf("model: param view: %w", err)
+	}
+	return v, nil
 }

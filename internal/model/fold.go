@@ -113,11 +113,14 @@ func (m *Model) foldedConvForward(g *nn.Graph, b *Batch) *nn.Node {
 }
 
 // foldedEncoderForward dispatches to whichever folded serving path applies
-// for this model's encoder (CNN projection tables, or the direct BOW row
-// gather), returning nil when none does and the standard op-by-op forward
-// must run.
+// for this model's encoder (CNN projection tables, GRU input-projection
+// tables, or the direct BOW row gather), returning nil when none does and
+// the standard op-by-op forward must run.
 func (m *Model) foldedEncoderForward(g *nn.Graph, b *Batch) *nn.Node {
 	if h := m.foldedConvForward(g, b); h != nil {
+		return h
+	}
+	if h := m.foldedGRUForward(g, b); h != nil {
 		return h
 	}
 	return m.foldedBOWForward(g, b)

@@ -99,6 +99,101 @@ func TestFoldedBOWParity(t *testing.T) {
 	}
 }
 
+// TestFoldedGRUParity pins the folded GRU serving path (per-vocab input
+// projections + H x H hidden recurrences) against the standard
+// embedding+GRU forward: same batch, same parameters, every task output
+// within 1e-12.
+func TestFoldedGRUParity(t *testing.T) {
+	c := testChoice()
+	c.Encoder = "GRU"
+	m := buildModel(t, c, nil)
+	ds := smallDataset(t, 10, 4)
+
+	b, err := m.makeBatch(ds.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Standard path: grad-tracking graph never folds.
+	gStd := nn.NewGraph(false, nil)
+	stStd := newForwardState()
+	m.forwardInto(gStd, b, stStd)
+
+	// Serving path: no-grad graph takes the folded recurrence.
+	gInf := nn.NewInferenceGraph(tensor.NewArena())
+	if m.foldedGRUForward(gInf, b) == nil {
+		t.Fatalf("folded path did not engage for a GRU model")
+	}
+	gInf.Reset()
+	stInf := newForwardState()
+	m.forwardInto(gInf, b, stInf)
+
+	if !tensor.Equal(stInf.tokenRep.Value, stStd.tokenRep.Value, 1e-12) {
+		t.Fatalf("folded GRU tokenRep diverges from standard encoder")
+	}
+	for _, tname := range m.Prog.TokenTasks {
+		if !tensor.Equal(stInf.tokenLogits[tname].Value, stStd.tokenLogits[tname].Value, 1e-12) {
+			t.Fatalf("folded %s logits diverge", tname)
+		}
+	}
+	for _, tname := range m.Prog.ExampleTasks {
+		if !tensor.Equal(stInf.exampleFinal[tname].Value, stStd.exampleFinal[tname].Value, 1e-12) {
+			t.Fatalf("folded %s logits diverge", tname)
+		}
+	}
+	for _, tname := range m.Prog.SetTasks {
+		if !tensor.Equal(stInf.setScores[tname].Value, stStd.setScores[tname].Value, 1e-12) {
+			t.Fatalf("folded %s scores diverge", tname)
+		}
+	}
+}
+
+// TestFoldedGRUGuardsAndInvalidation: the fold must not engage on grad
+// graphs or BiGRU models, and stale tables must rebuild after a parameter
+// mutation signalled via ParamsChanged — with the rebuilt projections
+// reflecting the new weights.
+func TestFoldedGRUGuardsAndInvalidation(t *testing.T) {
+	c := testChoice()
+	c.Encoder = "GRU"
+	m := buildModel(t, c, nil)
+	ds := smallDataset(t, 4, 4)
+	b, err := m.makeBatch(ds.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.foldedGRUForward(nn.NewGraph(false, nil), b) != nil {
+		t.Fatalf("folded GRU engaged on a grad-tracking graph")
+	}
+	cb := testChoice()
+	cb.Encoder = "BiGRU"
+	bi := buildModel(t, cb, nil)
+	bb, err := bi.makeBatch(ds.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.foldedGRUForward(nn.NewInferenceGraph(tensor.NewArena()), bb) != nil {
+		t.Fatalf("folded GRU engaged for a BiGRU model")
+	}
+
+	f1 := m.foldedGRU()
+	if f1 == nil {
+		t.Fatalf("fold did not build")
+	}
+	if m.foldedGRU() != f1 {
+		t.Fatalf("fold rebuilt without a parameter change")
+	}
+	m.gru.Wz.Node.Value.Data[0] += 0.5
+	m.ParamsChanged()
+	f2 := m.foldedGRU()
+	if f2 == f1 {
+		t.Fatalf("fold not rebuilt after ParamsChanged")
+	}
+	// Row 0 is the zero pad embedding, so probe a real token's projection.
+	if math.Abs(f2.pz.At(2, 0)-f1.pz.At(2, 0)) < 1e-15 {
+		t.Fatalf("rebuilt fold does not reflect the new weights")
+	}
+}
+
 // TestFoldedBOWDoesNotEngageOffPath checks the guards: grad graphs and
 // non-BOW encoders must fall through to the standard forward.
 func TestFoldedBOWDoesNotEngageOffPath(t *testing.T) {

@@ -1,0 +1,132 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Serving-path GRU folding.
+//
+// At inference the GRU's input rows are exactly rows of the token
+// embedding table (dropout is identity, no contextual features), so the
+// input half of each gate matmul — x @ W_{z,r,h}[:in] over the
+// concatenated [x ; h] — is a fixed linear map of the token embedding.
+// Folding precomputes the three per-vocab input projections P_w = E @
+// W_w[:in] once per parameter generation; a serving forward then runs the
+// recurrence with one table-row read plus an H x H hidden matmul per gate,
+// instead of gathering embeddings, concatenating [x ; h], and multiplying
+// (in+H)-wide every timestep. Invalidation mirrors the conv fold: tables
+// carry the Model.gen they were built from and rebuild on mismatch. The
+// hidden-half weights and biases are copied, not aliased, so a fold
+// snapshot stays immutable if parameters are mutated in place later.
+
+// gruFold is an immutable snapshot of the folded GRU projections.
+type gruFold struct {
+	gen        uint64
+	pz, pr, ph *tensor.Tensor // V x H: per-vocab input projections E @ W[:in]
+	uz, ur, uh *tensor.Tensor // H x H: hidden-half recurrence weights W[in:]
+	bz, br, bh []float64
+}
+
+// foldedGRU returns the folded projections for the current generation,
+// rebuilding them when stale, or nil when folding does not apply.
+func (m *Model) foldedGRU() *gruFold {
+	if m.gru == nil || m.contextual != nil || m.vocab.Size() > maxFoldVocab {
+		return nil
+	}
+	gen := m.gen.Load()
+	if f := m.gruFoldCache.Load(); f != nil && f.gen == gen {
+		return f
+	}
+	E := m.tokEmb.Table.Node.Value // V x in
+	in, H := m.gru.In, m.gru.Hidden
+	V := E.Rows
+	f := &gruFold{gen: gen}
+	split := func(w, b *nn.Param) (*tensor.Tensor, *tensor.Tensor, []float64) {
+		W := w.Node.Value // (in+H) x H
+		wx := &tensor.Tensor{Rows: in, Cols: H, Data: W.Data[:in*H]}
+		wh := tensor.New(H, H)
+		copy(wh.Data, W.Data[in*H:])
+		p := tensor.MatMul(tensor.New(V, H), E, wx)
+		return p, wh, append([]float64(nil), b.Node.Value.Data...)
+	}
+	f.pz, f.uz, f.bz = split(m.gru.Wz, m.gru.Bz)
+	f.pr, f.ur, f.br = split(m.gru.Wr, m.gru.Br)
+	f.ph, f.uh, f.bh = split(m.gru.Wh, m.gru.Bh)
+	m.gruFoldCache.Store(f)
+	return f
+}
+
+// foldedGRUForward runs the GRU recurrence straight from token ids using
+// the folded input-projection tables. Only valid on no-grad graphs.
+// Returns nil when folding does not apply. The arithmetic per element
+// mirrors the unfolded op sequence (gate preactivations sum input
+// projection + hidden matmul + bias; hNew = (1-z)*h + z*h̃; masked
+// positions keep the previous state), so outputs match the standard path
+// within float re-association — the parity test pins 1e-12.
+func (m *Model) foldedGRUForward(g *nn.Graph, b *Batch) *nn.Node {
+	if !g.NoGrad() {
+		return nil
+	}
+	f := m.foldedGRU()
+	if f == nil {
+		return nil
+	}
+	B, L, H := b.B, b.L, m.gru.Hidden
+	ids := b.TokenIDs
+	mask := b.Mask
+
+	h := g.NewTensor(B, H) // h0 = 0
+	hn := g.NewTensor(B, H)
+	hz := g.NewTensor(B, H)
+	hr := g.NewTensor(B, H)
+	hh := g.NewTensor(B, H)
+	zt := g.NewTensor(B, H)
+	rh := g.NewTensor(B, H)
+	out := g.NewTensor(B*L, H)
+
+	for t := 0; t < L; t++ {
+		// Hidden-half recurrences for the update and reset gates.
+		tensor.MatMul(hz, h, f.uz)
+		tensor.MatMul(hr, h, f.ur)
+		for bi := 0; bi < B; bi++ {
+			id := ids[bi*L+t]
+			pzr, prr := f.pz.Row(id), f.pr.Row(id)
+			hzr, hrr := hz.Row(bi), hr.Row(bi)
+			ztr, rhr := zt.Row(bi), rh.Row(bi)
+			hrow := h.Row(bi)
+			for j := 0; j < H; j++ {
+				ztr[j] = sigmoidVal(pzr[j] + hzr[j] + f.bz[j])
+				rv := sigmoidVal(prr[j] + hrr[j] + f.br[j])
+				rhr[j] = rv * hrow[j]
+			}
+		}
+		// Candidate state from the reset-gated hidden half.
+		tensor.MatMul(hh, rh, f.uh)
+		for bi := 0; bi < B; bi++ {
+			row := bi*L + t
+			hrow := h.Row(bi)
+			nrow := hn.Row(bi)
+			if mask[row] == 0 {
+				// Padded position: state unchanged (the unfolded path
+				// multiplies the update away; same value, fewer flops).
+				copy(nrow, hrow)
+				copy(out.Row(row), hrow)
+				continue
+			}
+			phr := f.ph.Row(ids[row])
+			hhr := hh.Row(bi)
+			ztr := zt.Row(bi)
+			for j := 0; j < H; j++ {
+				ht := math.Tanh(phr[j] + hhr[j] + f.bh[j])
+				z := ztr[j]
+				nrow[j] = (1-z)*hrow[j] + z*ht
+			}
+			copy(out.Row(row), nrow)
+		}
+		h, hn = hn, h
+	}
+	return g.Const(out)
+}

@@ -39,6 +39,15 @@ func (c LossConfig) taskWeight(task string) float64 {
 // model's targets (indexed by dataset position, aligned via batch.Idx).
 // Returns the scalar loss node.
 func (m *Model) Loss(g *nn.Graph, st *forwardState, targets map[string]*labelmodel.TaskTargets, cfg LossConfig) (*nn.Node, error) {
+	return m.lossWithNorms(g, st, targets, cfg, nil)
+}
+
+// lossWithNorms is Loss with optional externally supplied weight
+// normalisers. norms == nil normalises every term by its weight total over
+// this batch (the serial path). The data-parallel trainer passes the
+// full-batch norms so a shard's loss is the shard's exact share of the
+// full-batch loss (see lossNorms).
+func (m *Model) lossWithNorms(g *nn.Graph, st *forwardState, targets map[string]*labelmodel.TaskTargets, cfg LossConfig, norms *lossNorms) (*nn.Node, error) {
 	cfg = cfg.withDefaults()
 	b := st.batch
 	var losses []*nn.Node
@@ -48,6 +57,44 @@ func (m *Model) Loss(g *nn.Graph, st *forwardState, targets map[string]*labelmod
 			losses = append(losses, n)
 			coeffs = append(coeffs, w)
 		}
+	}
+	// Normaliser lookups; -1 means "sum locally" (serial behaviour).
+	local := norms == nil
+	tokNorm := func(tname string) float64 {
+		if local {
+			return -1
+		}
+		return norms.token[tname]
+	}
+	exNorm := func(tname string) float64 {
+		if local {
+			return -1
+		}
+		return norms.example[tname]
+	}
+	exSliceNorm := func(tname string, s int) float64 {
+		if local {
+			return -1
+		}
+		return norms.exampleSlice[tname][s]
+	}
+	setNorm := func(tname string) float64 {
+		if local {
+			return -1
+		}
+		return norms.set[tname]
+	}
+	setSliceNorm := func(tname string, s int) float64 {
+		if local {
+			return -1
+		}
+		return norms.setSlice[tname][s]
+	}
+	rowNorm := func() float64 {
+		if local {
+			return -1
+		}
+		return norms.rows
 	}
 
 	// Token tasks (program order for deterministic summation).
@@ -74,10 +121,10 @@ func (m *Model) Loss(g *nn.Graph, st *forwardState, targets map[string]*labelmod
 		}
 		switch task.Type {
 		case schema.Multiclass:
-			loss, _ := g.SoftmaxCE(logits, dist, weights)
+			loss, _ := g.SoftmaxCENorm(logits, dist, weights, tokNorm(tname))
 			add(loss, cfg.taskWeight(tname))
 		case schema.Bitvector:
-			loss, _ := g.SigmoidBCE(logits, dist, weights, nil)
+			loss, _ := g.SigmoidBCENorm(logits, dist, weights, nil, tokNorm(tname))
 			add(loss, cfg.taskWeight(tname))
 		default:
 			return nil, fmt.Errorf("model: token task %s has unsupported type %s", tname, task.Type)
@@ -104,16 +151,16 @@ func (m *Model) Loss(g *nn.Graph, st *forwardState, targets map[string]*labelmod
 		}
 		switch task.Type {
 		case schema.Multiclass:
-			loss, _ := g.SoftmaxCE(final, dist, weights)
+			loss, _ := g.SoftmaxCENorm(final, dist, weights, exNorm(tname))
 			add(loss, cfg.taskWeight(tname))
 		case schema.Bitvector:
-			loss, _ := g.SigmoidBCE(final, dist, weights, nil)
+			loss, _ := g.SigmoidBCENorm(final, dist, weights, nil, exNorm(tname))
 			add(loss, cfg.taskWeight(tname))
 		}
 		// Slice auxiliaries.
 		if experts := st.exampleExpert[tname]; len(experts) > 0 {
 			// Base expert trains on everything.
-			loss, _ := g.SoftmaxCE(experts[0], dist, weights)
+			loss, _ := g.SoftmaxCENorm(experts[0], dist, weights, exNorm(tname))
 			add(loss, cfg.SliceExpertWeight*cfg.taskWeight(tname))
 			for s, sliceName := range m.Prog.Slices {
 				ind := m.sliceIndicator(b, sliceName)
@@ -127,7 +174,7 @@ func (m *Model) Loss(g *nn.Graph, st *forwardState, targets map[string]*labelmod
 					}
 				}
 				if any {
-					loss, _ := g.SoftmaxCE(experts[s+1], dist, sw)
+					loss, _ := g.SoftmaxCENorm(experts[s+1], dist, sw, exSliceNorm(tname, s))
 					add(loss, cfg.SliceExpertWeight*cfg.taskWeight(tname))
 				}
 				// Membership BCE against the slice indicator.
@@ -136,7 +183,7 @@ func (m *Model) Loss(g *nn.Graph, st *forwardState, targets map[string]*labelmod
 				for r := range ind {
 					mt.Set(r, 0, ind[r])
 				}
-				mloss, _ := g.SigmoidBCE(st.exampleMember[tname][s], mt, mw, nil)
+				mloss, _ := g.SigmoidBCENorm(st.exampleMember[tname][s], mt, mw, nil, rowNorm())
 				add(mloss, cfg.MembershipWeight)
 			}
 		}
@@ -173,7 +220,7 @@ func (m *Model) Loss(g *nn.Graph, st *forwardState, targets map[string]*labelmod
 			copy(flat[seg.Start:seg.End], d)
 			segWeights[r] = tt.Weight[di][0]
 		}
-		loss, _ := g.SegmentSoftmaxCE(scores, sb.Segs, flat, segWeights)
+		loss, _ := g.SegmentSoftmaxCENorm(scores, sb.Segs, flat, segWeights, setNorm(tname))
 		add(loss, cfg.taskWeight(tname))
 
 		// Slice auxiliaries for set tasks.
@@ -189,7 +236,7 @@ func (m *Model) Loss(g *nn.Graph, st *forwardState, targets map[string]*labelmod
 					}
 				}
 				if any {
-					loss, _ := g.SegmentSoftmaxCE(experts[s], sb.Segs, flat, sw)
+					loss, _ := g.SegmentSoftmaxCENorm(experts[s], sb.Segs, flat, sw, setSliceNorm(tname, s))
 					add(loss, cfg.SliceExpertWeight*cfg.taskWeight(tname))
 				}
 				mw := ones(b.B)
@@ -197,13 +244,19 @@ func (m *Model) Loss(g *nn.Graph, st *forwardState, targets map[string]*labelmod
 				for r := range ind {
 					mt.Set(r, 0, ind[r])
 				}
-				mloss, _ := g.SigmoidBCE(st.setMember[tname][s], mt, mw, nil)
+				mloss, _ := g.SigmoidBCENorm(st.setMember[tname][s], mt, mw, nil, rowNorm())
 				add(mloss, cfg.MembershipWeight)
 			}
 		}
 	}
 
 	if len(losses) == 0 {
+		if norms != nil {
+			// A shard may hold no supervised units even though the full
+			// batch does (the trainer pre-checks the batch); it simply
+			// contributes zero loss and zero gradient.
+			return g.Const(g.NewTensor(1, 1)), nil
+		}
 		return nil, fmt.Errorf("model: batch has no supervised units for any task")
 	}
 	return g.WeightedSum(losses, coeffs), nil

@@ -52,10 +52,12 @@ type Model struct {
 	inferPool sync.Pool
 	train     *session
 
-	// gen counts parameter mutations; fold caches the serving-path conv
-	// projection tables for the generation they were built from.
-	gen  atomic.Uint64
-	fold atomic.Pointer[convFold]
+	// gen counts parameter mutations; fold/gruFoldCache cache the
+	// serving-path conv/GRU projection tables for the generation they were
+	// built from.
+	gen          atomic.Uint64
+	fold         atomic.Pointer[convFold]
+	gruFoldCache atomic.Pointer[gruFold]
 }
 
 // exampleHead predicts a per-example task, optionally with slice experts.

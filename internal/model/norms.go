@@ -1,0 +1,137 @@
+package model
+
+import (
+	"repro/internal/labelmodel"
+	"repro/internal/record"
+)
+
+// lossNorms carries the full-batch weight normalisers for every loss term
+// Loss can build. The noise-aware losses are weighted means (normalised by
+// the total weight of the rows they see), so a naive shard-wise loss would
+// normalise by shard weight and the shard gradients would no longer sum to
+// the full-batch gradient. The data-parallel trainer therefore precomputes
+// each term's full-batch total here and passes it to the *Norm loss
+// variants, making the decomposition exact: Σ_shards loss_s == loss_batch
+// and Σ_shards grad_s == grad_batch, up to float re-association across
+// shard boundaries (and bitwise for a single shard, because every total is
+// accumulated in the same element order the serial op uses).
+type lossNorms struct {
+	rows         float64            // batch rows: membership-BCE normaliser
+	token        map[string]float64 // per token task
+	example      map[string]float64 // per example task (final + base expert)
+	exampleSlice map[string][]float64
+	set          map[string]float64 // per set task (segment weights)
+	setSlice     map[string][]float64
+}
+
+// computeLossNorms walks the full batch (recs at dataset indices idx) in
+// record order and accumulates, for every loss term, exactly the weight
+// sum the corresponding op in Loss would compute over the whole batch:
+// same skip conditions (mirroring Loss and makeBatchInto), same ascending
+// record/position order, so each total is bitwise identical to the one the
+// op would have summed internally. The W=1 trainer parity tests pin the
+// mirror.
+func (m *Model) computeLossNorms(recs []*record.Record, idx []int, targets map[string]*labelmodel.TaskTargets) *lossNorms {
+	n := &lossNorms{
+		rows:         float64(len(recs)),
+		token:        map[string]float64{},
+		example:      map[string]float64{},
+		exampleSlice: map[string][]float64{},
+		set:          map[string]float64{},
+		setSlice:     map[string][]float64{},
+	}
+
+	// Full-batch padded length, exactly as makeBatchInto derives it: the
+	// serial token-task loop bounds t by it, so the mirror must too.
+	maxToks := 0
+	for _, rec := range recs {
+		if pv, ok := rec.Payloads[m.Prog.TokenPayload]; ok && !pv.Null {
+			if len(pv.Tokens) > maxToks {
+				maxToks = len(pv.Tokens)
+			}
+		}
+	}
+	L := maxToks + 1
+	if L > m.Prog.MaxLen {
+		L = m.Prog.MaxLen
+	}
+
+	for _, tname := range m.Prog.TokenTasks {
+		tt := targets[tname]
+		if tt == nil {
+			continue
+		}
+		var tot float64
+		for _, di := range idx {
+			rd := tt.Dist[di]
+			rw := tt.Weight[di]
+			for t := 0; t < L && t < len(rd); t++ {
+				if rw[t] <= 0 || rd[t] == nil {
+					continue
+				}
+				tot += rw[t]
+			}
+		}
+		n.token[tname] = tot
+	}
+
+	for _, tname := range m.Prog.ExampleTasks {
+		tt := targets[tname]
+		if tt == nil {
+			continue
+		}
+		var tot float64
+		sliceTots := make([]float64, len(m.Prog.Slices))
+		for r, di := range idx {
+			if len(tt.Dist[di]) == 0 || tt.Dist[di][0] == nil || tt.Weight[di][0] <= 0 {
+				continue
+			}
+			w := tt.Weight[di][0]
+			tot += w
+			for s, sliceName := range m.Prog.Slices {
+				if recs[r].InSlice(sliceName) {
+					sliceTots[s] += w
+				}
+			}
+		}
+		n.example[tname] = tot
+		n.exampleSlice[tname] = sliceTots
+	}
+
+	for _, tname := range m.Prog.SetTasks {
+		tt := targets[tname]
+		if tt == nil {
+			continue
+		}
+		sp := m.Prog.Schema.Tasks[tname].Payload
+		var tot float64
+		sliceTots := make([]float64, len(m.Prog.Slices))
+		for r, di := range idx {
+			rec := recs[r]
+			nCand := 0
+			if cpv, ok := rec.Payloads[sp]; ok && !cpv.Null {
+				nCand = len(cpv.Set)
+			}
+			if nCand == 0 {
+				continue
+			}
+			if len(tt.Dist[di]) == 0 || tt.Dist[di][0] == nil || tt.Weight[di][0] <= 0 {
+				continue
+			}
+			if len(tt.Dist[di][0]) != nCand {
+				// Candidate count drifted; Loss skips the segment too.
+				continue
+			}
+			w := tt.Weight[di][0]
+			tot += w
+			for s, sliceName := range m.Prog.Slices {
+				if rec.InSlice(sliceName) {
+					sliceTots[s] += w
+				}
+			}
+		}
+		n.set[tname] = tot
+		n.setSlice[tname] = sliceTots
+	}
+	return n
+}

@@ -1,0 +1,262 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/labelmodel"
+	"repro/internal/opt"
+	"repro/internal/record"
+	"repro/internal/tensor"
+)
+
+// ParallelTrainer runs data-parallel training steps: a batch is split into
+// W contiguous shards, each worker runs forward/backward over its shard in
+// its own session (graph + arena + batch scratch, per PR 1's ownership
+// rules) against a parameter view that aliases the primary's weights but
+// owns private gradient accumulators, and a fused all-reduce in
+// internal/opt sums the shard gradients in a fixed deterministic tree
+// order straight into the clip+optimizer update.
+//
+// Equivalence with the serial trainer:
+//
+//   - W=1 is bitwise identical to Model.TrainStep: one shard is the whole
+//     batch, the loss normalisers are accumulated in the same element
+//     order the serial ops use, the tree reduce of one shard is a copy,
+//     and the fused clip+step rounds exactly like ClipGradNorm + Step.
+//   - W>1 matches the serial loss trajectory to float re-association
+//     (~1e-15/step; the parity tests allow 1e-9 over whole runs) provided
+//     dropout is 0 — with dropout on, workers draw masks from independent
+//     deterministic streams, which is statistically but not numerically
+//     the serial schedule. One documented decomposition edge: a shard
+//     holding no candidates of a sliced `select` task contributes no
+//     membership loss for its rows, where the serial batch would.
+//
+// Results are reproducible run-to-run: shard boundaries depend only on
+// (batch, W) and the reduction order only on worker index.
+//
+// A trainer is not safe for concurrent TrainStep calls (training
+// serialises on the shared parameters); build one per training run and
+// Close it when done so worker arenas do not outlive training.
+type ParallelTrainer struct {
+	m       *Model
+	workers []*trainWorker
+	shards  [][]*tensor.Tensor
+	losses  []float64
+}
+
+type trainWorker struct {
+	view *Model
+	rng  *rand.Rand // workers 1..W-1; worker 0 borrows the step rng
+	loss float64
+	err  error
+}
+
+// NewParallelTrainer builds a trainer with `workers` worker sessions over
+// m. workers < 1 is an error; workers = 1 yields a serial-equivalent
+// trainer that still exercises the full reduce path.
+func NewParallelTrainer(m *Model, workers int) (*ParallelTrainer, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("model: parallel trainer needs >= 1 worker, got %d", workers)
+	}
+	t := &ParallelTrainer{m: m}
+	for w := 0; w < workers; w++ {
+		view, err := m.paramView()
+		if err != nil {
+			return nil, err
+		}
+		tw := &trainWorker{view: view}
+		if w > 0 {
+			// Independent deterministic dropout streams per worker; worker
+			// 0 uses the caller's rng so W=1 replays the serial schedule.
+			tw.rng = rand.New(rand.NewSource(m.Seed + int64(w)*1_000_003))
+		}
+		t.workers = append(t.workers, tw)
+	}
+	t.shards = make([][]*tensor.Tensor, workers)
+	t.losses = make([]float64, workers)
+	return t, nil
+}
+
+// Workers returns the configured worker count.
+func (t *ParallelTrainer) Workers() int { return len(t.workers) }
+
+// Close releases every worker's training session (tape, arena chunks,
+// batch scratch) so a model kept for serving does not pin training-sized
+// buffers. The trainer must not be used afterwards.
+func (t *ParallelTrainer) Close() {
+	for _, w := range t.workers {
+		w.view.EndTraining()
+		w.view = nil
+	}
+	t.workers = nil
+}
+
+// TrainStep runs one data-parallel optimisation step on a batch of records
+// (at dataset indices idx) and returns the batch loss; it is the sharded
+// counterpart of Model.TrainStep and shares its contract. optimizer must
+// be built over the primary model's parameters; optimizers implementing
+// opt.ShardedOptimizer (SGD, Adam) take the fused reduce+clip+step path,
+// others fall back to an unfused all-reduce followed by ClipGradNorm+Step.
+func (t *ParallelTrainer) TrainStep(recs []*record.Record, idx []int, targets map[string]*labelmodel.TaskTargets, lossCfg LossConfig, optimizer opt.Optimizer, lr, clipNorm float64, rng *rand.Rand) (float64, error) {
+	if len(t.workers) == 0 {
+		return 0, fmt.Errorf("model: parallel trainer is closed")
+	}
+	if len(recs) == 0 {
+		return 0, fmt.Errorf("model: empty training batch")
+	}
+	if !t.m.batchHasLossTerms(recs, targets, lossCfg) {
+		return 0, fmt.Errorf("model: batch has no supervised units for any task")
+	}
+	n := len(t.workers)
+	if n > len(recs) {
+		n = len(recs)
+	}
+	norms := t.m.computeLossNorms(recs, idx, targets)
+
+	// Contiguous balanced split: the first rem shards get one extra record.
+	base, rem := len(recs)/n, len(recs)%n
+	var wg sync.WaitGroup
+	start := 0
+	var b0lo, b0hi int
+	for w := 0; w < n; w++ {
+		size := base
+		if w < rem {
+			size++
+		}
+		lo, hi := start, start+size
+		start = hi
+		if w == 0 {
+			b0lo, b0hi = lo, hi
+			continue // run on the calling goroutine below
+		}
+		wg.Add(1)
+		go func(tw *trainWorker, lo, hi int) {
+			defer wg.Done()
+			tw.run(recs[lo:hi], idx[lo:hi], targets, lossCfg, norms, tw.rng)
+		}(t.workers[w], lo, hi)
+	}
+	t.workers[0].run(recs[b0lo:b0hi], idx[b0lo:b0hi], targets, lossCfg, norms, rng)
+	wg.Wait()
+
+	for w := 0; w < n; w++ {
+		if err := t.workers[w].err; err != nil {
+			// Workers that did complete have gradients sitting in their
+			// accumulators; drop them so a caller that skips the failed
+			// batch and keeps training does not double-count them (serial
+			// TrainStep errors leave no residue either).
+			for v := 0; v < n; v++ {
+				for _, g := range t.workers[v].view.PS.Grads() {
+					if g != nil {
+						g.Zero()
+					}
+				}
+			}
+			return 0, err
+		}
+		t.shards[w] = t.workers[w].view.PS.Grads()
+		t.losses[w] = t.workers[w].loss
+	}
+	shards := t.shards[:n]
+
+	if so, ok := optimizer.(opt.ShardedOptimizer); ok {
+		so.StepShards(lr, shards, clipNorm)
+	} else {
+		opt.AllReduceGrads(t.m.PS.All(), shards)
+		opt.ClipGradNorm(t.m.PS.All(), clipNorm)
+		optimizer.Step(lr)
+	}
+	t.m.ParamsChanged()
+	return treeSum(t.losses[:n]), nil
+}
+
+// treeSum adds shard losses in the same fixed balanced-tree order the
+// gradient reduce uses, so the reported batch loss is deterministic too.
+func treeSum(vals []float64) float64 {
+	switch len(vals) {
+	case 1:
+		return vals[0]
+	case 2:
+		return vals[0] + vals[1]
+	}
+	buf := append([]float64(nil), vals...)
+	for width := len(buf); width > 1; width = (width + 1) / 2 {
+		half := width / 2
+		for i := 0; i < half; i++ {
+			buf[i] = buf[2*i] + buf[2*i+1]
+		}
+		if width%2 == 1 {
+			buf[half] = buf[width-1]
+		}
+	}
+	return buf[0]
+}
+
+// run executes one worker's shard: forward, loss with full-batch
+// normalisers, backward into the view's private grad accumulators.
+func (w *trainWorker) run(recs []*record.Record, idx []int, targets map[string]*labelmodel.TaskTargets, lossCfg LossConfig, norms *lossNorms, rng *rand.Rand) {
+	w.loss, w.err = 0, nil
+	s := w.view.trainSession()
+	s.g.SetRand(rng)
+	if err := s.run(w.view, recs, idx); err != nil {
+		w.err = err
+		return
+	}
+	loss, err := w.view.lossWithNorms(s.g, s.st, targets, lossCfg, norms)
+	if err != nil {
+		w.err = err
+		return
+	}
+	s.g.Backward(loss)
+	w.loss = loss.Value.Data[0]
+}
+
+// batchHasLossTerms mirrors the serial Loss's "no supervised units" error
+// condition over the full batch: at least one task must contribute a loss
+// term with a non-zero coefficient (token/example tasks need targets and a
+// non-zero task weight — or a sliced head, whose membership BCE carries
+// cfg.MembershipWeight regardless; set tasks additionally need at least
+// one candidate in the batch).
+func (m *Model) batchHasLossTerms(recs []*record.Record, targets map[string]*labelmodel.TaskTargets, cfg LossConfig) bool {
+	cfg = cfg.withDefaults()
+	for _, tname := range m.Prog.TokenTasks {
+		if targets[tname] != nil && cfg.taskWeight(tname) != 0 {
+			return true
+		}
+	}
+	for _, tname := range m.Prog.ExampleTasks {
+		if targets[tname] == nil {
+			continue
+		}
+		if cfg.taskWeight(tname) != 0 {
+			return true
+		}
+		if h := m.exampleHeads[tname]; h != nil && len(h.membership) > 0 && cfg.MembershipWeight != 0 {
+			return true
+		}
+	}
+	for _, tname := range m.Prog.SetTasks {
+		if targets[tname] == nil {
+			continue
+		}
+		sp := m.Prog.Schema.Tasks[tname].Payload
+		hasCand := false
+		for _, rec := range recs {
+			if cpv, ok := rec.Payloads[sp]; ok && !cpv.Null && len(cpv.Set) > 0 {
+				hasCand = true
+				break
+			}
+		}
+		if !hasCand {
+			continue
+		}
+		if cfg.taskWeight(tname) != 0 {
+			return true
+		}
+		if sh := m.setHeads[tname]; sh != nil && len(sh.membership) > 0 && cfg.MembershipWeight != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/labelmodel"
+	"repro/internal/opt"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// benchFixture builds the epoch-benchmark setup: a GRU model (the
+// heaviest encoder — tiny per-timestep matmuls stay under the kernel
+// pool's parallel threshold, so the serial path is effectively
+// single-core and data parallelism is the only lever) over a mid-sized
+// supervised dataset.
+func benchFixture(b *testing.B) (*Model, *record.Dataset, map[string]*labelmodel.TaskTargets) {
+	b.Helper()
+	choice := schema.Choice{
+		Embedding: "hash-24", Encoder: "GRU", Hidden: 32,
+		QueryAgg: "mean", EntityAgg: "mean",
+		LR: 0.02, Epochs: 1, Dropout: 0, BatchSize: 32,
+	}
+	prog, err := compile.Plan(workload.FactoidSchema(), choice, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kb := workload.DefaultKB()
+	var ents []string
+	for _, e := range kb.Entities {
+		ents = append(ents, e.ID)
+	}
+	m, err := New(prog, &compile.Resources{TokenVocab: workload.Vocabulary(kb), EntityVocab: ents}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := workload.StandardDataset(256, 3, 0.2)
+	targets := map[string]*labelmodel.TaskTargets{}
+	for _, tname := range ds.Schema.TaskNames() {
+		tt, err := labelmodel.Combine(ds.Records, ds.Schema, tname, labelmodel.CombineConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		targets[tname] = tt
+	}
+	return m, ds, targets
+}
+
+// BenchmarkTrainEpochParallel measures one full training epoch (batch 32
+// over 256 records) for the serial TrainStep and the data-parallel
+// trainer at W in {1, 2, 4, 8}. On a multi-core runner the W>1 variants
+// should approach linear epoch-time scaling (PERFORMANCE.md records the
+// serial/parallel comparison); on a single-core machine they measure the
+// engine's coordination overhead instead. recs/s is attached as a custom
+// metric so BENCH_train.json captures throughput directly.
+func BenchmarkTrainEpochParallel(b *testing.B) {
+	const batch = 32
+	run := func(b *testing.B, step func([]*record.Record, []int, map[string]*labelmodel.TaskTargets, LossConfig, opt.Optimizer, float64, float64, *rand.Rand) (float64, error), optimizer opt.Optimizer, ds *record.Dataset, targets map[string]*labelmodel.TaskTargets) {
+		rng := rand.New(rand.NewSource(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for lo := 0; lo < len(ds.Records); lo += batch {
+				hi := lo + batch
+				if hi > len(ds.Records) {
+					hi = len(ds.Records)
+				}
+				idx := make([]int, hi-lo)
+				for j := range idx {
+					idx[j] = lo + j
+				}
+				if _, err := step(ds.Records[lo:hi], idx, targets, LossConfig{}, optimizer, 0.02, 5, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(len(ds.Records))*float64(b.N)/b.Elapsed().Seconds(), "recs/s")
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		m, ds, targets := benchFixture(b)
+		run(b, m.TrainStep, opt.NewAdam(m.PS.All()), ds, targets)
+	})
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run("W"+string(rune('0'+w)), func(b *testing.B) {
+			m, ds, targets := benchFixture(b)
+			pt, err := NewParallelTrainer(m, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pt.Close()
+			run(b, pt.TrainStep, opt.NewAdam(m.PS.All()), ds, targets)
+		})
+	}
+}

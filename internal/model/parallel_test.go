@@ -1,0 +1,305 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/labelmodel"
+	"repro/internal/opt"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// trainRun drives `steps` optimisation steps over fixed contiguous batches
+// of ds using step (either Model.TrainStep or ParallelTrainer.TrainStep)
+// and returns the per-step losses.
+func trainRun(t *testing.T, ds *record.Dataset,
+	step func([]*record.Record, []int, map[string]*labelmodel.TaskTargets, LossConfig, opt.Optimizer, float64, float64, *rand.Rand) (float64, error),
+	optimizer opt.Optimizer, targets map[string]*labelmodel.TaskTargets, steps, batch int, seed int64) []float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var losses []float64
+	n := len(ds.Records)
+	for s := 0; s < steps; s++ {
+		lo := (s * batch) % n
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		loss, err := step(ds.Records[lo:hi], idx, targets, LossConfig{}, optimizer, 0.01, 5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses = append(losses, loss)
+	}
+	return losses
+}
+
+// TestParallelTrainW1Bitwise: a one-worker ParallelTrainer must be
+// bitwise identical to the serial TrainStep — same per-step losses, same
+// parameters after training — across encoders, with dropout active (the
+// single worker borrows the caller's rng, so even the masks replay), and
+// through the full fused reduce+clip+step path.
+func TestParallelTrainW1Bitwise(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		encoder string
+		dropout float64
+	}{
+		{"cnn", "CNN", 0},
+		{"cnn-dropout", "CNN", 0.25},
+		{"gru", "GRU", 0},
+		{"bow", "BOW", 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := testChoice()
+			c.Encoder = tc.encoder
+			c.Dropout = tc.dropout
+			serial := buildModel(t, c, nil)
+			parallel := buildModel(t, c, nil)
+			ds := smallDataset(t, 48, 17)
+			targets := combineAll(t, ds)
+
+			pt, err := NewParallelTrainer(parallel, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pt.Close()
+
+			lossesS := trainRun(t, ds, serial.TrainStep, opt.NewAdam(serial.PS.All()), targets, 8, 16, 1)
+			lossesP := trainRun(t, ds, pt.TrainStep, opt.NewAdam(parallel.PS.All()), targets, 8, 16, 1)
+			for i := range lossesS {
+				if lossesS[i] != lossesP[i] {
+					t.Fatalf("step %d loss differs: serial %v parallel %v", i, lossesS[i], lossesP[i])
+				}
+			}
+			for _, p := range serial.PS.All() {
+				q := parallel.PS.Get(p.Name)
+				for j, v := range p.Node.Value.Data {
+					if v != q.Node.Value.Data[j] {
+						t.Fatalf("param %s[%d] differs bitwise: %v vs %v", p.Name, j, v, q.Node.Value.Data[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelTrainShardedMatchesSerial: W in {2,4,8} must track the
+// serial loss trajectory within 1e-9 (table-driven; dropout 0 so the only
+// divergence is float re-association across shard boundaries) and leave
+// parameters within 1e-9 of the serial run's.
+func TestParallelTrainShardedMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+		choice  func() schema.Choice
+		slices  []string
+	}{
+		{"W2", 2, testChoice, nil},
+		{"W4", 4, testChoice, nil},
+		{"W8", 8, testChoice, nil},
+		{"W4-gru", 4, func() schema.Choice { c := testChoice(); c.Encoder = "GRU"; return c }, nil},
+		{"W4-sliced", 4, testChoice, []string{workload.SliceNutrition, workload.SliceDisambig}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := buildModel(t, tc.choice(), tc.slices)
+			parallel := buildModel(t, tc.choice(), tc.slices)
+			ds := smallDataset(t, 48, 23)
+			targets := combineAll(t, ds)
+
+			pt, err := NewParallelTrainer(parallel, tc.workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pt.Close()
+
+			lossesS := trainRun(t, ds, serial.TrainStep, opt.NewAdam(serial.PS.All()), targets, 12, 24, 1)
+			lossesP := trainRun(t, ds, pt.TrainStep, opt.NewAdam(parallel.PS.All()), targets, 12, 24, 1)
+			for i := range lossesS {
+				if d := math.Abs(lossesS[i] - lossesP[i]); d > 1e-9 {
+					t.Fatalf("step %d loss diverged by %.3g: serial %v parallel %v", i, d, lossesS[i], lossesP[i])
+				}
+			}
+			for _, p := range serial.PS.All() {
+				q := parallel.PS.Get(p.Name)
+				for j, v := range p.Node.Value.Data {
+					if d := math.Abs(v - q.Node.Value.Data[j]); d > 1e-9 {
+						t.Fatalf("param %s[%d] diverged by %.3g", p.Name, j, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelTrainDeterministic: two identical W=3 runs must produce
+// bitwise-identical losses and parameters — the fixed shard split and
+// tree reduction order make the parallel path reproducible run-to-run.
+func TestParallelTrainDeterministic(t *testing.T) {
+	run := func() ([]float64, *Model) {
+		m := buildModel(t, testChoice(), nil)
+		ds := smallDataset(t, 40, 29)
+		targets := combineAll(t, ds)
+		pt, err := NewParallelTrainer(m, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pt.Close()
+		return trainRun(t, ds, pt.TrainStep, opt.NewAdam(m.PS.All()), targets, 10, 20, 5), m
+	}
+	lossesA, mA := run()
+	lossesB, mB := run()
+	for i := range lossesA {
+		if lossesA[i] != lossesB[i] {
+			t.Fatalf("step %d nondeterministic: %v vs %v", i, lossesA[i], lossesB[i])
+		}
+	}
+	for _, p := range mA.PS.All() {
+		q := mB.PS.Get(p.Name)
+		for j, v := range p.Node.Value.Data {
+			if v != q.Node.Value.Data[j] {
+				t.Fatalf("param %s[%d] nondeterministic", p.Name, j)
+			}
+		}
+	}
+}
+
+// TestParallelTrainReducesLoss: the data-parallel trainer actually
+// optimises (W=4 over repeated full-dataset batches), and the trained
+// model serves predictions afterwards (worker views must not leak into
+// the serving path).
+func TestParallelTrainReducesLoss(t *testing.T) {
+	m := buildModel(t, testChoice(), nil)
+	ds := smallDataset(t, 32, 17)
+	targets := combineAll(t, ds)
+	pt, err := NewParallelTrainer(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses := trainRun(t, ds, pt.TrainStep, opt.NewAdam(m.PS.All()), targets, 30, 32, 1)
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %.4f -> %.4f", losses[0], losses[len(losses)-1])
+	}
+	pt.Close()
+	if _, err := m.Predict(ds.Records[:4]); err != nil {
+		t.Fatalf("predict after parallel training: %v", err)
+	}
+	if _, err := pt.TrainStep(ds.Records[:4], []int{0, 1, 2, 3}, targets, LossConfig{}, opt.NewAdam(m.PS.All()), 0.01, 5, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatalf("TrainStep on a closed trainer should fail")
+	}
+}
+
+// TestParallelTrainEdgeCases: empty batches error, batches smaller than W
+// clamp the shard count, and a batch with no supervision reproduces the
+// serial error.
+func TestParallelTrainEdgeCases(t *testing.T) {
+	m := buildModel(t, testChoice(), nil)
+	ds := smallDataset(t, 8, 31)
+	targets := combineAll(t, ds)
+	pt, err := NewParallelTrainer(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pt.Close()
+	optimizer := opt.NewAdam(m.PS.All())
+	rng := rand.New(rand.NewSource(2))
+
+	if _, err := pt.TrainStep(nil, nil, targets, LossConfig{}, optimizer, 0.01, 5, rng); err == nil {
+		t.Fatalf("empty batch should error")
+	}
+	// Two records across four workers: must clamp to two shards and work.
+	if _, err := pt.TrainStep(ds.Records[:2], []int{0, 1}, targets, LossConfig{}, optimizer, 0.01, 5, rng); err != nil {
+		t.Fatal(err)
+	}
+	// No supervision at all mirrors the serial error.
+	if _, err := pt.TrainStep(ds.Records[:2], []int{0, 1}, map[string]*labelmodel.TaskTargets{}, LossConfig{}, optimizer, 0.01, 5, rng); err == nil {
+		t.Fatalf("unsupervised batch should error")
+	}
+	// Zeroing every task weight also mirrors the serial error: the serial
+	// Loss drops zero-coefficient terms and errors with none left.
+	zeroed := LossConfig{TaskWeights: map[string]float64{}}
+	for tname := range targets {
+		zeroed.TaskWeights[tname] = 0
+	}
+	if _, serr := m.TrainStep(ds.Records[:2], []int{0, 1}, targets, zeroed, optimizer, 0.01, 5, rng); serr == nil {
+		t.Fatalf("serial zero-weight batch should error")
+	}
+	if _, perr := pt.TrainStep(ds.Records[:2], []int{0, 1}, targets, zeroed, optimizer, 0.01, 5, rng); perr == nil {
+		t.Fatalf("parallel zero-weight batch should error like serial")
+	}
+
+	if _, err := NewParallelTrainer(m, 0); err == nil {
+		t.Fatalf("zero workers should error")
+	}
+}
+
+// TestParallelTrainErrorLeavesNoResidue: when one worker fails mid-step
+// (here: a record with no token payload), gradients other workers already
+// accumulated must be dropped — a trainer that skips the failed batch and
+// keeps going must behave exactly like one that never saw it (the serial
+// TrainStep errors before backward, leaving no residue either).
+func TestParallelTrainErrorLeavesNoResidue(t *testing.T) {
+	ds := smallDataset(t, 8, 41)
+	targets := combineAll(t, ds)
+	mA := buildModel(t, testChoice(), nil)
+	mB := buildModel(t, testChoice(), nil)
+	ptA, err := NewParallelTrainer(mA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ptA.Close()
+	ptB, err := NewParallelTrainer(mB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ptB.Close()
+
+	// Worker 0's shard is fine, worker 1's record has no token payload.
+	bad := *ds.Records[1]
+	bad.Payloads = map[string]record.PayloadValue{}
+	optA := opt.NewAdam(mA.PS.All())
+	if _, err := ptA.TrainStep([]*record.Record{ds.Records[0], &bad}, []int{0, 1}, targets, LossConfig{}, optA, 0.01, 5, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatalf("step with a payload-less record should fail")
+	}
+	lossA, err := ptA.TrainStep(ds.Records[:4], []int{0, 1, 2, 3}, targets, LossConfig{}, optA, 0.01, 5, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossB, err := ptB.TrainStep(ds.Records[:4], []int{0, 1, 2, 3}, targets, LossConfig{}, opt.NewAdam(mB.PS.All()), 0.01, 5, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossA != lossB {
+		t.Fatalf("failed step left gradient residue: loss %v vs %v", lossA, lossB)
+	}
+	for _, p := range mA.PS.All() {
+		q := mB.PS.Get(p.Name)
+		for j, v := range p.Node.Value.Data {
+			if v != q.Node.Value.Data[j] {
+				t.Fatalf("param %s[%d] differs after recovered error", p.Name, j)
+			}
+		}
+	}
+}
+
+// TestParallelTrainRace exercises the cross-worker machinery under the
+// race detector: W=4 workers share parameter values and the task targets
+// while writing private grads, arenas, and batch scratch.
+func TestParallelTrainRace(t *testing.T) {
+	m := buildModel(t, testChoice(), nil)
+	ds := smallDataset(t, 64, 37)
+	targets := combineAll(t, ds)
+	pt, err := NewParallelTrainer(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pt.Close()
+	trainRun(t, ds, pt.TrainStep, opt.NewAdam(m.PS.All()), targets, 12, 32, 3)
+}

@@ -269,6 +269,44 @@ func (ps *ParamSet) ZeroGrads() {
 	}
 }
 
+// AliasValues rebinds every parameter of ps to share primary's value
+// storage while keeping its own Node — and therefore its own lazily
+// allocated gradient accumulator. This is the per-worker accumulator the
+// data-parallel trainer builds on: W worker views alias one primary's
+// weights, each backward pass accumulates into its view's private heap
+// grads, and the fused all-reduce in internal/opt sums the views back into
+// the primary. Sets must match element-wise by name and shape.
+func (ps *ParamSet) AliasValues(primary *ParamSet) error {
+	if len(ps.params) != len(primary.params) {
+		return fmt.Errorf("nn: AliasValues: %d params vs %d", len(ps.params), len(primary.params))
+	}
+	for i, p := range ps.params {
+		src := primary.params[i]
+		if p.Name != src.Name {
+			return fmt.Errorf("nn: AliasValues: param %d is %q vs %q", i, p.Name, src.Name)
+		}
+		if !src.Node.Value.SameShape(p.Node.Value) {
+			return fmt.Errorf("nn: AliasValues: param %q shape mismatch", p.Name)
+		}
+		p.Node.Value = src.Node.Value
+		p.Node.Grad = nil
+		p.Frozen = src.Frozen
+	}
+	return nil
+}
+
+// Grads returns each parameter's gradient accumulator in creation order
+// (nil for parameters no backward pass has touched yet). The data-parallel
+// reduce consumes one such slice per worker view; indices align across
+// views because parameter creation is deterministic.
+func (ps *ParamSet) Grads() []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ps.params))
+	for i, p := range ps.params {
+		out[i] = p.Node.Grad
+	}
+	return out
+}
+
 // NumParams returns the total number of scalar parameters.
 func (ps *ParamSet) NumParams() int {
 	var n int

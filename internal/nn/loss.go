@@ -19,6 +19,16 @@ const probEps = 1e-12
 // Soft targets are how Overton consumes the label model's probabilistic
 // labels: the gradient is w/W * (p - t), the classic noise-aware loss.
 func (g *Graph) SoftmaxCE(logits *Node, targets *tensor.Tensor, weights []float64) (*Node, *tensor.Tensor) {
+	return g.SoftmaxCENorm(logits, targets, weights, -1)
+}
+
+// SoftmaxCENorm is SoftmaxCE with an externally supplied weight
+// normaliser. norm < 0 keeps the default behaviour (normalise by the sum
+// of weights in this call); norm >= 0 divides by norm instead. Sharded
+// data-parallel training uses this: each worker computes its shard's loss
+// against the full batch's total weight, so the shard losses and gradients
+// sum exactly to the serial full-batch quantities.
+func (g *Graph) SoftmaxCENorm(logits *Node, targets *tensor.Tensor, weights []float64, norm float64) (*Node, *tensor.Tensor) {
 	m, C := logits.Value.Rows, logits.Value.Cols
 	if targets.Rows != m || targets.Cols != C {
 		panic(fmt.Sprintf("nn: SoftmaxCE targets %dx%d vs logits %dx%d", targets.Rows, targets.Cols, m, C))
@@ -44,8 +54,13 @@ func (g *Graph) SoftmaxCE(logits *Node, targets *tensor.Tensor, weights []float6
 		}
 		loss += w * ce
 	}
+	if norm >= 0 {
+		totalW = norm
+	}
 	if totalW > 0 {
 		loss /= totalW
+	} else {
+		loss = 0
 	}
 	out := g.NewTensor(1, 1)
 	out.Data[0] = loss
@@ -82,6 +97,12 @@ func (g *Graph) SoftmaxCE(logits *Node, targets *tensor.Tensor, weights []float6
 // (for partially observed bitvectors). Returns the loss node and sigmoid
 // probabilities.
 func (g *Graph) SigmoidBCE(logits *Node, targets *tensor.Tensor, weights []float64, elemMask *tensor.Tensor) (*Node, *tensor.Tensor) {
+	return g.SigmoidBCENorm(logits, targets, weights, elemMask, -1)
+}
+
+// SigmoidBCENorm is SigmoidBCE with an externally supplied weight
+// normaliser (see SoftmaxCENorm).
+func (g *Graph) SigmoidBCENorm(logits *Node, targets *tensor.Tensor, weights []float64, elemMask *tensor.Tensor, norm float64) (*Node, *tensor.Tensor) {
 	m, C := logits.Value.Rows, logits.Value.Cols
 	if targets.Rows != m || targets.Cols != C {
 		panic("nn: SigmoidBCE target shape mismatch")
@@ -116,8 +137,13 @@ func (g *Graph) SigmoidBCE(logits *Node, targets *tensor.Tensor, weights []float
 			loss += w * rowLoss / cnt
 		}
 	}
+	if norm >= 0 {
+		totalW = norm
+	}
 	if totalW > 0 {
 		loss /= totalW
+	} else {
+		loss = 0
 	}
 	out := g.NewTensor(1, 1)
 	out.Data[0] = loss
@@ -176,6 +202,12 @@ type Segment struct {
 // segment, weights has one entry per segment. Returns the scalar loss and
 // the per-candidate softmax probabilities.
 func (g *Graph) SegmentSoftmaxCE(scores *Node, segments []Segment, targets []float64, weights []float64) (*Node, []float64) {
+	return g.SegmentSoftmaxCENorm(scores, segments, targets, weights, -1)
+}
+
+// SegmentSoftmaxCENorm is SegmentSoftmaxCE with an externally supplied
+// weight normaliser (see SoftmaxCENorm).
+func (g *Graph) SegmentSoftmaxCENorm(scores *Node, segments []Segment, targets []float64, weights []float64, norm float64) (*Node, []float64) {
 	N := scores.Value.Rows
 	if scores.Value.Cols != 1 {
 		panic("nn: SegmentSoftmaxCE scores must be Nx1")
@@ -220,8 +252,13 @@ func (g *Graph) SegmentSoftmaxCE(scores *Node, segments []Segment, targets []flo
 		}
 		loss += w * ce
 	}
+	if norm >= 0 {
+		totalW = norm
+	}
 	if totalW > 0 {
 		loss /= totalW
+	} else {
+		loss = 0
 	}
 	out := g.NewTensor(1, 1)
 	out.Data[0] = loss

@@ -1,0 +1,278 @@
+package opt
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Fused all-reduce + clip + step for data-parallel training.
+//
+// W workers hold private gradient accumulators (parameter-set views, see
+// nn.ParamSet.AliasValues). StepShards walks each parameter slice once to
+// sum the shard gradients elementwise in a fixed balanced-tree order into
+// the primary accumulator — the same buffer a serial backward pass would
+// have filled, so no extra gradient tensor is ever materialized — while
+// accumulating the global squared norm in the exact element order
+// ClipGradNorm uses. A second fused walk folds the clip factor into the
+// SGD/Adam update (one multiply per element instead of a separate scaling
+// pass), zeroing primary and shard buffers as it goes.
+//
+// Determinism: the tree order depends only on worker index, and shard
+// boundaries depend only on (batch, W), so results are reproducible
+// run-to-run. With one shard the reduce is an exact copy and the fused
+// clip+step performs bit-identical arithmetic to ClipGradNorm followed by
+// Step (x*scale then *lr rounds exactly like the two separate passes), so
+// a W=1 data-parallel step matches the serial trainer bitwise — the parity
+// tests in opt and model pin this.
+
+// ShardedOptimizer is implemented by optimizers whose step can fuse the
+// cross-worker gradient all-reduce, global-norm clip, and parameter
+// update into one pair of passes over each parameter slice.
+type ShardedOptimizer interface {
+	Optimizer
+	// StepShards applies one update where each parameter's gradient is the
+	// fixed-tree-order elementwise sum of its per-worker shard gradients
+	// (shards[w] aligned with the optimizer's param order; nil entries for
+	// untouched params), clipped to the global norm maxNorm (<= 0 disables
+	// clipping). Shard and primary gradient buffers are zeroed. Returns
+	// the pre-clip global gradient norm.
+	StepShards(lr float64, shards [][]*tensor.Tensor, maxNorm float64) float64
+}
+
+// gatherShards collects the non-nil shard gradient slices for param i, in
+// worker order, into buf (reused across params).
+func gatherShards(shards [][]*tensor.Tensor, i int, buf [][]float64) [][]float64 {
+	buf = buf[:0]
+	for _, sh := range shards {
+		if i < len(sh) && sh[i] != nil {
+			buf = append(buf, sh[i].Data)
+		}
+	}
+	return buf
+}
+
+// treeReduceInto writes dst[j] = Σ_w srcs[w][j], summing the workers in a
+// fixed balanced binary tree: ((s0+s1)+(s2+s3))+((s4+s5)+...) — the order
+// an all-reduce over worker pairs would produce, and independent of which
+// worker finishes first. It simultaneously accumulates sq += dst[j]² in
+// ascending element order and returns the updated sq, matching
+// ClipGradNorm's norm accumulation exactly. scratch must have len(srcs)
+// capacity.
+func treeReduceInto(dst []float64, srcs [][]float64, scratch []float64, sq float64) float64 {
+	switch len(srcs) {
+	case 1:
+		s0 := srcs[0][:len(dst)]
+		for j, v := range s0 {
+			dst[j] = v
+			sq += v * v
+		}
+	case 2:
+		s0, s1 := srcs[0][:len(dst)], srcs[1][:len(dst)]
+		for j := range dst {
+			v := s0[j] + s1[j]
+			dst[j] = v
+			sq += v * v
+		}
+	case 4:
+		s0, s1 := srcs[0][:len(dst)], srcs[1][:len(dst)]
+		s2, s3 := srcs[2][:len(dst)], srcs[3][:len(dst)]
+		for j := range dst {
+			v := (s0[j] + s1[j]) + (s2[j] + s3[j])
+			dst[j] = v
+			sq += v * v
+		}
+	default:
+		w := len(srcs)
+		for j := range dst {
+			for i, s := range srcs {
+				scratch[i] = s[j]
+			}
+			for width := w; width > 1; width = (width + 1) / 2 {
+				half := width / 2
+				for i := 0; i < half; i++ {
+					scratch[i] = scratch[2*i] + scratch[2*i+1]
+				}
+				if width%2 == 1 {
+					scratch[half] = scratch[width-1]
+				}
+			}
+			v := scratch[0]
+			dst[j] = v
+			sq += v * v
+		}
+	}
+	return sq
+}
+
+// reduceShards sums every parameter's shard gradients into the primary
+// accumulators (creating them on first touch, exactly as a serial backward
+// would) and returns the pre-clip global gradient norm. Frozen parameters
+// and parameters no worker has ever touched are skipped. Shard buffers are
+// left intact; the fused step zeroes them after the update.
+func reduceShards(params []*nn.Param, shards [][]*tensor.Tensor) float64 {
+	var sq float64
+	buf := make([][]float64, 0, len(shards))
+	scratch := make([]float64, len(shards))
+	for i, p := range params {
+		if p.Frozen {
+			continue
+		}
+		buf = buf[:0]
+		buf = gatherShards(shards, i, buf)
+		if len(buf) == 0 {
+			// No worker touched it this run; a previously created primary
+			// grad (all zeros) contributes exactly 0 to the norm — skip.
+			continue
+		}
+		g := p.Node.Grad
+		if g == nil {
+			g = tensor.New(p.Node.Value.Rows, p.Node.Value.Cols)
+			p.Node.Grad = g
+		}
+		sq = treeReduceInto(g.Data, buf, scratch, sq)
+	}
+	return math.Sqrt(sq)
+}
+
+// AllReduceGrads sums every parameter's shard gradients into the primary
+// accumulators in the fixed tree order and zeroes the shard buffers: the
+// generic fallback for optimizers that do not implement ShardedOptimizer
+// (the caller then runs ClipGradNorm + Step over the primary grads as the
+// serial path would). Returns the pre-clip global gradient norm.
+func AllReduceGrads(params []*nn.Param, shards [][]*tensor.Tensor) float64 {
+	norm := reduceShards(params, shards)
+	for i := range params {
+		zeroShards(shards, i)
+	}
+	return norm
+}
+
+// clipScale converts the global norm into the multiplier ClipGradNorm
+// would have applied.
+func clipScale(norm, maxNorm float64) float64 {
+	if maxNorm > 0 && norm > maxNorm {
+		return maxNorm / (norm + 1e-12)
+	}
+	return 1
+}
+
+// zeroShards clears param i's shard accumulators after the step consumed
+// them (buffers are kept so the touched-parameter history — which decides
+// whether Adam state advances on zero-gradient steps — matches serial).
+func zeroShards(shards [][]*tensor.Tensor, i int) {
+	for _, sh := range shards {
+		if i < len(sh) && sh[i] != nil {
+			zero(sh[i].Data)
+		}
+	}
+}
+
+// StepShards implements ShardedOptimizer for SGD: reduce, then one fused
+// clip+decay+momentum+update walk per parameter slice.
+func (o *SGD) StepShards(lr float64, shards [][]*tensor.Tensor, maxNorm float64) float64 {
+	norm := reduceShards(o.Params, shards)
+	scale := clipScale(norm, maxNorm)
+	if o.velocity == nil && o.Momentum > 0 {
+		o.velocity = make([]*tensor.Tensor, len(o.Params))
+	}
+	for i, p := range o.Params {
+		if p.Frozen || p.Node.Grad == nil {
+			continue
+		}
+		w := p.Node.Value.Data
+		g := p.Node.Grad.Data
+		if o.Momentum > 0 {
+			if o.velocity[i] == nil {
+				o.velocity[i] = tensor.New(p.Node.Value.Rows, p.Node.Value.Cols)
+			}
+			sgdMomentumStepScaled(w, g, o.velocity[i].Data, o.Momentum, lr, scale, o.WeightDecay)
+		} else {
+			sgdStepScaled(w, g, lr, scale, o.WeightDecay)
+		}
+		zero(g)
+		zeroShards(shards, i)
+	}
+	return norm
+}
+
+// sgdStepScaled fuses w -= lr * (scale*g + wd*w) in one pass; the
+// rounding sequence (scale*g, then +wd*w, then *lr) matches the separate
+// ClipGradNorm + axpy passes bit for bit.
+func sgdStepScaled(w, g []float64, lr, scale, wd float64) {
+	g = g[:len(w)]
+	for j := range w {
+		gj := scale * g[j]
+		if wd > 0 {
+			gj += wd * w[j]
+		}
+		w[j] -= lr * gj
+	}
+}
+
+// sgdMomentumStepScaled fuses v = mu*v + (scale*g + wd*w); w -= lr*v.
+func sgdMomentumStepScaled(w, g, v []float64, mu, lr, scale, wd float64) {
+	g = g[:len(w)]
+	v = v[:len(w)]
+	for j := range w {
+		gj := scale * g[j]
+		if wd > 0 {
+			gj += wd * w[j]
+		}
+		vj := mu*v[j] + gj
+		v[j] = vj
+		w[j] -= lr * vj
+	}
+}
+
+// StepShards implements ShardedOptimizer for Adam/AdamW: reduce, then one
+// fused clip+moment+update walk per parameter slice.
+func (o *Adam) StepShards(lr float64, shards [][]*tensor.Tensor, maxNorm float64) float64 {
+	norm := reduceShards(o.Params, shards)
+	scale := clipScale(norm, maxNorm)
+	if o.m == nil {
+		o.m = make([]*tensor.Tensor, len(o.Params))
+		o.v = make([]*tensor.Tensor, len(o.Params))
+	}
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i, p := range o.Params {
+		if p.Frozen || p.Node.Grad == nil {
+			continue
+		}
+		w := p.Node.Value
+		g := p.Node.Grad
+		if o.m[i] == nil {
+			o.m[i] = tensor.New(w.Rows, w.Cols)
+			o.v[i] = tensor.New(w.Rows, w.Cols)
+		}
+		adamStepScaled(w.Data, g.Data, o.m[i].Data, o.v[i].Data,
+			o.Beta1, o.Beta2, bc1, bc2, o.Eps, o.DecoupledWeightDecay, lr, scale)
+		zero(g.Data)
+		zeroShards(shards, i)
+	}
+	return norm
+}
+
+// adamStepScaled is adamStep with the clip factor folded into the
+// gradient read (scale*g rounds exactly like a prior ClipGradNorm pass).
+func adamStepScaled(w, g, m, v []float64, b1, b2, bc1, bc2, eps, wd, lr, scale float64) {
+	g = g[:len(w)]
+	m = m[:len(w)]
+	v = v[:len(w)]
+	ib1, ib2 := 1-b1, 1-b2
+	for j := range w {
+		gj := scale * g[j]
+		mj := b1*m[j] + ib1*gj
+		vj := b2*v[j] + ib2*gj*gj
+		m[j] = mj
+		v[j] = vj
+		upd := (mj / bc1) / (math.Sqrt(vj/bc2) + eps)
+		if wd > 0 {
+			upd += wd * w[j]
+		}
+		w[j] -= lr * upd
+	}
+}

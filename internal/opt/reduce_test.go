@@ -1,0 +1,367 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// makeParams builds a deterministic parameter set with mixed shapes and
+// filled gradients: the shared fixture for the fused-step parity tests.
+func makeParams(fill func(i, j int) (w, g float64)) *nn.ParamSet {
+	ps := nn.NewParamSet()
+	shapes := [][2]int{{3, 4}, {1, 7}, {5, 5}}
+	for i, sh := range shapes {
+		p := ps.New([]string{"a", "b", "c"}[i], sh[0], sh[1], nil)
+		p.Node.Grad = tensor.New(sh[0], sh[1])
+		for j := range p.Node.Value.Data {
+			w, g := fill(i, j)
+			p.Node.Value.Data[j] = w
+			p.Node.Grad.Data[j] = g
+		}
+	}
+	return ps
+}
+
+func defaultFill(i, j int) (float64, float64) {
+	return 0.1*float64(i+1) + 0.01*float64(j), math.Sin(float64(i*31+j)) * 0.3
+}
+
+func paramsEqualBitwise(t *testing.T, a, b *nn.ParamSet, what string) {
+	t.Helper()
+	for i, pa := range a.All() {
+		pb := b.All()[i]
+		for j, v := range pa.Node.Value.Data {
+			if v != pb.Node.Value.Data[j] {
+				t.Fatalf("%s: param %s[%d] %v != %v", what, pa.Name, j, v, pb.Node.Value.Data[j])
+			}
+		}
+	}
+}
+
+// naiveSGDStep is the reference SGD update written as separate passes
+// (decay, momentum, axpy), against which the fused single-pass kernel in
+// opt.go must be bit-identical.
+func naiveSGDStep(ps *nn.ParamSet, vel map[string][]float64, lr, mu, wd float64) {
+	for _, p := range ps.All() {
+		if p.Frozen || p.Node.Grad == nil {
+			continue
+		}
+		w := p.Node.Value.Data
+		g := p.Node.Grad.Data
+		if wd > 0 {
+			for j := range g {
+				g[j] += wd * w[j]
+			}
+		}
+		if mu > 0 {
+			v := vel[p.Name]
+			if v == nil {
+				v = make([]float64, len(w))
+				vel[p.Name] = v
+			}
+			for j := range v {
+				v[j] = mu*v[j] + g[j]
+			}
+			for j := range w {
+				w[j] -= lr * v[j]
+			}
+		} else {
+			for j := range w {
+				w[j] -= lr * g[j]
+			}
+		}
+		for j := range g {
+			g[j] = 0
+		}
+	}
+}
+
+// naiveAdamStep is the reference Adam/AdamW update as separate passes.
+func naiveAdamStep(ps *nn.ParamSet, mo, vo map[string][]float64, t int, lr, b1, b2, eps, wd float64) {
+	bc1 := 1 - math.Pow(b1, float64(t))
+	bc2 := 1 - math.Pow(b2, float64(t))
+	for _, p := range ps.All() {
+		if p.Frozen || p.Node.Grad == nil {
+			continue
+		}
+		w := p.Node.Value.Data
+		g := p.Node.Grad.Data
+		m, v := mo[p.Name], vo[p.Name]
+		if m == nil {
+			m = make([]float64, len(w))
+			v = make([]float64, len(w))
+			mo[p.Name], vo[p.Name] = m, v
+		}
+		for j := range m {
+			m[j] = b1*m[j] + (1-b1)*g[j]
+		}
+		for j := range v {
+			v[j] = b2*v[j] + (1-b2)*g[j]*g[j]
+		}
+		for j := range w {
+			upd := (m[j] / bc1) / (math.Sqrt(v[j]/bc2) + eps)
+			if wd > 0 {
+				upd += wd * w[j]
+			}
+			w[j] -= lr * upd
+		}
+		for j := range g {
+			g[j] = 0
+		}
+	}
+}
+
+// TestFusedSGDMatchesNaive pins the PR 1 fused SGD slice update against
+// the naive multi-pass reference, bit for bit, across momentum and decay
+// configurations and several steps.
+func TestFusedSGDMatchesNaive(t *testing.T) {
+	for _, cfg := range []struct {
+		name   string
+		mu, wd float64
+	}{
+		{"plain", 0, 0},
+		{"momentum", 0.9, 0},
+		{"decay", 0, 0.01},
+		{"momentum+decay", 0.9, 0.01},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			fused := makeParams(defaultFill)
+			naive := makeParams(defaultFill)
+			o := NewSGD(fused.All(), cfg.mu, cfg.wd)
+			vel := map[string][]float64{}
+			for step := 0; step < 5; step++ {
+				o.Step(0.05)
+				naiveSGDStep(naive, vel, 0.05, cfg.mu, cfg.wd)
+				paramsEqualBitwise(t, fused, naive, cfg.name)
+				// Refill gradients for the next step.
+				for i, p := range fused.All() {
+					q := naive.All()[i]
+					for j := range p.Node.Grad.Data {
+						g := math.Cos(float64(step*17+i*31+j)) * 0.2
+						p.Node.Grad.Data[j] = g
+						q.Node.Grad.Data[j] = g
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFusedAdamMatchesNaive pins the fused Adam/AdamW slice update
+// against the naive multi-pass reference, bit for bit, over several steps
+// (bias correction advances with t).
+func TestFusedAdamMatchesNaive(t *testing.T) {
+	for _, wd := range []float64{0, 0.02} {
+		name := "adam"
+		if wd > 0 {
+			name = "adamw"
+		}
+		t.Run(name, func(t *testing.T) {
+			fused := makeParams(defaultFill)
+			naive := makeParams(defaultFill)
+			o := NewAdamW(fused.All(), wd)
+			mo, vo := map[string][]float64{}, map[string][]float64{}
+			for step := 1; step <= 6; step++ {
+				o.Step(0.01)
+				naiveAdamStep(naive, mo, vo, step, 0.01, o.Beta1, o.Beta2, o.Eps, wd)
+				paramsEqualBitwise(t, fused, naive, name)
+				for i, p := range fused.All() {
+					q := naive.All()[i]
+					for j := range p.Node.Grad.Data {
+						g := math.Sin(float64(step*13+i*7+j)) * 0.4
+						p.Node.Grad.Data[j] = g
+						q.Node.Grad.Data[j] = g
+					}
+				}
+			}
+		})
+	}
+}
+
+// shardGradsFor splits each parameter's gradient into w additive shards
+// (deterministic uneven split) and clears the primary grads, simulating
+// what W worker views hand the fused reduce.
+func shardGradsFor(ps *nn.ParamSet, w int) [][]*tensor.Tensor {
+	shards := make([][]*tensor.Tensor, w)
+	for s := range shards {
+		shards[s] = make([]*tensor.Tensor, len(ps.All()))
+	}
+	for i, p := range ps.All() {
+		g := p.Node.Grad
+		for s := 0; s < w; s++ {
+			sh := tensor.New(g.Rows, g.Cols)
+			for j := range g.Data {
+				// Uneven dyadic split so shard shares are exact.
+				sh.Data[j] = g.Data[j] * [4]float64{0.5, 0.25, 0.125, 0.125}[s%4]
+			}
+			shards[s][i] = sh
+		}
+	}
+	return shards
+}
+
+// TestStepShardsSingleShardBitwise: with one shard the fused
+// reduce+clip+step must be bit-identical to the serial ClipGradNorm +
+// Step sequence, for both SGD and Adam, with clipping both idle and
+// active.
+func TestStepShardsSingleShardBitwise(t *testing.T) {
+	for _, clip := range []float64{5, 0.05} {
+		for _, opt := range []string{"sgd", "adam"} {
+			serial := makeParams(defaultFill)
+			sharded := makeParams(defaultFill)
+
+			// One shard carrying exactly the serial gradients; primary
+			// grads start nil as a fresh worker run would leave them.
+			shards := [][]*tensor.Tensor{make([]*tensor.Tensor, len(sharded.All()))}
+			for i, p := range sharded.All() {
+				sh := tensor.New(p.Node.Grad.Rows, p.Node.Grad.Cols)
+				copy(sh.Data, p.Node.Grad.Data)
+				shards[0][i] = sh
+				p.Node.Grad = nil
+			}
+
+			var norm float64
+			switch opt {
+			case "sgd":
+				os := NewSGD(serial.All(), 0.9, 0.01)
+				op := NewSGD(sharded.All(), 0.9, 0.01)
+				ClipGradNorm(serial.All(), clip)
+				os.Step(0.05)
+				norm = op.StepShards(0.05, shards, clip)
+			case "adam":
+				os := NewAdam(serial.All())
+				op := NewAdam(sharded.All())
+				ClipGradNorm(serial.All(), clip)
+				os.Step(0.01)
+				norm = op.StepShards(0.01, shards, clip)
+			}
+			paramsEqualBitwise(t, sharded, serial, opt)
+			if norm <= 0 {
+				t.Fatalf("%s: StepShards returned norm %v", opt, norm)
+			}
+			// Primary and shard accumulators must be zeroed (buffers kept).
+			for i, p := range sharded.All() {
+				if p.Node.Grad == nil || p.Node.Grad.MaxAbs() != 0 {
+					t.Fatalf("%s: primary grad %d not zeroed", opt, i)
+				}
+				if shards[0][i].MaxAbs() != 0 {
+					t.Fatalf("%s: shard grad %d not zeroed", opt, i)
+				}
+			}
+		}
+	}
+}
+
+// TestStepShardsMatchesSerialOnSummedGrads: W=4 shards must produce the
+// same update as a serial step whose gradient is the balanced-tree sum of
+// the shards.
+func TestStepShardsMatchesSerialOnSummedGrads(t *testing.T) {
+	serial := makeParams(defaultFill)
+	sharded := makeParams(defaultFill)
+	shards := shardGradsFor(sharded, 4)
+	// Serial gradient = ((s0+s1)+(s2+s3)), the fused kernel's tree order.
+	for i, p := range serial.All() {
+		for j := range p.Node.Grad.Data {
+			p.Node.Grad.Data[j] = (shards[0][i].Data[j] + shards[1][i].Data[j]) +
+				(shards[2][i].Data[j] + shards[3][i].Data[j])
+		}
+	}
+	for i, p := range sharded.All() {
+		_ = i
+		p.Node.Grad = nil
+	}
+	os := NewAdam(serial.All())
+	op := NewAdam(sharded.All())
+	ClipGradNorm(serial.All(), 5)
+	os.Step(0.01)
+	op.StepShards(0.01, shards, 5)
+	paramsEqualBitwise(t, sharded, serial, "W=4")
+}
+
+// TestStepShardsTreeOrder pins the reduction bracket with values where
+// float addition is not associative: a left fold would produce a
+// different bit pattern than the balanced tree.
+func TestStepShardsTreeOrder(t *testing.T) {
+	ps := nn.NewParamSet()
+	p := ps.New("x", 1, 1, nil)
+	vals := []float64{1e16, 1, -1e16, 1, 3e-8}
+	shards := make([][]*tensor.Tensor, len(vals))
+	for s, v := range vals {
+		sh := tensor.New(1, 1)
+		sh.Data[0] = v
+		shards[s] = []*tensor.Tensor{sh}
+	}
+	// Balanced tree over 5: width 5 -> (0+1),(2+3),carry 4 -> width 3 ->
+	// ((0+1)+(2+3)), carry 4 -> width 2 -> sum.
+	want := ((vals[0] + vals[1]) + (vals[2] + vals[3])) + vals[4]
+	o := NewSGD(ps.All(), 0, 0)
+	o.StepShards(1, shards, -1) // lr 1, no clip: w -= sum
+	if got := -p.Node.Value.Data[0]; got != want {
+		t.Fatalf("tree order: got %v want %v", got, want)
+	}
+}
+
+// TestStepShardsFrozenAndUntouched: frozen params are never updated, and
+// params no shard touched (nil entries) are skipped entirely.
+func TestStepShardsFrozenAndUntouched(t *testing.T) {
+	ps := nn.NewParamSet()
+	frozen := ps.New("frozen", 1, 2, func(tt *tensor.Tensor) { tt.Fill(1) })
+	frozen.Frozen = true
+	live := ps.New("live", 1, 2, func(tt *tensor.Tensor) { tt.Fill(2) })
+	untouched := ps.New("untouched", 1, 2, func(tt *tensor.Tensor) { tt.Fill(3) })
+
+	sh := make([]*tensor.Tensor, 3)
+	sh[0] = tensor.New(1, 2)
+	sh[0].Fill(9) // would move frozen if it were consulted
+	sh[1] = tensor.New(1, 2)
+	sh[1].Fill(1)
+	// sh[2] nil: untouched.
+	o := NewSGD(ps.All(), 0, 0)
+	o.StepShards(0.5, [][]*tensor.Tensor{sh}, 0)
+	if frozen.Node.Value.Data[0] != 1 {
+		t.Fatalf("frozen param updated: %v", frozen.Node.Value.Data)
+	}
+	if live.Node.Value.Data[0] != 1.5 {
+		t.Fatalf("live param wrong: %v", live.Node.Value.Data)
+	}
+	if untouched.Node.Value.Data[0] != 3 || untouched.Node.Grad != nil {
+		t.Fatalf("untouched param altered: %v", untouched.Node.Value.Data)
+	}
+}
+
+// TestAllReduceGradsFallback: the generic reduce (for optimizers without
+// a fused path) leaves the summed grads on the primary accumulators and
+// zeroes the shard buffers.
+func TestAllReduceGradsFallback(t *testing.T) {
+	ps := makeParams(defaultFill)
+	shards := shardGradsFor(ps, 2)
+	want := make([][]float64, len(ps.All()))
+	for i := range want {
+		want[i] = make([]float64, len(shards[0][i].Data))
+		for j := range want[i] {
+			want[i][j] = shards[0][i].Data[j] + shards[1][i].Data[j]
+		}
+	}
+	for _, p := range ps.All() {
+		p.Node.Grad = nil
+	}
+	norm := AllReduceGrads(ps.All(), shards)
+	var sq float64
+	for i, p := range ps.All() {
+		for j, v := range p.Node.Grad.Data {
+			if v != want[i][j] {
+				t.Fatalf("reduced grad mismatch at %d[%d]", i, j)
+			}
+			sq += v * v
+		}
+		if shards[0][i].MaxAbs() != 0 || shards[1][i].MaxAbs() != 0 {
+			t.Fatalf("shard buffers not zeroed")
+		}
+	}
+	if math.Abs(norm-math.Sqrt(sq)) > 1e-15 {
+		t.Fatalf("norm %v want %v", norm, math.Sqrt(sq))
+	}
+}

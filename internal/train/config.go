@@ -1,0 +1,36 @@
+package train
+
+import "runtime"
+
+// effectiveClipNorm applies the trainer-wide ClipNorm default: 0 means
+// "clip the global gradient norm at 5"; negative disables clipping. Run,
+// FineTune, and therefore the data-parallel path all resolve the default
+// through this one helper so the serial and parallel trainers cannot
+// diverge on it.
+func effectiveClipNorm(v float64) float64 {
+	if v == 0 {
+		return 5
+	}
+	return v
+}
+
+// resolveWorkers applies the Workers default for data-parallel training:
+// 0 (unset) means min(NumCPU, batchSize) — one shard per core, but never
+// more shards than a batch has records; explicit values are clamped to at
+// least 1.
+func resolveWorkers(workers, batchSize int) int {
+	if workers != 0 {
+		if workers < 1 {
+			return 1
+		}
+		return workers
+	}
+	w := runtime.NumCPU()
+	if batchSize > 0 && w > batchSize {
+		w = batchSize
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

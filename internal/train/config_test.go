@@ -1,0 +1,38 @@
+package train
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestEffectiveClipNorm(t *testing.T) {
+	if got := effectiveClipNorm(0); got != 5 {
+		t.Fatalf("default clip norm %v want 5", got)
+	}
+	if got := effectiveClipNorm(2.5); got != 2.5 {
+		t.Fatalf("explicit clip norm %v want 2.5", got)
+	}
+	if got := effectiveClipNorm(-1); got != -1 {
+		t.Fatalf("negative (disabled) clip norm %v want -1", got)
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := resolveWorkers(3, 32); got != 3 {
+		t.Fatalf("explicit workers %d want 3", got)
+	}
+	// Negative means serial, not the NumCPU default.
+	if got := resolveWorkers(-1, 32); got != 1 {
+		t.Fatalf("negative workers %d want 1", got)
+	}
+	want := runtime.NumCPU()
+	if want > 8 {
+		want = 8
+	}
+	if got := resolveWorkers(0, 8); got != want {
+		t.Fatalf("default workers %d want min(NumCPU, 8) = %d", got, want)
+	}
+	if got := resolveWorkers(0, 0); got != runtime.NumCPU() {
+		t.Fatalf("default workers with unknown batch %d want NumCPU", got)
+	}
+}

@@ -25,6 +25,9 @@ type FineTuneConfig struct {
 	BatchSize int
 	// ClipNorm bounds the global gradient norm (default 5).
 	ClipNorm float64
+	// Workers is the data-parallel shard count per step (see
+	// Config.Workers): 0 defaults to min(NumCPU, batch size), 1 is serial.
+	Workers int
 	// Loss weighting across tasks and slice components.
 	Loss model.LossConfig
 	Seed int64
@@ -47,9 +50,7 @@ func FineTune(m *model.Model, recs []*record.Record, targets map[string]*labelmo
 	if cfg.Epochs <= 0 {
 		cfg.Epochs = 1
 	}
-	if cfg.ClipNorm == 0 {
-		cfg.ClipNorm = 5
-	}
+	cfg.ClipNorm = effectiveClipNorm(cfg.ClipNorm)
 	choice := m.Prog.Choice
 	lr := choice.LR
 	if cfg.LR > 0 {
@@ -75,6 +76,15 @@ func FineTune(m *model.Model, recs []*record.Record, targets map[string]*labelmo
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	optimizer := opt.NewAdam(m.PS.All())
 	rep := &FineTuneReport{Records: len(idx)}
+	step := m.TrainStep
+	if workers := resolveWorkers(cfg.Workers, batchSize); workers > 1 {
+		pt, err := model.NewParallelTrainer(m, workers)
+		if err != nil {
+			return nil, fmt.Errorf("train: fine-tune: %w", err)
+		}
+		defer pt.Close()
+		step = pt.TrainStep
+	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		order := append([]int(nil), idx...)
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -90,7 +100,7 @@ func FineTune(m *model.Model, recs []*record.Record, targets map[string]*labelmo
 			for i, j := range ids {
 				batch[i] = recs[j]
 			}
-			loss, err := m.TrainStep(batch, ids, targets, cfg.Loss, optimizer, lr, cfg.ClipNorm, rng)
+			loss, err := step(batch, ids, targets, cfg.Loss, optimizer, lr, cfg.ClipNorm, rng)
 			if err != nil {
 				return nil, fmt.Errorf("train: fine-tune: %w", err)
 			}

@@ -29,6 +29,12 @@ type Config struct {
 	Loss model.LossConfig
 	// ClipNorm bounds the global gradient norm (default 5).
 	ClipNorm float64
+	// Workers is the data-parallel shard count per training step: each
+	// batch is split across this many worker sessions whose gradients are
+	// all-reduced into one fused optimizer step. 0 defaults to
+	// min(NumCPU, batch size); 1 trains serially. Results are
+	// reproducible run-to-run at any fixed value.
+	Workers int
 	// EarlyStopPatience stops after this many epochs without dev
 	// improvement (0 = train all epochs).
 	EarlyStopPatience int
@@ -77,9 +83,7 @@ func Run(m *model.Model, ds *record.Dataset, cfg Config) (*Report, error) {
 // RunWithTargets trains against precomputed supervision targets (used by
 // scaling experiments that downsample supervision without recombining).
 func RunWithTargets(m *model.Model, ds *record.Dataset, targets map[string]*labelmodel.TaskTargets, cfg Config) (*Report, error) {
-	if cfg.ClipNorm == 0 {
-		cfg.ClipNorm = 5
-	}
+	cfg.ClipNorm = effectiveClipNorm(cfg.ClipNorm)
 	choice := m.Prog.Choice
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -102,6 +106,19 @@ func RunWithTargets(m *model.Model, ds *record.Dataset, targets map[string]*labe
 	optimizer := opt.NewAdam(m.PS.All())
 	bestParams := map[string][]float64{}
 
+	// Data-parallel step: shard each batch across worker sessions and
+	// all-reduce into one fused optimizer step. One worker falls back to
+	// the serial TrainStep (bitwise-identical either way).
+	step := m.TrainStep
+	if workers := resolveWorkers(cfg.Workers, choice.BatchSize); workers > 1 {
+		pt, err := model.NewParallelTrainer(m, workers)
+		if err != nil {
+			return nil, err
+		}
+		defer pt.Close()
+		step = pt.TrainStep
+	}
+
 	for epoch := 0; epoch < choice.Epochs; epoch++ {
 		order := append([]int(nil), trainIdx...)
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -117,7 +134,7 @@ func RunWithTargets(m *model.Model, ds *record.Dataset, targets map[string]*labe
 			for i, j := range idx {
 				recs[i] = ds.Records[j]
 			}
-			loss, err := m.TrainStep(recs, idx, targets, cfg.Loss, optimizer, choice.LR, cfg.ClipNorm, rng)
+			loss, err := step(recs, idx, targets, cfg.Loss, optimizer, choice.LR, cfg.ClipNorm, rng)
 			if err != nil {
 				return nil, err
 			}

@@ -173,6 +173,80 @@ func TestNoSupervisionErrors(t *testing.T) {
 	}
 }
 
+// TestRunWorkersMatchesSerial: train.Run with the data-parallel engine
+// (W=2 and W=4) must track the serial (Workers=1) loss trajectory within
+// 1e-9, and a repeated W run must be bitwise deterministic.
+func TestRunWorkersMatchesSerial(t *testing.T) {
+	run := func(workers int) []float64 {
+		ds := workload.StandardDataset(120, 5, 0.2)
+		c := testChoice()
+		c.Epochs = 2
+		m := buildModel(t, c, nil, 3)
+		rep, err := Run(m, ds, Config{Seed: 9, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.TrainLoss
+	}
+	serial := run(1)
+	for _, w := range []int{2, 4} {
+		par := run(w)
+		for i := range serial {
+			if math.Abs(serial[i]-par[i]) > 1e-9 {
+				t.Fatalf("W=%d epoch %d loss diverged: %v vs %v", w, i, serial[i], par[i])
+			}
+		}
+	}
+	a, b := run(4), run(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("W=4 training not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestFineTuneWorkersMatchesSerial: the bounded fine-tune pass (the
+// improvement loop's gradient step) must produce the same loss and
+// near-identical parameters under the data-parallel engine.
+func TestFineTuneWorkersMatchesSerial(t *testing.T) {
+	ds := workload.StandardDataset(80, 7, 0.2)
+	targets, err := CombineSupervision(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := buildModel(t, testChoice(), nil, 3)
+	if _, err := Run(base, ds, Config{Seed: 9, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ft := func(workers int) (*FineTuneReport, *model.Model) {
+		m, err := base.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := FineTune(m, ds.Records, targets, FineTuneConfig{Epochs: 2, Seed: 11, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, m
+	}
+	repS, mS := ft(1)
+	repP, mP := ft(4)
+	if math.Abs(repS.Loss-repP.Loss) > 1e-9 {
+		t.Fatalf("fine-tune loss diverged: %v vs %v", repS.Loss, repP.Loss)
+	}
+	if repS.Steps != repP.Steps || repS.Records != repP.Records {
+		t.Fatalf("fine-tune accounting diverged: %+v vs %+v", repS, repP)
+	}
+	for _, p := range mS.PS.All() {
+		q := mP.PS.Get(p.Name)
+		for j, v := range p.Node.Value.Data {
+			if math.Abs(v-q.Node.Value.Data[j]) > 1e-9 {
+				t.Fatalf("param %s[%d] diverged", p.Name, j)
+			}
+		}
+	}
+}
+
 func TestCombineSupervisionCoversAllTasks(t *testing.T) {
 	ds := workload.StandardDataset(100, 23, 0.2)
 	targets, err := CombineSupervision(ds, Config{})

@@ -145,6 +145,9 @@ type BuildOptions struct {
 	// EarlyStopPatience stops training after this many non-improving
 	// epochs (0 trains the full budget).
 	EarlyStopPatience int
+	// TrainWorkers is the data-parallel shard count per training step
+	// (0 = min(NumCPU, batch size), 1 = serial).
+	TrainWorkers int
 	// Log receives progress lines when non-nil.
 	Log io.Writer
 }
@@ -175,6 +178,7 @@ func (a *App) Build(ds *Dataset, opts BuildOptions) (*Model, *BuildReport, error
 		Estimator:         labelmodel.Estimator(opts.Estimator),
 		Rebalance:         opts.Rebalance,
 		EarlyStopPatience: opts.EarlyStopPatience,
+		Workers:           opts.TrainWorkers,
 	}
 	rep := &BuildReport{}
 

@@ -1,0 +1,26 @@
+#!/bin/sh
+# scripts/bench.sh — run the core performance benchmarks and write the
+# machine-readable trajectory artifact BENCH_train.json (ns/op, allocs/op,
+# req/s, recs/s). CI uploads the file; run locally before/after perf work
+# to keep PERFORMANCE.md honest.
+#
+#   ./scripts/bench.sh [benchtime] [out]
+#
+# benchtime defaults to 3x (one epoch is already a meaningful unit of
+# work); out defaults to BENCH_train.json at the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-3x}"
+out="${2:-BENCH_train.json}"
+
+{
+  # Data-parallel training engine: serial vs W in {1,2,4,8} epoch time.
+  go test -run '^$' -bench 'BenchmarkTrainEpochParallel' -benchmem \
+    -benchtime "$benchtime" ./internal/model/
+  # Engineer-loop and serving-path trajectory benchmarks.
+  go test -run '^$' -bench 'BenchmarkBuildPipeline|BenchmarkPredictLatency' \
+    -benchmem -benchtime "$benchtime" .
+  go test -run '^$' -bench 'BenchmarkPredictThroughput' \
+    -benchtime "$benchtime" ./internal/serve/
+} | go run ./cmd/benchjson -out "$out"
