@@ -1,0 +1,44 @@
+// Command doccheck enforces godoc comments on a package's exported
+// surface, in the spirit of revive's `exported` rule but with zero
+// dependencies beyond the standard library (the CI container cannot
+// install linters). For every listed package directory it requires:
+//
+//   - a package comment on the package clause (in at least one file);
+//   - a doc comment on every exported top-level type, function, method
+//     (with an exported receiver), and on every exported const/var —
+//     either on the spec itself or on its enclosing declaration group.
+//
+// Test files are skipped. Exit status 1 lists every undocumented symbol
+// as path:line: message, so the output is clickable in editors and CI.
+//
+// Usage: doccheck ./internal/deploy ./internal/serve ./internal/monitor
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/doclint"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir> [package-dir...]")
+		os.Exit(2)
+	}
+	var failed bool
+	for _, dir := range os.Args[1:] {
+		problems, err := doclint.CheckDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			failed = true
+			fmt.Println(p)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

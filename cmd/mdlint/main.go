@@ -1,0 +1,36 @@
+// Command mdlint checks markdown files for broken relative links — the
+// offline half of the repo's docs lint (no network, so external URLs are
+// not fetched). Every `[text](path)` whose path is relative must point
+// at an existing file; anchors and schemes are skipped.
+//
+// Usage: mdlint README.md OPERATIONS.md PERFORMANCE.md
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/doclint"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdlint <file.md> [file.md...]")
+		os.Exit(2)
+	}
+	var failed bool
+	for _, path := range os.Args[1:] {
+		problems, err := doclint.CheckMarkdown(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdlint %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			failed = true
+			fmt.Println(p)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -14,6 +14,7 @@
 //	overton serve    -model model.bin -addr :8080
 //	overton serve    -deploy factoid=m1.bin -deploy qa=m2.bin -shadow factoid=cand.bin [-default factoid]
 //	overton serve    -deploy factoid=m1.bin -auto-improve [-min-agreement 0.9] [-promote-after 64]
+//	overton serve    -deploy factoid=m1.bin -limit factoid=200:50:128 [-max-inflight 256]
 //	overton store    -root dir put|get|list -name m [-file model.bin] [-version N]
 package main
 
@@ -24,6 +25,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 
 	overton "repro"
@@ -288,13 +290,18 @@ func cmdServe(args []string) error {
 	ftEpochs := fs.Int("ft-epochs", 0, "fine-tune epochs per candidate (0 = default 1)")
 	ftLR := fs.Float64("ft-lr", 0, "fine-tune learning rate (0 = the model's tuning choice)")
 	trainWorkers := fs.Int("train-workers", 0, "data-parallel workers per fine-tune step (0 = min(NumCPU, batch), 1 = serial)")
-	var deploys, shadows []string
+	maxInflight := fs.Int("max-inflight", 0, "registry-wide cap on concurrent in-flight predicts across all deployments (0 = unlimited); excess requests are shed with 429")
+	var deploys, shadows, limits []string
 	fs.Func("deploy", "name=artifact.bin deployment (repeatable; schemas may differ per deployment)", func(v string) error {
 		deploys = append(deploys, v)
 		return nil
 	})
 	fs.Func("shadow", "name=artifact.bin shadow candidate mirrored behind deployment name (repeatable)", func(v string) error {
 		shadows = append(shadows, v)
+		return nil
+	})
+	fs.Func("limit", "name=qps[:burst[:depth]] admission limits for deployment name (repeatable; 0 disables a field): token-bucket QPS + burst, max queued+executing predicts", func(v string) error {
+		limits = append(limits, v)
 		return nil
 	})
 	fs.Parse(args)
@@ -342,6 +349,29 @@ func cmdServe(args []string) error {
 		}
 		fmt.Printf("shadow     %-20s <- %s (mirroring live traffic)\n", name, path)
 	}
+	for _, spec := range limits {
+		name, lspec, err := splitSpec(spec)
+		if err != nil {
+			return fmt.Errorf("-limit %q: %w", spec, err)
+		}
+		d, ok := reg.Get(name)
+		if !ok {
+			return fmt.Errorf("-limit %q: no such deployment", name)
+		}
+		lim, err := parseLimitSpec(lspec)
+		if err != nil {
+			return fmt.Errorf("-limit %q: %w", spec, err)
+		}
+		if err := d.SetLimits(lim); err != nil {
+			return fmt.Errorf("-limit %q: %w", spec, err)
+		}
+		fmt.Printf("limits     %-20s qps=%g burst=%d depth=%d\n",
+			name, d.Limits().QPS, d.Limits().Burst, d.Limits().QueueDepth)
+	}
+	if *maxInflight > 0 {
+		reg.SetConcurrencyBudget(*maxInflight)
+		fmt.Printf("budget     fleet-wide max in-flight predicts: %d\n", *maxInflight)
+	}
 	if *defName != "" {
 		if err := reg.SetDefault(*defName); err != nil {
 			return err
@@ -382,6 +412,31 @@ func splitSpec(spec string) (name, path string, err error) {
 		return "", "", fmt.Errorf("want name=artifact.bin")
 	}
 	return name, path, nil
+}
+
+// parseLimitSpec parses the qps[:burst[:depth]] part of a -limit flag.
+func parseLimitSpec(spec string) (deploy.Limits, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) > 3 {
+		return deploy.Limits{}, fmt.Errorf("want qps[:burst[:depth]], got %q", spec)
+	}
+	var lim deploy.Limits
+	qps, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return deploy.Limits{}, fmt.Errorf("qps %q: %w", parts[0], err)
+	}
+	lim.QPS = qps
+	if len(parts) > 1 {
+		if lim.Burst, err = strconv.Atoi(parts[1]); err != nil {
+			return deploy.Limits{}, fmt.Errorf("burst %q: %w", parts[1], err)
+		}
+	}
+	if len(parts) > 2 {
+		if lim.QueueDepth, err = strconv.Atoi(parts[2]); err != nil {
+			return deploy.Limits{}, fmt.Errorf("depth %q: %w", parts[2], err)
+		}
+	}
+	return lim, nil
 }
 
 func cmdStore(args []string) error {

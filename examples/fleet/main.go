@@ -1,7 +1,8 @@
 // Fleet: the deployment-registry serving loop — run two model versions of
 // the factoid task behind one HTTP front, mirror live traffic to a shadow
-// candidate, read its agreement stats, then atomically promote it (and
-// roll it back).
+// candidate, read its agreement stats, atomically promote it (and roll it
+// back), then overload the deployment against its admission limits and
+// watch the excess shed with 429s instead of queueing.
 //
 //	go run ./examples/fleet
 package main
@@ -92,6 +93,28 @@ func main() {
 	// 5. The ingest buffer holds labelled live traffic for fine-tuning.
 	recs := d.Drain()
 	fmt.Printf("\ndrained %d ingested record(s) for the next fine-tune pass\n", len(recs))
+
+	// 6. Admission control: cap the deployment at 5 QPS (burst 5) over the
+	//    runtime limits endpoint, then offer 20 requests at once. The burst
+	//    is served; the excess sheds with 429 + Retry-After — never queued —
+	//    and the shed counters account for every request.
+	fmt.Println("\nset limits:", post(base+"/v1/models/factoid/limits", `{"qps": 5, "burst": 5}`))
+	served, shed := 0, 0
+	for i := 0; i < 20; i++ {
+		resp, err := http.Post(base+"/v1/models/factoid/predict", "application/json",
+			bytes.NewReader([]byte(query)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			shed++
+		} else {
+			served++
+		}
+		resp.Body.Close()
+	}
+	fmt.Printf("offered 20 requests against qps=5/burst=5: %d served, %d shed (429)\n", served, shed)
+	fmt.Println("admission counters:", get(base+"/v1/models/factoid/limits"))
 }
 
 func post(url, body string) string {

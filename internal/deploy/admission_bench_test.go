@@ -1,0 +1,141 @@
+package deploy
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/record"
+)
+
+// BenchmarkFleetAdmission measures the two numbers admission control
+// must pin (see PERFORMANCE.md):
+//
+//   - the limiter's overhead on the predict hot path — "unlimited" (no
+//     limits configured) vs "admitted" (generous limits: bucket consulted
+//     and depth checked on every request) must be within noise;
+//   - "shed" — the cost of rejecting a request, which is what an
+//     overloaded deployment pays per excess request instead of a predict;
+//   - neighbour isolation — a healthy deployment's p99 with a quiet
+//     neighbour ("neighbour-quiet") vs with a neighbour driven past its
+//     QPS limit by a backoff-on-429 storm ("neighbour-storm"): the
+//     storm's excess load converts to cheap sheds, so the healthy p99
+//     must not degrade the way it does when the hot deployment is
+//     unlimited ("neighbour-storm-unlimited").
+func BenchmarkFleetAdmission(b *testing.B) {
+	b.Run("unlimited", func(b *testing.B) {
+		m := freshModel(b, 1)
+		d := New("bench", m, 1)
+		defer d.Close()
+		benchPredicts(b, d, goodRecord(b, m))
+	})
+	b.Run("admitted", func(b *testing.B) {
+		m := freshModel(b, 1)
+		// Limits far above the benchmark's rate: every request runs the
+		// full admission path (depth check + token bucket) and is admitted.
+		d := New("bench", m, 1, WithLimits(Limits{QPS: 1e9, Burst: 1 << 30, QueueDepth: 1 << 30}))
+		defer d.Close()
+		benchPredicts(b, d, goodRecord(b, m))
+	})
+	b.Run("shed", func(b *testing.B) {
+		m := freshModel(b, 1)
+		d := New("bench", m, 1, WithLimits(Limits{QPS: 1e-9, Burst: 1}))
+		defer d.Close()
+		rec := goodRecord(b, m)
+		d.Predict(rec) // consume the burst
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := d.Predict(rec); !errors.Is(err, ErrShed) {
+				b.Fatalf("want shed, got %v", err)
+			}
+		}
+	})
+	b.Run("neighbour-quiet", func(b *testing.B) {
+		benchNeighbour(b, nil)
+	})
+	b.Run("neighbour-storm", func(b *testing.B) {
+		benchNeighbour(b, &Limits{QPS: 50, Burst: 8})
+	})
+	b.Run("neighbour-storm-unlimited", func(b *testing.B) {
+		benchNeighbour(b, &Limits{})
+	})
+}
+
+// benchPredicts measures sequential Predict latency on d.
+func benchPredicts(b *testing.B, d *Deployment, rec *record.Record) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.Predict(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchNeighbour measures the healthy deployment's predict latency (p99
+// reported as p99-ms) while a neighbour deployment takes storm traffic:
+// nil hotLimits = no storm (quiet baseline), zero-value limits = an
+// unlimited hot neighbour (every storm request runs a real predict), and
+// configured limits = admission control converting the excess into sheds.
+// Storm clients back off briefly when shed, like a real 429-respecting
+// client.
+func benchNeighbour(b *testing.B, hotLimits *Limits) {
+	mHealthy := freshModel(b, 1)
+	healthy := New("healthy", mHealthy, 1)
+	defer healthy.Close()
+
+	var stop chan struct{}
+	var wg sync.WaitGroup
+	if hotLimits != nil {
+		mHot := freshModel(b, 2)
+		var opts []Option
+		if !hotLimits.unlimited() {
+			opts = append(opts, WithLimits(*hotLimits))
+		}
+		hot := New("hot", mHot, 1, opts...)
+		defer hot.Close()
+		stop = make(chan struct{})
+		const stormers = 4
+		for i := 0; i < stormers; i++ {
+			rec := goodRecord(b, mHot)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, _, err := hot.Predict(rec); errors.Is(err, ErrShed) {
+						// A well-behaved client backs off on 429.
+						time.Sleep(500 * time.Microsecond)
+					}
+				}
+			}()
+		}
+	}
+
+	rec := goodRecord(b, mHealthy)
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, _, err := healthy.Predict(rec); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	if stop != nil {
+		close(stop)
+		wg.Wait()
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[int(0.99*float64(len(lat)-1))]
+	b.ReportMetric(float64(p99.Microseconds())/1000.0, "p99-ms")
+	// The worst single request: on a saturated host the damage an
+	// unlimited neighbour does lives beyond p99, in multi-ms stalls.
+	b.ReportMetric(float64(lat[len(lat)-1].Microseconds())/1000.0, "max-ms")
+}

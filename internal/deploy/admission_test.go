@@ -1,0 +1,133 @@
+package deploy
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/monitor"
+)
+
+// TestFleetAdmissionIsolation is the acceptance test for admission
+// control: deployment "hot" is driven far past its QPS limit by a
+// goroutine storm while deployment "healthy" (unlimited) takes
+// concurrent traffic. Every healthy predict must succeed, every hot
+// request must either succeed or shed with the typed error, and the
+// shed/admit counters must account for every request exactly. Run under
+// -race in CI.
+func TestFleetAdmissionIsolation(t *testing.T) {
+	mHot := freshModel(t, 1)
+	mOK := freshModel(t, 2)
+	hot := New("hot", mHot, 1, WithLimits(Limits{QPS: 25, Burst: 4}))
+	healthy := New("healthy", mOK, 1)
+	defer hot.Close()
+	defer healthy.Close()
+	reg := NewRegistry()
+	for _, d := range []*Deployment{hot, healthy} {
+		if err := reg.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const stormers = 4
+	const perStormer = 100
+	var hotOK, hotShed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < stormers; i++ {
+		rec := goodRecord(t, mHot)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perStormer; j++ {
+				_, _, err := hot.Predict(rec)
+				switch {
+				case err == nil:
+					hotOK.Add(1)
+				case errors.Is(err, ErrShed):
+					var shed *ShedError
+					if !errors.As(err, &shed) || shed.Reason != ShedReasonQPS {
+						t.Errorf("hot shed = %v, want typed qps shed", err)
+					}
+					hotShed.Add(1)
+				default:
+					t.Errorf("hot predict: %v", err)
+				}
+			}
+		}()
+	}
+
+	// The healthy neighbour's traffic runs while the storm rages; its
+	// success rate must be 100%.
+	recOK := goodRecord(t, mOK)
+	const healthyN = 60
+	for i := 0; i < healthyN; i++ {
+		if _, _, err := healthy.Predict(recOK); err != nil {
+			t.Fatalf("healthy predict %d failed mid-storm: %v", i, err)
+		}
+	}
+	wg.Wait()
+
+	// Exact accounting: every hot request is either admitted or shed, and
+	// the deployment's load series agrees with the client-side tallies.
+	if total := hotOK.Load() + hotShed.Load(); total != stormers*perStormer {
+		t.Fatalf("hot outcomes %d, want %d", total, stormers*perStormer)
+	}
+	if hotShed.Load() == 0 {
+		t.Fatal("storm did not shed: the QPS limit never engaged")
+	}
+	load := hot.Load()
+	if load.Admitted != hotOK.Load() || load.Shed != hotShed.Load() || load.ShedQPS != load.Shed {
+		t.Fatalf("hot load = %+v, want admitted=%d shed=%d (all qps)",
+			load, hotOK.Load(), hotShed.Load())
+	}
+	st := hot.Stats()
+	if st.Load == nil || *st.Load != load {
+		t.Fatalf("hot Stats.Load = %+v, want %+v", st.Load, load)
+	}
+	// Sheds never reached Predict: serving stats count only admitted work.
+	if st.Requests != hotOK.Load() || st.Errors != 0 {
+		t.Fatalf("hot Requests/Errors = %d/%d, want %d/0", st.Requests, st.Errors, hotOK.Load())
+	}
+
+	hl := healthy.Load()
+	if hl.Admitted != healthyN || hl.Shed != 0 {
+		t.Fatalf("healthy load = %+v, want %d admitted / 0 shed", hl, healthyN)
+	}
+	hst := healthy.Stats()
+	if hst.Requests != healthyN || hst.Errors != 0 {
+		t.Fatalf("healthy Requests/Errors = %d/%d, want %d/0", hst.Requests, hst.Errors, healthyN)
+	}
+	if hot.InFlight() != 0 || healthy.InFlight() != 0 {
+		t.Fatalf("in-flight after drain = %d/%d, want 0/0", hot.InFlight(), healthy.InFlight())
+	}
+}
+
+// TestAdmissionPolicyOverloadHold pins the monitor wiring: a windowed
+// shed rate above MaxPromoteShedRate holds the promote gate without
+// resetting the hysteresis streak, and promotion proceeds once the
+// overload clears.
+func TestAdmissionPolicyOverloadHold(t *testing.T) {
+	pol := Policy{MinMirrored: 1, MinAgreement: 0.5, Hysteresis: 2}
+	ps := newPolicyState(pol)
+	pass := policyInputs{
+		shadow: true,
+		gate:   gateOf(pol, window(40, 38, 40)),
+		load:   monitor.LoadReport{Admitted: 90, Shed: 10},
+	}
+	if dec, _ := ps.step(pass); dec != decisionHold {
+		t.Fatal("first pass must hold for hysteresis")
+	}
+	overloaded := pass
+	overloaded.load = monitor.LoadReport{Admitted: 20, Shed: 80}
+	dec, why := ps.step(overloaded)
+	if dec != decisionHold {
+		t.Fatalf("overloaded tick = %v (%s), want hold", dec, why)
+	}
+	if ps.streak != 1 {
+		t.Fatalf("overload hold reset the streak to %d, want 1 preserved", ps.streak)
+	}
+	if dec, why := ps.step(pass); dec != decisionPromote {
+		t.Fatalf("post-overload tick = %v (%s), want promote (streak preserved)", dec, why)
+	}
+}

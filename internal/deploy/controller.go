@@ -84,6 +84,9 @@ type LoopStatus struct {
 	Rollbacks   int64  `json:"rollbacks"`
 	LastGate    string `json:"last_gate,omitempty"`
 	LastError   string `json:"last_error,omitempty"`
+	// ShedRate is the fraction of offered load admission control shed over
+	// the last tick window — the overload signal the promote gate holds on.
+	ShedRate float64 `json:"shed_rate,omitempty"`
 }
 
 // controller runs one deployment's improvement loop.
@@ -97,6 +100,9 @@ type controller struct {
 	pending     int
 	ps          *policyState
 	nextVersion int
+	// lastLoad is the admission snapshot at the previous tick; the delta
+	// against it is the shed-rate window the promote gate observes.
+	lastLoad monitor.LoadReport
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -133,6 +139,11 @@ func (d *Deployment) StartLoop(cfg LoopConfig) error {
 		ps:   newPolicyState(cfg.Policy),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
+		// Seed the load window at the current counters: the first tick's
+		// delta must cover the first interval, not the deployment's whole
+		// pre-loop history (a long-resolved shed spike must not hold the
+		// gate).
+		lastLoad: d.Load(),
 	}
 	c.st.Running = true
 	c.st.State = "idle"
@@ -265,11 +276,15 @@ func (c *controller) tick() {
 	// rejections in the regression signal).
 	c.d.FlushShadow()
 	shadowRep, served, servedErrors := c.d.loopObservation()
+	load := c.d.Load()
+	loadDelta := load.Delta(c.lastLoad)
+	c.lastLoad = load
 	dec, why := c.ps.step(policyInputs{
 		shadow:   hasShadow,
 		gate:     monitor.EvaluateGate(shadowRep, c.cfg.Policy.gateConfig()),
 		requests: served,
 		errors:   servedErrors,
+		load:     loadDelta,
 	})
 	var promoted, rolledBack bool
 	switch dec {
@@ -293,6 +308,7 @@ func (c *controller) tick() {
 	c.st.Accumulated = c.inc.Records()
 	c.st.Window = len(c.window)
 	c.st.Pending = c.pending
+	c.st.ShedRate = loadDelta.ShedRate()
 	c.st.LastGate = fmt.Sprintf("%s: %s", dec, why)
 	if promoted {
 		c.st.Promotions++

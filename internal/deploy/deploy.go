@@ -22,6 +22,7 @@ import (
 	"reflect"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
@@ -81,6 +82,14 @@ type Deployment struct {
 	lat *latencyStats
 	buf *recordBuffer
 
+	// Admission control (limits.go): the hot path reads one atomic
+	// pointer; admitMu serialises writers (SetLimits, budget attachment).
+	admitMu       sync.Mutex
+	admission     atomic.Pointer[admissionState]
+	inflight      atomic.Int64 // queued + executing predicts
+	load          *monitor.LoadSeries
+	initialLimits Limits // captured by WithLimits for New
+
 	bufferCap int
 	now       func() time.Time
 
@@ -130,6 +139,7 @@ func New(name string, m *model.Model, version int, opts ...Option) *Deployment {
 		shadowSem: make(chan struct{}, shadowLaneWidth),
 		series:    monitor.NewShadowSeries(),
 		lat:       newLatencyStats(),
+		load:      monitor.NewLoadSeries(),
 		now:       time.Now,
 	}
 	for _, o := range opts {
@@ -137,6 +147,13 @@ func New(name string, m *model.Model, version int, opts ...Option) *Deployment {
 	}
 	d.shadowCond = sync.NewCond(&d.shadowMu)
 	d.buf = newRecordBuffer(d.bufferCap)
+	// Invalid construction-time limits cannot be reported (Option has no
+	// error path); fall back to unlimited. SetLimits validates.
+	norm, err := d.initialLimits.normalize()
+	if err != nil {
+		norm = Limits{}
+	}
+	d.storeAdmission(norm, nil)
 	go d.collect()
 	return d
 }
@@ -282,7 +299,18 @@ func (d *Deployment) Rollback() (int, error) {
 // Predict runs one validated record through the deployment's micro-batch
 // collector and, when a shadow is installed, mirrors the request to it in
 // the background. Returns the output and the version that served it.
+//
+// Admission control runs first: a request past the deployment's QPS or
+// queue-depth limits (or the registry-wide concurrency budget) returns a
+// *ShedError — errors.Is(err, ErrShed) — before touching the model or the
+// queue, so overload sheds instead of queueing. Shed requests are counted
+// in the deployment's load series, not its served/error stats.
 func (d *Deployment) Predict(rec *record.Record) (model.Output, int, error) {
+	budget, shed := d.admit()
+	if shed != nil {
+		return nil, 0, shed
+	}
+	defer d.release(budget)
 	start := d.now()
 	d.mu.RLock()
 	m, version := d.m, d.version
@@ -442,6 +470,13 @@ func (d *Deployment) Stats() Stats {
 	if series != nil {
 		st.Shadow = series.Snapshot()
 	}
+	if lim := d.Limits(); !lim.unlimited() {
+		st.Limits = &lim
+	}
+	if load := d.load.Snapshot(); load.Offered() > 0 {
+		st.Load = &load
+	}
+	st.InFlight = d.inflight.Load()
 	return st
 }
 

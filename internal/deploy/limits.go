@@ -1,0 +1,300 @@
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/monitor"
+)
+
+// Admission control: the registry-level guard that keeps one hot
+// deployment from starving the fleet. Every Predict passes an admission
+// check before it may touch the micro-batch queue; a request that fails
+// the check is shed immediately (typed ShedError, HTTP 429 upstream) —
+// never queued — so overload converts to fast, counted rejections
+// instead of unbounded latency. Three independent checks, in the order
+// that keeps the accounting honest (the token bucket last, so only a
+// request that will actually run consumes a token):
+//
+//  1. queue depth — the deployment's in-flight work (queued + executing)
+//     is at its configured bound;
+//  2. budget — the registry-wide in-flight cap is exhausted;
+//  3. QPS — the deployment's token bucket is empty.
+//
+// An unlimited deployment (no Limits, no Budget) pays only an atomic
+// in-flight count and one atomic admit count on the hot path.
+
+// ErrShed is the sentinel for requests rejected by admission control.
+// Use errors.Is(err, ErrShed); the concrete *ShedError carries the cause
+// and a retry hint.
+var ErrShed = errors.New("deploy: request shed by admission control")
+
+// Shed causes, as they appear in ShedError.Reason and the per-cause
+// counters of a deployment's load series.
+const (
+	// ShedReasonQueue: the deployment's in-flight work was at QueueDepth.
+	ShedReasonQueue = "queue"
+	// ShedReasonBudget: the registry-wide concurrency budget was full.
+	ShedReasonBudget = "budget"
+	// ShedReasonQPS: the deployment's token bucket was empty.
+	ShedReasonQPS = "qps"
+)
+
+// defaultRetryAfter is the retry hint for queue-depth and budget sheds,
+// where there is no refill schedule to compute one from: in-flight work
+// drains on the scale of a few batch windows.
+const defaultRetryAfter = 50 * time.Millisecond
+
+// ShedError reports a request rejected by admission control. It unwraps
+// to ErrShed and maps to HTTP 429 + Retry-After at the serving front.
+type ShedError struct {
+	// Deployment is the registry name of the shedding deployment.
+	Deployment string
+	// Reason is one of ShedReasonQueue, ShedReasonQPS, ShedReasonBudget.
+	Reason string
+	// RetryAfter is the suggested client backoff: the token-bucket refill
+	// time for QPS sheds, defaultRetryAfter otherwise.
+	RetryAfter time.Duration
+}
+
+// Error formats the shed with its cause and retry hint.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("deploy %s: shed (%s), retry after %v", e.Deployment, e.Reason, e.RetryAfter)
+}
+
+// Is reports target == ErrShed so errors.Is works across the wrap.
+func (e *ShedError) Is(target error) bool { return target == ErrShed }
+
+// Limits is one deployment's admission configuration. The zero value is
+// fully unlimited; each field independently disables its check at zero.
+// Configured at construction with WithLimits, swapped at runtime with
+// SetLimits, and exposed over POST /v1/models/{name}/limits.
+type Limits struct {
+	// QPS is the sustained admitted-requests-per-second rate (token
+	// bucket refill rate). 0 = no rate limit.
+	QPS float64 `json:"qps,omitempty"`
+	// Burst is the token bucket capacity — how far above QPS a short
+	// spike may go. 0 defaults to ceil(QPS) (min 1) when QPS is set.
+	Burst int `json:"burst,omitempty"`
+	// QueueDepth bounds the deployment's in-flight predict work (queued +
+	// executing); an admission attempt beyond it is shed, not queued.
+	// 0 = unbounded (the micro-batch channel still blocks at its own
+	// capacity; keep QueueDepth at or below it for shed-don't-queue
+	// semantics — see OPERATIONS.md).
+	QueueDepth int `json:"queue_depth,omitempty"`
+}
+
+// normalize applies defaulting (Burst from QPS) and rejects nonsense.
+func (l Limits) normalize() (Limits, error) {
+	if l.QPS < 0 || math.IsNaN(l.QPS) || math.IsInf(l.QPS, 0) {
+		return l, fmt.Errorf("deploy: limits: qps %v must be a finite non-negative number", l.QPS)
+	}
+	if l.Burst < 0 {
+		return l, fmt.Errorf("deploy: limits: burst %d must be non-negative", l.Burst)
+	}
+	if l.QueueDepth < 0 {
+		return l, fmt.Errorf("deploy: limits: queue_depth %d must be non-negative", l.QueueDepth)
+	}
+	if l.QPS > 0 && l.Burst == 0 {
+		l.Burst = int(math.Ceil(l.QPS))
+		if l.Burst < 1 {
+			l.Burst = 1
+		}
+	}
+	return l, nil
+}
+
+// unlimited reports whether every check is disabled.
+func (l Limits) unlimited() bool { return l.QPS <= 0 && l.QueueDepth <= 0 }
+
+// tokenBucket is a standard token-bucket rate limiter with an injected
+// clock (tests drive refill timing deterministically). Safe for
+// concurrent use.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// newTokenBucket returns a bucket starting full (a fresh limit admits
+// its whole burst immediately).
+func newTokenBucket(qps float64, burst int, now func() time.Time) *tokenBucket {
+	return &tokenBucket{
+		rate:   qps,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		last:   now(),
+		now:    now,
+	}
+}
+
+// admit consumes one token if available. When it cannot, it returns the
+// time until the bucket will have refilled one token — the client's
+// Retry-After hint.
+func (b *tokenBucket) admit() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// Budget caps total in-flight predict work across a fleet — the
+// registry-wide backstop behind the per-deployment limits, so that even
+// many individually-within-limits deployments cannot oversubscribe the
+// host. Acquire never blocks: over-budget admissions are shed. The zero
+// Budget must not be used; NewBudget validates the cap.
+type Budget struct {
+	capacity int64
+	inflight atomic.Int64
+}
+
+// NewBudget returns a budget admitting at most n concurrent requests;
+// nil (no budget) when n <= 0.
+func NewBudget(n int) *Budget {
+	if n <= 0 {
+		return nil
+	}
+	return &Budget{capacity: int64(n)}
+}
+
+// TryAcquire claims one in-flight slot, reporting false (and claiming
+// nothing) when the budget is full.
+func (b *Budget) TryAcquire() bool {
+	if b.inflight.Add(1) > b.capacity {
+		b.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Release returns a slot claimed by TryAcquire.
+func (b *Budget) Release() { b.inflight.Add(-1) }
+
+// InFlight is the number of currently claimed slots.
+func (b *Budget) InFlight() int64 { return b.inflight.Load() }
+
+// Cap is the budget's capacity.
+func (b *Budget) Cap() int64 { return b.capacity }
+
+// admissionState is the swappable admission configuration: SetLimits and
+// the registry's budget attachment build a fresh state and store it
+// atomically, so the hot path reads one pointer with no lock.
+type admissionState struct {
+	limits Limits
+	bucket *tokenBucket // nil when QPS == 0
+	budget *Budget      // nil when no registry budget
+}
+
+// WithLimits configures admission control at construction. Options have
+// no error path, so invalid limits fall back to unlimited; use SetLimits
+// for validated runtime changes.
+func WithLimits(l Limits) Option {
+	return func(d *Deployment) { d.initialLimits = l }
+}
+
+// SetLimits swaps the deployment's admission limits at runtime. The
+// token bucket restarts full (a fresh burst); shed/admit counters are
+// cumulative and survive the swap. A closed deployment returns ErrClosed.
+func (d *Deployment) SetLimits(l Limits) error {
+	if d.Closed() {
+		return ErrClosed
+	}
+	norm, err := l.normalize()
+	if err != nil {
+		return err
+	}
+	d.admitMu.Lock()
+	defer d.admitMu.Unlock()
+	d.storeAdmission(norm, d.admission.Load().budget)
+	return nil
+}
+
+// Limits returns the deployment's current admission limits (the zero
+// value when unlimited).
+func (d *Deployment) Limits() Limits { return d.admission.Load().limits }
+
+// Load snapshots the deployment's admission counters.
+func (d *Deployment) Load() monitor.LoadReport { return d.load.Snapshot() }
+
+// InFlight is the deployment's current in-flight predict work (queued +
+// executing requests).
+func (d *Deployment) InFlight() int64 { return d.inflight.Load() }
+
+// attachBudget attaches (or, with nil, detaches) the registry-wide
+// concurrency budget; the deployment's own limits are preserved.
+func (d *Deployment) attachBudget(b *Budget) {
+	d.admitMu.Lock()
+	defer d.admitMu.Unlock()
+	d.storeAdmission(d.admission.Load().limits, b)
+}
+
+// storeAdmission publishes a fresh admission state. Callers hold
+// d.admitMu; normalization already happened.
+func (d *Deployment) storeAdmission(l Limits, b *Budget) {
+	st := &admissionState{limits: l, budget: b}
+	if l.QPS > 0 {
+		st.bucket = newTokenBucket(l.QPS, l.Burst, d.now)
+	}
+	d.admission.Store(st)
+}
+
+// admit runs the admission checks for one predict. On success it has
+// claimed the in-flight slot (and a budget slot when budgeted) and
+// returns the budget to release; the caller must call release with it
+// exactly once. On failure it returns the typed shed.
+//
+// Every claim is add-then-undo (never read-then-add), so concurrent
+// admissions cannot overshoot QueueDepth or the budget; and the token
+// bucket is consulted last, so a request shed by depth or budget never
+// consumes a QPS token (the bucket meters admitted work, and a token
+// drained by a doomed request would make later traffic shed as "qps"
+// when the rate was never the problem).
+func (d *Deployment) admit() (*Budget, *ShedError) {
+	st := d.admission.Load()
+	n := d.inflight.Add(1)
+	if depth := st.limits.QueueDepth; depth > 0 && n > int64(depth) {
+		d.inflight.Add(-1)
+		d.load.ObserveShed(monitor.ShedQueue)
+		return nil, &ShedError{Deployment: d.name, Reason: ShedReasonQueue, RetryAfter: defaultRetryAfter}
+	}
+	if st.budget != nil && !st.budget.TryAcquire() {
+		d.inflight.Add(-1)
+		d.load.ObserveShed(monitor.ShedBudget)
+		return nil, &ShedError{Deployment: d.name, Reason: ShedReasonBudget, RetryAfter: defaultRetryAfter}
+	}
+	if st.bucket != nil {
+		if ok, retry := st.bucket.admit(); !ok {
+			if st.budget != nil {
+				st.budget.Release()
+			}
+			d.inflight.Add(-1)
+			d.load.ObserveShed(monitor.ShedQPS)
+			return nil, &ShedError{Deployment: d.name, Reason: ShedReasonQPS, RetryAfter: retry}
+		}
+	}
+	d.load.ObserveAdmit()
+	return st.budget, nil
+}
+
+// release returns the slots claimed by a successful admit.
+func (d *Deployment) release(b *Budget) {
+	d.inflight.Add(-1)
+	if b != nil {
+		b.Release()
+	}
+}

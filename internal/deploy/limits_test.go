@@ -1,0 +1,407 @@
+package deploy
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable clock for deterministic token-bucket refill
+// timing.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestTokenBucketTable pins the bucket's edge cases against an injected
+// clock: burst exhaustion, refill timing, refill capping at burst, and
+// the Retry-After hint when empty.
+func TestTokenBucketTable(t *testing.T) {
+	type step struct {
+		advance   time.Duration
+		wantAdmit bool
+		// wantRetry is checked only on denied steps (0 = don't check).
+		wantRetry time.Duration
+	}
+	cases := []struct {
+		name  string
+		qps   float64
+		burst int
+		steps []step
+	}{
+		{
+			name: "burst exhaustion", qps: 1, burst: 3,
+			steps: []step{
+				{wantAdmit: true}, {wantAdmit: true}, {wantAdmit: true},
+				{wantAdmit: false, wantRetry: time.Second},
+			},
+		},
+		{
+			name: "refill timing", qps: 10, burst: 1,
+			steps: []step{
+				{wantAdmit: true},
+				{wantAdmit: false, wantRetry: 100 * time.Millisecond},
+				{advance: 50 * time.Millisecond, wantAdmit: false, wantRetry: 50 * time.Millisecond},
+				{advance: 50 * time.Millisecond, wantAdmit: true},
+				{wantAdmit: false, wantRetry: 100 * time.Millisecond},
+			},
+		},
+		{
+			name: "refill caps at burst", qps: 100, burst: 2,
+			steps: []step{
+				{wantAdmit: true}, {wantAdmit: true}, {wantAdmit: false},
+				// A long idle period must refill to burst, not beyond.
+				{advance: time.Hour, wantAdmit: true},
+				{wantAdmit: true},
+				{wantAdmit: false, wantRetry: 10 * time.Millisecond},
+			},
+		},
+		{
+			name: "fractional refill accumulates", qps: 2, burst: 1,
+			steps: []step{
+				{wantAdmit: true},
+				{advance: 250 * time.Millisecond, wantAdmit: false, wantRetry: 250 * time.Millisecond},
+				{advance: 250 * time.Millisecond, wantAdmit: true},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := newFakeClock()
+			b := newTokenBucket(tc.qps, tc.burst, clk.now)
+			for i, s := range tc.steps {
+				clk.advance(s.advance)
+				ok, retry := b.admit()
+				if ok != s.wantAdmit {
+					t.Fatalf("step %d: admit = %v, want %v", i, ok, s.wantAdmit)
+				}
+				if !ok && s.wantRetry > 0 {
+					if diff := retry - s.wantRetry; diff < -time.Millisecond || diff > time.Millisecond {
+						t.Fatalf("step %d: retryAfter = %v, want ~%v", i, retry, s.wantRetry)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLimitsNormalize pins Burst defaulting and validation.
+func TestLimitsNormalize(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      Limits
+		want    Limits
+		wantErr bool
+	}{
+		{name: "zero is unlimited", in: Limits{}, want: Limits{}},
+		{name: "burst defaults to ceil qps", in: Limits{QPS: 2.5}, want: Limits{QPS: 2.5, Burst: 3}},
+		{name: "sub-1 qps gets burst 1", in: Limits{QPS: 0.25}, want: Limits{QPS: 0.25, Burst: 1}},
+		{name: "explicit burst kept", in: Limits{QPS: 100, Burst: 5}, want: Limits{QPS: 100, Burst: 5}},
+		{name: "depth alone", in: Limits{QueueDepth: 8}, want: Limits{QueueDepth: 8}},
+		{name: "negative qps", in: Limits{QPS: -1}, wantErr: true},
+		{name: "NaN qps", in: Limits{QPS: math.NaN()}, wantErr: true},
+		{name: "Inf qps", in: Limits{QPS: math.Inf(1)}, wantErr: true},
+		{name: "negative burst", in: Limits{QPS: 1, Burst: -2}, wantErr: true},
+		{name: "negative depth", in: Limits{QueueDepth: -1}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.in.normalize()
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("normalize(%+v) = %+v, want error", tc.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("normalize(%+v) = %+v, want %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestZeroLimitsAreUnlimited pins that a zero Limits value disables every
+// check: no bucket is consulted and any request volume is admitted.
+func TestZeroLimitsAreUnlimited(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("unlimited", m, 1, WithLimits(Limits{}))
+	defer d.Close()
+	rec := goodRecord(t, m)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if _, _, err := d.Predict(rec); err != nil {
+			t.Fatalf("predict %d: %v", i, err)
+		}
+	}
+	load := d.Load()
+	if load.Admitted != n || load.Shed != 0 {
+		t.Fatalf("load = %+v, want %d admitted / 0 shed", load, n)
+	}
+	if st := d.Stats(); st.Limits != nil {
+		t.Fatalf("Stats.Limits = %+v, want nil for an unlimited deployment", st.Limits)
+	}
+}
+
+// TestQPSLimitShedsDeterministically drives a deployment through an
+// injected clock: the burst admits, then every request sheds until the
+// bucket refills — with exact shed-counter accounting.
+func TestQPSLimitShedsDeterministically(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("limited", m, 1)
+	defer d.Close()
+	clk := newFakeClock()
+	d.now = clk.now // rebuilt bucket below picks up the fake clock
+	if err := d.SetLimits(Limits{QPS: 10, Burst: 2}); err != nil {
+		t.Fatal(err)
+	}
+	rec := goodRecord(t, m)
+
+	predict := func() error { _, _, err := d.Predict(rec); return err }
+	for i := 0; i < 2; i++ {
+		if err := predict(); err != nil {
+			t.Fatalf("burst predict %d: %v", i, err)
+		}
+	}
+	err := predict()
+	var shed *ShedError
+	if !errors.As(err, &shed) || !errors.Is(err, ErrShed) {
+		t.Fatalf("over-burst predict err = %v, want *ShedError wrapping ErrShed", err)
+	}
+	if shed.Reason != ShedReasonQPS || shed.Deployment != "limited" {
+		t.Fatalf("shed = %+v, want qps shed from limited", shed)
+	}
+	if shed.RetryAfter <= 0 || shed.RetryAfter > 100*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want (0, 100ms]", shed.RetryAfter)
+	}
+	clk.advance(100 * time.Millisecond) // one token refills
+	if err := predict(); err != nil {
+		t.Fatalf("post-refill predict: %v", err)
+	}
+	if err := predict(); !errors.Is(err, ErrShed) {
+		t.Fatalf("drained-again predict err = %v, want shed", err)
+	}
+
+	load := d.Load()
+	if load.Admitted != 3 || load.Shed != 2 || load.ShedQPS != 2 || load.ShedQueue != 0 || load.ShedBudget != 0 {
+		t.Fatalf("load = %+v, want 3 admitted / 2 shed (both qps)", load)
+	}
+	st := d.Stats()
+	if st.Load == nil || *st.Load != load {
+		t.Fatalf("Stats.Load = %+v, want %+v", st.Load, load)
+	}
+	if st.Limits == nil || st.Limits.QPS != 10 || st.Limits.Burst != 2 {
+		t.Fatalf("Stats.Limits = %+v, want qps=10 burst=2", st.Limits)
+	}
+	// Shed requests never reached Predict: served stats must not count them.
+	if st.Requests != 3 || st.Errors != 0 {
+		t.Fatalf("Requests/Errors = %d/%d, want 3/0 (sheds excluded)", st.Requests, st.Errors)
+	}
+}
+
+// TestQueueDepthShed pins the queue-depth check: when in-flight work sits
+// at the configured depth, the next admission sheds instead of queueing.
+func TestQueueDepthShed(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("depth", m, 1, WithLimits(Limits{QueueDepth: 1}))
+	defer d.Close()
+	rec := goodRecord(t, m)
+
+	// Sequential traffic never exceeds depth 1.
+	if _, _, err := d.Predict(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a stuck in-flight request; the next admission must shed.
+	d.inflight.Add(1)
+	_, _, err := d.Predict(rec)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ShedReasonQueue {
+		t.Fatalf("at-depth predict err = %v, want queue shed", err)
+	}
+	d.inflight.Add(-1)
+	if _, _, err := d.Predict(rec); err != nil {
+		t.Fatalf("after-drain predict: %v", err)
+	}
+	load := d.Load()
+	if load.Admitted != 2 || load.ShedQueue != 1 || load.Shed != 1 {
+		t.Fatalf("load = %+v, want 2 admitted / 1 queue shed", load)
+	}
+}
+
+// TestSetLimitsRuntimeSwap pins the runtime swap: limits apply to the
+// next request, swapping to zero restores unlimited, counters survive,
+// and a closed deployment rejects the call.
+func TestSetLimitsRuntimeSwap(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("swap", m, 1)
+	defer d.Close()
+	clk := newFakeClock()
+	d.now = clk.now
+	rec := goodRecord(t, m)
+
+	if err := d.SetLimits(Limits{QPS: 5, Burst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Predict(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Predict(rec); !errors.Is(err, ErrShed) {
+		t.Fatalf("want shed under qps=5 burst=1, got %v", err)
+	}
+	if err := d.SetLimits(Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, _, err := d.Predict(rec); err != nil {
+			t.Fatalf("unlimited predict %d: %v", i, err)
+		}
+	}
+	if load := d.Load(); load.Admitted != 51 || load.Shed != 1 {
+		t.Fatalf("load = %+v, want counters to survive the swap (51 admitted / 1 shed)", load)
+	}
+	if err := d.SetLimits(Limits{QPS: -1}); err == nil {
+		t.Fatal("SetLimits(-1 qps) must reject")
+	}
+	d.Close()
+	if err := d.SetLimits(Limits{QPS: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SetLimits on closed = %v, want ErrClosed", err)
+	}
+}
+
+// TestBudget pins the registry-wide concurrency budget: acquire/release
+// semantics, attachment to current and future deployments, and the
+// budget shed path.
+func TestBudget(t *testing.T) {
+	if b := NewBudget(0); b != nil {
+		t.Fatal("NewBudget(0) must be nil (unlimited)")
+	}
+	b := NewBudget(2)
+	if !b.TryAcquire() || !b.TryAcquire() {
+		t.Fatal("budget of 2 must admit two")
+	}
+	if b.TryAcquire() {
+		t.Fatal("third acquire must fail")
+	}
+	b.Release()
+	if !b.TryAcquire() {
+		t.Fatal("post-release acquire must succeed")
+	}
+	if b.InFlight() != 2 || b.Cap() != 2 {
+		t.Fatalf("InFlight/Cap = %d/%d, want 2/2", b.InFlight(), b.Cap())
+	}
+
+	m := freshModel(t, 1)
+	reg := NewRegistry()
+	d1 := New("one", m, 1)
+	defer d1.Close()
+	if err := reg.Add(d1); err != nil {
+		t.Fatal(err)
+	}
+	reg.SetConcurrencyBudget(1)
+	d2 := New("two", freshModel(t, 2), 1)
+	defer d2.Close()
+	if err := reg.Add(d2); err != nil { // added after: budget still attaches
+		t.Fatal(err)
+	}
+	rec := goodRecord(t, m)
+
+	// Steal the only slot: every deployment in the fleet must now shed.
+	fb := reg.ConcurrencyBudget()
+	if !fb.TryAcquire() {
+		t.Fatal("fresh fleet budget must admit")
+	}
+	for _, d := range []*Deployment{d1, d2} {
+		_, _, err := d.Predict(rec)
+		var shed *ShedError
+		if !errors.As(err, &shed) || shed.Reason != ShedReasonBudget {
+			t.Fatalf("%s over-budget err = %v, want budget shed", d.Name(), err)
+		}
+	}
+	fb.Release()
+	if _, _, err := d1.Predict(rec); err != nil {
+		t.Fatalf("post-release predict: %v", err)
+	}
+	if load := d1.Load(); load.ShedBudget != 1 {
+		t.Fatalf("d1 load = %+v, want 1 budget shed", load)
+	}
+	// Removing the cap restores unlimited admission.
+	reg.SetConcurrencyBudget(0)
+	if reg.ConcurrencyBudget() != nil {
+		t.Fatal("SetConcurrencyBudget(0) must clear the budget")
+	}
+	if _, _, err := d2.Predict(rec); err != nil {
+		t.Fatalf("uncapped predict: %v", err)
+	}
+}
+
+// TestBudgetShedDoesNotConsumeQPSToken pins the check ordering: a
+// request shed by the fleet budget must leave the deployment's token
+// bucket untouched, so capacity freed later is not mis-charged to the
+// rate limit.
+func TestBudgetShedDoesNotConsumeQPSToken(t *testing.T) {
+	m := freshModel(t, 1)
+	reg := NewRegistry()
+	d := New("metered", m, 1)
+	defer d.Close()
+	if err := reg.Add(d); err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	d.now = clk.now
+	// Burst 1 with a bucket that cannot refill during the test: exactly
+	// one token exists.
+	if err := d.SetLimits(Limits{QPS: 1e-9, Burst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	reg.SetConcurrencyBudget(1)
+	rec := goodRecord(t, m)
+
+	// Exhaust the budget and shed twice: the single token must survive.
+	fb := reg.ConcurrencyBudget()
+	fb.TryAcquire()
+	for i := 0; i < 2; i++ {
+		var shed *ShedError
+		if _, _, err := d.Predict(rec); !errors.As(err, &shed) || shed.Reason != ShedReasonBudget {
+			t.Fatalf("predict %d = %v, want budget shed", i, err)
+		}
+	}
+	fb.Release()
+	// The budget is free again and the token was never consumed.
+	if _, _, err := d.Predict(rec); err != nil {
+		t.Fatalf("post-release predict: %v (budget sheds leaked the QPS token)", err)
+	}
+	// Now the bucket really is empty: the next shed is a qps shed, and it
+	// must release the budget slot it briefly held (otherwise the budget
+	// leaks instead).
+	var shed *ShedError
+	if _, _, err := d.Predict(rec); !errors.As(err, &shed) || shed.Reason != ShedReasonQPS {
+		t.Fatalf("drained predict = %v, want qps shed", shed)
+	}
+	if fb.InFlight() != 0 {
+		t.Fatalf("budget in-flight = %d after qps shed, want 0 (slot must be released)", fb.InFlight())
+	}
+	load := d.Load()
+	if load.Admitted != 1 || load.ShedBudget != 2 || load.ShedQPS != 1 {
+		t.Fatalf("load = %+v, want 1 admitted / 2 budget / 1 qps", load)
+	}
+}

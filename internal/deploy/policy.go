@@ -36,6 +36,14 @@ type Policy struct {
 	// must contain before the regression rate is trusted (default 8) — an
 	// empty window has a 0/0 error rate, which must not roll back.
 	MinRegressionRequests int64 `json:"min_regression_requests,omitempty"`
+	// MaxPromoteShedRate holds promotions while admission control is
+	// shedding more than this fraction of the deployment's offered load
+	// over the evaluation window (default 0.5; set to 1 to promote under
+	// any overload). Swapping primaries mid-overload is operationally
+	// unsound: the rollback window would judge the fresh primary on
+	// saturated, unrepresentative traffic. The hold does not reset the
+	// hysteresis streak — overload says nothing about the candidate.
+	MaxPromoteShedRate float64 `json:"max_promote_shed_rate,omitempty"`
 }
 
 func (p Policy) withDefaults() Policy {
@@ -56,6 +64,9 @@ func (p Policy) withDefaults() Policy {
 	}
 	if p.MinRegressionRequests <= 0 {
 		p.MinRegressionRequests = 8
+	}
+	if p.MaxPromoteShedRate <= 0 {
+		p.MaxPromoteShedRate = 0.5
 	}
 	return p
 }
@@ -98,6 +109,9 @@ type policyInputs struct {
 	gate     monitor.GateResult
 	requests int64
 	errors   int64
+	// load is the admission-counter movement over the evaluation window
+	// (not cumulative): the shed-rate signal the promote gate observes.
+	load monitor.LoadReport
 }
 
 // policyState is the promotion state machine. Not safe for concurrent use;
@@ -142,6 +156,13 @@ func (ps *policyState) step(in policyInputs) (decision, string) {
 	if !in.shadow {
 		ps.streak = 0
 		return decisionHold, "no shadow candidate"
+	}
+	if rate := in.load.ShedRate(); rate > ps.p.MaxPromoteShedRate {
+		// Overload hold: no gate evaluation, no streak reset — the shed
+		// rate says the deployment is saturated, not that the candidate
+		// is bad.
+		return decisionHold, fmt.Sprintf("overloaded: shedding %.0f%% of offered load (%d/%d this window)",
+			100*rate, in.load.Shed, in.load.Offered())
 	}
 	if !in.gate.Pass {
 		ps.streak = 0

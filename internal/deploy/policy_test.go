@@ -150,7 +150,8 @@ func TestPolicyStateMachine(t *testing.T) {
 func TestPolicyDefaults(t *testing.T) {
 	p := Policy{}.withDefaults()
 	if p.MinMirrored <= 0 || p.MinAgreement <= 0 || p.Hysteresis <= 0 ||
-		p.RollbackWindow <= 0 || p.MaxRegressionErrorRate <= 0 || p.MinRegressionRequests <= 0 {
+		p.RollbackWindow <= 0 || p.MaxRegressionErrorRate <= 0 || p.MinRegressionRequests <= 0 ||
+		p.MaxPromoteShedRate <= 0 {
 		t.Fatalf("zero-value policy left a gate disabled: %+v", p)
 	}
 	// Hysteresis must be at least 2: a single lucky window should never

@@ -9,10 +9,11 @@ import (
 // target for the legacy single-model endpoints. Safe for concurrent use;
 // lookups on the serving hot path take a read lock only.
 type Registry struct {
-	mu    sync.RWMutex
-	deps  map[string]*Deployment
-	order []string // registration order, for stable listings
-	def   string   // default deployment name
+	mu     sync.RWMutex
+	deps   map[string]*Deployment
+	order  []string // registration order, for stable listings
+	def    string   // default deployment name
+	budget *Budget  // fleet-wide in-flight cap (nil = unlimited)
 }
 
 // NewRegistry returns an empty registry.
@@ -38,7 +39,30 @@ func (r *Registry) Add(d *Deployment) error {
 	if r.def == "" {
 		r.def = name
 	}
+	d.attachBudget(r.budget)
 	return nil
+}
+
+// SetConcurrencyBudget caps total in-flight predict work across every
+// deployment in the registry (current and future) at n concurrent
+// requests; n <= 0 removes the cap. Admissions beyond the budget are
+// shed (ShedReasonBudget), never queued — the fleet-wide backstop behind
+// the per-deployment limits. Requests in flight when the budget changes
+// release against the budget they were admitted under.
+func (r *Registry) SetConcurrencyBudget(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.budget = NewBudget(n)
+	for _, d := range r.deps {
+		d.attachBudget(r.budget)
+	}
+}
+
+// ConcurrencyBudget returns the fleet-wide budget (nil when unlimited).
+func (r *Registry) ConcurrencyBudget() *Budget {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.budget
 }
 
 // Get returns the deployment registered under name.

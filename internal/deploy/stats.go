@@ -30,6 +30,14 @@ type Stats struct {
 	Promotions int64 `json:"promotions,omitempty"`
 	Rollbacks  int64 `json:"rollbacks,omitempty"`
 
+	// Admission profile: the configured limits (nil when unlimited), the
+	// cumulative admitted/shed counters, and the current in-flight work.
+	// Requests above counts admitted traffic plus client-side rejections;
+	// offered load is Requests + Load.Shed.
+	Limits   *Limits             `json:"limits,omitempty"`
+	Load     *monitor.LoadReport `json:"load,omitempty"`
+	InFlight int64               `json:"in_flight,omitempty"`
+
 	Shadow *monitor.ShadowReport `json:"shadow,omitempty"`
 }
 

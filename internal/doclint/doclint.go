@@ -1,0 +1,189 @@
+// Package doclint implements the repo's documentation lint rules: godoc
+// comments on exported surfaces (CheckDir) and resolvable relative links
+// in markdown files (CheckMarkdown). It backs cmd/doccheck and
+// cmd/mdlint, and its own tests pin the repo's documented packages and
+// operator docs, so `go test ./...` fails when documentation rots —
+// CI does not need to install revive or a link checker.
+package doclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Problem is one lint finding, formatted as path:line: message.
+type Problem struct {
+	Path    string
+	Line    int
+	Message string
+}
+
+// String renders the finding in the editor-clickable path:line: form.
+func (p Problem) String() string {
+	return fmt.Sprintf("%s:%d: %s", p.Path, p.Line, p.Message)
+}
+
+// CheckDir parses the non-test Go files of the package in dir and
+// returns a finding for every exported top-level symbol that lacks a doc
+// comment, plus one if the package itself has no package comment.
+// Exported consts and vars may be documented on their enclosing
+// declaration group instead of per spec.
+func CheckDir(dir string) ([]Problem, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var fileNames []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		fileNames = append(fileNames, filepath.Join(dir, name))
+	}
+	sort.Strings(fileNames)
+	if len(fileNames) == 0 {
+		return nil, fmt.Errorf("no non-test Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	var problems []Problem
+	hasPackageDoc := false
+	pkgName := ""
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkgName = f.Name.Name
+		if f.Doc != nil {
+			hasPackageDoc = true
+		}
+		problems = append(problems, checkFile(fset, f)...)
+	}
+	if !hasPackageDoc {
+		problems = append(problems, Problem{
+			Path:    fileNames[0],
+			Line:    1,
+			Message: fmt.Sprintf("package %s has no package comment", pkgName),
+		})
+	}
+	sort.Slice(problems, func(i, j int) bool {
+		if problems[i].Path != problems[j].Path {
+			return problems[i].Path < problems[j].Path
+		}
+		return problems[i].Line < problems[j].Line
+	})
+	return problems, nil
+}
+
+func checkFile(fset *token.FileSet, f *ast.File) []Problem {
+	var problems []Problem
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		problems = append(problems, Problem{Path: p.Filename, Line: p.Line, Message: fmt.Sprintf(format, args...)})
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedReceiver(d) {
+				continue
+			}
+			if d.Doc == nil {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), "exported %s %s is undocumented", kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && d.Doc == nil {
+						report(s.Pos(), "exported type %s is undocumented", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A doc comment on the grouped declaration covers its
+					// specs (const blocks with iota etc.).
+					if s.Doc != nil || d.Doc != nil {
+						continue
+					}
+					for _, name := range s.Names {
+						if name.IsExported() {
+							report(name.Pos(), "exported %s %s is undocumented", d.Tok, name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the public surface).
+// Plain functions count as exported receivers.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch rt := t.(type) {
+		case *ast.StarExpr:
+			t = rt.X
+		case *ast.IndexExpr: // generic receiver
+			t = rt.X
+		case *ast.Ident:
+			return rt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// mdLink matches inline markdown links and images: [text](target) /
+// ![alt](target). Reference-style links are not used in this repo.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// CheckMarkdown scans a markdown file's inline links and returns a
+// finding for every relative link whose target file does not exist.
+// External links (a scheme prefix) and pure in-page anchors are skipped —
+// the lint must work offline; anchor fragments on relative links are
+// stripped before the existence check.
+func CheckMarkdown(path string) ([]Problem, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var problems []Problem
+	base := filepath.Dir(path)
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(base, target)); err != nil {
+				problems = append(problems, Problem{
+					Path:    path,
+					Line:    i + 1,
+					Message: fmt.Sprintf("broken relative link %q", m[1]),
+				})
+			}
+		}
+	}
+	return problems, nil
+}

@@ -1,0 +1,196 @@
+package doclint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// documentedPackages are the packages whose exported surface must stay
+// fully godoc'd (the operator-facing layers). Growing this list is
+// encouraged; shrinking it needs a reason in the PR.
+var documentedPackages = []string{
+	"internal/deploy",
+	"internal/serve",
+	"internal/monitor",
+}
+
+// lintedMarkdown are the docs whose relative links must resolve.
+var lintedMarkdown = []string{
+	"README.md",
+	"OPERATIONS.md",
+	"PERFORMANCE.md",
+}
+
+// repoRoot walks up from the package directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestExportedSurfacesDocumented enforces the godoc-comment rule on the
+// repo's documented packages, so `go test ./...` (tier 1) fails the
+// moment an exported symbol lands without a doc comment — CI does not
+// need an external linter.
+func TestExportedSurfacesDocumented(t *testing.T) {
+	root := repoRoot(t)
+	for _, pkg := range documentedPackages {
+		problems, err := CheckDir(filepath.Join(root, pkg))
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		for _, p := range problems {
+			t.Errorf("%s", p)
+		}
+	}
+}
+
+// TestRepoMarkdownLinks enforces that the operator docs' relative links
+// resolve (the offline docs lint).
+func TestRepoMarkdownLinks(t *testing.T) {
+	root := repoRoot(t)
+	for _, md := range lintedMarkdown {
+		problems, err := CheckMarkdown(filepath.Join(root, md))
+		if err != nil {
+			t.Fatalf("%s: %v", md, err)
+		}
+		for _, p := range problems {
+			t.Errorf("%s", p)
+		}
+	}
+}
+
+// TestCheckDirFindsGaps pins the checker itself against a synthetic
+// package with every kind of documentation gap.
+func TestCheckDirFindsGaps(t *testing.T) {
+	dir := t.TempDir()
+	src := `package gappy
+
+import "errors"
+
+type Exposed struct{}
+
+func (e *Exposed) Method() {}
+
+func Function() {}
+
+const Answer = 42
+
+var ErrGone = errors.New("gone")
+
+// documented is fine undocumented-looking but unexported.
+func documented() {}
+
+type hidden struct{}
+
+func (h hidden) Method() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "gappy.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected gaps: package comment, Exposed, Method, Function, Answer,
+	// ErrGone. The unexported func/type/method must not be flagged.
+	if len(problems) != 6 {
+		t.Fatalf("got %d problems, want 6:\n%v", len(problems), problems)
+	}
+	wantSubstrings := []string{
+		"package gappy has no package comment",
+		"exported type Exposed is undocumented",
+		"exported method Method is undocumented",
+		"exported function Function is undocumented",
+		"exported const Answer is undocumented",
+		"exported var ErrGone is undocumented",
+	}
+	for i, want := range wantSubstrings {
+		found := false
+		for _, p := range problems {
+			if p.Message == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing expected problem %d %q in %v", i, want, problems)
+		}
+	}
+}
+
+// TestCheckDirAcceptsGroupDocs pins the grouped-declaration rule: a doc
+// comment on a const/var block covers its specs.
+func TestCheckDirAcceptsGroupDocs(t *testing.T) {
+	dir := t.TempDir()
+	src := `// Package tidy is fully documented.
+package tidy
+
+// The sizes, grouped under one comment.
+const (
+	Small = 1
+	Large = 2
+)
+
+// Name is documented per spec.
+var Name = "tidy"
+
+// Thing is a documented type.
+type Thing struct{}
+
+// Do is a documented method.
+func (t *Thing) Do() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "tidy.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("clean package flagged: %v", problems)
+	}
+}
+
+// TestCheckMarkdown pins the link checker: broken relative links are
+// flagged; external URLs, anchors, and anchored relative links are not.
+func TestCheckMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "exists.md"), []byte("# hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	md := `# Doc
+[good](exists.md) and [anchored](exists.md#section) are fine.
+[external](https://example.com/nope) and [anchor](#local) are skipped.
+[broken](missing.md) must be flagged.
+![broken image](missing.png) too.
+`
+	path := filepath.Join(dir, "doc.md")
+	if err := os.WriteFile(path, []byte(md), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := CheckMarkdown(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want 2 (missing.md, missing.png): %v", len(problems), problems)
+	}
+	if problems[0].Line != 4 || problems[1].Line != 5 {
+		t.Fatalf("problem lines = %d,%d, want 4,5", problems[0].Line, problems[1].Line)
+	}
+}

@@ -1,0 +1,97 @@
+package monitor
+
+import "sync/atomic"
+
+// ShedCause says why admission control rejected a request: the
+// deployment's token bucket was empty (ShedQPS), its micro-batch queue
+// was at its configured depth (ShedQueue), or the registry-wide
+// concurrency budget was exhausted (ShedBudget).
+type ShedCause int
+
+// The admission shed causes, in the order they are checked on the
+// predict path.
+const (
+	ShedQueue ShedCause = iota
+	ShedQPS
+	ShedBudget
+)
+
+// LoadSeries accumulates a deployment's admission outcomes — admitted
+// versus shed, with a per-cause shed breakdown — so overload is visible
+// the same way shadow disagreement is: as a monitored series that both
+// operators (via /stats) and the improvement-loop gates (via windowed
+// deltas) can act on. All methods are safe for concurrent use and cost
+// one atomic add on the serving hot path.
+type LoadSeries struct {
+	admitted   atomic.Int64
+	shedQPS    atomic.Int64
+	shedQueue  atomic.Int64
+	shedBudget atomic.Int64
+}
+
+// NewLoadSeries returns an empty series.
+func NewLoadSeries() *LoadSeries { return &LoadSeries{} }
+
+// ObserveAdmit records one admitted request.
+func (s *LoadSeries) ObserveAdmit() { s.admitted.Add(1) }
+
+// ObserveShed records one request shed for the given cause.
+func (s *LoadSeries) ObserveShed(c ShedCause) {
+	switch c {
+	case ShedQPS:
+		s.shedQPS.Add(1)
+	case ShedQueue:
+		s.shedQueue.Add(1)
+	default:
+		s.shedBudget.Add(1)
+	}
+}
+
+// LoadReport is a point-in-time snapshot of a LoadSeries: cumulative
+// admitted/shed counters plus the per-cause breakdown.
+type LoadReport struct {
+	Admitted   int64 `json:"admitted"`
+	Shed       int64 `json:"shed"`
+	ShedQPS    int64 `json:"shed_qps,omitempty"`
+	ShedQueue  int64 `json:"shed_queue,omitempty"`
+	ShedBudget int64 `json:"shed_budget,omitempty"`
+}
+
+// Snapshot reads the current counters. Counter reads are individually
+// atomic; under concurrent traffic the totals may straddle a request, the
+// same (harmless) skew the latency ring accepts.
+func (s *LoadSeries) Snapshot() LoadReport {
+	qps, queue, budget := s.shedQPS.Load(), s.shedQueue.Load(), s.shedBudget.Load()
+	return LoadReport{
+		Admitted:   s.admitted.Load(),
+		Shed:       qps + queue + budget,
+		ShedQPS:    qps,
+		ShedQueue:  queue,
+		ShedBudget: budget,
+	}
+}
+
+// Offered is the total offered load the report covers: admitted + shed.
+func (r LoadReport) Offered() int64 { return r.Admitted + r.Shed }
+
+// ShedRate is the fraction of offered load that was shed, 0 on an empty
+// report (no traffic is not overload).
+func (r LoadReport) ShedRate() float64 {
+	if off := r.Offered(); off > 0 {
+		return float64(r.Shed) / float64(off)
+	}
+	return 0
+}
+
+// Delta returns the counter movement since an earlier snapshot of the
+// same series — the windowed view the improvement-loop gates evaluate, so
+// a long-resolved overload spike cannot hold promotions forever.
+func (r LoadReport) Delta(prev LoadReport) LoadReport {
+	return LoadReport{
+		Admitted:   r.Admitted - prev.Admitted,
+		Shed:       r.Shed - prev.Shed,
+		ShedQPS:    r.ShedQPS - prev.ShedQPS,
+		ShedQueue:  r.ShedQueue - prev.ShedQueue,
+		ShedBudget: r.ShedBudget - prev.ShedBudget,
+	}
+}

@@ -1,0 +1,78 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLoadSeriesAccounting pins the counter plumbing: per-cause shed
+// breakdown, totals, offered load, rates, and windowed deltas.
+func TestLoadSeriesAccounting(t *testing.T) {
+	s := NewLoadSeries()
+	for i := 0; i < 6; i++ {
+		s.ObserveAdmit()
+	}
+	s.ObserveShed(ShedQPS)
+	s.ObserveShed(ShedQPS)
+	s.ObserveShed(ShedQueue)
+	s.ObserveShed(ShedBudget)
+
+	rep := s.Snapshot()
+	want := LoadReport{Admitted: 6, Shed: 4, ShedQPS: 2, ShedQueue: 1, ShedBudget: 1}
+	if rep != want {
+		t.Fatalf("snapshot = %+v, want %+v", rep, want)
+	}
+	if rep.Offered() != 10 {
+		t.Fatalf("Offered = %d, want 10", rep.Offered())
+	}
+	if rate := rep.ShedRate(); rate != 0.4 {
+		t.Fatalf("ShedRate = %v, want 0.4", rate)
+	}
+
+	// A window with only new admissions has shed rate 0.
+	s.ObserveAdmit()
+	s.ObserveAdmit()
+	delta := s.Snapshot().Delta(rep)
+	if delta.Admitted != 2 || delta.Shed != 0 || delta.ShedRate() != 0 {
+		t.Fatalf("delta = %+v, want 2 admitted / 0 shed", delta)
+	}
+}
+
+// TestLoadSeriesEmpty pins the degenerate cases: an empty series is not
+// overloaded (rate 0, not NaN).
+func TestLoadSeriesEmpty(t *testing.T) {
+	rep := NewLoadSeries().Snapshot()
+	if rep.Offered() != 0 || rep.ShedRate() != 0 {
+		t.Fatalf("empty series = %+v (rate %v), want all-zero", rep, rep.ShedRate())
+	}
+}
+
+// TestLoadSeriesConcurrent drives the series from many goroutines (run
+// with -race in CI) and checks the totals balance.
+func TestLoadSeriesConcurrent(t *testing.T) {
+	s := NewLoadSeries()
+	const workers = 8
+	const per = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if i%4 == 0 {
+					s.ObserveShed(ShedCause(w % 3))
+				} else {
+					s.ObserveAdmit()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep := s.Snapshot()
+	if rep.Offered() != workers*per {
+		t.Fatalf("offered = %d, want %d", rep.Offered(), workers*per)
+	}
+	if rep.Shed != rep.ShedQPS+rep.ShedQueue+rep.ShedBudget {
+		t.Fatalf("shed breakdown does not sum: %+v", rep)
+	}
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/deploy"
+)
+
+// TestFleetAdmission429 pins the HTTP face of admission control: a
+// deployment over its QPS limit answers 429 with a Retry-After header
+// and a JSON error naming the cause, shed counters surface through the
+// stats and limits endpoints, and POST /limits swaps the limits at
+// runtime so the next request is admitted again.
+func TestFleetAdmission429(t *testing.T) {
+	reg := deploy.NewRegistry()
+	// QPS so low the bucket cannot refill within the test; burst 1 admits
+	// exactly the first request.
+	d := deploy.New("factoid", freshModel(t), 1,
+		deploy.WithLimits(deploy.Limits{QPS: 1e-6, Burst: 1}))
+	if err := reg.Add(d); err != nil {
+		t.Fatal(err)
+	}
+	front := NewFleet(reg)
+	defer front.Close()
+	ts := httptest.NewServer(front.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// First request: inside the burst, 200.
+	resp := post("/v1/models/factoid/predict", goodBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("burst predict status = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Second request: shed, 429 + Retry-After.
+	resp = post("/v1/models/factoid/predict", goodBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit predict status = %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 60 {
+		t.Fatalf("Retry-After = %q, want integer seconds in [1, 60]", ra)
+	}
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.Contains(errBody.Error, "qps") {
+		t.Fatalf("429 body = %q, want the shed cause named", errBody.Error)
+	}
+
+	// The shed shows up in both the stats and limits endpoints.
+	var st deploy.Stats
+	getJSON(t, ts.URL+"/v1/models/factoid/stats", &st)
+	if st.Load == nil || st.Load.Admitted != 1 || st.Load.Shed != 1 || st.Load.ShedQPS != 1 {
+		t.Fatalf("stats load = %+v, want 1 admitted / 1 qps shed", st.Load)
+	}
+	if st.Limits == nil || st.Limits.Burst != 1 {
+		t.Fatalf("stats limits = %+v, want the configured limits", st.Limits)
+	}
+	var lim struct {
+		Model  string        `json:"model"`
+		Limits deploy.Limits `json:"limits"`
+		Load   struct {
+			Admitted int64 `json:"admitted"`
+			Shed     int64 `json:"shed"`
+		} `json:"load"`
+	}
+	getJSON(t, ts.URL+"/v1/models/factoid/limits", &lim)
+	if lim.Model != "factoid" || lim.Limits.Burst != 1 || lim.Load.Admitted != 1 || lim.Load.Shed != 1 {
+		t.Fatalf("limits endpoint = %+v, want model/limits/load populated", lim)
+	}
+
+	// Runtime swap: lift the limit over POST /limits, traffic flows again.
+	body, _ := json.Marshal(deploy.Limits{})
+	resp = post("/v1/models/factoid/limits", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("set limits status = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	for i := 0; i < 5; i++ {
+		resp = post("/v1/models/factoid/predict", goodBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-swap predict %d status = %d, want 200", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// Invalid limits are a 400, not a silent no-op.
+	resp = post("/v1/models/factoid/limits", `{"qps": -5}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid limits status = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// getJSON GETs url and decodes the JSON response into v.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d, want 200", url, resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if err := json.NewDecoder(io.TeeReader(resp.Body, &buf)).Decode(v); err != nil {
+		t.Fatalf("decode %s: %v (body %q)", url, err, buf.String())
+	}
+}

@@ -19,9 +19,15 @@
 //	POST /v1/models/{name}/rollback   restore previous primary
 //	POST /v1/models/{name}/loop       {"action":"start"|"stop", ...policy}  continuous-improvement loop
 //	GET  /v1/models/{name}/loop       controller status (state, retrains, promotions)
+//	POST /v1/models/{name}/limits     {"qps","burst","queue_depth"}  swap admission limits
+//	GET  /v1/models/{name}/limits     current limits + admission counters
 //	GET  /v1/models/{name}/stats      per-deployment SLA + shadow profile
 //	GET  /v1/models/{name}/signature  serving signature JSON
 //	GET  /v1/models                   fleet listing
+//
+// Requests shed by admission control (per-deployment QPS/queue-depth
+// limits or the fleet concurrency budget) answer 429 Too Many Requests
+// with a Retry-After header; see OPERATIONS.md for the operator view.
 //
 // Legacy single-model endpoints route to the registry's default
 // deployment: POST /predict, GET /signature, GET /stats, GET /healthz.
@@ -32,12 +38,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/deploy"
 	"repro/internal/labelmodel"
 	"repro/internal/model"
+	"repro/internal/monitor"
 	"repro/internal/record"
 	"repro/internal/schema"
 	"repro/internal/train"
@@ -55,6 +64,10 @@ func WithBatchSize(n int) Option { return deploy.WithBatchSize(n) }
 // WithMaxWait sets how long a collector waits for stragglers after the
 // first request of a batch arrives (default 2ms). Zero disables waiting.
 func WithMaxWait(wait time.Duration) Option { return deploy.WithMaxWait(wait) }
+
+// WithLimits configures admission control (QPS / burst / queue depth)
+// for the deployments a legacy New call creates.
+func WithLimits(l deploy.Limits) Option { return deploy.WithLimits(l) }
 
 // Server is the shared HTTP front over a deployment registry.
 type Server struct {
@@ -119,6 +132,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/models/{name}/rollback", s.handleRollback)
 	mux.HandleFunc("POST /v1/models/{name}/loop", s.handleLoop)
 	mux.HandleFunc("GET /v1/models/{name}/loop", s.handleLoopStatus)
+	mux.HandleFunc("POST /v1/models/{name}/limits", s.handleSetLimits)
+	mux.HandleFunc("GET /v1/models/{name}/limits", s.handleGetLimits)
 	mux.HandleFunc("GET /v1/models/{name}/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/models/{name}/signature", s.handleSignature)
 	mux.HandleFunc("GET /v1/models", s.handleList)
@@ -190,14 +205,33 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out, version, err := d.Predict(rec)
+	var shed *deploy.ShedError
 	switch {
 	case err == nil:
 		writeJSON(w, predictResponse{Model: d.Name(), Version: version, Outputs: out})
+	case errors.As(err, &shed):
+		w.Header().Set("Retry-After", retryAfterSeconds(shed.RetryAfter))
+		httpError(w, http.StatusTooManyRequests, "shed (%s): deployment %s over its admission limits", shed.Reason, d.Name())
 	case errors.Is(err, deploy.ErrClosed):
 		httpError(w, http.StatusServiceUnavailable, "deployment closed")
 	default:
 		httpError(w, http.StatusInternalServerError, "predict: %v", err)
 	}
+}
+
+// retryAfterSeconds renders a shed's backoff hint as an HTTP Retry-After
+// value: whole seconds, at least 1 (the header has no sub-second form),
+// capped at 60 so a deeply drained token bucket cannot tell clients to
+// go away for hours.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // ingestLine is one JSONL line of a streaming ingest request: payloads in
@@ -391,6 +425,58 @@ func (s *Server) handleLoopStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, d.LoopStatus())
+}
+
+// limitsResponse reports a deployment's admission configuration next to
+// its live admission counters, so one GET answers both "what are the
+// knobs" and "is it shedding".
+type limitsResponse struct {
+	Model    string             `json:"model"`
+	Limits   deploy.Limits      `json:"limits"`
+	Load     monitor.LoadReport `json:"load"`
+	InFlight int64              `json:"in_flight"`
+}
+
+// handleSetLimits swaps the target deployment's admission limits at
+// runtime (token bucket restarts full; counters are preserved).
+func (s *Server) handleSetLimits(w http.ResponseWriter, r *http.Request) {
+	d := s.deployment(w, r)
+	if d == nil {
+		return
+	}
+	var req deploy.Limits
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if err := d.SetLimits(req); err != nil {
+		if errors.Is(err, deploy.ErrClosed) {
+			httpError(w, http.StatusServiceUnavailable, "limits: %v", err)
+		} else {
+			httpError(w, http.StatusBadRequest, "limits: %v", err)
+		}
+		return
+	}
+	s.writeLimits(w, d)
+}
+
+// handleGetLimits reports the target deployment's admission limits and
+// counters.
+func (s *Server) handleGetLimits(w http.ResponseWriter, r *http.Request) {
+	d := s.deployment(w, r)
+	if d == nil {
+		return
+	}
+	s.writeLimits(w, d)
+}
+
+func (s *Server) writeLimits(w http.ResponseWriter, d *deploy.Deployment) {
+	writeJSON(w, limitsResponse{
+		Model:    d.Name(),
+		Limits:   d.Limits(),
+		Load:     d.Load(),
+		InFlight: d.InFlight(),
+	})
 }
 
 func (s *Server) handleSignature(w http.ResponseWriter, r *http.Request) {

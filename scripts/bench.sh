@@ -23,4 +23,10 @@ out="${2:-BENCH_train.json}"
     -benchmem -benchtime "$benchtime" .
   go test -run '^$' -bench 'BenchmarkPredictThroughput' \
     -benchtime "$benchtime" ./internal/serve/
+  # Admission control: limiter overhead on the predict path (unlimited vs
+  # admitted), the per-shed cost, and neighbour-isolation p99s. These are
+  # microsecond-scale ops, so the global benchtime (sized for whole train
+  # epochs) would record pure noise; pin a real sample count instead.
+  go test -run '^$' -bench 'BenchmarkFleetAdmission' \
+    -benchtime 2000x ./internal/deploy/
 } | go run ./cmd/benchjson -out "$out"
