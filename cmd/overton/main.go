@@ -15,23 +15,29 @@
 //	overton serve    -deploy factoid=m1.bin -deploy qa=m2.bin -shadow factoid=cand.bin [-default factoid]
 //	overton serve    -deploy factoid=m1.bin -auto-improve [-min-agreement 0.9] [-promote-after 64]
 //	overton serve    -deploy factoid=m1.bin -limit factoid=200:50:128 [-max-inflight 256]
+//	overton serve    -deploy factoid=m1.bin -state-dir state/ [-drain-timeout 10s]
 //	overton store    -root dir put|get|list -name m [-file model.bin] [-version N]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	overton "repro"
 	"repro/internal/artifact"
 	"repro/internal/compile"
 	"repro/internal/deploy"
+	"repro/internal/fleetstate"
 	"repro/internal/record"
 	"repro/internal/serve"
 	"repro/internal/train"
@@ -291,6 +297,8 @@ func cmdServe(args []string) error {
 	ftLR := fs.Float64("ft-lr", 0, "fine-tune learning rate (0 = the model's tuning choice)")
 	trainWorkers := fs.Int("train-workers", 0, "data-parallel workers per fine-tune step (0 = min(NumCPU, batch), 1 = serial)")
 	maxInflight := fs.Int("max-inflight", 0, "registry-wide cap on concurrent in-flight predicts across all deployments (0 = unlimited); excess requests are shed with 429")
+	stateDir := fs.String("state-dir", "", "durable state directory: journal every lifecycle change and ingest there, and recover the fleet from it on startup (empty = stateless)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests after SIGTERM/SIGINT before the listener is forced closed")
 	var deploys, shadows, limits []string
 	fs.Func("deploy", "name=artifact.bin deployment (repeatable; schemas may differ per deployment)", func(v string) error {
 		deploys = append(deploys, v)
@@ -308,19 +316,48 @@ func cmdServe(args []string) error {
 	if *modelPath != "" {
 		deploys = append([]string{*modelPath + "=" + *modelPath}, deploys...)
 	}
-	if len(deploys) == 0 {
-		return fmt.Errorf("serve needs -model or at least one -deploy name=artifact.bin")
-	}
 
 	var opts []serve.Option
 	if *batch > 0 {
 		opts = append(opts, serve.WithBatchSize(*batch))
 	}
-	reg := deploy.NewRegistry()
+
+	// With -state-dir, the registry is rebuilt from the journal before any
+	// flags apply; recovered deployments win over -deploy specs of the same
+	// name, and every later mutation is journaled back to the same dir.
+	var reg *deploy.Registry
+	var store *fleetstate.Store
+	var recoveredLoops map[string]deploy.LoopConfig
+	if *stateDir != "" {
+		fleet, err := fleetstate.Recover(*stateDir, opts...)
+		if err != nil {
+			return fmt.Errorf("recover -state-dir %s: %w", *stateDir, err)
+		}
+		reg, store, recoveredLoops = fleet.Registry, fleet.Store, fleet.Loops
+		for _, w := range fleet.Warnings {
+			fmt.Fprintf(os.Stderr, "recovery warning: %s\n", w)
+		}
+		for _, d := range reg.All() {
+			fmt.Printf("recovered  %-20s v%d (%d ingest records replayed)\n",
+				d.Name(), d.Version(), fleet.Replayed[d.Name()])
+		}
+		if len(reg.Names()) > 0 && !fleet.CleanShutdown {
+			fmt.Fprintf(os.Stderr, "recovery: previous run did not shut down cleanly; state rebuilt from journal %s\n", *stateDir)
+		}
+	} else {
+		reg = deploy.NewRegistry()
+	}
+	if len(deploys) == 0 && len(reg.Names()) == 0 {
+		return fmt.Errorf("serve needs -model, at least one -deploy name=artifact.bin, or a -state-dir with recovered deployments")
+	}
 	for _, spec := range deploys {
 		name, path, err := splitSpec(spec)
 		if err != nil {
 			return fmt.Errorf("-deploy %q: %w", spec, err)
+		}
+		if _, ok := reg.Get(name); ok {
+			fmt.Printf("deployment %-20s recovered from state dir; ignoring -deploy %s\n", name, path)
+			continue
 		}
 		m, err := overton.LoadModel(path)
 		if err != nil {
@@ -395,14 +432,71 @@ func cmdServe(args []string) error {
 			}
 			fmt.Printf("improving  %-20s (retrain from ingest, shadow, auto-promote)\n", d.Name())
 		}
+	} else {
+		// Loops that were running when the previous process died restart
+		// with their journaled config; -auto-improve above supersedes them.
+		for name, cfg := range recoveredLoops {
+			d, ok := reg.Get(name)
+			if !ok {
+				continue
+			}
+			if err := d.StartLoop(cfg); err != nil {
+				return fmt.Errorf("restart recovered loop for %s: %w", name, err)
+			}
+			fmt.Printf("improving  %-20s (loop restarted from journaled config)\n", name)
+		}
 	}
+
 	srv := serve.NewFleet(reg)
-	defer srv.Close()
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	fmt.Printf("serving %d deployment(s) on %s (default %s)\n",
 		len(reg.Names()), *addr, reg.Default().Name())
 	fmt.Printf("  POST /v1/models/{name}/predict|ingest|promote|rollback|loop\n")
-	fmt.Printf("  GET  /v1/models[/{name}/stats|signature|loop]  POST /predict (legacy)\n")
-	return http.ListenAndServe(*addr, srv.Handler())
+	fmt.Printf("  GET  /v1/models[/{name}/stats|signature|loop]  GET /readyz  POST /predict (legacy)\n")
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	// Graceful drain: stop admitting (readiness off), let in-flight
+	// requests finish within the budget, then quiesce the fleet and mark
+	// the journal clean. Buffered ingest stays in the WAL for the next run.
+	fmt.Fprintf(os.Stderr, "shutdown: draining in-flight requests (timeout %s)\n", *drainTimeout)
+	srv.SetReady(false)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "shutdown: drain timeout exceeded, closing listener: %v\n", err)
+	}
+	for _, d := range reg.All() {
+		if _, buffered, _ := d.IngestStats(); buffered > 0 {
+			fmt.Fprintf(os.Stderr, "shutdown: %s: %d ingest records durable in WAL for next start\n", d.Name(), buffered)
+		}
+	}
+	reg.Close()
+	if store != nil {
+		if err := store.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: checkpoint: %v\n", err)
+		}
+		store.Close()
+	}
+	fmt.Fprintln(os.Stderr, "shutdown: complete")
+	return nil
 }
 
 // splitSpec parses a name=path flag value.

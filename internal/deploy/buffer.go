@@ -57,10 +57,20 @@ func (b *recordBuffer) append(recs ...*record.Record) int {
 // drain returns the buffered records in arrival order and clears the
 // window (the fine-tuning pipeline takes ownership).
 func (b *recordBuffer) drain() []*record.Record {
+	recs, _ := b.drainCount()
+	return recs
+}
+
+// drainCount is drain plus the buffer's cumulative accepted-record count
+// at the instant of the drain — the WAL watermark: every accepted record
+// with sequence <= ingested has either been returned by a drain or was
+// overwritten (dropped) inside the window, so a persister may checkpoint
+// its ingest WAL at this mark once the drained records are consumed.
+func (b *recordBuffer) drainCount() ([]*record.Record, int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.n == 0 {
-		return nil
+		return nil, b.ingested
 	}
 	out := make([]*record.Record, 0, b.n)
 	start := b.pos - b.n
@@ -76,7 +86,7 @@ func (b *recordBuffer) drain() []*record.Record {
 		b.buf[j] = nil // release for GC
 	}
 	b.pos, b.n = 0, 0
-	return out
+	return out, b.ingested
 }
 
 func (b *recordBuffer) stats() (ingested int64, buffered int, dropped int64) {

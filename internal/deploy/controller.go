@@ -114,7 +114,12 @@ type controller struct {
 
 // StartLoop starts the deployment's continuous-improvement controller. One
 // loop per deployment: starting while one runs is an error. A closed
-// deployment returns ErrClosed. The loop stops on StopLoop or Close.
+// deployment returns ErrClosed. The loop stops on StopLoop or Close. With
+// a persister attached, the start (and its config) is journaled before
+// the loop runs: a crashed-and-recovered fleet restarts its loops with
+// the policy they were running under. Process shutdown (Close) does not
+// journal a stop — only an explicit StopLoop does — which is exactly what
+// makes loops resume across restarts.
 func (d *Deployment) StartLoop(cfg LoopConfig) error {
 	d.loopMu.Lock()
 	defer d.loopMu.Unlock()
@@ -131,6 +136,10 @@ func (d *Deployment) StartLoop(cfg LoopConfig) error {
 	})
 	if err != nil {
 		return fmt.Errorf("deploy %s: %w", d.name, err)
+	}
+	loopCfg := cfg
+	if err := d.persistEvent(Event{Type: EventLoopStart, Dep: d.name, Loop: &loopCfg}, nil); err != nil {
+		return err
 	}
 	c := &controller{
 		d:    d,
@@ -158,9 +167,19 @@ func (d *Deployment) StartLoop(cfg LoopConfig) error {
 // concurrent StartLoop cannot run a second loop alongside a stopping one —
 // it fails with "already running" until the stop completes. The loop's
 // final status (counters included) stays readable via LoopStatus.
+//
+// An explicit stop is journaled (best-effort) so a recovered fleet does
+// not restart a loop the operator turned off; stopping via Close is not —
+// shutdown must preserve the loop-running state for recovery.
 func (d *Deployment) StopLoop() {
 	d.loopMu.Lock()
 	c := d.loop
+	if c != nil && !d.Closed() {
+		// Under loopMu, re-checked against close: Close passes through
+		// loopMu (stopLoopForClose), so no stop event lands after it
+		// returns.
+		_ = d.persistEvent(Event{Type: EventLoopStop, Dep: d.name}, nil)
+	}
 	d.loopMu.Unlock()
 	if c == nil {
 		return
@@ -185,7 +204,10 @@ func (d *Deployment) LoopStatus() LoopStatus {
 
 // stopLoopForClose waits out the controller during Close. The controller
 // goroutine exits on its own via d.closed; Close only needs to wait so
-// that "closed deployment" implies "no controller goroutine".
+// that "closed deployment" implies "no controller goroutine". Passing
+// through loopMu is also Close's barrier against StartLoop/StopLoop
+// journaling after Close returns. No loop-stop event is journaled here:
+// shutdown preserves the loop-running state so recovery restarts it.
 func (d *Deployment) stopLoopForClose() {
 	d.loopMu.Lock()
 	c := d.loop
@@ -240,8 +262,12 @@ func (c *controller) run() {
 // candidate, then let the policy judge the shadow window.
 func (c *controller) tick() {
 	// 1. Fold freshly ingested supervision into the sufficient statistics
-	// and the bounded fine-tune window.
-	if batch := c.d.Drain(); len(batch) > 0 {
+	// and the bounded fine-tune window. The ingest WAL is checkpointed
+	// only after the fold: a crash between drain and checkpoint replays
+	// the batch on recovery (at-least-once into the label model — its
+	// sufficient statistics tolerate a duplicate fold; losing supervision
+	// it does not).
+	if batch, mark := c.d.drainMarked(); len(batch) > 0 {
 		c.inc.Update(batch)
 		c.window = append(c.window, batch...)
 		if over := len(c.window) - c.cfg.WindowCap; over > 0 {
@@ -252,6 +278,7 @@ func (c *controller) tick() {
 			c.window = c.window[:n]
 		}
 		c.pending += len(batch)
+		c.d.checkpointIngest(mark)
 	}
 
 	// 2. Build a candidate when idle: no shadow in flight, no promotion

@@ -98,6 +98,20 @@ type Deployment struct {
 	loopMu   sync.Mutex
 	loop     *controller
 	lastLoop LoopStatus
+
+	// Durability (persist.go): the attached persister, and ingestMu,
+	// which makes "append to the WAL" and "append to the ingest buffer"
+	// one atomic step so the WAL watermark captured at drain time is
+	// exact.
+	persist  atomic.Pointer[persisterBox]
+	ingestMu sync.Mutex
+
+	// Panic containment (panic.go): primary/shadow panic counts under the
+	// current primary and the self-quarantine flag.
+	panics       atomic.Int64
+	shadowPanics atomic.Int64
+	quarantined  atomic.Bool
+	panicBudget  int
 }
 
 // Option customises a Deployment.
@@ -129,18 +143,19 @@ func WithBufferCap(n int) Option {
 // deployment.
 func New(name string, m *model.Model, version int, opts ...Option) *Deployment {
 	d := &Deployment{
-		name:      name,
-		m:         m,
-		version:   version,
-		batchSize: defaultBatchSize,
-		maxWait:   defaultMaxWait,
-		jobs:      make(chan *predictJob, jobQueueDepth),
-		closed:    make(chan struct{}),
-		shadowSem: make(chan struct{}, shadowLaneWidth),
-		series:    monitor.NewShadowSeries(),
-		lat:       newLatencyStats(),
-		load:      monitor.NewLoadSeries(),
-		now:       time.Now,
+		name:        name,
+		m:           m,
+		version:     version,
+		batchSize:   defaultBatchSize,
+		maxWait:     defaultMaxWait,
+		jobs:        make(chan *predictJob, jobQueueDepth),
+		closed:      make(chan struct{}),
+		shadowSem:   make(chan struct{}, shadowLaneWidth),
+		series:      monitor.NewShadowSeries(),
+		lat:         newLatencyStats(),
+		load:        monitor.NewLoadSeries(),
+		now:         time.Now,
+		panicBudget: defaultPanicBudget,
 	}
 	for _, o := range opts {
 		o(d)
@@ -194,6 +209,17 @@ func (d *Deployment) Info() model.Info {
 // to race with Predict, Swap, Ingest, and StartLoop/StopLoop.
 func (d *Deployment) Close() {
 	d.closeOnce.Do(func() { close(d.closed) })
+	// Lock barriers: every persisting mutation re-checks d.closed under
+	// the lock it mutates under, so passing through both locks here
+	// guarantees that once Close returns, no further lifecycle event can
+	// be journaled for this deployment — a mutation either completed
+	// (and journaled) before this point or will observe closed.
+	d.mu.Lock()
+	_ = d.version
+	d.mu.Unlock()
+	d.admitMu.Lock()
+	_ = d.initialLimits
+	d.admitMu.Unlock()
 	d.stopLoopForClose()
 }
 
@@ -224,75 +250,104 @@ func (d *Deployment) checkSignature(m *model.Model) error {
 // out-of-band). The previous primary is retained for Rollback. The
 // incoming model must serve the same signature. Swapping a closed
 // deployment returns ErrClosed — it must never panic, since deploy
-// automation can race retirement.
+// automation can race retirement. A new primary clears any quarantine.
+// With a persister attached, the swap event (and the incoming model's
+// snapshot) is made durable before the swap applies; a persist failure
+// fails the swap with the deployment unchanged.
 func (d *Deployment) Swap(m *model.Model, version int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.Closed() {
 		return ErrClosed
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if err := d.checkSignature(m); err != nil {
+		return err
+	}
+	if err := d.persistEvent(Event{Type: EventSwap, Dep: d.name, Version: version}, m); err != nil {
 		return err
 	}
 	d.prev, d.prevVersion = d.m, d.version
 	d.m, d.version = m, version
+	d.resetHealth()
 	return nil
 }
 
 // SetShadow installs (or, with a nil model, removes) the shadow candidate.
-// Mirrored-traffic comparison restarts from zero.
+// Mirrored-traffic comparison restarts from zero, as does the shadow
+// panic count. With a persister attached, the candidate's snapshot is
+// durable before the install applies.
 func (d *Deployment) SetShadow(m *model.Model, version int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.Closed() {
 		return ErrClosed
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if m == nil {
+		if err := d.persistEvent(Event{Type: EventSetShadow, Dep: d.name, Clear: true}, nil); err != nil {
+			return err
+		}
 		d.shadow, d.shadowVer = nil, 0
 		d.series = monitor.NewShadowSeries()
+		d.shadowPanics.Store(0)
 		return nil
 	}
 	if err := d.checkSignature(m); err != nil {
 		return err
 	}
+	if err := d.persistEvent(Event{Type: EventSetShadow, Dep: d.name, Version: version}, m); err != nil {
+		return err
+	}
 	d.shadow, d.shadowVer = m, version
 	d.series = monitor.NewShadowSeries()
+	d.shadowPanics.Store(0)
 	return nil
 }
 
 // Promote atomically makes the shadow candidate the primary. The old
 // primary is retained for Rollback; the shadow slot empties and its
-// comparison series resets (a promotion starts a new epoch).
+// comparison series resets (a promotion starts a new epoch). The fresh
+// primary starts unquarantined with a zero panic count. With a persister
+// attached, the promote event is journaled before it applies — the
+// candidate's snapshot was already made durable by SetShadow, so a crash
+// at any instant recovers to the pre- or post-promote version.
 func (d *Deployment) Promote() (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.Closed() {
 		return 0, ErrClosed
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.shadow == nil {
 		return 0, fmt.Errorf("deploy %s: no shadow to promote", d.name)
+	}
+	if err := d.persistEvent(Event{Type: EventPromote, Dep: d.name, Version: d.shadowVer}, nil); err != nil {
+		return 0, err
 	}
 	d.prev, d.prevVersion = d.m, d.version
 	d.m, d.version = d.shadow, d.shadowVer
 	d.shadow, d.shadowVer = nil, 0
 	d.promotions++
 	d.series = monitor.NewShadowSeries()
+	d.resetHealth()
 	return d.version, nil
 }
 
 // Rollback atomically restores the previous primary (the one displaced by
-// the last Swap or Promote).
+// the last Swap or Promote), clearing any quarantine.
 func (d *Deployment) Rollback() (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.Closed() {
 		return 0, ErrClosed
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.prev == nil {
 		return 0, fmt.Errorf("deploy %s: nothing to roll back to", d.name)
 	}
+	if err := d.persistEvent(Event{Type: EventRollback, Dep: d.name, Version: d.prevVersion}, nil); err != nil {
+		return 0, err
+	}
 	d.m, d.version, d.prev, d.prevVersion = d.prev, d.prevVersion, d.m, d.version
 	d.rollbacks++
+	d.resetHealth()
 	return d.version, nil
 }
 
@@ -300,12 +355,18 @@ func (d *Deployment) Rollback() (int, error) {
 // collector and, when a shadow is installed, mirrors the request to it in
 // the background. Returns the output and the version that served it.
 //
-// Admission control runs first: a request past the deployment's QPS or
-// queue-depth limits (or the registry-wide concurrency budget) returns a
-// *ShedError — errors.Is(err, ErrShed) — before touching the model or the
-// queue, so overload sheds instead of queueing. Shed requests are counted
-// in the deployment's load series, not its served/error stats.
+// Admission control runs first: a quarantined deployment (see
+// WithPanicBudget) sheds with a *QuarantineError — errors.Is(err,
+// ErrQuarantined), HTTP 503 upstream — and a request past the
+// deployment's QPS or queue-depth limits (or the registry-wide
+// concurrency budget) returns a *ShedError — errors.Is(err, ErrShed) —
+// before touching the model or the queue, so overload sheds instead of
+// queueing. Shed requests are counted in the deployment's load series,
+// not its served/error stats.
 func (d *Deployment) Predict(rec *record.Record) (model.Output, int, error) {
+	if q := d.checkQuarantine(); q != nil {
+		return nil, 0, q
+	}
 	budget, shed := d.admit()
 	if shed != nil {
 		return nil, 0, shed
@@ -372,7 +433,7 @@ func (d *Deployment) mirror(shadow *model.Model, series *monitor.ShadowSeries, r
 			}
 			d.shadowMu.Unlock()
 		}()
-		out, err := shadow.PredictOne(rec)
+		out, err := d.safeShadowPredict(shadow, rec)
 		if err != nil {
 			series.ObserveError()
 			return
@@ -399,11 +460,35 @@ func (d *Deployment) FlushShadow() {
 // silently). A closed deployment rejects ingestion — Close's contract is
 // that subsequent requests fail, and a closed deployment's buffer will
 // never be drained.
+//
+// With a persister attached, the records are appended to the durable
+// ingest WAL before the buffer accepts them (write-ahead): a WAL failure
+// rejects the ingest so the producer knows the records are not durable,
+// and a crash replays every accepted-but-unprocessed record on recovery.
 func (d *Deployment) Ingest(recs ...*record.Record) (int, error) {
 	if d.Closed() {
 		return 0, ErrClosed
 	}
+	p := d.persister()
+	if p == nil {
+		return d.buf.append(recs...), nil
+	}
+	// ingestMu makes WAL append + buffer append one step, so the
+	// buffer's accepted-record count stays exactly the WAL sequence.
+	d.ingestMu.Lock()
+	defer d.ingestMu.Unlock()
+	if err := p.AppendIngest(d.name, recs); err != nil {
+		return 0, fmt.Errorf("deploy %s: ingest wal: %w", d.name, err)
+	}
 	return d.buf.append(recs...), nil
+}
+
+// RestoreIngest refills the ingest buffer with records replayed from a
+// durable WAL, without re-persisting them. Recovery only (fleetstate
+// replays the unprocessed WAL tail through here before attaching the
+// store); on a deployment with a persister attached, use Ingest.
+func (d *Deployment) RestoreIngest(recs ...*record.Record) {
+	d.buf.append(recs...)
 }
 
 // IngestStats returns the buffer counters without touching the latency
@@ -414,8 +499,38 @@ func (d *Deployment) IngestStats() (ingested int64, buffered int, dropped int64)
 }
 
 // Drain returns the buffered ingested records in arrival order and clears
-// the buffer; the caller (a fine-tuning pipeline) takes ownership.
-func (d *Deployment) Drain() []*record.Record { return d.buf.drain() }
+// the buffer; the caller (a fine-tuning pipeline) takes ownership. With a
+// persister attached, the ingest WAL is checkpointed at the drain's
+// watermark immediately — Drain hands ownership (and so durability
+// responsibility) to the caller. The in-process improvement loop instead
+// uses drainMarked and checkpoints only after it has folded the records
+// into its incremental update, so a crash mid-update replays them.
+func (d *Deployment) Drain() []*record.Record {
+	recs, mark := d.drainMarked()
+	if p := d.persister(); p != nil {
+		_ = p.CheckpointIngest(d.name, mark)
+	}
+	return recs
+}
+
+// drainMarked drains the buffer and returns the WAL watermark covering
+// the drained records, without checkpointing. The ingestMu exchange
+// guarantees no Ingest is between its WAL append and its buffer append,
+// so the returned mark is exact.
+func (d *Deployment) drainMarked() ([]*record.Record, int64) {
+	d.ingestMu.Lock()
+	defer d.ingestMu.Unlock()
+	return d.buf.drainCount()
+}
+
+// checkpointIngest checkpoints the ingest WAL at mark (no-op without a
+// persister). Called by the improvement loop after it has durably
+// consumed a drained batch.
+func (d *Deployment) checkpointIngest(mark int64) {
+	if p := d.persister(); p != nil {
+		_ = p.CheckpointIngest(d.name, mark)
+	}
+}
 
 // primary returns the current primary model and its version.
 func (d *Deployment) primary() (*model.Model, int) {
@@ -477,6 +592,8 @@ func (d *Deployment) Stats() Stats {
 		st.Load = &load
 	}
 	st.InFlight = d.inflight.Load()
+	st.Panics, st.ShadowPanics = d.panics.Load(), d.shadowPanics.Load()
+	st.Quarantined = d.quarantined.Load()
 	return st
 }
 
@@ -540,7 +657,7 @@ func (d *Deployment) collect() {
 			}
 			go func(batch []*predictJob) {
 				defer func() { <-sem }()
-				runBatch(batch)
+				d.runBatch(batch)
 			}(batch)
 		case <-d.closed:
 			// Fail any queued jobs so no caller blocks forever;
@@ -564,8 +681,10 @@ func (d *Deployment) collect() {
 // per-model runs). If a batched pass fails (e.g. one record is missing a
 // required payload the schema validation does not cover), it falls back to
 // per-record passes so a single bad request cannot poison the others
-// sharing its batch.
-func runBatch(batch []*predictJob) {
+// sharing its batch. Both passes run with panic containment (panic.go): a
+// panicking model fails its own requests with *ModelPanicError, never the
+// worker goroutine.
+func (d *Deployment) runBatch(batch []*predictJob) {
 	for start := 0; start < len(batch); {
 		m := batch[start].m
 		end := start + 1
@@ -577,7 +696,7 @@ func runBatch(batch []*predictJob) {
 		for i, j := range run {
 			recs[i] = j.rec
 		}
-		outs, err := m.Predict(recs)
+		outs, err := d.safePredict(m, recs)
 		switch {
 		case err == nil:
 			for i, j := range run {
@@ -587,7 +706,7 @@ func runBatch(batch []*predictJob) {
 			run[0].resp <- predictResult{err: err}
 		default:
 			for _, j := range run {
-				out, err := m.PredictOne(j.rec)
+				out, err := d.safePredictOne(m, j.rec)
 				j.resp <- predictResult{out: out, err: err}
 			}
 		}

@@ -210,16 +210,24 @@ func WithLimits(l Limits) Option {
 // SetLimits swaps the deployment's admission limits at runtime. The
 // token bucket restarts full (a fresh burst); shed/admit counters are
 // cumulative and survive the swap. A closed deployment returns ErrClosed.
+// With a persister attached the limits change is journaled before it
+// applies, so a recovered fleet enforces the limits it was running with.
 func (d *Deployment) SetLimits(l Limits) error {
-	if d.Closed() {
-		return ErrClosed
-	}
 	norm, err := l.normalize()
 	if err != nil {
 		return err
 	}
 	d.admitMu.Lock()
 	defer d.admitMu.Unlock()
+	// Re-checked under admitMu: Close passes through this lock after
+	// closing, so no limits event can be journaled after Close returns.
+	if d.Closed() {
+		return ErrClosed
+	}
+	lim := norm
+	if err := d.persistEvent(Event{Type: EventLimits, Dep: d.name, Limits: &lim}, nil); err != nil {
+		return err
+	}
 	d.storeAdmission(norm, d.admission.Load().budget)
 	return nil
 }

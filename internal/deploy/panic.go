@@ -1,0 +1,166 @@
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/faultinject"
+	"repro/internal/model"
+	"repro/internal/monitor"
+	"repro/internal/record"
+)
+
+// Panic containment. A model is arbitrary numeric code over
+// attacker-shaped inputs; a panic inside one inference must cost exactly
+// the requests sharing that inference — never the process, and never a
+// neighbouring deployment. Every model invocation on the serving path
+// (the batched predict, its per-record fallback, and the shadow mirror
+// lane) runs under a recover that converts the panic into a typed
+// *ModelPanicError. Panics on the primary lane are counted; when a
+// deployment exhausts its configurable panic budget it quarantines
+// itself — subsequent requests shed with ErrQuarantined (HTTP 503)
+// instead of reaching the model — while the rest of the fleet keeps
+// serving. Installing a different primary (Swap, Promote, Rollback)
+// clears the quarantine and the panic count: with -auto-improve, a
+// deployment whose model panics its way into quarantine can heal itself
+// by promoting the next candidate. Shadow panics are counted separately
+// and never quarantine the deployment (the shadow lane already may not
+// affect the primary).
+
+// defaultPanicBudget is how many primary-lane model panics quarantine a
+// deployment when WithPanicBudget is not used.
+const defaultPanicBudget = 3
+
+// ErrQuarantined is the sentinel for requests shed because the
+// deployment quarantined itself after repeated model panics. Use
+// errors.Is(err, ErrQuarantined); the concrete *QuarantineError carries
+// the deployment and its panic count.
+var ErrQuarantined = errors.New("deploy: deployment quarantined after repeated model panics")
+
+// QuarantineError reports a request shed by a quarantined deployment.
+// It unwraps to ErrQuarantined and maps to HTTP 503 at the serving
+// front.
+type QuarantineError struct {
+	// Deployment is the quarantined deployment's registry name.
+	Deployment string
+	// Panics is the primary-lane panic count that exhausted the budget.
+	Panics int64
+}
+
+// Error formats the quarantine with its panic count.
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("deploy %s: quarantined after %d model panics", e.Deployment, e.Panics)
+}
+
+// Is reports target == ErrQuarantined so errors.Is works across the wrap.
+func (e *QuarantineError) Is(target error) bool { return target == ErrQuarantined }
+
+// ModelPanicError reports a panic recovered from a model invocation. The
+// request that triggered it receives this error; the process and the
+// other requests in flight are unaffected.
+type ModelPanicError struct {
+	// Deployment is the deployment whose model panicked.
+	Deployment string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error formats the panic with its value.
+func (e *ModelPanicError) Error() string {
+	return fmt.Sprintf("deploy %s: model panicked: %v", e.Deployment, e.Value)
+}
+
+// WithPanicBudget sets how many primary-lane model panics quarantine the
+// deployment (default 3). n < 0 disables quarantining (panics are still
+// contained and counted); n == 0 keeps the default.
+func WithPanicBudget(n int) Option {
+	return func(d *Deployment) {
+		if n != 0 {
+			d.panicBudget = n
+		}
+	}
+}
+
+// Quarantined reports whether the deployment has quarantined itself.
+func (d *Deployment) Quarantined() bool { return d.quarantined.Load() }
+
+// Panics returns the primary-lane and shadow-lane model panic counts
+// under the current primary (reset when the primary changes).
+func (d *Deployment) Panics() (primary, shadow int64) {
+	return d.panics.Load(), d.shadowPanics.Load()
+}
+
+// notePanic converts a recovered primary-lane panic value into the typed
+// error, counts it, and quarantines the deployment once the budget is
+// exhausted.
+func (d *Deployment) notePanic(v any) *ModelPanicError {
+	perr := &ModelPanicError{Deployment: d.name, Value: v, Stack: debug.Stack()}
+	n := d.panics.Add(1)
+	if d.panicBudget > 0 && n >= int64(d.panicBudget) {
+		d.quarantined.Store(true)
+	}
+	return perr
+}
+
+// resetHealth clears the panic count and quarantine — called under d.mu
+// whenever a different primary is installed.
+func (d *Deployment) resetHealth() {
+	d.panics.Store(0)
+	d.quarantined.Store(false)
+}
+
+// checkQuarantine sheds the request when the deployment is quarantined.
+func (d *Deployment) checkQuarantine() *QuarantineError {
+	if !d.quarantined.Load() {
+		return nil
+	}
+	d.load.ObserveShed(monitor.ShedQuarantine)
+	return &QuarantineError{Deployment: d.name, Panics: d.panics.Load()}
+}
+
+// safePredict runs one batched inference with panic containment. The
+// faultinject site "deploy.predict.<name>" lets tests inject panics and
+// errors exactly here — the same frame a real model panic unwinds to.
+func (d *Deployment) safePredict(m *model.Model, recs []*record.Record) (outs []model.Output, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = d.notePanic(v)
+		}
+	}()
+	if err := faultinject.Fire("deploy.predict." + d.name); err != nil {
+		return nil, err
+	}
+	return m.Predict(recs)
+}
+
+// safePredictOne is safePredict for the per-record fallback lane.
+func (d *Deployment) safePredictOne(m *model.Model, rec *record.Record) (out model.Output, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = d.notePanic(v)
+		}
+	}()
+	if err := faultinject.Fire("deploy.predict." + d.name); err != nil {
+		return nil, err
+	}
+	return m.PredictOne(rec)
+}
+
+// safeShadowPredict runs one mirrored shadow inference with panic
+// containment. Shadow panics count in their own series and never
+// quarantine the deployment.
+func (d *Deployment) safeShadowPredict(shadow *model.Model, rec *record.Record) (out model.Output, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			d.shadowPanics.Add(1)
+			err = &ModelPanicError{Deployment: d.name, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if err := faultinject.Fire("deploy.shadow." + d.name); err != nil {
+		return nil, err
+	}
+	return shadow.PredictOne(rec)
+}

@@ -1,0 +1,264 @@
+package deploy
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/model"
+	"repro/internal/record"
+)
+
+// TestPredictContainsModelPanic pins the containment contract: a model
+// panic inside one inference costs exactly that request — typed
+// *ModelPanicError back to the caller, process alive, deployment still
+// serving once the fault clears.
+func TestPredictContainsModelPanic(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("panicky", m, 1, WithPanicBudget(-1))
+	defer d.Close()
+	rec := goodRecord(t, m)
+
+	fi := faultinject.NewRegistry()
+	fi.Arm("deploy.predict.panicky", 1, faultinject.Fault{Kind: faultinject.KindPanic, Err: errors.New("boom")})
+	faultinject.Enable(fi)
+	defer faultinject.Disable()
+
+	_, _, err := d.Predict(rec)
+	var perr *ModelPanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("want *ModelPanicError, got %v", err)
+	}
+	if perr.Deployment != "panicky" || len(perr.Stack) == 0 {
+		t.Fatalf("panic error missing context: %+v", perr)
+	}
+	if p, _ := d.Panics(); p != 1 {
+		t.Fatalf("primary panic count = %d, want 1", p)
+	}
+
+	// The fault was a one-shot: the deployment must serve again.
+	if _, _, err := d.Predict(rec); err != nil {
+		t.Fatalf("deployment did not recover after contained panic: %v", err)
+	}
+	if d.Quarantined() {
+		t.Fatal("disabled budget must never quarantine")
+	}
+}
+
+// TestPanicBudgetQuarantines drives a deployment past its panic budget
+// and asserts the self-quarantine semantics: typed 503-mapped shed,
+// counted in the load series, cleared by installing a new primary.
+func TestPanicBudgetQuarantines(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("flaky", m, 1, WithPanicBudget(2))
+	defer d.Close()
+	rec := goodRecord(t, m)
+
+	fi := faultinject.NewRegistry()
+	fi.ArmEvery("deploy.predict.flaky", faultinject.Fault{Kind: faultinject.KindPanic, Err: errors.New("segv")})
+	faultinject.Enable(fi)
+	defer faultinject.Disable()
+
+	for i := 0; i < 2; i++ {
+		if _, _, err := d.Predict(rec); err == nil {
+			t.Fatal("panicking model served successfully")
+		}
+	}
+	if !d.Quarantined() {
+		t.Fatal("budget of 2 exhausted but not quarantined")
+	}
+
+	// Quarantined requests shed before touching the model.
+	_, _, err := d.Predict(rec)
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("want ErrQuarantined, got %v", err)
+	}
+	var qerr *QuarantineError
+	if !errors.As(err, &qerr) || qerr.Panics < 2 {
+		t.Fatalf("quarantine error missing context: %v", err)
+	}
+	st := d.Stats()
+	if !st.Quarantined || st.Panics < 2 || st.Load == nil || st.Load.ShedQuarantine == 0 {
+		t.Fatalf("stats missing quarantine profile: %+v", st)
+	}
+
+	// A new primary clears the quarantine (self-healing via promote).
+	faultinject.Disable()
+	if err := d.Swap(freshModel(t, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.Quarantined() {
+		t.Fatal("swap did not clear quarantine")
+	}
+	if _, _, err := d.Predict(rec); err != nil {
+		t.Fatalf("recovered deployment failed: %v", err)
+	}
+}
+
+// TestShadowPanicNeverAffectsPrimary pins the shadow-lane isolation: a
+// shadow model that panics on every mirrored request is counted in its
+// own series, never errors the primary response, and never quarantines
+// the deployment.
+func TestShadowPanicNeverAffectsPrimary(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("shadowed", m, 1, WithPanicBudget(1))
+	defer d.Close()
+	rec := goodRecord(t, m)
+
+	if err := d.SetShadow(freshModel(t, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	fi := faultinject.NewRegistry()
+	fi.ArmEvery("deploy.shadow.shadowed", faultinject.Fault{Kind: faultinject.KindPanic, Err: errors.New("shadow boom")})
+	faultinject.Enable(fi)
+	defer faultinject.Disable()
+
+	for i := 0; i < 8; i++ {
+		if _, _, err := d.Predict(rec); err != nil {
+			t.Fatalf("shadow panic leaked into primary response: %v", err)
+		}
+	}
+	d.FlushShadow()
+	if primary, shadow := d.Panics(); primary != 0 || shadow == 0 {
+		t.Fatalf("panic counts wrong: primary=%d shadow=%d", primary, shadow)
+	}
+	if d.Quarantined() {
+		t.Fatal("shadow panics quarantined the deployment")
+	}
+	st := d.Stats()
+	if st.Shadow == nil || st.Shadow.Errors == 0 {
+		t.Fatalf("shadow panics not recorded as comparison errors: %+v", st.Shadow)
+	}
+}
+
+// TestQuarantineIsolation is the blast-radius acceptance test: one
+// deployment's model panics its way into quarantine while its healthy
+// neighbour in the same registry keeps serving with zero errors.
+func TestQuarantineIsolation(t *testing.T) {
+	reg := NewRegistry()
+	sick := New("sick", freshModel(t, 1), 1, WithPanicBudget(1))
+	healthy := New("healthy", freshModel(t, 2), 1)
+	for _, d := range []*Deployment{sick, healthy} {
+		if err := reg.Add(d); err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+	}
+	rec := goodRecord(t, sick.m)
+
+	fi := faultinject.NewRegistry()
+	fi.ArmEvery("deploy.predict.sick", faultinject.Fault{Kind: faultinject.KindPanic, Err: errors.New("sick boom")})
+	faultinject.Enable(fi)
+	defer faultinject.Disable()
+
+	if _, _, err := sick.Predict(rec); err == nil {
+		t.Fatal("sick deployment served successfully")
+	}
+	if !sick.Quarantined() {
+		t.Fatal("sick deployment not quarantined")
+	}
+	var healthyErrs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 16; j++ {
+				if _, _, err := healthy.Predict(rec); err != nil {
+					healthyErrs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := healthyErrs.Load(); n != 0 {
+		t.Fatalf("healthy neighbour saw %d errors while sick was quarantined", n)
+	}
+	if st := healthy.Stats(); st.Errors != 0 || st.Quarantined {
+		t.Fatalf("healthy neighbour stats polluted: %+v", st)
+	}
+}
+
+// journalRecorder is a Persister that records every event it is handed,
+// flagging any that arrive after the deployment was closed.
+type journalRecorder struct {
+	mu     sync.Mutex
+	events []Event
+	closed atomic.Bool
+	late   atomic.Int64
+}
+
+func (j *journalRecorder) PersistEvent(ev Event, m *model.Model) error {
+	if j.closed.Load() {
+		j.late.Add(1)
+	}
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	j.mu.Unlock()
+	return nil
+}
+func (j *journalRecorder) AppendIngest(dep string, recs []*record.Record) error { return nil }
+func (j *journalRecorder) CheckpointIngest(dep string, mark int64) error        { return nil }
+
+// TestNoEventJournaledAfterClose races every journaling mutator — Swap,
+// SetShadow/Promote, SetLimits, StartLoop/StopLoop, a running improvement
+// loop's own promote — against Close, and asserts the linearization
+// contract the durable store depends on: once Close returns, not one
+// further lifecycle event reaches the persister. Run under -race this
+// also proves the lock protocol itself is clean.
+func TestNoEventJournaledAfterClose(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		j := &journalRecorder{}
+		reg := NewRegistry()
+		reg.SetPersister(j)
+		d := New("raced", freshModel(t, 1), 1)
+		if err := reg.Add(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.StartLoop(LoopConfig{Interval: time.Microsecond * 50}); err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		wg.Add(3)
+		go func() { // lifecycle mutator lane
+			defer wg.Done()
+			<-start
+			for v := 2; ; v++ {
+				if err := d.Swap(freshModel(t, int64(v)), v); errors.Is(err, ErrClosed) {
+					return
+				}
+				if err := d.SetLimits(Limits{QPS: float64(v)}); errors.Is(err, ErrClosed) {
+					return
+				}
+			}
+		}()
+		go func() { // shadow/promote lane
+			defer wg.Done()
+			<-start
+			for v := 100; ; v++ {
+				if err := d.SetShadow(freshModel(t, int64(v)), v); errors.Is(err, ErrClosed) {
+					return
+				}
+				if _, err := d.Promote(); errors.Is(err, ErrClosed) {
+					return
+				}
+			}
+		}()
+		go func() { // close lane: the instant Close returns, journaling must stop
+			defer wg.Done()
+			<-start
+			d.Close()
+			j.closed.Store(true)
+		}()
+		close(start)
+		wg.Wait()
+		if n := j.late.Load(); n != 0 {
+			t.Fatalf("iter %d: %d events journaled after Close returned", iter, n)
+		}
+	}
+}

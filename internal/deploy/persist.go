@@ -1,0 +1,146 @@
+package deploy
+
+import (
+	"repro/internal/model"
+	"repro/internal/record"
+)
+
+// Durability hooks. A Registry (and every Deployment in it) can carry a
+// Persister — implemented by internal/fleetstate — that is consulted
+// *before* each lifecycle mutation applies: the mutation's event (and,
+// when it introduces a model, the model snapshot) must be durable before
+// the in-memory state changes, so a crash at any instant leaves the
+// journal describing either the pre- or the post-mutation fleet, never a
+// half-applied one. A persist failure (disk error) fails the mutation
+// and leaves the deployment unchanged.
+//
+// Hooks are invoked with the deployment's mutation lock held, so the
+// journal order matches the apply order, and Close linearises against
+// them: once Close returns, no further event can be persisted for that
+// deployment.
+
+// Lifecycle event types, as they appear in the fleet manifest journal.
+const (
+	// EventDeploy records a deployment entering the registry (carries the
+	// initial model snapshot).
+	EventDeploy = "deploy"
+	// EventSwap records an out-of-band primary replacement (carries the
+	// new model snapshot).
+	EventSwap = "swap"
+	// EventSetShadow records a shadow install (carries the candidate
+	// snapshot) or, with Clear set, a shadow removal.
+	EventSetShadow = "set-shadow"
+	// EventPromote records the shadow becoming the primary.
+	EventPromote = "promote"
+	// EventRollback records the previous primary being restored.
+	EventRollback = "rollback"
+	// EventLimits records an admission-limits change.
+	EventLimits = "limits"
+	// EventLoopStart records the continuous-improvement loop starting
+	// (carries the loop config, so recovery restarts it).
+	EventLoopStart = "loop-start"
+	// EventLoopStop records an explicit loop stop (process shutdown does
+	// not journal one — a recovered fleet resumes its loops).
+	EventLoopStop = "loop-stop"
+	// EventSetDefault records the default deployment changing.
+	EventSetDefault = "set-default"
+	// EventBudget records the fleet-wide concurrency budget changing.
+	EventBudget = "budget"
+	// EventCheckpoint marks a clean shutdown: everything before it was
+	// flushed and fsynced.
+	EventCheckpoint = "checkpoint"
+)
+
+// Event is one fleet lifecycle mutation as recorded in the manifest
+// journal. Fields beyond Type/Dep are populated per event type; Seq and
+// Snap are assigned by the persister.
+type Event struct {
+	// Seq is the journal sequence number (assigned by the persister).
+	Seq int64 `json:"seq,omitempty"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Dep is the deployment name (empty for registry-level events).
+	Dep string `json:"dep,omitempty"`
+	// Version is the model version the event introduces or activates.
+	Version int `json:"version,omitempty"`
+	// Snap is the snapshot filename backing Version (persister-assigned).
+	Snap string `json:"snap,omitempty"`
+	// Clear marks a set-shadow event that removed the shadow.
+	Clear bool `json:"clear,omitempty"`
+	// Limits carries the new admission limits for EventLimits.
+	Limits *Limits `json:"limits,omitempty"`
+	// Budget carries the new fleet-wide cap for EventBudget.
+	Budget int `json:"budget,omitempty"`
+	// Loop carries the controller config for EventLoopStart.
+	Loop *LoopConfig `json:"loop,omitempty"`
+}
+
+// Persister makes fleet state durable. Implementations must be safe for
+// concurrent use across deployments; calls for one deployment are
+// serialised by that deployment's locks.
+type Persister interface {
+	// PersistEvent durably records ev. For events that introduce a model
+	// (deploy, swap, non-clearing set-shadow), m is that model, and the
+	// persister must make its snapshot durable before journaling the
+	// event that references it. m is nil for all other events.
+	PersistEvent(ev Event, m *model.Model) error
+	// AppendIngest durably appends recs to the deployment's ingest WAL,
+	// in order, before they are considered accepted.
+	AppendIngest(dep string, recs []*record.Record) error
+	// CheckpointIngest marks every WAL record with sequence <= mark
+	// (sequences count accepted records from 1) as processed; a
+	// subsequent recovery replays only records after the mark.
+	CheckpointIngest(dep string, mark int64) error
+}
+
+// persisterBox wraps the interface so it can live in an atomic.Pointer.
+type persisterBox struct{ p Persister }
+
+// persister returns the deployment's persister (nil when none).
+func (d *Deployment) persister() Persister {
+	if b := d.persist.Load(); b != nil {
+		return b.p
+	}
+	return nil
+}
+
+// setPersister attaches p (the registry propagates it). No events are
+// emitted — attachment itself is not a lifecycle mutation, which is what
+// lets recovery rebuild a fleet and then attach the store without
+// re-journaling history.
+func (d *Deployment) setPersister(p Persister) {
+	if p == nil {
+		d.persist.Store(nil)
+		return
+	}
+	d.persist.Store(&persisterBox{p: p})
+}
+
+// persistEvent runs the persister hook for ev (no-op without one).
+// Callers hold the lock that serialises the mutation being recorded.
+func (d *Deployment) persistEvent(ev Event, m *model.Model) error {
+	p := d.persister()
+	if p == nil {
+		return nil
+	}
+	return p.PersistEvent(ev, m)
+}
+
+// SetPersister attaches p to the registry and every current deployment;
+// future Add calls propagate it automatically. Attachment emits no
+// events (see Deployment.setPersister); pass nil to detach.
+func (r *Registry) SetPersister(p Persister) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.persist = p
+	for _, d := range r.deps {
+		d.setPersister(p)
+	}
+}
+
+// Persister returns the registry's attached persister (nil when none).
+func (r *Registry) Persister() Persister {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.persist
+}

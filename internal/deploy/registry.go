@@ -3,17 +3,29 @@ package deploy
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/model"
 )
 
 // Registry owns a fleet of deployments and designates one as the default
 // target for the legacy single-model endpoints. Safe for concurrent use;
 // lookups on the serving hot path take a read lock only.
 type Registry struct {
-	mu     sync.RWMutex
-	deps   map[string]*Deployment
-	order  []string // registration order, for stable listings
-	def    string   // default deployment name
-	budget *Budget  // fleet-wide in-flight cap (nil = unlimited)
+	mu      sync.RWMutex
+	deps    map[string]*Deployment
+	order   []string // registration order, for stable listings
+	def     string   // default deployment name
+	budget  *Budget  // fleet-wide in-flight cap (nil = unlimited)
+	persist Persister
+}
+
+// persistEvent journals a registry-level event (no-op without a
+// persister). Callers hold r.mu, which serialises registry mutations.
+func (r *Registry) persistEvent(ev Event, m *model.Model) error {
+	if r.persist == nil {
+		return nil
+	}
+	return r.persist.PersistEvent(ev, m)
 }
 
 // NewRegistry returns an empty registry.
@@ -23,7 +35,10 @@ func NewRegistry() *Registry {
 
 // Add registers d under its name. The first deployment added becomes the
 // default. Names are unique; re-adding is an error (retire with Close and
-// use Swap/Promote to change what a name serves).
+// use Swap/Promote to change what a name serves). With a persister
+// attached, the deploy event — and the deployment's current primary
+// snapshot — is made durable before registration; a persist failure
+// fails the Add with the registry unchanged.
 func (r *Registry) Add(d *Deployment) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -34,12 +49,19 @@ func (r *Registry) Add(d *Deployment) error {
 	if _, ok := r.deps[name]; ok {
 		return fmt.Errorf("deploy: registry: deployment %q already registered", name)
 	}
+	if r.persist != nil {
+		m, version := d.primary()
+		if err := r.persistEvent(Event{Type: EventDeploy, Dep: name, Version: version}, m); err != nil {
+			return err
+		}
+	}
 	r.deps[name] = d
 	r.order = append(r.order, name)
 	if r.def == "" {
 		r.def = name
 	}
 	d.attachBudget(r.budget)
+	d.setPersister(r.persist)
 	return nil
 }
 
@@ -49,9 +71,13 @@ func (r *Registry) Add(d *Deployment) error {
 // shed (ShedReasonBudget), never queued — the fleet-wide backstop behind
 // the per-deployment limits. Requests in flight when the budget changes
 // release against the budget they were admitted under.
+// With a persister attached the budget change is journaled (best-effort:
+// the budget is a protective cap, not data — a journal miss here cannot
+// lose a record or a model, so the cap still applies in memory).
 func (r *Registry) SetConcurrencyBudget(n int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	_ = r.persistEvent(Event{Type: EventBudget, Budget: n}, nil)
 	r.budget = NewBudget(n)
 	for _, d := range r.deps {
 		d.attachBudget(r.budget)
@@ -80,12 +106,17 @@ func (r *Registry) Default() *Deployment {
 	return r.deps[r.def]
 }
 
-// SetDefault changes which deployment backs the legacy endpoints.
+// SetDefault changes which deployment backs the legacy endpoints. With a
+// persister attached the change is journaled first; a persist failure
+// leaves the default unchanged.
 func (r *Registry) SetDefault(name string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.deps[name]; !ok {
 		return fmt.Errorf("deploy: registry: no deployment %q", name)
+	}
+	if err := r.persistEvent(Event{Type: EventSetDefault, Dep: name}, nil); err != nil {
+		return err
 	}
 	r.def = name
 	return nil

@@ -30,6 +30,14 @@ type Stats struct {
 	Promotions int64 `json:"promotions,omitempty"`
 	Rollbacks  int64 `json:"rollbacks,omitempty"`
 
+	// Health: recovered model panics on the primary and shadow lanes under
+	// the current primary, and whether the deployment has quarantined
+	// itself (panic budget exhausted; requests shed with 503 until a new
+	// primary is installed).
+	Panics       int64 `json:"panics,omitempty"`
+	ShadowPanics int64 `json:"shadow_panics,omitempty"`
+	Quarantined  bool  `json:"quarantined,omitempty"`
+
 	// Admission profile: the configured limits (nil when unlimited), the
 	// cumulative admitted/shed counters, and the current in-flight work.
 	// Requests above counts admitted traffic plus client-side rejections;

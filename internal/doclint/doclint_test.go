@@ -13,6 +13,8 @@ var documentedPackages = []string{
 	"internal/deploy",
 	"internal/serve",
 	"internal/monitor",
+	"internal/fleetstate",
+	"internal/faultinject",
 }
 
 // lintedMarkdown are the docs whose relative links must resolve.

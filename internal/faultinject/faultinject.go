@@ -1,0 +1,225 @@
+// Package faultinject is a deterministic, test-only failpoint registry.
+// Production code threads named sites through its crash-critical paths
+// (snapshot writes, journal appends, model inference); tests arm faults
+// against those sites — an error return, a panic, a delay, or a torn
+// write — on exact hit numbers or seeded pseudo-random schedules, then
+// assert the system recovers. With no registry enabled (the production
+// default) a site check is one atomic pointer load and a nil test.
+//
+// Determinism is the point: a schedule is a pure function of how it was
+// armed (hit numbers, or a seed), never of wall-clock time or map order,
+// so a crash-recovery test that kills a promote on the third journal
+// append kills it on the third append every run, including under -race.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects what a triggered fault does at its site.
+type Kind int
+
+// The fault kinds.
+const (
+	// KindError makes the site return Err.
+	KindError Kind = iota
+	// KindPanic makes the site panic with Err (or a default message).
+	KindPanic
+	// KindDelay makes the site sleep for Delay, then proceed normally.
+	KindDelay
+	// KindTorn makes a write site persist only the first Bytes bytes of
+	// its payload and then fail as if the process died mid-write.
+	KindTorn
+)
+
+// ErrInjected is the default error carried by injected faults.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault is one armed failure. The zero value is a KindError fault
+// carrying ErrInjected.
+type Fault struct {
+	// Kind selects the failure mode.
+	Kind Kind
+	// Err is the error to return (KindError) or panic value (KindPanic);
+	// nil defaults to ErrInjected.
+	Err error
+	// Delay is how long a KindDelay fault sleeps.
+	Delay time.Duration
+	// Bytes is how many payload bytes a KindTorn write keeps.
+	Bytes int
+}
+
+// Error returns the fault's error, defaulting to ErrInjected.
+func (f *Fault) Error() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// site is the per-site schedule state: an exact-hit table, an optional
+// every-hit fault, an optional seeded schedule, and the hit counter.
+type site struct {
+	hits   int
+	at     map[int]Fault
+	every  *Fault
+	seeded *seededSchedule
+}
+
+type seededSchedule struct {
+	rng   *rand.Rand
+	prob  float64
+	fault Fault
+}
+
+// Registry holds armed faults keyed by site name. Arm it before the code
+// under test runs, Enable it, and Disable it when done (tests should
+// defer Disable). Safe for concurrent use.
+type Registry struct {
+	mu    sync.Mutex
+	sites map[string]*site
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sites: map[string]*site{}}
+}
+
+func (r *Registry) site(name string) *site {
+	s, ok := r.sites[name]
+	if !ok {
+		s = &site{at: map[int]Fault{}}
+		r.sites[name] = s
+	}
+	return s
+}
+
+// Arm schedules f to fire on exactly the hit-th Check of the named site
+// (1-based). Arming the same hit twice replaces the earlier fault.
+func (r *Registry) Arm(name string, hit int, f Fault) *Registry {
+	if hit < 1 {
+		panic(fmt.Sprintf("faultinject: hit %d must be >= 1", hit))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.site(name).at[hit] = f
+	return r
+}
+
+// ArmEvery schedules f to fire on every Check of the named site.
+// Exact-hit arms take precedence on their hits.
+func (r *Registry) ArmEvery(name string, f Fault) *Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := f
+	r.site(name).every = &cp
+	return r
+}
+
+// ArmSeeded schedules f to fire on each Check of the named site with
+// probability prob, driven by a private rand.Rand seeded with seed — the
+// schedule is fully determined by (seed, prob, hit sequence). Exact-hit
+// and every-hit arms take precedence.
+func (r *Registry) ArmSeeded(name string, seed int64, prob float64, f Fault) *Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.site(name).seeded = &seededSchedule{
+		rng: rand.New(rand.NewSource(seed)), prob: prob, fault: f,
+	}
+	return r
+}
+
+// Hits reports how many times the named site has been checked since the
+// registry was created (0 for a never-hit site).
+func (r *Registry) Hits(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.sites[name]; ok {
+		return s.hits
+	}
+	return 0
+}
+
+// check counts a hit and returns the fault scheduled for it, if any.
+func (r *Registry) check(name string) *Fault {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.site(name)
+	s.hits++
+	if f, ok := s.at[s.hits]; ok {
+		return &f
+	}
+	if s.every != nil {
+		cp := *s.every
+		return &cp
+	}
+	if sch := s.seeded; sch != nil && sch.rng.Float64() < sch.prob {
+		cp := sch.fault
+		return &cp
+	}
+	return nil
+}
+
+// active is the globally enabled registry (nil in production).
+var active atomic.Pointer[Registry]
+
+// Enable installs r as the process-wide active registry. Tests that
+// enable a registry must Disable it before finishing; the global is
+// process-wide, so faultinject tests cannot run in parallel with each
+// other.
+func Enable(r *Registry) { active.Store(r) }
+
+// Disable removes the active registry; every site check becomes a no-op.
+func Disable() { active.Store(nil) }
+
+// Check counts one hit of the named site against the active registry and
+// returns the fault scheduled for that hit, or nil (always nil when no
+// registry is enabled). Callers decide how to apply the fault; most use
+// the Fire or Torn helpers instead.
+func Check(name string) *Fault {
+	r := active.Load()
+	if r == nil {
+		return nil
+	}
+	return r.check(name)
+}
+
+// Fire evaluates the named site for the common non-write case: it
+// returns the fault's error (KindError), panics (KindPanic), sleeps then
+// returns nil (KindDelay), or returns the error for a KindTorn fault
+// armed at a non-write site. Returns nil when nothing fires.
+func Fire(name string) error {
+	f := Check(name)
+	if f == nil {
+		return nil
+	}
+	switch f.Kind {
+	case KindPanic:
+		panic(f.Error())
+	case KindDelay:
+		time.Sleep(f.Delay)
+		return nil
+	default:
+		return f.Error()
+	}
+}
+
+// Torn evaluates the named site for a write: ok is false when no fault
+// fires (write everything). When a KindTorn fault fires, keep is how
+// many payload bytes to persist before failing with the fault's error;
+// other kinds behave as in Fire (with keep undefined).
+func Torn(name string) (keep int, f *Fault) {
+	f = Check(name)
+	if f == nil {
+		return 0, nil
+	}
+	if f.Kind == KindTorn {
+		return f.Bytes, f
+	}
+	return 0, f
+}

@@ -1,0 +1,322 @@
+package fleetstate
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/faultinject"
+)
+
+// These are the deterministic crash-recovery tests the fault-injection
+// harness exists for: kill a lifecycle mutation at an exact journal or
+// snapshot write, recover from the surviving bytes, and assert the fleet
+// lands on a consistent state — pre- or post-mutation, never a mix,
+// never a lost accepted record. All of them run under -race in CI.
+
+// TestCrashMidPromoteTornJournal kills the promote by tearing its
+// journal append mid-line (the bytes a mid-write crash leaves). The
+// promote must fail, and recovery must land on the exact pre-promote
+// state: primary v1, shadow v2 still installed and promotable.
+func TestCrashMidPromoteTornJournal(t *testing.T) {
+	dir := t.TempDir()
+	st, _, d := newFleet(t, dir)
+	if err := d.SetShadow(freshModel(t, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	fi := faultinject.NewRegistry()
+	// Hit 1 of the journal site from here on is the promote event.
+	fi.Arm("fleetstate.journal.append", 1, faultinject.Fault{Kind: faultinject.KindTorn, Bytes: 17})
+	faultinject.Enable(fi)
+	if _, err := d.Promote(); err == nil {
+		faultinject.Disable()
+		t.Fatal("promote survived a torn journal write")
+	}
+	faultinject.Disable()
+	if v := d.Version(); v != 1 {
+		t.Fatalf("failed promote changed the live version to %d", v)
+	}
+	// Crash: abandon st and d without Close or Checkpoint.
+	_ = st
+
+	fleet, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Store.Close()
+	defer fleet.Registry.Close()
+	rd, ok := fleet.Registry.Get("main")
+	if !ok {
+		t.Fatal("deployment lost")
+	}
+	if v := rd.Version(); v != 1 {
+		t.Fatalf("recovered v%d, want pre-promote 1", v)
+	}
+	if stats := rd.Stats(); stats.ShadowVersion != 2 {
+		t.Fatalf("shadow v2 lost in recovery: %+v", stats)
+	}
+	// The recovered fleet must be able to finish the interrupted promote.
+	if v, err := rd.Promote(); err != nil || v != 2 {
+		t.Fatalf("recovered fleet cannot promote: v=%d err=%v", v, err)
+	}
+}
+
+// TestCrashAfterPromoteJournaled is the other half of the consistency
+// claim: once the promote event is durably journaled, a crash before
+// anything else recovers at the post-promote version.
+func TestCrashAfterPromoteJournaled(t *testing.T) {
+	dir := t.TempDir()
+	_, _, d := newFleet(t, dir)
+	if err := d.SetShadow(freshModel(t, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash immediately after the promote applied: no checkpoint.
+	fleet, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Store.Close()
+	defer fleet.Registry.Close()
+	rd, _ := fleet.Registry.Get("main")
+	if v := rd.Version(); v != 2 {
+		t.Fatalf("recovered v%d, want post-promote 2", v)
+	}
+	if stats := rd.Stats(); stats.ShadowVersion != 0 {
+		t.Fatalf("promoted shadow still installed after recovery: %+v", stats)
+	}
+	if fleet.CleanShutdown {
+		t.Fatal("crash reported as clean shutdown")
+	}
+}
+
+// TestTornSnapshotFailsMutationCleanly injects the torn snapshot write —
+// partial bytes at the final path, as a non-atomic filesystem could
+// leave — into a swap. The swap must fail leaving v1 serving, and
+// recovery must route around the torn file back to the last good
+// snapshot.
+func TestTornSnapshotFailsMutationCleanly(t *testing.T) {
+	dir := t.TempDir()
+	_, _, d := newFleet(t, dir)
+
+	fi := faultinject.NewRegistry()
+	fi.Arm("fleetstate.snapshot.main", 1, faultinject.Fault{Kind: faultinject.KindTorn, Bytes: 100})
+	faultinject.Enable(fi)
+	err := d.Swap(freshModel(t, 2), 2)
+	faultinject.Disable()
+	if err == nil {
+		t.Fatal("swap survived a torn snapshot write")
+	}
+	if v := d.Version(); v != 1 {
+		t.Fatalf("failed swap changed the live version to %d", v)
+	}
+	// The torn v2 snapshot file exists on disk but was never journaled;
+	// recovery must come back at v1 regardless.
+	if _, err := os.Stat(filepath.Join(dir, "snapshots", "main-v2.snap")); err != nil {
+		t.Fatalf("test setup: torn snapshot file missing: %v", err)
+	}
+	fleet, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Store.Close()
+	defer fleet.Registry.Close()
+	rd, _ := fleet.Registry.Get("main")
+	if v := rd.Version(); v != 1 {
+		t.Fatalf("recovered v%d, want 1", v)
+	}
+	if _, _, err := rd.Predict(goodRecord(t, freshModel(t, 1))); err != nil {
+		t.Fatalf("recovered deployment cannot serve: %v", err)
+	}
+}
+
+// TestCorruptNewestSnapshotFallsBack damages the newest journaled
+// snapshot on disk (post-crash bit rot) and asserts recovery falls back
+// to the previous version with a warning instead of failing the fleet —
+// and that a sibling deployment is untouched by the fallback.
+func TestCorruptNewestSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	st, reg, d := newFleet(t, dir)
+	other := deploy.New("other", freshModel(t, 7), 3)
+	if err := reg.Add(other); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Swap(freshModel(t, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	reg.Close()
+	st.Close()
+
+	// Flip one payload byte of the newest snapshot.
+	p := filepath.Join(dir, "snapshots", "main-v2.snap")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-9] ^= 0x20
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fleet, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Store.Close()
+	defer fleet.Registry.Close()
+	rd, _ := fleet.Registry.Get("main")
+	if v := rd.Version(); v != 1 {
+		t.Fatalf("recovered v%d, want fallback to 1", v)
+	}
+	if len(fleet.Warnings) == 0 {
+		t.Fatal("silent fallback: corrupt snapshot must surface a warning")
+	}
+	ro, ok := fleet.Registry.Get("other")
+	if !ok || ro.Version() != 3 {
+		t.Fatalf("sibling deployment damaged by fallback: ok=%v", ok)
+	}
+	if _, _, err := ro.Predict(goodRecord(t, freshModel(t, 1))); err != nil {
+		t.Fatalf("sibling cannot serve: %v", err)
+	}
+}
+
+// TestAllSnapshotsCorruptIsHardError destroys every snapshot of a
+// deployment; recovery must refuse rather than invent a model.
+func TestAllSnapshotsCorruptIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	st, reg, _ := newFleet(t, dir)
+	reg.Close()
+	st.Close()
+	p := filepath.Join(dir, "snapshots", "main-v1.snap")
+	if err := os.WriteFile(p, []byte("rot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(dir); err == nil {
+		t.Fatal("recovery succeeded with no loadable snapshot")
+	}
+}
+
+// TestDiskErrorOnJournalWedgesFailStop pins the fail-stop contract: after
+// a journal write error the store refuses further events (every mutation
+// fails, nothing silently unjournaled), the in-memory fleet keeps
+// serving, and a restart recovers to the last good state.
+func TestDiskErrorOnJournalWedgesFailStop(t *testing.T) {
+	dir := t.TempDir()
+	_, _, d := newFleet(t, dir)
+
+	fi := faultinject.NewRegistry()
+	fi.Arm("fleetstate.journal.append", 1, faultinject.Fault{Kind: faultinject.KindError, Err: errors.New("EIO")})
+	faultinject.Enable(fi)
+	err := d.Swap(freshModel(t, 2), 2)
+	faultinject.Disable()
+	if err == nil {
+		t.Fatal("swap survived a journal disk error")
+	}
+	// Wedged: even with the disk "healthy" again, mutations fail until
+	// restart (the on-disk suffix is unknowable after a failed append).
+	if err := d.Swap(freshModel(t, 3), 3); err == nil {
+		t.Fatal("store accepted an event after a journal write failure")
+	}
+	if v := d.Version(); v != 1 {
+		t.Fatalf("failed mutations changed the version to %d", v)
+	}
+	// Serving is unaffected by the wedged journal.
+	if _, _, err := d.Predict(goodRecord(t, freshModel(t, 1))); err != nil {
+		t.Fatalf("wedged store stopped serving: %v", err)
+	}
+
+	fleet, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Store.Close()
+	defer fleet.Registry.Close()
+	rd, _ := fleet.Registry.Get("main")
+	if v := rd.Version(); v != 1 {
+		t.Fatalf("recovered v%d, want 1", v)
+	}
+	// The fresh store handle is unwedged: mutations journal again.
+	if err := rd.Swap(freshModel(t, 4), 4); err != nil {
+		t.Fatalf("recovered store cannot journal: %v", err)
+	}
+}
+
+// TestTornWALAppendRejectsIngest tears a WAL append mid-frame: the
+// ingest must be rejected (the producer knows the records are not
+// durable), and recovery must replay only fully accepted records — the
+// no-record-loss, no-record-invention property.
+func TestTornWALAppendRejectsIngest(t *testing.T) {
+	dir := t.TempDir()
+	_, _, d := newFleet(t, dir)
+	rec := goodRecord(t, freshModel(t, 1))
+	for i := 0; i < 3; i++ {
+		if _, err := d.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fi := faultinject.NewRegistry()
+	fi.Arm("fleetstate.wal.main", 1, faultinject.Fault{Kind: faultinject.KindTorn, Bytes: 25})
+	faultinject.Enable(fi)
+	_, err := d.Ingest(rec)
+	faultinject.Disable()
+	if err == nil {
+		t.Fatal("ingest survived a torn WAL append")
+	}
+
+	fleet, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Store.Close()
+	defer fleet.Registry.Close()
+	if got := fleet.Replayed["main"]; got != 3 {
+		t.Fatalf("replayed %d records, want the 3 accepted ones", got)
+	}
+	// The rejected fourth record must be re-ingestable on the recovered
+	// fleet (seq continuity after the torn tail was dropped).
+	rd, _ := fleet.Registry.Get("main")
+	if _, err := rd.Ingest(rec); err != nil {
+		t.Fatalf("recovered WAL rejects new ingest: %v", err)
+	}
+	if _, buffered, _ := rd.IngestStats(); buffered != 4 {
+		t.Fatalf("buffered=%d, want 4", buffered)
+	}
+}
+
+// TestSeededFaultScheduleIsDeterministic runs the same seeded disk-error
+// schedule against the same mutation sequence twice and asserts the
+// fleet lands in the same place — the determinism that makes these
+// crash tests debuggable.
+func TestSeededFaultScheduleIsDeterministic(t *testing.T) {
+	run := func() (versions []int) {
+		dir := t.TempDir()
+		_, _, d := newFleet(t, dir)
+		fi := faultinject.NewRegistry()
+		fi.ArmSeeded("fleetstate.snapshot.main", 42, 0.5, faultinject.Fault{Kind: faultinject.KindError})
+		faultinject.Enable(fi)
+		defer faultinject.Disable()
+		for v := 2; v <= 9; v++ {
+			if err := d.Swap(freshModel(t, int64(v)), v); err == nil {
+				versions = append(versions, v)
+			}
+		}
+		return versions
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 8 {
+		t.Fatalf("schedule degenerate: %v", a)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}

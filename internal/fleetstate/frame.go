@@ -1,0 +1,193 @@
+// Package fleetstate makes an Overton fleet crash-safe: a -state-dir
+// rooted durable store holding atomic, checksummed model snapshots, an
+// append-only fleet manifest journal recording every lifecycle event
+// (deploy, swap, shadow, promote, rollback, limits, loop start/stop), and
+// a bounded per-deployment ingest write-ahead log — plus Recover, which
+// replays them after a crash to rebuild the registry at its exact
+// pre-crash state: versions, shadows, limits, loop policies, and every
+// accepted-but-unprocessed ingest record.
+//
+// Durability discipline, shared with internal/deploy's persist hooks:
+// everything is written before the in-memory mutation it describes
+// applies (write-ahead), snapshots and checkpoint marks go through
+// write-temp → fsync → rename (never a partial file at the final path),
+// and both line-oriented logs frame every entry with a CRC so replay
+// distinguishes a torn final write (dropped: the mutation never applied)
+// from mid-file corruption (an error: history is damaged, refuse to
+// guess).
+//
+// Layout under the state dir:
+//
+//	journal.log              fleet manifest journal (framed JSONL)
+//	snapshots/<dep>-v<N>.snap checksummed model artifacts
+//	wal/<dep>.wal            ingest WAL (framed JSONL, seq-numbered)
+//	wal/<dep>.ckpt           last processed WAL sequence
+package fleetstate
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// ErrCorrupt is the sentinel wrapped by every torn-or-damaged-state error
+// this package reports; use errors.Is.
+var ErrCorrupt = errors.New("fleetstate: corrupt state")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// castagnoli is the CRC32-C table used for every checksum in the store.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameLine wraps one log entry as "%08x %s\n" — the CRC32-C of the
+// content, a space, the content. Content must not contain a newline.
+func frameLine(content []byte) []byte {
+	out := make([]byte, 0, len(content)+10)
+	out = fmt.Appendf(out, "%08x ", crc32.Checksum(content, castagnoli))
+	out = append(out, content...)
+	return append(out, '\n')
+}
+
+// parseFramedLines splits framed log data back into entry contents.
+// A final entry that is incomplete or fails its CRC is a torn tail — the
+// write it belonged to never finished, so the entry is dropped and torn
+// reports true. The same damage anywhere before the tail is corruption.
+func parseFramedLines(data []byte) (contents [][]byte, torn bool, err error) {
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		last := nl < 0 || nl == len(data)-1
+		var line []byte
+		if nl < 0 {
+			line, data = data, nil
+		} else {
+			line, data = data[:nl], data[nl+1:]
+		}
+		content, ok := checkFrame(line)
+		if !ok {
+			if last {
+				return contents, true, nil
+			}
+			return nil, false, corruptf("framed log: entry %d damaged before the tail", len(contents))
+		}
+		contents = append(contents, content)
+	}
+	return contents, false, nil
+}
+
+// checkFrame validates one framed line, returning its content.
+func checkFrame(line []byte) ([]byte, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return nil, false
+	}
+	content := line[9:]
+	return content, crc32.Checksum(content, castagnoli) == want
+}
+
+// writeFileAtomic writes data to path via temp file + fsync + rename +
+// directory fsync, so the final path only ever holds the whole payload.
+// The faultinject site lets tests inject disk errors and — with a torn
+// fault — simulate the non-atomic failure this helper exists to prevent
+// (partial bytes at the final path, as a dying kernel could leave).
+func writeFileAtomic(path string, data []byte, site string) error {
+	if keep, f := faultinject.Torn(site); f != nil {
+		switch f.Kind {
+		case faultinject.KindTorn:
+			if keep > len(data) {
+				keep = len(data)
+			}
+			_ = os.WriteFile(path, data[:keep], 0o644)
+			return f.Error()
+		case faultinject.KindDelay:
+			time.Sleep(f.Delay)
+		default:
+			return f.Error()
+		}
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Snapshot framing: magic, format version, payload length, CRC32-C,
+// payload. The explicit length catches truncation before the CRC pass.
+const (
+	snapMagic   = "OVSN"
+	snapVersion = 1
+	snapHeader  = 4 + 1 + 8 + 4
+)
+
+// encodeSnapshot frames a model artifact for disk.
+func encodeSnapshot(payload []byte) []byte {
+	out := make([]byte, snapHeader, snapHeader+len(payload))
+	copy(out, snapMagic)
+	out[4] = snapVersion
+	binary.BigEndian.PutUint64(out[5:13], uint64(len(payload)))
+	binary.BigEndian.PutUint32(out[13:17], crc32.Checksum(payload, castagnoli))
+	return append(out, payload...)
+}
+
+// decodeSnapshot validates a framed snapshot and returns its payload.
+// Every failure wraps ErrCorrupt — the caller's cue to fall back to an
+// older snapshot rather than serve damaged weights.
+func decodeSnapshot(b []byte) ([]byte, error) {
+	if len(b) < snapHeader {
+		return nil, corruptf("snapshot: %d bytes, shorter than the header", len(b))
+	}
+	if string(b[:4]) != snapMagic {
+		return nil, corruptf("snapshot: bad magic %q", b[:4])
+	}
+	if b[4] != snapVersion {
+		return nil, corruptf("snapshot: unknown format version %d", b[4])
+	}
+	n := binary.BigEndian.Uint64(b[5:13])
+	payload := b[snapHeader:]
+	if uint64(len(payload)) != n {
+		return nil, corruptf("snapshot: header claims %d payload bytes, file has %d", n, len(payload))
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != binary.BigEndian.Uint32(b[13:17]) {
+		return nil, corruptf("snapshot: payload checksum mismatch")
+	}
+	return payload, nil
+}

@@ -1,0 +1,330 @@
+package fleetstate
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/deploy"
+	"repro/internal/model"
+	"repro/internal/record"
+)
+
+// Fleet is what Recover rebuilds from a state directory: the registry at
+// its exact pre-crash state (with the Store already attached, so new
+// mutations journal immediately), plus the pieces the caller wires up
+// itself — which deployment was the default, the fleet concurrency
+// budget, and the improvement loops that were running (Recover does not
+// start goroutines; call StartLoop per entry once serving is ready).
+type Fleet struct {
+	// Registry holds the recovered deployments with the Store attached.
+	Registry *deploy.Registry
+	// Store is the open durable store; journal writes continue its
+	// sequence. The caller owns Close.
+	Store *Store
+	// Default is the recovered default deployment name ("" when none).
+	Default string
+	// Budget is the journaled fleet-wide concurrency cap (0 = none).
+	Budget int
+	// Loops maps deployment name to the config of the improvement loop
+	// that was running at crash time (explicitly stopped loops excluded).
+	Loops map[string]deploy.LoopConfig
+	// Replayed counts WAL records restored into ingest buffers, per
+	// deployment.
+	Replayed map[string]int
+	// CleanShutdown reports whether the journal ends at a checkpoint
+	// event — the previous process exited through its drain path.
+	CleanShutdown bool
+	// Warnings lists non-fatal damage recovery routed around (a corrupt
+	// newest snapshot it fell back from, a dropped shadow).
+	Warnings []string
+}
+
+// depState is one deployment's journal-replay accumulator. history is
+// the stack of (version, snapshot) pairs that have been installed as the
+// primary, newest last — the fallback chain when the newest snapshot
+// fails its CRC on load.
+type depState struct {
+	name    string
+	version int
+	history []versionSnap
+	// shadow
+	hasShadow  bool
+	shadowVer  int
+	shadowSnap string
+	// config
+	limits *deploy.Limits
+	loop   *deploy.LoopConfig
+	// snapshots seen per version (promote events carry no snapshot name;
+	// the set-shadow that introduced the version does)
+	snaps map[int]string
+}
+
+type versionSnap struct {
+	version int
+	snap    string
+}
+
+func (ds *depState) install(version int, snap string) {
+	if snap == "" {
+		snap = ds.snaps[version]
+	} else {
+		ds.snaps[version] = snap
+	}
+	ds.version = version
+	ds.history = append(ds.history, versionSnap{version: version, snap: snap})
+}
+
+// Recover opens the store at dir and replays its manifest journal into a
+// live fleet. An empty or absent state directory recovers to an empty
+// registry — first boot and restart share one code path.
+//
+// Consistency: events were journaled before they applied, and a torn
+// final journal entry is dropped, so replay lands on a fleet state the
+// process actually reached (or durably committed to) — kill a promote at
+// any instant and recovery serves the pre- or post-promote version,
+// never a mix. If the newest snapshot of a deployment fails its
+// checksum, recovery falls back down that deployment's version history
+// to the newest loadable snapshot (with a warning) rather than failing
+// the fleet; a deployment with no loadable snapshot at all is a hard
+// error. The unprocessed ingest WAL tail (records after the checkpoint
+// mark) is replayed into the rebuilt ingest buffers, then each WAL is
+// rewritten with sequences renumbered from 1 to match the rebuilt
+// buffers' counters.
+//
+// opts are applied to every rebuilt deployment (batching, buffer
+// capacity — the serve-level tuning that is not part of durable state).
+func Recover(dir string, opts ...deploy.Option) (*Fleet, error) {
+	st, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	fleet, err := recoverFrom(st, opts)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return fleet, nil
+}
+
+func recoverFrom(st *Store, opts []deploy.Option) (*Fleet, error) {
+	evs, err := st.readJournal()
+	if err != nil {
+		return nil, err
+	}
+	fleet := &Fleet{
+		Store:    st,
+		Loops:    map[string]deploy.LoopConfig{},
+		Replayed: map[string]int{},
+	}
+
+	// Pass 1: fold the journal into per-deployment states.
+	deps := map[string]*depState{}
+	var order []string
+	state := func(name string) *depState {
+		ds, ok := deps[name]
+		if !ok {
+			ds = &depState{name: name, snaps: map[int]string{}}
+			deps[name] = ds
+			order = append(order, name)
+		}
+		return ds
+	}
+	for _, ev := range evs {
+		fleet.CleanShutdown = ev.Type == deploy.EventCheckpoint
+		switch ev.Type {
+		case deploy.EventDeploy:
+			ds := state(ev.Dep)
+			ds.install(ev.Version, ev.Snap)
+			if fleet.Default == "" {
+				fleet.Default = ev.Dep
+			}
+		case deploy.EventSwap:
+			state(ev.Dep).install(ev.Version, ev.Snap)
+		case deploy.EventSetShadow:
+			ds := state(ev.Dep)
+			if ev.Clear {
+				ds.hasShadow = false
+			} else {
+				ds.hasShadow, ds.shadowVer, ds.shadowSnap = true, ev.Version, ev.Snap
+				ds.snaps[ev.Version] = ev.Snap
+			}
+		case deploy.EventPromote:
+			ds := state(ev.Dep)
+			ds.install(ev.Version, ds.snaps[ev.Version])
+			ds.hasShadow = false
+		case deploy.EventRollback:
+			state(ev.Dep).install(ev.Version, "")
+		case deploy.EventLimits:
+			if ev.Limits != nil {
+				lim := *ev.Limits
+				state(ev.Dep).limits = &lim
+			}
+		case deploy.EventLoopStart:
+			if ev.Loop != nil {
+				cfg := *ev.Loop
+				state(ev.Dep).loop = &cfg
+			}
+		case deploy.EventLoopStop:
+			state(ev.Dep).loop = nil
+		case deploy.EventSetDefault:
+			fleet.Default = ev.Dep
+		case deploy.EventBudget:
+			fleet.Budget = ev.Budget
+		case deploy.EventCheckpoint:
+			// CleanShutdown already latched above.
+		default:
+			fleet.Warnings = append(fleet.Warnings,
+				fmt.Sprintf("journal: unknown event type %q (seq %d) ignored", ev.Type, ev.Seq))
+		}
+	}
+
+	// Pass 2: materialise each deployment — newest loadable snapshot from
+	// its history, shadow, limits, WAL tail.
+	reg := deploy.NewRegistry()
+	fleet.Registry = reg
+	for _, name := range order {
+		ds := deps[name]
+		m, version, warns, err := loadNewest(st, ds)
+		fleet.Warnings = append(fleet.Warnings, warns...)
+		if err != nil {
+			return nil, err
+		}
+		d := deploy.New(name, m, version, opts...)
+		if ds.limits != nil {
+			if err := d.SetLimits(*ds.limits); err != nil {
+				fleet.Warnings = append(fleet.Warnings,
+					fmt.Sprintf("%s: journaled limits rejected: %v", name, err))
+			}
+		}
+		if ds.hasShadow && ds.shadowSnap != "" {
+			if sm, err := st.loadSnapshot(ds.shadowSnap); err != nil {
+				fleet.Warnings = append(fleet.Warnings,
+					fmt.Sprintf("%s: shadow v%d snapshot unusable, shadow dropped: %v", name, ds.shadowVer, err))
+			} else if err := d.SetShadow(sm, ds.shadowVer); err != nil {
+				fleet.Warnings = append(fleet.Warnings,
+					fmt.Sprintf("%s: shadow v%d rejected, shadow dropped: %v", name, ds.shadowVer, err))
+			}
+		}
+		replayed, err := replayWAL(st, d)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		fleet.Replayed[name] = replayed
+		if err := reg.Add(d); err != nil {
+			d.Close()
+			return nil, fmt.Errorf("fleetstate: recover: %w", err)
+		}
+		st.noteSchema(name, m.Prog.Schema)
+		if ds.loop != nil {
+			fleet.Loops[name] = *ds.loop
+		}
+	}
+	if fleet.Default != "" {
+		if _, ok := deps[fleet.Default]; ok {
+			if err := reg.SetDefault(fleet.Default); err != nil {
+				return nil, fmt.Errorf("fleetstate: recover: %w", err)
+			}
+		}
+	}
+	if fleet.Budget > 0 {
+		reg.SetConcurrencyBudget(fleet.Budget)
+	}
+	// Attach the store last: rebuilding must not re-journal history. From
+	// here every new mutation persists before it applies.
+	reg.SetPersister(st)
+	return fleet, nil
+}
+
+// loadNewest walks a deployment's version history newest-first and
+// returns the first snapshot that passes its checksum and decodes — the
+// corrupt-snapshot fallback that keeps one flipped bit from taking a
+// deployment (or the fleet) down with it.
+func loadNewest(st *Store, ds *depState) (*model.Model, int, []string, error) {
+	var warns []string
+	seen := map[int]bool{}
+	for i := len(ds.history) - 1; i >= 0; i-- {
+		vs := ds.history[i]
+		if seen[vs.version] {
+			continue
+		}
+		seen[vs.version] = true
+		if vs.snap == "" {
+			warns = append(warns, fmt.Sprintf("%s: v%d has no journaled snapshot, skipping", ds.name, vs.version))
+			continue
+		}
+		m, err := st.loadSnapshot(vs.snap)
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) || errors.Is(err, model.ErrCorruptArtifact) {
+				warns = append(warns, fmt.Sprintf("%s: v%d snapshot corrupt, falling back: %v", ds.name, vs.version, err))
+				continue
+			}
+			return nil, 0, warns, fmt.Errorf("fleetstate: recover %s v%d: %w", ds.name, vs.version, err)
+		}
+		if vs.version != ds.version {
+			warns = append(warns, fmt.Sprintf("%s: recovered at v%d (newest journaled was v%d)", ds.name, vs.version, ds.version))
+		}
+		return m, vs.version, warns, nil
+	}
+	return nil, 0, warns, fmt.Errorf("fleetstate: recover %s: no loadable snapshot in %d journaled versions",
+		ds.name, len(seen))
+}
+
+// replayWAL restores the deployment's unprocessed WAL tail (records
+// after the checkpoint mark) into its ingest buffer, then rewrites the
+// WAL with sequences renumbered from 1 and the checkpoint cleared — the
+// rebuilt buffer's cumulative ingested count restarts at the replayed
+// record count, and the renumbering keeps WAL sequences identical to it,
+// which is the invariant checkpoint marks depend on.
+func replayWAL(st *Store, d *deploy.Deployment) (int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	name := d.Name()
+	w, err := st.openWAL(name)
+	if err != nil {
+		return 0, err
+	}
+	recs, err := readWALFile(w.path)
+	if err != nil {
+		return 0, err
+	}
+	sch := d.Schema()
+	var restored []*record.Record
+	var buf []byte
+	for _, wr := range recs {
+		if wr.seq <= w.mark {
+			continue
+		}
+		r, err := record.ParseRecord(wr.body, sch)
+		if err != nil {
+			return 0, corruptf("wal %s: seq %d: %v", name, wr.seq, err)
+		}
+		if err := record.Validate(r, sch); err != nil {
+			return 0, corruptf("wal %s: seq %d: %v", name, wr.seq, err)
+		}
+		restored = append(restored, r)
+		line := []byte(fmt.Sprintf("%d ", len(restored)))
+		buf = append(buf, frameLine(append(line, wr.body...))...)
+	}
+	if err := writeFileAtomic(w.path, buf, "fleetstate.wal.rewrite."+name); err != nil {
+		return 0, fmt.Errorf("fleetstate: wal %s: rewrite: %w", name, err)
+	}
+	if err := writeFileAtomic(w.ckptPath, []byte("0"), "fleetstate.ckpt."+name); err != nil {
+		return 0, fmt.Errorf("fleetstate: checkpoint %s: reset: %w", name, err)
+	}
+	w.f.Close()
+	f, err := openAppend(w.path)
+	if err != nil {
+		return 0, fmt.Errorf("fleetstate: wal %s: %w", name, err)
+	}
+	w.f = f
+	w.mark = 0
+	w.seq = int64(len(restored))
+	if len(restored) > 0 {
+		w.firstSeq = 1
+		d.RestoreIngest(restored...)
+	} else {
+		w.firstSeq = 0
+	}
+	return len(restored), nil
+}

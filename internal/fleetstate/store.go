@@ -1,0 +1,461 @@
+package fleetstate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"repro/internal/deploy"
+	"repro/internal/faultinject"
+	"repro/internal/model"
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+// walCompactThreshold is how many already-checkpointed records may sit at
+// the head of a WAL file before a checkpoint rewrites it — the bound that
+// keeps the WAL proportional to unprocessed work, not ingest history.
+const walCompactThreshold = 4096
+
+// Store is the durable side of a fleet: it implements deploy.Persister
+// over a -state-dir. Attach it with Registry.SetPersister (or let
+// Recover hand back a registry with it already attached); every
+// lifecycle mutation is then journaled — and its model snapshotted —
+// before it applies in memory. Safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	journal *os.File
+	// bad wedges the journal after a failed append: the on-disk suffix is
+	// unknowable, so the store fails stop (every later event errors, so
+	// every later mutation fails) until a restart recovers. Fail-stop is
+	// the only honest answer — journaling over a torn line would turn the
+	// next replay's "torn tail" into "mid-file corruption".
+	bad     bool
+	seq     int64 // last journaled event sequence
+	schemas map[string]*schema.Schema
+	wals    map[string]*wal
+}
+
+// wal is one deployment's ingest write-ahead log. Sequence numbers count
+// accepted records from 1 and match the deployment buffer's cumulative
+// ingested count exactly (deploy.Ingest holds its ingestMu across the
+// WAL append and the buffer append), which is what makes a drain-time
+// checkpoint mark precise.
+type wal struct {
+	path     string
+	ckptPath string
+	f        *os.File
+	bad      bool
+	seq      int64 // last appended record sequence
+	firstSeq int64 // lowest sequence still in the file (compaction base)
+	mark     int64 // last checkpointed sequence
+}
+
+// Open opens (creating if needed) the durable store rooted at dir. The
+// existing journal is validated — a torn final entry is tolerated as an
+// unapplied write; damage earlier in the file is an error — and new
+// events continue its sequence. Most callers want Recover, which opens
+// the store and rebuilds the fleet it describes.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{dir, filepath.Join(dir, "snapshots"), filepath.Join(dir, "wal")} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("fleetstate: %w", err)
+		}
+	}
+	s := &Store{dir: dir, schemas: map[string]*schema.Schema{}, wals: map[string]*wal{}}
+	evs, err := s.readJournal()
+	if err != nil {
+		return nil, err
+	}
+	if len(evs) > 0 {
+		s.seq = evs[len(evs)-1].Seq
+	}
+	f, err := os.OpenFile(s.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleetstate: %w", err)
+	}
+	s.journal = f
+	return s, nil
+}
+
+// Dir returns the state directory the store is rooted at.
+func (s *Store) Dir() string { return s.dir }
+
+// openAppend opens path for appending, creating it if absent.
+func openAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (s *Store) journalPath() string { return filepath.Join(s.dir, "journal.log") }
+
+// safeName makes a deployment name filesystem-safe for snapshot and WAL
+// filenames (names arrive from flags and HTTP paths).
+func safeName(dep string) string { return url.PathEscape(dep) }
+
+func (s *Store) snapshotPath(name string) string {
+	return filepath.Join(s.dir, "snapshots", name)
+}
+
+// readJournal reads and validates the whole journal, dropping a torn
+// tail. Used by Open (to continue the sequence) and Recover (to replay).
+func (s *Store) readJournal() ([]deploy.Event, error) {
+	data, err := os.ReadFile(s.journalPath())
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleetstate: journal: %w", err)
+	}
+	contents, _, err := parseFramedLines(data)
+	if err != nil {
+		return nil, fmt.Errorf("fleetstate: journal: %w", err)
+	}
+	evs := make([]deploy.Event, 0, len(contents))
+	for i, c := range contents {
+		var ev deploy.Event
+		if err := json.Unmarshal(c, &ev); err != nil {
+			return nil, corruptf("journal: entry %d: %v", i, err)
+		}
+		evs = append(evs, ev)
+	}
+	return evs, nil
+}
+
+// PersistEvent snapshots the event's model (when it carries one) and
+// appends the event to the manifest journal, fsyncing both before
+// returning — the write-ahead half of deploy's persist-before-apply
+// contract. Snapshot failures leave the journal untouched (the event
+// never happened); journal append failures wedge the store fail-stop.
+func (s *Store) PersistEvent(ev deploy.Event, m *model.Model) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bad {
+		return corruptf("journal wedged by an earlier write failure; restart to recover")
+	}
+	if m != nil {
+		payload, err := m.Bytes()
+		if err != nil {
+			return fmt.Errorf("fleetstate: snapshot %s v%d: %w", ev.Dep, ev.Version, err)
+		}
+		snapName := fmt.Sprintf("%s-v%d.snap", safeName(ev.Dep), ev.Version)
+		site := "fleetstate.snapshot." + ev.Dep
+		if err := writeFileAtomic(s.snapshotPath(snapName), encodeSnapshot(payload), site); err != nil {
+			return fmt.Errorf("fleetstate: snapshot %s v%d: %w", ev.Dep, ev.Version, err)
+		}
+		ev.Snap = snapName
+		s.schemas[ev.Dep] = m.Prog.Schema
+	}
+	ev.Seq = s.seq + 1
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("fleetstate: journal: %w", err)
+	}
+	if err := s.appendJournal(frameLine(body)); err != nil {
+		s.bad = true
+		return fmt.Errorf("fleetstate: journal: %w", err)
+	}
+	s.seq = ev.Seq
+	return nil
+}
+
+// appendJournal writes one framed line and fsyncs. The faultinject site
+// "fleetstate.journal.append" injects disk errors and torn line writes —
+// the torn case leaves exactly the partial tail a mid-append crash
+// leaves, which replay must drop.
+func (s *Store) appendJournal(line []byte) error {
+	if keep, f := faultinject.Torn("fleetstate.journal.append"); f != nil {
+		if f.Kind == faultinject.KindTorn {
+			if keep > len(line) {
+				keep = len(line)
+			}
+			_, _ = s.journal.Write(line[:keep])
+			_ = s.journal.Sync()
+			return f.Error()
+		}
+		return f.Error()
+	}
+	if _, err := s.journal.Write(line); err != nil {
+		return err
+	}
+	return s.journal.Sync()
+}
+
+// noteSchema primes the per-deployment schema used to frame WAL records
+// (recovery calls it for rebuilt deployments, whose deploy events —
+// and with them, their schemas — predate this store handle).
+func (s *Store) noteSchema(dep string, sch *schema.Schema) {
+	s.mu.Lock()
+	s.schemas[dep] = sch
+	s.mu.Unlock()
+}
+
+// openWAL returns (opening or creating as needed) the deployment's WAL.
+// Caller holds s.mu.
+func (s *Store) openWAL(dep string) (*wal, error) {
+	if w, ok := s.wals[dep]; ok {
+		return w, nil
+	}
+	w := &wal{
+		path:     filepath.Join(s.dir, "wal", safeName(dep)+".wal"),
+		ckptPath: filepath.Join(s.dir, "wal", safeName(dep)+".ckpt"),
+	}
+	recs, err := readWALFile(w.path)
+	if err != nil {
+		return nil, err
+	}
+	if n := len(recs); n > 0 {
+		w.firstSeq = recs[0].seq
+		w.seq = recs[n-1].seq
+	}
+	w.mark, err = readCheckpoint(w.ckptPath)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleetstate: wal %s: %w", dep, err)
+	}
+	w.f = f
+	s.wals[dep] = w
+	return w, nil
+}
+
+// AppendIngest durably appends recs to the deployment's ingest WAL (one
+// fsync per call), assigning consecutive sequence numbers. Called by
+// deploy.Ingest before the records enter the in-memory buffer; an error
+// here rejects the ingest, so an accepted record is always replayable.
+func (s *Store) AppendIngest(dep string, recs []*record.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sch, ok := s.schemas[dep]
+	if !ok {
+		return fmt.Errorf("fleetstate: wal %s: deployment unknown to the store (no deploy event journaled)", dep)
+	}
+	w, err := s.openWAL(dep)
+	if err != nil {
+		return err
+	}
+	if w.bad {
+		return corruptf("wal %s wedged by an earlier write failure; restart to recover", dep)
+	}
+	var buf []byte
+	for i, r := range recs {
+		body, err := record.MarshalRecord(r, sch)
+		if err != nil {
+			return fmt.Errorf("fleetstate: wal %s: %w", dep, err)
+		}
+		content := []byte(strconv.FormatInt(w.seq+int64(i)+1, 10) + " ")
+		buf = append(buf, frameLine(append(content, body...))...)
+	}
+	if err := w.append(dep, buf); err != nil {
+		w.bad = true
+		return fmt.Errorf("fleetstate: wal %s: %w", dep, err)
+	}
+	w.seq += int64(len(recs))
+	if w.firstSeq == 0 {
+		w.firstSeq = 1
+	}
+	return nil
+}
+
+// append writes framed WAL lines and fsyncs, with the per-deployment
+// faultinject site "fleetstate.wal.<dep>" for disk errors and torn
+// appends.
+func (w *wal) append(dep string, buf []byte) error {
+	if keep, f := faultinject.Torn("fleetstate.wal." + dep); f != nil {
+		if f.Kind == faultinject.KindTorn {
+			if keep > len(buf) {
+				keep = len(buf)
+			}
+			_, _ = w.f.Write(buf[:keep])
+			_ = w.f.Sync()
+			return f.Error()
+		}
+		return f.Error()
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// CheckpointIngest durably marks every WAL record with sequence <= mark
+// as processed (atomic write of the .ckpt file), and compacts the WAL
+// file once enough processed records have accumulated at its head — the
+// bound that keeps crash-replay work proportional to unprocessed ingest.
+func (s *Store) CheckpointIngest(dep string, mark int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, err := s.openWAL(dep)
+	if err != nil {
+		return err
+	}
+	if mark <= w.mark {
+		return nil // stale or duplicate checkpoint; the durable mark only advances
+	}
+	site := "fleetstate.ckpt." + dep
+	if err := writeFileAtomic(w.ckptPath, []byte(strconv.FormatInt(mark, 10)), site); err != nil {
+		return fmt.Errorf("fleetstate: checkpoint %s: %w", dep, err)
+	}
+	w.mark = mark
+	if !w.bad && w.firstSeq > 0 && mark-w.firstSeq+1 >= walCompactThreshold {
+		if err := s.compactWAL(dep, w); err != nil {
+			return fmt.Errorf("fleetstate: compact wal %s: %w", dep, err)
+		}
+	}
+	return nil
+}
+
+// compactWAL rewrites the WAL keeping only records after the checkpoint
+// mark, preserving their sequence numbers. Caller holds s.mu.
+func (s *Store) compactWAL(dep string, w *wal) error {
+	recs, err := readWALFile(w.path)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	first := int64(0)
+	for _, r := range recs {
+		if r.seq <= w.mark {
+			continue
+		}
+		if first == 0 {
+			first = r.seq
+		}
+		buf = append(buf, frameLine(r.raw)...)
+	}
+	if err := writeFileAtomic(w.path, buf, "fleetstate.wal.compact."+dep); err != nil {
+		return err
+	}
+	// Reopen the append handle on the new inode.
+	w.f.Close()
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	if first == 0 {
+		first = w.mark + 1
+	}
+	w.firstSeq = first
+	return nil
+}
+
+// walRec is one replayed WAL entry: its sequence, the record JSON, and
+// the raw framed content (for compaction rewrites).
+type walRec struct {
+	seq  int64
+	body []byte
+	raw  []byte
+}
+
+// readWALFile reads and validates a WAL, dropping a torn tail (the
+// ingest that wrote it was rejected, so the record was never accepted).
+func readWALFile(path string) ([]walRec, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleetstate: wal: %w", err)
+	}
+	contents, _, err := parseFramedLines(data)
+	if err != nil {
+		return nil, fmt.Errorf("fleetstate: wal: %w", err)
+	}
+	recs := make([]walRec, 0, len(contents))
+	for i, c := range contents {
+		sp := -1
+		for j, b := range c {
+			if b == ' ' {
+				sp = j
+				break
+			}
+		}
+		if sp < 1 {
+			return nil, corruptf("wal: entry %d: no sequence prefix", i)
+		}
+		seq, err := strconv.ParseInt(string(c[:sp]), 10, 64)
+		if err != nil {
+			return nil, corruptf("wal: entry %d: bad sequence: %v", i, err)
+		}
+		recs = append(recs, walRec{seq: seq, body: c[sp+1:], raw: c})
+	}
+	return recs, nil
+}
+
+// readCheckpoint reads a .ckpt mark (0 when none exists). The file is
+// written atomically, so it is either absent or whole.
+func readCheckpoint(path string) (int64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("fleetstate: checkpoint: %w", err)
+	}
+	mark, err := strconv.ParseInt(string(data), 10, 64)
+	if err != nil {
+		return 0, corruptf("checkpoint %s: %v", path, err)
+	}
+	return mark, nil
+}
+
+// Checkpoint journals an EventCheckpoint — the clean-shutdown marker a
+// later Recover reports via Fleet.CleanShutdown. Call it after draining,
+// as the last write before exit.
+func (s *Store) Checkpoint() error {
+	return s.PersistEvent(deploy.Event{Type: deploy.EventCheckpoint}, nil)
+}
+
+// Close releases the journal and WAL file handles. It does not journal
+// anything — pair it with Checkpoint for a clean shutdown.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.journal = nil
+		s.bad = true // no appends after Close
+	}
+	for _, w := range s.wals {
+		if w.f != nil {
+			if err := w.f.Close(); err != nil && first == nil {
+				first = err
+			}
+			w.f = nil
+			w.bad = true
+		}
+	}
+	return first
+}
+
+// loadSnapshot reads and CRC-validates a snapshot file and decodes the
+// model inside it. Both layers report typed corruption (ErrCorrupt /
+// model.ErrCorruptArtifact) so recovery can fall back to an older
+// version instead of serving damaged weights.
+func (s *Store) loadSnapshot(name string) (*model.Model, error) {
+	data, err := os.ReadFile(s.snapshotPath(name))
+	if err != nil {
+		return nil, fmt.Errorf("fleetstate: snapshot %s: %w", name, err)
+	}
+	payload, err := decodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("fleetstate: snapshot %s: %w", name, err)
+	}
+	m, err := model.Load(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("fleetstate: snapshot %s: %w", name, err)
+	}
+	return m, nil
+}

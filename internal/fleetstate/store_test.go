@@ -1,0 +1,317 @@
+package fleetstate
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/deploy"
+	"repro/internal/model"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func freshModel(t testing.TB, seed int64) *model.Model {
+	t.Helper()
+	choice := schema.Choice{
+		Embedding: "hash-8", Encoder: "BOW", Hidden: 8,
+		QueryAgg: "mean", EntityAgg: "mean",
+		LR: 0.01, Epochs: 1, Dropout: 0, BatchSize: 8,
+	}
+	prog, err := compile.Plan(workload.FactoidSchema(), choice, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := workload.DefaultKB()
+	var ents []string
+	for _, e := range kb.Entities {
+		ents = append(ents, e.ID)
+	}
+	m, err := model.New(prog, &compile.Resources{
+		TokenVocab:  workload.Vocabulary(kb),
+		EntityVocab: ents,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func goodRecord(t testing.TB, m *model.Model) *record.Record {
+	t.Helper()
+	rec := &record.Record{Payloads: map[string]record.PayloadValue{
+		"tokens":   {Tokens: []string{"how", "tall", "is", "obama"}},
+		"query":    {String: "how tall is obama"},
+		"entities": {Set: []record.SetMember{{ID: "Barack_Obama", Start: 3, End: 4}}},
+	}}
+	if err := record.Validate(rec, m.Prog.Schema); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// newFleet opens a store in dir and registers one deployment "main" at
+// version 1 through it, returning both plus the registry.
+func newFleet(t *testing.T, dir string) (*Store, *deploy.Registry, *deploy.Deployment) {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := deploy.NewRegistry()
+	reg.SetPersister(st)
+	d := deploy.New("main", freshModel(t, 1), 1)
+	if err := reg.Add(d); err != nil {
+		t.Fatal(err)
+	}
+	return st, reg, d
+}
+
+// TestRecoverEmptyDir pins the first-boot path: an absent state dir
+// recovers to an empty fleet, ready for deploys.
+func TestRecoverEmptyDir(t *testing.T) {
+	fleet, err := Recover(filepath.Join(t.TempDir(), "fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Store.Close()
+	if n := len(fleet.Registry.Names()); n != 0 {
+		t.Fatalf("empty dir recovered %d deployments", n)
+	}
+	if fleet.CleanShutdown {
+		t.Fatal("empty journal reported a clean shutdown")
+	}
+}
+
+// TestRecoverRoundTrip drives the full lifecycle through a persisted
+// registry — deploy, limits, shadow, promote, loop start, ingest — shuts
+// down cleanly, and asserts recovery rebuilds every piece of it exactly.
+func TestRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, reg, d := newFleet(t, dir)
+
+	if err := d.SetLimits(deploy.Limits{QPS: 50, QueueDepth: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetShadow(freshModel(t, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetShadow(freshModel(t, 3), 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StartLoop(deploy.LoopConfig{Interval: time.Hour, MinRetrainBatch: 7}); err != nil {
+		t.Fatal(err)
+	}
+	rec := goodRecord(t, freshModel(t, 1))
+	for i := 0; i < 5; i++ {
+		if _, err := d.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Graceful shutdown: close (journals nothing) and checkpoint.
+	reg.Close()
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	fleet, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Store.Close()
+	defer fleet.Registry.Close()
+	if !fleet.CleanShutdown {
+		t.Fatal("checkpointed journal not reported as a clean shutdown")
+	}
+	rd, ok := fleet.Registry.Get("main")
+	if !ok {
+		t.Fatal("deployment not recovered")
+	}
+	if v := rd.Version(); v != 2 {
+		t.Fatalf("recovered version %d, want promoted 2", v)
+	}
+	if lim := rd.Limits(); lim.QPS != 50 || lim.QueueDepth != 8 {
+		t.Fatalf("limits not recovered: %+v", lim)
+	}
+	st2 := rd.Stats()
+	if st2.ShadowVersion != 3 {
+		t.Fatalf("shadow v3 not recovered: %+v", st2)
+	}
+	if st2.Buffered != 5 || fleet.Replayed["main"] != 5 {
+		t.Fatalf("WAL replay wrong: buffered=%d replayed=%d, want 5", st2.Buffered, fleet.Replayed["main"])
+	}
+	cfg, ok := fleet.Loops["main"]
+	if !ok || cfg.MinRetrainBatch != 7 || cfg.Interval != time.Hour {
+		t.Fatalf("loop config not recovered: %+v (ok=%v)", cfg, ok)
+	}
+	if fleet.Default != "main" {
+		t.Fatalf("default = %q, want main", fleet.Default)
+	}
+	// The recovered deployment must serve, and new mutations must journal
+	// (recover again and see them).
+	if _, _, err := rd.Predict(goodRecord(t, freshModel(t, 1))); err != nil {
+		t.Fatalf("recovered deployment cannot serve: %v", err)
+	}
+	if err := rd.Swap(freshModel(t, 9), 9); err != nil {
+		t.Fatal(err)
+	}
+	fleet.Registry.Close()
+	fleet.Store.Close()
+	fleet2, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet2.Store.Close()
+	defer fleet2.Registry.Close()
+	rd2, _ := fleet2.Registry.Get("main")
+	if v := rd2.Version(); v != 9 {
+		t.Fatalf("post-recovery swap not journaled: recovered v%d, want 9", v)
+	}
+}
+
+// TestExplicitLoopStopSurvivesRecovery pins the loop-state semantics: an
+// operator's StopLoop is durable (the loop must NOT restart), while a
+// crash with the loop running leaves it in Fleet.Loops for restart.
+func TestExplicitLoopStopSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, reg, d := newFleet(t, dir)
+	if err := d.StartLoop(deploy.LoopConfig{Interval: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	d.StopLoop()
+	reg.Close()
+	st.Close()
+
+	fleet, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Store.Close()
+	defer fleet.Registry.Close()
+	if _, ok := fleet.Loops["main"]; ok {
+		t.Fatal("explicitly stopped loop came back after recovery")
+	}
+}
+
+// TestTornJournalTailDropped pins torn-write tolerance: a partial final
+// journal line (the write a crash interrupted) is dropped — the fleet
+// recovers at the last fully journaled state — while damage earlier in
+// the journal is corruption and must refuse to recover.
+func TestTornJournalTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	st, reg, d := newFleet(t, dir)
+	if err := d.Swap(freshModel(t, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	reg.Close()
+	st.Close()
+
+	jpath := filepath.Join(dir, "journal.log")
+	// Tear the tail: append half of a plausible frame.
+	pristine, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, pristine...), []byte(`deadbeef {"type":"swap","dep":"ma`)...)
+	if err := os.WriteFile(jpath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("torn tail must recover, got %v", err)
+	}
+	rd, _ := fleet.Registry.Get("main")
+	if v := rd.Version(); v != 2 {
+		t.Fatalf("recovered v%d, want 2 (the last whole event)", v)
+	}
+	fleet.Registry.Close()
+	fleet.Store.Close()
+
+	// Mid-file damage: flip a byte inside the first line.
+	damaged := append([]byte{}, pristine...)
+	damaged[12] ^= 0xff
+	if err := os.WriteFile(jpath, damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-journal damage must refuse recovery with ErrCorrupt, got %v", err)
+	}
+}
+
+// TestWALCheckpointBoundsReplay pins the checkpoint contract: records at
+// or below the mark are not replayed, records above it all are, and the
+// post-recovery WAL renumbering keeps a second crash-recover cycle
+// exact.
+func TestWALCheckpointBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	st, _, d := newFleet(t, dir)
+	rec := goodRecord(t, freshModel(t, 1))
+	for i := 0; i < 10; i++ {
+		if _, err := d.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.CheckpointIngest("main", 4); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Close, no Checkpoint.
+	fleet, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, _ := fleet.Registry.Get("main")
+	if got := fleet.Replayed["main"]; got != 6 {
+		t.Fatalf("replayed %d records, want 6 (10 ingested - 4 checkpointed)", got)
+	}
+	ingested, buffered, _ := rd.IngestStats()
+	if ingested != 6 || buffered != 6 {
+		t.Fatalf("buffer counters wrong after replay: ingested=%d buffered=%d", ingested, buffered)
+	}
+	// Drain with the store attached checkpoints immediately; a second
+	// crash-recovery must replay nothing.
+	if got := len(rd.Drain()); got != 6 {
+		t.Fatalf("drained %d, want 6", got)
+	}
+	fleet2, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet2.Store.Close()
+	defer fleet2.Registry.Close()
+	if got := fleet2.Replayed["main"]; got != 0 {
+		t.Fatalf("drained records replayed after second crash: %d", got)
+	}
+	fleet.Registry.Close()
+	fleet.Store.Close()
+}
+
+// TestSnapshotFrameRejectsDamage covers the snapshot codec directly:
+// truncation, magic damage, payload bit flips.
+func TestSnapshotFrameRejectsDamage(t *testing.T) {
+	payload := []byte("not quite a model but bytes all the same")
+	framed := encodeSnapshot(payload)
+	if got, err := decodeSnapshot(framed); err != nil || string(got) != string(payload) {
+		t.Fatalf("pristine round-trip failed: %v", err)
+	}
+	for name, mutate := range map[string]func([]byte) []byte{
+		"truncated-header":  func(b []byte) []byte { return b[:snapHeader-2] },
+		"truncated-payload": func(b []byte) []byte { return b[:len(b)-3] },
+		"bad-magic":         func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad-version":       func(b []byte) []byte { b[4] = 99; return b },
+		"payload-flip":      func(b []byte) []byte { b[snapHeader+5] ^= 0x01; return b },
+		"crc-flip":          func(b []byte) []byte { b[14] ^= 0x01; return b },
+	} {
+		b := mutate(append([]byte{}, framed...))
+		if _, err := decodeSnapshot(b); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: want ErrCorrupt, got %v", name, err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package model
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -97,24 +98,48 @@ func (m *Model) SaveFile(path string) error {
 	return m.Save(f)
 }
 
-// Load reads a model artifact written by Save.
-func Load(r io.Reader) (*Model, error) {
+// ErrCorruptArtifact marks a model artifact that failed to decode or
+// validate on Load: truncated input, garbage gob, or a structurally
+// inconsistent payload (parameter shape/data mismatches). Use
+// errors.Is(err, ErrCorruptArtifact) to distinguish a damaged artifact
+// from an I/O failure.
+var ErrCorruptArtifact = errors.New("model: corrupt artifact")
+
+// corruptf wraps a load failure so it reports as ErrCorruptArtifact.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptArtifact, fmt.Sprintf(format, args...))
+}
+
+// Load reads a model artifact written by Save. A damaged artifact —
+// short read, garbage bytes, or an internally inconsistent payload —
+// returns an error wrapping ErrCorruptArtifact and never panics: serving
+// infrastructure loads artifacts from disks and networks that can hand
+// it anything.
+func Load(r io.Reader) (m *Model, err error) {
+	// Decoding attacker-shaped bytes can trip panics deep inside gob or
+	// the model constructors (e.g. a tensor whose header lies about its
+	// length); convert any such panic into a typed corrupt-artifact error.
+	defer func() {
+		if v := recover(); v != nil {
+			m, err = nil, corruptf("load panicked: %v", v)
+		}
+	}()
 	var st state
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("model: load: %w", err)
+		return nil, corruptf("load: %v", err)
 	}
 	sch, err := schema.Parse(st.SchemaJSON)
 	if err != nil {
-		return nil, fmt.Errorf("model: load schema: %w", err)
+		return nil, corruptf("load schema: %v", err)
 	}
 	prog, err := compile.Plan(sch, st.Choice, st.Slices)
 	if err != nil {
-		return nil, fmt.Errorf("model: load plan: %w", err)
+		return nil, corruptf("load plan: %v", err)
 	}
 	res := &compile.Resources{TokenVocab: st.TokenVocab, EntityVocab: st.EntityVocab}
 	family, dim, err := compile.EmbeddingFamily(st.Choice.Embedding)
 	if err != nil {
-		return nil, err
+		return nil, corruptf("load embedding: %v", err)
 	}
 	switch family {
 	case "pretrained":
@@ -126,22 +151,29 @@ func Load(r io.Reader) (*Model, error) {
 		}
 		enc, err := contextualCodec.Decode(st.ContextualBlob)
 		if err != nil {
-			return nil, fmt.Errorf("model: load contextual: %w", err)
+			return nil, corruptf("load contextual: %v", err)
 		}
 		res.Contextual = enc
 	}
-	m, err := New(prog, res, st.Seed)
+	m, err = New(prog, res, st.Seed)
 	if err != nil {
-		return nil, err
+		return nil, corruptf("load: %v", err)
 	}
 	for _, p := range m.PS.All() {
 		saved, ok := st.Params[p.Name]
-		if !ok {
-			return nil, fmt.Errorf("model: load: artifact missing parameter %q", p.Name)
+		if !ok || saved == nil {
+			return nil, corruptf("load: artifact missing parameter %q", p.Name)
 		}
 		if !saved.SameShape(p.Node.Value) {
-			return nil, fmt.Errorf("model: load: parameter %q shape %dx%d, want %dx%d",
+			return nil, corruptf("load: parameter %q shape %dx%d, want %dx%d",
 				p.Name, saved.Rows, saved.Cols, p.Node.Value.Rows, p.Node.Value.Cols)
+		}
+		// A tail-truncated or bit-flipped artifact can decode to a tensor
+		// whose header shape disagrees with its data length; a bare copy
+		// would silently load a partial parameter.
+		if len(saved.Data) != saved.Rows*saved.Cols {
+			return nil, corruptf("load: parameter %q has %d values for shape %dx%d",
+				p.Name, len(saved.Data), saved.Rows, saved.Cols)
 		}
 		copy(p.Node.Value.Data, saved.Data)
 		p.Frozen = st.Frozen[p.Name]

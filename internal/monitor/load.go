@@ -4,16 +4,19 @@ import "sync/atomic"
 
 // ShedCause says why admission control rejected a request: the
 // deployment's token bucket was empty (ShedQPS), its micro-batch queue
-// was at its configured depth (ShedQueue), or the registry-wide
-// concurrency budget was exhausted (ShedBudget).
+// was at its configured depth (ShedQueue), the registry-wide concurrency
+// budget was exhausted (ShedBudget), or the deployment quarantined
+// itself after exhausting its panic budget (ShedQuarantine).
 type ShedCause int
 
 // The admission shed causes, in the order they are checked on the
-// predict path.
+// predict path (quarantine first — a quarantined deployment sheds
+// before any limit accounting).
 const (
 	ShedQueue ShedCause = iota
 	ShedQPS
 	ShedBudget
+	ShedQuarantine
 )
 
 // LoadSeries accumulates a deployment's admission outcomes — admitted
@@ -23,10 +26,11 @@ const (
 // deltas) can act on. All methods are safe for concurrent use and cost
 // one atomic add on the serving hot path.
 type LoadSeries struct {
-	admitted   atomic.Int64
-	shedQPS    atomic.Int64
-	shedQueue  atomic.Int64
-	shedBudget atomic.Int64
+	admitted       atomic.Int64
+	shedQPS        atomic.Int64
+	shedQueue      atomic.Int64
+	shedBudget     atomic.Int64
+	shedQuarantine atomic.Int64
 }
 
 // NewLoadSeries returns an empty series.
@@ -42,6 +46,8 @@ func (s *LoadSeries) ObserveShed(c ShedCause) {
 		s.shedQPS.Add(1)
 	case ShedQueue:
 		s.shedQueue.Add(1)
+	case ShedQuarantine:
+		s.shedQuarantine.Add(1)
 	default:
 		s.shedBudget.Add(1)
 	}
@@ -50,11 +56,12 @@ func (s *LoadSeries) ObserveShed(c ShedCause) {
 // LoadReport is a point-in-time snapshot of a LoadSeries: cumulative
 // admitted/shed counters plus the per-cause breakdown.
 type LoadReport struct {
-	Admitted   int64 `json:"admitted"`
-	Shed       int64 `json:"shed"`
-	ShedQPS    int64 `json:"shed_qps,omitempty"`
-	ShedQueue  int64 `json:"shed_queue,omitempty"`
-	ShedBudget int64 `json:"shed_budget,omitempty"`
+	Admitted       int64 `json:"admitted"`
+	Shed           int64 `json:"shed"`
+	ShedQPS        int64 `json:"shed_qps,omitempty"`
+	ShedQueue      int64 `json:"shed_queue,omitempty"`
+	ShedBudget     int64 `json:"shed_budget,omitempty"`
+	ShedQuarantine int64 `json:"shed_quarantine,omitempty"`
 }
 
 // Snapshot reads the current counters. Counter reads are individually
@@ -62,12 +69,14 @@ type LoadReport struct {
 // same (harmless) skew the latency ring accepts.
 func (s *LoadSeries) Snapshot() LoadReport {
 	qps, queue, budget := s.shedQPS.Load(), s.shedQueue.Load(), s.shedBudget.Load()
+	quarantine := s.shedQuarantine.Load()
 	return LoadReport{
-		Admitted:   s.admitted.Load(),
-		Shed:       qps + queue + budget,
-		ShedQPS:    qps,
-		ShedQueue:  queue,
-		ShedBudget: budget,
+		Admitted:       s.admitted.Load(),
+		Shed:           qps + queue + budget + quarantine,
+		ShedQPS:        qps,
+		ShedQueue:      queue,
+		ShedBudget:     budget,
+		ShedQuarantine: quarantine,
 	}
 }
 
@@ -88,10 +97,11 @@ func (r LoadReport) ShedRate() float64 {
 // a long-resolved overload spike cannot hold promotions forever.
 func (r LoadReport) Delta(prev LoadReport) LoadReport {
 	return LoadReport{
-		Admitted:   r.Admitted - prev.Admitted,
-		Shed:       r.Shed - prev.Shed,
-		ShedQPS:    r.ShedQPS - prev.ShedQPS,
-		ShedQueue:  r.ShedQueue - prev.ShedQueue,
-		ShedBudget: r.ShedBudget - prev.ShedBudget,
+		Admitted:       r.Admitted - prev.Admitted,
+		Shed:           r.Shed - prev.Shed,
+		ShedQPS:        r.ShedQPS - prev.ShedQPS,
+		ShedQueue:      r.ShedQueue - prev.ShedQueue,
+		ShedBudget:     r.ShedBudget - prev.ShedBudget,
+		ShedQuarantine: r.ShedQuarantine - prev.ShedQuarantine,
 	}
 }

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/faultinject"
+)
+
+// TestReadyzDistinctFromHealthz pins the probe split: flipping readiness
+// off (what shutdown does before draining) turns /readyz into 503 while
+// /healthz — liveness — stays 200, and predict keeps serving in-flight
+// work.
+func TestReadyzDistinctFromHealthz(t *testing.T) {
+	srv := New(freshModel(t), "factoid", 1)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz before drain = %d, want 200", got)
+	}
+	srv.SetReady(false)
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining = %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz while draining = %d, want 200 (liveness is not readiness)", got)
+	}
+	// Draining still serves: readiness gates routing, not in-flight work.
+	resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(goodBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict while draining = %d, want 200", resp.StatusCode)
+	}
+	srv.SetReady(true)
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz after re-ready = %d, want 200", got)
+	}
+}
+
+// TestPredictMapsPanicAndQuarantine pins the HTTP mapping for panic
+// containment: a contained model panic is 500 on that request only; once
+// the panic budget quarantines the deployment, requests shed with 503.
+func TestPredictMapsPanicAndQuarantine(t *testing.T) {
+	reg := deploy.NewRegistry()
+	if err := reg.Add(deploy.New("factoid", freshModel(t), 1, deploy.WithPanicBudget(2))); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewFleet(reg)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	fi := faultinject.NewRegistry()
+	fi.Arm("deploy.predict.factoid", 1, faultinject.Fault{Kind: faultinject.KindPanic, Err: errors.New("boom")})
+	fi.Arm("deploy.predict.factoid", 2, faultinject.Fault{Kind: faultinject.KindPanic, Err: errors.New("boom")})
+	faultinject.Enable(fi)
+	defer faultinject.Disable()
+
+	post := func() int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/models/factoid/predict", "application/json", strings.NewReader(goodBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post(); got != http.StatusInternalServerError {
+		t.Fatalf("contained panic = %d, want 500", got)
+	}
+	if got := post(); got != http.StatusInternalServerError {
+		t.Fatalf("second contained panic = %d, want 500", got)
+	}
+	// Budget of 2 exhausted: quarantined now, sheds with 503.
+	if got := post(); got != http.StatusServiceUnavailable {
+		t.Fatalf("quarantined predict = %d, want 503", got)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/deploy"
@@ -72,6 +73,10 @@ func WithLimits(l deploy.Limits) Option { return deploy.WithLimits(l) }
 // Server is the shared HTTP front over a deployment registry.
 type Server struct {
 	reg *deploy.Registry
+	// notReady flips when shutdown begins: /readyz answers 503 so load
+	// balancers stop routing here, while /healthz (liveness) stays 200 —
+	// a draining process is healthy, just not accepting new work.
+	notReady atomic.Bool
 }
 
 // New creates a server over a single-deployment registry — the legacy
@@ -143,8 +148,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /signature", s.handleSignature)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
 }
+
+// SetReady flips the /readyz admission signal. Shutdown calls
+// SetReady(false) before draining, so routers pull the instance out of
+// rotation while in-flight requests finish.
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// Ready reports whether the server is accepting new work.
+func (s *Server) Ready() bool { return !s.notReady.Load() }
 
 // deployment resolves the request's target: the {name} path segment on
 // fleet routes, the registry default on legacy routes. Writes the error
@@ -206,14 +220,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	out, version, err := d.Predict(rec)
 	var shed *deploy.ShedError
+	var panicked *deploy.ModelPanicError
 	switch {
 	case err == nil:
 		writeJSON(w, predictResponse{Model: d.Name(), Version: version, Outputs: out})
 	case errors.As(err, &shed):
 		w.Header().Set("Retry-After", retryAfterSeconds(shed.RetryAfter))
 		httpError(w, http.StatusTooManyRequests, "shed (%s): deployment %s over its admission limits", shed.Reason, d.Name())
+	case errors.Is(err, deploy.ErrQuarantined):
+		// Contained model panics exhausted the deployment's budget; it
+		// sheds until a healthy primary is installed.
+		httpError(w, http.StatusServiceUnavailable, "quarantined: %v", err)
 	case errors.Is(err, deploy.ErrClosed):
 		httpError(w, http.StatusServiceUnavailable, "deployment closed")
+	case errors.As(err, &panicked):
+		// The panic was contained to this request; the process is fine.
+		httpError(w, http.StatusInternalServerError, "model panic (contained): %v", panicked.Value)
 	default:
 		httpError(w, http.StatusInternalServerError, "predict: %v", err)
 	}
@@ -524,6 +546,17 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReady is the readiness probe, distinct from /healthz liveness: a
+// draining (or deployment-less) server is alive but must not receive new
+// traffic.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		writeJSONStatus(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# crash_smoke.sh — end-to-end crash-recovery smoke for `overton serve`.
+#
+# Boots a stateful fleet, mutates it over HTTP (ingest + shadow promote),
+# kills the process with SIGKILL mid-flight, restarts from the state dir
+# alone, and asserts the fleet came back at the exact pre-crash state:
+# promoted version, replayed ingest WAL, serving traffic. Then exercises
+# the graceful path: SIGTERM must drain, checkpoint the journal, and a
+# third boot must recover clean (no unclean-shutdown warning) with the
+# WAL still intact.
+#
+# Usage: scripts/crash_smoke.sh [port]   (default 18117)
+set -euo pipefail
+
+PORT="${1:-18117}"
+ADDR="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "crash_smoke: FAIL: $*" >&2; exit 1; }
+
+wait_ready() { # wait_ready -> dies after ~10s if /readyz never answers 200
+  for _ in $(seq 1 50); do
+    curl -sf "http://${ADDR}/readyz" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  fail "server never became ready on ${ADDR}"
+}
+
+stat_field() { # stat_field <json-key> -> integer value from /stats
+  curl -s "http://${ADDR}/v1/models/factoid/stats" |
+    sed -n "s/.*\"$1\":\([0-9]*\).*/\1/p"
+}
+
+echo "crash_smoke: workdir ${WORK}"
+go build -o "${WORK}/overton" ./cmd/overton
+
+cd "$WORK"
+./overton datagen -n 400 -seed 1 -out data.jsonl -schema-out schema.json >/dev/null
+./overton train -schema schema.json -data data.jsonl -out m1.bin -seed 1 >/dev/null 2>&1
+./overton train -schema schema.json -data data.jsonl -out m2.bin -seed 7 >/dev/null 2>&1
+
+# --- Boot 1: stateful fleet, mutate, then die hard. ---------------------
+./overton serve -deploy factoid=m1.bin -shadow factoid=m2.bin \
+  -state-dir state -addr "$ADDR" >serve1.log 2>&1 &
+SRV_PID=$!
+wait_ready
+
+head -3 data.jsonl |
+  curl -sf -X POST --data-binary @- "http://${ADDR}/v1/models/factoid/ingest" >/dev/null ||
+  fail "ingest rejected"
+curl -sf -X POST "http://${ADDR}/v1/models/factoid/promote" >/dev/null ||
+  fail "promote rejected"
+[ "$(stat_field version)" = "2" ] || fail "promote did not reach v2"
+[ "$(stat_field buffered)" = "3" ] || fail "ingest not buffered"
+
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+[ -s state/journal.log ] || fail "no journal written before crash"
+
+# --- Boot 2: recover from the state dir alone. --------------------------
+./overton serve -state-dir state -addr "$ADDR" >serve2.log 2>&1 &
+SRV_PID=$!
+wait_ready
+
+[ "$(stat_field version)" = "2" ] || fail "recovered version != 2 (promote lost)"
+[ "$(stat_field buffered)" = "3" ] || fail "ingest WAL not replayed"
+grep -q 'did not shut down cleanly' serve2.log ||
+  fail "SIGKILL restart not reported as unclean"
+# The recovered model must actually serve.
+payload='{"payloads":{"tokens":["how","tall","is","obama"],"query":"how tall is obama","entities":{"0":{"id":"Barack_Obama","range":[3,4]}}}}'
+echo "$payload" |
+  curl -sf -X POST --data-binary @- "http://${ADDR}/predict" >/dev/null ||
+  fail "recovered deployment cannot serve predictions"
+
+# --- Graceful drain: SIGTERM -> checkpoint -> clean restart. ------------
+kill -TERM "$SRV_PID"
+for _ in $(seq 1 100); do kill -0 "$SRV_PID" 2>/dev/null || break; sleep 0.2; done
+kill -0 "$SRV_PID" 2>/dev/null && fail "server did not exit after SIGTERM"
+SRV_PID=""
+grep -q 'shutdown: complete' serve2.log || fail "graceful drain did not complete"
+grep -q '"type":"checkpoint"' state/journal.log ||
+  fail "clean shutdown did not checkpoint the journal"
+
+./overton serve -state-dir state -addr "$ADDR" >serve3.log 2>&1 &
+SRV_PID=$!
+wait_ready
+grep -q 'did not shut down cleanly' serve3.log &&
+  fail "checkpointed restart still reported unclean"
+[ "$(stat_field buffered)" = "3" ] || fail "WAL lost across graceful restart"
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+echo "crash_smoke: PASS (kill -9 recovery + graceful drain + clean restart)"
