@@ -703,8 +703,18 @@ func (d *Deployment) runBatch(batch []*predictJob) {
 				j.resp <- predictResult{out: outs[i]}
 			}
 		case len(run) == 1:
+			// No fallback will re-run this request, so the batched-pass
+			// panic is charged here.
+			var perr *ModelPanicError
+			if errors.As(err, &perr) {
+				d.countPanic()
+			}
 			run[0].resp <- predictResult{err: err}
 		default:
+			// Per-record fallback. The batched-pass panic is deliberately
+			// not charged: the record that caused it panics again in
+			// safePredictOne and is charged exactly once there, so one
+			// poison request costs one budget hit.
 			for _, j := range run {
 				out, err := d.safePredictOne(m, j.rec)
 				j.resp <- predictResult{out: out, err: err}

@@ -93,15 +93,26 @@ func (d *Deployment) Panics() (primary, shadow int64) {
 	return d.panics.Load(), d.shadowPanics.Load()
 }
 
-// notePanic converts a recovered primary-lane panic value into the typed
-// error, counts it, and quarantines the deployment once the budget is
-// exhausted.
-func (d *Deployment) notePanic(v any) *ModelPanicError {
-	perr := &ModelPanicError{Deployment: d.name, Value: v, Stack: debug.Stack()}
+// panicError converts a recovered panic value into the typed error
+// without charging the panic budget.
+func (d *Deployment) panicError(v any) *ModelPanicError {
+	return &ModelPanicError{Deployment: d.name, Value: v, Stack: debug.Stack()}
+}
+
+// countPanic charges one primary-lane panic against the budget and
+// quarantines the deployment once it is exhausted.
+func (d *Deployment) countPanic() {
 	n := d.panics.Add(1)
 	if d.panicBudget > 0 && n >= int64(d.panicBudget) {
 		d.quarantined.Store(true)
 	}
+}
+
+// notePanic converts a recovered primary-lane panic value into the typed
+// error and charges it against the budget.
+func (d *Deployment) notePanic(v any) *ModelPanicError {
+	perr := d.panicError(v)
+	d.countPanic()
 	return perr
 }
 
@@ -124,10 +135,13 @@ func (d *Deployment) checkQuarantine() *QuarantineError {
 // safePredict runs one batched inference with panic containment. The
 // faultinject site "deploy.predict.<name>" lets tests inject panics and
 // errors exactly here — the same frame a real model panic unwinds to.
+// A batched-pass panic is NOT charged against the budget here: runBatch
+// charges it only when no per-record fallback will re-run the batch, so
+// one poison record costs one budget hit, not two.
 func (d *Deployment) safePredict(m *model.Model, recs []*record.Record) (outs []model.Output, err error) {
 	defer func() {
 		if v := recover(); v != nil {
-			err = d.notePanic(v)
+			err = d.panicError(v)
 		}
 	}()
 	if err := faultinject.Fire("deploy.predict." + d.name); err != nil {

@@ -134,6 +134,55 @@ func TestShadowPanicNeverAffectsPrimary(t *testing.T) {
 	}
 }
 
+// TestBatchFallbackChargesPoisonOnce pins the budget accounting for the
+// per-record fallback: one poison record in a multi-record batch panics
+// the batched pass AND its own fallback pass, but must cost exactly one
+// budget hit — otherwise every poison request costs two and quarantine
+// trips at half the configured tolerance.
+func TestBatchFallbackChargesPoisonOnce(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("poisoned", m, 1, WithPanicBudget(2))
+	defer d.Close()
+	rec := goodRecord(t, m)
+
+	fi := faultinject.NewRegistry()
+	// Hit 1 is the batched pass over all three records; hits 2-4 are the
+	// per-record fallback passes. Arming 1 and 3 makes the second record
+	// the poison one: it panics both times it runs.
+	fi.Arm("deploy.predict.poisoned", 1, faultinject.Fault{Kind: faultinject.KindPanic, Err: errors.New("poison")})
+	fi.Arm("deploy.predict.poisoned", 3, faultinject.Fault{Kind: faultinject.KindPanic, Err: errors.New("poison")})
+	faultinject.Enable(fi)
+	defer faultinject.Disable()
+
+	jobs := make([]*predictJob, 3)
+	for i := range jobs {
+		jobs[i] = &predictJob{rec: rec, m: m, resp: make(chan predictResult, 1)}
+	}
+	d.runBatch(jobs)
+	var served, panicked int
+	for _, j := range jobs {
+		res := <-j.resp
+		var perr *ModelPanicError
+		switch {
+		case res.err == nil:
+			served++
+		case errors.As(res.err, &perr):
+			panicked++
+		default:
+			t.Fatalf("unexpected error: %v", res.err)
+		}
+	}
+	if served != 2 || panicked != 1 {
+		t.Fatalf("served=%d panicked=%d, want 2 served and only the poison record failed", served, panicked)
+	}
+	if p, _ := d.Panics(); p != 1 {
+		t.Fatalf("panic count = %d, want 1 (batched pass must not double-charge the fallback)", p)
+	}
+	if d.Quarantined() {
+		t.Fatal("one poison request exhausted a budget of 2")
+	}
+}
+
 // TestQuarantineIsolation is the blast-radius acceptance test: one
 // deployment's model panics its way into quarantine while its healthy
 // neighbour in the same registry keeps serving with zero errors.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/deploy"
 	"repro/internal/faultinject"
+	"repro/internal/record"
 )
 
 // These are the deterministic crash-recovery tests the fault-injection
@@ -285,6 +286,143 @@ func TestTornWALAppendRejectsIngest(t *testing.T) {
 	}
 	if _, buffered, _ := rd.IngestStats(); buffered != 4 {
 		t.Fatalf("buffered=%d, want 4", buffered)
+	}
+}
+
+// TestTornTailTruncatedBeforeNewAppends is the recover → mutate →
+// recover-again cycle: the partial bytes a crash left at the journal
+// tail must be truncated when the store reopens, or the first new event
+// appended after recovery merges into them — silently dropping that
+// event if it stays last, and turning it into fatal mid-file corruption
+// once anything else is appended.
+func TestTornTailTruncatedBeforeNewAppends(t *testing.T) {
+	dir := t.TempDir()
+	_, _, d := newFleet(t, dir)
+	fi := faultinject.NewRegistry()
+	fi.Arm("fleetstate.journal.append", 1, faultinject.Fault{Kind: faultinject.KindTorn, Bytes: 17})
+	faultinject.Enable(fi)
+	err := d.Swap(freshModel(t, 2), 2)
+	faultinject.Disable()
+	if err == nil {
+		t.Fatal("swap survived a torn journal write")
+	}
+	// Crash, recover over the torn tail, and journal new events after it.
+	fleet, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, _ := fleet.Registry.Get("main")
+	if err := rd.Swap(freshModel(t, 3), 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Swap(freshModel(t, 4), 4); err != nil {
+		t.Fatal(err)
+	}
+	fleet.Registry.Close()
+	fleet.Store.Close()
+
+	fleet2, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("second recovery failed: %v", err)
+	}
+	defer fleet2.Store.Close()
+	defer fleet2.Registry.Close()
+	rd2, _ := fleet2.Registry.Get("main")
+	if v := rd2.Version(); v != 4 {
+		t.Fatalf("recovered v%d, want 4 (events after the torn tail lost)", v)
+	}
+}
+
+// TestTornWALTailTruncatedBeforeNewAppends is the WAL half of the same
+// property, on the Open-without-Recover path (which does not get the
+// recovery-time WAL rewrite): a record appended after a torn tail must
+// not merge into the partial line and vanish from the next replay.
+func TestTornWALTailTruncatedBeforeNewAppends(t *testing.T) {
+	dir := t.TempDir()
+	st, reg, d := newFleet(t, dir)
+	rec := goodRecord(t, freshModel(t, 1))
+	for i := 0; i < 2; i++ {
+		if _, err := d.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fi := faultinject.NewRegistry()
+	fi.Arm("fleetstate.wal.main", 1, faultinject.Fault{Kind: faultinject.KindTorn, Bytes: 25})
+	faultinject.Enable(fi)
+	_, err := d.Ingest(rec)
+	faultinject.Disable()
+	if err == nil {
+		t.Fatal("ingest survived a torn WAL append")
+	}
+	reg.Close()
+	st.Close()
+
+	// Second process: open the store directly and keep ingesting into
+	// the same WAL.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2 := deploy.NewRegistry()
+	reg2.SetPersister(st2)
+	d2 := deploy.New("main", freshModel(t, 1), 1)
+	if err := reg2.Add(d2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Ingest(rec); err != nil {
+		t.Fatal(err)
+	}
+	reg2.Close()
+	st2.Close()
+
+	fleet, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Store.Close()
+	defer fleet.Registry.Close()
+	if got := fleet.Replayed["main"]; got != 3 {
+		t.Fatalf("replayed %d records, want 3 (2 pre-crash + 1 post-crash; torn one dropped)", got)
+	}
+}
+
+// TestTornBatchIngestDropsWholeBatch pins ingest batch atomicity: a
+// multi-record ingest whose WAL append tears mid-batch was rejected, so
+// recovery must replay none of its records — not the complete prefix a
+// per-record framing would leave — or a retrying producer creates
+// phantom duplicates.
+func TestTornBatchIngestDropsWholeBatch(t *testing.T) {
+	dir := t.TempDir()
+	_, _, d := newFleet(t, dir)
+	m := freshModel(t, 1)
+	rec := goodRecord(t, m)
+	if _, err := d.Ingest(rec, rec); err != nil {
+		t.Fatal(err)
+	}
+	// Tear past the first record's worth of bytes, so a framing that
+	// wrote one line per record would leave record 1 of the rejected
+	// batch complete on disk.
+	body, err := record.MarshalRecord(rec, m.Prog.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := faultinject.NewRegistry()
+	fi.Arm("fleetstate.wal.main", 1, faultinject.Fault{Kind: faultinject.KindTorn, Bytes: len(body) + 30})
+	faultinject.Enable(fi)
+	_, err = d.Ingest(rec, rec, rec)
+	faultinject.Disable()
+	if err == nil {
+		t.Fatal("ingest survived a torn WAL append")
+	}
+
+	fleet, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Store.Close()
+	defer fleet.Registry.Close()
+	if got := fleet.Replayed["main"]; got != 2 {
+		t.Fatalf("replayed %d records, want 2 (no record of the rejected batch may survive)", got)
 	}
 }
 

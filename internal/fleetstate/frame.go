@@ -16,11 +16,20 @@
 // from mid-file corruption (an error: history is damaged, refuse to
 // guess).
 //
+// Both logs are bounded: a checkpoint compacts a WAL once enough
+// processed records sit at its head, and the manifest journal is folded
+// into a minimal snapshot of current fleet state (at Open, and whenever
+// a live store crosses journalCompactThreshold), so replay cost tracks
+// the fleet, not its lifetime. Torn tail bytes are truncated away when
+// a log is opened for append, so a post-crash append never merges into
+// a leftover partial line.
+//
 // Layout under the state dir:
 //
 //	journal.log              fleet manifest journal (framed JSONL)
 //	snapshots/<dep>-v<N>.snap checksummed model artifacts
-//	wal/<dep>.wal            ingest WAL (framed JSONL, seq-numbered)
+//	wal/<dep>.wal            ingest WAL (framed JSONL; one entry is one
+//	                         atomic seq-numbered ingest batch)
 //	wal/<dep>.ckpt           last processed WAL sequence
 package fleetstate
 
@@ -59,28 +68,34 @@ func frameLine(content []byte) []byte {
 
 // parseFramedLines splits framed log data back into entry contents.
 // A final entry that is incomplete or fails its CRC is a torn tail — the
-// write it belonged to never finished, so the entry is dropped and torn
-// reports true. The same damage anywhere before the tail is corruption.
-func parseFramedLines(data []byte) (contents [][]byte, torn bool, err error) {
-	for len(data) > 0 {
-		nl := bytes.IndexByte(data, '\n')
-		last := nl < 0 || nl == len(data)-1
+// write it belonged to never finished, so the entry is dropped (valid <
+// len(data); the caller truncates the file to valid before appending
+// again, or the next append would merge with the leftover partial line).
+// The same damage anywhere before the tail is corruption.
+func parseFramedLines(data []byte) (contents [][]byte, valid int, err error) {
+	rest := data
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		last := nl < 0 || nl == len(rest)-1
 		var line []byte
+		var consumed int
 		if nl < 0 {
-			line, data = data, nil
+			line, consumed = rest, len(rest)
 		} else {
-			line, data = data[:nl], data[nl+1:]
+			line, consumed = rest[:nl], nl+1
 		}
 		content, ok := checkFrame(line)
 		if !ok {
 			if last {
-				return contents, true, nil
+				return contents, valid, nil
 			}
-			return nil, false, corruptf("framed log: entry %d damaged before the tail", len(contents))
+			return nil, 0, corruptf("framed log: entry %d damaged before the tail", len(contents))
 		}
 		contents = append(contents, content)
+		valid += consumed
+		rest = rest[consumed:]
 	}
-	return contents, false, nil
+	return contents, valid, nil
 }
 
 // checkFrame validates one framed line, returning its content.

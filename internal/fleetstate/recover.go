@@ -106,37 +106,39 @@ func Recover(dir string, opts ...deploy.Option) (*Fleet, error) {
 	return fleet, nil
 }
 
-func recoverFrom(st *Store, opts []deploy.Option) (*Fleet, error) {
-	evs, err := st.readJournal()
-	if err != nil {
-		return nil, err
-	}
-	fleet := &Fleet{
-		Store:    st,
-		Loops:    map[string]deploy.LoopConfig{},
-		Replayed: map[string]int{},
-	}
+// fold is a journal reduced to the fleet state it describes — pass 1 of
+// recovery, and the input journal compaction synthesizes back into a
+// minimal event list.
+type fold struct {
+	deps     map[string]*depState
+	order    []string // first-journaled order of deps
+	def      string
+	budget   int
+	clean    bool // journal ends at a checkpoint event
+	warnings []string
+}
 
-	// Pass 1: fold the journal into per-deployment states.
-	deps := map[string]*depState{}
-	var order []string
+// foldEvents folds journal events into per-deployment states plus the
+// fleet-level settings.
+func foldEvents(evs []deploy.Event) *fold {
+	f := &fold{deps: map[string]*depState{}}
 	state := func(name string) *depState {
-		ds, ok := deps[name]
+		ds, ok := f.deps[name]
 		if !ok {
 			ds = &depState{name: name, snaps: map[int]string{}}
-			deps[name] = ds
-			order = append(order, name)
+			f.deps[name] = ds
+			f.order = append(f.order, name)
 		}
 		return ds
 	}
 	for _, ev := range evs {
-		fleet.CleanShutdown = ev.Type == deploy.EventCheckpoint
+		f.clean = ev.Type == deploy.EventCheckpoint
 		switch ev.Type {
 		case deploy.EventDeploy:
 			ds := state(ev.Dep)
 			ds.install(ev.Version, ev.Snap)
-			if fleet.Default == "" {
-				fleet.Default = ev.Dep
+			if f.def == "" {
+				f.def = ev.Dep
 			}
 		case deploy.EventSwap:
 			state(ev.Dep).install(ev.Version, ev.Snap)
@@ -167,23 +169,105 @@ func recoverFrom(st *Store, opts []deploy.Option) (*Fleet, error) {
 		case deploy.EventLoopStop:
 			state(ev.Dep).loop = nil
 		case deploy.EventSetDefault:
-			fleet.Default = ev.Dep
+			f.def = ev.Dep
 		case deploy.EventBudget:
-			fleet.Budget = ev.Budget
+			f.budget = ev.Budget
 		case deploy.EventCheckpoint:
-			// CleanShutdown already latched above.
+			// clean already latched above.
 		default:
-			fleet.Warnings = append(fleet.Warnings,
+			f.warnings = append(f.warnings,
 				fmt.Sprintf("journal: unknown event type %q (seq %d) ignored", ev.Type, ev.Seq))
 		}
+	}
+	return f
+}
+
+// journalHistoryKeep is how many distinct versions of a deployment's
+// install history a compacted journal retains (newest first) — the
+// depth of the corrupt-snapshot fallback chain recovery can still walk
+// after compaction.
+const journalHistoryKeep = 8
+
+// synthesizeEvents turns a fold back into the minimal event list that
+// folds to the same fleet state — what journal compaction writes.
+// Per-deployment install history is capped at journalHistoryKeep
+// distinct versions; unknown event types are not representable and are
+// dropped. Folding the result must reproduce the input fold exactly
+// (TestJournalCompaction pins this).
+func synthesizeEvents(f *fold) []deploy.Event {
+	var evs []deploy.Event
+	for _, name := range f.order {
+		ds := f.deps[name]
+		// Newest journalHistoryKeep distinct installed versions, with each
+		// install's snapshot name resolved the way loadNewest resolves it.
+		var chain []versionSnap
+		seen := map[int]bool{}
+		for i := len(ds.history) - 1; i >= 0 && len(chain) < journalHistoryKeep; i-- {
+			vs := ds.history[i]
+			if seen[vs.version] {
+				continue
+			}
+			seen[vs.version] = true
+			if vs.snap == "" {
+				vs.snap = ds.snaps[vs.version]
+			}
+			chain = append(chain, vs)
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			typ := deploy.EventSwap
+			if i == len(chain)-1 {
+				typ = deploy.EventDeploy
+			}
+			evs = append(evs, deploy.Event{Type: typ, Dep: name, Version: chain[i].version, Snap: chain[i].snap})
+		}
+		if ds.hasShadow {
+			evs = append(evs, deploy.Event{Type: deploy.EventSetShadow, Dep: name, Version: ds.shadowVer, Snap: ds.shadowSnap})
+		}
+		if ds.limits != nil {
+			lim := *ds.limits
+			evs = append(evs, deploy.Event{Type: deploy.EventLimits, Dep: name, Limits: &lim})
+		}
+		if ds.loop != nil {
+			cfg := *ds.loop
+			evs = append(evs, deploy.Event{Type: deploy.EventLoopStart, Dep: name, Loop: &cfg})
+		}
+	}
+	if f.def != "" {
+		evs = append(evs, deploy.Event{Type: deploy.EventSetDefault, Dep: f.def})
+	}
+	if f.budget > 0 {
+		evs = append(evs, deploy.Event{Type: deploy.EventBudget, Budget: f.budget})
+	}
+	if f.clean {
+		evs = append(evs, deploy.Event{Type: deploy.EventCheckpoint})
+	}
+	return evs
+}
+
+func recoverFrom(st *Store, opts []deploy.Option) (*Fleet, error) {
+	evs, _, _, err := st.readJournal()
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: fold the journal into per-deployment states.
+	f := foldEvents(evs)
+	fleet := &Fleet{
+		Store:         st,
+		Loops:         map[string]deploy.LoopConfig{},
+		Replayed:      map[string]int{},
+		Default:       f.def,
+		Budget:        f.budget,
+		CleanShutdown: f.clean,
+		Warnings:      f.warnings,
 	}
 
 	// Pass 2: materialise each deployment — newest loadable snapshot from
 	// its history, shadow, limits, WAL tail.
 	reg := deploy.NewRegistry()
 	fleet.Registry = reg
-	for _, name := range order {
-		ds := deps[name]
+	for _, name := range f.order {
+		ds := f.deps[name]
 		m, version, warns, err := loadNewest(st, ds)
 		fleet.Warnings = append(fleet.Warnings, warns...)
 		if err != nil {
@@ -221,7 +305,7 @@ func recoverFrom(st *Store, opts []deploy.Option) (*Fleet, error) {
 		}
 	}
 	if fleet.Default != "" {
-		if _, ok := deps[fleet.Default]; ok {
+		if _, ok := f.deps[fleet.Default]; ok {
 			if err := reg.SetDefault(fleet.Default); err != nil {
 				return nil, fmt.Errorf("fleetstate: recover: %w", err)
 			}
@@ -284,7 +368,7 @@ func replayWAL(st *Store, d *deploy.Deployment) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	recs, err := readWALFile(w.path)
+	recs, _, _, err := readWALFile(w.path)
 	if err != nil {
 		return 0, err
 	}
@@ -303,8 +387,7 @@ func replayWAL(st *Store, d *deploy.Deployment) (int, error) {
 			return 0, corruptf("wal %s: seq %d: %v", name, wr.seq, err)
 		}
 		restored = append(restored, r)
-		line := []byte(fmt.Sprintf("%d ", len(restored)))
-		buf = append(buf, frameLine(append(line, wr.body...))...)
+		buf = append(buf, frameWALRec(int64(len(restored)), wr.body)...)
 	}
 	if err := writeFileAtomic(w.path, buf, "fleetstate.wal.rewrite."+name); err != nil {
 		return 0, fmt.Errorf("fleetstate: wal %s: rewrite: %w", name, err)

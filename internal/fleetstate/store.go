@@ -22,6 +22,14 @@ import (
 // keeps the WAL proportional to unprocessed work, not ingest history.
 const walCompactThreshold = 4096
 
+// journalCompactThreshold is how many events the manifest journal may
+// accumulate before it is rewritten as a compact snapshot of the folded
+// fleet state (see synthesizeEvents) — the bound that keeps the journal
+// (and every boot's replay) proportional to the fleet, not its lifetime
+// of swaps, limit changes, and per-restart loop-start events. Applied at
+// Open and again whenever a live store crosses it.
+const journalCompactThreshold = 1024
+
 // Store is the durable side of a fleet: it implements deploy.Persister
 // over a -state-dir. Attach it with Registry.SetPersister (or let
 // Recover hand back a registry with it already attached); every
@@ -39,6 +47,7 @@ type Store struct {
 	// next replay's "torn tail" into "mid-file corruption".
 	bad     bool
 	seq     int64 // last journaled event sequence
+	events  int   // events in the journal file (compaction trigger)
 	schemas map[string]*schema.Schema
 	wals    map[string]*wal
 }
@@ -60,9 +69,13 @@ type wal struct {
 
 // Open opens (creating if needed) the durable store rooted at dir. The
 // existing journal is validated — a torn final entry is tolerated as an
-// unapplied write; damage earlier in the file is an error — and new
-// events continue its sequence. Most callers want Recover, which opens
-// the store and rebuilds the fleet it describes.
+// unapplied write and its partial bytes are truncated away (so the next
+// append starts on a clean line instead of merging into the leftover
+// fragment); damage earlier in the file is an error — and new events
+// continue its sequence. A journal past the compaction threshold is
+// rewritten as a compact state snapshot before serving. Most callers
+// want Recover, which opens the store and rebuilds the fleet it
+// describes.
 func Open(dir string) (*Store, error) {
 	for _, sub := range []string{dir, filepath.Join(dir, "snapshots"), filepath.Join(dir, "wal")} {
 		if err := os.MkdirAll(sub, 0o755); err != nil {
@@ -70,16 +83,36 @@ func Open(dir string) (*Store, error) {
 		}
 	}
 	s := &Store{dir: dir, schemas: map[string]*schema.Schema{}, wals: map[string]*wal{}}
-	evs, err := s.readJournal()
+	evs, valid, torn, err := s.readJournal()
 	if err != nil {
 		return nil, err
+	}
+	switch {
+	case len(evs) >= journalCompactThreshold:
+		// The atomic rewrite also discards any torn tail bytes.
+		if evs, err = s.rewriteJournal(evs); err != nil {
+			return nil, err
+		}
+		torn = false
+	case torn:
+		if err := os.Truncate(s.journalPath(), valid); err != nil {
+			return nil, fmt.Errorf("fleetstate: journal: truncate torn tail: %w", err)
+		}
 	}
 	if len(evs) > 0 {
 		s.seq = evs[len(evs)-1].Seq
 	}
-	f, err := os.OpenFile(s.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	s.events = len(evs)
+	f, err := openAppend(s.journalPath())
 	if err != nil {
 		return nil, fmt.Errorf("fleetstate: %w", err)
+	}
+	if torn {
+		// Make the truncation durable before anything is appended after it.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleetstate: journal: %w", err)
+		}
 	}
 	s.journal = f
 	return s, nil
@@ -104,28 +137,79 @@ func (s *Store) snapshotPath(name string) string {
 }
 
 // readJournal reads and validates the whole journal, dropping a torn
-// tail. Used by Open (to continue the sequence) and Recover (to replay).
-func (s *Store) readJournal() ([]deploy.Event, error) {
+// tail; valid is the byte length of the validated prefix and torn
+// reports dangling partial bytes past it. Used by Open (to continue the
+// sequence and truncate a torn tail) and Recover (to replay).
+func (s *Store) readJournal() (evs []deploy.Event, valid int64, torn bool, err error) {
 	data, err := os.ReadFile(s.journalPath())
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, 0, false, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("fleetstate: journal: %w", err)
+		return nil, 0, false, fmt.Errorf("fleetstate: journal: %w", err)
 	}
-	contents, _, err := parseFramedLines(data)
+	contents, n, err := parseFramedLines(data)
 	if err != nil {
-		return nil, fmt.Errorf("fleetstate: journal: %w", err)
+		return nil, 0, false, fmt.Errorf("fleetstate: journal: %w", err)
 	}
-	evs := make([]deploy.Event, 0, len(contents))
+	evs = make([]deploy.Event, 0, len(contents))
 	for i, c := range contents {
 		var ev deploy.Event
 		if err := json.Unmarshal(c, &ev); err != nil {
-			return nil, corruptf("journal: entry %d: %v", i, err)
+			return nil, 0, false, corruptf("journal: entry %d: %v", i, err)
 		}
 		evs = append(evs, ev)
 	}
-	return evs, nil
+	return evs, int64(n), n < len(data), nil
+}
+
+// rewriteJournal atomically replaces the journal file with a compact
+// synthesis of the given events' folded fleet state, renumbering
+// sequences from 1, and returns the events now in the file. It does not
+// touch the store's open append handle — Open calls it before that
+// handle exists; compactLocked reopens afterwards.
+func (s *Store) rewriteJournal(evs []deploy.Event) ([]deploy.Event, error) {
+	synth := synthesizeEvents(foldEvents(evs))
+	var buf []byte
+	for i := range synth {
+		synth[i].Seq = int64(i + 1)
+		body, err := json.Marshal(synth[i])
+		if err != nil {
+			return nil, fmt.Errorf("fleetstate: journal: compact: %w", err)
+		}
+		buf = append(buf, frameLine(body)...)
+	}
+	if err := writeFileAtomic(s.journalPath(), buf, "fleetstate.journal.compact"); err != nil {
+		return nil, fmt.Errorf("fleetstate: journal: compact: %w", err)
+	}
+	return synth, nil
+}
+
+// compactLocked rewrites a live store's journal compactly and moves the
+// append handle to the new file. Caller holds s.mu. Failure before the
+// rewrite leaves everything as it was (the rewrite is all-or-nothing);
+// failure to reopen the append handle afterwards wedges the store — the
+// old handle points at the replaced inode, so appending to it would
+// silently journal nothing.
+func (s *Store) compactLocked() error {
+	evs, _, _, err := s.readJournal()
+	if err != nil {
+		return err
+	}
+	synth, err := s.rewriteJournal(evs)
+	if err != nil {
+		return err
+	}
+	s.journal.Close()
+	f, err := openAppend(s.journalPath())
+	if err != nil {
+		s.bad = true
+		return fmt.Errorf("fleetstate: journal: reopen after compact: %w", err)
+	}
+	s.journal = f
+	s.seq = int64(len(synth))
+	s.events = len(synth)
+	return nil
 }
 
 // PersistEvent snapshots the event's model (when it carries one) and
@@ -138,6 +222,15 @@ func (s *Store) PersistEvent(ev deploy.Event, m *model.Model) error {
 	defer s.mu.Unlock()
 	if s.bad {
 		return corruptf("journal wedged by an earlier write failure; restart to recover")
+	}
+	if s.events >= journalCompactThreshold {
+		// Best-effort: a failed compaction (all-or-nothing rewrite) leaves
+		// the journal as it was and the append below proceeds — unless the
+		// append handle was lost, which compactLocked reports by wedging.
+		_ = s.compactLocked()
+		if s.bad {
+			return corruptf("journal wedged reopening after compaction; restart to recover")
+		}
 	}
 	if m != nil {
 		payload, err := m.Bytes()
@@ -162,6 +255,7 @@ func (s *Store) PersistEvent(ev deploy.Event, m *model.Model) error {
 		return fmt.Errorf("fleetstate: journal: %w", err)
 	}
 	s.seq = ev.Seq
+	s.events++
 	return nil
 }
 
@@ -196,8 +290,9 @@ func (s *Store) noteSchema(dep string, sch *schema.Schema) {
 	s.mu.Unlock()
 }
 
-// openWAL returns (opening or creating as needed) the deployment's WAL.
-// Caller holds s.mu.
+// openWAL returns (opening or creating as needed) the deployment's WAL,
+// truncating any torn tail left by a crash mid-append so new entries
+// never merge into the leftover partial line. Caller holds s.mu.
 func (s *Store) openWAL(dep string) (*wal, error) {
 	if w, ok := s.wals[dep]; ok {
 		return w, nil
@@ -206,9 +301,14 @@ func (s *Store) openWAL(dep string) (*wal, error) {
 		path:     filepath.Join(s.dir, "wal", safeName(dep)+".wal"),
 		ckptPath: filepath.Join(s.dir, "wal", safeName(dep)+".ckpt"),
 	}
-	recs, err := readWALFile(w.path)
+	recs, valid, torn, err := readWALFile(w.path)
 	if err != nil {
 		return nil, err
+	}
+	if torn {
+		if err := os.Truncate(w.path, valid); err != nil {
+			return nil, fmt.Errorf("fleetstate: wal %s: truncate torn tail: %w", dep, err)
+		}
 	}
 	if n := len(recs); n > 0 {
 		w.firstSeq = recs[0].seq
@@ -222,16 +322,29 @@ func (s *Store) openWAL(dep string) (*wal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleetstate: wal %s: %w", dep, err)
 	}
+	if torn {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleetstate: wal %s: %w", dep, err)
+		}
+	}
 	w.f = f
 	s.wals[dep] = w
 	return w, nil
 }
 
 // AppendIngest durably appends recs to the deployment's ingest WAL (one
-// fsync per call), assigning consecutive sequence numbers. Called by
-// deploy.Ingest before the records enter the in-memory buffer; an error
-// here rejects the ingest, so an accepted record is always replayable.
+// fsync per call), assigning consecutive sequence numbers. The whole
+// batch is framed as a single WAL entry, so it is atomic on disk: a
+// crash mid-append leaves a torn line that replay drops entirely —
+// never a prefix of a batch the producer was told was rejected. Called
+// by deploy.Ingest before the records enter the in-memory buffer; an
+// error here rejects the ingest, so an accepted record is always
+// replayable and a rejected one never is.
 func (s *Store) AppendIngest(dep string, recs []*record.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sch, ok := s.schemas[dep]
@@ -245,16 +358,19 @@ func (s *Store) AppendIngest(dep string, recs []*record.Record) error {
 	if w.bad {
 		return corruptf("wal %s wedged by an earlier write failure; restart to recover", dep)
 	}
-	var buf []byte
+	content := []byte(strconv.FormatInt(w.seq+1, 10) + " [")
 	for i, r := range recs {
 		body, err := record.MarshalRecord(r, sch)
 		if err != nil {
 			return fmt.Errorf("fleetstate: wal %s: %w", dep, err)
 		}
-		content := []byte(strconv.FormatInt(w.seq+int64(i)+1, 10) + " ")
-		buf = append(buf, frameLine(append(content, body...))...)
+		if i > 0 {
+			content = append(content, ',')
+		}
+		content = append(content, body...)
 	}
-	if err := w.append(dep, buf); err != nil {
+	content = append(content, ']')
+	if err := w.append(dep, frameLine(content)); err != nil {
 		w.bad = true
 		return fmt.Errorf("fleetstate: wal %s: %w", dep, err)
 	}
@@ -316,7 +432,7 @@ func (s *Store) CheckpointIngest(dep string, mark int64) error {
 // compactWAL rewrites the WAL keeping only records after the checkpoint
 // mark, preserving their sequence numbers. Caller holds s.mu.
 func (s *Store) compactWAL(dep string, w *wal) error {
-	recs, err := readWALFile(w.path)
+	recs, _, _, err := readWALFile(w.path)
 	if err != nil {
 		return err
 	}
@@ -329,7 +445,7 @@ func (s *Store) compactWAL(dep string, w *wal) error {
 		if first == 0 {
 			first = r.seq
 		}
-		buf = append(buf, frameLine(r.raw)...)
+		buf = append(buf, frameWALRec(r.seq, r.body)...)
 	}
 	if err := writeFileAtomic(w.path, buf, "fleetstate.wal.compact."+dep); err != nil {
 		return err
@@ -348,47 +464,60 @@ func (s *Store) compactWAL(dep string, w *wal) error {
 	return nil
 }
 
-// walRec is one replayed WAL entry: its sequence, the record JSON, and
-// the raw framed content (for compaction rewrites).
+// walRec is one replayed WAL record: its sequence and the record JSON.
 type walRec struct {
 	seq  int64
 	body []byte
-	raw  []byte
 }
 
-// readWALFile reads and validates a WAL, dropping a torn tail (the
-// ingest that wrote it was rejected, so the record was never accepted).
-func readWALFile(path string) ([]walRec, error) {
+// frameWALRec frames one record as a single-record batch entry —
+// "<seq> [<body>]" — the shape compaction and recovery rewrites use.
+func frameWALRec(seq int64, body []byte) []byte {
+	content := make([]byte, 0, len(body)+22)
+	content = strconv.AppendInt(content, seq, 10)
+	content = append(content, ' ', '[')
+	content = append(content, body...)
+	content = append(content, ']')
+	return frameLine(content)
+}
+
+// readWALFile reads and validates a WAL, expanding each entry — one
+// atomically framed ingest batch, "<firstSeq> [rec,rec,...]" — into its
+// records. A torn tail is dropped whole: the batch that wrote it was
+// rejected, so none of its records were ever accepted (framing the
+// batch as one entry is what makes that true for multi-record ingests
+// too). valid/torn report the validated byte prefix so openWAL can
+// truncate the dangling bytes before appending again.
+func readWALFile(path string) (recs []walRec, valid int64, torn bool, err error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, 0, false, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("fleetstate: wal: %w", err)
+		return nil, 0, false, fmt.Errorf("fleetstate: wal: %w", err)
 	}
-	contents, _, err := parseFramedLines(data)
+	contents, n, err := parseFramedLines(data)
 	if err != nil {
-		return nil, fmt.Errorf("fleetstate: wal: %w", err)
+		return nil, 0, false, fmt.Errorf("fleetstate: wal: %w", err)
 	}
-	recs := make([]walRec, 0, len(contents))
 	for i, c := range contents {
-		sp := -1
-		for j, b := range c {
-			if b == ' ' {
-				sp = j
-				break
-			}
-		}
+		sp := bytes.IndexByte(c, ' ')
 		if sp < 1 {
-			return nil, corruptf("wal: entry %d: no sequence prefix", i)
+			return nil, 0, false, corruptf("wal: entry %d: no sequence prefix", i)
 		}
-		seq, err := strconv.ParseInt(string(c[:sp]), 10, 64)
+		first, err := strconv.ParseInt(string(c[:sp]), 10, 64)
 		if err != nil {
-			return nil, corruptf("wal: entry %d: bad sequence: %v", i, err)
+			return nil, 0, false, corruptf("wal: entry %d: bad sequence: %v", i, err)
 		}
-		recs = append(recs, walRec{seq: seq, body: c[sp+1:], raw: c})
+		var bodies []json.RawMessage
+		if err := json.Unmarshal(c[sp+1:], &bodies); err != nil {
+			return nil, 0, false, corruptf("wal: entry %d: bad batch: %v", i, err)
+		}
+		for j, b := range bodies {
+			recs = append(recs, walRec{seq: first + int64(j), body: b})
+		}
 	}
-	return recs, nil
+	return recs, int64(n), n < len(data), nil
 }
 
 // readCheckpoint reads a .ckpt mark (0 when none exists). The file is

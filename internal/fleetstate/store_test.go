@@ -293,6 +293,78 @@ func TestWALCheckpointBoundsReplay(t *testing.T) {
 	fleet.Store.Close()
 }
 
+// TestJournalCompaction pins the journal growth bound: once the event
+// count crosses journalCompactThreshold the live store folds the
+// journal into a compact snapshot of fleet state, and recovery from the
+// compacted journal reproduces that state exactly — versions, shadow,
+// latest limits, default, clean-shutdown marker — with new mutations
+// journaling (and recovering) on top of it.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, reg, d := newFleet(t, dir)
+	if err := d.SetShadow(freshModel(t, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	churn := journalCompactThreshold + 50
+	for i := 0; i < churn; i++ {
+		if err := d.SetLimits(deploy.Limits{QPS: float64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs, _, _, err := st.readJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) >= journalCompactThreshold {
+		t.Fatalf("journal holds %d events after %d mutations; compaction never ran", len(evs), churn)
+	}
+	reg.Close()
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	fleet, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fleet.CleanShutdown {
+		t.Fatal("checkpoint lost in compaction")
+	}
+	if fleet.Default != "main" {
+		t.Fatalf("default = %q, want main", fleet.Default)
+	}
+	rd, ok := fleet.Registry.Get("main")
+	if !ok {
+		t.Fatal("deployment lost in compaction")
+	}
+	if v := rd.Version(); v != 1 {
+		t.Fatalf("recovered v%d, want 1", v)
+	}
+	if stats := rd.Stats(); stats.ShadowVersion != 2 {
+		t.Fatalf("shadow lost in compaction: %+v", stats)
+	}
+	if lim := rd.Limits(); lim.QPS != float64(churn) {
+		t.Fatalf("limits QPS = %v, want the last set value %d", lim.QPS, churn)
+	}
+	// The compacted journal keeps accepting and replaying new events.
+	if err := rd.Swap(freshModel(t, 3), 3); err != nil {
+		t.Fatal(err)
+	}
+	fleet.Registry.Close()
+	fleet.Store.Close()
+	fleet2, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet2.Store.Close()
+	defer fleet2.Registry.Close()
+	rd2, _ := fleet2.Registry.Get("main")
+	if v := rd2.Version(); v != 3 {
+		t.Fatalf("post-compaction swap lost: recovered v%d, want 3", v)
+	}
+}
+
 // TestSnapshotFrameRejectsDamage covers the snapshot codec directly:
 // truncation, magic damage, payload bit flips.
 func TestSnapshotFrameRejectsDamage(t *testing.T) {
