@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/labelmodel"
+	"repro/internal/model"
 	"repro/internal/record"
 	"repro/internal/workload"
 )
@@ -127,13 +128,20 @@ func BenchmarkBuildPipeline(b *testing.B) {
 }
 
 // BenchmarkPredictLatency measures single-query inference latency on the
-// deployable model (the SLA number production teams pin).
+// deployable model (the SLA number production teams pin), at both serving
+// precisions. The model uses the recurrent encoder at a production hidden
+// size: that is the latency-critical configuration, and the one where
+// serving precision touches the critical path (tiny feed-forward models
+// are overhead-bound and serve the same at either width — see
+// PERFORMANCE.md). The table-bytes metric records the folded
+// encoder-table footprint each plane serves from — the f64/f32 ratio is
+// the headline memory win of the reduced-precision path.
 func BenchmarkPredictLatency(b *testing.B) {
 	app, err := Open([]byte(workload.SchemaJSON))
 	if err != nil {
 		b.Fatal(err)
 	}
-	tun := `{"embeddings": ["hash-24"], "encoders": ["CNN"], "hidden": [32],
+	tun := `{"embeddings": ["hash-24"], "encoders": ["GRU"], "hidden": [64],
 	         "query_agg": ["mean"], "entity_agg": ["mean"],
 	         "lr": [0.02], "epochs": [2], "dropout": [0], "batch_size": [32]}`
 	if err := app.SetTuning([]byte(tun)); err != nil {
@@ -145,12 +153,23 @@ func BenchmarkPredictLatency(b *testing.B) {
 		b.Fatal(err)
 	}
 	rec := ds.WithTag(record.TagTest)[0]
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := m.PredictOne(rec); err != nil {
-			b.Fatal(err)
-		}
+	for _, prec := range []string{"f64", "f32"} {
+		b.Run(prec, func(b *testing.B) {
+			if err := m.SetPrecision(model.Precision(prec)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.PredictOne(rec); err != nil { // warm fold caches
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.PredictOne(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(m.FoldedTableBytes()), "table-bytes")
+		})
 	}
 }
 

@@ -36,7 +36,11 @@ type Artifact struct {
 	GOARCH      string    `json:"goarch"`
 	CPU         string    `json:"cpu,omitempty"`
 	NumCPU      int       `json:"num_cpu"`
-	Benchmarks  []Result  `json:"benchmarks"`
+	// GOAMD64 records the microarchitecture level the benchmarks were
+	// built for (empty when unset, i.e. the v1 baseline), so
+	// reduced-precision kernel numbers are comparable across machines.
+	GOAMD64    string   `json:"goamd64,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
 }
 
 func main() {
@@ -49,6 +53,7 @@ func main() {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
+		GOAMD64:     os.Getenv("GOAMD64"),
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)

@@ -16,6 +16,7 @@
 //	overton serve    -deploy factoid=m1.bin -auto-improve [-min-agreement 0.9] [-promote-after 64]
 //	overton serve    -deploy factoid=m1.bin -limit factoid=200:50:128 [-max-inflight 256]
 //	overton serve    -deploy factoid=m1.bin -state-dir state/ [-drain-timeout 10s]
+//	overton serve    -deploy factoid=m1.bin -precision f32 [-precision qa=f64]
 //	overton store    -root dir put|get|list -name m [-file model.bin] [-version N]
 package main
 
@@ -38,6 +39,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/deploy"
 	"repro/internal/fleetstate"
+	"repro/internal/model"
 	"repro/internal/record"
 	"repro/internal/serve"
 	"repro/internal/train"
@@ -139,6 +141,7 @@ func cmdTrain(args []string) error {
 	seed := fs.Int64("seed", 1, "seed")
 	rebalance := fs.Bool("rebalance", false, "class rebalancing")
 	trainWorkers := fs.Int("train-workers", 0, "data-parallel training workers per step (0 = min(NumCPU, batch), 1 = serial)")
+	precision := fs.String("precision", "", "serving precision baked into the artifact: f64 (default) or f32")
 	fs.Parse(args)
 	app, err := overton.OpenFile(*schemaPath)
 	if err != nil {
@@ -164,6 +167,7 @@ func cmdTrain(args []string) error {
 		Halving:      *halving,
 		Rebalance:    *rebalance,
 		TrainWorkers: *trainWorkers,
+		Precision:    *precision,
 		Log:          os.Stderr,
 	})
 	if err != nil {
@@ -299,7 +303,7 @@ func cmdServe(args []string) error {
 	maxInflight := fs.Int("max-inflight", 0, "registry-wide cap on concurrent in-flight predicts across all deployments (0 = unlimited); excess requests are shed with 429")
 	stateDir := fs.String("state-dir", "", "durable state directory: journal every lifecycle change and ingest there, and recover the fleet from it on startup (empty = stateless)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests after SIGTERM/SIGINT before the listener is forced closed")
-	var deploys, shadows, limits []string
+	var deploys, shadows, limits, precisions []string
 	fs.Func("deploy", "name=artifact.bin deployment (repeatable; schemas may differ per deployment)", func(v string) error {
 		deploys = append(deploys, v)
 		return nil
@@ -310,6 +314,10 @@ func cmdServe(args []string) error {
 	})
 	fs.Func("limit", "name=qps[:burst[:depth]] admission limits for deployment name (repeatable; 0 disables a field): token-bucket QPS + burst, max queued+executing predicts", func(v string) error {
 		limits = append(limits, v)
+		return nil
+	})
+	fs.Func("precision", "serving precision: f64|f32 for every deployment, or name=f32 per deployment (repeatable; overrides the artifact's saved precision)", func(v string) error {
+		precisions = append(precisions, v)
 		return nil
 	})
 	fs.Parse(args)
@@ -404,6 +412,30 @@ func cmdServe(args []string) error {
 		}
 		fmt.Printf("limits     %-20s qps=%g burst=%d depth=%d\n",
 			name, d.Limits().QPS, d.Limits().Burst, d.Limits().QueueDepth)
+	}
+	for _, spec := range precisions {
+		name, pspec := "", spec
+		if n, p, ok := strings.Cut(spec, "="); ok {
+			name, pspec = n, p
+		}
+		prec, err := model.ParsePrecision(pspec)
+		if err != nil {
+			return fmt.Errorf("-precision %q: %w", spec, err)
+		}
+		targets := reg.All()
+		if name != "" {
+			d, ok := reg.Get(name)
+			if !ok {
+				return fmt.Errorf("-precision %q: no such deployment", spec)
+			}
+			targets = []*deploy.Deployment{d}
+		}
+		for _, d := range targets {
+			if err := d.SetPrecision(prec); err != nil {
+				return fmt.Errorf("-precision %q: %w", spec, err)
+			}
+			fmt.Printf("precision  %-20s %s serve plane\n", d.Name(), prec)
+		}
 	}
 	if *maxInflight > 0 {
 		reg.SetConcurrencyBudget(*maxInflight)

@@ -539,6 +539,25 @@ func (d *Deployment) primary() (*model.Model, int) {
 	return d.m, d.version
 }
 
+// SetPrecision switches the serving precision of the primary (and the
+// installed shadow, so mirrored comparisons run on the same plane the
+// candidate would serve at if promoted). Safe to call while serving:
+// precision is an atomic model attribute and in-flight batches finish on
+// the plane they started on.
+func (d *Deployment) SetPrecision(p model.Precision) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.m.SetPrecision(p); err != nil {
+		return err
+	}
+	if d.shadow != nil {
+		if err := d.shadow.SetPrecision(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // shadowInfo reports the installed shadow's version (0, false when none).
 func (d *Deployment) shadowInfo() (int, bool) {
 	d.mu.RLock()
@@ -572,6 +591,7 @@ func (d *Deployment) Stats() Stats {
 		Name:          d.name,
 		Version:       d.version,
 		ShadowVersion: d.shadowVer,
+		Precision:     string(d.m.Precision()),
 		Promotions:    d.promotions,
 		Rollbacks:     d.rollbacks,
 	}

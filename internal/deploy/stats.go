@@ -16,6 +16,10 @@ type Stats struct {
 	Name          string `json:"name,omitempty"`
 	Version       int    `json:"version,omitempty"`
 	ShadowVersion int    `json:"shadow_version,omitempty"`
+	// Precision is the primary model's serving precision ("f64" or
+	// "f32") so operators can audit which deployments run the
+	// reduced-precision plane.
+	Precision string `json:"precision,omitempty"`
 
 	Requests  int64   `json:"requests"`
 	Errors    int64   `json:"errors"`

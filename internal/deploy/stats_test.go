@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/model"
 	"repro/internal/record"
 )
 
@@ -147,5 +148,37 @@ func TestRecordBufferWraparound(t *testing.T) {
 	}
 	if b.drain() != nil {
 		t.Fatalf("second drain not empty")
+	}
+}
+
+// TestStatsReportPrecision: the /stats surface must report the primary's
+// serving precision, SetPrecision must flip it live (primary and shadow),
+// and an invalid precision must be rejected without changing anything.
+func TestStatsReportPrecision(t *testing.T) {
+	d := New("factoid", freshModel(t, 1), 1)
+	defer d.Close()
+	if got := d.Stats().Precision; got != "f64" {
+		t.Fatalf("default precision %q, want f64", got)
+	}
+	if err := d.SetShadow(freshModel(t, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetPrecision(model.PrecisionF32); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().Precision; got != "f32" {
+		t.Fatalf("precision %q after SetPrecision, want f32", got)
+	}
+	d.mu.RLock()
+	shadowPrec := d.shadow.Precision()
+	d.mu.RUnlock()
+	if shadowPrec != model.PrecisionF32 {
+		t.Fatalf("shadow precision %q, want f32", shadowPrec)
+	}
+	if err := d.SetPrecision("int8"); err == nil {
+		t.Fatalf("SetPrecision accepted int8")
+	}
+	if got := d.Stats().Precision; got != "f32" {
+		t.Fatalf("rejected precision changed the deployment to %q", got)
 	}
 }

@@ -28,6 +28,11 @@ type Batch struct {
 	TokenIDs  []int     // B*L, example-major, PadID-padded
 	Mask      []float64 // B*L, 1 on real tokens
 	RawTokens [][]string
+	// Keys are per-record dropout-stream keys (FNV-1a of the record ID):
+	// the forward pass hands them to nn.Graph.SetDropoutKeys so training
+	// masks depend on record identity rather than batch position, making
+	// every shard split reproducible with dropout on.
+	Keys []uint64
 
 	Sets map[string]*setBatch
 }
@@ -72,6 +77,14 @@ func (m *Model) makeBatchInto(b *Batch, recs []*record.Record, idx []int) error 
 	b.B, b.L = B, L
 	b.TokenIDs = growInts(b.TokenIDs, B*L)
 	b.Mask = growFloats(b.Mask, B*L)
+	if cap(b.Keys) >= B {
+		b.Keys = b.Keys[:B]
+	} else {
+		b.Keys = make([]uint64, B)
+	}
+	for r, rec := range recs {
+		b.Keys[r] = recordKey(rec.ID)
+	}
 	if cap(b.RawTokens) >= B {
 		b.RawTokens = b.RawTokens[:B]
 	} else {
@@ -134,6 +147,18 @@ func (m *Model) makeBatchInto(b *Batch, recs []*record.Record, idx []int) error 
 		}
 	}
 	return nil
+}
+
+// recordKey hashes a record ID to its dropout-stream key (FNV-1a 64).
+// Records with equal IDs share masks by design; an empty ID hashes to the
+// FNV offset basis, still deterministic.
+func recordKey(id string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // growInts resizes s to n entries, reusing capacity when possible.

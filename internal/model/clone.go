@@ -16,6 +16,7 @@ type Info struct {
 	Params    int    `json:"params"`
 	Tasks     int    `json:"tasks"`
 	Seed      int64  `json:"seed"`
+	Precision string `json:"precision"`
 }
 
 // Info returns the model's artifact metadata.
@@ -27,6 +28,7 @@ func (m *Model) Info() Info {
 		Params:    m.PS.NumParams(),
 		Tasks:     len(m.Prog.Schema.Tasks),
 		Seed:      m.Seed,
+		Precision: string(m.Precision()),
 	}
 }
 
@@ -52,6 +54,7 @@ func (m *Model) Clone() (*Model, error) {
 		copy(p.Node.Value.Data, src.Node.Value.Data)
 		p.Frozen = src.Frozen
 	}
+	c.prec.Store(m.prec.Load()) // serving precision travels with the clone
 	return c, nil
 }
 
@@ -88,16 +91,47 @@ func (m *Model) rebuild() (*Model, error) {
 // ownership unit of the data-parallel trainer, which gives each view its
 // own graph+arena session per PR 1's rules. Views must never step an
 // optimizer themselves; the fused reduce in internal/opt consumes their
-// grads. Construction pays one full rebuild (plan + parameter init that
-// the aliasing immediately discards); trainers build views once per
-// training run, which amortises it over every step of the run.
+// grads.
+//
+// Views are pooled: a trainer Close releases its views back to m, and the
+// next paramView re-aliases a pooled view instead of paying the full
+// rebuild (plan + parameter init the aliasing immediately discards). The
+// pooled view keeps its training session (arena chunks, tape, batch
+// scratch) and grad accumulators, so repeated trainer builds — the
+// improvement loop fine-tunes one candidate per retrain batch — are
+// init-free after the first.
 func (m *Model) paramView() (*Model, error) {
-	v, err := m.rebuild()
-	if err != nil {
-		return nil, fmt.Errorf("model: param view: %w", err)
+	m.viewMu.Lock()
+	var v *Model
+	if n := len(m.viewPool); n > 0 {
+		v, m.viewPool = m.viewPool[n-1], m.viewPool[:n-1]
 	}
+	m.viewMu.Unlock()
+	if v == nil {
+		var err error
+		v, err = m.rebuild()
+		if err != nil {
+			return nil, fmt.Errorf("model: param view: %w", err)
+		}
+	}
+	// Both paths re-alias: a fresh view to discard its init weights, a
+	// pooled one because AliasValues also zeroes its kept accumulators.
 	if err := v.PS.AliasValues(m.PS); err != nil {
 		return nil, fmt.Errorf("model: param view: %w", err)
 	}
 	return v, nil
+}
+
+// releaseView returns a worker view to m's pool for the next trainer
+// build. Deliberately NOT EndTraining: the view's arenas and grads are
+// the reuse payload. A model that stops training for good can still shed
+// them by dropping the model itself (views are unreachable outside the
+// pool).
+func (m *Model) releaseView(v *Model) {
+	if v == nil {
+		return
+	}
+	m.viewMu.Lock()
+	m.viewPool = append(m.viewPool, v)
+	m.viewMu.Unlock()
 }

@@ -1,0 +1,248 @@
+package model
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Float32 serving plane: quantized fold tables + head weights.
+//
+// The folded serve-path tables (conv E@W_{prev,cur,next}, GRU input
+// projections E@W_{z,r,h}[:in], the BOW embedding gather) are rebuilt per
+// parameter generation and never written at serve time, so storing them
+// at float32 is a pure cache-footprint and bandwidth win — the predict
+// loop streams half the bytes per token. serve32 snapshots those tables
+// plus every decoder head's weights in float32 so the whole folded
+// forward runs reduced-precision end to end (forward32.go), converting
+// to float64 only at the final logits. Invalidation mirrors the f64
+// folds: the snapshot carries the Model.gen it was built from and is
+// rebuilt on mismatch (ParamsChanged).
+//
+// Quantization happens once per generation from the float64 tables
+// (round-to-nearest), so table entries carry a single rounding step, not
+// accumulated float32 arithmetic error.
+
+// linear32 is a float32 snapshot of an nn.Linear.
+type linear32 struct {
+	w *tensor.Tensor32
+	b []float32
+}
+
+func newLinear32(l *nn.Linear) *linear32 {
+	return &linear32{w: tensor.FromF64(l.W.Node.Value), b: f32s(l.B.Node.Value.Data)}
+}
+
+// convFold32 is the float32 twin of convFold.
+type convFold32 struct {
+	p0, p1, p2 *tensor.Tensor32 // V x hidden: prev/cur/next projections
+	bias       []float32
+}
+
+// gruFold32 is the float32 twin of gruFold (one scan direction).
+type gruFold32 struct {
+	pz, pr, ph *tensor.Tensor32 // V x H: input projections E @ W[:in]
+	uz, ur, uh *tensor.Tensor32 // H x H: hidden-half recurrence weights
+	bz, br, bh []float32
+}
+
+// exampleHead32 / setHead32 mirror the serve-relevant half of their f64
+// structs: expert prediction heads (aux-loss only) are omitted.
+type exampleHead32 struct {
+	plain      *linear32
+	experts    []*linear32
+	membership []*linear32
+	out        *linear32
+}
+
+type setHead32 struct {
+	mlp, score  *linear32
+	expertMLP   []*linear32
+	expertScore []*linear32
+	membership  []*linear32
+}
+
+// serve32 is an immutable float32 snapshot of everything the folded
+// forward reads.
+type serve32 struct {
+	gen uint64
+	H   int // encoder output width
+
+	// Exactly one encoder group is set.
+	emb  *tensor.Tensor32 // BOW: V x in embedding table
+	conv *convFold32
+	gru  *gruFold32
+	biF  *gruFold32 // BiGRU forward direction
+	biB  *gruFold32 // BiGRU backward direction
+
+	tokenHeads   map[string]*linear32
+	exampleHeads map[string]*exampleHead32
+	setHeads     map[string]*setHead32
+	entEmb       *tensor.Tensor32
+	spanQ        []float32
+}
+
+func f32s(src []float64) []float32 {
+	dst := make([]float32, len(src))
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+	return dst
+}
+
+// foldGRU32 builds one direction's float32 fold straight from the
+// embedding table and gate weights (used for BiGRU, which has no f64
+// folded path to convert from). The V x H projections are computed in
+// float64 and rounded once.
+func foldGRU32(gru *nn.GRU, E *tensor.Tensor) *gruFold32 {
+	in, H := gru.In, gru.Hidden
+	V := E.Rows
+	split := func(w, b *nn.Param) (*tensor.Tensor32, *tensor.Tensor32, []float32) {
+		W := w.Node.Value // (in+H) x H
+		wx := &tensor.Tensor{Rows: in, Cols: H, Data: W.Data[:in*H]}
+		uh := &tensor.Tensor{Rows: H, Cols: H, Data: W.Data[in*H:]}
+		p := tensor.MatMul(tensor.New(V, H), E, wx)
+		return tensor.FromF64(p), tensor.FromF64(uh), f32s(b.Node.Value.Data)
+	}
+	f := &gruFold32{}
+	f.pz, f.uz, f.bz = split(gru.Wz, gru.Bz)
+	f.pr, f.ur, f.br = split(gru.Wr, gru.Br)
+	f.ph, f.uh, f.bh = split(gru.Wh, gru.Bh)
+	return f
+}
+
+func convertGRUFold(f *gruFold) *gruFold32 {
+	return &gruFold32{
+		pz: tensor.FromF64(f.pz), pr: tensor.FromF64(f.pr), ph: tensor.FromF64(f.ph),
+		uz: tensor.FromF64(f.uz), ur: tensor.FromF64(f.ur), uh: tensor.FromF64(f.uh),
+		bz: f32s(f.bz), br: f32s(f.br), bh: f32s(f.bh),
+	}
+}
+
+// serve32Snapshot returns the float32 snapshot for the current
+// generation, rebuilding it when stale, or nil when the reduced-precision
+// fast path does not apply (contextual features, oversized vocabulary).
+func (m *Model) serve32Snapshot() *serve32 {
+	if m.contextual != nil || m.vocab.Size() > maxFoldVocab {
+		return nil
+	}
+	gen := m.gen.Load()
+	if s := m.serveCache32.Load(); s != nil && s.gen == gen {
+		return s
+	}
+	s := &serve32{
+		gen:          gen,
+		H:            m.Prog.EncoderOut,
+		tokenHeads:   map[string]*linear32{},
+		exampleHeads: map[string]*exampleHead32{},
+		setHeads:     map[string]*setHead32{},
+	}
+	E := m.tokEmb.Table.Node.Value
+	switch {
+	case m.conv != nil:
+		f := m.foldedConv()
+		if f == nil {
+			return nil
+		}
+		s.conv = &convFold32{
+			p0: tensor.FromF64(f.p0), p1: tensor.FromF64(f.p1), p2: tensor.FromF64(f.p2),
+			bias: f32s(f.bias),
+		}
+	case m.gru != nil:
+		f := m.foldedGRU()
+		if f == nil {
+			return nil
+		}
+		s.gru = convertGRUFold(f)
+	case m.bigru != nil:
+		s.biF = foldGRU32(m.bigru.Fwd, E)
+		s.biB = foldGRU32(m.bigru.Bwd, E)
+	default: // BOW
+		s.emb = tensor.FromF64(E)
+	}
+	for name, h := range m.tokenHeads {
+		s.tokenHeads[name] = newLinear32(h)
+	}
+	for name, h := range m.exampleHeads {
+		h32 := &exampleHead32{}
+		if h.plain != nil {
+			h32.plain = newLinear32(h.plain)
+		} else {
+			for _, ex := range h.experts {
+				h32.experts = append(h32.experts, newLinear32(ex))
+			}
+			for _, mb := range h.membership {
+				h32.membership = append(h32.membership, newLinear32(mb))
+			}
+			h32.out = newLinear32(h.out)
+		}
+		s.exampleHeads[name] = h32
+	}
+	for name, h := range m.setHeads {
+		h32 := &setHead32{mlp: newLinear32(h.mlp), score: newLinear32(h.score)}
+		for i := range h.membership {
+			h32.expertMLP = append(h32.expertMLP, newLinear32(h.expertMLP[i]))
+			h32.expertScore = append(h32.expertScore, newLinear32(h.expertScore[i]))
+			h32.membership = append(h32.membership, newLinear32(h.membership[i]))
+		}
+		s.setHeads[name] = h32
+	}
+	if m.entEmb != nil {
+		s.entEmb = tensor.FromF64(m.entEmb.Table.Node.Value)
+	}
+	if m.spanQ != nil {
+		s.spanQ = f32s(m.spanQ.Node.Value.Data)
+	}
+	m.serveCache32.Store(s)
+	return s
+}
+
+// encoderTableBytes is the byte footprint of the quantized encoder
+// projection tables — the serve-loop working set the f32 path halves.
+func (s *serve32) encoderTableBytes() int {
+	elems := 0
+	switch {
+	case s.conv != nil:
+		elems = len(s.conv.p0.Data) + len(s.conv.p1.Data) + len(s.conv.p2.Data) + len(s.conv.bias)
+	case s.gru != nil:
+		elems = s.gru.elems()
+	case s.biF != nil:
+		elems = s.biF.elems() + s.biB.elems()
+	case s.emb != nil:
+		elems = len(s.emb.Data)
+	}
+	return 4 * elems
+}
+
+func (f *gruFold32) elems() int {
+	return len(f.pz.Data) + len(f.pr.Data) + len(f.ph.Data) +
+		len(f.uz.Data) + len(f.ur.Data) + len(f.uh.Data) +
+		len(f.bz) + len(f.br) + len(f.bh)
+}
+
+// FoldedTableBytes reports the byte footprint of the serving-path folded
+// tables at the model's current precision: what the predict loop streams
+// per pass over the vocabulary-sized projections. Returns 0 when no
+// folded path applies (contextual features, oversized vocabulary, or a
+// f64 BiGRU, which serves unfolded).
+func (m *Model) FoldedTableBytes() int {
+	if m.Precision() == PrecisionF32 {
+		if s := m.serve32Snapshot(); s != nil {
+			return s.encoderTableBytes()
+		}
+		return 0
+	}
+	if f := m.foldedConv(); f != nil {
+		return 8 * (len(f.p0.Data) + len(f.p1.Data) + len(f.p2.Data) + len(f.bias))
+	}
+	if f := m.foldedGRU(); f != nil {
+		return 8 * (len(f.pz.Data) + len(f.pr.Data) + len(f.ph.Data) +
+			len(f.uz.Data) + len(f.ur.Data) + len(f.uh.Data) +
+			len(f.bz) + len(f.br) + len(f.bh))
+	}
+	if m.conv == nil && m.gru == nil && m.bigru == nil && m.contextual == nil {
+		// BOW: the embedding table itself is the folded form.
+		E := m.tokEmb.Table.Node.Value
+		return 8 * len(E.Data)
+	}
+	return 0
+}

@@ -1,0 +1,478 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Reduced-precision folded forward (see fold32.go for the snapshot).
+//
+// forward32 mirrors the folded serve path op for op in plain float32
+// loops — encoder tables, pooling, and every decoder head — with no
+// graph tape at all: the only nodes it creates are the float64-converted
+// final logits, so decode/calibration/monitor comparisons downstream are
+// untouched. Intermediates come from a per-session bump allocator
+// (scratch32), so the steady state allocates nothing beyond the f64
+// output tensors the f64 path also produces. Arithmetic follows the same
+// accumulation orders as the f64 folded path; the parity harness pins
+// logit deltas at 1e-4 relative and decision agreement at 100%.
+
+// scratch32 is a grow-only bump allocator for float32 intermediates,
+// owned by a session's forwardState and reset per pass.
+type scratch32 struct {
+	buf []float32
+	off int
+}
+
+func (s *scratch32) reset() { s.off = 0 }
+
+// alloc returns a zeroed rows x cols tensor view over the scratch
+// buffer. On growth the old buffer is abandoned (outstanding views stay
+// valid); the next pass reuses the larger one.
+func (s *scratch32) alloc(rows, cols int) tensor.Tensor32 {
+	n := rows * cols
+	if s.off+n > len(s.buf) {
+		grow := 2 * len(s.buf)
+		if grow < s.off+n {
+			grow = s.off + n
+		}
+		s.buf = make([]float32, grow)
+		s.off = 0
+	}
+	data := s.buf[s.off : s.off+n]
+	s.off += n
+	for i := range data {
+		data[i] = 0
+	}
+	return tensor.Tensor32{Rows: rows, Cols: cols, Data: data}
+}
+
+// constF64 widens a float32 tensor into an arena-backed f64 constant
+// node — the only crossing point back into the graph world.
+func constF64(g *nn.Graph, t *tensor.Tensor32) *nn.Node {
+	out := g.NewTensor(t.Rows, t.Cols)
+	for i, v := range t.Data {
+		out.Data[i] = float64(v)
+	}
+	return g.Const(out)
+}
+
+// The float32 plane uses float32-accuracy transcendentals (~1 ulp, see
+// tensor/math32.go) rather than rounding 53-bit math.Exp results: on
+// recurrent encoders the gate nonlinearities rival the matmuls for serve
+// time, and the approximation error (~1e-7 relative) sits at the same
+// order as float32 storage rounding — inside the 1e-4 parity budget.
+func sigmoid32(v float32) float32 { return tensor.Sigmoid32(v) }
+
+func tanh32(v float32) float32 { return tensor.Tanh32(v) }
+
+func relu32(data []float32) {
+	for i, v := range data {
+		if v < 0 {
+			data[i] = 0
+		}
+	}
+}
+
+// forward applies the affine map dst = x @ W + b. dst must be x.Rows x
+// w.Cols scratch distinct from x.
+func (l *linear32) forward(dst, x *tensor.Tensor32) {
+	tensor.MatMul32(dst, x, l.w)
+	for r := 0; r < dst.Rows; r++ {
+		tensor.AddRow32(dst.Row(r), l.b)
+	}
+}
+
+// forward32 runs the reduced-precision folded forward, populating st
+// with float64-converted outputs. Returns false when the fast path does
+// not apply (caller falls back to the f64 path).
+func (m *Model) forward32(g *nn.Graph, b *Batch, st *forwardState) bool {
+	s := m.serve32Snapshot()
+	if s == nil {
+		return false
+	}
+	sc := &st.sc32
+	sc.reset()
+	B, L, H := b.B, b.L, s.H
+
+	// Encoder.
+	h := sc.alloc(B*L, H)
+	switch {
+	case s.conv != nil:
+		convForward32(s.conv, b, &h)
+	case s.gru != nil:
+		gruScan32(sc, s.gru, b, &h, 0, false)
+	case s.biF != nil:
+		hw := s.biF.uz.Rows
+		gruScan32(sc, s.biF, b, &h, 0, false)
+		gruScan32(sc, s.biB, b, &h, hw, true)
+	default: // BOW: token t's representation is the embedding row.
+		for r, id := range b.TokenIDs[:B*L] {
+			copy(h.Row(r), s.emb.Row(id))
+		}
+	}
+	st.tokenRep = constF64(g, &h)
+
+	// Query payload: pooled token representation.
+	q := sc.alloc(B, H)
+	if m.Prog.Choice.QueryAgg == "max" {
+		maskedMaxPool32(&q, &h, b.Mask, B, L)
+	} else {
+		maskedMeanPool32(&q, &h, b.Mask, B, L)
+	}
+	st.queryRep = constF64(g, &q)
+
+	// Token-task heads.
+	for _, tname := range m.Prog.TokenTasks {
+		lh := s.tokenHeads[tname]
+		logits := sc.alloc(B*L, lh.w.Cols)
+		lh.forward(&logits, &h)
+		st.tokenLogits[tname] = constF64(g, &logits)
+	}
+
+	// Example-task heads.
+	for _, tname := range m.Prog.ExampleTasks {
+		exampleForward32(g, st, sc, tname, s.exampleHeads[tname], &q)
+	}
+
+	// Set payload candidate representations + heads.
+	if len(m.Prog.SetPayloads) > 0 {
+		if st.cand32 == nil {
+			st.cand32 = map[string]tensor.Tensor32{}
+		}
+		clear(st.cand32)
+		entDim := s.entEmb.Cols
+		for _, sp := range m.Prog.SetPayloads {
+			sb := b.Sets[sp]
+			n := len(sb.Spans)
+			spanRep := sc.alloc(n, H)
+			if s.spanQ != nil && m.Prog.Choice.EntityAgg == "attn" {
+				spanAttnPool32(&spanRep, &h, sb.Spans, L, s.spanQ)
+			} else {
+				spanMeanPool32(&spanRep, &h, sb.Spans, L)
+			}
+			cand := sc.alloc(n, H+entDim+H)
+			for i, span := range sb.Spans {
+				crow := cand.Row(i)
+				copy(crow[:H], spanRep.Row(i))
+				copy(crow[H:H+entDim], s.entEmb.Row(sb.CandEnt[i]))
+				copy(crow[H+entDim:], q.Row(span.Example))
+			}
+			st.cand32[sp] = cand
+		}
+		for _, tname := range m.Prog.SetTasks {
+			m.setForward32(g, st, sc, b, tname, s.setHeads[tname], &q)
+		}
+	}
+	return true
+}
+
+// convForward32 assembles post-ReLU conv activations from the quantized
+// tables, mirroring foldedConvForward's window walk and fused bias+ReLU.
+func convForward32(f *convFold32, b *Batch, out *tensor.Tensor32) {
+	ids := b.TokenIDs
+	for r := 0; r < b.B*b.L; r++ {
+		t := r % b.L
+		orow := out.Row(r)
+		if t > 0 {
+			copy(orow, f.p0.Row(ids[r-1]))
+			tensor.AddRow32(orow, f.p1.Row(ids[r]))
+		} else {
+			copy(orow, f.p1.Row(ids[r]))
+		}
+		if t < b.L-1 {
+			tensor.AddRow32(orow, f.p2.Row(ids[r+1]))
+		}
+		for j := range orow {
+			v := orow[j] + f.bias[j]
+			if v > 0 {
+				orow[j] = v
+			} else {
+				orow[j] = 0
+			}
+		}
+	}
+}
+
+// gruScan32 runs one direction's folded GRU recurrence in float32,
+// writing hidden states into out columns [colOff, colOff+H) — the BiGRU
+// runs it twice with opposite directions and column halves. Mirrors
+// foldedGRUForward: masked positions keep the previous state. Output
+// indexing mirrors nn.GRU exactly: the row written at timestep index
+// `step` is the state after scan step `step` — for the reverse
+// direction, nn.GRU's hs/order double re-index means output row t holds
+// the state after processing timesteps L-1 down to L-1-t, and the fold
+// must reproduce that, not a naive right-to-left state-at-t scan.
+func gruScan32(sc *scratch32, f *gruFold32, b *Batch, out *tensor.Tensor32, colOff int, reverse bool) {
+	H := f.uz.Rows
+	B, L := b.B, b.L
+	ids, mask := b.TokenIDs, b.Mask
+
+	h := sc.alloc(B, H) // h0 = 0
+	hn := sc.alloc(B, H)
+	hz := sc.alloc(B, H)
+	hr := sc.alloc(B, H)
+	hh := sc.alloc(B, H)
+	zt := sc.alloc(B, H)
+	rh := sc.alloc(B, H)
+
+	for step := 0; step < L; step++ {
+		t := step
+		if reverse {
+			t = L - 1 - step
+		}
+		// Hidden-half recurrences for the update and reset gates.
+		tensor.MatMul32(&hz, &h, f.uz)
+		tensor.MatMul32(&hr, &h, f.ur)
+		for bi := 0; bi < B; bi++ {
+			id := ids[bi*L+t]
+			pzr, prr := f.pz.Row(id), f.pr.Row(id)
+			hzr, hrr := hz.Row(bi), hr.Row(bi)
+			ztr, rhr := zt.Row(bi), rh.Row(bi)
+			hrow := h.Row(bi)
+			for j := 0; j < H; j++ {
+				ztr[j] = sigmoid32(pzr[j] + hzr[j] + f.bz[j])
+				rv := sigmoid32(prr[j] + hrr[j] + f.br[j])
+				rhr[j] = rv * hrow[j]
+			}
+		}
+		// Candidate state from the reset-gated hidden half.
+		tensor.MatMul32(&hh, &rh, f.uh)
+		for bi := 0; bi < B; bi++ {
+			row := bi*L + t // position processed this scan step
+			hrow := h.Row(bi)
+			nrow := hn.Row(bi)
+			orow := out.Row(bi*L + step)[colOff : colOff+H]
+			if mask[row] == 0 {
+				copy(nrow, hrow)
+				copy(orow, hrow)
+				continue
+			}
+			phr := f.ph.Row(ids[row])
+			hhr := hh.Row(bi)
+			ztr := zt.Row(bi)
+			for j := 0; j < H; j++ {
+				ht := tanh32(phr[j] + hhr[j] + f.bh[j])
+				z := ztr[j]
+				nrow[j] = (1-z)*hrow[j] + z*ht
+			}
+			copy(orow, nrow)
+		}
+		h, hn = hn, h
+	}
+}
+
+// maskedMeanPool32 mirrors nn.MaskedMeanPool. out must be zeroed B x d.
+func maskedMeanPool32(out, x *tensor.Tensor32, mask []float64, B, L int) {
+	for bi := 0; bi < B; bi++ {
+		orow := out.Row(bi)
+		var count float32
+		for t := 0; t < L; t++ {
+			mv := mask[bi*L+t]
+			if mv <= 0 {
+				continue
+			}
+			mf := float32(mv)
+			count += mf
+			xrow := x.Row(bi*L + t)
+			for c, v := range xrow {
+				orow[c] += mf * v
+			}
+		}
+		if count > 0 {
+			inv := 1 / count
+			for c := range orow {
+				orow[c] *= inv
+			}
+		}
+	}
+}
+
+// maskedMaxPool32 mirrors nn.MaskedMaxPool. out must be zeroed B x d
+// (fully masked examples pool to zero).
+func maskedMaxPool32(out, x *tensor.Tensor32, mask []float64, B, L int) {
+	for bi := 0; bi < B; bi++ {
+		orow := out.Row(bi)
+		seen := false
+		for t := 0; t < L; t++ {
+			if mask[bi*L+t] <= 0 {
+				continue
+			}
+			xrow := x.Row(bi*L + t)
+			if !seen {
+				copy(orow, xrow)
+				seen = true
+				continue
+			}
+			for c, v := range xrow {
+				if v > orow[c] {
+					orow[c] = v
+				}
+			}
+		}
+	}
+}
+
+// spanMeanPool32 mirrors nn.SpanMeanPool. out must be zeroed len(spans) x d.
+func spanMeanPool32(out, x *tensor.Tensor32, spans []nn.Span, L int) {
+	for i, sp := range spans {
+		width := sp.End - sp.Start
+		if width <= 0 {
+			continue
+		}
+		orow := out.Row(i)
+		for t := sp.Start; t < sp.End; t++ {
+			tensor.AddRow32(orow, x.Row(sp.Example*L+t))
+		}
+		inv := 1 / float32(width)
+		for c := range orow {
+			orow[c] *= inv
+		}
+	}
+}
+
+// spanAttnPool32 mirrors nn.SpanAttnPool: scaled dot-product attention
+// against the learned query with a max-subtracted softmax.
+func spanAttnPool32(out, x *tensor.Tensor32, spans []nn.Span, L int, q []float32) {
+	d := x.Cols
+	scale := float32(1 / math.Sqrt(float64(d)))
+	var scores []float32
+	for i, sp := range spans {
+		width := sp.End - sp.Start
+		if width <= 0 {
+			continue
+		}
+		if cap(scores) < width {
+			scores = make([]float32, width)
+		}
+		scores = scores[:width]
+		maxv := float32(math.Inf(-1))
+		for k := 0; k < width; k++ {
+			s := tensor.Dot32(x.Row(sp.Example*L+sp.Start+k), q) * scale
+			scores[k] = s
+			if s > maxv {
+				maxv = s
+			}
+		}
+		var z float32
+		for k := range scores {
+			scores[k] = tensor.Exp32(scores[k] - maxv)
+			z += scores[k]
+		}
+		inv := 1 / z
+		orow := out.Row(i)
+		for k := 0; k < width; k++ {
+			a := scores[k] * inv
+			xrow := x.Row(sp.Example*L + sp.Start + k)
+			for c, v := range xrow {
+				orow[c] += a * v
+			}
+		}
+	}
+}
+
+// softmaxRows32 applies a max-subtracted softmax to each row in place.
+func softmaxRows32(t *tensor.Tensor32) {
+	for r := 0; r < t.Rows; r++ {
+		row := t.Row(r)
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var z float32
+		for i, v := range row {
+			e := tensor.Exp32(v - maxv)
+			row[i] = e
+			z += e
+		}
+		inv := 1 / z
+		for i := range row {
+			row[i] *= inv
+		}
+	}
+}
+
+// exampleForward32 computes final logits for one per-example task,
+// mirroring forwardExampleHead (expert aux predictions are loss-only and
+// skipped).
+func exampleForward32(g *nn.Graph, st *forwardState, sc *scratch32, tname string, head *exampleHead32, q *tensor.Tensor32) {
+	B := q.Rows
+	if head.plain != nil {
+		logits := sc.alloc(B, head.plain.w.Cols)
+		head.plain.forward(&logits, q)
+		st.exampleFinal[tname] = constF64(g, &logits)
+		return
+	}
+	S := len(head.membership)
+	expertDim := head.experts[0].w.Cols
+	reps := make([]tensor.Tensor32, len(head.experts))
+	for e, ex := range head.experts {
+		reps[e] = sc.alloc(B, expertDim)
+		ex.forward(&reps[e], q)
+		relu32(reps[e].Data)
+	}
+	// Membership logits; the base expert has a fixed 0 logit (column 0).
+	attn := sc.alloc(B, S+1)
+	u := sc.alloc(B, 1)
+	for s := 0; s < S; s++ {
+		head.membership[s].forward(&u, q)
+		for bi := 0; bi < B; bi++ {
+			attn.Row(bi)[s+1] = u.Data[bi]
+		}
+	}
+	softmaxRows32(&attn)
+	mixed := sc.alloc(B, expertDim)
+	for e := range reps {
+		rep := &reps[e]
+		for bi := 0; bi < B; bi++ {
+			w := attn.Row(bi)[e]
+			if w == 0 {
+				continue
+			}
+			mrow := mixed.Row(bi)
+			for c, v := range rep.Row(bi) {
+				mrow[c] += w * v
+			}
+		}
+	}
+	final := sc.alloc(B, head.out.w.Cols)
+	head.out.forward(&final, &mixed)
+	st.exampleFinal[tname] = constF64(g, &final)
+}
+
+// setForward32 scores one select task's candidates, mirroring
+// forwardSetHead (expert/membership internals are loss-only and not
+// materialised as nodes).
+func (m *Model) setForward32(g *nn.Graph, st *forwardState, sc *scratch32, b *Batch, tname string, head *setHead32, q *tensor.Tensor32) {
+	payload := m.Prog.Schema.Tasks[tname].Payload
+	cand, ok := st.cand32[payload]
+	if !ok || cand.Rows == 0 {
+		st.setScores[tname] = g.Const(g.NewTensor(0, 1))
+		return
+	}
+	n, hdn := cand.Rows, head.mlp.w.Cols
+	hid := sc.alloc(n, hdn)
+	head.mlp.forward(&hid, &cand)
+	relu32(hid.Data)
+	total := sc.alloc(n, 1)
+	head.score.forward(&total, &hid)
+	if S := len(head.membership); S > 0 {
+		sb := b.Sets[payload]
+		u := sc.alloc(q.Rows, 1)
+		es := sc.alloc(n, 1)
+		for s := 0; s < S; s++ {
+			head.membership[s].forward(&u, q)
+			head.expertMLP[s].forward(&hid, &cand)
+			relu32(hid.Data)
+			head.expertScore[s].forward(&es, &hid)
+			for i, span := range sb.Spans {
+				total.Data[i] += sigmoid32(u.Data[span.Example]) * es.Data[i]
+			}
+		}
+	}
+	st.setScores[tname] = constF64(g, &total)
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/embeddings"
 	"repro/internal/nn"
 	"repro/internal/schema"
+	"repro/internal/tensor"
 )
 
 // entityEmbDim is the width of learned KB-entity embeddings. It is a fixed
@@ -52,12 +53,23 @@ type Model struct {
 	inferPool sync.Pool
 	train     *session
 
-	// gen counts parameter mutations; fold/gruFoldCache cache the
-	// serving-path conv/GRU projection tables for the generation they were
-	// built from.
+	// gen counts parameter mutations; fold/gruFoldCache/serveCache32
+	// cache the serving-path projection tables (and their float32
+	// quantization) for the generation they were built from.
 	gen          atomic.Uint64
 	fold         atomic.Pointer[convFold]
 	gruFoldCache atomic.Pointer[gruFold]
+	serveCache32 atomic.Pointer[serve32]
+
+	// prec selects the serving precision (0 = f64, 1 = f32); see
+	// precision.go.
+	prec atomic.Uint32
+
+	// viewPool recycles parameter views released by trainer Close so the
+	// next trainer construction skips the full rebuild (plan + discarded
+	// init) and reuses the views' grad accumulators and sessions.
+	viewMu   sync.Mutex
+	viewPool []*Model
 }
 
 // exampleHead predicts a per-example task, optionally with slice experts.
@@ -225,6 +237,11 @@ type forwardState struct {
 	setExpert     map[string][]*nn.Node // per-slice expert-only scores (N,1)
 	setMember     map[string][]*nn.Node
 	candRep       map[string]*nn.Node
+
+	// Reduced-precision scratch (forward32.go): a bump allocator for
+	// float32 intermediates and the per-payload f32 candidate reps.
+	sc32   scratch32
+	cand32 map[string]tensor.Tensor32
 }
 
 func newForwardState() *forwardState {
@@ -265,6 +282,18 @@ func (m *Model) forward(g *nn.Graph, b *Batch) *forwardState {
 // scratch storage.
 func (m *Model) forwardInto(g *nn.Graph, b *Batch, st *forwardState) {
 	st.reset(b)
+	if g.Training {
+		// Record-keyed dropout: masks depend on (record, step salt), not
+		// batch position or shard padding — see nn.Graph.SetDropoutKeys.
+		g.SetDropoutKeys(b.Keys, b.L)
+	}
+	// Reduced-precision serving fast path: quantized folded tables and a
+	// graph-free float32 forward, converting to float64 only at the
+	// final logits (forward32.go). Falls through to the standard f64
+	// path when it does not apply.
+	if g.NoGrad() && m.prec.Load() == 1 && m.forward32(g, b, st) {
+		return
+	}
 	// Serving fast path: fold the encoder — cached per-vocab projection
 	// tables for the CNN, direct embedding-row gather for BOW (no-grad
 	// graphs only; see fold.go).

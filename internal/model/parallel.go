@@ -26,10 +26,11 @@ import (
 //     order the serial ops use, the tree reduce of one shard is a copy,
 //     and the fused clip+step rounds exactly like ClipGradNorm + Step.
 //   - W>1 matches the serial loss trajectory to float re-association
-//     (~1e-15/step; the parity tests allow 1e-9 over whole runs) provided
-//     dropout is 0 — with dropout on, workers draw masks from independent
-//     deterministic streams, which is statistically but not numerically
-//     the serial schedule. One documented decomposition edge: a shard
+//     (~1e-15/step; the parity tests allow 1e-9 over whole runs) —
+//     including with dropout on: masks are record-keyed (one per-step
+//     salt shared by all workers, per-record splitmix64 streams), so
+//     every shard split replays the serial dropout schedule bitwise and
+//     only summation order differs. One documented decomposition edge: a shard
 //     holding no candidates of a sliced `select` task contributes no
 //     membership loss for its rows, where the serial batch would.
 //
@@ -82,12 +83,13 @@ func NewParallelTrainer(m *Model, workers int) (*ParallelTrainer, error) {
 // Workers returns the configured worker count.
 func (t *ParallelTrainer) Workers() int { return len(t.workers) }
 
-// Close releases every worker's training session (tape, arena chunks,
-// batch scratch) so a model kept for serving does not pin training-sized
-// buffers. The trainer must not be used afterwards.
+// Close releases every worker view back to the model's view pool, where
+// the next NewParallelTrainer over the same model picks them up with
+// their sessions and grad accumulators intact (init-free rebuild). The
+// trainer must not be used afterwards.
 func (t *ParallelTrainer) Close() {
 	for _, w := range t.workers {
-		w.view.EndTraining()
+		t.m.releaseView(w.view)
 		w.view = nil
 	}
 	t.workers = nil
@@ -113,6 +115,14 @@ func (t *ParallelTrainer) TrainStep(recs []*record.Record, idx []int, targets ma
 	if n > len(recs) {
 		n = len(recs)
 	}
+	// Same stream position (and the same dropout-gate) as the serial
+	// TrainStep's salt draw: all workers share one per-step salt, and
+	// record-keyed masks make every shard split replay the serial dropout
+	// schedule bitwise.
+	var salt uint64
+	if t.m.Prog.Choice.Dropout > 0 {
+		salt = rng.Uint64()
+	}
 	norms := t.m.computeLossNorms(recs, idx, targets)
 
 	// Contiguous balanced split: the first rem shards get one extra record.
@@ -134,10 +144,10 @@ func (t *ParallelTrainer) TrainStep(recs []*record.Record, idx []int, targets ma
 		wg.Add(1)
 		go func(tw *trainWorker, lo, hi int) {
 			defer wg.Done()
-			tw.run(recs[lo:hi], idx[lo:hi], targets, lossCfg, norms, tw.rng)
+			tw.run(recs[lo:hi], idx[lo:hi], targets, lossCfg, norms, tw.rng, salt)
 		}(t.workers[w], lo, hi)
 	}
-	t.workers[0].run(recs[b0lo:b0hi], idx[b0lo:b0hi], targets, lossCfg, norms, rng)
+	t.workers[0].run(recs[b0lo:b0hi], idx[b0lo:b0hi], targets, lossCfg, norms, rng, salt)
 	wg.Wait()
 
 	for w := 0; w < n; w++ {
@@ -195,10 +205,11 @@ func treeSum(vals []float64) float64 {
 
 // run executes one worker's shard: forward, loss with full-batch
 // normalisers, backward into the view's private grad accumulators.
-func (w *trainWorker) run(recs []*record.Record, idx []int, targets map[string]*labelmodel.TaskTargets, lossCfg LossConfig, norms *lossNorms, rng *rand.Rand) {
+func (w *trainWorker) run(recs []*record.Record, idx []int, targets map[string]*labelmodel.TaskTargets, lossCfg LossConfig, norms *lossNorms, rng *rand.Rand, salt uint64) {
 	w.loss, w.err = 0, nil
 	s := w.view.trainSession()
 	s.g.SetRand(rng)
+	s.g.SetDropoutSalt(salt)
 	if err := s.run(w.view, recs, idx); err != nil {
 		w.err = err
 		return

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -107,6 +108,17 @@ func TestParallelTrainShardedMatchesSerial(t *testing.T) {
 		{"W8", 8, testChoice, nil},
 		{"W4-gru", 4, func() schema.Choice { c := testChoice(); c.Encoder = "GRU"; return c }, nil},
 		{"W4-sliced", 4, testChoice, []string{workload.SliceNutrition, workload.SliceDisambig}},
+		// Dropout on: record-keyed masks replay the serial schedule
+		// bitwise under any shard split, so the 1e-9 re-association bound
+		// holds with stochastic regularisation active too.
+		{"W2-dropout", 2, func() schema.Choice { c := testChoice(); c.Dropout = 0.25; return c }, nil},
+		{"W4-dropout", 4, func() schema.Choice { c := testChoice(); c.Dropout = 0.25; return c }, nil},
+		{"W4-gru-dropout", 4, func() schema.Choice {
+			c := testChoice()
+			c.Encoder = "GRU"
+			c.Dropout = 0.3
+			return c
+		}, nil},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			serial := buildModel(t, tc.choice(), tc.slices)
@@ -140,34 +152,41 @@ func TestParallelTrainShardedMatchesSerial(t *testing.T) {
 }
 
 // TestParallelTrainDeterministic: two identical W=3 runs must produce
-// bitwise-identical losses and parameters — the fixed shard split and
-// tree reduction order make the parallel path reproducible run-to-run.
+// bitwise-identical losses and parameters — the fixed shard split, tree
+// reduction order, and record-keyed dropout streams make the parallel
+// path reproducible run-to-run even with dropout active.
 func TestParallelTrainDeterministic(t *testing.T) {
-	run := func() ([]float64, *Model) {
-		m := buildModel(t, testChoice(), nil)
-		ds := smallDataset(t, 40, 29)
-		targets := combineAll(t, ds)
-		pt, err := NewParallelTrainer(m, 3)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer pt.Close()
-		return trainRun(t, ds, pt.TrainStep, opt.NewAdam(m.PS.All()), targets, 10, 20, 5), m
-	}
-	lossesA, mA := run()
-	lossesB, mB := run()
-	for i := range lossesA {
-		if lossesA[i] != lossesB[i] {
-			t.Fatalf("step %d nondeterministic: %v vs %v", i, lossesA[i], lossesB[i])
-		}
-	}
-	for _, p := range mA.PS.All() {
-		q := mB.PS.Get(p.Name)
-		for j, v := range p.Node.Value.Data {
-			if v != q.Node.Value.Data[j] {
-				t.Fatalf("param %s[%d] nondeterministic", p.Name, j)
+	for _, dropout := range []float64{0, 0.25} {
+		t.Run(fmt.Sprintf("dropout=%g", dropout), func(t *testing.T) {
+			run := func() ([]float64, *Model) {
+				c := testChoice()
+				c.Dropout = dropout
+				m := buildModel(t, c, nil)
+				ds := smallDataset(t, 40, 29)
+				targets := combineAll(t, ds)
+				pt, err := NewParallelTrainer(m, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer pt.Close()
+				return trainRun(t, ds, pt.TrainStep, opt.NewAdam(m.PS.All()), targets, 10, 20, 5), m
 			}
-		}
+			lossesA, mA := run()
+			lossesB, mB := run()
+			for i := range lossesA {
+				if lossesA[i] != lossesB[i] {
+					t.Fatalf("step %d nondeterministic: %v vs %v", i, lossesA[i], lossesB[i])
+				}
+			}
+			for _, p := range mA.PS.All() {
+				q := mB.PS.Get(p.Name)
+				for j, v := range p.Node.Value.Data {
+					if v != q.Node.Value.Data[j] {
+						t.Fatalf("param %s[%d] nondeterministic", p.Name, j)
+					}
+				}
+			}
+		})
 	}
 }
 

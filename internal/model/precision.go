@@ -1,0 +1,54 @@
+package model
+
+import "fmt"
+
+// Precision selects the numeric width of the serving fast path. Training
+// is always float64; the knob only changes what Predict streams.
+type Precision string
+
+const (
+	// PrecisionF64 is the default full-precision serve path.
+	PrecisionF64 Precision = "f64"
+	// PrecisionF32 serves from float32-quantized folded tables and runs
+	// the folded forward in float32 end to end, converting to float64
+	// only at the final logits. Halves the table cache footprint; logit
+	// error is bounded by the 1e-4-relative parity harness.
+	PrecisionF32 Precision = "f32"
+)
+
+// ParsePrecision validates a precision string; empty means f64.
+func ParsePrecision(s string) (Precision, error) {
+	switch Precision(s) {
+	case "", PrecisionF64:
+		return PrecisionF64, nil
+	case PrecisionF32:
+		return PrecisionF32, nil
+	}
+	return "", fmt.Errorf("model: unknown precision %q (want f64 or f32)", s)
+}
+
+// SetPrecision switches the serving precision. Safe to call while other
+// goroutines serve: in-flight passes finish on the path they started on,
+// later passes pick up the new width. When the f32 fast path does not
+// apply to this model (contextual features, oversized vocabulary), f32
+// falls back to the f64 path per pass — precision is a request, parity
+// is the guarantee.
+func (m *Model) SetPrecision(p Precision) error {
+	switch p {
+	case "", PrecisionF64:
+		m.prec.Store(0)
+	case PrecisionF32:
+		m.prec.Store(1)
+	default:
+		return fmt.Errorf("model: unknown precision %q (want f64 or f32)", p)
+	}
+	return nil
+}
+
+// Precision reports the current serving precision.
+func (m *Model) Precision() Precision {
+	if m.prec.Load() == 1 {
+		return PrecisionF32
+	}
+	return PrecisionF64
+}

@@ -1,0 +1,337 @@
+package model
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Reduced-precision parity harness: the f32 serve path must track the
+// f64 path within 1e-4 relative on every logit surface, agree 100% on
+// decisions over the seed corpora, and survive adversarial parameter
+// magnitudes. Tolerance tiers: 1e-12 pins f64 fold-vs-unfolded
+// (fold_test.go); 1e-4 relative pins f32-vs-f64 logits; decisions are
+// pinned exactly.
+
+// f32Encoders lists every encoder the parity harness covers. BiGRU has
+// no f64 folded path, so its f32 comparison baseline is the unfolded
+// standard forward (as are all the others', via a grad-tracking graph).
+var f32Encoders = []string{"CNN", "BOW", "GRU", "BiGRU"}
+
+// relLogitDelta returns max_i |a_i - b_i| / max(1, |b_i|).
+func relLogitDelta(a, b *tensor.Tensor) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i, v := range a.Data {
+		ref := b.Data[i]
+		d := math.Abs(v-ref) / math.Max(1, math.Abs(ref))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// forwardBothPrecisions runs the standard f64 forward (grad graph, no
+// folds) and the f32 forward on the same batch and returns both states.
+func forwardBothPrecisions(t *testing.T, m *Model, b *Batch) (f64st, f32st *forwardState, gInf *nn.Graph) {
+	t.Helper()
+	gStd := nn.NewGraph(false, nil)
+	f64st = newForwardState()
+	m.forwardInto(gStd, b, f64st)
+
+	gInf = nn.NewInferenceGraph(tensor.NewArena())
+	f32st = newForwardState()
+	if !m.forward32(gInf, b, f32st) {
+		t.Fatalf("f32 path did not engage")
+	}
+	return f64st, f32st, gInf
+}
+
+func checkLogitParity(t *testing.T, m *Model, f64st, f32st *forwardState, tol float64, ctx string) {
+	t.Helper()
+	for _, tname := range m.Prog.TokenTasks {
+		if d := relLogitDelta(f32st.tokenLogits[tname].Value, f64st.tokenLogits[tname].Value); d > tol {
+			t.Fatalf("%s: token task %s rel logit delta %.3g > %.3g", ctx, tname, d, tol)
+		}
+	}
+	for _, tname := range m.Prog.ExampleTasks {
+		if d := relLogitDelta(f32st.exampleFinal[tname].Value, f64st.exampleFinal[tname].Value); d > tol {
+			t.Fatalf("%s: example task %s rel logit delta %.3g > %.3g", ctx, tname, d, tol)
+		}
+	}
+	for _, tname := range m.Prog.SetTasks {
+		if d := relLogitDelta(f32st.setScores[tname].Value, f64st.setScores[tname].Value); d > tol {
+			t.Fatalf("%s: set task %s rel score delta %.3g > %.3g", ctx, tname, d, tol)
+		}
+	}
+}
+
+// TestF32LogitParityPerEncoder pins the 1e-4-relative logit bound for
+// every encoder the serve path supports.
+func TestF32LogitParityPerEncoder(t *testing.T) {
+	for _, enc := range f32Encoders {
+		t.Run(enc, func(t *testing.T) {
+			c := testChoice()
+			c.Encoder = enc
+			m := buildModel(t, c, nil)
+			ds := smallDataset(t, 16, 5)
+			b, err := m.makeBatch(ds.Records, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f64st, f32st, _ := forwardBothPrecisions(t, m, b)
+			checkLogitParity(t, m, f64st, f32st, 1e-4, enc)
+			// tokenRep/queryRep parity too — looser: intermediate, not a
+			// decision surface.
+			if d := relLogitDelta(f32st.tokenRep.Value, f64st.tokenRep.Value); d > 1e-4 {
+				t.Fatalf("%s: tokenRep rel delta %.3g", enc, d)
+			}
+		})
+	}
+}
+
+// sameDecisions compares the decision surfaces of two outputs: class
+// argmax, token class argmax, bitvector thresholds, select argmax.
+func sameDecisions(a, b Output) error {
+	for tname, ta := range a {
+		tb := b[tname]
+		if ta.Class != tb.Class {
+			return fmt.Errorf("%s: class %q vs %q", tname, ta.Class, tb.Class)
+		}
+		if len(ta.TokenClasses) != len(tb.TokenClasses) {
+			return fmt.Errorf("%s: token class count", tname)
+		}
+		for i := range ta.TokenClasses {
+			if ta.TokenClasses[i] != tb.TokenClasses[i] {
+				return fmt.Errorf("%s: token %d class %q vs %q", tname, i, ta.TokenClasses[i], tb.TokenClasses[i])
+			}
+		}
+		if len(ta.TokenBits) != len(tb.TokenBits) {
+			return fmt.Errorf("%s: token bits count", tname)
+		}
+		for i := range ta.TokenBits {
+			if len(ta.TokenBits[i]) != len(tb.TokenBits[i]) {
+				return fmt.Errorf("%s: token %d bit count", tname, i)
+			}
+			for j := range ta.TokenBits[i] {
+				if ta.TokenBits[i][j] != tb.TokenBits[i][j] {
+					return fmt.Errorf("%s: token %d bit %d", tname, i, j)
+				}
+			}
+		}
+		if ta.Select != tb.Select {
+			return fmt.Errorf("%s: select %d vs %d", tname, ta.Select, tb.Select)
+		}
+	}
+	return nil
+}
+
+// TestF32DecisionAgreementOnSeedCorpus requires 100% argmax/span-decision
+// agreement between the f32 and f64 serve paths over the seed corpus,
+// per encoder, through the public Predict API.
+func TestF32DecisionAgreementOnSeedCorpus(t *testing.T) {
+	for _, enc := range f32Encoders {
+		t.Run(enc, func(t *testing.T) {
+			c := testChoice()
+			c.Encoder = enc
+			m := buildModel(t, c, nil)
+			ds := smallDataset(t, 120, 9)
+
+			outs64, err := m.Predict(ds.Records)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.SetPrecision(PrecisionF32); err != nil {
+				t.Fatal(err)
+			}
+			outs32, err := m.Predict(ds.Records)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range outs64 {
+				if err := sameDecisions(outs64[i], outs32[i]); err != nil {
+					t.Fatalf("record %d decisions diverge: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestF32AdversarialMagnitudeSweep is the gradcheck-style sweep: scale
+// the embedding table across extreme magnitudes and require the relative
+// logit bound to hold at each point (float32 relative error is
+// scale-free; this guards against hidden absolute-error assumptions).
+func TestF32AdversarialMagnitudeSweep(t *testing.T) {
+	for _, scale := range []float64{1e-3, 1e3} {
+		t.Run(fmt.Sprintf("scale=%g", scale), func(t *testing.T) {
+			m := buildModel(t, testChoice(), nil) // CNN
+			ds := smallDataset(t, 8, 3)
+			b, err := m.makeBatch(ds.Records, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			E := m.tokEmb.Table.Node.Value
+			for i := range E.Data {
+				E.Data[i] *= scale
+			}
+			m.ParamsChanged()
+			f64st, f32st, _ := forwardBothPrecisions(t, m, b)
+			checkLogitParity(t, m, f64st, f32st, 1e-4, fmt.Sprintf("scale %g", scale))
+		})
+	}
+}
+
+// TestF32GuardsAndInvalidation: the f32 path must not engage on grad
+// graphs, the snapshot must be cached per generation and rebuilt after
+// ParamsChanged, and a rebuilt snapshot must reflect the new weights.
+func TestF32GuardsAndInvalidation(t *testing.T) {
+	m := buildModel(t, testChoice(), nil)
+	if err := m.SetPrecision(PrecisionF32); err != nil {
+		t.Fatal(err)
+	}
+	ds := smallDataset(t, 4, 4)
+	b, err := m.makeBatch(ds.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Grad graphs never take the f32 path: forwardInto must produce
+	// bit-identical results to a plain f64 model on the same graph type.
+	gStd := nn.NewGraph(false, nil)
+	st := newForwardState()
+	m.forwardInto(gStd, b, st)
+	if st.tokenRep == nil || st.tokenRep.Value == nil {
+		t.Fatalf("standard forward did not run")
+	}
+
+	s1 := m.serve32Snapshot()
+	if s1 == nil {
+		t.Fatalf("snapshot did not build")
+	}
+	if m.serve32Snapshot() != s1 {
+		t.Fatalf("snapshot rebuilt without a parameter change")
+	}
+	m.conv.W.Node.Value.Data[0] += 0.5
+	m.ParamsChanged()
+	s2 := m.serve32Snapshot()
+	if s2 == s1 {
+		t.Fatalf("snapshot not rebuilt after ParamsChanged")
+	}
+	if s2.conv.p0.At(2, 0) == s1.conv.p0.At(2, 0) {
+		t.Fatalf("rebuilt snapshot does not reflect the new weights")
+	}
+}
+
+// TestF32TableFootprint pins the headline memory win: quantized folded
+// tables must be at least 1.9x smaller than the f64 tables.
+func TestF32TableFootprint(t *testing.T) {
+	for _, enc := range []string{"CNN", "GRU", "BOW"} {
+		t.Run(enc, func(t *testing.T) {
+			c := testChoice()
+			c.Encoder = enc
+			m := buildModel(t, c, nil)
+			f64bytes := m.FoldedTableBytes()
+			if f64bytes == 0 {
+				t.Fatalf("no f64 folded tables for %s", enc)
+			}
+			if err := m.SetPrecision(PrecisionF32); err != nil {
+				t.Fatal(err)
+			}
+			f32bytes := m.FoldedTableBytes()
+			if f32bytes == 0 {
+				t.Fatalf("no f32 folded tables for %s", enc)
+			}
+			ratio := float64(f64bytes) / float64(f32bytes)
+			if ratio < 1.9 {
+				t.Fatalf("%s table footprint ratio %.2f < 1.9 (f64 %d, f32 %d)", enc, ratio, f64bytes, f32bytes)
+			}
+		})
+	}
+}
+
+// TestPrecisionTravelsWithArtifactsAndClones: Save/Load round trips the
+// precision (so fleet snapshots recover it) and Clone inherits it (so
+// fine-tuned shadow candidates serve at the primary's precision).
+func TestPrecisionTravelsWithArtifactsAndClones(t *testing.T) {
+	m := buildModel(t, testChoice(), nil)
+	if m.Precision() != PrecisionF64 {
+		t.Fatalf("default precision %q", m.Precision())
+	}
+	if err := m.SetPrecision(PrecisionF32); err != nil {
+		t.Fatal(err)
+	}
+	if m.Info().Precision != "f32" {
+		t.Fatalf("Info precision %q", m.Info().Precision)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Precision() != PrecisionF32 {
+		t.Fatalf("loaded precision %q", loaded.Precision())
+	}
+
+	c, err := m.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Precision() != PrecisionF32 {
+		t.Fatalf("clone precision %q", c.Precision())
+	}
+
+	if _, err := ParsePrecision("f16"); err == nil {
+		t.Fatalf("ParsePrecision accepted f16")
+	}
+	if p, err := ParsePrecision(""); err != nil || p != PrecisionF64 {
+		t.Fatalf("ParsePrecision empty: %v %v", p, err)
+	}
+	if err := m.SetPrecision("int8"); err == nil {
+		t.Fatalf("SetPrecision accepted int8")
+	}
+}
+
+// TestF32PredictAllocsNoWorseThanF64 pins the f32 plane's per-predict
+// allocation count at (no worse than) the f64 path's: the scratch bump
+// allocator plus value-captured matmul fan-out mean the steady state
+// heap-allocates only what decode copies out. Guards against escape
+// regressions in the f32 kernels (e.g. a closure capturing a scratch
+// tensor header would add ~a dozen allocs per op).
+func TestF32PredictAllocsNoWorseThanF64(t *testing.T) {
+	c := testChoice()
+	c.Encoder = "GRU"
+	m := buildModel(t, c, nil)
+	ds := smallDataset(t, 8, 11)
+	rec := ds.Records[0]
+
+	measure := func(p Precision) float64 {
+		if err := m.SetPrecision(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.PredictOne(rec); err != nil { // warm session pool + fold caches
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(50, func() {
+			if _, err := m.PredictOne(rec); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	a64 := measure(PrecisionF64)
+	a32 := measure(PrecisionF32)
+	if a32 > a64+2 {
+		t.Fatalf("f32 predict allocates %.0f/op vs f64 %.0f/op", a32, a64)
+	}
+	t.Logf("allocs/op: f64 %.0f, f32 %.0f", a64, a32)
+}

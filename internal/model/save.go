@@ -29,6 +29,9 @@ type state struct {
 	// uses one (nil otherwise). Stored as an opaque gob blob produced by
 	// the embeddings package.
 	ContextualBlob []byte
+	// Precision records the serving precision so snapshots recover it
+	// (empty in pre-precision artifacts; treated as f64).
+	Precision string
 }
 
 // ContextualCodec serialises a ContextualEncoder. The embeddings package
@@ -60,6 +63,7 @@ func (m *Model) Save(w io.Writer) error {
 		Params:      map[string]*tensor.Tensor{},
 		Frozen:      map[string]bool{},
 		Seed:        m.Seed,
+		Precision:   string(m.Precision()),
 	}
 	for _, p := range m.PS.All() {
 		st.Params[p.Name] = p.Node.Value
@@ -177,6 +181,9 @@ func Load(r io.Reader) (m *Model, err error) {
 		}
 		copy(p.Node.Value.Data, saved.Data)
 		p.Frozen = st.Frozen[p.Name]
+	}
+	if err := m.SetPrecision(Precision(st.Precision)); err != nil {
+		return nil, corruptf("load: %v", err)
 	}
 	return m, nil
 }

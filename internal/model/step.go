@@ -15,6 +15,13 @@ import (
 func (m *Model) TrainStep(recs []*record.Record, idx []int, targets map[string]*labelmodel.TaskTargets, lossCfg LossConfig, optimizer opt.Optimizer, lr, clipNorm float64, rng *rand.Rand) (float64, error) {
 	s := m.trainSession()
 	s.g.SetRand(rng)
+	// One salt per step, drawn before any other rng use so the parallel
+	// trainer (which draws at the same stream position) replays the same
+	// keyed dropout masks. Dropout-free models skip the draw entirely and
+	// keep their pre-keying rng stream bit-for-bit.
+	if m.Prog.Choice.Dropout > 0 {
+		s.g.SetDropoutSalt(rng.Uint64())
+	}
 	if err := s.run(m, recs, idx); err != nil {
 		return 0, err
 	}

@@ -84,6 +84,18 @@ type Graph struct {
 	// rng drives stochastic ops (dropout masks). Nil means no stochastic
 	// ops may be used.
 	rng *rand.Rand
+
+	// Keyed dropout state (SetDropoutKeys/SetDropoutSalt): when keys are
+	// installed, Dropout draws each row's mask from a counter-based
+	// splitmix64 stream seeded by (row's record key, per-step salt, call
+	// index, within-record row) instead of consuming rng. Masks then
+	// depend only on record identity — not batch position, shard split,
+	// or padded length — which is what makes data-parallel training
+	// reproducible with dropout on.
+	dropKeys    []uint64
+	dropRowsPer int
+	dropSalt    uint64
+	dropCall    uint32
 }
 
 // NewGraph creates a tape. rng may be nil for inference-only graphs.
@@ -114,6 +126,21 @@ func (g *Graph) SetRand(rng *rand.Rand) { g.rng = rng }
 // NoGrad reports whether the graph skips gradient tracking entirely
 // (serving-path graphs). Callers may use cheaper value-only computations.
 func (g *Graph) NoGrad() bool { return g.nograd }
+
+// SetDropoutKeys switches Dropout onto record-keyed deterministic streams
+// for the current pass: row r of a dropped tensor whose row count equals
+// len(keys)*rowsPerKey draws its mask from a stream seeded by
+// (keys[r/rowsPerKey], salt, dropout-call index, r%rowsPerKey). Resets
+// the per-pass call counter; nil keys revert to the rng path. Callers
+// install the batch's record keys at the top of each forward pass.
+func (g *Graph) SetDropoutKeys(keys []uint64, rowsPerKey int) {
+	g.dropKeys, g.dropRowsPer, g.dropCall = keys, rowsPerKey, 0
+}
+
+// SetDropoutSalt installs the per-step salt mixed into keyed dropout
+// streams, so masks vary across optimisation steps while staying
+// reproducible for a given (step, record) pair.
+func (g *Graph) SetDropoutSalt(salt uint64) { g.dropSalt = salt }
 
 // NewTensor allocates a zeroed rows x cols tensor from the graph's arena,
 // or the heap when the graph has none. Ops use it for every tape-owned
@@ -289,7 +316,15 @@ func (ps *ParamSet) AliasValues(primary *ParamSet) error {
 			return fmt.Errorf("nn: AliasValues: param %q shape mismatch", p.Name)
 		}
 		p.Node.Value = src.Node.Value
-		p.Node.Grad = nil
+		// A correctly-shaped accumulator is kept (zeroed) rather than
+		// dropped: pooled worker views re-alias on reuse, and keeping the
+		// heap grads makes the re-bind allocation-free. Fresh views have
+		// no accumulator yet and stay lazy.
+		if g := p.Node.Grad; g != nil && g.SameShape(src.Node.Value) {
+			g.Zero()
+		} else {
+			p.Node.Grad = nil
+		}
 		p.Frozen = src.Frozen
 	}
 	return nil

@@ -513,3 +513,59 @@ func TestGradAccumulationAcrossGraphs(t *testing.T) {
 		t.Fatalf("ZeroGrads failed")
 	}
 }
+
+// TestDropoutKeyedInvariance: with dropout keys installed, a record's mask
+// must depend only on (key, salt, call index, within-record row) — not on
+// its batch position or the batch's padded length. This is the property
+// that makes data-parallel training reproducible with dropout on.
+func TestDropoutKeyedInvariance(t *testing.T) {
+	const cols = 7
+	maskOf := func(keys []uint64, rowsPer int, salt uint64, calls int) []*tensor.Tensor {
+		g := NewGraph(true, nil) // keyed path must not touch the rng
+		g.SetDropoutKeys(keys, rowsPer)
+		g.SetDropoutSalt(salt)
+		var out []*tensor.Tensor
+		for c := 0; c < calls; c++ {
+			in := tensor.New(len(keys)*rowsPer, cols)
+			in.Fill(1) // x == 1 makes the output the mask itself
+			out = append(out, g.Dropout(g.Const(in), 0.4).Value)
+		}
+		return out
+	}
+
+	// Record k2 sits at batch position 1 with padded length 3 in A, and
+	// alone with padded length 5 in B. Rows it owns must match.
+	const k1, k2, salt = 0xdeadbeef, 0xfeedface, 42
+	a := maskOf([]uint64{k1, k2}, 3, salt, 2)
+	b := maskOf([]uint64{k2}, 5, salt, 2)
+	for call := 0; call < 2; call++ {
+		for r := 0; r < 3; r++ {
+			for c := 0; c < cols; c++ {
+				if a[call].At(3+r, c) != b[call].At(r, c) {
+					t.Fatalf("call %d row %d col %d: mask differs across batch shapes", call, r, c)
+				}
+			}
+		}
+	}
+	// Distinct calls within a pass draw distinct masks.
+	if tensor.Equal(a[0], a[1], 0) {
+		t.Fatalf("call 0 and call 1 produced identical masks")
+	}
+	// A different salt reshuffles the masks.
+	c := maskOf([]uint64{k1, k2}, 3, 43, 1)
+	if tensor.Equal(a[0], c[0], 0) {
+		t.Fatalf("different salts produced identical masks")
+	}
+	// SetDropoutKeys resets the call counter: a fresh pass replays call 0.
+	d := maskOf([]uint64{k1, k2}, 3, salt, 1)
+	if !tensor.Equal(a[0], d[0], 0) {
+		t.Fatalf("fresh pass did not replay call 0's mask")
+	}
+	// Without keys the rng path still works (and panics without an rng).
+	g := NewGraph(true, rand.New(rand.NewSource(1)))
+	in := tensor.New(4, cols)
+	in.Fill(1)
+	if y := g.Dropout(g.Const(in), 0.4); y.Value.Rows != 4 {
+		t.Fatalf("rng fallback broken")
+	}
+}

@@ -212,21 +212,45 @@ func (g *Graph) ReLU(x *Node) *Node {
 
 // Dropout zeroes each element with probability p at training time and
 // rescales survivors by 1/(1-p) (inverted dropout). At inference it is the
-// identity.
+// identity. With dropout keys installed (SetDropoutKeys) and a row count
+// matching the keyed batch, the mask comes from per-record counter streams
+// instead of the graph rng — bitwise identical however the batch is
+// sharded or padded; otherwise the mask consumes the graph rng.
 func (g *Graph) Dropout(x *Node, p float64) *Node {
 	if !g.Training || p <= 0 {
 		return x
 	}
-	if g.rng == nil {
-		panic("nn: Dropout on a graph without rng")
-	}
 	keep := 1 - p
 	mask := g.newTensorRaw(x.Value.Rows, x.Value.Cols)
-	for i := range mask.Data {
-		if g.rng.Float64() < keep {
-			mask.Data[i] = 1 / keep
-		} else {
-			mask.Data[i] = 0
+	if g.dropRowsPer > 0 && x.Value.Rows == len(g.dropKeys)*g.dropRowsPer {
+		call := g.dropCall
+		g.dropCall++
+		for r := 0; r < x.Value.Rows; r++ {
+			// Seed by record identity, per-step salt, which dropout call
+			// this is, and the within-record row — everything EXCEPT
+			// batch position and padded length.
+			seed := mix64(g.dropKeys[r/g.dropRowsPer] ^ g.dropSalt)
+			seed = mix64(seed ^ uint64(call)<<32 ^ uint64(r%g.dropRowsPer))
+			row := mask.Row(r)
+			for c := range row {
+				seed += 0x9E3779B97F4A7C15
+				if float64(mix64(seed)>>11)*0x1p-53 < keep {
+					row[c] = 1 / keep
+				} else {
+					row[c] = 0
+				}
+			}
+		}
+	} else {
+		if g.rng == nil {
+			panic("nn: Dropout on a graph without rng")
+		}
+		for i := range mask.Data {
+			if g.rng.Float64() < keep {
+				mask.Data[i] = 1 / keep
+			} else {
+				mask.Data[i] = 0
+			}
 		}
 	}
 	out := tensor.Mul(g.newTensorRaw(x.Value.Rows, x.Value.Cols), x.Value, mask)
@@ -242,6 +266,15 @@ func (g *Graph) Dropout(x *Node, p float64) *Node {
 		}
 	}
 	return n
+}
+
+// mix64 is the splitmix64 output finalizer: a cheap, high-quality bijective
+// mixer used to derive keyed dropout streams from (key, salt, call, row)
+// without touching the graph rng.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
 }
 
 // Concat concatenates a and b along columns.

@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/model"
 )
 
 // TestConcurrentPredictWithSwap hammers /predict from many goroutines while
@@ -95,9 +97,21 @@ func TestCloseFailsPendingRequests(t *testing.T) {
 
 // BenchmarkPredictThroughput drives the micro-batched server with many
 // concurrent HTTP clients and reports requests/second and p99 latency —
-// the serving numbers a production SLA pins.
+// the serving numbers a production SLA pins — at both serving precisions.
 func BenchmarkPredictThroughput(b *testing.B) {
-	srv := New(freshModel(b), "factoid", 1)
+	for _, prec := range []model.Precision{model.PrecisionF64, model.PrecisionF32} {
+		b.Run(string(prec), func(b *testing.B) {
+			m := freshModel(b)
+			if err := m.SetPrecision(prec); err != nil {
+				b.Fatal(err)
+			}
+			benchPredictThroughput(b, m)
+		})
+	}
+}
+
+func benchPredictThroughput(b *testing.B, m *model.Model) {
+	srv := New(m, "factoid", 1)
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

@@ -1,0 +1,99 @@
+package tensor
+
+import "math"
+
+// Float32 transcendental kernels for the reduced-precision serve plane.
+//
+// The f64 serve path calls math.Exp / math.Tanh, which compute a full
+// 53-bit result the float32 plane immediately rounds away. These kernels
+// compute to float32 accuracy directly (Cephes-style range reduction +
+// degree-6 polynomial, ~1 ulp, relative error < 2e-7), which is the same
+// order as the rounding error float32 storage already introduces — well
+// inside the serve parity budget of 1e-4 relative on logits — at a
+// fraction of the cost per element. GRU gates evaluate two sigmoids and
+// one tanh per hidden unit per timestep, so on recurrent encoders these
+// dominate the non-matmul serve time.
+
+const (
+	exp32Hi = 88.3762626647949  // overflow threshold: exp(x) > MaxFloat32 above
+	exp32Lo = -87.3365478515625 // underflow threshold: exp(x) < SmallestNonzero below
+	log2e32 = 1.44269504088896341
+	exp32C1 = 0.693359375    // ln2 split, high part
+	exp32C2 = -2.12194440e-4 // ln2 split, low part
+)
+
+// Exp32 returns e**x computed to float32 accuracy (~1 ulp over the
+// non-overflowing range). Out-of-range inputs saturate to +Inf / 0; NaN
+// propagates.
+func Exp32(x float32) float32 {
+	if x != x { // NaN
+		return x
+	}
+	if x > exp32Hi {
+		return float32(math.Inf(1))
+	}
+	if x < exp32Lo {
+		return 0
+	}
+	// Range reduction: x = n*ln2 + r, |r| <= ln2/2, using a two-part ln2
+	// so r is exact to float32.
+	n := float32(math.Floor(float64(x)*log2e32 + 0.5))
+	r := x - n*exp32C1
+	r -= n * exp32C2
+	// exp(r) by degree-6 minimax polynomial (Cephes cephes_expf).
+	z := r * r
+	p := float32(1.9875691500e-4)
+	p = p*r + 1.3981999507e-3
+	p = p*r + 8.3334519073e-3
+	p = p*r + 4.1665795894e-2
+	p = p*r + 1.6666665459e-1
+	p = p*r + 5.0000001201e-1
+	y := p*z + r + 1
+	// Scale by 2**n via exponent bits. n is within [-127, 127] here
+	// because x is inside the clamp range.
+	return y * math.Float32frombits(uint32(int32(n)+127)<<23)
+}
+
+// Sigmoid32 returns 1/(1+e**-x) to float32 accuracy, using the
+// numerically stable split the f64 path uses (never exponentiates a
+// positive argument).
+func Sigmoid32(x float32) float32 {
+	if x >= 0 {
+		z := Exp32(-x)
+		return 1 / (1 + z)
+	}
+	z := Exp32(x)
+	return z / (1 + z)
+}
+
+// Tanh32 returns tanh(x) to float32 accuracy. |x| >= 9 saturates to
+// ±1 (tanh(9) rounds to 1 in float32); tiny |x| short-circuits to x
+// (error x³/3 is below float32 resolution there), which also avoids the
+// cancellation in e**2x - 1.
+func Tanh32(x float32) float32 {
+	ax := x
+	if ax < 0 {
+		ax = -ax
+	}
+	if ax >= 9 {
+		if x != x { // NaN
+			return x
+		}
+		if x > 0 {
+			return 1
+		}
+		return -1
+	}
+	if ax < 0.1 {
+		// Taylor series: the e**2x-1 form cancels badly near zero, and
+		// the omitted x⁷ term is below float32 resolution for |x| < 0.1.
+		z := x * x
+		return x * (1 - z/3 + z*z*(2.0/15.0))
+	}
+	e := Exp32(2 * ax)
+	t := (e - 1) / (e + 1)
+	if x < 0 {
+		return -t
+	}
+	return t
+}

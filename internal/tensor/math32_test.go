@@ -1,0 +1,107 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// relErr32 is the relative error of got against a float64 reference.
+func relErr32(got float32, want float64) float64 {
+	if want == 0 {
+		return math.Abs(float64(got))
+	}
+	return math.Abs(float64(got)-want) / math.Abs(want)
+}
+
+// TestExp32Accuracy sweeps the working range and pins Exp32 against
+// math.Exp at a few-ulp float32 tolerance. A float32 has ~6e-8 relative
+// resolution; 5e-7 allows the range-reduction rounding on top.
+func TestExp32Accuracy(t *testing.T) {
+	worst := 0.0
+	for x0 := -87.0; x0 <= 88.0; x0 += 0.0137 {
+		x := float64(float32(x0)) // quantize the input; we pin kernel error, not input rounding
+		e := relErr32(Exp32(float32(x)), math.Exp(x))
+		if e > worst {
+			worst = e
+		}
+	}
+	if worst > 5e-7 {
+		t.Fatalf("Exp32 worst relative error %.3g, want <= 5e-7", worst)
+	}
+	t.Logf("Exp32 worst relative error %.3g", worst)
+}
+
+// TestExp32Edges checks saturation and special values.
+func TestExp32Edges(t *testing.T) {
+	if v := Exp32(0); v != 1 {
+		t.Fatalf("Exp32(0) = %v", v)
+	}
+	if v := Exp32(200); !math.IsInf(float64(v), 1) {
+		t.Fatalf("Exp32(200) = %v, want +Inf", v)
+	}
+	if v := Exp32(-200); v != 0 {
+		t.Fatalf("Exp32(-200) = %v, want 0", v)
+	}
+	if v := Exp32(float32(math.NaN())); v == v {
+		t.Fatalf("Exp32(NaN) = %v, want NaN", v)
+	}
+}
+
+// TestSigmoid32Accuracy pins Sigmoid32 against the float64 stable form
+// over the gate pre-activation range.
+func TestSigmoid32Accuracy(t *testing.T) {
+	worst := 0.0
+	for x0 := -30.0; x0 <= 30.0; x0 += 0.0091 {
+		x := float64(float32(x0))
+		var want float64
+		if x >= 0 {
+			want = 1 / (1 + math.Exp(-x))
+		} else {
+			z := math.Exp(x)
+			want = z / (1 + z)
+		}
+		e := relErr32(Sigmoid32(float32(x)), want)
+		if e > worst {
+			worst = e
+		}
+	}
+	if worst > 5e-7 {
+		t.Fatalf("Sigmoid32 worst relative error %.3g, want <= 5e-7", worst)
+	}
+}
+
+// TestTanh32Accuracy pins Tanh32 against math.Tanh, including the tiny-x
+// Taylor branch, the exp-based midrange, and saturation.
+func TestTanh32Accuracy(t *testing.T) {
+	worst := 0.0
+	for x0 := -12.0; x0 <= 12.0; x0 += 0.0073 {
+		x := float64(float32(x0))
+		e := relErr32(Tanh32(float32(x)), math.Tanh(x))
+		if e > worst {
+			worst = e
+		}
+	}
+	// Also sweep the Taylor/exp seam densely.
+	for x0 := -0.2; x0 <= 0.2; x0 += 1e-4 {
+		x := float64(float32(x0))
+		e := relErr32(Tanh32(float32(x)), math.Tanh(x))
+		if e > worst {
+			worst = e
+		}
+	}
+	if worst > 7e-7 {
+		t.Fatalf("Tanh32 worst relative error %.3g, want <= 7e-7", worst)
+	}
+	if v := Tanh32(100); v != 1 {
+		t.Fatalf("Tanh32(100) = %v, want 1", v)
+	}
+	if v := Tanh32(-100); v != -1 {
+		t.Fatalf("Tanh32(-100) = %v, want -1", v)
+	}
+	if v := Tanh32(float32(math.NaN())); v == v {
+		t.Fatalf("Tanh32(NaN) = %v, want NaN", v)
+	}
+	if v := Tanh32(0); v != 0 {
+		t.Fatalf("Tanh32(0) = %v, want 0", v)
+	}
+}

@@ -1,0 +1,230 @@
+package tensor
+
+// Tensor32 is a dense row-major float32 matrix: the reduced-precision
+// sibling of Tensor for the serving fast path. Folded projection tables
+// are read-only at serve time and tolerant of float32 rounding, so
+// storing them at half the width halves the cache footprint the predict
+// loop streams per token. Tensor32 deliberately mirrors only the surface
+// the serve path needs (construction, row views, converters, matmul);
+// training stays float64.
+type Tensor32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New32 allocates a zeroed rows x cols float32 tensor.
+func New32(rows, cols int) *Tensor32 {
+	return &Tensor32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// At returns element (r, c).
+func (t *Tensor32) At(r, c int) float32 { return t.Data[r*t.Cols+c] }
+
+// Set assigns element (r, c).
+func (t *Tensor32) Set(r, c int, v float32) { t.Data[r*t.Cols+c] = v }
+
+// Row returns a mutable view of row r.
+func (t *Tensor32) Row(r int) []float32 { return t.Data[r*t.Cols : (r+1)*t.Cols] }
+
+// Zero clears all elements.
+func (t *Tensor32) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// FromF64 converts src to a freshly allocated float32 tensor (round to
+// nearest, ties to even — the usual float64→float32 conversion).
+func FromF64(src *Tensor) *Tensor32 {
+	dst := New32(src.Rows, src.Cols)
+	for i, v := range src.Data {
+		dst.Data[i] = float32(v)
+	}
+	return dst
+}
+
+// ToF64 widens t into dst (allocated when nil). Widening is exact: every
+// float32 is representable as a float64.
+func (t *Tensor32) ToF64(dst *Tensor) *Tensor {
+	if dst == nil {
+		dst = New(t.Rows, t.Cols)
+	}
+	checkShape("ToF64", dst.Rows == t.Rows && dst.Cols == t.Cols,
+		"dst %dx%d != %dx%d", dst.Rows, dst.Cols, t.Rows, t.Cols)
+	for i, v := range t.Data {
+		dst.Data[i] = float64(v)
+	}
+	return dst
+}
+
+// Equal32 reports whether a and b have identical shape and elementwise
+// |a-b| <= tol.
+func Equal32(a, b *Tensor32, tol float32) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		d := a.Data[i] - b.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MatMul32Naive computes dst = a @ b with the reference triple loop: per
+// output element the shared dimension is walked in ascending order. The
+// blocked/parallel MatMul32 preserves this exact accumulation order, so
+// the two match bit for bit (pinned by parity tests, mirroring the
+// float64 kernels' contract).
+func MatMul32Naive(dst, a, b *Tensor32) *Tensor32 {
+	checkShape("MatMul32Naive", a.Cols == b.Rows, "inner dims %d != %d", a.Cols, b.Rows)
+	checkShape("MatMul32Naive", dst.Rows == a.Rows && dst.Cols == b.Cols,
+		"dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols)
+	k, n := a.Cols, b.Cols
+	for i := 0; i < a.Rows; i++ {
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+		arow := a.Data[i*k : (i+1)*k]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// MatMul32 computes dst = a @ b where a is m x k and b is k x n. dst must
+// be m x n and distinct from a and b. Returns dst. Shares the float64
+// kernels' structure: k-blocked streaming inner loops fanned out across
+// the same bounded worker pool above the flop threshold, bit-compatible
+// with MatMul32Naive.
+func MatMul32(dst, a, b *Tensor32) *Tensor32 {
+	checkShape("MatMul32", a.Cols == b.Rows, "inner dims %d != %d", a.Cols, b.Rows)
+	checkShape("MatMul32", dst.Rows == a.Rows && dst.Cols == b.Cols,
+		"dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols)
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if m*k*n >= parallelFlops && maxWorkers > 1 && m > 1 {
+		matMul32Parallel(*dst, *a, *b, m)
+	} else {
+		matMul32Range(dst, a, b, 0, m)
+	}
+	return dst
+}
+
+// matMul32Parallel fans matMul32Range across the worker pool. It takes
+// tensor headers by value so the closure captures copies: the serve path
+// hands MatMul32 stack-allocated views over scratch buffers, and a
+// closure capturing the caller's pointers would force every such header
+// to the heap even on the serial path (the f32 plane's per-op alloc
+// count is pinned by a regression test).
+func matMul32Parallel(dst, a, b Tensor32, m int) {
+	parallelRows(m, func(lo, hi int) { matMul32Range(&dst, &a, &b, lo, hi) })
+}
+
+// matMul32Range computes rows [lo, hi) of dst = a @ b: the float32 twin
+// of matMulRange. The j loop is the 8-wide unrolled axpy32 — branch-free
+// over contiguous streaming stores, shaped so a vectorising backend
+// (GOAMD64=v3 lanes) or the scalar dual-issue pipeline can overlap the
+// independent lanes — while the per-element accumulation still walks the
+// shared dimension ascending, matching MatMul32Naive bit for bit.
+func matMul32Range(dst, a, b *Tensor32, lo, hi int) {
+	k, n := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+	}
+	for kk := 0; kk < k; kk += blockK {
+		kEnd := kk + blockK
+		if kEnd > k {
+			kEnd = k
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*n : (i+1)*n]
+			for p := kk; p < kEnd; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				axpy32(drow, av, b.Data[p*n:(p+1)*n])
+			}
+		}
+	}
+}
+
+// axpy32 computes dst[j] += a * src[j], 8 lanes per iteration. dst and
+// src must be the same length.
+func axpy32(dst []float32, a float32, src []float32) {
+	dst = dst[:len(src)]
+	j := 0
+	for ; j+8 <= len(src); j += 8 {
+		d := dst[j : j+8 : j+8]
+		s := src[j : j+8 : j+8]
+		d[0] += a * s[0]
+		d[1] += a * s[1]
+		d[2] += a * s[2]
+		d[3] += a * s[3]
+		d[4] += a * s[4]
+		d[5] += a * s[5]
+		d[6] += a * s[6]
+		d[7] += a * s[7]
+	}
+	for ; j < len(src); j++ {
+		dst[j] += a * src[j]
+	}
+}
+
+// AddRow32 computes dst[j] += src[j] (the folded-table row add), 8 lanes
+// per iteration like axpy32.
+func AddRow32(dst, src []float32) {
+	src = src[:len(dst)]
+	j := 0
+	for ; j+8 <= len(dst); j += 8 {
+		d := dst[j : j+8 : j+8]
+		s := src[j : j+8 : j+8]
+		d[0] += s[0]
+		d[1] += s[1]
+		d[2] += s[2]
+		d[3] += s[3]
+		d[4] += s[4]
+		d[5] += s[5]
+		d[6] += s[6]
+		d[7] += s[7]
+	}
+	for ; j < len(dst); j++ {
+		dst[j] += src[j]
+	}
+}
+
+// Dot32 returns the dot product of a and b (ascending, 4 independent
+// accumulators re-associated pairwise at the end; used where bit parity
+// with a naive order is not required, e.g. attention scores).
+func Dot32(a, b []float32) float32 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float32
+	j := 0
+	for ; j+4 <= len(a); j += 4 {
+		s0 += a[j] * b[j]
+		s1 += a[j+1] * b[j+1]
+		s2 += a[j+2] * b[j+2]
+		s3 += a[j+3] * b[j+3]
+	}
+	var tail float32
+	for ; j < len(a); j++ {
+		tail += a[j] * b[j]
+	}
+	return (s0 + s1) + (s2 + s3) + tail
+}

@@ -1,0 +1,129 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// float32 kernel parity: the blocked/parallel MatMul32 must match the
+// naive reference loop bit for bit (identical accumulation order), on
+// shapes that cross the fan-out threshold and ragged sizes that exercise
+// the unroll remainders.
+
+func randMat32(rng *rand.Rand, r, c int) *Tensor32 {
+	t := New32(r, c)
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+func sparsify32(rng *rand.Rand, t *Tensor32, frac float64) {
+	for i := range t.Data {
+		if rng.Float64() < frac {
+			t.Data[i] = 0
+		}
+	}
+}
+
+func TestMatMul32Parity(t *testing.T) {
+	restore := maxWorkers
+	maxWorkers = 4 // force the pool path even on single-CPU CI machines
+	defer func() { maxWorkers = restore }()
+	rng := rand.New(rand.NewSource(23))
+	for _, sh := range parityShapes() {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randMat32(rng, m, k)
+		b := randMat32(rng, k, n)
+		sparsify32(rng, a, 0.2)
+		got := MatMul32(New32(m, n), a, b)
+		want := MatMul32Naive(New32(m, n), a, b)
+		if !Equal32(got, want, 0) {
+			t.Fatalf("MatMul32 %dx%dx%d diverges from naive", m, k, n)
+		}
+	}
+}
+
+func TestMatMul32MatchesF64WithinTolerance(t *testing.T) {
+	// The f32 product of f32-rounded inputs must track the f64 product of
+	// the same values at single-precision accuracy — the kernel-level
+	// bound under the model-level 1e-4 parity tier.
+	rng := rand.New(rand.NewSource(29))
+	for _, sh := range parityShapes() {
+		m, k, n := sh[0], sh[1], sh[2]
+		a64 := randMat(rng, m, k)
+		b64 := randMat(rng, k, n)
+		a32, b32 := FromF64(a64), FromF64(b64)
+		// Round the f64 inputs through f32 too, so the comparison isolates
+		// accumulation error from input-rounding error.
+		a32.ToF64(a64)
+		b32.ToF64(b64)
+		got := MatMul32(New32(m, n), a32, b32)
+		want := MatMul(New(m, n), a64, b64)
+		for i, v := range got.Data {
+			ref := want.Data[i]
+			denom := math.Max(1, math.Abs(ref))
+			if math.Abs(float64(v)-ref)/denom > 1e-5*math.Sqrt(float64(k)) {
+				t.Fatalf("%dx%dx%d elem %d: f32 %v vs f64 %v", m, k, n, i, v, ref)
+			}
+		}
+	}
+}
+
+func TestConvertersRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	src := randMat(rng, 7, 13)
+	t32 := FromF64(src)
+	back := t32.ToF64(nil)
+	for i, v := range back.Data {
+		if float32(src.Data[i]) != float32(v) {
+			t.Fatalf("round trip elem %d: %v -> %v", i, src.Data[i], v)
+		}
+		// Widening must be exact.
+		if v != float64(t32.Data[i]) {
+			t.Fatalf("widening elem %d not exact", i)
+		}
+	}
+	if t32.At(3, 4) != float32(src.At(3, 4)) {
+		t.Fatalf("At mismatch")
+	}
+	t32.Set(3, 4, 42)
+	if t32.At(3, 4) != 42 {
+		t.Fatalf("Set/At mismatch")
+	}
+	t32.Zero()
+	for _, v := range t32.Data {
+		if v != 0 {
+			t.Fatalf("Zero left %v", v)
+		}
+	}
+}
+
+func TestAddRow32AndDot32(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for _, n := range []int{1, 3, 8, 9, 24, 31, 32} {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+		}
+		want := make([]float32, n)
+		var wantDot float64
+		for i := range a {
+			want[i] = a[i] + b[i]
+			wantDot += float64(a[i]) * float64(b[i])
+		}
+		got := append([]float32(nil), a...)
+		AddRow32(got, b)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d AddRow32 elem %d: %v want %v", n, i, got[i], want[i])
+			}
+		}
+		if d := math.Abs(float64(Dot32(a, b)) - wantDot); d > 1e-4 {
+			t.Fatalf("n=%d Dot32 off by %v", n, d)
+		}
+	}
+}

@@ -148,6 +148,11 @@ type BuildOptions struct {
 	// TrainWorkers is the data-parallel shard count per training step
 	// (0 = min(NumCPU, batch size), 1 = serial).
 	TrainWorkers int
+	// Precision selects the serving precision baked into the artifact:
+	// "" or "f64" for the exact plane, "f32" for the reduced-precision
+	// plane (quantized folded tables, float32 kernels). Training always
+	// runs in f64; this only affects inference.
+	Precision string
 	// Log receives progress lines when non-nil.
 	Log io.Writer
 }
@@ -223,6 +228,14 @@ func (a *App) Build(ds *Dataset, opts BuildOptions) (*Model, *BuildReport, error
 		targets = trep.Supervision
 	}
 	rep.Program = m.Prog.Describe()
+
+	prec, err := model.ParsePrecision(opts.Precision)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.SetPrecision(prec); err != nil {
+		return nil, nil, err
+	}
 
 	// Label-model diagnostics for the report. The default path reuses the
 	// targets the trainer already combined; search runs combine once here.

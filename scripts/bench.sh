@@ -18,9 +18,15 @@ out="${2:-BENCH_train.json}"
   # Data-parallel training engine: serial vs W in {1,2,4,8} epoch time.
   go test -run '^$' -bench 'BenchmarkTrainEpochParallel' -benchmem \
     -benchtime "$benchtime" ./internal/model/
-  # Engineer-loop and serving-path trajectory benchmarks.
-  go test -run '^$' -bench 'BenchmarkBuildPipeline|BenchmarkPredictLatency' \
+  # Engineer-loop trajectory benchmark.
+  go test -run '^$' -bench 'BenchmarkBuildPipeline' \
     -benchmem -benchtime "$benchtime" .
+  # Serving-path benchmarks run both precision planes (f64 and f32
+  # sub-benchmarks; the latency one also reports folded table-bytes per
+  # plane). Single-predict ops are ~100µs, so pin a real sample count —
+  # the global benchtime is sized for whole train epochs.
+  go test -run '^$' -bench 'BenchmarkPredictLatency' \
+    -benchmem -benchtime 2000x .
   go test -run '^$' -bench 'BenchmarkPredictThroughput' \
     -benchtime "$benchtime" ./internal/serve/
   # Admission control: limiter overhead on the predict path (unlimited vs
