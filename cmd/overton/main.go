@@ -17,6 +17,8 @@
 //	overton serve    -deploy factoid=m1.bin -limit factoid=200:50:128 [-max-inflight 256]
 //	overton serve    -deploy factoid=m1.bin -state-dir state/ [-drain-timeout 10s]
 //	overton serve    -deploy factoid=m1.bin -precision f32 [-precision qa=f64]
+//	overton serve    -deploy factoid=m1.bin -state-dir state/ -slice 'hot=intent=billing AND age<1h'
+//	overton query    -dir state/telemetry 'SELECT COUNT(*), P95(latency_ms) FROM predict SINCE 1h'
 //	overton store    -root dir put|get|list -name m [-file model.bin] [-version N]
 package main
 
@@ -29,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -42,6 +45,8 @@ import (
 	"repro/internal/model"
 	"repro/internal/record"
 	"repro/internal/serve"
+	"repro/internal/sliceql"
+	"repro/internal/telemetry"
 	"repro/internal/train"
 	"repro/internal/workload"
 )
@@ -68,6 +73,8 @@ func main() {
 		err = cmdPredict(args)
 	case "serve":
 		err = cmdServe(args)
+	case "query":
+		err = cmdQuery(args)
 	case "store":
 		err = cmdStore(args)
 	default:
@@ -81,7 +88,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: overton <compile|datagen|train|eval|report|predict|serve|store> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: overton <compile|datagen|train|eval|report|predict|serve|query|store> [flags]")
 }
 
 func cmdCompile(args []string) error {
@@ -303,7 +310,8 @@ func cmdServe(args []string) error {
 	maxInflight := fs.Int("max-inflight", 0, "registry-wide cap on concurrent in-flight predicts across all deployments (0 = unlimited); excess requests are shed with 429")
 	stateDir := fs.String("state-dir", "", "durable state directory: journal every lifecycle change and ingest there, and recover the fleet from it on startup (empty = stateless)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests after SIGTERM/SIGINT before the listener is forced closed")
-	var deploys, shadows, limits, precisions []string
+	telemetryDir := fs.String("telemetry-dir", "", "telemetry JSONL directory, queryable via POST /v1/query and `overton query` (default <state-dir>/telemetry when -state-dir is set; empty without -state-dir = telemetry off)")
+	var deploys, shadows, limits, precisions, sliceSpecs []string
 	fs.Func("deploy", "name=artifact.bin deployment (repeatable; schemas may differ per deployment)", func(v string) error {
 		deploys = append(deploys, v)
 		return nil
@@ -318,6 +326,10 @@ func cmdServe(args []string) error {
 	})
 	fs.Func("precision", "serving precision: f64|f32 for every deployment, or name=f32 per deployment (repeatable; overrides the artifact's saved precision)", func(v string) error {
 		precisions = append(precisions, v)
+		return nil
+	})
+	fs.Func("slice", "[dep:]name=PREDICATE declarative live slice (repeatable), e.g. 'hot=intent=billing AND age<1h'; without dep: the slice installs on every deployment; aggregates appear in /stats and can gate promotion", func(v string) error {
+		sliceSpecs = append(sliceSpecs, v)
 		return nil
 	})
 	fs.Parse(args)
@@ -437,6 +449,51 @@ func cmdServe(args []string) error {
 			fmt.Printf("precision  %-20s %s serve plane\n", d.Name(), prec)
 		}
 	}
+	telDir := *telemetryDir
+	if telDir == "" && *stateDir != "" {
+		telDir = filepath.Join(*stateDir, "telemetry")
+	}
+	var tel *telemetry.Logger
+	if telDir != "" {
+		l, err := telemetry.New(telDir, telemetry.Options{})
+		if err != nil {
+			return fmt.Errorf("-telemetry-dir %s: %w", telDir, err)
+		}
+		tel = l
+		reg.SetTelemetry(tel)
+		fmt.Printf("telemetry  %s (JSONL streams: predict shadow admission lifecycle)\n", telDir)
+	}
+	if len(sliceSpecs) > 0 {
+		perDep := map[string][]sliceql.SliceDef{}
+		for _, spec := range sliceSpecs {
+			left, expr, ok := strings.Cut(spec, "=")
+			if !ok || left == "" || expr == "" {
+				return fmt.Errorf("-slice %q: want [dep:]name=PREDICATE", spec)
+			}
+			depName, name := "", left
+			if dn, n, ok := strings.Cut(left, ":"); ok {
+				depName, name = dn, n
+			}
+			def := sliceql.SliceDef{Name: name, Expr: expr}
+			if depName == "" {
+				for _, d := range reg.All() {
+					perDep[d.Name()] = append(perDep[d.Name()], def)
+				}
+				continue
+			}
+			if _, ok := reg.Get(depName); !ok {
+				return fmt.Errorf("-slice %q: no such deployment", spec)
+			}
+			perDep[depName] = append(perDep[depName], def)
+		}
+		for name, defs := range perDep {
+			d, _ := reg.Get(name)
+			if err := d.SetSlices(defs); err != nil {
+				return fmt.Errorf("-slice for %s: %w", name, err)
+			}
+			fmt.Printf("slices     %-20s %d live slice(s)\n", name, len(defs))
+		}
+	}
 	if *maxInflight > 0 {
 		reg.SetConcurrencyBudget(*maxInflight)
 		fmt.Printf("budget     fleet-wide max in-flight predicts: %d\n", *maxInflight)
@@ -490,8 +547,9 @@ func cmdServe(args []string) error {
 	}
 	fmt.Printf("serving %d deployment(s) on %s (default %s)\n",
 		len(reg.Names()), *addr, reg.Default().Name())
-	fmt.Printf("  POST /v1/models/{name}/predict|ingest|promote|rollback|loop\n")
-	fmt.Printf("  GET  /v1/models[/{name}/stats|signature|loop]  GET /readyz  POST /predict (legacy)\n")
+	fmt.Printf("  POST /v1/models/{name}/predict|ingest|promote|rollback|loop|slices\n")
+	fmt.Printf("  GET  /v1/models[/{name}/stats|signature|loop|slices]  GET /readyz  POST /predict (legacy)\n")
+	fmt.Printf("  POST /v1/query (sliceql)  GET /v1/telemetry\n")
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -500,6 +558,9 @@ func cmdServe(args []string) error {
 	select {
 	case err := <-serveErr:
 		srv.Close()
+		if tel != nil {
+			tel.Close()
+		}
 		return err
 	case <-ctx.Done():
 	}
@@ -521,6 +582,11 @@ func cmdServe(args []string) error {
 		}
 	}
 	reg.Close()
+	if tel != nil {
+		// Drain buffered telemetry and fsync the stream tails so the next
+		// start reopens clean (no torn tail to truncate).
+		tel.Close()
+	}
 	if store != nil {
 		if err := store.Checkpoint(); err != nil {
 			fmt.Fprintf(os.Stderr, "shutdown: checkpoint: %v\n", err)
@@ -528,6 +594,62 @@ func cmdServe(args []string) error {
 		store.Close()
 	}
 	fmt.Fprintln(os.Stderr, "shutdown: complete")
+	return nil
+}
+
+// cmdQuery runs one sliceql statement offline against a telemetry
+// directory — the same engine behind POST /v1/query, usable while the
+// server is down or from a copied state dir.
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dir := fs.String("dir", "", "telemetry directory holding the JSONL streams")
+	stateDir := fs.String("state-dir", "", "serve state directory (queries its telemetry/ subdirectory)")
+	asJSON := fs.Bool("json", false, "emit the full result (columns, rows, scan counters) as JSON")
+	fs.Parse(args)
+	root := *dir
+	if root == "" && *stateDir != "" {
+		root = filepath.Join(*stateDir, "telemetry")
+	}
+	if root == "" {
+		return fmt.Errorf("query needs -dir telemetry/ or -state-dir state/")
+	}
+	stmt := strings.TrimSpace(strings.Join(fs.Args(), " "))
+	if stmt == "" {
+		return fmt.Errorf(`query needs a statement, e.g. 'SELECT COUNT(*), P95(latency_ms) FROM predict SINCE 1h'`)
+	}
+	res, err := sliceql.QueryDir(root, stmt, time.Now())
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(enc))
+		return nil
+	}
+	fmt.Println(strings.Join(res.Columns, "\t"))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			if v == nil {
+				cells[i] = "-"
+				continue
+			}
+			cells[i] = fmt.Sprintf("%v", v)
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Fprintf(os.Stderr, "-- %d row(s); scanned %d event(s) in %d file(s), %d matched",
+		len(res.Rows), res.Scanned, res.Files, res.Matched)
+	if res.Malformed > 0 {
+		fmt.Fprintf(os.Stderr, ", %d malformed line(s) skipped", res.Malformed)
+	}
+	if res.Limited {
+		fmt.Fprintf(os.Stderr, " (truncated by LIMIT)")
+	}
+	fmt.Fprintln(os.Stderr)
 	return nil
 }
 

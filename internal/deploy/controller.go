@@ -87,6 +87,9 @@ type LoopStatus struct {
 	// ShedRate is the fraction of offered load admission control shed over
 	// the last tick window — the overload signal the promote gate holds on.
 	ShedRate float64 `json:"shed_rate,omitempty"`
+	// Slices are the last tick's per-slice gate verdicts (only present
+	// when the policy configures SliceGates).
+	Slices []SliceGateResult `json:"slices,omitempty"`
 }
 
 // controller runs one deployment's improvement loop.
@@ -306,27 +309,31 @@ func (c *controller) tick() {
 	load := c.d.Load()
 	loadDelta := load.Delta(c.lastLoad)
 	c.lastLoad = load
+	sliceResults := c.d.evalSliceGates(c.cfg.Policy.SliceGates)
 	dec, why := c.ps.step(policyInputs{
 		shadow:   hasShadow,
 		gate:     monitor.EvaluateGate(shadowRep, c.cfg.Policy.gateConfig()),
 		requests: served,
 		errors:   servedErrors,
 		load:     loadDelta,
+		slices:   sliceResults,
 	})
 	var promoted, rolledBack bool
 	switch dec {
 	case decisionPromote:
-		if _, err := c.d.Promote(); err != nil {
+		if v, err := c.d.Promote(); err != nil {
 			lastErr = err.Error()
 			c.ps.abortPromote()
 		} else {
 			promoted = true
+			c.d.emitLifecycle("promote", map[string]any{"version": v, "reason": why})
 		}
 	case decisionRollback:
-		if _, err := c.d.Rollback(); err != nil {
+		if v, err := c.d.Rollback(); err != nil {
 			lastErr = err.Error()
 		} else {
 			rolledBack = true
+			c.d.emitLifecycle("rollback", map[string]any{"version": v, "reason": why})
 		}
 	}
 
@@ -336,6 +343,7 @@ func (c *controller) tick() {
 	c.st.Window = len(c.window)
 	c.st.Pending = c.pending
 	c.st.ShedRate = loadDelta.ShedRate()
+	c.st.Slices = sliceResults
 	c.st.LastGate = fmt.Sprintf("%s: %s", dec, why)
 	if promoted {
 		c.st.Promotions++
@@ -385,6 +393,7 @@ func (c *controller) retrain() error {
 	if err := c.d.SetShadow(clone, c.nextVersion); err != nil {
 		return err
 	}
+	c.d.emitLifecycle("retrain", map[string]any{"version": c.nextVersion})
 	c.nextVersion++
 	c.mu.Lock()
 	c.st.Retrains++

@@ -112,6 +112,10 @@ type Deployment struct {
 	shadowPanics atomic.Int64
 	quarantined  atomic.Bool
 	panicBudget  int
+
+	// Observation sinks (telemetry.go): the fleet telemetry logger and
+	// the live slice window, both nil/empty unless attached.
+	telemetrySinks
 }
 
 // Option customises a Deployment.
@@ -365,17 +369,23 @@ func (d *Deployment) Rollback() (int, error) {
 // not its served/error stats.
 func (d *Deployment) Predict(rec *record.Record) (model.Output, int, error) {
 	if q := d.checkQuarantine(); q != nil {
+		if d.observing() {
+			d.emitShed(rec, "quarantine")
+		}
 		return nil, 0, q
 	}
 	budget, shed := d.admit()
 	if shed != nil {
+		if d.observing() {
+			d.emitShed(rec, shed.Reason)
+		}
 		return nil, 0, shed
 	}
 	defer d.release(budget)
 	start := d.now()
 	d.mu.RLock()
 	m, version := d.m, d.version
-	shadow, series := d.shadow, d.series
+	shadow, shadowVer, series := d.shadow, d.shadowVer, d.series
 	d.mu.RUnlock()
 
 	job := &predictJob{rec: rec, m: m, resp: make(chan predictResult, 1)}
@@ -394,12 +404,19 @@ func (d *Deployment) Predict(rec *record.Record) (model.Output, int, error) {
 	}
 	if res.err != nil {
 		d.lat.recordServedError()
+		if d.observing() {
+			d.emitPredict(rec, version, float64(d.now().Sub(start).Microseconds())/1000.0, true, nil)
+		}
 		return nil, version, res.err
 	}
 	if shadow != nil {
-		d.mirror(shadow, series, rec, res.out)
+		d.mirror(shadow, shadowVer, series, rec, res.out)
 	}
-	d.lat.recordLatency(float64(d.now().Sub(start).Microseconds()) / 1000.0)
+	ms := float64(d.now().Sub(start).Microseconds()) / 1000.0
+	d.lat.recordLatency(ms)
+	if d.observing() {
+		d.emitPredict(rec, version, ms, false, res.out)
+	}
 	return res.out, version, nil
 }
 
@@ -413,7 +430,7 @@ func (d *Deployment) RecordError() { d.lat.recordError() }
 // late mirror then lands in the discarded one). When every lane slot is
 // busy the mirror is shed and counted — the primary path never waits on
 // shadow work.
-func (d *Deployment) mirror(shadow *model.Model, series *monitor.ShadowSeries, rec *record.Record, primary model.Output) {
+func (d *Deployment) mirror(shadow *model.Model, shadowVer int, series *monitor.ShadowSeries, rec *record.Record, primary model.Output) {
 	select {
 	case d.shadowSem <- struct{}{}:
 	default:
@@ -436,9 +453,15 @@ func (d *Deployment) mirror(shadow *model.Model, series *monitor.ShadowSeries, r
 		out, err := d.safeShadowPredict(shadow, rec)
 		if err != nil {
 			series.ObserveError()
+			if d.observing() {
+				d.emitShadowError(rec, shadowVer)
+			}
 			return
 		}
-		series.Observe(primary, out)
+		comps := series.Observe(primary, out)
+		if d.observing() {
+			d.emitShadowComparison(rec, shadowVer, comps)
+		}
 	}()
 }
 
@@ -614,6 +637,7 @@ func (d *Deployment) Stats() Stats {
 	st.InFlight = d.inflight.Load()
 	st.Panics, st.ShadowPanics = d.panics.Load(), d.shadowPanics.Load()
 	st.Quarantined = d.quarantined.Load()
+	st.Slices = d.sliceReports()
 	return st
 }
 

@@ -100,11 +100,15 @@ func (d *Deployment) panicError(v any) *ModelPanicError {
 }
 
 // countPanic charges one primary-lane panic against the budget and
-// quarantines the deployment once it is exhausted.
+// quarantines the deployment once it is exhausted. The trip (the
+// false→true transition only) is logged on the lifecycle telemetry
+// stream.
 func (d *Deployment) countPanic() {
 	n := d.panics.Add(1)
 	if d.panicBudget > 0 && n >= int64(d.panicBudget) {
-		d.quarantined.Store(true)
+		if !d.quarantined.Swap(true) {
+			d.emitLifecycle("quarantine", map[string]any{"panics": n})
+		}
 	}
 }
 

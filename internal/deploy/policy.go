@@ -44,6 +44,13 @@ type Policy struct {
 	// saturated, unrepresentative traffic. The hold does not reset the
 	// hysteresis streak — overload says nothing about the candidate.
 	MaxPromoteShedRate float64 `json:"max_promote_shed_rate,omitempty"`
+	// SliceGates are per-slice promotion conditions over the deployment's
+	// live slice windows (SetSlices): the global agreement gate can hide
+	// a candidate that regresses on a thin, named slice, so each listed
+	// slice must independently pass before a promote. A gate naming an
+	// undefined slice fails closed. A failing slice gate resets the
+	// hysteresis streak, like the global gate.
+	SliceGates []SliceGate `json:"slice_gates,omitempty"`
 }
 
 func (p Policy) withDefaults() Policy {
@@ -112,6 +119,9 @@ type policyInputs struct {
 	// load is the admission-counter movement over the evaluation window
 	// (not cumulative): the shed-rate signal the promote gate observes.
 	load monitor.LoadReport
+	// slices are the per-slice gate verdicts (evalSliceGates); every one
+	// must pass for the tick to count toward the hysteresis streak.
+	slices []SliceGateResult
 }
 
 // policyState is the promotion state machine. Not safe for concurrent use;
@@ -167,6 +177,12 @@ func (ps *policyState) step(in policyInputs) (decision, string) {
 	if !in.gate.Pass {
 		ps.streak = 0
 		return decisionHold, in.gate.Reason
+	}
+	for _, sg := range in.slices {
+		if !sg.Pass {
+			ps.streak = 0
+			return decisionHold, fmt.Sprintf("slice %q: %s", sg.Slice, sg.Reason)
+		}
 	}
 	ps.streak++
 	if ps.streak < ps.p.Hysteresis {

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // Registry owns a fleet of deployments and designates one as the default
@@ -17,6 +18,7 @@ type Registry struct {
 	def     string   // default deployment name
 	budget  *Budget  // fleet-wide in-flight cap (nil = unlimited)
 	persist Persister
+	tel     *telemetry.Logger // fleet telemetry plane (nil = off)
 }
 
 // persistEvent journals a registry-level event (no-op without a
@@ -62,6 +64,7 @@ func (r *Registry) Add(d *Deployment) error {
 	}
 	d.attachBudget(r.budget)
 	d.setPersister(r.persist)
+	d.setTelemetry(r.tel)
 	return nil
 }
 

@@ -1,10 +1,12 @@
 package deploy
 
 import (
+	"math"
 	"sort"
 	"sync"
 
 	"repro/internal/monitor"
+	"repro/internal/sliceql"
 )
 
 // maxLatencySamples bounds the per-deployment latency ring buffer.
@@ -51,6 +53,11 @@ type Stats struct {
 	InFlight int64               `json:"in_flight,omitempty"`
 
 	Shadow *monitor.ShadowReport `json:"shadow,omitempty"`
+
+	// Slices are the live slice aggregates (SetSlices) over the
+	// deployment's in-memory observation window — agreement, error rate,
+	// and latency per declared slice, keyed by slice name.
+	Slices map[string]sliceql.SliceReport `json:"slices,omitempty"`
 }
 
 // latencyStats is the O(1)-per-request latency/error collector: a
@@ -136,13 +143,23 @@ func (l *latencyStats) snapshot(st *Stats) {
 }
 
 // percentile reads the p-quantile from an ascending-sorted sample window
-// (nearest-rank, zero-indexed). The input must be sorted; an unsorted
-// window yields an arbitrary sample, not the quantile. Empty input returns
-// 0.
+// using ceil-based nearest-rank: the smallest sample with at least a p
+// fraction of the window at or below it (idx = ceil(p*n)-1). The floor
+// variant this replaced biased tails low — p99 over the full 4096-sample
+// ring read the 98.99th percentile, and over a 10-sample window read the
+// 90th. The input must be sorted; an unsorted window yields an arbitrary
+// sample, not the quantile. Empty input returns 0.
 func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	idx := int(p * float64(len(sorted)-1))
+	idx := int(math.Ceil(p*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
 	return sorted[idx]
 }

@@ -46,6 +46,64 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileWindowSizes is the table the ceil-based nearest-rank
+// formula is pinned by, across the window sizes the serving plane
+// actually sees: a single sample, two samples, a small window, and the
+// full 4096-sample ring. The floor variant this replaced under-reported
+// every tail: p95 over 10 samples read the 90th percentile and p99 over
+// the full ring read the 98.99th — several of these rows fail under it.
+func TestPercentileWindowSizes(t *testing.T) {
+	seq := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i + 1)
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"size1 p50", []float64{5}, 0.50, 5},
+		{"size1 p99", []float64{5}, 0.99, 5},
+		{"size2 p50 lower", seq(2), 0.50, 1},
+		{"size2 p95 upper", seq(2), 0.95, 2},
+		{"size2 p99 upper", seq(2), 0.99, 2},
+		{"size10 p50", seq(10), 0.50, 5},
+		{"size10 p90", seq(10), 0.90, 9},
+		{"size10 p95 must round up", seq(10), 0.95, 10},
+		{"size10 p99", seq(10), 0.99, 10},
+		{"size4096 p50", seq(4096), 0.50, 2048},
+		{"size4096 p95", seq(4096), 0.95, 3892},
+		{"size4096 p99 not 4055", seq(4096), 0.99, 4056},
+		{"size4096 p100", seq(4096), 1, 4096},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("%s: percentile(n=%d, p=%g) = %g, want %g",
+				tc.name, len(tc.sorted), tc.p, got, tc.want)
+		}
+	}
+
+	// The same table holds through the ring: a fully wrapped ring whose
+	// surviving window is exactly 1..4096 must report the same tail.
+	l := newLatencyStats()
+	for i := 0; i < 1000; i++ {
+		l.recordLatency(7) // first epoch, fully evicted below
+	}
+	for i := 1; i <= maxLatencySamples; i++ {
+		l.recordLatency(float64(i))
+	}
+	var st Stats
+	l.snapshot(&st)
+	if st.P50Millis != 2048 || st.P95Millis != 3892 || st.P99Millis != 4056 {
+		t.Errorf("wrapped ring percentiles = p50 %g p95 %g p99 %g, want 2048/3892/4056",
+			st.P50Millis, st.P95Millis, st.P99Millis)
+	}
+}
+
 // TestLatencyRingWraparound pushes more samples than the ring holds and
 // checks the snapshot window stays bounded, drops the oldest samples, and
 // keeps counting total requests.

@@ -1,0 +1,322 @@
+package deploy
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/model"
+	"repro/internal/monitor"
+	"repro/internal/record"
+	"repro/internal/sliceql"
+	"repro/internal/telemetry"
+)
+
+// Telemetry emission and live slices. A deployment can have two
+// observation sinks attached, both fed from the same hook points on the
+// serving path:
+//
+//   - a telemetry.Logger (attached fleet-wide via Registry.SetTelemetry)
+//     that persists every event to the rotated JSONL streams the sliceql
+//     engine queries offline, and
+//   - a set of compiled slice definitions (SetSlices) whose bounded
+//     in-memory window aggregates the same events live into the /stats
+//     surface and the policy's slice gates.
+//
+// Both sinks are strictly off the latency path: with neither attached
+// the serving hot path pays two atomic nil loads; with a logger attached
+// the event is queued non-blocking (dropped and counted if the queue is
+// full); the slice window is a mutex-guarded ring append.
+
+// sliceState is one immutable generation of compiled slices plus its
+// live window; SetSlices swaps whole generations atomically.
+type sliceState struct {
+	defs     []sliceql.SliceDef
+	compiled []*sliceql.Slice
+	win      *sliceql.Window
+}
+
+// SetTelemetry attaches the fleet's telemetry logger to every current
+// and future deployment (nil detaches). Mirrors the persister pattern:
+// the registry owns the plumbing; deployments just emit.
+func (r *Registry) SetTelemetry(l *telemetry.Logger) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tel = l
+	for _, d := range r.deps {
+		d.setTelemetry(l)
+	}
+}
+
+// Telemetry returns the attached fleet telemetry logger (nil when
+// telemetry is off) — the serving front uses it to answer /v1/query.
+func (r *Registry) Telemetry() *telemetry.Logger {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tel
+}
+
+// setTelemetry attaches (or with nil detaches) the logger.
+func (d *Deployment) setTelemetry(l *telemetry.Logger) {
+	d.tel.Store(l)
+}
+
+// SetSlices installs (or with an empty list removes) the deployment's
+// live slice definitions. The definitions are compiled up front —
+// a bad predicate is rejected here, never at serving time — and the
+// observation window restarts empty: a slice set change begins a new
+// aggregation epoch.
+func (d *Deployment) SetSlices(defs []sliceql.SliceDef) error {
+	if len(defs) == 0 {
+		d.slices.Store(nil)
+		return nil
+	}
+	compiled, err := sliceql.CompileSlices(defs)
+	if err != nil {
+		return fmt.Errorf("deploy %s: %w", d.name, err)
+	}
+	d.slices.Store(&sliceState{
+		defs:     append([]sliceql.SliceDef(nil), defs...),
+		compiled: compiled,
+		win:      sliceql.NewWindow(0),
+	})
+	return nil
+}
+
+// SliceDefs returns the installed slice definitions (nil when none).
+func (d *Deployment) SliceDefs() []sliceql.SliceDef {
+	ss := d.slices.Load()
+	if ss == nil {
+		return nil
+	}
+	return append([]sliceql.SliceDef(nil), ss.defs...)
+}
+
+// sliceReports aggregates every installed slice over the live window —
+// the Slices map in Stats.
+func (d *Deployment) sliceReports() map[string]sliceql.SliceReport {
+	ss := d.slices.Load()
+	if ss == nil {
+		return nil
+	}
+	events := ss.win.Snapshot()
+	now := d.now()
+	out := make(map[string]sliceql.SliceReport, len(ss.compiled))
+	for _, s := range ss.compiled {
+		out[s.Name] = sliceql.ReportSlice(events, s, now, nil)
+	}
+	return out
+}
+
+// observing reports whether any observation sink is attached — the
+// hot-path guard that keeps event construction (a map allocation) off
+// un-observed deployments.
+func (d *Deployment) observing() bool {
+	return d.tel.Load() != nil || d.slices.Load() != nil
+}
+
+// emit timestamps one event and fans it to the attached sinks.
+func (d *Deployment) emit(ev telemetry.Event) {
+	ss := d.slices.Load()
+	l := d.tel.Load()
+	if ss == nil && l == nil {
+		return
+	}
+	ev.Dep = d.name
+	if ev.TS.IsZero() {
+		ev.TS = d.now()
+	}
+	if ss != nil {
+		ss.win.Observe(ev.Flat())
+	}
+	if l != nil {
+		l.Emit(ev)
+	}
+}
+
+// eventTags merges a record's tags and slice memberships into one event
+// tag list (slice names behave as bare tags in predicates).
+func eventTags(rec *record.Record) []string {
+	if rec == nil || (len(rec.Tags) == 0 && len(rec.Slices) == 0) {
+		return nil
+	}
+	if len(rec.Slices) == 0 {
+		return rec.Tags
+	}
+	tags := make([]string, 0, len(rec.Tags)+len(rec.Slices))
+	tags = append(tags, rec.Tags...)
+	return append(tags, rec.Slices...)
+}
+
+// emitPredict logs one served request on StreamPredict: latency, serving
+// version, error flag, and the predicted class per classification task
+// (so slices can select on model decisions, e.g. `task.Intent=refund`).
+func (d *Deployment) emitPredict(rec *record.Record, version int, ms float64, failed bool, out model.Output) {
+	errFlag := 0
+	if failed {
+		errFlag = 1
+	}
+	fields := map[string]any{
+		"latency_ms": ms,
+		"version":    version,
+		"err":        errFlag,
+	}
+	for task, o := range out {
+		if o.Class != "" {
+			fields["task."+task] = o.Class
+		}
+	}
+	d.emit(telemetry.Event{Stream: telemetry.StreamPredict, Tags: eventTags(rec), Fields: fields})
+}
+
+// emitShadowComparison logs one mirrored request's per-task agreement on
+// StreamShadow — one event per task, carrying the same tags as the
+// served request so slice predicates select shadow evidence the same way
+// they select traffic.
+func (d *Deployment) emitShadowComparison(rec *record.Record, shadowVer int, comps map[string]monitor.TaskComparison) {
+	tags := eventTags(rec)
+	for task, c := range comps {
+		missing := 0.0
+		if c.Missing {
+			missing = c.Units
+		}
+		d.emit(telemetry.Event{Stream: telemetry.StreamShadow, Tags: tags, Fields: map[string]any{
+			"task":           task,
+			"agree":          c.Agree,
+			"units":          c.Units,
+			"missing":        missing,
+			"err":            0,
+			"shadow_version": shadowVer,
+		}})
+	}
+}
+
+// emitShadowError logs a mirrored request whose shadow prediction failed.
+func (d *Deployment) emitShadowError(rec *record.Record, shadowVer int) {
+	d.emit(telemetry.Event{Stream: telemetry.StreamShadow, Tags: eventTags(rec), Fields: map[string]any{
+		"err":            1,
+		"shadow_version": shadowVer,
+	}})
+}
+
+// emitShed logs one shed request on StreamAdmission with its cause.
+func (d *Deployment) emitShed(rec *record.Record, reason string) {
+	d.emit(telemetry.Event{Stream: telemetry.StreamAdmission, Tags: eventTags(rec), Fields: map[string]any{
+		"reason": reason,
+	}})
+}
+
+// emitLifecycle logs one improvement-loop or health transition on
+// StreamLifecycle.
+func (d *Deployment) emitLifecycle(action string, fields map[string]any) {
+	if fields == nil {
+		fields = map[string]any{}
+	}
+	fields["action"] = action
+	d.emit(telemetry.Event{Stream: telemetry.StreamLifecycle, Fields: fields})
+}
+
+// SliceGate is one slice-scoped promotion condition in a Policy: the
+// named slice's live window must look healthy for the candidate to
+// promote. Zero thresholds disable their check; a gate with only a name
+// holds promotion solely when the slice is undefined (fail-closed
+// wiring check).
+type SliceGate struct {
+	// Slice names a slice installed via SetSlices. A gate naming an
+	// undefined slice fails closed — a typo must hold promotion, not
+	// silently approve it.
+	Slice string `json:"slice"`
+	// MinAgreement is the minimum shadow agreement over the slice's
+	// mirrored comparisons (0 disables). Evaluated only when the slice
+	// window holds comparison units; combine with MinUnits to demand
+	// evidence.
+	MinAgreement float64 `json:"min_agreement,omitempty"`
+	// MinUnits is the minimum number of comparison units the slice window
+	// must hold before the candidate may promote (0 accepts an empty
+	// window) — the guard against promoting on no slice evidence.
+	MinUnits float64 `json:"min_units,omitempty"`
+	// MaxErrorRate holds promotion while the slice's served error rate
+	// exceeds it (0 disables) — a slice-scoped health hold, like the
+	// fleet shed-rate hold.
+	MaxErrorRate float64 `json:"max_error_rate,omitempty"`
+}
+
+// SliceGateResult is one slice gate's verdict for a tick, surfaced in
+// LoopStatus.
+type SliceGateResult struct {
+	Slice string `json:"slice"`
+	Pass  bool   `json:"pass"`
+	// Reason explains a failing verdict.
+	Reason string `json:"reason,omitempty"`
+	// Agreement/Units/ErrorRate echo the numbers the verdict judged.
+	Agreement float64 `json:"agreement"`
+	Units     float64 `json:"units"`
+	ErrorRate float64 `json:"error_rate"`
+}
+
+// evalSliceGates judges every configured slice gate against the live
+// slice window, crediting only the current shadow version's comparisons
+// (events from a replaced candidate must not vouch for this one).
+func (d *Deployment) evalSliceGates(gates []SliceGate) []SliceGateResult {
+	if len(gates) == 0 {
+		return nil
+	}
+	ss := d.slices.Load()
+	var events []map[string]any
+	if ss != nil {
+		events = ss.win.Snapshot()
+	}
+	now := d.now()
+	shadowVer, _ := d.shadowInfo()
+	sameShadow := func(ev map[string]any) bool {
+		v, ok := ev["shadow_version"]
+		if !ok {
+			return false
+		}
+		switch x := v.(type) {
+		case int:
+			return x == shadowVer
+		case float64:
+			return int(x) == shadowVer
+		}
+		return false
+	}
+	results := make([]SliceGateResult, 0, len(gates))
+	for _, g := range gates {
+		res := SliceGateResult{Slice: g.Slice}
+		var sl *sliceql.Slice
+		if ss != nil {
+			for _, s := range ss.compiled {
+				if s.Name == g.Slice {
+					sl = s
+					break
+				}
+			}
+		}
+		if sl == nil {
+			res.Reason = "slice not defined on this deployment"
+			results = append(results, res)
+			continue
+		}
+		rep := sliceql.ReportSlice(events, sl, now, sameShadow)
+		res.Agreement, res.Units, res.ErrorRate = rep.Agreement, rep.Units, rep.ErrorRate
+		switch {
+		case g.MinUnits > 0 && rep.Units < g.MinUnits:
+			res.Reason = fmt.Sprintf("%.0f comparison units < min %.0f", rep.Units, g.MinUnits)
+		case g.MinAgreement > 0 && rep.Units > 0 && rep.Agreement < g.MinAgreement:
+			res.Reason = fmt.Sprintf("agreement %.3f < min %.3f over %.0f units", rep.Agreement, g.MinAgreement, rep.Units)
+		case g.MaxErrorRate > 0 && rep.Predicts > 0 && rep.ErrorRate > g.MaxErrorRate:
+			res.Reason = fmt.Sprintf("error rate %.3f > max %.3f over %d requests", rep.ErrorRate, g.MaxErrorRate, rep.Predicts)
+		default:
+			res.Pass = true
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// telemetrySinks is the pair of atomic sink slots embedded in
+// Deployment (kept here so deploy.go stays focused on the serving path).
+type telemetrySinks struct {
+	tel    atomic.Pointer[telemetry.Logger]
+	slices atomic.Pointer[sliceState]
+}

@@ -1,0 +1,290 @@
+package deploy
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/sliceql"
+	"repro/internal/telemetry"
+	"repro/internal/train"
+)
+
+// TestTelemetryEmissionEndToEnd drives real traffic through a deployment
+// with both sinks attached and checks the events land in the JSONL
+// streams (queryable via sliceql) and in the live slice window (visible
+// in Stats).
+func TestTelemetryEmissionEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	l, err := telemetry.New(dir, telemetry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	m := freshModel(t, 1)
+	reg := NewRegistry()
+	defer reg.Close()
+	reg.SetTelemetry(l) // attached before Add: Add must fan it out
+	d := New("factoid", m, 1)
+	if err := reg.Add(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetSlices([]sliceql.SliceDef{{Name: "billing", Expr: "intent=billing"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Same-seed shadow: agreement on mirrored traffic is exactly 1.
+	if err := d.SetShadow(freshModel(t, 1), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := goodRecord(t, m)
+	rec.Tags = []string{"intent=billing", "vip"}
+	for i := 0; i < 6; i++ {
+		if _, _, err := d.Predict(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.FlushShadow()
+	l.Flush()
+
+	res, err := sliceql.QueryDir(dir, "SELECT COUNT(*), MIN(latency_ms), RATIO(err,version) FROM predict WHERE intent=billing AND dep=factoid", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != 6.0 {
+		t.Fatalf("predict events = %v, want 6", res.Rows[0][0])
+	}
+	res, err = sliceql.QueryDir(dir, "SELECT RATIO(agree,units) FROM shadow WHERE intent=billing AND err=0", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != 1.0 {
+		t.Fatalf("same-seed shadow agreement over JSONL = %v, want 1", res.Rows[0][0])
+	}
+	if res.Matched == 0 {
+		t.Fatal("no shadow comparison events were logged")
+	}
+
+	// The predicted class is a queryable dimension.
+	res, err = sliceql.QueryDir(dir, "SELECT task.Intent, COUNT(*) FROM predict GROUP BY task.Intent", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || res.Rows[0][0] == nil {
+		t.Fatalf("task.Intent not logged: %+v", res)
+	}
+
+	// The live window aggregated the same traffic into Stats.
+	st := d.Stats()
+	rep, ok := st.Slices["billing"]
+	if !ok {
+		t.Fatalf("Stats missing slice report: %+v", st.Slices)
+	}
+	if rep.Predicts != 6 || rep.Errors != 0 || rep.Agreement != 1 || rep.Units == 0 {
+		t.Fatalf("live slice report = %+v", rep)
+	}
+	if rep.P95Millis <= 0 {
+		t.Fatalf("slice latency percentile not populated: %+v", rep)
+	}
+
+	// Lifecycle stream: a promote lands as an event.
+	if _, err := d.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	d.emitLifecycle("promote", map[string]any{"version": 2})
+	l.Flush()
+	res, err = sliceql.QueryDir(dir, "SELECT COUNT(*) FROM lifecycle WHERE action=promote", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] == 0.0 {
+		t.Fatal("promote not visible on the lifecycle stream")
+	}
+
+	// Detaching the logger stops emission without touching serving.
+	reg.SetTelemetry(nil)
+	before := l.Stats()[telemetry.StreamPredict].Emitted
+	if _, _, err := d.Predict(rec); err != nil {
+		t.Fatal(err)
+	}
+	l.Flush()
+	if after := l.Stats()[telemetry.StreamPredict].Emitted; after != before {
+		t.Fatalf("detached logger still received events: %d -> %d", before, after)
+	}
+}
+
+// TestSliceGateEvaluation pins evalSliceGates: threshold order,
+// fail-closed on undefined slices, and the shadow-version filter that
+// keeps a replaced candidate's comparisons from vouching for the
+// current one.
+func TestSliceGateEvaluation(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("factoid", m, 1)
+	defer d.Close()
+	if err := d.SetSlices([]sliceql.SliceDef{{Name: "billing", Expr: "intent=billing"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetShadow(freshModel(t, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := goodRecord(t, m)
+	rec.Tags = []string{"intent=billing"}
+
+	// A stale candidate's perfect comparisons (version 1) plus the current
+	// candidate's poor ones (version 2).
+	d.emitShadowComparison(rec, 1, map[string]monitor.TaskComparison{
+		"Intent": {Agree: 50, Units: 50},
+	})
+	d.emitShadowComparison(rec, 2, map[string]monitor.TaskComparison{
+		"Intent": {Agree: 1, Units: 4},
+	})
+
+	results := d.evalSliceGates([]SliceGate{{Slice: "billing", MinAgreement: 0.9, MinUnits: 1}})
+	if len(results) != 1 {
+		t.Fatalf("results = %+v", results)
+	}
+	r := results[0]
+	if r.Pass {
+		t.Fatalf("gate passed on 25%% agreement: %+v", r)
+	}
+	if r.Units != 4 || r.Agreement != 0.25 {
+		t.Fatalf("stale shadow's units leaked into the verdict: %+v", r)
+	}
+
+	// Not enough evidence: MinUnits holds before agreement is judged.
+	r = d.evalSliceGates([]SliceGate{{Slice: "billing", MinAgreement: 0.9, MinUnits: 100}})[0]
+	if r.Pass || !strings.Contains(r.Reason, "units") {
+		t.Fatalf("MinUnits verdict = %+v", r)
+	}
+
+	// Fail-closed: a gate naming an undefined slice must hold promotion.
+	r = d.evalSliceGates([]SliceGate{{Slice: "typo"}})[0]
+	if r.Pass || !strings.Contains(r.Reason, "not defined") {
+		t.Fatalf("undefined slice verdict = %+v", r)
+	}
+
+	// Healthy current-candidate evidence passes.
+	d.emitShadowComparison(rec, 2, map[string]monitor.TaskComparison{
+		"Intent": {Agree: 96, Units: 96},
+	})
+	r = d.evalSliceGates([]SliceGate{{Slice: "billing", MinAgreement: 0.9, MinUnits: 10}})[0]
+	if !r.Pass {
+		t.Fatalf("healthy slice gate failed: %+v", r)
+	}
+}
+
+// TestPolicySliceGateResetsStreak: a failing slice gate holds the
+// promotion AND resets the hysteresis streak, exactly like the global
+// gate — a candidate flapping on a slice never accumulates passes.
+func TestPolicySliceGateResetsStreak(t *testing.T) {
+	ps := newPolicyState(Policy{Hysteresis: 2, MinAgreement: 0.5})
+	passGate := monitor.GateResult{Pass: true, Agreement: 1, Mirrored: 100}
+	pass := policyInputs{shadow: true, gate: passGate}
+	failSlice := policyInputs{shadow: true, gate: passGate, slices: []SliceGateResult{
+		{Slice: "billing", Pass: false, Reason: "agreement 0.250 < min 0.900 over 4 units"},
+	}}
+
+	if dec, _ := ps.step(pass); dec != decisionHold {
+		t.Fatal("first pass must hold (hysteresis 2)")
+	}
+	dec, why := ps.step(failSlice)
+	if dec != decisionHold || !strings.Contains(why, `slice "billing"`) {
+		t.Fatalf("slice fail: dec=%v why=%q", dec, why)
+	}
+	if ps.streak != 0 {
+		t.Fatalf("streak not reset by slice gate: %d", ps.streak)
+	}
+	// Two clean passes are needed again from scratch.
+	if dec, _ := ps.step(pass); dec != decisionHold {
+		t.Fatal("pass after reset must restart the streak")
+	}
+	if dec, _ := ps.step(pass); dec != decisionPromote {
+		t.Fatal("second consecutive pass must promote")
+	}
+}
+
+// TestControllerSliceGateHoldsPromotion runs the real improvement loop
+// with a slice gate that cannot be satisfied and shows the promotion is
+// held for exactly that reason — then restarts the loop with an
+// achievable gate and shows the same candidate promotes. The slice gate
+// is demonstrably the only thing standing between the candidate and the
+// primary slot.
+func TestControllerSliceGateHoldsPromotion(t *testing.T) {
+	m := freshModel(t, 1)
+	d := New("factoid", m, 1)
+	defer d.Close()
+	if err := d.SetSlices([]sliceql.SliceDef{{Name: "all", Expr: "err=0"}}); err != nil {
+		t.Fatal(err)
+	}
+	rec := goodRecord(t, m)
+	policy := Policy{
+		MinMirrored:           6,
+		MinAgreement:          0.5,
+		Hysteresis:            2,
+		RollbackWindow:        2,
+		MinRegressionRequests: 1 << 30,
+		SliceGates:            []SliceGate{{Slice: "all", MinUnits: 1e12}}, // unreachable
+	}
+	cfg := LoopConfig{
+		Interval:        2 * time.Millisecond,
+		MinRetrainBatch: 24,
+		Policy:          policy,
+		FineTune:        train.FineTuneConfig{Epochs: 1, LR: 0.001},
+	}
+	if err := d.StartLoop(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Feed ingest until a candidate exists, then keep traffic flowing so
+	// the global shadow gate passes — the slice gate must still hold.
+	total := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("slice hold never observed: stats=%+v loop=%+v", d.Stats(), d.LoopStatus())
+		}
+		if total < 40 {
+			if _, err := d.Ingest(labelledRecord(t, m, "Height")); err != nil {
+				t.Fatal(err)
+			}
+			total++
+		}
+		if _, _, err := d.Predict(rec); err != nil {
+			t.Fatal(err)
+		}
+		ls := d.LoopStatus()
+		if ls.Retrains >= 1 && strings.Contains(ls.LastGate, `slice "all"`) {
+			if len(ls.Slices) != 1 || ls.Slices[0].Pass {
+				t.Fatalf("slice verdict missing from status: %+v", ls)
+			}
+			break
+		}
+	}
+	if p := d.Stats().Promotions; p != 0 {
+		t.Fatalf("promotion happened under an unsatisfiable slice gate: %d", p)
+	}
+	d.StopLoop()
+
+	// Same candidate, same policy — but a satisfiable slice gate. The
+	// mirrored traffic that was already flowing now clears it.
+	policy.SliceGates = []SliceGate{{Slice: "all", MinUnits: 1, MinAgreement: 0.1}}
+	cfg.Policy = policy
+	if err := d.StartLoop(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for d.Stats().Promotions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no promotion under achievable slice gate: %+v", d.LoopStatus())
+		}
+		if _, _, err := d.Predict(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.StopLoop()
+	if v := d.Version(); v <= 1 {
+		t.Fatalf("promotion did not raise the version: %d", v)
+	}
+}

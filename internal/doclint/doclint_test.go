@@ -15,6 +15,8 @@ var documentedPackages = []string{
 	"internal/monitor",
 	"internal/fleetstate",
 	"internal/faultinject",
+	"internal/telemetry",
+	"internal/sliceql",
 }
 
 // lintedMarkdown are the docs whose relative links must resolve.

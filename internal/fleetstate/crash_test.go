@@ -5,10 +5,13 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/deploy"
 	"repro/internal/faultinject"
 	"repro/internal/record"
+	"repro/internal/sliceql"
+	"repro/internal/telemetry"
 )
 
 // These are the deterministic crash-recovery tests the fault-injection
@@ -423,6 +426,71 @@ func TestTornBatchIngestDropsWholeBatch(t *testing.T) {
 	defer fleet.Registry.Close()
 	if got := fleet.Replayed["main"]; got != 2 {
 		t.Fatalf("replayed %d records, want 2 (no record of the rejected batch may survive)", got)
+	}
+}
+
+// TestTornTelemetryTailRecoveredByNextStart is the telemetry half of the
+// torn-tail property: a crash mid-append on a telemetry stream leaves a
+// partial JSONL line; the next start's logger must truncate it before
+// appending, so queries over the directory see every intact event from
+// both lives with zero malformed lines. Serving itself must never notice
+// — the torn write costs a WriteError counter, not a Predict error.
+func TestTornTelemetryTailRecoveredByNextStart(t *testing.T) {
+	dir := t.TempDir()
+	_, reg, d := newFleet(t, dir)
+	telDir := filepath.Join(dir, "telemetry")
+	l, err := telemetry.New(telDir, telemetry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.SetTelemetry(l)
+	rec := goodRecord(t, freshModel(t, 1))
+
+	for i := 0; i < 3; i++ {
+		if _, _, err := d.Predict(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Flush()
+
+	// The 4th predict's append tears mid-line — the bytes a crash
+	// mid-write leaves. Predict must not observe the failure.
+	fi := faultinject.NewRegistry()
+	fi.Arm("telemetry.append.predict", 1, faultinject.Fault{Kind: faultinject.KindTorn, Bytes: 20})
+	faultinject.Enable(fi)
+	if _, _, err := d.Predict(rec); err != nil {
+		t.Fatalf("torn telemetry append surfaced to the caller: %v", err)
+	}
+	l.Flush()
+	faultinject.Disable()
+	if st := l.Stats()[telemetry.StreamPredict]; st.WriteErrors != 1 {
+		t.Fatalf("torn append not counted: %+v", st)
+	}
+	// Crash: abandon the logger without Close — the partial line stays.
+
+	// Next start: a fresh logger over the same directory.
+	l2, err := telemetry.New(telDir, telemetry.Options{})
+	if err != nil {
+		t.Fatalf("reopen over a torn tail failed: %v", err)
+	}
+	defer l2.Close()
+	reg.SetTelemetry(l2)
+	for i := 0; i < 2; i++ {
+		if _, _, err := d.Predict(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l2.Flush()
+
+	res, err := sliceql.QueryDir(telDir, "SELECT COUNT(*) FROM predict", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != 5.0 {
+		t.Fatalf("events across the crash = %v, want 5 (3 pre-crash + 2 post)", res.Rows[0][0])
+	}
+	if res.Malformed != 0 {
+		t.Fatalf("torn tail survived the reopen: %d malformed lines", res.Malformed)
 	}
 }
 

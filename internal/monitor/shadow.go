@@ -25,6 +25,7 @@ type ShadowSeries struct {
 
 type shadowAgg struct {
 	agree, units float64
+	missing      int64
 }
 
 // NewShadowSeries returns an empty series.
@@ -32,25 +33,63 @@ func NewShadowSeries() *ShadowSeries {
 	return &ShadowSeries{tasks: map[string]*shadowAgg{}}
 }
 
-// Observe records one mirrored request: the primary's output next to the
-// shadow's output for the same record.
-func (s *ShadowSeries) Observe(primary, shadow model.Output) {
+// TaskComparison is one task's contribution from a single mirrored
+// request — the per-event record the telemetry plane logs next to the
+// accumulated series.
+type TaskComparison struct {
+	// Agree and Units are the request's agreement units for the task.
+	Agree float64
+	Units float64
+	// Missing marks a task the primary emitted but the shadow did not;
+	// its Units are charged as full disagreement (Agree = 0).
+	Missing bool
+}
+
+// Observe records one mirrored request — the primary's output next to
+// the shadow's output for the same record — and returns the per-task
+// comparisons it accumulated. A task present in the primary but absent
+// from the shadow is counted as full disagreement over the primary's
+// units (a candidate that fails to emit a task must not inflate its
+// agreement; it used to be silently skipped, which let exactly that
+// candidate pass the promotion gate).
+func (s *ShadowSeries) Observe(primary, shadow model.Output) map[string]TaskComparison {
+	comps := make(map[string]TaskComparison, len(primary))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mirrored++
 	for task, p := range primary {
-		sh, ok := shadow[task]
-		if !ok {
-			continue
-		}
 		a := s.tasks[task]
 		if a == nil {
 			a = &shadowAgg{}
 			s.tasks[task] = a
 		}
-		agree, units := outputAgreement(p, sh)
-		a.agree += agree
-		a.units += units
+		var c TaskComparison
+		if sh, ok := shadow[task]; ok {
+			c.Agree, c.Units = outputAgreement(p, sh)
+		} else {
+			c.Units = primaryUnits(p)
+			c.Missing = true
+			a.missing++
+		}
+		a.agree += c.Agree
+		a.units += c.Units
+		comps[task] = c
+	}
+	return comps
+}
+
+// primaryUnits is the unit weight of one primary task output — the
+// disagreement charged when the shadow omits the task entirely.
+func primaryUnits(p model.TaskOutput) float64 {
+	switch {
+	case p.Class != "":
+		return 1
+	case len(p.TokenClasses) > 0:
+		return float64(len(p.TokenClasses))
+	case len(p.TokenBits) > 0:
+		return float64(len(p.TokenBits))
+	default:
+		return 1 // Select task
 	}
 }
 
@@ -84,14 +123,22 @@ type ShadowTaskAgreement struct {
 	Units float64 `json:"units"`
 	Agree float64 `json:"agree"`
 	Rate  float64 `json:"rate"`
+	// Missing counts mirrored requests where the shadow omitted this task
+	// (each charged as full disagreement over the primary's units).
+	Missing int64 `json:"missing,omitempty"`
 }
 
 // ShadowReport is a point-in-time snapshot of a shadow comparison.
 type ShadowReport struct {
-	Mirrored int64                          `json:"mirrored"`
-	Errors   int64                          `json:"errors,omitempty"`
-	Dropped  int64                          `json:"dropped,omitempty"`
-	Tasks    map[string]ShadowTaskAgreement `json:"tasks,omitempty"`
+	Mirrored int64 `json:"mirrored"`
+	Errors   int64 `json:"errors,omitempty"`
+	Dropped  int64 `json:"dropped,omitempty"`
+	// MissingTasks totals, across tasks, the mirrored requests where the
+	// shadow failed to emit a task the primary emitted — agreement
+	// already prices these in as disagreement; the counter makes the
+	// cause visible.
+	MissingTasks int64                          `json:"missing_tasks,omitempty"`
+	Tasks        map[string]ShadowTaskAgreement `json:"tasks,omitempty"`
 }
 
 // Snapshot returns the current comparison state.
@@ -102,10 +149,11 @@ func (s *ShadowSeries) Snapshot() *ShadowReport {
 	if len(s.tasks) > 0 {
 		rep.Tasks = make(map[string]ShadowTaskAgreement, len(s.tasks))
 		for task, a := range s.tasks {
-			ta := ShadowTaskAgreement{Units: a.units, Agree: a.agree}
+			ta := ShadowTaskAgreement{Units: a.units, Agree: a.agree, Missing: a.missing}
 			if a.units > 0 {
 				ta.Rate = a.agree / a.units
 			}
+			rep.MissingTasks += a.missing
 			rep.Tasks[task] = ta
 		}
 	}
@@ -115,7 +163,10 @@ func (s *ShadowSeries) Snapshot() *ShadowReport {
 // outputAgreement scores two predictions for the same task, returning
 // (agreeing units, total units). The output kind is inferred from the
 // populated fields — both outputs come from models serving the same
-// signature, so kinds always match.
+// signature, so kinds always match. Token tasks take their unit count
+// from the LONGER sequence: positions one side failed to emit are
+// disagreement units, so a shadow that truncates its output cannot
+// inflate its rate.
 func outputAgreement(a, b model.TaskOutput) (float64, float64) {
 	switch {
 	case a.Class != "" || b.Class != "":
@@ -124,29 +175,23 @@ func outputAgreement(a, b model.TaskOutput) (float64, float64) {
 		}
 		return 0, 1
 	case len(a.TokenClasses) > 0 || len(b.TokenClasses) > 0:
-		n := len(a.TokenClasses)
-		if len(b.TokenClasses) < n {
-			n = len(b.TokenClasses)
-		}
+		n, total := minMax(len(a.TokenClasses), len(b.TokenClasses))
 		var agree float64
 		for i := 0; i < n; i++ {
 			if a.TokenClasses[i] == b.TokenClasses[i] {
 				agree++
 			}
 		}
-		return agree, float64(n)
+		return agree, float64(total)
 	case len(a.TokenBits) > 0 || len(b.TokenBits) > 0:
-		n := len(a.TokenBits)
-		if len(b.TokenBits) < n {
-			n = len(b.TokenBits)
-		}
+		n, total := minMax(len(a.TokenBits), len(b.TokenBits))
 		var agree float64
 		for i := 0; i < n; i++ {
 			if sameStrSet(a.TokenBits[i], b.TokenBits[i]) {
 				agree++
 			}
 		}
-		return agree, float64(n)
+		return agree, float64(total)
 	default:
 		// Select task (including the empty-set Select == -1 case).
 		if a.Select == b.Select {
@@ -154,4 +199,11 @@ func outputAgreement(a, b model.TaskOutput) (float64, float64) {
 		}
 		return 0, 1
 	}
+}
+
+func minMax(a, b int) (int, int) {
+	if a < b {
+		return a, b
+	}
+	return b, a
 }

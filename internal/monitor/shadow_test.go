@@ -49,6 +49,96 @@ func TestShadowSeriesAgreement(t *testing.T) {
 	}
 }
 
+// TestShadowMissingTaskCountsAsDisagreement pins the fix for
+// shadow-agreement inflation: a task the primary emitted but the shadow
+// did not is charged as full disagreement over the primary's units, for
+// every output kind, and surfaced in the per-task Missing counter and
+// the report's MissingTasks total.
+func TestShadowMissingTaskCountsAsDisagreement(t *testing.T) {
+	s := NewShadowSeries()
+	comps := s.Observe(
+		model.Output{
+			"Intent": {Class: "height"},
+			"POS":    {TokenClasses: []string{"WH", "ADJ", "V", "PROPN"}},
+			"Bits":   {TokenBits: [][]string{{"a"}, {"b"}}},
+			"Sel":    {Select: 1},
+		},
+		model.Output{"Intent": {Class: "height"}}, // shadow dropped 3 tasks
+	)
+	want := map[string]TaskComparison{
+		"Intent": {Agree: 1, Units: 1},
+		"POS":    {Units: 4, Missing: true},
+		"Bits":   {Units: 2, Missing: true},
+		"Sel":    {Units: 1, Missing: true},
+	}
+	for task, w := range want {
+		if got := comps[task]; got != w {
+			t.Errorf("comparison[%s] = %+v, want %+v", task, got, w)
+		}
+	}
+
+	rep := s.Snapshot()
+	if rep.MissingTasks != 3 {
+		t.Errorf("MissingTasks = %d, want 3", rep.MissingTasks)
+	}
+	if got := rep.Tasks["POS"]; got.Units != 4 || got.Agree != 0 || got.Rate != 0 || got.Missing != 1 {
+		t.Errorf("POS aggregate = %+v, want 4 units of pure disagreement", got)
+	}
+	if got := rep.Tasks["Intent"]; got.Missing != 0 || got.Rate != 1 {
+		t.Errorf("Intent aggregate = %+v", got)
+	}
+}
+
+// TestShadowTruncatedTokensCountMissingPositions: token tasks take their
+// unit count from the longer sequence, so a shadow that truncates its
+// token output pays the missing positions as disagreement.
+func TestShadowTruncatedTokensCountMissingPositions(t *testing.T) {
+	s := NewShadowSeries()
+	s.Observe(
+		model.Output{"POS": {TokenClasses: []string{"WH", "ADJ", "V", "PROPN"}}},
+		model.Output{"POS": {TokenClasses: []string{"WH", "ADJ"}}},
+	)
+	if got := s.Snapshot().Tasks["POS"]; got.Units != 4 || got.Agree != 2 || got.Rate != 0.5 {
+		t.Fatalf("truncated shadow aggregate = %+v, want 2/4", got)
+	}
+}
+
+// TestGateFailsOnShadowDroppedTask is the gate-level pin for the
+// inflation fix: a shadow that agrees perfectly on the tasks it emits
+// but drops an entire task head must NOT pass EvaluateGate on
+// agreement. Before the fix the missing task was silently skipped, the
+// worst-task agreement read 1.0, and exactly this candidate promoted.
+func TestGateFailsOnShadowDroppedTask(t *testing.T) {
+	cfg := GateConfig{MinMirrored: 5, MinAgreement: 0.9}
+
+	dropped := NewShadowSeries()
+	complete := NewShadowSeries()
+	for i := 0; i < 10; i++ {
+		primary := model.Output{
+			"Intent": {Class: "height"},
+			"POS":    {TokenClasses: []string{"WH", "ADJ", "V", "PROPN"}},
+		}
+		dropped.Observe(primary, model.Output{"Intent": {Class: "height"}})
+		complete.Observe(primary, model.Output{
+			"Intent": {Class: "height"},
+			"POS":    {TokenClasses: []string{"WH", "ADJ", "V", "PROPN"}},
+		})
+	}
+
+	// Control: the same traffic with every task emitted passes — the only
+	// difference below is the dropped head.
+	if res := EvaluateGate(complete.Snapshot(), cfg); !res.Pass {
+		t.Fatalf("control gate failed: %+v", res)
+	}
+	res := EvaluateGate(dropped.Snapshot(), cfg)
+	if res.Pass {
+		t.Fatalf("gate passed a shadow that never emitted POS: %+v", res)
+	}
+	if res.Agreement != 0 {
+		t.Errorf("worst-task agreement = %g, want 0 (POS all-missing)", res.Agreement)
+	}
+}
+
 func TestShadowSeriesBitsAndEmptySelect(t *testing.T) {
 	s := NewShadowSeries()
 	s.Observe(

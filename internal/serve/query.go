@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/sliceql"
+	"repro/internal/telemetry"
+)
+
+// The telemetry query surface: POST /v1/query runs one sliceql statement
+// against the fleet's JSONL telemetry directory, GET /v1/telemetry
+// reports the logger's emission counters (the drop counters are the "am
+// I losing events" signal), and the per-deployment slices endpoints
+// install and read the declarative live slices whose aggregates also
+// appear in /stats.
+
+// SetTelemetry attaches the fleet telemetry logger: events start
+// flowing from every deployment and /v1/query + /v1/telemetry come
+// alive. Equivalent to s.Registry().SetTelemetry(l).
+func (s *Server) SetTelemetry(l *telemetry.Logger) { s.reg.SetTelemetry(l) }
+
+// queryRequest is the wire form of one sliceql query.
+type queryRequest struct {
+	Query string `json:"query"`
+}
+
+// handleQuery parses and runs one sliceql statement over the rotated
+// telemetry streams. The logger is flushed first so a query observes the
+// events emitted before the request (read-your-writes for operators);
+// per-line isolation in the engine makes the concurrent-append case safe.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	tel := s.reg.Telemetry()
+	if tel == nil {
+		httpError(w, http.StatusServiceUnavailable, "telemetry is not enabled (start with -state-dir or -telemetry-dir)")
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	q, err := sliceql.Parse(req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tel.Flush()
+	res, err := q.Run(sliceql.DirSource{Dir: tel.Dir()}, time.Now())
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "query: %v", err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// handleTelemetryStats reports the logger's per-stream counters.
+func (s *Server) handleTelemetryStats(w http.ResponseWriter, r *http.Request) {
+	tel := s.reg.Telemetry()
+	if tel == nil {
+		httpError(w, http.StatusServiceUnavailable, "telemetry is not enabled")
+		return
+	}
+	writeJSON(w, map[string]any{"dir": tel.Dir(), "streams": tel.Stats()})
+}
+
+// slicesRequest installs a deployment's slice set (replacing the current
+// one; an empty list removes all slices).
+type slicesRequest struct {
+	Slices []sliceql.SliceDef `json:"slices"`
+}
+
+// handleSetSlices swaps the target deployment's declarative slices. The
+// definitions compile before they install, so a bad predicate answers
+// 400 with the parse error and changes nothing.
+func (s *Server) handleSetSlices(w http.ResponseWriter, r *http.Request) {
+	d := s.deployment(w, r)
+	if d == nil {
+		return
+	}
+	var req slicesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if err := d.SetSlices(req.Slices); err != nil {
+		httpError(w, http.StatusBadRequest, "slices: %v", err)
+		return
+	}
+	s.writeSlices(w, d)
+}
+
+// handleGetSlices reports the installed slice definitions with their
+// live aggregates.
+func (s *Server) handleGetSlices(w http.ResponseWriter, r *http.Request) {
+	d := s.deployment(w, r)
+	if d == nil {
+		return
+	}
+	s.writeSlices(w, d)
+}
+
+func (s *Server) writeSlices(w http.ResponseWriter, d *deploy.Deployment) {
+	writeJSON(w, map[string]any{
+		"model":   d.Name(),
+		"slices":  d.SliceDefs(),
+		"reports": d.Stats().Slices,
+	})
+}

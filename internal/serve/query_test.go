@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sliceql"
+	"repro/internal/telemetry"
+)
+
+const taggedBody = `{
+  "tags": ["intent=billing", "vip"],
+  "payloads": {
+    "tokens": ["how", "tall", "is", "obama"],
+    "query": "how tall is obama",
+    "entities": {"0": {"id": "Barack_Obama", "range": [3, 4]}}
+  }
+}`
+
+// runQuery posts one sliceql statement to /v1/query and decodes the result.
+func runQuery(t *testing.T, base, stmt string) (int, sliceql.Result) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{"query": stmt})
+	resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res sliceql.Result
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, res
+}
+
+// TestQueryEndpointOverLiveTraffic serves tagged traffic (with a
+// same-seed shadow mirroring it), then answers sliceql over HTTP: the
+// handler must flush the logger first so every predict that returned
+// before the query is visible, across rotated files.
+func TestQueryEndpointOverLiveTraffic(t *testing.T) {
+	srv := New(freshModel(t), "factoid", 1)
+	defer srv.Close()
+	// Tiny rotation threshold: 12 predicts spread over several files.
+	l, err := telemetry.New(t.TempDir(), telemetry.Options{RotateBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv.SetTelemetry(l)
+	d, _ := srv.Registry().Get("factoid")
+	if err := d.SetShadow(freshModel(t), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 12; i++ {
+		resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(taggedBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("predict %d: status %d", i, resp.StatusCode)
+		}
+	}
+	d.FlushShadow()
+
+	code, res := runQuery(t, ts.URL, "SELECT COUNT(*), P95(latency_ms) FROM predict WHERE intent=billing AND vip SINCE 1h")
+	if code != 200 {
+		t.Fatalf("query status %d", code)
+	}
+	if res.Rows[0][0] != 12.0 {
+		t.Fatalf("count over rotated live stream = %v, want 12 (res=%+v)", res.Rows[0][0], res)
+	}
+	if res.Malformed != 0 {
+		t.Fatalf("live stream produced malformed lines: %+v", res)
+	}
+	if files, _ := telemetry.StreamFiles(l.Dir(), telemetry.StreamPredict); len(files) < 2 {
+		t.Fatalf("rotation never happened (%d files) — the cross-file case was not exercised", len(files))
+	}
+
+	// Shadow agreement for the slice, through the same endpoint.
+	code, res = runQuery(t, ts.URL, "SELECT RATIO(agree,units) AS agreement FROM shadow WHERE intent=billing AND err=0")
+	if code != 200 {
+		t.Fatalf("shadow query status %d", code)
+	}
+	if res.Columns[0] != "agreement" || res.Rows[0][0] != 1.0 {
+		t.Fatalf("same-seed shadow agreement = %+v", res)
+	}
+	if res.Matched == 0 {
+		t.Fatal("no shadow events reached the stream")
+	}
+
+	// GET /v1/telemetry exposes the logger counters.
+	resp, err := http.Get(ts.URL + "/v1/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /v1/telemetry: %d", resp.StatusCode)
+	}
+	var stats struct {
+		Dir     string                           `json:"dir"`
+		Streams map[string]telemetry.StreamStats `json:"streams"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	ps := stats.Streams[telemetry.StreamPredict]
+	if ps.Written < 12 || ps.Dropped != 0 {
+		t.Fatalf("predict stream counters: %+v", ps)
+	}
+}
+
+// TestQueryEndpointErrors pins the failure surface: 503 without a
+// logger, 400 on unparseable statements and bodies — and none of them
+// disturb serving.
+func TestQueryEndpointErrors(t *testing.T) {
+	srv := New(freshModel(t), "factoid", 1)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// No logger attached: the surface reports itself disabled.
+	if code, _ := runQuery(t, ts.URL, "SELECT COUNT(*) FROM predict"); code != http.StatusServiceUnavailable {
+		t.Fatalf("query without telemetry: %d, want 503", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /v1/telemetry without logger: %d, want 503", resp.StatusCode)
+	}
+
+	l, err := telemetry.New(t.TempDir(), telemetry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv.SetTelemetry(l)
+
+	if code, _ := runQuery(t, ts.URL, "SELEC COUNT(*) FROM predict"); code != http.StatusBadRequest {
+		t.Fatalf("bad statement: %d, want 400", code)
+	}
+	resp, err = http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader("{{{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: %d, want 400", resp.StatusCode)
+	}
+
+	// An empty-but-valid query over a missing stream still answers 200.
+	if code, res := runQuery(t, ts.URL, "SELECT COUNT(*) FROM lifecycle"); code != 200 || res.Rows[0][0] != 0.0 {
+		t.Fatalf("empty stream query: code=%d res=%+v", code, res)
+	}
+}
+
+// TestSlicesEndpoints installs declarative slices over HTTP, drives
+// tagged traffic, and reads the live aggregates back; a bad predicate
+// must answer 400 and leave the installed set untouched.
+func TestSlicesEndpoints(t *testing.T) {
+	srv := New(freshModel(t), "factoid", 1)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	install := `{"slices":[{"name":"billing","expr":"intent=billing AND age<1h"}]}`
+	resp, err := http.Post(ts.URL+"/v1/models/factoid/slices", "application/json", strings.NewReader(install))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("install slices: %d", resp.StatusCode)
+	}
+
+	// A predicate that doesn't parse answers 400 and changes nothing.
+	bad := `{"slices":[{"name":"broken","expr":"intent = "}]}`
+	resp, err = http.Post(ts.URL+"/v1/models/factoid/slices", "application/json", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad predicate: %d, want 400", resp.StatusCode)
+	}
+
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(taggedBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/models/factoid/slices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Model   string                         `json:"model"`
+		Slices  []sliceql.SliceDef             `json:"slices"`
+		Reports map[string]sliceql.SliceReport `json:"reports"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Slices) != 1 || got.Slices[0].Name != "billing" {
+		t.Fatalf("installed set = %+v (bad predicate must not have replaced it)", got.Slices)
+	}
+	rep, ok := got.Reports["billing"]
+	if !ok || rep.Predicts != 5 {
+		t.Fatalf("live report = %+v, want 5 predicts", got.Reports)
+	}
+
+	// Unknown deployment: 404.
+	resp, err = http.Get(ts.URL + "/v1/models/nope/slices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model slices: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestConcurrentPredictAndQuery hammers /predict while /v1/query runs
+// against the same rotating stream — the per-line isolation and the
+// single-writer logger must keep every query well-formed (no 500s, no
+// malformed-line growth from concurrent appends beyond the torn tail,
+// counts never decrease).
+func TestConcurrentPredictAndQuery(t *testing.T) {
+	srv := New(freshModel(t), "factoid", 1)
+	defer srv.Close()
+	// Small files force rotation under load, but MaxFiles is raised so
+	// retention never prunes mid-test — otherwise COUNT legitimately
+	// shrinks when the oldest segment ages out.
+	l, err := telemetry.New(t.TempDir(), telemetry.Options{RotateBytes: 1024, MaxFiles: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv.SetTelemetry(l)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const predictors, perPredictor = 4, 25
+	var wg sync.WaitGroup
+	for p := 0; p < predictors; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPredictor; i++ {
+				resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(taggedBody))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	var last float64
+	for q := 0; q < 20; q++ {
+		code, res := runQuery(t, ts.URL, "SELECT COUNT(*) FROM predict WHERE intent=billing")
+		if code != 200 {
+			t.Fatalf("query %d under load: status %d", q, code)
+		}
+		n, _ := res.Rows[0][0].(float64)
+		if n < last {
+			t.Fatalf("count went backwards under load: %v -> %v", last, n)
+		}
+		last = n
+	}
+	wg.Wait()
+
+	code, res := runQuery(t, ts.URL, "SELECT COUNT(*) FROM predict WHERE intent=billing")
+	if code != 200 {
+		t.Fatalf("final query: status %d", code)
+	}
+	want := float64(predictors * perPredictor)
+	if res.Rows[0][0] != want {
+		t.Fatalf("final count = %v, want %v (dropped=%d)", res.Rows[0][0], want, l.Stats()[telemetry.StreamPredict].Dropped)
+	}
+}

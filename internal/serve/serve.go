@@ -21,9 +21,13 @@
 //	GET  /v1/models/{name}/loop       controller status (state, retrains, promotions)
 //	POST /v1/models/{name}/limits     {"qps","burst","queue_depth"}  swap admission limits
 //	GET  /v1/models/{name}/limits     current limits + admission counters
-//	GET  /v1/models/{name}/stats      per-deployment SLA + shadow profile
+//	GET  /v1/models/{name}/stats      per-deployment SLA + shadow profile (incl. live slices)
 //	GET  /v1/models/{name}/signature  serving signature JSON
+//	POST /v1/models/{name}/slices     {"slices":[{"name","expr"}]}  install declarative slices
+//	GET  /v1/models/{name}/slices     slice definitions + live aggregates
 //	GET  /v1/models                   fleet listing
+//	POST /v1/query                    {"query":"SELECT ..."}  sliceql over the telemetry streams
+//	GET  /v1/telemetry                telemetry logger counters (emitted/written/dropped)
 //
 // Requests shed by admission control (per-deployment QPS/queue-depth
 // limits or the fleet concurrency budget) answer 429 Too Many Requests
@@ -141,8 +145,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/models/{name}/limits", s.handleGetLimits)
 	mux.HandleFunc("GET /v1/models/{name}/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/models/{name}/signature", s.handleSignature)
+	mux.HandleFunc("POST /v1/models/{name}/slices", s.handleSetSlices)
+	mux.HandleFunc("GET /v1/models/{name}/slices", s.handleGetSlices)
 	mux.HandleFunc("GET /v1/models", s.handleList)
 	mux.HandleFunc("GET /v1/models/{$}", s.handleList)
+	// Telemetry surface (fleet-wide).
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/telemetry", s.handleTelemetryStats)
 	// Legacy single-model surface -> default deployment.
 	mux.HandleFunc("POST /predict", s.handlePredict)
 	mux.HandleFunc("GET /signature", s.handleSignature)
@@ -180,9 +189,13 @@ func (s *Server) deployment(w http.ResponseWriter, r *http.Request) *deploy.Depl
 	return d
 }
 
-// predictRequest is the wire request: payload values in data-file form.
+// predictRequest is the wire request: payload values in data-file form,
+// plus optional free-form tags ("intent=billing", "vip") that flow into
+// the telemetry plane and drive slice predicates — they never affect the
+// prediction itself.
 type predictRequest struct {
 	Payloads map[string]json.RawMessage `json:"payloads"`
+	Tags     []string                   `json:"tags,omitempty"`
 }
 
 // predictResponse is the wire response.
@@ -218,6 +231,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid payloads: %v", err)
 		return
 	}
+	rec.Tags = req.Tags
 	out, version, err := d.Predict(rec)
 	var shed *deploy.ShedError
 	var panicked *deploy.ModelPanicError

@@ -1,0 +1,868 @@
+package sliceql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The expression language evaluated against one telemetry event (a flat
+// JSON object). Values are dynamically typed: number, string, bool,
+// duration, or null (absent). Field references resolve in order:
+//
+//  1. the special name "age" → now minus the event's "ts" (a duration);
+//  2. an exact key in the event ("latency_ms", "task.Intent", ...);
+//  3. "tag.<k>" → the value of tag "k=v", or true for a bare tag "k";
+//  4. a bare name falls back to the same tag lookup, so the Overton-style
+//     slice `intent=billing AND age<1h` reads naturally.
+//
+// A bare word on the right-hand side of a comparison is a string literal
+// (quotes are optional when the value has no spaces); numbers, 'quoted
+// strings', true/false, and Go durations (500ms, 1h30m) are literals
+// everywhere. Comparisons against null are false, so a predicate can
+// never match an event that lacks the field.
+
+// kind discriminates the dynamic value type.
+type kind uint8
+
+const (
+	kNull kind = iota
+	kNum
+	kStr
+	kBool
+	kDur
+)
+
+// value is one dynamically typed scalar.
+type value struct {
+	k kind
+	f float64
+	s string
+	b bool
+	d time.Duration
+}
+
+var nullValue = value{k: kNull}
+
+func numValue(f float64) value       { return value{k: kNum, f: f} }
+func strValue(s string) value        { return value{k: kStr, s: s} }
+func boolValue(b bool) value         { return value{k: kBool, b: b} }
+func durValue(d time.Duration) value { return value{k: kDur, d: d} }
+
+// fromAny converts a decoded JSON (or Flat map) scalar. Arrays and
+// objects have no scalar value and resolve to null.
+func fromAny(v any) value {
+	switch x := v.(type) {
+	case float64:
+		return numValue(x)
+	case int:
+		return numValue(float64(x))
+	case int64:
+		return numValue(float64(x))
+	case string:
+		return strValue(x)
+	case bool:
+		return boolValue(x)
+	default:
+		return nullValue
+	}
+}
+
+// num reports the value as a float64 where that conversion is faithful
+// (numbers, numeric strings, durations as milliseconds).
+func (v value) num() (float64, bool) {
+	switch v.k {
+	case kNum:
+		return v.f, true
+	case kDur:
+		return float64(v.d) / float64(time.Millisecond), true
+	case kStr:
+		f, err := strconv.ParseFloat(v.s, 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// truthy is the bare-field predicate: `WHERE vip` matches events whose
+// "vip" resolves to a non-null, non-false, non-zero, non-empty value.
+func (v value) truthy() bool {
+	switch v.k {
+	case kNull:
+		return false
+	case kBool:
+		return v.b
+	case kNum:
+		return v.f != 0
+	case kDur:
+		return v.d != 0
+	case kStr:
+		return v.s != "" && !strings.EqualFold(v.s, "false")
+	}
+	return false
+}
+
+// display renders the value for an output row.
+func (v value) display() any {
+	switch v.k {
+	case kNum:
+		return v.f
+	case kStr:
+		return v.s
+	case kBool:
+		return v.b
+	case kDur:
+		return v.d.String()
+	default:
+		return nil
+	}
+}
+
+// row is one event plus the query clock ("age" needs now).
+type row struct {
+	m   map[string]any
+	now time.Time
+}
+
+// eventTime extracts the event's "ts" (unix milliseconds).
+func (r row) eventTime() (time.Time, bool) {
+	ts, ok := fromAny(r.m["ts"]).num()
+	if !ok {
+		return time.Time{}, false
+	}
+	return time.UnixMilli(int64(ts)), true
+}
+
+// tagLookup resolves name against the event's "tags" array: "k=v"
+// entries yield the string v, a bare entry equal to name yields true,
+// absence yields null.
+func tagLookup(m map[string]any, name string) value {
+	raw, ok := m["tags"]
+	if !ok {
+		return nullValue
+	}
+	check := func(tag string) (value, bool) {
+		if tag == name {
+			return boolValue(true), true
+		}
+		if k, v, found := strings.Cut(tag, "="); found && k == name {
+			return strValue(v), true
+		}
+		return nullValue, false
+	}
+	switch tags := raw.(type) {
+	case []string:
+		for _, t := range tags {
+			if v, ok := check(t); ok {
+				return v
+			}
+		}
+	case []any:
+		for _, t := range tags {
+			if s, ok := t.(string); ok {
+				if v, ok := check(s); ok {
+					return v
+				}
+			}
+		}
+	}
+	return nullValue
+}
+
+// resolveField implements the resolution order documented at the top of
+// this file.
+func resolveField(r row, name string) value {
+	if name == "age" {
+		t, ok := r.eventTime()
+		if !ok {
+			return nullValue
+		}
+		return durValue(r.now.Sub(t))
+	}
+	if v, ok := r.m[name]; ok {
+		return fromAny(v)
+	}
+	if rest, ok := strings.CutPrefix(name, "tag."); ok {
+		return tagLookup(r.m, rest)
+	}
+	return tagLookup(r.m, name)
+}
+
+// compare applies one comparison operator with the cross-type coercions
+// the doc comment promises: null never matches; number-vs-string parses
+// the string; duration-vs-number compares milliseconds.
+func compare(op string, a, b value) bool {
+	if a.k == kNull || b.k == kNull {
+		return false
+	}
+	// Same-kind string and bool comparisons keep their native semantics.
+	if a.k == kStr && b.k == kStr {
+		return cmpOrdered(op, strings.Compare(a.s, b.s))
+	}
+	if a.k == kBool || b.k == kBool {
+		ab, aok := asBool(a)
+		bb, bok := asBool(b)
+		if !aok || !bok {
+			return false
+		}
+		switch op {
+		case "=":
+			return ab == bb
+		case "!=":
+			return ab != bb
+		}
+		return false
+	}
+	af, aok := a.num()
+	bf, bok := b.num()
+	if !aok || !bok {
+		return false
+	}
+	switch {
+	case af < bf:
+		return cmpOrdered(op, -1)
+	case af > bf:
+		return cmpOrdered(op, 1)
+	default:
+		return cmpOrdered(op, 0)
+	}
+}
+
+func asBool(v value) (bool, bool) {
+	switch v.k {
+	case kBool:
+		return v.b, true
+	case kStr:
+		if strings.EqualFold(v.s, "true") {
+			return true, true
+		}
+		if strings.EqualFold(v.s, "false") {
+			return false, true
+		}
+	case kNum:
+		return v.f != 0, true
+	}
+	return false, false
+}
+
+func cmpOrdered(op string, c int) bool {
+	switch op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+// --- AST ---
+
+// expr is a boolean predicate node.
+type expr interface {
+	eval(r row) bool
+}
+
+type andExpr struct{ l, r expr }
+type orExpr struct{ l, r expr }
+type notExpr struct{ e expr }
+
+func (e andExpr) eval(r row) bool { return e.l.eval(r) && e.r.eval(r) }
+func (e orExpr) eval(r row) bool  { return e.l.eval(r) || e.r.eval(r) }
+func (e notExpr) eval(r row) bool { return !e.e.eval(r) }
+
+// operand is one side of a comparison: a field reference or a literal.
+type operand struct {
+	isField bool
+	field   string
+	lit     value
+}
+
+func (o operand) value(r row) value {
+	if o.isField {
+		return resolveField(r, o.field)
+	}
+	return o.lit
+}
+
+type cmpExpr struct {
+	op   string
+	l, r operand
+}
+
+func (e cmpExpr) eval(r row) bool { return compare(e.op, e.l.value(r), e.r.value(r)) }
+
+// bareExpr is a lone operand used as a predicate (`WHERE vip`).
+type bareExpr struct{ o operand }
+
+func (e bareExpr) eval(r row) bool { return e.o.value(r).truthy() }
+
+// --- lexer ---
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNum
+	tStr
+	tDur
+	tPunct
+)
+
+type token struct {
+	k tokKind
+	s string
+	f float64
+	d time.Duration
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentRune(c byte) bool {
+	return isIdentStart(c) || c == '.' || c == '-' || (c >= '0' && c <= '9')
+}
+
+func lex(src string) ([]token, error) {
+	l := lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(' || c == ')' || c == ',' || c == '*' || c == '=':
+			l.toks = append(l.toks, token{k: tPunct, s: string(c)})
+			l.pos++
+		case c == '!' || c == '<' || c == '>':
+			op := string(c)
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				op += "="
+				l.pos++
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("sliceql: stray '!' at %d (use != or NOT)", l.pos-1)
+			}
+			l.toks = append(l.toks, token{k: tPunct, s: op})
+		case c == '\'' || c == '"':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9':
+			if err := l.lexNumberOrDuration(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentRune(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{k: tIdent, s: l.src[start:l.pos]})
+		default:
+			return nil, fmt.Errorf("sliceql: unexpected %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{k: tEOF})
+	return l.toks, nil
+}
+
+func (l *lexer) lexString(quote byte) error {
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			l.toks = append(l.toks, token{k: tStr, s: b.String()})
+			return nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return fmt.Errorf("sliceql: unterminated escape")
+			}
+			b.WriteByte(l.src[l.pos+1])
+			l.pos += 2
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return fmt.Errorf("sliceql: unterminated string")
+}
+
+// lexNumberOrDuration reads a run that starts with a digit: a float
+// ("42", "1.5") or a Go duration ("500ms", "1h30m").
+func (l *lexer) lexNumberOrDuration() error {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if (c >= '0' && c <= '9') || c == '.' || (c >= 'a' && c <= 'z') || c == 'µ' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	word := l.src[start:l.pos]
+	if f, err := strconv.ParseFloat(word, 64); err == nil {
+		l.toks = append(l.toks, token{k: tNum, f: f, s: word})
+		return nil
+	}
+	if d, err := time.ParseDuration(word); err == nil {
+		l.toks = append(l.toks, token{k: tDur, d: d, s: word})
+		return nil
+	}
+	return fmt.Errorf("sliceql: bad number or duration %q", word)
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.k != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+// keyword reports whether the next token is the given keyword
+// (case-insensitive) and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.k == tIdent && strings.EqualFold(t.s, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) punct(s string) bool {
+	t := p.peek()
+	if t.k == tPunct && t.s == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectIdent(what string) (string, error) {
+	t := p.next()
+	if t.k != tIdent {
+		return "", fmt.Errorf("sliceql: expected %s, got %q", what, t.s)
+	}
+	return t.s, nil
+}
+
+// reserved words that terminate an expression — a bare-field operand
+// must not swallow them.
+func isReserved(s string) bool {
+	switch strings.ToUpper(s) {
+	case "SELECT", "FROM", "WHERE", "GROUP", "BY", "SINCE", "LIMIT", "AND", "OR", "NOT", "AS":
+		return true
+	}
+	return false
+}
+
+// parseExpr: OR-level.
+func (p *parser) parseExpr() (expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = orExpr{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = andExpr{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.keyword("NOT") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{e}, nil
+	}
+	if p.punct("(") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.punct(")") {
+			return nil, fmt.Errorf("sliceql: missing ')'")
+		}
+		return e, nil
+	}
+	return p.parseComparison()
+}
+
+// parseComparison: operand [op operand]. The left operand of a
+// comparison is a field reference when it is a bare word; the right is a
+// string literal when it is a bare word (so `intent=billing` needs no
+// quotes).
+func (p *parser) parseComparison() (expr, error) {
+	l, err := p.parseOperand(true)
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.k == tPunct {
+		switch t.s {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.parseOperand(false)
+			if err != nil {
+				return nil, err
+			}
+			return cmpExpr{op: t.s, l: l, r: r}, nil
+		}
+	}
+	return bareExpr{o: l}, nil
+}
+
+// parseOperand reads one comparison operand. asField controls how a bare
+// word is read: field reference (left side) or string literal (right
+// side). TRUE/FALSE are boolean literals on either side.
+func (p *parser) parseOperand(asField bool) (operand, error) {
+	t := p.next()
+	switch t.k {
+	case tNum:
+		return operand{lit: numValue(t.f)}, nil
+	case tDur:
+		return operand{lit: durValue(t.d)}, nil
+	case tStr:
+		return operand{lit: strValue(t.s)}, nil
+	case tIdent:
+		switch strings.ToUpper(t.s) {
+		case "TRUE":
+			return operand{lit: boolValue(true)}, nil
+		case "FALSE":
+			return operand{lit: boolValue(false)}, nil
+		}
+		if isReserved(t.s) {
+			return operand{}, fmt.Errorf("sliceql: unexpected keyword %q in expression", t.s)
+		}
+		if asField {
+			return operand{isField: true, field: t.s}, nil
+		}
+		return operand{lit: strValue(t.s)}, nil
+	}
+	return operand{}, fmt.Errorf("sliceql: expected operand, got %q", t.s)
+}
+
+// Predicate is a compiled WHERE-style expression, the unit a slice
+// definition attaches to events, stats windows, and promotion gates.
+type Predicate struct {
+	src string
+	e   expr
+}
+
+// ParsePredicate compiles a bare boolean expression (the part after
+// WHERE), e.g. `intent=billing AND age<1h`.
+func ParsePredicate(src string) (*Predicate, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.k != tEOF {
+		return nil, fmt.Errorf("sliceql: trailing input %q", t.s)
+	}
+	return &Predicate{src: src, e: e}, nil
+}
+
+// Match evaluates the predicate against one flat event; now anchors the
+// special "age" field.
+func (p *Predicate) Match(ev map[string]any, now time.Time) bool {
+	return p.e.eval(row{m: ev, now: now})
+}
+
+// String returns the source expression the predicate was compiled from.
+func (p *Predicate) String() string { return p.src }
+
+// --- SELECT statement ---
+
+// selKind discriminates SELECT-list items.
+type selKind uint8
+
+const (
+	selStar selKind = iota
+	selField
+	selAgg
+)
+
+// selItem is one SELECT-list entry: `*`, a field, or an aggregate call.
+type selItem struct {
+	kind   selKind
+	field  string  // field name, or aggregate argument
+	fn     string  // COUNT, SUM, AVG, MIN, MAX, RATIO, PCT
+	field2 string  // RATIO denominator
+	pct    float64 // PCT quantile in [0,1]
+	alias  string
+}
+
+// column names the output column: the AS alias or a canonical rendering.
+func (it selItem) column() string {
+	if it.alias != "" {
+		return it.alias
+	}
+	switch it.kind {
+	case selStar:
+		return "event"
+	case selField:
+		return it.field
+	}
+	switch it.fn {
+	case "COUNT":
+		if it.field == "" {
+			return "count"
+		}
+		return "count(" + it.field + ")"
+	case "RATIO":
+		return "ratio(" + it.field + "," + it.field2 + ")"
+	case "PCT":
+		return fmt.Sprintf("p%g(%s)", it.pct*100, it.field)
+	default:
+		return strings.ToLower(it.fn) + "(" + it.field + ")"
+	}
+}
+
+// Query is one parsed sliceql statement:
+//
+//	SELECT <'*' | item[, item...]> FROM <stream>
+//	  [WHERE <expr>] [GROUP BY f[, f...]] [SINCE <dur>] [LIMIT <n>]
+//
+// Items are fields or aggregates: COUNT(*), COUNT(f), SUM(f), AVG(f),
+// MIN(f), MAX(f), P<nn>(f) (ceil nearest-rank percentile), and
+// RATIO(a,b) = SUM(a)/SUM(b) — agreement is RATIO(agree,units). SINCE d
+// is sugar for WHERE age <= d. Any aggregate in the list makes the whole
+// query aggregating; plain fields are then only legal when they appear
+// in GROUP BY.
+type Query struct {
+	Stream  string
+	items   []selItem
+	where   expr
+	groupBy []string
+	Since   time.Duration
+	Limit   int
+}
+
+// Parse compiles one sliceql statement.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := parser{toks: toks}
+	q := &Query{}
+	if !p.keyword("SELECT") {
+		return nil, fmt.Errorf("sliceql: query must start with SELECT")
+	}
+	for {
+		it, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.items = append(q.items, it)
+		if !p.punct(",") {
+			break
+		}
+	}
+	if !p.keyword("FROM") {
+		return nil, fmt.Errorf("sliceql: expected FROM, got %q", p.peek().s)
+	}
+	if q.Stream, err = p.expectIdent("stream name"); err != nil {
+		return nil, err
+	}
+	if p.keyword("WHERE") {
+		if q.where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("GROUP") {
+		if !p.keyword("BY") {
+			return nil, fmt.Errorf("sliceql: GROUP must be followed by BY")
+		}
+		for {
+			f, err := p.expectIdent("group field")
+			if err != nil {
+				return nil, err
+			}
+			q.groupBy = append(q.groupBy, f)
+			if !p.punct(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("SINCE") {
+		t := p.next()
+		if t.k != tDur {
+			return nil, fmt.Errorf("sliceql: SINCE needs a duration, got %q", t.s)
+		}
+		q.Since = t.d
+	}
+	if p.keyword("LIMIT") {
+		t := p.next()
+		if t.k != tNum || t.f < 0 || t.f != float64(int(t.f)) {
+			return nil, fmt.Errorf("sliceql: LIMIT needs a non-negative integer, got %q", t.s)
+		}
+		q.Limit = int(t.f)
+	}
+	if t := p.peek(); t.k != tEOF {
+		return nil, fmt.Errorf("sliceql: trailing input %q", t.s)
+	}
+	return q, q.check()
+}
+
+// parseSelectItem reads `*`, a field, or an aggregate call, each with an
+// optional AS alias.
+func (p *parser) parseSelectItem() (selItem, error) {
+	if p.punct("*") {
+		return selItem{kind: selStar}, nil
+	}
+	name, err := p.expectIdent("select item")
+	if err != nil {
+		return selItem{}, err
+	}
+	if isReserved(name) {
+		return selItem{}, fmt.Errorf("sliceql: unexpected keyword %q in SELECT list", name)
+	}
+	it := selItem{kind: selField, field: name}
+	if p.punct("(") {
+		it, err = p.parseAggregate(name)
+		if err != nil {
+			return selItem{}, err
+		}
+	}
+	if p.keyword("AS") {
+		if it.alias, err = p.expectIdent("alias"); err != nil {
+			return selItem{}, err
+		}
+	}
+	return it, nil
+}
+
+// parseAggregate reads the argument list of fn( ... ).
+func (p *parser) parseAggregate(fn string) (selItem, error) {
+	it := selItem{kind: selAgg, fn: strings.ToUpper(fn)}
+	switch it.fn {
+	case "COUNT":
+		if !p.punct("*") {
+			f, err := p.expectIdent("COUNT argument")
+			if err != nil {
+				return selItem{}, err
+			}
+			it.field = f
+		}
+	case "SUM", "AVG", "MIN", "MAX":
+		f, err := p.expectIdent(it.fn + " argument")
+		if err != nil {
+			return selItem{}, err
+		}
+		it.field = f
+	case "RATIO":
+		a, err := p.expectIdent("RATIO numerator")
+		if err != nil {
+			return selItem{}, err
+		}
+		if !p.punct(",") {
+			return selItem{}, fmt.Errorf("sliceql: RATIO needs two arguments")
+		}
+		b, err := p.expectIdent("RATIO denominator")
+		if err != nil {
+			return selItem{}, err
+		}
+		it.field, it.field2 = a, b
+	default:
+		// P50, P95, P99.9 ... — quantile aggregates.
+		if len(it.fn) > 1 && it.fn[0] == 'P' {
+			q, err := strconv.ParseFloat(it.fn[1:], 64)
+			if err == nil && q >= 0 && q <= 100 {
+				f, ferr := p.expectIdent("percentile argument")
+				if ferr != nil {
+					return selItem{}, ferr
+				}
+				it.fn, it.pct, it.field = "PCT", q/100, f
+				break
+			}
+		}
+		return selItem{}, fmt.Errorf("sliceql: unknown aggregate %q", fn)
+	}
+	if !p.punct(")") {
+		return selItem{}, fmt.Errorf("sliceql: missing ')' after %s", fn)
+	}
+	return it, nil
+}
+
+// check enforces the aggregate/projection split.
+func (q *Query) check() error {
+	agg := false
+	for _, it := range q.items {
+		if it.kind == selAgg {
+			agg = true
+		}
+	}
+	if !agg && len(q.groupBy) > 0 {
+		return fmt.Errorf("sliceql: GROUP BY needs at least one aggregate in the SELECT list")
+	}
+	if agg {
+		inGroup := map[string]bool{}
+		for _, g := range q.groupBy {
+			inGroup[g] = true
+		}
+		for _, it := range q.items {
+			if it.kind == selStar {
+				return fmt.Errorf("sliceql: '*' cannot be mixed with aggregates")
+			}
+			if it.kind == selField && !inGroup[it.field] {
+				return fmt.Errorf("sliceql: field %q must appear in GROUP BY", it.field)
+			}
+		}
+	}
+	return nil
+}

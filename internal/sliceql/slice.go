@@ -1,0 +1,193 @@
+package sliceql
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SliceDef is one declarative slice: a name and a predicate over
+// telemetry events, e.g. {Name: "billing", Expr: "intent=billing AND
+// age<1h"}. Slices are attached to a deployment, aggregated live into
+// /stats, and referenced by name from deploy.Policy slice gates.
+type SliceDef struct {
+	Name string `json:"name"`
+	Expr string `json:"expr"`
+}
+
+// Slice is a compiled SliceDef.
+type Slice struct {
+	// Name is the slice's reference name.
+	Name string
+	// Pred is the compiled predicate.
+	Pred *Predicate
+}
+
+// CompileSlice compiles one definition.
+func CompileSlice(def SliceDef) (*Slice, error) {
+	if def.Name == "" {
+		return nil, fmt.Errorf("sliceql: slice needs a name")
+	}
+	p, err := ParsePredicate(def.Expr)
+	if err != nil {
+		return nil, fmt.Errorf("sliceql: slice %q: %w", def.Name, err)
+	}
+	return &Slice{Name: def.Name, Pred: p}, nil
+}
+
+// CompileSlices compiles a definition list, rejecting duplicate names.
+func CompileSlices(defs []SliceDef) ([]*Slice, error) {
+	seen := map[string]bool{}
+	out := make([]*Slice, 0, len(defs))
+	for _, def := range defs {
+		if seen[def.Name] {
+			return nil, fmt.Errorf("sliceql: duplicate slice %q", def.Name)
+		}
+		seen[def.Name] = true
+		s, err := CompileSlice(def)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Window is a bounded in-memory ring of recent flat telemetry events —
+// the live half of the slice plane. The serving path Observes the same
+// events it emits to the telemetry logger; Report aggregates a slice
+// over the retained window without touching disk, which is what /stats
+// and the promotion-gate evaluation read. Overwrite-oldest: the window
+// is a recency bound, not a durability promise (the JSONL streams are).
+type Window struct {
+	mu  sync.Mutex
+	buf []map[string]any
+	pos int
+	n   int
+}
+
+// DefaultWindowEvents is the default Window capacity.
+const DefaultWindowEvents = 8192
+
+// NewWindow returns a window retaining up to capacity events
+// (DefaultWindowEvents when capacity <= 0).
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		capacity = DefaultWindowEvents
+	}
+	return &Window{buf: make([]map[string]any, capacity)}
+}
+
+// Observe appends one flat event, evicting the oldest when full.
+func (w *Window) Observe(ev map[string]any) {
+	w.mu.Lock()
+	w.buf[w.pos] = ev
+	w.pos = (w.pos + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// Snapshot copies the retained events, oldest first.
+func (w *Window) Snapshot() []map[string]any {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]map[string]any, 0, w.n)
+	start := w.pos - w.n
+	if start < 0 {
+		start += len(w.buf)
+	}
+	for i := 0; i < w.n; i++ {
+		out = append(out, w.buf[(start+i)%len(w.buf)])
+	}
+	return out
+}
+
+// Len reports how many events the window retains right now.
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// SliceReport is one slice's live aggregates over a window: serving
+// health from "predict" events and shadow agreement from "shadow"
+// events, the numbers a slice gate judges.
+type SliceReport struct {
+	// Expr echoes the slice predicate.
+	Expr string `json:"expr"`
+	// Matched counts window events the predicate selected (any stream).
+	Matched int64 `json:"matched"`
+	// Predicts / Errors / ErrorRate cover the slice's served traffic.
+	Predicts  int64   `json:"predicts"`
+	Errors    int64   `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+	// P50Millis / P95Millis are ceil nearest-rank latency percentiles
+	// over the slice's served requests.
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	// Mirrored counts shadow comparison units attributed to the slice;
+	// Agreement = AgreeUnits/Units. MissingUnits are units charged for
+	// tasks the shadow failed to emit (full disagreement).
+	Units        float64 `json:"units"`
+	AgreeUnits   float64 `json:"agree_units"`
+	Agreement    float64 `json:"agreement"`
+	MissingUnits float64 `json:"missing_units,omitempty"`
+	// ShadowErrors counts mirrored requests the shadow failed outright.
+	ShadowErrors int64 `json:"shadow_errors,omitempty"`
+}
+
+// ReportSlice aggregates one slice over a set of flat events (as
+// returned by Window.Snapshot). now anchors "age" in the predicate.
+// shadowFilter, when non-nil, further restricts which shadow events are
+// credited — the gate evaluation uses it to count only the current
+// shadow version's comparisons.
+func ReportSlice(events []map[string]any, s *Slice, now time.Time, shadowFilter func(map[string]any) bool) SliceReport {
+	rep := SliceReport{Expr: s.Pred.String()}
+	var lat []float64
+	for _, ev := range events {
+		if ev == nil || !s.Pred.Match(ev, now) {
+			continue
+		}
+		rep.Matched++
+		r := row{m: ev, now: now}
+		switch stream, _ := ev["stream"].(string); stream {
+		case "predict":
+			rep.Predicts++
+			if f, ok := resolveField(r, "err").num(); ok && f != 0 {
+				rep.Errors++
+			}
+			if f, ok := resolveField(r, "latency_ms").num(); ok {
+				lat = append(lat, f)
+			}
+		case "shadow":
+			if shadowFilter != nil && !shadowFilter(ev) {
+				continue
+			}
+			if f, ok := resolveField(r, "err").num(); ok && f != 0 {
+				rep.ShadowErrors++
+				continue
+			}
+			units, _ := resolveField(r, "units").num()
+			agree, _ := resolveField(r, "agree").num()
+			missing, _ := resolveField(r, "missing").num()
+			rep.Units += units
+			rep.AgreeUnits += agree
+			rep.MissingUnits += missing
+		}
+	}
+	if rep.Predicts > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Predicts)
+	}
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		rep.P50Millis = Percentile(lat, 0.50)
+		rep.P95Millis = Percentile(lat, 0.95)
+	}
+	if rep.Units > 0 {
+		rep.Agreement = rep.AgreeUnits / rep.Units
+	}
+	return rep
+}

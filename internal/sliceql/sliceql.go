@@ -1,0 +1,398 @@
+// Package sliceql is the slice query engine over the telemetry plane: a
+// small SQL dialect (SELECT / WHERE / GROUP BY / aggregates / SINCE /
+// LIMIT) evaluated by streaming the rotated JSONL files the telemetry
+// logger writes. It is what turns Overton-style *slices* — named
+// predicates such as `intent=billing AND age<1h` — into queryable
+// aggregates (agreement, error rate, latency percentiles) and, via
+// deploy.Policy slice gates, into promotion holds.
+//
+// Two properties are load-bearing. First, per-line error isolation: a
+// line that fails to decode (a torn tail left by a crash, a line being
+// appended concurrently) is counted in Result.Malformed and skipped, so
+// queries run safely against files under live write. Second, the engine
+// holds only aggregate state (plus bounded percentile samples), so a
+// query's memory cost is independent of how much telemetry is on disk.
+//
+// Entry points: Parse + Query.Run for programmatic use over any Source,
+// QueryDir for the common directory case (POST /v1/query, `overton
+// query`), and ParsePredicate + Window/ReportSlice for the in-memory
+// live-slice windows embedded in /stats.
+package sliceql
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Result is one query's output table plus scan accounting.
+type Result struct {
+	// Columns names the output columns, in SELECT-list order (group
+	// fields keep their position).
+	Columns []string `json:"columns"`
+	// Rows are the output rows, aligned with Columns. Aggregate rows are
+	// sorted by their group-by key columns.
+	Rows [][]any `json:"rows"`
+	// Scanned counts lines read; Matched counts lines that passed the
+	// WHERE and SINCE filters; Malformed counts undecodable lines that
+	// were isolated and skipped (torn tails, concurrent appends).
+	Scanned   int64 `json:"scanned"`
+	Matched   int64 `json:"matched"`
+	Malformed int64 `json:"malformed,omitempty"`
+	// Files counts stream files scanned.
+	Files int `json:"files"`
+	// Limited reports that LIMIT truncated the output.
+	Limited bool `json:"limited,omitempty"`
+}
+
+// Source feeds raw JSONL lines of one stream to the engine, oldest
+// first. fn returning an error stops the scan and propagates it.
+type Source interface {
+	Scan(stream string, fn func(line []byte) error) (files int, err error)
+}
+
+// DirSource scans a telemetry directory written by telemetry.Logger:
+// every live file of the stream, in rotation order.
+type DirSource struct {
+	// Dir is the telemetry directory.
+	Dir string
+}
+
+// Scan streams every line of the stream's rotated files to fn.
+func (s DirSource) Scan(stream string, fn func(line []byte) error) (int, error) {
+	names, err := telemetry.StreamFiles(s.Dir, stream)
+	if err != nil {
+		return 0, err
+	}
+	for i, name := range names {
+		f, err := os.Open(filepath.Join(s.Dir, name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // rotated away between listing and open
+			}
+			return i, fmt.Errorf("sliceql: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		for sc.Scan() {
+			if err := fn(sc.Bytes()); err != nil {
+				f.Close()
+				return i + 1, err
+			}
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return i + 1, fmt.Errorf("sliceql: %s: %w", name, err)
+		}
+	}
+	return len(names), nil
+}
+
+// errLimit stops a projection scan once LIMIT rows are collected.
+var errLimit = errors.New("sliceql: limit reached")
+
+// defaultProjectionLimit bounds `SELECT *`-style queries that name no
+// LIMIT, keeping responses finite over large telemetry directories.
+const defaultProjectionLimit = 1000
+
+// QueryDir parses and runs one statement against a telemetry directory.
+// now anchors SINCE and the "age" field (pass time.Now() outside tests).
+func QueryDir(dir, statement string, now time.Time) (*Result, error) {
+	q, err := Parse(statement)
+	if err != nil {
+		return nil, err
+	}
+	return q.Run(DirSource{Dir: dir}, now)
+}
+
+// Run executes the query against a source. Malformed lines are isolated
+// and counted, never fatal.
+func (q *Query) Run(src Source, now time.Time) (*Result, error) {
+	ex := newExec(q, now)
+	files, err := src.Scan(q.Stream, ex.line)
+	if err != nil && !errors.Is(err, errLimit) {
+		return nil, err
+	}
+	res := ex.finish()
+	res.Files = files
+	return res, nil
+}
+
+// exec is the per-run engine state.
+type exec struct {
+	q   *Query
+	now time.Time
+	res *Result
+
+	aggregate bool
+	groups    map[string]*group
+	order     []string
+}
+
+// group is one GROUP BY bucket's accumulators.
+type group struct {
+	keys []value
+	aggs []*accum
+}
+
+func newExec(q *Query, now time.Time) *exec {
+	ex := &exec{q: q, now: now, res: &Result{}, groups: map[string]*group{}}
+	for _, it := range q.items {
+		ex.res.Columns = append(ex.res.Columns, it.column())
+		if it.kind == selAgg {
+			ex.aggregate = true
+		}
+	}
+	return ex
+}
+
+// line processes one raw JSONL line: decode (isolating failures),
+// filter, then aggregate or project.
+func (ex *exec) line(raw []byte) error {
+	ex.res.Scanned++
+	if len(raw) == 0 {
+		return nil
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		ex.res.Malformed++
+		return nil
+	}
+	r := row{m: m, now: ex.now}
+	if ex.q.Since > 0 {
+		t, ok := r.eventTime()
+		if !ok || ex.now.Sub(t) > ex.q.Since {
+			return nil
+		}
+	}
+	if ex.q.where != nil && !ex.q.where.eval(r) {
+		return nil
+	}
+	ex.res.Matched++
+	if ex.aggregate {
+		ex.observe(r)
+		return nil
+	}
+	return ex.project(r)
+}
+
+// project emits one raw row for a non-aggregating query.
+func (ex *exec) project(r row) error {
+	limit := ex.q.Limit
+	if limit == 0 {
+		limit = defaultProjectionLimit
+	}
+	out := make([]any, len(ex.q.items))
+	for i, it := range ex.q.items {
+		if it.kind == selStar {
+			out[i] = r.m
+		} else {
+			out[i] = resolveField(r, it.field).display()
+		}
+	}
+	ex.res.Rows = append(ex.res.Rows, out)
+	if len(ex.res.Rows) >= limit {
+		ex.res.Limited = true
+		return errLimit
+	}
+	return nil
+}
+
+// observe routes one matching row into its group's accumulators.
+func (ex *exec) observe(r row) {
+	keys := make([]value, len(ex.q.groupBy))
+	var kb []byte
+	for i, f := range ex.q.groupBy {
+		keys[i] = resolveField(r, f)
+		kb = append(kb, fmt.Sprintf("%v\x00", keys[i].display())...)
+	}
+	g, ok := ex.groups[string(kb)]
+	if !ok {
+		g = &group{keys: keys}
+		for _, it := range ex.q.items {
+			g.aggs = append(g.aggs, newAccum(it))
+		}
+		ex.groups[string(kb)] = g
+		ex.order = append(ex.order, string(kb))
+	}
+	for _, a := range g.aggs {
+		a.observe(r)
+	}
+}
+
+// finish materialises the result table (sorting aggregate rows by their
+// group keys) and applies LIMIT to aggregate output.
+func (ex *exec) finish() *Result {
+	if !ex.aggregate {
+		return ex.res
+	}
+	if len(ex.q.groupBy) == 0 && len(ex.groups) == 0 {
+		// Global aggregate over an empty match set still yields one row.
+		g := &group{}
+		for _, it := range ex.q.items {
+			g.aggs = append(g.aggs, newAccum(it))
+		}
+		ex.groups[""] = g
+		ex.order = append(ex.order, "")
+	}
+	keys := ex.order
+	sort.Slice(keys, func(i, j int) bool {
+		return groupLess(ex.groups[keys[i]].keys, ex.groups[keys[j]].keys)
+	})
+	for _, k := range keys {
+		g := ex.groups[k]
+		out := make([]any, len(ex.q.items))
+		gi := map[string]int{}
+		for i, f := range ex.q.groupBy {
+			gi[f] = i
+		}
+		for i, it := range ex.q.items {
+			if it.kind == selField {
+				out[i] = g.keys[gi[it.field]].display()
+			} else {
+				out[i] = g.aggs[i].result()
+			}
+		}
+		ex.res.Rows = append(ex.res.Rows, out)
+		if ex.q.Limit > 0 && len(ex.res.Rows) >= ex.q.Limit && len(keys) > len(ex.res.Rows) {
+			ex.res.Limited = true
+			break
+		}
+	}
+	return ex.res
+}
+
+// groupLess orders group keys column by column, numerically when both
+// sides are numeric, lexicographically otherwise.
+func groupLess(a, b []value) bool {
+	for i := range a {
+		af, aok := a[i].num()
+		bf, bok := b[i].num()
+		if aok && bok && a[i].k == kNum && b[i].k == kNum {
+			if af != bf {
+				return af < bf
+			}
+			continue
+		}
+		as, bs := fmt.Sprintf("%v", a[i].display()), fmt.Sprintf("%v", b[i].display())
+		if as != bs {
+			return as < bs
+		}
+	}
+	return false
+}
+
+// maxPercentileSamples bounds the memory one P<nn> aggregate holds; past
+// it new samples are dropped (the result is then approximate over the
+// first N matches, which keeps query memory finite by design).
+const maxPercentileSamples = 1 << 17
+
+// accum is one aggregate's running state.
+type accum struct {
+	it      selItem
+	n       float64
+	sum     float64
+	sum2    float64 // RATIO denominator
+	min     float64
+	max     float64
+	samples []float64
+}
+
+func newAccum(it selItem) *accum {
+	return &accum{it: it, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+func (a *accum) observe(r row) {
+	switch a.it.fn {
+	case "COUNT":
+		if a.it.field == "" || resolveField(r, a.it.field).k != kNull {
+			a.n++
+		}
+	case "RATIO":
+		if f, ok := resolveField(r, a.it.field).num(); ok {
+			a.sum += f
+		}
+		if f, ok := resolveField(r, a.it.field2).num(); ok {
+			a.sum2 += f
+		}
+	default:
+		f, ok := resolveField(r, a.it.field).num()
+		if !ok {
+			return
+		}
+		a.n++
+		a.sum += f
+		if f < a.min {
+			a.min = f
+		}
+		if f > a.max {
+			a.max = f
+		}
+		if a.it.fn == "PCT" && len(a.samples) < maxPercentileSamples {
+			a.samples = append(a.samples, f)
+		}
+	}
+}
+
+func (a *accum) result() any {
+	switch a.it.fn {
+	case "COUNT":
+		return a.n
+	case "SUM":
+		return a.sum
+	case "AVG":
+		if a.n == 0 {
+			return nil
+		}
+		return a.sum / a.n
+	case "MIN":
+		if a.n == 0 {
+			return nil
+		}
+		return a.min
+	case "MAX":
+		if a.n == 0 {
+			return nil
+		}
+		return a.max
+	case "RATIO":
+		if a.sum2 == 0 {
+			return nil
+		}
+		return a.sum / a.sum2
+	case "PCT":
+		if len(a.samples) == 0 {
+			return nil
+		}
+		sort.Float64s(a.samples)
+		return Percentile(a.samples, a.it.pct)
+	}
+	return nil
+}
+
+// Percentile is the ceil-based nearest-rank quantile over a sorted,
+// non-empty sample set: the smallest sample such that at least p of the
+// set is at or below it. Matches the serving-plane latency percentiles.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}

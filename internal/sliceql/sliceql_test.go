@@ -1,0 +1,319 @@
+package sliceql
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// testNow anchors SINCE and "age" for the golden testdata: the newest
+// predict event is 10 minutes old, the oldest 90 minutes.
+var testNow = time.UnixMilli(1_700_007_200_000)
+
+const testDir = "testdata/telemetry"
+
+// TestQueryGolden runs statements against the checked-in telemetry
+// directory (two rotated predict files — one holding a malformed line
+// and a torn tail — plus a shadow file) and pins the full results.
+func TestQueryGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		q    string
+		cols []string
+		rows [][]any
+		// scanned/matched/malformed pin the scan accounting.
+		scanned, matched, malformed int64
+		limited                     bool
+	}{
+		{
+			name:    "count all",
+			q:       "SELECT COUNT(*) FROM predict",
+			cols:    []string{"count"},
+			rows:    [][]any{{5.0}},
+			scanned: 7, matched: 5, malformed: 2,
+		},
+		{
+			name:    "tag predicate with aggregates",
+			q:       "SELECT COUNT(*), AVG(latency_ms), P95(latency_ms) FROM predict WHERE intent=billing",
+			cols:    []string{"count", "avg(latency_ms)", "p95(latency_ms)"},
+			rows:    [][]any{{4.0, 32.5, 50.0}},
+			scanned: 7, matched: 4, malformed: 2,
+		},
+		{
+			name:    "group by dep",
+			q:       "SELECT dep, COUNT(*), MAX(latency_ms) FROM predict GROUP BY dep",
+			cols:    []string{"dep", "count", "max(latency_ms)"},
+			rows:    [][]any{{"factoid", 4.0, 50.0}, {"qa", 1.0, 30.0}},
+			scanned: 7, matched: 5, malformed: 2,
+		},
+		{
+			name:    "since window",
+			q:       "SELECT COUNT(*) FROM predict SINCE 1h",
+			cols:    []string{"count"},
+			rows:    [][]any{{2.0}},
+			scanned: 7, matched: 2, malformed: 2,
+		},
+		{
+			name:    "age predicate equals since",
+			q:       "SELECT COUNT(*) FROM predict WHERE age <= 1h",
+			cols:    []string{"count"},
+			rows:    [][]any{{2.0}},
+			scanned: 7, matched: 2, malformed: 2,
+		},
+		{
+			name:    "agreement ratio on a slice",
+			q:       "SELECT RATIO(agree,units) AS agreement FROM shadow WHERE intent=billing AND err=0",
+			cols:    []string{"agreement"},
+			rows:    [][]any{{0.75}},
+			scanned: 3, matched: 1,
+		},
+		{
+			name: "projection with limit",
+			q:    "SELECT latency_ms FROM predict WHERE vip LIMIT 1",
+			cols: []string{"latency_ms"},
+			rows: [][]any{{30.0}},
+			// LIMIT stops the scan inside file 1, before the malformed
+			// lines in file 2 are ever read.
+			scanned: 3, matched: 1, malformed: 0,
+			limited: true,
+		},
+		{
+			name:    "not and grouping parens",
+			q:       "SELECT COUNT(*) FROM predict WHERE NOT (intent=billing)",
+			cols:    []string{"count"},
+			rows:    [][]any{{1.0}},
+			scanned: 7, matched: 1, malformed: 2,
+		},
+		{
+			name:    "error rate ratio",
+			q:       "SELECT RATIO(err,one) FROM predict WHERE intent=billing",
+			cols:    []string{"ratio(err,one)"},
+			rows:    [][]any{{nil}}, // no "one" field: denominator 0 -> null
+			scanned: 7, matched: 4, malformed: 2,
+		},
+		{
+			name:    "empty match still yields one aggregate row",
+			q:       "SELECT COUNT(*), AVG(latency_ms) FROM predict WHERE intent=nope",
+			cols:    []string{"count", "avg(latency_ms)"},
+			rows:    [][]any{{0.0, nil}},
+			scanned: 7, matched: 0, malformed: 2,
+		},
+		{
+			name:    "missing stream scans nothing",
+			q:       "SELECT COUNT(*) FROM nosuch",
+			cols:    []string{"count"},
+			rows:    [][]any{{0.0}},
+			scanned: 0, matched: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := QueryDir(testDir, tc.q, testNow)
+			if err != nil {
+				t.Fatalf("QueryDir(%q): %v", tc.q, err)
+			}
+			if !reflect.DeepEqual(res.Columns, tc.cols) {
+				t.Errorf("columns = %v, want %v", res.Columns, tc.cols)
+			}
+			if !reflect.DeepEqual(res.Rows, tc.rows) {
+				t.Errorf("rows = %v, want %v", res.Rows, tc.rows)
+			}
+			if res.Scanned != tc.scanned || res.Matched != tc.matched || res.Malformed != tc.malformed {
+				t.Errorf("scan accounting = (%d,%d,%d), want (%d,%d,%d)",
+					res.Scanned, res.Matched, res.Malformed, tc.scanned, tc.matched, tc.malformed)
+			}
+			if res.Limited != tc.limited {
+				t.Errorf("limited = %v, want %v", res.Limited, tc.limited)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"COUNT(*) FROM predict",
+		"SELECT COUNT(*)",
+		"SELECT dep FROM predict GROUP BY dep",           // GROUP BY without aggregate
+		"SELECT dep, COUNT(*) FROM predict",              // plain field not in GROUP BY
+		"SELECT *, COUNT(*) FROM predict",                // * mixed with aggregates
+		"SELECT FROB(x) FROM predict",                    // unknown aggregate
+		"SELECT COUNT(*) FROM predict WHERE a ! b",       // stray '!'
+		"SELECT COUNT(*) FROM predict WHERE a = 'open",   // unterminated string
+		"SELECT COUNT(*) FROM predict SINCE 12",          // SINCE wants a duration
+		"SELECT COUNT(*) FROM predict LIMIT 1.5",         // fractional LIMIT
+		"SELECT COUNT(*) FROM predict trailing",          // trailing input
+		"SELECT RATIO(a) FROM predict",                   // RATIO arity
+		"SELECT COUNT(*) FROM predict WHERE (a=1 OR b=2", // missing ')'
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) = nil error, want failure", q)
+		}
+	}
+}
+
+func TestPredicateSemantics(t *testing.T) {
+	now := time.UnixMilli(3_600_000) // 1h after epoch
+	ev := map[string]any{
+		"ts":         int64(3_000_000), // 10m old
+		"stream":     "predict",
+		"dep":        "factoid",
+		"tags":       []string{"intent=billing", "vip"},
+		"latency_ms": 42.0,
+		"err":        0,
+		"task.Kind":  "faq",
+	}
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"intent=billing", true},
+		{"intent=support", false},
+		{"tag.intent=billing", true},
+		{"vip", true},          // bare tag -> true
+		{"tag.vip=TRUE", true}, // explicit bool compare
+		{"halo", false},        // absent tag
+		{"latency_ms>40", true},
+		{"latency_ms>=42", true},
+		{"latency_ms<42", false},
+		{"latency_ms!=42", false},
+		{"err=0", true},
+		{"missing_field=0", false}, // null never matches
+		{"missing_field!=0", false},
+		{"age<1h", true},
+		{"age<5m", false},
+		{"age>=10m", true},
+		{"task.Kind=faq", true},
+		{"dep='factoid'", true},
+		{"intent=billing AND vip", true},
+		{"intent=support OR vip", true},
+		{"NOT vip", false},
+		{"intent=billing AND NOT (err=1 OR latency_ms>100)", true},
+	}
+	for _, tc := range cases {
+		p, err := ParsePredicate(tc.expr)
+		if err != nil {
+			t.Fatalf("ParsePredicate(%q): %v", tc.expr, err)
+		}
+		if got := p.Match(ev, now); got != tc.want {
+			t.Errorf("Match(%q) = %v, want %v", tc.expr, got, tc.want)
+		}
+		if p.String() != tc.expr {
+			t.Errorf("String() = %q, want %q", p.String(), tc.expr)
+		}
+	}
+}
+
+func TestPercentileCeilNearestRank(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single p0", []float64{7.5}, 0, 7.5},
+		{"single p50", []float64{7.5}, 0.5, 7.5},
+		{"single p100", []float64{7.5}, 1, 7.5},
+		{"two p50 is first", []float64{1, 2}, 0.5, 1},
+		{"two p51 is second", []float64{1, 2}, 0.51, 2},
+		{"ten p50", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.5, 5},
+		{"ten p90", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.9, 9},
+		{"ten p95 rounds up", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.95, 10},
+		{"ten p99", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.99, 10},
+		{"ten p100", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 1, 10},
+	}
+	for _, tc := range cases {
+		if got := Percentile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(p=%g) = %g, want %g", tc.name, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestCompileSlices(t *testing.T) {
+	defs := []SliceDef{
+		{Name: "billing", Expr: "intent=billing"},
+		{Name: "slow", Expr: "latency_ms>100"},
+	}
+	slices, err := CompileSlices(defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slices) != 2 || slices[0].Name != "billing" {
+		t.Fatalf("compiled = %+v", slices)
+	}
+	if _, err := CompileSlices([]SliceDef{{Name: "a", Expr: "x=1"}, {Name: "a", Expr: "y=2"}}); err == nil {
+		t.Error("duplicate slice name accepted")
+	}
+	if _, err := CompileSlices([]SliceDef{{Name: "", Expr: "x=1"}}); err == nil {
+		t.Error("unnamed slice accepted")
+	}
+	if _, err := CompileSlices([]SliceDef{{Name: "bad", Expr: "x ="}}); err == nil {
+		t.Error("unparseable slice accepted")
+	}
+}
+
+func TestWindowOverwritesOldest(t *testing.T) {
+	w := NewWindow(4)
+	for i := 0; i < 6; i++ {
+		w.Observe(map[string]any{"i": i})
+	}
+	if w.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", w.Len())
+	}
+	snap := w.Snapshot()
+	for j, ev := range snap {
+		if want := j + 2; ev["i"] != want {
+			t.Errorf("snapshot[%d] = %v, want i=%d (oldest-first, oldest two evicted)", j, ev, want)
+		}
+	}
+}
+
+func TestReportSlice(t *testing.T) {
+	now := time.UnixMilli(1_000_000)
+	mk := func(stream string, extra map[string]any) map[string]any {
+		m := map[string]any{"ts": int64(900_000), "stream": stream, "tags": []string{"intent=billing"}}
+		for k, v := range extra {
+			m[k] = v
+		}
+		return m
+	}
+	events := []map[string]any{
+		mk("predict", map[string]any{"latency_ms": 10.0, "err": 0}),
+		mk("predict", map[string]any{"latency_ms": 30.0, "err": 1}),
+		nil, // unfilled window slot
+		{"ts": int64(900_000), "stream": "predict", "tags": []string{"intent=support"}, "latency_ms": 99.0, "err": 0},
+		mk("shadow", map[string]any{"agree": 3.0, "units": 4.0, "missing": 0.0, "err": 0, "shadow_version": 2}),
+		mk("shadow", map[string]any{"agree": 0.0, "units": 2.0, "missing": 2.0, "err": 0, "shadow_version": 2}),
+		mk("shadow", map[string]any{"agree": 5.0, "units": 5.0, "missing": 0.0, "err": 0, "shadow_version": 1}), // stale shadow
+		mk("shadow", map[string]any{"err": 1, "shadow_version": 2}),
+	}
+	s, err := CompileSlice(SliceDef{Name: "billing", Expr: "intent=billing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	currentShadow := func(ev map[string]any) bool {
+		v, _ := ev["shadow_version"].(int)
+		return v == 2
+	}
+	rep := ReportSlice(events, s, now, currentShadow)
+	if rep.Predicts != 2 || rep.Errors != 1 || rep.ErrorRate != 0.5 {
+		t.Errorf("predict side = %+v", rep)
+	}
+	if rep.P50Millis != 10 || rep.P95Millis != 30 {
+		t.Errorf("latency percentiles = p50 %g p95 %g", rep.P50Millis, rep.P95Millis)
+	}
+	if rep.Units != 6 || rep.AgreeUnits != 3 || rep.Agreement != 0.5 {
+		t.Errorf("agreement side = %+v", rep)
+	}
+	if rep.MissingUnits != 2 || rep.ShadowErrors != 1 {
+		t.Errorf("missing/shadow errors = %+v", rep)
+	}
+	// Without a filter the stale shadow's perfect agreement would inflate
+	// the rate — pin that the filter is what excluded it.
+	unfiltered := ReportSlice(events, s, now, nil)
+	if unfiltered.Units != 11 || unfiltered.AgreeUnits != 8 {
+		t.Errorf("unfiltered = %+v", unfiltered)
+	}
+}

@@ -1,0 +1,520 @@
+// Package telemetry is the structured observability plane behind the
+// fleet: an asynchronous, bounded-buffer JSONL logger that records served
+// traffic, shadow comparisons, admission sheds, and improvement-loop
+// transitions as size-rotated line streams under a telemetry directory —
+// the raw material the sliceql query engine (and any external JSONL
+// tooling) aggregates into fine-grained slices.
+//
+// The emission contract is the serving path's: Emit never blocks and
+// never returns an error. Events queue on a bounded channel consumed by
+// one background writer goroutine; when the queue is full the event is
+// dropped and counted, so a slow or failing disk degrades observability,
+// never Predict latency. Per-stream emitted/written/dropped/error
+// counters are readable at any time via Stats.
+//
+// Layout under the telemetry directory: one file set per stream, named
+// <stream>-<seq>.jsonl with zero-padded sequence numbers, so a plain
+// lexicographic sort is also chronological order. The highest-numbered
+// file is active; when it crosses the rotation threshold the writer
+// starts <seq+1> and deletes the oldest files past the retention bound.
+// Lines are plain JSON (no CRC framing — unlike the fleet journal,
+// telemetry is observability, not state): a torn tail left by a crash is
+// handled twice over, once by the logger, which truncates a partial
+// final line when it reopens a file for append (so new lines never merge
+// into the fragment), and once by the query side, which isolates and
+// counts undecodable lines instead of aborting the scan.
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Canonical stream names the deployment hooks emit into. Emit accepts
+// any well-formed stream name; these are the ones the serving plane
+// produces (and OPERATIONS.md documents).
+const (
+	// StreamPredict records one line per served (or failed-in-model)
+	// predict request: latency, version, error flag, request tags, and
+	// the predicted class per classification task.
+	StreamPredict = "predict"
+	// StreamShadow records one line per (mirrored request, task) shadow
+	// comparison: agreement units, plus request-level shadow errors.
+	StreamShadow = "shadow"
+	// StreamAdmission records one line per shed request with its cause.
+	StreamAdmission = "admission"
+	// StreamLifecycle records improvement-loop transitions (retrain,
+	// promote, rollback) and quarantine trips.
+	StreamLifecycle = "lifecycle"
+)
+
+// Event is one telemetry record. Reserved top-level keys on the wire are
+// "ts" (unix milliseconds), "stream", "dep", and "tags"; Fields are
+// flattened next to them (a field using a reserved name is dropped).
+type Event struct {
+	// TS is the event time; the zero value is stamped at Emit.
+	TS time.Time
+	// Stream selects the file set ("predict", "shadow", ...). Must be
+	// non-empty and contain only [a-z0-9_-]; anything else is dropped
+	// (and counted against the pseudo-stream "invalid").
+	Stream string
+	// Dep is the deployment the event belongs to.
+	Dep string
+	// Tags are the request's free-form tags ("intent=billing", "vip").
+	Tags []string
+	// Fields are the event's measurements and dimensions.
+	Fields map[string]any
+}
+
+// Flat renders the event as the flat map its JSONL line encodes — the
+// shape the sliceql engine evaluates predicates against. Reserved keys
+// win over same-named fields.
+func (e Event) Flat() map[string]any {
+	m := make(map[string]any, len(e.Fields)+4)
+	for k, v := range e.Fields {
+		m[k] = v
+	}
+	m["ts"] = e.TS.UnixMilli()
+	m["stream"] = e.Stream
+	if e.Dep != "" {
+		m["dep"] = e.Dep
+	}
+	if len(e.Tags) > 0 {
+		m["tags"] = e.Tags
+	}
+	return m
+}
+
+// Options tunes a Logger. The zero value uses the defaults noted on each
+// field.
+type Options struct {
+	// RotateBytes is the per-file size threshold that starts a new
+	// sequence file (default 4 MiB).
+	RotateBytes int64
+	// MaxFiles bounds how many files one stream keeps, active included
+	// (default 8); the oldest are deleted past it. Retention is
+	// therefore RotateBytes*MaxFiles bytes per stream, not time.
+	MaxFiles int
+	// BufferDepth is the pending-event queue capacity shared by all
+	// streams (default 1024); events past it are dropped and counted.
+	BufferDepth int
+	// Now is the clock used to stamp events (default time.Now).
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.RotateBytes <= 0 {
+		o.RotateBytes = 4 << 20
+	}
+	if o.MaxFiles <= 0 {
+		o.MaxFiles = 8
+	}
+	if o.BufferDepth <= 0 {
+		o.BufferDepth = 1024
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// StreamStats is one stream's counter snapshot.
+type StreamStats struct {
+	// Emitted counts events accepted onto the queue.
+	Emitted int64 `json:"emitted"`
+	// Written counts lines durably appended to the stream's files.
+	Written int64 `json:"written"`
+	// Dropped counts events discarded because the queue was full (or the
+	// logger was closed) — the price of never blocking the serve path.
+	Dropped int64 `json:"dropped,omitempty"`
+	// WriteErrors counts lines lost to disk errors (the writer logs on,
+	// it never wedges — telemetry is not state).
+	WriteErrors int64 `json:"write_errors,omitempty"`
+	// Rotations counts file rollovers.
+	Rotations int64 `json:"rotations,omitempty"`
+}
+
+// counters is the atomic backing of StreamStats, shared between the
+// emitting goroutines and the writer.
+type counters struct {
+	emitted, written, dropped, writeErrors, rotations atomic.Int64
+}
+
+// stream is the writer-goroutine-owned file state of one stream.
+type stream struct {
+	name  string
+	f     *os.File
+	seq   int
+	size  int64
+	files []string // live file names, oldest first (includes active)
+}
+
+// Logger is the asynchronous JSONL telemetry writer. Safe for concurrent
+// use; Emit is wait-free with respect to the disk.
+type Logger struct {
+	dir string
+	opt Options
+
+	ch      chan Event
+	flushCh chan chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+	closed  atomic.Bool
+	stopOne sync.Once
+
+	streams map[string]*stream // writer-goroutine-owned
+	ctrMu   sync.Mutex
+	ctrs    map[string]*counters
+}
+
+// New opens (creating if needed) a telemetry logger rooted at dir and
+// starts its writer goroutine. Existing stream files are continued —
+// the next line appends after the last intact one; a torn final line
+// left by a crash is truncated away first.
+func New(dir string, opt Options) (*Logger, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	opt = opt.withDefaults()
+	l := &Logger{
+		dir:     dir,
+		opt:     opt,
+		ch:      make(chan Event, opt.BufferDepth),
+		flushCh: make(chan chan struct{}),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		streams: map[string]*stream{},
+		ctrs:    map[string]*counters{},
+	}
+	go l.run()
+	return l, nil
+}
+
+// Dir returns the directory the logger writes under — the root a
+// sliceql DirSource (or POST /v1/query) reads from.
+func (l *Logger) Dir() string { return l.dir }
+
+// counter returns (creating if needed) the named stream's counters.
+func (l *Logger) counter(stream string) *counters {
+	l.ctrMu.Lock()
+	defer l.ctrMu.Unlock()
+	c, ok := l.ctrs[stream]
+	if !ok {
+		c = &counters{}
+		l.ctrs[stream] = c
+	}
+	return c
+}
+
+// validStream reports whether name is a well-formed stream name.
+func validStream(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Emit queues one event for the background writer. It never blocks: a
+// full queue (or a closed logger) drops the event and counts the drop.
+// A zero TS is stamped with the logger's clock here, at emission.
+func (l *Logger) Emit(ev Event) {
+	if !validStream(ev.Stream) {
+		l.counter("invalid").dropped.Add(1)
+		return
+	}
+	c := l.counter(ev.Stream)
+	if l.closed.Load() {
+		c.dropped.Add(1)
+		return
+	}
+	if ev.TS.IsZero() {
+		ev.TS = l.opt.Now()
+	}
+	select {
+	case l.ch <- ev:
+		c.emitted.Add(1)
+	default:
+		c.dropped.Add(1)
+	}
+}
+
+// Flush blocks until every event queued before the call is written and
+// the active files are synced — for tests and for read-your-writes
+// queries; the serve path never calls it. A closed logger flushes as a
+// no-op.
+func (l *Logger) Flush() {
+	ack := make(chan struct{})
+	select {
+	case l.flushCh <- ack:
+		<-ack
+	case <-l.done:
+	}
+}
+
+// Close drains the queue, syncs and closes every stream file, and stops
+// the writer. Emit calls after Close drop (and count). Safe to call
+// more than once.
+func (l *Logger) Close() {
+	l.closed.Store(true)
+	l.stopOne.Do(func() { close(l.stop) })
+	<-l.done
+}
+
+// Stats snapshots every stream's counters.
+func (l *Logger) Stats() map[string]StreamStats {
+	l.ctrMu.Lock()
+	defer l.ctrMu.Unlock()
+	out := make(map[string]StreamStats, len(l.ctrs))
+	for name, c := range l.ctrs {
+		out[name] = StreamStats{
+			Emitted:     c.emitted.Load(),
+			Written:     c.written.Load(),
+			Dropped:     c.dropped.Load(),
+			WriteErrors: c.writeErrors.Load(),
+			Rotations:   c.rotations.Load(),
+		}
+	}
+	return out
+}
+
+// run is the writer goroutine: drain events, serve flush barriers, and
+// on stop drain what is queued before closing the files.
+func (l *Logger) run() {
+	defer close(l.done)
+	for {
+		select {
+		case ev := <-l.ch:
+			l.write(ev)
+		case ack := <-l.flushCh:
+			l.drain()
+			l.syncAll()
+			close(ack)
+		case <-l.stop:
+			l.drain()
+			l.closeAll()
+			return
+		}
+	}
+}
+
+// drain writes everything currently queued without blocking for more.
+func (l *Logger) drain() {
+	for {
+		select {
+		case ev := <-l.ch:
+			l.write(ev)
+		default:
+			return
+		}
+	}
+}
+
+// write appends one event line to its stream, rotating first when the
+// active file is full. Disk failures are counted and skipped — the
+// writer never wedges.
+func (l *Logger) write(ev Event) {
+	c := l.counter(ev.Stream)
+	s, err := l.openStream(ev.Stream)
+	if err != nil {
+		c.writeErrors.Add(1)
+		return
+	}
+	body, err := json.Marshal(ev.Flat())
+	if err != nil {
+		c.writeErrors.Add(1)
+		return
+	}
+	line := append(body, '\n')
+	if s.size > 0 && s.size+int64(len(line)) > l.opt.RotateBytes {
+		if err := l.rotate(s); err != nil {
+			c.writeErrors.Add(1)
+			return
+		}
+		c.rotations.Add(1)
+	}
+	if err := appendLine(s, ev.Stream, line); err != nil {
+		c.writeErrors.Add(1)
+		return
+	}
+	s.size += int64(len(line))
+	c.written.Add(1)
+}
+
+// appendLine writes one line to the stream's active file. The
+// faultinject site "telemetry.append.<stream>" injects disk errors and
+// torn line writes — the torn case leaves exactly the partial tail a
+// crash mid-append leaves, which reopening must truncate and queries
+// must isolate.
+func appendLine(s *stream, name string, line []byte) error {
+	if keep, f := faultinject.Torn("telemetry.append." + name); f != nil {
+		if f.Kind == faultinject.KindTorn {
+			if keep > len(line) {
+				keep = len(line)
+			}
+			_, _ = s.f.Write(line[:keep])
+			_ = s.f.Sync()
+			return f.Error()
+		}
+		return f.Error()
+	}
+	_, err := s.f.Write(line)
+	return err
+}
+
+// streamFilePrefix/suffix frame the on-disk names: <stream>-<seq>.jsonl.
+const streamSuffix = ".jsonl"
+
+// fileName renders one stream file name; the zero-padded sequence makes
+// lexicographic order chronological.
+func fileName(stream string, seq int) string {
+	return fmt.Sprintf("%s-%08d%s", stream, seq, streamSuffix)
+}
+
+// StreamFiles lists the live file names of one stream under dir, oldest
+// first — the scan order the query engine uses.
+func StreamFiles(dir, stream string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	prefix := stream + "-"
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, streamSuffix) {
+			continue
+		}
+		if _, err := parseSeq(name, stream); err != nil {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// parseSeq extracts the sequence number from a stream file name.
+func parseSeq(name, stream string) (int, error) {
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, stream+"-"), streamSuffix)
+	var seq int
+	if _, err := fmt.Sscanf(mid, "%d", &seq); err != nil || len(mid) != 8 {
+		return 0, fmt.Errorf("telemetry: not a stream file: %s", name)
+	}
+	return seq, nil
+}
+
+// openStream returns (opening or creating as needed) the stream's
+// active file, continuing the highest existing sequence and truncating
+// a torn final line so the next append starts on a clean line.
+func (l *Logger) openStream(name string) (*stream, error) {
+	if s, ok := l.streams[name]; ok {
+		return s, nil
+	}
+	files, err := StreamFiles(l.dir, name)
+	if err != nil {
+		return nil, err
+	}
+	s := &stream{name: name, seq: 1, files: files}
+	if n := len(files); n > 0 {
+		if s.seq, err = parseSeq(files[n-1], name); err != nil {
+			return nil, err
+		}
+	} else {
+		s.files = []string{fileName(name, s.seq)}
+	}
+	path := filepath.Join(l.dir, fileName(name, s.seq))
+	size, err := truncateTornTail(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	s.f, s.size = f, size
+	l.streams[name] = s
+	return s, nil
+}
+
+// truncateTornTail drops a partial final line (no trailing newline) left
+// by a crash mid-append, returning the resulting file size. A missing
+// file is size 0.
+func truncateTornTail(path string) (int64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("telemetry: %w", err)
+	}
+	if len(data) == 0 || data[len(data)-1] == '\n' {
+		return int64(len(data)), nil
+	}
+	keep := int64(bytes.LastIndexByte(data, '\n') + 1)
+	if err := os.Truncate(path, keep); err != nil {
+		return 0, fmt.Errorf("telemetry: truncate torn tail: %w", err)
+	}
+	return keep, nil
+}
+
+// rotate closes the active file, opens the next sequence, and applies
+// retention.
+func (l *Logger) rotate(s *stream) error {
+	_ = s.f.Sync()
+	_ = s.f.Close()
+	s.seq++
+	path := filepath.Join(l.dir, fileName(s.name, s.seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.f = nil
+		delete(l.streams, s.name) // reopen from scratch next write
+		return fmt.Errorf("telemetry: rotate: %w", err)
+	}
+	s.f, s.size = f, 0
+	s.files = append(s.files, fileName(s.name, s.seq))
+	for len(s.files) > l.opt.MaxFiles {
+		_ = os.Remove(filepath.Join(l.dir, s.files[0]))
+		s.files = s.files[1:]
+	}
+	return nil
+}
+
+// syncAll fsyncs every open stream file (flush barrier).
+func (l *Logger) syncAll() {
+	for _, s := range l.streams {
+		if s.f != nil {
+			_ = s.f.Sync()
+		}
+	}
+}
+
+// closeAll syncs and closes every stream file.
+func (l *Logger) closeAll() {
+	for name, s := range l.streams {
+		if s.f != nil {
+			_ = s.f.Sync()
+			_ = s.f.Close()
+		}
+		delete(l.streams, name)
+	}
+}

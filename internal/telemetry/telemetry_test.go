@@ -1,0 +1,292 @@
+package telemetry_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+// readLines returns every line of every file of one stream, oldest file
+// first.
+func readLines(t *testing.T, dir, stream string) []string {
+	t.Helper()
+	files, err := telemetry.StreamFiles(dir, stream)
+	if err != nil {
+		t.Fatalf("StreamFiles: %v", err)
+	}
+	var lines []string
+	for _, name := range files {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		for _, ln := range strings.Split(string(data), "\n") {
+			if ln != "" {
+				lines = append(lines, ln)
+			}
+		}
+	}
+	return lines
+}
+
+func TestEmitWriteRead(t *testing.T) {
+	dir := t.TempDir()
+	now := time.UnixMilli(1_700_000_000_000)
+	l, err := telemetry.New(dir, telemetry.Options{Now: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	l.Emit(telemetry.Event{
+		Stream: telemetry.StreamPredict,
+		Dep:    "factoid",
+		Tags:   []string{"intent=billing", "vip"},
+		Fields: map[string]any{"latency_ms": 3.5, "err": 0},
+	})
+	l.Flush()
+
+	lines := readLines(t, dir, telemetry.StreamPredict)
+	if len(lines) != 1 {
+		t.Fatalf("want 1 line, got %d", len(lines))
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &m); err != nil {
+		t.Fatalf("line not JSON: %v", err)
+	}
+	if m["stream"] != "predict" || m["dep"] != "factoid" {
+		t.Errorf("stream/dep wrong: %v", m)
+	}
+	if m["ts"] != float64(now.UnixMilli()) {
+		t.Errorf("ts = %v, want stamped %d", m["ts"], now.UnixMilli())
+	}
+	if m["latency_ms"] != 3.5 {
+		t.Errorf("latency_ms = %v", m["latency_ms"])
+	}
+	tags, _ := m["tags"].([]any)
+	if len(tags) != 2 || tags[0] != "intent=billing" {
+		t.Errorf("tags = %v", m["tags"])
+	}
+
+	st := l.Stats()[telemetry.StreamPredict]
+	if st.Emitted != 1 || st.Written != 1 || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRotationAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	l, err := telemetry.New(dir, telemetry.Options{RotateBytes: 200, MaxFiles: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	for i := 0; i < 50; i++ {
+		l.Emit(telemetry.Event{Stream: "predict", Dep: "d", Fields: map[string]any{"i": i, "pad": strings.Repeat("x", 40)}})
+	}
+	l.Flush()
+
+	files, err := telemetry.StreamFiles(dir, "predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 || len(files) > 3 {
+		t.Fatalf("retention: %d files live, want 1..3: %v", len(files), files)
+	}
+	for i := 1; i < len(files); i++ {
+		if files[i-1] >= files[i] {
+			t.Errorf("files not in order: %v", files)
+		}
+	}
+	st := l.Stats()["predict"]
+	if st.Rotations == 0 {
+		t.Error("expected rotations under a 200-byte threshold")
+	}
+	if st.Written != 50 {
+		t.Errorf("written = %d, want 50", st.Written)
+	}
+	// Every surviving line still parses.
+	for _, ln := range readLines(t, dir, "predict") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("malformed surviving line %q: %v", ln, err)
+		}
+	}
+}
+
+func TestSequenceContinuesAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := telemetry.New(dir, telemetry.Options{RotateBytes: 120})
+	for i := 0; i < 10; i++ {
+		l.Emit(telemetry.Event{Stream: "predict", Fields: map[string]any{"pad": strings.Repeat("x", 40), "run": 1}})
+	}
+	l.Close()
+	first, _ := telemetry.StreamFiles(dir, "predict")
+
+	l2, _ := telemetry.New(dir, telemetry.Options{RotateBytes: 120})
+	l2.Emit(telemetry.Event{Stream: "predict", Fields: map[string]any{"run": 2}})
+	l2.Close()
+	second, _ := telemetry.StreamFiles(dir, "predict")
+
+	if len(first) == 0 || len(second) < len(first) {
+		t.Fatalf("reopen lost files: %v -> %v", first, second)
+	}
+	if second[len(second)-1] < first[len(first)-1] {
+		t.Errorf("sequence went backwards: %v -> %v", first, second)
+	}
+}
+
+func TestTornTailTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := telemetry.New(dir, telemetry.Options{})
+	l.Emit(telemetry.Event{Stream: "predict", Fields: map[string]any{"i": 1}})
+	l.Close()
+
+	files, _ := telemetry.StreamFiles(dir, "predict")
+	if len(files) != 1 {
+		t.Fatalf("want 1 file, got %v", files)
+	}
+	active := filepath.Join(dir, files[0])
+	// Simulate a crash mid-append: a partial line with no newline.
+	f, err := os.OpenFile(active, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"i":2,"half`)
+	f.Close()
+
+	l2, _ := telemetry.New(dir, telemetry.Options{})
+	l2.Emit(telemetry.Event{Stream: "predict", Fields: map[string]any{"i": 3}})
+	l2.Close()
+
+	lines := readLines(t, dir, "predict")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 intact lines (fragment truncated), got %d: %q", len(lines), lines)
+	}
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %q not JSON after torn-tail reopen: %v", ln, err)
+		}
+	}
+}
+
+func TestTornFaultInjectionThenRecovery(t *testing.T) {
+	dir := t.TempDir()
+	reg := faultinject.NewRegistry()
+	// The second append is torn after 7 bytes — the partial the logger
+	// must truncate when it reopens the stream.
+	reg.Arm("telemetry.append.predict", 2, faultinject.Fault{Kind: faultinject.KindTorn, Bytes: 7})
+	faultinject.Enable(reg)
+	defer faultinject.Disable()
+
+	l, _ := telemetry.New(dir, telemetry.Options{})
+	l.Emit(telemetry.Event{Stream: "predict", Fields: map[string]any{"i": 1}})
+	l.Emit(telemetry.Event{Stream: "predict", Fields: map[string]any{"i": 2}})
+	l.Close()
+	st := l.Stats()["predict"]
+	if st.WriteErrors != 1 {
+		t.Fatalf("torn write not counted: %+v", st)
+	}
+
+	faultinject.Disable()
+	l2, _ := telemetry.New(dir, telemetry.Options{})
+	l2.Emit(telemetry.Event{Stream: "predict", Fields: map[string]any{"i": 3}})
+	l2.Close()
+
+	lines := readLines(t, dir, "predict")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 intact lines, got %d: %q", len(lines), lines)
+	}
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %q not JSON: %v", ln, err)
+		}
+	}
+}
+
+func TestWriteErrorsNeverWedgeWriter(t *testing.T) {
+	dir := t.TempDir()
+	reg := faultinject.NewRegistry()
+	reg.ArmEvery("telemetry.append.predict", faultinject.Fault{Kind: faultinject.KindError})
+	faultinject.Enable(reg)
+	defer faultinject.Disable()
+
+	l, _ := telemetry.New(dir, telemetry.Options{})
+	for i := 0; i < 5; i++ {
+		l.Emit(telemetry.Event{Stream: "predict", Fields: map[string]any{"i": i}})
+	}
+	l.Flush()
+	st := l.Stats()["predict"]
+	if st.WriteErrors != 5 || st.Written != 0 {
+		t.Fatalf("stats = %+v, want 5 write errors, 0 written", st)
+	}
+
+	faultinject.Disable()
+	l.Emit(telemetry.Event{Stream: "predict", Fields: map[string]any{"i": 99}})
+	l.Flush()
+	if st := l.Stats()["predict"]; st.Written != 1 {
+		t.Fatalf("writer wedged after disk errors: %+v", st)
+	}
+	l.Close()
+}
+
+func TestDropsAfterCloseAndInvalidStream(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := telemetry.New(dir, telemetry.Options{})
+	l.Emit(telemetry.Event{Stream: "Not A Stream!", Fields: map[string]any{"i": 1}})
+	if st := l.Stats()["invalid"]; st.Dropped != 1 {
+		t.Errorf("invalid-stream drop not counted: %+v", st)
+	}
+	l.Close()
+	l.Emit(telemetry.Event{Stream: "predict", Fields: map[string]any{"i": 1}})
+	if st := l.Stats()["predict"]; st.Dropped != 1 {
+		t.Errorf("post-close drop not counted: %+v", st)
+	}
+	l.Close() // idempotent
+}
+
+// TestConcurrentEmitFlushStats exercises the emit/flush/stats surface
+// from many goroutines with rotation forced on — the race detector is
+// the assertion.
+func TestConcurrentEmitFlushStats(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := telemetry.New(dir, telemetry.Options{RotateBytes: 256, MaxFiles: 2, BufferDepth: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Emit(telemetry.Event{Stream: "predict", Dep: "d", Fields: map[string]any{"g": g, "i": i}})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			l.Flush()
+			l.Stats()
+			telemetry.StreamFiles(dir, "predict")
+		}
+	}()
+	wg.Wait()
+	l.Close()
+	st := l.Stats()["predict"]
+	if st.Emitted+st.Dropped != 800 {
+		t.Errorf("emitted %d + dropped %d != 800", st.Emitted, st.Dropped)
+	}
+	if st.Written != st.Emitted {
+		t.Errorf("written %d != emitted %d after Close", st.Written, st.Emitted)
+	}
+}
