@@ -18,6 +18,7 @@
 //	overton serve    -deploy factoid=m1.bin -state-dir state/ [-drain-timeout 10s]
 //	overton serve    -deploy factoid=m1.bin -precision f32 [-precision qa=f64]
 //	overton serve    -deploy factoid=m1.bin -state-dir state/ -slice 'hot=intent=billing AND age<1h'
+//	overton route    -addr :8090 -replica http://127.0.0.1:8081 -replica http://127.0.0.1:8082
 //	overton query    -dir state/telemetry 'SELECT COUNT(*), P95(latency_ms) FROM predict SINCE 1h'
 //	overton store    -root dir put|get|list -name m [-file model.bin] [-version N]
 package main
@@ -73,6 +74,8 @@ func main() {
 		err = cmdPredict(args)
 	case "serve":
 		err = cmdServe(args)
+	case "route":
+		err = cmdRoute(args)
 	case "query":
 		err = cmdQuery(args)
 	case "store":
@@ -88,7 +91,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: overton <compile|datagen|train|eval|report|predict|serve|query|store> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: overton <compile|datagen|train|eval|report|predict|serve|route|query|store> [flags]")
 }
 
 func cmdCompile(args []string) error {
@@ -311,6 +314,8 @@ func cmdServe(args []string) error {
 	stateDir := fs.String("state-dir", "", "durable state directory: journal every lifecycle change and ingest there, and recover the fleet from it on startup (empty = stateless)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests after SIGTERM/SIGINT before the listener is forced closed")
 	telemetryDir := fs.String("telemetry-dir", "", "telemetry JSONL directory, queryable via POST /v1/query and `overton query` (default <state-dir>/telemetry when -state-dir is set; empty without -state-dir = telemetry off)")
+	telemetryMaxAge := fs.Duration("telemetry-max-age", 0, "drop rotated telemetry segments older than this (0 = keep by count only)")
+	telemetryCompress := fs.Bool("telemetry-compress", false, "gzip rotated telemetry segments; queries decompress transparently")
 	var deploys, shadows, limits, precisions, sliceSpecs []string
 	fs.Func("deploy", "name=artifact.bin deployment (repeatable; schemas may differ per deployment)", func(v string) error {
 		deploys = append(deploys, v)
@@ -455,7 +460,10 @@ func cmdServe(args []string) error {
 	}
 	var tel *telemetry.Logger
 	if telDir != "" {
-		l, err := telemetry.New(telDir, telemetry.Options{})
+		l, err := telemetry.New(telDir, telemetry.Options{
+			MaxAge:   *telemetryMaxAge,
+			Compress: *telemetryCompress,
+		})
 		if err != nil {
 			return fmt.Errorf("-telemetry-dir %s: %w", telDir, err)
 		}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/deploy"
+	"repro/internal/telemetry"
+)
+
+// cmdRoute runs the cluster routing front: a health-checked,
+// retry/failover proxy over N `overton serve` replica processes, with
+// rolling gated promotes across the fleet.
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	addr := fs.String("addr", ":8090", "router listen address")
+	var replicas []string
+	fs.Func("replica", "replica base URL, e.g. http://127.0.0.1:8081 (repeatable; at least one required)", func(v string) error {
+		replicas = append(replicas, v)
+		return nil
+	})
+	probeInterval := fs.Duration("probe-interval", 0, "replica /readyz probe period (0 = default 500ms)")
+	probeTimeout := fs.Duration("probe-timeout", 0, "one probe round trip budget (0 = default 1s)")
+	rise := fs.Int("rise", 0, "consecutive probe successes to re-admit a replica (0 = default 2)")
+	fall := fs.Int("fall", 0, "consecutive probe failures to eject a replica (0 = default 2)")
+	requestTimeout := fs.Duration("request-timeout", 0, "proxied request deadline, retries included (0 = default 10s)")
+	attemptTimeout := fs.Duration("attempt-timeout", 0, "single-attempt deadline against one replica (0 = request deadline only)")
+	retries := fs.Int("retries", 0, "max retries after the first attempt; retryable failures only (0 = default 2, negative = none)")
+	retryBase := fs.Duration("retry-base", 0, "base retry backoff, doubled per attempt with jitter (0 = default 25ms)")
+	retryMax := fs.Duration("retry-max", 0, "retry backoff cap (0 = default 1s)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures that open a replica's circuit breaker (0 = default 5)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "initial breaker open interval, doubled per failed trial (0 = default 2s)")
+	promoteHold := fs.Duration("promote-hold", 0, "hold between rolling-promote steps before the gates are judged (0 = default 2s)")
+	maxErrRate := fs.Float64("max-regression-error-rate", 0, "promote gate: roll back when a stepped replica's post-promote error rate exceeds this (0 = off)")
+	minRegReq := fs.Int64("min-regression-requests", 0, "promote gate: requests required in the hold window before the error-rate gate judges (0 = default 1)")
+	maxShedRate := fs.Float64("max-promote-shed-rate", 0, "promote gate: roll back when a stepped replica's shed rate exceeds this (0 = off)")
+	var sliceGates []string
+	fs.Func("slice-gate", "promote gate slice=min-agreement (repeatable), judged fail-closed against each stepped replica's live slice report", func(v string) error {
+		sliceGates = append(sliceGates, v)
+		return nil
+	})
+	telemetryDir := fs.String("telemetry-dir", "", "telemetry JSONL directory for the route stream (empty = off)")
+	telemetryMaxAge := fs.Duration("telemetry-max-age", 0, "drop rotated telemetry segments older than this (0 = keep by count only)")
+	telemetryCompress := fs.Bool("telemetry-compress", false, "gzip rotated telemetry segments; queries decompress transparently")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight proxied requests")
+	fs.Parse(args)
+	if len(replicas) == 0 {
+		return fmt.Errorf("route needs at least one -replica URL")
+	}
+
+	policy := deploy.Policy{
+		MaxRegressionErrorRate: *maxErrRate,
+		MinRegressionRequests:  *minRegReq,
+		MaxPromoteShedRate:     *maxShedRate,
+	}
+	for _, spec := range sliceGates {
+		name, minAgree, err := splitSpec(spec)
+		if err != nil {
+			return fmt.Errorf("-slice-gate %q: %w", spec, err)
+		}
+		min, err := parseFloat(minAgree)
+		if err != nil || min <= 0 || min > 1 {
+			return fmt.Errorf("-slice-gate %q: want slice=min-agreement in (0,1]", spec)
+		}
+		policy.SliceGates = append(policy.SliceGates, deploy.SliceGate{Slice: name, MinAgreement: min})
+	}
+
+	var tel *telemetry.Logger
+	if *telemetryDir != "" {
+		l, err := telemetry.New(*telemetryDir, telemetry.Options{
+			MaxAge:   *telemetryMaxAge,
+			Compress: *telemetryCompress,
+		})
+		if err != nil {
+			return fmt.Errorf("-telemetry-dir %s: %w", *telemetryDir, err)
+		}
+		tel = l
+		defer tel.Close()
+		fmt.Printf("telemetry  %s (route stream)\n", *telemetryDir)
+	}
+
+	maxRetries := *retries
+	if maxRetries < 0 {
+		maxRetries = -1 // Options maps negatives to "no retries"
+	}
+	rt, err := cluster.New(cluster.Options{
+		Replicas:         replicas,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		Rise:             *rise,
+		Fall:             *fall,
+		RequestTimeout:   *requestTimeout,
+		AttemptTimeout:   *attemptTimeout,
+		MaxRetries:       maxRetries,
+		RetryBase:        *retryBase,
+		RetryMax:         *retryMax,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		PromoteHold:      *promoteHold,
+		Policy:           policy,
+		Telemetry:        tel,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	healthy := 0
+	for _, rep := range rt.Replicas() {
+		state := "unhealthy"
+		if rep.Healthy() {
+			state = "healthy"
+			healthy++
+		}
+		fmt.Printf("replica    %-40s %s\n", rep.URL(), state)
+	}
+	fmt.Printf("routing %d replica(s) on %s (%d healthy at start)\n", len(replicas), *addr, healthy)
+	fmt.Printf("  POST /v1/models/{name}/predict|ingest|shadow  (proxied with retry/failover)\n")
+	fmt.Printf("  POST /v1/models/{name}/promote|rollback       (rolling, gated, fleet-wide)\n")
+	fmt.Printf("  GET  /v1/cluster/stats  GET /stats  GET /readyz\n")
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Fprintf(os.Stderr, "shutdown: draining in-flight proxied requests (timeout %s)\n", *drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "shutdown: drain timeout exceeded, closing listener: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "shutdown: complete")
+	return nil
+}
+
+func parseFloat(s string) (float64, error) {
+	var f float64
+	_, err := fmt.Sscanf(s, "%g", &f)
+	return f, err
+}

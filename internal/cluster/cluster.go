@@ -1,0 +1,327 @@
+// Package cluster is the fault-tolerant routing tier over N Overton
+// replica processes — the layer that turns one-process fleets into a
+// multi-replica serving cluster that survives replica loss, slow
+// replicas, and mid-promote crashes without client-visible damage.
+//
+// The Router spreads deployments across its replicas by rendezvous
+// hashing: each deployment gets a stable per-deployment preference
+// order over the replica set, so load partitions by deployment while
+// every replica can still serve every deployment on failover. The
+// fault-handling machinery is the core:
+//
+//   - health: every replica's /readyz is probed on an interval, with
+//     rise/fall hysteresis so one flaky probe neither ejects nor
+//     re-admits a replica;
+//   - deadlines: every proxied request runs under a request deadline,
+//     and each attempt under an attempt deadline;
+//   - retry: retryable failures (connection refused/reset, attempt
+//     timeout, torn response, replica 503) are retried with exponential
+//     backoff + jitter on the next replica in preference order — never
+//     on 4xx, never on 500 (a contained model panic is deterministic),
+//     and never after response bytes have flowed to the client
+//     (responses are buffered whole before forwarding, so a torn
+//     upstream body is retryable);
+//   - circuit breaker: consecutive failures eject a replica
+//     (open), a cooldown later one trial (half-open) or a clean health
+//     probe re-admits it, and a failed trial doubles the cooldown;
+//   - shedding: when no routable replica remains for a deployment the
+//     router sheds with a typed 503 + Retry-After, mirroring the
+//     fleet's ShedError admission semantics.
+//
+// Promotion becomes a rolling, gated rollout (promote.go): the
+// candidate artifact — pulled from a replica's shadow slot or uploaded
+// with the promote request — is framed with fleetstate's checksummed
+// snapshot encoding and shipped replica by replica: install shadow,
+// promote, hold, then judge the deploy.Policy gates (regression error
+// rate, shed rate, slice gates) against that replica's stats before
+// touching the next. A gate failure rolls the fleet back; a replica
+// that crashes mid-rollout is skipped and resynced to the recorded
+// target version when its health probe re-admits it.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/telemetry"
+)
+
+// Tuning defaults, applied by Options.withDefaults.
+const (
+	defaultProbeInterval    = 500 * time.Millisecond
+	defaultProbeTimeout     = time.Second
+	defaultRiseFall         = 2
+	defaultRequestTimeout   = 10 * time.Second
+	defaultMaxRetries       = 2
+	defaultRetryBase        = 25 * time.Millisecond
+	defaultRetryMax         = time.Second
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 2 * time.Second
+	defaultBreakerMaxCool   = 30 * time.Second
+	defaultPromoteHold      = 2 * time.Second
+)
+
+// Options configures a Router. Zero fields take the defaults noted on
+// each.
+type Options struct {
+	// Replicas are the replica base URLs ("http://host:port"). At least
+	// one is required.
+	Replicas []string
+	// ProbeInterval is the /readyz probe period (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (default 1s).
+	ProbeTimeout time.Duration
+	// Rise is how many consecutive probe successes re-admit an unhealthy
+	// replica; Fall how many consecutive failures eject a healthy one
+	// (default 2 each).
+	Rise, Fall int
+	// RequestTimeout bounds one proxied request end to end, retries
+	// included (default 10s).
+	RequestTimeout time.Duration
+	// AttemptTimeout bounds a single attempt against one replica; zero
+	// leaves only the request deadline.
+	AttemptTimeout time.Duration
+	// MaxRetries bounds retries after the first attempt (default 2, so
+	// at most 3 replicas are tried per request).
+	MaxRetries int
+	// RetryBase/RetryMax shape the exponential backoff between attempts:
+	// base·2^attempt plus up-to-equal jitter, capped at RetryMax
+	// (defaults 25ms / 1s).
+	RetryBase, RetryMax time.Duration
+	// BreakerThreshold is how many consecutive failures open a replica's
+	// circuit breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is the initial open interval; each failed
+	// half-open trial doubles it up to BreakerMaxCooldown (defaults
+	// 2s / 30s).
+	BreakerCooldown, BreakerMaxCooldown time.Duration
+	// PromoteHold is how long a rolling promote holds after each
+	// replica's promotion before judging the gates (default 2s).
+	PromoteHold time.Duration
+	// Policy supplies the gates judged between rolling-promote steps:
+	// MaxRegressionErrorRate/MinRegressionRequests, MaxPromoteShedRate,
+	// and SliceGates (judged fail-closed against replica stats).
+	Policy deploy.Policy
+	// Telemetry, when set, receives one StreamRoute event per proxied
+	// request (replica, attempts, code, latency).
+	Telemetry *telemetry.Logger
+	// Transport overrides the HTTP transport (tests). The router wraps
+	// it with the faultinject network sites either way.
+	Transport http.RoundTripper
+	// Now is the router's clock (default time.Now).
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = defaultProbeInterval
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = defaultProbeTimeout
+	}
+	if o.Rise <= 0 {
+		o.Rise = defaultRiseFall
+	}
+	if o.Fall <= 0 {
+		o.Fall = defaultRiseFall
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = defaultRequestTimeout
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = defaultMaxRetries
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = defaultRetryBase
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = defaultRetryMax
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = defaultBreakerThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = defaultBreakerCooldown
+	}
+	if o.BreakerMaxCooldown <= 0 {
+		o.BreakerMaxCooldown = defaultBreakerMaxCool
+	}
+	if o.PromoteHold <= 0 {
+		o.PromoteHold = defaultPromoteHold
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.Transport == nil {
+		o.Transport = http.DefaultTransport
+	}
+	return o
+}
+
+// Router is the cluster routing front. Create with New, serve
+// Handler(), stop with Close.
+type Router struct {
+	opt      Options
+	replicas []*Replica
+	client   *http.Client
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	// promoteMu serialises rolling promotes and fleet rollbacks.
+	promoteMu sync.Mutex
+	// targetMu guards the promote targets and resync single-flight set.
+	targetMu  sync.Mutex
+	targets   map[string]*promoteTarget
+	resyncing map[string]bool
+
+	routed, shed atomic.Int64
+	// resyncs counts completed replica resyncs (stats + tests).
+	resyncs atomic.Int64
+}
+
+// promoteTarget is the fleet-wide desired state of one deployment after
+// a rolling promote: the version and the framed artifact to resync
+// late-returning replicas with.
+type promoteTarget struct {
+	version int
+	framed  []byte
+}
+
+// New builds a router over the replica set and starts its health
+// prober. One synchronous probe round runs first so the router opens
+// with real health state rather than optimism.
+func New(opt Options) (*Router, error) {
+	opt = opt.withDefaults()
+	if len(opt.Replicas) == 0 {
+		return nil, fmt.Errorf("cluster: no replicas configured")
+	}
+	rt := &Router{
+		opt:       opt,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		targets:   map[string]*promoteTarget{},
+		resyncing: map[string]bool{},
+	}
+	seen := map[string]bool{}
+	for _, u := range opt.Replicas {
+		u = strings.TrimRight(u, "/")
+		if u == "" || seen[u] {
+			return nil, fmt.Errorf("cluster: empty or duplicate replica url %q", u)
+		}
+		seen[u] = true
+		rt.replicas = append(rt.replicas, newReplica(u, opt))
+	}
+	rt.client = &http.Client{Transport: &faultTransport{base: opt.Transport}}
+	rt.probeAll() // synchronous first round: open with real health
+	for _, rep := range rt.replicas {
+		// Bootstrap skips the rise hysteresis: a replica that answered
+		// its first probe is routable immediately — hysteresis exists to
+		// damp flapping transitions, and there is no prior state to flap
+		// from.
+		rep.healthy.Store(rep.succStreak > 0)
+	}
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// Close stops the health prober. In-flight proxied requests finish on
+// their own deadlines. Safe to call more than once.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	<-rt.done
+}
+
+// Replicas returns the replica set (stable order — the rolling-promote
+// order).
+func (rt *Router) Replicas() []*Replica {
+	return rt.replicas
+}
+
+// order returns the deployment's replica preference order: rendezvous
+// hashing over (deployment, replica URL), so each deployment gets a
+// stable primary replica and a deterministic failover sequence, and
+// deployments spread across the set.
+func (rt *Router) order(dep string) []*Replica {
+	type scored struct {
+		rep   *Replica
+		score uint64
+	}
+	ss := make([]scored, len(rt.replicas))
+	for i, rep := range rt.replicas {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(dep))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(rep.url))
+		ss[i] = scored{rep, h.Sum64()}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		return ss[i].rep.url < ss[j].rep.url
+	})
+	out := make([]*Replica, len(ss))
+	for i, s := range ss {
+		out[i] = s.rep
+	}
+	return out
+}
+
+// setTarget records a deployment's fleet-wide desired version.
+func (rt *Router) setTarget(dep string, version int, framed []byte) {
+	rt.targetMu.Lock()
+	rt.targets[dep] = &promoteTarget{version: version, framed: framed}
+	rt.targetMu.Unlock()
+}
+
+// clearTarget forgets a deployment's desired version (fleet rollback).
+func (rt *Router) clearTarget(dep string) {
+	rt.targetMu.Lock()
+	delete(rt.targets, dep)
+	rt.targetMu.Unlock()
+}
+
+// targetSnapshot copies the current promote targets.
+func (rt *Router) targetSnapshot() map[string]*promoteTarget {
+	rt.targetMu.Lock()
+	defer rt.targetMu.Unlock()
+	out := make(map[string]*promoteTarget, len(rt.targets))
+	for k, v := range rt.targets {
+		out[k] = v
+	}
+	return out
+}
+
+// emitRoute logs one routed request on the telemetry route stream.
+func (rt *Router) emitRoute(dep, replica string, attempts, code int, ms float64, failed bool) {
+	l := rt.opt.Telemetry
+	if l == nil {
+		return
+	}
+	errFlag := 0
+	if failed {
+		errFlag = 1
+	}
+	l.Emit(telemetry.Event{
+		Stream: telemetry.StreamRoute,
+		Dep:    dep,
+		Fields: map[string]any{
+			"replica":    replica,
+			"attempts":   attempts,
+			"code":       code,
+			"latency_ms": ms,
+			"err":        errFlag,
+		},
+	})
+}

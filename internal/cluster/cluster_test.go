@@ -1,0 +1,431 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// fakeReplica is a scripted replica process: /readyz follows the ready
+// flag, every other route answers the configured status.
+type fakeReplica struct {
+	ts     *httptest.Server
+	ready  atomic.Bool
+	status atomic.Int64
+	hits   atomic.Int64
+	body   atomic.Value // string
+}
+
+func newFakeReplica(t *testing.T) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{}
+	f.ready.Store(true)
+	f.status.Store(http.StatusOK)
+	f.body.Store(`{"ok":true}`)
+	f.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			if f.ready.Load() {
+				w.WriteHeader(http.StatusOK)
+			} else {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			return
+		}
+		f.hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(int(f.status.Load()))
+		fmt.Fprint(w, f.body.Load().(string))
+	}))
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func (f *fakeReplica) host(t *testing.T) string {
+	t.Helper()
+	u, err := url.Parse(f.ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+// testOptions returns fast tuning for the scripted-replica tests.
+func testOptions(urls ...string) Options {
+	return Options{
+		Replicas:         urls,
+		ProbeInterval:    20 * time.Millisecond,
+		ProbeTimeout:     300 * time.Millisecond,
+		RequestTimeout:   3 * time.Second,
+		RetryBase:        time.Millisecond,
+		RetryMax:         5 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  60 * time.Millisecond,
+		PromoteHold:      time.Millisecond,
+	}
+}
+
+func newTestRouter(t *testing.T, opt Options) *Router {
+	t.Helper()
+	rt, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestNewValidatesReplicaSet(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+	if _, err := New(Options{Replicas: []string{"http://a:1", "http://a:1/"}}); err == nil {
+		t.Fatal("duplicate replica accepted")
+	}
+}
+
+func TestOrderIsStableAndCoversAllReplicas(t *testing.T) {
+	a, b, c := newFakeReplica(t), newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, testOptions(a.ts.URL, b.ts.URL, c.ts.URL))
+	for _, dep := range []string{"factoid", "intent", "ner", "default"} {
+		first := rt.order(dep)
+		if len(first) != 3 {
+			t.Fatalf("order(%s) returned %d replicas", dep, len(first))
+		}
+		seen := map[string]bool{}
+		for _, rep := range first {
+			seen[rep.url] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("order(%s) repeated a replica: %v", dep, seen)
+		}
+		again := rt.order(dep)
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("order(%s) not deterministic", dep)
+			}
+		}
+	}
+}
+
+func TestProxyPrefersPrimaryAndStampsReplica(t *testing.T) {
+	a, b, c := newFakeReplica(t), newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, testOptions(a.ts.URL, b.ts.URL, c.ts.URL))
+	h := rt.Handler()
+	w := post(t, h, "/v1/models/factoid/predict", `{}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if got, want := w.Header().Get("X-Overton-Replica"), rt.order("factoid")[0].url; got != want {
+		t.Fatalf("served by %s, preference order says %s", got, want)
+	}
+}
+
+func TestFailoverAfterReplicaDeath(t *testing.T) {
+	a, b, c := newFakeReplica(t), newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, testOptions(a.ts.URL, b.ts.URL, c.ts.URL))
+	h := rt.Handler()
+	primary := rt.order("factoid")[0]
+	for _, f := range []*fakeReplica{a, b, c} {
+		if f.ts.URL == primary.url {
+			f.ts.Close() // SIGKILL shape: connections refused from now on
+		}
+	}
+	// The prober has not noticed yet — the request itself must fail over.
+	w := post(t, h, "/v1/models/factoid/predict", `{}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d after replica death: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("X-Overton-Replica"); got == primary.url {
+		t.Fatalf("served by the dead replica %s", got)
+	}
+	if primary.failures.Load() == 0 {
+		t.Fatal("dead replica's failure counter untouched")
+	}
+}
+
+func TestNoRetryOn4xxOr500(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, testOptions(a.ts.URL, b.ts.URL))
+	h := rt.Handler()
+	for _, code := range []int{http.StatusBadRequest, http.StatusNotFound, http.StatusInternalServerError} {
+		a.status.Store(int64(code))
+		b.status.Store(int64(code))
+		a.hits.Store(0)
+		b.hits.Store(0)
+		w := post(t, h, "/v1/models/factoid/predict", `{}`)
+		if w.Code != code {
+			t.Fatalf("status %d, want %d passed through", w.Code, code)
+		}
+		if total := a.hits.Load() + b.hits.Load(); total != 1 {
+			t.Fatalf("%d replica hits for a %d — %d must never be retried", total, code, code)
+		}
+	}
+}
+
+func Test503QuarantineIsRetriedOnNextReplica(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, testOptions(a.ts.URL, b.ts.URL))
+	h := rt.Handler()
+	primary := rt.order("factoid")[0]
+	for _, f := range []*fakeReplica{a, b} {
+		if f.ts.URL == primary.url {
+			f.status.Store(http.StatusServiceUnavailable)
+		}
+	}
+	w := post(t, h, "/v1/models/factoid/predict", `{}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, want failover past the 503 replica: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("X-Overton-Replica"); got == primary.url {
+		t.Fatalf("served by the quarantined replica %s", got)
+	}
+}
+
+func TestAllUnhealthyShedsWithRetryAfter(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	a.ready.Store(false)
+	b.ready.Store(false)
+	rt := newTestRouter(t, testOptions(a.ts.URL, b.ts.URL))
+	h := rt.Handler()
+	w := post(t, h, "/v1/models/factoid/predict", `{}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 shed", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("503 shed without Retry-After")
+	}
+	var resp struct {
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil || resp.Reason != "no_healthy_replica" {
+		t.Fatalf("shed body %s (err %v)", w.Body, err)
+	}
+	if rt.shed.Load() == 0 {
+		t.Fatal("shed counter untouched")
+	}
+	// Router readiness mirrors the fleet: no healthy replica → not ready.
+	if w := get(t, h, "/readyz"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz %d with no healthy replica", w.Code)
+	}
+	if w := get(t, h, "/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("/healthz %d — liveness must not follow replica health", w.Code)
+	}
+}
+
+func TestBreakerOpensThenProbesBack(t *testing.T) {
+	a := newFakeReplica(t)
+	opt := testOptions(a.ts.URL)
+	// A long cooldown keeps a racing health probe from probing the
+	// breaker back between the open assertion and the shed assertion.
+	opt.BreakerCooldown = 500 * time.Millisecond
+	rt := newTestRouter(t, opt)
+	h := rt.Handler()
+	rep := rt.replicas[0]
+
+	a.status.Store(http.StatusServiceUnavailable)
+	for i := 0; i < opt.BreakerThreshold; i++ {
+		if w := post(t, h, "/v1/models/factoid/predict", `{}`); w.Code != http.StatusServiceUnavailable {
+			t.Fatalf("status %d while replica is failing", w.Code)
+		}
+	}
+	if got := rep.Breaker(); got != BreakerOpen {
+		t.Fatalf("breaker %s after %d consecutive failures", got, opt.BreakerThreshold)
+	}
+	// Open breaker ejects the replica even though /readyz still passes:
+	// the next request sheds without touching the replica.
+	hits := a.hits.Load()
+	if w := post(t, h, "/v1/models/factoid/predict", `{}`); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d with breaker open", w.Code)
+	}
+	if a.hits.Load() != hits {
+		t.Fatal("open breaker let a request through before the cooldown")
+	}
+
+	// Replica recovers; a clean health probe after the cooldown closes
+	// the breaker with no client traffic spent on the trial.
+	a.status.Store(http.StatusOK)
+	deadline := time.Now().Add(5 * time.Second)
+	for rep.Breaker() != BreakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker stuck %s after recovery", rep.Breaker())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if w := post(t, h, "/v1/models/factoid/predict", `{}`); w.Code != http.StatusOK {
+		t.Fatalf("status %d after probe-back", w.Code)
+	}
+}
+
+func TestHealthProbeEjectsAndReadmits(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	opt := testOptions(a.ts.URL, b.ts.URL)
+	rt := newTestRouter(t, opt)
+	primary := rt.order("factoid")[0]
+	var target *fakeReplica
+	for _, f := range []*fakeReplica{a, b} {
+		if f.ts.URL == primary.url {
+			target = f
+		}
+	}
+
+	target.ready.Store(false)
+	waitFor(t, func() bool { return !primary.Healthy() }, "fall ejection")
+	target.ready.Store(true)
+	waitFor(t, func() bool { return primary.Healthy() }, "rise re-admission")
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Fault-injected network failures. These use the process-global
+// faultinject registry, so they cannot run in parallel.
+
+func TestTornResponseIsRetriedInvisibly(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, testOptions(a.ts.URL, b.ts.URL))
+	h := rt.Handler()
+	primary := rt.order("factoid")[0]
+	var primaryFake *fakeReplica
+	for _, f := range []*fakeReplica{a, b} {
+		if f.ts.URL == primary.url {
+			primaryFake = f
+		}
+	}
+	// Because responses buffer whole before any byte reaches the client,
+	// a replica dying mid-response is a retryable transport error, not a
+	// corrupt client payload.
+	faultinject.Enable(faultinject.NewRegistry().ArmEvery(
+		"cluster.response."+primaryFake.host(t),
+		faultinject.Fault{Kind: faultinject.KindTorn, Bytes: 3, Err: errors.New("connection reset mid-body")},
+	))
+	defer faultinject.Disable()
+
+	w := post(t, h, "/v1/models/factoid/predict", `{}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, want torn response hidden by retry: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("X-Overton-Replica"); got == primary.url {
+		t.Fatalf("served by the torn replica %s", got)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatalf("client saw a corrupt body: %v (%q)", err, w.Body)
+	}
+}
+
+func TestRefusedDialFailsOver(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, testOptions(a.ts.URL, b.ts.URL))
+	h := rt.Handler()
+	primary := rt.order("factoid")[0]
+	var primaryFake *fakeReplica
+	for _, f := range []*fakeReplica{a, b} {
+		if f.ts.URL == primary.url {
+			primaryFake = f
+		}
+	}
+	reg := faultinject.NewRegistry().Arm(
+		"cluster.dial."+primaryFake.host(t), 1,
+		faultinject.Fault{Err: errors.New("connect: connection refused")},
+	)
+	faultinject.Enable(reg)
+	defer faultinject.Disable()
+
+	w := post(t, h, "/v1/models/factoid/predict", `{}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, want failover past the refused dial: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("X-Overton-Replica"); got == primary.url {
+		t.Fatalf("served by the refused replica %s", got)
+	}
+}
+
+func TestInjectedLatencyTripsAttemptDeadline(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	opt := testOptions(a.ts.URL, b.ts.URL)
+	opt.AttemptTimeout = 50 * time.Millisecond
+	rt := newTestRouter(t, opt)
+	h := rt.Handler()
+	primary := rt.order("factoid")[0]
+	var primaryFake *fakeReplica
+	for _, f := range []*fakeReplica{a, b} {
+		if f.ts.URL == primary.url {
+			primaryFake = f
+		}
+	}
+	// The injected latency outlasts the attempt deadline but not the
+	// request deadline, so the slow replica is abandoned and the request
+	// still lands.
+	faultinject.Enable(faultinject.NewRegistry().ArmEvery(
+		"cluster.dial."+primaryFake.host(t),
+		faultinject.Fault{Kind: faultinject.KindDelay, Delay: 2 * time.Second},
+	))
+	defer faultinject.Disable()
+
+	start := time.Now()
+	w := post(t, h, "/v1/models/factoid/predict", `{}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, want slow replica abandoned: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("X-Overton-Replica"); got == primary.url {
+		t.Fatalf("served by the slow replica %s", got)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("request took %v — attempt deadline did not fire", elapsed)
+	}
+}
+
+func TestProxyBodyTooLargeRefused(t *testing.T) {
+	a := newFakeReplica(t)
+	rt := newTestRouter(t, testOptions(a.ts.URL))
+	h := rt.Handler()
+	w := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/models/factoid/predict", io.LimitReader(neverEnding('x'), maxProxyBodyBytes+1))
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 for an unbuffered-unretryable body", w.Code)
+	}
+}
+
+type neverEnding byte
+
+func (b neverEnding) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(b)
+	}
+	return len(p), nil
+}

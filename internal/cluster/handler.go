@@ -1,0 +1,52 @@
+package cluster
+
+import "net/http"
+
+// Handler returns the router's HTTP surface. Deployment data-plane
+// routes proxy with failover; /promote and /rollback run the rolling
+// fleet operations instead of proxying; /v1/cluster/stats (also served
+// at /stats) is the aggregated fleet view.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	// Fleet control plane — handled by the router itself.
+	mux.HandleFunc("POST /v1/models/{name}/promote", rt.handlePromote)
+	mux.HandleFunc("POST /v1/models/{name}/rollback", rt.handleRollback)
+	mux.HandleFunc("GET /v1/cluster/stats", rt.handleClusterStats)
+	mux.HandleFunc("GET /stats", rt.handleClusterStats)
+	mux.HandleFunc("GET /healthz", rt.handleHealth)
+	mux.HandleFunc("GET /readyz", rt.handleReady)
+
+	// Deployment data plane — proxied along the deployment's replica
+	// preference order with retry/failover.
+	for _, route := range []string{
+		"POST /v1/models/{name}/predict",
+		"POST /v1/models/{name}/ingest",
+		"POST /v1/models/{name}/loop",
+		"GET /v1/models/{name}/loop",
+		"POST /v1/models/{name}/limits",
+		"GET /v1/models/{name}/limits",
+		"GET /v1/models/{name}/stats",
+		"GET /v1/models/{name}/signature",
+		"POST /v1/models/{name}/slices",
+		"GET /v1/models/{name}/slices",
+		"POST /v1/models/{name}/alerts",
+		"GET /v1/models/{name}/alerts",
+		"GET /v1/models/{name}/snapshot",
+		"POST /v1/models/{name}/shadow",
+		"POST /predict", // legacy single-model surface
+	} {
+		mux.HandleFunc(route, rt.handleProxy)
+	}
+
+	// Fleet-wide reads — any routable replica answers.
+	for _, route := range []string{
+		"GET /v1/models",
+		"GET /v1/models/{$}",
+		"POST /v1/query",
+		"GET /v1/telemetry",
+	} {
+		mux.HandleFunc(route, rt.handleProxyAny)
+	}
+	return mux
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health probing: one goroutine ticks every ProbeInterval and probes
+// every replica's /readyz in parallel through the fault-injectable
+// transport. Rise/fall hysteresis keeps one flaky probe from flapping a
+// replica's routable state; an unhealthy→healthy transition triggers an
+// asynchronous resync of the replica onto each deployment's recorded
+// target version (promote.go).
+
+// probeLoop runs until Close.
+func (rt *Router) probeLoop() {
+	defer close(rt.done)
+	tick := time.NewTicker(rt.opt.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-tick.C:
+			rt.probeAll()
+		}
+	}
+}
+
+// probeAll probes every replica once, in parallel, and applies the
+// hysteresis transitions.
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, rep := range rt.replicas {
+		wg.Add(1)
+		go func(rep *Replica) {
+			defer wg.Done()
+			rt.probeOne(rep)
+		}(rep)
+	}
+	wg.Wait()
+}
+
+// probeOne runs one /readyz round trip and feeds the result through the
+// replica's rise/fall counters. The counters are only ever touched from
+// probe goroutines, one per replica per round, so they need no lock —
+// probeAll joins every round before the next begins.
+func (rt *Router) probeOne(rep *Replica) {
+	ok := rt.probe(rep)
+	now := rt.opt.Now()
+	if ok {
+		rep.succStreak++
+		rep.failStreak = 0
+		rep.probeBack(now)
+		if !rep.healthy.Load() && rep.succStreak >= rt.opt.Rise {
+			rep.healthy.Store(true)
+			go rt.resyncReplica(rep)
+		}
+	} else {
+		rep.failStreak++
+		rep.succStreak = 0
+		if rep.healthy.Load() && rep.failStreak >= rt.opt.Fall {
+			rep.healthy.Store(false)
+		}
+	}
+}
+
+// probe runs one GET /readyz against the replica.
+func (rt *Router) probe(rep *Replica) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.opt.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// healthyCount reports how many replicas are currently healthy.
+func (rt *Router) healthyCount() int {
+	n := 0
+	for _, rep := range rt.replicas {
+		if rep.Healthy() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,363 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/fleetstate"
+)
+
+// versionHeader carries a snapshot's deployment version (the serve
+// front's X-Overton-Version).
+const versionHeader = "X-Overton-Version"
+
+// stepTimeout bounds one control-plane round trip during a rolling
+// promote (ship, promote, rollback, stats read).
+const stepTimeout = 30 * time.Second
+
+// StepResult records one replica's outcome in a rolling promote or
+// fleet rollback.
+type StepResult struct {
+	Replica string `json:"replica"`
+	// Action is what happened: "promoted", "skipped" (replica was
+	// unhealthy or crashed mid-step; it resyncs on probe-back),
+	// "rolled-back", or "gate-failed".
+	Action string `json:"action"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// promoteResponse is the router's answer to a rolling promote.
+type promoteResponse struct {
+	Model   string       `json:"model"`
+	Version int          `json:"version"`
+	Steps   []StepResult `json:"steps"`
+	// RolledBack reports that a gate failure undid the rollout.
+	RolledBack bool `json:"rolled_back,omitempty"`
+}
+
+// handlePromote runs a rolling, gated promote across the fleet. The
+// candidate artifact comes from the request body (a fleetstate-framed
+// snapshot, with ?version=N) or, with an empty body, is pulled from the
+// first routable replica holding a shadow. Each healthy replica is then
+// stepped through ship-shadow → promote → hold → gate-check; a gate
+// failure rolls every promoted replica back and answers 409, a replica
+// that dies mid-step is skipped (resynced on probe-back), and success
+// records the fleet-wide target version.
+func (rt *Router) handlePromote(w http.ResponseWriter, r *http.Request) {
+	dep := r.PathValue("name")
+	rt.promoteMu.Lock()
+	defer rt.promoteMu.Unlock()
+	framed, version, err := rt.promoteSource(r, dep)
+	if err != nil {
+		httpError(w, http.StatusConflict, "promote %s: %v", dep, err)
+		return
+	}
+	resp := rt.rollingPromote(dep, framed, version)
+	if resp.RolledBack {
+		writeJSONStatus(w, http.StatusConflict, resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// promoteSource resolves the candidate artifact: the uploaded framed
+// snapshot, or the first routable replica's shadow.
+func (rt *Router) promoteSource(r *http.Request, dep string) (framed []byte, version int, err error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxProxyBodyBytes))
+	if err != nil {
+		return nil, 0, fmt.Errorf("read body: %w", err)
+	}
+	if len(body) > 0 {
+		version, err = strconv.Atoi(r.URL.Query().Get("version"))
+		if err != nil || version <= 0 {
+			return nil, 0, fmt.Errorf("uploading an artifact needs ?version=N (positive)")
+		}
+		if _, err := fleetstate.DecodeSnapshot(body); err != nil {
+			return nil, 0, err
+		}
+		return body, version, nil
+	}
+	now := rt.opt.Now()
+	for _, rep := range rt.order(dep) {
+		if !rep.Healthy() || !rep.routable(now) {
+			continue
+		}
+		framed, version, err = rt.pullSnapshot(rep, dep, "shadow")
+		if err == nil {
+			return framed, version, nil
+		}
+	}
+	if err == nil {
+		err = fmt.Errorf("no routable replica")
+	}
+	return nil, 0, fmt.Errorf("no replica offered a shadow candidate: %v", err)
+}
+
+// rollingPromote executes the replica-by-replica rollout.
+func (rt *Router) rollingPromote(dep string, framed []byte, version int) *promoteResponse {
+	resp := &promoteResponse{Model: dep, Version: version}
+	var promoted []*Replica
+	for _, rep := range rt.replicas {
+		if !rep.Healthy() {
+			resp.Steps = append(resp.Steps, StepResult{Replica: rep.url, Action: "skipped", Detail: "unhealthy; resyncs on probe-back"})
+			continue
+		}
+		pre, err := rt.replicaStats(rep, dep)
+		if err != nil {
+			resp.Steps = append(resp.Steps, StepResult{Replica: rep.url, Action: "skipped", Detail: "stats: " + err.Error()})
+			continue
+		}
+		if pre.Version == version {
+			// Already at the target (a re-run after a partial rollout).
+			promoted = append(promoted, rep)
+			resp.Steps = append(resp.Steps, StepResult{Replica: rep.url, Action: "promoted", Detail: "already at target"})
+			continue
+		}
+		if err := rt.shipShadow(rep, dep, framed, version); err != nil {
+			resp.Steps = append(resp.Steps, StepResult{Replica: rep.url, Action: "skipped", Detail: "ship: " + err.Error()})
+			continue
+		}
+		if err := rt.replicaLifecycle(rep, dep, "promote"); err != nil {
+			resp.Steps = append(resp.Steps, StepResult{Replica: rep.url, Action: "skipped", Detail: "promote: " + err.Error()})
+			continue
+		}
+		promoted = append(promoted, rep)
+		rt.hold()
+		post, err := rt.replicaStats(rep, dep)
+		if err != nil {
+			// Promoted but unreadable (likely crashed after the step):
+			// leave it — convergence is the target's job now.
+			resp.Steps = append(resp.Steps, StepResult{Replica: rep.url, Action: "promoted", Detail: "post-hold stats: " + err.Error()})
+			continue
+		}
+		if reason := rt.gateCheck(pre, post); reason != "" {
+			resp.Steps = append(resp.Steps, StepResult{Replica: rep.url, Action: "gate-failed", Detail: reason})
+			resp.RolledBack = true
+			for _, p := range promoted {
+				if err := rt.replicaLifecycle(p, dep, "rollback"); err != nil {
+					resp.Steps = append(resp.Steps, StepResult{Replica: p.url, Action: "skipped", Detail: "rollback: " + err.Error()})
+					continue
+				}
+				resp.Steps = append(resp.Steps, StepResult{Replica: p.url, Action: "rolled-back"})
+			}
+			rt.clearTarget(dep)
+			return resp
+		}
+		resp.Steps = append(resp.Steps, StepResult{Replica: rep.url, Action: "promoted"})
+	}
+	rt.setTarget(dep, version, framed)
+	return resp
+}
+
+// hold sleeps the inter-step gate window (interruptible by Close).
+func (rt *Router) hold() {
+	select {
+	case <-time.After(rt.opt.PromoteHold):
+	case <-rt.stop:
+	}
+}
+
+// gateCheck judges the policy gates over one replica's hold window:
+// quarantine, served-error regression, shed rate, and slice gates —
+// the same Policy shape the in-process improvement loop holds on.
+// Slice gates are fail-closed: a gate naming a slice the replica does
+// not report holds the rollout.
+func (rt *Router) gateCheck(pre, post deploy.Stats) string {
+	p := rt.opt.Policy
+	if post.Quarantined {
+		return "replica quarantined after promote"
+	}
+	if p.MaxRegressionErrorRate > 0 {
+		dReq := post.Requests - pre.Requests
+		dErr := post.Errors - pre.Errors
+		minReq := p.MinRegressionRequests
+		if minReq <= 0 {
+			minReq = 1
+		}
+		if dReq >= minReq && float64(dErr)/float64(dReq) > p.MaxRegressionErrorRate {
+			return fmt.Sprintf("error rate %.3f > max %.3f over %d post-promote requests", float64(dErr)/float64(dReq), p.MaxRegressionErrorRate, dReq)
+		}
+	}
+	if p.MaxPromoteShedRate > 0 && post.Load != nil {
+		var preAdmitted, preShed int64
+		if pre.Load != nil {
+			preAdmitted, preShed = pre.Load.Admitted, pre.Load.Shed
+		}
+		dShed := post.Load.Shed - preShed
+		dOffered := (post.Load.Admitted - preAdmitted) + dShed
+		if dOffered > 0 && float64(dShed)/float64(dOffered) > p.MaxPromoteShedRate {
+			return fmt.Sprintf("shed rate %.3f > max %.3f over the hold window", float64(dShed)/float64(dOffered), p.MaxPromoteShedRate)
+		}
+	}
+	for _, g := range p.SliceGates {
+		rep, ok := post.Slices[g.Slice]
+		if !ok {
+			return fmt.Sprintf("slice gate %q: slice not reported by replica (fail-closed)", g.Slice)
+		}
+		switch {
+		case g.MinUnits > 0 && rep.Units < g.MinUnits:
+			return fmt.Sprintf("slice gate %q: %.0f comparison units < min %.0f", g.Slice, rep.Units, g.MinUnits)
+		case g.MinAgreement > 0 && rep.Units > 0 && rep.Agreement < g.MinAgreement:
+			return fmt.Sprintf("slice gate %q: agreement %.3f < min %.3f", g.Slice, rep.Agreement, g.MinAgreement)
+		case g.MaxErrorRate > 0 && rep.Predicts > 0 && rep.ErrorRate > g.MaxErrorRate:
+			return fmt.Sprintf("slice gate %q: error rate %.3f > max %.3f", g.Slice, rep.ErrorRate, g.MaxErrorRate)
+		}
+	}
+	return ""
+}
+
+// handleRollback rolls every healthy replica back to its previous
+// primary and forgets the deployment's target version.
+func (rt *Router) handleRollback(w http.ResponseWriter, r *http.Request) {
+	dep := r.PathValue("name")
+	rt.promoteMu.Lock()
+	defer rt.promoteMu.Unlock()
+	var steps []StepResult
+	for _, rep := range rt.replicas {
+		if !rep.Healthy() {
+			steps = append(steps, StepResult{Replica: rep.url, Action: "skipped", Detail: "unhealthy"})
+			continue
+		}
+		if err := rt.replicaLifecycle(rep, dep, "rollback"); err != nil {
+			steps = append(steps, StepResult{Replica: rep.url, Action: "skipped", Detail: err.Error()})
+			continue
+		}
+		steps = append(steps, StepResult{Replica: rep.url, Action: "rolled-back"})
+	}
+	rt.clearTarget(dep)
+	writeJSON(w, map[string]any{"model": dep, "steps": steps})
+}
+
+// resyncReplica converges a just-recovered replica onto every recorded
+// target version — the probe-back half of "one SIGKILL costs at most
+// that replica's in-flight requests". Single-flighted per replica.
+func (rt *Router) resyncReplica(rep *Replica) {
+	rt.targetMu.Lock()
+	if rt.resyncing[rep.url] {
+		rt.targetMu.Unlock()
+		return
+	}
+	rt.resyncing[rep.url] = true
+	rt.targetMu.Unlock()
+	defer func() {
+		rt.targetMu.Lock()
+		delete(rt.resyncing, rep.url)
+		rt.targetMu.Unlock()
+	}()
+	for dep, tgt := range rt.targetSnapshot() {
+		st, err := rt.replicaStats(rep, dep)
+		if err != nil || st.Version == tgt.version {
+			continue
+		}
+		if err := rt.shipShadow(rep, dep, tgt.framed, tgt.version); err != nil {
+			continue
+		}
+		if err := rt.replicaLifecycle(rep, dep, "promote"); err != nil {
+			continue
+		}
+		rt.resyncs.Add(1)
+	}
+}
+
+// --- replica control-plane round trips ---
+
+// pullSnapshot downloads a framed artifact from a replica.
+func (rt *Router) pullSnapshot(rep *Replica, dep, which string) ([]byte, int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), stepTimeout)
+	defer cancel()
+	url := fmt.Sprintf("%s/v1/models/%s/snapshot?which=%s", rep.url, dep, which)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("replica %s: snapshot: status %d", rep.url, resp.StatusCode)
+	}
+	if _, err := fleetstate.DecodeSnapshot(body); err != nil {
+		return nil, 0, fmt.Errorf("replica %s: %w", rep.url, err)
+	}
+	version, err := strconv.Atoi(resp.Header.Get(versionHeader))
+	if err != nil || version <= 0 {
+		return nil, 0, fmt.Errorf("replica %s: snapshot missing %s header", rep.url, versionHeader)
+	}
+	return body, version, nil
+}
+
+// shipShadow uploads a framed artifact into a replica's shadow slot.
+func (rt *Router) shipShadow(rep *Replica, dep string, framed []byte, version int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), stepTimeout)
+	defer cancel()
+	url := fmt.Sprintf("%s/v1/models/%s/shadow?version=%d", rep.url, dep, version)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(framed))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	return rt.expectOK(req)
+}
+
+// replicaLifecycle POSTs one lifecycle action (promote | rollback).
+func (rt *Router) replicaLifecycle(rep *Replica, dep, action string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), stepTimeout)
+	defer cancel()
+	url := fmt.Sprintf("%s/v1/models/%s/%s", rep.url, dep, action)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		return err
+	}
+	return rt.expectOK(req)
+}
+
+// expectOK runs one control-plane request and fails on any non-200.
+func (rt *Router) expectOK(req *http.Request) error {
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// replicaStats reads one deployment's stats from a replica.
+func (rt *Router) replicaStats(rep *Replica, dep string) (deploy.Stats, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), stepTimeout)
+	defer cancel()
+	url := fmt.Sprintf("%s/v1/models/%s/stats", rep.url, dep)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return deploy.Stats{}, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return deploy.Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return deploy.Stats{}, fmt.Errorf("replica %s: stats: status %d", rep.url, resp.StatusCode)
+	}
+	var st deploy.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return deploy.Stats{}, fmt.Errorf("replica %s: stats: %w", rep.url, err)
+	}
+	return st, nil
+}

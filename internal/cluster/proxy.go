@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxProxyBodyBytes bounds a buffered request body. Bodies are buffered
+// whole so a retried attempt can replay them; anything bigger than this
+// is refused rather than silently made unretryable.
+const maxProxyBodyBytes = 32 << 20
+
+// handleProxy forwards one deployment-scoped request with failover:
+// attempts walk the deployment's replica preference order, retrying
+// retryable failures with exponential backoff + jitter under the
+// request deadline. Responses are buffered whole before any byte
+// reaches the client, so a replica dying mid-response is retried
+// invisibly — and a response that has started flowing is never retried,
+// because flowing only starts after the full body arrived.
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	dep := r.PathValue("name")
+	if dep == "" {
+		dep = "default" // legacy single-model surface
+	}
+	rt.proxy(w, r, dep)
+}
+
+// handleProxyAny forwards a fleet-wide request (listing, query,
+// telemetry counters) to any routable replica.
+func (rt *Router) handleProxyAny(w http.ResponseWriter, r *http.Request) {
+	rt.proxy(w, r, "")
+}
+
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, dep string) {
+	start := rt.opt.Now()
+	rt.routed.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "request body: %v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), rt.opt.RequestTimeout)
+	defer cancel()
+
+	order := rt.order(dep)
+	tried := map[*Replica]bool{}
+	attempts := 0
+	lastErr := "no routable replica"
+	for attempts <= rt.opt.MaxRetries {
+		rep := rt.pick(order, tried)
+		if rep == nil {
+			break
+		}
+		tried[rep] = true
+		if attempts > 0 {
+			rep.retries.Add(1)
+			if !rt.backoff(ctx, attempts) {
+				break // request deadline spent
+			}
+		}
+		attempts++
+		res, err := rt.attempt(ctx, rep, r, body)
+		if err == nil && res.status != http.StatusServiceUnavailable {
+			rep.onSuccess()
+			rt.writeProxied(w, rep, res)
+			rt.emitRoute(dep, rep.url, attempts, res.status, rt.sinceMillis(start), res.status >= 500)
+			return
+		}
+		if err != nil {
+			lastErr = err.Error()
+		} else {
+			lastErr = fmt.Sprintf("replica %s: 503", rep.url)
+		}
+		rep.onFailure(rt.opt.Now(), lastErr)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	// Every routable replica failed (or none was routable): shed with
+	// the fleet's admission semantics — typed 503 + Retry-After.
+	rt.shed.Add(1)
+	rt.emitRoute(dep, "", attempts, http.StatusServiceUnavailable, rt.sinceMillis(start), true)
+	w.Header().Set("Retry-After", retryAfterSeconds(rt.opt.ProbeInterval*time.Duration(rt.opt.Rise)))
+	writeJSONStatus(w, http.StatusServiceUnavailable, map[string]any{
+		"error":  fmt.Sprintf("no healthy replica for %q after %d attempts: %s", depLabel(dep), attempts, lastErr),
+		"reason": "no_healthy_replica",
+	})
+}
+
+func depLabel(dep string) string {
+	if dep == "" {
+		return "fleet"
+	}
+	return dep
+}
+
+// pick returns the first routable, untried replica in preference order.
+func (rt *Router) pick(order []*Replica, tried map[*Replica]bool) *Replica {
+	now := rt.opt.Now()
+	for _, rep := range order {
+		if tried[rep] {
+			continue
+		}
+		if rep.routable(now) {
+			return rep
+		}
+	}
+	return nil
+}
+
+// backoff sleeps base·2^(attempt-1) plus up-to-equal jitter, capped at
+// RetryMax, bounded by the request deadline. Reports false when the
+// deadline fired first.
+func (rt *Router) backoff(ctx context.Context, attempt int) bool {
+	d := rt.opt.RetryBase << (attempt - 1)
+	if d > rt.opt.RetryMax {
+		d = rt.opt.RetryMax
+	}
+	d += time.Duration(rand.Int63n(int64(d)))
+	if d > rt.opt.RetryMax {
+		d = rt.opt.RetryMax
+	}
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// proxiedResponse is one fully-buffered upstream response.
+type proxiedResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// attempt runs one request against one replica, buffering the response
+// body entirely — a mid-body failure surfaces here as an error, before
+// anything has flowed to the client, which is what makes it retryable.
+func (rt *Router) attempt(ctx context.Context, rep *Replica, orig *http.Request, body []byte) (*proxiedResponse, error) {
+	rep.requests.Add(1)
+	actx := ctx
+	if rt.opt.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, rt.opt.AttemptTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(actx, orig.Method, rep.url+orig.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header = orig.Header.Clone()
+	req.Header.Del("Connection")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("replica %s: read response: %w", rep.url, err)
+	}
+	return &proxiedResponse{status: resp.StatusCode, header: resp.Header, body: respBody}, nil
+}
+
+// writeProxied copies one buffered upstream response to the client,
+// stamping which replica served it.
+func (rt *Router) writeProxied(w http.ResponseWriter, rep *Replica, res *proxiedResponse) {
+	h := w.Header()
+	for _, k := range []string{"Content-Type", "Retry-After", versionHeader} {
+		if v := res.header.Get(k); v != "" {
+			h.Set(k, v)
+		}
+	}
+	h.Set("X-Overton-Replica", rep.url)
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+func (rt *Router) sinceMillis(start time.Time) float64 {
+	return float64(rt.opt.Now().Sub(start).Microseconds()) / 1000.0
+}
+
+// retryAfterSeconds renders a backoff hint as an HTTP Retry-After
+// value: whole seconds, in [1, 60] — the serve front's convention.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+func writeJSON(w http.ResponseWriter, v any) { writeJSONStatus(w, http.StatusOK, v) }
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if code != http.StatusOK {
+		w.WriteHeader(code)
+	}
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState names a replica circuit breaker's position.
+type BreakerState string
+
+// The breaker states: closed admits traffic, open ejects the replica,
+// half-open admits one trial request.
+const (
+	BreakerClosed   BreakerState = "closed"
+	BreakerOpen     BreakerState = "open"
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// Replica is one registered replica process: its routable state (health
+// from the prober, breaker from request outcomes) plus request
+// counters.
+type Replica struct {
+	url string
+
+	// healthy is the prober's verdict, behind rise/fall hysteresis.
+	healthy atomic.Bool
+	// succStreak/failStreak are prober-goroutine-owned hysteresis
+	// counters.
+	succStreak, failStreak int
+
+	// Breaker state, driven by request outcomes (and re-admitted by
+	// clean health probes once the cooldown passes).
+	bmu         sync.Mutex
+	state       BreakerState
+	consecFails int
+	openUntil   time.Time
+	cooldown    time.Duration
+
+	threshold         int
+	baseCool, maxCool time.Duration
+
+	requests, failures, retries atomic.Int64
+	errMu                       sync.Mutex
+	lastErr                     string
+}
+
+func newReplica(url string, opt Options) *Replica {
+	return &Replica{
+		url:       url,
+		state:     BreakerClosed,
+		cooldown:  opt.BreakerCooldown,
+		threshold: opt.BreakerThreshold,
+		baseCool:  opt.BreakerCooldown,
+		maxCool:   opt.BreakerMaxCooldown,
+	}
+}
+
+// URL returns the replica's base URL.
+func (r *Replica) URL() string { return r.url }
+
+// Healthy reports the prober's current verdict.
+func (r *Replica) Healthy() bool { return r.healthy.Load() }
+
+// Breaker reports the breaker's current state.
+func (r *Replica) Breaker() BreakerState {
+	r.bmu.Lock()
+	defer r.bmu.Unlock()
+	return r.state
+}
+
+// routable reports whether a request may be sent to this replica now:
+// healthy per the prober, and admitted by the breaker. In the open
+// state, the first call after the cooldown expires transitions to
+// half-open and admits exactly one trial; further calls are refused
+// until the trial's outcome lands.
+func (r *Replica) routable(now time.Time) bool {
+	if !r.healthy.Load() {
+		return false
+	}
+	r.bmu.Lock()
+	defer r.bmu.Unlock()
+	switch r.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Before(r.openUntil) {
+			return false
+		}
+		r.state = BreakerHalfOpen
+		return true
+	default: // half-open: one trial is already in flight
+		return false
+	}
+}
+
+// onSuccess records a successful attempt: the breaker closes and its
+// cooldown resets.
+func (r *Replica) onSuccess() {
+	r.bmu.Lock()
+	r.consecFails = 0
+	r.state = BreakerClosed
+	r.cooldown = r.baseCool
+	r.bmu.Unlock()
+}
+
+// onFailure records a failed attempt. Crossing the consecutive-failure
+// threshold opens the breaker; a failed half-open trial re-opens it
+// with a doubled cooldown (capped).
+func (r *Replica) onFailure(now time.Time, errMsg string) {
+	r.errMu.Lock()
+	r.lastErr = errMsg
+	r.errMu.Unlock()
+	r.failures.Add(1)
+	r.bmu.Lock()
+	defer r.bmu.Unlock()
+	r.consecFails++
+	switch r.state {
+	case BreakerHalfOpen:
+		r.cooldown *= 2
+		if r.cooldown > r.maxCool {
+			r.cooldown = r.maxCool
+		}
+		r.state = BreakerOpen
+		r.openUntil = now.Add(r.cooldown)
+	case BreakerClosed:
+		if r.consecFails >= r.threshold {
+			r.state = BreakerOpen
+			r.openUntil = now.Add(r.cooldown)
+		}
+	}
+}
+
+// probeBack re-admits an ejected replica on a clean health probe once
+// its cooldown has passed — the breaker's probe-back path when no
+// client traffic arrives to run a half-open trial.
+func (r *Replica) probeBack(now time.Time) {
+	r.bmu.Lock()
+	if r.state == BreakerOpen && !now.Before(r.openUntil) {
+		r.state = BreakerClosed
+		r.consecFails = 0
+		r.cooldown = r.baseCool
+	}
+	r.bmu.Unlock()
+}
+
+// LastError returns the most recent attempt failure against this
+// replica.
+func (r *Replica) LastError() string {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.lastErr
+}
+
+// Status snapshots the replica for the aggregated stats view.
+func (r *Replica) Status() ReplicaStatus {
+	r.bmu.Lock()
+	state, consec := r.state, r.consecFails
+	r.bmu.Unlock()
+	return ReplicaStatus{
+		URL:                 r.url,
+		Healthy:             r.healthy.Load(),
+		Breaker:             state,
+		ConsecutiveFailures: consec,
+		Requests:            r.requests.Load(),
+		Failures:            r.failures.Load(),
+		Retries:             r.retries.Load(),
+		LastError:           r.LastError(),
+	}
+}

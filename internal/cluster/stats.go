@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// ReplicaStatus is one replica's routable state and counters, as
+// exposed on the router's stats surface.
+type ReplicaStatus struct {
+	URL                 string       `json:"url"`
+	Healthy             bool         `json:"healthy"`
+	Breaker             BreakerState `json:"breaker"`
+	ConsecutiveFailures int          `json:"consecutive_failures"`
+	Requests            int64        `json:"requests"`
+	Failures            int64        `json:"failures"`
+	Retries             int64        `json:"retries"`
+	LastError           string       `json:"last_error,omitempty"`
+}
+
+// DeploymentStatus is the fleet-wide view of one deployment: the
+// recorded promote target (zero before any rolling promote) and each
+// healthy replica's installed version.
+type DeploymentStatus struct {
+	TargetVersion int `json:"target_version,omitempty"`
+	// Replicas maps replica URL → installed primary version.
+	Replicas map[string]int `json:"replicas"`
+	// Converged reports that every healthy replica holds the same
+	// version (and the target version, when one is recorded).
+	Converged bool `json:"converged"`
+}
+
+// ClusterStats is the router's aggregated fleet view.
+type ClusterStats struct {
+	Replicas    []ReplicaStatus             `json:"replicas"`
+	Deployments map[string]DeploymentStatus `json:"deployments"`
+	Routed      int64                       `json:"routed"`
+	Shed        int64                       `json:"shed"`
+	Resyncs     int64                       `json:"resyncs"`
+}
+
+// replicaListing mirrors the slice of serve's GET /v1/models answer the
+// router aggregates.
+type replicaListing struct {
+	Deployments []struct {
+		Name    string `json:"name"`
+		Version int    `json:"version"`
+	} `json:"deployments"`
+}
+
+// Stats assembles the aggregated fleet view: per-replica health and
+// breaker state, and per-deployment version convergence read live from
+// each healthy replica.
+func (rt *Router) Stats() ClusterStats {
+	st := ClusterStats{
+		Deployments: map[string]DeploymentStatus{},
+		Routed:      rt.routed.Load(),
+		Shed:        rt.shed.Load(),
+		Resyncs:     rt.resyncs.Load(),
+	}
+	type listed struct {
+		url  string
+		list replicaListing
+		ok   bool
+	}
+	results := make([]listed, len(rt.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range rt.replicas {
+		st.Replicas = append(st.Replicas, rep.Status())
+		if !rep.Healthy() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, rep *Replica) {
+			defer wg.Done()
+			list, err := rt.listReplica(rep)
+			results[i] = listed{url: rep.url, list: list, ok: err == nil}
+		}(i, rep)
+	}
+	wg.Wait()
+	targets := rt.targetSnapshot()
+	for _, res := range results {
+		if !res.ok {
+			continue
+		}
+		for _, d := range res.list.Deployments {
+			ds, ok := st.Deployments[d.Name]
+			if !ok {
+				ds = DeploymentStatus{Replicas: map[string]int{}}
+			}
+			ds.Replicas[res.url] = d.Version
+			st.Deployments[d.Name] = ds
+		}
+	}
+	for name, ds := range st.Deployments {
+		if tgt, ok := targets[name]; ok {
+			ds.TargetVersion = tgt.version
+		}
+		ds.Converged = converged(ds)
+		st.Deployments[name] = ds
+	}
+	return st
+}
+
+// converged reports whether every reporting replica holds one version —
+// the target version when one is recorded.
+func converged(ds DeploymentStatus) bool {
+	if len(ds.Replicas) == 0 {
+		return false
+	}
+	want := ds.TargetVersion
+	for _, v := range ds.Replicas {
+		if want == 0 {
+			want = v
+		}
+		if v != want {
+			return false
+		}
+	}
+	return true
+}
+
+// listReplica reads one replica's deployment listing.
+func (rt *Router) listReplica(rep *Replica) (replicaListing, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.opt.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/v1/models", nil)
+	if err != nil {
+		return replicaListing{}, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return replicaListing{}, err
+	}
+	defer resp.Body.Close()
+	var list replicaListing
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return replicaListing{}, err
+	}
+	return list, nil
+}
+
+// handleClusterStats serves the aggregated fleet view.
+func (rt *Router) handleClusterStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, rt.Stats())
+}
+
+// handleReady answers 200 while at least one replica is healthy — the
+// router's own load-balancer-facing readiness.
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	if rt.healthyCount() == 0 {
+		httpError(w, http.StatusServiceUnavailable, "no healthy replica")
+		return
+	}
+	writeJSON(w, map[string]any{"status": "ok", "healthy_replicas": rt.healthyCount()})
+}
+
+// handleHealth answers 200 while the router process itself is up.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// faultTransport wraps the router's HTTP transport with the cluster's
+// deterministic network failpoints, named per target host:
+//
+//	cluster.dial.<host>      KindError: the dial fails (connection
+//	                         refused shape); KindDelay: injected network
+//	                         latency before the request proceeds.
+//	cluster.response.<host>  KindTorn: the response body is cut after
+//	                         Bytes bytes and fails mid-read (a replica
+//	                         dying mid-response); KindError: the
+//	                         response fails before any byte (connection
+//	                         reset).
+//
+// With no registry enabled each request pays two atomic nil loads —
+// the same production-cost contract as every other faultinject site.
+type faultTransport struct {
+	base http.RoundTripper
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	if f := faultinject.Check("cluster.dial." + host); f != nil {
+		switch f.Kind {
+		case faultinject.KindDelay:
+			select {
+			case <-time.After(f.Delay):
+			case <-req.Context().Done():
+				return nil, req.Context().Err()
+			}
+		default:
+			return nil, fmt.Errorf("dial tcp %s: %w", host, f.Error())
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if keep, f := faultinject.Torn("cluster.response." + host); f != nil {
+		switch f.Kind {
+		case faultinject.KindTorn:
+			resp.Body = &tornBody{r: resp.Body, remain: keep, err: f.Error()}
+		case faultinject.KindDelay:
+			time.Sleep(f.Delay)
+		default:
+			resp.Body.Close()
+			return nil, fmt.Errorf("read tcp %s: %w", host, f.Error())
+		}
+	}
+	return resp, nil
+}
+
+// tornBody yields remain bytes of the wrapped body and then fails the
+// read — the exact shape of a replica killed mid-response.
+type tornBody struct {
+	r      io.ReadCloser
+	remain int
+	err    error
+}
+
+func (b *tornBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, b.err
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.r.Read(p)
+	b.remain -= n
+	if err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func (b *tornBody) Close() error { return b.r.Close() }

@@ -1,0 +1,308 @@
+package deploy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Slice alert webhooks: the alerting half of the slice plane. A
+// SliceAlert names a live slice (SetSlices) and a threshold; when the
+// slice's in-memory window crosses it, the deployment fires a POST at
+// the configured URL. Evaluation runs on its own goroutine — never the
+// controller tick, never the serve path — and delivery is asynchronous
+// with bounded retry (3 attempts, exponential backoff with jitter), so
+// a slow or dead webhook endpoint costs a goroutine, not a tick.
+//
+// Alerts are edge-triggered with re-arm hysteresis: an alert fires once
+// when its slice crosses the threshold and will not fire again until
+// the slice has been observed healthy, so a persistently bad slice
+// produces one page, not one per evaluation interval.
+
+// Alert evaluation and delivery defaults.
+const (
+	defaultAlertInterval   = time.Second
+	alertDeliveryAttempts  = 3
+	alertBackoffBase       = 200 * time.Millisecond
+	defaultAlertHTTPTimout = 5 * time.Second
+)
+
+// SliceAlert is one slice-crossing webhook definition. At least one
+// threshold must be set; a crossing on any of them fires the alert.
+type SliceAlert struct {
+	// Slice names a slice installed via SetSlices. An alert naming an
+	// undefined slice never fires (the slice has no window to judge) —
+	// unlike gates, alerts are advisory, so a typo is inert rather than
+	// fail-closed.
+	Slice string `json:"slice"`
+	// MaxErrorRate fires when the slice's served error rate exceeds it
+	// (0 disables). Judged only when the window holds predicts.
+	MaxErrorRate float64 `json:"max_error_rate,omitempty"`
+	// MinAgreement fires when shadow agreement over the slice drops
+	// below it (0 disables). Judged only when the window holds at least
+	// MinUnits comparison units (or any units when MinUnits is 0).
+	MinAgreement float64 `json:"min_agreement,omitempty"`
+	// MinUnits is the comparison-unit evidence floor for MinAgreement.
+	MinUnits float64 `json:"min_units,omitempty"`
+	// URL receives the alert as a JSON POST.
+	URL string `json:"url"`
+}
+
+// validate rejects an alert that could never fire or has nowhere to go.
+func (a SliceAlert) validate() error {
+	if a.Slice == "" {
+		return fmt.Errorf("deploy: alert needs a slice name")
+	}
+	if a.URL == "" {
+		return fmt.Errorf("deploy: alert on slice %q needs a url", a.Slice)
+	}
+	if a.MaxErrorRate <= 0 && a.MinAgreement <= 0 {
+		return fmt.Errorf("deploy: alert on slice %q needs a threshold", a.Slice)
+	}
+	return nil
+}
+
+// AlertEvent is the JSON body POSTed to an alert's URL.
+type AlertEvent struct {
+	Dep    string `json:"dep"`
+	Slice  string `json:"slice"`
+	Reason string `json:"reason"`
+	// The slice window numbers at the moment of crossing.
+	ErrorRate float64 `json:"error_rate"`
+	Agreement float64 `json:"agreement"`
+	Units     float64 `json:"units"`
+	TS        int64   `json:"ts"` // unix milliseconds
+}
+
+// AlertStatus is the alert subsystem's counter snapshot, surfaced in
+// Stats.Alerts while alerts are configured.
+type AlertStatus struct {
+	// Alerts echoes the installed definitions.
+	Alerts []SliceAlert `json:"alerts"`
+	// Fired counts threshold crossings (each starts one delivery).
+	Fired int64 `json:"fired"`
+	// Delivered counts webhook POSTs acknowledged with a 2xx.
+	Delivered int64 `json:"delivered"`
+	// Failed counts deliveries abandoned after every attempt failed.
+	Failed int64 `json:"failed,omitempty"`
+	// LastError is the most recent delivery failure, for /stats triage.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// alerter is one running alert evaluator: a ticker goroutine judging the
+// live slice window, plus one short-lived goroutine per delivery.
+type alerter struct {
+	d      *Deployment
+	alerts []SliceAlert
+	stop   chan struct{}
+	done   chan struct{}
+
+	fired, delivered, failed atomic.Int64
+	errMu                    sync.Mutex
+	lastErr                  string
+
+	deliveries sync.WaitGroup
+}
+
+// SetAlerts installs (or with an empty list removes) the deployment's
+// slice alert webhooks, replacing any previous set. Alert state restarts
+// armed: a slice already over threshold fires on the first evaluation.
+func (d *Deployment) SetAlerts(alerts []SliceAlert) error {
+	for _, a := range alerts {
+		if err := a.validate(); err != nil {
+			return err
+		}
+	}
+	d.alertMu.Lock()
+	defer d.alertMu.Unlock()
+	if d.Closed() {
+		return ErrClosed
+	}
+	d.stopAlerterLocked()
+	if len(alerts) == 0 {
+		return nil
+	}
+	a := &alerter{
+		d:      d,
+		alerts: append([]SliceAlert(nil), alerts...),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	d.alerter = a
+	go a.run()
+	return nil
+}
+
+// AlertDefs returns the installed alert definitions (nil when none).
+func (d *Deployment) AlertDefs() []SliceAlert {
+	d.alertMu.Lock()
+	defer d.alertMu.Unlock()
+	if d.alerter == nil {
+		return nil
+	}
+	return append([]SliceAlert(nil), d.alerter.alerts...)
+}
+
+// AlertStatus snapshots the alert counters (nil when no alerts are
+// configured).
+func (d *Deployment) AlertStatus() *AlertStatus {
+	d.alertMu.Lock()
+	a := d.alerter
+	d.alertMu.Unlock()
+	if a == nil {
+		return nil
+	}
+	a.errMu.Lock()
+	lastErr := a.lastErr
+	a.errMu.Unlock()
+	return &AlertStatus{
+		Alerts:    append([]SliceAlert(nil), a.alerts...),
+		Fired:     a.fired.Load(),
+		Delivered: a.delivered.Load(),
+		Failed:    a.failed.Load(),
+		LastError: lastErr,
+	}
+}
+
+// stopAlertsForClose stops the alert evaluator; Close calls it so a
+// closed deployment leaks neither the ticker nor delivery goroutines.
+func (d *Deployment) stopAlertsForClose() {
+	d.alertMu.Lock()
+	d.stopAlerterLocked()
+	d.alertMu.Unlock()
+}
+
+// stopAlerterLocked stops the running alerter (if any) and waits for its
+// evaluation goroutine and in-flight deliveries to finish. Caller holds
+// alertMu.
+func (d *Deployment) stopAlerterLocked() {
+	if d.alerter == nil {
+		return
+	}
+	close(d.alerter.stop)
+	<-d.alerter.done
+	d.alerter.deliveries.Wait()
+	d.alerter = nil
+}
+
+// run is the evaluation loop: every interval, judge each alert against
+// the live slice window and fire crossings.
+func (a *alerter) run() {
+	defer close(a.done)
+	interval := a.d.alertInterval
+	if interval <= 0 {
+		interval = defaultAlertInterval
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	firing := make(map[int]bool, len(a.alerts))
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-tick.C:
+			a.evaluate(firing)
+		}
+	}
+}
+
+// evaluate judges every alert once. firing carries the edge-trigger
+// state across evaluations: index -> currently over threshold.
+func (a *alerter) evaluate(firing map[int]bool) {
+	reports := a.d.sliceReports()
+	if reports == nil {
+		return
+	}
+	for i, al := range a.alerts {
+		rep, ok := reports[al.Slice]
+		if !ok {
+			continue
+		}
+		reason := ""
+		switch {
+		case al.MaxErrorRate > 0 && rep.Predicts > 0 && rep.ErrorRate > al.MaxErrorRate:
+			reason = fmt.Sprintf("error rate %.3f > max %.3f over %d requests", rep.ErrorRate, al.MaxErrorRate, rep.Predicts)
+		case al.MinAgreement > 0 && rep.Units > 0 && rep.Units >= al.MinUnits && rep.Agreement < al.MinAgreement:
+			reason = fmt.Sprintf("agreement %.3f < min %.3f over %.0f units", rep.Agreement, al.MinAgreement, rep.Units)
+		}
+		if reason == "" {
+			firing[i] = false // healthy again: re-arm
+			continue
+		}
+		if firing[i] {
+			continue // already fired this excursion
+		}
+		firing[i] = true
+		a.fired.Add(1)
+		ev := AlertEvent{
+			Dep:       a.d.name,
+			Slice:     al.Slice,
+			Reason:    reason,
+			ErrorRate: rep.ErrorRate,
+			Agreement: rep.Agreement,
+			Units:     rep.Units,
+			TS:        a.d.now().UnixMilli(),
+		}
+		a.d.emitLifecycle("alert", map[string]any{
+			"slice":  al.Slice,
+			"reason": reason,
+		})
+		a.deliveries.Add(1)
+		go a.deliver(al.URL, ev)
+	}
+}
+
+// deliver POSTs one alert event with bounded retry: 3 attempts,
+// exponential backoff with jitter. Runs on its own goroutine so a slow
+// endpoint never backs up evaluation, let alone the controller tick.
+func (a *alerter) deliver(url string, ev AlertEvent) {
+	defer a.deliveries.Done()
+	body, err := json.Marshal(ev)
+	if err != nil {
+		a.failed.Add(1)
+		a.setLastErr(err.Error())
+		return
+	}
+	client := a.d.alertClient
+	if client == nil {
+		client = &http.Client{Timeout: defaultAlertHTTPTimout}
+	}
+	var lastErr string
+	for attempt := 0; attempt < alertDeliveryAttempts; attempt++ {
+		if attempt > 0 {
+			backoff := alertBackoffBase << (attempt - 1)
+			backoff += time.Duration(rand.Int63n(int64(backoff)))
+			select {
+			case <-a.stop:
+				a.failed.Add(1)
+				a.setLastErr(lastErr)
+				return
+			case <-time.After(backoff):
+			}
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err.Error()
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			a.delivered.Add(1)
+			return
+		}
+		lastErr = fmt.Sprintf("webhook %s: status %d", url, resp.StatusCode)
+	}
+	a.failed.Add(1)
+	a.setLastErr(lastErr)
+}
+
+func (a *alerter) setLastErr(msg string) {
+	a.errMu.Lock()
+	a.lastErr = msg
+	a.errMu.Unlock()
+}

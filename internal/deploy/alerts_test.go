@@ -1,0 +1,224 @@
+package deploy
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/sliceql"
+)
+
+// alertSink is a scripted webhook endpoint: it records every delivered
+// AlertEvent and can fail the first N posts to exercise retry.
+type alertSink struct {
+	ts       *httptest.Server
+	posts    atomic.Int64
+	failures atomic.Int64 // fail this many posts with a 500 before accepting
+	events   chan AlertEvent
+}
+
+func newAlertSink(t *testing.T) *alertSink {
+	t.Helper()
+	s := &alertSink{events: make(chan AlertEvent, 16)}
+	s.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := s.posts.Add(1)
+		if n <= s.failures.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		var ev AlertEvent
+		if err := json.NewDecoder(r.Body).Decode(&ev); err != nil {
+			t.Errorf("webhook received undecodable body: %v", err)
+		}
+		select {
+		case s.events <- ev:
+		default:
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+func waitAlert(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestAlertValidation(t *testing.T) {
+	d := New("factoid", freshModel(t, 1), 1)
+	defer d.Close()
+	for _, bad := range [][]SliceAlert{
+		{{URL: "http://x", MaxErrorRate: 0.5}},       // no slice
+		{{Slice: "s", MaxErrorRate: 0.5}},            // no url
+		{{Slice: "s", URL: "http://x"}},              // no threshold
+		{{Slice: "s", URL: "http://x", MinUnits: 3}}, // MinUnits alone is not a threshold
+	} {
+		if err := d.SetAlerts(bad); err == nil {
+			t.Fatalf("invalid alert accepted: %+v", bad)
+		}
+	}
+	if st := d.AlertStatus(); st != nil {
+		t.Fatalf("rejected alerts left state behind: %+v", st)
+	}
+}
+
+func TestAlertFiresRetriesAndRearms(t *testing.T) {
+	sink := newAlertSink(t)
+	sink.failures.Store(2) // first delivery needs all 3 attempts
+
+	m := freshModel(t, 1)
+	d := New("factoid", m, 1)
+	defer d.Close()
+	if err := d.SetSlices([]sliceql.SliceDef{{Name: "billing", Expr: "intent=billing"}}); err != nil {
+		t.Fatal(err)
+	}
+	d.alertInterval = 10 * time.Millisecond
+	if err := d.SetAlerts([]SliceAlert{{Slice: "billing", MaxErrorRate: 0.5, URL: sink.ts.URL}}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := goodRecord(t, m)
+	rec.Tags = []string{"intent=billing"}
+
+	// Breach: every predict fails, so the slice error rate hits 1.0.
+	faultinject.Enable(faultinject.NewRegistry().ArmEvery(
+		"deploy.predict.factoid", faultinject.Fault{Err: errors.New("injected model failure")}))
+	for i := 0; i < 5; i++ {
+		if _, _, err := d.Predict(rec); err == nil {
+			t.Fatal("injected failure did not fail the predict")
+		}
+	}
+	faultinject.Disable()
+
+	// The crossing fires exactly once and survives two webhook 500s.
+	var ev AlertEvent
+	select {
+	case ev = <-sink.events:
+	case <-time.After(10 * time.Second):
+		t.Fatal("alert never delivered")
+	}
+	if ev.Dep != "factoid" || ev.Slice != "billing" || ev.ErrorRate <= 0.5 || ev.Reason == "" {
+		t.Fatalf("alert event %+v", ev)
+	}
+	if got := sink.posts.Load(); got != 3 {
+		t.Fatalf("%d webhook posts, want 3 (two failed attempts + success)", got)
+	}
+	waitAlert(t, func() bool {
+		st := d.AlertStatus()
+		return st != nil && st.Fired == 1 && st.Delivered == 1
+	}, "counters to settle at fired=1 delivered=1")
+
+	// Edge trigger: a persisting breach does not fire again.
+	time.Sleep(100 * time.Millisecond) // several evaluation intervals
+	if st := d.AlertStatus(); st.Fired != 1 {
+		t.Fatalf("persisting breach re-fired: %+v", st)
+	}
+
+	// Recovery re-arms: enough healthy traffic drags the windowed error
+	// rate under threshold, then a fresh breach fires a second alert.
+	for i := 0; i < 20; i++ {
+		if _, _, err := d.Predict(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitAlert(t, func() bool {
+		rep := d.sliceReports()["billing"]
+		return rep.ErrorRate < 0.5
+	}, "window to recover under threshold")
+	time.Sleep(50 * time.Millisecond) // let an evaluation observe health
+	faultinject.Enable(faultinject.NewRegistry().ArmEvery(
+		"deploy.predict.factoid", faultinject.Fault{Err: errors.New("injected model failure")}))
+	defer faultinject.Disable()
+	for i := 0; i < 40; i++ {
+		_, _, _ = d.Predict(rec)
+	}
+	waitAlert(t, func() bool { return d.AlertStatus().Fired == 2 }, "re-armed alert to fire")
+
+	// The counters ride along on the deployment's stats surface.
+	if st := d.Stats(); st.Alerts == nil || st.Alerts.Fired != 2 {
+		t.Fatalf("Stats().Alerts = %+v, want the alert counters", st.Alerts)
+	}
+}
+
+func TestAlertOnUndefinedSliceIsInert(t *testing.T) {
+	sink := newAlertSink(t)
+	m := freshModel(t, 1)
+	d := New("factoid", m, 1)
+	defer d.Close()
+	if err := d.SetSlices([]sliceql.SliceDef{{Name: "billing", Expr: "intent=billing"}}); err != nil {
+		t.Fatal(err)
+	}
+	d.alertInterval = 5 * time.Millisecond
+	// Alerts are advisory: naming a missing slice must not fire (or
+	// fail-closed like gates do) — it just never matches a report.
+	if err := d.SetAlerts([]SliceAlert{{Slice: "no-such-slice", MaxErrorRate: 0.001, URL: sink.ts.URL}}); err != nil {
+		t.Fatal(err)
+	}
+	rec := goodRecord(t, m)
+	rec.Tags = []string{"intent=billing"}
+	for i := 0; i < 5; i++ {
+		if _, _, err := d.Predict(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	if st := d.AlertStatus(); st.Fired != 0 || sink.posts.Load() != 0 {
+		t.Fatalf("undefined-slice alert fired: %+v (%d posts)", st, sink.posts.Load())
+	}
+
+	// Removing alerts clears the status surface.
+	if err := d.SetAlerts(nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.AlertStatus(); st != nil {
+		t.Fatalf("cleared alerts still report status: %+v", st)
+	}
+}
+
+func TestAlertDeliveryFailureIsCountedNotFatal(t *testing.T) {
+	sink := newAlertSink(t)
+	sink.failures.Store(1 << 30) // webhook never accepts
+
+	m := freshModel(t, 1)
+	d := New("factoid", m, 1)
+	defer d.Close()
+	if err := d.SetSlices([]sliceql.SliceDef{{Name: "billing", Expr: "intent=billing"}}); err != nil {
+		t.Fatal(err)
+	}
+	d.alertInterval = 10 * time.Millisecond
+	if err := d.SetAlerts([]SliceAlert{{Slice: "billing", MaxErrorRate: 0.5, URL: sink.ts.URL}}); err != nil {
+		t.Fatal(err)
+	}
+	rec := goodRecord(t, m)
+	rec.Tags = []string{"intent=billing"}
+	faultinject.Enable(faultinject.NewRegistry().ArmEvery(
+		"deploy.predict.factoid", faultinject.Fault{Err: errors.New("injected model failure")}))
+	for i := 0; i < 5; i++ {
+		_, _, _ = d.Predict(rec)
+	}
+	faultinject.Disable()
+
+	waitAlert(t, func() bool {
+		st := d.AlertStatus()
+		return st != nil && st.Failed == 1 && st.LastError != ""
+	}, "abandoned delivery to be counted")
+	if got := sink.posts.Load(); got != 3 {
+		t.Fatalf("%d webhook posts, want all 3 attempts spent", got)
+	}
+	// Serving never depended on the webhook: the deployment still answers.
+	if _, _, err := d.Predict(rec); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -19,6 +19,7 @@ package deploy
 import (
 	"errors"
 	"fmt"
+	"net/http"
 	"reflect"
 	"runtime"
 	"sync"
@@ -116,6 +117,13 @@ type Deployment struct {
 	// Observation sinks (telemetry.go): the fleet telemetry logger and
 	// the live slice window, both nil/empty unless attached.
 	telemetrySinks
+
+	// Slice alert webhooks (alerts.go): the running evaluator plus the
+	// test-injectable evaluation interval and HTTP client.
+	alertMu       sync.Mutex
+	alerter       *alerter
+	alertInterval time.Duration
+	alertClient   *http.Client
 }
 
 // Option customises a Deployment.
@@ -225,6 +233,7 @@ func (d *Deployment) Close() {
 	_ = d.initialLimits
 	d.admitMu.Unlock()
 	d.stopLoopForClose()
+	d.stopAlertsForClose()
 }
 
 // Closed reports whether the deployment has been closed.
@@ -562,6 +571,27 @@ func (d *Deployment) primary() (*model.Model, int) {
 	return d.m, d.version
 }
 
+// ModelArtifact serialises the primary (or, with shadow set, the
+// installed shadow) to its Save byte form, returning the artifact and
+// the version it carries — the payload the cluster tier frames with
+// fleetstate's checksummed snapshot header and ships between replicas.
+func (d *Deployment) ModelArtifact(shadow bool) ([]byte, int, error) {
+	d.mu.RLock()
+	m, ver := d.m, d.version
+	if shadow {
+		m, ver = d.shadow, d.shadowVer
+	}
+	d.mu.RUnlock()
+	if m == nil {
+		return nil, 0, fmt.Errorf("deploy %s: no shadow installed", d.name)
+	}
+	b, err := m.Bytes()
+	if err != nil {
+		return nil, 0, fmt.Errorf("deploy %s: serialise model: %w", d.name, err)
+	}
+	return b, ver, nil
+}
+
 // SetPrecision switches the serving precision of the primary (and the
 // installed shadow, so mirrored comparisons run on the same plane the
 // candidate would serve at if promoted). Safe to call while serving:
@@ -638,6 +668,7 @@ func (d *Deployment) Stats() Stats {
 	st.Panics, st.ShadowPanics = d.panics.Load(), d.shadowPanics.Load()
 	st.Quarantined = d.quarantined.Load()
 	st.Slices = d.sliceReports()
+	st.Alerts = d.AlertStatus()
 	return st
 }
 

@@ -58,6 +58,10 @@ type Stats struct {
 	// deployment's in-memory observation window — agreement, error rate,
 	// and latency per declared slice, keyed by slice name.
 	Slices map[string]sliceql.SliceReport `json:"slices,omitempty"`
+
+	// Alerts are the slice alert webhook counters (SetAlerts), nil when
+	// no alerts are configured.
+	Alerts *AlertStatus `json:"alerts,omitempty"`
 }
 
 // latencyStats is the O(1)-per-request latency/error collector: a

@@ -17,6 +17,7 @@ var documentedPackages = []string{
 	"internal/faultinject",
 	"internal/telemetry",
 	"internal/sliceql",
+	"internal/cluster",
 }
 
 // lintedMarkdown are the docs whose relative links must resolve.

@@ -1,0 +1,17 @@
+package fleetstate
+
+// Snapshot shipping: the cluster tier moves model artifacts between the
+// router and its replicas over HTTP, and it reuses the exact on-disk
+// snapshot framing (magic + format version + length + CRC32-C) so a
+// shipped artifact is validated the same way a recovered one is — a torn
+// or bit-flipped transfer fails decode with ErrCorrupt instead of
+// loading damaged weights.
+
+// EncodeSnapshot frames a model artifact with the store's checksummed
+// snapshot header — the wire format for shipping a snapshot between
+// processes.
+func EncodeSnapshot(payload []byte) []byte { return encodeSnapshot(payload) }
+
+// DecodeSnapshot validates a framed snapshot and returns its payload.
+// Every failure wraps ErrCorrupt.
+func DecodeSnapshot(b []byte) ([]byte, error) { return decodeSnapshot(b) }

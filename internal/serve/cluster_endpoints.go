@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/deploy"
+	"repro/internal/fleetstate"
+	"repro/internal/model"
+)
+
+// Replica-facing surface of the cluster tier. The router ships model
+// artifacts between replicas through these endpoints, framed with
+// fleetstate's checksummed snapshot header so a torn or corrupted
+// transfer fails validation instead of loading damaged weights:
+//
+//	GET  /v1/models/{name}/snapshot          framed primary artifact
+//	GET  /v1/models/{name}/snapshot?which=shadow   framed shadow artifact
+//	POST /v1/models/{name}/shadow?version=N  install uploaded artifact as shadow
+//	POST /v1/models/{name}/alerts            install slice alert webhooks
+//	GET  /v1/models/{name}/alerts            alert definitions + counters
+//
+// maxSnapshotBytes bounds an uploaded artifact (a malicious or confused
+// client must not OOM a replica).
+const maxSnapshotBytes = 256 << 20
+
+// snapshotVersionHeader carries the artifact's deployment version on a
+// snapshot download.
+const snapshotVersionHeader = "X-Overton-Version"
+
+// handleSnapshot serves the deployment's current primary (or, with
+// ?which=shadow, its installed shadow) as a checksummed snapshot frame.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	d := s.deployment(w, r)
+	if d == nil {
+		return
+	}
+	which := r.URL.Query().Get("which")
+	if which != "" && which != "primary" && which != "shadow" {
+		httpError(w, http.StatusBadRequest, "snapshot which=%q (want primary|shadow)", which)
+		return
+	}
+	artifact, version, err := d.ModelArtifact(which == "shadow")
+	if err != nil {
+		httpError(w, http.StatusConflict, "snapshot: %v", err)
+		return
+	}
+	framed := fleetstate.EncodeSnapshot(artifact)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(snapshotVersionHeader, strconv.Itoa(version))
+	w.Header().Set("Content-Length", strconv.Itoa(len(framed)))
+	_, _ = w.Write(framed)
+}
+
+// handleShadowUpload installs an uploaded snapshot frame as the
+// deployment's shadow at ?version=N — the receiving half of rolling
+// promotion. The frame's checksum is validated before the model is
+// decoded, and the model's signature is checked by SetShadow, so a
+// damaged or mismatched artifact is rejected with the deployment
+// unchanged.
+func (s *Server) handleShadowUpload(w http.ResponseWriter, r *http.Request) {
+	d := s.deployment(w, r)
+	if d == nil {
+		return
+	}
+	version, err := strconv.Atoi(r.URL.Query().Get("version"))
+	if err != nil || version <= 0 {
+		httpError(w, http.StatusBadRequest, "shadow upload needs ?version=N (positive)")
+		return
+	}
+	framed, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSnapshotBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "shadow upload: %v", err)
+		return
+	}
+	payload, err := fleetstate.DecodeSnapshot(framed)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "shadow upload: %v", err)
+		return
+	}
+	m, err := model.Load(bytes.NewReader(payload))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "shadow upload: decode model: %v", err)
+		return
+	}
+	if err := d.SetShadow(m, version); err != nil {
+		httpError(w, stateErrStatus(err), "shadow upload: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"model": d.Name(), "shadow_version": version})
+}
+
+// alertsRequest installs slice alert webhooks on a deployment.
+type alertsRequest struct {
+	Alerts []deploy.SliceAlert `json:"alerts"`
+}
+
+// handleSetAlerts installs (or with an empty list removes) the
+// deployment's slice alert webhooks.
+func (s *Server) handleSetAlerts(w http.ResponseWriter, r *http.Request) {
+	d := s.deployment(w, r)
+	if d == nil {
+		return
+	}
+	var req alertsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if err := d.SetAlerts(req.Alerts); err != nil {
+		if errors.Is(err, deploy.ErrClosed) {
+			httpError(w, http.StatusServiceUnavailable, "alerts: %v", err)
+		} else {
+			httpError(w, http.StatusBadRequest, "alerts: %v", err)
+		}
+		return
+	}
+	s.writeAlerts(w, d)
+}
+
+// handleGetAlerts reports the installed alerts and their delivery
+// counters.
+func (s *Server) handleGetAlerts(w http.ResponseWriter, r *http.Request) {
+	d := s.deployment(w, r)
+	if d == nil {
+		return
+	}
+	s.writeAlerts(w, d)
+}
+
+func (s *Server) writeAlerts(w http.ResponseWriter, d *deploy.Deployment) {
+	st := d.AlertStatus()
+	if st == nil {
+		st = &deploy.AlertStatus{}
+	}
+	writeJSON(w, map[string]any{"model": d.Name(), "status": st})
+}

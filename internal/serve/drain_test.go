@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// TestDrainOrdering pins the graceful-shutdown contract the cluster
+// tier leans on: readiness flips to 503 before the listener drains, so
+// routers pull the replica out of rotation while its in-flight requests
+// finish; every in-flight request completes (200) before Shutdown
+// returns; and no new connection is admitted once the drain completes.
+func TestDrainOrdering(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	sv := New(freshModel(t), "factoid", 1)
+	defer sv.Close()
+	srv := &http.Server{Handler: sv.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+
+	// Slow every predict down so requests are reliably in flight when the
+	// drain begins.
+	faultinject.Enable(faultinject.NewRegistry().ArmEvery(
+		"deploy.predict.factoid", faultinject.Fault{Kind: faultinject.KindDelay, Delay: 300 * time.Millisecond}))
+	defer faultinject.Disable()
+
+	base := "http://" + addr
+	const inflight = 3
+	type outcome struct {
+		status int
+		done   time.Time
+	}
+	results := make([]outcome, inflight)
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/models/factoid/predict", "application/json", strings.NewReader(goodBody))
+			if err != nil {
+				return // status stays 0: the drain cut us off
+			}
+			resp.Body.Close()
+			results[i] = outcome{status: resp.StatusCode, done: time.Now()}
+		}(i)
+	}
+	time.Sleep(100 * time.Millisecond) // requests are inside the 300ms delay now
+
+	// Step 1 of the SIGTERM sequence: stop admitting (readiness down,
+	// liveness up) while the listener still serves.
+	sv.SetReady(false)
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz %d after SetReady(false), want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz %d while draining — a draining process is alive", resp.StatusCode)
+	}
+
+	// Step 2: drain. Shutdown must wait for the in-flight predicts.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	shutdownReturned := time.Now()
+	wg.Wait()
+	for i, res := range results {
+		if res.status != http.StatusOK {
+			t.Fatalf("in-flight request %d got status %d, want 200 (drain must not cut running work)", i, res.status)
+		}
+		if res.done.After(shutdownReturned) {
+			t.Fatalf("in-flight request %d completed after Shutdown returned", i)
+		}
+	}
+
+	// Step 3: the drained listener admits nothing new.
+	if _, err := net.DialTimeout("tcp", addr, 500*time.Millisecond); err == nil {
+		t.Fatal("new connection accepted after Shutdown returned")
+	}
+}

@@ -25,6 +25,10 @@
 //	GET  /v1/models/{name}/signature  serving signature JSON
 //	POST /v1/models/{name}/slices     {"slices":[{"name","expr"}]}  install declarative slices
 //	GET  /v1/models/{name}/slices     slice definitions + live aggregates
+//	POST /v1/models/{name}/alerts     {"alerts":[{"slice","max_error_rate","url"}]}  slice alert webhooks
+//	GET  /v1/models/{name}/alerts     alert definitions + delivery counters
+//	GET  /v1/models/{name}/snapshot   checksummed model artifact (?which=primary|shadow)
+//	POST /v1/models/{name}/shadow     upload artifact as shadow (?version=N)
 //	GET  /v1/models                   fleet listing
 //	POST /v1/query                    {"query":"SELECT ..."}  sliceql over the telemetry streams
 //	GET  /v1/telemetry                telemetry logger counters (emitted/written/dropped)
@@ -147,6 +151,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/models/{name}/signature", s.handleSignature)
 	mux.HandleFunc("POST /v1/models/{name}/slices", s.handleSetSlices)
 	mux.HandleFunc("GET /v1/models/{name}/slices", s.handleGetSlices)
+	mux.HandleFunc("POST /v1/models/{name}/alerts", s.handleSetAlerts)
+	mux.HandleFunc("GET /v1/models/{name}/alerts", s.handleGetAlerts)
+	// Cluster surface: snapshot shipping between router and replicas.
+	mux.HandleFunc("GET /v1/models/{name}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /v1/models/{name}/shadow", s.handleShadowUpload)
 	mux.HandleFunc("GET /v1/models", s.handleList)
 	mux.HandleFunc("GET /v1/models/{$}", s.handleList)
 	// Telemetry surface (fleet-wide).

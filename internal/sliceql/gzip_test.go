@@ -1,0 +1,55 @@
+package sliceql
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestQueryScansCompressedSegments drives the real pipeline: a
+// telemetry logger with Compress rotates gzip segments, and a query
+// over the directory must see every event — compressed history and the
+// plain active segment alike.
+func TestQueryScansCompressedSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := telemetry.New(dir, telemetry.Options{RotateBytes: 200, MaxFiles: 64, Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		l.Emit(telemetry.Event{
+			Stream: "predict",
+			Dep:    "factoid",
+			Tags:   []string{"intent=billing"},
+			Fields: map[string]any{"latency_ms": float64(i), "pad": strings.Repeat("x", 40)},
+		})
+	}
+	l.Close()
+
+	files, err := telemetry.StreamFiles(dir, "predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := 0
+	for _, name := range files {
+		if strings.HasSuffix(name, ".gz") {
+			gz++
+		}
+	}
+	if gz == 0 {
+		t.Fatalf("no compressed segment produced, files %v", files)
+	}
+
+	res, err := QueryDir(dir, "SELECT COUNT(*), MAX(latency_ms) FROM predict WHERE intent=billing", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != 30.0 || res.Rows[0][1] != 29.0 {
+		t.Fatalf("rows %v, want one row counting all 30 events across gz and plain segments", res.Rows)
+	}
+	if res.Files != len(files) {
+		t.Fatalf("scanned %d files, want %d", res.Files, len(files))
+	}
+}

@@ -21,13 +21,16 @@ package sliceql
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/telemetry"
@@ -67,34 +70,55 @@ type DirSource struct {
 }
 
 // Scan streams every line of the stream's rotated files to fn.
+// Gzip-compressed segments (the telemetry logger's Compress option) are
+// decompressed transparently.
 func (s DirSource) Scan(stream string, fn func(line []byte) error) (int, error) {
 	names, err := telemetry.StreamFiles(s.Dir, stream)
 	if err != nil {
 		return 0, err
 	}
 	for i, name := range names {
-		f, err := os.Open(filepath.Join(s.Dir, name))
-		if err != nil {
-			if os.IsNotExist(err) {
-				continue // rotated away between listing and open
-			}
-			return i, fmt.Errorf("sliceql: %w", err)
+		missing, err := scanFile(filepath.Join(s.Dir, name), fn)
+		if missing {
+			continue // rotated away between listing and open
 		}
-		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-		for sc.Scan() {
-			if err := fn(sc.Bytes()); err != nil {
-				f.Close()
+		if err != nil {
+			if errors.Is(err, errLimit) {
 				return i + 1, err
 			}
-		}
-		err = sc.Err()
-		f.Close()
-		if err != nil {
 			return i + 1, fmt.Errorf("sliceql: %s: %w", name, err)
 		}
 	}
 	return len(names), nil
+}
+
+// scanFile streams one segment's lines to fn, decompressing .gz names.
+func scanFile(path string, fn func(line []byte) error) (missing bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return true, nil
+		}
+		return false, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return false, err
+		}
+		defer zr.Close()
+		r = zr
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		if err := fn(sc.Bytes()); err != nil {
+			return false, err
+		}
+	}
+	return false, sc.Err()
 }
 
 // errLimit stops a projection scan once LIMIT rows are collected.

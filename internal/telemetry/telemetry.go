@@ -27,6 +27,7 @@ package telemetry
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -56,6 +57,9 @@ const (
 	// StreamLifecycle records improvement-loop transitions (retrain,
 	// promote, rollback) and quarantine trips.
 	StreamLifecycle = "lifecycle"
+	// StreamRoute records one line per routed request at the cluster
+	// router: replica chosen, attempts, failovers, latency, final code.
+	StreamRoute = "route"
 )
 
 // Event is one telemetry record. Reserved top-level keys on the wire are
@@ -103,8 +107,18 @@ type Options struct {
 	RotateBytes int64
 	// MaxFiles bounds how many files one stream keeps, active included
 	// (default 8); the oldest are deleted past it. Retention is
-	// therefore RotateBytes*MaxFiles bytes per stream, not time.
+	// therefore RotateBytes*MaxFiles bytes per stream — see MaxAge for
+	// the time bound.
 	MaxFiles int
+	// MaxAge, when positive, additionally deletes rotated (non-active)
+	// segments whose modification time is older than the bound. Applied
+	// at every rotation and flush barrier. Zero keeps count-only
+	// retention.
+	MaxAge time.Duration
+	// Compress gzip-compresses a segment when it is rotated out of
+	// active duty (<stream>-<seq>.jsonl.gz, written atomically). The
+	// query side scans compressed and plain segments transparently.
+	Compress bool
 	// BufferDepth is the pending-event queue capacity shared by all
 	// streams (default 1024); events past it are dropped and counted.
 	BufferDepth int
@@ -378,8 +392,12 @@ func appendLine(s *stream, name string, line []byte) error {
 	return err
 }
 
-// streamFilePrefix/suffix frame the on-disk names: <stream>-<seq>.jsonl.
-const streamSuffix = ".jsonl"
+// streamFilePrefix/suffix frame the on-disk names: <stream>-<seq>.jsonl,
+// plus a .gz suffix once a rotated segment is compressed.
+const (
+	streamSuffix = ".jsonl"
+	gzSuffix     = ".gz"
+)
 
 // fileName renders one stream file name; the zero-padded sequence makes
 // lexicographic order chronological.
@@ -388,7 +406,11 @@ func fileName(stream string, seq int) string {
 }
 
 // StreamFiles lists the live file names of one stream under dir, oldest
-// first — the scan order the query engine uses.
+// first — the scan order the query engine uses. Compressed (.jsonl.gz)
+// and plain segments are listed alike; when both forms of one sequence
+// exist (a crash between compress-rename and removing the original) the
+// compressed one wins — it was renamed into place whole, so the two
+// hold identical lines.
 func StreamFiles(dir, stream string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -398,24 +420,40 @@ func StreamFiles(dir, stream string) ([]string, error) {
 		return nil, fmt.Errorf("telemetry: %w", err)
 	}
 	prefix := stream + "-"
-	var names []string
+	bySeq := map[int]string{}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, streamSuffix) {
+		if e.IsDir() || !strings.HasPrefix(name, prefix) {
 			continue
 		}
-		if _, err := parseSeq(name, stream); err != nil {
+		if !strings.HasSuffix(name, streamSuffix) && !strings.HasSuffix(name, streamSuffix+gzSuffix) {
 			continue
 		}
-		names = append(names, name)
+		seq, err := parseSeq(name, stream)
+		if err != nil {
+			continue
+		}
+		if prev, ok := bySeq[seq]; !ok || strings.HasSuffix(name, gzSuffix) && !strings.HasSuffix(prev, gzSuffix) {
+			bySeq[seq] = name
+		}
 	}
-	sort.Strings(names)
+	seqs := make([]int, 0, len(bySeq))
+	for seq := range bySeq {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	names := make([]string, len(seqs))
+	for i, seq := range seqs {
+		names[i] = bySeq[seq]
+	}
 	return names, nil
 }
 
-// parseSeq extracts the sequence number from a stream file name.
+// parseSeq extracts the sequence number from a stream file name (plain
+// or compressed).
 func parseSeq(name, stream string) (int, error) {
-	mid := strings.TrimSuffix(strings.TrimPrefix(name, stream+"-"), streamSuffix)
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, stream+"-"), gzSuffix)
+	mid = strings.TrimSuffix(mid, streamSuffix)
 	var seq int
 	if _, err := fmt.Sscanf(mid, "%d", &seq); err != nil || len(mid) != 8 {
 		return 0, fmt.Errorf("telemetry: not a stream file: %s", name)
@@ -438,6 +476,12 @@ func (l *Logger) openStream(name string) (*stream, error) {
 	if n := len(files); n > 0 {
 		if s.seq, err = parseSeq(files[n-1], name); err != nil {
 			return nil, err
+		}
+		if strings.HasSuffix(files[n-1], gzSuffix) {
+			// Every existing segment is compressed (closed); appending
+			// into a .gz is impossible, so start the next sequence.
+			s.seq++
+			s.files = append(s.files, fileName(name, s.seq))
 		}
 	} else {
 		s.files = []string{fileName(name, s.seq)}
@@ -478,10 +522,12 @@ func truncateTornTail(path string) (int64, error) {
 }
 
 // rotate closes the active file, opens the next sequence, and applies
-// retention.
+// retention (count and age bounds) plus optional compression of the
+// segment that just went cold.
 func (l *Logger) rotate(s *stream) error {
 	_ = s.f.Sync()
 	_ = s.f.Close()
+	closed := fileName(s.name, s.seq)
 	s.seq++
 	path := filepath.Join(l.dir, fileName(s.name, s.seq))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -491,20 +537,93 @@ func (l *Logger) rotate(s *stream) error {
 		return fmt.Errorf("telemetry: rotate: %w", err)
 	}
 	s.f, s.size = f, 0
+	if l.opt.Compress {
+		if gz, err := compressSegment(l.dir, closed); err == nil {
+			s.files[len(s.files)-1] = gz
+		}
+		// On failure the plain segment stays — still scannable.
+	}
 	s.files = append(s.files, fileName(s.name, s.seq))
 	for len(s.files) > l.opt.MaxFiles {
 		_ = os.Remove(filepath.Join(l.dir, s.files[0]))
 		s.files = s.files[1:]
 	}
+	l.purgeAged(s)
 	return nil
 }
 
-// syncAll fsyncs every open stream file (flush barrier).
+// compressSegment gzips one rotated segment in place: the .gz is
+// written whole to a temp file and renamed next to the original, which
+// is then removed. A crash between rename and remove leaves both forms;
+// StreamFiles dedupes in the compressed one's favour.
+func compressSegment(dir, name string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		return "", err
+	}
+	if err := zw.Close(); err != nil {
+		return "", err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-gz-*")
+	if err != nil {
+		return "", err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	gzName := name + gzSuffix
+	if err := os.Rename(tmpName, filepath.Join(dir, gzName)); err != nil {
+		return "", err
+	}
+	_ = os.Remove(filepath.Join(dir, name))
+	return gzName, nil
+}
+
+// purgeAged deletes rotated (non-active) segments older than MaxAge,
+// judged by file modification time against the logger's clock.
+func (l *Logger) purgeAged(s *stream) {
+	if l.opt.MaxAge <= 0 {
+		return
+	}
+	cutoff := l.opt.Now().Add(-l.opt.MaxAge)
+	for len(s.files) > 1 { // never the active segment
+		path := filepath.Join(l.dir, s.files[0])
+		info, err := os.Stat(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				s.files = s.files[1:]
+				continue
+			}
+			return
+		}
+		if !info.ModTime().Before(cutoff) {
+			return // oldest-first: everything after is younger still
+		}
+		_ = os.Remove(path)
+		s.files = s.files[1:]
+	}
+}
+
+// syncAll fsyncs every open stream file (flush barrier) and applies the
+// age bound, so retention advances even on a stream too quiet to
+// rotate.
 func (l *Logger) syncAll() {
 	for _, s := range l.streams {
 		if s.f != nil {
 			_ = s.f.Sync()
 		}
+		l.purgeAged(s)
 	}
 }
 

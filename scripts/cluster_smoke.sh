@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — process-level failover smoke for the cluster tier.
+#
+# Boots three real `overton serve` replicas and one `overton route`
+# router, storms predict traffic through the router, then SIGKILLs one
+# replica mid-rolling-promote. Asserts:
+#   - the promote completes on the survivors (the dead replica is
+#     skipped, not fatal);
+#   - client success rate over the storm stays >= 99% (one replica loss
+#     costs at most its in-flight requests);
+#   - the killed replica, restarted at the same address with the OLD
+#     model, is probed back in and resynced to the fleet target version
+#     (convergence visible in /v1/cluster/stats).
+#
+# Usage: scripts/cluster_smoke.sh [base-port]   (default 18200)
+set -euo pipefail
+
+BASE="${1:-18200}"
+R1="127.0.0.1:$((BASE + 1))"
+R2="127.0.0.1:$((BASE + 2))"
+R3="127.0.0.1:$((BASE + 3))"
+ROUTER="127.0.0.1:${BASE}"
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for p in "${PIDS[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "cluster_smoke: FAIL: $*" >&2; exit 1; }
+
+wait_ready() { # wait_ready <addr>
+  for _ in $(seq 1 50); do
+    curl -sf "http://$1/readyz" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  fail "$1 never became ready"
+}
+
+replica_version() { # replica_version <addr>
+  curl -s "http://$1/v1/models/factoid/stats" |
+    sed -n 's/.*"version":\([0-9]*\).*/\1/p'
+}
+
+echo "cluster_smoke: workdir ${WORK}"
+go build -o "${WORK}/overton" ./cmd/overton
+
+cd "$WORK"
+./overton datagen -n 400 -seed 1 -out data.jsonl -schema-out schema.json >/dev/null
+./overton train -schema schema.json -data data.jsonl -out m1.bin -seed 1 >/dev/null 2>&1
+./overton train -schema schema.json -data data.jsonl -out m2.bin -seed 7 >/dev/null 2>&1
+
+start_replica() { # start_replica <addr> <log> [extra flags...]  (model m1, v1)
+  local addr="$1" log="$2"
+  shift 2
+  ./overton serve -deploy factoid=m1.bin "$@" -addr "$addr" >"$log" 2>&1 &
+  echo $!
+}
+
+# Every replica stages m2 as its shadow, so the router's empty-body
+# promote can pull the candidate from the fleet itself.
+P1="$(start_replica "$R1" r1.log -shadow factoid=m2.bin)"; PIDS+=("$P1")
+P2="$(start_replica "$R2" r2.log -shadow factoid=m2.bin)"; PIDS+=("$P2")
+P3="$(start_replica "$R3" r3.log -shadow factoid=m2.bin)"; PIDS+=("$P3")
+wait_ready "$R1"; wait_ready "$R2"; wait_ready "$R3"
+
+# A long promote hold gives the storm and the kill a window inside the
+# rolling promote.
+./overton route -addr "$ROUTER" \
+  -replica "http://${R1}" -replica "http://${R2}" -replica "http://${R3}" \
+  -probe-interval 150ms -promote-hold 700ms -retry-base 10ms \
+  >router.log 2>&1 &
+RT_PID=$!
+PIDS+=("$RT_PID")
+wait_ready "$ROUTER"
+
+# --- Traffic storm through the router. ----------------------------------
+PAYLOAD='{"payloads":{"tokens":["how","tall","is","obama"],"query":"how tall is obama","entities":{"0":{"id":"Barack_Obama","range":[3,4]}}}}'
+storm() { # storm <outfile>: sequential requests until stopfile appears
+  local ok=0 total=0
+  while [ ! -f stop_storm ]; do
+    code="$(curl -s -o /dev/null -w '%{http_code}' --max-time 5 \
+      -X POST --data-binary "$PAYLOAD" \
+      "http://${ROUTER}/v1/models/factoid/predict" || echo 000)"
+    total=$((total + 1))
+    [ "$code" = "200" ] && ok=$((ok + 1))
+  done
+  echo "$ok $total" >"$1"
+}
+storm storm1.txt & W1=$!
+storm storm2.txt & W2=$!
+storm storm3.txt & W3=$!
+PIDS+=("$W1" "$W2" "$W3")
+
+# --- Rolling promote; SIGKILL replica 2 inside the rollout. -------------
+(sleep 0.9; kill -9 "$P2" 2>/dev/null || true) &
+KILLER=$!
+PIDS+=("$KILLER")
+curl -s --max-time 60 -X POST "http://${ROUTER}/v1/models/factoid/promote" \
+  -o promote.json || fail "rolling promote request failed"
+wait "$KILLER" 2>/dev/null || true
+grep -q '"version":2' promote.json || fail "promote response missing version 2: $(cat promote.json)"
+
+sleep 1 # let the storm sample the post-promote, one-replica-down fleet
+touch stop_storm
+wait "$W1" "$W2" "$W3" 2>/dev/null || true
+
+OK=0; TOTAL=0
+for f in storm1.txt storm2.txt storm3.txt; do
+  read -r o t <"$f"
+  OK=$((OK + o)); TOTAL=$((TOTAL + t))
+done
+[ "$TOTAL" -gt 0 ] || fail "storm made no requests"
+PCT=$((OK * 100 / TOTAL))
+echo "cluster_smoke: storm ${OK}/${TOTAL} ok (${PCT}%)"
+[ "$PCT" -ge 99 ] || fail "success rate ${PCT}% < 99% across a single replica kill"
+
+# Survivors converged on v2 even though replica 2 died mid-rollout.
+[ "$(replica_version "$R1")" = "2" ] || fail "replica 1 not at v2"
+[ "$(replica_version "$R3")" = "2" ] || fail "replica 3 not at v2"
+
+# --- Restart the killed replica with the OLD model: the router must ----
+# --- probe it back in and resync it to the fleet target. ----------------
+P2="$(start_replica "$R2" r2b.log)"; PIDS+=("$P2")
+wait_ready "$R2"
+
+for _ in $(seq 1 100); do
+  [ "$(replica_version "$R2")" = "2" ] && break
+  sleep 0.2
+done
+[ "$(replica_version "$R2")" = "2" ] || fail "restarted replica never resynced to v2"
+
+# Fleet view agrees: converged at target 2, all three replicas healthy.
+STATS="$(curl -s "http://${ROUTER}/v1/cluster/stats")"
+echo "$STATS" | grep -q '"target_version":2' || fail "fleet view missing target 2: $STATS"
+echo "$STATS" | grep -q '"converged":true' || fail "fleet view not converged: $STATS"
+# grep exits 1 when nothing is unhealthy — the PASS case — so shield
+# the pipeline from pipefail.
+UNHEALTHY="$(echo "$STATS" | grep -o '"healthy":false' | wc -l || true)"
+[ "$UNHEALTHY" = "0" ] || fail "fleet view still reports unhealthy replicas: $STATS"
+
+echo "cluster_smoke: PASS (kill -9 mid-promote: ${PCT}% success, fleet converged at v2)"
