@@ -7,6 +7,14 @@
 //
 // Every `value unit` pair after the iteration count is kept, including
 // custom b.ReportMetric metrics.
+//
+// With -merge, an existing artifact is extended instead of read from
+// stdin; with -load (repeatable), `overton load` JSON reports are
+// stamped in as `Load/<workload>` rows — which is how the CI load smoke
+// lands its throughput and tail-latency numbers next to the micro
+// benchmarks:
+//
+//	benchjson -merge BENCH_train.json -load report.json -out BENCH_train.json
 package main
 
 import (
@@ -19,6 +27,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/traffic"
 )
 
 // Result is one benchmark line.
@@ -43,18 +53,80 @@ type Artifact struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
+// loadFlags collects repeatable -load paths.
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "", "output path (default stdout)")
+	merge := flag.String("merge", "", "extend this existing artifact instead of reading stdin")
+	var loads loadFlags
+	flag.Var(&loads, "load", "overton load report JSON to stamp in as a Load/<workload> row (repeatable)")
 	flag.Parse()
 
-	art := Artifact{
-		GeneratedAt: time.Now().UTC(),
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
-		GOAMD64:     os.Getenv("GOAMD64"),
+	var art Artifact
+	if *merge != "" {
+		blob, err := os.ReadFile(*merge)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(blob, &art); err != nil {
+			fatal(fmt.Errorf("parse %s: %w", *merge, err))
+		}
+	} else {
+		art = Artifact{
+			GeneratedAt: time.Now().UTC(),
+			GoVersion:   runtime.Version(),
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
+			NumCPU:      runtime.NumCPU(),
+			GOAMD64:     os.Getenv("GOAMD64"),
+		}
+		scanBench(&art)
 	}
+
+	for _, path := range loads {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		var rep traffic.Report
+		if err := json.Unmarshal(blob, &rep); err != nil {
+			fatal(fmt.Errorf("parse load report %s: %w", path, err))
+		}
+		if err := rep.Reconciles(); err != nil {
+			fatal(fmt.Errorf("load report %s: %w", path, err))
+		}
+		art.Benchmarks = append(art.Benchmarks, Result{
+			Name:       "Load/" + rep.Workload,
+			Iterations: rep.Offered,
+			Metrics:    rep.BenchMetrics(),
+		})
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(art.Benchmarks), *out)
+}
+
+// scanBench parses `go test -bench` output from stdin into art.
+func scanBench(art *Artifact) {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -88,22 +160,11 @@ func main() {
 		art.Benchmarks = append(art.Benchmarks, r)
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	data, err := json.MarshalIndent(art, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if *out == "" {
-		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(art.Benchmarks), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
 }

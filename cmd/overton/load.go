@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/traffic"
+)
+
+// repeatableFlag collects a repeated string flag (-deployment a -deployment b).
+type repeatableFlag []string
+
+func (r *repeatableFlag) String() string { return strings.Join(*r, ",") }
+
+func (r *repeatableFlag) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty value")
+	}
+	*r = append(*r, v)
+	return nil
+}
+
+// cmdLoad runs the synthetic traffic engine against a live front
+// (`overton serve` or `overton route`) and emits the exact-accounting
+// JSON report, or with -dump prints the deterministic stream without
+// firing it (for byte-identity checks: two dumps with the same flags
+// must compare equal).
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	target := fs.String("target", "", "base URL of the front to drive (required unless -dump)")
+	workloadName := fs.String("workload", "uniform", "workload shape: "+strings.Join(traffic.Shapes(), "|"))
+	seed := fs.Int64("seed", 1, "stream seed; same flags + same seed = byte-identical stream")
+	qps := fs.Float64("qps", 100, "base offered rate (the shape's rate profile multiplies it)")
+	duration := fs.Duration("duration", 10*time.Second, "run length (ignored when -requests is set)")
+	requests := fs.Int("requests", 0, "fire exactly N requests instead of a timed run")
+	workers := fs.Int("workers", 8, "closed-loop worker pool size")
+	deadline := fs.Duration("deadline", 5*time.Second, "per-request deadline; a miss counts as errored")
+	mix := fs.Float64("mix", 0, "ingest fraction in [0,1) (mixed shape defaults to 0.2)")
+	keyspace := fs.Int("keyspace", 0, "distinct payload corpus size (default 256)")
+	skew := fs.Float64("skew", 0, "zipf s-parameter for hot-key shapes (default 1.2)")
+	var deployments repeatableFlag
+	fs.Var(&deployments, "deployment", "target deployment name (repeatable; default factoid)")
+	dump := fs.Int("dump", 0, "print the first N stream requests as JSONL and exit without firing")
+	out := fs.String("out", "", "write the JSON report to this path (default stdout)")
+	maxP99 := fs.Float64("max-p99", 0, "fail (exit 1) when admitted p99 latency exceeds this many ms")
+	maxShedRate := fs.Float64("max-shed-rate", 0, "fail (exit 1) when shed/offered exceeds this fraction")
+	fs.Parse(args)
+
+	if len(deployments) == 0 {
+		deployments = repeatableFlag{"factoid"}
+	}
+	cfg := traffic.Config{
+		Workload:    *workloadName,
+		Seed:        *seed,
+		Keyspace:    *keyspace,
+		Deployments: deployments,
+		Mix:         *mix,
+		Skew:        *skew,
+	}
+	eng, err := traffic.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *dump > 0 {
+		return dumpStream(eng, *qps, *dump)
+	}
+	if *target == "" {
+		return fmt.Errorf("-target is required (or use -dump to print the stream)")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "load: %s (%s) at %s, base %.0f qps\n",
+		eng.Workload().Name(), eng.Workload().Describe(), *target, *qps)
+	rep, err := traffic.Drive(ctx, eng, traffic.NewHTTPTarget(*target), traffic.DriveConfig{
+		QPS:      *qps,
+		Duration: *duration,
+		Requests: *requests,
+		Workers:  *workers,
+		Deadline: *deadline,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Target = *target
+	rep.Summarize(os.Stderr)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(blob)
+	}
+
+	if *maxP99 > 0 && rep.Latency.P99 > *maxP99 {
+		return fmt.Errorf("admitted p99 %.2fms exceeds -max-p99 %.2fms", rep.Latency.P99, *maxP99)
+	}
+	if *maxShedRate > 0 && rep.ShedRate() > *maxShedRate {
+		return fmt.Errorf("shed rate %.4f exceeds -max-shed-rate %.4f", rep.ShedRate(), *maxShedRate)
+	}
+	return nil
+}
+
+// dumpStream prints the first n requests of the deterministic stream as
+// JSONL. Two invocations with identical flags must produce identical
+// bytes — the CLI-level determinism check load_smoke.sh pins with cmp.
+func dumpStream(eng *traffic.Engine, qps float64, n int) error {
+	stream, err := eng.StreamN(qps, n)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, r := range stream {
+		line := struct {
+			Seq        int             `json:"seq"`
+			Deployment string          `json:"deployment"`
+			Kind       string          `json:"kind"`
+			Key        int             `json:"key"`
+			AtMicros   int64           `json:"at_us"`
+			Body       json.RawMessage `json:"body"`
+		}{r.Seq, r.Deployment, "predict", r.Key, r.At.Microseconds(), json.RawMessage(r.Body)}
+		if r.Ingest {
+			line.Kind = "ingest"
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

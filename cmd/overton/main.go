@@ -1,7 +1,8 @@
 // Command overton is the CLI over the Overton lifecycle: compile a schema,
 // generate a synthetic workload, build (train+tune) a deployable model,
 // evaluate and monitor it, answer ad-hoc queries, publish to the artifact
-// store, and serve over HTTP.
+// store, serve over HTTP, and load-test the serving plane with seeded
+// synthetic traffic.
 //
 // Subcommands:
 //
@@ -19,6 +20,7 @@
 //	overton serve    -deploy factoid=m1.bin -precision f32 [-precision qa=f64]
 //	overton serve    -deploy factoid=m1.bin -state-dir state/ -slice 'hot=intent=billing AND age<1h'
 //	overton route    -addr :8090 -replica http://127.0.0.1:8081 -replica http://127.0.0.1:8082
+//	overton load     -target http://127.0.0.1:8080 -workload zipf-hotkey -seed 42 -qps 200 -duration 10s
 //	overton query    -dir state/telemetry 'SELECT COUNT(*), P95(latency_ms) FROM predict SINCE 1h'
 //	overton store    -root dir put|get|list -name m [-file model.bin] [-version N]
 package main
@@ -76,6 +78,8 @@ func main() {
 		err = cmdServe(args)
 	case "route":
 		err = cmdRoute(args)
+	case "load":
+		err = cmdLoad(args)
 	case "query":
 		err = cmdQuery(args)
 	case "store":
@@ -91,7 +95,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: overton <compile|datagen|train|eval|report|predict|serve|route|query|store> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: overton <compile|datagen|train|eval|report|predict|serve|route|load|query|store> [flags]")
 }
 
 func cmdCompile(args []string) error {

@@ -18,6 +18,7 @@ var documentedPackages = []string{
 	"internal/telemetry",
 	"internal/sliceql",
 	"internal/cluster",
+	"internal/traffic",
 }
 
 // lintedMarkdown are the docs whose relative links must resolve.

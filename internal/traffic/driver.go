@@ -1,0 +1,329 @@
+package traffic
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Class is the driver's request outcome classification. Every fired
+// request lands in exactly one class, which is what makes the report's
+// offered == admitted + shed + errored identity exact.
+type Class int
+
+// The three outcome classes.
+const (
+	// Admitted: the request was served (2xx).
+	Admitted Class = iota
+	// Shed: load was refused by design — 429 (admission limits) or 503
+	// (quarantine, drain, or the router's no-healthy-replica shed).
+	Shed
+	// Errored: anything else — transport failures, deadlines, 4xx/5xx.
+	Errored
+)
+
+// Outcome is one request's classified result.
+type Outcome struct {
+	// Class is the accounting lane the request landed in.
+	Class Class
+	// Status is the HTTP status when a response arrived (0 otherwise).
+	Status int
+	// Err holds the transport/deadline error for non-HTTP failures.
+	Err error
+}
+
+// Target fires one generated request at a system under test. The HTTP
+// implementation covers `overton serve` and `overton route`;
+// TargetFunc adapts anything else (direct registry calls, fault
+// proxies) for in-process harnesses.
+type Target interface {
+	// Do fires req and classifies the result. ctx carries the
+	// per-request deadline.
+	Do(ctx context.Context, req Request) Outcome
+}
+
+// TargetFunc adapts a function to the Target interface.
+type TargetFunc func(ctx context.Context, req Request) Outcome
+
+// Do implements Target.
+func (f TargetFunc) Do(ctx context.Context, req Request) Outcome { return f(ctx, req) }
+
+// HTTPTarget drives the fleet's HTTP surface: predicts go to
+// POST {base}/v1/models/{dep}/predict, ingest lines to .../ingest.
+type HTTPTarget struct {
+	// Base is the front's base URL (no trailing slash needed).
+	Base string
+	// Client is the HTTP client; nil uses a dedicated pooled client.
+	Client *http.Client
+}
+
+// NewHTTPTarget returns a target over base with a connection-pooled
+// client sized for driver concurrency.
+func NewHTTPTarget(base string) *HTTPTarget {
+	return &HTTPTarget{
+		Base:   strings.TrimRight(base, "/"),
+		Client: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}},
+	}
+}
+
+// Do implements Target: one POST, fully drained, classified.
+func (t *HTTPTarget) Do(ctx context.Context, req Request) Outcome {
+	path := "/v1/models/" + req.Deployment + "/predict"
+	if req.Ingest {
+		path = "/v1/models/" + req.Deployment + "/ingest"
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(t.Base, "/")+path, bytes.NewReader(req.Body))
+	if err != nil {
+		return Outcome{Class: Errored, Err: err}
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(hr)
+	if err != nil {
+		return Outcome{Class: Errored, Err: err}
+	}
+	// Drain so the connection is reusable; the body content is not part
+	// of the accounting contract.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return Classify(resp.StatusCode)
+}
+
+// Classify maps an HTTP status to its accounting class: 2xx admitted,
+// 429/503 shed (admission limits, quarantine, drain, router shed),
+// everything else errored.
+func Classify(status int) Outcome {
+	o := Outcome{Status: status}
+	switch {
+	case status >= 200 && status < 300:
+		o.Class = Admitted
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		o.Class = Shed
+	default:
+		o.Class = Errored
+	}
+	return o
+}
+
+// DriveConfig bounds one closed-loop run.
+type DriveConfig struct {
+	// QPS is the base offered rate the workload's rate profile
+	// multiplies (required).
+	QPS float64
+	// Duration shapes the stream length when Requests is zero.
+	Duration time.Duration
+	// Requests, when > 0, fires exactly this many requests instead of a
+	// duration-shaped stream.
+	Requests int
+	// Workers is the closed-loop worker-pool size (default 8). When all
+	// workers are busy the pacer blocks — offered load degrades instead
+	// of queueing unboundedly, like a real client pool.
+	Workers int
+	// Deadline is the per-request timeout (default 5s). A deadline miss
+	// counts as errored.
+	Deadline time.Duration
+}
+
+func (c DriveConfig) withDefaults() DriveConfig {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 5 * time.Second
+	}
+	return c
+}
+
+// Drive materialises the engine's stream and fires it at tgt from a
+// closed-loop worker pool, pacing sends to the stream's schedule.
+// Cancelling ctx stops the run early: unfired requests are simply not
+// offered, so the report still reconciles exactly. The returned report
+// is always reconciled (it errors otherwise).
+func Drive(ctx context.Context, e *Engine, tgt Target, cfg DriveConfig) (Report, error) {
+	cfg = cfg.withDefaults()
+	var stream []Request
+	var err error
+	if cfg.Requests > 0 {
+		stream, err = e.StreamN(cfg.QPS, cfg.Requests)
+	} else {
+		stream, err = e.Stream(cfg.QPS, cfg.Duration)
+	}
+	if err != nil {
+		return Report{}, err
+	}
+	return DriveStream(ctx, e, stream, tgt, cfg)
+}
+
+// DriveStream fires an already-materialised stream (from Stream or
+// StreamN) at tgt. Exposed so harnesses can inspect or replay the exact
+// stream they drive.
+func DriveStream(ctx context.Context, e *Engine, stream []Request, tgt Target, cfg DriveConfig) (Report, error) {
+	cfg = cfg.withDefaults()
+	type slot struct {
+		outcome   Outcome
+		latencyMs float64
+		fired     bool
+		ingest    bool
+		dep       string
+	}
+	slots := make([]slot, len(stream))
+
+	feed := make(chan int) // indices into stream; unbuffered = closed loop
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				req := stream[i]
+				rctx, cancel := context.WithTimeout(ctx, cfg.Deadline)
+				t0 := time.Now()
+				out := tgt.Do(rctx, req)
+				cancel()
+				slots[i] = slot{
+					outcome:   out,
+					latencyMs: float64(time.Since(t0)) / float64(time.Millisecond),
+					fired:     true,
+					ingest:    req.Ingest,
+					dep:       req.Deployment,
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+pace:
+	for i, req := range stream {
+		// Hold to the schedule; a busy pool blocks the send below
+		// instead (closed loop).
+		if wait := req.At - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				break pace
+			}
+		}
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break pace
+		}
+	}
+	close(feed)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		Workload:  e.wl.Name(),
+		Seed:      e.cfg.Seed,
+		BaseQPS:   cfg.QPS,
+		Workers:   cfg.Workers,
+		Requested: len(stream),
+		Status:    map[string]int64{},
+		PerDeployment: func() map[string]*LaneCounts {
+			m := map[string]*LaneCounts{}
+			for _, d := range e.cfg.Deployments {
+				m[d] = &LaneCounts{}
+			}
+			return m
+		}(),
+		PerKind:         map[string]*LaneCounts{"predict": {}, "ingest": {}},
+		DurationSeconds: elapsed.Seconds(),
+	}
+	var latencies []float64
+	for i := range slots {
+		s := &slots[i]
+		if !s.fired {
+			continue
+		}
+		rep.Offered++
+		kind := "predict"
+		if s.ingest {
+			kind = "ingest"
+		}
+		lanes := []*LaneCounts{rep.PerDeployment[s.dep], rep.PerKind[kind]}
+		for _, l := range lanes {
+			l.Offered++
+		}
+		if s.outcome.Status != 0 {
+			rep.Status[fmt.Sprintf("%d", s.outcome.Status)]++
+		}
+		switch s.outcome.Class {
+		case Admitted:
+			rep.Admitted++
+			latencies = append(latencies, s.latencyMs)
+			for _, l := range lanes {
+				l.Admitted++
+			}
+		case Shed:
+			rep.Shed++
+			for _, l := range lanes {
+				l.Shed++
+			}
+		case Errored:
+			rep.Errored++
+			if s.outcome.Err != nil && errors.Is(s.outcome.Err, context.DeadlineExceeded) {
+				rep.DeadlineExceeded++
+			}
+			if rep.FirstError == "" && s.outcome.Err != nil {
+				rep.FirstError = s.outcome.Err.Error()
+			}
+			for _, l := range lanes {
+				l.Errored++
+			}
+		}
+	}
+	if elapsed > 0 {
+		rep.AchievedQPS = float64(rep.Offered) / elapsed.Seconds()
+	}
+	rep.Latency = computePercentiles(latencies)
+	if err := rep.Reconciles(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// computePercentiles summarises admitted-request latencies with
+// ceil-nearest-rank percentiles (the fleet's percentile convention).
+func computePercentiles(ms []float64) Percentiles {
+	if len(ms) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]float64{}, ms...)
+	sort.Float64s(sorted)
+	rank := func(p float64) float64 {
+		// Ceil nearest-rank: the smallest value with at least p of the
+		// sample at or below it.
+		i := int(p*float64(len(sorted))+0.9999999) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return Percentiles{
+		P50:  rank(0.50),
+		P90:  rank(0.90),
+		P95:  rank(0.95),
+		P99:  rank(0.99),
+		Max:  sorted[len(sorted)-1],
+		Mean: sum / float64(len(sorted)),
+	}
+}

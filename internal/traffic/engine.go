@@ -1,0 +1,195 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/record"
+	"repro/internal/workload"
+)
+
+// maxStreamLen bounds a single materialised stream so a mistyped
+// qps/duration pair fails loudly instead of exhausting memory.
+const maxStreamLen = 2_000_000
+
+// Engine materialises deterministic request streams for one workload
+// config: a payload corpus keyed 0..Keyspace-1 built once from the
+// seed, and a schedule shaped by the workload's rate profile. The same
+// config always yields byte-identical streams.
+type Engine struct {
+	cfg    Config
+	wl     Workload
+	corpus *corpus
+}
+
+// corpus holds the pre-rendered wire bodies per key. Predict bodies
+// carry the record's slice/tag annotations as request tags so generated
+// traffic is sliceable by construction; ingest lines carry the weak
+// supervision battery (gold stripped — live traffic has no gold).
+type corpus struct {
+	predict [][]byte
+	ingest  [][]byte
+}
+
+// wireRequest mirrors the serve front's predict request shape.
+type wireRequest struct {
+	Payloads map[string]json.RawMessage `json:"payloads"`
+	Tags     []string                   `json:"tags,omitempty"`
+}
+
+// NewEngine validates cfg, builds the payload corpus, and returns an
+// engine ready to stream.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	wl, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c, err := buildCorpus(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, wl: wl, corpus: c}, nil
+}
+
+// Config returns the engine's (default-filled) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Workload returns the engine's shape.
+func (e *Engine) Workload() Workload { return e.wl }
+
+// buildCorpus renders Keyspace distinct (predict body, ingest line)
+// pairs from the factoid generator. Generation, source labeling, and
+// JSON rendering are all seeded and map-key-sorted, so the bytes are a
+// pure function of the config.
+func buildCorpus(cfg Config) (*corpus, error) {
+	examples := workload.Generate(workload.GenConfig{Seed: cfg.Seed, N: cfg.Keyspace})
+	sch := workload.FactoidSchema()
+	recs := make([]*record.Record, len(examples))
+	for i, ex := range examples {
+		recs[i] = ex.ToRecord(fmt.Sprintf("k%06d", i))
+	}
+	// The weak-source battery labels the ingest lane (live ingest feeds
+	// the improvement loop's label model); rng is seeded so labels are
+	// part of the deterministic stream contract.
+	workload.ApplySources(examples, recs, workload.DefaultSources(0.3), rand.New(rand.NewSource(cfg.Seed+1)))
+	c := &corpus{
+		predict: make([][]byte, len(recs)),
+		ingest:  make([][]byte, len(recs)),
+	}
+	for i, rec := range recs {
+		// Predict body: payloads only, with the record's slice and tag
+		// annotations as request tags (telemetry slices key off them).
+		line, err := record.MarshalRecord(rec, sch)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: render key %d: %w", i, err)
+		}
+		var rj struct {
+			Payloads map[string]json.RawMessage `json:"payloads"`
+		}
+		if err := json.Unmarshal(line, &rj); err != nil {
+			return nil, fmt.Errorf("traffic: reparse key %d: %w", i, err)
+		}
+		var tags []string
+		seen := map[string]bool{}
+		for _, t := range append(append([]string{}, rec.Slices...), rec.Tags...) {
+			if !seen[t] {
+				seen[t] = true
+				tags = append(tags, t)
+			}
+		}
+		body, err := json.Marshal(wireRequest{Payloads: rj.Payloads, Tags: tags})
+		if err != nil {
+			return nil, fmt.Errorf("traffic: render predict key %d: %w", i, err)
+		}
+		c.predict[i] = body
+
+		// Ingest line: the full record minus gold — production ingest
+		// carries weak votes, never curated labels.
+		for task, sources := range rec.Tasks {
+			delete(sources, record.GoldSource)
+			if len(sources) == 0 {
+				delete(rec.Tasks, task)
+			}
+		}
+		iline, err := record.MarshalRecord(rec, sch)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: render ingest key %d: %w", i, err)
+		}
+		c.ingest[i] = iline
+	}
+	return c, nil
+}
+
+// Stream materialises the deterministic request stream for a run: base
+// qps shaped by the workload's rate profile over duration. Request i
+// fires at the accumulated schedule offset; the stream ends when the
+// schedule crosses duration.
+func (e *Engine) Stream(qps float64, duration time.Duration) ([]Request, error) {
+	return e.stream(qps, duration, 0)
+}
+
+// StreamN materialises exactly n requests paced at base qps, with the
+// rate profile swept over the n requests (run fraction x = i/n). Used
+// by fixed-count tests and `overton load -requests`.
+func (e *Engine) StreamN(qps float64, n int) ([]Request, error) {
+	return e.stream(qps, 0, n)
+}
+
+func (e *Engine) stream(qps float64, duration time.Duration, n int) ([]Request, error) {
+	if qps <= 0 {
+		return nil, fmt.Errorf("traffic: qps %g must be > 0", qps)
+	}
+	if n <= 0 && duration <= 0 {
+		return nil, fmt.Errorf("traffic: stream needs a duration or a request count")
+	}
+	if n > maxStreamLen || (duration > 0 && qps*duration.Seconds() > maxStreamLen) {
+		return nil, fmt.Errorf("traffic: stream of ~%.0f requests exceeds the %d cap",
+			qps*duration.Seconds(), maxStreamLen)
+	}
+	// The stream rng is offset from the corpus seeds so corpus and
+	// schedule stay independently reproducible.
+	rng := rand.New(rand.NewSource(e.cfg.Seed + 2))
+	secs := duration.Seconds()
+	var out []Request
+	t := 0.0
+	for i := 0; ; i++ {
+		var x float64
+		if n > 0 {
+			if i >= n {
+				break
+			}
+			x = float64(i) / float64(n)
+		} else {
+			if t >= secs {
+				break
+			}
+			x = t / secs
+		}
+		if len(out) >= maxStreamLen {
+			return nil, fmt.Errorf("traffic: stream exceeds the %d-request cap", maxStreamLen)
+		}
+		sp := e.wl.Next(i, rng)
+		req := Request{
+			Seq:        i,
+			Deployment: e.cfg.Deployments[sp.Dep],
+			Ingest:     sp.Ingest,
+			Key:        sp.Key,
+			At:         time.Duration(t * float64(time.Second)),
+		}
+		if sp.Ingest {
+			req.Body = e.corpus.ingest[sp.Key]
+		} else {
+			req.Body = e.corpus.predict[sp.Key]
+		}
+		out = append(out, req)
+		rate := e.wl.Rate(x)
+		if rate <= 0 {
+			rate = 1e-3
+		}
+		t += 1 / (qps * rate)
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package traffic
+
+import (
+	"fmt"
+	"io"
+)
+
+// LaneCounts is the per-lane accounting quadruple. Every fired request
+// lands in exactly one of the three outcome columns, so
+// Offered == Admitted + Shed + Errored must hold per lane.
+type LaneCounts struct {
+	// Offered counts requests fired at the target.
+	Offered int64 `json:"offered"`
+	// Admitted counts 2xx responses.
+	Admitted int64 `json:"admitted"`
+	// Shed counts 429/503 refusals (admission limits, quarantine,
+	// drain, router shed).
+	Shed int64 `json:"shed"`
+	// Errored counts everything else: transport failures, deadline
+	// misses, unexpected statuses.
+	Errored int64 `json:"errored"`
+}
+
+// reconciles checks the lane's accounting identity.
+func (l LaneCounts) reconciles() bool {
+	return l.Offered == l.Admitted+l.Shed+l.Errored
+}
+
+// Percentiles summarises admitted-request latency in milliseconds
+// (ceil nearest-rank, the fleet's percentile convention).
+type Percentiles struct {
+	// P50/P90/P95/P99 are nearest-rank percentiles in milliseconds.
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	// Max is the slowest admitted request.
+	Max float64 `json:"max_ms"`
+	// Mean is the arithmetic mean.
+	Mean float64 `json:"mean_ms"`
+}
+
+// Report is one run's exact accounting plus latency capture — the JSON
+// artifact `overton load` emits and cmd/benchjson stamps into
+// BENCH_train.json.
+type Report struct {
+	// Workload / Seed identify the deterministic stream that was fired.
+	Workload string `json:"workload"`
+	Seed     int64  `json:"seed"`
+	// Target is the base URL the run drove (filled by `overton load`).
+	Target string `json:"target,omitempty"`
+	// BaseQPS / Workers echo the drive configuration.
+	BaseQPS float64 `json:"base_qps"`
+	Workers int     `json:"workers"`
+	// Requested is the materialised stream length; Offered can be lower
+	// when the run is cancelled early.
+	Requested int `json:"requested"`
+	// Offered/Admitted/Shed/Errored are the run totals; the identity
+	// Offered == Admitted + Shed + Errored is enforced, not assumed.
+	Offered  int64 `json:"offered"`
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+	Errored  int64 `json:"errored"`
+	// DeadlineExceeded is the errored subset that hit the per-request
+	// deadline.
+	DeadlineExceeded int64 `json:"deadline_exceeded,omitempty"`
+	// FirstError preserves the first transport-level error for
+	// diagnosis.
+	FirstError string `json:"first_error,omitempty"`
+	// Status is the HTTP status histogram ("200": n, "429": m, ...).
+	Status map[string]int64 `json:"status"`
+	// PerDeployment / PerKind break the totals down by target
+	// deployment and by predict/ingest lane.
+	PerDeployment map[string]*LaneCounts `json:"per_deployment"`
+	PerKind       map[string]*LaneCounts `json:"per_kind"`
+	// DurationSeconds / AchievedQPS report the wall clock actually
+	// spent and the offered rate actually achieved (a saturated closed
+	// loop achieves less than it was asked for).
+	DurationSeconds float64 `json:"duration_seconds"`
+	AchievedQPS     float64 `json:"achieved_qps"`
+	// Latency summarises admitted requests only — shed and errored
+	// requests answer fast and would flatter the tail.
+	Latency Percentiles `json:"latency"`
+}
+
+// Reconciles verifies the exact-accounting contract on the totals and
+// every per-deployment and per-kind lane. It returns nil when every
+// identity holds.
+func (r Report) Reconciles() error {
+	total := LaneCounts{Offered: r.Offered, Admitted: r.Admitted, Shed: r.Shed, Errored: r.Errored}
+	if !total.reconciles() {
+		return fmt.Errorf("traffic: totals do not reconcile: offered %d != admitted %d + shed %d + errored %d",
+			r.Offered, r.Admitted, r.Shed, r.Errored)
+	}
+	var perDep, perKind LaneCounts
+	for name, l := range r.PerDeployment {
+		if !l.reconciles() {
+			return fmt.Errorf("traffic: deployment %s does not reconcile: %+v", name, *l)
+		}
+		perDep.Offered += l.Offered
+		perDep.Admitted += l.Admitted
+		perDep.Shed += l.Shed
+		perDep.Errored += l.Errored
+	}
+	if perDep != total {
+		return fmt.Errorf("traffic: per-deployment sums %+v != totals %+v", perDep, total)
+	}
+	for kind, l := range r.PerKind {
+		if !l.reconciles() {
+			return fmt.Errorf("traffic: kind %s does not reconcile: %+v", kind, *l)
+		}
+		perKind.Offered += l.Offered
+		perKind.Admitted += l.Admitted
+		perKind.Shed += l.Shed
+		perKind.Errored += l.Errored
+	}
+	if perKind != total {
+		return fmt.Errorf("traffic: per-kind sums %+v != totals %+v", perKind, total)
+	}
+	return nil
+}
+
+// ShedRate is the shed fraction of offered load.
+func (r Report) ShedRate() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Offered)
+}
+
+// BenchMetrics renders the report as benchmark metrics for
+// cmd/benchjson (`benchjson -load report.json`), alongside the
+// `go test -bench` rows in BENCH_train.json.
+func (r Report) BenchMetrics() map[string]float64 {
+	return map[string]float64{
+		"req/s":     r.AchievedQPS,
+		"p50-ms":    r.Latency.P50,
+		"p95-ms":    r.Latency.P95,
+		"p99-ms":    r.Latency.P99,
+		"offered":   float64(r.Offered),
+		"admitted":  float64(r.Admitted),
+		"shed":      float64(r.Shed),
+		"errored":   float64(r.Errored),
+		"shed-rate": r.ShedRate(),
+	}
+}
+
+// Summarize writes a short human-readable run summary.
+func (r Report) Summarize(w io.Writer) {
+	fmt.Fprintf(w, "workload %s seed %d: offered %d = admitted %d + shed %d + errored %d (%.1f req/s over %.2fs)\n",
+		r.Workload, r.Seed, r.Offered, r.Admitted, r.Shed, r.Errored, r.AchievedQPS, r.DurationSeconds)
+	fmt.Fprintf(w, "latency ms (admitted): p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Max)
+}

@@ -1,0 +1,102 @@
+package traffic_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/serve"
+	"repro/internal/traffic"
+)
+
+// TestScenarioAdmissionIsolation is the admission-isolation acceptance
+// scenario: two deployments share one serve front; a rate-limited "hot"
+// deployment takes a seeded burst storm while an unlimited "healthy"
+// neighbour takes zipf hot-key traffic. The storming neighbour must
+// shed — and only it: the healthy deployment serves 100% of its offered
+// load, and both client reports reconcile exactly against the
+// server-side admission counters. Run under -race in CI.
+func TestScenarioAdmissionIsolation(t *testing.T) {
+	reg := deploy.NewRegistry()
+	hot := deploy.New("hot", freshModel(t, 1), 1)
+	healthy := deploy.New("healthy", freshModel(t, 7), 1)
+	for _, d := range []*deploy.Deployment{hot, healthy} {
+		if err := reg.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tight limits on hot: a 400-qps burst storm against a 50-qps bucket
+	// must shed most of its offered load.
+	if err := hot.SetLimits(deploy.Limits{QPS: 50, Burst: 10, QueueDepth: 8}); err != nil {
+		t.Fatal(err)
+	}
+	front := serve.NewFleet(reg)
+	defer front.Close()
+	ts := httptest.NewServer(front.Handler())
+	defer ts.Close()
+
+	// Mix stays 0 on both engines so every client-side request is a
+	// predict and maps one-to-one onto a server-side admission attempt.
+	stormEng := mustEngine(t, traffic.Config{Workload: "burst", Seed: 42, Deployments: []string{"hot"}})
+	calmEng := mustEngine(t, traffic.Config{Workload: "zipf-hotkey", Seed: 7, Deployments: []string{"healthy"}})
+
+	var wg sync.WaitGroup
+	var stormRep, calmRep traffic.Report
+	var stormErr, calmErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		stormRep, stormErr = traffic.Drive(context.Background(), stormEng, traffic.NewHTTPTarget(ts.URL),
+			traffic.DriveConfig{QPS: 400, Requests: 300, Workers: 8, Deadline: 10 * time.Second})
+	}()
+	go func() {
+		defer wg.Done()
+		calmRep, calmErr = traffic.Drive(context.Background(), calmEng, traffic.NewHTTPTarget(ts.URL),
+			traffic.DriveConfig{QPS: 100, Requests: 150, Workers: 4, Deadline: 10 * time.Second})
+	}()
+	wg.Wait()
+	if stormErr != nil {
+		t.Fatalf("storm drive: %v", stormErr)
+	}
+	if calmErr != nil {
+		t.Fatalf("calm drive: %v", calmErr)
+	}
+
+	// The healthy neighbour is untouched by the storm: every offered
+	// request admitted, nothing shed, nothing errored.
+	if calmRep.Offered != 150 || calmRep.Admitted != 150 || calmRep.Shed != 0 || calmRep.Errored != 0 {
+		t.Fatalf("healthy deployment not isolated: offered %d admitted %d shed %d errored %d",
+			calmRep.Offered, calmRep.Admitted, calmRep.Shed, calmRep.Errored)
+	}
+	// The storm overran its token bucket: real shedding, no errors —
+	// sheds are clean 429s, not failures.
+	if stormRep.Offered != 300 || stormRep.Shed == 0 || stormRep.Errored != 0 {
+		t.Fatalf("storm not shed cleanly: offered %d admitted %d shed %d errored %d first=%s",
+			stormRep.Offered, stormRep.Admitted, stormRep.Shed, stormRep.Errored, stormRep.FirstError)
+	}
+
+	// Exact cross-check: the client-side report and the server-side
+	// admission counters must agree request-for-request, per deployment.
+	hotLoad, healthyLoad := hot.Load(), healthy.Load()
+	if hotLoad.Admitted != stormRep.Admitted || hotLoad.Shed != stormRep.Shed || hotLoad.Offered() != stormRep.Offered {
+		t.Fatalf("hot: server admitted/shed/offered %d/%d/%d != client %d/%d/%d",
+			hotLoad.Admitted, hotLoad.Shed, hotLoad.Offered(),
+			stormRep.Admitted, stormRep.Shed, stormRep.Offered)
+	}
+	if healthyLoad.Admitted != calmRep.Admitted || healthyLoad.Shed != 0 || healthyLoad.Offered() != calmRep.Offered {
+		t.Fatalf("healthy: server admitted/shed/offered %d/%d/%d != client %d/%d/%d",
+			healthyLoad.Admitted, healthyLoad.Shed, healthyLoad.Offered(),
+			calmRep.Admitted, calmRep.Shed, calmRep.Offered)
+	}
+
+	// Per-deployment lanes carry the whole run (single-deployment engines).
+	if l := stormRep.PerDeployment["hot"]; l == nil || l.Offered != stormRep.Offered {
+		t.Fatalf("storm per-deployment lane %+v", l)
+	}
+	if l := calmRep.PerDeployment["healthy"]; l == nil || l.Offered != calmRep.Offered {
+		t.Fatalf("calm per-deployment lane %+v", l)
+	}
+}

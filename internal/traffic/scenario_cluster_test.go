@@ -1,0 +1,176 @@
+package traffic_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+	"repro/internal/traffic"
+)
+
+// newReplica starts one real in-process replica (full serve stack).
+func newReplica(t *testing.T, seed int64) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	sv := serve.New(freshModel(t, seed), "factoid", 1)
+	ts := httptest.NewServer(sv.Handler())
+	t.Cleanup(func() { ts.Close(); sv.Close() })
+	return sv, ts
+}
+
+// waitHealthy blocks until every replica passes its readiness probes.
+func waitHealthy(t *testing.T, rt *cluster.Router, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		healthy := 0
+		for _, rs := range rt.Stats().Replicas {
+			if rs.Healthy {
+				healthy++
+			}
+		}
+		if healthy == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d replicas healthy: %+v", healthy, n, rt.Stats().Replicas)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestScenarioClusterFailoverAccounting drives a routed two-replica
+// stack with a seeded burst workload and kills one replica's network
+// mid-run via the cluster.dial failpoint. The router must fail over
+// invisibly — the client sees zero sheds and zero errors — and the
+// accounting must reconcile across all three ledgers: the client
+// report, the router's routed/shed counters, and the replicas' own
+// admission counters. Run under -race in CI.
+func TestScenarioClusterFailoverAccounting(t *testing.T) {
+	sv1, r1 := newReplica(t, 1)
+	sv2, r2 := newReplica(t, 7)
+
+	rt, err := cluster.New(cluster.Options{
+		Replicas:         []string{r1.URL, r2.URL},
+		ProbeInterval:    20 * time.Millisecond,
+		ProbeTimeout:     300 * time.Millisecond,
+		RequestTimeout:   3 * time.Second,
+		RetryBase:        time.Millisecond,
+		RetryMax:         5 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	waitHealthy(t, rt, 2)
+
+	// Rendezvous routing is sticky per deployment: find the replica that
+	// actually carries "factoid" with a short warm-up, then baseline
+	// every ledger so the measured run asserts on deltas only.
+	eng := mustEngine(t, traffic.Config{Workload: "burst", Seed: 42, Deployments: []string{"factoid"}})
+	tgt := traffic.NewHTTPTarget(front.URL)
+	warm, err := eng.StreamN(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wr := range warm {
+		if out := tgt.Do(context.Background(), wr); out.Class != traffic.Admitted {
+			t.Fatalf("warm-up request failed: %+v", out)
+		}
+	}
+	base := rt.Stats()
+	preferred := ""
+	for _, rs := range base.Replicas {
+		if rs.Requests > 0 {
+			preferred = strings.TrimPrefix(rs.URL, "http://")
+		}
+	}
+	if preferred == "" {
+		t.Fatalf("warm-up reached no replica: %+v", base.Replicas)
+	}
+	baseLoad := map[*serve.Server]int64{}
+	for _, sv := range []*serve.Server{sv1, sv2} {
+		d, ok := sv.Registry().Get("factoid")
+		if !ok {
+			t.Fatal("replica missing factoid deployment")
+		}
+		baseLoad[sv] = d.Load().Admitted
+	}
+
+	// Mid-run, the preferred replica's network goes away for a fault
+	// window: every dial fails with a connection-refused shape. The probe
+	// plane shares the transport, so health checking sees the same outage
+	// and routing must fail over to the survivor.
+	faultDone := make(chan struct{})
+	t.Cleanup(faultinject.Disable)
+	go func() {
+		defer close(faultDone)
+		time.Sleep(300 * time.Millisecond)
+		faultinject.Enable(faultinject.NewRegistry().ArmEvery(
+			"cluster.dial."+preferred,
+			faultinject.Fault{Kind: faultinject.KindError, Err: errors.New("connect: connection refused")},
+		))
+		time.Sleep(500 * time.Millisecond)
+		faultinject.Disable()
+	}()
+
+	rep, err := traffic.Drive(context.Background(), eng, tgt,
+		traffic.DriveConfig{QPS: 300, Requests: 300, Workers: 8, Deadline: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-faultDone
+
+	// The outage is invisible to the client: retries absorb every dial
+	// failure, nothing is shed, nothing errors.
+	if rep.Offered != 300 || rep.Admitted != 300 || rep.Shed != 0 || rep.Errored != 0 {
+		t.Fatalf("failover leaked to the client: offered %d admitted %d shed %d errored %d first=%s",
+			rep.Offered, rep.Admitted, rep.Shed, rep.Errored, rep.FirstError)
+	}
+
+	// Router ledger: one routed entry per client request, no shed path
+	// taken, and the fault window actually forced retries and failures.
+	cs := rt.Stats()
+	if got := cs.Routed - base.Routed; got != rep.Offered {
+		t.Fatalf("router routed %d != client offered %d", got, rep.Offered)
+	}
+	if cs.Shed != 0 {
+		t.Fatalf("router shed %d, want 0", cs.Shed)
+	}
+	var totalFailures, totalRetries int64
+	for _, rs := range cs.Replicas {
+		totalFailures += rs.Failures
+		totalRetries += rs.Retries
+	}
+	if totalFailures == 0 || totalRetries == 0 {
+		t.Fatalf("fault window never bit: failures %d retries %d (%+v)", totalFailures, totalRetries, cs.Replicas)
+	}
+
+	// Replica ledger: dial faults never reach a replica, so the sum of
+	// replica-side admitted requests is exactly the client's admitted
+	// count — every request was served exactly once.
+	var delivered int64
+	for _, sv := range []*serve.Server{sv1, sv2} {
+		d, ok := sv.Registry().Get("factoid")
+		if !ok {
+			t.Fatal("replica missing factoid deployment")
+		}
+		load := d.Load()
+		if load.Shed != 0 {
+			t.Fatalf("replica shed %d, want 0", load.Shed)
+		}
+		delivered += load.Admitted - baseLoad[sv]
+	}
+	if delivered != rep.Admitted {
+		t.Fatalf("replica-side admitted %d != client admitted %d", delivered, rep.Admitted)
+	}
+}

@@ -1,0 +1,44 @@
+package traffic_test
+
+// Shared fixtures for the end-to-end scenario suite: the tests in
+// scenario_*_test.go drive real serve / cluster stacks with the traffic
+// engine and pin admission isolation, closed-loop promotion, and
+// failover accounting under -race.
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/model"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// freshModel builds a small trained-enough factoid model, mirroring the
+// serve and cluster test fixtures: hash embeddings + BOW keep scenario
+// runs fast while exercising the full predict path.
+func freshModel(t testing.TB, seed int64) *model.Model {
+	t.Helper()
+	choice := schema.Choice{
+		Embedding: "hash-8", Encoder: "BOW", Hidden: 8,
+		QueryAgg: "mean", EntityAgg: "mean",
+		LR: 0.01, Epochs: 1, Dropout: 0, BatchSize: 8,
+	}
+	prog, err := compile.Plan(workload.FactoidSchema(), choice, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := workload.DefaultKB()
+	var ents []string
+	for _, e := range kb.Entities {
+		ents = append(ents, e.ID)
+	}
+	m, err := model.New(prog, &compile.Resources{
+		TokenVocab:  workload.Vocabulary(kb),
+		EntityVocab: ents,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,143 @@
+package traffic_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/serve"
+	"repro/internal/sliceql"
+	"repro/internal/traffic"
+	"repro/internal/train"
+)
+
+// hottestTag scans a stream's predict bodies and returns the most
+// frequent request tag — the slice the skewed traffic actually
+// concentrates on, so the slice gate below is guaranteed evidence.
+func hottestTag(t *testing.T, stream []traffic.Request) string {
+	t.Helper()
+	counts := map[string]int{}
+	for _, r := range stream {
+		if r.Ingest {
+			continue
+		}
+		var wire struct {
+			Tags []string `json:"tags"`
+		}
+		if err := json.Unmarshal(r.Body, &wire); err != nil {
+			t.Fatal(err)
+		}
+		for _, tag := range wire.Tags {
+			counts[tag]++
+		}
+	}
+	best, bestN := "", 0
+	for tag, n := range counts {
+		if n > bestN {
+			best, bestN = tag, n
+		}
+	}
+	if best == "" {
+		t.Fatal("no tagged predict traffic in stream")
+	}
+	return best
+}
+
+// TestScenarioClosedLoopUnderSkew drives the continuous-improvement
+// loop with skewed mixed predict/ingest traffic through the HTTP front
+// and asserts the promotion gates sequence correctly: the ingest lane
+// feeds the label model until a candidate retrains, mirrored predicts
+// accumulate agreement and slice-gate evidence, and the policy —
+// agreement threshold, shed-rate hold, and a slice gate over the
+// traffic's hottest slice — promotes the candidate. Run under -race.
+func TestScenarioClosedLoopUnderSkew(t *testing.T) {
+	reg := deploy.NewRegistry()
+	d := deploy.New("factoid", freshModel(t, 1), 1)
+	if err := reg.Add(d); err != nil {
+		t.Fatal(err)
+	}
+	front := serve.NewFleet(reg)
+	defer front.Close()
+	ts := httptest.NewServer(front.Handler())
+	defer ts.Close()
+
+	// Skewed mixed traffic: zipf keys, half ingest half predict.
+	eng := mustEngine(t, traffic.Config{
+		Workload: "mixed", Seed: 11, Mix: 0.5, Deployments: []string{"factoid"},
+	})
+	wave, err := eng.StreamN(2000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice := hottestTag(t, wave)
+	if err := d.SetSlices([]sliceql.SliceDef{{Name: slice, Expr: slice}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fast loop, full gate battery: agreement over mirrored comparisons,
+	// the shed-rate promote hold, and a fail-closed slice gate that
+	// demands comparison evidence on the hottest slice.
+	err = d.StartLoop(deploy.LoopConfig{
+		Interval:        2 * time.Millisecond,
+		MinRetrainBatch: 24,
+		Policy: deploy.Policy{
+			MinMirrored:           6,
+			MinAgreement:          0.5,
+			Hysteresis:            2,
+			RollbackWindow:        2,
+			MinRegressionRequests: 1 << 30,
+			MaxPromoteShedRate:    0.95,
+			SliceGates:            []deploy.SliceGate{{Slice: slice, MinAgreement: 0.3, MinUnits: 1}},
+		},
+		FineTune: train.FineTuneConfig{Epochs: 1, LR: 0.001},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive seeded waves until the loop promotes. Every wave must
+	// reconcile exactly with zero errors — the loop retrains and promotes
+	// under traffic, never by failing it.
+	tgt := traffic.NewHTTPTarget(ts.URL)
+	var predictAdmitted, ingestAdmitted int64
+	deadline := time.Now().Add(60 * time.Second)
+	for d.Stats().Promotions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no promotion: stats=%+v loop=%+v", d.Stats(), d.LoopStatus())
+		}
+		rep, err := traffic.DriveStream(context.Background(), eng, wave, tgt,
+			traffic.DriveConfig{QPS: 2000, Workers: 8, Deadline: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Errored != 0 {
+			t.Fatalf("wave errored %d (first: %s)", rep.Errored, rep.FirstError)
+		}
+		predictAdmitted += rep.PerKind["predict"].Admitted
+		ingestAdmitted += rep.PerKind["ingest"].Admitted
+	}
+
+	if predictAdmitted == 0 || ingestAdmitted == 0 {
+		t.Fatalf("both lanes must flow: predict %d ingest %d", predictAdmitted, ingestAdmitted)
+	}
+	ls := d.LoopStatus()
+	if ls.Retrains < 1 {
+		t.Fatalf("promotion without retrain: %+v", ls)
+	}
+	if ls.Promotions < 1 {
+		t.Fatalf("stats promoted but loop status disagrees: %+v", ls)
+	}
+	// The slice gate was part of the promote decision: its verdict is
+	// recorded on the loop status every tick.
+	if len(ls.Slices) != 1 || ls.Slices[0].Slice != slice {
+		t.Fatalf("slice gate verdicts missing: %+v", ls.Slices)
+	}
+	// Promotion advanced the served version.
+	if v := d.Stats().Version; v < 2 {
+		t.Fatalf("served version %d after promotion, want >= 2", v)
+	}
+}

@@ -1,0 +1,299 @@
+// Package traffic is Overton's synthetic traffic engine: seeded,
+// pluggable workload shapes that produce deterministic request streams,
+// and a closed-loop driver that fires them at any HTTP front (a single
+// `overton serve` process or the `overton route` cluster) with a worker
+// pool, per-request deadlines, and exact accounting.
+//
+// Every number the fleet publishes — admission isolation, failover
+// success rates, serve-plane latency — is only as credible as the
+// traffic it was measured under. Uniform benchmark storms miss the
+// failure modes real products hit: hot-key skew concentrating load on
+// one deployment, bursts that outrun a token bucket's refill, diurnal
+// ramps that hold a system at its knee, and mixed predict/ingest flows
+// where the improvement loop retrains under the same pressure it
+// serves. This package makes those shapes first-class and repeatable:
+// the same (workload, seed, qps, duration) tuple always produces a
+// byte-identical request stream, so "does the system survive scenario
+// X" is a deterministic test, not an anecdote.
+//
+// The engine is exposed two ways: the `overton load` subcommand for
+// operators (JSON report out, stamped into BENCH_train.json via
+// cmd/benchjson), and the in-process harness API (NewEngine + Drive)
+// that the scenario test suites use to drive a real registry / serve /
+// cluster stack inside `go test -race`.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Shapes lists the named workload shapes New accepts, in documentation
+// order.
+func Shapes() []string {
+	return []string{"uniform", "zipf-hotkey", "burst", "diurnal", "mixed"}
+}
+
+// Config selects and parameterises a workload shape. The zero value of
+// every optional field means "use the default"; Workload and at least
+// one deployment name are required.
+type Config struct {
+	// Workload names the shape: one of Shapes().
+	Workload string `json:"workload"`
+	// Seed drives every random choice — corpus generation, key
+	// selection, kind mix, deployment spread. Identical configs with
+	// identical seeds produce byte-identical request streams.
+	Seed int64 `json:"seed"`
+	// Keyspace is the number of distinct request payloads in the corpus
+	// (default 256). Key k always maps to the same payload bytes.
+	Keyspace int `json:"keyspace,omitempty"`
+	// Deployments are the target deployment names. One engine can spray
+	// a fleet; scenario tests usually pin a single name per engine so
+	// accounting cross-checks stay per-deployment exact.
+	Deployments []string `json:"deployments"`
+	// Mix is the ingest fraction of the stream in [0,1): each request
+	// is an ingest line with probability Mix, a predict otherwise
+	// (default 0; the mixed shape defaults to 0.2).
+	Mix float64 `json:"mix,omitempty"`
+	// Skew is the zipf s-parameter for zipf-hotkey and mixed key
+	// selection (default 1.2; must be > 1).
+	Skew float64 `json:"skew,omitempty"`
+	// RateHigh / RateLow bound the rate multiplier for the burst and
+	// diurnal shapes (defaults 4.0 / 0.25). A burst square wave
+	// alternates between them; a diurnal ramp sweeps between them.
+	RateHigh float64 `json:"rate_high,omitempty"`
+	RateLow  float64 `json:"rate_low,omitempty"`
+	// Period is the burst wave period as a fraction of the run
+	// (default 0.25 — four full waves per run).
+	Period float64 `json:"period,omitempty"`
+	// Duty is the high fraction of each burst period (default 0.5, a
+	// square wave; small values make spike waves).
+	Duty float64 `json:"duty,omitempty"`
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Keyspace <= 0 {
+		c.Keyspace = 256
+	}
+	if c.Skew <= 1 {
+		c.Skew = 1.2
+	}
+	if c.RateHigh <= 0 {
+		c.RateHigh = 4.0
+	}
+	if c.RateLow <= 0 {
+		c.RateLow = 0.25
+	}
+	if c.Period <= 0 || c.Period > 1 {
+		c.Period = 0.25
+	}
+	if c.Duty <= 0 || c.Duty >= 1 {
+		c.Duty = 0.5
+	}
+	if c.Mix == 0 && c.Workload == "mixed" {
+		c.Mix = 0.2
+	}
+	return c
+}
+
+// validate rejects configs New cannot honour.
+func (c Config) validate() error {
+	found := false
+	for _, s := range Shapes() {
+		if s == c.Workload {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("traffic: unknown workload %q (want one of %s)",
+			c.Workload, strings.Join(Shapes(), "|"))
+	}
+	if len(c.Deployments) == 0 {
+		return fmt.Errorf("traffic: config needs at least one deployment name")
+	}
+	for _, d := range c.Deployments {
+		if d == "" {
+			return fmt.Errorf("traffic: empty deployment name")
+		}
+	}
+	if c.Mix < 0 || c.Mix >= 1 {
+		return fmt.Errorf("traffic: mix %g out of [0,1)", c.Mix)
+	}
+	return nil
+}
+
+// Spec is one generated request slot before payload attachment: which
+// corpus key, which kind, which deployment.
+type Spec struct {
+	// Key indexes the payload corpus; the same key always carries the
+	// same bytes, so key skew is payload skew.
+	Key int
+	// Ingest selects the ingest lane (one labeled JSONL line) instead
+	// of a predict call.
+	Ingest bool
+	// Dep indexes Config.Deployments.
+	Dep int
+}
+
+// Workload is a pluggable traffic shape: a deterministic sequence of
+// request specs plus an instantaneous rate profile. Implementations
+// must derive every random choice from the rng they are handed — the
+// engine seeds it and calls Next strictly sequentially, which is what
+// makes streams reproducible.
+type Workload interface {
+	// Name returns the shape's registry name (one of Shapes()).
+	Name() string
+	// Describe returns a one-line human description of the shape.
+	Describe() string
+	// Rate returns the rate multiplier at run fraction x in [0,1); the
+	// driver multiplies the base QPS by it when pacing the stream.
+	Rate(x float64) float64
+	// Next produces the i'th request spec, consuming rng sequentially.
+	Next(i int, rng *rand.Rand) Spec
+}
+
+// shape is the shared Workload implementation behind every named shape.
+type shape struct {
+	name string
+	desc string
+	rate func(x float64) float64
+	// key picks a corpus key; nil means uniform.
+	key  func(rng *rand.Rand) int
+	mix  float64
+	deps int
+	keys int
+}
+
+func (s *shape) Name() string     { return s.name }
+func (s *shape) Describe() string { return s.desc }
+
+func (s *shape) Rate(x float64) float64 {
+	if s.rate == nil {
+		return 1
+	}
+	return s.rate(x)
+}
+
+func (s *shape) Next(i int, rng *rand.Rand) Spec {
+	// Draw order is fixed (key, kind, deployment) so every shape
+	// consumes the rng identically and streams stay reproducible.
+	var sp Spec
+	if s.key != nil {
+		sp.Key = s.key(rng)
+	} else {
+		sp.Key = rng.Intn(s.keys)
+	}
+	if s.mix > 0 && rng.Float64() < s.mix {
+		sp.Ingest = true
+	}
+	if s.deps > 1 {
+		sp.Dep = rng.Intn(s.deps)
+	}
+	return sp
+}
+
+// New builds the named workload shape from cfg. The returned Workload
+// is stateless between runs except for the rng the engine threads
+// through it.
+func New(cfg Config) (Workload, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &shape{
+		name: cfg.Workload,
+		mix:  cfg.Mix,
+		deps: len(cfg.Deployments),
+		keys: cfg.Keyspace,
+	}
+	burstRate := func(x float64) float64 {
+		// Square wave: the first Duty fraction of every period runs at
+		// RateHigh, the rest at RateLow.
+		_, frac := math.Modf(x / cfg.Period)
+		if frac < cfg.Duty {
+			return cfg.RateHigh
+		}
+		return cfg.RateLow
+	}
+	switch cfg.Workload {
+	case "uniform":
+		s.desc = "uniform keys at a constant rate"
+	case "zipf-hotkey":
+		s.desc = fmt.Sprintf("zipf(s=%.2f) hot-key skew at a constant rate", cfg.Skew)
+		s.key = zipfKeys(cfg)
+	case "burst":
+		s.desc = fmt.Sprintf("square wave: x%.2g for %.0f%% of each period, x%.2g after",
+			cfg.RateHigh, 100*cfg.Duty, cfg.RateLow)
+		s.rate = burstRate
+	case "diurnal":
+		s.desc = fmt.Sprintf("raised-cosine ramp between x%.2g and x%.2g over the run",
+			cfg.RateLow, cfg.RateHigh)
+		s.rate = func(x float64) float64 {
+			// Trough at the run's edges, peak mid-run — one synthetic day.
+			return cfg.RateLow + (cfg.RateHigh-cfg.RateLow)*0.5*(1-math.Cos(2*math.Pi*x))
+		}
+	case "mixed":
+		s.desc = fmt.Sprintf("zipf(s=%.2f) keys, %.0f%% ingest / %.0f%% predict",
+			cfg.Skew, 100*cfg.Mix, 100*(1-cfg.Mix))
+		s.key = zipfKeys(cfg)
+	}
+	return s, nil
+}
+
+// zipfKeys returns a zipf-skewed key picker: key 0 is the hottest. The
+// rand.Zipf generator is allocated lazily on first draw so it binds to
+// the engine's sequential rng.
+func zipfKeys(cfg Config) func(rng *rand.Rand) int {
+	var z *rand.Zipf
+	return func(rng *rand.Rand) int {
+		if z == nil {
+			z = rand.NewZipf(rng, cfg.Skew, 1, uint64(cfg.Keyspace-1))
+		}
+		return int(z.Uint64())
+	}
+}
+
+// HotKeyShare computes the traffic share of the hottest-k keys in a
+// stream — the skew measurement scenario tests pin.
+func HotKeyShare(reqs []Request, k int) float64 {
+	if len(reqs) == 0 {
+		return 0
+	}
+	counts := map[int]int{}
+	for _, r := range reqs {
+		counts[r.Key]++
+	}
+	all := make([]int, 0, len(counts))
+	for _, n := range counts {
+		all = append(all, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	hot := 0
+	for i := 0; i < k && i < len(all); i++ {
+		hot += all[i]
+	}
+	return float64(hot) / float64(len(reqs))
+}
+
+// Request is one fully materialised request in a deterministic stream.
+type Request struct {
+	// Seq is the request's position in the stream.
+	Seq int
+	// Deployment is the target deployment name.
+	Deployment string
+	// Ingest selects POST .../ingest (Body is one JSONL line) instead
+	// of POST .../predict (Body is a predict request).
+	Ingest bool
+	// Key is the corpus key the body was drawn from.
+	Key int
+	// Body is the exact wire payload.
+	Body []byte
+	// At is the scheduled send offset from the run start.
+	At time.Duration
+}

@@ -1,0 +1,299 @@
+package traffic_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/record"
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+func cfg(name string, seed int64) traffic.Config {
+	return traffic.Config{Workload: name, Seed: seed, Deployments: []string{"factoid"}}
+}
+
+func mustEngine(t testing.TB, c traffic.Config) *traffic.Engine {
+	t.Helper()
+	e, err := traffic.NewEngine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mustStream(t testing.TB, e *traffic.Engine, qps float64, d time.Duration) []traffic.Request {
+	t.Helper()
+	s, err := e.Stream(qps, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// flatten renders a stream to bytes: schedule offsets, routing, and
+// payload bytes — the full determinism surface.
+func flatten(reqs []traffic.Request) []byte {
+	var buf bytes.Buffer
+	for _, r := range reqs {
+		fmt.Fprintf(&buf, "%d %s ingest=%v key=%d at=%d\n", r.Seq, r.Deployment, r.Ingest, r.Key, r.At)
+		buf.Write(r.Body)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestStreamsAreByteIdentical pins the acceptance criterion: the same
+// (workload, seed, qps, duration) produces byte-identical request
+// streams across independent engines, for every shape.
+func TestStreamsAreByteIdentical(t *testing.T) {
+	for _, name := range traffic.Shapes() {
+		t.Run(name, func(t *testing.T) {
+			a := flatten(mustStream(t, mustEngine(t, cfg(name, 42)), 200, time.Second))
+			b := flatten(mustStream(t, mustEngine(t, cfg(name, 42)), 200, time.Second))
+			if !bytes.Equal(a, b) {
+				t.Fatalf("same seed produced different streams (%d vs %d bytes)", len(a), len(b))
+			}
+			c := flatten(mustStream(t, mustEngine(t, cfg(name, 43)), 200, time.Second))
+			if bytes.Equal(a, c) {
+				t.Fatalf("different seeds produced identical streams")
+			}
+		})
+	}
+}
+
+// TestStreamNIsDeterministicToo covers the fixed-count form the
+// scenario suites use.
+func TestStreamNIsDeterministicToo(t *testing.T) {
+	e1, e2 := mustEngine(t, cfg("zipf-hotkey", 7)), mustEngine(t, cfg("zipf-hotkey", 7))
+	a, err := e1.StreamN(100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e2.StreamN(100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("StreamN lengths %d/%d, want 500", len(a), len(b))
+	}
+	if !bytes.Equal(flatten(a), flatten(b)) {
+		t.Fatal("StreamN not deterministic")
+	}
+}
+
+// TestZipfSkewConcentratesKeys asserts hot-key shapes are actually
+// skewed and uniform is not: the hottest 8 of 256 keys must carry the
+// majority of zipf traffic and nowhere near it under uniform.
+func TestZipfSkewConcentratesKeys(t *testing.T) {
+	zipf := mustStream(t, mustEngine(t, cfg("zipf-hotkey", 1)), 2000, time.Second)
+	uni := mustStream(t, mustEngine(t, cfg("uniform", 1)), 2000, time.Second)
+	zs, us := traffic.HotKeyShare(zipf, 8), traffic.HotKeyShare(uni, 8)
+	if zs < 0.5 {
+		t.Fatalf("zipf hottest-8 share %.3f, want >= 0.5", zs)
+	}
+	if us > 0.2 {
+		t.Fatalf("uniform hottest-8 share %.3f, want <= 0.2", us)
+	}
+}
+
+// TestBurstShapesSchedule asserts the burst square wave shows up in the
+// schedule: the high-duty phase packs more requests per unit time than
+// the low phase.
+func TestBurstShapesSchedule(t *testing.T) {
+	c := cfg("burst", 5)
+	c.Period = 0.5 // two waves over the run
+	c.Duty = 0.5
+	stream := mustStream(t, mustEngine(t, c), 400, time.Second)
+	var firstQuarter, secondQuarter int
+	for _, r := range stream {
+		switch {
+		case r.At < 250*time.Millisecond:
+			firstQuarter++
+		case r.At < 500*time.Millisecond:
+			secondQuarter++
+		}
+	}
+	// RateHigh/RateLow default 4.0/0.25: a 16x instantaneous ratio.
+	if firstQuarter < 4*secondQuarter {
+		t.Fatalf("burst high phase %d vs low phase %d requests — wave not visible", firstQuarter, secondQuarter)
+	}
+}
+
+// TestDiurnalRampPeaksMidRun asserts the diurnal shape concentrates
+// traffic mid-run.
+func TestDiurnalRampPeaksMidRun(t *testing.T) {
+	stream := mustStream(t, mustEngine(t, cfg("diurnal", 5)), 400, time.Second)
+	var edges, middle int
+	for _, r := range stream {
+		if r.At < 200*time.Millisecond || r.At >= 800*time.Millisecond {
+			edges++
+		} else if r.At >= 400*time.Millisecond && r.At < 600*time.Millisecond {
+			middle++
+		}
+	}
+	if middle <= edges {
+		t.Fatalf("diurnal middle fifth %d <= edge fifths %d — no ramp", middle, edges)
+	}
+}
+
+// TestMixedRatioHoldsAndBodiesDiffer asserts the mixed shape honours
+// its ingest fraction and that the two lanes carry different wire
+// bodies (ingest lines have supervision, predicts don't).
+func TestMixedRatioHoldsAndBodiesDiffer(t *testing.T) {
+	c := cfg("mixed", 3)
+	c.Mix = 0.3
+	stream := mustStream(t, mustEngine(t, c), 2000, time.Second)
+	var ingest int
+	for _, r := range stream {
+		if r.Ingest {
+			ingest++
+			var line struct {
+				Tasks map[string]map[string]json.RawMessage `json:"tasks"`
+			}
+			if err := json.Unmarshal(r.Body, &line); err != nil {
+				t.Fatalf("ingest line %d not JSON: %v", r.Seq, err)
+			}
+			for task, sources := range line.Tasks {
+				if _, ok := sources[record.GoldSource]; ok {
+					t.Fatalf("ingest line %d leaks gold labels on task %s", r.Seq, task)
+				}
+			}
+		}
+	}
+	got := float64(ingest) / float64(len(stream))
+	if got < 0.2 || got > 0.4 {
+		t.Fatalf("ingest fraction %.3f, want ~0.3", got)
+	}
+}
+
+// TestCorpusBodiesValidateAgainstSchema decodes every corpus predict
+// body exactly like the serve front would and validates it, so a
+// schema drift fails here before any scenario runs.
+func TestCorpusBodiesValidateAgainstSchema(t *testing.T) {
+	c := cfg("uniform", 11)
+	c.Keyspace = 64
+	stream := mustStream(t, mustEngine(t, c), 300, time.Second)
+	sch := workload.FactoidSchema()
+	seen := map[int]bool{}
+	for _, r := range stream {
+		if seen[r.Key] || r.Ingest {
+			continue
+		}
+		seen[r.Key] = true
+		var wire struct {
+			Payloads map[string]json.RawMessage `json:"payloads"`
+		}
+		if err := json.Unmarshal(r.Body, &wire); err != nil {
+			t.Fatalf("key %d: bad body: %v", r.Key, err)
+		}
+		rec, err := record.ParsePayloads(wire.Payloads, sch)
+		if err != nil {
+			t.Fatalf("key %d: %v", r.Key, err)
+		}
+		if err := record.Validate(rec, sch); err != nil {
+			t.Fatalf("key %d: %v", r.Key, err)
+		}
+	}
+	if len(seen) < 32 {
+		t.Fatalf("stream covered only %d/64 keys", len(seen))
+	}
+}
+
+// TestDriveAccountingReconciles drives a scripted target that admits,
+// sheds, and errors in a fixed pattern and asserts the report's exact
+// accounting identity at every level.
+func TestDriveAccountingReconciles(t *testing.T) {
+	e := mustEngine(t, traffic.Config{
+		Workload: "mixed", Seed: 9, Mix: 0.25,
+		Deployments: []string{"a", "b"},
+	})
+	var n int64
+	tgt := traffic.TargetFunc(func(ctx context.Context, req traffic.Request) traffic.Outcome {
+		n++
+		switch n % 5 {
+		case 0:
+			return traffic.Classify(429)
+		case 1:
+			return traffic.Outcome{Class: traffic.Errored, Err: context.DeadlineExceeded}
+		default:
+			return traffic.Classify(200)
+		}
+	})
+	rep, err := traffic.Drive(context.Background(), e, tgt, traffic.DriveConfig{
+		QPS: 5000, Requests: 500, Workers: 1, Deadline: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered != 500 {
+		t.Fatalf("offered %d, want 500", rep.Offered)
+	}
+	if rep.Shed != 100 || rep.Errored != 100 || rep.Admitted != 300 {
+		t.Fatalf("admitted/shed/errored %d/%d/%d, want 300/100/100", rep.Admitted, rep.Shed, rep.Errored)
+	}
+	if rep.DeadlineExceeded != 100 {
+		t.Fatalf("deadline-exceeded %d, want 100", rep.DeadlineExceeded)
+	}
+	if err := rep.Reconciles(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.PerKind["predict"].Offered + rep.PerKind["ingest"].Offered; got != 500 {
+		t.Fatalf("per-kind offered sums to %d", got)
+	}
+	if got := rep.PerDeployment["a"].Offered + rep.PerDeployment["b"].Offered; got != 500 {
+		t.Fatalf("per-deployment offered sums to %d", got)
+	}
+	if rep.PerDeployment["a"].Offered == 0 || rep.PerDeployment["b"].Offered == 0 {
+		t.Fatal("multi-deployment spread left a deployment idle")
+	}
+}
+
+// TestDriveCancelStopsOffering cancels mid-run and asserts unfired
+// requests are not counted as offered — the report reconciles early.
+func TestDriveCancelStopsOffering(t *testing.T) {
+	e := mustEngine(t, cfg("uniform", 2))
+	ctx, cancel := context.WithCancel(context.Background())
+	var n int64
+	tgt := traffic.TargetFunc(func(context.Context, traffic.Request) traffic.Outcome {
+		n++
+		if n == 50 {
+			cancel()
+		}
+		return traffic.Classify(200)
+	})
+	rep, err := traffic.Drive(ctx, e, tgt, traffic.DriveConfig{QPS: 100000, Requests: 100000, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered >= 100000 || rep.Offered < 50 {
+		t.Fatalf("offered %d after cancel at 50", rep.Offered)
+	}
+	if err := rep.Reconciles(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConfigValidation pins the error paths operators hit first.
+func TestConfigValidation(t *testing.T) {
+	if _, err := traffic.NewEngine(traffic.Config{Workload: "nope", Deployments: []string{"d"}}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := traffic.NewEngine(traffic.Config{Workload: "uniform"}); err == nil {
+		t.Fatal("empty deployment list accepted")
+	}
+	e := mustEngine(t, cfg("uniform", 1))
+	if _, err := e.Stream(0, time.Second); err == nil {
+		t.Fatal("zero qps accepted")
+	}
+	if _, err := e.Stream(1e9, time.Hour); err == nil {
+		t.Fatal("absurd stream size accepted")
+	}
+	if _, err := e.Stream(100, 0); err == nil {
+		t.Fatal("no duration and no count accepted")
+	}
+}

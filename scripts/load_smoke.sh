@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# load_smoke.sh — seeded synthetic-traffic smoke against a live cluster.
+#
+# Boots two real `overton serve` replicas behind one `overton route`
+# router and fires a short seeded zipf-hotkey storm at it with
+# `overton load`. Asserts:
+#   - the stream is deterministic at the CLI level: two `-dump` runs
+#     with the same flags produce byte-identical output;
+#   - exact shed accounting: offered == admitted + shed + errored
+#     (`overton load` exits non-zero when the identity breaks), with
+#     zero errored requests against a healthy fleet;
+#   - the admitted p99 stays under a generous CI bound (-max-p99).
+#
+# When a bench artifact path is given, the load report is stamped into
+# it as a Load/<workload> row via `benchjson -merge -load`.
+#
+# Usage: scripts/load_smoke.sh [base-port] [bench-artifact.json]
+set -euo pipefail
+
+BASE="${1:-18400}"
+ARTIFACT="${2:-}"
+R1="127.0.0.1:$((BASE + 1))"
+R2="127.0.0.1:$((BASE + 2))"
+ROUTER="127.0.0.1:${BASE}"
+ROOT="$(pwd)"
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for p in "${PIDS[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "load_smoke: FAIL: $*" >&2; exit 1; }
+
+wait_ready() { # wait_ready <addr>
+  for _ in $(seq 1 50); do
+    curl -sf "http://$1/readyz" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  fail "$1 never became ready"
+}
+
+report_field() { # report_field <file> <key>
+  sed -n "s/.*\"$2\": \([0-9][0-9]*\).*/\1/p" "$1" | head -1
+}
+
+echo "load_smoke: workdir ${WORK}"
+go build -o "${WORK}/overton" ./cmd/overton
+
+cd "$WORK"
+./overton datagen -n 400 -seed 1 -out data.jsonl -schema-out schema.json >/dev/null
+./overton train -schema schema.json -data data.jsonl -out m1.bin -seed 1 >/dev/null 2>&1
+
+# --- Determinism at the CLI: same flags, byte-identical stream. ---------
+./overton load -workload zipf-hotkey -seed 42 -qps 200 -dump 500 >dump1.jsonl
+./overton load -workload zipf-hotkey -seed 42 -qps 200 -dump 500 >dump2.jsonl
+cmp -s dump1.jsonl dump2.jsonl || fail "same seed produced different streams"
+./overton load -workload zipf-hotkey -seed 43 -qps 200 -dump 500 >dump3.jsonl
+cmp -s dump1.jsonl dump3.jsonl && fail "different seeds produced identical streams"
+echo "load_smoke: stream determinism OK (500-request dumps identical)"
+
+# --- Live 2-replica cluster. --------------------------------------------
+./overton serve -deploy factoid=m1.bin -addr "$R1" >r1.log 2>&1 &
+PIDS+=("$!")
+./overton serve -deploy factoid=m1.bin -addr "$R2" >r2.log 2>&1 &
+PIDS+=("$!")
+wait_ready "$R1"; wait_ready "$R2"
+./overton route -addr "$ROUTER" -replica "http://${R1}" -replica "http://${R2}" \
+  -probe-interval 150ms >router.log 2>&1 &
+PIDS+=("$!")
+wait_ready "$ROUTER"
+
+# --- Seeded storm. `overton load` itself enforces the accounting --------
+# --- identity and the p99 bound via its exit code. ----------------------
+./overton load -target "http://${ROUTER}" -workload zipf-hotkey -seed 42 \
+  -qps 200 -requests 600 -workers 8 -max-p99 2000 -out report.json ||
+  fail "overton load reported a broken run (accounting or p99)"
+
+OFFERED="$(report_field report.json offered)"
+ADMITTED="$(report_field report.json admitted)"
+SHED="$(report_field report.json shed)"
+ERRORED="$(report_field report.json errored)"
+[ "$OFFERED" = "600" ] || fail "offered ${OFFERED} != 600"
+[ "$ERRORED" = "0" ] || fail "errored ${ERRORED} != 0 against a healthy fleet"
+[ "$((ADMITTED + SHED + ERRORED))" = "$OFFERED" ] ||
+  fail "accounting broken: ${OFFERED} != ${ADMITTED} + ${SHED} + ${ERRORED}"
+echo "load_smoke: storm OK (offered ${OFFERED} = admitted ${ADMITTED} + shed ${SHED} + errored ${ERRORED})"
+
+# --- Stamp the report into the bench artifact. --------------------------
+if [ -n "$ARTIFACT" ]; then
+  cd "$ROOT"
+  [ -f "$ARTIFACT" ] || fail "bench artifact ${ARTIFACT} not found"
+  go run ./cmd/benchjson -merge "$ARTIFACT" -load "${WORK}/report.json" -out "$ARTIFACT"
+  echo "load_smoke: stamped Load/zipf-hotkey into ${ARTIFACT}"
+fi
+
+echo "load_smoke: PASS"
